@@ -1,0 +1,111 @@
+//! Ablations of the modeling choices DESIGN.md documents: each bench
+//! prints how the headline result (Table 3's 400 G / 85 % cell, paper
+//! value 8.8 %) shifts under an alternative modeling rule, then measures
+//! the sweep cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use npp_bench::print_artifact;
+use npp_core::cluster::ClusterConfig;
+use npp_core::savings::savings_table;
+use npp_power::{LinearPower, PowerModel, Proportionality, TwoStatePower};
+use npp_topology::InterpMode;
+use npp_units::{Gbps, Ratio, Watts};
+use npp_workload::ScalingScenario;
+
+/// The headline cell under a modified configuration.
+fn headline_savings(configure: impl Fn(&mut ClusterConfig)) -> f64 {
+    let mut cfg = ClusterConfig::paper_baseline();
+    configure(&mut cfg);
+    let t = savings_table(
+        &cfg,
+        &[Gbps::new(400.0)],
+        &[Proportionality::COMPUTE],
+        Proportionality::NETWORK_BASELINE,
+        ScalingScenario::FixedWorkload,
+    )
+    .expect("sweep builds");
+    t.cell(0, 0).expect("cell exists").savings.percent()
+}
+
+fn ablation_interp(c: &mut Criterion) {
+    let frac = headline_savings(|c| c.interp = InterpMode::FractionalStages);
+    let prop = headline_savings(|c| c.interp = InterpMode::CeilProportional);
+    let full = headline_savings(|c| c.interp = InterpMode::CeilFull);
+    print_artifact(
+        "Ablation: fat-tree interpolation rule (400G @ 85% cell; paper: 8.8%)",
+        &format!(
+            "fractional stages (paper): {frac:.2}%\n\
+             ceil + proportional:       {prop:.2}%\n\
+             ceil + full tree:          {full:.2}%"
+        ),
+    );
+    c.bench_function("ablation_interp/three_rules", |b| {
+        b.iter(|| {
+            black_box(headline_savings(|c| c.interp = InterpMode::FractionalStages));
+            black_box(headline_savings(|c| c.interp = InterpMode::CeilProportional));
+            black_box(headline_savings(|c| c.interp = InterpMode::CeilFull));
+        })
+    });
+}
+
+fn ablation_xcvr(c: &mut Criterion) {
+    let two = headline_savings(|c| c.transceivers_per_link = 2.0);
+    let one = headline_savings(|c| c.transceivers_per_link = 1.0);
+    print_artifact(
+        "Ablation: transceivers per inter-switch link (400G @ 85% cell)",
+        &format!(
+            "2 per link (paper, validated): {two:.2}%\n\
+             1 per link:                    {one:.2}%"
+        ),
+    );
+    c.bench_function("ablation_xcvr/two_counts", |b| {
+        b.iter(|| {
+            black_box(headline_savings(|c| c.transceivers_per_link = 2.0));
+            black_box(headline_savings(|c| c.transceivers_per_link = 1.0));
+        })
+    });
+}
+
+fn ablation_powermodel(c: &mut Criterion) {
+    // The paper's two-state model vs an idealized linear model, for a
+    // switch serving the ML duty cycle (10% at full load, 90% idle).
+    let max = Watts::new(750.0);
+    let duty = 0.10;
+    let mut body = String::new();
+    for pct in [10.0, 50.0, 85.0] {
+        let p = Proportionality::from_percent(pct).unwrap();
+        let two_state = {
+            let m = TwoStatePower::new(max, p);
+            m.power_at(Ratio::ONE) * duty + m.idle_power() * (1.0 - duty)
+        };
+        // Linear model at the *average load*: what a perfectly
+        // rate-adaptive device would draw.
+        let linear = LinearPower::new(max, p).power_at(Ratio::new(duty));
+        body.push_str(&format!(
+            "prop {pct:>3}%: two-state avg {:.1} W | linear-at-mean-load {:.1} W\n",
+            two_state.value(),
+            linear.value()
+        ));
+    }
+    body.push_str("(identical by construction: with binary phases, time-averaging the\n\
+                   two-state model equals evaluating the linear model at the mean load —\n\
+                   the paper's binary-phase assumption costs nothing for energy totals)");
+    print_artifact("Ablation: two-state vs linear power model", &body);
+
+    c.bench_function("ablation_powermodel/evaluate", |b| {
+        let p = Proportionality::COMPUTE;
+        let two = TwoStatePower::new(max, p);
+        let lin = LinearPower::new(max, p);
+        b.iter(|| {
+            for load in [0.0, 0.1, 0.5, 1.0] {
+                black_box(two.power_at(Ratio::new(black_box(load))));
+                black_box(lin.power_at(Ratio::new(black_box(load))));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, ablation_interp, ablation_xcvr, ablation_powermodel);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Benches for the extension analyses beyond the paper's core artifacts:
+//! §3.4 overlap sensitivity, the fabric-scale underutilization study,
+//! the ISP diurnal study, the §4.5 redesign sweeps, and the
+//! first-principles LLM communication-ratio derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use npp_bench::print_artifact;
+use npp_core::cluster::ClusterConfig;
+use npp_core::overlap::overlap_savings_sweep;
+use npp_mechanisms::fabric::{run_fabric_study, FabricStudyConfig};
+use npp_mechanisms::isp_study::{run_isp_study, IspStudyConfig};
+use npp_mechanisms::redesign::{granularity_sweep, CpoSwitch};
+use npp_power::Proportionality;
+use npp_units::Ratio;
+use npp_workload::models::TrainingSetup;
+
+fn overlap_sensitivity(c: &mut Criterion) {
+    let overlaps: Vec<Ratio> = (0..=4).map(|i| Ratio::new(i as f64 / 4.0)).collect();
+    let sweep = overlap_savings_sweep(
+        &ClusterConfig::paper_baseline(),
+        Proportionality::COMPUTE,
+        &overlaps,
+    )
+    .unwrap();
+    let body: String = sweep
+        .iter()
+        .map(|p| format!("overlap {} -> savings {}\n", p.overlap, p.savings))
+        .collect();
+    print_artifact("par. 3.4 overlap sensitivity (savings at 85% target)", &body);
+    c.bench_function("extension/overlap_sweep", |b| {
+        b.iter(|| {
+            black_box(
+                overlap_savings_sweep(
+                    &ClusterConfig::paper_baseline(),
+                    Proportionality::COMPUTE,
+                    &overlaps,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn fabric_study(c: &mut Criterion) {
+    let r = run_fabric_study(&FabricStudyConfig::default()).unwrap();
+    print_artifact(
+        "par. 3.4 fabric-scale underutilization",
+        &format!(
+            "switches touched {}/{} | park savings {} | composite savings {}",
+            r.switches_touched, r.switches_total, r.savings_parked, r.savings_composite
+        ),
+    );
+    let mut g = c.benchmark_group("extension/fabric_study");
+    g.sample_size(20);
+    g.bench_function("k8_ring64", |b| {
+        b.iter(|| black_box(run_fabric_study(&FabricStudyConfig::default()).unwrap()))
+    });
+    g.finish();
+}
+
+fn isp_study(c: &mut Criterion) {
+    let r = run_isp_study(&IspStudyConfig::default()).unwrap();
+    print_artifact(
+        "par. 3.4 ISP diurnal study (Abilene, 24h)",
+        &format!(
+            "linear savings {} | +down-rating {} | underutilized at peak {}",
+            r.savings_linear, r.savings_linear_downrated, r.underutilized_at_peak
+        ),
+    );
+    let mut g = c.benchmark_group("extension/isp_study");
+    g.sample_size(20);
+    g.bench_function("abilene_24h", |b| {
+        b.iter(|| black_box(run_isp_study(&IspStudyConfig::default()).unwrap()))
+    });
+    g.finish();
+}
+
+fn redesign_sweeps(c: &mut Criterion) {
+    let sweep = granularity_sweep(0.10).unwrap();
+    let best = sweep
+        .iter()
+        .max_by(|a, b| a.savings_vs_baseline.partial_cmp(&b.savings_vs_baseline).unwrap())
+        .unwrap();
+    print_artifact(
+        "par. 4.5 redesign",
+        &format!(
+            "best granularity: {} units ({} savings) | CPO full-load savings {}",
+            best.units,
+            best.savings_vs_baseline,
+            CpoSwitch::paper_cpo().full_load_savings()
+        ),
+    );
+    c.bench_function("extension/granularity_sweep", |b| {
+        b.iter(|| black_box(granularity_sweep(black_box(0.10)).unwrap()))
+    });
+}
+
+fn llm_derivation(c: &mut Criterion) {
+    let setup = TrainingSetup::paper_pod_70b();
+    print_artifact(
+        "first-principles communication ratio",
+        &format!("70B pod: {}", setup.comm_ratio().unwrap()),
+    );
+    c.bench_function("extension/llm_comm_ratio", |b| {
+        b.iter(|| black_box(TrainingSetup::paper_pod_70b().comm_ratio().unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    overlap_sensitivity,
+    fabric_study,
+    isp_study,
+    redesign_sweeps,
+    llm_derivation
+);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Benches for the §4 mechanism simulations (and Figure 5's pipeline
+//! parking in particular).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use npp_bench::print_artifact;
+use npp_mechanisms::comparison::{compare_mechanisms, ml_workload};
+use npp_mechanisms::eee::{simulate_eee, EeeParams};
+use npp_mechanisms::knobs::{apply_profile, DeploymentProfile};
+use npp_mechanisms::ocs_sched::{plan, Job, Placement, RoutingMode};
+use npp_mechanisms::pipeline_park::{simulate_parking, ParkConfig, PredictiveSchedule};
+use npp_mechanisms::rate_adapt::{simulate_rate_adaptation, RateAdaptConfig};
+use npp_simnet::sources::OnOffSource;
+use npp_simnet::switchsim::SwitchParams;
+use npp_simnet::SimTime;
+use npp_topology::builder::three_tier_fat_tree;
+use npp_units::{Gbps, Watts};
+use npp_workload::parallelism::TrafficMatrix;
+
+const HORIZON: SimTime = SimTime::from_millis(5);
+
+fn mech_eee(c: &mut Criterion) {
+    let mk = || OnOffSource::new(1_000_000, 900_000, Gbps::new(10.0), 1500, 0, HORIZON).unwrap();
+    let r = simulate_eee(&EeeParams::ten_gbase_t(), &mut mk(), HORIZON).unwrap();
+    print_artifact(
+        "EEE baseline (802.3az, 10GBASE-T)",
+        &format!("savings {} | LPI {} | mean added latency {:.0} ns",
+            r.savings, r.lpi_fraction, r.mean_added_latency_ns),
+    );
+    let mut g = c.benchmark_group("mech_eee");
+    g.sample_size(20);
+    g.bench_function("simulate_5ms_ml_traffic", |b| {
+        b.iter(|| black_box(simulate_eee(&EeeParams::ten_gbase_t(), &mut mk(), HORIZON).unwrap()))
+    });
+    g.finish();
+}
+
+fn mech_rate_adaptation(c: &mut Criterion) {
+    let params = SwitchParams::paper_51t2();
+    let cfg = RateAdaptConfig::default_per_pipeline();
+    let r = simulate_rate_adaptation(params, &cfg, &mut ml_workload(HORIZON), HORIZON).unwrap();
+    print_artifact(
+        "par. 4.3 rate adaptation (per-pipeline)",
+        &format!("savings {} | loss {:.2}% | p99 {:.1} us",
+            r.savings, r.loss_rate * 100.0, r.p99_latency_ns / 1000.0),
+    );
+    let mut g = c.benchmark_group("mech_rate_adaptation");
+    g.sample_size(10);
+    g.bench_function("simulate_5ms", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_rate_adaptation(params, &cfg, &mut ml_workload(HORIZON), HORIZON)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn mech_pipeline_parking(c: &mut Criterion) {
+    let params = SwitchParams::paper_51t2();
+    let cfg = ParkConfig::predictive(PredictiveSchedule {
+        period_ns: 1_000_000,
+        burst_start_ns: 900_000,
+        burst_len_ns: 100_000,
+        prewake_ns: 200_000,
+    });
+    let r = simulate_parking(params, &cfg, &mut ml_workload(HORIZON), HORIZON).unwrap();
+    print_artifact(
+        "par. 4.4 / Figure 5 pipeline parking (predictive)",
+        &format!("savings {} | loss {:.2}% | parks {} wakes {}",
+            r.savings, r.loss_rate * 100.0, r.parks, r.wakes),
+    );
+    let mut g = c.benchmark_group("mech_pipeline_parking");
+    g.sample_size(10);
+    g.bench_function("simulate_5ms_predictive", |b| {
+        b.iter(|| {
+            black_box(simulate_parking(params, &cfg, &mut ml_workload(HORIZON), HORIZON).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn mech_ocs(c: &mut Criterion) {
+    let topo = three_tier_fat_tree(8, Gbps::new(400.0)).unwrap();
+    let ring: Vec<usize> = (0..32).collect();
+    let job = Job::from_matrix(
+        "dp-ring-32",
+        &TrafficMatrix::ring(32, &ring, Gbps::new(100.0)).unwrap(),
+    );
+    let p = plan(
+        &topo,
+        &[(job.clone(), Placement::Packed)],
+        Watts::new(750.0),
+        RoutingMode::Concentrated,
+        true,
+    )
+    .unwrap();
+    print_artifact(
+        "par. 4.2 OCS scheduling (32-rank ring on k=8 fat tree)",
+        &format!("active switches {} / {} | savings {}",
+            p.active_switches.len(), topo.switches().len(), p.savings),
+    );
+    c.bench_function("mech_ocs/plan_k8_fabric", |b| {
+        b.iter(|| {
+            black_box(
+                plan(
+                    &topo,
+                    &[(job.clone(), Placement::Packed)],
+                    Watts::new(750.0),
+                    RoutingMode::Concentrated,
+                    true,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn mech_knobs(c: &mut Criterion) {
+    let r = apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap();
+    print_artifact(
+        "par. 4.1 power knobs (L2 leaf, half ports)",
+        &format!("exposed {} | physical {} | proportionality {}",
+            r.exposed_savings, r.physical_savings, r.physical_proportionality),
+    );
+    c.bench_function("mech_knobs/apply_profile", |b| {
+        b.iter(|| black_box(apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap()))
+    });
+}
+
+fn mech_comparison(c: &mut Criterion) {
+    let table = compare_mechanisms(HORIZON).unwrap();
+    let mut body = String::new();
+    for row in &table {
+        body.push_str(&format!("{:<34} savings {}\n", row.name, row.savings));
+    }
+    print_artifact("par. 4 cross-mechanism comparison", &body);
+    let mut g = c.benchmark_group("mech_comparison");
+    g.sample_size(10);
+    g.bench_function("all_mechanisms_5ms", |b| {
+        b.iter(|| black_box(compare_mechanisms(HORIZON).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    mech_eee,
+    mech_rate_adaptation,
+    mech_pipeline_parking,
+    mech_ocs,
+    mech_knobs,
+    mech_comparison
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Benches regenerating the paper's figures.
+//!
+//! - `fig1_workload`: the Figure 1 scaling rules;
+//! - `fig2_phase_breakdown`: the Figure 2a/2b phase decomposition;
+//! - `fig3_fixed_workload`: the Figure 3 fixed-budget speedup sweep;
+//! - `fig4_fixed_ratio`: the Figure 4 fixed-ratio speedup sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use npp_bench::{print_artifact, render_speedup_curves};
+use npp_core::cluster::{ClusterConfig, ClusterModel};
+use npp_core::phases::phase_breakdown;
+use npp_core::speedup::{figure3, figure4, paper_bandwidths, proportionality_sweep};
+use npp_units::Gbps;
+use npp_workload::{IterationModel, ScalingScenario};
+
+fn fig1_workload(c: &mut Criterion) {
+    let m = IterationModel::paper_baseline();
+    let base = m.iteration(15_360.0, Gbps::new(400.0), ScalingScenario::FixedWorkload).unwrap();
+    let gpus2x = m.iteration(30_720.0, Gbps::new(400.0), ScalingScenario::FixedWorkload).unwrap();
+    let bw_half = m.iteration(15_360.0, Gbps::new(200.0), ScalingScenario::FixedWorkload).unwrap();
+    print_artifact(
+        "Figure 1: workload scaling",
+        &format!(
+            "baseline: {:.2}+{:.2}s  2xGPUs: {:.2}+{:.2}s  0.5xBW: {:.2}+{:.2}s",
+            base.compute.value(),
+            base.comm.value(),
+            gpus2x.compute.value(),
+            gpus2x.comm.value(),
+            bw_half.compute.value(),
+            bw_half.comm.value(),
+        ),
+    );
+    c.bench_function("fig1_workload/iteration_scaling", |b| {
+        b.iter(|| {
+            for gpus in [7_680.0, 15_360.0, 30_720.0] {
+                for bw in [100.0, 400.0, 1600.0] {
+                    black_box(
+                        m.iteration(
+                            black_box(gpus),
+                            Gbps::new(black_box(bw)),
+                            ScalingScenario::FixedWorkload,
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+        })
+    });
+}
+
+fn fig2_phase_breakdown(c: &mut Criterion) {
+    let model = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+    let b = phase_breakdown(&model, ScalingScenario::FixedWorkload).unwrap();
+    print_artifact(
+        "Figure 2: phase breakdown (paper: network 12% of average, 11% efficiency)",
+        &format!(
+            "computation {:.3} MW | communication {:.3} MW | average {:.3} MW\n\
+             network share of average: {} | network efficiency: {}",
+            b.computation.total().as_mw(),
+            b.communication.total().as_mw(),
+            b.average.total().as_mw(),
+            b.average.network_share(),
+            b.network_efficiency,
+        ),
+    );
+    c.bench_function("fig2_phase_breakdown/build_and_decompose", |b| {
+        b.iter(|| {
+            let model = ClusterModel::new(black_box(ClusterConfig::paper_baseline())).unwrap();
+            black_box(phase_breakdown(&model, ScalingScenario::FixedWorkload).unwrap())
+        })
+    });
+}
+
+fn fig3_fixed_workload(c: &mut Criterion) {
+    let curves = figure3(&paper_bandwidths(), &proportionality_sweep(4)).unwrap();
+    print_artifact(
+        "Figure 3: fixed-workload speedups (paper: 1600G ~ -30% at low prop.)",
+        &render_speedup_curves(&curves),
+    );
+    let mut g = c.benchmark_group("fig3_fixed_workload");
+    g.sample_size(10);
+    g.bench_function("sweep_5bw_x_5prop", |b| {
+        b.iter(|| {
+            black_box(figure3(&paper_bandwidths(), &proportionality_sweep(4)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn fig4_fixed_ratio(c: &mut Criterion) {
+    let curves = figure4(&paper_bandwidths(), &proportionality_sweep(4)).unwrap();
+    print_artifact(
+        "Figure 4: fixed-ratio speedups (paper: 800G@50% ~ 10%)",
+        &render_speedup_curves(&curves),
+    );
+    let mut g = c.benchmark_group("fig4_fixed_ratio");
+    g.sample_size(10);
+    g.bench_function("sweep_5bw_x_5prop", |b| {
+        b.iter(|| {
+            black_box(figure4(&paper_bandwidths(), &proportionality_sweep(4)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_workload,
+    fig2_phase_breakdown,
+    fig3_fixed_workload,
+    fig4_fixed_ratio
+);
+criterion_main!(benches);

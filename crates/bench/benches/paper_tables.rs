@@ -1,0 +1,49 @@
+//! Benches regenerating the paper's tables.
+//!
+//! - `table_device_db`: Tables 1–2 (device database + extrapolation);
+//! - `table3_savings`: the full 5×5 savings sweep of Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use npp_bench::{print_artifact, render_savings_table};
+use npp_core::savings::paper_table3;
+use npp_power::devices::{DeviceDb, SpeedPowerTable};
+use npp_units::Gbps;
+
+fn table_device_db(c: &mut Criterion) {
+    let db = DeviceDb::paper_baseline();
+    let mut body = String::from("NIC (W): ");
+    for e in db.nic_table().entries() {
+        body.push_str(&format!("{}G={} ", e.speed.value(), e.power.value()));
+    }
+    body.push_str("\nTransceiver (W): ");
+    for e in db.transceiver_table().entries() {
+        body.push_str(&format!("{}G={} ", e.speed.value(), e.power.value()));
+    }
+    print_artifact("Tables 1-2: device power database", &body);
+
+    c.bench_function("table_device_db/lookup_all_speeds", |b| {
+        let nic = SpeedPowerTable::nic_connectx7();
+        b.iter(|| {
+            for bw in [100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0] {
+                black_box(nic.power_extrapolated(Gbps::new(black_box(bw))).unwrap());
+            }
+        })
+    });
+}
+
+fn table3_savings(c: &mut Criterion) {
+    let table = paper_table3().expect("table 3 builds");
+    print_artifact(
+        "Table 3: savings vs 10% proportionality (paper: 400G row = 0.0/1.2/4.7/8.8/10.6%)",
+        &render_savings_table(&table),
+    );
+
+    c.bench_function("table3_savings/full_5x5_sweep", |b| {
+        b.iter(|| black_box(paper_table3().unwrap()))
+    });
+}
+
+criterion_group!(benches, table_device_db, table3_savings);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared helpers for the `netpp` benchmark harness.
+//!
+//! Each Criterion bench regenerates one of the paper's tables or figures:
+//! it prints the artifact once (so `cargo bench` output doubles as a
+//! reproduction log, compared in EXPERIMENTS.md) and then measures how
+//! long the regeneration takes.
+
+/// Prints a banner followed by a rendered artifact, once per bench run.
+pub fn print_artifact(name: &str, body: &str) {
+    eprintln!("\n===== {name} =====");
+    eprintln!("{body}");
+}
+
+/// Formats a savings table (Table 3 layout) for the reproduction log.
+pub fn render_savings_table(table: &npp_core::savings::SavingsTable) -> String {
+    let mut headers = vec!["Bandwidth".to_string()];
+    headers.extend(table.proportionalities.iter().map(|p| format!("{p}")));
+    let mut t = npp_report::Table::new(headers);
+    for (bw, row) in table.bandwidths.iter().zip(&table.cells) {
+        let mut cells = vec![format!("{}G", bw.value())];
+        cells.extend(row.iter().map(|c| format!("{}", c.savings)));
+        t.push_row(cells);
+    }
+    t.render()
+}
+
+/// Formats speedup curves (Figures 3–4 layout) for the reproduction log.
+pub fn render_speedup_curves(curves: &[npp_core::speedup::SpeedupCurve]) -> String {
+    let mut headers = vec!["Bandwidth".to_string()];
+    if let Some(first) = curves.first() {
+        headers.extend(first.points.iter().map(|p| format!("{}", p.proportionality)));
+    }
+    let mut t = npp_report::Table::new(headers);
+    for c in curves {
+        let mut cells = vec![format!("{}G", c.bandwidth.value())];
+        cells.extend(c.points.iter().map(|p| format!("{}", p.speedup)));
+        t.push_row(cells);
+    }
+    t.render()
+}

@@ -1,0 +1,13 @@
+//! Library backing the `netpp` binary: every subcommand is a plain
+//! function here so it can be unit- and integration-tested without
+//! spawning processes.
+//!
+//! The separation also documents the boundary: `main.rs` only parses
+//! arguments and dispatches; all behaviour lives in [`paper`] (the
+//! paper's tables/figures) and [`mech`] (the §4 mechanism evaluations
+//! and §3.4 studies).
+
+pub mod mech;
+pub mod paper;
+
+pub use paper::{CliError, Result};

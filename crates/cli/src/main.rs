@@ -1,0 +1,133 @@
+//! `netpp` — regenerate every table and figure of *"It Is Time to
+//! Address Network Power Proportionality"* (HotNets '25), plus the §4
+//! mechanism evaluations.
+//!
+//! Run `netpp help` for the command list. Argument parsing is hand-rolled
+//! to keep the dependency set minimal (see DESIGN.md).
+
+use std::process::ExitCode;
+
+use npp_cli::{mech, paper};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest: Vec<&str> = args.iter().skip(1).map(String::as_str).collect();
+    let json = rest.contains(&"--json");
+
+    let result = match cmd {
+        "tables" => paper::device_tables(json),
+        "table3" => paper::table3(json),
+        "fig1" => paper::fig1(),
+        "fig2" | "fig2a" | "fig2b" => paper::fig2(json),
+        "fig3" => paper::fig3(json, steps(&rest)),
+        "fig4" => paper::fig4(json, steps(&rest)),
+        "cost" => paper::cost(json),
+        "overlap" => paper::overlap(json),
+        "sensitivity" => paper::sensitivity(json),
+        "scale" => paper::scale(json),
+        "llm" => paper::llm(json),
+        "isp" => mech::isp(json),
+        "fabric" => mech::fabric(json),
+        "mech" => match rest.first().copied().unwrap_or("compare") {
+            "eee" => mech::eee(json),
+            "rate" => mech::rate(json),
+            "park" => mech::park(json),
+            "ocs" => mech::ocs(json),
+            "knobs" => mech::knobs(json),
+            "redesign" => mech::redesign(json),
+            "governor" => mech::governor(json),
+            "timeline" => mech::timeline(json),
+            "frontier" => mech::frontier(json),
+            "compare" => mech::compare(json),
+            other => {
+                eprintln!("unknown mechanism {other:?} (eee|rate|park|ocs|knobs|redesign|governor|timeline|frontier|compare)");
+                return ExitCode::FAILURE;
+            }
+        },
+        "all" => paper::device_tables(false)
+            .and_then(|()| paper::fig1())
+            .and_then(|()| paper::fig2(false))
+            .and_then(|()| paper::table3(false))
+            .and_then(|()| paper::cost(false))
+            .and_then(|()| paper::fig3(false, 10))
+            .and_then(|()| paper::fig4(false, 10))
+            .and_then(|()| mech::compare(false))
+            .and_then(|()| mech::knobs(false))
+            .and_then(|()| mech::ocs(false))
+            .and_then(|()| mech::eee(false))
+            .and_then(|()| mech::redesign(false))
+            .and_then(|()| mech::governor(false))
+            .and_then(|()| mech::timeline(false))
+            .and_then(|()| paper::overlap(false))
+            .and_then(|()| paper::sensitivity(false))
+            .and_then(|()| paper::scale(false))
+            .and_then(|()| paper::llm(false))
+            .and_then(|()| mech::fabric(false))
+            .and_then(|()| mech::isp(false)),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command {other:?}; try `netpp help`");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("netpp {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--steps N` (default 10) for the figure sweeps.
+fn steps(rest: &[&str]) -> usize {
+    rest.iter()
+        .position(|&a| a == "--steps")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+fn print_help() {
+    println!(
+        "netpp — network power proportionality toolkit (HotNets'25 reproduction)
+
+USAGE: netpp <command> [--json] [--steps N]
+
+Paper artifacts:
+  tables     Tables 1 & 2: device power database (incl. extrapolation)
+  fig1       Figure 1: workload scaling rules
+  fig2       Figure 2: per-phase power breakdown of the baseline cluster
+  table3     Table 3: cluster power savings vs proportionality x bandwidth
+  cost       par. 3.2: kW and $/year from better proportionality
+  fig3       Figure 3: fixed-workload speedup under a power budget
+  fig4       Figure 4: fixed-comm-ratio speedup under a power budget
+  overlap    par. 3.4: do the savings survive compute/comm overlap?
+  sensitivity tornado table: which model inputs move the headline
+  scale      savings vs cluster size (1-32 pods)
+  llm        derive the 10% comm-ratio assumption from a real LLM setup
+
+Mechanisms (par. 4):
+  mech eee       802.3az link sleeping baseline + obsolescence analysis
+  mech knobs     par. 4.1 power-knob gating (exposed vs physical)
+  mech ocs       par. 4.2 job scheduling + OCS topology tailoring
+  mech rate      par. 4.3 per-pipeline rate adaptation vs global
+  mech park      par. 4.4 pipeline parking (reactive vs predictive)
+  mech redesign  par. 4.5 clean-slate ASIC: granularity sweep + CPO
+  mech governor  par. 4.1 automatic C-state governor (load -> mode)
+  mech timeline  par. 4.2 one day of job churn with OCS replanning
+  mech frontier  par. 4.4 wake-latency vs loss frontier
+  mech compare   all dynamic mechanisms on one workload
+  fabric         par. 3.4 fabric-scale underutilization (fat-tree job)
+  isp            par. 3.4 ISP diurnal underutilization (Abilene, 24h)
+
+  all        run everything (text output)
+
+Flags: --json machine-readable output; --steps N sweep resolution."
+    );
+}

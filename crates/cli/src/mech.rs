@@ -1,0 +1,539 @@
+//! CLI commands for the §4 mechanism evaluations and the §3.4 ISP
+//! scenario.
+
+use npp_mechanisms::comparison::{compare_mechanisms, ml_workload};
+use npp_mechanisms::eee::{simulate_eee, sleep_viability, EeeParams};
+use npp_mechanisms::knobs::{apply_profile, DeploymentProfile};
+use npp_mechanisms::ocs_sched::{plan, Job, Placement, RoutingMode};
+use npp_mechanisms::pipeline_park::{simulate_parking, ParkConfig, PredictiveSchedule};
+use npp_mechanisms::rate_adapt::{simulate_rate_adaptation, RateAdaptConfig};
+use npp_report::export::to_json;
+use npp_report::Table;
+use npp_simnet::sources::OnOffSource;
+use npp_simnet::switchsim::SwitchParams;
+use npp_simnet::SimTime;
+use npp_topology::builder::three_tier_fat_tree;
+use npp_topology::isp::abilene;
+use npp_units::{Gbps, Ratio, Watts};
+use npp_workload::parallelism::TrafficMatrix;
+use npp_workload::trace::{DiurnalTrace, LoadTrace};
+use npp_power::{LinearPower, PowerModel, Proportionality, TwoStatePower};
+
+use crate::paper::Result;
+
+
+const HORIZON: SimTime = SimTime::from_millis(10);
+
+/// §-history: the EEE baseline and its obsolescence at high rates.
+pub fn eee(json: bool) -> Result<()> {
+    let params = EeeParams::ten_gbase_t();
+    let mut src = OnOffSource::new(
+        1_000_000,
+        900_000,
+        Gbps::new(10.0),
+        1500,
+        0,
+        HORIZON,
+    )?;
+    let report = simulate_eee(&params, &mut src, HORIZON)?;
+    if json {
+        println!("{}", to_json(&report)?);
+        return Ok(());
+    }
+    println!("802.3az EEE on 10GBASE-T, ML burst traffic (10% duty):");
+    println!("  savings: {}   LPI time: {}   sleep cycles: {}",
+        report.savings, report.lpi_fraction, report.sleep_cycles);
+    println!("  added latency: mean {:.0} ns, max {:.0} ns",
+        report.mean_added_latency_ns, report.max_added_latency_ns);
+
+    let mut t = Table::new(vec!["Utilization", "10G viable sleep", "400G viable sleep"])
+        .with_title("\nWhy EEE became obsolete: usable fraction of idle gaps");
+    for u in [0.001, 0.01, 0.05, 0.1, 0.3] {
+        t.push_row(vec![
+            format!("{:.1}%", u * 100.0),
+            format!("{}", sleep_viability(&EeeParams::ten_gbase_t(), u, 1500)),
+            format!("{}", sleep_viability(&EeeParams::hypothetical_400g(), u, 1500)),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// §4.1: power knobs.
+pub fn knobs(json: bool) -> Result<()> {
+    let profiles = [
+        ("L2 leaf, half ports, buggy firmware", DeploymentProfile::l2_leaf_today()),
+        ("L2 leaf, half ports, fixed firmware", DeploymentProfile::l2_leaf_fixed()),
+        (
+            "L3 full-FIB, all ports",
+            DeploymentProfile {
+                ports_used: 64,
+                ports_total: 64,
+                l3_routing: true,
+                full_fib: true,
+                port_gating_works: true,
+            },
+        ),
+    ];
+    let mut t = Table::new(vec![
+        "Deployment",
+        "Exposed savings",
+        "Physical savings",
+        "Physical prop.",
+    ])
+    .with_title("par. 4.1: exposed vs physically possible gating savings (750W switch)");
+    let mut reports = Vec::new();
+    for (name, p) in &profiles {
+        let r = apply_profile(p)?;
+        t.push_row(vec![
+            name.to_string(),
+            format!("{}", r.exposed_savings),
+            format!("{}", r.physical_savings),
+            format!("{}", r.physical_proportionality),
+        ]);
+        reports.push(r);
+    }
+    if json {
+        println!("{}", to_json(&reports)?);
+    } else {
+        println!("{}", t.render());
+    }
+    Ok(())
+}
+
+/// §4.2: OCS job scheduling on a k=8 fat tree.
+pub fn ocs(json: bool) -> Result<()> {
+    let topo = three_tier_fat_tree(8, Gbps::new(400.0))?;
+    let ring: Vec<usize> = (0..32).collect();
+    let m = TrafficMatrix::ring(32, &ring, Gbps::new(100.0))?;
+    let job = Job::from_matrix("dp-ring-32", &m);
+    let scenarios = [
+        ("spread placement, ECMP spray", Placement::Spread, RoutingMode::Sprayed, false),
+        ("packed placement, ECMP spray", Placement::Packed, RoutingMode::Sprayed, false),
+        ("packed + concentrated routing", Placement::Packed, RoutingMode::Concentrated, false),
+        ("packed + concentrated + OCS", Placement::Packed, RoutingMode::Concentrated, true),
+    ];
+    let mut t = Table::new(vec!["Scenario", "Switches on", "Power (kW)", "Savings"])
+        .with_title("par. 4.2: 32-rank DP ring on a 128-host fat tree (80 switches)");
+    let mut plans = Vec::new();
+    for (name, placement, mode, use_ocs) in scenarios {
+        let p = plan(&topo, &[(job.clone(), placement)], Watts::new(750.0), mode, use_ocs)?;
+        t.push_row(vec![
+            name.to_string(),
+            format!("{}", p.active_switches.len()),
+            format!("{:.1}", p.power.as_kw()),
+            format!("{}", p.savings),
+        ]);
+        plans.push(p);
+    }
+    if json {
+        println!("{}", to_json(&plans)?);
+    } else {
+        println!("{}", t.render());
+        println!("(all-on fabric: {:.1} kW)", plans[0].power_all_on.as_kw());
+    }
+    Ok(())
+}
+
+/// §4.3: rate adaptation.
+pub fn rate(json: bool) -> Result<()> {
+    let params = SwitchParams::paper_51t2();
+    let global = simulate_rate_adaptation(
+        params,
+        &RateAdaptConfig::default_global(),
+        &mut ml_workload(HORIZON),
+        HORIZON,
+    )?;
+    let per = simulate_rate_adaptation(
+        params,
+        &RateAdaptConfig::default_per_pipeline(),
+        &mut ml_workload(HORIZON),
+        HORIZON,
+    )?;
+    if json {
+        println!("{}", to_json(&vec![&global, &per])?);
+        return Ok(());
+    }
+    let mut t = Table::new(vec!["Mode", "Savings", "Loss", "p99 latency (us)"])
+        .with_title("par. 4.3: rate adaptation on ML burst traffic (51.2T switch)");
+    for (name, r) in [("global clock (today)", &global), ("per-pipeline (proposal)", &per)] {
+        t.push_row(vec![
+            name.to_string(),
+            format!("{}", r.savings),
+            format!("{:.2}%", r.loss_rate * 100.0),
+            format!("{:.1}", r.p99_latency_ns / 1000.0),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// §4.4: pipeline parking.
+pub fn park(json: bool) -> Result<()> {
+    let params = SwitchParams::paper_51t2();
+    let reactive =
+        simulate_parking(params, &ParkConfig::reactive(), &mut ml_workload(HORIZON), HORIZON)?;
+    let predictive = simulate_parking(
+        params,
+        &ParkConfig::predictive(PredictiveSchedule {
+            period_ns: 1_000_000,
+            burst_start_ns: 900_000,
+            burst_len_ns: 100_000,
+            prewake_ns: 200_000,
+        }),
+        &mut ml_workload(HORIZON),
+        HORIZON,
+    )?;
+    if json {
+        println!("{}", to_json(&vec![&reactive, &predictive])?);
+        return Ok(());
+    }
+    let mut t = Table::new(vec!["Policy", "Savings", "Loss", "p99 (us)", "Parks", "Wakes"])
+        .with_title("par. 4.4: pipeline parking behind a circuit switch (Figure 5)");
+    for (name, r) in [("reactive", &reactive), ("predictive (ML schedule)", &predictive)] {
+        t.push_row(vec![
+            name.to_string(),
+            format!("{}", r.savings),
+            format!("{:.2}%", r.loss_rate * 100.0),
+            format!("{:.1}", r.p99_latency_ns / 1000.0),
+            format!("{}", r.parks),
+            format!("{}", r.wakes),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// The cross-mechanism comparison.
+pub fn compare(json: bool) -> Result<()> {
+    let table = compare_mechanisms(HORIZON)?;
+    if json {
+        println!("{}", to_json(&table)?);
+        return Ok(());
+    }
+    let mut t = Table::new(vec!["Mechanism", "Savings", "Prop. floor", "Loss", "p99 (us)"])
+        .with_title("par. 4: all mechanisms, one ML workload (51.2T switch, 10% comm ratio)");
+    for r in &table {
+        t.push_row(vec![
+            r.name.clone(),
+            format!("{}", r.savings),
+            format!("{}", r.proportionality_floor),
+            format!("{:.2}%", r.loss_rate * 100.0),
+            format!("{:.1}", r.p99_latency_ns / 1000.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(compute proportionality for reference: 85%)");
+    Ok(())
+}
+
+/// §3.4: ISP diurnal underutilization on the Abilene backbone.
+pub fn isp(json: bool) -> Result<()> {
+    let topo = abilene(Gbps::new(400.0));
+    let routers = topo.switches().len() as f64;
+    let trace = DiurnalTrace::typical_backbone(42);
+    let day = npp_units::Seconds::from_hours(24.0);
+    let mean_util = trace.mean_utilization(day, 24 * 60);
+
+    #[derive(serde::Serialize)]
+    struct IspRow {
+        proportionality: f64,
+        two_state_mw: f64,
+        linear_mw: f64,
+        savings_vs_flat: f64,
+    }
+
+    let router_max = Watts::new(750.0);
+    let flat_power = router_max * routers;
+    let mut rows = Vec::new();
+    for pct in [10.0, 50.0, 85.0, 100.0] {
+        let p = Proportionality::from_percent(pct)?;
+        // Two-state: routers never fully idle (traffic 24/7), so a
+        // two-state device saves nothing — linearity is what pays here.
+        let two_state = TwoStatePower::new(router_max, p).power_at(Ratio::new(mean_util.fraction()));
+        let linear = LinearPower::new(router_max, p).power_at(mean_util);
+        rows.push(IspRow {
+            proportionality: pct,
+            two_state_mw: (two_state * routers).as_mw(),
+            linear_mw: (linear * routers).as_mw(),
+            savings_vs_flat: 1.0 - (linear * routers) / flat_power,
+        });
+    }
+    if json {
+        println!("{}", to_json(&rows)?);
+        return Ok(());
+    }
+    println!(
+        "par. 3.4: Abilene backbone ({} routers), diurnal load, mean utilization {}",
+        routers, mean_util
+    );
+    let mut t = Table::new(vec![
+        "Proportionality",
+        "Two-state power (MW)",
+        "Linear power (MW)",
+        "Linear savings",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            format!("{}%", r.proportionality),
+            format!("{:.4}", r.two_state_mw),
+            format!("{:.4}", r.linear_mw),
+            format!("{:.1}%", r.savings_vs_flat * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("ISP links are *underutilized*, not unused: only load-proportional");
+    println!("(linear) devices capture the gap — the par. 3.4 distinction.");
+
+    // Green TE: concentrate traffic at night and sleep whole links.
+    let te = npp_mechanisms::isp_study::run_green_te(
+        &npp_mechanisms::isp_study::IspStudyConfig::default(),
+        Ratio::new(0.8),
+    )?;
+    println!("
+Green traffic engineering (sleep links whose traffic reroutes <=80% util):");
+    print!("  sleepable links by hour: ");
+    let marks: Vec<String> = te.sleepable_per_hour.iter().map(|n| n.to_string()).collect();
+    println!("{}", marks.join(" "));
+    println!(
+        "  transceiver energy saved over 24h: {} (of {} backbone links)",
+        te.savings, te.links_total
+    );
+    Ok(())
+}
+
+/// §4.5: the clean-slate redesign options.
+pub fn redesign(json: bool) -> Result<()> {
+    use npp_mechanisms::redesign::{granularity_sweep, CpoSwitch};
+
+    let sweep = granularity_sweep(0.10)?;
+    if json {
+        println!("{}", to_json(&sweep)?);
+        return Ok(());
+    }
+    let mut t = Table::new(vec![
+        "Units",
+        "Max power (W)",
+        "Idle prop.",
+        "ML avg power (W)",
+        "Savings vs 4 units",
+    ])
+    .with_title("par. 4.5: many-small-pipelines granularity sweep (10% comm duty)");
+    for p in &sweep {
+        t.push_row(vec![
+            format!("{}", p.units),
+            format!("{:.0}", p.max_power.value()),
+            format!("{}", p.idle_proportionality),
+            format!("{:.0}", p.average_power_ml.value()),
+            format!("{}", p.savings_vs_baseline),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let sim_rows = npp_mechanisms::comparison::compare_granularity(SimTime::from_millis(10))?;
+    let mut ts = Table::new(vec!["Units", "Simulated savings (predictive parking)", "Loss"])
+        .with_title("Granularity validated by simulation (same policy, same traffic)");
+    for r in &sim_rows {
+        ts.push_row(vec![
+            format!("{}", r.units),
+            format!("{}", r.savings),
+            format!("{:.2}%", r.loss_rate * 100.0),
+        ]);
+    }
+    println!("{}", ts.render());
+
+    let cpo = CpoSwitch::paper_cpo();
+    println!("Co-packaged optics (64x800G):");
+    println!(
+        "  pluggables: {:.0} W -> CPO: {:.0} W ({} at full load)",
+        CpoSwitch::pluggable_total().value(),
+        cpo.max_power().value(),
+        cpo.full_load_savings(),
+    );
+    println!(
+        "  with half the ports dark: {:.0} W (optics gate per port)",
+        cpo.power_with_ports(32).value()
+    );
+    Ok(())
+}
+
+/// §3.4 fabric-scale underutilization on an explicit fat tree.
+pub fn fabric(json: bool) -> Result<()> {
+    use npp_mechanisms::fabric::{run_fabric_study, FabricStudyConfig};
+
+    let r = run_fabric_study(&FabricStudyConfig::default())?;
+    if json {
+        println!("{}", to_json(&r)?);
+        return Ok(());
+    }
+    println!("par. 3.4: 64-rank ring all-reduce on a 128-host fat tree (400G links)");
+    println!(
+        "  switches touched during comm: {}/{}   unused inter-switch links: {}/{}",
+        r.switches_touched, r.switches_total, r.links_unused_during_comm, r.links_total
+    );
+    println!(
+        "  mean inter-switch utilization during comm: {}",
+        r.mean_comm_utilization
+    );
+    let mut t = Table::new(vec!["Scheme", "Energy/iter (kJ)", "Savings vs two-state"]);
+    for (name, e, s) in [
+        ("all devices at max", r.energy_all_max, None),
+        ("two-state @10% (core model)", r.energy_two_state, None),
+        ("+ park untouched devices (par. 4.2)", r.energy_parked, Some(r.savings_parked)),
+        (
+            "+ sleep used devices off-phase (par. 4.3/4.4)",
+            r.energy_parked_and_sleeping,
+            Some(r.savings_composite),
+        ),
+    ] {
+        t.push_row(vec![
+            name.to_string(),
+            format!("{:.1}", e.value() / 1000.0),
+            s.map(|x| format!("{x}")).unwrap_or_default(),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// §4.1 automatic C-state governor on ML phase traffic.
+pub fn governor(json: bool) -> Result<()> {
+    use npp_mechanisms::governor::{run_governor, GovernorConfig};
+    use npp_units::Seconds;
+    use npp_workload::trace::MlPhaseTrace;
+
+    let trace = MlPhaseTrace {
+        compute: Seconds::from_millis(90.0),
+        comm: Seconds::from_millis(10.0),
+        peak: Ratio::ONE,
+    };
+    let configs = [
+        ("default (200us exit budget)", GovernorConfig::default()),
+        (
+            "latency-sensitive (50us budget)",
+            GovernorConfig {
+                exit_latency_budget: Seconds::from_micros(50.0),
+                ..GovernorConfig::default()
+            },
+        ),
+    ];
+    let mut t = Table::new(vec!["Governor", "Savings", "Transitions", "Capacity misses"])
+        .with_title("par. 4.1: automatic C-state governor (ML phases, 100ms iterations)");
+    let mut reports = Vec::new();
+    for (name, cfg) in &configs {
+        let r = run_governor(&trace, Seconds::new(2.0), cfg)?;
+        t.push_row(vec![
+            name.to_string(),
+            format!("{}", r.savings),
+            format!("{}", r.transitions),
+            format!("{}", r.capacity_misses),
+        ]);
+        reports.push(r);
+    }
+    if json {
+        println!("{}", to_json(&reports)?);
+    } else {
+        println!("{}", t.render());
+        print!("state residency (default governor): ");
+        let parts: Vec<String> = reports[0]
+            .residency
+            .iter()
+            .map(|(n, s)| format!("{n}={:.0}%", s.value() / 2.0 * 100.0))
+            .collect();
+        println!("{}", parts.join("  "));
+    }
+    Ok(())
+}
+
+/// §4.2 job-churn timeline with OCS replanning.
+pub fn timeline(json: bool) -> Result<()> {
+    use npp_mechanisms::ocs_dynamics::{simulate_job_timeline, JobEvent, OcsDynamicsConfig};
+    use npp_units::Seconds;
+
+    let ring_job = |name: &str, ranks: usize| -> Result<npp_mechanisms::ocs_sched::Job> {
+        let ring: Vec<usize> = (0..ranks).collect();
+        Ok(Job::from_matrix(
+            name,
+            &TrafficMatrix::ring(ranks, &ring, Gbps::new(100.0))?,
+        ))
+    };
+    let events = vec![
+        JobEvent::Arrive {
+            at: Seconds::from_hours(1.0),
+            job: ring_job("train-a", 64)?,
+            placement: Placement::Packed,
+        },
+        JobEvent::Arrive {
+            at: Seconds::from_hours(6.0),
+            job: ring_job("train-b", 32)?,
+            placement: Placement::Packed,
+        },
+        JobEvent::Depart { at: Seconds::from_hours(18.0), name: "train-a".into() },
+    ];
+    let r = simulate_job_timeline(&OcsDynamicsConfig::default(), &events, Seconds::from_hours(24.0))?;
+    if json {
+        println!("{}", to_json(&r)?);
+        return Ok(());
+    }
+    println!("par. 4.2: one day of job churn on a 128-host fat tree (80 switches)");
+    println!("  replans: {}   make-before-break time: {:.0} ms",
+        r.reconfigurations, r.reconfiguration_time.as_millis());
+    println!("  avg switches powered: {:.1} / 80", r.avg_switches_on);
+    println!("  energy: {:.1} kWh vs always-on {:.1} kWh  ->  {} saved",
+        r.energy.as_kwh(), r.energy_all_on.as_kwh(), r.savings);
+    Ok(())
+}
+
+/// §4.4 wake-latency frontier.
+pub fn frontier(json: bool) -> Result<()> {
+    use npp_mechanisms::pipeline_park::wake_latency_frontier;
+    use npp_simnet::sources::MergedSource;
+
+    let horizon = SimTime::from_millis(10);
+    // 300 µs bursts so mid-burst wakes matter.
+    let mk = || -> Box<dyn npp_simnet::sources::TrafficSource> {
+        let per_port = (0..4)
+            .map(|port| {
+                Box::new(
+                    OnOffSource::new(
+                        1_000_000,
+                        700_000,
+                        Gbps::from_tbps(5.0),
+                        12_500,
+                        port,
+                        horizon,
+                    )
+                    .expect("static parameters are valid"),
+                ) as Box<dyn npp_simnet::sources::TrafficSource>
+            })
+            .collect();
+        Box::new(MergedSource::new(per_port))
+    };
+    let grid = [1_000u64, 10_000, 50_000, 100_000, 500_000, 1_000_000];
+    let rows = wake_latency_frontier(
+        SwitchParams::paper_51t2(),
+        &npp_mechanisms::pipeline_park::ParkConfig::reactive(),
+        &mk,
+        horizon,
+        &grid,
+    )?;
+    if json {
+        println!("{}", to_json(&rows)?);
+        return Ok(());
+    }
+    let mut t = Table::new(vec!["Wake latency (us)", "Savings", "Loss", "p99 (us)"])
+        .with_title("par. 4.4 frontier: how fast must a pipeline wake? (reactive parking)");
+    for r in &rows {
+        t.push_row(vec![
+            format!("{}", r.wake_ns / 1000),
+            format!("{}", r.savings),
+            format!("{:.2}%", r.loss_rate * 100.0),
+            format!("{:.1}", r.p99_latency_ns / 1000.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("\"The challenge here is to be able to turn a pipeline on quickly");
+    println!("enough to react to an increase in demand without inducing packet");
+    println!("losses\" — par. 4.4, as a measurable hardware requirement.");
+    Ok(())
+}

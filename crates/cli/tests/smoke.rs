@@ -1,0 +1,108 @@
+//! Smoke tests: every `netpp` subcommand must run to completion, both
+//! through the library functions and through the actual binary.
+
+use std::process::Command;
+
+/// Every library-level command succeeds in text mode.
+#[test]
+fn all_paper_commands_succeed() {
+    npp_cli::paper::device_tables(false).unwrap();
+    npp_cli::paper::fig1().unwrap();
+    npp_cli::paper::fig2(false).unwrap();
+    npp_cli::paper::table3(false).unwrap();
+    npp_cli::paper::cost(false).unwrap();
+    npp_cli::paper::overlap(false).unwrap();
+    npp_cli::paper::llm(false).unwrap();
+    npp_cli::paper::sensitivity(false).unwrap();
+    npp_cli::paper::scale(false).unwrap();
+    // Figures with a coarse sweep to keep the test quick.
+    npp_cli::paper::fig3(false, 2).unwrap();
+    npp_cli::paper::fig4(false, 2).unwrap();
+}
+
+#[test]
+fn all_mechanism_commands_succeed() {
+    npp_cli::mech::eee(false).unwrap();
+    npp_cli::mech::knobs(false).unwrap();
+    npp_cli::mech::ocs(false).unwrap();
+    npp_cli::mech::rate(false).unwrap();
+    npp_cli::mech::park(false).unwrap();
+    npp_cli::mech::redesign(false).unwrap();
+    npp_cli::mech::governor(false).unwrap();
+    npp_cli::mech::timeline(false).unwrap();
+    npp_cli::mech::frontier(false).unwrap();
+    npp_cli::mech::compare(false).unwrap();
+    npp_cli::mech::fabric(false).unwrap();
+    npp_cli::mech::isp(false).unwrap();
+}
+
+#[test]
+fn json_mode_emits_valid_json() {
+    // The JSON paths write to stdout; here we only verify they succeed —
+    // the binary-level test below checks the output is parseable.
+    npp_cli::paper::table3(true).unwrap();
+    npp_cli::mech::knobs(true).unwrap();
+    npp_cli::mech::redesign(true).unwrap();
+}
+
+/// Binary-level checks via the compiled `netpp` executable.
+fn netpp(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_netpp"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn binary_help_lists_all_commands() {
+    let out = netpp(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in [
+        "table3", "fig2", "fig3", "fig4", "cost", "overlap", "llm",
+        "sensitivity", "scale", "fabric", "isp", "mech",
+    ] {
+        assert!(text.contains(cmd), "help is missing {cmd}");
+    }
+}
+
+#[test]
+fn binary_table3_matches_paper_row() {
+    let out = netpp(&["table3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The 400G row of Table 3, as printed.
+    assert!(text.contains("400G"), "{text}");
+    assert!(text.contains("4.7%"), "{text}");
+    assert!(text.contains("8.8%"), "{text}");
+    assert!(text.contains("10.6%"), "{text}");
+}
+
+#[test]
+fn binary_json_output_parses() {
+    let out = netpp(&["table3", "--json"]);
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("table3 --json is valid JSON");
+    assert!(v["cells"].is_array());
+    assert_eq!(v["cells"].as_array().unwrap().len(), 5);
+}
+
+#[test]
+fn binary_rejects_unknown_commands() {
+    let out = netpp(&["definitely-not-a-command"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    let out = netpp(&["mech", "bogus"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn binary_steps_flag_is_honored() {
+    let out = netpp(&["fig3", "--steps", "2", "--json"]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    // 3 points per curve (0, 50, 100%).
+    assert_eq!(v[0]["points"].as_array().unwrap().len(), 3);
+}

@@ -1,0 +1,137 @@
+//! The §3.2 operating-cost analysis: converting a proportionality
+//! improvement into kilowatts and dollars.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::cost::{CostModel, SavingsBreakdown};
+use npp_power::Proportionality;
+use npp_units::{Ratio, Usd, Watts};
+use npp_workload::ScalingScenario;
+
+use crate::cluster::ClusterConfig;
+use crate::savings::average_power;
+use crate::Result;
+
+/// The §3.2 result: what improving network proportionality is worth for a
+/// given cluster, in power and money.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostAnalysis {
+    /// Average cluster power before the improvement.
+    pub baseline_power: Watts,
+    /// Average cluster power after the improvement.
+    pub improved_power: Watts,
+    /// Relative saving.
+    pub savings: Ratio,
+    /// Annualized monetary breakdown.
+    pub money: SavingsBreakdown,
+}
+
+impl CostAnalysis {
+    /// Average power reduction.
+    pub fn power_reduction(&self) -> Watts {
+        self.baseline_power - self.improved_power
+    }
+
+    /// Total (electricity + cooling) annual saving.
+    pub fn total_per_year(&self) -> Usd {
+        self.money.total_per_year()
+    }
+}
+
+/// Quantifies the §3.2 scenario: the given cluster moving from
+/// `from` to `to` network proportionality, monetized with `costs`.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn cost_of_proportionality(
+    base: &ClusterConfig,
+    from: Proportionality,
+    to: Proportionality,
+    costs: &CostModel,
+    scenario: ScalingScenario,
+) -> Result<CostAnalysis> {
+    let baseline_power = average_power(
+        &base.clone().with_network_proportionality(from),
+        scenario,
+    )?;
+    let improved_power =
+        average_power(&base.clone().with_network_proportionality(to), scenario)?;
+    let reduction = baseline_power - improved_power;
+    Ok(CostAnalysis {
+        baseline_power,
+        improved_power,
+        savings: Ratio::new(1.0 - improved_power / baseline_power),
+        money: costs.savings(reduction),
+    })
+}
+
+/// The exact §3.2 headline scenario: the 400 G baseline cluster improving
+/// from 10 % to 50 % proportionality.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn paper_cost_analysis() -> Result<CostAnalysis> {
+    cost_of_proportionality(
+        &ClusterConfig::paper_baseline(),
+        Proportionality::NETWORK_BASELINE,
+        Proportionality::new(0.50).expect("0.5 is in range"),
+        &CostModel::paper_baseline(),
+        ScalingScenario::FixedWorkload,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        // §3.2: "5% power savings convert to an average power draw
+        // reduction of 365 kW ... results in $416k/year saved on the
+        // electricity bill ... adding another $125k/year" for cooling.
+        // Our model yields 4.70% and ≈375 kW; the paper's 365 kW implies
+        // they rounded the savings percentage upstream. Bands below cover
+        // both (documented in EXPERIMENTS.md).
+        let a = paper_cost_analysis().unwrap();
+        assert!((a.savings.percent() - 4.7).abs() < 0.1, "savings {}", a.savings);
+        let kw = a.power_reduction().as_kw();
+        assert!((kw - 370.0).abs() < 10.0, "reduction {kw:.0} kW");
+        let elec = a.money.electricity_per_year.as_thousands();
+        assert!((elec - 425.0).abs() < 15.0, "electricity ${elec:.0}k");
+        let cool = a.money.cooling_per_year.as_thousands();
+        assert!((cool - 128.0).abs() < 6.0, "cooling ${cool:.0}k");
+        assert!(a.total_per_year() > Usd::new(500_000.0));
+    }
+
+    #[test]
+    fn no_improvement_no_savings() {
+        let a = cost_of_proportionality(
+            &ClusterConfig::paper_baseline(),
+            Proportionality::NETWORK_BASELINE,
+            Proportionality::NETWORK_BASELINE,
+            &CostModel::paper_baseline(),
+            ScalingScenario::FixedWorkload,
+        )
+        .unwrap();
+        assert!(a.savings.approx_eq(Ratio::ZERO, 1e-12));
+        assert!(a.power_reduction().approx_eq(Watts::ZERO, 1e-6));
+    }
+
+    #[test]
+    fn savings_scale_with_target_proportionality() {
+        let to_85 = cost_of_proportionality(
+            &ClusterConfig::paper_baseline(),
+            Proportionality::NETWORK_BASELINE,
+            Proportionality::COMPUTE,
+            &CostModel::paper_baseline(),
+            ScalingScenario::FixedWorkload,
+        )
+        .unwrap();
+        let to_50 = paper_cost_analysis().unwrap();
+        assert!(to_85.power_reduction() > to_50.power_reduction());
+        // §3.2 / abstract: 85% proportionality saves almost 9%.
+        assert!((to_85.savings.percent() - 8.8).abs() < 0.1);
+    }
+}

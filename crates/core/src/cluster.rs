@@ -1,0 +1,299 @@
+//! Cluster composition: GPUs + fat-tree network + device powers.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::devices::{DeviceDb, SWITCH_CAPACITY};
+use npp_power::{PowerModel, Proportionality};
+use npp_topology::{FatTreeModel, FatTreeSize, InterpMode};
+use npp_units::{Gbps, Watts};
+use npp_workload::IterationModel;
+
+use crate::{CoreError, Result};
+
+/// Full configuration of a modeled ML cluster (§2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of GPUs (= network endpoints; one NIC per GPU).
+    pub gpus: f64,
+    /// Per-GPU network interface speed.
+    pub bandwidth: Gbps,
+    /// Aggregate switch ASIC capacity (51.2 Tbps in the paper).
+    pub switch_capacity: Gbps,
+    /// Device power database (powers + proportionalities).
+    pub devices: DeviceDb,
+    /// Fat-tree sizing rule (the paper interpolates fractional stages).
+    pub interp: InterpMode,
+    /// Optical transceivers per inter-switch link (2 in the paper: one at
+    /// each end; GPU↔ToR links are electrical and free).
+    pub transceivers_per_link: f64,
+    /// The workload's iteration model.
+    pub workload: IterationModel,
+}
+
+impl ClusterConfig {
+    /// The §2.1 baseline: 15k (= 15,360, one Alibaba HPN pod) H100 GPUs,
+    /// 400 G per GPU, 51.2 Tbps switches, 10 % communication ratio.
+    pub fn paper_baseline() -> Self {
+        Self {
+            gpus: 15_360.0,
+            bandwidth: Gbps::new(400.0),
+            switch_capacity: SWITCH_CAPACITY,
+            devices: DeviceDb::paper_baseline(),
+            interp: InterpMode::FractionalStages,
+            transceivers_per_link: 2.0,
+            workload: IterationModel::paper_baseline(),
+        }
+    }
+
+    /// Returns a copy with a different per-GPU bandwidth.
+    pub fn with_bandwidth(mut self, bw: Gbps) -> Self {
+        self.bandwidth = bw;
+        self
+    }
+
+    /// Returns a copy with a different GPU count.
+    pub fn with_gpus(mut self, gpus: f64) -> Self {
+        self.gpus = gpus;
+        self
+    }
+
+    /// Returns a copy with a different network power proportionality —
+    /// the paper's central what-if knob.
+    pub fn with_network_proportionality(mut self, p: Proportionality) -> Self {
+        self.devices = self.devices.with_network_proportionality(p);
+        self
+    }
+
+    /// The network proportionality currently configured.
+    pub fn network_proportionality(&self) -> Proportionality {
+        self.devices.network_proportionality
+    }
+}
+
+/// Counts of network hardware needed to connect the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkInventory {
+    /// Switches (fractional: continuous model).
+    pub switches: f64,
+    /// Inter-switch links.
+    pub links: f64,
+    /// Optical transceivers (2 per inter-switch link by default).
+    pub transceivers: f64,
+    /// NICs (one per GPU).
+    pub nics: f64,
+    /// The underlying fat-tree sizing.
+    pub tree: FatTreeSize,
+}
+
+/// Per-component maximum network power (the Figure 2 decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkPowerBreakdown {
+    /// All switches.
+    pub switches: Watts,
+    /// All NICs.
+    pub nics: Watts,
+    /// All transceivers.
+    pub transceivers: Watts,
+}
+
+impl NetworkPowerBreakdown {
+    /// Sum over components.
+    pub fn total(&self) -> Watts {
+        self.switches + self.nics + self.transceivers
+    }
+}
+
+/// A cluster model with the derived network inventory and power figures
+/// cached at construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModel {
+    config: ClusterConfig,
+    inventory: NetworkInventory,
+    breakdown: NetworkPowerBreakdown,
+}
+
+impl ClusterModel {
+    /// Builds the model, sizing the fat tree and the device powers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid radixes (bandwidth not dividing the switch
+    /// capacity evenly), unknown device speeds, or non-positive GPU
+    /// counts.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        if config.gpus <= 0.0 || !config.gpus.is_finite() {
+            return Err(CoreError::InvalidConfig(format!(
+                "gpu count {} must be positive and finite",
+                config.gpus
+            )));
+        }
+        if config.transceivers_per_link < 0.0 {
+            return Err(CoreError::InvalidConfig(format!(
+                "transceivers_per_link {} must be non-negative",
+                config.transceivers_per_link
+            )));
+        }
+        let tree_model =
+            FatTreeModel::from_switch_capacity(config.switch_capacity, config.bandwidth)?;
+        let tree = tree_model.size_for_hosts_with(config.gpus, config.interp)?;
+        let inventory = NetworkInventory {
+            switches: tree.switches,
+            links: tree.inter_switch_links,
+            transceivers: tree.inter_switch_links * config.transceivers_per_link,
+            nics: config.gpus,
+            tree,
+        };
+        let nic = config.devices.nic(config.bandwidth)?;
+        let xcvr = config.devices.transceiver(config.bandwidth)?;
+        let breakdown = NetworkPowerBreakdown {
+            switches: config.devices.switch().max_power() * inventory.switches,
+            nics: nic.max_power() * inventory.nics,
+            transceivers: xcvr.max_power() * inventory.transceivers,
+        };
+        Ok(Self { config, inventory, breakdown })
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The derived network hardware counts.
+    pub fn inventory(&self) -> &NetworkInventory {
+        &self.inventory
+    }
+
+    /// Per-component max network power.
+    pub fn network_breakdown(&self) -> &NetworkPowerBreakdown {
+        &self.breakdown
+    }
+
+    /// Total compute power at full load: `gpus × 500 W`.
+    pub fn compute_max_power(&self) -> Watts {
+        self.config.devices.gpu().max_power() * self.config.gpus
+    }
+
+    /// Total compute power when all GPUs idle: `gpus × 75 W`.
+    pub fn compute_idle_power(&self) -> Watts {
+        self.config.devices.gpu().idle_power() * self.config.gpus
+    }
+
+    /// Total network power at full load.
+    pub fn network_max_power(&self) -> Watts {
+        self.breakdown.total()
+    }
+
+    /// Total network power when the network idles, at the configured
+    /// proportionality: `(1 − p) × max`.
+    pub fn network_idle_power(&self) -> Watts {
+        self.config
+            .network_proportionality()
+            .idle_power(self.network_max_power())
+    }
+
+    /// Cluster-wide maximum power (everything busy — never happens under
+    /// the paper's no-overlap workload, but bounds the PSU provisioning).
+    pub fn peak_power(&self) -> Watts {
+        self.compute_max_power() + self.network_max_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_inventory() {
+        let m = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+        let inv = m.inventory();
+        assert!((inv.switches - 396.28).abs() < 0.1, "switches {}", inv.switches);
+        assert!((inv.links - 17_681.6).abs() < 1.0);
+        assert!((inv.transceivers - 35_363.3).abs() < 2.0);
+        assert_eq!(inv.nics, 15_360.0);
+    }
+
+    #[test]
+    fn baseline_power_figures() {
+        let m = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+        // Compute: 15,360 × 500 W = 7.68 MW; idle 1.152 MW.
+        assert!(m.compute_max_power().approx_eq(Watts::from_mw(7.68), 1.0));
+        assert!(m.compute_idle_power().approx_eq(Watts::from_mw(1.152), 1.0));
+        // Network: ≈ 1.041 MW max, 0.937 MW idle at 10% proportionality.
+        assert!((m.network_max_power().as_kw() - 1040.98).abs() < 0.5);
+        assert!((m.network_idle_power().as_kw() - 936.89).abs() < 0.5);
+        let b = m.network_breakdown();
+        assert!((b.switches.as_kw() - 297.2).abs() < 0.2);
+        assert!((b.nics.as_kw() - 390.1).abs() < 0.2);
+        assert!((b.transceivers.as_kw() - 353.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn bandwidth_sweep_network_power() {
+        // Validated against the Table-3 reverse-engineering: the network
+        // max power at each bandwidth.
+        let expected = [
+            (100.0, 257.0),
+            (200.0, 545.0),
+            (400.0, 1041.0),
+            (800.0, 2142.0),
+            (1600.0, 4731.0),
+        ];
+        for (bw, kw) in expected {
+            let cfg = ClusterConfig::paper_baseline().with_bandwidth(Gbps::new(bw));
+            let m = ClusterModel::new(cfg).unwrap();
+            let got = m.network_max_power().as_kw();
+            assert!(
+                (got - kw).abs() / kw < 0.01,
+                "bw {bw}: network {got:.1} kW, expected ≈{kw}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_bandwidth_draws_more_network_power() {
+        let mut last = Watts::ZERO;
+        for bw in [100.0, 200.0, 400.0, 800.0, 1600.0] {
+            let m = ClusterModel::new(
+                ClusterConfig::paper_baseline().with_bandwidth(Gbps::new(bw)),
+            )
+            .unwrap();
+            assert!(m.network_max_power() > last);
+            last = m.network_max_power();
+        }
+    }
+
+    #[test]
+    fn proportionality_knob_changes_idle_only() {
+        let base = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+        let perfect = ClusterModel::new(
+            ClusterConfig::paper_baseline()
+                .with_network_proportionality(Proportionality::PERFECT),
+        )
+        .unwrap();
+        assert_eq!(base.network_max_power(), perfect.network_max_power());
+        assert_eq!(perfect.network_idle_power(), Watts::ZERO);
+        assert!(base.network_idle_power() > Watts::ZERO);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ClusterModel::new(ClusterConfig::paper_baseline().with_gpus(0.0)).is_err());
+        assert!(ClusterModel::new(ClusterConfig::paper_baseline().with_gpus(f64::NAN)).is_err());
+        let mut cfg = ClusterConfig::paper_baseline();
+        cfg.transceivers_per_link = -1.0;
+        assert!(ClusterModel::new(cfg).is_err());
+        // A bandwidth that doesn't divide the ASIC capacity into an even
+        // radix: 51.2 T / 300 G = 170.67 → radix 170 is fine (even), but
+        // 51.2 T / 30000 G < 2 ports.
+        let cfg = ClusterConfig::paper_baseline().with_bandwidth(Gbps::new(30_000.0));
+        assert!(ClusterModel::new(cfg).is_err());
+    }
+
+    #[test]
+    fn peak_power_is_sum() {
+        let m = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+        assert!(m
+            .peak_power()
+            .approx_eq(m.compute_max_power() + m.network_max_power(), 1e-6));
+    }
+}

@@ -1,0 +1,109 @@
+//! # npp-core
+//!
+//! The what-if engine of *"It Is Time to Address Network Power
+//! Proportionality"* (HotNets '25) — the paper's primary contribution.
+//!
+//! Given a cluster configuration (GPU count, per-GPU bandwidth, device
+//! power database, network proportionality), this crate computes:
+//!
+//! - the full power inventory and per-phase breakdown of §3.1 /
+//!   Figure 2 ([`phases`]);
+//! - the total-cluster power savings from better network proportionality —
+//!   Table 3 ([`savings`]);
+//! - the fixed-power-budget performance speedups of §3.3 — Figures 3
+//!   and 4 ([`speedup`]);
+//! - the §3.2 operating-cost conversion ([`analysis`]).
+//!
+//! ## Model fidelity
+//!
+//! The model was reverse-engineered from §2 and validated against every
+//! number the paper reports: all 25 cells of Table 3 (to the printed
+//! decimal), the 12 % average network share, the 11 % network energy
+//! efficiency, and the ≈50/50 communication-phase split. The validation
+//! lives in this crate's test suite (`tests` module of [`savings`] and
+//! [`phases`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use npp_core::cluster::{ClusterConfig, ClusterModel};
+//! use npp_power::Proportionality;
+//!
+//! let baseline = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+//! // The network draws ≈ 1.04 MW at max — ~12% of the cluster average.
+//! let net = baseline.network_max_power();
+//! assert!((net.as_mw() - 1.041).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cluster;
+pub mod overlap;
+pub mod phases;
+pub mod savings;
+pub mod scaleout;
+pub mod sensitivity;
+pub mod speedup;
+
+pub use cluster::{ClusterConfig, ClusterModel, NetworkInventory};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Propagated from the power crate.
+    Power(npp_power::PowerError),
+    /// Propagated from the topology crate.
+    Topology(npp_topology::TopologyError),
+    /// Propagated from the workload crate.
+    Workload(npp_workload::WorkloadError),
+    /// A numeric solver failed to converge.
+    SolverFailed(String),
+    /// An invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::Power(e) => write!(f, "power model: {e}"),
+            CoreError::Topology(e) => write!(f, "topology model: {e}"),
+            CoreError::Workload(e) => write!(f, "workload model: {e}"),
+            CoreError::SolverFailed(msg) => write!(f, "solver failed: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Power(e) => Some(e),
+            CoreError::Topology(e) => Some(e),
+            CoreError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<npp_power::PowerError> for CoreError {
+    fn from(e: npp_power::PowerError) -> Self {
+        CoreError::Power(e)
+    }
+}
+
+impl From<npp_topology::TopologyError> for CoreError {
+    fn from(e: npp_topology::TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+impl From<npp_workload::WorkloadError> for CoreError {
+    fn from(e: npp_workload::WorkloadError) -> Self {
+        CoreError::Workload(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,196 @@
+//! Power analysis under compute/communication overlap (§3.4).
+//!
+//! Answers the question §3.4 raises: do the proportionality savings
+//! survive if training overlaps communication with computation? The
+//! three-segment schedule (both busy / compute only / comm only) replaces
+//! the two-phase breakdown; everything else (device models, topology
+//! sizing) is shared with the core analysis.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::Proportionality;
+use npp_units::{Ratio, Watts};
+use npp_workload::overlap::OverlapSchedule;
+use npp_workload::ScalingScenario;
+
+use crate::cluster::{ClusterConfig, ClusterModel};
+use crate::Result;
+
+/// The overlap-aware power summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapPowerSummary {
+    /// The schedule analyzed.
+    pub schedule: OverlapSchedule,
+    /// Time-averaged cluster power.
+    pub average_power: Watts,
+    /// Network energy efficiency over the iteration.
+    pub network_efficiency: Ratio,
+    /// Fraction of the iteration the network idles.
+    pub network_idle_fraction: Ratio,
+}
+
+/// Computes the power summary for a cluster whose iteration overlaps a
+/// fraction `overlap` of its communication with computation.
+///
+/// # Errors
+///
+/// Propagates model and workload errors.
+pub fn overlap_summary(config: &ClusterConfig, overlap: Ratio) -> Result<OverlapPowerSummary> {
+    let model = ClusterModel::new(config.clone())?;
+    let iter = config
+        .workload
+        .iteration(config.gpus, config.bandwidth, ScalingScenario::FixedWorkload)?;
+    let schedule = OverlapSchedule::from_iteration(&iter, overlap)?;
+
+    let c_max = model.compute_max_power();
+    let c_idle = model.compute_idle_power();
+    let n_max = model.network_max_power();
+    let n_idle = model.network_idle_power();
+
+    let t_both = schedule.both.value();
+    let t_comp = schedule.compute_only.value();
+    let t_comm = schedule.comm_only.value();
+    let total = schedule.total().value();
+
+    let energy = (c_max + n_max) * t_both
+        + (c_max + n_idle) * t_comp
+        + (c_idle + n_max) * t_comm;
+    let average_power = energy / total;
+
+    // Network efficiency (§3.1 definition): useful energy (busy time at
+    // max) over consumed energy.
+    let net_energy = n_max * (t_both + t_comm) + n_idle * t_comp;
+    let net_useful = n_max * (t_both + t_comm);
+    let network_efficiency = if net_energy.value() > 0.0 {
+        Ratio::new(net_useful.value() / net_energy.value())
+    } else {
+        Ratio::ZERO
+    };
+
+    Ok(OverlapPowerSummary {
+        schedule,
+        average_power,
+        network_efficiency,
+        network_idle_fraction: schedule.network_busy_fraction().complement(),
+    })
+}
+
+/// One row of the overlap sweep: how the proportionality saving changes
+/// as overlap increases.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapSavingsPoint {
+    /// Overlap fraction.
+    pub overlap: Ratio,
+    /// Average power at the baseline (10 %) network proportionality.
+    pub baseline_power: Watts,
+    /// Average power at the improved proportionality.
+    pub improved_power: Watts,
+    /// Relative saving.
+    pub savings: Ratio,
+    /// Network energy efficiency at the baseline proportionality.
+    pub baseline_efficiency: Ratio,
+}
+
+/// Sweeps the overlap fraction and reports how much of the Table 3
+/// saving survives (§3.4's what-if).
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn overlap_savings_sweep(
+    base: &ClusterConfig,
+    improved: Proportionality,
+    overlaps: &[Ratio],
+) -> Result<Vec<OverlapSavingsPoint>> {
+    overlaps
+        .iter()
+        .map(|&o| {
+            let at_baseline = overlap_summary(base, o)?;
+            let improved_cfg = base.clone().with_network_proportionality(improved);
+            let at_improved = overlap_summary(&improved_cfg, o)?;
+            Ok(OverlapSavingsPoint {
+                overlap: o,
+                baseline_power: at_baseline.average_power,
+                improved_power: at_improved.average_power,
+                savings: Ratio::new(
+                    1.0 - at_improved.average_power / at_baseline.average_power,
+                ),
+                baseline_efficiency: at_baseline.network_efficiency,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<OverlapSavingsPoint> {
+        let overlaps: Vec<Ratio> = [0.0, 0.25, 0.5, 0.75, 1.0].map(Ratio::new).to_vec();
+        overlap_savings_sweep(
+            &ClusterConfig::paper_baseline(),
+            Proportionality::COMPUTE,
+            &overlaps,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_overlap_matches_core_analysis() {
+        let s = sweep();
+        // At zero overlap this must equal the Table 3 cell: 8.8%.
+        assert!((s[0].savings.percent() - 8.8).abs() < 0.1, "savings {}", s[0].savings);
+        let summary =
+            overlap_summary(&ClusterConfig::paper_baseline(), Ratio::ZERO).unwrap();
+        assert!((summary.average_power.as_mw() - 7.975).abs() < 0.01);
+        assert!((summary.network_efficiency.percent() - 11.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn savings_survive_under_overlap() {
+        // §3.4's claim: "there is still underutilization" — the savings
+        // shrink with overlap but remain sizeable even at full overlap.
+        let s = sweep();
+        for w in s.windows(2) {
+            assert!(
+                w[1].savings <= w[0].savings,
+                "savings should not grow with overlap: {w:?}"
+            );
+        }
+        let full = s.last().unwrap();
+        assert!(
+            full.savings.percent() > 7.0,
+            "even fully overlapped, savings {} stay sizeable",
+            full.savings
+        );
+    }
+
+    #[test]
+    fn efficiency_improves_with_overlap_but_stays_low() {
+        let s = sweep();
+        for w in s.windows(2) {
+            assert!(w[1].baseline_efficiency >= w[0].baseline_efficiency);
+        }
+        // Even at full overlap the network is busy only 10% of the
+        // (shorter) iteration: efficiency ~12%.
+        let full = s.last().unwrap();
+        assert!(full.baseline_efficiency.percent() < 15.0);
+    }
+
+    #[test]
+    fn overlap_shortens_iterations_and_raises_average_power() {
+        // Overlap removes pure-idle GPU time, so average power rises —
+        // the flip side of finishing faster.
+        let none = overlap_summary(&ClusterConfig::paper_baseline(), Ratio::ZERO).unwrap();
+        let full = overlap_summary(&ClusterConfig::paper_baseline(), Ratio::ONE).unwrap();
+        assert!(full.average_power > none.average_power);
+        assert!(full.schedule.total() < none.schedule.total());
+    }
+
+    #[test]
+    fn network_idle_fraction_tracks_schedule() {
+        let s = overlap_summary(&ClusterConfig::paper_baseline(), Ratio::new(0.5)).unwrap();
+        let expected = s.schedule.network_busy_fraction().complement();
+        assert!(s.network_idle_fraction.approx_eq(expected, 1e-12));
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-phase power breakdown and efficiencies — §3.1 / Figure 2.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::energy::{PowerProfile, PowerSegment};
+use npp_units::{Ratio, Seconds, Watts};
+use npp_workload::{Iteration, ScalingScenario};
+
+use crate::cluster::ClusterModel;
+use crate::Result;
+
+/// Power draw of each component class during one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhasePower {
+    /// Phase duration.
+    pub duration: Seconds,
+    /// GPU + server draw.
+    pub gpu: Watts,
+    /// All switches.
+    pub switches: Watts,
+    /// All NICs.
+    pub nics: Watts,
+    /// All transceivers.
+    pub transceivers: Watts,
+}
+
+impl PhasePower {
+    /// Network total (switches + NICs + transceivers).
+    pub fn network(&self) -> Watts {
+        self.switches + self.nics + self.transceivers
+    }
+
+    /// Cluster total.
+    pub fn total(&self) -> Watts {
+        self.gpu + self.network()
+    }
+
+    /// GPU share of the total (the number Figure 2a labels).
+    pub fn gpu_share(&self) -> Ratio {
+        Ratio::new(self.gpu / self.total())
+    }
+
+    /// Network share of the total.
+    pub fn network_share(&self) -> Ratio {
+        Ratio::new(self.network() / self.total())
+    }
+}
+
+/// The full Figure 2 dataset: computation, communication, and
+/// time-weighted average rows, plus the §3.1 energy efficiencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Computation phase (GPUs busy, network idle).
+    pub computation: PhasePower,
+    /// Communication phase (network busy, GPUs idle).
+    pub communication: PhasePower,
+    /// Time-weighted average over the iteration.
+    pub average: PhasePower,
+    /// Network energy efficiency over the iteration (§3.1: 11 % for the
+    /// baseline).
+    pub network_efficiency: Ratio,
+    /// Compute energy efficiency over the iteration.
+    pub compute_efficiency: Ratio,
+}
+
+/// Computes the Figure 2 breakdown for a cluster under its configured
+/// workload and scenario.
+///
+/// During computation the network draws idle power (per-device
+/// `(1 − p) × max`); during communication the GPUs draw idle power. The
+/// average row is weighted by phase durations.
+///
+/// # Errors
+///
+/// Propagates workload scaling errors.
+pub fn phase_breakdown(model: &ClusterModel, scenario: ScalingScenario) -> Result<PhaseBreakdown> {
+    let cfg = model.config();
+    let iter = cfg.workload.iteration(cfg.gpus, cfg.bandwidth, scenario)?;
+    Ok(breakdown_for_iteration(model, &iter))
+}
+
+/// Same as [`phase_breakdown`] but with an explicit iteration (used by the
+/// speedup solvers, which construct non-baseline iterations).
+pub fn breakdown_for_iteration(model: &ClusterModel, iter: &Iteration) -> PhaseBreakdown {
+    let idle_frac = 1.0 - model.config().network_proportionality().fraction();
+    let b = model.network_breakdown();
+
+    let computation = PhasePower {
+        duration: iter.compute,
+        gpu: model.compute_max_power(),
+        switches: b.switches * idle_frac,
+        nics: b.nics * idle_frac,
+        transceivers: b.transceivers * idle_frac,
+    };
+    let communication = PhasePower {
+        duration: iter.comm,
+        gpu: model.compute_idle_power(),
+        switches: b.switches,
+        nics: b.nics,
+        transceivers: b.transceivers,
+    };
+
+    let total = iter.total().value();
+    let (wc, wm) = if total > 0.0 {
+        (iter.compute.value() / total, iter.comm.value() / total)
+    } else {
+        (0.0, 0.0)
+    };
+    let average = PhasePower {
+        duration: iter.total(),
+        gpu: computation.gpu * wc + communication.gpu * wm,
+        switches: computation.switches * wc + communication.switches * wm,
+        nics: computation.nics * wc + communication.nics * wm,
+        transceivers: computation.transceivers * wc + communication.transceivers * wm,
+    };
+
+    // Efficiencies via the §3.1 definition: useful energy / consumed.
+    let net_profile = PowerProfile::new()
+        .with(PowerSegment::idle("computation", iter.compute, computation.network()))
+        .with(PowerSegment::busy("communication", iter.comm, communication.network()));
+    let gpu_profile = PowerProfile::new()
+        .with(PowerSegment::busy("computation", iter.compute, computation.gpu))
+        .with(PowerSegment::idle("communication", iter.comm, communication.gpu));
+
+    PhaseBreakdown {
+        computation,
+        communication,
+        average,
+        network_efficiency: net_profile.efficiency(),
+        compute_efficiency: gpu_profile.efficiency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn baseline() -> PhaseBreakdown {
+        let m = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+        phase_breakdown(&m, ScalingScenario::FixedWorkload).unwrap()
+    }
+
+    #[test]
+    fn figure2a_computation_phase_is_compute_dominated() {
+        let b = baseline();
+        // With the network idling at 90% of its max, the GPU share during
+        // computation is ≈ 89% (the paper's figure labels 88.1%, which
+        // corresponds to rendering the network at max; see EXPERIMENTS.md).
+        let share = b.computation.gpu_share().percent();
+        assert!((share - 89.1).abs() < 0.3, "gpu share {share:.2}%");
+    }
+
+    #[test]
+    fn figure2a_communication_phase_is_roughly_50_50() {
+        // §3.1: "The split with network power is more even during the
+        // communication phase, close to 50/50."
+        let b = baseline();
+        let share = b.communication.network_share().percent();
+        assert!((share - 47.5).abs() < 1.0, "network share {share:.2}%");
+        assert!(share > 40.0 && share < 55.0);
+    }
+
+    #[test]
+    fn figure2b_absolute_powers() {
+        let b = baseline();
+        // Computation: 7.68 MW compute + 0.937 MW network ≈ 8.62 MW.
+        assert!((b.computation.total().as_mw() - 8.617).abs() < 0.01);
+        // Communication: 1.152 + 1.041 ≈ 2.19 MW.
+        assert!((b.communication.total().as_mw() - 2.193).abs() < 0.01);
+        // Average ≈ 7.97 MW.
+        assert!((b.average.total().as_mw() - 7.975).abs() < 0.01);
+    }
+
+    #[test]
+    fn network_is_12_percent_of_average() {
+        // §3.1: "the network accounts for a not-so-small 12% of the
+        // cluster's energy demand".
+        let b = baseline();
+        let share = b.average.network_share().percent();
+        assert!((share - 11.9).abs() < 0.3, "network share {share:.2}%");
+    }
+
+    #[test]
+    fn network_efficiency_is_11_percent() {
+        // §3.1: "consumed with an appallingly low efficiency of 11%".
+        let b = baseline();
+        let eff = b.network_efficiency.percent();
+        assert!((eff - 11.0).abs() < 0.15, "network efficiency {eff:.2}%");
+    }
+
+    #[test]
+    fn compute_efficiency_is_high() {
+        // Figure 2b: compute efficiency ≈ 98% (flag marker near full).
+        let b = baseline();
+        let eff = b.compute_efficiency.percent();
+        assert!((eff - 98.4).abs() < 0.3, "compute efficiency {eff:.2}%");
+    }
+
+    #[test]
+    fn average_is_convex_combination() {
+        let b = baseline();
+        let avg = b.average.total().value();
+        let lo = b.communication.total().value().min(b.computation.total().value());
+        let hi = b.communication.total().value().max(b.computation.total().value());
+        assert!(avg >= lo && avg <= hi);
+        // 90/10 weighting exactly.
+        let expected = 0.9 * b.computation.total().value() + 0.1 * b.communication.total().value();
+        assert!((avg - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_proportionality_zeroes_idle_network_draw() {
+        let m = ClusterModel::new(
+            ClusterConfig::paper_baseline()
+                .with_network_proportionality(npp_power::Proportionality::PERFECT),
+        )
+        .unwrap();
+        let b = phase_breakdown(&m, ScalingScenario::FixedWorkload).unwrap();
+        assert_eq!(b.computation.network(), Watts::ZERO);
+        assert!(b.network_efficiency.approx_eq(Ratio::ONE, 1e-9));
+    }
+
+    #[test]
+    fn fixed_ratio_scenario_matches_baseline_at_reference_point() {
+        // At the reference bandwidth the two scenarios coincide.
+        let m = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+        let a = phase_breakdown(&m, ScalingScenario::FixedWorkload).unwrap();
+        let b = phase_breakdown(&m, ScalingScenario::FixedCommRatio).unwrap();
+        assert!(a.average.total().approx_eq(b.average.total(), 1e-6));
+    }
+}

@@ -1,0 +1,227 @@
+//! Total-cluster power savings from better network proportionality —
+//! Table 3 of the paper.
+//!
+//! For each (bandwidth, proportionality) pair, the cluster's time-averaged
+//! power is computed under the fixed-workload scaling rules (communication
+//! time ∝ 1/bandwidth) and compared against the same bandwidth at the 10 %
+//! baseline proportionality. The unit tests in this module check **all 25
+//! cells** of the paper's Table 3 against the printed values.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::Proportionality;
+use npp_units::{Gbps, Ratio, Watts};
+use npp_workload::ScalingScenario;
+
+use crate::cluster::{ClusterConfig, ClusterModel};
+use crate::phases::phase_breakdown;
+use crate::Result;
+
+/// One cell of the savings table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SavingsCell {
+    /// Per-GPU bandwidth of this row.
+    pub bandwidth: Gbps,
+    /// Network proportionality of this column.
+    pub proportionality: Proportionality,
+    /// Time-averaged cluster power at this configuration.
+    pub average_power: Watts,
+    /// Relative saving vs. the same bandwidth at the baseline
+    /// proportionality.
+    pub savings: Ratio,
+}
+
+/// The full savings sweep (Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavingsTable {
+    /// The reference proportionality savings are measured against.
+    pub baseline_proportionality: Proportionality,
+    /// The bandwidth of each row.
+    pub bandwidths: Vec<Gbps>,
+    /// The proportionality of each column.
+    pub proportionalities: Vec<Proportionality>,
+    /// `cells[row][col]`, aligned with the two vectors above.
+    pub cells: Vec<Vec<SavingsCell>>,
+}
+
+impl SavingsTable {
+    /// Looks up a cell by row/column indexes.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&SavingsCell> {
+        self.cells.get(row)?.get(col)
+    }
+}
+
+/// Time-averaged cluster power for a configuration under a scenario.
+///
+/// # Errors
+///
+/// Propagates model-construction and workload errors.
+pub fn average_power(config: &ClusterConfig, scenario: ScalingScenario) -> Result<Watts> {
+    let model = ClusterModel::new(config.clone())?;
+    Ok(phase_breakdown(&model, scenario)?.average.total())
+}
+
+/// Computes a savings table over the given bandwidth × proportionality
+/// grid, relative to `baseline_proportionality` at each bandwidth.
+///
+/// # Errors
+///
+/// Propagates model-construction and workload errors.
+pub fn savings_table(
+    base: &ClusterConfig,
+    bandwidths: &[Gbps],
+    proportionalities: &[Proportionality],
+    baseline_proportionality: Proportionality,
+    scenario: ScalingScenario,
+) -> Result<SavingsTable> {
+    let mut cells = Vec::with_capacity(bandwidths.len());
+    for &bw in bandwidths {
+        let ref_cfg = base
+            .clone()
+            .with_bandwidth(bw)
+            .with_network_proportionality(baseline_proportionality);
+        let ref_power = average_power(&ref_cfg, scenario)?;
+        let mut row = Vec::with_capacity(proportionalities.len());
+        for &p in proportionalities {
+            let cfg = base.clone().with_bandwidth(bw).with_network_proportionality(p);
+            let avg = average_power(&cfg, scenario)?;
+            row.push(SavingsCell {
+                bandwidth: bw,
+                proportionality: p,
+                average_power: avg,
+                savings: Ratio::new(1.0 - avg / ref_power),
+            });
+        }
+        cells.push(row);
+    }
+    Ok(SavingsTable {
+        baseline_proportionality,
+        bandwidths: bandwidths.to_vec(),
+        proportionalities: proportionalities.to_vec(),
+        cells,
+    })
+}
+
+/// The exact grid of the paper's Table 3: bandwidths 100–1600 G ×
+/// proportionalities {10, 20, 50, 85, 100} %, baseline 10 %.
+///
+/// # Errors
+///
+/// Propagates model-construction and workload errors.
+pub fn paper_table3() -> Result<SavingsTable> {
+    let bandwidths: Vec<Gbps> =
+        [100.0, 200.0, 400.0, 800.0, 1600.0].map(Gbps::new).to_vec();
+    let props: Vec<Proportionality> = [0.10, 0.20, 0.50, 0.85, 1.00]
+        .into_iter()
+        .map(|f| Proportionality::new(f).expect("static values are in range"))
+        .collect();
+    savings_table(
+        &ClusterConfig::paper_baseline(),
+        &bandwidths,
+        &props,
+        Proportionality::NETWORK_BASELINE,
+        ScalingScenario::FixedWorkload,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 3, in percent, rows = 100..1600 G, columns =
+    /// {10, 20, 50, 85, 100} % proportionality.
+    const PAPER_TABLE3: [[f64; 5]; 5] = [
+        [0.0, 0.3, 1.2, 2.3, 2.7],
+        [0.0, 0.6, 2.5, 4.8, 5.7],
+        [0.0, 1.2, 4.7, 8.8, 10.6],
+        [0.0, 2.2, 8.7, 16.4, 19.7],
+        [0.0, 3.9, 15.6, 29.3, 35.1],
+    ];
+
+    #[test]
+    fn reproduces_every_cell_of_paper_table3() {
+        let table = paper_table3().unwrap();
+        for (r, row) in PAPER_TABLE3.iter().enumerate() {
+            for (c, &expected_pct) in row.iter().enumerate() {
+                let got = table.cell(r, c).unwrap().savings.percent();
+                assert!(
+                    (got - expected_pct).abs() < 0.1,
+                    "row {} ({}G) col {} ({}): got {:.2}%, paper says {:.1}%",
+                    r,
+                    table.bandwidths[r].value(),
+                    c,
+                    table.proportionalities[c],
+                    got,
+                    expected_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headline_claims() {
+        // Abstract: ≈5% savings at 50% proportionality, ≈9% at 85% (400G).
+        let table = paper_table3().unwrap();
+        let at_50 = table.cell(2, 2).unwrap().savings.percent();
+        let at_85 = table.cell(2, 3).unwrap().savings.percent();
+        assert!((at_50 - 4.7).abs() < 0.1);
+        assert!((at_85 - 8.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn savings_increase_with_proportionality() {
+        let table = paper_table3().unwrap();
+        for row in &table.cells {
+            for w in row.windows(2) {
+                assert!(w[1].savings >= w[0].savings);
+            }
+        }
+    }
+
+    #[test]
+    fn savings_increase_with_bandwidth() {
+        // Higher bandwidth → network is a larger power share → bigger
+        // relative savings (the paper's Table 3 column trend).
+        let table = paper_table3().unwrap();
+        for c in 1..5 {
+            for r in 1..5 {
+                assert!(
+                    table.cell(r, c).unwrap().savings > table.cell(r - 1, c).unwrap().savings
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_column_is_zero() {
+        let table = paper_table3().unwrap();
+        for row in &table.cells {
+            assert!(row[0].savings.approx_eq(Ratio::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn average_power_matches_phase_breakdown() {
+        let cfg = ClusterConfig::paper_baseline();
+        let p = average_power(&cfg, ScalingScenario::FixedWorkload).unwrap();
+        assert!((p.as_mw() - 7.975).abs() < 0.01);
+    }
+
+    #[test]
+    fn fixed_ratio_scenario_savings_are_bandwidth_insensitive_in_time() {
+        // Under fixed comm ratio the phase weights are always 90/10, so
+        // relative savings depend only on the network's power share.
+        let bandwidths = vec![Gbps::new(400.0)];
+        let props = vec![Proportionality::NETWORK_BASELINE, Proportionality::PERFECT];
+        let t = savings_table(
+            &ClusterConfig::paper_baseline(),
+            &bandwidths,
+            &props,
+            Proportionality::NETWORK_BASELINE,
+            ScalingScenario::FixedCommRatio,
+        )
+        .unwrap();
+        // Same as fixed-workload at 400G (the reference point).
+        assert!((t.cell(0, 1).unwrap().savings.percent() - 10.6).abs() < 0.1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Scale-out analysis: how the network's power share — and thus the
+//! value of proportionality — grows with cluster size.
+//!
+//! The paper analyzes one pod (15k GPUs). Production clusters stack pods
+//! behind additional fabric stages (the Alibaba HPN design it cites), and
+//! the fractional-stage fat-tree model extends continuously to any size.
+//! Bigger clusters need *relatively more* network: each endpoint's
+//! traffic crosses more stages, so switches and transceivers grow
+//! super-linearly in share — making the paper's argument stronger at
+//! frontier scale.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::Proportionality;
+use npp_units::Ratio;
+use npp_workload::ScalingScenario;
+
+use crate::cluster::{ClusterConfig, ClusterModel};
+use crate::phases::phase_breakdown;
+use crate::savings::average_power;
+use crate::Result;
+
+/// One point of the scale sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// GPU count.
+    pub gpus: f64,
+    /// Fat-tree stages the fabric needs (fractional).
+    pub stages: f64,
+    /// Switches per 1000 GPUs (the density that drives the share).
+    pub switches_per_kilo_gpu: f64,
+    /// Network share of the time-averaged cluster power.
+    pub network_share: Ratio,
+    /// Headline saving: 10 % → 85 % network proportionality.
+    pub headline_savings: Ratio,
+}
+
+/// Sweeps cluster sizes at the baseline bandwidth and reports how the
+/// network share and the headline saving scale. The workload scales with
+/// the cluster (fixed communication ratio): a 32-pod cluster trains a
+/// 32-pod-sized job, keeping the 90/10 iteration structure of §2.1.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn savings_vs_scale(base: &ClusterConfig, gpu_counts: &[f64]) -> Result<Vec<ScalePoint>> {
+    gpu_counts
+        .iter()
+        .map(|&gpus| {
+            let cfg = base.clone().with_gpus(gpus);
+            let model = ClusterModel::new(cfg.clone())?;
+            let b = phase_breakdown(&model, ScalingScenario::FixedCommRatio)?;
+            let baseline = average_power(
+                &cfg.clone()
+                    .with_network_proportionality(Proportionality::NETWORK_BASELINE),
+                ScalingScenario::FixedCommRatio,
+            )?;
+            let improved = average_power(
+                &cfg.clone().with_network_proportionality(Proportionality::COMPUTE),
+                ScalingScenario::FixedCommRatio,
+            )?;
+            Ok(ScalePoint {
+                gpus,
+                stages: model.inventory().tree.stages,
+                switches_per_kilo_gpu: model.inventory().switches / gpus * 1000.0,
+                network_share: b.average.network_share(),
+                headline_savings: Ratio::new(1.0 - improved / baseline),
+            })
+        })
+        .collect()
+}
+
+/// The pod-multiples grid used by the CLI: 1, 2, 4, 8, 16, 32 pods of
+/// the §2.1 baseline.
+pub fn pod_grid() -> Vec<f64> {
+    [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        .map(|p| p * 15_360.0)
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<ScalePoint> {
+        savings_vs_scale(&ClusterConfig::paper_baseline(), &pod_grid()).unwrap()
+    }
+
+    #[test]
+    fn single_pod_matches_the_paper() {
+        let s = sweep();
+        assert_eq!(s[0].gpus, 15_360.0);
+        assert!((s[0].network_share.percent() - 11.9).abs() < 0.3);
+        assert!((s[0].headline_savings.percent() - 8.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn scale_deepens_the_tree_and_raises_the_share() {
+        let s = sweep();
+        for w in s.windows(2) {
+            assert!(w[1].stages > w[0].stages);
+            assert!(
+                w[1].switches_per_kilo_gpu > w[0].switches_per_kilo_gpu,
+                "density must grow with scale"
+            );
+            assert!(w[1].network_share > w[0].network_share);
+            assert!(w[1].headline_savings > w[0].headline_savings);
+        }
+    }
+
+    #[test]
+    fn half_million_gpus_make_the_case_stronger() {
+        // At 32 pods (~half a million GPUs), the headline saving beats
+        // the single-pod 8.8% visibly — the paper's argument compounds
+        // with scale.
+        let s = sweep();
+        let last = s.last().unwrap();
+        assert!(last.gpus > 490_000.0);
+        assert!(
+            last.headline_savings.percent() > 9.5,
+            "at scale: {}",
+            last.headline_savings
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Parameter sensitivity of the paper's headline result.
+//!
+//! The model behind Table 3 rests on a handful of published-but-uncertain
+//! constants (switch power, NIC/transceiver powers, the communication
+//! ratio, the server overhead, transceiver counting). This module
+//! perturbs each by ±`delta` and reports how the headline cell — the
+//! 400 G / 85 % savings the abstract quotes as "close to 9 %" — moves,
+//! plus the elasticity `d(ln savings)/d(ln param)`. A tornado-style
+//! ranking shows which inputs matter and which are noise.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::Proportionality;
+use npp_units::{Ratio, Seconds};
+use npp_workload::{IterationModel, ScalingScenario};
+
+use crate::cluster::ClusterConfig;
+use crate::savings::average_power;
+use crate::Result;
+
+/// The perturbable parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parameter {
+    /// The workload's communication ratio (§2.2's assumed 10 %).
+    CommRatio,
+    /// Per-switch max power (Table 1's 750 W).
+    SwitchPower,
+    /// NIC + transceiver powers (Table 2), scaled jointly.
+    InterfacePower,
+    /// Optical transceivers per inter-switch link (the paper's 2).
+    TransceiversPerLink,
+    /// Per-GPU max power incl. server share (§2.3.1's 500 W).
+    GpuPower,
+    /// Compute-side proportionality (§2.3.1's 85 %).
+    ComputeProportionality,
+}
+
+impl Parameter {
+    /// All parameters, in the order the tornado table reports them.
+    pub fn all() -> [Parameter; 6] {
+        [
+            Parameter::CommRatio,
+            Parameter::SwitchPower,
+            Parameter::InterfacePower,
+            Parameter::TransceiversPerLink,
+            Parameter::GpuPower,
+            Parameter::ComputeProportionality,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Parameter::CommRatio => "communication ratio",
+            Parameter::SwitchPower => "switch power",
+            Parameter::InterfacePower => "NIC+transceiver power",
+            Parameter::TransceiversPerLink => "transceivers per link",
+            Parameter::GpuPower => "GPU+server power",
+            Parameter::ComputeProportionality => "compute proportionality",
+        }
+    }
+
+    /// Applies a relative perturbation to the parameter in a config.
+    fn apply(&self, cfg: &mut ClusterConfig, factor: f64) -> Result<()> {
+        match self {
+            Parameter::CommRatio => {
+                let ratio = (cfg.workload.comm_ratio().fraction() * factor).clamp(1e-6, 0.99);
+                cfg.workload = IterationModel::from_comm_ratio(
+                    ratio,
+                    Seconds::new(1.0),
+                    cfg.workload.reference_gpus,
+                    cfg.workload.reference_bandwidth,
+                )?;
+            }
+            Parameter::SwitchPower => {
+                cfg.devices.switch_max = cfg.devices.switch_max * factor;
+            }
+            Parameter::InterfacePower => {
+                cfg.devices.interface_power_scale *= factor;
+            }
+            Parameter::TransceiversPerLink => {
+                cfg.transceivers_per_link *= factor;
+            }
+            Parameter::GpuPower => {
+                cfg.devices.gpu_max = cfg.devices.gpu_max * factor;
+            }
+            Parameter::ComputeProportionality => {
+                let p = (cfg.devices.compute_proportionality.fraction() * factor).clamp(0.0, 1.0);
+                cfg.devices.compute_proportionality =
+                    Proportionality::new(p).expect("clamped into range");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One row of the sensitivity table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityRow {
+    /// Which parameter was perturbed.
+    pub parameter: String,
+    /// Relative perturbation applied (e.g. 0.1 = ±10 %).
+    pub delta: f64,
+    /// Headline savings with the parameter decreased.
+    pub savings_low: Ratio,
+    /// Headline savings at the baseline.
+    pub savings_base: Ratio,
+    /// Headline savings with the parameter increased.
+    pub savings_high: Ratio,
+    /// Central-difference elasticity `d(ln s)/d(ln p)`.
+    pub elasticity: f64,
+}
+
+impl SensitivityRow {
+    /// Total swing of the headline across the ± perturbation, in
+    /// percentage points.
+    pub fn swing_pp(&self) -> f64 {
+        (self.savings_high.percent() - self.savings_low.percent()).abs()
+    }
+}
+
+/// The headline metric: relative savings of moving the network from the
+/// 10 % baseline to `target` proportionality for this configuration.
+fn headline(cfg: &ClusterConfig, target: Proportionality) -> Result<Ratio> {
+    let base = average_power(
+        &cfg.clone().with_network_proportionality(Proportionality::NETWORK_BASELINE),
+        ScalingScenario::FixedWorkload,
+    )?;
+    let improved = average_power(
+        &cfg.clone().with_network_proportionality(target),
+        ScalingScenario::FixedWorkload,
+    )?;
+    Ok(Ratio::new(1.0 - improved / base))
+}
+
+/// Computes the sensitivity table for the given perturbation size
+/// (`delta = 0.1` ⇒ ±10 %), targeting the 85 %-proportionality headline.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn headline_sensitivity(base: &ClusterConfig, delta: f64) -> Result<Vec<SensitivityRow>> {
+    let target = Proportionality::COMPUTE;
+    let s_base = headline(base, target)?;
+    let mut rows = Vec::new();
+    for p in Parameter::all() {
+        let mut low_cfg = base.clone();
+        p.apply(&mut low_cfg, 1.0 - delta)?;
+        let mut high_cfg = base.clone();
+        p.apply(&mut high_cfg, 1.0 + delta)?;
+        let s_low = headline(&low_cfg, target)?;
+        let s_high = headline(&high_cfg, target)?;
+        let elasticity = if s_base.fraction() > 0.0 {
+            ((s_high.fraction() - s_low.fraction()) / s_base.fraction()) / (2.0 * delta)
+        } else {
+            0.0
+        };
+        rows.push(SensitivityRow {
+            parameter: p.name().to_string(),
+            delta,
+            savings_low: s_low,
+            savings_base: s_base,
+            savings_high: s_high,
+            elasticity,
+        });
+    }
+    // Tornado order: biggest swing first.
+    rows.sort_by(|a, b| b.swing_pp().partial_cmp(&a.swing_pp()).expect("finite"));
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SensitivityRow> {
+        headline_sensitivity(&ClusterConfig::paper_baseline(), 0.10).unwrap()
+    }
+
+    #[test]
+    fn baseline_headline_is_the_papers_8_8_percent() {
+        let r = rows();
+        assert!((r[0].savings_base.percent() - 8.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn every_row_brackets_the_baseline_or_is_monotone() {
+        for row in rows() {
+            let (lo, hi) = (
+                row.savings_low.percent().min(row.savings_high.percent()),
+                row.savings_low.percent().max(row.savings_high.percent()),
+            );
+            assert!(
+                lo <= row.savings_base.percent() + 1e-9
+                    && row.savings_base.percent() <= hi + 1e-9,
+                "{}: {lo} .. {} .. {hi}",
+                row.parameter,
+                row.savings_base.percent()
+            );
+        }
+    }
+
+    #[test]
+    fn network_device_powers_raise_savings_gpu_power_lowers_them() {
+        let r = rows();
+        let by = |n: &str| r.iter().find(|x| x.parameter == n).unwrap();
+        // More network power → proportionality worth more.
+        assert!(by("switch power").elasticity > 0.0);
+        assert!(by("NIC+transceiver power").elasticity > 0.0);
+        assert!(by("transceivers per link").elasticity > 0.0);
+        // More GPU power → network is a smaller share → worth less.
+        assert!(by("GPU+server power").elasticity < 0.0);
+    }
+
+    #[test]
+    fn comm_ratio_matters_less_than_device_powers() {
+        // The savings come mostly from the *computation* phase (the
+        // network idles 90% of the time); nudging the comm ratio barely
+        // moves the headline, while the network device powers move it
+        // almost one-for-one.
+        let r = rows();
+        let by = |n: &str| r.iter().find(|x| x.parameter == n).unwrap();
+        assert!(
+            by("communication ratio").elasticity.abs()
+                < by("switch power").elasticity.abs()
+        );
+    }
+
+    #[test]
+    fn tornado_is_sorted_by_swing() {
+        let r = rows();
+        for w in r.windows(2) {
+            assert!(w[0].swing_pp() >= w[1].swing_pp() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn interface_power_scale_actually_scales() {
+        use crate::cluster::ClusterModel;
+        let mut cfg = ClusterConfig::paper_baseline();
+        cfg.devices.interface_power_scale = 2.0;
+        let doubled = ClusterModel::new(cfg).unwrap();
+        let base = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+        let b = base.network_breakdown();
+        let d = doubled.network_breakdown();
+        assert!(d.nics.approx_eq(b.nics * 2.0, 1e-6));
+        assert!(d.transceivers.approx_eq(b.transceivers * 2.0, 1e-6));
+        assert!(d.switches.approx_eq(b.switches, 1e-6));
+    }
+}

@@ -1,0 +1,387 @@
+//! Fixed-power-budget performance speedups — §3.3, Figures 3 and 4.
+//!
+//! Data centers are power-limited, so every watt saved on the network can
+//! buy GPUs instead. For a fixed power budget (the baseline cluster's
+//! average draw), the solver finds the GPU count whose time-averaged power
+//! exactly meets the budget — the network is re-sized along with the GPU
+//! count — and reports the resulting iteration-time speedup.
+//!
+//! - **Figure 3 (fixed workload)**: communication time ∝ 1/bandwidth;
+//!   speedups are relative to the §2.1 baseline (400 G, 10 %
+//!   proportionality), which by construction sits at exactly 0 %.
+//! - **Figure 4 (fixed communication ratio)**: the communication workload
+//!   grows with bandwidth so the 10 % ratio is preserved; speedups are
+//!   relative to a zero-proportionality network at the *same* bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::Proportionality;
+use npp_units::{Gbps, Ratio, Seconds, Watts};
+use npp_workload::ScalingScenario;
+
+use crate::cluster::{ClusterConfig, ClusterModel};
+use crate::phases::phase_breakdown;
+use crate::{CoreError, Result};
+
+/// One point of a speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Per-GPU bandwidth.
+    pub bandwidth: Gbps,
+    /// Network proportionality.
+    pub proportionality: Proportionality,
+    /// GPU count that exactly exhausts the power budget.
+    pub gpus: f64,
+    /// Resulting iteration time.
+    pub iteration_time: Seconds,
+    /// Speedup relative to the curve's reference iteration time
+    /// (positive = faster).
+    pub speedup: Ratio,
+}
+
+/// A per-bandwidth speedup curve over a proportionality sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupCurve {
+    /// The bandwidth of this curve.
+    pub bandwidth: Gbps,
+    /// Points in proportionality order.
+    pub points: Vec<SpeedupPoint>,
+}
+
+/// Time-averaged cluster power for a configuration with `gpus` GPUs.
+fn avg_power(base: &ClusterConfig, gpus: f64, scenario: ScalingScenario) -> Result<Watts> {
+    let model = ClusterModel::new(base.clone().with_gpus(gpus))?;
+    Ok(phase_breakdown(&model, scenario)?.average.total())
+}
+
+/// Finds the GPU count whose time-averaged power equals `budget`, by
+/// bisection (the average power is monotonically increasing in the GPU
+/// count under both scenarios).
+///
+/// # Errors
+///
+/// [`CoreError::SolverFailed`] if no bracketing interval can be found or
+/// the iteration does not converge.
+pub fn gpus_for_budget(
+    base: &ClusterConfig,
+    budget: Watts,
+    scenario: ScalingScenario,
+) -> Result<f64> {
+    let f = |g: f64| -> Result<f64> { Ok(avg_power(base, g, scenario)?.value() - budget.value()) };
+
+    let mut lo = 8.0;
+    if f(lo)? > 0.0 {
+        return Err(CoreError::SolverFailed(format!(
+            "budget {budget:.0} below the power of a {lo}-GPU cluster"
+        )));
+    }
+    let mut hi = 1024.0;
+    let mut expansions = 0;
+    while f(hi)? < 0.0 {
+        hi *= 2.0;
+        expansions += 1;
+        if expansions > 40 {
+            return Err(CoreError::SolverFailed(
+                "could not bracket the power budget".into(),
+            ));
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid)? < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) / hi < 1e-12 {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// The power budget used by both figures: the average power of the §2.1
+/// baseline cluster (400 G at 10 % proportionality).
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn baseline_budget() -> Result<Watts> {
+    let model = ClusterModel::new(ClusterConfig::paper_baseline())?;
+    Ok(phase_breakdown(&model, ScalingScenario::FixedWorkload)?
+        .average
+        .total())
+}
+
+/// Computes one speedup point under the fixed-workload scenario, relative
+/// to a reference iteration time.
+fn fixed_workload_point(
+    base: &ClusterConfig,
+    bw: Gbps,
+    p: Proportionality,
+    budget: Watts,
+    reference_time: Seconds,
+) -> Result<SpeedupPoint> {
+    let cfg = base.clone().with_bandwidth(bw).with_network_proportionality(p);
+    let gpus = gpus_for_budget(&cfg, budget, ScalingScenario::FixedWorkload)?;
+    let iter = cfg
+        .workload
+        .iteration(gpus, bw, ScalingScenario::FixedWorkload)?;
+    Ok(SpeedupPoint {
+        bandwidth: bw,
+        proportionality: p,
+        gpus,
+        iteration_time: iter.total(),
+        speedup: Ratio::new(reference_time / iter.total() - 1.0),
+    })
+}
+
+/// Figure 3: fixed-workload speedup curves over a proportionality sweep,
+/// one curve per bandwidth, all relative to the §2.1 baseline iteration
+/// time.
+///
+/// # Errors
+///
+/// Propagates solver and model errors.
+pub fn figure3(
+    bandwidths: &[Gbps],
+    proportionalities: &[Proportionality],
+) -> Result<Vec<SpeedupCurve>> {
+    let base = ClusterConfig::paper_baseline();
+    let budget = baseline_budget()?;
+    // Reference: the baseline config solves to exactly the baseline GPU
+    // count, whose iteration time is 1 by construction.
+    let reference_time = base
+        .workload
+        .iteration(base.gpus, base.bandwidth, ScalingScenario::FixedWorkload)?
+        .total();
+    bandwidths
+        .iter()
+        .map(|&bw| {
+            let points = proportionalities
+                .iter()
+                .map(|&p| fixed_workload_point(&base, bw, p, budget, reference_time))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(SpeedupCurve { bandwidth: bw, points })
+        })
+        .collect()
+}
+
+/// Figure 4: fixed-communication-ratio speedup curves, one per bandwidth,
+/// each relative to the zero-proportionality point of the *same*
+/// bandwidth.
+///
+/// # Errors
+///
+/// Propagates solver and model errors.
+pub fn figure4(
+    bandwidths: &[Gbps],
+    proportionalities: &[Proportionality],
+) -> Result<Vec<SpeedupCurve>> {
+    let base = ClusterConfig::paper_baseline();
+    let budget = baseline_budget()?;
+    bandwidths
+        .iter()
+        .map(|&bw| {
+            // Reference: zero proportionality at this bandwidth.
+            let ref_cfg = base
+                .clone()
+                .with_bandwidth(bw)
+                .with_network_proportionality(Proportionality::FLAT);
+            let ref_gpus = gpus_for_budget(&ref_cfg, budget, ScalingScenario::FixedCommRatio)?;
+            let ref_time = ref_cfg
+                .workload
+                .iteration(ref_gpus, bw, ScalingScenario::FixedCommRatio)?
+                .total();
+            let points = proportionalities
+                .iter()
+                .map(|&p| {
+                    let cfg = base.clone().with_bandwidth(bw).with_network_proportionality(p);
+                    let gpus = gpus_for_budget(&cfg, budget, ScalingScenario::FixedCommRatio)?;
+                    let iter = cfg
+                        .workload
+                        .iteration(gpus, bw, ScalingScenario::FixedCommRatio)?;
+                    Ok(SpeedupPoint {
+                        bandwidth: bw,
+                        proportionality: p,
+                        gpus,
+                        iteration_time: iter.total(),
+                        speedup: Ratio::new(ref_time / iter.total() - 1.0),
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(SpeedupCurve { bandwidth: bw, points })
+        })
+        .collect()
+}
+
+/// The paper's bandwidth grid for Figures 3 and 4.
+pub fn paper_bandwidths() -> Vec<Gbps> {
+    [100.0, 200.0, 400.0, 800.0, 1600.0].map(Gbps::new).to_vec()
+}
+
+/// A proportionality sweep from 0 to 100 % in `steps` increments.
+pub fn proportionality_sweep(steps: usize) -> Vec<Proportionality> {
+    (0..=steps)
+        .map(|i| {
+            Proportionality::new(i as f64 / steps as f64).expect("sweep values are in [0,1]")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(f: f64) -> Proportionality {
+        Proportionality::new(f).unwrap()
+    }
+
+    #[test]
+    fn budget_matches_baseline_average() {
+        let b = baseline_budget().unwrap();
+        assert!((b.as_mw() - 7.975).abs() < 0.01);
+    }
+
+    #[test]
+    fn solver_recovers_baseline_gpu_count() {
+        // At the baseline config the budget is hit at exactly 15,360 GPUs.
+        let cfg = ClusterConfig::paper_baseline();
+        let budget = baseline_budget().unwrap();
+        let g = gpus_for_budget(&cfg, budget, ScalingScenario::FixedWorkload).unwrap();
+        assert!((g - 15_360.0).abs() < 1.0, "g = {g}");
+    }
+
+    #[test]
+    fn figure3_baseline_point_is_zero_speedup() {
+        let curves = figure3(&[Gbps::new(400.0)], &[prop(0.10)]).unwrap();
+        let s = curves[0].points[0].speedup;
+        assert!(s.approx_eq(Ratio::ZERO, 1e-6), "speedup {s}");
+    }
+
+    #[test]
+    fn figure3_low_proportionality_favors_low_bandwidth() {
+        // §3.3: "lower network bandwidth is faster overall if the network
+        // power proportionality is poor." At 10% proportionality the
+        // winner is 200 G (100 G pays a 4×-longer communication phase
+        // that almost exactly cancels its cheaper network), and speedup
+        // falls monotonically from 200 G up.
+        let bws = paper_bandwidths();
+        let curves = figure3(&bws, &[prop(0.10)]).unwrap();
+        let speedups: Vec<f64> = curves.iter().map(|c| c.points[0].speedup.fraction()).collect();
+        let best = speedups
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(bws[best] <= Gbps::new(200.0), "best bw {}", bws[best]);
+        // From 200 G up, higher bandwidth is strictly worse.
+        for w in speedups[1..].windows(2) {
+            assert!(w[0] > w[1], "speedups {speedups:?}");
+        }
+        // 1600 G is dramatically slower (paper's curve: ≈ −30%).
+        assert!(speedups[4] < -0.2, "speedups {speedups:?}");
+    }
+
+    #[test]
+    fn figure3_200g_beats_400g_even_at_50_percent() {
+        // §3.3: "even at 50% proportionality, a 200 Gbps network is still
+        // faster than a 400 Gbps one."
+        let curves = figure3(&[Gbps::new(200.0), Gbps::new(400.0)], &[prop(0.50)]).unwrap();
+        assert!(curves[0].points[0].speedup > curves[1].points[0].speedup);
+    }
+
+    #[test]
+    fn figure3_high_bandwidth_needs_very_high_proportionality() {
+        // §3.3: 800/1600 G "become the best alternatives only at very high
+        // proportionality values (> 90%)". At 90% they should not yet
+        // dominate 200G; at 100% they should.
+        let bws = paper_bandwidths();
+        let at_90 = figure3(&bws, &[prop(0.90)]).unwrap();
+        let best_90 = at_90
+            .iter()
+            .max_by(|a, b| {
+                a.points[0].speedup.partial_cmp(&b.points[0].speedup).unwrap()
+            })
+            .unwrap()
+            .bandwidth;
+        let at_100 = figure3(&bws, &[prop(1.0)]).unwrap();
+        let best_100 = at_100
+            .iter()
+            .max_by(|a, b| {
+                a.points[0].speedup.partial_cmp(&b.points[0].speedup).unwrap()
+            })
+            .unwrap()
+            .bandwidth;
+        assert!(best_100 >= Gbps::new(800.0), "best at 100%: {best_100}");
+        assert!(best_90 <= best_100);
+    }
+
+    #[test]
+    fn figure3_speedup_increases_with_proportionality() {
+        // "Better power proportionality improves the iteration time for
+        // all bandwidth speeds."
+        for bw in [100.0, 400.0, 1600.0] {
+            let curves =
+                figure3(&[Gbps::new(bw)], &[prop(0.0), prop(0.5), prop(1.0)]).unwrap();
+            let pts = &curves[0].points;
+            assert!(pts[0].speedup < pts[1].speedup, "bw {bw}");
+            assert!(pts[1].speedup < pts[2].speedup, "bw {bw}");
+        }
+    }
+
+    #[test]
+    fn figure4_zero_proportionality_is_reference() {
+        let curves = figure4(&[Gbps::new(800.0)], &[prop(0.0)]).unwrap();
+        assert!(curves[0].points[0].speedup.approx_eq(Ratio::ZERO, 1e-9));
+    }
+
+    #[test]
+    fn figure4_800g_at_50_percent_is_about_10_percent() {
+        // §3.3: "a network power proportionality of 50% on a 800 Gbps
+        // network would enable a 10% speedup." We land at ≈11%; the shape
+        // and magnitude match (see EXPERIMENTS.md).
+        let curves = figure4(&[Gbps::new(800.0)], &[prop(0.50)]).unwrap();
+        let s = curves[0].points[0].speedup.percent();
+        assert!((s - 10.0).abs() < 2.5, "speedup {s:.1}%");
+    }
+
+    #[test]
+    fn figure4_gain_grows_with_bandwidth() {
+        // §3.3: "the higher the bandwidth, the bigger the performance
+        // gain."
+        let bws = paper_bandwidths();
+        let curves = figure4(&bws, &[prop(0.50)]).unwrap();
+        let speedups: Vec<f64> = curves.iter().map(|c| c.points[0].speedup.fraction()).collect();
+        for w in speedups.windows(2) {
+            assert!(w[1] > w[0], "speedups {speedups:?}");
+        }
+    }
+
+    #[test]
+    fn figure4_speedup_is_gpu_ratio() {
+        // Under fixed comm ratio, iteration time ∝ 1/GPUs, so the speedup
+        // equals the GPU-count ratio.
+        let curves = figure4(&[Gbps::new(400.0)], &[prop(0.0), prop(1.0)]).unwrap();
+        let pts = &curves[0].points;
+        let gpu_ratio = pts[1].gpus / pts[0].gpus;
+        assert!((pts[1].speedup.fraction() + 1.0 - gpu_ratio).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solver_rejects_impossible_budget() {
+        let cfg = ClusterConfig::paper_baseline();
+        let err = gpus_for_budget(&cfg, Watts::new(1.0), ScalingScenario::FixedWorkload);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        assert_eq!(paper_bandwidths().len(), 5);
+        let sweep = proportionality_sweep(10);
+        assert_eq!(sweep.len(), 11);
+        assert_eq!(sweep[0], Proportionality::FLAT);
+        assert_eq!(sweep[10], Proportionality::PERFECT);
+    }
+}

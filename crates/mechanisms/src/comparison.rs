@@ -1,0 +1,271 @@
+//! Cross-mechanism comparison harness.
+//!
+//! Runs the dynamic §4 mechanisms (plus the all-on baseline and the EEE
+//! ancestor) on one common ML-training traffic pattern and reports a
+//! table of energy savings, achieved proportionality floors, and the
+//! latency/loss costs — the summary the paper's §4 narrates
+//! qualitatively.
+
+use serde::{Deserialize, Serialize};
+
+use npp_simnet::sources::{MergedSource, OnOffSource, TrafficSource};
+use npp_simnet::switchsim::SwitchParams;
+use npp_simnet::SimTime;
+use npp_units::{Gbps, Ratio};
+
+use crate::pipeline_park::{
+    park_floor_proportionality, simulate_parking, ParkConfig, PredictiveSchedule,
+};
+use crate::rate_adapt::{
+    idle_floor_proportionality, simulate_rate_adaptation, RateAdaptConfig,
+};
+use crate::Result;
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismOutcome {
+    /// Mechanism name.
+    pub name: String,
+    /// Energy saving vs. the all-on switch on the same traffic.
+    pub savings: Ratio,
+    /// The idle-power proportionality floor this mechanism can reach.
+    pub proportionality_floor: Ratio,
+    /// Packet loss rate on the test traffic.
+    pub loss_rate: f64,
+    /// 99th-percentile switch latency, ns.
+    pub p99_latency_ns: f64,
+}
+
+/// The common workload: ML iterations with the paper's 10 % communication
+/// ratio, scaled down to 1 ms iterations so simulations stay fast. The
+/// burst uses ~40 % of the switch, spread over four ports.
+pub fn ml_workload(horizon: SimTime) -> MergedSource {
+    let per_port = (0..4)
+        .map(|port| {
+            Box::new(
+                OnOffSource::new(
+                    1_000_000,
+                    900_000,
+                    Gbps::from_tbps(5.0),
+                    12_500,
+                    port,
+                    horizon,
+                )
+                .expect("static workload parameters are valid"),
+            ) as Box<dyn TrafficSource>
+        })
+        .collect();
+    MergedSource::new(per_port)
+}
+
+/// Runs every dynamic mechanism on the common workload and returns the
+/// comparison table (ordered roughly by increasing ambition).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn compare_mechanisms(horizon: SimTime) -> Result<Vec<MechanismOutcome>> {
+    let params = SwitchParams::paper_51t2();
+    let mut out = Vec::new();
+
+    // Baseline: everything on, all the time.
+    out.push(MechanismOutcome {
+        name: "all-on (today)".into(),
+        savings: Ratio::ZERO,
+        proportionality_floor: Ratio::ZERO,
+        loss_rate: 0.0,
+        p99_latency_ns: 0.0,
+    });
+
+    // Global rate adaptation (what current ASICs could do).
+    let cfg = RateAdaptConfig::default_global();
+    let r = simulate_rate_adaptation(params, &cfg, &mut ml_workload(horizon), horizon)?;
+    out.push(MechanismOutcome {
+        name: "rate adaptation (global clock)".into(),
+        savings: r.savings,
+        proportionality_floor: idle_floor_proportionality(&params, &cfg),
+        loss_rate: r.loss_rate,
+        p99_latency_ns: r.p99_latency_ns,
+    });
+
+    // Per-pipeline rate adaptation (§4.3 proposal).
+    let cfg = RateAdaptConfig::default_per_pipeline();
+    let r = simulate_rate_adaptation(params, &cfg, &mut ml_workload(horizon), horizon)?;
+    out.push(MechanismOutcome {
+        name: "rate adaptation (per-pipeline)".into(),
+        savings: r.savings,
+        proportionality_floor: idle_floor_proportionality(&params, &cfg),
+        loss_rate: r.loss_rate,
+        p99_latency_ns: r.p99_latency_ns,
+    });
+
+    // Reactive pipeline parking (§4.4).
+    let cfg = ParkConfig::reactive();
+    let r = simulate_parking(params, &cfg, &mut ml_workload(horizon), horizon)?;
+    out.push(MechanismOutcome {
+        name: "pipeline parking (reactive)".into(),
+        savings: r.savings,
+        proportionality_floor: park_floor_proportionality(&params, 0),
+        loss_rate: r.loss_rate,
+        p99_latency_ns: r.p99_latency_ns,
+    });
+
+    // Predictive pipeline parking (§4.4 + ML predictability).
+    let cfg = ParkConfig::predictive(PredictiveSchedule {
+        period_ns: 1_000_000,
+        burst_start_ns: 900_000,
+        burst_len_ns: 100_000,
+        prewake_ns: 200_000,
+    });
+    let r = simulate_parking(params, &cfg, &mut ml_workload(horizon), horizon)?;
+    out.push(MechanismOutcome {
+        name: "pipeline parking (predictive)".into(),
+        savings: r.savings,
+        proportionality_floor: park_floor_proportionality(&params, 0),
+        loss_rate: r.loss_rate,
+        p99_latency_ns: r.p99_latency_ns,
+    });
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_table_shape_and_ordering() {
+        let table = compare_mechanisms(SimTime::from_millis(10)).unwrap();
+        assert_eq!(table.len(), 5);
+        // Baseline saves nothing.
+        assert!(table[0].savings.approx_eq(Ratio::ZERO, 1e-12));
+        // The §4 narrative: per-pipeline beats global; parking beats rate
+        // adaptation on this skew-free but bursty workload.
+        let by_name = |n: &str| {
+            table
+                .iter()
+                .find(|o| o.name.starts_with(n))
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        let global = by_name("rate adaptation (global");
+        let per = by_name("rate adaptation (per-");
+        let reactive = by_name("pipeline parking (reactive");
+        let predictive = by_name("pipeline parking (predictive");
+        assert!(per.savings >= global.savings);
+        assert!(reactive.savings > per.savings);
+        // Predictive trades a little energy for avoiding the reactive
+        // loss penalty.
+        assert!(predictive.loss_rate <= reactive.loss_rate);
+        assert!(predictive.savings.fraction() > 0.3);
+        // Proportionality floors are ordered too.
+        assert!(reactive.proportionality_floor > per.proportionality_floor);
+    }
+
+    #[test]
+    fn no_mechanism_reaches_compute_proportionality() {
+        // §4.5's point: even parking leaves the chassis overhead, so a
+        // full redesign is needed to rival compute's 85%.
+        let table = compare_mechanisms(SimTime::from_millis(5)).unwrap();
+        for row in &table {
+            assert!(
+                row.proportionality_floor.fraction() < 0.85,
+                "{} reached {}",
+                row.name,
+                row.proportionality_floor
+            );
+        }
+    }
+}
+
+/// One row of the §4.5 granularity-by-simulation comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranularitySimRow {
+    /// Processing units in the redesigned switch.
+    pub units: usize,
+    /// Energy saving of predictive parking on this design, on the common
+    /// ML workload.
+    pub savings: Ratio,
+    /// Packet loss rate.
+    pub loss_rate: f64,
+}
+
+/// Runs the *same* predictive-parking policy on progressively
+/// finer-grained §4.5 switch designs — the simulation counterpart of
+/// `redesign::granularity_sweep`'s closed-form analysis. Finer units let
+/// the policy keep less silicon awake during the computation phase.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn compare_granularity(horizon: SimTime) -> Result<Vec<GranularitySimRow>> {
+    use crate::redesign::RedesignedSwitch;
+
+    let schedule = PredictiveSchedule {
+        period_ns: 1_000_000,
+        burst_start_ns: 900_000,
+        burst_len_ns: 100_000,
+        prewake_ns: 200_000,
+    };
+    // Spread the 20 Tbps burst over all 64 ports (312.5 G each) so no
+    // single port exceeds even the finest design's per-unit rate — the
+    // port-striping that a real many-unit ASIC would do in hardware.
+    let make_workload = || {
+        let per_port = (0..64)
+            .map(|port| {
+                Box::new(
+                    OnOffSource::new(
+                        1_000_000,
+                        900_000,
+                        Gbps::new(312.5),
+                        12_500,
+                        port,
+                        horizon,
+                    )
+                    .expect("static workload parameters are valid"),
+                ) as Box<dyn TrafficSource>
+            })
+            .collect();
+        MergedSource::new(per_port)
+    };
+    [4usize, 16, 64]
+        .into_iter()
+        .map(|units| {
+            let params = RedesignedSwitch::from_baseline(units)?.to_switch_params();
+            let r = simulate_parking(
+                params,
+                &ParkConfig::predictive(schedule),
+                &mut make_workload(),
+                horizon,
+            )?;
+            Ok(GranularitySimRow { units, savings: r.savings, loss_rate: r.loss_rate })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod granularity_tests {
+    use super::*;
+
+    #[test]
+    fn simulated_granularity_confirms_the_analytic_sweep() {
+        let rows = compare_granularity(SimTime::from_millis(10)).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Finer designs park deeper on the same policy and workload.
+        assert!(
+            rows[1].savings > rows[0].savings,
+            "16 units {} vs 4 units {}",
+            rows[1].savings,
+            rows[0].savings
+        );
+        assert!(
+            rows[2].savings > rows[1].savings,
+            "64 units {} vs 16 units {}",
+            rows[2].savings,
+            rows[1].savings
+        );
+        // Without losing traffic.
+        for r in &rows {
+            assert!(r.loss_rate < 0.01, "{} units lost {}", r.units, r.loss_rate);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Fabric-scale underutilization study: route a training job's
+//! collective over an explicit fat tree and measure which switches and
+//! links actually work — then price the §4 mechanisms fleet-wide.
+//!
+//! §3.4: "not all paths in the network are used all the time, especially
+//! in full bisection bandwidth networks". Here that becomes a number: a
+//! ring all-reduce touches a thin slice of a fat tree even during the
+//! communication phase, so device-off mechanisms have headroom *beyond*
+//! the phase-level idleness the core analysis models.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::devices::DeviceDb;
+use npp_power::{PowerModel, Proportionality};
+use npp_topology::builder::three_tier_fat_tree;
+use npp_topology::loads::LinkLoads;
+use npp_topology::{NodeId, Topology};
+use npp_units::{Gbps, Joules, Ratio, Seconds};
+
+use crate::{MechanismError, Result};
+
+/// Study configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricStudyConfig {
+    /// Fat-tree arity (k pods, k³/4 hosts).
+    pub k: usize,
+    /// Link speed throughout the fabric.
+    pub link_speed: Gbps,
+    /// Number of ranks in the data-parallel ring (≤ host count).
+    pub ring_ranks: usize,
+    /// Iteration time.
+    pub iteration: Seconds,
+    /// Communication ratio of the iteration.
+    pub comm_ratio: Ratio,
+    /// Network proportionality for the two-state devices.
+    pub proportionality: Proportionality,
+}
+
+impl Default for FabricStudyConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            link_speed: Gbps::new(400.0),
+            ring_ranks: 64,
+            iteration: Seconds::new(1.0),
+            comm_ratio: Ratio::new(0.1),
+            proportionality: Proportionality::NETWORK_BASELINE,
+        }
+    }
+}
+
+/// Per-iteration network energy under each scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricReport {
+    /// Switches in the fabric.
+    pub switches_total: usize,
+    /// Switches that carry any traffic during the communication phase.
+    pub switches_touched: usize,
+    /// Inter-switch links carrying nothing even during communication.
+    pub links_unused_during_comm: usize,
+    /// Inter-switch links in the fabric.
+    pub links_total: usize,
+    /// Mean inter-switch link utilization during the communication phase.
+    pub mean_comm_utilization: Ratio,
+    /// Energy per iteration with every device always at max (worst case).
+    pub energy_all_max: Joules,
+    /// Energy with today's two-state devices at the configured
+    /// proportionality (the core model's assumption, fabric-resolved).
+    pub energy_two_state: Joules,
+    /// Energy if the scheduler turns untouched switches/links fully off
+    /// for the duration of the job (§4.2).
+    pub energy_parked: Joules,
+    /// Energy with parking *and* ideal link sleeping on the used links
+    /// during the computation phase (EEE-perfect, §4.3/§4.4 composite).
+    pub energy_parked_and_sleeping: Joules,
+    /// Savings of the parked scheme vs. two-state.
+    pub savings_parked: Ratio,
+    /// Savings of the full composite vs. two-state.
+    pub savings_composite: Ratio,
+}
+
+/// Runs the study.
+///
+/// # Errors
+///
+/// Rejects ring sizes exceeding the host count and propagates topology
+/// errors.
+pub fn run_fabric_study(cfg: &FabricStudyConfig) -> Result<FabricReport> {
+    let topo = three_tier_fat_tree(cfg.k, cfg.link_speed)?;
+    let hosts = topo.hosts();
+    if cfg.ring_ranks < 2 || cfg.ring_ranks > hosts.len() {
+        return Err(MechanismError::Config(format!(
+            "ring of {} ranks does not fit {} hosts",
+            cfg.ring_ranks,
+            hosts.len()
+        )));
+    }
+
+    // Ring all-reduce at line rate: rank i sends to rank i+1 (packed
+    // placement: consecutive hosts).
+    let demands: Vec<(NodeId, NodeId, Gbps)> = (0..cfg.ring_ranks)
+        .map(|i| {
+            (
+                hosts[i],
+                hosts[(i + 1) % cfg.ring_ranks],
+                cfg.link_speed,
+            )
+        })
+        .collect();
+    let loads = LinkLoads::route(&topo, &demands, 16)?;
+
+    let inter_switch = topo.inter_switch_links();
+    let links_total = inter_switch.len();
+    let unused_links: Vec<_> = loads
+        .unused_links(&topo)
+        .into_iter()
+        .filter(|l| inter_switch.contains(l))
+        .collect();
+    let touched_switches = touched_switches(&topo, &loads);
+
+    // Mean utilization over inter-switch links only.
+    let utils = loads.utilizations(&topo);
+    let mean_comm = Ratio::new(
+        inter_switch.iter().map(|l| utils[l.0].fraction()).sum::<f64>() / links_total as f64,
+    );
+
+    // Device powers.
+    let db = DeviceDb::paper_baseline();
+    let sw_max = db.switch().max_power();
+    let sw_idle = cfg.proportionality.idle_power(sw_max);
+    let xcvr_max = db.transceiver(cfg.link_speed)?.max_power() * 2.0; // per link
+    let xcvr_idle = cfg.proportionality.idle_power(xcvr_max);
+
+    let n_sw = topo.switches().len() as f64;
+    let n_touched = touched_switches as f64;
+    let n_links = links_total as f64;
+    let n_used_links = (links_total - unused_links.len()) as f64;
+
+    let t_comm = cfg.iteration * cfg.comm_ratio.fraction();
+    let t_comp = cfg.iteration - t_comm;
+
+    // Scheme 0: everything at max all the time.
+    let energy_all_max = (sw_max * n_sw + xcvr_max * n_links) * cfg.iteration;
+
+    // Scheme 1: two-state devices — busy during comm if touched, idle
+    // otherwise; all idle during compute.
+    let comm_power = sw_max * n_touched
+        + sw_idle * (n_sw - n_touched)
+        + xcvr_max * n_used_links
+        + xcvr_idle * (n_links - n_used_links);
+    let comp_power = sw_idle * n_sw + xcvr_idle * n_links;
+    let energy_two_state = comm_power * t_comm + comp_power * t_comp;
+
+    // Scheme 2: untouched switches and unused links fully off (§4.2
+    // job-scheduler parking); touched devices stay two-state.
+    let comm_parked = sw_max * n_touched + xcvr_max * n_used_links;
+    let comp_parked = sw_idle * n_touched + xcvr_idle * n_used_links;
+    let energy_parked = comm_parked * t_comm + comp_parked * t_comp;
+
+    // Scheme 3: additionally, used links and touched switches sleep
+    // (ideally, zero transition cost) during the computation phase.
+    let energy_composite = comm_parked * t_comm;
+
+    Ok(FabricReport {
+        switches_total: topo.switches().len(),
+        switches_touched: touched_switches,
+        links_unused_during_comm: unused_links.len(),
+        links_total,
+        mean_comm_utilization: mean_comm,
+        energy_all_max,
+        energy_two_state,
+        energy_parked,
+        energy_parked_and_sleeping: energy_composite,
+        savings_parked: Ratio::new(1.0 - energy_parked / energy_two_state),
+        savings_composite: Ratio::new(1.0 - energy_composite / energy_two_state),
+    })
+}
+
+/// Switches incident to at least one loaded link.
+fn touched_switches(topo: &Topology, loads: &LinkLoads) -> usize {
+    topo.switches()
+        .into_iter()
+        .filter(|&sw| {
+            topo.neighbors(sw)
+                .iter()
+                .any(|&(_, link)| loads.load(link).value() > 0.0)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FabricReport {
+        run_fabric_study(&FabricStudyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn full_bisection_fabric_is_mostly_untouched_even_during_comm() {
+        // §3.4, quantified: a 64-rank ring on a 128-host fat tree leaves
+        // a large share of switches completely idle during the
+        // communication phase.
+        let r = report();
+        assert_eq!(r.switches_total, 80);
+        assert!(
+            r.switches_touched < r.switches_total,
+            "touched {}/{}",
+            r.switches_touched,
+            r.switches_total
+        );
+        assert!(r.links_unused_during_comm > 0);
+        assert!(r.mean_comm_utilization.fraction() < 0.5);
+    }
+
+    #[test]
+    fn scheme_energies_are_ordered() {
+        let r = report();
+        assert!(r.energy_two_state < r.energy_all_max);
+        assert!(r.energy_parked < r.energy_two_state);
+        assert!(r.energy_parked_and_sleeping < r.energy_parked);
+        assert!(r.savings_composite > r.savings_parked);
+        // The composite captures most of the energy: the fabric works
+        // 10% of the time on a slice of the hardware.
+        assert!(
+            r.savings_composite.fraction() > 0.7,
+            "composite savings {}",
+            r.savings_composite
+        );
+    }
+
+    #[test]
+    fn small_ring_parks_even_more() {
+        let small = run_fabric_study(&FabricStudyConfig {
+            ring_ranks: 8,
+            ..FabricStudyConfig::default()
+        })
+        .unwrap();
+        let large = report();
+        assert!(small.switches_touched <= large.switches_touched);
+        assert!(small.savings_parked >= large.savings_parked);
+    }
+
+    #[test]
+    fn intra_edge_ring_touches_one_switch() {
+        // 4 consecutive hosts in a k=8 tree share one edge switch
+        // (k/2 = 4 hosts per edge); their ring never leaves it.
+        let r = run_fabric_study(&FabricStudyConfig {
+            ring_ranks: 4,
+            ..FabricStudyConfig::default()
+        })
+        .unwrap();
+        assert_eq!(r.switches_touched, 1, "touched {}", r.switches_touched);
+        assert_eq!(r.links_unused_during_comm, r.links_total);
+    }
+
+    #[test]
+    fn proportionality_shifts_two_state_but_not_composite() {
+        let base = report();
+        let perfect = run_fabric_study(&FabricStudyConfig {
+            proportionality: Proportionality::PERFECT,
+            ..FabricStudyConfig::default()
+        })
+        .unwrap();
+        // With perfect proportionality, idle devices already draw zero —
+        // two-state converges toward the composite.
+        assert!(perfect.energy_two_state < base.energy_two_state);
+        assert!(
+            (perfect.energy_two_state.value() - perfect.energy_parked_and_sleeping.value())
+                .abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn invalid_ring_sizes_rejected() {
+        assert!(run_fabric_study(&FabricStudyConfig {
+            ring_ranks: 1,
+            ..FabricStudyConfig::default()
+        })
+        .is_err());
+        assert!(run_fabric_study(&FabricStudyConfig {
+            ring_ranks: 1000,
+            ..FabricStudyConfig::default()
+        })
+        .is_err());
+    }
+}
+
+/// The flow-level (fluid-simulated) counterpart of [`run_fabric_study`]:
+/// instead of assuming every used link is busy for the whole
+/// communication phase, it *runs* the ring all-reduce in
+/// `npp_simnet::netsim` and charges each transceiver only for its actual
+/// busy time — the upper bound for per-link sleeping mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowFabricReport {
+    /// Simulated completion time of the collective.
+    pub makespan: npp_units::Seconds,
+    /// Inter-switch links that carried traffic.
+    pub links_used: usize,
+    /// Inter-switch links total.
+    pub links_total: usize,
+    /// Transceiver energy if links sleep perfectly outside their busy
+    /// time (per iteration).
+    pub link_energy_ideal: Joules,
+    /// Transceiver energy with always-on links (per iteration).
+    pub link_energy_always_on: Joules,
+    /// Relative saving on the transceiver fleet.
+    pub link_savings: Ratio,
+}
+
+/// Runs a ring all-reduce as fluid flows over the fat tree and prices
+/// ideal per-link sleeping.
+///
+/// # Errors
+///
+/// Propagates topology/simulation errors.
+pub fn run_fabric_flow_study(cfg: &FabricStudyConfig) -> Result<FlowFabricReport> {
+    use npp_simnet::netsim::NetSim;
+    use npp_simnet::SimTime;
+
+    let topo = three_tier_fat_tree(cfg.k, cfg.link_speed)?;
+    let hosts = topo.hosts();
+    if cfg.ring_ranks < 2 || cfg.ring_ranks > hosts.len() {
+        return Err(MechanismError::Config(format!(
+            "ring of {} ranks does not fit {} hosts",
+            cfg.ring_ranks,
+            hosts.len()
+        )));
+    }
+    // Volume: fill the configured communication phase at line rate.
+    let bytes = cfg.link_speed.value() * 1e9 * cfg.iteration.value() * cfg.comm_ratio.fraction()
+        / 8.0;
+    let mut sim = NetSim::new(topo.clone());
+    for i in 0..cfg.ring_ranks {
+        sim.inject(
+            SimTime::ZERO,
+            hosts[i],
+            hosts[(i + 1) % cfg.ring_ranks],
+            bytes,
+            i,
+        )
+        .map_err(MechanismError::Sim)?;
+    }
+    sim.run().map_err(MechanismError::Sim)?;
+    let makespan = sim
+        .makespan()
+        .expect("all flows completed")
+        .as_seconds();
+
+    let db = DeviceDb::paper_baseline();
+    let xcvr_pair = db.transceiver(cfg.link_speed)?.max_power() * 2.0;
+    let inter_switch = topo.inter_switch_links();
+    let mut busy_energy = Joules::ZERO;
+    let mut used = 0usize;
+    for &lid in &inter_switch {
+        let busy = sim.link_busy_secs(lid);
+        if busy > 0.0 {
+            used += 1;
+        }
+        busy_energy += xcvr_pair * npp_units::Seconds::new(busy);
+    }
+    let always_on = xcvr_pair * cfg.iteration * inter_switch.len() as f64;
+    Ok(FlowFabricReport {
+        makespan,
+        links_used: used,
+        links_total: inter_switch.len(),
+        link_energy_ideal: busy_energy,
+        link_energy_always_on: always_on,
+        link_savings: Ratio::new(1.0 - busy_energy / always_on),
+    })
+}
+
+#[cfg(test)]
+mod flow_tests {
+    use super::*;
+
+    #[test]
+    fn flow_study_matches_phase_structure() {
+        let cfg = FabricStudyConfig::default();
+        let r = run_fabric_flow_study(&cfg).unwrap();
+        // The packed ring runs at line rate: the collective finishes in
+        // (almost exactly) the communication phase it was sized for.
+        let comm = cfg.iteration.value() * cfg.comm_ratio.fraction();
+        assert!(
+            (r.makespan.value() - comm).abs() / comm < 0.01,
+            "makespan {} vs comm {comm}",
+            r.makespan
+        );
+        assert!(r.links_used < r.links_total);
+    }
+
+    #[test]
+    fn ideal_link_sleeping_saves_more_than_the_analytic_composite_links() {
+        // The fluid study resolves *which* links are busy and for how
+        // long: since each used link is busy for at most the comm phase,
+        // the ideal saving must be ≥ 1 − comm_ratio × used/total.
+        let cfg = FabricStudyConfig::default();
+        let r = run_fabric_flow_study(&cfg).unwrap();
+        let lower_bound = 1.0
+            - cfg.comm_ratio.fraction() * r.links_used as f64 / r.links_total as f64;
+        assert!(
+            r.link_savings.fraction() >= lower_bound - 1e-9,
+            "savings {} < bound {lower_bound}",
+            r.link_savings
+        );
+        assert!(r.link_savings.fraction() > 0.9);
+    }
+
+    #[test]
+    fn smaller_rings_use_fewer_links() {
+        let big = run_fabric_flow_study(&FabricStudyConfig::default()).unwrap();
+        let small = run_fabric_flow_study(&FabricStudyConfig {
+            ring_ranks: 8,
+            ..FabricStudyConfig::default()
+        })
+        .unwrap();
+        assert!(small.links_used <= big.links_used);
+        assert!(small.link_savings >= big.link_savings);
+    }
+}

@@ -1,0 +1,312 @@
+//! An automatic C-state governor (§4.1): "which knobs should be exposed
+//! to the user, and which should be dialed automatically?"
+//!
+//! The paper proposes a catalog of pre-defined low-power modes (the
+//! networking analogue of CPU C-states) so that operators need no
+//! knowledge of the ASIC internals. This module supplies the missing
+//! piece: a governor that dials those modes automatically from observed
+//! load, with hysteresis against mode thrashing and an exit-latency
+//! budget that bounds how deep the governor may go for
+//! latency-sensitive deployments.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::gating::{switch_component_model, switch_cstates, CState};
+use npp_units::{Joules, Ratio, Seconds, Watts};
+use npp_workload::trace::LoadTrace;
+
+use crate::{MechanismError, Result};
+
+/// A C-state annotated with the capacity it can still serve and the time
+/// to exit back to full speed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernedState {
+    /// The underlying mode.
+    pub cstate: CState,
+    /// Fraction of line rate this mode can still forward.
+    pub capacity: Ratio,
+    /// Time to return to C0.
+    pub exit_latency: Seconds,
+    /// Device power in this mode.
+    pub power: Watts,
+}
+
+/// The default governed catalog for the paper-calibrated switch:
+/// capacities follow the gated pipeline/frequency configuration and exit
+/// latencies grow with depth (clock relock ≪ power-gate exit).
+///
+/// # Errors
+///
+/// Propagates gating errors (none occur for the static catalog).
+pub fn governed_catalog() -> Result<Vec<GovernedState>> {
+    let mut device = switch_component_model();
+    let specs = [
+        // (capacity, exit latency µs)
+        (1.00, 0.0),   // C0
+        (0.60, 10.0),  // C1-rate: all pipelines at 60% clock
+        (0.50, 100.0), // C2-park2: two pipelines gated
+        (0.25, 150.0), // C3-deep: one pipeline left
+    ];
+    switch_cstates()
+        .into_iter()
+        .zip(specs)
+        .map(|(cstate, (cap, exit_us))| {
+            cstate.apply(&mut device).map_err(MechanismError::Power)?;
+            Ok(GovernedState {
+                power: device.power(),
+                cstate,
+                capacity: Ratio::new(cap),
+                exit_latency: Seconds::from_micros(exit_us),
+            })
+        })
+        .collect()
+}
+
+/// Governor tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernorConfig {
+    /// How often the governor re-evaluates.
+    pub interval: Seconds,
+    /// Headroom: the chosen state must have `capacity ≥ load × headroom`.
+    pub headroom: f64,
+    /// Consecutive intervals of lower load required before going deeper
+    /// (hysteresis against thrashing).
+    pub patience: usize,
+    /// Maximum exit latency the deployment tolerates; deeper states are
+    /// off-limits.
+    pub exit_latency_budget: Seconds,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self {
+            interval: Seconds::from_millis(1.0),
+            headroom: 1.25,
+            patience: 3,
+            exit_latency_budget: Seconds::from_micros(200.0),
+        }
+    }
+}
+
+/// Governor run summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernorReport {
+    /// Time spent in each state, aligned with [`governed_catalog`].
+    pub residency: Vec<(String, Seconds)>,
+    /// State transitions performed.
+    pub transitions: usize,
+    /// Energy with the governor active.
+    pub energy: Joules,
+    /// Energy pinned at C0.
+    pub energy_c0: Joules,
+    /// Relative saving.
+    pub savings: Ratio,
+    /// Intervals where the load exceeded the active state's capacity
+    /// before the governor could react (the under-provisioning risk).
+    pub capacity_misses: usize,
+}
+
+/// Runs the governor over a load trace for `horizon`.
+///
+/// Per interval: measure the load; if it needs a shallower state, exit
+/// immediately (safety first); if a deeper state would suffice for
+/// `patience` consecutive intervals, enter it — provided its exit latency
+/// fits the budget.
+///
+/// # Errors
+///
+/// Rejects degenerate configurations.
+pub fn run_governor(
+    trace: &dyn LoadTrace,
+    horizon: Seconds,
+    cfg: &GovernorConfig,
+) -> Result<GovernorReport> {
+    if horizon.value() <= 0.0 || cfg.interval.value() <= 0.0 {
+        return Err(MechanismError::Config("horizon and interval must be positive".into()));
+    }
+    if cfg.headroom < 1.0 {
+        return Err(MechanismError::Config(format!(
+            "headroom {} must be >= 1",
+            cfg.headroom
+        )));
+    }
+    let catalog = governed_catalog()?;
+    let allowed: Vec<usize> = catalog
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.exit_latency <= cfg.exit_latency_budget)
+        .map(|(i, _)| i)
+        .collect();
+    if allowed.is_empty() {
+        return Err(MechanismError::Config("no state fits the exit-latency budget".into()));
+    }
+
+    let steps = (horizon.value() / cfg.interval.value()).ceil() as usize;
+    let mut residency = vec![0.0f64; catalog.len()];
+    let mut state = 0usize; // C0
+    let mut deeper_streak = 0usize;
+    let mut transitions = 0usize;
+    let mut energy = 0.0f64;
+    let mut misses = 0usize;
+
+    for step in 0..steps {
+        let t = cfg.interval * step as f64;
+        let load = trace.utilization(t).fraction();
+        let required = load * cfg.headroom;
+
+        // The deepest allowed state that still satisfies the demand.
+        let target = allowed
+            .iter()
+            .copied()
+            .filter(|&i| catalog[i].capacity.fraction() >= required.min(1.0))
+            .max()
+            .unwrap_or(0);
+
+        if load > catalog[state].capacity.fraction() + 1e-12 {
+            misses += 1;
+        }
+
+        if target < state {
+            // Demand rose: exit immediately.
+            state = target;
+            transitions += 1;
+            deeper_streak = 0;
+        } else if target > state {
+            deeper_streak += 1;
+            if deeper_streak >= cfg.patience {
+                state = target;
+                transitions += 1;
+                deeper_streak = 0;
+            }
+        } else {
+            deeper_streak = 0;
+        }
+
+        residency[state] += cfg.interval.value();
+        energy += catalog[state].power.value() * cfg.interval.value();
+    }
+
+    let total_time: f64 = residency.iter().sum();
+    let energy_c0 = catalog[0].power.value() * total_time;
+    Ok(GovernorReport {
+        residency: catalog
+            .iter()
+            .zip(&residency)
+            .map(|(s, &r)| (s.cstate.name.clone(), Seconds::new(r)))
+            .collect(),
+        transitions,
+        energy: Joules::new(energy),
+        energy_c0: Joules::new(energy_c0),
+        savings: Ratio::new(1.0 - energy / energy_c0),
+        capacity_misses: misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_units::Ratio;
+    use npp_workload::trace::MlPhaseTrace;
+
+    /// A constant-load trace.
+    struct Flat(f64);
+    impl LoadTrace for Flat {
+        fn utilization(&self, _t: Seconds) -> Ratio {
+            Ratio::new(self.0)
+        }
+    }
+
+    #[test]
+    fn catalog_is_ordered_by_depth() {
+        let cat = governed_catalog().unwrap();
+        assert_eq!(cat.len(), 4);
+        for w in cat.windows(2) {
+            assert!(w[1].power < w[0].power, "power must fall with depth");
+            assert!(w[1].capacity <= w[0].capacity);
+            assert!(w[1].exit_latency >= w[0].exit_latency);
+        }
+        assert!(cat[0].power.approx_eq(Watts::new(750.0), 1e-9));
+    }
+
+    #[test]
+    fn idle_device_sinks_to_the_deepest_allowed_state() {
+        let r = run_governor(
+            &Flat(0.0),
+            Seconds::new(1.0),
+            &GovernorConfig::default(),
+        )
+        .unwrap();
+        // After the patience window everything is C3.
+        let c3 = &r.residency[3];
+        assert!(c3.1.value() > 0.99, "C3 residency {}", c3.1);
+        assert!(r.savings.fraction() > 0.6, "savings {}", r.savings);
+        assert_eq!(r.capacity_misses, 0);
+        assert_eq!(r.transitions, 1);
+    }
+
+    #[test]
+    fn busy_device_stays_at_c0() {
+        let r = run_governor(&Flat(0.9), Seconds::new(1.0), &GovernorConfig::default()).unwrap();
+        assert!(r.residency[0].1.value() > 0.99);
+        assert!(r.savings.approx_eq(Ratio::ZERO, 1e-9));
+        assert_eq!(r.transitions, 0);
+    }
+
+    #[test]
+    fn ml_phases_cycle_the_states() {
+        // 10% duty bursts: deep during compute, shallow for the bursts.
+        let trace = MlPhaseTrace {
+            compute: Seconds::from_millis(90.0),
+            comm: Seconds::from_millis(10.0),
+            peak: Ratio::ONE,
+        };
+        let r = run_governor(
+            &trace,
+            Seconds::new(1.0),
+            &GovernorConfig::default(),
+        )
+        .unwrap();
+        assert!(r.transitions >= 10, "transitions {}", r.transitions);
+        assert!(r.savings.fraction() > 0.3, "savings {}", r.savings);
+        // Full-rate bursts exceed even C1's capacity momentarily: the
+        // reactive governor eats some misses — §4.1's automation risk.
+        assert!(r.capacity_misses > 0);
+    }
+
+    #[test]
+    fn latency_budget_caps_the_depth() {
+        let tight = GovernorConfig {
+            exit_latency_budget: Seconds::from_micros(50.0),
+            ..GovernorConfig::default()
+        };
+        let r = run_governor(&Flat(0.0), Seconds::new(1.0), &tight).unwrap();
+        // C2/C3 (100/150 µs exits) are off-limits: all idle time in C1.
+        assert_eq!(r.residency[2].1, Seconds::ZERO);
+        assert_eq!(r.residency[3].1, Seconds::ZERO);
+        assert!(r.residency[1].1.value() > 0.9);
+        // Shallower floor ⇒ smaller savings than the default governor.
+        let deep = run_governor(&Flat(0.0), Seconds::new(1.0), &GovernorConfig::default())
+            .unwrap();
+        assert!(deep.savings > r.savings);
+    }
+
+    #[test]
+    fn hysteresis_delays_deepening() {
+        let patient = GovernorConfig { patience: 100, ..GovernorConfig::default() };
+        let eager = GovernorConfig { patience: 1, ..GovernorConfig::default() };
+        let slow = run_governor(&Flat(0.0), Seconds::new(0.05), &patient).unwrap();
+        let fast = run_governor(&Flat(0.0), Seconds::new(0.05), &eager).unwrap();
+        assert!(fast.savings > slow.savings);
+    }
+
+    #[test]
+    fn validation() {
+        let c = GovernorConfig::default();
+        assert!(run_governor(&Flat(0.0), Seconds::ZERO, &c).is_err());
+        let bad = GovernorConfig { headroom: 0.5, ..c };
+        assert!(run_governor(&Flat(0.0), Seconds::new(1.0), &bad).is_err());
+        let impossible =
+            GovernorConfig { exit_latency_budget: Seconds::new(-1.0), ..c };
+        assert!(run_governor(&Flat(0.0), Seconds::new(1.0), &impossible).is_err());
+    }
+}

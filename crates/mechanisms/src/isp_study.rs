@@ -1,0 +1,488 @@
+//! The §3.4 ISP scenario, quantified: diurnal traffic on the Abilene
+//! backbone, and what each proportionality mechanism recovers.
+//!
+//! §3.4's distinction: ISP links are *underutilized rather than
+//! completely unused* — there is load around the clock, so link sleeping
+//! (EEE-style) has nothing to grab, two-state devices never idle, and
+//! the win comes from devices whose power follows load: ideal linear
+//! proportionality, or the practical §4.3 proxy of *down-rating* links
+//! to the smallest standard speed that still carries the demand (e.g.
+//! running a 400 G link as 100 G overnight, with transceiver power from
+//! the paper's Table 2).
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::devices::DeviceDb;
+use npp_power::{LinearPower, PowerModel, Proportionality, TwoStatePower};
+use npp_topology::isp::{abilene, ABILENE_POPS};
+use npp_topology::loads::LinkLoads;
+use npp_topology::NodeId;
+use npp_units::{Gbps, Joules, Ratio, Seconds, Watts};
+use npp_workload::trace::{DiurnalTrace, LoadTrace};
+
+use crate::{MechanismError, Result};
+
+/// Study configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IspStudyConfig {
+    /// Backbone link speed.
+    pub link_speed: Gbps,
+    /// Peak-hour utilization of the busiest link (provisioning target).
+    pub peak_target: Ratio,
+    /// Router power proportionality for the "improved" scenarios.
+    pub improved_proportionality: Proportionality,
+    /// RNG seed for the diurnal noise.
+    pub seed: u64,
+}
+
+impl Default for IspStudyConfig {
+    fn default() -> Self {
+        Self {
+            link_speed: Gbps::new(400.0),
+            peak_target: Ratio::new(0.6),
+            improved_proportionality: Proportionality::COMPUTE,
+            seed: 42,
+        }
+    }
+}
+
+/// One hour of the simulated day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IspHour {
+    /// Hour of day (0–23).
+    pub hour: u32,
+    /// Diurnal demand multiplier applied this hour.
+    pub demand_factor: f64,
+    /// Mean link utilization.
+    pub mean_utilization: Ratio,
+    /// Busiest-link utilization.
+    pub max_utilization: Ratio,
+    /// Backbone links carrying nothing this hour.
+    pub unused_links: usize,
+}
+
+/// The full §3.4 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspReport {
+    /// Per-hour load statistics.
+    pub hours: Vec<IspHour>,
+    /// 24 h energy: routers at today's two-state 10 % proportionality,
+    /// fixed-rate links.
+    pub energy_today: Joules,
+    /// 24 h energy with two-state routers at the improved
+    /// proportionality (spoiler: identical to today — never idle).
+    pub energy_two_state_improved: Joules,
+    /// 24 h energy with linearly proportional routers.
+    pub energy_linear: Joules,
+    /// 24 h energy with linear routers *and* down-rated links.
+    pub energy_linear_downrated: Joules,
+    /// Saving of the linear scenario vs. today.
+    pub savings_linear: Ratio,
+    /// Saving of linear + down-rating vs. today.
+    pub savings_linear_downrated: Ratio,
+    /// Fraction of backbone links that are underutilized (< 50 %) even at
+    /// the peak hour.
+    pub underutilized_at_peak: Ratio,
+}
+
+/// Relative "population" weights of the Abilene PoPs for the gravity
+/// traffic matrix (rough metro-area proportions; the absolute scale is
+/// normalized away by the peak target).
+const POP_WEIGHTS: [f64; 11] = [
+    4.0,  // Seattle
+    7.7,  // Sunnyvale (Bay Area)
+    13.2, // Los Angeles
+    3.0,  // Denver
+    2.2,  // Kansas City
+    7.1,  // Houston
+    9.5,  // Chicago
+    2.1,  // Indianapolis
+    6.1,  // Atlanta
+    6.3,  // Washington DC
+    19.5, // New York
+];
+
+/// Builds the gravity demand set between PoP client hosts, unnormalized.
+fn gravity_demands(hosts: &[NodeId]) -> Vec<(NodeId, NodeId, Gbps)> {
+    let mut demands = Vec::new();
+    for (i, &src) in hosts.iter().enumerate() {
+        for (j, &dst) in hosts.iter().enumerate() {
+            if i != j {
+                demands.push((src, dst, Gbps::new(POP_WEIGHTS[i] * POP_WEIGHTS[j])));
+            }
+        }
+    }
+    demands
+}
+
+/// Smallest standard speed step (from the paper's Table 2 grid) that
+/// carries `load`, never exceeding the link speed. Returns the full link
+/// speed if even that is insufficient (overload is clamped, not dropped).
+fn downrate_step(load: Gbps, link_speed: Gbps) -> Gbps {
+    for step in [100.0, 200.0, 400.0, 800.0, 1600.0] {
+        let s = Gbps::new(step);
+        if s > link_speed {
+            break;
+        }
+        if load <= s {
+            return s;
+        }
+    }
+    link_speed
+}
+
+/// Runs the 24-hour study.
+///
+/// # Errors
+///
+/// Propagates routing and device-lookup errors.
+pub fn run_isp_study(cfg: &IspStudyConfig) -> Result<IspReport> {
+    let topo = abilene(cfg.link_speed);
+    let hosts = topo.hosts();
+    assert_eq!(hosts.len(), ABILENE_POPS.len());
+    let base = LinkLoads::route(&topo, &gravity_demands(&hosts), 8)?;
+
+    // Normalize so that at demand factor 1.0 (the diurnal peak) the
+    // busiest link hits the provisioning target.
+    let raw_peak = base.max_utilization(&topo).fraction();
+    if raw_peak <= 0.0 {
+        return Err(MechanismError::Config("gravity matrix produced no load".into()));
+    }
+    let norm = cfg.peak_target.fraction() / raw_peak;
+
+    let trace = DiurnalTrace::typical_backbone(cfg.seed);
+    // The trace yields absolute utilization; convert to a demand factor
+    // relative to its peak.
+    let trace_peak = trace.peak.fraction();
+
+    let db = DeviceDb::paper_baseline();
+    let router_max = npp_power::devices::SWITCH_51T2_MAX;
+    let today_router = TwoStatePower::new(router_max, Proportionality::NETWORK_BASELINE);
+    let improved_two_state = TwoStatePower::new(router_max, cfg.improved_proportionality);
+    let linear_router = LinearPower::new(router_max, cfg.improved_proportionality);
+    let xcvr_full = db.transceiver(cfg.link_speed)?.max_power();
+
+    let n_routers = topo.switches().len() as f64;
+    let backbone_links = topo.inter_switch_links();
+    let hour = Seconds::from_hours(1.0);
+
+    let mut hours = Vec::with_capacity(24);
+    let (mut e_today, mut e_two, mut e_lin, mut e_lin_dr) =
+        (Joules::ZERO, Joules::ZERO, Joules::ZERO, Joules::ZERO);
+    let mut peak_underutilized = Ratio::ZERO;
+    let mut peak_factor = 0.0;
+
+    for h in 0..24u32 {
+        let t = Seconds::from_hours(h as f64 + 0.5);
+        let demand_factor = trace.utilization(t).fraction() / trace_peak;
+        let loads = base.scaled(norm * demand_factor);
+        let utils = loads.utilizations(&topo);
+
+        // Router load: mean utilization of its incident backbone links
+        // approximated by the network-wide mean (Abilene is small and
+        // fairly homogeneous; per-router granularity changes <2%).
+        let mean_u = loads.mean_utilization(&topo);
+        let max_u = loads.max_utilization(&topo);
+
+        // Energy contributions for this hour.
+        let routers_today = today_router.power_at(Ratio::new(mean_u.fraction())) * n_routers;
+        let routers_two = improved_two_state.power_at(Ratio::new(mean_u.fraction())) * n_routers;
+        let routers_lin = linear_router.power_at(mean_u) * n_routers;
+
+        // Links: fixed-rate transceivers vs down-rated ones.
+        let mut links_fixed = Watts::ZERO;
+        let mut links_dr = Watts::ZERO;
+        for &lid in &backbone_links {
+            let load = loads.load(lid);
+            links_fixed += xcvr_full * 2.0;
+            let step = downrate_step(load, cfg.link_speed);
+            links_dr += db.transceiver(step)?.max_power() * 2.0;
+        }
+
+        e_today += (routers_today + links_fixed) * hour;
+        e_two += (routers_two + links_fixed) * hour;
+        e_lin += (routers_lin + links_fixed) * hour;
+        e_lin_dr += (routers_lin + links_dr) * hour;
+
+        let unused = loads.unused_links(&topo).len();
+        if demand_factor > peak_factor {
+            peak_factor = demand_factor;
+            let under = utils
+                .iter()
+                .enumerate()
+                .filter(|(i, u)| {
+                    backbone_links.contains(&npp_topology::LinkId(*i))
+                        && u.fraction() < 0.5
+                })
+                .count();
+            peak_underutilized = Ratio::new(under as f64 / backbone_links.len() as f64);
+        }
+        hours.push(IspHour {
+            hour: h,
+            demand_factor,
+            mean_utilization: mean_u,
+            max_utilization: max_u,
+            unused_links: unused,
+        });
+    }
+
+    Ok(IspReport {
+        hours,
+        energy_today: e_today,
+        energy_two_state_improved: e_two,
+        energy_linear: e_lin,
+        energy_linear_downrated: e_lin_dr,
+        savings_linear: Ratio::new(1.0 - e_lin / e_today),
+        savings_linear_downrated: Ratio::new(1.0 - e_lin_dr / e_today),
+        underutilized_at_peak: peak_underutilized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> IspReport {
+        run_isp_study(&IspStudyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn links_are_underutilized_not_unused() {
+        // §3.4's distinction, asserted: around the clock there is load on
+        // every backbone link (gravity all-to-all), yet most links sit
+        // below 50% even at peak.
+        let r = report();
+        for h in &r.hours {
+            assert_eq!(h.unused_links, 0, "hour {} had unused links", h.hour);
+            assert!(h.mean_utilization.fraction() > 0.0);
+        }
+        assert!(
+            r.underutilized_at_peak.fraction() > 0.5,
+            "underutilized at peak: {}",
+            r.underutilized_at_peak
+        );
+    }
+
+    #[test]
+    fn two_state_improvement_saves_nothing() {
+        // Never idle ⇒ a two-state device at any proportionality draws
+        // max around the clock.
+        let r = report();
+        assert!(
+            (r.energy_two_state_improved.value() - r.energy_today.value()).abs()
+                < r.energy_today.value() * 1e-9
+        );
+    }
+
+    #[test]
+    fn linear_proportionality_recovers_the_gap() {
+        let r = report();
+        assert!(
+            r.savings_linear.fraction() > 0.3,
+            "linear savings {}",
+            r.savings_linear
+        );
+        // Down-rating links adds on top.
+        assert!(r.savings_linear_downrated > r.savings_linear);
+    }
+
+    #[test]
+    fn diurnal_structure_visible() {
+        let r = report();
+        let night = &r.hours[4];
+        let evening = &r.hours[20];
+        assert!(evening.demand_factor > night.demand_factor * 1.5);
+        assert!(evening.mean_utilization > night.mean_utilization);
+        // Peak-hour max utilization hits the provisioning target.
+        let max_over_day = r
+            .hours
+            .iter()
+            .map(|h| h.max_utilization.fraction())
+            .fold(0.0, f64::max);
+        assert!((max_over_day - 0.6).abs() < 0.05, "peak {max_over_day}");
+    }
+
+    #[test]
+    fn downrate_step_logic() {
+        let link = Gbps::new(400.0);
+        assert_eq!(downrate_step(Gbps::new(10.0), link), Gbps::new(100.0));
+        assert_eq!(downrate_step(Gbps::new(150.0), link), Gbps::new(200.0));
+        assert_eq!(downrate_step(Gbps::new(350.0), link), Gbps::new(400.0));
+        // Overload clamps to the link speed.
+        assert_eq!(downrate_step(Gbps::new(900.0), link), Gbps::new(400.0));
+    }
+
+    #[test]
+    fn custom_config_peak_target() {
+        let cfg = IspStudyConfig {
+            peak_target: Ratio::new(0.9),
+            ..IspStudyConfig::default()
+        };
+        let r = run_isp_study(&cfg).unwrap();
+        let max_over_day = r
+            .hours
+            .iter()
+            .map(|h| h.max_utilization.fraction())
+            .fold(0.0, f64::max);
+        assert!((max_over_day - 0.9).abs() < 0.07, "peak {max_over_day}");
+    }
+}
+
+/// Green traffic engineering: at low load, reroute traffic away from as
+/// many backbone links as possible so they can sleep entirely — the
+/// ISP-side analogue of §4.2's "concentrate the workload on as few
+/// devices as possible". A link is sleepable in a given hour if removing
+/// it (and every previously removed link) still leaves all demands
+/// routable with every remaining link below `max_util`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GreenTeReport {
+    /// Per-hour number of links put to sleep (out of the backbone total).
+    pub sleepable_per_hour: Vec<usize>,
+    /// Backbone link count.
+    pub links_total: usize,
+    /// 24 h transceiver energy without TE (all links always on).
+    pub link_energy_baseline: Joules,
+    /// 24 h transceiver energy with sleeping enabled.
+    pub link_energy_green_te: Joules,
+    /// Relative saving on the transceiver fleet.
+    pub savings: Ratio,
+}
+
+/// Runs the 24-hour green-TE study on Abilene.
+///
+/// # Errors
+///
+/// Propagates routing errors.
+pub fn run_green_te(cfg: &IspStudyConfig, max_util: Ratio) -> Result<GreenTeReport> {
+    use npp_topology::graph::Topology;
+
+    let topo = abilene(cfg.link_speed);
+    let hosts = topo.hosts();
+    let demands = gravity_demands(&hosts);
+    let base = LinkLoads::route(&topo, &demands, 8)?;
+    let raw_peak = base.max_utilization(&topo).fraction();
+    if raw_peak <= 0.0 {
+        return Err(MechanismError::Config("no load".into()));
+    }
+    let norm = cfg.peak_target.fraction() / raw_peak;
+    let trace = DiurnalTrace::typical_backbone(cfg.seed);
+    let trace_peak = trace.peak.fraction();
+
+    let backbone: Vec<_> = topo.inter_switch_links();
+    let db = DeviceDb::paper_baseline();
+    let xcvr_pair = db.transceiver(cfg.link_speed)?.max_power() * 2.0;
+    let hour = Seconds::from_hours(1.0);
+
+    // Rebuilds the topology without a set of backbone links.
+    let without = |removed: &[npp_topology::LinkId]| -> Topology {
+        let mut t = Topology::new();
+        let mut map = std::collections::HashMap::new();
+        for n in topo.nodes() {
+            let id = match n.kind {
+                npp_topology::NodeKind::Host => t.add_host(n.name.clone()),
+                npp_topology::NodeKind::Switch { tier } => t.add_switch(n.name.clone(), tier),
+            };
+            map.insert(n.id, id);
+        }
+        for l in topo.links() {
+            if !removed.contains(&l.id) {
+                t.add_link(map[&l.a], map[&l.b], l.capacity)
+                    .expect("copied links are valid");
+            }
+        }
+        t
+    };
+
+    let mut sleepable_per_hour = Vec::with_capacity(24);
+    let mut e_base = Joules::ZERO;
+    let mut e_green = Joules::ZERO;
+    for h in 0..24u32 {
+        let t = Seconds::from_hours(h as f64 + 0.5);
+        let factor = norm * trace.utilization(t).fraction() / trace_peak;
+        let scaled: Vec<_> = demands
+            .iter()
+            .map(|&(s, d, r)| (s, d, r * factor))
+            .collect();
+
+        // Greedy: try removing backbone links in ascending-load order.
+        let loads_now = LinkLoads::route(&topo, &scaled, 8)?;
+        let mut candidates: Vec<_> = backbone.clone();
+        candidates.sort_by(|a, b| {
+            loads_now
+                .load(*a)
+                .value()
+                .partial_cmp(&loads_now.load(*b).value())
+                .expect("finite")
+        });
+        let mut removed: Vec<npp_topology::LinkId> = Vec::new();
+        for cand in candidates {
+            let mut trial = removed.clone();
+            trial.push(cand);
+            let sub = without(&trial);
+            match LinkLoads::route(&sub, &remap_demands(&topo, &sub, &scaled), 8) {
+                Ok(loads) => {
+                    if loads.max_utilization(&sub).fraction() <= max_util.fraction() {
+                        removed = trial;
+                    }
+                }
+                Err(_) => {} // disconnects something: keep the link
+            }
+        }
+        sleepable_per_hour.push(removed.len());
+        e_base += xcvr_pair * backbone.len() as f64 * hour;
+        e_green += xcvr_pair * (backbone.len() - removed.len()) as f64 * hour;
+    }
+
+    Ok(GreenTeReport {
+        sleepable_per_hour,
+        links_total: backbone.len(),
+        link_energy_baseline: e_base,
+        link_energy_green_te: e_green,
+        savings: Ratio::new(1.0 - e_green / e_base),
+    })
+}
+
+/// Maps demands from the original topology onto the reduced copy (node
+/// ids are assigned in the same order, so indexes carry over).
+fn remap_demands(
+    orig: &npp_topology::Topology,
+    _sub: &npp_topology::Topology,
+    demands: &[(NodeId, NodeId, Gbps)],
+) -> Vec<(NodeId, NodeId, Gbps)> {
+    // Node creation order is identical, so ids are stable.
+    let _ = orig;
+    demands.to_vec()
+}
+
+#[cfg(test)]
+mod green_te_tests {
+    use super::*;
+
+    #[test]
+    fn night_hours_sleep_more_links_than_peak_hours() {
+        let r = run_green_te(&IspStudyConfig::default(), Ratio::new(0.8)).unwrap();
+        assert_eq!(r.sleepable_per_hour.len(), 24);
+        // Night (4am) vs evening peak (8pm).
+        let night = r.sleepable_per_hour[4];
+        let peak = r.sleepable_per_hour[20];
+        assert!(night >= peak, "night {night} vs peak {peak}");
+        assert!(night >= 1, "some links must be sleepable at night");
+        // Never more than the redundancy allows.
+        assert!(r.sleepable_per_hour.iter().all(|&n| n < r.links_total));
+    }
+
+    #[test]
+    fn green_te_saves_link_energy() {
+        let r = run_green_te(&IspStudyConfig::default(), Ratio::new(0.8)).unwrap();
+        assert!(r.savings.fraction() > 0.05, "savings {}", r.savings);
+        assert!(r.link_energy_green_te < r.link_energy_baseline);
+    }
+
+    #[test]
+    fn strict_utilization_cap_sleeps_fewer_links() {
+        let strict = run_green_te(&IspStudyConfig::default(), Ratio::new(0.5)).unwrap();
+        let loose = run_green_te(&IspStudyConfig::default(), Ratio::new(0.95)).unwrap();
+        let total = |r: &GreenTeReport| r.sleepable_per_hour.iter().sum::<usize>();
+        assert!(total(&strict) <= total(&loose));
+    }
+}

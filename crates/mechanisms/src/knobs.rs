@@ -1,0 +1,257 @@
+//! Exposing power knobs (§4.1): configuration-driven static gating.
+//!
+//! The paper's observations, each modeled here:
+//!
+//! 1. routers ship hardware "bloat" that stays powered even when the
+//!    deployment cannot use it (full-FIB memory behind a route reflector,
+//!    L3 blocks in an L2-only role);
+//! 2. some knobs are user-controllable today — like shutting ports — but
+//!    are *buggy*: ports disabled in software often keep drawing power in
+//!    hardware;
+//! 3. the fix the paper proposes is a catalog of vetted low-power modes
+//!    (networking "C-states") instead of exposing raw component knobs.
+//!
+//! [`apply_profile`] derives a gating configuration from a deployment
+//! profile and reports both the *exposed* savings (what today's NOS knobs
+//! deliver, including the port bug) and the *physical* savings (what the
+//! hardware could do if every knob were exposed and worked).
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::gating::{switch_component_model, Component, GateState, SWITCH_PIPELINES};
+use npp_power::Proportionality;
+use npp_units::{Ratio, Watts};
+
+use crate::{MechanismError, Result};
+
+/// What a deployment actually needs from the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentProfile {
+    /// Ports in use out of the switch's total.
+    pub ports_used: usize,
+    /// Total ports.
+    pub ports_total: usize,
+    /// Whether L3 routing is required (false = pure L2 fabric role).
+    pub l3_routing: bool,
+    /// Whether the full routing table must be held locally (false when a
+    /// route reflector serves most of the RIB — the paper's example).
+    pub full_fib: bool,
+    /// Whether the NOS actually powers down disabled ports in hardware.
+    /// `false` models the bug reported by [15, 24]: ports down in
+    /// software, still drawing power.
+    pub port_gating_works: bool,
+}
+
+impl DeploymentProfile {
+    /// A leaf running L2-only with half its ports connected, behind a
+    /// route reflector, on today's buggy firmware.
+    pub fn l2_leaf_today() -> Self {
+        Self {
+            ports_used: 32,
+            ports_total: 64,
+            l3_routing: false,
+            full_fib: false,
+            port_gating_works: false,
+        }
+    }
+
+    /// The same deployment with fixed firmware.
+    pub fn l2_leaf_fixed() -> Self {
+        Self { port_gating_works: true, ..Self::l2_leaf_today() }
+    }
+}
+
+/// The §4.1 what-if result for one deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobReport {
+    /// Full (ungated) switch power.
+    pub max_power: Watts,
+    /// Power with only the knobs today's NOS exposes (port shutdown —
+    /// honoring the gating bug if present).
+    pub exposed_power: Watts,
+    /// Power if every physically gateable component were gated per the
+    /// profile.
+    pub physical_power: Watts,
+    /// Savings from exposed knobs.
+    pub exposed_savings: Ratio,
+    /// Savings physically available.
+    pub physical_savings: Ratio,
+    /// Idle proportionality if the physical configuration were the
+    /// device's idle state.
+    pub physical_proportionality: Proportionality,
+    /// The gated component tree (for inspection/printing).
+    pub tree: Component,
+}
+
+/// Applies a deployment profile to the paper-calibrated switch component
+/// model and reports exposed vs. physical savings.
+///
+/// Gating rules (assumptions documented in DESIGN.md):
+///
+/// - unused ports ⇒ their share of SerDes can be gated; a fraction of
+///   whole pipelines equal to the unused-port fraction can be parked
+///   (ports attach to pipelines in groups);
+/// - no L3 ⇒ 40 % of match-action logic can be scaled out;
+/// - partial FIB ⇒ half of the pipeline memory can be gated.
+///
+/// # Errors
+///
+/// Rejects inconsistent profiles (`ports_used > ports_total`).
+pub fn apply_profile(profile: &DeploymentProfile) -> Result<KnobReport> {
+    if profile.ports_total == 0 || profile.ports_used > profile.ports_total {
+        return Err(MechanismError::Config(format!(
+            "ports_used {} / ports_total {} is inconsistent",
+            profile.ports_used, profile.ports_total
+        )));
+    }
+    let mut tree = switch_component_model();
+    let max_power = tree.max_power();
+
+    let unused_fraction = 1.0 - profile.ports_used as f64 / profile.ports_total as f64;
+
+    // --- Exposed knobs: port shutdown only. ---
+    // With working gating, shutting a port frees its SerDes share; with
+    // the bug, software-down ports keep burning power.
+    let exposed_power = if profile.port_gating_works {
+        for i in 0..SWITCH_PIPELINES {
+            tree.set_state(
+                &format!("asic/pipeline{i}/serdes"),
+                GateState::Scaled(1.0 - unused_fraction),
+            )
+            .map_err(MechanismError::Power)?;
+        }
+        let p = tree.power();
+        tree.reset();
+        p
+    } else {
+        max_power
+    };
+
+    // --- Physical capability: everything §4.1 lists. ---
+    // Whole pipelines park when their port group is entirely unused.
+    let parked_pipelines = (unused_fraction * SWITCH_PIPELINES as f64).floor() as usize;
+    for i in 0..parked_pipelines {
+        tree.set_state(
+            &format!("asic/pipeline{}", SWITCH_PIPELINES - 1 - i),
+            GateState::Off,
+        )
+        .map_err(MechanismError::Power)?;
+    }
+    // Remaining pipelines: residual unused SerDes, L3 logic, FIB memory.
+    let residual_unused = unused_fraction * SWITCH_PIPELINES as f64 - parked_pipelines as f64;
+    let live = SWITCH_PIPELINES - parked_pipelines;
+    for i in 0..live {
+        let serdes_scale = if i == live - 1 {
+            1.0 - residual_unused
+        } else {
+            1.0
+        };
+        tree.set_state(&format!("asic/pipeline{i}/serdes"), GateState::Scaled(serdes_scale))
+            .map_err(MechanismError::Power)?;
+        if !profile.l3_routing {
+            tree.set_state(&format!("asic/pipeline{i}/logic"), GateState::Scaled(0.6))
+                .map_err(MechanismError::Power)?;
+        }
+        if !profile.full_fib {
+            tree.set_state(&format!("asic/pipeline{i}/memory"), GateState::Scaled(0.5))
+                .map_err(MechanismError::Power)?;
+        }
+    }
+    let physical_power = tree.power();
+    let physical_proportionality =
+        Proportionality::from_idle_max(physical_power, max_power).map_err(MechanismError::Power)?;
+
+    Ok(KnobReport {
+        max_power,
+        exposed_power,
+        physical_power,
+        exposed_savings: Ratio::new(1.0 - exposed_power / max_power),
+        physical_savings: Ratio::new(1.0 - physical_power / max_power),
+        physical_proportionality,
+        tree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buggy_firmware_exposes_nothing() {
+        let r = apply_profile(&DeploymentProfile::l2_leaf_today()).unwrap();
+        assert_eq!(r.exposed_power, r.max_power);
+        assert!(r.exposed_savings.approx_eq(Ratio::ZERO, 1e-12));
+        // The hardware could do much better — that gap is the paper's
+        // §4.1 complaint.
+        assert!(r.physical_savings.fraction() > 0.25, "{}", r.physical_savings);
+    }
+
+    #[test]
+    fn fixed_firmware_recovers_port_serdes() {
+        let r = apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap();
+        // Half the ports unused → half the SerDes power (4×75/2 = 150 W).
+        assert!(r.exposed_power.approx_eq(Watts::new(750.0 - 150.0), 1e-9));
+        assert!((r.exposed_savings.fraction() - 0.2).abs() < 1e-9);
+        // Physical still beats exposed (pipelines, logic, memory).
+        assert!(r.physical_savings > r.exposed_savings);
+    }
+
+    #[test]
+    fn physical_configuration_for_l2_half_ports() {
+        let r = apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap();
+        // 2 of 4 pipelines parked (half the ports unused), the rest with
+        // L3 logic at 60% and FIB memory at 50%:
+        // 198 overhead + 2×(75 + 0.6·45 + 0.5·18) = 198 + 2×111 = 420 W.
+        assert!(r.physical_power.approx_eq(Watts::new(420.0), 1e-9), "{}", r.physical_power);
+        assert!((r.physical_proportionality.fraction() - 0.44).abs() < 0.0001);
+    }
+
+    #[test]
+    fn fully_used_switch_saves_only_config_knobs() {
+        let profile = DeploymentProfile {
+            ports_used: 64,
+            ports_total: 64,
+            l3_routing: true,
+            full_fib: true,
+            port_gating_works: true,
+        };
+        let r = apply_profile(&profile).unwrap();
+        assert!(r.exposed_savings.approx_eq(Ratio::ZERO, 1e-12));
+        assert!(r.physical_savings.approx_eq(Ratio::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn route_reflector_saves_fib_memory() {
+        let with_fib = apply_profile(&DeploymentProfile {
+            full_fib: true,
+            ..DeploymentProfile::l2_leaf_fixed()
+        })
+        .unwrap();
+        let without = apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap();
+        // Dropping the FIB halves memory power in live pipelines:
+        // 2×18×0.5 = 18 W.
+        assert!((with_fib.physical_power - without.physical_power)
+            .approx_eq(Watts::new(18.0), 1e-9));
+    }
+
+    #[test]
+    fn invalid_profiles_rejected() {
+        let bad = DeploymentProfile { ports_used: 65, ..DeploymentProfile::l2_leaf_today() };
+        assert!(apply_profile(&bad).is_err());
+        let bad = DeploymentProfile {
+            ports_total: 0,
+            ports_used: 0,
+            ..DeploymentProfile::l2_leaf_today()
+        };
+        assert!(apply_profile(&bad).is_err());
+    }
+
+    #[test]
+    fn report_tree_reflects_gating() {
+        let r = apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap();
+        assert_eq!(
+            r.tree.find("asic/pipeline3").unwrap().state(),
+            GateState::Off
+        );
+    }
+}

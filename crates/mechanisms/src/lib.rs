@@ -1,0 +1,113 @@
+//! # npp-mechanisms
+//!
+//! Executable models of every mechanism §4 of *"It Is Time to Address
+//! Network Power Proportionality"* proposes (plus the historical EEE
+//! baseline the paper starts from), built on the `npp-simnet` substrate:
+//!
+//! - [`eee`] — 802.3az Energy Efficient Ethernet (low-power idle with
+//!   sleep/wake transitions), the 2010s link-sleeping approach; the module
+//!   also demonstrates *why* it became obsolete at modern line rates;
+//! - [`knobs`] — §4.1 static optimization: exposing power-gating knobs,
+//!   C-state catalogs, and the gap between software-exposed and
+//!   physically-possible savings (including the "port down in software
+//!   but powered in hardware" bug the paper cites);
+//! - [`ocs_sched`] — §4.2 static optimization: concentrating traffic with
+//!   a job scheduler and tailoring the topology with optical circuit
+//!   switches so unused switches can be turned off;
+//! - [`rate_adapt`] — §4.3 dynamic optimization: per-pipeline frequency
+//!   scaling (vs. today's global-only scaling), driven by measured load;
+//! - [`pipeline_park`] — §4.4 dynamic optimization: turning whole
+//!   pipelines off behind a circuit-switch indirection layer (Figure 5),
+//!   with reactive and predictive policies;
+//! - [`redesign`] — §4.5: the clean-slate options — many small
+//!   pipelines/chiplets (granularity sweep) and co-packaged optics;
+//! - [`comparison`] — a harness running all mechanisms on a common
+//!   workload and reporting the achieved effective proportionality.
+//!
+//! ```
+//! use npp_mechanisms::knobs::{apply_profile, DeploymentProfile};
+//!
+//! // §4.1: today's firmware exposes none of the physically possible
+//! // savings for an underutilized L2 leaf.
+//! let r = apply_profile(&DeploymentProfile::l2_leaf_today()).unwrap();
+//! assert_eq!(r.exposed_savings.percent(), 0.0);
+//! assert!(r.physical_savings.percent() > 25.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod eee;
+pub mod fabric;
+pub mod governor;
+pub mod isp_study;
+pub mod knobs;
+pub mod ocs_dynamics;
+pub mod ocs_sched;
+pub mod pipeline_park;
+pub mod rate_adapt;
+pub mod redesign;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismError {
+    /// Propagated simulator error.
+    Sim(npp_simnet::SimError),
+    /// Propagated power-model error.
+    Power(npp_power::PowerError),
+    /// Propagated topology error.
+    Topology(npp_topology::TopologyError),
+    /// Propagated workload error.
+    Workload(npp_workload::WorkloadError),
+    /// Invalid mechanism configuration.
+    Config(String),
+}
+
+impl core::fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MechanismError::Sim(e) => write!(f, "simulation: {e}"),
+            MechanismError::Power(e) => write!(f, "power model: {e}"),
+            MechanismError::Topology(e) => write!(f, "topology: {e}"),
+            MechanismError::Workload(e) => write!(f, "workload: {e}"),
+            MechanismError::Config(msg) => write!(f, "invalid mechanism config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MechanismError::Sim(e) => Some(e),
+            MechanismError::Power(e) => Some(e),
+            MechanismError::Topology(e) => Some(e),
+            MechanismError::Workload(e) => Some(e),
+            MechanismError::Config(_) => None,
+        }
+    }
+}
+
+impl From<npp_simnet::SimError> for MechanismError {
+    fn from(e: npp_simnet::SimError) -> Self {
+        MechanismError::Sim(e)
+    }
+}
+impl From<npp_power::PowerError> for MechanismError {
+    fn from(e: npp_power::PowerError) -> Self {
+        MechanismError::Power(e)
+    }
+}
+impl From<npp_topology::TopologyError> for MechanismError {
+    fn from(e: npp_topology::TopologyError) -> Self {
+        MechanismError::Topology(e)
+    }
+}
+impl From<npp_workload::WorkloadError> for MechanismError {
+    fn from(e: npp_workload::WorkloadError) -> Self {
+        MechanismError::Workload(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MechanismError>;

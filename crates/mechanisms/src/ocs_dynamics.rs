@@ -1,0 +1,341 @@
+//! Job churn over time: replanning the OCS-tailored topology as training
+//! jobs arrive and depart (§4.2's "the reconfiguration should ideally
+//! only happen when a new job arrives").
+//!
+//! [`simulate_job_timeline`] integrates fabric power over a sequence of
+//! job arrivals/departures: between events the fabric runs the §4.2 plan
+//! for the current job set; each event triggers a replan, paying the OCS
+//! reconfiguration time during which *both* the old and new switch sets
+//! stay powered (make-before-break, so no traffic is dropped).
+
+use serde::{Deserialize, Serialize};
+
+use npp_topology::builder::three_tier_fat_tree;
+use npp_units::{Gbps, Joules, Ratio, Seconds, Watts};
+
+use crate::ocs_sched::{plan, Job, OcsPlan, Placement, RoutingMode};
+use crate::{MechanismError, Result};
+
+/// A job arriving or departing at a point in time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEvent {
+    /// A job starts.
+    Arrive {
+        /// When.
+        at: Seconds,
+        /// The job.
+        job: Job,
+        /// Its placement policy.
+        placement: Placement,
+    },
+    /// A job (by name) ends.
+    Depart {
+        /// When.
+        at: Seconds,
+        /// Name of the departing job.
+        name: String,
+    },
+}
+
+impl JobEvent {
+    fn at(&self) -> Seconds {
+        match self {
+            JobEvent::Arrive { at, .. } | JobEvent::Depart { at, .. } => *at,
+        }
+    }
+}
+
+/// Timeline-simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcsDynamicsConfig {
+    /// Fat-tree arity.
+    pub k: usize,
+    /// Link speed.
+    pub link_speed: Gbps,
+    /// Per-switch power.
+    pub switch_power: Watts,
+    /// Routing concentration mode.
+    pub mode: RoutingMode,
+    /// Whether OCS core bypass is available.
+    pub use_ocs: bool,
+    /// Switches kept powered as warm standby even when unused (§4.2's
+    /// energy-vs-reaction-time trade).
+    pub standby_switches: usize,
+}
+
+impl Default for OcsDynamicsConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            link_speed: Gbps::new(400.0),
+            switch_power: Watts::new(750.0),
+            mode: RoutingMode::Concentrated,
+            use_ocs: true,
+            standby_switches: 2,
+        }
+    }
+}
+
+/// The integrated timeline result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcsTimelineReport {
+    /// Total horizon simulated.
+    pub horizon: Seconds,
+    /// Replans performed (one per event).
+    pub reconfigurations: usize,
+    /// Total time spent in make-before-break reconfiguration.
+    pub reconfiguration_time: Seconds,
+    /// Fabric energy with the scheduler + OCS active.
+    pub energy: Joules,
+    /// Fabric energy with every switch always on.
+    pub energy_all_on: Joules,
+    /// Relative saving.
+    pub savings: Ratio,
+    /// Time-weighted average number of switches powered.
+    pub avg_switches_on: f64,
+}
+
+/// Simulates a job timeline on a k-ary fat tree.
+///
+/// Events must be time-ordered; the simulation ends at `horizon`.
+///
+/// # Errors
+///
+/// Rejects unsorted events, departures of unknown jobs, and horizon
+/// violations; propagates planning errors.
+pub fn simulate_job_timeline(
+    cfg: &OcsDynamicsConfig,
+    events: &[JobEvent],
+    horizon: Seconds,
+) -> Result<OcsTimelineReport> {
+    if horizon.value() <= 0.0 {
+        return Err(MechanismError::Config("horizon must be positive".into()));
+    }
+    for w in events.windows(2) {
+        if w[1].at() < w[0].at() {
+            return Err(MechanismError::Config("events must be time-ordered".into()));
+        }
+    }
+    if let Some(last) = events.last() {
+        if last.at() > horizon {
+            return Err(MechanismError::Config("event beyond the horizon".into()));
+        }
+    }
+
+    let topo = three_tier_fat_tree(cfg.k, cfg.link_speed)?;
+    let all_switches = topo.switches().len();
+    let all_on_power = cfg.switch_power * all_switches as f64;
+
+    let replan = |jobs: &[(Job, Placement)]| -> Result<OcsPlan> {
+        plan(&topo, jobs, cfg.switch_power, cfg.mode, cfg.use_ocs)
+    };
+    let powered = |p: &OcsPlan| -> f64 {
+        (p.active_switches.len() + cfg.standby_switches).min(all_switches) as f64
+    };
+
+    let mut jobs: Vec<(Job, Placement)> = Vec::new();
+    let mut current = replan(&jobs)?;
+    let mut t = Seconds::ZERO;
+    let mut energy = Joules::ZERO;
+    let mut switch_seconds = 0.0;
+    let mut reconfig_time = Seconds::ZERO;
+    let mut reconfigs = 0usize;
+
+    for ev in events {
+        let at = ev.at();
+        let dt = at - t;
+        let n_on = powered(&current);
+        energy += (cfg.switch_power * n_on + current_ocs_power(&current)) * dt;
+        switch_seconds += n_on * dt.value();
+
+        match ev {
+            JobEvent::Arrive { job, placement, .. } => {
+                jobs.push((job.clone(), *placement));
+            }
+            JobEvent::Depart { name, .. } => {
+                let before = jobs.len();
+                jobs.retain(|(j, _)| &j.name != name);
+                if jobs.len() == before {
+                    return Err(MechanismError::Config(format!(
+                        "departure of unknown job {name:?}"
+                    )));
+                }
+            }
+        }
+        let next = replan(&jobs)?;
+        // Make-before-break: both switch sets powered during the OCS
+        // sweep. (Without OCS the replan is instantaneous in this model:
+        // turning switches on/off has no fabric-wide blackout.)
+        if cfg.use_ocs {
+            let union = current
+                .active_switches
+                .union(&next.active_switches)
+                .count() as f64
+                + cfg.standby_switches as f64;
+            let dt_reconf = next.reconfiguration;
+            energy += (cfg.switch_power * union.min(all_switches as f64)
+                + current_ocs_power(&next))
+                * dt_reconf;
+            switch_seconds += union.min(all_switches as f64) * dt_reconf.value();
+            reconfig_time += dt_reconf;
+        }
+        reconfigs += 1;
+        current = next;
+        t = at;
+    }
+
+    // Tail segment to the horizon.
+    let dt = horizon - t;
+    let n_on = powered(&current);
+    energy += (cfg.switch_power * n_on + current_ocs_power(&current)) * dt;
+    switch_seconds += n_on * dt.value();
+
+    let energy_all_on = all_on_power * horizon;
+    Ok(OcsTimelineReport {
+        horizon,
+        reconfigurations: reconfigs,
+        reconfiguration_time: reconfig_time,
+        energy,
+        energy_all_on,
+        savings: Ratio::new(1.0 - energy / energy_all_on),
+        avg_switches_on: switch_seconds / horizon.value(),
+    })
+}
+
+/// The OCS control power currently charged (zero when no circuits).
+fn current_ocs_power(p: &OcsPlan) -> Watts {
+    if p.circuits.is_empty() {
+        Watts::ZERO
+    } else {
+        npp_topology::ocs::OcsSpec::off_the_shelf(2 * p.circuits.len().max(16)).power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_units::Gbps;
+    use npp_workload::parallelism::TrafficMatrix;
+
+    fn ring_job(name: &str, ranks: usize) -> Job {
+        let ring: Vec<usize> = (0..ranks).collect();
+        Job::from_matrix(
+            name,
+            &TrafficMatrix::ring(ranks, &ring, Gbps::new(100.0)).unwrap(),
+        )
+    }
+
+    fn day() -> Seconds {
+        Seconds::from_hours(24.0)
+    }
+
+    #[test]
+    fn empty_fabric_runs_on_standby_only() {
+        let cfg = OcsDynamicsConfig::default();
+        let r = simulate_job_timeline(&cfg, &[], day()).unwrap();
+        assert_eq!(r.reconfigurations, 0);
+        assert!((r.avg_switches_on - cfg.standby_switches as f64).abs() < 1e-9);
+        assert!(r.savings.fraction() > 0.95, "savings {}", r.savings);
+    }
+
+    #[test]
+    fn job_day_timeline() {
+        let cfg = OcsDynamicsConfig::default();
+        let events = vec![
+            JobEvent::Arrive {
+                at: Seconds::from_hours(1.0),
+                job: ring_job("a", 32),
+                placement: Placement::Packed,
+            },
+            JobEvent::Arrive {
+                at: Seconds::from_hours(6.0),
+                job: ring_job("b", 16),
+                placement: Placement::Packed,
+            },
+            JobEvent::Depart { at: Seconds::from_hours(18.0), name: "a".into() },
+        ];
+        let r = simulate_job_timeline(&cfg, &events, day()).unwrap();
+        assert_eq!(r.reconfigurations, 3);
+        // OCS sweeps cost 25 ms each, and only replans that establish
+        // circuits pay it (intra-pod jobs don't need the OCS at all).
+        assert!(r.reconfiguration_time.as_millis() <= 75.0 + 1e-6);
+        // The fabric never needs more than a fraction of its 80 switches.
+        assert!(r.avg_switches_on < 30.0, "avg on {}", r.avg_switches_on);
+        assert!(r.savings.fraction() > 0.6, "savings {}", r.savings);
+        assert!(r.energy < r.energy_all_on);
+    }
+
+    #[test]
+    fn standby_costs_energy() {
+        let events = vec![JobEvent::Arrive {
+            at: Seconds::ZERO,
+            job: ring_job("a", 16),
+            placement: Placement::Packed,
+        }];
+        let lean = simulate_job_timeline(
+            &OcsDynamicsConfig { standby_switches: 0, ..OcsDynamicsConfig::default() },
+            &events,
+            day(),
+        )
+        .unwrap();
+        let warm = simulate_job_timeline(
+            &OcsDynamicsConfig { standby_switches: 8, ..OcsDynamicsConfig::default() },
+            &events,
+            day(),
+        )
+        .unwrap();
+        assert!(warm.energy > lean.energy);
+        assert!(warm.avg_switches_on > lean.avg_switches_on + 7.0);
+    }
+
+    #[test]
+    fn reconfiguration_overhead_is_negligible_for_long_jobs() {
+        // §4.2's argument quantified: even 10 replans cost < 0.01% of a
+        // day in make-before-break time.
+        let cfg = OcsDynamicsConfig::default();
+        let mut events = Vec::new();
+        for i in 0..5 {
+            events.push(JobEvent::Arrive {
+                at: Seconds::from_hours(i as f64),
+                job: ring_job(&format!("j{i}"), 8),
+                placement: Placement::Packed,
+            });
+        }
+        for i in 0..5 {
+            events.push(JobEvent::Depart {
+                at: Seconds::from_hours(12.0 + i as f64),
+                name: format!("j{i}"),
+            });
+        }
+        let r = simulate_job_timeline(&cfg, &events, day()).unwrap();
+        assert_eq!(r.reconfigurations, 10);
+        assert!(r.reconfiguration_time.value() / r.horizon.value() < 1e-4);
+    }
+
+    #[test]
+    fn validation() {
+        let cfg = OcsDynamicsConfig::default();
+        assert!(simulate_job_timeline(&cfg, &[], Seconds::ZERO).is_err());
+        let unsorted = vec![
+            JobEvent::Arrive {
+                at: Seconds::from_hours(2.0),
+                job: ring_job("a", 8),
+                placement: Placement::Packed,
+            },
+            JobEvent::Arrive {
+                at: Seconds::from_hours(1.0),
+                job: ring_job("b", 8),
+                placement: Placement::Packed,
+            },
+        ];
+        assert!(simulate_job_timeline(&cfg, &unsorted, day()).is_err());
+        let unknown = vec![JobEvent::Depart { at: Seconds::from_hours(1.0), name: "x".into() }];
+        assert!(simulate_job_timeline(&cfg, &unknown, day()).is_err());
+        let beyond = vec![JobEvent::Arrive {
+            at: Seconds::from_hours(30.0),
+            job: ring_job("a", 8),
+            placement: Placement::Packed,
+        }];
+        assert!(simulate_job_timeline(&cfg, &beyond, day()).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Scheduling network jobs (§4.2): concentrating traffic so unused
+//! switches can be turned off, with optional OCS topology tailoring.
+//!
+//! Three levers, composable and individually measurable:
+//!
+//! 1. **Placement** — a job scheduler that packs a job's ranks onto
+//!    adjacent hosts keeps its traffic inside few edge/agg switches;
+//!    spreading ranks across pods lights up the whole fabric.
+//! 2. **Routing concentration** — steering each demand onto one ECMP path
+//!    (instead of spraying over all of them) leaves sibling switches
+//!    untouched.
+//! 3. **OCS bypass** — for stable inter-pod demands, an optical circuit
+//!    switch patched between the aggregation and core layers can carry
+//!    pod-to-pod traffic directly, removing the core switches from the
+//!    active set at the cost of the OCS device power and a per-job
+//!    reconfiguration delay.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use npp_topology::graph::{NodeId, Topology};
+use npp_topology::ocs::OcsSpec;
+use npp_units::{Ratio, Seconds, Watts};
+
+use crate::{MechanismError, Result};
+
+/// How a job's ranks are assigned to hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Consecutive hosts (the §4.2-friendly scheduler).
+    Packed,
+    /// Strided across the host list (locality-oblivious scheduler).
+    Spread,
+}
+
+/// How demands are routed over ECMP path sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// Every demand takes the first shortest path (deterministic hashing
+    /// tuned for concentration).
+    Concentrated,
+    /// Every demand is sprayed over all shortest paths (load balancing
+    /// tuned for throughput).
+    Sprayed,
+}
+
+/// A job: a rank count and the ordered pairs of ranks that exchange
+/// traffic (extracted from a `npp_workload` traffic matrix).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Job name.
+    pub name: String,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Communicating (src, dst) rank pairs.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl Job {
+    /// Builds a job from a traffic matrix, keeping pairs with nonzero
+    /// demand.
+    pub fn from_matrix(name: impl Into<String>, m: &npp_workload::parallelism::TrafficMatrix) -> Self {
+        let n = m.ranks();
+        let mut pairs = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && m.get(s, d).value() > 0.0 {
+                    pairs.push((s, d));
+                }
+            }
+        }
+        Self { name: name.into(), ranks: n, pairs }
+    }
+}
+
+/// The §4.2 plan for one cluster + job set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcsPlan {
+    /// Switches that must stay on.
+    pub active_switches: BTreeSet<NodeId>,
+    /// Switches that can be turned off.
+    pub parked_switches: BTreeSet<NodeId>,
+    /// Inter-pod circuits established on the OCS (by (src-switch,
+    /// dst-switch) of the aggregation layer), empty without OCS.
+    pub circuits: Vec<(NodeId, NodeId)>,
+    /// Network power with the plan applied (switches + OCS).
+    pub power: Watts,
+    /// Network power with every switch on and no OCS.
+    pub power_all_on: Watts,
+    /// Relative saving.
+    pub savings: Ratio,
+    /// One-off reconfiguration latency when (re)applying the plan.
+    pub reconfiguration: Seconds,
+}
+
+/// Assigns a job's ranks to hosts.
+///
+/// # Errors
+///
+/// Rejects jobs larger than the host pool.
+pub fn place(topo: &Topology, job: &Job, placement: Placement) -> Result<Vec<NodeId>> {
+    let hosts = topo.hosts();
+    if job.ranks > hosts.len() {
+        return Err(MechanismError::Config(format!(
+            "job {} needs {} hosts, cluster has {}",
+            job.name,
+            job.ranks,
+            hosts.len()
+        )));
+    }
+    Ok(match placement {
+        Placement::Packed => hosts[..job.ranks].to_vec(),
+        Placement::Spread => {
+            let stride = hosts.len() / job.ranks;
+            (0..job.ranks).map(|r| hosts[r * stride.max(1)]).collect()
+        }
+    })
+}
+
+/// The switches touched when routing the given host-pair demands.
+pub fn used_switches(
+    topo: &Topology,
+    demands: &[(NodeId, NodeId)],
+    mode: RoutingMode,
+) -> BTreeSet<NodeId> {
+    let mut used = BTreeSet::new();
+    for &(src, dst) in demands {
+        let paths = match mode {
+            RoutingMode::Concentrated => topo.ecmp_paths(src, dst, 1),
+            RoutingMode::Sprayed => topo.ecmp_paths(src, dst, 1024),
+        };
+        for path in paths {
+            for node in path {
+                if topo.node(node).map(|n| n.kind.is_switch()).unwrap_or(false) {
+                    used.insert(node);
+                }
+            }
+        }
+    }
+    used
+}
+
+/// Builds the full §4.2 plan: place jobs, route their demands, and
+/// (optionally) bypass the core with OCS circuits for inter-pod traffic.
+///
+/// The OCS model: each demand whose concentrated path crosses a core
+/// switch gets its tier-0/1 endpoints patched directly through the OCS,
+/// removing the core switches from the demand's path. The OCS charges its
+/// control power and one reconfiguration per plan application.
+///
+/// # Errors
+///
+/// Propagates placement errors.
+pub fn plan(
+    topo: &Topology,
+    jobs: &[(Job, Placement)],
+    switch_power: Watts,
+    mode: RoutingMode,
+    use_ocs: bool,
+) -> Result<OcsPlan> {
+    // Gather host-pair demands for every job.
+    let mut demands = Vec::new();
+    for (job, placement) in jobs {
+        let hosts = place(topo, job, *placement)?;
+        for &(s, d) in &job.pairs {
+            demands.push((hosts[s], hosts[d]));
+        }
+    }
+
+    let mut active = used_switches(topo, &demands, mode);
+    let mut circuits = Vec::new();
+    let mut ocs_power = Watts::ZERO;
+    let mut reconfiguration = Seconds::ZERO;
+
+    if use_ocs {
+        // For each demand whose path uses a core (tier-2) switch, patch an
+        // agg→agg circuit and drop the cores it crossed.
+        let mut bypassed: BTreeSet<NodeId> = BTreeSet::new();
+        for &(src, dst) in &demands {
+            for path in topo.ecmp_paths(src, dst, 1) {
+                let cores: Vec<NodeId> = path
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        matches!(
+                            topo.node(n).map(|x| x.kind),
+                            Some(npp_topology::graph::NodeKind::Switch { tier: 2 })
+                        )
+                    })
+                    .collect();
+                if cores.is_empty() {
+                    continue;
+                }
+                // The aggregation switches on either side of the core hop.
+                let aggs: Vec<NodeId> = path
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        matches!(
+                            topo.node(n).map(|x| x.kind),
+                            Some(npp_topology::graph::NodeKind::Switch { tier: 1 })
+                        )
+                    })
+                    .collect();
+                if aggs.len() >= 2 {
+                    let pair = (aggs[0], aggs[aggs.len() - 1]);
+                    if !circuits.contains(&pair) {
+                        circuits.push(pair);
+                    }
+                    bypassed.extend(cores);
+                }
+            }
+        }
+        // Cores only serving bypassed demands turn off.
+        for core in &bypassed {
+            active.remove(core);
+        }
+        if !circuits.is_empty() {
+            let spec = OcsSpec::off_the_shelf(2 * circuits.len().max(16));
+            ocs_power = spec.power;
+            reconfiguration = spec.reconfiguration_time;
+        }
+    }
+
+    let all_switches: BTreeSet<NodeId> = topo.switches().into_iter().collect();
+    let parked: BTreeSet<NodeId> = all_switches.difference(&active).copied().collect();
+    let power = switch_power * active.len() as f64 + ocs_power;
+    let power_all_on = switch_power * all_switches.len() as f64;
+    Ok(OcsPlan {
+        active_switches: active,
+        parked_switches: parked,
+        circuits,
+        power,
+        power_all_on,
+        savings: Ratio::new(1.0 - power / power_all_on),
+        reconfiguration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_topology::builder::three_tier_fat_tree;
+    use npp_units::Gbps;
+    use npp_workload::parallelism::TrafficMatrix;
+
+    fn fabric() -> Topology {
+        three_tier_fat_tree(4, Gbps::new(400.0)).unwrap()
+    }
+
+    fn ring_job(ranks: usize) -> Job {
+        let ring: Vec<usize> = (0..ranks).collect();
+        let m = TrafficMatrix::ring(ranks, &ring, Gbps::new(100.0)).unwrap();
+        Job::from_matrix("ring", &m)
+    }
+
+    #[test]
+    fn packed_intra_pod_job_parks_most_of_the_fabric() {
+        // A 4-rank ring packed into one pod (k=4: 4 hosts per pod) touches
+        // only that pod's 2 edge and ≤2 agg switches.
+        let topo = fabric();
+        let p = plan(
+            &topo,
+            &[(ring_job(4), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        assert!(
+            p.active_switches.len() <= 4,
+            "active: {}",
+            p.active_switches.len()
+        );
+        // 20 switches total → at least 16 park.
+        assert!(p.parked_switches.len() >= 16);
+        assert!(p.savings.fraction() > 0.75, "savings {}", p.savings);
+    }
+
+    #[test]
+    fn spread_placement_lights_up_the_fabric() {
+        let topo = fabric();
+        let packed = plan(
+            &topo,
+            &[(ring_job(4), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        let spread = plan(
+            &topo,
+            &[(ring_job(4), Placement::Spread)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        assert!(
+            spread.active_switches.len() > packed.active_switches.len(),
+            "spread {} vs packed {}",
+            spread.active_switches.len(),
+            packed.active_switches.len()
+        );
+        assert!(spread.savings < packed.savings);
+    }
+
+    #[test]
+    fn spraying_uses_more_switches_than_concentrating() {
+        let topo = fabric();
+        let job = ring_job(8); // spans 2 pods
+        let conc = plan(
+            &topo,
+            &[(job.clone(), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        let spray = plan(
+            &topo,
+            &[(job, Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Sprayed,
+            false,
+        )
+        .unwrap();
+        assert!(spray.active_switches.len() > conc.active_switches.len());
+    }
+
+    #[test]
+    fn ocs_bypasses_core_for_inter_pod_jobs() {
+        let topo = fabric();
+        let job = ring_job(8); // spans pods 0 and 1 when packed
+        let without = plan(
+            &topo,
+            &[(job.clone(), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        let with = plan(
+            &topo,
+            &[(job, Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            true,
+        )
+        .unwrap();
+        assert!(!with.circuits.is_empty());
+        assert!(
+            with.active_switches.len() < without.active_switches.len(),
+            "with OCS {} vs without {}",
+            with.active_switches.len(),
+            without.active_switches.len()
+        );
+        // OCS power is far below the cores it replaces.
+        assert!(with.power < without.power);
+        // Reconfiguration is tens of ms — fine for day-long jobs (§4.2).
+        assert!(with.reconfiguration.as_millis() >= 10.0);
+        assert!(with.reconfiguration.as_millis() <= 100.0);
+    }
+
+    #[test]
+    fn intra_pod_job_gains_nothing_from_ocs() {
+        let topo = fabric();
+        let without = plan(
+            &topo,
+            &[(ring_job(4), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        let with = plan(
+            &topo,
+            &[(ring_job(4), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            true,
+        )
+        .unwrap();
+        assert!(with.circuits.is_empty());
+        assert_eq!(with.power, without.power);
+    }
+
+    #[test]
+    fn oversized_job_rejected() {
+        let topo = fabric();
+        assert!(plan(
+            &topo,
+            &[(ring_job(17), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multiple_jobs_union_their_footprints() {
+        let topo = fabric();
+        let two = plan(
+            &topo,
+            &[
+                (ring_job(4), Placement::Packed),
+                (ring_job(16), Placement::Packed),
+            ],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        let one = plan(
+            &topo,
+            &[(ring_job(4), Placement::Packed)],
+            Watts::new(750.0),
+            RoutingMode::Concentrated,
+            false,
+        )
+        .unwrap();
+        assert!(two.active_switches.len() >= one.active_switches.len());
+        assert!(two.active_switches.is_superset(&one.active_switches));
+    }
+
+    #[test]
+    fn job_from_matrix_extracts_pairs() {
+        let m = TrafficMatrix::ring(4, &[0, 1, 2, 3], Gbps::new(10.0)).unwrap();
+        let j = Job::from_matrix("r", &m);
+        assert_eq!(j.ranks, 4);
+        assert_eq!(j.pairs.len(), 4);
+        assert!(j.pairs.contains(&(3, 0)));
+    }
+}

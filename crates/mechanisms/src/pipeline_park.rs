@@ -1,0 +1,502 @@
+//! Pipeline parking (§4.4): turning whole pipelines off behind a
+//! circuit-switch indirection layer (Figure 5).
+//!
+//! Rate adaptation leaves every component powered; parking gates entire
+//! pipelines. The catch is the fixed port→pipeline mapping of conventional
+//! ASICs — hence the indirection layer, which lets a policy concentrate
+//! all ports onto few pipelines and gate the rest.
+//!
+//! Two policies from the §4.4 discussion:
+//!
+//! - **reactive**: per control interval, size the active pipeline set to
+//!   the measured load (with hysteresis); wakes pay the full wake latency
+//!   and can drop packets at burst fronts when buffers overflow;
+//! - **predictive**: exploits ML training's predictability — the schedule
+//!   of communication phases is known, so pipelines are pre-woken just
+//!   before each burst and parked right after it.
+
+use serde::{Deserialize, Serialize};
+
+use npp_simnet::sources::{Arrival, TrafficSource};
+use npp_simnet::switchsim::{PipelineState, PipelineSwitch, SwitchParams};
+use npp_simnet::SimTime;
+use npp_units::{Joules, Ratio, Seconds, Watts};
+
+use crate::{MechanismError, Result};
+
+/// Parking policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParkConfig {
+    /// Control-loop interval, ns.
+    pub control_interval_ns: u64,
+    /// Utilization target when sizing the active set.
+    pub target_utilization: f64,
+    /// Extra pipelines kept as warm standby beyond the load-sized need
+    /// (§4.2's "keep some devices in standby" trade-off).
+    pub standby: usize,
+    /// Predictive schedule; `None` = reactive.
+    pub schedule: Option<PredictiveSchedule>,
+}
+
+/// A known periodic communication pattern (ML training).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictiveSchedule {
+    /// Iteration period, ns.
+    pub period_ns: u64,
+    /// Offset of the communication burst within the period, ns.
+    pub burst_start_ns: u64,
+    /// Burst length, ns.
+    pub burst_len_ns: u64,
+    /// How long before the burst to start waking pipelines, ns.
+    pub prewake_ns: u64,
+}
+
+impl ParkConfig {
+    /// Reactive policy with a 100 µs control loop, 80 % target, no
+    /// standby.
+    pub fn reactive() -> Self {
+        Self {
+            control_interval_ns: 100_000,
+            target_utilization: 0.8,
+            standby: 0,
+            schedule: None,
+        }
+    }
+
+    /// Predictive policy for the given iteration schedule.
+    pub fn predictive(schedule: PredictiveSchedule) -> Self {
+        Self { schedule: Some(schedule), ..Self::reactive() }
+    }
+
+    fn validate(&self, params: &SwitchParams) -> Result<()> {
+        if self.control_interval_ns == 0 {
+            return Err(MechanismError::Config("control interval must be positive".into()));
+        }
+        if !(0.0 < self.target_utilization && self.target_utilization <= 1.0) {
+            return Err(MechanismError::Config(format!(
+                "target utilization {} outside (0, 1]",
+                self.target_utilization
+            )));
+        }
+        if self.standby >= params.pipelines {
+            return Err(MechanismError::Config(format!(
+                "standby {} must be below the pipeline count {}",
+                self.standby, params.pipelines
+            )));
+        }
+        if let Some(s) = self.schedule {
+            if s.period_ns == 0 || s.burst_start_ns >= s.period_ns || s.burst_len_ns == 0 {
+                return Err(MechanismError::Config("degenerate predictive schedule".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a parking run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParkReport {
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// Energy with parking active.
+    pub energy: Joules,
+    /// Energy of the all-on switch.
+    pub energy_all_on: Joules,
+    /// Relative saving.
+    pub savings: Ratio,
+    /// Time-averaged power.
+    pub average_power: Watts,
+    /// Packet loss rate (the §4.4 risk).
+    pub loss_rate: f64,
+    /// Mean switch latency, ns.
+    pub mean_latency_ns: f64,
+    /// 99th-percentile switch latency, ns.
+    pub p99_latency_ns: f64,
+    /// Park operations performed.
+    pub parks: u64,
+    /// Wake operations performed.
+    pub wakes: u64,
+}
+
+/// How many pipelines the measured load needs.
+fn needed_pipelines(
+    params: &SwitchParams,
+    cfg: &ParkConfig,
+    interval_bytes: u64,
+) -> usize {
+    let interval_capacity = params.pipeline_rate.value()
+        * cfg.control_interval_ns as f64
+        / 8.0
+        * cfg.target_utilization;
+    let need = (interval_bytes as f64 / interval_capacity).ceil() as usize;
+    (need.max(1) + cfg.standby).min(params.pipelines)
+}
+
+/// Remaps every port onto the first `active` pipelines (round-robin) and
+/// parks/wakes pipelines to match the target set size.
+fn resize_active_set(
+    sw: &mut PipelineSwitch,
+    params: &SwitchParams,
+    now: SimTime,
+    active: usize,
+    parks: &mut u64,
+    wakes: &mut u64,
+) -> Result<()> {
+    // Wake sleepers first (they join the active set immediately as
+    // Waking; traffic mapped to them is delayed by the wake).
+    for i in 0..active {
+        if matches!(sw.pipeline_state(i)?, PipelineState::Off) {
+            sw.wake_pipeline(now, i, 1.0)?;
+            *wakes += 1;
+        }
+    }
+    for port in 0..params.ports {
+        let target = port % active;
+        if sw.port_pipeline(port)? != target {
+            sw.remap_port(now, port, target)?;
+        }
+    }
+    // Park the rest once drained (skip any still busy; the next control
+    // tick retries).
+    for i in active..params.pipelines {
+        if !matches!(sw.pipeline_state(i)?, PipelineState::Off)
+            && sw.is_drained(i, now)?
+        {
+            sw.park_pipeline(now, i)?;
+            *parks += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Runs a parking policy over `source` until `horizon`.
+///
+/// # Errors
+///
+/// Propagates configuration and simulator errors.
+pub fn simulate_parking(
+    params: SwitchParams,
+    cfg: &ParkConfig,
+    source: &mut dyn TrafficSource,
+    horizon: SimTime,
+) -> Result<ParkReport> {
+    cfg.validate(&params)?;
+    if horizon == SimTime::ZERO {
+        return Err(MechanismError::Config("horizon must be positive".into()));
+    }
+    let mut sw = PipelineSwitch::new(params, SimTime::ZERO)?;
+    let mut interval_bytes: u64 = 0;
+    let mut next_control = SimTime::from_nanos(cfg.control_interval_ns);
+    let (mut parks, mut wakes) = (0u64, 0u64);
+
+    let mut pending = source.next_arrival();
+    loop {
+        let next_arrival_at = pending.map(|a| a.at).unwrap_or(SimTime::MAX);
+        while next_control <= next_arrival_at.min(horizon) {
+            let active = match cfg.schedule {
+                None => needed_pipelines(&params, cfg, interval_bytes),
+                Some(s) => {
+                    // Predictive: full set from (burst_start − prewake)
+                    // through burst end, minimal set (plus standby)
+                    // elsewhere.
+                    let phase = next_control.as_nanos() % s.period_ns;
+                    let wake_from = s.burst_start_ns.saturating_sub(s.prewake_ns);
+                    let burst_end = s.burst_start_ns + s.burst_len_ns;
+                    if phase >= wake_from && phase < burst_end {
+                        params.pipelines
+                    } else {
+                        (1 + cfg.standby).min(params.pipelines)
+                    }
+                }
+            };
+            resize_active_set(&mut sw, &params, next_control, active, &mut parks, &mut wakes)?;
+            interval_bytes = 0;
+            next_control = next_control.plus_nanos(cfg.control_interval_ns);
+        }
+
+        let Some(Arrival { at, bytes, port }) = pending else { break };
+        if at >= horizon {
+            break;
+        }
+        interval_bytes += bytes;
+        sw.ingress(at, port % params.ports, bytes)?;
+        pending = source.next_arrival();
+    }
+
+    let report = sw.finish(horizon)?;
+    let energy_all_on = params.max_power() * horizon.as_seconds();
+    Ok(ParkReport {
+        duration: horizon.as_seconds(),
+        energy: report.energy,
+        energy_all_on,
+        savings: Ratio::new(1.0 - report.energy / energy_all_on),
+        average_power: report.average_power,
+        loss_rate: report.loss.loss_rate(),
+        mean_latency_ns: report.mean_latency_ns,
+        p99_latency_ns: report.p99_latency_ns,
+        parks,
+        wakes,
+    })
+}
+
+/// One point of the §4.4 wake-latency frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Pipeline wake latency assumed for the hardware.
+    pub wake_ns: u64,
+    /// Energy saving of reactive parking at that latency.
+    pub savings: Ratio,
+    /// Packet loss it causes.
+    pub loss_rate: f64,
+    /// 99th-percentile switch latency, ns.
+    pub p99_latency_ns: f64,
+}
+
+/// Sweeps the hardware wake latency and reports the §4.4 trade-off
+/// frontier: "the challenge here is to be able to turn a pipeline on
+/// quickly enough to react to an increase in demand without inducing
+/// packet losses". Faster power-gate exits shrink the loss penalty of
+/// reactive parking; this quantifies how fast is fast enough for a given
+/// workload generator.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn wake_latency_frontier(
+    base: SwitchParams,
+    cfg: &ParkConfig,
+    make_source: &dyn Fn() -> Box<dyn npp_simnet::sources::TrafficSource>,
+    horizon: SimTime,
+    wake_grid_ns: &[u64],
+) -> Result<Vec<FrontierPoint>> {
+    wake_grid_ns
+        .iter()
+        .map(|&wake_ns| {
+            let params = SwitchParams { wake_ns, ..base };
+            let mut src = make_source();
+            let r = simulate_parking(params, cfg, src.as_mut(), horizon)?;
+            Ok(FrontierPoint {
+                wake_ns,
+                savings: r.savings,
+                loss_rate: r.loss_rate,
+                p99_latency_ns: r.p99_latency_ns,
+            })
+        })
+        .collect()
+}
+
+/// The proportionality floor of a parked-down switch: one pipeline on,
+/// chassis overhead untouched. For the paper-calibrated switch:
+/// `1 − (198 + 138) / 750 ≈ 55 %` — deeper than rate adaptation, still
+/// short of compute because of the chassis overhead (§4.5's motivation
+/// for full redesign).
+pub fn park_floor_proportionality(params: &SwitchParams, standby: usize) -> Ratio {
+    let on = 1 + standby;
+    let idle =
+        params.overhead_power + params.pipeline_power.at_freq(1.0) * on.min(params.pipelines) as f64;
+    Ratio::new(1.0 - idle / params.max_power())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_simnet::sources::{MergedSource, OnOffSource};
+    use npp_units::Gbps;
+
+    fn params() -> SwitchParams {
+        SwitchParams::paper_51t2()
+    }
+
+    /// 1 ms iterations with a 100 µs burst of 20 Tbps aggregate, spread
+    /// over four ports (5 Tbps each) — needs 2 pipelines at the 80%
+    /// target, more than 1 pipeline can carry.
+    fn ml_source(horizon: SimTime) -> MergedSource {
+        let per_port = (0..4)
+            .map(|port| {
+                Box::new(
+                    OnOffSource::new(
+                        1_000_000,
+                        900_000,
+                        Gbps::from_tbps(5.0),
+                        12_500,
+                        port,
+                        horizon,
+                    )
+                    .unwrap(),
+                ) as Box<dyn TrafficSource>
+            })
+            .collect();
+        MergedSource::new(per_port)
+    }
+
+    fn schedule() -> PredictiveSchedule {
+        PredictiveSchedule {
+            period_ns: 1_000_000,
+            burst_start_ns: 900_000,
+            burst_len_ns: 100_000,
+            prewake_ns: 200_000,
+        }
+    }
+
+    #[test]
+    fn reactive_parking_saves_on_bursty_traffic() {
+        let horizon = SimTime::from_millis(10);
+        let mut src = ml_source(horizon);
+        let r = simulate_parking(params(), &ParkConfig::reactive(), &mut src, horizon).unwrap();
+        // During the 90% compute phase only one pipeline runs:
+        // ≈ 0.9×336 + 0.1×(more) vs 750 → >40% saving.
+        assert!(r.savings.fraction() > 0.4, "savings {}", r.savings);
+        assert!(r.parks > 0 && r.wakes > 0, "parks {} wakes {}", r.parks, r.wakes);
+    }
+
+    #[test]
+    fn reactive_parking_pays_in_loss_or_latency_at_burst_fronts() {
+        let horizon = SimTime::from_millis(10);
+        let mut src = ml_source(horizon);
+        let r = simulate_parking(params(), &ParkConfig::reactive(), &mut src, horizon).unwrap();
+        // The burst lands on one awake pipeline until the controller
+        // reacts (up to 100 µs later) — §4.4's "turn a pipeline on
+        // quickly enough" challenge made visible.
+        assert!(
+            r.loss_rate > 0.0 || r.p99_latency_ns > 50_000.0,
+            "loss {} p99 {}",
+            r.loss_rate,
+            r.p99_latency_ns
+        );
+    }
+
+    #[test]
+    fn predictive_parking_avoids_the_reactive_penalty() {
+        let horizon = SimTime::from_millis(10);
+        let reactive = {
+            let mut src = ml_source(horizon);
+            simulate_parking(params(), &ParkConfig::reactive(), &mut src, horizon).unwrap()
+        };
+        let predictive = {
+            let mut src = ml_source(horizon);
+            simulate_parking(params(), &ParkConfig::predictive(schedule()), &mut src, horizon)
+                .unwrap()
+        };
+        // Predictive wakes before the burst: (much) lower loss.
+        assert!(
+            predictive.loss_rate <= reactive.loss_rate,
+            "predictive {} vs reactive {}",
+            predictive.loss_rate,
+            reactive.loss_rate
+        );
+        assert!(predictive.loss_rate < 0.01, "predictive loss {}", predictive.loss_rate);
+        // And still saves substantially.
+        assert!(predictive.savings.fraction() > 0.3, "savings {}", predictive.savings);
+    }
+
+    #[test]
+    fn standby_trades_energy_for_reaction_time() {
+        let horizon = SimTime::from_millis(10);
+        let no_standby = {
+            let mut src = ml_source(horizon);
+            simulate_parking(params(), &ParkConfig::reactive(), &mut src, horizon).unwrap()
+        };
+        let with_standby = {
+            let mut src = ml_source(horizon);
+            let cfg = ParkConfig { standby: 1, ..ParkConfig::reactive() };
+            simulate_parking(params(), &cfg, &mut src, horizon).unwrap()
+        };
+        // Standby burns more energy…
+        assert!(with_standby.energy > no_standby.energy);
+        // …but absorbs burst fronts at least as well.
+        assert!(with_standby.loss_rate <= no_standby.loss_rate + 1e-9);
+    }
+
+    #[test]
+    fn idle_switch_parks_down_to_one_pipeline() {
+        let horizon = SimTime::from_millis(5);
+        // Source that never fires.
+        let mut src = OnOffSource::new(
+            1_000_000,
+            900_000,
+            Gbps::new(1.0),
+            1500,
+            0,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let r = simulate_parking(params(), &ParkConfig::reactive(), &mut src, horizon).unwrap();
+        // Floor: 198 + 138 = 336 W (after the first control interval).
+        assert!(
+            (r.average_power.value() - 336.0) < 25.0,
+            "avg {}",
+            r.average_power
+        );
+        assert_eq!(r.loss_rate, 0.0);
+    }
+
+    #[test]
+    fn park_floor_value() {
+        let p = park_floor_proportionality(&params(), 0);
+        assert!((p.fraction() - (1.0 - 336.0 / 750.0)).abs() < 1e-9);
+        // With standby the floor is shallower.
+        let p1 = park_floor_proportionality(&params(), 1);
+        assert!(p1 < p);
+    }
+
+    #[test]
+    fn frontier_faster_wakes_lose_less() {
+        let horizon = SimTime::from_millis(10);
+        // Bursts of 300 us span three control intervals, so mid-burst
+        // wakes actually happen and their latency shows up as loss.
+        let mk = || -> Box<dyn npp_simnet::sources::TrafficSource> {
+            let per_port = (0..4)
+                .map(|port| {
+                    Box::new(
+                        OnOffSource::new(
+                            1_000_000,
+                            700_000,
+                            Gbps::from_tbps(5.0),
+                            12_500,
+                            port,
+                            horizon,
+                        )
+                        .unwrap(),
+                    ) as Box<dyn TrafficSource>
+                })
+                .collect();
+            Box::new(MergedSource::new(per_port))
+        };
+        let grid = [1_000u64, 10_000, 100_000, 1_000_000];
+        let frontier = wake_latency_frontier(
+            params(),
+            &ParkConfig::reactive(),
+            &mk,
+            horizon,
+            &grid,
+        )
+        .unwrap();
+        assert_eq!(frontier.len(), 4);
+        // Loss is non-decreasing in wake latency.
+        for w in frontier.windows(2) {
+            assert!(
+                w[1].loss_rate >= w[0].loss_rate - 1e-9,
+                "{:?}",
+                frontier.iter().map(|p| (p.wake_ns, p.loss_rate)).collect::<Vec<_>>()
+            );
+        }
+        // A 1 ms wake (full iteration!) loses much more than a 1 µs one.
+        assert!(frontier[3].loss_rate > frontier[0].loss_rate);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut src = ml_source(SimTime::from_millis(1));
+        let bad = ParkConfig { control_interval_ns: 0, ..ParkConfig::reactive() };
+        assert!(simulate_parking(params(), &bad, &mut src, SimTime::from_millis(1)).is_err());
+        let bad = ParkConfig { standby: 4, ..ParkConfig::reactive() };
+        assert!(simulate_parking(params(), &bad, &mut src, SimTime::from_millis(1)).is_err());
+        let bad = ParkConfig::predictive(PredictiveSchedule {
+            period_ns: 0,
+            burst_start_ns: 0,
+            burst_len_ns: 1,
+            prewake_ns: 0,
+        });
+        assert!(simulate_parking(params(), &bad, &mut src, SimTime::from_millis(1)).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Redesigning the ASIC (§4.5): what if power proportionality were the
+//! primary design objective?
+//!
+//! Two §4.5 ideas, quantified:
+//!
+//! 1. **Granularity** — replace the 4 big pipelines with many small ones
+//!    (chiplets). Packet processing "reads from memory but writes little",
+//!    so load distributes across units with limited overhead; more,
+//!    smaller units can be parked to track load more closely. The cost is
+//!    a per-unit overhead (duplicated SerDes framing, clocking, NoC
+//!    interfaces), modeled as a fraction that grows with the unit count.
+//! 2. **Co-packaged optics (CPO)** — move the optical conversion from
+//!    pluggable transceivers into the switch package. Published CPO
+//!    figures put the per-bit optics power at roughly half the pluggable
+//!    level; and once the optics live next to the ASIC, adding the §4.4
+//!    circuit-switch layer is "trivial", so the CPO model also exposes
+//!    the parking floor it enables.
+
+use serde::{Deserialize, Serialize};
+
+use npp_simnet::switchsim::{PipelinePowerParams, SwitchParams};
+use npp_units::{Gbps, Ratio, Watts};
+
+use crate::{MechanismError, Result};
+
+/// A redesigned switch with `units` equal processing units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedesignedSwitch {
+    /// Number of processing units (pipelines/chiplets).
+    pub units: usize,
+    /// Service rate of one unit.
+    pub unit_rate: Gbps,
+    /// Power of one unit (static + dynamic at full frequency).
+    pub unit_power: Watts,
+    /// Always-on chassis power.
+    pub overhead: Watts,
+}
+
+/// Fraction of a unit's power that is per-unit overhead (interfaces,
+/// clock distribution, NoC) as a function of the unit count. Calibrated
+/// so the 4-pipeline baseline has the paper's 750 W and overhead grows
+/// logarithmically with fragmentation: each doubling of the unit count
+/// adds 6 % of the unit's power back as overhead.
+pub fn fragmentation_overhead(units: usize) -> f64 {
+    let doublings = (units as f64 / 4.0).log2().max(0.0);
+    0.06 * doublings
+}
+
+impl RedesignedSwitch {
+    /// Splits the paper-calibrated 51.2 Tbps switch into `units` equal
+    /// units (power-of-two between 4 and 256), preserving aggregate
+    /// capacity and charging [`fragmentation_overhead`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unit counts outside the supported range or not powers of
+    /// two.
+    pub fn from_baseline(units: usize) -> Result<Self> {
+        if !(4..=256).contains(&units) || !units.is_power_of_two() {
+            return Err(MechanismError::Config(format!(
+                "unit count {units} must be a power of two in [4, 256]"
+            )));
+        }
+        let base = SwitchParams::paper_51t2();
+        let total_pipeline_power =
+            base.pipeline_power.at_freq(1.0) * base.pipelines as f64;
+        let per_unit_clean = total_pipeline_power / units as f64;
+        let per_unit = per_unit_clean * (1.0 + fragmentation_overhead(units));
+        Ok(Self {
+            units,
+            unit_rate: Gbps::from_tbps(51.2 / units as f64),
+            unit_power: per_unit,
+            overhead: base.overhead_power,
+        })
+    }
+
+    /// Full-load power.
+    pub fn max_power(&self) -> Watts {
+        self.overhead + self.unit_power * self.units as f64
+    }
+
+    /// Power with the minimum number of units needed to carry `load`
+    /// (the rest parked) — the idealized §4.4 policy on this design.
+    pub fn power_at_load(&self, load: Ratio) -> Watts {
+        let demand = load.clamp_unit().fraction() * 51.2e3; // Gbps
+        let needed = (demand / self.unit_rate.value()).ceil().max(1.0);
+        self.overhead + self.unit_power * needed.min(self.units as f64)
+    }
+
+    /// The proportionality this design reaches at (near-)zero load with
+    /// one unit awake (Equation 1).
+    pub fn idle_proportionality(&self) -> Ratio {
+        Ratio::new(1.0 - (self.overhead + self.unit_power) / self.max_power())
+    }
+
+    /// Average power over the ML duty cycle: idle (one unit) for
+    /// `1 − duty`, full rate for `duty`.
+    pub fn average_power_ml(&self, duty: f64) -> Watts {
+        self.power_at_load(Ratio::ONE) * duty.clamp(0.0, 1.0)
+            + self.power_at_load(Ratio::ZERO) * (1.0 - duty.clamp(0.0, 1.0))
+    }
+
+    /// Converts to simulator parameters (for running the §4.3/§4.4
+    /// policies on the redesigned switch).
+    pub fn to_switch_params(&self) -> SwitchParams {
+        let base = SwitchParams::paper_51t2();
+        SwitchParams {
+            ports: base.ports,
+            pipelines: self.units,
+            pipeline_rate: self.unit_rate,
+            buffer_bytes: base.buffer_bytes / (self.units as u64 / 4).max(1),
+            pipeline_power: PipelinePowerParams {
+                // Keep the baseline's ~28/72 static/dynamic split.
+                static_power: self.unit_power * 0.275,
+                dynamic_power: self.unit_power * 0.725,
+            },
+            overhead_power: self.overhead,
+            wake_ns: base.wake_ns,
+            remap_ns: base.remap_ns,
+            overflow: base.overflow,
+        }
+    }
+}
+
+/// One row of the granularity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GranularityPoint {
+    /// Unit count.
+    pub units: usize,
+    /// Full-load power (grows with fragmentation overhead).
+    pub max_power: Watts,
+    /// Idle (one-unit) proportionality.
+    pub idle_proportionality: Ratio,
+    /// Average power on the ML duty cycle (10 % communication).
+    pub average_power_ml: Watts,
+    /// Saving vs. the 4-pipeline baseline on the same duty cycle.
+    pub savings_vs_baseline: Ratio,
+}
+
+/// Sweeps the unit count and reports the §4.5 granularity trade-off:
+/// finer units track load better (deeper parking) but pay fragmentation
+/// overhead at full speed.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn granularity_sweep(duty: f64) -> Result<Vec<GranularityPoint>> {
+    let baseline = RedesignedSwitch::from_baseline(4)?.average_power_ml(duty);
+    [4usize, 8, 16, 32, 64, 128, 256]
+        .into_iter()
+        .map(|units| {
+            let sw = RedesignedSwitch::from_baseline(units)?;
+            let avg = sw.average_power_ml(duty);
+            Ok(GranularityPoint {
+                units,
+                max_power: sw.max_power(),
+                idle_proportionality: sw.idle_proportionality(),
+                average_power_ml: avg,
+                savings_vs_baseline: Ratio::new(1.0 - avg / baseline),
+            })
+        })
+        .collect()
+}
+
+/// Co-packaged optics model: the per-link optical power folded into the
+/// switch at a discount vs. pluggables, with the §4.4 circuit layer free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpoSwitch {
+    /// Electrical (ASIC + chassis) switch power.
+    pub electrical: Watts,
+    /// Total optics power at full port count.
+    pub optics: Watts,
+    /// Optics power gateable per-port (CPO ports can be dark).
+    pub port_gateable: bool,
+}
+
+impl CpoSwitch {
+    /// CPO per-bit power discount vs. pluggable transceivers (published
+    /// CPO platform figures: ≈ 30–50 % lower; we use 40 %).
+    pub const CPO_DISCOUNT: f64 = 0.40;
+
+    /// Builds a CPO variant of the paper switch: 64 ports of 800 G whose
+    /// pluggable transceivers (16.5 W each, Table 2) move on-package at
+    /// the CPO discount.
+    pub fn paper_cpo() -> Self {
+        let pluggable_total = 64.0 * 16.5;
+        Self {
+            electrical: Watts::new(750.0),
+            optics: Watts::new(pluggable_total * (1.0 - Self::CPO_DISCOUNT)),
+            port_gateable: true,
+        }
+    }
+
+    /// The pluggable-transceiver switch it replaces (same ports).
+    pub fn pluggable_total() -> Watts {
+        Watts::new(750.0 + 64.0 * 16.5)
+    }
+
+    /// Full power of switch + optics.
+    pub fn max_power(&self) -> Watts {
+        self.electrical + self.optics
+    }
+
+    /// Power with only `active_ports` of 64 lit (dark optics gated when
+    /// supported).
+    pub fn power_with_ports(&self, active_ports: usize) -> Watts {
+        let frac = (active_ports.min(64)) as f64 / 64.0;
+        if self.port_gateable {
+            self.electrical + self.optics * frac
+        } else {
+            self.max_power()
+        }
+    }
+
+    /// Power saving of the CPO design vs. pluggables at full load.
+    pub fn full_load_savings(&self) -> Ratio {
+        Ratio::new(1.0 - self.max_power() / Self::pluggable_total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_unchanged_at_four_units() {
+        let sw = RedesignedSwitch::from_baseline(4).unwrap();
+        assert!(sw.max_power().approx_eq(Watts::new(750.0), 1e-9));
+        assert!(sw.unit_rate.approx_eq(Gbps::from_tbps(12.8), 1e-9));
+        assert_eq!(fragmentation_overhead(4), 0.0);
+    }
+
+    #[test]
+    fn finer_units_deepen_idle_proportionality() {
+        let coarse = RedesignedSwitch::from_baseline(4).unwrap();
+        let fine = RedesignedSwitch::from_baseline(64).unwrap();
+        assert!(
+            fine.idle_proportionality() > coarse.idle_proportionality(),
+            "fine {} vs coarse {}",
+            fine.idle_proportionality(),
+            coarse.idle_proportionality()
+        );
+        // With 64 units, idle keeps 1/64 of unit power: proportionality
+        // approaches the chassis-overhead bound 1 − 198/max.
+        assert!(fine.idle_proportionality().fraction() > 0.6);
+    }
+
+    #[test]
+    fn fragmentation_overhead_grows_max_power() {
+        let p4 = RedesignedSwitch::from_baseline(4).unwrap().max_power();
+        let p64 = RedesignedSwitch::from_baseline(64).unwrap().max_power();
+        let p256 = RedesignedSwitch::from_baseline(256).unwrap().max_power();
+        assert!(p64 > p4);
+        assert!(p256 > p64);
+        // But stays within ~40% of the baseline for 256 units.
+        assert!(p256.value() < 750.0 * 1.4);
+    }
+
+    #[test]
+    fn granularity_sweep_finds_an_optimum() {
+        // On the 10% ML duty cycle, finer granularity first wins (deeper
+        // idle) then the fragmentation tax erodes the gain — the §4.5
+        // trade-off in one curve.
+        let sweep = granularity_sweep(0.10).unwrap();
+        assert_eq!(sweep.len(), 7);
+        let best = sweep
+            .iter()
+            .max_by(|a, b| {
+                a.savings_vs_baseline.partial_cmp(&b.savings_vs_baseline).unwrap()
+            })
+            .unwrap();
+        assert!(best.units > 4, "finer than baseline should win");
+        assert!(best.savings_vs_baseline.fraction() > 0.2);
+        // Savings are not monotone to 256: the tax bites eventually.
+        let last = sweep.last().unwrap();
+        assert!(last.savings_vs_baseline <= best.savings_vs_baseline);
+    }
+
+    #[test]
+    fn power_at_load_steps_with_units() {
+        let sw = RedesignedSwitch::from_baseline(16).unwrap();
+        let idle = sw.power_at_load(Ratio::ZERO);
+        let half = sw.power_at_load(Ratio::new(0.5));
+        let full = sw.power_at_load(Ratio::ONE);
+        assert!(idle < half && half < full);
+        // Half load needs exactly 8 of 16 units.
+        let expected = sw.overhead + sw.unit_power * 8.0;
+        assert!(half.approx_eq(expected, 1e-9));
+        // Loads are clamped.
+        assert_eq!(sw.power_at_load(Ratio::new(2.0)), full);
+    }
+
+    #[test]
+    fn to_switch_params_preserves_capacity_and_power() {
+        let sw = RedesignedSwitch::from_baseline(16).unwrap();
+        let params = sw.to_switch_params();
+        assert_eq!(params.pipelines, 16);
+        assert!(
+            (params.pipeline_rate * 16.0).approx_eq(Gbps::from_tbps(51.2), 1e-6)
+        );
+        assert!(params.max_power().approx_eq(sw.max_power(), 1e-6));
+    }
+
+    #[test]
+    fn invalid_unit_counts_rejected() {
+        assert!(RedesignedSwitch::from_baseline(2).is_err());
+        assert!(RedesignedSwitch::from_baseline(3).is_err());
+        assert!(RedesignedSwitch::from_baseline(12).is_err());
+        assert!(RedesignedSwitch::from_baseline(512).is_err());
+    }
+
+    #[test]
+    fn cpo_saves_at_full_load_and_enables_port_gating() {
+        let cpo = CpoSwitch::paper_cpo();
+        // 40% optics discount: 750 + 0.6·1056 = 1383.6 W vs 1806 W.
+        assert!(cpo.max_power().approx_eq(Watts::new(1383.6), 1e-9));
+        assert!((cpo.full_load_savings().fraction() - 0.234).abs() < 0.001);
+        // Dark ports gate their optics.
+        let half = cpo.power_with_ports(32);
+        assert!(half.approx_eq(Watts::new(750.0 + 0.6 * 1056.0 / 2.0), 1e-9));
+        // Non-gateable variant (pluggables without knobs) saves nothing.
+        let stuck = CpoSwitch { port_gateable: false, ..cpo };
+        assert_eq!(stuck.power_with_ports(0), stuck.max_power());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the mechanism simulations: conservation laws
+//! and safety invariants that must hold for *any* policy configuration
+//! and workload within the supported envelope.
+
+use npp_mechanisms::governor::{run_governor, GovernorConfig};
+use npp_mechanisms::pipeline_park::{simulate_parking, ParkConfig};
+use npp_mechanisms::rate_adapt::{simulate_rate_adaptation, RateAdaptConfig};
+use npp_simnet::sources::{CbrSource, OnOffSource, TrafficSource};
+use npp_simnet::switchsim::SwitchParams;
+use npp_simnet::SimTime;
+use npp_units::{Gbps, Ratio, Seconds};
+use npp_workload::trace::MlPhaseTrace;
+use proptest::prelude::*;
+
+/// A bounded random on/off source.
+fn source(
+    period_us: u64,
+    duty_pct: u64,
+    rate_tbps: f64,
+    horizon: SimTime,
+) -> impl TrafficSource {
+    let period_ns = period_us * 1_000;
+    let off_ns = period_ns * (100 - duty_pct) / 100;
+    OnOffSource::new(period_ns, off_ns, Gbps::from_tbps(rate_tbps), 9_000, 0, horizon)
+        .expect("generated parameters are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rate adaptation never consumes more energy than the all-on switch
+    /// and never less than the idle floor, for any controller tuning.
+    #[test]
+    fn rate_adaptation_energy_is_bounded(
+        interval_us in 10u64..500,
+        target in 0.5..1.0f64,
+        min_freq in 0.05..0.9f64,
+        per_pipeline in any::<bool>(),
+        duty in 1u64..60,
+        rate in 0.5..10.0f64,
+    ) {
+        let horizon = SimTime::from_millis(4);
+        let cfg = RateAdaptConfig {
+            control_interval_ns: interval_us * 1_000,
+            target_utilization: target,
+            min_freq,
+            per_pipeline,
+        };
+        let params = SwitchParams::paper_51t2();
+        let mut src = source(500, duty, rate, horizon);
+        let r = simulate_rate_adaptation(params, &cfg, &mut src, horizon).unwrap();
+        prop_assert!(r.energy <= r.energy_all_on + npp_units::Joules::new(1e-9));
+        // Idle floor: overhead + all pipelines at min_freq.
+        let floor = (params.overhead_power
+            + params.pipeline_power.at_freq(min_freq) * params.pipelines as f64)
+            * horizon.as_seconds();
+        prop_assert!(
+            r.energy.value() >= floor.value() - 1e-6,
+            "energy {} below floor {}", r.energy, floor
+        );
+        prop_assert!((0.0..=1.0).contains(&r.loss_rate));
+    }
+
+    /// Parking conserves packets: offered = delivered + dropped, and the
+    /// energy stays within [one-pipeline floor, all-on].
+    #[test]
+    fn parking_conserves_packets_and_bounds_energy(
+        interval_us in 20u64..400,
+        standby in 0usize..3,
+        duty in 1u64..60,
+        rate in 0.5..10.0f64,
+    ) {
+        let horizon = SimTime::from_millis(4);
+        let cfg = ParkConfig {
+            control_interval_ns: interval_us * 1_000,
+            standby,
+            ..ParkConfig::reactive()
+        };
+        let params = SwitchParams::paper_51t2();
+        let mut src = source(500, duty, rate, horizon);
+        let r = simulate_parking(params, &cfg, &mut src, horizon).unwrap();
+        prop_assert!(r.energy <= r.energy_all_on + npp_units::Joules::new(1e-9));
+        let floor = (params.overhead_power + params.pipeline_power.at_freq(1.0))
+            * horizon.as_seconds();
+        // The first control interval runs all-on, so the floor is a
+        // strict lower bound.
+        prop_assert!(r.energy.value() >= floor.value() * 0.9);
+        prop_assert!((0.0..=1.0).contains(&r.loss_rate));
+    }
+
+    /// The governor's state residencies account for the whole horizon,
+    /// and its energy sits between the deepest state and C0.
+    #[test]
+    fn governor_residency_partitions_time(
+        interval_ms in 1u64..20,
+        headroom in 1.0..2.0f64,
+        patience in 1usize..10,
+        compute_ms in 10u64..200,
+        comm_ms in 1u64..50,
+    ) {
+        let trace = MlPhaseTrace {
+            compute: Seconds::from_millis(compute_ms as f64),
+            comm: Seconds::from_millis(comm_ms as f64),
+            peak: Ratio::ONE,
+        };
+        let horizon = Seconds::new(1.0);
+        let cfg = GovernorConfig {
+            interval: Seconds::from_millis(interval_ms as f64),
+            headroom,
+            patience,
+            ..GovernorConfig::default()
+        };
+        let r = run_governor(&trace, horizon, &cfg).unwrap();
+        let total: f64 = r.residency.iter().map(|(_, s)| s.value()).sum();
+        let steps = (horizon.value() / cfg.interval.value()).ceil();
+        prop_assert!((total - steps * cfg.interval.value()).abs() < 1e-9);
+        prop_assert!(r.energy <= r.energy_c0);
+        prop_assert!(r.savings.fraction() >= -1e-12);
+    }
+
+    /// EEE never *increases* energy relative to always-on, whatever the
+    /// traffic (the state machine only ever substitutes LPI for active).
+    #[test]
+    fn eee_never_wastes_energy(
+        rate_gbps in 0.001..9.0f64,
+        packet in 64u64..9000,
+        coalesce_us in 0u64..100,
+    ) {
+        use npp_mechanisms::eee::{simulate_eee, EeeParams};
+        let horizon = SimTime::from_millis(50);
+        let params = EeeParams::ten_gbase_t().with_coalescing(coalesce_us * 1_000);
+        let mut src =
+            CbrSource::new(Gbps::new(rate_gbps), packet, 0, SimTime::ZERO, horizon).unwrap();
+        let r = simulate_eee(&params, &mut src, horizon).unwrap();
+        prop_assert!(r.energy <= r.energy_always_on + npp_units::Joules::new(1e-12));
+        prop_assert!(r.lpi_fraction.fraction() >= 0.0);
+        prop_assert!(r.lpi_fraction.fraction() <= 1.0 + 1e-12);
+        prop_assert!(r.mean_added_latency_ns >= 0.0);
+    }
+}

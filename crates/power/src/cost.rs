@@ -1,0 +1,162 @@
+//! Operating-cost model for power savings — §3.2 of the paper.
+//!
+//! The paper converts an average power reduction into an annual electricity
+//! saving using the average US commercial electricity price (13 ¢/kWh) and
+//! adds a cooling saving of 30 % of the IT power (the cooling share
+//! estimated by Zhang et al. for data-center cooling systems).
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Joules, Seconds, Usd, Watts};
+
+/// Grid carbon intensity, for converting energy savings into emissions
+/// savings (the sustainability framing of the paper's introduction).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarbonModel {
+    /// Grams of CO2-equivalent per kWh consumed.
+    pub gco2e_per_kwh: f64,
+}
+
+impl Default for CarbonModel {
+    fn default() -> Self {
+        Self::us_grid_average()
+    }
+}
+
+impl CarbonModel {
+    /// The recent US grid average (≈ 390 gCO2e/kWh).
+    pub fn us_grid_average() -> Self {
+        Self { gco2e_per_kwh: 390.0 }
+    }
+
+    /// A low-carbon grid (hydro/nuclear heavy, ≈ 30 gCO2e/kWh).
+    pub fn low_carbon_grid() -> Self {
+        Self { gco2e_per_kwh: 30.0 }
+    }
+
+    /// Emissions for the given energy, in metric tonnes of CO2e.
+    pub fn tonnes_for(&self, energy: Joules) -> f64 {
+        energy.as_kwh() * self.gco2e_per_kwh / 1e6
+    }
+
+    /// Annual emissions of a constant power draw, in tonnes CO2e/year.
+    pub fn annual_tonnes(&self, power: Watts) -> f64 {
+        self.tonnes_for(power * Seconds::one_year())
+    }
+}
+
+/// Electricity price and cooling overhead used to monetize power savings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price per kWh.
+    pub usd_per_kwh: f64,
+    /// Cooling power as a fraction of IT power (0.30 in the paper).
+    pub cooling_overhead: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl CostModel {
+    /// The paper's §3.2 parameters: 13 ¢/kWh, 30 % cooling overhead.
+    pub fn paper_baseline() -> Self {
+        Self { usd_per_kwh: 0.13, cooling_overhead: 0.30 }
+    }
+
+    /// Cost of the given energy, excluding cooling.
+    pub fn energy_cost(&self, energy: Joules) -> Usd {
+        Usd::new(energy.as_kwh() * self.usd_per_kwh)
+    }
+
+    /// Annual electricity cost of a constant power draw, excluding cooling.
+    pub fn annual_cost(&self, power: Watts) -> Usd {
+        self.energy_cost(power * Seconds::one_year())
+    }
+
+    /// Annual cost of the cooling required by a constant IT power draw.
+    pub fn annual_cooling_cost(&self, it_power: Watts) -> Usd {
+        self.annual_cost(it_power * self.cooling_overhead)
+    }
+
+    /// Annual total (electricity + cooling) cost of a constant IT draw.
+    pub fn annual_total_cost(&self, it_power: Watts) -> Usd {
+        self.annual_cost(it_power) + self.annual_cooling_cost(it_power)
+    }
+
+    /// Breaks an average power *saving* down the way §3.2 reports it.
+    pub fn savings(&self, avg_power_reduction: Watts) -> SavingsBreakdown {
+        SavingsBreakdown {
+            power_reduction: avg_power_reduction,
+            electricity_per_year: self.annual_cost(avg_power_reduction),
+            cooling_per_year: self.annual_cooling_cost(avg_power_reduction),
+        }
+    }
+}
+
+/// Annualized savings from an average power reduction (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SavingsBreakdown {
+    /// The average power reduction itself.
+    pub power_reduction: Watts,
+    /// Annual electricity-bill saving.
+    pub electricity_per_year: Usd,
+    /// Annual cooling-energy saving (30 % of IT power in the paper).
+    pub cooling_per_year: Usd,
+}
+
+impl SavingsBreakdown {
+    /// Electricity + cooling savings per year.
+    pub fn total_per_year(&self) -> Usd {
+        self.electricity_per_year + self.cooling_per_year
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_365_kw_example() {
+        // §3.2: 365 kW average reduction → ≈ $416k/year electricity and
+        // ≈ $125k/year cooling at 13 ¢/kWh and 30 % overhead.
+        let m = CostModel::paper_baseline();
+        let s = m.savings(Watts::from_kw(365.0));
+        assert!((s.electricity_per_year.as_thousands() - 415.7).abs() < 0.5);
+        assert!((s.cooling_per_year.as_thousands() - 124.7).abs() < 0.5);
+        assert!((s.total_per_year().as_thousands() - 540.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_cost_is_linear_in_energy() {
+        let m = CostModel::paper_baseline();
+        let one = m.energy_cost(Joules::from_kwh(1.0));
+        assert!((one.value() - 0.13).abs() < 1e-12);
+        let ten = m.energy_cost(Joules::from_kwh(10.0));
+        assert!((ten.value() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn carbon_model_converts_energy() {
+        let m = CarbonModel::us_grid_average();
+        // 1 MWh at 390 g/kWh = 0.39 tonnes.
+        assert!((m.tonnes_for(Joules::from_kwh(1000.0)) - 0.39).abs() < 1e-12);
+        // The paper's 365 kW saving ≈ 1,247 tCO2e/year on the US grid.
+        let t = m.annual_tonnes(Watts::from_kw(365.0));
+        assert!((t - 1247.0).abs() < 5.0, "tonnes {t}");
+        // A low-carbon grid shrinks it by >10x.
+        let low = CarbonModel::low_carbon_grid().annual_tonnes(Watts::from_kw(365.0));
+        assert!(low < t / 10.0);
+    }
+
+    #[test]
+    fn annual_total_includes_cooling() {
+        let m = CostModel::paper_baseline();
+        let p = Watts::from_kw(100.0);
+        let total = m.annual_total_cost(p);
+        let expected = m.annual_cost(p).value() * 1.3;
+        assert!((total.value() - expected).abs() < 1e-6);
+    }
+}

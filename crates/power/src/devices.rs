@@ -1,0 +1,451 @@
+//! Embedded device power database — Tables 1 and 2 of the paper.
+//!
+//! All constants carry their provenance: either a vendor datasheet cited by
+//! the paper, the Alibaba HPN paper, or the paper's own extrapolation. The
+//! extrapolation rule for speeds with no published number is *geometric
+//! ratio continuation*: `P(2B) = P(B)² / P(B/2)`, i.e. each doubling of
+//! bandwidth multiplies power by the same factor as the previous doubling.
+//! This rule reproduces the paper's starred values (38.6 W and 58.8 W for
+//! 800/1600 G NICs, 27.27 W for the 1600 G transceiver) to within rounding.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Gbps, Watts};
+
+use crate::{PowerError, Proportionality, Result, TwoStatePower};
+
+/// Max power of an Nvidia H100 NVL GPU (Table 1, from the Nvidia
+/// datasheet).
+pub const H100_NVL_MAX: Watts = Watts::new(400.0);
+
+/// Power drawn by the non-GPU parts of a server (CPUs, RAM, storage, fans)
+/// — §2.3.1 assumes ≈800 W per 8-GPU server.
+pub const SERVER_OVERHEAD: Watts = Watts::new(800.0);
+
+/// Number of GPUs per server (§2.1).
+pub const GPUS_PER_SERVER: usize = 8;
+
+/// Effective max power per GPU including its share of the server overhead:
+/// 400 W + 800 W / 8 = 500 W (§2.3.1).
+pub const GPU_WITH_SERVER_MAX: Watts = Watts::new(500.0);
+
+/// Idle power per GPU (incl. server share) at the paper's 85 % compute
+/// proportionality: 75 W (§2.3.1).
+pub const GPU_WITH_SERVER_IDLE: Watts = Watts::new(75.0);
+
+/// Max power of a 51.2 Tbps switch (Table 1, from the Alibaba HPN paper).
+pub const SWITCH_51T2_MAX: Watts = Watts::new(750.0);
+
+/// Aggregate capacity of the modeled switch ASIC (§2.1).
+pub const SWITCH_CAPACITY: Gbps = Gbps::from_tbps(51.2);
+
+/// Where a power number comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Straight from a vendor datasheet cited by the paper.
+    Datasheet,
+    /// Extrapolated by the paper itself (starred entries of Table 2).
+    PaperExtrapolated,
+    /// Extrapolated by this library beyond the paper's table.
+    LibraryExtrapolated,
+}
+
+/// One `(speed, power)` entry of a device table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedPowerEntry {
+    /// Interface speed.
+    pub speed: Gbps,
+    /// Max power at that speed.
+    pub power: Watts,
+    /// Where the number comes from.
+    pub provenance: Provenance,
+}
+
+/// A per-speed max-power table for a device family (NICs or transceivers),
+/// reproducing Table 2 of the paper.
+///
+/// Equality compares the entries only; the `kind` label is diagnostic
+/// (and deliberately not serialized).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedPowerTable {
+    #[serde(skip, default = "default_kind")]
+    kind: &'static str,
+    entries: Vec<SpeedPowerEntry>,
+}
+
+impl SpeedPowerTable {
+    /// NIC max powers (NVIDIA ConnectX-7 datasheet + paper extrapolation):
+    /// 8.6 / 16.7 / 25.4 / 38.6* / 58.8* W for 100–1600 G.
+    pub fn nic_connectx7() -> Self {
+        use Provenance::*;
+        Self {
+            kind: "NIC",
+            entries: vec![
+                entry(100.0, 8.6, Datasheet),
+                entry(200.0, 16.7, Datasheet),
+                entry(400.0, 25.4, Datasheet),
+                entry(800.0, 38.6, PaperExtrapolated),
+                entry(1600.0, 58.8, PaperExtrapolated),
+            ],
+        }
+    }
+
+    /// Short-range (< 2 km) optical transceiver max powers (FS.com
+    /// datasheets + paper extrapolation): 4 / 6.5 / 10 / 16.5 / 27.27* W.
+    pub fn transceiver_optical() -> Self {
+        use Provenance::*;
+        Self {
+            kind: "transceiver",
+            entries: vec![
+                entry(100.0, 4.0, Datasheet),
+                entry(200.0, 6.5, Datasheet),
+                entry(400.0, 10.0, Datasheet),
+                entry(800.0, 16.5, Datasheet),
+                entry(1600.0, 27.27, PaperExtrapolated),
+            ],
+        }
+    }
+
+    /// The device family this table describes ("NIC" or "transceiver").
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// All entries, ordered by ascending speed.
+    pub fn entries(&self) -> &[SpeedPowerEntry] {
+        &self.entries
+    }
+
+    /// Max power at exactly the given speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownDeviceSpeed`] if no entry matches.
+    pub fn power(&self, speed: Gbps) -> Result<Watts> {
+        self.entries
+            .iter()
+            .find(|e| e.speed == speed)
+            .map(|e| e.power)
+            .ok_or(PowerError::UnknownDeviceSpeed {
+                kind: self.kind,
+                gbps: speed.value(),
+            })
+    }
+
+    /// Max power at the given speed, extending the table by geometric
+    /// ratio continuation when the speed is one or more doublings past the
+    /// last entry. Speeds between table entries are interpolated linearly
+    /// (the paper never needs this; it is provided for sweep tooling).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for speeds below the table minimum or not reachable
+    /// by doubling from the last entry and not bracketed by two entries.
+    pub fn power_extrapolated(&self, speed: Gbps) -> Result<Watts> {
+        if let Ok(p) = self.power(speed) {
+            return Ok(p);
+        }
+        let first = self.entries.first().expect("tables are non-empty");
+        let last = self.entries[self.entries.len() - 1];
+        if speed < first.speed {
+            return Err(PowerError::UnknownDeviceSpeed {
+                kind: self.kind,
+                gbps: speed.value(),
+            });
+        }
+        if speed > last.speed {
+            // Geometric ratio continuation past the end of the table.
+            let prev = self.entries[self.entries.len() - 2];
+            let ratio = last.power / prev.power;
+            let mut s = last.speed;
+            let mut p = last.power;
+            while s < speed {
+                s = s * 2.0;
+                p = p * ratio;
+            }
+            if s == speed {
+                return Ok(p);
+            }
+            return Err(PowerError::UnknownDeviceSpeed {
+                kind: self.kind,
+                gbps: speed.value(),
+            });
+        }
+        // Bracketed: linear interpolation between neighbours.
+        let (lo, hi) = self
+            .entries
+            .windows(2)
+            .find(|w| w[0].speed < speed && speed < w[1].speed)
+            .map(|w| (w[0], w[1]))
+            .expect("speed is inside the table range");
+        let t = (speed - lo.speed) / (hi.speed - lo.speed);
+        Ok(lo.power + (hi.power - lo.power) * t)
+    }
+
+    /// Applies the paper's extrapolation rule `P(2B) = P(B)²/P(B/2)` to the
+    /// *datasheet* prefix of this table and returns the values it predicts
+    /// for the extrapolated speeds. Used by tests and the ablation bench to
+    /// document how closely the rule matches the published starred values.
+    pub fn recompute_extrapolated(&self) -> Vec<SpeedPowerEntry> {
+        let datasheet: Vec<SpeedPowerEntry> = self
+            .entries
+            .iter()
+            .copied()
+            .take_while(|e| e.provenance == Provenance::Datasheet)
+            .collect();
+        let mut out = Vec::new();
+        if datasheet.len() < 2 {
+            return out;
+        }
+        let mut prev = datasheet[datasheet.len() - 2];
+        let mut last = datasheet[datasheet.len() - 1];
+        for e in &self.entries[datasheet.len()..] {
+            let ratio = last.power / prev.power;
+            let predicted = SpeedPowerEntry {
+                speed: last.speed * 2.0,
+                power: last.power * ratio,
+                provenance: Provenance::LibraryExtrapolated,
+            };
+            debug_assert_eq!(predicted.speed, e.speed);
+            out.push(predicted);
+            prev = last;
+            last = predicted;
+        }
+        out
+    }
+}
+
+impl PartialEq for SpeedPowerTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+/// Default kind used when a table is deserialized (the kind is purely
+/// diagnostic, so losing it across serialization is acceptable).
+fn default_kind() -> &'static str {
+    "device"
+}
+
+/// Shorthand for building a table entry.
+fn entry(gbps: f64, watts: f64, provenance: Provenance) -> SpeedPowerEntry {
+    SpeedPowerEntry {
+        speed: Gbps::new(gbps),
+        power: Watts::new(watts),
+        provenance,
+    }
+}
+
+/// The full device database of the paper, with default proportionalities
+/// attached (85 % compute, 10 % network).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceDb {
+    nics: SpeedPowerTable,
+    transceivers: SpeedPowerTable,
+    /// Proportionality applied to compute devices.
+    pub compute_proportionality: Proportionality,
+    /// Proportionality applied to network devices (the what-if knob).
+    pub network_proportionality: Proportionality,
+    /// Max power of one switch (defaults to Table 1's 750 W; exposed for
+    /// sensitivity analysis).
+    #[serde(default = "default_switch_max")]
+    pub switch_max: Watts,
+    /// Max power of one GPU incl. server share (defaults to §2.3.1's
+    /// 500 W; exposed for sensitivity analysis).
+    #[serde(default = "default_gpu_max")]
+    pub gpu_max: Watts,
+    /// Scale factor applied to every NIC and transceiver power (1.0 =
+    /// Table 2 as published; exposed for sensitivity analysis).
+    #[serde(default = "default_unit_scale")]
+    pub interface_power_scale: f64,
+}
+
+fn default_switch_max() -> Watts {
+    SWITCH_51T2_MAX
+}
+
+fn default_gpu_max() -> Watts {
+    GPU_WITH_SERVER_MAX
+}
+
+fn default_unit_scale() -> f64 {
+    1.0
+}
+
+impl Default for DeviceDb {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+impl DeviceDb {
+    /// The database exactly as the paper configures it (§2.3).
+    pub fn paper_baseline() -> Self {
+        Self {
+            nics: SpeedPowerTable::nic_connectx7(),
+            transceivers: SpeedPowerTable::transceiver_optical(),
+            compute_proportionality: Proportionality::COMPUTE,
+            network_proportionality: Proportionality::NETWORK_BASELINE,
+            switch_max: SWITCH_51T2_MAX,
+            gpu_max: GPU_WITH_SERVER_MAX,
+            interface_power_scale: 1.0,
+        }
+    }
+
+    /// Same database with a different network proportionality — the paper's
+    /// central what-if question.
+    pub fn with_network_proportionality(mut self, p: Proportionality) -> Self {
+        self.network_proportionality = p;
+        self
+    }
+
+    /// Two-state model of one GPU including its server share (500 W / 75 W
+    /// by default).
+    pub fn gpu(&self) -> TwoStatePower {
+        TwoStatePower::new(self.gpu_max, self.compute_proportionality)
+    }
+
+    /// Two-state model of one 51.2 Tbps switch (750 W by default).
+    pub fn switch(&self) -> TwoStatePower {
+        TwoStatePower::new(self.switch_max, self.network_proportionality)
+    }
+
+    /// Two-state model of one NIC at the given interface speed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerError::UnknownDeviceSpeed`] for speeds outside the
+    /// extended table.
+    pub fn nic(&self, speed: Gbps) -> Result<TwoStatePower> {
+        Ok(TwoStatePower::new(
+            self.nics.power_extrapolated(speed)? * self.interface_power_scale,
+            self.network_proportionality,
+        ))
+    }
+
+    /// Two-state model of one optical transceiver at the given speed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerError::UnknownDeviceSpeed`].
+    pub fn transceiver(&self, speed: Gbps) -> Result<TwoStatePower> {
+        Ok(TwoStatePower::new(
+            self.transceivers.power_extrapolated(speed)? * self.interface_power_scale,
+            self.network_proportionality,
+        ))
+    }
+
+    /// The raw NIC table (Table 2, row 1).
+    pub fn nic_table(&self) -> &SpeedPowerTable {
+        &self.nics
+    }
+
+    /// The raw transceiver table (Table 2, row 2).
+    pub fn transceiver_table(&self) -> &SpeedPowerTable {
+        &self.transceivers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerModel;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(H100_NVL_MAX, Watts::new(400.0));
+        assert_eq!(SWITCH_51T2_MAX, Watts::new(750.0));
+        assert_eq!(GPU_WITH_SERVER_MAX, Watts::new(500.0));
+        assert_eq!(GPU_WITH_SERVER_IDLE, Watts::new(75.0));
+        // 500 = 400 + 800/8 exactly.
+        assert_eq!(
+            GPU_WITH_SERVER_MAX,
+            H100_NVL_MAX + SERVER_OVERHEAD / GPUS_PER_SERVER as f64
+        );
+    }
+
+    #[test]
+    fn table2_nic_values() {
+        let t = SpeedPowerTable::nic_connectx7();
+        for (s, w) in [(100.0, 8.6), (200.0, 16.7), (400.0, 25.4), (800.0, 38.6), (1600.0, 58.8)] {
+            assert_eq!(t.power(Gbps::new(s)).unwrap(), Watts::new(w));
+        }
+    }
+
+    #[test]
+    fn table2_transceiver_values() {
+        let t = SpeedPowerTable::transceiver_optical();
+        for (s, w) in [(100.0, 4.0), (200.0, 6.5), (400.0, 10.0), (800.0, 16.5), (1600.0, 27.27)] {
+            assert_eq!(t.power(Gbps::new(s)).unwrap(), Watts::new(w));
+        }
+    }
+
+    #[test]
+    fn extrapolation_rule_reproduces_starred_nic_values() {
+        // P(800) = 25.4²/16.7 = 38.63…, P(1600) = P(800)²/25.4 = 58.76…;
+        // the paper rounds these to 38.6 and 58.8.
+        let predicted = SpeedPowerTable::nic_connectx7().recompute_extrapolated();
+        assert_eq!(predicted.len(), 2);
+        assert!((predicted[0].power.value() - 38.6).abs() < 0.05);
+        assert!((predicted[1].power.value() - 58.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn extrapolation_rule_close_to_starred_transceiver_value() {
+        // 16.5²/10 = 27.225 vs the paper's 27.27 (0.2 % difference,
+        // attributable to the paper extrapolating from unrounded inputs).
+        let predicted = SpeedPowerTable::transceiver_optical().recompute_extrapolated();
+        assert_eq!(predicted.len(), 1);
+        assert!((predicted[0].power.value() - 27.27).abs() < 0.06);
+    }
+
+    #[test]
+    fn unknown_speed_is_an_error() {
+        let t = SpeedPowerTable::nic_connectx7();
+        assert!(matches!(
+            t.power(Gbps::new(50.0)),
+            Err(PowerError::UnknownDeviceSpeed { kind: "NIC", .. })
+        ));
+        // Below the table: no extrapolation downward.
+        assert!(t.power_extrapolated(Gbps::new(50.0)).is_err());
+        // Not a power-of-two multiple of the last entry.
+        assert!(t.power_extrapolated(Gbps::new(3000.0)).is_err());
+    }
+
+    #[test]
+    fn extended_table_continues_geometrically() {
+        let t = SpeedPowerTable::nic_connectx7();
+        let p3200 = t.power_extrapolated(Gbps::new(3200.0)).unwrap();
+        let ratio = 58.8 / 38.6;
+        assert!((p3200.value() - 58.8 * ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bracketed_speed_interpolates_linearly() {
+        let t = SpeedPowerTable::nic_connectx7();
+        let p = t.power_extrapolated(Gbps::new(300.0)).unwrap();
+        assert!((p.value() - (16.7 + 25.4) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_db_models() {
+        let db = DeviceDb::paper_baseline();
+        assert_eq!(db.gpu().max_power(), Watts::new(500.0));
+        assert!(db.gpu().idle_power().approx_eq(Watts::new(75.0), 1e-9));
+        assert_eq!(db.switch().idle_power(), Watts::new(675.0));
+        let nic = db.nic(Gbps::new(400.0)).unwrap();
+        assert_eq!(nic.max_power(), Watts::new(25.4));
+        let xcvr = db.transceiver(Gbps::new(800.0)).unwrap();
+        assert_eq!(xcvr.max_power(), Watts::new(16.5));
+    }
+
+    #[test]
+    fn what_if_knob_propagates() {
+        let db = DeviceDb::paper_baseline()
+            .with_network_proportionality(Proportionality::PERFECT);
+        assert_eq!(db.switch().idle_power(), Watts::ZERO);
+        assert_eq!(db.nic(Gbps::new(400.0)).unwrap().idle_power(), Watts::ZERO);
+        // Compute side is untouched.
+        assert!(db.gpu().idle_power().approx_eq(Watts::new(75.0), 1e-9));
+    }
+}

@@ -1,0 +1,187 @@
+//! Energy accounting over piecewise-constant power profiles, and the
+//! energy-efficiency metric of §3.1.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Joules, Ratio, Seconds, Watts};
+
+/// One piecewise-constant segment of a power profile.
+///
+/// `useful` is the portion of the draw that performs work: for the paper's
+/// efficiency metric, a device that is busy contributes its full (max)
+/// power as useful, and an idle device contributes zero — so the network's
+/// efficiency over an iteration is
+/// `max · t_comm / (idle · t_comp + max · t_comm)`, which evaluates to the
+/// paper's "appallingly low" 11 % for the baseline cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerSegment {
+    /// Human-readable label ("computation", "communication", …).
+    pub label: String,
+    /// Length of the segment.
+    pub duration: Seconds,
+    /// Actual power drawn during the segment.
+    pub power: Watts,
+    /// Power that performs useful work during the segment.
+    pub useful: Watts,
+}
+
+impl PowerSegment {
+    /// Creates a segment where the entire draw is useful (busy device).
+    pub fn busy(label: impl Into<String>, duration: Seconds, power: Watts) -> Self {
+        Self { label: label.into(), duration, power, useful: power }
+    }
+
+    /// Creates a segment where none of the draw is useful (idle device).
+    pub fn idle(label: impl Into<String>, duration: Seconds, power: Watts) -> Self {
+        Self { label: label.into(), duration, power, useful: Watts::ZERO }
+    }
+
+    /// Energy consumed in this segment.
+    pub fn energy(&self) -> Joules {
+        self.power * self.duration
+    }
+
+    /// Useful energy in this segment.
+    pub fn useful_energy(&self) -> Joules {
+        self.useful * self.duration
+    }
+}
+
+/// A piecewise-constant power profile: an ordered list of segments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    segments: Vec<PowerSegment>,
+}
+
+impl PowerProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, segment: PowerSegment) {
+        self.segments.push(segment);
+    }
+
+    /// Builder-style [`PowerProfile::push`].
+    pub fn with(mut self, segment: PowerSegment) -> Self {
+        self.push(segment);
+        self
+    }
+
+    /// The segments in order.
+    pub fn segments(&self) -> &[PowerSegment] {
+        &self.segments
+    }
+
+    /// Total duration across all segments.
+    pub fn total_time(&self) -> Seconds {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Total energy consumed.
+    pub fn energy(&self) -> Joules {
+        self.segments.iter().map(|s| s.energy()).sum()
+    }
+
+    /// Total useful energy.
+    pub fn useful_energy(&self) -> Joules {
+        self.segments.iter().map(|s| s.useful_energy()).sum()
+    }
+
+    /// Time-averaged power over the whole profile.
+    ///
+    /// Returns zero power for an empty profile.
+    pub fn average_power(&self) -> Watts {
+        let t = self.total_time();
+        if t.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        self.energy() / t
+    }
+
+    /// Energy efficiency: useful energy divided by consumed energy (§3.1).
+    ///
+    /// Returns zero for a profile that consumed no energy.
+    pub fn efficiency(&self) -> Ratio {
+        let consumed = self.energy();
+        if consumed.value() <= 0.0 {
+            return Ratio::ZERO;
+        }
+        Ratio::new(self.useful_energy() / consumed)
+    }
+
+    /// Scales every segment's duration by `factor` (used when repeating an
+    /// iteration profile over a training run).
+    pub fn scale_time(&self, factor: f64) -> Self {
+        Self {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| PowerSegment {
+                    label: s.label.clone(),
+                    duration: s.duration * factor,
+                    power: s.power,
+                    useful: s.useful,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The baseline network profile of §3.1: idle for 90 % of the
+    /// iteration at 90 % of max power, busy for 10 % at max power.
+    fn network_iteration(max: Watts) -> PowerProfile {
+        PowerProfile::new()
+            .with(PowerSegment::idle("computation", Seconds::new(0.9), max * 0.9))
+            .with(PowerSegment::busy("communication", Seconds::new(0.1), max))
+    }
+
+    #[test]
+    fn paper_network_efficiency_is_11_percent() {
+        let profile = network_iteration(Watts::new(1000.0));
+        // useful = 0.1·1000; consumed = 0.9·900 + 0.1·1000 = 910.
+        let eff = profile.efficiency();
+        assert!(eff.approx_eq(Ratio::new(100.0 / 910.0), 1e-12));
+        assert!((eff.percent() - 11.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn average_power_time_weighted() {
+        let profile = network_iteration(Watts::new(1000.0));
+        assert!(profile.average_power().approx_eq(Watts::new(910.0), 1e-9));
+        assert_eq!(profile.total_time(), Seconds::new(1.0));
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = PowerProfile::new();
+        assert_eq!(p.average_power(), Watts::ZERO);
+        assert_eq!(p.efficiency(), Ratio::ZERO);
+        assert_eq!(p.energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn scale_time_preserves_average_power_and_efficiency() {
+        let p = network_iteration(Watts::new(1000.0));
+        let scaled = p.scale_time(1000.0);
+        assert!(scaled.average_power().approx_eq(p.average_power(), 1e-9));
+        assert!(scaled.efficiency().approx_eq(p.efficiency(), 1e-12));
+        assert!(scaled.total_time().approx_eq(Seconds::new(1000.0), 1e-9));
+    }
+
+    #[test]
+    fn busy_idle_constructors() {
+        let b = PowerSegment::busy("x", Seconds::new(1.0), Watts::new(5.0));
+        assert_eq!(b.useful, Watts::new(5.0));
+        let i = PowerSegment::idle("x", Seconds::new(1.0), Watts::new(5.0));
+        assert_eq!(i.useful, Watts::ZERO);
+        assert_eq!(i.energy(), Joules::new(5.0));
+        assert_eq!(i.useful_energy(), Joules::ZERO);
+    }
+}

@@ -1,0 +1,370 @@
+//! Hierarchical power gating — the §4.1 "exposing power knobs" proposal.
+//!
+//! Computing hardware reduces static power by *gating* unused components
+//! (PCIe slots, memory banks, CPU cores). §4.1 argues switches should do
+//! the same and should expose the knobs — ideally as a catalog of
+//! pre-defined low-power modes analogous to CPU C-states, so that users
+//! need no knowledge of the ASIC internals.
+//!
+//! This module models a device as a tree of [`Component`]s, each with its
+//! own power draw and a gate state, and provides [`CState`] catalogs that
+//! gate/scale whole sets of components at once. The switch breakdown in
+//! [`switch_component_model`] is an *assumption documented in DESIGN.md*:
+//! the paper gives only the 750 W total, so we apportion it across SerDes,
+//! pipeline logic, memory, control CPU, and fans following the rough
+//! shares reported in the router power-modeling literature the paper cites
+//! (SerDes-dominated, ~40 %).
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::Watts;
+
+use crate::{PowerError, Proportionality, Result};
+
+/// The gate state of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GateState {
+    /// Fully powered.
+    On,
+    /// Power-gated: the component and its entire subtree draw nothing.
+    Off,
+    /// Scaled to a fraction of its own power (rate adaptation / DVFS);
+    /// children keep their own states.
+    Scaled(f64),
+}
+
+/// A node in a device's component tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    name: String,
+    /// Power drawn by this node itself (excluding children) when `On`.
+    own_power: Watts,
+    /// Whether the hardware exposes a gate for this component. §4.1's
+    /// observation is that most components are physically gateable but the
+    /// knob is not exposed by the NOS; modeling both lets us quantify the
+    /// gap between "exposed" and "physically possible" savings.
+    gateable: bool,
+    state: GateState,
+    children: Vec<Component>,
+}
+
+impl Component {
+    /// Creates a leaf component.
+    pub fn new(name: impl Into<String>, own_power: Watts) -> Self {
+        Self {
+            name: name.into(),
+            own_power,
+            gateable: true,
+            state: GateState::On,
+            children: Vec::new(),
+        }
+    }
+
+    /// Marks this component as having no exposed gate (always-on).
+    pub fn fixed(mut self) -> Self {
+        self.gateable = false;
+        self
+    }
+
+    /// Adds a child component (builder style).
+    pub fn with_child(mut self, child: Component) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this component's gate is exposed.
+    pub fn is_gateable(&self) -> bool {
+        self.gateable
+    }
+
+    /// Current gate state.
+    pub fn state(&self) -> GateState {
+        self.state
+    }
+
+    /// Child components.
+    pub fn children(&self) -> &[Component] {
+        &self.children
+    }
+
+    /// Current power draw of this subtree, honoring gate states.
+    pub fn power(&self) -> Watts {
+        match self.state {
+            GateState::Off => Watts::ZERO,
+            GateState::On => {
+                self.own_power + self.children.iter().map(Component::power).sum::<Watts>()
+            }
+            GateState::Scaled(f) => {
+                self.own_power * f.clamp(0.0, 1.0)
+                    + self.children.iter().map(Component::power).sum::<Watts>()
+            }
+        }
+    }
+
+    /// Power draw of this subtree with every gate forced `On`.
+    pub fn max_power(&self) -> Watts {
+        self.own_power + self.children.iter().map(Component::max_power).sum::<Watts>()
+    }
+
+    /// Resolves a `/`-separated path ("asic/pipeline0/serdes") to a
+    /// component, starting at (but not including) this node.
+    pub fn find(&self, path: &str) -> Option<&Component> {
+        let mut node = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.children.iter().find(|c| c.name == seg)?;
+        }
+        Some(node)
+    }
+
+    fn find_mut(&mut self, path: &str) -> Option<&mut Component> {
+        let mut node = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.children.iter_mut().find(|c| c.name == seg)?;
+        }
+        Some(node)
+    }
+
+    /// Sets the gate state of the component at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::UnknownComponent`] if the path does not resolve, and
+    /// [`PowerError::InvalidPower`] if attempting to gate a component whose
+    /// knob is not exposed (`fixed()`).
+    pub fn set_state(&mut self, path: &str, state: GateState) -> Result<()> {
+        let node = self
+            .find_mut(path)
+            .ok_or_else(|| PowerError::UnknownComponent(path.to_string()))?;
+        if !node.gateable && state != GateState::On {
+            return Err(PowerError::UnknownComponent(format!(
+                "{path} has no exposed power knob"
+            )));
+        }
+        node.state = state;
+        Ok(())
+    }
+
+    /// Resets every gate in the subtree to `On`.
+    pub fn reset(&mut self) {
+        self.state = GateState::On;
+        for c in &mut self.children {
+            c.reset();
+        }
+    }
+
+    /// The proportionality this device would exhibit if its current gated
+    /// configuration were its idle state (Equation 1 with
+    /// `idle = self.power()`, `max = self.max_power()`).
+    pub fn implied_proportionality(&self) -> Result<Proportionality> {
+        Proportionality::from_idle_max(self.power(), self.max_power())
+    }
+
+    /// Iterates over `(path, component)` pairs of the whole subtree in
+    /// depth-first order, including this node under its own name.
+    pub fn walk(&self) -> Vec<(String, &Component)> {
+        let mut out = Vec::new();
+        self.walk_into(String::new(), &mut out);
+        out
+    }
+
+    fn walk_into<'a>(&'a self, prefix: String, out: &mut Vec<(String, &'a Component)>) {
+        let path = if prefix.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{prefix}/{}", self.name)
+        };
+        out.push((path.clone(), self));
+        for c in &self.children {
+            c.walk_into(path.clone(), out);
+        }
+    }
+}
+
+/// A pre-defined low-power mode: the networking analogue of a CPU C-state
+/// proposed at the end of §4.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CState {
+    /// Mode name ("C0", "C1-rate", …).
+    pub name: String,
+    /// What the mode does, for humans.
+    pub description: String,
+    /// Component paths gated fully off in this mode.
+    pub gate_off: Vec<String>,
+    /// Component paths scaled to a fraction of their power.
+    pub scale: Vec<(String, f64)>,
+}
+
+impl CState {
+    /// Applies this mode to a device tree (after resetting all gates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates path-resolution errors.
+    pub fn apply(&self, device: &mut Component) -> Result<()> {
+        device.reset();
+        for path in &self.gate_off {
+            device.set_state(path, GateState::Off)?;
+        }
+        for (path, f) in &self.scale {
+            device.set_state(path, GateState::Scaled(*f))?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of forwarding pipelines in the modeled switch ASIC.
+pub const SWITCH_PIPELINES: usize = 4;
+
+/// Builds the component tree of a 51.2 Tbps, 750 W switch.
+///
+/// Breakdown (an explicit assumption; see module docs): four pipelines of
+/// 138 W each (75 W SerDes + 45 W match-action logic + 18 W buffer/table
+/// memory), a 48 W control-plane CPU, 90 W of fans, and 60 W of
+/// miscellaneous/PSU loss that no knob can reach. Total: 750 W.
+pub fn switch_component_model() -> Component {
+    let mut asic = Component::new("asic", Watts::ZERO);
+    for i in 0..SWITCH_PIPELINES {
+        asic = asic.with_child(
+            Component::new(format!("pipeline{i}"), Watts::ZERO)
+                .with_child(Component::new("serdes", Watts::new(75.0)))
+                .with_child(Component::new("logic", Watts::new(45.0)))
+                .with_child(Component::new("memory", Watts::new(18.0))),
+        );
+    }
+    Component::new("switch", Watts::ZERO)
+        .with_child(asic)
+        .with_child(Component::new("cpu", Watts::new(48.0)))
+        .with_child(Component::new("fans", Watts::new(90.0)))
+        .with_child(Component::new("misc", Watts::new(60.0)).fixed())
+}
+
+/// The default C-state catalog for [`switch_component_model`].
+///
+/// - `C0`: everything on (750 W);
+/// - `C1-rate`: all pipelines frequency-scaled to 60 % (rate adaptation,
+///   §4.3, applied to logic and SerDes but not memory);
+/// - `C2-park2`: two of four pipelines gated off (§4.4);
+/// - `C3-deep`: three pipelines off, fans at half speed, CPU scaled 70 %.
+pub fn switch_cstates() -> Vec<CState> {
+    let mut c1_scale = Vec::new();
+    for i in 0..SWITCH_PIPELINES {
+        c1_scale.push((format!("asic/pipeline{i}/logic"), 0.6));
+        c1_scale.push((format!("asic/pipeline{i}/serdes"), 0.6));
+    }
+    vec![
+        CState {
+            name: "C0".into(),
+            description: "fully on".into(),
+            gate_off: vec![],
+            scale: vec![],
+        },
+        CState {
+            name: "C1-rate".into(),
+            description: "all pipelines rate-adapted to 60% frequency".into(),
+            gate_off: vec![],
+            scale: c1_scale,
+        },
+        CState {
+            name: "C2-park2".into(),
+            description: "two of four pipelines power-gated".into(),
+            gate_off: vec!["asic/pipeline2".into(), "asic/pipeline3".into()],
+            scale: vec![],
+        },
+        CState {
+            name: "C3-deep".into(),
+            description: "three pipelines gated, fans at 50%, CPU at 70%".into(),
+            gate_off: vec![
+                "asic/pipeline1".into(),
+                "asic/pipeline2".into(),
+                "asic/pipeline3".into(),
+            ],
+            scale: vec![("fans".into(), 0.5), ("cpu".into(), 0.7)],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_model_totals_750w() {
+        let sw = switch_component_model();
+        assert!(sw.max_power().approx_eq(Watts::new(750.0), 1e-9));
+        assert!(sw.power().approx_eq(Watts::new(750.0), 1e-9));
+    }
+
+    #[test]
+    fn gating_a_pipeline_removes_its_whole_subtree() {
+        let mut sw = switch_component_model();
+        sw.set_state("asic/pipeline0", GateState::Off).unwrap();
+        assert!(sw.power().approx_eq(Watts::new(750.0 - 138.0), 1e-9));
+        sw.reset();
+        assert!(sw.power().approx_eq(Watts::new(750.0), 1e-9));
+    }
+
+    #[test]
+    fn scaling_affects_own_power_only() {
+        let mut sw = switch_component_model();
+        sw.set_state("fans", GateState::Scaled(0.5)).unwrap();
+        assert!(sw.power().approx_eq(Watts::new(750.0 - 45.0), 1e-9));
+        // Scaling an inner node with zero own power changes nothing.
+        sw.set_state("asic", GateState::Scaled(0.1)).unwrap();
+        assert!(sw.power().approx_eq(Watts::new(750.0 - 45.0), 1e-9));
+    }
+
+    #[test]
+    fn unexposed_knob_is_rejected() {
+        let mut sw = switch_component_model();
+        assert!(sw.set_state("misc", GateState::Off).is_err());
+        assert!(sw.set_state("nonexistent", GateState::Off).is_err());
+        // Setting On is always allowed.
+        assert!(sw.set_state("misc", GateState::On).is_ok());
+    }
+
+    #[test]
+    fn cstates_are_monotonically_deeper() {
+        let mut sw = switch_component_model();
+        let mut last = f64::INFINITY;
+        for cs in switch_cstates() {
+            cs.apply(&mut sw).unwrap();
+            let p = sw.power().value();
+            assert!(p < last || cs.name == "C0", "{} did not deepen", cs.name);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn deep_state_implies_much_better_proportionality() {
+        let mut sw = switch_component_model();
+        let deep = &switch_cstates()[3];
+        deep.apply(&mut sw).unwrap();
+        // 1 pipeline (138) + 0.5·90 fans + 0.7·48 cpu + 60 misc = 276.6 W.
+        assert!(sw.power().approx_eq(Watts::new(276.6), 1e-9));
+        let p = sw.implied_proportionality().unwrap();
+        assert!(p.fraction() > 0.6, "deep C-state proportionality {p}");
+    }
+
+    #[test]
+    fn walk_enumerates_all_components() {
+        let sw = switch_component_model();
+        let paths: Vec<String> = sw.walk().into_iter().map(|(p, _)| p).collect();
+        assert!(paths.contains(&"switch".to_string()));
+        assert!(paths.contains(&"switch/asic/pipeline0/serdes".to_string()));
+        // 1 root + 1 asic + 4 pipelines×(1+3) + cpu + fans + misc = 21.
+        assert_eq!(paths.len(), 21);
+    }
+
+    #[test]
+    fn find_resolves_paths() {
+        let sw = switch_component_model();
+        assert!(sw.find("asic/pipeline3/memory").is_some());
+        assert!(sw.find("asic/pipeline4").is_none());
+        assert_eq!(sw.find("cpu").unwrap().max_power(), Watts::new(48.0));
+    }
+}

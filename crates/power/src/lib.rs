@@ -1,0 +1,91 @@
+//! # npp-power
+//!
+//! Power modeling for networking and compute hardware, following §2.3 of
+//! *"It Is Time to Address Network Power Proportionality"* (HotNets '25).
+//!
+//! The crate provides:
+//!
+//! - [`Proportionality`] — the paper's Equation 1,
+//!   `(max − idle) / max`, with conversions between idle power and
+//!   proportionality;
+//! - [`PowerModel`] implementations — the paper's two-state (idle/max)
+//!   model plus a linear load-proportional model used for ablations;
+//! - [`devices`] — an embedded device database reproducing Table 1
+//!   (GPU, switch) and Table 2 (NICs, transceivers) including the paper's
+//!   extrapolation rule for speeds with no published datasheet value;
+//! - [`energy`] — phase-profile energy accounting and the energy-efficiency
+//!   metric of §3.1;
+//! - [`cost`] — the §3.2 operating-cost model (electricity price + cooling
+//!   overhead);
+//! - [`gating`] — a hierarchical component/power-domain model for the §4.1
+//!   "power knobs" discussion, including switch C-state catalogs;
+//! - [`psu`] — load-dependent power-supply efficiency, for the wall-side
+//!   view of proportionality.
+//!
+//! ## Example
+//!
+//! ```
+//! use npp_power::{Proportionality, TwoStatePower, PowerModel};
+//! use npp_units::{Ratio, Watts};
+//!
+//! // A 750 W switch with the paper's baseline 10% proportionality:
+//! let switch = TwoStatePower::new(Watts::new(750.0), Proportionality::new(0.10).unwrap());
+//! assert_eq!(switch.idle_power(), Watts::new(675.0));
+//! assert_eq!(switch.power_at(Ratio::ZERO), Watts::new(675.0));
+//! assert_eq!(switch.power_at(Ratio::ONE), Watts::new(750.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod devices;
+pub mod energy;
+pub mod gating;
+pub mod psu;
+mod model;
+mod proportionality;
+
+pub use model::{LinearPower, PowerModel, TwoStatePower};
+pub use proportionality::Proportionality;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A proportionality value was outside `[0, 1]`.
+    InvalidProportionality(f64),
+    /// A requested device speed has no entry (and extrapolation was
+    /// disallowed or impossible).
+    UnknownDeviceSpeed {
+        /// Device kind, e.g. "NIC".
+        kind: &'static str,
+        /// Requested speed in Gbps.
+        gbps: f64,
+    },
+    /// A component path did not resolve in a gating tree.
+    UnknownComponent(String),
+    /// A power value was negative or non-finite.
+    InvalidPower(f64),
+}
+
+impl core::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PowerError::InvalidProportionality(v) => {
+                write!(f, "power proportionality {v} is outside [0, 1]")
+            }
+            PowerError::UnknownDeviceSpeed { kind, gbps } => {
+                write!(f, "no {kind} power entry for {gbps} Gbps")
+            }
+            PowerError::UnknownComponent(path) => {
+                write!(f, "no component at path {path:?}")
+            }
+            PowerError::InvalidPower(v) => write!(f, "invalid power value {v} W"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PowerError>;

@@ -1,0 +1,176 @@
+//! Power models: how a device's draw depends on its load.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Ratio, Watts};
+
+use crate::Proportionality;
+
+/// A device power model: maps an instantaneous load (utilization in
+/// `[0, 1]`) to a power draw.
+///
+/// The paper's analysis (§2.2–§2.3) only ever exercises the two endpoints
+/// — resources are either *idle* or at *full speed* — which is captured by
+/// [`TwoStatePower`]. [`LinearPower`] interpolates linearly and is used in
+/// the ablation benchmarks to test how sensitive the conclusions are to the
+/// binary-load assumption.
+pub trait PowerModel {
+    /// Power drawn at the given load.
+    fn power_at(&self, load: Ratio) -> Watts;
+
+    /// Power drawn at full load.
+    fn max_power(&self) -> Watts;
+
+    /// Power drawn at zero load.
+    fn idle_power(&self) -> Watts;
+
+    /// The proportionality implied by this model (Equation 1).
+    fn proportionality(&self) -> Proportionality {
+        Proportionality::from_idle_max(self.idle_power(), self.max_power())
+            .expect("idle ≤ max by construction")
+    }
+}
+
+/// The paper's two-state model: a device is either idle or at max power.
+///
+/// Any strictly positive load counts as "active"; the paper's phases are
+/// binary (network idle during computation, GPUs idle during
+/// communication), so no intermediate loads occur in the core analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoStatePower {
+    max: Watts,
+    proportionality: Proportionality,
+}
+
+impl TwoStatePower {
+    /// Creates a two-state model from a max power and a proportionality.
+    pub fn new(max: Watts, proportionality: Proportionality) -> Self {
+        Self { max, proportionality }
+    }
+
+    /// Creates a two-state model from explicit idle and max powers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `idle > max` or `max ≤ 0`.
+    pub fn from_idle_max(idle: Watts, max: Watts) -> crate::Result<Self> {
+        Ok(Self {
+            max,
+            proportionality: Proportionality::from_idle_max(idle, max)?,
+        })
+    }
+
+    /// Returns a copy of this model with a different proportionality —
+    /// the primary "what-if" knob of the whole paper.
+    pub fn with_proportionality(self, p: Proportionality) -> Self {
+        Self { max: self.max, proportionality: p }
+    }
+}
+
+impl PowerModel for TwoStatePower {
+    fn power_at(&self, load: Ratio) -> Watts {
+        if load.fraction() > 0.0 {
+            self.max
+        } else {
+            self.idle_power()
+        }
+    }
+
+    fn max_power(&self) -> Watts {
+        self.max
+    }
+
+    fn idle_power(&self) -> Watts {
+        self.proportionality.idle_power(self.max)
+    }
+
+    fn proportionality(&self) -> Proportionality {
+        self.proportionality
+    }
+}
+
+/// A linearly load-proportional model:
+/// `P(load) = idle + (max − idle) · load`.
+///
+/// This is the classic energy-proportional server model; networking
+/// devices that implement ideal rate adaptation (§4.3) would approach it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearPower {
+    max: Watts,
+    proportionality: Proportionality,
+}
+
+impl LinearPower {
+    /// Creates a linear model from a max power and a proportionality.
+    pub fn new(max: Watts, proportionality: Proportionality) -> Self {
+        Self { max, proportionality }
+    }
+}
+
+impl PowerModel for LinearPower {
+    fn power_at(&self, load: Ratio) -> Watts {
+        let idle = self.idle_power();
+        let span = self.max - idle;
+        idle + span * load.fraction().clamp(0.0, 1.0)
+    }
+
+    fn max_power(&self) -> Watts {
+        self.max
+    }
+
+    fn idle_power(&self) -> Watts {
+        self.proportionality.idle_power(self.max)
+    }
+
+    fn proportionality(&self) -> Proportionality {
+        self.proportionality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switch() -> TwoStatePower {
+        TwoStatePower::new(Watts::new(750.0), Proportionality::NETWORK_BASELINE)
+    }
+
+    #[test]
+    fn two_state_endpoints() {
+        let m = switch();
+        assert_eq!(m.power_at(Ratio::ZERO), Watts::new(675.0));
+        assert_eq!(m.power_at(Ratio::ONE), Watts::new(750.0));
+        // Any nonzero load counts as active under the paper's model.
+        assert_eq!(m.power_at(Ratio::new(0.01)), Watts::new(750.0));
+    }
+
+    #[test]
+    fn linear_interpolates() {
+        let m = LinearPower::new(Watts::new(750.0), Proportionality::NETWORK_BASELINE);
+        assert_eq!(m.power_at(Ratio::ZERO), Watts::new(675.0));
+        assert_eq!(m.power_at(Ratio::ONE), Watts::new(750.0));
+        let half = m.power_at(Ratio::new(0.5));
+        assert!(half.approx_eq(Watts::new(712.5), 1e-9));
+        // Loads outside [0,1] are clamped.
+        assert_eq!(m.power_at(Ratio::new(2.0)), Watts::new(750.0));
+    }
+
+    #[test]
+    fn implied_proportionality_round_trips() {
+        let m = switch();
+        assert!(m
+            .proportionality()
+            .approx_eq(Proportionality::NETWORK_BASELINE, 1e-12));
+        let m2 = TwoStatePower::from_idle_max(Watts::new(675.0), Watts::new(750.0)).unwrap();
+        assert!(m2
+            .proportionality()
+            .approx_eq(Proportionality::NETWORK_BASELINE, 1e-12));
+    }
+
+    #[test]
+    fn what_if_knob() {
+        let m = switch().with_proportionality(Proportionality::PERFECT);
+        assert_eq!(m.idle_power(), Watts::ZERO);
+        assert_eq!(m.max_power(), Watts::new(750.0));
+    }
+}

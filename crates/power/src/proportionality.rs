@@ -1,0 +1,145 @@
+//! Power proportionality — Equation 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::Watts;
+
+use crate::{PowerError, Result};
+
+/// Power proportionality as defined by Equation 1 of the paper:
+///
+/// ```text
+/// proportionality = (max power − idle power) / max power
+/// ```
+///
+/// A value of `1.0` means the device draws nothing when idle (perfectly
+/// proportional); `0.0` means idle draw equals max draw. The paper uses
+/// 0.85 for modern servers and 0.10 as the baseline for networking
+/// hardware (the literature reports 5–20 %).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Proportionality(f64);
+
+impl Proportionality {
+    /// Perfectly power-proportional device (zero idle draw).
+    pub const PERFECT: Self = Self(1.0);
+    /// Completely non-proportional device (idle draw = max draw).
+    pub const FLAT: Self = Self(0.0);
+    /// The paper's network baseline (§2.3.2): 10 %.
+    pub const NETWORK_BASELINE: Self = Self(0.10);
+    /// The paper's compute value (§2.3.1, citing Barroso et al.): 85 %.
+    pub const COMPUTE: Self = Self(0.85);
+
+    /// Creates a proportionality from a fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidProportionality`] if the value is NaN
+    /// or outside `[0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self> {
+        if fraction.is_nan() || !(0.0..=1.0).contains(&fraction) {
+            return Err(PowerError::InvalidProportionality(fraction));
+        }
+        Ok(Self(fraction))
+    }
+
+    /// Creates a proportionality from a percentage in `[0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Proportionality::new`].
+    pub fn from_percent(pct: f64) -> Result<Self> {
+        Self::new(pct / 100.0)
+    }
+
+    /// Computes the proportionality of a device from its measured idle and
+    /// max powers (Equation 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the resulting fraction is outside `[0, 1]`
+    /// (i.e. idle exceeds max or either is negative).
+    pub fn from_idle_max(idle: Watts, max: Watts) -> Result<Self> {
+        if max.value() <= 0.0 {
+            return Err(PowerError::InvalidPower(max.value()));
+        }
+        Self::new((max.value() - idle.value()) / max.value())
+    }
+
+    /// Returns the raw fraction in `[0, 1]`.
+    #[inline]
+    pub const fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value as a percentage.
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The idle power implied by this proportionality for a device with the
+    /// given max power: `idle = max · (1 − proportionality)`.
+    #[inline]
+    pub fn idle_power(self, max: Watts) -> Watts {
+        max * (1.0 - self.0)
+    }
+
+    /// Absolute-tolerance comparison.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl core::fmt::Display for Proportionality {
+    /// Renders as a percentage, with default precision 0 ("10%").
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let prec = f.precision().unwrap_or(0);
+        write!(f, "{:.*}%", prec, self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_paper_values() {
+        // §2.3.1: 500 W max, 85% proportionality ⇒ 75 W idle.
+        let idle = Proportionality::COMPUTE.idle_power(Watts::new(500.0));
+        assert!(idle.approx_eq(Watts::new(75.0), 1e-9));
+        // And Eq. 1 inverts it.
+        let p = Proportionality::from_idle_max(Watts::new(75.0), Watts::new(500.0)).unwrap();
+        assert!(p.approx_eq(Proportionality::COMPUTE, 1e-12));
+    }
+
+    #[test]
+    fn network_baseline_idle() {
+        // §2.3.2: a 750 W switch at 10% proportionality idles at 675 W.
+        let idle = Proportionality::NETWORK_BASELINE.idle_power(Watts::new(750.0));
+        assert_eq!(idle, Watts::new(675.0));
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        assert!(Proportionality::new(-0.01).is_err());
+        assert!(Proportionality::new(1.01).is_err());
+        assert!(Proportionality::new(f64::NAN).is_err());
+        assert!(Proportionality::from_percent(50.0).is_ok());
+        assert!(Proportionality::from_idle_max(Watts::new(800.0), Watts::new(750.0)).is_err());
+        assert!(Proportionality::from_idle_max(Watts::new(10.0), Watts::ZERO).is_err());
+    }
+
+    #[test]
+    fn perfect_and_flat() {
+        assert_eq!(Proportionality::PERFECT.idle_power(Watts::new(750.0)), Watts::ZERO);
+        assert_eq!(Proportionality::FLAT.idle_power(Watts::new(750.0)), Watts::new(750.0));
+    }
+
+    #[test]
+    fn display_percent() {
+        assert_eq!(format!("{}", Proportionality::NETWORK_BASELINE), "10%");
+        assert_eq!(format!("{:.1}", Proportionality::COMPUTE), "85.0%");
+    }
+}

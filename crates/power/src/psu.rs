@@ -1,0 +1,171 @@
+//! Power-supply efficiency: the wall-side view of proportionality.
+//!
+//! Device power models describe DC draw; the facility pays for AC. PSU
+//! efficiency is load-dependent and *worst at low load* — which is
+//! exactly where power-proportional devices spend their time. This
+//! module converts DC draw to wall power through an 80-PLUS-style
+//! efficiency curve, quantifying the §3.2 aside that savings ripple
+//! through the power-delivery chain (and slightly erode at the wall if
+//! PSUs are oversized).
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Ratio, Watts};
+
+use crate::{PowerError, Proportionality, Result};
+
+/// A PSU with a piecewise-linear efficiency curve over load fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsuModel {
+    /// Rated (maximum) DC output.
+    pub rated: Watts,
+    /// `(load fraction of rated, efficiency)` points, ascending in load.
+    /// Efficiency below the first point falls off linearly toward
+    /// `efficiency_at_zero`.
+    pub curve: Vec<(f64, f64)>,
+    /// Efficiency as the load approaches zero (fans/standby overhead
+    /// dominate; typically very poor).
+    pub efficiency_at_zero: f64,
+}
+
+impl PsuModel {
+    /// An 80 PLUS Platinum supply: 89 % at 10 % load, 92/94/91 % at
+    /// 20/50/100 %, collapsing toward 50 % near zero load.
+    pub fn eighty_plus_platinum(rated: Watts) -> Self {
+        Self {
+            rated,
+            curve: vec![(0.10, 0.89), (0.20, 0.92), (0.50, 0.94), (1.00, 0.91)],
+            efficiency_at_zero: 0.50,
+        }
+    }
+
+    /// Efficiency at a DC output level.
+    ///
+    /// # Errors
+    ///
+    /// Rejects negative loads and loads beyond the rating.
+    pub fn efficiency(&self, dc: Watts) -> Result<Ratio> {
+        if dc.value() < 0.0 || dc > self.rated {
+            return Err(PowerError::InvalidPower(dc.value()));
+        }
+        let load = dc / self.rated;
+        let (first_l, first_e) = self.curve.first().copied().unwrap_or((1.0, 1.0));
+        if load <= first_l {
+            // Linear from (0, eff0) to the first curve point.
+            let t = if first_l > 0.0 { load / first_l } else { 1.0 };
+            return Ok(Ratio::new(
+                self.efficiency_at_zero + (first_e - self.efficiency_at_zero) * t,
+            ));
+        }
+        for w in self.curve.windows(2) {
+            let ((l0, e0), (l1, e1)) = (w[0], w[1]);
+            if load <= l1 {
+                let t = (load - l0) / (l1 - l0);
+                return Ok(Ratio::new(e0 + (e1 - e0) * t));
+            }
+        }
+        Ok(Ratio::new(self.curve.last().map(|&(_, e)| e).unwrap_or(1.0)))
+    }
+
+    /// AC (wall) power drawn to deliver `dc` at the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load-range errors.
+    pub fn wall_power(&self, dc: Watts) -> Result<Watts> {
+        if dc.value() == 0.0 {
+            return Ok(Watts::ZERO);
+        }
+        let eff = self.efficiency(dc)?;
+        Ok(dc / eff.fraction())
+    }
+
+    /// The proportionality observed *at the wall* for a device with the
+    /// given DC idle/max draws behind this PSU: low-load inefficiency
+    /// inflates the idle wall power, eroding the device's proportionality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load-range errors.
+    pub fn wall_proportionality(&self, idle: Watts, max: Watts) -> Result<Proportionality> {
+        Proportionality::from_idle_max(self.wall_power(idle)?, self.wall_power(max)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psu() -> PsuModel {
+        PsuModel::eighty_plus_platinum(Watts::new(1000.0))
+    }
+
+    #[test]
+    fn curve_points_interpolate() {
+        let p = psu();
+        assert!(p.efficiency(Watts::new(100.0)).unwrap().approx_eq(Ratio::new(0.89), 1e-12));
+        assert!(p.efficiency(Watts::new(500.0)).unwrap().approx_eq(Ratio::new(0.94), 1e-12));
+        assert!(p.efficiency(Watts::new(1000.0)).unwrap().approx_eq(Ratio::new(0.91), 1e-12));
+        // Midpoint of the 20–50% segment.
+        let mid = p.efficiency(Watts::new(350.0)).unwrap();
+        assert!(mid.approx_eq(Ratio::new(0.93), 1e-12), "{mid}");
+    }
+
+    #[test]
+    fn efficiency_collapses_toward_zero_load() {
+        let p = psu();
+        let tiny = p.efficiency(Watts::new(10.0)).unwrap();
+        assert!(tiny.fraction() < 0.6, "tiny-load efficiency {tiny}");
+        assert!(
+            p.efficiency(Watts::ZERO).unwrap().approx_eq(Ratio::new(0.5), 1e-12)
+        );
+    }
+
+    #[test]
+    fn wall_power_exceeds_dc_power() {
+        let p = psu();
+        for dc in [50.0, 100.0, 500.0, 1000.0] {
+            let wall = p.wall_power(Watts::new(dc)).unwrap();
+            assert!(wall.value() > dc, "dc {dc} → wall {wall}");
+        }
+        assert_eq!(p.wall_power(Watts::ZERO).unwrap(), Watts::ZERO);
+    }
+
+    #[test]
+    fn psu_erodes_proportionality_at_the_wall() {
+        // A 750 W switch made 85% proportional (idle 112.5 W) behind a
+        // 1 kW PSU: the idle point sits in the inefficient low-load
+        // region, so the wall-side proportionality is worse than 85%.
+        let p = psu();
+        let device = Proportionality::COMPUTE; // 85%
+        let idle = device.idle_power(Watts::new(750.0));
+        let wall = p.wall_proportionality(idle, Watts::new(750.0)).unwrap();
+        assert!(
+            wall.fraction() < device.fraction(),
+            "wall {wall} should be below device {device}"
+        );
+        // But the erosion is bounded (a few points, not a collapse).
+        assert!(wall.fraction() > 0.80, "wall {wall}");
+    }
+
+    #[test]
+    fn out_of_range_loads_rejected() {
+        let p = psu();
+        assert!(p.efficiency(Watts::new(-1.0)).is_err());
+        assert!(p.efficiency(Watts::new(1001.0)).is_err());
+        assert!(p.wall_power(Watts::new(2000.0)).is_err());
+    }
+
+    #[test]
+    fn right_sized_psu_erodes_less() {
+        // The fix: size the PSU to the device. A 750 W-rated PSU keeps
+        // the idle point at 15% load instead of 11%.
+        let big = PsuModel::eighty_plus_platinum(Watts::new(2000.0));
+        let right = PsuModel::eighty_plus_platinum(Watts::new(800.0));
+        let idle = Watts::new(112.5);
+        let max = Watts::new(750.0);
+        let p_big = big.wall_proportionality(idle, max).unwrap();
+        let p_right = right.wall_proportionality(idle, max).unwrap();
+        assert!(p_right.fraction() > p_big.fraction());
+    }
+}

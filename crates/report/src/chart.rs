@@ -1,0 +1,320 @@
+//! ASCII charts: multi-series line charts (Figures 3–4) and segmented
+//! horizontal bars (Figure 2a).
+
+/// A multi-series line chart plotted on a character grid.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, char, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Creates an empty chart of the given plot-area size (characters).
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        Self {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: width.max(10),
+            height: height.max(4),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets axis labels.
+    pub fn with_axes(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Adds a named series drawn with `marker`.
+    pub fn add_series(&mut self, name: impl Into<String>, marker: char, points: Vec<(f64, f64)>) {
+        self.series.push((name.into(), marker, points));
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let pts: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|(_, _, p)| p.iter().copied()).collect();
+        if pts.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        if (xmax - xmin).abs() < f64::EPSILON {
+            xmax = xmin + 1.0;
+        }
+        if (ymax - ymin).abs() < f64::EPSILON {
+            ymax = ymin + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        // Zero line if the y range crosses zero.
+        if ymin < 0.0 && ymax > 0.0 {
+            let zr = ((ymax - 0.0) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+            for c in &mut grid[zr.min(self.height - 1)] {
+                *c = '·';
+            }
+        }
+        for (_, marker, points) in &self.series {
+            for &(x, y) in points {
+                let col = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
+                let row =
+                    ((ymax - y) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+                grid[row.min(self.height - 1)][col.min(self.width - 1)] = *marker;
+            }
+        }
+        let y_top = format!("{ymax:.1}");
+        let y_bot = format!("{ymin:.1}");
+        let margin = y_top.len().max(y_bot.len());
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{y_top:>margin$}")
+            } else if r == self.height - 1 {
+                format!("{y_bot:>margin$}")
+            } else {
+                " ".repeat(margin)
+            };
+            out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{} +{}\n{}  {xmin:<.1}{}{xmax:>.1}\n",
+            " ".repeat(margin),
+            "-".repeat(self.width),
+            " ".repeat(margin),
+            " ".repeat(self.width.saturating_sub(8)),
+        ));
+        if !self.x_label.is_empty() || !self.y_label.is_empty() {
+            out.push_str(&format!("x: {}   y: {}\n", self.x_label, self.y_label));
+        }
+        out.push_str("legend: ");
+        let legend: Vec<String> =
+            self.series.iter().map(|(n, m, _)| format!("{m} {n}")).collect();
+        out.push_str(&legend.join("   "));
+        out.push('\n');
+        out
+    }
+}
+
+/// A horizontal bar chart where each bar is split into labeled segments
+/// summing to 100 % (Figure 2a's stacked bars).
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    /// (bar label, segments as (segment label char, fraction)).
+    bars: Vec<(String, Vec<(char, f64)>)>,
+    legend: Vec<(char, String)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart whose bars are `width` characters long.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        Self { title: title.into(), width: width.max(10), bars: Vec::new(), legend: Vec::new() }
+    }
+
+    /// Declares a legend entry.
+    pub fn add_legend(&mut self, marker: char, name: impl Into<String>) {
+        self.legend.push((marker, name.into()));
+    }
+
+    /// Adds a bar from absolute segment values (normalized internally).
+    pub fn add_bar(&mut self, label: impl Into<String>, segments: Vec<(char, f64)>) {
+        self.bars.push((label.into(), segments));
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let label_w = self.bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        for (label, segments) in &self.bars {
+            let total: f64 = segments.iter().map(|(_, v)| v.max(0.0)).sum();
+            let mut bar = String::new();
+            if total > 0.0 {
+                let mut used = 0usize;
+                for (i, (marker, v)) in segments.iter().enumerate() {
+                    let cells = if i == segments.len() - 1 {
+                        self.width - used
+                    } else {
+                        ((v.max(0.0) / total) * self.width as f64).round() as usize
+                    };
+                    let cells = cells.min(self.width - used);
+                    bar.push_str(&marker.to_string().repeat(cells));
+                    used += cells;
+                }
+            }
+            out.push_str(&format!("{label:<label_w$} |{bar:<w$}|\n", w = self.width));
+        }
+        if !self.legend.is_empty() {
+            out.push_str("legend: ");
+            let legend: Vec<String> =
+                self.legend.iter().map(|(m, n)| format!("{m}={n}")).collect();
+            out.push_str(&legend.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let mut c = LineChart::new("Figure 3", 40, 10).with_axes("prop %", "speedup %");
+        c.add_series("400G", 'o', vec![(0.0, -2.0), (50.0, 3.0), (100.0, 8.0)]);
+        c.add_series("1600G", 'x', vec![(0.0, -30.0), (50.0, -10.0), (100.0, 13.0)]);
+        let s = c.render();
+        assert!(s.contains("Figure 3"));
+        assert!(s.contains('o'));
+        assert!(s.contains('x'));
+        assert!(s.contains("legend: o 400G   x 1600G"));
+        // Zero line drawn because the range crosses zero.
+        assert!(s.contains('·'));
+    }
+
+    #[test]
+    fn line_chart_handles_empty_and_degenerate() {
+        let c = LineChart::new("empty", 20, 5);
+        assert!(c.render().contains("(no data)"));
+        let mut c = LineChart::new("flat", 20, 5);
+        c.add_series("s", '*', vec![(1.0, 2.0)]);
+        let s = c.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_proportions() {
+        let mut b = BarChart::new("Figure 2a", 50);
+        b.add_legend('G', "GPU&Server");
+        b.add_legend('N', "Network");
+        b.add_bar("Computation", vec![('G', 88.1), ('N', 11.9)]);
+        b.add_bar("Communication", vec![('G', 52.5), ('N', 47.5)]);
+        let s = b.render();
+        let comp_line = s.lines().find(|l| l.starts_with("Computation")).unwrap();
+        let g_count = comp_line.matches('G').count() - 1; // minus label's G... none in label
+        let _ = g_count;
+        // ~88% of 50 cells ≈ 44.
+        let g_cells = comp_line.chars().filter(|&c| c == 'G').count();
+        assert!((43..=45).contains(&g_cells), "G cells {g_cells}");
+        assert!(s.contains("legend: G=GPU&Server  N=Network"));
+    }
+
+    #[test]
+    fn bar_chart_zero_total() {
+        let mut b = BarChart::new("t", 10);
+        b.add_bar("empty", vec![('x', 0.0)]);
+        let s = b.render();
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn bar_fills_exact_width() {
+        let mut b = BarChart::new("t", 30);
+        b.add_bar("bar", vec![('a', 1.0), ('b', 1.0), ('c', 1.0)]);
+        let s = b.render();
+        let line = s.lines().find(|l| l.starts_with("bar")).unwrap();
+        let inner: String =
+            line.chars().skip_while(|&c| c != '|').skip(1).take_while(|&c| c != '|').collect();
+        assert_eq!(inner.chars().count(), 30);
+    }
+}
+
+/// An ASCII heatmap: a matrix shaded by magnitude (Table 3 at a glance).
+#[derive(Debug, Clone, Default)]
+pub struct Heatmap {
+    title: String,
+    col_labels: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Heatmap {
+    /// Shade ramp from cold to hot.
+    const RAMP: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+
+    /// Creates a heatmap with the given column labels.
+    pub fn new(title: impl Into<String>, col_labels: Vec<String>) -> Self {
+        Self { title: title.into(), col_labels, rows: Vec::new() }
+    }
+
+    /// Adds a labeled row of values.
+    pub fn add_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the shaded matrix with the numeric value beside each cell.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max);
+        let label_w = self.rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        // Header.
+        out.push_str(&" ".repeat(label_w + 1));
+        for c in &self.col_labels {
+            out.push_str(&format!("{c:>9}"));
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("{label:<label_w$} "));
+            for &v in values {
+                let shade = if max > 0.0 {
+                    let idx = ((v / max) * (Self::RAMP.len() - 1) as f64).round() as usize;
+                    Self::RAMP[idx.min(Self::RAMP.len() - 1)]
+                } else {
+                    ' '
+                };
+                out.push_str(&format!(" {shade}{shade}{v:>5.1}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("shade: '{}' = 0 … '{}' = {max:.1}\n",
+            Self::RAMP[0], Self::RAMP[Self::RAMP.len() - 1]));
+        out
+    }
+}
+
+#[cfg(test)]
+mod heatmap_tests {
+    use super::*;
+
+    #[test]
+    fn shades_scale_with_magnitude() {
+        let mut h = Heatmap::new(
+            "Table 3",
+            vec!["10%".into(), "50%".into(), "100%".into()],
+        );
+        h.add_row("400G", vec![0.0, 4.7, 10.6]);
+        h.add_row("1600G", vec![0.0, 15.6, 35.1]);
+        let s = h.render();
+        assert!(s.contains("Table 3"));
+        // The hottest cell gets the densest shade, zero cells the lightest.
+        assert!(s.contains("@@ 35.1"), "{s}");
+        assert!(s.contains("   0.0"), "{s}");
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn empty_and_flat_maps() {
+        let h = Heatmap::new("empty", vec![]);
+        assert!(h.render().contains("empty"));
+        let mut h = Heatmap::new("flat", vec!["a".into()]);
+        h.add_row("r", vec![0.0]);
+        assert!(h.render().contains("0.0"));
+    }
+}

@@ -1,0 +1,92 @@
+//! CSV and JSON export.
+
+use serde::Serialize;
+
+/// Serializes rows of `(column, value)` data to CSV with proper quoting.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a CSV with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders RFC-4180-style CSV (quotes cells containing commas,
+    /// quotes, or newlines; doubles embedded quotes).
+    pub fn render(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Serializes any `Serialize` value to pretty JSON (the export format of
+/// every `netpp --json` command).
+///
+/// # Errors
+///
+/// Propagates `serde_json` serialization errors.
+pub fn to_json<T: Serialize>(value: &T) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_basic() {
+        let mut c = Csv::new(vec!["bw", "savings"]);
+        c.push_row(vec!["400G", "4.7%"]);
+        let s = c.render();
+        assert_eq!(s, "bw,savings\n400G,4.7%\n");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut c = Csv::new(vec!["name"]);
+        c.push_row(vec!["has,comma"]);
+        c.push_row(vec!["has\"quote"]);
+        c.push_row(vec!["has\nnewline"]);
+        let s = c.render();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+        assert!(s.contains("\"has\nnewline\""));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        #[derive(Serialize)]
+        struct Row {
+            bw: f64,
+            savings: f64,
+        }
+        let s = to_json(&Row { bw: 400.0, savings: 0.047 }).unwrap();
+        assert!(s.contains("\"bw\": 400.0"));
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v["savings"], 0.047);
+    }
+}

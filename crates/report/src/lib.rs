@@ -1,0 +1,17 @@
+//! # npp-report
+//!
+//! Presentation for `netpp` experiment results: plain-text tables that
+//! mirror the paper's tables, ASCII charts that mirror its figures, and
+//! CSV/JSON export for external plotting.
+//!
+//! Everything renders to `String` — the CLI decides where bytes go.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod export;
+pub mod table;
+
+pub use chart::{BarChart, LineChart};
+pub use table::Table;

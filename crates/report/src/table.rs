@@ -1,0 +1,184 @@
+//! Plain-text tables (markdown-compatible).
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers; the first column is
+    /// left-aligned, the rest right-aligned (the common numeric layout).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Self { headers, aligns, rows: Vec::new(), title: None }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides column alignments (excess entries ignored, missing ones
+    /// keep defaults).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        for (i, a) in aligns.into_iter().enumerate() {
+            if i < self.aligns.len() {
+                self.aligns[i] = a;
+            }
+        }
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// truncated to the header width.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        row.truncate(self.headers.len());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as aligned plain text with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_cell = |s: &str, i: usize| -> String {
+            let pad = widths[i] - s.chars().count();
+            match self.aligns[i] {
+                Align::Left => format!("{s}{}", " ".repeat(pad)),
+                Align::Right => format!("{}{s}", " ".repeat(pad)),
+            }
+        };
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let header: Vec<String> =
+            self.headers.iter().enumerate().map(|(i, h)| fmt_cell(h, i)).collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| fmt_cell(c, i)).collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&format!("**{t}**\n\n"));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":---",
+                Align::Right => "---:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", seps.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["Bandwidth", "10%", "50%"]).with_title("Table 3");
+        t.push_row(vec!["400G", "0.0%", "4.7%"]);
+        t.push_row(vec!["1600G", "0.0%", "15.6%"]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_text() {
+        let s = sample().render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Table 3");
+        assert!(lines[1].starts_with("Bandwidth"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // Numbers right-aligned: the 50% column ends with the value.
+        assert!(lines[3].ends_with("4.7%"));
+        assert!(lines[4].ends_with("15.6%"));
+        // Left column left-aligned.
+        assert!(lines[3].starts_with("400G "));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let md = sample().render_markdown();
+        assert!(md.contains("| Bandwidth | 10% | 50% |"));
+        assert!(md.contains("| :--- | ---: | ---: |"));
+        assert!(md.contains("| 1600G | 0.0% | 15.6% |"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only"]);
+        t.push_row(vec!["x", "y", "z"]);
+        assert_eq!(t.row_count(), 2);
+        let s = t.render();
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = Table::new(vec!["n", "name"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.push_row(vec!["1", "alpha"]);
+        t.push_row(vec!["100", "b"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].starts_with("  1"));
+        assert!(lines[3].starts_with("100"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["x"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

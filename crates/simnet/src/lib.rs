@@ -1,0 +1,97 @@
+//! # npp-simnet
+//!
+//! A small discrete-event network simulator with first-class power
+//! tracking, built to evaluate the §4 mechanisms of *"It Is Time to
+//! Address Network Power Proportionality"* (HotNets '25).
+//!
+//! Following the event-driven, allocation-light philosophy of the
+//! networking guides this project adheres to, the simulator is a set of
+//! composable pieces rather than a framework:
+//!
+//! - [`SimTime`] — integer-nanosecond simulation time;
+//! - [`Scheduler`] — a deterministic event queue (FIFO-stable for
+//!   simultaneous events);
+//! - [`PowerTracker`] — piecewise-constant power recording with exact
+//!   energy integration;
+//! - [`link`] — store-and-forward link transmission with optional
+//!   low-power-idle (sleep/wake) states, the substrate for the EEE
+//!   baseline;
+//! - [`switchsim`] — a multi-pipeline switch with a configurable
+//!   port→pipeline indirection layer (Figure 5) and drop-tail buffers,
+//!   the substrate for §4.3 rate adaptation and §4.4 pipeline parking;
+//! - [`netsim`] — a flow-level (fluid, max-min fair) simulator over
+//!   explicit topology graphs, for fabric-scale experiments;
+//! - [`sources`] — deterministic and random (seeded) traffic generators;
+//! - [`stats`] — latency/throughput summaries.
+//!
+//! Mechanism policies (when to sleep, park, or down-clock) live in
+//! `npp-mechanisms`; this crate only provides the mechanics.
+//!
+//! ```
+//! use npp_simnet::{PowerTracker, SimTime};
+//! use npp_units::Watts;
+//!
+//! // Exact energy integration over power-state changes:
+//! let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(750.0));
+//! t.set_power(SimTime::from_millis(900), Watts::new(675.0)).unwrap();
+//! let tl = t.finish(SimTime::from_secs(1)).unwrap();
+//! assert!((tl.average_power().value() - 742.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod netsim;
+pub mod power_tracker;
+pub mod sources;
+pub mod stats;
+pub mod switchsim;
+mod time;
+
+pub use event::Scheduler;
+pub use power_tracker::{PowerTimeline, PowerTracker};
+pub use time::SimTime;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Time went backwards.
+    TimeReversal {
+        /// Current simulation time (ns).
+        now_ns: u64,
+        /// The earlier timestamp that was supplied (ns).
+        requested_ns: u64,
+    },
+    /// A port/pipeline index was out of range.
+    BadIndex {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The valid bound (exclusive).
+        bound: usize,
+    },
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::TimeReversal { now_ns, requested_ns } => {
+                write!(f, "time reversal: now {now_ns} ns, requested {requested_ns} ns")
+            }
+            SimError::BadIndex { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (< {bound})")
+            }
+            SimError::Config(msg) => write!(f, "invalid simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,206 @@
+//! Store-and-forward link transmission timing.
+//!
+//! A [`Link`] is a FIFO serializer: each transmission occupies the wire
+//! for `bytes × 8 / capacity` and queues behind any transmission still in
+//! progress. Energy policies (EEE low-power idle, down-rating) are built
+//! on top of this in `npp-mechanisms`, using [`Link::idle_gap_since`] to
+//! find sleep opportunities.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::Gbps;
+
+use crate::{Result, SimError, SimTime};
+
+/// The outcome of a transmission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transmission {
+    /// When serialization starts (after queued predecessors).
+    pub start: SimTime,
+    /// When the last bit leaves the sender.
+    pub tx_end: SimTime,
+    /// When the last bit arrives at the receiver (tx_end + propagation).
+    pub arrival: SimTime,
+}
+
+impl Transmission {
+    /// Sender-side latency: from request to last bit out.
+    pub fn queueing_and_serialization(&self, requested: SimTime) -> u64 {
+        self.tx_end.since(requested)
+    }
+}
+
+/// A point-to-point link with fixed capacity and propagation delay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    capacity: Gbps,
+    propagation_ns: u64,
+    busy_until: SimTime,
+    last_activity: SimTime,
+    bytes_sent: u64,
+    transmissions: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive capacities.
+    pub fn new(capacity: Gbps, propagation_ns: u64) -> Result<Self> {
+        if capacity.value() <= 0.0 {
+            return Err(SimError::Config(format!(
+                "link capacity must be positive, got {capacity}"
+            )));
+        }
+        Ok(Self {
+            capacity,
+            propagation_ns,
+            busy_until: SimTime::ZERO,
+            last_activity: SimTime::ZERO,
+            bytes_sent: 0,
+            transmissions: 0,
+        })
+    }
+
+    /// Link capacity.
+    pub fn capacity(&self) -> Gbps {
+        self.capacity
+    }
+
+    /// Serialization time of `bytes` at this capacity, in nanoseconds
+    /// (rounded up so zero-length transmissions are the only free ones).
+    pub fn serialization_ns(&self, bytes: u64) -> u64 {
+        let ns = bytes as f64 * 8.0 / self.capacity.value(); // bits / (bits/ns)
+        ns.ceil() as u64
+    }
+
+    /// Whether the wire is free at `t`.
+    pub fn is_idle(&self, t: SimTime) -> bool {
+        t >= self.busy_until
+    }
+
+    /// How long the wire has been continuously idle at `t` (0 if busy).
+    pub fn idle_gap_since(&self, t: SimTime) -> u64 {
+        t.since(self.busy_until)
+    }
+
+    /// When the current transmission (if any) completes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total payload bytes serialized.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Number of transmissions.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Requests transmission of `bytes` at time `now`; the transmission
+    /// FIFO-queues behind any in-flight one.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeReversal`] if `now` precedes an earlier request.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> Result<Transmission> {
+        if now < self.last_activity {
+            return Err(SimError::TimeReversal {
+                now_ns: self.last_activity.as_nanos(),
+                requested_ns: now.as_nanos(),
+            });
+        }
+        self.last_activity = now;
+        let start = if self.busy_until > now { self.busy_until } else { now };
+        let tx_end = start.plus_nanos(self.serialization_ns(bytes));
+        self.busy_until = tx_end;
+        self.bytes_sent += bytes;
+        self.transmissions += 1;
+        Ok(Transmission {
+            start,
+            tx_end,
+            arrival: tx_end.plus_nanos(self.propagation_ns),
+        })
+    }
+
+    /// Utilization over `[0, t]`: serialized time / elapsed time. (Exact
+    /// for non-overlapping transmissions, which FIFO queuing guarantees.)
+    pub fn utilization(&self, t: SimTime) -> f64 {
+        if t == SimTime::ZERO {
+            return 0.0;
+        }
+        let busy_ns = self.serialization_ns(self.bytes_sent).min(t.as_nanos());
+        busy_ns as f64 / t.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link400() -> Link {
+        Link::new(Gbps::new(400.0), 500).unwrap()
+    }
+
+    #[test]
+    fn serialization_time() {
+        let l = link400();
+        // 1500 B at 400 Gbps = 12,000 bits / 400 bits/ns = 30 ns.
+        assert_eq!(l.serialization_ns(1500), 30);
+        assert_eq!(l.serialization_ns(0), 0);
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut l = link400();
+        let t0 = SimTime::from_nanos(100);
+        let a = l.transmit(t0, 1500).unwrap();
+        assert_eq!(a.start, t0);
+        assert_eq!(a.tx_end, SimTime::from_nanos(130));
+        assert_eq!(a.arrival, SimTime::from_nanos(630));
+        // Second packet at the same instant queues behind the first.
+        let b = l.transmit(t0, 1500).unwrap();
+        assert_eq!(b.start, SimTime::from_nanos(130));
+        assert_eq!(b.tx_end, SimTime::from_nanos(160));
+    }
+
+    #[test]
+    fn idle_gap_tracking() {
+        let mut l = link400();
+        let tx = l.transmit(SimTime::from_nanos(0), 1500).unwrap();
+        assert!(!l.is_idle(SimTime::from_nanos(10)));
+        assert!(l.is_idle(tx.tx_end));
+        assert_eq!(l.idle_gap_since(SimTime::from_nanos(100)), 70);
+        assert_eq!(l.idle_gap_since(SimTime::from_nanos(10)), 0);
+    }
+
+    #[test]
+    fn rejects_time_reversal_and_bad_capacity() {
+        let mut l = link400();
+        l.transmit(SimTime::from_nanos(100), 100).unwrap();
+        assert!(l.transmit(SimTime::from_nanos(50), 100).is_err());
+        assert!(Link::new(Gbps::ZERO, 0).is_err());
+    }
+
+    #[test]
+    fn utilization() {
+        let mut l = link400();
+        // 30 ns of serialization in 300 ns of elapsed time = 10%.
+        l.transmit(SimTime::ZERO, 1500).unwrap();
+        let u = l.utilization(SimTime::from_nanos(300));
+        assert!((u - 0.1).abs() < 1e-9);
+        assert_eq!(link400().utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn counters() {
+        let mut l = link400();
+        l.transmit(SimTime::ZERO, 1000).unwrap();
+        l.transmit(SimTime::ZERO, 500).unwrap();
+        assert_eq!(l.bytes_sent(), 1500);
+        assert_eq!(l.transmissions(), 2);
+    }
+}

@@ -1,0 +1,470 @@
+//! Flow-level network simulation with max-min fair sharing.
+//!
+//! A [`NetSim`] runs bulk flows over an explicit `npp-topology` graph:
+//! each flow follows one path, links are full-duplex (capacity per
+//! direction), and at every event (flow injection or completion) the
+//! rates are recomputed by progressive filling — the classic max-min
+//! fair-share fluid model. Between events all rates are constant, so
+//! completions are computed exactly rather than time-stepped.
+//!
+//! This gives the §4 fabric-level experiments a middle ground between
+//! the per-packet pipeline simulator (too slow for thousands of links)
+//! and the purely analytic phase model (blind to path sharing): it
+//! resolves *which links are busy when*, which is what link-level energy
+//! mechanisms act on. The unit tests validate it against the analytic
+//! collective cost models in `npp-workload`.
+
+use std::collections::HashMap;
+
+use npp_topology::graph::{LinkId, NodeId, Topology};
+
+use crate::{Result, SimError, SimTime};
+
+/// Identifier of a flow within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub usize);
+
+/// A directed traversal of an undirected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DirLink {
+    link: LinkId,
+    /// true when traversed from `link.a` to `link.b`.
+    forward: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    bytes_remaining: f64,
+    path: Vec<DirLink>,
+    injected: SimTime,
+    finished: Option<SimTime>,
+    rate_gbps: f64,
+}
+
+/// Statistics for one completed or running flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStatus {
+    /// When the flow was injected.
+    pub injected: SimTime,
+    /// Completion time, if finished.
+    pub finished: Option<SimTime>,
+    /// Bytes still to transfer.
+    pub bytes_remaining: f64,
+    /// Current rate (Gbps).
+    pub rate: f64,
+}
+
+/// The flow-level simulator.
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    topo: Topology,
+    flows: Vec<Flow>,
+    /// Pending injections, sorted by time (reverse for pop).
+    pending: Vec<(SimTime, FlowId)>,
+    now: SimTime,
+    /// Per-directed-link busy time accumulated, in seconds.
+    busy_secs: HashMap<DirLink, f64>,
+    /// Per-link bytes carried (both directions).
+    carried: HashMap<LinkId, f64>,
+}
+
+impl NetSim {
+    /// Creates a simulator over (a clone of) the topology.
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            topo,
+            flows: Vec::new(),
+            pending: Vec::new(),
+            now: SimTime::ZERO,
+            busy_secs: HashMap::new(),
+            carried: HashMap::new(),
+        }
+    }
+
+    /// The simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a flow of `bytes` from `src` to `dst` at time `at`,
+    /// routed on the `path_choice`-th ECMP shortest path (modulo the
+    /// path count — callers can hash flows across paths).
+    ///
+    /// # Errors
+    ///
+    /// Rejects flows between unreachable nodes, empty flows, and
+    /// injections in the past.
+    pub fn inject(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        path_choice: usize,
+    ) -> Result<FlowId> {
+        if at < self.now {
+            return Err(SimError::TimeReversal {
+                now_ns: self.now.as_nanos(),
+                requested_ns: at.as_nanos(),
+            });
+        }
+        if bytes <= 0.0 || !bytes.is_finite() {
+            return Err(SimError::Config(format!("flow size {bytes} must be positive")));
+        }
+        let paths = self.topo.ecmp_paths(src, dst, 16);
+        if paths.is_empty() {
+            return Err(SimError::Config(format!(
+                "no path from node {} to node {}",
+                src.0, dst.0
+            )));
+        }
+        let nodes = &paths[path_choice % paths.len()];
+        let mut path = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for hop in nodes.windows(2) {
+            let (a, b) = (hop[0], hop[1]);
+            let (_, link) = self
+                .topo
+                .neighbors(a)
+                .iter()
+                .copied()
+                .find(|&(peer, _)| peer == b)
+                .expect("consecutive ECMP nodes are adjacent");
+            let l = self.topo.link(link).expect("link exists");
+            path.push(DirLink { link, forward: l.a == a });
+        }
+        let id = FlowId(self.flows.len());
+        self.flows.push(Flow {
+            bytes_remaining: bytes,
+            path,
+            injected: at,
+            finished: None,
+            rate_gbps: 0.0,
+        });
+        self.pending.push((at, id));
+        self.pending.sort_by(|x, y| y.0.cmp(&x.0)); // reverse for pop()
+        Ok(id)
+    }
+
+    /// Ids of flows that have started but not finished at `now`.
+    fn active_flows(&self) -> Vec<usize> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| {
+                f.finished.is_none()
+                    && f.injected <= self.now
+                    && !self.pending.iter().any(|&(_, FlowId(p))| p == *i)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Progressive-filling max-min fair allocation over the active flows.
+    fn recompute_rates(&mut self, active: &[usize]) {
+        for &i in active {
+            self.flows[i].rate_gbps = 0.0;
+        }
+        let mut unassigned: Vec<usize> = active.to_vec();
+        // Remaining capacity per directed link.
+        let mut cap: HashMap<DirLink, f64> = HashMap::new();
+        for &i in active {
+            for &dl in &self.flows[i].path {
+                cap.entry(dl)
+                    .or_insert_with(|| self.topo.link(dl.link).expect("link").capacity.value());
+            }
+        }
+        while !unassigned.is_empty() {
+            // Bottleneck link: smallest fair share.
+            let mut best: Option<(f64, DirLink)> = None;
+            for (&dl, &c) in &cap {
+                let crossing = unassigned
+                    .iter()
+                    .filter(|&&i| self.flows[i].path.contains(&dl))
+                    .count();
+                if crossing == 0 {
+                    continue;
+                }
+                let share = c / crossing as f64;
+                if best.map(|(s, _)| share < s).unwrap_or(true) {
+                    best = Some((share, dl));
+                }
+            }
+            let Some((share, bottleneck)) = best else { break };
+            // Fix every unassigned flow crossing the bottleneck at the
+            // fair share; subtract from other links on their paths.
+            let fixed: Vec<usize> = unassigned
+                .iter()
+                .copied()
+                .filter(|&i| self.flows[i].path.contains(&bottleneck))
+                .collect();
+            for &i in &fixed {
+                self.flows[i].rate_gbps = share;
+                for &dl in &self.flows[i].path.clone() {
+                    if let Some(c) = cap.get_mut(&dl) {
+                        *c = (*c - share).max(0.0);
+                    }
+                }
+            }
+            cap.remove(&bottleneck);
+            unassigned.retain(|i| !fixed.contains(i));
+        }
+    }
+
+    /// Advances the simulation until all flows complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors (none occur after injection in the
+    /// current model); returns Ok when the fluid system drains.
+    pub fn run(&mut self) -> Result<()> {
+        loop {
+            let active = self.active_flows();
+            if active.is_empty() && self.pending.is_empty() {
+                return Ok(());
+            }
+            self.recompute_rates(&active);
+
+            // Earliest of: next injection, earliest completion.
+            let next_injection = self.pending.last().map(|&(t, _)| t);
+            let mut earliest_completion: Option<SimTime> = None;
+            for &i in &active {
+                let f = &self.flows[i];
+                if f.rate_gbps > 0.0 {
+                    let secs = f.bytes_remaining * 8.0 / (f.rate_gbps * 1e9);
+                    let t = self.now.plus_nanos((secs * 1e9).ceil() as u64);
+                    if earliest_completion.map(|e| t < e).unwrap_or(true) {
+                        earliest_completion = Some(t);
+                    }
+                }
+            }
+            let next = match (next_injection, earliest_completion) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    // Active flows but all at zero rate: deadlock — only
+                    // possible with zero-capacity links.
+                    return Err(SimError::Config(
+                        "active flows starved at zero rate".into(),
+                    ));
+                }
+            };
+
+            // Integrate progress over [now, next].
+            let dt = next.since(self.now) as f64 * 1e-9;
+            for &i in &active {
+                let f = &mut self.flows[i];
+                if f.rate_gbps > 0.0 {
+                    let moved = f.rate_gbps * 1e9 * dt / 8.0;
+                    f.bytes_remaining = (f.bytes_remaining - moved).max(0.0);
+                    for &dl in &f.path {
+                        *self.busy_secs.entry(dl).or_insert(0.0) += dt;
+                        *self.carried.entry(dl.link).or_insert(0.0) += moved;
+                    }
+                    if f.bytes_remaining <= 1e-6 {
+                        f.finished = Some(next);
+                    }
+                }
+            }
+            self.now = next;
+            // Release injections due now.
+            while self
+                .pending
+                .last()
+                .map(|&(t, _)| t <= self.now)
+                .unwrap_or(false)
+            {
+                self.pending.pop();
+            }
+        }
+    }
+
+    /// Status of a flow.
+    pub fn status(&self, id: FlowId) -> Option<FlowStatus> {
+        self.flows.get(id.0).map(|f| FlowStatus {
+            injected: f.injected,
+            finished: f.finished,
+            bytes_remaining: f.bytes_remaining,
+            rate: f.rate_gbps,
+        })
+    }
+
+    /// Completion time of the last-finishing flow (makespan), if all
+    /// finished.
+    pub fn makespan(&self) -> Option<SimTime> {
+        self.flows.iter().map(|f| f.finished).collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+
+    /// Seconds during which a link carried traffic in *either* direction
+    /// (union is approximated by the max of the two directions, exact
+    /// when both directions are driven by the same collective).
+    pub fn link_busy_secs(&self, link: LinkId) -> f64 {
+        let fwd = self
+            .busy_secs
+            .get(&DirLink { link, forward: true })
+            .copied()
+            .unwrap_or(0.0);
+        let rev = self
+            .busy_secs
+            .get(&DirLink { link, forward: false })
+            .copied()
+            .unwrap_or(0.0);
+        fwd.max(rev)
+    }
+
+    /// Bytes carried by a link, summed over both directions.
+    pub fn link_bytes(&self, link: LinkId) -> f64 {
+        self.carried.get(&link).copied().unwrap_or(0.0)
+    }
+
+    /// Links that never carried traffic.
+    pub fn idle_links(&self) -> Vec<LinkId> {
+        self.topo
+            .links()
+            .iter()
+            .map(|l| l.id)
+            .filter(|&l| self.link_bytes(l) == 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_topology::builder::{leaf_spine, three_tier_fat_tree};
+    use npp_units::Gbps;
+
+    #[test]
+    fn single_flow_line_rate() {
+        // 2 hosts on one leaf at 100 G: 125 MB moves in 10 ms.
+        let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        let f = sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
+        sim.run().unwrap();
+        let done = sim.status(f).unwrap().finished.unwrap();
+        assert_eq!(done, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_fairly() {
+        // Two hosts on leaf0 both sending to hosts on leaf1 through a
+        // single spine uplink: each gets half of the 100 G uplink.
+        let topo = leaf_spine(2, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        let a = sim.inject(SimTime::ZERO, hosts[0], hosts[2], 62.5e6, 0).unwrap();
+        let b = sim.inject(SimTime::ZERO, hosts[1], hosts[3], 62.5e6, 0).unwrap();
+        sim.run().unwrap();
+        // 62.5 MB at 50 G = 10 ms each.
+        for f in [a, b] {
+            let done = sim.status(f).unwrap().finished.unwrap();
+            assert_eq!(done, SimTime::from_millis(10), "flow {f:?}");
+        }
+    }
+
+    #[test]
+    fn full_duplex_directions_do_not_interfere() {
+        let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        let a = sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
+        let b = sim.inject(SimTime::ZERO, hosts[1], hosts[0], 125e6, 0).unwrap();
+        sim.run().unwrap();
+        // Opposite directions: both finish at line rate.
+        for f in [a, b] {
+            assert_eq!(sim.status(f).unwrap().finished.unwrap(), SimTime::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn late_arrival_steals_half_then_first_finishes() {
+        // Flow A starts alone at 100 G; B joins at t=5ms on the same
+        // directed path; both run at 50 G afterwards.
+        let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        // A: 125 MB. Alone for 5 ms (62.5 MB done), then 50 G for the
+        // remaining 62.5 MB → 10 ms more. Finishes at 15 ms.
+        let a = sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
+        let b = sim
+            .inject(SimTime::from_millis(5), hosts[0], hosts[1], 125e6, 0)
+            .unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.status(a).unwrap().finished.unwrap(), SimTime::from_millis(15));
+        // B: 62.5 MB at 50 G (10 ms) + 62.5 MB at 100 G (5 ms) = ends 20 ms.
+        assert_eq!(sim.status(b).unwrap().finished.unwrap(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn ring_allreduce_matches_analytic_model() {
+        // 16-rank ring on a k=4 fat tree (packed onto the 16 hosts):
+        // every flow i→i+1 carries 2(n−1)/n·S bytes; the fluid makespan
+        // must match the analytic bandwidth-optimal all-reduce time.
+        use npp_workload::collectives::{allreduce_time, AllReduceAlgo};
+        let speed = Gbps::new(100.0);
+        let topo = three_tier_fat_tree(4, speed).unwrap();
+        let hosts = topo.hosts();
+        let n = 16;
+        let shard = npp_units::Bytes::from_mib(64.0);
+        let per_rank =
+            npp_workload::collectives::allreduce_bytes_per_rank(AllReduceAlgo::Ring, n, shard)
+                .unwrap();
+        let mut sim = NetSim::new(topo);
+        for i in 0..n {
+            sim.inject(
+                SimTime::ZERO,
+                hosts[i],
+                hosts[(i + 1) % n],
+                per_rank.value(),
+                i,
+            )
+            .unwrap();
+        }
+        sim.run().unwrap();
+        let expected = allreduce_time(AllReduceAlgo::Ring, n, shard, speed).unwrap();
+        let got = sim.makespan().unwrap().as_seconds();
+        assert!(
+            (got.value() - expected.value()).abs() / expected.value() < 0.01,
+            "sim {got} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn idle_links_are_reported() {
+        let topo = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        let total_links = topo.links().len();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        sim.inject(SimTime::ZERO, hosts[0], hosts[1], 1e6, 0).unwrap();
+        sim.run().unwrap();
+        let idle = sim.idle_links();
+        assert!(idle.len() > total_links / 2, "idle {} of {}", idle.len(), total_links);
+    }
+
+    #[test]
+    fn busy_time_accounting() {
+        let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let host_link = topo.neighbors(hosts[0])[0].1;
+        let mut sim = NetSim::new(topo);
+        sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
+        sim.run().unwrap();
+        assert!((sim.link_busy_secs(host_link) - 0.01).abs() < 1e-6);
+        assert!((sim.link_bytes(host_link) - 125e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn injection_validation() {
+        let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo.clone());
+        assert!(sim.inject(SimTime::ZERO, hosts[0], hosts[1], 0.0, 0).is_err());
+        assert!(sim.inject(SimTime::ZERO, hosts[0], hosts[1], f64::NAN, 0).is_err());
+        let mut disconnected = Topology::new();
+        let a = disconnected.add_host("a");
+        let b = disconnected.add_host("b");
+        let mut sim2 = NetSim::new(disconnected);
+        assert!(sim2.inject(SimTime::ZERO, a, b, 100.0, 0).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Piecewise-constant power recording with exact energy integration.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Joules, Ratio, Seconds, Watts};
+
+use crate::{Result, SimError, SimTime};
+
+/// Records the power draw of one component as a step function of
+/// simulation time, and integrates it into energy.
+///
+/// Every §4 mechanism evaluation boils down to comparing the energy
+/// integral of a device with and without the mechanism, so this type is
+/// the simulator's measurement backbone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTracker {
+    start: SimTime,
+    last_change: SimTime,
+    current: Watts,
+    accumulated: f64, // joules
+    /// Recorded (time, new power) change points, for inspection/plots.
+    changes: Vec<(SimTime, Watts)>,
+}
+
+impl PowerTracker {
+    /// Starts tracking at `start` with an initial power draw.
+    pub fn new(start: SimTime, initial: Watts) -> Self {
+        Self {
+            start,
+            last_change: start,
+            current: initial,
+            accumulated: 0.0,
+            changes: vec![(start, initial)],
+        }
+    }
+
+    /// The power currently drawn.
+    pub fn current_power(&self) -> Watts {
+        self.current
+    }
+
+    /// Timestamp of the most recent recorded change.
+    pub fn last_change_time(&self) -> SimTime {
+        self.last_change
+    }
+
+    /// Recorded change points (time, power-after-change).
+    pub fn changes(&self) -> &[(SimTime, Watts)] {
+        &self.changes
+    }
+
+    /// Sets the power at time `t` (no-op entry is still recorded if the
+    /// value is unchanged — callers often log state transitions).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeReversal`] if `t` precedes the last change.
+    pub fn set_power(&mut self, t: SimTime, power: Watts) -> Result<()> {
+        if t < self.last_change {
+            return Err(SimError::TimeReversal {
+                now_ns: self.last_change.as_nanos(),
+                requested_ns: t.as_nanos(),
+            });
+        }
+        self.accumulated += self.current.value() * time_delta_secs(self.last_change, t);
+        self.last_change = t;
+        self.current = power;
+        self.changes.push((t, power));
+        Ok(())
+    }
+
+    /// Energy consumed from the start through time `t` (≥ last change).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeReversal`] if `t` precedes the last change.
+    pub fn energy_until(&self, t: SimTime) -> Result<Joules> {
+        if t < self.last_change {
+            return Err(SimError::TimeReversal {
+                now_ns: self.last_change.as_nanos(),
+                requested_ns: t.as_nanos(),
+            });
+        }
+        Ok(Joules::new(
+            self.accumulated + self.current.value() * time_delta_secs(self.last_change, t),
+        ))
+    }
+
+    /// Closes the timeline at `end` and summarizes it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeReversal`] if `end` precedes the last change.
+    pub fn finish(&self, end: SimTime) -> Result<PowerTimeline> {
+        let energy = self.energy_until(end)?;
+        let duration = Seconds::from_nanos(end.since(self.start) as f64);
+        Ok(PowerTimeline { energy, duration, changes: self.changes.len() })
+    }
+}
+
+/// Summary of a finished power timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerTimeline {
+    /// Total energy over the timeline.
+    pub energy: Joules,
+    /// Timeline duration.
+    pub duration: Seconds,
+    /// Number of recorded power changes.
+    pub changes: usize,
+}
+
+impl PowerTimeline {
+    /// Time-averaged power.
+    pub fn average_power(&self) -> Watts {
+        if self.duration.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        self.energy / self.duration
+    }
+
+    /// Energy saving of this timeline relative to a flat draw at
+    /// `reference` power over the same duration.
+    pub fn savings_vs(&self, reference: Watts) -> Ratio {
+        let ref_energy = reference * self.duration;
+        if ref_energy.value() <= 0.0 {
+            return Ratio::ZERO;
+        }
+        Ratio::new(1.0 - self.energy / ref_energy)
+    }
+}
+
+fn time_delta_secs(from: SimTime, to: SimTime) -> f64 {
+    to.since(from) as f64 * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_step_function() {
+        let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(100.0));
+        // 100 W for 1 s, then 50 W for 1 s.
+        t.set_power(SimTime::from_secs(1), Watts::new(50.0)).unwrap();
+        let e = t.energy_until(SimTime::from_secs(2)).unwrap();
+        assert!(e.approx_eq(Joules::new(150.0), 1e-9));
+        let tl = t.finish(SimTime::from_secs(2)).unwrap();
+        assert!(tl.average_power().approx_eq(Watts::new(75.0), 1e-9));
+        assert_eq!(tl.changes, 2);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_time() {
+        let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(10.0));
+        t.set_power(SimTime::from_secs(1), Watts::new(0.0)).unwrap();
+        let e1 = t.energy_until(SimTime::from_secs(1)).unwrap();
+        let e2 = t.energy_until(SimTime::from_secs(5)).unwrap();
+        assert_eq!(e1, e2); // zero draw adds nothing
+        assert!(e1.approx_eq(Joules::new(10.0), 1e-9));
+    }
+
+    #[test]
+    fn rejects_time_reversal() {
+        let mut t = PowerTracker::new(SimTime::from_secs(1), Watts::ZERO);
+        assert!(t.set_power(SimTime::ZERO, Watts::ZERO).is_err());
+        t.set_power(SimTime::from_secs(2), Watts::new(5.0)).unwrap();
+        assert!(t.energy_until(SimTime::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn savings_vs_reference() {
+        let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(100.0));
+        // Half the time at zero power.
+        t.set_power(SimTime::from_secs(1), Watts::ZERO).unwrap();
+        let tl = t.finish(SimTime::from_secs(2)).unwrap();
+        assert!(tl.savings_vs(Watts::new(100.0)).approx_eq(Ratio::new(0.5), 1e-12));
+        assert_eq!(tl.savings_vs(Watts::ZERO), Ratio::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_timeline() {
+        let t = PowerTracker::new(SimTime::ZERO, Watts::new(100.0));
+        let tl = t.finish(SimTime::ZERO).unwrap();
+        assert_eq!(tl.energy, Joules::ZERO);
+        assert_eq!(tl.average_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn sub_second_precision() {
+        let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(1.0));
+        t.set_power(SimTime::from_nanos(500), Watts::ZERO).unwrap();
+        let e = t.energy_until(SimTime::from_secs(1)).unwrap();
+        assert!(e.approx_eq(Joules::new(500e-9), 1e-15));
+    }
+}

@@ -1,0 +1,340 @@
+//! Traffic sources: deterministic and seeded-random packet generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use npp_units::Gbps;
+
+use crate::{Result, SimError, SimTime};
+
+/// A generated packet arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Ingress port the packet arrives on.
+    pub port: usize,
+}
+
+/// A packet source: an iterator over arrivals in non-decreasing time
+/// order.
+pub trait TrafficSource {
+    /// The next arrival, or `None` when the source is exhausted.
+    fn next_arrival(&mut self) -> Option<Arrival>;
+}
+
+/// Constant-bit-rate source: fixed-size packets at a fixed rate on one
+/// port, from `start` until `stop`.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    gap_ns: f64,
+    next_emit: f64,
+    stop: SimTime,
+    bytes: u64,
+    port: usize,
+}
+
+impl CbrSource {
+    /// Creates a CBR source emitting `packet_bytes`-byte packets at
+    /// `rate` from `start` (inclusive) to `stop` (exclusive).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive rates and zero-byte packets.
+    pub fn new(
+        rate: Gbps,
+        packet_bytes: u64,
+        port: usize,
+        start: SimTime,
+        stop: SimTime,
+    ) -> Result<Self> {
+        if rate.value() <= 0.0 {
+            return Err(SimError::Config(format!("CBR rate must be positive, got {rate}")));
+        }
+        if packet_bytes == 0 {
+            return Err(SimError::Config("CBR packet size must be nonzero".into()));
+        }
+        let gap_ns = packet_bytes as f64 * 8.0 / rate.value();
+        Ok(Self { gap_ns, next_emit: start.as_nanos() as f64, stop, bytes: packet_bytes, port })
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let at = SimTime::from_nanos(self.next_emit.round() as u64);
+        if at >= self.stop {
+            return None;
+        }
+        self.next_emit += self.gap_ns;
+        Some(Arrival { at, bytes: self.bytes, port: self.port })
+    }
+}
+
+/// Poisson source: exponential inter-arrival gaps with the given mean
+/// load, seeded for reproducibility.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    mean_gap_ns: f64,
+    next_emit: f64,
+    stop: SimTime,
+    bytes: u64,
+    port: usize,
+    rng: StdRng,
+}
+
+impl PoissonSource {
+    /// Creates a Poisson source whose *average* rate is `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive rates and zero-byte packets.
+    pub fn new(
+        rate: Gbps,
+        packet_bytes: u64,
+        port: usize,
+        start: SimTime,
+        stop: SimTime,
+        seed: u64,
+    ) -> Result<Self> {
+        if rate.value() <= 0.0 {
+            return Err(SimError::Config(format!(
+                "Poisson rate must be positive, got {rate}"
+            )));
+        }
+        if packet_bytes == 0 {
+            return Err(SimError::Config("Poisson packet size must be nonzero".into()));
+        }
+        Ok(Self {
+            mean_gap_ns: packet_bytes as f64 * 8.0 / rate.value(),
+            next_emit: start.as_nanos() as f64,
+            stop,
+            bytes: packet_bytes,
+            port,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let at = SimTime::from_nanos(self.next_emit.round() as u64);
+        if at >= self.stop {
+            return None;
+        }
+        // Exponential gap via inverse transform.
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        self.next_emit += -u.ln() * self.mean_gap_ns;
+        Some(Arrival { at, bytes: self.bytes, port: self.port })
+    }
+}
+
+/// On/off source modeling the ML iteration pattern: silent during the
+/// computation phase, CBR bursts during the communication phase.
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    period_ns: u64,
+    on_start_ns: u64, // offset within the period where the burst begins
+    gap_ns: f64,
+    cursor_ns: f64,
+    stop: SimTime,
+    bytes: u64,
+    port: usize,
+}
+
+impl OnOffSource {
+    /// Creates an on/off source: each period of `period_ns` starts with
+    /// `off_ns` of silence (computation) followed by a burst at
+    /// `burst_rate` for the rest of the period (communication).
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate periods and rates.
+    pub fn new(
+        period_ns: u64,
+        off_ns: u64,
+        burst_rate: Gbps,
+        packet_bytes: u64,
+        port: usize,
+        stop: SimTime,
+    ) -> Result<Self> {
+        if period_ns == 0 || off_ns >= period_ns {
+            return Err(SimError::Config(format!(
+                "on/off period {period_ns} ns must exceed off time {off_ns} ns"
+            )));
+        }
+        if burst_rate.value() <= 0.0 || packet_bytes == 0 {
+            return Err(SimError::Config("on/off burst rate and packet size must be positive".into()));
+        }
+        Ok(Self {
+            period_ns,
+            on_start_ns: off_ns,
+            gap_ns: packet_bytes as f64 * 8.0 / burst_rate.value(),
+            cursor_ns: off_ns as f64,
+            stop,
+            bytes: packet_bytes,
+            port,
+        })
+    }
+}
+
+impl TrafficSource for OnOffSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        loop {
+            let at_ns = self.cursor_ns.round() as u64;
+            let at = SimTime::from_nanos(at_ns);
+            if at >= self.stop {
+                return None;
+            }
+            let phase = at_ns % self.period_ns;
+            if phase >= self.on_start_ns {
+                self.cursor_ns += self.gap_ns;
+                return Some(Arrival { at, bytes: self.bytes, port: self.port });
+            }
+            // We rolled into a period's off phase: skip ahead to that
+            // period's on-start.
+            let period_start = at_ns - phase;
+            self.cursor_ns = (period_start + self.on_start_ns) as f64;
+        }
+    }
+}
+
+/// Merges multiple sources into one globally time-ordered arrival stream.
+pub struct MergedSource {
+    sources: Vec<Box<dyn TrafficSource>>,
+    heads: Vec<Option<Arrival>>,
+}
+
+impl MergedSource {
+    /// Creates a merged stream over the given sources.
+    pub fn new(mut sources: Vec<Box<dyn TrafficSource>>) -> Self {
+        let heads = sources.iter_mut().map(|s| s.next_arrival()).collect();
+        Self { sources, heads }
+    }
+}
+
+impl TrafficSource for MergedSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let idx = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|a| (i, a.at)))
+            .min_by_key(|&(_, at)| at)
+            .map(|(i, _)| i)?;
+        let out = self.heads[idx].take();
+        self.heads[idx] = self.sources[idx].next_arrival();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut s: impl TrafficSource) -> Vec<Arrival> {
+        std::iter::from_fn(move || s.next_arrival()).collect()
+    }
+
+    #[test]
+    fn cbr_spacing_and_count() {
+        // 400 Gbps, 1500 B packets → 30 ns gap; 10 packets in 300 ns.
+        let s = CbrSource::new(
+            Gbps::new(400.0),
+            1500,
+            0,
+            SimTime::ZERO,
+            SimTime::from_nanos(300),
+        )
+        .unwrap();
+        let arrivals = drain(s);
+        assert_eq!(arrivals.len(), 10);
+        assert_eq!(arrivals[0].at, SimTime::ZERO);
+        assert_eq!(arrivals[1].at, SimTime::from_nanos(30));
+        assert_eq!(arrivals[9].at, SimTime::from_nanos(270));
+    }
+
+    #[test]
+    fn cbr_delivers_configured_rate() {
+        let horizon = SimTime::from_micros(100);
+        let s = CbrSource::new(Gbps::new(100.0), 1000, 0, SimTime::ZERO, horizon).unwrap();
+        let total: u64 = drain(s).iter().map(|a| a.bytes).sum();
+        let rate = total as f64 * 8.0 / horizon.as_nanos() as f64; // bits/ns = Gbps
+        assert!((rate - 100.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_mean_rate_and_determinism() {
+        let horizon = SimTime::from_millis(1);
+        let s =
+            PoissonSource::new(Gbps::new(50.0), 1000, 0, SimTime::ZERO, horizon, 42).unwrap();
+        let a1 = drain(s);
+        let total: u64 = a1.iter().map(|a| a.bytes).sum();
+        let rate = total as f64 * 8.0 / horizon.as_nanos() as f64;
+        assert!((rate - 50.0).abs() < 5.0, "rate {rate}");
+        // Same seed → identical stream.
+        let s2 =
+            PoissonSource::new(Gbps::new(50.0), 1000, 0, SimTime::ZERO, horizon, 42).unwrap();
+        assert_eq!(a1, drain(s2));
+        // Arrivals are time-ordered.
+        for w in a1.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn onoff_respects_phases() {
+        // 1 ms period, 0.9 ms off: bursts only in the last 100 µs.
+        let s = OnOffSource::new(
+            1_000_000,
+            900_000,
+            Gbps::new(400.0),
+            1500,
+            0,
+            SimTime::from_millis(3),
+        )
+        .unwrap();
+        let arrivals = drain(s);
+        assert!(!arrivals.is_empty());
+        for a in &arrivals {
+            let phase = a.at.as_nanos() % 1_000_000;
+            assert!(phase >= 900_000, "arrival at off-phase offset {phase}");
+        }
+        // Roughly 10% duty cycle at 400G: ~3 bursts of 100 µs → ≈ 1e4
+        // packets of 30 ns spacing.
+        assert!((arrivals.len() as i64 - 10_000).unsigned_abs() < 300, "{}", arrivals.len());
+    }
+
+    #[test]
+    fn merged_source_orders_across_ports() {
+        let a = CbrSource::new(Gbps::new(8.0), 100, 0, SimTime::ZERO, SimTime::from_nanos(500))
+            .unwrap();
+        let b = CbrSource::new(
+            Gbps::new(8.0),
+            100,
+            1,
+            SimTime::from_nanos(50),
+            SimTime::from_nanos(500),
+        )
+        .unwrap();
+        let merged = MergedSource::new(vec![Box::new(a), Box::new(b)]);
+        let arrivals = drain(merged);
+        for w in arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(arrivals.iter().any(|a| a.port == 0));
+        assert!(arrivals.iter().any(|a| a.port == 1));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CbrSource::new(Gbps::ZERO, 100, 0, SimTime::ZERO, SimTime::MAX).is_err());
+        assert!(CbrSource::new(Gbps::new(1.0), 0, 0, SimTime::ZERO, SimTime::MAX).is_err());
+        assert!(PoissonSource::new(Gbps::ZERO, 100, 0, SimTime::ZERO, SimTime::MAX, 1).is_err());
+        assert!(OnOffSource::new(0, 0, Gbps::new(1.0), 100, 0, SimTime::MAX).is_err());
+        assert!(
+            OnOffSource::new(100, 100, Gbps::new(1.0), 100, 0, SimTime::MAX).is_err()
+        );
+    }
+}

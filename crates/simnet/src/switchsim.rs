@@ -1,0 +1,740 @@
+//! A multi-pipeline switch with a port→pipeline indirection layer —
+//! the executable version of Figure 5.
+//!
+//! The switch has `ports` ingress ports and `pipelines` forwarding
+//! pipelines. A circuit-switch/indirection layer maps each port to a
+//! pipeline; remapping takes a (configurable) reconfiguration delay during
+//! which arriving packets are buffered and delayed, modeling the
+//! "electrical circuit switches with small buffers" option of §4.4.
+//!
+//! Pipelines support the two dynamic §4 mechanisms:
+//!
+//! - **rate adaptation** (§4.3): a pipeline can run at a reduced
+//!   frequency; its service rate scales with frequency and its power is
+//!   `static + dynamic × freq` (load-independent — the clock burns power
+//!   whether or not packets flow, which is exactly the proportionality
+//!   problem);
+//! - **parking** (§4.4): a pipeline can be powered off entirely (zero
+//!   draw) once drained, and woken later with a wake latency.
+//!
+//! Chassis overhead (fans, CPU, PSU loss) stays on regardless, which is
+//! why even aggressive parking cannot reach perfect proportionality.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Gbps, Joules, Watts};
+
+use crate::stats::{LossCounter, Summary};
+use crate::{PowerTracker, Result, SimError, SimTime};
+
+/// Per-pipeline power model: `P(freq) = static + dynamic × freq`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelinePowerParams {
+    /// Frequency-independent draw while powered (leakage, always-on SRAM).
+    pub static_power: Watts,
+    /// Draw at full frequency on top of static.
+    pub dynamic_power: Watts,
+}
+
+impl PipelinePowerParams {
+    /// Power at a given frequency (freq in `(0, 1]`).
+    pub fn at_freq(&self, freq: f64) -> Watts {
+        self.static_power + self.dynamic_power * freq
+    }
+}
+
+/// Static switch parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchParams {
+    /// Ingress ports.
+    pub ports: usize,
+    /// Forwarding pipelines.
+    pub pipelines: usize,
+    /// Service rate of one pipeline at full frequency.
+    pub pipeline_rate: Gbps,
+    /// Buffer per pipeline (drop-tail).
+    pub buffer_bytes: u64,
+    /// Per-pipeline power model.
+    pub pipeline_power: PipelinePowerParams,
+    /// Always-on chassis draw (fans, control CPU, PSU losses).
+    pub overhead_power: Watts,
+    /// Pipeline wake latency (power-gate exit).
+    pub wake_ns: u64,
+    /// Circuit-switch port remap latency.
+    pub remap_ns: u64,
+    /// What happens when a pipeline buffer fills.
+    pub overflow: OverflowPolicy,
+}
+
+/// Buffer-overflow behaviour (§4.4 discusses both options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Drop-tail: the overflowing packet is lost.
+    DropTail,
+    /// Ethernet pause frames: the sender is paused until the buffer has
+    /// room — no loss, but head-of-line latency instead.
+    PauseFrames,
+}
+
+impl SwitchParams {
+    /// A 51.2 Tbps, 750 W switch consistent with the paper's Table 1 and
+    /// the component model in `npp_power::gating`: 4 pipelines of
+    /// 12.8 Tbps / 138 W (38 W static + 100 W dynamic) plus 198 W of
+    /// chassis overhead. 64 ports of 800 G. Wake 100 µs, remap 1 µs.
+    pub fn paper_51t2() -> Self {
+        Self {
+            ports: 64,
+            pipelines: 4,
+            pipeline_rate: Gbps::from_tbps(12.8),
+            buffer_bytes: 16 * 1024 * 1024, // 16 MiB per pipeline
+            pipeline_power: PipelinePowerParams {
+                static_power: Watts::new(38.0),
+                dynamic_power: Watts::new(100.0),
+            },
+            overhead_power: Watts::new(198.0),
+            wake_ns: 100_000,
+            remap_ns: 1_000,
+            overflow: OverflowPolicy::DropTail,
+        }
+    }
+
+    /// The same switch with pause-frame backpressure instead of drops.
+    pub fn paper_51t2_with_pause() -> Self {
+        Self { overflow: OverflowPolicy::PauseFrames, ..Self::paper_51t2() }
+    }
+
+    /// Total draw with every pipeline at full frequency.
+    pub fn max_power(&self) -> Watts {
+        self.overhead_power + self.pipeline_power.at_freq(1.0) * self.pipelines as f64
+    }
+}
+
+/// The run state of one pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PipelineState {
+    /// Running at the given frequency fraction `(0, 1]`.
+    On {
+        /// Clock frequency as a fraction of nominal.
+        freq: f64,
+    },
+    /// Power-gated (zero draw); arriving packets are dropped.
+    Off,
+    /// Exiting the power gate; serviceable from `ready_at` at `freq`.
+    Waking {
+        /// When the pipeline becomes serviceable.
+        ready_at: SimTime,
+        /// Frequency it will run at once awake.
+        freq: f64,
+    },
+}
+
+/// The fate of an ingress packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Egress {
+    /// Forwarded; the packet leaves the switch at `departure`.
+    Forwarded {
+        /// Time the last bit leaves the pipeline.
+        departure: SimTime,
+        /// End-to-end switch latency in ns (departure − arrival).
+        latency_ns: u64,
+    },
+    /// Dropped (pipeline off, or buffer full).
+    Dropped {
+        /// Why the packet was lost.
+        reason: DropReason,
+    },
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The mapped pipeline was powered off.
+    PipelineOff,
+    /// The pipeline buffer was full.
+    BufferFull,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pipe {
+    state: PipelineState,
+    busy_until: SimTime,
+    tracker: PowerTracker,
+    forwarded: u64,
+    bytes: u64,
+}
+
+/// The simulated switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSwitch {
+    params: SwitchParams,
+    port_map: Vec<usize>,
+    port_ready_at: Vec<SimTime>,
+    pipes: Vec<Pipe>,
+    overhead: PowerTracker,
+    #[serde(skip)]
+    latency: Summary,
+    loss: LossCounter,
+    paused_ns: u64,
+    pauses: u64,
+}
+
+impl PipelineSwitch {
+    /// Creates a switch at time `start` with all pipelines on at full
+    /// frequency and ports spread round-robin across pipelines (the fixed
+    /// mapping §4.4 says conventional ASICs are stuck with).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero ports/pipelines.
+    pub fn new(params: SwitchParams, start: SimTime) -> Result<Self> {
+        if params.ports == 0 || params.pipelines == 0 {
+            return Err(SimError::Config("switch needs ports and pipelines".into()));
+        }
+        if params.pipeline_rate.value() <= 0.0 {
+            return Err(SimError::Config("pipeline rate must be positive".into()));
+        }
+        let full = params.pipeline_power.at_freq(1.0);
+        let pipes = (0..params.pipelines)
+            .map(|_| Pipe {
+                state: PipelineState::On { freq: 1.0 },
+                busy_until: start,
+                tracker: PowerTracker::new(start, full),
+                forwarded: 0,
+                bytes: 0,
+            })
+            .collect();
+        Ok(Self {
+            port_map: (0..params.ports).map(|p| p % params.pipelines).collect(),
+            port_ready_at: vec![start; params.ports],
+            pipes,
+            overhead: PowerTracker::new(start, params.overhead_power),
+            latency: Summary::new(),
+            loss: LossCounter::default(),
+            paused_ns: 0,
+            pauses: 0,
+            params,
+        })
+    }
+
+    /// The switch parameters.
+    pub fn params(&self) -> &SwitchParams {
+        &self.params
+    }
+
+    /// Current pipeline state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadIndex`] for an unknown pipeline.
+    pub fn pipeline_state(&self, idx: usize) -> Result<PipelineState> {
+        Ok(self.pipe(idx)?.state)
+    }
+
+    /// The pipeline currently mapped to a port.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadIndex`] for an unknown port.
+    pub fn port_pipeline(&self, port: usize) -> Result<usize> {
+        self.port_map
+            .get(port)
+            .copied()
+            .ok_or(SimError::BadIndex { what: "port", index: port, bound: self.params.ports })
+    }
+
+    fn pipe(&self, idx: usize) -> Result<&Pipe> {
+        self.pipes.get(idx).ok_or(SimError::BadIndex {
+            what: "pipeline",
+            index: idx,
+            bound: self.params.pipelines,
+        })
+    }
+
+    fn pipe_mut(&mut self, idx: usize) -> Result<&mut Pipe> {
+        let bound = self.params.pipelines;
+        self.pipes
+            .get_mut(idx)
+            .ok_or(SimError::BadIndex { what: "pipeline", index: idx, bound })
+    }
+
+    /// Remaps `port` to `pipeline` through the indirection layer; the
+    /// port is unusable for `remap_ns` (packets arriving meanwhile are
+    /// held in the circuit switch's small buffer and delayed).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadIndex`] for unknown ports/pipelines.
+    pub fn remap_port(&mut self, now: SimTime, port: usize, pipeline: usize) -> Result<()> {
+        if pipeline >= self.params.pipelines {
+            return Err(SimError::BadIndex {
+                what: "pipeline",
+                index: pipeline,
+                bound: self.params.pipelines,
+            });
+        }
+        if port >= self.params.ports {
+            return Err(SimError::BadIndex { what: "port", index: port, bound: self.params.ports });
+        }
+        self.port_map[port] = pipeline;
+        self.port_ready_at[port] = now.plus_nanos(self.params.remap_ns);
+        Ok(())
+    }
+
+    /// Sets a running pipeline's frequency (rate adaptation, §4.3).
+    ///
+    /// # Errors
+    ///
+    /// Rejects frequencies outside `(0, 1]`, pipelines that are off (wake
+    /// them instead), and unknown indexes.
+    pub fn set_frequency(&mut self, now: SimTime, idx: usize, freq: f64) -> Result<()> {
+        if !(freq > 0.0 && freq <= 1.0) {
+            return Err(SimError::Config(format!("frequency {freq} outside (0, 1]")));
+        }
+        let power = self.params.pipeline_power.at_freq(freq);
+        let pipe = self.pipe_mut(idx)?;
+        match pipe.state {
+            PipelineState::Off => {
+                return Err(SimError::Config(format!(
+                    "pipeline {idx} is off; wake it before setting frequency"
+                )))
+            }
+            PipelineState::Waking { ready_at, .. } => {
+                pipe.state = PipelineState::Waking { ready_at, freq };
+            }
+            PipelineState::On { .. } => {
+                pipe.state = PipelineState::On { freq };
+            }
+        }
+        pipe.tracker.set_power(now, power)
+    }
+
+    /// Parks (power-gates) a pipeline. The pipeline must be drained
+    /// (no in-flight packet) — turn traffic away via
+    /// [`PipelineSwitch::remap_port`] first.
+    ///
+    /// # Errors
+    ///
+    /// Rejects parking a busy pipeline and unknown indexes.
+    pub fn park_pipeline(&mut self, now: SimTime, idx: usize) -> Result<()> {
+        let pipe = self.pipe_mut(idx)?;
+        if pipe.busy_until > now {
+            return Err(SimError::Config(format!(
+                "pipeline {idx} still draining until {}",
+                pipe.busy_until
+            )));
+        }
+        pipe.state = PipelineState::Off;
+        pipe.tracker.set_power(now, Watts::ZERO)
+    }
+
+    /// Starts waking a parked pipeline; it becomes serviceable after the
+    /// configured wake latency, at frequency `freq`. Draws full power for
+    /// that frequency from the start of the wake (power-gate exit is not
+    /// free).
+    ///
+    /// # Errors
+    ///
+    /// Rejects waking a pipeline that is not off, bad frequencies, and
+    /// unknown indexes.
+    pub fn wake_pipeline(&mut self, now: SimTime, idx: usize, freq: f64) -> Result<()> {
+        if !(freq > 0.0 && freq <= 1.0) {
+            return Err(SimError::Config(format!("frequency {freq} outside (0, 1]")));
+        }
+        let wake_ns = self.params.wake_ns;
+        let power = self.params.pipeline_power.at_freq(freq);
+        let pipe = self.pipe_mut(idx)?;
+        if !matches!(pipe.state, PipelineState::Off) {
+            return Err(SimError::Config(format!("pipeline {idx} is not off")));
+        }
+        pipe.state = PipelineState::Waking { ready_at: now.plus_nanos(wake_ns), freq };
+        pipe.tracker.set_power(now, power)
+    }
+
+    /// Offers a packet of `bytes` on `port` at time `now` and returns its
+    /// fate. This is the switch's single data-path entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadIndex`] for unknown ports; time reversals propagate
+    /// from the power trackers.
+    pub fn ingress(&mut self, now: SimTime, port: usize, bytes: u64) -> Result<Egress> {
+        let idx = self.port_pipeline(port)?;
+        // Circuit-switch reconfiguration holds the packet back.
+        let t = if self.port_ready_at[port] > now { self.port_ready_at[port] } else { now };
+        let rate_nominal = self.params.pipeline_rate;
+        let buffer = self.params.buffer_bytes;
+        let overflow_policy = self.params.overflow;
+        let pipe = self.pipe_mut(idx)?;
+
+        // Resolve wake completion lazily.
+        if let PipelineState::Waking { ready_at, freq } = pipe.state {
+            if t >= ready_at {
+                pipe.state = PipelineState::On { freq };
+            }
+        }
+
+        let (service_from, freq) = match pipe.state {
+            PipelineState::Off => {
+                self.loss.dropped += 1;
+                return Ok(Egress::Dropped { reason: DropReason::PipelineOff });
+            }
+            PipelineState::Waking { ready_at, freq } => (ready_at, freq),
+            PipelineState::On { freq } => (t, freq),
+        };
+
+        let rate = rate_nominal * freq; // Gbps = bits/ns
+        let start = [t, service_from, pipe.busy_until]
+            .into_iter()
+            .max()
+            .expect("non-empty");
+        // Buffered-but-unserved work the packet queues behind, in bytes:
+        // outstanding serialization time × rate. Measured from when the
+        // pipeline can actually serve (`service_from`), so time spent
+        // waiting for a wake does not count as buffer occupancy.
+        let ref_point = if service_from > t { service_from } else { t };
+        let backlog = pipe.busy_until.since(ref_point) as f64 * rate.value() / 8.0;
+        let mut start = start;
+        let mut pause_inc: u64 = 0;
+        if backlog + bytes as f64 > buffer as f64 {
+            match overflow_policy {
+                OverflowPolicy::DropTail => {
+                    self.loss.dropped += 1;
+                    return Ok(Egress::Dropped { reason: DropReason::BufferFull });
+                }
+                OverflowPolicy::PauseFrames => {
+                    // The sender holds the frame until the buffer drains
+                    // enough to admit it; it still queues FIFO behind
+                    // everything already accepted, so the service start
+                    // is unchanged — only the wire-side admission (and
+                    // the pause bookkeeping) move.
+                    let overshoot_bytes = backlog + bytes as f64 - buffer as f64;
+                    pause_inc = (overshoot_bytes * 8.0 / rate.value()).ceil() as u64;
+                    start = if pipe.busy_until > start { pipe.busy_until } else { start };
+                }
+            }
+        }
+        let serialization = (bytes as f64 * 8.0 / rate.value()).ceil() as u64;
+        let departure = start.plus_nanos(serialization);
+        pipe.busy_until = departure;
+        pipe.forwarded += 1;
+        pipe.bytes += bytes;
+        if pause_inc > 0 {
+            self.paused_ns += pause_inc;
+            self.pauses += 1;
+        }
+        self.loss.delivered += 1;
+        let latency_ns = departure.since(now);
+        self.latency.record(latency_ns as f64);
+        Ok(Egress::Forwarded { departure, latency_ns })
+    }
+
+    /// Whether pipeline `idx` has finished serving everything offered so
+    /// far, as of `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadIndex`] for unknown indexes.
+    pub fn is_drained(&self, idx: usize, now: SimTime) -> Result<bool> {
+        Ok(self.pipe(idx)?.busy_until <= now)
+    }
+
+    /// Total energy consumed through `now` (pipelines + chassis).
+    ///
+    /// # Errors
+    ///
+    /// Time reversals propagate from the trackers.
+    pub fn energy(&self, now: SimTime) -> Result<Joules> {
+        let mut total = self.overhead.energy_until(now)?;
+        for p in &self.pipes {
+            total += p.tracker.energy_until(now)?;
+        }
+        Ok(total)
+    }
+
+    /// Loss statistics.
+    pub fn loss(&self) -> LossCounter {
+        self.loss
+    }
+
+    /// Total sender-side pause time imposed (pause-frame mode), ns.
+    pub fn paused_ns(&self) -> u64 {
+        self.paused_ns
+    }
+
+    /// Number of pause events.
+    pub fn pauses(&self) -> u64 {
+        self.pauses
+    }
+
+    /// Switch-latency summary (ns).
+    pub fn latency(&self) -> &Summary {
+        &self.latency
+    }
+
+    /// Packets forwarded by one pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadIndex`] for unknown indexes.
+    pub fn forwarded_by(&self, idx: usize) -> Result<u64> {
+        Ok(self.pipe(idx)?.forwarded)
+    }
+
+    /// Closes the books at `end`: total energy, average power, loss, and
+    /// latency statistics.
+    ///
+    /// # Errors
+    ///
+    /// Time reversals propagate from the trackers.
+    pub fn finish(&self, end: SimTime) -> Result<SwitchReport> {
+        let energy = self.energy(end)?;
+        let duration = end.as_seconds();
+        let avg = if duration.value() > 0.0 { energy / duration } else { Watts::ZERO };
+        Ok(SwitchReport {
+            energy,
+            average_power: avg,
+            max_power: self.params.max_power(),
+            loss: self.loss,
+            mean_latency_ns: self.latency.mean(),
+            p99_latency_ns: self.latency.percentile(99.0),
+            forwarded: self.pipes.iter().map(|p| p.forwarded).sum(),
+        })
+    }
+}
+
+/// End-of-run switch summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchReport {
+    /// Total energy consumed.
+    pub energy: Joules,
+    /// Time-averaged power.
+    pub average_power: Watts,
+    /// The switch's max (all pipelines at full frequency) power.
+    pub max_power: Watts,
+    /// Forward/drop counters.
+    pub loss: LossCounter,
+    /// Mean switch latency (ns).
+    pub mean_latency_ns: f64,
+    /// 99th-percentile switch latency (ns).
+    pub p99_latency_ns: f64,
+    /// Total packets forwarded.
+    pub forwarded: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switch() -> PipelineSwitch {
+        PipelineSwitch::new(SwitchParams::paper_51t2(), SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn params_match_table1_power() {
+        let p = SwitchParams::paper_51t2();
+        assert!(p.max_power().approx_eq(Watts::new(750.0), 1e-9));
+        assert!((p.pipeline_rate.as_tbps() * p.pipelines as f64 - 51.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forwarding_latency_is_serialization() {
+        let mut sw = switch();
+        // 1500 B at 12.8 Tbps = 12,000 / 12,800 bits/ns < 1 ns → ceil 1.
+        match sw.ingress(SimTime::from_nanos(10), 0, 1500).unwrap() {
+            Egress::Forwarded { departure, latency_ns } => {
+                assert_eq!(latency_ns, 1);
+                assert_eq!(departure, SimTime::from_nanos(11));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_robin_port_mapping() {
+        let sw = switch();
+        assert_eq!(sw.port_pipeline(0).unwrap(), 0);
+        assert_eq!(sw.port_pipeline(1).unwrap(), 1);
+        assert_eq!(sw.port_pipeline(4).unwrap(), 0);
+        assert!(sw.port_pipeline(64).is_err());
+    }
+
+    #[test]
+    fn rate_adaptation_slows_and_saves() {
+        let mut sw = switch();
+        sw.set_frequency(SimTime::ZERO, 0, 0.5).unwrap();
+        // Service takes twice as long at half frequency.
+        match sw.ingress(SimTime::from_nanos(0), 0, 16_000).unwrap() {
+            // 128,000 bits / 6,400 bits/ns = 20 ns.
+            Egress::Forwarded { latency_ns, .. } => assert_eq!(latency_ns, 20),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Energy at 1 s: pipeline 0 draws 38 + 50 = 88 W instead of 138.
+        let e = sw.energy(SimTime::from_secs(1)).unwrap();
+        let expected = 198.0 + 138.0 * 3.0 + 88.0;
+        assert!((e.value() - expected).abs() < 1e-6, "energy {e}");
+    }
+
+    #[test]
+    fn parked_pipeline_drops_and_draws_nothing() {
+        let mut sw = switch();
+        sw.park_pipeline(SimTime::ZERO, 1).unwrap();
+        match sw.ingress(SimTime::from_nanos(5), 1, 1500).unwrap() {
+            Egress::Dropped { reason } => assert_eq!(reason, DropReason::PipelineOff),
+            other => panic!("unexpected {other:?}"),
+        }
+        let e = sw.energy(SimTime::from_secs(1)).unwrap();
+        assert!((e.value() - (198.0 + 138.0 * 3.0)).abs() < 1e-6);
+        assert_eq!(sw.loss().dropped, 1);
+    }
+
+    #[test]
+    fn remap_then_park_keeps_traffic_flowing() {
+        let mut sw = switch();
+        let t = SimTime::from_nanos(100);
+        // Steer port 1 away from pipeline 1, then park pipeline 1.
+        sw.remap_port(t, 1, 0).unwrap();
+        sw.park_pipeline(t, 1).unwrap();
+        // The packet is delayed by the 1 µs remap but not dropped.
+        match sw.ingress(SimTime::from_nanos(200), 1, 1500).unwrap() {
+            Egress::Forwarded { departure, .. } => {
+                assert!(departure >= t.plus_nanos(sw.params().remap_ns));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parking_a_busy_pipeline_is_rejected() {
+        let mut sw = switch();
+        sw.ingress(SimTime::from_nanos(0), 0, 1_000_000).unwrap();
+        assert!(sw.park_pipeline(SimTime::from_nanos(1), 0).is_err());
+        assert!(!sw.is_drained(0, SimTime::from_nanos(1)).unwrap());
+        // After draining it parks fine.
+        assert!(sw.park_pipeline(SimTime::from_secs(1), 0).is_ok());
+    }
+
+    #[test]
+    fn wake_latency_delays_service() {
+        let mut sw = switch();
+        sw.park_pipeline(SimTime::ZERO, 0).unwrap();
+        sw.wake_pipeline(SimTime::from_nanos(1000), 0, 1.0).unwrap();
+        // Packet arriving mid-wake is served at wake completion.
+        match sw.ingress(SimTime::from_nanos(2000), 0, 1500).unwrap() {
+            Egress::Forwarded { departure, .. } => {
+                assert_eq!(departure, SimTime::from_nanos(1000 + 100_000 + 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // After the wake completes, service is immediate again.
+        match sw.ingress(SimTime::from_millis(1), 0, 1500).unwrap() {
+            Egress::Forwarded { latency_ns, .. } => assert_eq!(latency_ns, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Double wake is an error.
+        assert!(sw.wake_pipeline(SimTime::from_millis(2), 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn buffer_overflow_drops() {
+        let params = SwitchParams { buffer_bytes: 3_000, ..SwitchParams::paper_51t2() };
+        let mut sw = PipelineSwitch::new(params, SimTime::ZERO).unwrap();
+        sw.set_frequency(SimTime::ZERO, 0, 1.0).unwrap();
+        // Slow the pipeline way down so a burst overflows 3 kB.
+        // At full rate: backlog builds only if packets arrive faster than
+        // 12.8 Tbps — emit a burst at the same instant.
+        let mut drops = 0;
+        for _ in 0..10 {
+            if let Egress::Dropped { reason } =
+                sw.ingress(SimTime::from_nanos(1), 0, 1500).unwrap()
+            {
+                assert_eq!(reason, DropReason::BufferFull);
+                drops += 1;
+            }
+        }
+        assert!(drops > 0, "expected overflow drops");
+        assert_eq!(sw.loss().offered(), 10);
+    }
+
+    #[test]
+    fn pause_frames_trade_loss_for_latency() {
+        // The same overflowing burst under both §4.4 policies.
+        let burst = |sw: &mut PipelineSwitch| {
+            let mut worst_latency = 0u64;
+            for i in 0..2000u64 {
+                match sw.ingress(SimTime::from_nanos(i), 0, 9000).unwrap() {
+                    Egress::Forwarded { latency_ns, .. } => {
+                        worst_latency = worst_latency.max(latency_ns)
+                    }
+                    Egress::Dropped { .. } => {}
+                }
+            }
+            worst_latency
+        };
+        // Tiny buffer to force overflow: 2000 packets x 9 kB = 18 MB
+        // offered in 2 µs to a pipeline that serializes ~3.2 MB in that
+        // window.
+        let drop_params =
+            SwitchParams { buffer_bytes: 256 * 1024, ..SwitchParams::paper_51t2() };
+        let mut dropping = PipelineSwitch::new(drop_params, SimTime::ZERO).unwrap();
+        burst(&mut dropping);
+        assert!(dropping.loss().dropped > 0);
+        assert_eq!(dropping.pauses(), 0);
+
+        let pause_params = SwitchParams {
+            buffer_bytes: 256 * 1024,
+            overflow: OverflowPolicy::PauseFrames,
+            ..SwitchParams::paper_51t2()
+        };
+        let mut pausing = PipelineSwitch::new(pause_params, SimTime::ZERO).unwrap();
+        let worst = burst(&mut pausing);
+        // No loss, but pauses happened and latency grew beyond the
+        // buffer-drain time.
+        assert_eq!(pausing.loss().dropped, 0);
+        assert!(pausing.pauses() > 0);
+        assert!(pausing.paused_ns() > 0);
+        let drain_ns = 256.0 * 1024.0 * 8.0 / 12_800.0; // buffer at line rate
+        assert!(
+            worst as f64 > drain_ns,
+            "worst latency {worst} should exceed the drain time {drain_ns}"
+        );
+        // Byte conservation: everything offered was forwarded.
+        assert_eq!(pausing.loss().delivered, 2000);
+    }
+
+    #[test]
+    fn pause_mode_changes_nothing_without_overflow() {
+        let mut sw =
+            PipelineSwitch::new(SwitchParams::paper_51t2_with_pause(), SimTime::ZERO).unwrap();
+        for i in 0..100u64 {
+            sw.ingress(SimTime::from_micros(i * 10), 0, 1500).unwrap();
+        }
+        assert_eq!(sw.pauses(), 0);
+        assert_eq!(sw.paused_ns(), 0);
+        assert_eq!(sw.loss().dropped, 0);
+    }
+
+    #[test]
+    fn energy_accounting_full_switch() {
+        let sw = switch();
+        let r = sw.finish(SimTime::from_secs(10)).unwrap();
+        // All-on draw is 750 W.
+        assert!(r.average_power.approx_eq(Watts::new(750.0), 1e-6));
+        assert!(r.energy.approx_eq(Joules::new(7500.0), 1e-3));
+        assert_eq!(r.forwarded, 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = SwitchParams { ports: 0, ..SwitchParams::paper_51t2() };
+        assert!(PipelineSwitch::new(bad, SimTime::ZERO).is_err());
+        let mut sw = switch();
+        assert!(sw.set_frequency(SimTime::ZERO, 0, 0.0).is_err());
+        assert!(sw.set_frequency(SimTime::ZERO, 0, 1.5).is_err());
+        assert!(sw.set_frequency(SimTime::ZERO, 9, 0.5).is_err());
+        assert!(sw.remap_port(SimTime::ZERO, 0, 9).is_err());
+        assert!(sw.remap_port(SimTime::ZERO, 99, 0).is_err());
+        sw.park_pipeline(SimTime::ZERO, 0).unwrap();
+        assert!(sw.set_frequency(SimTime::ZERO, 0, 0.5).is_err());
+        assert!(sw.wake_pipeline(SimTime::ZERO, 0, 2.0).is_err());
+    }
+}

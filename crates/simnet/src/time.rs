@@ -1,0 +1,152 @@
+//! Integer-nanosecond simulation time.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::Seconds;
+
+/// A point in simulation time, in integer nanoseconds since simulation
+/// start.
+///
+/// Integer time makes event ordering exact and reproducible; `f64` time
+/// would make the simulator's behaviour depend on accumulated rounding.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: Self = Self(0);
+    /// The far future (used as an "infinite" horizon sentinel).
+    pub const MAX: Self = Self(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000_000)
+    }
+
+    /// Converts a (non-negative) [`Seconds`] duration, rounding to the
+    /// nearest nanosecond and saturating at the representable range.
+    #[inline]
+    pub fn from_seconds(s: Seconds) -> Self {
+        let ns = (s.value() * 1e9).round();
+        if ns <= 0.0 {
+            Self::ZERO
+        } else if ns >= u64::MAX as f64 {
+            Self::MAX
+        } else {
+            Self(ns as u64)
+        }
+    }
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to a [`Seconds`] duration.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds::from_nanos(self.0 as f64)
+    }
+
+    /// Saturating addition of a duration in nanoseconds.
+    #[inline]
+    pub const fn plus_nanos(self, ns: u64) -> Self {
+        Self(self.0.saturating_add(ns))
+    }
+
+    /// Saturating time difference (`self − earlier`), zero if `earlier`
+    /// is later.
+    #[inline]
+    pub const fn since(self, earlier: Self) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl core::ops::Add for SimTime {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.6}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SimTime::from_micros(2).as_nanos(), 2_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_seconds(Seconds::new(1.5));
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_seconds().value() - 1.5).abs() < 1e-12);
+        // Negative durations clamp to zero; huge ones saturate.
+        assert_eq!(SimTime::from_seconds(Seconds::new(-1.0)), SimTime::ZERO);
+        assert_eq!(SimTime::from_seconds(Seconds::new(1e30)), SimTime::MAX);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(SimTime::MAX.plus_nanos(10), SimTime::MAX);
+        assert_eq!(SimTime::from_nanos(5).since(SimTime::from_nanos(10)), 0);
+        assert_eq!(SimTime::from_nanos(10).since(SimTime::from_nanos(4)), 6);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", SimTime::from_nanos(42)), "42ns");
+        assert_eq!(format!("{}", SimTime::from_micros(42)), "42.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(42)), "42.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(42)), "42.000000s");
+    }
+}

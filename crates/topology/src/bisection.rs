@@ -1,0 +1,191 @@
+//! Bisection bandwidth via max-flow (Edmonds–Karp).
+//!
+//! §3.4 of the paper notes that even with compute/communication overlap,
+//! full-bisection fabrics are underutilized because not all paths carry
+//! traffic at all times. To reason about that quantitatively we need the
+//! actual bisection bandwidth of a concrete topology, which this module
+//! computes exactly with a BFS-augmenting max-flow between the two halves
+//! of the host set.
+
+use std::collections::VecDeque;
+
+use npp_units::Gbps;
+
+use crate::graph::{NodeId, Topology};
+
+/// A directed-edge flow network derived from an undirected [`Topology`].
+struct FlowNet {
+    /// to\[e\], cap\[e\]; reverse edge of e is e^1.
+    to: Vec<usize>,
+    cap: Vec<f64>,
+    head: Vec<Vec<usize>>,
+}
+
+impl FlowNet {
+    fn new(n: usize) -> Self {
+        Self { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, c: f64) {
+        self.head[u].push(self.to.len());
+        self.to.push(v);
+        self.cap.push(c);
+        self.head[v].push(self.to.len());
+        self.to.push(u);
+        self.cap.push(c); // undirected: full capacity both ways
+    }
+
+    fn add_directed(&mut self, u: usize, v: usize, c: f64) {
+        self.head[u].push(self.to.len());
+        self.to.push(v);
+        self.cap.push(c);
+        self.head[v].push(self.to.len());
+        self.to.push(u);
+        self.cap.push(0.0);
+    }
+
+    /// Edmonds–Karp max flow from `s` to `t`.
+    fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        loop {
+            // BFS for an augmenting path.
+            let mut pred: Vec<Option<usize>> = vec![None; self.head.len()];
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            'bfs: while let Some(u) = q.pop_front() {
+                for &e in &self.head[u] {
+                    let v = self.to[e];
+                    if pred[v].is_none() && v != s && self.cap[e] > 1e-12 {
+                        pred[v] = Some(e);
+                        if v == t {
+                            break 'bfs;
+                        }
+                        q.push_back(v);
+                    }
+                }
+            }
+            let Some(_) = pred[t] else { break };
+            // Bottleneck.
+            let mut df = f64::INFINITY;
+            let mut v = t;
+            while v != s {
+                let e = pred[v].expect("path reconstruction");
+                df = df.min(self.cap[e]);
+                v = self.to[e ^ 1];
+            }
+            // Augment.
+            let mut v = t;
+            while v != s {
+                let e = pred[v].expect("path reconstruction");
+                self.cap[e] -= df;
+                self.cap[e ^ 1] += df;
+                v = self.to[e ^ 1];
+            }
+            flow += df;
+        }
+        flow
+    }
+}
+
+/// Maximum flow (in Gbps) between two disjoint sets of hosts.
+///
+/// Host sets are connected to a super-source/super-sink with infinite
+/// capacity; topology links contribute their capacity in both directions.
+pub fn max_flow_between(t: &Topology, sources: &[NodeId], sinks: &[NodeId]) -> Gbps {
+    let n = t.nodes().len();
+    let mut net = FlowNet::new(n + 2);
+    let (s, snk) = (n, n + 1);
+    for l in t.links() {
+        net.add_edge(l.a.0, l.b.0, l.capacity.value());
+    }
+    for &src in sources {
+        net.add_directed(s, src.0, f64::INFINITY);
+    }
+    for &dst in sinks {
+        net.add_directed(dst.0, snk, f64::INFINITY);
+    }
+    Gbps::new(net.max_flow(s, snk))
+}
+
+/// Bisection bandwidth: max flow between the first and second half of the
+/// host set (hosts in construction order, which for the provided builders
+/// is a worst-case-ish split across pods).
+pub fn bisection_bandwidth(t: &Topology) -> Gbps {
+    let hosts = t.hosts();
+    if hosts.len() < 2 {
+        return Gbps::ZERO;
+    }
+    let mid = hosts.len() / 2;
+    max_flow_between(t, &hosts[..mid], &hosts[mid..])
+}
+
+/// The ideal (full) bisection bandwidth for `n_hosts` hosts with
+/// `host_speed` interfaces: half the hosts talking across the cut at line
+/// rate.
+pub fn full_bisection(n_hosts: usize, host_speed: Gbps) -> Gbps {
+    host_speed * (n_hosts / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{leaf_spine, three_tier_fat_tree};
+
+    #[test]
+    fn fat_tree_has_full_bisection() {
+        let speed = Gbps::new(100.0);
+        let t = three_tier_fat_tree(4, speed).unwrap();
+        let b = bisection_bandwidth(&t);
+        let ideal = full_bisection(16, speed);
+        assert!(
+            b.approx_eq(ideal, 1e-6),
+            "bisection {b} != ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_leaf_spine_loses_bisection() {
+        let speed = Gbps::new(100.0);
+        // 2:1 oversubscription: 4 hosts/leaf but only 2 uplinks.
+        let t = leaf_spine(4, 2, 4, speed).unwrap();
+        let b = bisection_bandwidth(&t);
+        let ideal = full_bisection(16, speed);
+        // The cut is limited by leaf uplinks: 8 hosts on one side behind
+        // 2 leaves × 2 uplinks × 100 G = 400 G, vs ideal 800 G.
+        assert!(b.approx_eq(ideal * 0.5, 1e-6), "bisection {b}");
+    }
+
+    #[test]
+    fn nonblocking_leaf_spine_keeps_full_bisection() {
+        let speed = Gbps::new(100.0);
+        let t = leaf_spine(4, 4, 4, speed).unwrap();
+        let b = bisection_bandwidth(&t);
+        assert!(b.approx_eq(full_bisection(16, speed), 1e-6));
+    }
+
+    #[test]
+    fn flow_between_single_pair_is_limited_by_host_link() {
+        let speed = Gbps::new(100.0);
+        let t = three_tier_fat_tree(4, speed).unwrap();
+        let hosts = t.hosts();
+        let f = max_flow_between(&t, &hosts[..1], &hosts[15..]);
+        assert!(f.approx_eq(speed, 1e-9));
+    }
+
+    #[test]
+    fn degenerate_topologies() {
+        let t = Topology::new();
+        assert_eq!(bisection_bandwidth(&t), Gbps::ZERO);
+        let mut t = Topology::new();
+        t.add_host("only");
+        assert_eq!(bisection_bandwidth(&t), Gbps::ZERO);
+    }
+
+    #[test]
+    fn disconnected_hosts_have_zero_flow() {
+        let mut t = Topology::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        assert_eq!(max_flow_between(&t, &[a], &[b]), Gbps::ZERO);
+    }
+}

@@ -1,0 +1,295 @@
+//! Builders for standard data-center fabrics: k-ary fat trees and
+//! leaf–spine fabrics with configurable oversubscription.
+
+use npp_units::Gbps;
+
+use crate::graph::{NodeId, Topology};
+use crate::{Result, TopologyError};
+
+/// Builds the classic 3-tier k-ary fat tree of Al-Fares et al.:
+/// `k` pods, each with `k/2` edge and `k/2` aggregation switches,
+/// `(k/2)²` core switches, and `k³/4` hosts. All links share one speed.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidRadix`] unless `k` is even and ≥ 2.
+pub fn three_tier_fat_tree(k: usize, link_speed: Gbps) -> Result<Topology> {
+    if k < 2 || k % 2 != 0 {
+        return Err(TopologyError::InvalidRadix(k));
+    }
+    let half = k / 2;
+    let mut t = Topology::new();
+
+    // Core switches, addressed as a half×half grid: core[i][j].
+    let mut core = Vec::with_capacity(half * half);
+    for i in 0..half {
+        for j in 0..half {
+            core.push(t.add_switch(format!("core{i}_{j}"), 2));
+        }
+    }
+
+    for pod in 0..k {
+        let mut aggs = Vec::with_capacity(half);
+        for a in 0..half {
+            aggs.push(t.add_switch(format!("pod{pod}/agg{a}"), 1));
+        }
+        let mut edges = Vec::with_capacity(half);
+        for e in 0..half {
+            edges.push(t.add_switch(format!("pod{pod}/edge{e}"), 0));
+        }
+        // Edge↔agg: complete bipartite within the pod.
+        for &e in &edges {
+            for &a in &aggs {
+                t.add_link(e, a, link_speed)?;
+            }
+        }
+        // Agg a connects to cores in row a: core[a][0..half].
+        for (a, &agg) in aggs.iter().enumerate() {
+            for j in 0..half {
+                t.add_link(agg, core[a * half + j], link_speed)?;
+            }
+        }
+        // Hosts: half per edge switch.
+        for (e, &edge) in edges.iter().enumerate() {
+            for h in 0..half {
+                let host = t.add_host(format!("pod{pod}/edge{e}/host{h}"));
+                t.add_link(host, edge, link_speed)?;
+            }
+        }
+    }
+
+    t.validate(k)?;
+    Ok(t)
+}
+
+/// Builds a 2-tier leaf–spine fabric.
+///
+/// Each of the `leaves` leaf switches hosts `hosts_per_leaf` endpoints and
+/// connects to each of the `spines` spine switches with one uplink. With
+/// `hosts_per_leaf == spines` the fabric is non-blocking; larger values
+/// oversubscribe the leaf layer by `hosts_per_leaf / spines`.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Build`] for zero-sized dimensions.
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    link_speed: Gbps,
+) -> Result<Topology> {
+    if leaves == 0 || spines == 0 || hosts_per_leaf == 0 {
+        return Err(TopologyError::Build(
+            "leaf-spine dimensions must be positive".into(),
+        ));
+    }
+    let mut t = Topology::new();
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|s| t.add_switch(format!("spine{s}"), 1))
+        .collect();
+    for l in 0..leaves {
+        let leaf = t.add_switch(format!("leaf{l}"), 0);
+        for &s in &spine_ids {
+            t.add_link(leaf, s, link_speed)?;
+        }
+        for h in 0..hosts_per_leaf {
+            let host = t.add_host(format!("leaf{l}/host{h}"));
+            t.add_link(host, leaf, link_speed)?;
+        }
+    }
+    Ok(t)
+}
+
+/// The oversubscription ratio of a leaf–spine fabric: host-facing capacity
+/// divided by uplink capacity at the most-loaded leaf. 1.0 means
+/// non-blocking; values above 1 trade bisection for cost (§4.2 mentions
+/// oversubscription as a coarse tool compared to OCS reconfiguration).
+pub fn leaf_oversubscription(t: &Topology) -> f64 {
+    let mut worst: f64 = 0.0;
+    for leaf in t.switches_at_tier(0) {
+        let mut down = 0.0;
+        let mut up = 0.0;
+        for &(peer, link) in t.neighbors(leaf) {
+            let cap = t.link(link).expect("adjacency is consistent").capacity.value();
+            match t.node(peer).expect("adjacency is consistent").kind {
+                crate::graph::NodeKind::Host => down += cap,
+                _ => up += cap,
+            }
+        }
+        if up > 0.0 {
+            worst = worst.max(down / up);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_fat_tree_counts() {
+        let t = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        assert_eq!(t.hosts().len(), 16); // k³/4
+        assert_eq!(t.switches().len(), 20); // 5k²/4
+        assert_eq!(t.switches_at_tier(0).len(), 8);
+        assert_eq!(t.switches_at_tier(1).len(), 8);
+        assert_eq!(t.switches_at_tier(2).len(), 4);
+        assert_eq!(t.inter_switch_links().len(), 32); // hosts·(n−1)
+    }
+
+    #[test]
+    fn k8_fat_tree_matches_analytic_model() {
+        let t = three_tier_fat_tree(8, Gbps::new(400.0)).unwrap();
+        let m = crate::FatTreeModel::new(8).unwrap();
+        assert_eq!(t.hosts().len() as f64, m.capacity(3));
+        assert_eq!(t.switches().len() as f64, m.full_switches(3));
+        assert_eq!(t.inter_switch_links().len() as f64, m.full_links(3));
+    }
+
+    #[test]
+    fn fat_tree_any_to_any_reachability() {
+        let t = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hosts = t.hosts();
+        // Same-edge hosts are 2 hops apart, cross-pod are 6.
+        let d_same = t.distance(hosts[0], hosts[1]).unwrap();
+        assert_eq!(d_same, 2);
+        let d_cross = t.distance(hosts[0], hosts[15]).unwrap();
+        assert_eq!(d_cross, 6);
+    }
+
+    #[test]
+    fn fat_tree_ecmp_width_cross_pod() {
+        // Between pods in a k=4 fat tree there are (k/2)² = 4 shortest
+        // paths (one per core switch).
+        let t = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hosts = t.hosts();
+        let paths = t.ecmp_paths(hosts[0], hosts[15], 64);
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn fat_tree_radix_respected() {
+        for k in [4, 6, 8] {
+            let t = three_tier_fat_tree(k, Gbps::new(100.0)).unwrap();
+            assert!(t.validate(k).is_ok(), "k={k}");
+        }
+        assert!(three_tier_fat_tree(3, Gbps::new(100.0)).is_err());
+        assert!(three_tier_fat_tree(0, Gbps::new(100.0)).is_err());
+    }
+
+    #[test]
+    fn leaf_spine_counts_and_oversubscription() {
+        // 4 leaves × 2 spines, 4 hosts per leaf ⇒ 2:1 oversubscribed.
+        let t = leaf_spine(4, 2, 4, Gbps::new(100.0)).unwrap();
+        assert_eq!(t.hosts().len(), 16);
+        assert_eq!(t.switches().len(), 6);
+        assert_eq!(t.inter_switch_links().len(), 8);
+        assert!((leaf_oversubscription(&t) - 2.0).abs() < 1e-12);
+        // Non-blocking variant.
+        let t = leaf_spine(4, 4, 4, Gbps::new(100.0)).unwrap();
+        assert!((leaf_oversubscription(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_spine_rejects_empty_dimensions() {
+        assert!(leaf_spine(0, 1, 1, Gbps::new(1.0)).is_err());
+        assert!(leaf_spine(1, 0, 1, Gbps::new(1.0)).is_err());
+        assert!(leaf_spine(1, 1, 0, Gbps::new(1.0)).is_err());
+    }
+}
+
+/// Builds a rail-optimized fabric: `rails` independent parallel planes
+/// (one per GPU NIC/rail, as in Alibaba HPN-style GPU clusters), each a
+/// non-blocking leaf–spine over the same servers. Hosts are modeled per
+/// rail endpoint: server `s`'s rail `r` NIC is host node `s·rails + r`…
+/// physically one server, but electrically `rails` independent networks,
+/// which is what matters for power.
+///
+/// Rail-optimization concentrates collective traffic *within* a rail:
+/// rank i's rail-r NIC only ever talks to other rail-r NICs, so an
+/// all-reduce lights up exactly one plane per rail instead of a shared
+/// monolithic fabric — which suits the §4.2 parking analysis.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Build`] for zero-sized dimensions.
+pub fn rail_optimized(
+    servers: usize,
+    rails: usize,
+    servers_per_leaf: usize,
+    link_speed: Gbps,
+) -> Result<Topology> {
+    if servers == 0 || rails == 0 || servers_per_leaf == 0 {
+        return Err(TopologyError::Build("rail dimensions must be positive".into()));
+    }
+    if servers % servers_per_leaf != 0 {
+        return Err(TopologyError::Build(format!(
+            "servers {servers} must divide into leaves of {servers_per_leaf}"
+        )));
+    }
+    let leaves_per_rail = servers / servers_per_leaf;
+    let mut t = Topology::new();
+    for r in 0..rails {
+        // Non-blocking: one spine port per server per rail.
+        let spines: Vec<NodeId> = (0..servers_per_leaf)
+            .map(|sp| t.add_switch(format!("rail{r}/spine{sp}"), 1))
+            .collect();
+        for l in 0..leaves_per_rail {
+            let leaf = t.add_switch(format!("rail{r}/leaf{l}"), 0);
+            for &sp in &spines {
+                t.add_link(leaf, sp, link_speed)?;
+            }
+            for s in 0..servers_per_leaf {
+                let server = l * servers_per_leaf + s;
+                let host = t.add_host(format!("server{server}/rail{r}"));
+                t.add_link(host, leaf, link_speed)?;
+            }
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod rail_tests {
+    use super::*;
+    use crate::bisection::{bisection_bandwidth, full_bisection};
+
+    #[test]
+    fn rail_counts() {
+        // 16 servers × 8 rails, 4 servers per leaf.
+        let t = rail_optimized(16, 8, 4, Gbps::new(400.0)).unwrap();
+        assert_eq!(t.hosts().len(), 128); // one endpoint per rail NIC
+        // Per rail: 4 leaves + 4 spines = 8 switches; ×8 rails = 64.
+        assert_eq!(t.switches().len(), 64);
+        // Per rail: 4 leaves × 4 spines uplinks = 16; ×8 = 128.
+        assert_eq!(t.inter_switch_links().len(), 128);
+    }
+
+    #[test]
+    fn rails_are_isolated_planes() {
+        let t = rail_optimized(8, 2, 4, Gbps::new(100.0)).unwrap();
+        let hosts = t.hosts();
+        // server0/rail0 ↔ server1/rail0: connected.
+        let rail0_a = hosts.iter().find(|&&h| t.node(h).unwrap().name == "server0/rail0").copied().unwrap();
+        let rail0_b = hosts.iter().find(|&&h| t.node(h).unwrap().name == "server1/rail0").copied().unwrap();
+        let rail1_a = hosts.iter().find(|&&h| t.node(h).unwrap().name == "server0/rail1").copied().unwrap();
+        assert!(t.distance(rail0_a, rail0_b).is_some());
+        // Different rails never meet — electrically separate networks.
+        assert_eq!(t.distance(rail0_a, rail1_a), None);
+    }
+
+    #[test]
+    fn each_rail_is_non_blocking() {
+        let t = rail_optimized(8, 1, 4, Gbps::new(100.0)).unwrap();
+        let b = bisection_bandwidth(&t);
+        assert!(b.approx_eq(full_bisection(8, Gbps::new(100.0)), 1e-6), "bisection {b}");
+    }
+
+    #[test]
+    fn rail_validation() {
+        assert!(rail_optimized(0, 1, 1, Gbps::new(1.0)).is_err());
+        assert!(rail_optimized(8, 0, 4, Gbps::new(1.0)).is_err());
+        assert!(rail_optimized(7, 1, 4, Gbps::new(1.0)).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! Analytic fat-tree sizing — §2.4 of the paper.
+//!
+//! A folded-Clos "fat tree" built from identical k-port switches supports
+//!
+//! ```text
+//! hosts(n)    = 2 · (k/2)ⁿ
+//! switches(n) = (2n − 1) · (k/2)ⁿ⁻¹
+//! links(n)    = hosts · (n − 1)        (inter-switch links)
+//! ```
+//!
+//! for an integer number of stages `n` (n = 2 is leaf–spine, n = 3 the
+//! classic 3-tier fat tree). The paper sizes the network for host counts
+//! *between* stage capacities by interpolation; solving `hosts = 2·(k/2)ⁿ`
+//! for a **fractional** `n` and evaluating the switch/link formulas at that
+//! `n` reproduces every savings number in the paper's Table 3, so that is
+//! the default [`InterpMode::FractionalStages`]. Two alternative rules are
+//! provided for the ablation study (`ablation_interp` bench).
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::Gbps;
+
+use crate::{Result, TopologyError};
+
+/// How to size a fat tree for a host count between integer-stage
+/// capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InterpMode {
+    /// Solve for a fractional stage count (the paper's rule; default).
+    #[default]
+    FractionalStages,
+    /// Round the stage count up and scale the full-tree switch/link counts
+    /// proportionally to the host fraction used.
+    CeilProportional,
+    /// Round the stage count up and charge for the *full* tree (worst
+    /// case: you deploy the whole fabric regardless of occupancy).
+    CeilFull,
+}
+
+/// Analytic model of a fat tree built from identical `radix`-port switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FatTreeModel {
+    radix: usize,
+}
+
+/// The sizing result for a given host count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FatTreeSize {
+    /// Host (endpoint) count the tree was sized for.
+    pub hosts: f64,
+    /// Stage count used (fractional under the paper's rule).
+    pub stages: f64,
+    /// Number of switches (fractional: this is a continuous model).
+    pub switches: f64,
+    /// Number of inter-switch links.
+    pub inter_switch_links: f64,
+}
+
+impl FatTreeModel {
+    /// Creates a model for `radix`-port switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidRadix`] unless `radix` is an even
+    /// integer ≥ 2.
+    pub fn new(radix: usize) -> Result<Self> {
+        if radix < 2 || radix % 2 != 0 {
+            return Err(TopologyError::InvalidRadix(radix));
+        }
+        Ok(Self { radix })
+    }
+
+    /// Model for switches of the given aggregate capacity at the given
+    /// port speed — e.g. 51.2 Tbps at 400 G gives a radix of 128.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::InvalidRadix`] (odd radixes arise when
+    /// the capacity is not an even multiple of the port speed).
+    pub fn from_switch_capacity(capacity: Gbps, port_speed: Gbps) -> Result<Self> {
+        Self::new(capacity.ports_at(port_speed))
+    }
+
+    /// The switch radix (ports per switch).
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Half the radix — the branching factor of the tree.
+    fn half(&self) -> f64 {
+        self.radix as f64 / 2.0
+    }
+
+    /// Maximum hosts supported by an integer `stages`-stage tree:
+    /// `2·(k/2)ⁿ`.
+    pub fn capacity(&self, stages: u32) -> f64 {
+        2.0 * self.half().powi(stages as i32)
+    }
+
+    /// Switches in a *full* integer `stages`-stage tree:
+    /// `(2n−1)·(k/2)ⁿ⁻¹`.
+    pub fn full_switches(&self, stages: u32) -> f64 {
+        (2.0 * stages as f64 - 1.0) * self.half().powi(stages as i32 - 1)
+    }
+
+    /// Inter-switch links in a full integer `stages`-stage tree:
+    /// every host contributes `stages − 1` links up the folded tree.
+    pub fn full_links(&self, stages: u32) -> f64 {
+        self.capacity(stages) * (stages as f64 - 1.0)
+    }
+
+    /// The (fractional) number of stages needed for `hosts` endpoints:
+    /// `n = ln(hosts/2) / ln(k/2)`, clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidHostCount`] for non-positive or
+    /// non-finite host counts.
+    pub fn fractional_stages(&self, hosts: f64) -> Result<f64> {
+        if !hosts.is_finite() || hosts <= 0.0 {
+            return Err(TopologyError::InvalidHostCount(hosts));
+        }
+        Ok(((hosts / 2.0).ln() / self.half().ln()).max(1.0))
+    }
+
+    /// Sizes the tree for `hosts` endpoints using the paper's fractional
+    /// interpolation rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::InvalidHostCount`].
+    pub fn size_for_hosts(&self, hosts: f64) -> Result<FatTreeSize> {
+        self.size_for_hosts_with(hosts, InterpMode::FractionalStages)
+    }
+
+    /// Sizes the tree for `hosts` endpoints under the given interpolation
+    /// mode (see [`InterpMode`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::InvalidHostCount`].
+    pub fn size_for_hosts_with(&self, hosts: f64, mode: InterpMode) -> Result<FatTreeSize> {
+        let n_frac = self.fractional_stages(hosts)?;
+        match mode {
+            InterpMode::FractionalStages => {
+                let switches = (2.0 * n_frac - 1.0) * self.half().powf(n_frac - 1.0);
+                Ok(FatTreeSize {
+                    hosts,
+                    stages: n_frac,
+                    switches,
+                    inter_switch_links: hosts * (n_frac - 1.0),
+                })
+            }
+            InterpMode::CeilProportional => {
+                let n = n_frac.ceil().max(1.0) as u32;
+                let fill = hosts / self.capacity(n);
+                Ok(FatTreeSize {
+                    hosts,
+                    stages: n as f64,
+                    switches: self.full_switches(n) * fill,
+                    inter_switch_links: self.full_links(n) * fill,
+                })
+            }
+            InterpMode::CeilFull => {
+                let n = n_frac.ceil().max(1.0) as u32;
+                Ok(FatTreeSize {
+                    hosts,
+                    stages: n as f64,
+                    switches: self.full_switches(n),
+                    inter_switch_links: self.full_links(n),
+                })
+            }
+        }
+    }
+}
+
+impl FatTreeSize {
+    /// Switches per host — a useful density metric for sweeps.
+    pub fn switches_per_host(&self) -> f64 {
+        self.switches / self.hosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_match_textbook_values() {
+        let m = FatTreeModel::new(4).unwrap();
+        // k=4, 3-tier: 16 hosts, 20 switches, 32 inter-switch links.
+        assert_eq!(m.capacity(3), 16.0);
+        assert_eq!(m.full_switches(3), 20.0);
+        assert_eq!(m.full_links(3), 32.0);
+        // k=4, 2-tier: 8 hosts, 3·(k/2) = 6 switches, 8 links.
+        assert_eq!(m.capacity(2), 8.0);
+        assert_eq!(m.full_switches(2), 6.0);
+        assert_eq!(m.full_links(2), 8.0);
+        // One stage: a single switch, no inter-switch links.
+        assert_eq!(m.capacity(1), 4.0);
+        assert_eq!(m.full_switches(1), 1.0);
+        assert_eq!(m.full_links(1), 0.0);
+    }
+
+    #[test]
+    fn radix_validation() {
+        assert!(FatTreeModel::new(0).is_err());
+        assert!(FatTreeModel::new(3).is_err());
+        assert!(FatTreeModel::new(2).is_ok());
+        assert!(FatTreeModel::new(128).is_ok());
+    }
+
+    #[test]
+    fn radix_from_asic_capacity() {
+        let m =
+            FatTreeModel::from_switch_capacity(Gbps::from_tbps(51.2), Gbps::new(400.0)).unwrap();
+        assert_eq!(m.radix(), 128);
+        let m =
+            FatTreeModel::from_switch_capacity(Gbps::from_tbps(51.2), Gbps::new(1600.0)).unwrap();
+        assert_eq!(m.radix(), 32);
+    }
+
+    #[test]
+    fn fractional_stages_inverts_capacity() {
+        let m = FatTreeModel::new(128).unwrap();
+        for n in 1..=4u32 {
+            let h = m.capacity(n);
+            let back = m.fractional_stages(h).unwrap();
+            assert!((back - n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractional_sizing_matches_full_tree_at_integer_points() {
+        let m = FatTreeModel::new(64).unwrap();
+        for n in 1..=3u32 {
+            let h = m.capacity(n);
+            let s = m.size_for_hosts(h).unwrap();
+            assert!((s.switches - m.full_switches(n)).abs() < 1e-6);
+            assert!((s.inter_switch_links - m.full_links(n)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_baseline_sizing_400g() {
+        // 15,360 hosts on 128-port switches: n ≈ 2.1507, ≈ 396 switches,
+        // ≈ 17,676 inter-switch links. These counts, fed into the §2.3
+        // power model, reproduce the paper's Table 3 (validated in
+        // npp-core's tests).
+        let m = FatTreeModel::new(128).unwrap();
+        let s = m.size_for_hosts(15_360.0).unwrap();
+        assert!((s.stages - 2.15115).abs() < 1e-4, "stages = {}", s.stages);
+        assert!((s.switches - 396.2).abs() < 0.5, "switches = {}", s.switches);
+        assert!(
+            (s.inter_switch_links - 17_681.7).abs() < 5.0,
+            "links = {}",
+            s.inter_switch_links
+        );
+    }
+
+    #[test]
+    fn sizing_is_monotonic_in_hosts() {
+        let m = FatTreeModel::new(32).unwrap();
+        let mut last = m.size_for_hosts(10.0).unwrap();
+        for h in [100.0, 1_000.0, 10_000.0, 100_000.0] {
+            let s = m.size_for_hosts(h).unwrap();
+            assert!(s.switches > last.switches);
+            assert!(s.inter_switch_links > last.inter_switch_links);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn smaller_radix_needs_more_switches() {
+        // The mechanism behind the paper's bandwidth sweep: higher port
+        // speed → smaller radix → deeper tree → more switches per host.
+        let hosts = 15_360.0;
+        let mut last = 0.0;
+        for radix in [512, 256, 128, 64, 32] {
+            let s = FatTreeModel::new(radix).unwrap().size_for_hosts(hosts).unwrap();
+            assert!(s.switches > last, "radix {radix}");
+            last = s.switches;
+        }
+    }
+
+    #[test]
+    fn tiny_host_counts_clamp_to_one_stage() {
+        let m = FatTreeModel::new(128).unwrap();
+        let s = m.size_for_hosts(10.0).unwrap();
+        assert_eq!(s.stages, 1.0);
+        assert_eq!(s.inter_switch_links, 0.0);
+        assert_eq!(s.switches, 1.0);
+    }
+
+    #[test]
+    fn invalid_host_counts_rejected() {
+        let m = FatTreeModel::new(128).unwrap();
+        assert!(m.size_for_hosts(0.0).is_err());
+        assert!(m.size_for_hosts(-5.0).is_err());
+        assert!(m.size_for_hosts(f64::NAN).is_err());
+        assert!(m.size_for_hosts(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn interp_modes_agree_at_integer_stages_and_order_in_between() {
+        let m = FatTreeModel::new(16).unwrap();
+        let h = m.capacity(2);
+        for mode in [InterpMode::FractionalStages, InterpMode::CeilProportional, InterpMode::CeilFull] {
+            let s = m.size_for_hosts_with(h, mode).unwrap();
+            assert!((s.switches - m.full_switches(2)).abs() < 1e-9, "{mode:?}");
+        }
+        // Between stages, CeilFull charges the most.
+        let h = m.capacity(2) * 3.0;
+        let frac = m.size_for_hosts_with(h, InterpMode::FractionalStages).unwrap();
+        let prop = m.size_for_hosts_with(h, InterpMode::CeilProportional).unwrap();
+        let full = m.size_for_hosts_with(h, InterpMode::CeilFull).unwrap();
+        assert!(full.switches >= prop.switches);
+        assert!(full.switches >= frac.switches);
+    }
+
+    #[test]
+    fn switches_per_host_density() {
+        let m = FatTreeModel::new(128).unwrap();
+        let s = m.size_for_hosts(15_360.0).unwrap();
+        assert!((s.switches_per_host() - 396.2 / 15_360.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,108 @@
+//! ISP backbone topologies for the §3.4 discussion.
+//!
+//! §3.4 argues that power proportionality pays off even more directly in
+//! ISP networks — all network, no compute, and structurally underutilized
+//! because capacity is provisioned for peaks that occur a few hours per
+//! day. We ship the classic Abilene research backbone as a concrete,
+//! publicly documented topology to quantify that claim on.
+
+use npp_units::Gbps;
+
+use crate::graph::{NodeId, Topology};
+
+/// Names of the 11 Abilene PoPs, in the order their nodes are created.
+pub const ABILENE_POPS: [&str; 11] = [
+    "Seattle",
+    "Sunnyvale",
+    "LosAngeles",
+    "Denver",
+    "KansasCity",
+    "Houston",
+    "Chicago",
+    "Indianapolis",
+    "Atlanta",
+    "WashingtonDC",
+    "NewYork",
+];
+
+/// The 14 Abilene backbone links as index pairs into [`ABILENE_POPS`].
+pub const ABILENE_LINKS: [(usize, usize); 14] = [
+    (0, 1),  // Seattle–Sunnyvale
+    (0, 3),  // Seattle–Denver
+    (1, 2),  // Sunnyvale–LosAngeles
+    (1, 3),  // Sunnyvale–Denver
+    (2, 5),  // LosAngeles–Houston
+    (3, 4),  // Denver–KansasCity
+    (4, 5),  // KansasCity–Houston
+    (4, 6),  // KansasCity–Chicago
+    (5, 8),  // Houston–Atlanta
+    (6, 7),  // Chicago–Indianapolis
+    (7, 8),  // Indianapolis–Atlanta
+    (7, 10), // Indianapolis–NewYork
+    (8, 9),  // Atlanta–WashingtonDC
+    (9, 10), // WashingtonDC–NewYork
+];
+
+/// Builds the Abilene backbone with the given link capacity. Each PoP is a
+/// tier-0 switch with one attached host standing in for the PoP's customer
+/// aggregate (traffic source/sink).
+pub fn abilene(link_speed: Gbps) -> Topology {
+    let mut t = Topology::new();
+    let pops: Vec<NodeId> = ABILENE_POPS
+        .iter()
+        .map(|name| t.add_switch(*name, 0))
+        .collect();
+    for (a, b) in ABILENE_LINKS {
+        t.add_link(pops[a], pops[b], link_speed)
+            .expect("static link table is valid");
+    }
+    for (i, &pop) in pops.iter().enumerate() {
+        let h = t.add_host(format!("{}/clients", ABILENE_POPS[i]));
+        t.add_link(h, pop, link_speed)
+            .expect("static link table is valid");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abilene_shape() {
+        let t = abilene(Gbps::new(100.0));
+        assert_eq!(t.switches().len(), 11);
+        assert_eq!(t.hosts().len(), 11);
+        assert_eq!(t.inter_switch_links().len(), 14);
+        assert_eq!(t.links().len(), 25);
+    }
+
+    #[test]
+    fn abilene_is_connected() {
+        let t = abilene(Gbps::new(100.0));
+        let hosts = t.hosts();
+        for &h in &hosts[1..] {
+            assert!(t.distance(hosts[0], h).is_some());
+        }
+    }
+
+    #[test]
+    fn coast_to_coast_path_length() {
+        let t = abilene(Gbps::new(100.0));
+        let hosts = t.hosts();
+        // Seattle clients ↔ NewYork clients: host + ≥4 backbone hops + host.
+        let d = t.distance(hosts[0], hosts[10]).unwrap();
+        assert!(d >= 5, "distance {d}");
+    }
+
+    #[test]
+    fn redundant_paths_exist() {
+        // Abilene is 2-connected: ECMP or failover paths exist between
+        // most PoP pairs (e.g. Denver↔Chicago via KC or via Seattle).
+        let t = abilene(Gbps::new(100.0));
+        let denver = NodeId(3);
+        let chicago = NodeId(6);
+        let d = t.distance(denver, chicago).unwrap();
+        assert_eq!(d, 2); // Denver–KC–Chicago
+    }
+}

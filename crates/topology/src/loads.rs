@@ -1,0 +1,240 @@
+//! Per-link load accounting: route a demand set over ECMP shortest paths
+//! and measure what each link actually carries.
+//!
+//! §3.4 argues that underutilization is structural — in fat trees because
+//! not all paths are used at all times, in ISP backbones because capacity
+//! is provisioned for peaks. This module turns a demand matrix into
+//! per-link utilizations so both claims can be measured on concrete
+//! topologies.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Gbps, Ratio};
+
+use crate::graph::{LinkId, NodeId, Topology};
+use crate::{Result, TopologyError};
+
+/// Per-link carried load, aligned with [`Topology::links`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkLoads {
+    loads: Vec<f64>, // Gbps per link
+}
+
+impl LinkLoads {
+    /// Routes `demands` (src, dst, rate) over the topology, splitting
+    /// each demand evenly across up to `ecmp_limit` equal-cost shortest
+    /// paths (ECMP's idealized fluid behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownNode`] for demands between unknown or
+    /// disconnected nodes.
+    pub fn route(
+        topo: &Topology,
+        demands: &[(NodeId, NodeId, Gbps)],
+        ecmp_limit: usize,
+    ) -> Result<Self> {
+        let mut loads = vec![0.0; topo.links().len()];
+        for &(src, dst, rate) in demands {
+            if src == dst || rate.value() <= 0.0 {
+                continue;
+            }
+            let paths = topo.ecmp_paths(src, dst, ecmp_limit.max(1));
+            if paths.is_empty() {
+                return Err(TopologyError::UnknownNode(src.0));
+            }
+            let share = rate.value() / paths.len() as f64;
+            for path in &paths {
+                for hop in path.windows(2) {
+                    let link = link_between(topo, hop[0], hop[1])?;
+                    loads[link.0] += share;
+                }
+            }
+        }
+        Ok(Self { loads })
+    }
+
+    /// Load carried by one link.
+    pub fn load(&self, link: LinkId) -> Gbps {
+        Gbps::new(self.loads.get(link.0).copied().unwrap_or(0.0))
+    }
+
+    /// Utilization of each link (load / capacity), aligned with
+    /// [`Topology::links`].
+    pub fn utilizations(&self, topo: &Topology) -> Vec<Ratio> {
+        topo.links()
+            .iter()
+            .map(|l| Ratio::new(self.loads[l.id.0] / l.capacity.value()))
+            .collect()
+    }
+
+    /// The busiest link's utilization.
+    pub fn max_utilization(&self, topo: &Topology) -> Ratio {
+        self.utilizations(topo)
+            .into_iter()
+            .fold(Ratio::ZERO, |a, b| if b > a { b } else { a })
+    }
+
+    /// Mean utilization across all links.
+    pub fn mean_utilization(&self, topo: &Topology) -> Ratio {
+        let u = self.utilizations(topo);
+        if u.is_empty() {
+            return Ratio::ZERO;
+        }
+        Ratio::new(u.iter().map(|r| r.fraction()).sum::<f64>() / u.len() as f64)
+    }
+
+    /// Links carrying exactly nothing (candidates for switching off).
+    pub fn unused_links(&self, topo: &Topology) -> Vec<LinkId> {
+        topo.links()
+            .iter()
+            .filter(|l| self.loads[l.id.0] == 0.0)
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// Links below a utilization threshold but not unused — the
+    /// "underutilized rather than completely unused" §3.4 category.
+    pub fn underutilized_links(&self, topo: &Topology, below: Ratio) -> Vec<LinkId> {
+        topo.links()
+            .iter()
+            .filter(|l| {
+                let u = self.loads[l.id.0] / l.capacity.value();
+                u > 0.0 && u < below.fraction()
+            })
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// Scales every load by a factor (diurnal modulation).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self { loads: self.loads.iter().map(|l| l * factor).collect() }
+    }
+}
+
+/// Finds a link connecting two adjacent nodes (first match on parallel
+/// links).
+fn link_between(topo: &Topology, a: NodeId, b: NodeId) -> Result<LinkId> {
+    topo.neighbors(a)
+        .iter()
+        .find(|(peer, _)| *peer == b)
+        .map(|&(_, l)| l)
+        .ok_or(TopologyError::UnknownNode(b.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::three_tier_fat_tree;
+    use crate::isp::abilene;
+
+    #[test]
+    fn single_demand_single_path() {
+        let topo = abilene(Gbps::new(100.0));
+        let hosts = topo.hosts();
+        let loads =
+            LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(40.0))], 1).unwrap();
+        // Seattle-clients → Sunnyvale-clients: host link + backbone link
+        // + host link all carry 40 G.
+        let carried: Vec<f64> = topo
+            .links()
+            .iter()
+            .map(|l| loads.load(l.id).value())
+            .filter(|&v| v > 0.0)
+            .collect();
+        assert_eq!(carried.len(), 3);
+        assert!(carried.iter().all(|&v| (v - 40.0).abs() < 1e-9));
+        assert!(loads.max_utilization(&topo).approx_eq(Ratio::new(0.4), 1e-12));
+    }
+
+    #[test]
+    fn ecmp_splits_across_cores() {
+        let topo = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        // Cross-pod demand: 4 equal-cost paths.
+        let loads =
+            LinkLoads::route(&topo, &[(hosts[0], hosts[15], Gbps::new(80.0))], 64).unwrap();
+        // The host links carry the full 80 G; each of the 4 core paths
+        // carries 20 G on its agg-core hops.
+        let max = loads.max_utilization(&topo);
+        assert!(max.approx_eq(Ratio::new(0.8), 1e-9), "max {max}");
+        let agg_core_loads: Vec<f64> = topo
+            .links()
+            .iter()
+            .filter(|l| {
+                let (a, b) = (topo.node(l.a).unwrap(), topo.node(l.b).unwrap());
+                a.kind.is_switch() && b.kind.is_switch()
+            })
+            .map(|l| loads.load(l.id).value())
+            .filter(|&v| v > 0.0)
+            .collect();
+        // ECMP fans out: every used inter-switch link carries ≤ 40 G.
+        assert!(agg_core_loads.iter().all(|&v| v <= 40.0 + 1e-9));
+    }
+
+    #[test]
+    fn fat_tree_single_job_leaves_links_unused() {
+        // The §3.4 observation: one demand lights up only a sliver of a
+        // full-bisection fabric.
+        let topo = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let loads =
+            LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(50.0))], 64).unwrap();
+        let unused = loads.unused_links(&topo);
+        assert!(
+            unused.len() > topo.links().len() / 2,
+            "unused {} of {}",
+            unused.len(),
+            topo.links().len()
+        );
+    }
+
+    #[test]
+    fn underutilized_category_excludes_unused() {
+        let topo = abilene(Gbps::new(100.0));
+        let hosts = topo.hosts();
+        let loads =
+            LinkLoads::route(&topo, &[(hosts[0], hosts[10], Gbps::new(10.0))], 4).unwrap();
+        let under = loads.underutilized_links(&topo, Ratio::new(0.5));
+        let unused = loads.unused_links(&topo);
+        for l in &under {
+            assert!(!unused.contains(l));
+            assert!(loads.load(*l).value() > 0.0);
+        }
+        assert!(!under.is_empty());
+        assert!(!unused.is_empty());
+    }
+
+    #[test]
+    fn scaling_and_means() {
+        let topo = abilene(Gbps::new(100.0));
+        let hosts = topo.hosts();
+        let loads =
+            LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(40.0))], 1).unwrap();
+        let half = loads.scaled(0.5);
+        assert!(half
+            .mean_utilization(&topo)
+            .approx_eq(Ratio::new(loads.mean_utilization(&topo).fraction() / 2.0), 1e-12));
+    }
+
+    #[test]
+    fn self_and_zero_demands_ignored() {
+        let topo = abilene(Gbps::new(100.0));
+        let hosts = topo.hosts();
+        let loads = LinkLoads::route(
+            &topo,
+            &[(hosts[0], hosts[0], Gbps::new(10.0)), (hosts[0], hosts[1], Gbps::ZERO)],
+            4,
+        )
+        .unwrap();
+        assert_eq!(loads.mean_utilization(&topo), Ratio::ZERO);
+    }
+
+    #[test]
+    fn disconnected_demand_errors() {
+        let mut topo = Topology::new();
+        let a = topo.add_host("a");
+        let b = topo.add_host("b");
+        assert!(LinkLoads::route(&topo, &[(a, b, Gbps::new(1.0))], 4).is_err());
+    }
+}

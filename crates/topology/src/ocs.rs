@@ -1,0 +1,212 @@
+//! Optical circuit switches (OCS) — the reconfiguration substrate for the
+//! §4.2 "scheduling network jobs" proposal.
+//!
+//! An OCS is a passive port-to-port patch panel with movable mirrors: it
+//! performs no packet processing, draws a small constant power for mirror
+//! control, and takes tens of milliseconds to reconfigure (off-the-shelf
+//! devices). §4.2 argues that for ML training jobs — which last days and
+//! need one reconfiguration at job start — that speed is ample, unlike the
+//! nanosecond-scale demands of RotorNet/Sirius-style designs.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Seconds, Watts};
+
+use crate::{Result, TopologyError};
+
+/// Static parameters of an optical circuit switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcsSpec {
+    /// Number of ports.
+    pub ports: usize,
+    /// Time to establish a new mirror configuration.
+    pub reconfiguration_time: Seconds,
+    /// Constant control power for the whole device.
+    pub power: Watts,
+}
+
+impl OcsSpec {
+    /// An off-the-shelf 3D-MEMS OCS: tens-of-ms reconfiguration (we use
+    /// 25 ms) and ~45 W of control power for a 320-port device, scaled
+    /// linearly in port count.
+    pub fn off_the_shelf(ports: usize) -> Self {
+        Self {
+            ports,
+            reconfiguration_time: Seconds::from_millis(25.0),
+            power: Watts::new(45.0 * ports as f64 / 320.0),
+        }
+    }
+}
+
+/// A circuit switch with its current port-to-port mapping.
+///
+/// The mapping is an *involution without fixed points* on the connected
+/// subset: if port `a` is wired to port `b`, then `b` is wired to `a`, and
+/// no port is wired to itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitSwitch {
+    spec: OcsSpec,
+    mapping: Vec<Option<usize>>,
+    reconfigurations: usize,
+}
+
+impl CircuitSwitch {
+    /// Creates a circuit switch with all ports unconnected.
+    pub fn new(spec: OcsSpec) -> Self {
+        Self { spec, mapping: vec![None; spec.ports], reconfigurations: 0 }
+    }
+
+    /// The device parameters.
+    pub fn spec(&self) -> &OcsSpec {
+        &self.spec
+    }
+
+    /// Number of reconfiguration operations performed so far.
+    pub fn reconfigurations(&self) -> usize {
+        self.reconfigurations
+    }
+
+    /// The port `p` is currently wired to, if any.
+    pub fn peer(&self, p: usize) -> Option<usize> {
+        self.mapping.get(p).copied().flatten()
+    }
+
+    /// Number of established circuits (port pairs).
+    pub fn circuits(&self) -> usize {
+        self.mapping.iter().flatten().count() / 2
+    }
+
+    /// Wires two ports together. Both must exist, be distinct, and be
+    /// currently unconnected.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::InvalidCircuit`] on any violation.
+    pub fn connect(&mut self, a: usize, b: usize) -> Result<()> {
+        if a >= self.spec.ports || b >= self.spec.ports {
+            return Err(TopologyError::InvalidCircuit(format!(
+                "port out of range (ports={}, got {a},{b})",
+                self.spec.ports
+            )));
+        }
+        if a == b {
+            return Err(TopologyError::InvalidCircuit(format!("port {a} wired to itself")));
+        }
+        if self.mapping[a].is_some() || self.mapping[b].is_some() {
+            return Err(TopologyError::InvalidCircuit(format!(
+                "port {a} or {b} already connected"
+            )));
+        }
+        self.mapping[a] = Some(b);
+        self.mapping[b] = Some(a);
+        Ok(())
+    }
+
+    /// Tears down the circuit through port `p` (no-op if unconnected).
+    pub fn disconnect(&mut self, p: usize) {
+        if let Some(q) = self.mapping.get(p).copied().flatten() {
+            self.mapping[p] = None;
+            self.mapping[q] = None;
+        }
+    }
+
+    /// Atomically replaces the whole configuration with the given port
+    /// pairs and returns the reconfiguration latency the caller must wait.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::InvalidCircuit`] if the pairs do not form a valid
+    /// partial matching; the previous configuration is restored on error.
+    pub fn reconfigure(&mut self, pairs: &[(usize, usize)]) -> Result<Seconds> {
+        let saved = self.mapping.clone();
+        self.mapping.iter_mut().for_each(|m| *m = None);
+        for &(a, b) in pairs {
+            if let Err(e) = self.connect(a, b) {
+                self.mapping = saved;
+                return Err(e);
+            }
+        }
+        self.reconfigurations += 1;
+        Ok(self.spec.reconfiguration_time)
+    }
+
+    /// Verifies the involution invariant (used by property tests).
+    pub fn check_invariants(&self) -> Result<()> {
+        for (p, m) in self.mapping.iter().enumerate() {
+            if let Some(q) = m {
+                if *q == p {
+                    return Err(TopologyError::InvalidCircuit(format!("fixed point at {p}")));
+                }
+                if self.mapping.get(*q).copied().flatten() != Some(p) {
+                    return Err(TopologyError::InvalidCircuit(format!(
+                        "asymmetric mapping at {p}->{q}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ocs8() -> CircuitSwitch {
+        CircuitSwitch::new(OcsSpec::off_the_shelf(8))
+    }
+
+    #[test]
+    fn connect_disconnect() {
+        let mut cs = ocs8();
+        cs.connect(0, 5).unwrap();
+        assert_eq!(cs.peer(0), Some(5));
+        assert_eq!(cs.peer(5), Some(0));
+        assert_eq!(cs.circuits(), 1);
+        cs.check_invariants().unwrap();
+        cs.disconnect(5);
+        assert_eq!(cs.peer(0), None);
+        assert_eq!(cs.circuits(), 0);
+    }
+
+    #[test]
+    fn invalid_connections_rejected() {
+        let mut cs = ocs8();
+        assert!(cs.connect(0, 0).is_err());
+        assert!(cs.connect(0, 8).is_err());
+        cs.connect(0, 1).unwrap();
+        assert!(cs.connect(0, 2).is_err());
+        assert!(cs.connect(2, 1).is_err());
+    }
+
+    #[test]
+    fn reconfigure_is_atomic() {
+        let mut cs = ocs8();
+        cs.reconfigure(&[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(cs.circuits(), 2);
+        // A bad batch (duplicate port 2) must roll back completely.
+        let err = cs.reconfigure(&[(4, 5), (2, 2)]);
+        assert!(err.is_err());
+        assert_eq!(cs.peer(0), Some(1));
+        assert_eq!(cs.peer(4), None);
+        assert_eq!(cs.reconfigurations(), 1);
+        cs.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reconfiguration_latency_is_tens_of_ms() {
+        let mut cs = ocs8();
+        let dt = cs.reconfigure(&[(0, 7)]).unwrap();
+        assert!(dt.as_millis() >= 10.0 && dt.as_millis() <= 100.0);
+    }
+
+    #[test]
+    fn power_scales_with_ports() {
+        let small = OcsSpec::off_the_shelf(32);
+        let big = OcsSpec::off_the_shelf(320);
+        assert!(big.power.value() > small.power.value());
+        assert!((big.power.value() - 45.0).abs() < 1e-9);
+        // An OCS draws far less than a packet switch of similar radix.
+        assert!(big.power.value() < 750.0 / 10.0);
+    }
+}

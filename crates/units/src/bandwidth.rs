@@ -1,0 +1,103 @@
+//! Link and interface bandwidth, in gigabits per second.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bits, Seconds};
+
+/// Bandwidth in gigabits per second (Gbps).
+///
+/// The paper sweeps per-GPU interface speeds of 100–1600 Gbps and sizes
+/// switch radixes by dividing the ASIC capacity (51.2 Tbps) by the port
+/// speed; both operations live here.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Gbps(pub(crate) f64);
+
+crate::scalar_quantity!(Gbps, "Gbps");
+
+impl Gbps {
+    /// Creates a bandwidth from terabits per second.
+    #[inline]
+    pub const fn from_tbps(tbps: f64) -> Self {
+        Self(tbps * 1e3)
+    }
+
+    /// Creates a bandwidth from bits per second.
+    #[inline]
+    pub const fn from_bits_per_sec(bps: f64) -> Self {
+        Self(bps / 1e9)
+    }
+
+    /// Returns the value in bits per second.
+    #[inline]
+    pub fn as_bits_per_sec(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the value in terabits per second.
+    #[inline]
+    pub fn as_tbps(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// How many ports of `port_speed` an ASIC of this aggregate capacity
+    /// can drive, truncated to an integer (e.g. 51.2 Tbps / 400 G = 128).
+    #[inline]
+    pub fn ports_at(self, port_speed: Gbps) -> usize {
+        (self.0 / port_speed.0).floor() as usize
+    }
+
+    /// Time to transfer `data` at this rate.
+    #[inline]
+    pub fn transfer_time(self, data: Bits) -> Seconds {
+        data / self
+    }
+}
+
+impl core::ops::Mul<Seconds> for Gbps {
+    type Output = Bits;
+
+    /// Rate × time = data volume.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Bits {
+        Bits::new(self.as_bits_per_sec() * rhs.value())
+    }
+}
+
+impl core::ops::Div<Gbps> for Bits {
+    type Output = Seconds;
+
+    /// Data ÷ rate = transfer time.
+    #[inline]
+    fn div(self, rhs: Gbps) -> Seconds {
+        Seconds::new(self.value() / rhs.as_bits_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tbps_round_trip() {
+        let asic = Gbps::from_tbps(51.2);
+        assert_eq!(asic.value(), 51_200.0);
+        assert_eq!(asic.as_tbps(), 51.2);
+    }
+
+    #[test]
+    fn radix_at_paper_port_speeds() {
+        let asic = Gbps::from_tbps(51.2);
+        assert_eq!(asic.ports_at(Gbps::new(100.0)), 512);
+        assert_eq!(asic.ports_at(Gbps::new(200.0)), 256);
+        assert_eq!(asic.ports_at(Gbps::new(400.0)), 128);
+        assert_eq!(asic.ports_at(Gbps::new(800.0)), 64);
+        assert_eq!(asic.ports_at(Gbps::new(1600.0)), 32);
+    }
+
+    #[test]
+    fn transfer_time() {
+        let t = Gbps::new(400.0).transfer_time(Bits::new(400e9));
+        assert_eq!(t, Seconds::new(1.0));
+    }
+}

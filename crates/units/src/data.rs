@@ -1,0 +1,119 @@
+//! Data volumes, in bits and bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// A data volume in bits.
+///
+/// Stored as `f64` because analytic models routinely produce fractional
+/// expected volumes; the simulator rounds at the packet boundary.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bits(pub(crate) f64);
+
+crate::scalar_quantity!(Bits, "b");
+
+/// A data volume in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bytes(pub(crate) f64);
+
+crate::scalar_quantity!(Bytes, "B");
+
+impl Bits {
+    /// Creates a volume from gigabits.
+    #[inline]
+    pub const fn from_gbits(gb: f64) -> Self {
+        Self(gb * 1e9)
+    }
+
+    /// Returns the value in gigabits.
+    #[inline]
+    pub fn as_gbits(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Converts to bytes (8 bits per byte).
+    #[inline]
+    pub fn to_bytes(self) -> Bytes {
+        Bytes(self.0 / 8.0)
+    }
+}
+
+impl Bytes {
+    /// Creates a volume from kibibytes (1024 B).
+    #[inline]
+    pub const fn from_kib(kib: f64) -> Self {
+        Self(kib * 1024.0)
+    }
+
+    /// Creates a volume from mebibytes (1024² B).
+    #[inline]
+    pub const fn from_mib(mib: f64) -> Self {
+        Self(mib * 1_048_576.0)
+    }
+
+    /// Creates a volume from gibibytes (1024³ B).
+    #[inline]
+    pub const fn from_gib(gib: f64) -> Self {
+        Self(gib * 1_073_741_824.0)
+    }
+
+    /// Returns the value in mebibytes.
+    #[inline]
+    pub fn as_mib(self) -> f64 {
+        self.0 / 1_048_576.0
+    }
+
+    /// Returns the value in gibibytes.
+    #[inline]
+    pub fn as_gib(self) -> f64 {
+        self.0 / 1_073_741_824.0
+    }
+
+    /// Converts to bits (8 bits per byte).
+    #[inline]
+    pub fn to_bits(self) -> Bits {
+        Bits(self.0 * 8.0)
+    }
+}
+
+impl From<Bytes> for Bits {
+    #[inline]
+    fn from(b: Bytes) -> Bits {
+        b.to_bits()
+    }
+}
+
+impl From<Bits> for Bytes {
+    #[inline]
+    fn from(b: Bits) -> Bytes {
+        b.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_byte_round_trip() {
+        let b = Bytes::new(1500.0);
+        assert_eq!(b.to_bits(), Bits::new(12_000.0));
+        assert_eq!(b.to_bits().to_bytes(), b);
+        assert_eq!(Bits::from(Bytes::new(1.0)), Bits::new(8.0));
+    }
+
+    #[test]
+    fn binary_prefixes() {
+        assert_eq!(Bytes::from_kib(1.0).value(), 1024.0);
+        assert_eq!(Bytes::from_mib(1.0).value(), 1_048_576.0);
+        assert_eq!(Bytes::from_gib(1.0).as_mib(), 1024.0);
+        assert_eq!(Bytes::from_gib(2.0).as_gib(), 2.0);
+    }
+
+    #[test]
+    fn gigabits() {
+        assert_eq!(Bits::from_gbits(400.0).value(), 400e9);
+        assert_eq!(Bits::new(1e9).as_gbits(), 1.0);
+    }
+}

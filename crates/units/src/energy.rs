@@ -1,0 +1,91 @@
+//! Energy, in joules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Seconds, Watts};
+
+/// Energy in joules (J).
+///
+/// Conversions to watt-hours are provided because electricity pricing and
+/// the paper's cost analysis (§3.2) are expressed per kWh.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Joules(pub(crate) f64);
+
+crate::scalar_quantity!(Joules, "J");
+
+impl Joules {
+    /// Number of joules in one kilowatt-hour.
+    pub const PER_KWH: f64 = 3.6e6;
+
+    /// Creates an energy from kilowatt-hours.
+    #[inline]
+    pub const fn from_kwh(kwh: f64) -> Self {
+        Self(kwh * Self::PER_KWH)
+    }
+
+    /// Creates an energy from watt-hours.
+    #[inline]
+    pub const fn from_wh(wh: f64) -> Self {
+        Self(wh * 3.6e3)
+    }
+
+    /// Returns the value in kilowatt-hours.
+    #[inline]
+    pub fn as_kwh(self) -> f64 {
+        self.0 / Self::PER_KWH
+    }
+
+    /// Returns the value in megawatt-hours.
+    #[inline]
+    pub fn as_mwh(self) -> f64 {
+        self.0 / (Self::PER_KWH * 1e3)
+    }
+
+    /// Average power when this energy is spread over `duration`.
+    #[inline]
+    pub fn average_power(self, duration: Seconds) -> Watts {
+        self / duration
+    }
+}
+
+impl core::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+
+    /// Energy ÷ time = power.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.0 / rhs.value())
+    }
+}
+
+impl core::ops::Div<Watts> for Joules {
+    type Output = Seconds;
+
+    /// Energy ÷ power = time.
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.0 / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kwh_round_trip() {
+        let e = Joules::from_kwh(2.0);
+        assert_eq!(e.value(), 7.2e6);
+        assert_eq!(e.as_kwh(), 2.0);
+        assert_eq!(Joules::from_wh(1000.0), Joules::from_kwh(1.0));
+        assert_eq!(Joules::from_kwh(1500.0).as_mwh(), 1.5);
+    }
+
+    #[test]
+    fn average_power() {
+        let e = Joules::from_kwh(1.0);
+        let p = e.average_power(Seconds::from_hours(1.0));
+        assert!(p.approx_eq(Watts::from_kw(1.0), 1e-9));
+    }
+}

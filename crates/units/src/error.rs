@@ -1,0 +1,52 @@
+//! Error type for fallible unit operations.
+
+/// Errors produced by checked constructors and parsers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// A string could not be parsed as the expected quantity.
+    Parse {
+        /// The offending input.
+        input: String,
+        /// The unit suffix that was expected.
+        unit: &'static str,
+    },
+    /// A value fell outside the permitted range of a checked constructor.
+    OutOfRange {
+        /// Human-readable name of the quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl core::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UnitError::Parse { input, unit } => {
+                write!(f, "cannot parse {input:?} as a quantity in {unit}")
+            }
+            UnitError::OutOfRange { what, value, lo, hi } => {
+                write!(f, "{what} = {value} is outside [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = UnitError::Parse { input: "x".into(), unit: "W" };
+        assert!(e.to_string().contains("cannot parse"));
+        let e = UnitError::OutOfRange { what: "fraction", value: 2.0, lo: 0.0, hi: 1.0 };
+        assert!(e.to_string().contains("outside"));
+    }
+}

@@ -1,0 +1,276 @@
+//! # npp-units
+//!
+//! Strongly-typed physical quantities used throughout the `netpp` workspace.
+//!
+//! All quantities wrap an `f64` in a newtype so that the compiler rejects
+//! dimensionally nonsensical expressions (adding watts to joules, say) while
+//! the natural ones are expressed through operator overloads:
+//!
+//! ```
+//! use npp_units::{Watts, Seconds, Joules, Gbps};
+//!
+//! let p = Watts::new(750.0);
+//! let t = Seconds::new(3600.0);
+//! let e: Joules = p * t;                  // power × time = energy
+//! assert_eq!(e.as_kwh(), 0.75);           // 750 W for an hour = 0.75 kWh
+//!
+//! let link = Gbps::new(400.0);
+//! assert_eq!(link.as_bits_per_sec(), 400e9);
+//! ```
+//!
+//! The crate deliberately avoids generic dimensional-analysis machinery
+//! (type-level integers etc.); each unit is a plain, documented newtype with
+//! exactly the conversions the rest of the workspace needs. This follows the
+//! "simplicity and robustness over type tricks" philosophy of the networking
+//! guides this project adheres to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod data;
+mod energy;
+mod error;
+mod money;
+mod power;
+mod ratio;
+mod time;
+
+pub use bandwidth::Gbps;
+pub use data::{Bits, Bytes};
+pub use energy::Joules;
+pub use error::UnitError;
+pub use money::Usd;
+pub use power::Watts;
+pub use ratio::Ratio;
+pub use time::Seconds;
+
+/// Convenience result alias for fallible unit construction/parsing.
+pub type Result<T> = std::result::Result<T, UnitError>;
+
+/// Implements the standard scalar-quantity boilerplate for an `f64` newtype:
+/// constructors, accessors, arithmetic with itself and with `f64`, ordering
+/// helpers, iterator sums, and `Display` via the given unit suffix.
+macro_rules! scalar_quantity {
+    ($ty:ident, $suffix:expr) => {
+        impl $ty {
+            /// Creates a new quantity from a raw value in base units.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw value in base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the maximum of `self` and `other`.
+            ///
+            /// NaN values are propagated per `f64::max` semantics.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the minimum of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Dimensionless ratio of two quantities of the same unit.
+            #[inline]
+            pub fn ratio_to(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+
+            /// Returns `true` if the two values differ by at most `tol`
+            /// (absolute, in base units). Used pervasively in tests.
+            #[inline]
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                (self.0 - other.0).abs() <= tol
+            }
+        }
+
+        impl core::ops::Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $ty {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl core::str::FromStr for $ty {
+            type Err = $crate::UnitError;
+
+            /// Parses either a bare number ("750") or a number followed by
+            /// the unit suffix ("750 W"), in base units.
+            fn from_str(s: &str) -> core::result::Result<Self, Self::Err> {
+                let trimmed = s.trim();
+                let body = trimmed
+                    .strip_suffix($suffix)
+                    .map(str::trim)
+                    .unwrap_or(trimmed);
+                body.parse::<f64>()
+                    .map(Self)
+                    .map_err(|_| $crate::UnitError::Parse {
+                        input: s.to_string(),
+                        unit: $suffix,
+                    })
+            }
+        }
+    };
+}
+
+pub(crate) use scalar_quantity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_unit_power_time_energy() {
+        let e = Watts::new(100.0) * Seconds::new(10.0);
+        assert_eq!(e, Joules::new(1000.0));
+        let p = Joules::new(1000.0) / Seconds::new(10.0);
+        assert_eq!(p, Watts::new(100.0));
+        let t = Joules::new(1000.0) / Watts::new(100.0);
+        assert_eq!(t, Seconds::new(10.0));
+    }
+
+    #[test]
+    fn bandwidth_times_time_is_data() {
+        let d: Bits = Gbps::new(400.0) * Seconds::new(2.0);
+        assert_eq!(d.value(), 800e9);
+        let t: Seconds = Bits::new(800e9) / Gbps::new(400.0);
+        assert_eq!(t, Seconds::new(2.0));
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", Watts::new(1.23456)), "1.23 W");
+        assert_eq!(format!("{}", Seconds::new(2.0)), "2 s");
+    }
+
+    #[test]
+    fn parse_with_and_without_suffix() {
+        assert_eq!("750 W".parse::<Watts>().unwrap(), Watts::new(750.0));
+        assert_eq!("750".parse::<Watts>().unwrap(), Watts::new(750.0));
+        assert!("abc W".parse::<Watts>().is_err());
+    }
+
+    #[test]
+    fn sum_iterators() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.0), Watts::new(3.0)]
+            .iter()
+            .sum();
+        assert_eq!(total, Watts::new(6.0));
+    }
+}

@@ -1,0 +1,36 @@
+//! Monetary amounts for the paper's operating-cost analysis (§3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// An amount of money in US dollars.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Usd(pub(crate) f64);
+
+crate::scalar_quantity!(Usd, "USD");
+
+impl Usd {
+    /// Returns the value in thousands of dollars (the paper reports "$416k").
+    #[inline]
+    pub fn as_thousands(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Returns the value in millions of dollars.
+    #[inline]
+    pub fn as_millions(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling() {
+        let m = Usd::new(416_000.0);
+        assert_eq!(m.as_thousands(), 416.0);
+        assert_eq!(m.as_millions(), 0.416);
+    }
+}

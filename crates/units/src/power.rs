@@ -1,0 +1,107 @@
+//! Electric power, in watts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Joules, Seconds};
+
+/// Electric power in watts (W).
+///
+/// This is the workhorse quantity of the workspace: every device model,
+/// phase breakdown, and savings computation produces or consumes `Watts`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Watts(pub(crate) f64);
+
+crate::scalar_quantity!(Watts, "W");
+
+impl Watts {
+    /// Creates a power from a value in kilowatts.
+    #[inline]
+    pub const fn from_kw(kw: f64) -> Self {
+        Self(kw * 1e3)
+    }
+
+    /// Creates a power from a value in megawatts.
+    #[inline]
+    pub const fn from_mw(mw: f64) -> Self {
+        Self(mw * 1e6)
+    }
+
+    /// Returns the value in kilowatts.
+    #[inline]
+    pub fn as_kw(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Returns the value in megawatts.
+    #[inline]
+    pub fn as_mw(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Energy consumed when drawing this power for `duration`.
+    #[inline]
+    pub fn energy_over(self, duration: Seconds) -> Joules {
+        self * duration
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+
+    /// Power × time = energy.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+
+    /// Time × power = energy.
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules::new(self.value() * rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kw_mw_round_trip() {
+        let p = Watts::from_kw(1.5);
+        assert_eq!(p.value(), 1500.0);
+        assert_eq!(p.as_kw(), 1.5);
+        assert_eq!(Watts::from_mw(2.0).as_mw(), 2.0);
+        assert_eq!(Watts::from_mw(2.0).as_kw(), 2000.0);
+    }
+
+    #[test]
+    fn energy_over_duration() {
+        // 750 W switch for a day.
+        let e = Watts::new(750.0).energy_over(Seconds::from_hours(24.0));
+        assert!((e.as_kwh() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let json = serde_json::to_string(&Watts::new(750.0)).unwrap();
+        assert_eq!(json, "750.0");
+        let back: Watts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Watts::new(750.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Watts::new(2.0) + Watts::new(3.0), Watts::new(5.0));
+        assert_eq!(Watts::new(5.0) - Watts::new(3.0), Watts::new(2.0));
+        assert_eq!(Watts::new(2.0) * 3.0, Watts::new(6.0));
+        assert_eq!(3.0 * Watts::new(2.0), Watts::new(6.0));
+        assert_eq!(Watts::new(6.0) / 3.0, Watts::new(2.0));
+        assert_eq!(Watts::new(6.0) / Watts::new(3.0), 2.0);
+        assert_eq!(-Watts::new(1.0), Watts::new(-1.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Dimensionless ratios with percent formatting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::UnitError;
+
+/// A dimensionless ratio, displayed as a percentage.
+///
+/// Used for power proportionality, communication ratios, savings, speedups,
+/// efficiencies and loads. A `Ratio` is *not* restricted to `[0, 1]` —
+/// speedups may exceed 1 and may be negative (Fig 3 of the paper has both) —
+/// but [`Ratio::new_fraction`] offers a checked constructor for quantities
+/// that must be proper fractions.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Self = Self(0.0);
+    /// The unit ratio (100 %).
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio from a raw fraction (`0.1` = 10 %). Unchecked.
+    #[inline]
+    pub const fn new(fraction: f64) -> Self {
+        Self(fraction)
+    }
+
+    /// Creates a ratio from a percentage (`10.0` = 10 %).
+    #[inline]
+    pub const fn from_percent(pct: f64) -> Self {
+        Self(pct / 100.0)
+    }
+
+    /// Checked constructor for proper fractions in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::OutOfRange`] if `fraction` is NaN or outside
+    /// `[0, 1]`.
+    pub fn new_fraction(fraction: f64) -> crate::Result<Self> {
+        if fraction.is_nan() || !(0.0..=1.0).contains(&fraction) {
+            return Err(UnitError::OutOfRange {
+                what: "fraction",
+                value: fraction,
+                lo: 0.0,
+                hi: 1.0,
+            });
+        }
+        Ok(Self(fraction))
+    }
+
+    /// Returns the raw fraction.
+    #[inline]
+    pub const fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value as a percentage.
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// The complement `1 − self`; e.g. idle fraction from a load.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+
+    /// Clamps into `[0, 1]`.
+    #[inline]
+    pub fn clamp_unit(self) -> Self {
+        Self(self.0.clamp(0.0, 1.0))
+    }
+
+    /// Absolute-tolerance comparison on the fraction.
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl core::ops::Add for Ratio {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Ratio {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Mul for Ratio {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for Ratio {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let prec = f.precision().unwrap_or(1);
+        write!(f, "{:.*}%", prec, self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_round_trip() {
+        let r = Ratio::from_percent(12.5);
+        assert_eq!(r.fraction(), 0.125);
+        assert_eq!(r.percent(), 12.5);
+    }
+
+    #[test]
+    fn checked_fraction() {
+        assert!(Ratio::new_fraction(0.0).is_ok());
+        assert!(Ratio::new_fraction(1.0).is_ok());
+        assert!(Ratio::new_fraction(-0.1).is_err());
+        assert!(Ratio::new_fraction(1.1).is_err());
+        assert!(Ratio::new_fraction(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn complement() {
+        assert_eq!(Ratio::from_percent(10.0).complement(), Ratio::from_percent(90.0));
+    }
+
+    #[test]
+    fn display_defaults_to_one_decimal() {
+        assert_eq!(format!("{}", Ratio::new(0.0471)), "4.7%");
+        assert_eq!(format!("{:.0}", Ratio::new(0.12)), "12%");
+    }
+}

@@ -1,0 +1,101 @@
+//! Wall-clock durations, in seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// A duration in seconds (s).
+///
+/// Analytic models use `Seconds` directly; the discrete-event simulator
+/// (`npp-simnet`) uses integer nanoseconds internally and converts at the
+/// boundary via [`Seconds::from_nanos`] / [`Seconds::as_nanos`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Seconds(pub(crate) f64);
+
+crate::scalar_quantity!(Seconds, "s");
+
+impl Seconds {
+    /// Number of seconds in a (non-leap) year; used by annualized cost math.
+    pub const PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Creates a duration from hours.
+    #[inline]
+    pub const fn from_hours(h: f64) -> Self {
+        Self(h * 3600.0)
+    }
+
+    /// Creates a duration from (24-hour) days.
+    #[inline]
+    pub const fn from_days(d: f64) -> Self {
+        Self(d * 86_400.0)
+    }
+
+    /// One non-leap year.
+    #[inline]
+    pub const fn one_year() -> Self {
+        Self(Self::PER_YEAR)
+    }
+
+    /// Returns the value in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the value in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the value in hours.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Seconds::from_millis(1500.0).value(), 1.5);
+        assert_eq!(Seconds::from_micros(2e6).value(), 2.0);
+        assert_eq!(Seconds::from_nanos(1e9).value(), 1.0);
+        assert_eq!(Seconds::from_hours(2.0).value(), 7200.0);
+        assert_eq!(Seconds::from_days(1.0).as_hours(), 24.0);
+        assert_eq!(Seconds::new(1.0).as_millis(), 1000.0);
+        assert_eq!(Seconds::new(1.0).as_micros(), 1e6);
+        assert_eq!(Seconds::new(1.0).as_nanos(), 1e9);
+    }
+
+    #[test]
+    fn one_year_hours() {
+        assert_eq!(Seconds::one_year().as_hours(), 8760.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the unit system's algebraic invariants.
+
+use npp_units::{Bits, Bytes, Gbps, Joules, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+/// Strategy for "physically plausible" finite positive values.
+fn pos() -> impl Strategy<Value = f64> {
+    1e-6..1e12f64
+}
+
+proptest! {
+    /// power × time ÷ time round-trips back to the same power.
+    #[test]
+    fn energy_power_round_trip(p in pos(), t in pos()) {
+        let power = Watts::new(p);
+        let dur = Seconds::new(t);
+        let energy: Joules = power * dur;
+        let back = energy / dur;
+        prop_assert!((back.value() - p).abs() <= p * 1e-12);
+    }
+
+    /// rate × time ÷ rate round-trips back to the duration.
+    #[test]
+    fn bandwidth_round_trip(r in pos(), t in pos()) {
+        let rate = Gbps::new(r);
+        let dur = Seconds::new(t);
+        let data: Bits = rate * dur;
+        let back = data / rate;
+        prop_assert!((back.value() - t).abs() <= t * 1e-12);
+    }
+
+    /// bits ↔ bytes conversion is exact (factor 8 is a power of two).
+    #[test]
+    fn bits_bytes_exact(v in pos()) {
+        let b = Bytes::new(v);
+        prop_assert_eq!(b.to_bits().to_bytes(), b);
+        let bits = Bits::new(v);
+        prop_assert_eq!(bits.to_bytes().to_bits(), bits);
+    }
+
+    /// Addition on quantities is commutative and zero is the identity.
+    #[test]
+    fn additive_laws(a in pos(), b in pos()) {
+        let (x, y) = (Watts::new(a), Watts::new(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x + Watts::ZERO, x);
+    }
+
+    /// kWh round trip is exact to within floating-point tolerance.
+    #[test]
+    fn kwh_round_trip(v in pos()) {
+        let e = Joules::from_kwh(v);
+        prop_assert!((e.as_kwh() - v).abs() <= v * 1e-12);
+    }
+
+    /// A proper fraction's complement is also a proper fraction and the
+    /// two sum to exactly 1.
+    #[test]
+    fn ratio_complement(f in 0.0..=1.0f64) {
+        let r = Ratio::new_fraction(f).unwrap();
+        let c = r.complement();
+        prop_assert!((r.fraction() + c.fraction() - 1.0).abs() < 1e-15);
+        prop_assert!(Ratio::new_fraction(c.fraction().clamp(0.0, 1.0)).is_ok());
+    }
+
+    /// Parsing the `Display` output of a quantity reproduces the value.
+    #[test]
+    fn display_parse_round_trip(v in pos()) {
+        let p = Watts::new(v);
+        let shown = format!("{p}");
+        let parsed: Watts = shown.parse().unwrap();
+        prop_assert!((parsed.value() - v).abs() <= v.abs() * 1e-9);
+    }
+
+    /// min/max are consistent with PartialOrd.
+    #[test]
+    fn min_max_consistent(a in pos(), b in pos()) {
+        let (x, y) = (Seconds::new(a), Seconds::new(b));
+        prop_assert!(x.min(y) <= x.max(y));
+        prop_assert!(x.min(y) == x || x.min(y) == y);
+    }
+}

@@ -1,0 +1,189 @@
+//! Analytic cost models for collective communication.
+//!
+//! The communication phases of §2.2 are, in practice, collectives —
+//! all-reduce for data parallelism, all-gather/reduce-scatter for sharded
+//! optimizers, all-to-all for expert parallelism. These standard
+//! bandwidth-optimal cost models let examples and mechanism evaluations
+//! derive communication-phase durations from model sizes instead of
+//! assuming them, and generate realistic per-link traffic.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Bytes, Gbps, Seconds};
+
+use crate::{Result, WorkloadError};
+
+/// All-reduce algorithm variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllReduceAlgo {
+    /// Ring: bandwidth-optimal, latency ∝ n.
+    Ring,
+    /// Binary tree: 2·log₂(n) steps on the full volume.
+    Tree,
+    /// Recursive halving-doubling: log₂(n) steps, bandwidth-optimal.
+    RecursiveHalvingDoubling,
+}
+
+/// Validates a participant count.
+fn check_n(n: usize) -> Result<()> {
+    if n < 2 {
+        return Err(WorkloadError::TooFewParticipants(n));
+    }
+    Ok(())
+}
+
+/// Validates a bandwidth.
+fn check_bw(bw: Gbps) -> Result<()> {
+    if bw.value() <= 0.0 {
+        return Err(WorkloadError::NonPositive { what: "bandwidth", value: bw.value() });
+    }
+    Ok(())
+}
+
+/// Bytes each participant must *send* during an all-reduce of a `size`
+/// buffer across `n` ranks.
+///
+/// Ring and recursive halving-doubling are bandwidth-optimal:
+/// `2·(n−1)/n · size`. Tree sends the full buffer up and down:
+/// `2·size` per rank on the critical path.
+///
+/// # Errors
+///
+/// Needs `n ≥ 2`.
+pub fn allreduce_bytes_per_rank(algo: AllReduceAlgo, n: usize, size: Bytes) -> Result<Bytes> {
+    check_n(n)?;
+    let nf = n as f64;
+    Ok(match algo {
+        AllReduceAlgo::Ring | AllReduceAlgo::RecursiveHalvingDoubling => {
+            size * (2.0 * (nf - 1.0) / nf)
+        }
+        AllReduceAlgo::Tree => size * 2.0,
+    })
+}
+
+/// Time for an all-reduce, bandwidth-limited (latency/alpha term ignored,
+/// consistent with the paper's bulk-transfer view of the communication
+/// phase).
+///
+/// # Errors
+///
+/// Needs `n ≥ 2` and a positive bandwidth.
+pub fn allreduce_time(
+    algo: AllReduceAlgo,
+    n: usize,
+    size: Bytes,
+    link: Gbps,
+) -> Result<Seconds> {
+    check_bw(link)?;
+    let per_rank = allreduce_bytes_per_rank(algo, n, size)?;
+    Ok(per_rank.to_bits() / link)
+}
+
+/// Bytes each rank sends in an all-gather of per-rank shards of
+/// `shard` bytes across `n` ranks: `(n−1)·shard`.
+///
+/// # Errors
+///
+/// Needs `n ≥ 2`.
+pub fn allgather_bytes_per_rank(n: usize, shard: Bytes) -> Result<Bytes> {
+    check_n(n)?;
+    Ok(shard * (n as f64 - 1.0))
+}
+
+/// Time for a bandwidth-limited all-gather.
+///
+/// # Errors
+///
+/// Needs `n ≥ 2` and a positive bandwidth.
+pub fn allgather_time(n: usize, shard: Bytes, link: Gbps) -> Result<Seconds> {
+    check_bw(link)?;
+    Ok(allgather_bytes_per_rank(n, shard)?.to_bits() / link)
+}
+
+/// Bytes each rank sends in an all-to-all where each rank holds `per_pair`
+/// bytes for every other rank: `(n−1)·per_pair`.
+///
+/// # Errors
+///
+/// Needs `n ≥ 2`.
+pub fn alltoall_bytes_per_rank(n: usize, per_pair: Bytes) -> Result<Bytes> {
+    check_n(n)?;
+    Ok(per_pair * (n as f64 - 1.0))
+}
+
+/// Time for a bandwidth-limited all-to-all.
+///
+/// # Errors
+///
+/// Needs `n ≥ 2` and a positive bandwidth.
+pub fn alltoall_time(n: usize, per_pair: Bytes, link: Gbps) -> Result<Seconds> {
+    check_bw(link)?;
+    Ok(alltoall_bytes_per_rank(n, per_pair)?.to_bits() / link)
+}
+
+/// Derives the gradient all-reduce size for a dense model with
+/// `parameters` weights at `bytes_per_param` (2 for fp16/bf16 gradients).
+pub fn gradient_bytes(parameters: f64, bytes_per_param: f64) -> Bytes {
+    Bytes::new(parameters * bytes_per_param)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bandwidth_optimal() {
+        // 4 ranks, 1 GiB: each rank sends 2·3/4 = 1.5 GiB.
+        let b = allreduce_bytes_per_rank(AllReduceAlgo::Ring, 4, Bytes::from_gib(1.0)).unwrap();
+        assert!(b.approx_eq(Bytes::from_gib(1.5), 1.0));
+        // RHD matches ring's volume.
+        let rhd =
+            allreduce_bytes_per_rank(AllReduceAlgo::RecursiveHalvingDoubling, 4, Bytes::from_gib(1.0))
+                .unwrap();
+        assert_eq!(b, rhd);
+        // Tree sends more.
+        let tree = allreduce_bytes_per_rank(AllReduceAlgo::Tree, 4, Bytes::from_gib(1.0)).unwrap();
+        assert!(tree > b);
+    }
+
+    #[test]
+    fn allreduce_volume_approaches_2x_for_large_n() {
+        let size = Bytes::from_gib(1.0);
+        let b = allreduce_bytes_per_rank(AllReduceAlgo::Ring, 10_000, size).unwrap();
+        assert!((b / size - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn allreduce_time_scales_inverse_bandwidth() {
+        let size = Bytes::from_gib(1.0);
+        let t400 = allreduce_time(AllReduceAlgo::Ring, 8, size, Gbps::new(400.0)).unwrap();
+        let t800 = allreduce_time(AllReduceAlgo::Ring, 8, size, Gbps::new(800.0)).unwrap();
+        assert!(t400.approx_eq(t800 * 2.0, 1e-12));
+    }
+
+    #[test]
+    fn realistic_gradient_allreduce_duration() {
+        // 70 B parameters in bf16 across 1024 ranks at 400 G:
+        // volume ≈ 2·140 GB per rank → ≈ 5.6 s. Sanity band only.
+        let grads = gradient_bytes(70e9, 2.0);
+        let t = allreduce_time(AllReduceAlgo::Ring, 1024, grads, Gbps::new(400.0)).unwrap();
+        assert!(t.value() > 1.0 && t.value() < 20.0, "t = {t}");
+    }
+
+    #[test]
+    fn allgather_and_alltoall_volumes() {
+        let shard = Bytes::from_mib(64.0);
+        let ag = allgather_bytes_per_rank(16, shard).unwrap();
+        assert!(ag.approx_eq(shard * 15.0, 1e-6));
+        let a2a = alltoall_bytes_per_rank(16, shard).unwrap();
+        assert_eq!(ag, a2a);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(allreduce_bytes_per_rank(AllReduceAlgo::Ring, 1, Bytes::new(1.0)).is_err());
+        assert!(allreduce_time(AllReduceAlgo::Ring, 4, Bytes::new(1.0), Gbps::ZERO).is_err());
+        assert!(allgather_time(0, Bytes::new(1.0), Gbps::new(1.0)).is_err());
+        assert!(alltoall_time(2, Bytes::new(1.0), Gbps::ZERO).is_err());
+    }
+}

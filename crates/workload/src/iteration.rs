@@ -1,0 +1,307 @@
+//! The training-iteration model of §2.2 and Figure 1.
+//!
+//! A training workload is a sequence of iterations, each consisting of one
+//! computation phase (GPUs busy, network idle) and one communication phase
+//! (network busy, GPUs idle), with no overlap. The model's scaling rules
+//! (Figure 1):
+//!
+//! - computation time scales inversely with the number of GPUs
+//!   (2× GPUs → computation twice as fast; total workload constant);
+//! - communication time scales inversely with the per-GPU bandwidth
+//!   (0.5× bandwidth → communication twice as long) under the **fixed
+//!   workload** scenario;
+//! - under the **fixed communication ratio** scenario (§3.3), the
+//!   communication workload grows with the bandwidth so that the
+//!   communication ratio stays constant.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Gbps, Ratio, Seconds};
+
+use crate::{Result, WorkloadError};
+
+/// The two §3.3 evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingScenario {
+    /// Total communication volume fixed: communication time ∝ 1/bandwidth.
+    FixedWorkload,
+    /// Communication ratio fixed: communication time tracks computation
+    /// time so the ratio never changes.
+    FixedCommRatio,
+}
+
+/// One iteration: a computation phase followed by a communication phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Iteration {
+    /// Computation-phase duration (network idle).
+    pub compute: Seconds,
+    /// Communication-phase duration (GPUs idle).
+    pub comm: Seconds,
+}
+
+impl Iteration {
+    /// Total iteration time.
+    pub fn total(&self) -> Seconds {
+        self.compute + self.comm
+    }
+
+    /// The communication ratio: comm time / iteration time (§2.2).
+    pub fn comm_ratio(&self) -> Ratio {
+        Ratio::new(self.comm / self.total())
+    }
+
+    /// Fraction of the iteration spent computing.
+    pub fn compute_ratio(&self) -> Ratio {
+        Ratio::new(self.compute / self.total())
+    }
+
+    /// Iterations per second at this iteration time.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.total().value()
+    }
+}
+
+/// The reference workload plus the scaling rules of Figure 1.
+///
+/// All times are normalized to the reference cluster's iteration time
+/// (1.0 s split 0.9/0.1 for the paper's baseline); absolute durations can
+/// be obtained by scaling, but none of the paper's results depend on them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationModel {
+    /// Computation time on the reference cluster.
+    pub base_compute: Seconds,
+    /// Communication time on the reference cluster.
+    pub base_comm: Seconds,
+    /// GPU count of the reference cluster.
+    pub reference_gpus: f64,
+    /// Per-GPU bandwidth of the reference cluster.
+    pub reference_bandwidth: Gbps,
+}
+
+impl IterationModel {
+    /// The paper's baseline (§2.1): 15,360 GPUs at 400 G with a 10 %
+    /// communication ratio, normalized to a 1-second iteration.
+    pub fn paper_baseline() -> Self {
+        Self {
+            base_compute: Seconds::new(0.9),
+            base_comm: Seconds::new(0.1),
+            reference_gpus: 15_360.0,
+            reference_bandwidth: Gbps::new(400.0),
+        }
+    }
+
+    /// Creates a model from a communication ratio and iteration time.
+    ///
+    /// # Errors
+    ///
+    /// Rejects ratios outside `(0, 1)` and non-positive times/counts.
+    pub fn from_comm_ratio(
+        comm_ratio: f64,
+        iteration_time: Seconds,
+        reference_gpus: f64,
+        reference_bandwidth: Gbps,
+    ) -> Result<Self> {
+        if !(0.0..1.0).contains(&comm_ratio) || comm_ratio == 0.0 {
+            return Err(WorkloadError::InvalidCommRatio(comm_ratio));
+        }
+        if iteration_time.value() <= 0.0 {
+            return Err(WorkloadError::NonPositive {
+                what: "iteration_time",
+                value: iteration_time.value(),
+            });
+        }
+        if reference_gpus <= 0.0 {
+            return Err(WorkloadError::NonPositive {
+                what: "reference_gpus",
+                value: reference_gpus,
+            });
+        }
+        if reference_bandwidth.value() <= 0.0 {
+            return Err(WorkloadError::NonPositive {
+                what: "reference_bandwidth",
+                value: reference_bandwidth.value(),
+            });
+        }
+        Ok(Self {
+            base_compute: iteration_time * (1.0 - comm_ratio),
+            base_comm: iteration_time * comm_ratio,
+            reference_gpus,
+            reference_bandwidth,
+        })
+    }
+
+    /// The reference communication ratio.
+    pub fn comm_ratio(&self) -> Ratio {
+        Ratio::new(self.base_comm / (self.base_comm + self.base_compute))
+    }
+
+    /// Computation time with `gpus` GPUs: the total compute workload is
+    /// constant, so time scales as `reference_gpus / gpus` (Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive GPU counts.
+    pub fn compute_time(&self, gpus: f64) -> Result<Seconds> {
+        if gpus <= 0.0 {
+            return Err(WorkloadError::NonPositive { what: "gpus", value: gpus });
+        }
+        Ok(self.base_compute * (self.reference_gpus / gpus))
+    }
+
+    /// Communication time at the given per-GPU bandwidth under
+    /// [`ScalingScenario::FixedWorkload`]: volume constant, so time scales
+    /// as `reference_bandwidth / bandwidth`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive bandwidths.
+    pub fn comm_time_fixed_workload(&self, bandwidth: Gbps) -> Result<Seconds> {
+        if bandwidth.value() <= 0.0 {
+            return Err(WorkloadError::NonPositive {
+                what: "bandwidth",
+                value: bandwidth.value(),
+            });
+        }
+        Ok(self.base_comm * (self.reference_bandwidth / bandwidth))
+    }
+
+    /// Builds the full iteration for a cluster of `gpus` GPUs with
+    /// per-GPU `bandwidth`, under the given scenario.
+    ///
+    /// Under [`ScalingScenario::FixedCommRatio`] the communication time is
+    /// tied to the computation time so that the reference communication
+    /// ratio is preserved regardless of bandwidth or GPU count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation errors.
+    pub fn iteration(
+        &self,
+        gpus: f64,
+        bandwidth: Gbps,
+        scenario: ScalingScenario,
+    ) -> Result<Iteration> {
+        let compute = self.compute_time(gpus)?;
+        let comm = match scenario {
+            ScalingScenario::FixedWorkload => self.comm_time_fixed_workload(bandwidth)?,
+            ScalingScenario::FixedCommRatio => {
+                let r = self.comm_ratio().fraction();
+                compute * (r / (1.0 - r))
+            }
+        };
+        Ok(Iteration { compute, comm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_90_10() {
+        let m = IterationModel::paper_baseline();
+        let it = m
+            .iteration(15_360.0, Gbps::new(400.0), ScalingScenario::FixedWorkload)
+            .unwrap();
+        assert!(it.total().approx_eq(Seconds::new(1.0), 1e-12));
+        assert!(it.comm_ratio().approx_eq(Ratio::new(0.1), 1e-12));
+    }
+
+    #[test]
+    fn figure1_doubling_gpus_halves_compute() {
+        let m = IterationModel::paper_baseline();
+        let it = m
+            .iteration(2.0 * 15_360.0, Gbps::new(400.0), ScalingScenario::FixedWorkload)
+            .unwrap();
+        assert!(it.compute.approx_eq(Seconds::new(0.45), 1e-12));
+        assert!(it.comm.approx_eq(Seconds::new(0.1), 1e-12));
+        // Figure 1 annotates this case: comm ratio becomes ~18% (0.1/0.55).
+        assert!(it.comm_ratio().approx_eq(Ratio::new(0.1 / 0.55), 1e-12));
+    }
+
+    #[test]
+    fn figure1_halving_bandwidth_doubles_comm() {
+        let m = IterationModel::paper_baseline();
+        let it = m
+            .iteration(15_360.0, Gbps::new(200.0), ScalingScenario::FixedWorkload)
+            .unwrap();
+        assert!(it.compute.approx_eq(Seconds::new(0.9), 1e-12));
+        assert!(it.comm.approx_eq(Seconds::new(0.2), 1e-12));
+        // Figure 1's "0.5× BW" case: comm ratio 0.2/1.1 ≈ 18%.
+        assert!(it.comm_ratio().approx_eq(Ratio::new(0.2 / 1.1), 1e-12));
+    }
+
+    #[test]
+    fn fixed_ratio_scenario_pins_ratio_across_bandwidths() {
+        let m = IterationModel::paper_baseline();
+        for bw in [100.0, 200.0, 400.0, 800.0, 1600.0] {
+            let it = m
+                .iteration(15_360.0, Gbps::new(bw), ScalingScenario::FixedCommRatio)
+                .unwrap();
+            assert!(
+                it.comm_ratio().approx_eq(Ratio::new(0.1), 1e-12),
+                "bw {bw}: ratio {}",
+                it.comm_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_ratio_scenario_tracks_gpu_scaling() {
+        let m = IterationModel::paper_baseline();
+        let it = m
+            .iteration(7_680.0, Gbps::new(400.0), ScalingScenario::FixedCommRatio)
+            .unwrap();
+        // Half the GPUs: compute doubles to 1.8, comm follows to 0.2.
+        assert!(it.compute.approx_eq(Seconds::new(1.8), 1e-12));
+        assert!(it.comm.approx_eq(Seconds::new(0.2), 1e-12));
+    }
+
+    #[test]
+    fn paper_notes_shrinking_ratio_at_high_bandwidth() {
+        // §3.3: at 800/1600 G under fixed workload the ratio shrinks to
+        // ~5% / ~2.5%, which the paper deems unrealistic.
+        let m = IterationModel::paper_baseline();
+        let it800 = m
+            .iteration(15_360.0, Gbps::new(800.0), ScalingScenario::FixedWorkload)
+            .unwrap();
+        assert!((it800.comm_ratio().percent() - 5.26).abs() < 0.01);
+        let it1600 = m
+            .iteration(15_360.0, Gbps::new(1600.0), ScalingScenario::FixedWorkload)
+            .unwrap();
+        assert!((it1600.comm_ratio().percent() - 2.70).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_comm_ratio_round_trips() {
+        let m = IterationModel::from_comm_ratio(
+            0.25,
+            Seconds::new(2.0),
+            1_000.0,
+            Gbps::new(400.0),
+        )
+        .unwrap();
+        assert!(m.comm_ratio().approx_eq(Ratio::new(0.25), 1e-12));
+        assert!(m.base_compute.approx_eq(Seconds::new(1.5), 1e-12));
+        assert!(m.base_comm.approx_eq(Seconds::new(0.5), 1e-12));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m = IterationModel::paper_baseline();
+        assert!(m.compute_time(0.0).is_err());
+        assert!(m.comm_time_fixed_workload(Gbps::ZERO).is_err());
+        assert!(IterationModel::from_comm_ratio(0.0, Seconds::new(1.0), 1.0, Gbps::new(1.0))
+            .is_err());
+        assert!(IterationModel::from_comm_ratio(1.0, Seconds::new(1.0), 1.0, Gbps::new(1.0))
+            .is_err());
+        assert!(IterationModel::from_comm_ratio(0.1, Seconds::ZERO, 1.0, Gbps::new(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn throughput_is_inverse_total() {
+        let it = Iteration { compute: Seconds::new(0.9), comm: Seconds::new(0.1) };
+        assert!((it.throughput() - 1.0).abs() < 1e-12);
+    }
+}

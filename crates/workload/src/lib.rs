@@ -1,0 +1,75 @@
+//! # npp-workload
+//!
+//! Workload models for the `netpp` workspace.
+//!
+//! - [`iteration`] — the paper's §2.2 training-iteration model (Figure 1):
+//!   alternating computation and communication phases with linear scaling
+//!   in GPUs and bandwidth, under the *fixed workload* and *fixed
+//!   communication ratio* scenarios of §3.3;
+//! - [`collectives`] — analytic cost models for the collective operations
+//!   (ring/tree/recursive-halving-doubling all-reduce, all-gather,
+//!   all-to-all) that generate the communication phases;
+//! - [`parallelism`] — traffic matrices induced by data/tensor/pipeline
+//!   parallelism, consumed by the §4.2 OCS job-scheduling mechanism;
+//! - [`trace`] — time-series load generators: the periodic on/off pattern
+//!   of ML training (as reported by CASSINI) and the diurnal pattern of
+//!   ISP backbones (§3.4).
+//!
+//! ```
+//! use npp_units::Gbps;
+//! use npp_workload::{IterationModel, ScalingScenario};
+//!
+//! // Figure 1: halving the bandwidth doubles the communication phase.
+//! let m = IterationModel::paper_baseline();
+//! let it = m.iteration(15_360.0, Gbps::new(200.0), ScalingScenario::FixedWorkload).unwrap();
+//! assert!((it.comm.value() - 0.2).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod iteration;
+pub mod models;
+pub mod overlap;
+pub mod parallelism;
+pub mod trace;
+
+pub use iteration::{Iteration, IterationModel, ScalingScenario};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A communication ratio outside (0, 1).
+    InvalidCommRatio(f64),
+    /// Collective participant count must be ≥ 2.
+    TooFewParticipants(usize),
+}
+
+impl core::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkloadError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            WorkloadError::InvalidCommRatio(r) => {
+                write!(f, "communication ratio {r} must be in (0, 1)")
+            }
+            WorkloadError::TooFewParticipants(n) => {
+                write!(f, "collectives need at least 2 participants, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

@@ -1,0 +1,505 @@
+//! Deriving communication ratios from real training setups.
+//!
+//! §2.1 *assumes* a 10 % communication ratio, citing the Alibaba HPN
+//! workload. This module derives that number from first principles — a
+//! model size, a parallelism layout, a batch size, and GPU/link specs —
+//! so users can check how the assumption shifts for their own jobs and
+//! feed the result straight into the what-if engine via
+//! [`TrainingSetup::to_iteration_model`].
+//!
+//! The compute model is the standard `6 · params · tokens` FLOPs rule for
+//! dense transformer training; the communication model is the
+//! bandwidth-optimal ring all-reduce of bf16 gradients within each
+//! data-parallel group (tensor/pipeline traffic is assumed overlapped or
+//! minor, consistent with the paper's bulk-synchronous view).
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Bytes, Gbps, Ratio, Seconds};
+
+use crate::collectives::{allreduce_time, AllReduceAlgo};
+use crate::iteration::IterationModel;
+use crate::{Iteration, Result, WorkloadError};
+
+/// GPU compute characteristics for training-time estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Dense bf16 throughput, in TFLOP/s.
+    pub bf16_tflops: f64,
+    /// Model FLOPs utilization actually achieved (0–1; ~0.35–0.45 for
+    /// large-scale H100 training).
+    pub mfu: f64,
+}
+
+impl GpuSpec {
+    /// Nvidia H100 (SXM dense bf16 ≈ 989 TFLOP/s) at 40 % MFU.
+    pub fn h100() -> Self {
+        Self { bf16_tflops: 989.0, mfu: 0.40 }
+    }
+
+    /// Effective FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.bf16_tflops * 1e12 * self.mfu
+    }
+}
+
+/// A dense transformer model, by parameter count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlmModel {
+    /// Model name.
+    pub name: String,
+    /// Parameter count.
+    pub parameters: f64,
+}
+
+impl LlmModel {
+    /// A 7 B-parameter model.
+    pub fn dense_7b() -> Self {
+        Self { name: "dense-7B".into(), parameters: 7e9 }
+    }
+
+    /// A 70 B-parameter model (Llama-3-70B scale).
+    pub fn dense_70b() -> Self {
+        Self { name: "dense-70B".into(), parameters: 70e9 }
+    }
+
+    /// A 405 B-parameter model (Llama-3.1-405B scale).
+    pub fn dense_405b() -> Self {
+        Self { name: "dense-405B".into(), parameters: 405e9 }
+    }
+
+    /// Gradient volume in bf16 (2 bytes per parameter).
+    pub fn gradient_bytes(&self) -> Bytes {
+        Bytes::new(self.parameters * 2.0)
+    }
+}
+
+/// A concrete training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSetup {
+    /// The model being trained.
+    pub model: LlmModel,
+    /// GPU type.
+    pub gpu: GpuSpec,
+    /// Tensor-parallel degree (within a server, typically ≤ 8).
+    pub tensor_parallel: usize,
+    /// Pipeline-parallel degree.
+    pub pipeline_parallel: usize,
+    /// Data-parallel degree.
+    pub data_parallel: usize,
+    /// Tokens per global batch (per iteration).
+    pub batch_tokens: f64,
+    /// Per-GPU network interface speed.
+    pub link: Gbps,
+}
+
+impl TrainingSetup {
+    /// A setup mirroring the paper's baseline pod: 15,360 H100s at 400 G
+    /// training a 70 B dense model with TP 8 × PP 12 × DP 160 and an 8 M
+    /// token global batch.
+    pub fn paper_pod_70b() -> Self {
+        Self {
+            model: LlmModel::dense_70b(),
+            gpu: GpuSpec::h100(),
+            tensor_parallel: 8,
+            pipeline_parallel: 12,
+            data_parallel: 160,
+            batch_tokens: 8e6,
+            link: Gbps::new(400.0),
+        }
+    }
+
+    /// Total GPU count.
+    pub fn gpus(&self) -> usize {
+        self.tensor_parallel * self.pipeline_parallel * self.data_parallel
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.tensor_parallel == 0 || self.pipeline_parallel == 0 || self.data_parallel == 0
+        {
+            return Err(WorkloadError::TooFewParticipants(0));
+        }
+        if self.batch_tokens <= 0.0 {
+            return Err(WorkloadError::NonPositive {
+                what: "batch_tokens",
+                value: self.batch_tokens,
+            });
+        }
+        if self.gpu.mfu <= 0.0 || self.gpu.bf16_tflops <= 0.0 {
+            return Err(WorkloadError::NonPositive { what: "gpu spec", value: self.gpu.mfu });
+        }
+        Ok(())
+    }
+
+    /// Computation-phase time: `6 · P · tokens / (gpus · effective FLOPs)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate configurations.
+    pub fn compute_time(&self) -> Result<Seconds> {
+        self.validate()?;
+        let flops = 6.0 * self.model.parameters * self.batch_tokens;
+        Ok(Seconds::new(flops / (self.gpus() as f64 * self.gpu.effective_flops())))
+    }
+
+    /// Communication-phase time: ring all-reduce of each rank's gradient
+    /// shard (`P / (tp·pp)` parameters in bf16) across the `dp` group at
+    /// the per-GPU link speed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate configurations; a data-parallel degree of 1
+    /// yields zero communication.
+    pub fn comm_time(&self) -> Result<Seconds> {
+        self.validate()?;
+        if self.data_parallel < 2 {
+            return Ok(Seconds::ZERO);
+        }
+        let shard = Bytes::new(
+            self.model.gradient_bytes().value()
+                / (self.tensor_parallel * self.pipeline_parallel) as f64,
+        );
+        allreduce_time(AllReduceAlgo::Ring, self.data_parallel, shard, self.link)
+    }
+
+    /// The full iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn iteration(&self) -> Result<Iteration> {
+        Ok(Iteration { compute: self.compute_time()?, comm: self.comm_time()? })
+    }
+
+    /// The derived communication ratio.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn comm_ratio(&self) -> Result<Ratio> {
+        Ok(self.iteration()?.comm_ratio())
+    }
+
+    /// Converts to an [`IterationModel`] usable by the `npp-core` what-if
+    /// engine (reference point = this setup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors; requires nonzero communication.
+    pub fn to_iteration_model(&self) -> Result<IterationModel> {
+        let iter = self.iteration()?;
+        if iter.comm.value() <= 0.0 {
+            return Err(WorkloadError::InvalidCommRatio(0.0));
+        }
+        Ok(IterationModel {
+            base_compute: iter.compute,
+            base_comm: iter.comm,
+            reference_gpus: self.gpus() as f64,
+            reference_bandwidth: self.link,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pod_derives_close_to_the_assumed_10_percent() {
+        // The §2.1 assumption, recovered from first principles: the
+        // 70B/15,360-GPU pod lands near a 10% communication ratio.
+        let setup = TrainingSetup::paper_pod_70b();
+        assert_eq!(setup.gpus(), 15_360);
+        let ratio = setup.comm_ratio().unwrap();
+        assert!(
+            (ratio.percent() - 10.0).abs() < 4.0,
+            "derived comm ratio {ratio} should be near the paper's 10%"
+        );
+    }
+
+    #[test]
+    fn bigger_models_at_same_cluster_shift_the_ratio_down() {
+        // More parameters: compute grows linearly with P, and so does the
+        // gradient volume — but the batch also typically grows. At fixed
+        // batch, the ratio is invariant in P (both scale with P), so the
+        // lever is the batch size.
+        let small_batch = TrainingSetup { batch_tokens: 8e6, ..TrainingSetup::paper_pod_70b() };
+        let large_batch = TrainingSetup { batch_tokens: 64e6, ..TrainingSetup::paper_pod_70b() };
+        assert!(
+            large_batch.comm_ratio().unwrap() < small_batch.comm_ratio().unwrap(),
+            "larger batches amortize the all-reduce"
+        );
+    }
+
+    #[test]
+    fn faster_links_cut_comm_time_linearly() {
+        let at_400 = TrainingSetup::paper_pod_70b();
+        let at_800 = TrainingSetup { link: Gbps::new(800.0), ..at_400.clone() };
+        let t400 = at_400.comm_time().unwrap();
+        let t800 = at_800.comm_time().unwrap();
+        assert!(t400.approx_eq(t800 * 2.0, 1e-9));
+        // Compute is untouched.
+        assert_eq!(at_400.compute_time().unwrap(), at_800.compute_time().unwrap());
+    }
+
+    #[test]
+    fn dp1_has_no_gradient_traffic() {
+        let setup = TrainingSetup {
+            data_parallel: 1,
+            ..TrainingSetup::paper_pod_70b()
+        };
+        assert_eq!(setup.comm_time().unwrap(), Seconds::ZERO);
+        assert!(setup.to_iteration_model().is_err());
+    }
+
+    #[test]
+    fn to_iteration_model_round_trips() {
+        let setup = TrainingSetup::paper_pod_70b();
+        let model = setup.to_iteration_model().unwrap();
+        let iter = model
+            .iteration(
+                setup.gpus() as f64,
+                setup.link,
+                crate::ScalingScenario::FixedWorkload,
+            )
+            .unwrap();
+        let direct = setup.iteration().unwrap();
+        assert!(iter.compute.approx_eq(direct.compute, 1e-12));
+        assert!(iter.comm.approx_eq(direct.comm, 1e-12));
+    }
+
+    #[test]
+    fn model_catalog() {
+        assert_eq!(LlmModel::dense_7b().parameters, 7e9);
+        assert_eq!(LlmModel::dense_70b().gradient_bytes(), Bytes::new(140e9));
+        assert_eq!(LlmModel::dense_405b().parameters, 405e9);
+        assert!((GpuSpec::h100().effective_flops() - 989e12 * 0.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        let mut s = TrainingSetup::paper_pod_70b();
+        s.batch_tokens = 0.0;
+        assert!(s.compute_time().is_err());
+        let mut s = TrainingSetup::paper_pod_70b();
+        s.data_parallel = 0;
+        assert!(s.iteration().is_err());
+        let mut s = TrainingSetup::paper_pod_70b();
+        s.gpu.mfu = 0.0;
+        assert!(s.comm_ratio().is_err());
+    }
+}
+
+/// A mixture-of-experts model: only `active_parameters` participate per
+/// token, but expert parallelism adds all-to-all dispatch traffic that
+/// dense models do not have. The paper cites DeepSeek-V3 as a training
+/// scheme that *overlaps* this communication — here we expose its volume
+/// so the overlap analysis (`npp-core::overlap`) has a realistic input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoeModel {
+    /// Model name.
+    pub name: String,
+    /// Total parameter count (all experts).
+    pub total_parameters: f64,
+    /// Parameters active per token.
+    pub active_parameters: f64,
+    /// Bytes of activations dispatched per token per direction (hidden
+    /// size × bytes/elem × routed experts).
+    pub dispatch_bytes_per_token: f64,
+}
+
+impl MoeModel {
+    /// A DeepSeek-V3-scale MoE: 671 B total / 37 B active parameters,
+    /// 7168-wide hidden states in bf16 routed to 8 experts per token.
+    pub fn deepseek_v3_like() -> Self {
+        Self {
+            name: "moe-671B-a37B".into(),
+            total_parameters: 671e9,
+            active_parameters: 37e9,
+            dispatch_bytes_per_token: 7168.0 * 2.0 * 8.0,
+        }
+    }
+}
+
+/// Training configuration for an MoE model with expert parallelism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoeTrainingSetup {
+    /// The model.
+    pub model: MoeModel,
+    /// GPU type.
+    pub gpu: GpuSpec,
+    /// Expert-parallel group size (all-to-all domain).
+    pub expert_parallel: usize,
+    /// Data-parallel degree (gradient all-reduce domain).
+    pub data_parallel: usize,
+    /// Number of MoE layers traversed per token (each pays a dispatch
+    /// and a combine all-to-all).
+    pub moe_layers: usize,
+    /// Tokens per global batch.
+    pub batch_tokens: f64,
+    /// Per-GPU link speed.
+    pub link: Gbps,
+}
+
+impl MoeTrainingSetup {
+    /// A DeepSeek-V3-like pod on the paper's hardware: EP 64 × DP 240 =
+    /// 15,360 GPUs at 400 G, 58 MoE layers, 8 M-token batches.
+    pub fn paper_pod_moe() -> Self {
+        Self {
+            model: MoeModel::deepseek_v3_like(),
+            gpu: GpuSpec::h100(),
+            expert_parallel: 64,
+            data_parallel: 240,
+            moe_layers: 58,
+            batch_tokens: 8e6,
+            link: Gbps::new(400.0),
+        }
+    }
+
+    /// Total GPUs.
+    pub fn gpus(&self) -> usize {
+        self.expert_parallel * self.data_parallel
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.expert_parallel == 0 || self.data_parallel == 0 || self.moe_layers == 0 {
+            return Err(WorkloadError::TooFewParticipants(0));
+        }
+        if self.batch_tokens <= 0.0 {
+            return Err(WorkloadError::NonPositive {
+                what: "batch_tokens",
+                value: self.batch_tokens,
+            });
+        }
+        Ok(())
+    }
+
+    /// Computation time: FLOPs follow the *active* parameters only.
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate configurations.
+    pub fn compute_time(&self) -> Result<Seconds> {
+        self.validate()?;
+        let flops = 6.0 * self.model.active_parameters * self.batch_tokens;
+        Ok(Seconds::new(flops / (self.gpus() as f64 * self.gpu.effective_flops())))
+    }
+
+    /// Expert all-to-all time per iteration: each rank dispatches (and
+    /// later combines) its tokens' routed activations to the EP group at
+    /// every MoE layer, forward and backward (×2).
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate configurations.
+    pub fn alltoall_time(&self) -> Result<Seconds> {
+        self.validate()?;
+        if self.expert_parallel < 2 {
+            return Ok(Seconds::ZERO);
+        }
+        let tokens_per_rank = self.batch_tokens / self.gpus() as f64;
+        let ep = self.expert_parallel as f64;
+        // Fraction of dispatched bytes leaving the rank: (ep−1)/ep.
+        let bytes_per_layer =
+            tokens_per_rank * self.model.dispatch_bytes_per_token * (ep - 1.0) / ep;
+        // Dispatch + combine, forward + backward: ×4 per MoE layer.
+        let total = Bytes::new(bytes_per_layer * 4.0 * self.moe_layers as f64);
+        Ok(total.to_bits() / self.link)
+    }
+
+    /// Gradient all-reduce time: the *total* parameters are sharded over
+    /// the EP group, each shard ring-reduced across DP.
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate configurations.
+    pub fn gradient_time(&self) -> Result<Seconds> {
+        self.validate()?;
+        if self.data_parallel < 2 {
+            return Ok(Seconds::ZERO);
+        }
+        let shard =
+            Bytes::new(self.model.total_parameters * 2.0 / self.expert_parallel as f64);
+        allreduce_time(AllReduceAlgo::Ring, self.data_parallel, shard, self.link)
+    }
+
+    /// The full iteration (communication = all-to-all + gradients,
+    /// serialized per the paper's no-overlap model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn iteration(&self) -> Result<Iteration> {
+        Ok(Iteration {
+            compute: self.compute_time()?,
+            comm: self.alltoall_time()? + self.gradient_time()?,
+        })
+    }
+
+    /// The derived communication ratio.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn comm_ratio(&self) -> Result<Ratio> {
+        Ok(self.iteration()?.comm_ratio())
+    }
+}
+
+#[cfg(test)]
+mod moe_tests {
+    use super::*;
+
+    #[test]
+    fn moe_has_much_higher_comm_ratio_than_dense_at_same_active_compute() {
+        // The overlap motivation the paper cites via DeepSeek: MoE
+        // training is far more communication-intensive per FLOP.
+        let moe = MoeTrainingSetup::paper_pod_moe();
+        let dense = TrainingSetup::paper_pod_70b();
+        let moe_ratio = moe.comm_ratio().unwrap();
+        let dense_ratio = dense.comm_ratio().unwrap();
+        assert!(
+            moe_ratio.fraction() > 2.0 * dense_ratio.fraction(),
+            "moe {moe_ratio} vs dense {dense_ratio}"
+        );
+        // And far beyond the paper's 10% assumption — no-overlap training
+        // of MoE at this scale would waste the cluster, which is exactly
+        // why DeepSeek overlaps (violating the paper's §2.2 assumption).
+        assert!(moe_ratio.fraction() > 0.2, "moe ratio {moe_ratio}");
+    }
+
+    #[test]
+    fn alltoall_scales_with_moe_layers_and_link() {
+        let base = MoeTrainingSetup::paper_pod_moe();
+        let deeper = MoeTrainingSetup { moe_layers: 116, ..base.clone() };
+        assert!(deeper
+            .alltoall_time()
+            .unwrap()
+            .approx_eq(base.alltoall_time().unwrap() * 2.0, 1e-9));
+        let faster = MoeTrainingSetup { link: Gbps::new(800.0), ..base.clone() };
+        assert!(faster
+            .alltoall_time()
+            .unwrap()
+            .approx_eq(base.alltoall_time().unwrap() * 0.5, 1e-9));
+    }
+
+    #[test]
+    fn ep1_has_no_alltoall_dp1_no_gradients() {
+        let mut s = MoeTrainingSetup::paper_pod_moe();
+        s.expert_parallel = 1;
+        assert_eq!(s.alltoall_time().unwrap(), Seconds::ZERO);
+        let mut s = MoeTrainingSetup::paper_pod_moe();
+        s.data_parallel = 1;
+        assert_eq!(s.gradient_time().unwrap(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn moe_validation() {
+        let mut s = MoeTrainingSetup::paper_pod_moe();
+        s.moe_layers = 0;
+        assert!(s.iteration().is_err());
+        let mut s = MoeTrainingSetup::paper_pod_moe();
+        s.batch_tokens = -1.0;
+        assert!(s.comm_ratio().is_err());
+    }
+}

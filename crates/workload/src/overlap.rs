@@ -1,0 +1,135 @@
+//! Relaxing the no-overlap assumption (§3.4).
+//!
+//! The core model assumes computation and communication never overlap.
+//! §3.4 notes that some training schemes *do* overlap them and argues
+//! underutilization persists regardless. This module makes that claim
+//! checkable: an [`OverlapSchedule`] splits an iteration into three
+//! segments — both resources busy, compute-only, comm-only — given the
+//! fraction of communication hidden under computation.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Ratio, Seconds};
+
+use crate::{Iteration, Result, WorkloadError};
+
+/// An iteration with partially overlapped phases.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapSchedule {
+    /// Time with GPUs and network simultaneously busy.
+    pub both: Seconds,
+    /// Time with only the GPUs busy.
+    pub compute_only: Seconds,
+    /// Time with only the network busy.
+    pub comm_only: Seconds,
+}
+
+impl OverlapSchedule {
+    /// Builds the schedule for an iteration where a fraction `overlap`
+    /// of the communication is hidden under computation (bounded by the
+    /// computation time — you cannot hide more communication than there
+    /// is computation to hide it under).
+    ///
+    /// `overlap = 0` reproduces the paper's core model exactly.
+    ///
+    /// # Errors
+    ///
+    /// Rejects overlap fractions outside `[0, 1]`.
+    pub fn from_iteration(iter: &Iteration, overlap: Ratio) -> Result<Self> {
+        let o = overlap.fraction();
+        if !(0.0..=1.0).contains(&o) || o.is_nan() {
+            return Err(WorkloadError::NonPositive { what: "overlap", value: o });
+        }
+        let hidden = (iter.comm * o).min(iter.compute);
+        Ok(Self {
+            both: hidden,
+            compute_only: iter.compute - hidden,
+            comm_only: iter.comm - hidden,
+        })
+    }
+
+    /// Iteration time under this schedule (shorter than the serial
+    /// iteration whenever overlap is nonzero).
+    pub fn total(&self) -> Seconds {
+        self.both + self.compute_only + self.comm_only
+    }
+
+    /// Fraction of the iteration during which the network is busy.
+    pub fn network_busy_fraction(&self) -> Ratio {
+        Ratio::new((self.both + self.comm_only) / self.total())
+    }
+
+    /// Fraction of the iteration during which the GPUs are busy.
+    pub fn gpu_busy_fraction(&self) -> Ratio {
+        Ratio::new((self.both + self.compute_only) / self.total())
+    }
+
+    /// Speedup over the serial (no-overlap) iteration.
+    pub fn speedup_vs_serial(&self, serial: &Iteration) -> Ratio {
+        Ratio::new(serial.total() / self.total() - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IterationModel;
+    use npp_units::Gbps;
+
+    fn baseline_iter() -> Iteration {
+        IterationModel::paper_baseline()
+            .iteration(15_360.0, Gbps::new(400.0), crate::ScalingScenario::FixedWorkload)
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_overlap_reproduces_serial_model() {
+        let iter = baseline_iter();
+        let s = OverlapSchedule::from_iteration(&iter, Ratio::ZERO).unwrap();
+        assert_eq!(s.both, Seconds::ZERO);
+        assert_eq!(s.compute_only, iter.compute);
+        assert_eq!(s.comm_only, iter.comm);
+        assert!(s.total().approx_eq(iter.total(), 1e-12));
+        assert!(s.speedup_vs_serial(&iter).approx_eq(Ratio::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn full_overlap_hides_all_communication() {
+        let iter = baseline_iter();
+        let s = OverlapSchedule::from_iteration(&iter, Ratio::ONE).unwrap();
+        assert!(s.both.approx_eq(iter.comm, 1e-12));
+        assert!(s.comm_only.approx_eq(Seconds::ZERO, 1e-12));
+        // Iteration shrinks to the computation time: 11.1% speedup.
+        assert!(s.total().approx_eq(iter.compute, 1e-12));
+        assert!((s.speedup_vs_serial(&iter).percent() - 100.0 / 9.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn overlap_cannot_exceed_computation() {
+        // Pathological iteration: comm longer than compute.
+        let iter = Iteration { compute: Seconds::new(0.2), comm: Seconds::new(0.8) };
+        let s = OverlapSchedule::from_iteration(&iter, Ratio::ONE).unwrap();
+        assert!(s.both.approx_eq(Seconds::new(0.2), 1e-12));
+        assert!(s.compute_only.approx_eq(Seconds::ZERO, 1e-12));
+        assert!(s.comm_only.approx_eq(Seconds::new(0.6), 1e-12));
+    }
+
+    #[test]
+    fn network_stays_underutilized_even_with_overlap() {
+        // §3.4's point: at 50% overlap the network is still idle ~89.5%
+        // of the (shorter) iteration.
+        let iter = baseline_iter();
+        let s = OverlapSchedule::from_iteration(&iter, Ratio::new(0.5)).unwrap();
+        let busy = s.network_busy_fraction();
+        assert!(busy.fraction() < 0.12, "network busy {busy}");
+        assert!(s.gpu_busy_fraction().fraction() > 0.9);
+    }
+
+    #[test]
+    fn invalid_overlap_rejected() {
+        let iter = baseline_iter();
+        assert!(OverlapSchedule::from_iteration(&iter, Ratio::new(-0.1)).is_err());
+        assert!(OverlapSchedule::from_iteration(&iter, Ratio::new(1.1)).is_err());
+        assert!(OverlapSchedule::from_iteration(&iter, Ratio::new(f64::NAN)).is_err());
+    }
+}

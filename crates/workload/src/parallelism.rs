@@ -1,0 +1,291 @@
+//! Traffic matrices induced by ML parallelism strategies.
+//!
+//! §4.2 observes that ML training traffic is "very predictable and stable
+//! over time", which is what makes OCS-based topology tailoring viable.
+//! The predictability comes from the parallelism structure: data-parallel
+//! rings, tensor-parallel cliques, and pipeline chains each touch a fixed,
+//! sparse set of host pairs. This module builds those matrices so the
+//! §4.2 scheduler can compute which switches a job actually needs.
+
+use serde::{Deserialize, Serialize};
+
+use npp_units::Gbps;
+
+use crate::{Result, WorkloadError};
+
+/// A dense n×n traffic demand matrix (entry `[s][d]` = demand from rank
+/// `s` to rank `d`, in Gbps of sustained communication-phase load).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    demand: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Creates an all-zero matrix over `n` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Needs `n ≥ 1`.
+    pub fn zeros(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(WorkloadError::TooFewParticipants(0));
+        }
+        Ok(Self { n, demand: vec![0.0; n * n] })
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Demand from `src` to `dst`.
+    pub fn get(&self, src: usize, dst: usize) -> Gbps {
+        Gbps::new(self.demand[src * self.n + dst])
+    }
+
+    /// Adds demand from `src` to `dst`.
+    pub fn add(&mut self, src: usize, dst: usize, demand: Gbps) {
+        if src != dst {
+            self.demand[src * self.n + dst] += demand.value();
+        }
+    }
+
+    /// Total demand over all pairs.
+    pub fn total(&self) -> Gbps {
+        Gbps::new(self.demand.iter().sum())
+    }
+
+    /// Number of (ordered) pairs with nonzero demand.
+    pub fn active_pairs(&self) -> usize {
+        self.demand.iter().filter(|&&d| d > 0.0).count()
+    }
+
+    /// Sparsity: fraction of ordered pairs with *zero* demand. High
+    /// sparsity is what the §4.2 OCS scheduler exploits.
+    pub fn sparsity(&self) -> f64 {
+        let off_diag = (self.n * self.n - self.n) as f64;
+        if off_diag == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.active_pairs() as f64 / off_diag
+    }
+
+    /// Outgoing demand of one rank.
+    pub fn egress(&self, src: usize) -> Gbps {
+        Gbps::new(self.demand[src * self.n..(src + 1) * self.n].iter().sum())
+    }
+
+    /// Merges another matrix (same rank count) into this one.
+    ///
+    /// # Errors
+    ///
+    /// Rank counts must match.
+    pub fn merge(&mut self, other: &TrafficMatrix) -> Result<()> {
+        if self.n != other.n {
+            return Err(WorkloadError::TooFewParticipants(other.n));
+        }
+        for (a, b) in self.demand.iter_mut().zip(&other.demand) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// A data-parallel ring all-reduce over the given ranks: each rank
+    /// sends `rate` to its successor in ring order.
+    ///
+    /// # Errors
+    ///
+    /// Needs at least 2 ranks in the ring and all indices in range.
+    pub fn ring(n: usize, ring_ranks: &[usize], rate: Gbps) -> Result<Self> {
+        if ring_ranks.len() < 2 {
+            return Err(WorkloadError::TooFewParticipants(ring_ranks.len()));
+        }
+        let mut m = Self::zeros(n)?;
+        for w in 0..ring_ranks.len() {
+            let src = ring_ranks[w];
+            let dst = ring_ranks[(w + 1) % ring_ranks.len()];
+            if src >= n || dst >= n {
+                return Err(WorkloadError::NonPositive { what: "rank index", value: src as f64 });
+            }
+            m.add(src, dst, rate);
+        }
+        Ok(m)
+    }
+
+    /// A tensor-parallel clique: all-to-all among `group` at `rate` per
+    /// ordered pair.
+    ///
+    /// # Errors
+    ///
+    /// Needs at least 2 ranks in the group.
+    pub fn clique(n: usize, group: &[usize], rate: Gbps) -> Result<Self> {
+        if group.len() < 2 {
+            return Err(WorkloadError::TooFewParticipants(group.len()));
+        }
+        let mut m = Self::zeros(n)?;
+        for &s in group {
+            for &d in group {
+                if s != d {
+                    m.add(s, d, rate);
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// A pipeline chain: rank `stages[i]` sends activations to
+    /// `stages[i+1]` (and gradients back) at `rate` each way.
+    ///
+    /// # Errors
+    ///
+    /// Needs at least 2 stages.
+    pub fn pipeline(n: usize, stages: &[usize], rate: Gbps) -> Result<Self> {
+        if stages.len() < 2 {
+            return Err(WorkloadError::TooFewParticipants(stages.len()));
+        }
+        let mut m = Self::zeros(n)?;
+        for w in stages.windows(2) {
+            m.add(w[0], w[1], rate);
+            m.add(w[1], w[0], rate);
+        }
+        Ok(m)
+    }
+
+    /// The canonical 3D-parallel job: ranks are laid out as
+    /// `dp × pp × tp`; TP cliques innermost, PP chains across the middle
+    /// axis, DP rings across the outer axis.
+    ///
+    /// # Errors
+    ///
+    /// All three dimensions must be ≥ 1 and their product ≥ 2.
+    pub fn three_d_parallel(
+        dp: usize,
+        pp: usize,
+        tp: usize,
+        tp_rate: Gbps,
+        pp_rate: Gbps,
+        dp_rate: Gbps,
+    ) -> Result<Self> {
+        let n = dp * pp * tp;
+        if n < 2 {
+            return Err(WorkloadError::TooFewParticipants(n));
+        }
+        let rank = |d: usize, p: usize, t: usize| (d * pp + p) * tp + t;
+        let mut m = Self::zeros(n)?;
+        // TP cliques.
+        if tp >= 2 {
+            for d in 0..dp {
+                for p in 0..pp {
+                    let group: Vec<usize> = (0..tp).map(|t| rank(d, p, t)).collect();
+                    m.merge(&Self::clique(n, &group, tp_rate)?)?;
+                }
+            }
+        }
+        // PP chains.
+        if pp >= 2 {
+            for d in 0..dp {
+                for t in 0..tp {
+                    let stages: Vec<usize> = (0..pp).map(|p| rank(d, p, t)).collect();
+                    m.merge(&Self::pipeline(n, &stages, pp_rate)?)?;
+                }
+            }
+        }
+        // DP rings (one per (p, t) position).
+        if dp >= 2 {
+            for p in 0..pp {
+                for t in 0..tp {
+                    let ring: Vec<usize> = (0..dp).map(|d| rank(d, p, t)).collect();
+                    m.merge(&Self::ring(n, &ring, dp_rate)?)?;
+                }
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_demands() {
+        let m = TrafficMatrix::ring(4, &[0, 1, 2, 3], Gbps::new(100.0)).unwrap();
+        assert_eq!(m.get(0, 1), Gbps::new(100.0));
+        assert_eq!(m.get(3, 0), Gbps::new(100.0));
+        assert_eq!(m.get(0, 2), Gbps::ZERO);
+        assert_eq!(m.active_pairs(), 4);
+        assert!(m.total().approx_eq(Gbps::new(400.0), 1e-9));
+    }
+
+    #[test]
+    fn clique_demands() {
+        let m = TrafficMatrix::clique(8, &[0, 1, 2, 3], Gbps::new(50.0)).unwrap();
+        assert_eq!(m.active_pairs(), 12);
+        assert_eq!(m.get(0, 3), Gbps::new(50.0));
+        assert_eq!(m.get(4, 5), Gbps::ZERO);
+    }
+
+    #[test]
+    fn pipeline_is_bidirectional() {
+        let m = TrafficMatrix::pipeline(4, &[0, 1, 2, 3], Gbps::new(10.0)).unwrap();
+        assert_eq!(m.get(0, 1), Gbps::new(10.0));
+        assert_eq!(m.get(1, 0), Gbps::new(10.0));
+        assert_eq!(m.get(0, 2), Gbps::ZERO);
+        assert_eq!(m.active_pairs(), 6);
+    }
+
+    #[test]
+    fn sparsity_reflects_predictable_ml_traffic() {
+        // A 64-rank ring touches 64 of 4032 ordered pairs: >98% sparse —
+        // the §4.2 argument in one number.
+        let ranks: Vec<usize> = (0..64).collect();
+        let m = TrafficMatrix::ring(64, &ranks, Gbps::new(100.0)).unwrap();
+        assert!(m.sparsity() > 0.98);
+    }
+
+    #[test]
+    fn three_d_parallel_structure() {
+        let m = TrafficMatrix::three_d_parallel(
+            2, 2, 2,
+            Gbps::new(100.0),
+            Gbps::new(10.0),
+            Gbps::new(25.0),
+        )
+        .unwrap();
+        assert_eq!(m.ranks(), 8);
+        // TP pair within first group.
+        assert_eq!(m.get(0, 1), Gbps::new(100.0));
+        // PP between stage 0 and 1 of dp-group 0, tp 0: ranks 0 and 2.
+        assert_eq!(m.get(0, 2), Gbps::new(10.0));
+        // DP ring over {0, 4}: with only 2 members the ring sends twice
+        // (successor of 0 is 4 and successor of 4 is 0): 25 each way.
+        assert_eq!(m.get(0, 4), Gbps::new(25.0));
+        assert_eq!(m.get(4, 0), Gbps::new(25.0));
+        // Egress of rank 0: TP 100 + PP 10 + DP 25 = 135.
+        assert!(m.egress(0).approx_eq(Gbps::new(135.0), 1e-9));
+    }
+
+    #[test]
+    fn merge_requires_same_shape() {
+        let mut a = TrafficMatrix::zeros(4).unwrap();
+        let b = TrafficMatrix::zeros(5).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn diagonal_is_ignored() {
+        let mut m = TrafficMatrix::zeros(3).unwrap();
+        m.add(1, 1, Gbps::new(100.0));
+        assert_eq!(m.total(), Gbps::ZERO);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TrafficMatrix::zeros(0).is_err());
+        assert!(TrafficMatrix::ring(4, &[0], Gbps::new(1.0)).is_err());
+        assert!(TrafficMatrix::clique(4, &[1], Gbps::new(1.0)).is_err());
+        assert!(TrafficMatrix::pipeline(4, &[2], Gbps::new(1.0)).is_err());
+        assert!(TrafficMatrix::ring(2, &[0, 5], Gbps::new(1.0)).is_err());
+    }
+}

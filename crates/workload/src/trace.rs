@@ -1,0 +1,332 @@
+//! Time-series load generators.
+//!
+//! Two families of utilization traces drive the §4 mechanism evaluations:
+//!
+//! - [`MlPhaseTrace`] — the periodic on/off square wave of synchronous ML
+//!   training (communication bursts every iteration, as reported by the
+//!   CASSINI measurements the paper cites);
+//! - [`DiurnalTrace`] — the sinusoid-plus-noise daily pattern of ISP
+//!   backbone links (§3.4), which is *underutilized* rather than unused:
+//!   the load rarely hits zero but spends most of the day well below peak.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use npp_units::{Ratio, Seconds};
+
+/// A deterministic utilization trace: load as a function of time.
+pub trait LoadTrace {
+    /// Utilization in `[0, 1]` at time `t`.
+    fn utilization(&self, t: Seconds) -> Ratio;
+
+    /// Samples the trace at `n` evenly spaced points over `[0, horizon)`.
+    fn sample(&self, horizon: Seconds, n: usize) -> Vec<(Seconds, Ratio)> {
+        (0..n)
+            .map(|i| {
+                let t = horizon * (i as f64 / n as f64);
+                (t, self.utilization(t))
+            })
+            .collect()
+    }
+
+    /// Mean utilization over `[0, horizon)` using `n` samples.
+    fn mean_utilization(&self, horizon: Seconds, n: usize) -> Ratio {
+        let total: f64 = self
+            .sample(horizon, n)
+            .iter()
+            .map(|(_, u)| u.fraction())
+            .sum();
+        Ratio::new(total / n as f64)
+    }
+}
+
+/// Synchronous ML training: each iteration is `compute` seconds of zero
+/// network load followed by `comm` seconds of full load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlPhaseTrace {
+    /// Computation-phase length (network idle).
+    pub compute: Seconds,
+    /// Communication-phase length (network at `peak`).
+    pub comm: Seconds,
+    /// Utilization during the communication phase.
+    pub peak: Ratio,
+}
+
+impl MlPhaseTrace {
+    /// The paper's baseline: 0.9 s compute, 0.1 s comm, full-rate bursts.
+    pub fn paper_baseline() -> Self {
+        Self { compute: Seconds::new(0.9), comm: Seconds::new(0.1), peak: Ratio::ONE }
+    }
+
+    /// Iteration period.
+    pub fn period(&self) -> Seconds {
+        self.compute + self.comm
+    }
+}
+
+impl LoadTrace for MlPhaseTrace {
+    fn utilization(&self, t: Seconds) -> Ratio {
+        let period = self.period().value();
+        if period <= 0.0 {
+            return Ratio::ZERO;
+        }
+        let phase = t.value().rem_euclid(period);
+        if phase < self.compute.value() {
+            Ratio::ZERO
+        } else {
+            self.peak
+        }
+    }
+}
+
+/// Diurnal ISP load: a 24-hour sinusoid between `trough` and `peak`
+/// utilization with optional seeded noise, peaking at `peak_hour`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalTrace {
+    /// Minimum (nighttime) utilization.
+    pub trough: Ratio,
+    /// Maximum (prime-time) utilization.
+    pub peak: Ratio,
+    /// Hour of day (0–24) at which load peaks.
+    pub peak_hour: f64,
+    /// Amplitude of uniform noise added to the sinusoid.
+    pub noise: f64,
+    /// RNG seed for reproducible noise.
+    pub seed: u64,
+}
+
+impl DiurnalTrace {
+    /// A typical backbone link: 10 % at night, 60 % at the 20:00 peak,
+    /// ±5 % noise. Mean utilization ≈ 35 % — §3.4's "customers expect
+    /// capacity to be there but will not be using it 24/7".
+    pub fn typical_backbone(seed: u64) -> Self {
+        Self {
+            trough: Ratio::new(0.10),
+            peak: Ratio::new(0.60),
+            peak_hour: 20.0,
+            noise: 0.05,
+            seed,
+        }
+    }
+}
+
+impl LoadTrace for DiurnalTrace {
+    fn utilization(&self, t: Seconds) -> Ratio {
+        let hours = t.as_hours().rem_euclid(24.0);
+        let mid = (self.peak.fraction() + self.trough.fraction()) / 2.0;
+        let amp = (self.peak.fraction() - self.trough.fraction()) / 2.0;
+        let angle = (hours - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let base = mid + amp * angle.cos();
+        // Deterministic per-time-slot noise: hash the slot index into the
+        // seed so the same t always yields the same value.
+        let slot = (t.value() / 60.0).floor() as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let noise = if self.noise > 0.0 {
+            rng.random_range(-self.noise..self.noise)
+        } else {
+            0.0
+        };
+        Ratio::new((base + noise).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml_trace_square_wave() {
+        let tr = MlPhaseTrace::paper_baseline();
+        assert_eq!(tr.utilization(Seconds::new(0.0)), Ratio::ZERO);
+        assert_eq!(tr.utilization(Seconds::new(0.45)), Ratio::ZERO);
+        assert_eq!(tr.utilization(Seconds::new(0.95)), Ratio::ONE);
+        // Periodicity.
+        assert_eq!(tr.utilization(Seconds::new(1.95)), Ratio::ONE);
+        assert_eq!(tr.utilization(Seconds::new(100.4)), Ratio::ZERO);
+    }
+
+    #[test]
+    fn ml_trace_mean_matches_comm_ratio() {
+        let tr = MlPhaseTrace::paper_baseline();
+        let mean = tr.mean_utilization(Seconds::new(10.0), 10_000);
+        assert!((mean.fraction() - 0.1).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour_and_troughs_opposite() {
+        let tr = DiurnalTrace { noise: 0.0, ..DiurnalTrace::typical_backbone(7) };
+        let at_peak = tr.utilization(Seconds::from_hours(20.0));
+        let at_trough = tr.utilization(Seconds::from_hours(8.0));
+        assert!(at_peak.approx_eq(Ratio::new(0.60), 1e-9), "peak {at_peak}");
+        assert!(at_trough.approx_eq(Ratio::new(0.10), 1e-9), "trough {at_trough}");
+    }
+
+    #[test]
+    fn diurnal_mean_is_midrange() {
+        let tr = DiurnalTrace::typical_backbone(42);
+        let mean = tr.mean_utilization(Seconds::from_hours(24.0), 24 * 60);
+        assert!((mean.fraction() - 0.35).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_noise_is_deterministic_and_bounded() {
+        let tr = DiurnalTrace::typical_backbone(42);
+        let t = Seconds::from_hours(13.5);
+        assert_eq!(tr.utilization(t), tr.utilization(t));
+        for i in 0..200 {
+            let u = tr.utilization(Seconds::from_hours(i as f64 * 0.12));
+            assert!((0.0..=1.0).contains(&u.fraction()));
+        }
+        // Different seeds differ somewhere.
+        let other = DiurnalTrace::typical_backbone(43);
+        let differs = (0..100).any(|i| {
+            let t = Seconds::from_hours(i as f64 * 0.24);
+            tr.utilization(t) != other.utilization(t)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn sample_grid_shape() {
+        let tr = MlPhaseTrace::paper_baseline();
+        let s = tr.sample(Seconds::new(1.0), 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0].0, Seconds::ZERO);
+        assert!(s[9].0.value() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_ml_trace() {
+        let tr = MlPhaseTrace {
+            compute: Seconds::ZERO,
+            comm: Seconds::ZERO,
+            peak: Ratio::ONE,
+        };
+        assert_eq!(tr.utilization(Seconds::new(5.0)), Ratio::ZERO);
+    }
+}
+
+/// Several phase-shifted ML jobs sharing a network — the CASSINI insight
+/// the paper cites: synchronized jobs collide at their bursts, while
+/// deliberately offset jobs interleave and keep the aggregate load (and
+/// hence the needed active capacity) low.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterleavedJobs {
+    jobs: Vec<(MlPhaseTrace, Seconds)>,
+}
+
+impl InterleavedJobs {
+    /// Creates the aggregate of `(trace, phase offset)` pairs.
+    pub fn new(jobs: Vec<(MlPhaseTrace, Seconds)>) -> Self {
+        Self { jobs }
+    }
+
+    /// `n` identical jobs with evenly spread phase offsets (the CASSINI
+    /// placement) over the trace's period.
+    pub fn staggered(trace: MlPhaseTrace, n: usize) -> Self {
+        let period = trace.period();
+        Self {
+            jobs: (0..n)
+                .map(|i| (trace, period * (i as f64 / n.max(1) as f64)))
+                .collect(),
+        }
+    }
+
+    /// `n` identical jobs all in phase (the unlucky default).
+    pub fn synchronized(trace: MlPhaseTrace, n: usize) -> Self {
+        Self { jobs: (0..n).map(|_| (trace, Seconds::ZERO)).collect() }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Peak aggregate utilization over one hyper-period, sampled at `n`
+    /// points (normalized per job: `n` jobs at full burst = n.0).
+    pub fn peak_aggregate(&self, horizon: Seconds, samples: usize) -> f64 {
+        (0..samples)
+            .map(|i| {
+                let t = horizon * (i as f64 / samples as f64);
+                self.aggregate_at(t)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of all jobs' utilizations at time `t` (can exceed 1.0 — that
+    /// is precisely the collision the scheduler wants to avoid).
+    pub fn aggregate_at(&self, t: Seconds) -> f64 {
+        self.jobs
+            .iter()
+            .map(|(trace, offset)| trace.utilization(t + *offset).fraction())
+            .sum()
+    }
+}
+
+impl LoadTrace for InterleavedJobs {
+    /// The aggregate clamped to 1.0 (as a fraction of the shared fabric's
+    /// capacity when each job is sized at `1/n` of it).
+    fn utilization(&self, t: Seconds) -> Ratio {
+        if self.jobs.is_empty() {
+            return Ratio::ZERO;
+        }
+        Ratio::new((self.aggregate_at(t) / self.jobs.len() as f64).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod interleave_tests {
+    use super::*;
+
+    fn job() -> MlPhaseTrace {
+        MlPhaseTrace::paper_baseline() // 0.9 + 0.1 s
+    }
+
+    #[test]
+    fn synchronized_jobs_collide_at_full_aggregate() {
+        let sync = InterleavedJobs::synchronized(job(), 4);
+        // All four burst together: aggregate peaks at 4.
+        assert_eq!(sync.peak_aggregate(Seconds::new(1.0), 1000), 4.0);
+    }
+
+    #[test]
+    fn staggering_ten_jobs_flattens_the_peak_completely() {
+        // 10 jobs with 10% duty, offset by 0.1 s each: at any instant
+        // exactly one job bursts — the aggregate never exceeds 1.
+        let stag = InterleavedJobs::staggered(job(), 10);
+        let peak = stag.peak_aggregate(Seconds::new(1.0), 2000);
+        assert!(peak <= 1.0 + 1e-9, "peak {peak}");
+        // And the fabric sees a perfectly smooth load — the parking
+        // policies in npp-mechanisms can run on `1/10`th of the switch
+        // capacity around the clock.
+        let mean = stag.mean_utilization(Seconds::new(1.0), 2000);
+        assert!((mean.fraction() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn partial_stagger_partially_helps() {
+        let four = InterleavedJobs::staggered(job(), 4);
+        let peak = four.peak_aggregate(Seconds::new(1.0), 2000);
+        // 4 offsets over 1 s: bursts (0.1 s long) never overlap either.
+        assert!(peak <= 1.0 + 1e-9);
+        // But 20 jobs cannot all fit disjoint 10% windows: peaks >= 2.
+        let twenty = InterleavedJobs::staggered(job(), 20);
+        assert!(twenty.peak_aggregate(Seconds::new(1.0), 4000) >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none = InterleavedJobs::new(vec![]);
+        assert!(none.is_empty());
+        assert_eq!(none.utilization(Seconds::new(0.5)), Ratio::ZERO);
+        let one = InterleavedJobs::staggered(job(), 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.utilization(Seconds::new(0.95)), Ratio::ONE);
+    }
+}

@@ -1,0 +1,49 @@
+//! Cluster planner: pick the most power-efficient interface speed for a
+//! power-limited ML cluster.
+//!
+//! This is the §3.3 scenario turned into a planning tool: given a fixed
+//! power budget (here: the baseline cluster's draw) and a realistic
+//! network proportionality, which per-GPU bandwidth yields the fastest
+//! training iterations — and how many GPUs can you afford at each?
+//!
+//! Run with: `cargo run --example cluster_planner -- [proportionality-%]`
+
+use netpp::core::speedup::{figure3, paper_bandwidths};
+use netpp::power::Proportionality;
+use netpp::units::Gbps;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prop_pct: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(10.0);
+    let prop = Proportionality::from_percent(prop_pct)?;
+
+    println!("Power budget: the 400G/10% baseline cluster's average draw.");
+    println!("Network proportionality assumed: {prop}\n");
+
+    let curves = figure3(&paper_bandwidths(), &[prop])?;
+    println!(
+        "{:<12} {:>10} {:>14} {:>10}",
+        "Bandwidth", "GPUs", "Iteration (s)", "Speedup"
+    );
+    let mut best: Option<(Gbps, f64)> = None;
+    for curve in &curves {
+        let p = &curve.points[0];
+        println!(
+            "{:<12} {:>10.0} {:>14.4} {:>10}",
+            format!("{}G", curve.bandwidth.value()),
+            p.gpus,
+            p.iteration_time.value(),
+            format!("{}", p.speedup),
+        );
+        if best.map(|(_, s)| p.speedup.fraction() > s).unwrap_or(true) {
+            best = Some((curve.bandwidth, p.speedup.fraction()));
+        }
+    }
+    let (bw, _) = best.expect("non-empty sweep");
+    println!("\nRecommended interface speed at {prop} proportionality: {bw}");
+    println!("(Rerun with e.g. `-- 95` to see high proportionality flip the answer.)");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! ISP backbone (§3.4): a 24-hour diurnal-traffic study on the Abilene
+//! topology, showing why "underutilized rather than completely unused"
+//! links need load-proportional hardware rather than sleep modes.
+//!
+//! Run with: `cargo run --example isp_backbone`
+
+use netpp::mechanisms::isp_study::{run_isp_study, IspStudyConfig};
+use netpp::power::cost::{CarbonModel, CostModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = IspStudyConfig::default();
+    let r = run_isp_study(&cfg)?;
+
+    println!("=== Abilene backbone, gravity traffic, 24h diurnal cycle ===\n");
+    println!("hour  demand  mean util  max util");
+    for h in r.hours.iter().step_by(3) {
+        let bar = "#".repeat((h.mean_utilization.percent() / 2.0).round() as usize);
+        println!(
+            "{:>4}  {:>5.2}  {:>8}  {:>8}  {bar}",
+            h.hour,
+            h.demand_factor,
+            format!("{}", h.mean_utilization),
+            format!("{}", h.max_utilization),
+        );
+    }
+
+    println!("\nlinks below 50% utilization even at the daily peak: {}", r.underutilized_at_peak);
+    println!("\n=== 24h energy by device model ===");
+    println!("today (two-state @10%):        {:.1} kWh", r.energy_today.as_kwh());
+    println!(
+        "two-state @85% (still useless): {:.1} kWh  (links never idle!)",
+        r.energy_two_state_improved.as_kwh()
+    );
+    println!(
+        "linear @85%:                   {:.1} kWh  ({} saved)",
+        r.energy_linear.as_kwh(),
+        r.savings_linear
+    );
+    println!(
+        "linear @85% + link down-rating: {:.1} kWh  ({} saved)",
+        r.energy_linear_downrated.as_kwh(),
+        r.savings_linear_downrated
+    );
+
+    // What the saving is worth, annualized.
+    let saved_daily = r.energy_today - r.energy_linear_downrated;
+    let annual_kwh = saved_daily.as_kwh() * 365.0;
+    let cost = CostModel::paper_baseline();
+    let carbon = CarbonModel::us_grid_average();
+    println!("\nannualized: {:.0} kWh, ${:.0}, {:.1} tCO2e (US grid)",
+        annual_kwh,
+        annual_kwh * cost.usd_per_kwh,
+        carbon.tonnes_for(netpp::units::Joules::from_kwh(annual_kwh)),
+    );
+    println!("\nThe §3.4 punchline: a two-state device never sleeps on a backbone —");
+    println!("only genuinely load-proportional hardware collects these savings.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the paper's headline analysis in ~40 lines.
+//!
+//! Builds the §2.1 baseline cluster, asks the two central what-if
+//! questions — *how much power does better network proportionality save?*
+//! and *what is that worth per year?* — and prints the answers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use netpp::core::analysis::cost_of_proportionality;
+use netpp::core::cluster::{ClusterConfig, ClusterModel};
+use netpp::core::phases::phase_breakdown;
+use netpp::power::cost::CostModel;
+use netpp::power::Proportionality;
+use netpp::workload::ScalingScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The production baseline: 15,360 H100 GPUs, 400 G per GPU,
+    // 51.2 Tbps switches, 10% communication ratio, 10% network
+    // power proportionality.
+    let baseline = ClusterConfig::paper_baseline();
+    let model = ClusterModel::new(baseline.clone())?;
+
+    println!("=== Baseline cluster ===");
+    println!("GPUs:               {}", baseline.gpus);
+    println!("Switches:           {:.0}", model.inventory().switches);
+    println!("Transceivers:       {:.0}", model.inventory().transceivers);
+    println!("Compute max power:  {:.2} MW", model.compute_max_power().as_mw());
+    println!("Network max power:  {:.2} MW", model.network_max_power().as_mw());
+
+    // §3.1: where does the power go, phase by phase?
+    let phases = phase_breakdown(&model, ScalingScenario::FixedWorkload)?;
+    println!("\n=== Phase breakdown (Figure 2) ===");
+    println!(
+        "computation:   {:.2} MW ({} network)",
+        phases.computation.total().as_mw(),
+        phases.computation.network_share()
+    );
+    println!(
+        "communication: {:.2} MW ({} network)",
+        phases.communication.total().as_mw(),
+        phases.communication.network_share()
+    );
+    println!("network energy efficiency: {}", phases.network_efficiency);
+
+    // §3.2: what would 50% network proportionality be worth?
+    let analysis = cost_of_proportionality(
+        &baseline,
+        Proportionality::NETWORK_BASELINE,
+        Proportionality::new(0.50)?,
+        &CostModel::paper_baseline(),
+        ScalingScenario::FixedWorkload,
+    )?;
+    println!("\n=== Improving proportionality 10% -> 50% (Table 3 / par. 3.2) ===");
+    println!("cluster power saving: {}", analysis.savings);
+    println!("power reduction:      {:.0} kW", analysis.power_reduction().as_kw());
+    println!(
+        "annual saving:        ${:.0}k electricity + ${:.0}k cooling",
+        analysis.money.electricity_per_year.as_thousands(),
+        analysis.money.cooling_per_year.as_thousands()
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # netpp — Network Power Proportionality toolkit
+//!
+//! Facade crate re-exporting the whole `netpp` workspace: the analytic
+//! what-if engine reproducing *"It Is Time to Address Network Power
+//! Proportionality"* (HotNets '25) and the simulation substrate for the
+//! §4 mechanisms.
+//!
+//! See the individual crates for details:
+//!
+//! - [`units`] — typed physical quantities;
+//! - [`power`] — power models, device database, cost model, gating;
+//! - [`topology`] — fat-tree/Clos models, graphs, OCS, ISP backbones;
+//! - [`workload`] — ML iteration model, collectives, traffic generators;
+//! - [`core`] — the paper's cluster what-if engine (Tables/Figures);
+//! - [`simnet`] — discrete-event simulator with power tracking;
+//! - [`mechanisms`] — §4 proposals (knobs, OCS, rate adaptation, parking);
+//! - [`report`] — tables, ASCII charts, CSV/JSON export.
+
+#![forbid(unsafe_code)]
+
+pub use npp_core as core;
+pub use npp_mechanisms as mechanisms;
+pub use npp_power as power;
+pub use npp_report as report;
+pub use npp_simnet as simnet;
+pub use npp_topology as topology;
+pub use npp_units as units;
+pub use npp_workload as workload;

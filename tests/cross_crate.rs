@@ -1,0 +1,108 @@
+//! Cross-crate consistency checks: the analytic models, the explicit
+//! graph builders, and the simulator must agree wherever they overlap.
+
+use netpp::core::cluster::{ClusterConfig, ClusterModel};
+use netpp::power::devices::DeviceDb;
+use netpp::power::gating::switch_component_model;
+use netpp::power::PowerModel;
+use netpp::simnet::switchsim::SwitchParams;
+use netpp::topology::builder::three_tier_fat_tree;
+use netpp::topology::{FatTreeModel, Topology};
+use netpp::units::Gbps;
+
+/// The explicit k-ary fat-tree graph must match the closed-form counts
+/// the analytic model predicts, for every k we can afford to build.
+#[test]
+fn graph_builder_matches_analytic_model() {
+    for k in [4, 6, 8, 10] {
+        let topo: Topology = three_tier_fat_tree(k, Gbps::new(400.0)).unwrap();
+        let model = FatTreeModel::new(k).unwrap();
+        assert_eq!(topo.hosts().len() as f64, model.capacity(3), "hosts k={k}");
+        assert_eq!(
+            topo.switches().len() as f64,
+            model.full_switches(3),
+            "switches k={k}"
+        );
+        assert_eq!(
+            topo.inter_switch_links().len() as f64,
+            model.full_links(3),
+            "links k={k}"
+        );
+    }
+}
+
+/// The simulator's switch parameters must be consistent with both the
+/// Table 1 power number and the §4.1 component tree.
+#[test]
+fn simulated_switch_matches_power_models() {
+    let sim = SwitchParams::paper_51t2();
+    let tree = switch_component_model();
+    let table1 = DeviceDb::paper_baseline().switch().max_power();
+    assert!(sim.max_power().approx_eq(table1, 1e-9));
+    assert!(tree.max_power().approx_eq(table1, 1e-9));
+    // Aggregate pipeline rate equals the advertised ASIC capacity.
+    assert!(
+        (sim.pipeline_rate * sim.pipelines as f64)
+            .approx_eq(Gbps::from_tbps(51.2), 1e-9)
+    );
+}
+
+/// A cluster built at an exact integer-stage host count must cost exactly
+/// what the full-tree formulas say — interpolation must vanish there.
+#[test]
+fn cluster_model_exact_at_integer_stages() {
+    // k = 128 (400 G): 2-tier capacity = 8192 hosts.
+    let cfg = ClusterConfig::paper_baseline().with_gpus(8192.0);
+    let m = ClusterModel::new(cfg).unwrap();
+    let inv = m.inventory();
+    let ft = FatTreeModel::new(128).unwrap();
+    assert!((inv.switches - ft.full_switches(2)).abs() < 1e-6);
+    assert!((inv.links - ft.full_links(2)).abs() < 1e-6);
+    // Network power = switches·750 + hosts·25.4 + links·2·10, exactly.
+    let expected = ft.full_switches(2) * 750.0 + 8192.0 * 25.4 + ft.full_links(2) * 20.0;
+    assert!((m.network_max_power().value() - expected).abs() < 1e-3);
+}
+
+/// The workload model's phase durations and the cluster phase breakdown
+/// must agree on the communication ratio.
+#[test]
+fn workload_and_phases_agree() {
+    use netpp::core::phases::phase_breakdown;
+    use netpp::workload::ScalingScenario;
+    for bw in [100.0, 400.0, 1600.0] {
+        let cfg = ClusterConfig::paper_baseline().with_bandwidth(Gbps::new(bw));
+        let iter = cfg
+            .workload
+            .iteration(cfg.gpus, cfg.bandwidth, ScalingScenario::FixedWorkload)
+            .unwrap();
+        let model = ClusterModel::new(cfg).unwrap();
+        let b = phase_breakdown(&model, ScalingScenario::FixedWorkload).unwrap();
+        assert!(b.computation.duration.approx_eq(iter.compute, 1e-12), "bw {bw}");
+        assert!(b.communication.duration.approx_eq(iter.comm, 1e-12), "bw {bw}");
+    }
+}
+
+/// Device-table extrapolation and the cluster sweep must cover every
+/// bandwidth the paper uses without error.
+#[test]
+fn paper_bandwidth_grid_is_fully_supported() {
+    for bw in [100.0, 200.0, 400.0, 800.0, 1600.0] {
+        let cfg = ClusterConfig::paper_baseline().with_bandwidth(Gbps::new(bw));
+        let m = ClusterModel::new(cfg).unwrap();
+        assert!(m.network_max_power().value() > 0.0);
+        assert!(m.inventory().switches > 0.0);
+    }
+}
+
+/// Bisection bandwidth of the explicit fat tree must equal the full
+/// bisection the topology is designed for — and the cluster model's
+/// assumption of a non-blocking fabric is therefore justified.
+#[test]
+fn fat_tree_full_bisection_property() {
+    use netpp::topology::bisection::{bisection_bandwidth, full_bisection};
+    let speed = Gbps::new(400.0);
+    let topo = three_tier_fat_tree(6, speed).unwrap();
+    let hosts = topo.hosts().len();
+    let b = bisection_bandwidth(&topo);
+    assert!(b.approx_eq(full_bisection(hosts, speed), 1e-6), "bisection {b}");
+}

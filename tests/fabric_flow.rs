@@ -1,0 +1,117 @@
+//! Cross-validation of the three fabric views: the analytic collective
+//! model (npp-workload), the flow-level fluid simulator (npp-simnet),
+//! and the link-load router (npp-topology) must tell one consistent
+//! story about which links work and for how long.
+
+use netpp::simnet::netsim::NetSim;
+use netpp::simnet::SimTime;
+use netpp::topology::builder::three_tier_fat_tree;
+use netpp::topology::loads::LinkLoads;
+use netpp::units::{Bytes, Gbps};
+use netpp::workload::collectives::{
+    allreduce_bytes_per_rank, allreduce_time, AllReduceAlgo,
+};
+
+const SPEED: f64 = 100.0;
+
+/// Inject a packed n-rank ring all-reduce into a NetSim over the fabric.
+fn inject_ring(sim: &mut NetSim, hosts: &[netpp::topology::NodeId], n: usize, shard: Bytes) {
+    let per_rank = allreduce_bytes_per_rank(AllReduceAlgo::Ring, n, shard).unwrap();
+    for i in 0..n {
+        sim.inject(
+            SimTime::ZERO,
+            hosts[i],
+            hosts[(i + 1) % n],
+            per_rank.value(),
+            i,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn fluid_sim_matches_analytic_collective_time_on_k8() {
+    let topo = three_tier_fat_tree(8, Gbps::new(SPEED)).unwrap();
+    let hosts = topo.hosts();
+    let n = 32;
+    let shard = Bytes::from_mib(128.0);
+    let mut sim = NetSim::new(topo);
+    inject_ring(&mut sim, &hosts, n, shard);
+    sim.run().unwrap();
+    let analytic = allreduce_time(AllReduceAlgo::Ring, n, shard, Gbps::new(SPEED)).unwrap();
+    let simulated = sim.makespan().unwrap().as_seconds();
+    // The packed ring gets line rate on every hop, so the fluid makespan
+    // equals the bandwidth-optimal analytic time.
+    assert!(
+        (simulated.value() - analytic.value()).abs() / analytic.value() < 0.01,
+        "simulated {simulated} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn fluid_sim_and_static_router_agree_on_idle_links() {
+    let topo = three_tier_fat_tree(8, Gbps::new(SPEED)).unwrap();
+    let hosts = topo.hosts();
+    let n = 32;
+
+    // Static view: route the same ring demands.
+    let demands: Vec<_> = (0..n)
+        .map(|i| (hosts[i], hosts[(i + 1) % n], Gbps::new(SPEED)))
+        .collect();
+    let static_loads = LinkLoads::route(&topo, &demands, 16).unwrap();
+    let static_unused = static_loads.unused_links(&topo).len();
+
+    // Fluid view: actually run the flows.
+    let mut sim = NetSim::new(topo.clone());
+    inject_ring(&mut sim, &hosts, n, Bytes::from_mib(16.0));
+    sim.run().unwrap();
+    let fluid_idle = sim.idle_links().len();
+
+    // ECMP splitting (static, spreads over all paths) touches at least
+    // as many links as single-path flows; both leave a large idle set.
+    assert!(fluid_idle >= static_unused, "fluid {fluid_idle} vs static {static_unused}");
+    assert!(static_unused > topo.links().len() / 4);
+}
+
+#[test]
+fn busy_time_never_exceeds_makespan() {
+    let topo = three_tier_fat_tree(4, Gbps::new(SPEED)).unwrap();
+    let hosts = topo.hosts();
+    let mut sim = NetSim::new(topo.clone());
+    inject_ring(&mut sim, &hosts, 8, Bytes::from_mib(32.0));
+    sim.run().unwrap();
+    let makespan = sim.makespan().unwrap().as_seconds().value();
+    for link in topo.links() {
+        let busy = sim.link_busy_secs(link.id);
+        assert!(
+            busy <= makespan + 1e-9,
+            "link {:?} busy {busy} > makespan {makespan}",
+            link.id
+        );
+    }
+}
+
+#[test]
+fn flow_conservation_per_ring_hop() {
+    // Every host link must carry exactly the per-rank volume (out of the
+    // sender) — the fluid simulator must not create or lose bytes.
+    let topo = three_tier_fat_tree(4, Gbps::new(SPEED)).unwrap();
+    let hosts = topo.hosts();
+    let n = 8;
+    let shard = Bytes::from_mib(64.0);
+    let per_rank = allreduce_bytes_per_rank(AllReduceAlgo::Ring, n, shard).unwrap();
+    let mut sim = NetSim::new(topo.clone());
+    inject_ring(&mut sim, &hosts, n, shard);
+    sim.run().unwrap();
+    for i in 0..n {
+        let host_link = topo.neighbors(hosts[i])[0].1;
+        let carried = sim.link_bytes(host_link);
+        // Each host link carries its outbound flow plus the inbound one:
+        // 2 × per-rank bytes.
+        // Tolerance covers nanosecond-rounding of completion times.
+        assert!(
+            (carried - 2.0 * per_rank.value()).abs() < 64.0,
+            "host {i}: carried {carried}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end mechanism scenarios: workload generation → simulation →
+//! energy verdicts, spanning npp-workload, npp-simnet, and
+//! npp-mechanisms through the facade.
+
+use netpp::mechanisms::comparison::{compare_mechanisms, ml_workload};
+use netpp::mechanisms::eee::{simulate_eee, EeeParams};
+use netpp::mechanisms::knobs::{apply_profile, DeploymentProfile};
+use netpp::mechanisms::ocs_sched::{plan, Job, Placement, RoutingMode};
+use netpp::mechanisms::pipeline_park::{simulate_parking, ParkConfig, PredictiveSchedule};
+use netpp::simnet::sources::OnOffSource;
+use netpp::simnet::switchsim::SwitchParams;
+use netpp::simnet::SimTime;
+use netpp::topology::builder::three_tier_fat_tree;
+use netpp::units::{Gbps, Watts};
+use netpp::workload::parallelism::TrafficMatrix;
+use netpp::workload::trace::{LoadTrace, MlPhaseTrace};
+
+#[test]
+fn comparison_covers_all_dynamic_mechanisms() {
+    let table = compare_mechanisms(SimTime::from_millis(10)).unwrap();
+    assert_eq!(table.len(), 5);
+    // Every mechanism except the baseline saves energy on ML traffic.
+    for row in &table[1..] {
+        assert!(
+            row.savings.fraction() > 0.1,
+            "{} saved only {}",
+            row.name,
+            row.savings
+        );
+    }
+    // And none reaches compute's 85% proportionality — the §4.5 takeaway.
+    for row in &table {
+        assert!(row.proportionality_floor.fraction() < 0.85, "{}", row.name);
+    }
+}
+
+#[test]
+fn predictive_parking_from_workload_trace() {
+    // Derive the predictive schedule from the *workload model* rather
+    // than hand-coding it: the trace knows the phase boundaries.
+    let trace = MlPhaseTrace {
+        compute: netpp::units::Seconds::from_millis(0.9),
+        comm: netpp::units::Seconds::from_millis(0.1),
+        peak: netpp::units::Ratio::ONE,
+    };
+    let period_ns = (trace.period().value() * 1e9).round() as u64;
+    let burst_start_ns = (trace.compute.value() * 1e9).round() as u64;
+    let schedule = PredictiveSchedule {
+        period_ns,
+        burst_start_ns,
+        burst_len_ns: period_ns - burst_start_ns,
+        prewake_ns: 200_000,
+    };
+    let horizon = SimTime::from_millis(10);
+    let r = simulate_parking(
+        SwitchParams::paper_51t2(),
+        &ParkConfig::predictive(schedule),
+        &mut ml_workload(horizon),
+        horizon,
+    )
+    .unwrap();
+    assert!(r.loss_rate < 0.01, "loss {}", r.loss_rate);
+    assert!(r.savings.fraction() > 0.3, "savings {}", r.savings);
+    // Sanity: the trace itself says the network idles 90% of the time.
+    let mean = trace.mean_utilization(netpp::units::Seconds::new(1.0), 10_000);
+    assert!((mean.fraction() - 0.1).abs() < 0.01);
+}
+
+#[test]
+fn eee_end_to_end_on_ml_traffic() {
+    let horizon = SimTime::from_millis(10);
+    let mut src =
+        OnOffSource::new(1_000_000, 900_000, Gbps::new(10.0), 1500, 0, horizon).unwrap();
+    let r = simulate_eee(&EeeParams::ten_gbase_t(), &mut src, horizon).unwrap();
+    // On 10G, EEE recovers most of the computation-phase idle energy.
+    assert!(r.savings.fraction() > 0.6, "savings {}", r.savings);
+    // But the added latency is microseconds — visible, bounded.
+    assert!(r.max_added_latency_ns <= 10_000.0);
+}
+
+#[test]
+fn scheduler_plus_ocs_on_parallel_training_job() {
+    let topo = three_tier_fat_tree(8, Gbps::new(400.0)).unwrap();
+    let job = Job::from_matrix(
+        "3d",
+        &TrafficMatrix::three_d_parallel(
+            4,
+            4,
+            4,
+            Gbps::new(100.0),
+            Gbps::new(25.0),
+            Gbps::new(50.0),
+        )
+        .unwrap(),
+    );
+    let naive = plan(
+        &topo,
+        &[(job.clone(), Placement::Spread)],
+        Watts::new(750.0),
+        RoutingMode::Sprayed,
+        false,
+    )
+    .unwrap();
+    let tuned = plan(
+        &topo,
+        &[(job, Placement::Packed)],
+        Watts::new(750.0),
+        RoutingMode::Concentrated,
+        true,
+    )
+    .unwrap();
+    assert!(tuned.power < naive.power);
+    assert!(tuned.savings.fraction() > 0.3, "savings {}", tuned.savings);
+    // The plan partitions the switch set exactly.
+    assert_eq!(
+        tuned.active_switches.len() + tuned.parked_switches.len(),
+        topo.switches().len()
+    );
+}
+
+#[test]
+fn knob_gap_between_exposed_and_physical() {
+    // The §4.1 punchline as one integration assertion: for a typical
+    // underutilized deployment, physically possible savings exceed the
+    // exposed ones by a wide margin on today's (buggy) firmware.
+    let r = apply_profile(&DeploymentProfile::l2_leaf_today()).unwrap();
+    assert!(r.physical_savings.fraction() - r.exposed_savings.fraction() > 0.3);
+}

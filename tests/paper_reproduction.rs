@@ -1,0 +1,142 @@
+//! End-to-end reproduction of every quantitative claim in the paper,
+//! exercised through the `netpp` facade exactly as a downstream user
+//! would.
+
+use netpp::core::analysis::paper_cost_analysis;
+use netpp::core::cluster::{ClusterConfig, ClusterModel};
+use netpp::core::phases::phase_breakdown;
+use netpp::core::savings::paper_table3;
+use netpp::core::speedup::{baseline_budget, figure3, figure4, paper_bandwidths};
+use netpp::power::Proportionality;
+use netpp::units::Gbps;
+use netpp::workload::ScalingScenario;
+
+/// Table 3 of the paper, in percent.
+const PAPER_TABLE3: [[f64; 5]; 5] = [
+    [0.0, 0.3, 1.2, 2.3, 2.7],
+    [0.0, 0.6, 2.5, 4.8, 5.7],
+    [0.0, 1.2, 4.7, 8.8, 10.6],
+    [0.0, 2.2, 8.7, 16.4, 19.7],
+    [0.0, 3.9, 15.6, 29.3, 35.1],
+];
+
+#[test]
+fn table3_reproduces_to_printed_precision() {
+    let table = paper_table3().expect("baseline model builds");
+    for (r, row) in PAPER_TABLE3.iter().enumerate() {
+        for (c, &expected) in row.iter().enumerate() {
+            let got = table.cell(r, c).expect("cell exists").savings.percent();
+            assert!(
+                (got - expected).abs() <= 0.1,
+                "Table 3 [{r}][{c}]: got {got:.2}%, paper prints {expected}%"
+            );
+        }
+    }
+}
+
+#[test]
+fn abstract_headline_numbers() {
+    // "the network accounts for a still sizeable fraction of the total
+    // (12%)" / "consumed with an appallingly low efficiency of 11%" /
+    // "improving network power proportionality ... one could save close
+    // to 9% of the overall cluster energy demand".
+    let model = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+    let b = phase_breakdown(&model, ScalingScenario::FixedWorkload).unwrap();
+    assert!((b.average.network_share().percent() - 12.0).abs() < 0.5);
+    assert!((b.network_efficiency.percent() - 11.0).abs() < 0.2);
+
+    let table = paper_table3().unwrap();
+    let at_85 = table.cell(2, 3).unwrap().savings.percent();
+    assert!(at_85 > 8.5 && at_85 < 9.5, "85% proportionality saves {at_85:.1}%");
+}
+
+#[test]
+fn figure2_phase_structure() {
+    let model = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
+    let b = phase_breakdown(&model, ScalingScenario::FixedWorkload).unwrap();
+    // Computation dominated by compute; communication split ~50/50.
+    assert!(b.computation.gpu_share().percent() > 85.0);
+    assert!((b.communication.network_share().percent() - 47.5).abs() < 2.0);
+    // The paper's 88.1% label matches the average-row GPU share exactly.
+    assert!((b.average.gpu_share().percent() - 88.1).abs() < 0.1);
+    // Absolute magnitudes (Figure 2b axes).
+    assert!((b.computation.total().as_mw() - 8.62).abs() < 0.05);
+    assert!((b.communication.total().as_mw() - 2.19).abs() < 0.05);
+}
+
+#[test]
+fn section32_cost_numbers() {
+    let a = paper_cost_analysis().unwrap();
+    // Paper: 365 kW, $416k electricity, $125k cooling. Our unrounded
+    // pipeline gives 375 kW / $427k / $128k — within 3% of the paper,
+    // which rounded the savings percentage before converting.
+    assert!((a.power_reduction().as_kw() - 365.0).abs() < 15.0);
+    assert!((a.money.electricity_per_year.as_thousands() - 416.0).abs() < 15.0);
+    assert!((a.money.cooling_per_year.as_thousands() - 125.0).abs() < 5.0);
+}
+
+#[test]
+fn figure3_crossover_structure() {
+    let props: Vec<Proportionality> = [0.1, 0.5, 0.9, 1.0]
+        .into_iter()
+        .map(|f| Proportionality::new(f).unwrap())
+        .collect();
+    let curves = figure3(&paper_bandwidths(), &props).unwrap();
+    let speedup = |bw: f64, pi: usize| {
+        curves
+            .iter()
+            .find(|c| c.bandwidth == Gbps::new(bw))
+            .unwrap()
+            .points[pi]
+            .speedup
+    };
+    // At poor proportionality, 1600G is dramatically slower and 200G
+    // modestly faster than the 400G baseline.
+    assert!(speedup(1600.0, 0).percent() < -20.0);
+    assert!(speedup(200.0, 0).percent() > 0.0);
+    // §3.3: 200G still beats 400G at 50%.
+    assert!(speedup(200.0, 1) > speedup(400.0, 1));
+    // High bandwidths win only at very high proportionality.
+    assert!(speedup(800.0, 3) > speedup(200.0, 3));
+    assert!(speedup(1600.0, 3) > speedup(400.0, 3));
+    // And not yet at 50%.
+    assert!(speedup(1600.0, 1) < speedup(200.0, 1));
+}
+
+#[test]
+fn figure4_magnitudes() {
+    let props: Vec<Proportionality> = [0.0, 0.5]
+        .into_iter()
+        .map(|f| Proportionality::new(f).unwrap())
+        .collect();
+    let curves = figure4(&paper_bandwidths(), &props).unwrap();
+    // §3.3: "a network power proportionality of 50% on a 800 Gbps
+    // network would enable a 10% speedup".
+    let s800 = curves
+        .iter()
+        .find(|c| c.bandwidth == Gbps::new(800.0))
+        .unwrap()
+        .points[1]
+        .speedup
+        .percent();
+    assert!((s800 - 10.0).abs() < 2.5, "800G@50% speedup {s800:.1}%");
+    // Gains are monotone in bandwidth at 50%.
+    let gains: Vec<f64> = curves.iter().map(|c| c.points[1].speedup.percent()).collect();
+    for w in gains.windows(2) {
+        assert!(w[1] > w[0], "{gains:?}");
+    }
+}
+
+#[test]
+fn budget_is_self_consistent() {
+    // The solver applied to the baseline configuration recovers the
+    // baseline GPU count — figure 3's zero point.
+    let budget = baseline_budget().unwrap();
+    let g = netpp::core::speedup::gpus_for_budget(
+        &ClusterConfig::paper_baseline(),
+        budget,
+        ScalingScenario::FixedWorkload,
+    )
+    .unwrap();
+    assert!((g - 15_360.0).abs() < 1.0);
+}

@@ -1,0 +1,161 @@
+//! Workspace-level property-based tests: invariants that must hold for
+//! *any* configuration, not just the paper's grid.
+
+use netpp::core::cluster::{ClusterConfig, ClusterModel};
+use netpp::core::savings::average_power;
+use netpp::power::Proportionality;
+use netpp::topology::ocs::{CircuitSwitch, OcsSpec};
+use netpp::topology::FatTreeModel;
+use netpp::units::Gbps;
+use netpp::workload::ScalingScenario;
+use proptest::prelude::*;
+
+/// Valid paper-style bandwidths (must divide 51.2 T into an even radix
+/// ≥ 4 so a tree exists).
+fn bandwidth() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(100.0),
+        Just(200.0),
+        Just(400.0),
+        Just(800.0),
+        Just(1600.0),
+        Just(3200.0),
+        Just(6400.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Average cluster power decreases monotonically in network
+    /// proportionality, for any bandwidth, GPU count, and scenario.
+    #[test]
+    fn power_monotone_in_proportionality(
+        bw in bandwidth(),
+        gpus in 64.0..100_000.0f64,
+        p1 in 0.0..=1.0f64,
+        p2 in 0.0..=1.0f64,
+        fixed_ratio in any::<bool>(),
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let scenario = if fixed_ratio {
+            ScalingScenario::FixedCommRatio
+        } else {
+            ScalingScenario::FixedWorkload
+        };
+        let base = ClusterConfig::paper_baseline()
+            .with_bandwidth(Gbps::new(bw))
+            .with_gpus(gpus);
+        let power_lo = average_power(
+            &base.clone().with_network_proportionality(Proportionality::new(lo).unwrap()),
+            scenario,
+        ).unwrap();
+        let power_hi = average_power(
+            &base.with_network_proportionality(Proportionality::new(hi).unwrap()),
+            scenario,
+        ).unwrap();
+        prop_assert!(power_hi.value() <= power_lo.value() + 1e-6);
+    }
+
+    /// The network never draws more than its max, and the phase powers
+    /// bound the average.
+    #[test]
+    fn phase_powers_are_ordered(
+        bw in bandwidth(),
+        gpus in 64.0..100_000.0f64,
+        p in 0.0..=1.0f64,
+    ) {
+        use netpp::core::phases::phase_breakdown;
+        let cfg = ClusterConfig::paper_baseline()
+            .with_bandwidth(Gbps::new(bw))
+            .with_gpus(gpus)
+            .with_network_proportionality(Proportionality::new(p).unwrap());
+        let m = ClusterModel::new(cfg).unwrap();
+        let b = phase_breakdown(&m, ScalingScenario::FixedWorkload).unwrap();
+        let avg = b.average.total().value();
+        let lo = b.computation.total().value().min(b.communication.total().value());
+        let hi = b.computation.total().value().max(b.communication.total().value());
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+        prop_assert!(b.computation.network().value() <= m.network_max_power().value() + 1e-9);
+        prop_assert!(b.network_efficiency.fraction() >= 0.0);
+        prop_assert!(b.network_efficiency.fraction() <= 1.0 + 1e-12);
+    }
+
+    /// Fat-tree sizing is monotone in hosts and continuous at integer
+    /// stage boundaries (within float tolerance).
+    #[test]
+    fn fattree_sizing_monotone_and_continuous(
+        radix_half in 2usize..256,
+        hosts in 4.0..1e7f64,
+    ) {
+        let m = FatTreeModel::new(radix_half * 2).unwrap();
+        let s1 = m.size_for_hosts(hosts).unwrap();
+        let s2 = m.size_for_hosts(hosts * 1.01).unwrap();
+        prop_assert!(s2.switches >= s1.switches - 1e-9);
+        prop_assert!(s2.inter_switch_links >= s1.inter_switch_links - 1e-9);
+        // Continuity at the 2-stage boundary.
+        let h2 = m.capacity(2);
+        let below = m.size_for_hosts(h2 * 0.9999).unwrap();
+        let at = m.size_for_hosts(h2).unwrap();
+        prop_assert!((below.switches - at.switches).abs() / at.switches < 0.01);
+    }
+
+    /// Circuit-switch mappings stay valid involutions under arbitrary
+    /// connect/disconnect/reconfigure sequences.
+    #[test]
+    fn circuit_switch_invariants(ops in prop::collection::vec((0usize..16, 0usize..16, any::<bool>()), 0..64)) {
+        let mut cs = CircuitSwitch::new(OcsSpec::off_the_shelf(16));
+        for (a, b, disconnect) in ops {
+            if disconnect {
+                cs.disconnect(a);
+            } else {
+                let _ = cs.connect(a, b); // may legitimately fail
+            }
+            cs.check_invariants().unwrap();
+        }
+    }
+
+    /// Energy accounting in the simulator: a switch that stays all-on
+    /// consumes exactly max_power × time, regardless of traffic offered.
+    #[test]
+    fn all_on_switch_energy_is_exact(
+        packets in prop::collection::vec((0u64..1_000_000, 64u64..9000, 0usize..64), 0..50),
+    ) {
+        use netpp::simnet::switchsim::{PipelineSwitch, SwitchParams};
+        use netpp::simnet::SimTime;
+        let params = SwitchParams::paper_51t2();
+        let mut sw = PipelineSwitch::new(params, SimTime::ZERO).unwrap();
+        let mut sorted = packets;
+        sorted.sort_by_key(|&(t, _, _)| t);
+        for (t_ns, bytes, port) in sorted {
+            sw.ingress(SimTime::from_nanos(t_ns), port, bytes).unwrap();
+        }
+        let end = SimTime::from_millis(2);
+        let r = sw.finish(end).unwrap();
+        let expected = params.max_power().value() * end.as_seconds().value();
+        prop_assert!((r.energy.value() - expected).abs() < 1e-6);
+    }
+
+    /// The budget solver inverts average power: solving for the budget of
+    /// a known GPU count recovers that count.
+    #[test]
+    fn budget_solver_round_trips(
+        bw in bandwidth(),
+        gpus in 128.0..50_000.0f64,
+        p in 0.0..=1.0f64,
+    ) {
+        use netpp::core::speedup::gpus_for_budget;
+        let cfg = ClusterConfig::paper_baseline()
+            .with_bandwidth(Gbps::new(bw))
+            .with_network_proportionality(Proportionality::new(p).unwrap());
+        let budget = average_power(
+            &cfg.clone().with_gpus(gpus),
+            ScalingScenario::FixedWorkload,
+        ).unwrap();
+        let solved = gpus_for_budget(&cfg, budget, ScalingScenario::FixedWorkload).unwrap();
+        prop_assert!(
+            (solved - gpus).abs() / gpus < 1e-6,
+            "gpus {} -> solved {}", gpus, solved
+        );
+    }
+}

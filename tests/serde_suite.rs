@@ -1,0 +1,101 @@
+//! Serialization round-trips for the public configuration and result
+//! types: every `netpp --json` output must be loadable back without
+//! loss, because downstream plotting pipelines depend on it.
+
+use netpp::core::cluster::ClusterConfig;
+use netpp::core::savings::paper_table3;
+use netpp::power::devices::DeviceDb;
+use netpp::power::Proportionality;
+use netpp::units::{Gbps, Joules, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn cluster_config_round_trips() {
+    let cfg = ClusterConfig::paper_baseline()
+        .with_bandwidth(Gbps::new(800.0))
+        .with_network_proportionality(Proportionality::new(0.37).unwrap());
+    let back = round_trip(&cfg);
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn device_db_round_trips_values() {
+    let db = DeviceDb::paper_baseline();
+    let back: DeviceDb = round_trip(&db);
+    // The diagnostic `kind` label is deliberately skipped; all power
+    // values must survive.
+    for bw in [100.0, 200.0, 400.0, 800.0, 1600.0] {
+        assert_eq!(
+            back.nic_table().power(Gbps::new(bw)).unwrap(),
+            db.nic_table().power(Gbps::new(bw)).unwrap()
+        );
+        assert_eq!(
+            back.transceiver_table().power(Gbps::new(bw)).unwrap(),
+            db.transceiver_table().power(Gbps::new(bw)).unwrap()
+        );
+    }
+    assert_eq!(back.network_proportionality, db.network_proportionality);
+}
+
+#[test]
+fn savings_table_round_trips() {
+    let table = paper_table3().unwrap();
+    let back = round_trip(&table);
+    assert_eq!(table, back);
+}
+
+#[test]
+fn report_types_round_trip() {
+    use netpp::mechanisms::fabric::{run_fabric_study, FabricStudyConfig};
+    use netpp::mechanisms::redesign::granularity_sweep;
+    let fabric = run_fabric_study(&FabricStudyConfig::default()).unwrap();
+    assert_eq!(fabric, round_trip(&fabric));
+    let sweep = granularity_sweep(0.1).unwrap();
+    assert_eq!(sweep, round_trip(&sweep));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unit newtypes serialize transparently as numbers and round-trip
+    /// exactly (serde_json preserves f64 bit patterns for finite values).
+    #[test]
+    fn unit_newtypes_round_trip(v in -1e15..1e15f64) {
+        prop_assert_eq!(round_trip(&Watts::new(v)), Watts::new(v));
+        prop_assert_eq!(round_trip(&Joules::new(v)), Joules::new(v));
+        prop_assert_eq!(round_trip(&Seconds::new(v)), Seconds::new(v));
+        prop_assert_eq!(round_trip(&Gbps::new(v)), Gbps::new(v));
+        prop_assert_eq!(round_trip(&Ratio::new(v)), Ratio::new(v));
+    }
+
+    /// Proportionality values survive and stay in range.
+    #[test]
+    fn proportionality_round_trips(f in 0.0..=1.0f64) {
+        let p = Proportionality::new(f).unwrap();
+        let back: Proportionality = round_trip(&p);
+        prop_assert_eq!(back, p);
+    }
+
+    /// A randomized cluster config round-trips structurally.
+    #[test]
+    fn random_configs_round_trip(
+        gpus in 8.0..1e6f64,
+        bw_idx in 0usize..5,
+        p in 0.0..=1.0f64,
+    ) {
+        let bws = [100.0, 200.0, 400.0, 800.0, 1600.0];
+        let cfg = ClusterConfig::paper_baseline()
+            .with_gpus(gpus)
+            .with_bandwidth(Gbps::new(bws[bw_idx]))
+            .with_network_proportionality(Proportionality::new(p).unwrap());
+        prop_assert_eq!(round_trip(&cfg), cfg);
+    }
+}
