@@ -43,8 +43,12 @@ fn ablation_interp(c: &mut Criterion) {
     );
     c.bench_function("ablation_interp/three_rules", |b| {
         b.iter(|| {
-            black_box(headline_savings(|c| c.interp = InterpMode::FractionalStages));
-            black_box(headline_savings(|c| c.interp = InterpMode::CeilProportional));
+            black_box(headline_savings(|c| {
+                c.interp = InterpMode::FractionalStages
+            }));
+            black_box(headline_savings(|c| {
+                c.interp = InterpMode::CeilProportional
+            }));
             black_box(headline_savings(|c| c.interp = InterpMode::CeilFull));
         })
     });
@@ -89,9 +93,11 @@ fn ablation_powermodel(c: &mut Criterion) {
             linear.value()
         ));
     }
-    body.push_str("(identical by construction: with binary phases, time-averaging the\n\
+    body.push_str(
+        "(identical by construction: with binary phases, time-averaging the\n\
                    two-state model equals evaluating the linear model at the mean load —\n\
-                   the paper's binary-phase assumption costs nothing for energy totals)");
+                   the paper's binary-phase assumption costs nothing for energy totals)",
+    );
     print_artifact("Ablation: two-state vs linear power model", &body);
 
     c.bench_function("ablation_powermodel/evaluate", |b| {

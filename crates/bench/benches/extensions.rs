@@ -28,7 +28,10 @@ fn overlap_sensitivity(c: &mut Criterion) {
         .iter()
         .map(|p| format!("overlap {} -> savings {}\n", p.overlap, p.savings))
         .collect();
-    print_artifact("par. 3.4 overlap sensitivity (savings at 85% target)", &body);
+    print_artifact(
+        "par. 3.4 overlap sensitivity (savings at 85% target)",
+        &body,
+    );
     c.bench_function("extension/overlap_sweep", |b| {
         b.iter(|| {
             black_box(
@@ -81,7 +84,11 @@ fn redesign_sweeps(c: &mut Criterion) {
     let sweep = granularity_sweep(0.10).unwrap();
     let best = sweep
         .iter()
-        .max_by(|a, b| a.savings_vs_baseline.partial_cmp(&b.savings_vs_baseline).unwrap())
+        .max_by(|a, b| {
+            a.savings_vs_baseline
+                .partial_cmp(&b.savings_vs_baseline)
+                .unwrap()
+        })
         .unwrap();
     print_artifact(
         "par. 4.5 redesign",

@@ -25,8 +25,10 @@ fn mech_eee(c: &mut Criterion) {
     let r = simulate_eee(&EeeParams::ten_gbase_t(), &mut mk(), HORIZON).unwrap();
     print_artifact(
         "EEE baseline (802.3az, 10GBASE-T)",
-        &format!("savings {} | LPI {} | mean added latency {:.0} ns",
-            r.savings, r.lpi_fraction, r.mean_added_latency_ns),
+        &format!(
+            "savings {} | LPI {} | mean added latency {:.0} ns",
+            r.savings, r.lpi_fraction, r.mean_added_latency_ns
+        ),
     );
     let mut g = c.benchmark_group("mech_eee");
     g.sample_size(20);
@@ -42,16 +44,19 @@ fn mech_rate_adaptation(c: &mut Criterion) {
     let r = simulate_rate_adaptation(params, &cfg, &mut ml_workload(HORIZON), HORIZON).unwrap();
     print_artifact(
         "par. 4.3 rate adaptation (per-pipeline)",
-        &format!("savings {} | loss {:.2}% | p99 {:.1} us",
-            r.savings, r.loss_rate * 100.0, r.p99_latency_ns / 1000.0),
+        &format!(
+            "savings {} | loss {:.2}% | p99 {:.1} us",
+            r.savings,
+            r.loss_rate * 100.0,
+            r.p99_latency_ns / 1000.0
+        ),
     );
     let mut g = c.benchmark_group("mech_rate_adaptation");
     g.sample_size(10);
     g.bench_function("simulate_5ms", |b| {
         b.iter(|| {
             black_box(
-                simulate_rate_adaptation(params, &cfg, &mut ml_workload(HORIZON), HORIZON)
-                    .unwrap(),
+                simulate_rate_adaptation(params, &cfg, &mut ml_workload(HORIZON), HORIZON).unwrap(),
             )
         })
     });
@@ -69,8 +74,13 @@ fn mech_pipeline_parking(c: &mut Criterion) {
     let r = simulate_parking(params, &cfg, &mut ml_workload(HORIZON), HORIZON).unwrap();
     print_artifact(
         "par. 4.4 / Figure 5 pipeline parking (predictive)",
-        &format!("savings {} | loss {:.2}% | parks {} wakes {}",
-            r.savings, r.loss_rate * 100.0, r.parks, r.wakes),
+        &format!(
+            "savings {} | loss {:.2}% | parks {} wakes {}",
+            r.savings,
+            r.loss_rate * 100.0,
+            r.parks,
+            r.wakes
+        ),
     );
     let mut g = c.benchmark_group("mech_pipeline_parking");
     g.sample_size(10);
@@ -99,8 +109,12 @@ fn mech_ocs(c: &mut Criterion) {
     .unwrap();
     print_artifact(
         "par. 4.2 OCS scheduling (32-rank ring on k=8 fat tree)",
-        &format!("active switches {} / {} | savings {}",
-            p.active_switches.len(), topo.switches().len(), p.savings),
+        &format!(
+            "active switches {} / {} | savings {}",
+            p.active_switches.len(),
+            topo.switches().len(),
+            p.savings
+        ),
     );
     c.bench_function("mech_ocs/plan_k8_fabric", |b| {
         b.iter(|| {
@@ -122,8 +136,10 @@ fn mech_knobs(c: &mut Criterion) {
     let r = apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap();
     print_artifact(
         "par. 4.1 power knobs (L2 leaf, half ports)",
-        &format!("exposed {} | physical {} | proportionality {}",
-            r.exposed_savings, r.physical_savings, r.physical_proportionality),
+        &format!(
+            "exposed {} | physical {} | proportionality {}",
+            r.exposed_savings, r.physical_savings, r.physical_proportionality
+        ),
     );
     c.bench_function("mech_knobs/apply_profile", |b| {
         b.iter(|| black_box(apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap()))

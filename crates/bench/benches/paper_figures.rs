@@ -17,9 +17,15 @@ use npp_workload::{IterationModel, ScalingScenario};
 
 fn fig1_workload(c: &mut Criterion) {
     let m = IterationModel::paper_baseline();
-    let base = m.iteration(15_360.0, Gbps::new(400.0), ScalingScenario::FixedWorkload).unwrap();
-    let gpus2x = m.iteration(30_720.0, Gbps::new(400.0), ScalingScenario::FixedWorkload).unwrap();
-    let bw_half = m.iteration(15_360.0, Gbps::new(200.0), ScalingScenario::FixedWorkload).unwrap();
+    let base = m
+        .iteration(15_360.0, Gbps::new(400.0), ScalingScenario::FixedWorkload)
+        .unwrap();
+    let gpus2x = m
+        .iteration(30_720.0, Gbps::new(400.0), ScalingScenario::FixedWorkload)
+        .unwrap();
+    let bw_half = m
+        .iteration(15_360.0, Gbps::new(200.0), ScalingScenario::FixedWorkload)
+        .unwrap();
     print_artifact(
         "Figure 1: workload scaling",
         &format!(
@@ -82,9 +88,7 @@ fn fig3_fixed_workload(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_fixed_workload");
     g.sample_size(10);
     g.bench_function("sweep_5bw_x_5prop", |b| {
-        b.iter(|| {
-            black_box(figure3(&paper_bandwidths(), &proportionality_sweep(4)).unwrap())
-        })
+        b.iter(|| black_box(figure3(&paper_bandwidths(), &proportionality_sweep(4)).unwrap()))
     });
     g.finish();
 }
@@ -98,9 +102,7 @@ fn fig4_fixed_ratio(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_fixed_ratio");
     g.sample_size(10);
     g.bench_function("sweep_5bw_x_5prop", |b| {
-        b.iter(|| {
-            black_box(figure4(&paper_bandwidths(), &proportionality_sweep(4)).unwrap())
-        })
+        b.iter(|| black_box(figure4(&paper_bandwidths(), &proportionality_sweep(4)).unwrap()))
     });
     g.finish();
 }

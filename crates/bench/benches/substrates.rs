@@ -66,8 +66,7 @@ fn switch_datapath(c: &mut Criterion) {
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("forward_10k_packets", |b| {
         b.iter(|| {
-            let mut sw =
-                PipelineSwitch::new(SwitchParams::paper_51t2(), SimTime::ZERO).unwrap();
+            let mut sw = PipelineSwitch::new(SwitchParams::paper_51t2(), SimTime::ZERO).unwrap();
             for i in 0..10_000u64 {
                 black_box(
                     sw.ingress(SimTime::from_nanos(i * 100), (i % 64) as usize, 1500)
@@ -79,5 +78,11 @@ fn switch_datapath(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, topology_math, graph_building, event_scheduler, switch_datapath);
+criterion_group!(
+    benches,
+    topology_math,
+    graph_building,
+    event_scheduler,
+    switch_datapath
+);
 criterion_main!(benches);

@@ -28,7 +28,12 @@ pub fn render_savings_table(table: &npp_core::savings::SavingsTable) -> String {
 pub fn render_speedup_curves(curves: &[npp_core::speedup::SpeedupCurve]) -> String {
     let mut headers = vec!["Bandwidth".to_string()];
     if let Some(first) = curves.first() {
-        headers.extend(first.points.iter().map(|p| format!("{}", p.proportionality)));
+        headers.extend(
+            first
+                .points
+                .iter()
+                .map(|p| format!("{}", p.proportionality)),
+        );
     }
     let mut t = npp_report::Table::new(headers);
     for c in curves {

@@ -9,5 +9,6 @@
 
 pub mod mech;
 pub mod paper;
+pub mod sweep;
 
 pub use paper::{CliError, Result};

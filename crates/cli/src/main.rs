@@ -7,7 +7,7 @@
 
 use std::process::ExitCode;
 
-use npp_cli::{mech, paper};
+use npp_cli::{mech, paper, sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         "scale" => paper::scale(json),
         "llm" => paper::llm(json),
         "isp" => mech::isp(json),
+        "sweep" => sweep::run(&rest, json),
         "fabric" => mech::fabric(json),
         "mech" => match rest.first().copied().unwrap_or("compare") {
             "eee" => mech::eee(json),
@@ -127,6 +128,13 @@ Mechanisms (par. 4):
   isp            par. 3.4 ISP diurnal underutilization (Abilene, 24h)
 
   all        run everything (text output)
+
+Sweeps:
+  sweep <spec.json> [--jobs N] [--cache DIR]
+             expand a SweepSpec grid and run every scenario in parallel;
+             results are cached by content hash under --cache; --json
+             prints the deterministic results document (identical bytes
+             for any --jobs value)
 
 Flags: --json machine-readable output; --steps N sweep resolution."
     );

@@ -7,6 +7,7 @@ use npp_mechanisms::knobs::{apply_profile, DeploymentProfile};
 use npp_mechanisms::ocs_sched::{plan, Job, Placement, RoutingMode};
 use npp_mechanisms::pipeline_park::{simulate_parking, ParkConfig, PredictiveSchedule};
 use npp_mechanisms::rate_adapt::{simulate_rate_adaptation, RateAdaptConfig};
+use npp_power::{LinearPower, PowerModel, Proportionality, TwoStatePower};
 use npp_report::export::to_json;
 use npp_report::Table;
 use npp_simnet::sources::OnOffSource;
@@ -17,34 +18,29 @@ use npp_topology::isp::abilene;
 use npp_units::{Gbps, Ratio, Watts};
 use npp_workload::parallelism::TrafficMatrix;
 use npp_workload::trace::{DiurnalTrace, LoadTrace};
-use npp_power::{LinearPower, PowerModel, Proportionality, TwoStatePower};
 
 use crate::paper::Result;
-
 
 const HORIZON: SimTime = SimTime::from_millis(10);
 
 /// §-history: the EEE baseline and its obsolescence at high rates.
 pub fn eee(json: bool) -> Result<()> {
     let params = EeeParams::ten_gbase_t();
-    let mut src = OnOffSource::new(
-        1_000_000,
-        900_000,
-        Gbps::new(10.0),
-        1500,
-        0,
-        HORIZON,
-    )?;
+    let mut src = OnOffSource::new(1_000_000, 900_000, Gbps::new(10.0), 1500, 0, HORIZON)?;
     let report = simulate_eee(&params, &mut src, HORIZON)?;
     if json {
         println!("{}", to_json(&report)?);
         return Ok(());
     }
     println!("802.3az EEE on 10GBASE-T, ML burst traffic (10% duty):");
-    println!("  savings: {}   LPI time: {}   sleep cycles: {}",
-        report.savings, report.lpi_fraction, report.sleep_cycles);
-    println!("  added latency: mean {:.0} ns, max {:.0} ns",
-        report.mean_added_latency_ns, report.max_added_latency_ns);
+    println!(
+        "  savings: {}   LPI time: {}   sleep cycles: {}",
+        report.savings, report.lpi_fraction, report.sleep_cycles
+    );
+    println!(
+        "  added latency: mean {:.0} ns, max {:.0} ns",
+        report.mean_added_latency_ns, report.max_added_latency_ns
+    );
 
     let mut t = Table::new(vec!["Utilization", "10G viable sleep", "400G viable sleep"])
         .with_title("\nWhy EEE became obsolete: usable fraction of idle gaps");
@@ -52,7 +48,10 @@ pub fn eee(json: bool) -> Result<()> {
         t.push_row(vec![
             format!("{:.1}%", u * 100.0),
             format!("{}", sleep_viability(&EeeParams::ten_gbase_t(), u, 1500)),
-            format!("{}", sleep_viability(&EeeParams::hypothetical_400g(), u, 1500)),
+            format!(
+                "{}",
+                sleep_viability(&EeeParams::hypothetical_400g(), u, 1500)
+            ),
         ]);
     }
     println!("{}", t.render());
@@ -62,8 +61,14 @@ pub fn eee(json: bool) -> Result<()> {
 /// §4.1: power knobs.
 pub fn knobs(json: bool) -> Result<()> {
     let profiles = [
-        ("L2 leaf, half ports, buggy firmware", DeploymentProfile::l2_leaf_today()),
-        ("L2 leaf, half ports, fixed firmware", DeploymentProfile::l2_leaf_fixed()),
+        (
+            "L2 leaf, half ports, buggy firmware",
+            DeploymentProfile::l2_leaf_today(),
+        ),
+        (
+            "L2 leaf, half ports, fixed firmware",
+            DeploymentProfile::l2_leaf_fixed(),
+        ),
         (
             "L3 full-FIB, all ports",
             DeploymentProfile {
@@ -108,16 +113,42 @@ pub fn ocs(json: bool) -> Result<()> {
     let m = TrafficMatrix::ring(32, &ring, Gbps::new(100.0))?;
     let job = Job::from_matrix("dp-ring-32", &m);
     let scenarios = [
-        ("spread placement, ECMP spray", Placement::Spread, RoutingMode::Sprayed, false),
-        ("packed placement, ECMP spray", Placement::Packed, RoutingMode::Sprayed, false),
-        ("packed + concentrated routing", Placement::Packed, RoutingMode::Concentrated, false),
-        ("packed + concentrated + OCS", Placement::Packed, RoutingMode::Concentrated, true),
+        (
+            "spread placement, ECMP spray",
+            Placement::Spread,
+            RoutingMode::Sprayed,
+            false,
+        ),
+        (
+            "packed placement, ECMP spray",
+            Placement::Packed,
+            RoutingMode::Sprayed,
+            false,
+        ),
+        (
+            "packed + concentrated routing",
+            Placement::Packed,
+            RoutingMode::Concentrated,
+            false,
+        ),
+        (
+            "packed + concentrated + OCS",
+            Placement::Packed,
+            RoutingMode::Concentrated,
+            true,
+        ),
     ];
     let mut t = Table::new(vec!["Scenario", "Switches on", "Power (kW)", "Savings"])
         .with_title("par. 4.2: 32-rank DP ring on a 128-host fat tree (80 switches)");
     let mut plans = Vec::new();
     for (name, placement, mode, use_ocs) in scenarios {
-        let p = plan(&topo, &[(job.clone(), placement)], Watts::new(750.0), mode, use_ocs)?;
+        let p = plan(
+            &topo,
+            &[(job.clone(), placement)],
+            Watts::new(750.0),
+            mode,
+            use_ocs,
+        )?;
         t.push_row(vec![
             name.to_string(),
             format!("{}", p.active_switches.len()),
@@ -156,7 +187,10 @@ pub fn rate(json: bool) -> Result<()> {
     }
     let mut t = Table::new(vec!["Mode", "Savings", "Loss", "p99 latency (us)"])
         .with_title("par. 4.3: rate adaptation on ML burst traffic (51.2T switch)");
-    for (name, r) in [("global clock (today)", &global), ("per-pipeline (proposal)", &per)] {
+    for (name, r) in [
+        ("global clock (today)", &global),
+        ("per-pipeline (proposal)", &per),
+    ] {
         t.push_row(vec![
             name.to_string(),
             format!("{}", r.savings),
@@ -171,8 +205,12 @@ pub fn rate(json: bool) -> Result<()> {
 /// §4.4: pipeline parking.
 pub fn park(json: bool) -> Result<()> {
     let params = SwitchParams::paper_51t2();
-    let reactive =
-        simulate_parking(params, &ParkConfig::reactive(), &mut ml_workload(HORIZON), HORIZON)?;
+    let reactive = simulate_parking(
+        params,
+        &ParkConfig::reactive(),
+        &mut ml_workload(HORIZON),
+        HORIZON,
+    )?;
     let predictive = simulate_parking(
         params,
         &ParkConfig::predictive(PredictiveSchedule {
@@ -188,9 +226,14 @@ pub fn park(json: bool) -> Result<()> {
         println!("{}", to_json(&vec![&reactive, &predictive])?);
         return Ok(());
     }
-    let mut t = Table::new(vec!["Policy", "Savings", "Loss", "p99 (us)", "Parks", "Wakes"])
-        .with_title("par. 4.4: pipeline parking behind a circuit switch (Figure 5)");
-    for (name, r) in [("reactive", &reactive), ("predictive (ML schedule)", &predictive)] {
+    let mut t = Table::new(vec![
+        "Policy", "Savings", "Loss", "p99 (us)", "Parks", "Wakes",
+    ])
+    .with_title("par. 4.4: pipeline parking behind a circuit switch (Figure 5)");
+    for (name, r) in [
+        ("reactive", &reactive),
+        ("predictive (ML schedule)", &predictive),
+    ] {
         t.push_row(vec![
             name.to_string(),
             format!("{}", r.savings),
@@ -211,8 +254,14 @@ pub fn compare(json: bool) -> Result<()> {
         println!("{}", to_json(&table)?);
         return Ok(());
     }
-    let mut t = Table::new(vec!["Mechanism", "Savings", "Prop. floor", "Loss", "p99 (us)"])
-        .with_title("par. 4: all mechanisms, one ML workload (51.2T switch, 10% comm ratio)");
+    let mut t = Table::new(vec![
+        "Mechanism",
+        "Savings",
+        "Prop. floor",
+        "Loss",
+        "p99 (us)",
+    ])
+    .with_title("par. 4: all mechanisms, one ML workload (51.2T switch, 10% comm ratio)");
     for r in &table {
         t.push_row(vec![
             r.name.clone(),
@@ -250,7 +299,8 @@ pub fn isp(json: bool) -> Result<()> {
         let p = Proportionality::from_percent(pct)?;
         // Two-state: routers never fully idle (traffic 24/7), so a
         // two-state device saves nothing — linearity is what pays here.
-        let two_state = TwoStatePower::new(router_max, p).power_at(Ratio::new(mean_util.fraction()));
+        let two_state =
+            TwoStatePower::new(router_max, p).power_at(Ratio::new(mean_util.fraction()));
         let linear = LinearPower::new(router_max, p).power_at(mean_util);
         rows.push(IspRow {
             proportionality: pct,
@@ -290,10 +340,16 @@ pub fn isp(json: bool) -> Result<()> {
         &npp_mechanisms::isp_study::IspStudyConfig::default(),
         Ratio::new(0.8),
     )?;
-    println!("
-Green traffic engineering (sleep links whose traffic reroutes <=80% util):");
+    println!(
+        "
+Green traffic engineering (sleep links whose traffic reroutes <=80% util):"
+    );
     print!("  sleepable links by hour: ");
-    let marks: Vec<String> = te.sleepable_per_hour.iter().map(|n| n.to_string()).collect();
+    let marks: Vec<String> = te
+        .sleepable_per_hour
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
     println!("{}", marks.join(" "));
     println!(
         "  transceiver energy saved over 24h: {} (of {} backbone links)",
@@ -331,8 +387,12 @@ pub fn redesign(json: bool) -> Result<()> {
     println!("{}", t.render());
 
     let sim_rows = npp_mechanisms::comparison::compare_granularity(SimTime::from_millis(10))?;
-    let mut ts = Table::new(vec!["Units", "Simulated savings (predictive parking)", "Loss"])
-        .with_title("Granularity validated by simulation (same policy, same traffic)");
+    let mut ts = Table::new(vec![
+        "Units",
+        "Simulated savings (predictive parking)",
+        "Loss",
+    ])
+    .with_title("Granularity validated by simulation (same policy, same traffic)");
     for r in &sim_rows {
         ts.push_row(vec![
             format!("{}", r.units),
@@ -379,7 +439,11 @@ pub fn fabric(json: bool) -> Result<()> {
     for (name, e, s) in [
         ("all devices at max", r.energy_all_max, None),
         ("two-state @10% (core model)", r.energy_two_state, None),
-        ("+ park untouched devices (par. 4.2)", r.energy_parked, Some(r.savings_parked)),
+        (
+            "+ park untouched devices (par. 4.2)",
+            r.energy_parked,
+            Some(r.savings_parked),
+        ),
         (
             "+ sleep used devices off-phase (par. 4.3/4.4)",
             r.energy_parked_and_sleeping,
@@ -417,8 +481,13 @@ pub fn governor(json: bool) -> Result<()> {
             },
         ),
     ];
-    let mut t = Table::new(vec!["Governor", "Savings", "Transitions", "Capacity misses"])
-        .with_title("par. 4.1: automatic C-state governor (ML phases, 100ms iterations)");
+    let mut t = Table::new(vec![
+        "Governor",
+        "Savings",
+        "Transitions",
+        "Capacity misses",
+    ])
+    .with_title("par. 4.1: automatic C-state governor (ML phases, 100ms iterations)");
     let mut reports = Vec::new();
     for (name, cfg) in &configs {
         let r = run_governor(&trace, Seconds::new(2.0), cfg)?;
@@ -468,19 +537,33 @@ pub fn timeline(json: bool) -> Result<()> {
             job: ring_job("train-b", 32)?,
             placement: Placement::Packed,
         },
-        JobEvent::Depart { at: Seconds::from_hours(18.0), name: "train-a".into() },
+        JobEvent::Depart {
+            at: Seconds::from_hours(18.0),
+            name: "train-a".into(),
+        },
     ];
-    let r = simulate_job_timeline(&OcsDynamicsConfig::default(), &events, Seconds::from_hours(24.0))?;
+    let r = simulate_job_timeline(
+        &OcsDynamicsConfig::default(),
+        &events,
+        Seconds::from_hours(24.0),
+    )?;
     if json {
         println!("{}", to_json(&r)?);
         return Ok(());
     }
     println!("par. 4.2: one day of job churn on a 128-host fat tree (80 switches)");
-    println!("  replans: {}   make-before-break time: {:.0} ms",
-        r.reconfigurations, r.reconfiguration_time.as_millis());
+    println!(
+        "  replans: {}   make-before-break time: {:.0} ms",
+        r.reconfigurations,
+        r.reconfiguration_time.as_millis()
+    );
     println!("  avg switches powered: {:.1} / 80", r.avg_switches_on);
-    println!("  energy: {:.1} kWh vs always-on {:.1} kWh  ->  {} saved",
-        r.energy.as_kwh(), r.energy_all_on.as_kwh(), r.savings);
+    println!(
+        "  energy: {:.1} kWh vs always-on {:.1} kWh  ->  {} saved",
+        r.energy.as_kwh(),
+        r.energy_all_on.as_kwh(),
+        r.savings
+    );
     Ok(())
 }
 

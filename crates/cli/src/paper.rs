@@ -26,8 +26,14 @@ pub fn device_tables(json: bool) -> Result<()> {
     let mut t1 = Table::new(vec!["Device", "Power (W)"]).with_title("Table 1: device power");
     t1.push_row(vec!["Nvidia H100 NVL".to_string(), format!("{}", 400.0)]);
     t1.push_row(vec!["51.2 Tbps switch".to_string(), format!("{}", 750.0)]);
-    t1.push_row(vec!["GPU incl. server share (max)".to_string(), format!("{}", 500.0)]);
-    t1.push_row(vec!["GPU incl. server share (idle)".to_string(), format!("{}", 75.0)]);
+    t1.push_row(vec![
+        "GPU incl. server share (max)".to_string(),
+        format!("{}", 500.0),
+    ]);
+    t1.push_row(vec![
+        "GPU incl. server share (idle)".to_string(),
+        format!("{}", 75.0),
+    ]);
     println!("{}", t1.render());
 
     let mut t2 = Table::new(vec!["Bandwidth (Gbps)", "100", "200", "400", "800", "1600"])
@@ -55,8 +61,14 @@ pub fn device_tables(json: bool) -> Result<()> {
 /// Figure 1: the workload scaling rules.
 pub fn fig1() -> Result<()> {
     let m = IterationModel::paper_baseline();
-    let mut t = Table::new(vec!["Scenario", "Compute (s)", "Comm (s)", "Iter (s)", "Comm ratio"])
-        .with_title("Figure 1: linear workload scaling (baseline = 0.9 + 0.1)");
+    let mut t = Table::new(vec![
+        "Scenario",
+        "Compute (s)",
+        "Comm (s)",
+        "Iter (s)",
+        "Comm ratio",
+    ])
+    .with_title("Figure 1: linear workload scaling (baseline = 0.9 + 0.1)");
     let mut push = |name: &str, gpus: f64, bw: f64| -> Result<()> {
         let it = m.iteration(gpus, Gbps::new(bw), ScalingScenario::FixedWorkload)?;
         t.push_row(vec![
@@ -105,8 +117,14 @@ pub fn fig2(json: bool) -> Result<()> {
     }
     println!("{}", chart.render());
 
-    let mut t = Table::new(vec!["Phase", "GPU (MW)", "Network (MW)", "Total (MW)", "GPU share"])
-        .with_title("Figure 2b: absolute power by phase");
+    let mut t = Table::new(vec![
+        "Phase",
+        "GPU (MW)",
+        "Network (MW)",
+        "Total (MW)",
+        "GPU share",
+    ])
+    .with_title("Figure 2b: absolute power by phase");
     for (name, p) in [
         ("Computation", &b.computation),
         ("Communication", &b.communication),
@@ -148,7 +166,11 @@ pub fn table3(json: bool) -> Result<()> {
 
     let mut heat = Heatmap::new(
         "Savings heatmap (%)",
-        table.proportionalities.iter().map(|p| format!("{p}")).collect(),
+        table
+            .proportionalities
+            .iter()
+            .map(|p| format!("{p}"))
+            .collect(),
     );
     for (bw, row) in table.bandwidths.iter().zip(&table.cells) {
         heat.add_row(
@@ -168,12 +190,28 @@ pub fn cost(json: bool) -> Result<()> {
         return Ok(());
     }
     println!("par. 3.2 cost analysis (400G cluster, 10% -> 50% proportionality):");
-    println!("  average power:   {:.3} MW -> {:.3} MW ({} saved)",
-        a.baseline_power.as_mw(), a.improved_power.as_mw(), a.savings);
-    println!("  power reduction: {:.0} kW (paper: 365 kW)", a.power_reduction().as_kw());
-    println!("  electricity:     ${:.0}k/year (paper: $416k)", a.money.electricity_per_year.as_thousands());
-    println!("  cooling (30%):   ${:.0}k/year (paper: $125k)", a.money.cooling_per_year.as_thousands());
-    println!("  total:           ${:.0}k/year", a.total_per_year().as_thousands());
+    println!(
+        "  average power:   {:.3} MW -> {:.3} MW ({} saved)",
+        a.baseline_power.as_mw(),
+        a.improved_power.as_mw(),
+        a.savings
+    );
+    println!(
+        "  power reduction: {:.0} kW (paper: 365 kW)",
+        a.power_reduction().as_kw()
+    );
+    println!(
+        "  electricity:     ${:.0}k/year (paper: $416k)",
+        a.money.electricity_per_year.as_thousands()
+    );
+    println!(
+        "  cooling (30%):   ${:.0}k/year (paper: $125k)",
+        a.money.cooling_per_year.as_thousands()
+    );
+    println!(
+        "  total:           ${:.0}k/year",
+        a.total_per_year().as_thousands()
+    );
     Ok(())
 }
 
@@ -214,7 +252,12 @@ fn speedup_chart(
                 .map(|p| format!("{}", p.speedup))
                 .unwrap_or_default()
         };
-        t.push_row(vec![format!("{}G", c.bandwidth.value()), at(0.0), at(0.5), at(1.0)]);
+        t.push_row(vec![
+            format!("{}G", c.bandwidth.value()),
+            at(0.0),
+            at(0.5),
+            at(1.0),
+        ]);
     }
     println!("{}", t.render());
     Ok(())
@@ -284,7 +327,10 @@ pub fn llm(json: bool) -> Result<()> {
     use npp_workload::models::{LlmModel, TrainingSetup};
 
     let setups = [
-        ("70B / TP8 PP12 DP160 / 8M tok", TrainingSetup::paper_pod_70b()),
+        (
+            "70B / TP8 PP12 DP160 / 8M tok",
+            TrainingSetup::paper_pod_70b(),
+        ),
         (
             "405B / TP8 PP16 DP120 / 16M tok",
             TrainingSetup {
@@ -308,8 +354,14 @@ pub fn llm(json: bool) -> Result<()> {
             },
         ),
     ];
-    let mut t = Table::new(vec!["Setup", "GPUs", "Compute (s)", "Comm (s)", "Comm ratio"])
-        .with_title("Deriving the par. 2.1 communication-ratio assumption (H100 @ 400G)");
+    let mut t = Table::new(vec![
+        "Setup",
+        "GPUs",
+        "Compute (s)",
+        "Comm (s)",
+        "Comm ratio",
+    ])
+    .with_title("Deriving the par. 2.1 communication-ratio assumption (H100 @ 400G)");
     let mut rows = Vec::new();
     for (name, s) in &setups {
         let it = s.iteration()?;
@@ -352,10 +404,16 @@ pub fn sensitivity(json: bool) -> Result<()> {
         return Ok(());
     }
     let base = rows[0].savings_base;
-    let mut t = Table::new(vec!["Parameter (+/-10%)", "Low", "High", "Swing (pp)", "Elasticity"])
-        .with_title(format!(
-            "Sensitivity of the 400G@85% headline saving (baseline {base})"
-        ));
+    let mut t = Table::new(vec![
+        "Parameter (+/-10%)",
+        "Low",
+        "High",
+        "Swing (pp)",
+        "Elasticity",
+    ])
+    .with_title(format!(
+        "Sensitivity of the 400G@85% headline saving (baseline {base})"
+    ));
     for r in &rows {
         t.push_row(vec![
             r.parameter.clone(),

@@ -1,0 +1,161 @@
+//! The `netpp sweep` subcommand: run a `SweepSpec` file through the
+//! `npp-sweep` engine.
+//!
+//! ```text
+//! netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json]
+//! ```
+//!
+//! The deterministic results document goes to stdout; progress and the
+//! volatile run summary (wall time, cache counters) go to stderr, so
+//! `--json` output is byte-identical for any `--jobs` value and can be
+//! diffed or hashed directly.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use npp_report::export::to_json;
+use npp_sweep::{
+    best_per_axis, frontier_table, run_summary, run_sweep, ProgressEvent, SweepOptions, SweepSpec,
+};
+
+use crate::paper::Result;
+
+/// Parsed arguments for `netpp sweep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Path of the spec file.
+    pub spec_path: String,
+    /// Worker threads (default: available parallelism).
+    pub jobs: usize,
+    /// Cache directory, if caching was requested.
+    pub cache_dir: Option<String>,
+}
+
+/// Parses `sweep` arguments from the raw argv tail (everything after
+/// the subcommand; `--json` is handled by the caller and ignored here).
+///
+/// # Errors
+///
+/// Rejects missing spec paths, malformed flag values, and unknown
+/// flags.
+pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
+    let mut spec_path = None;
+    let mut jobs = None;
+    let mut cache_dir = None;
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {}
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --jobs value {v:?}"))?,
+                );
+            }
+            "--cache" => {
+                cache_dir = Some(it.next().ok_or("--cache needs a directory")?.to_string());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown sweep flag {flag:?}").into());
+            }
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}").into()),
+        }
+    }
+    let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    Ok(SweepArgs {
+        spec_path: spec_path
+            .ok_or("usage: netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json]")?,
+        jobs: jobs.unwrap_or(default_jobs),
+        cache_dir,
+    })
+}
+
+/// Runs `netpp sweep`.
+///
+/// # Errors
+///
+/// Propagates spec-file, engine, and serialization errors.
+pub fn run(rest: &[&str], json: bool) -> Result<()> {
+    let args = parse_args(rest)?;
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec_path))?;
+    let spec: SweepSpec = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse spec {:?}: {e}", args.spec_path))?;
+
+    let mut opts = SweepOptions {
+        jobs: args.jobs,
+        cache_dir: None,
+    };
+    if let Some(dir) = &args.cache_dir {
+        opts = opts.with_cache(dir);
+    }
+
+    // Progress ticks to stderr, roughly every 10 % of the grid.
+    let done = AtomicUsize::new(0);
+    let total = spec.grid_size();
+    let stride = (total / 10).max(1);
+    let hook = move |ev: &ProgressEvent| match ev {
+        ProgressEvent::Started { name, total, jobs } => {
+            eprintln!("sweep `{name}`: {total} scenarios on {jobs} jobs");
+        }
+        ProgressEvent::ScenarioDone { .. } => {
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if n % stride == 0 || n == total {
+                eprint!("\r  {n}/{total} scenarios done");
+                let _ = std::io::stderr().flush();
+            }
+        }
+        ProgressEvent::Finished { .. } => eprintln!(),
+    };
+
+    let outcome = run_sweep(&spec, &opts, Some(&hook))?;
+    eprintln!("{}", run_summary(&outcome));
+
+    if json {
+        // Deterministic document only — volatile metrics stay on stderr.
+        println!("{}", to_json(&outcome.results)?);
+        return Ok(());
+    }
+
+    println!(
+        "{}",
+        best_per_axis(&spec, &outcome.results.scenarios).render()
+    );
+    println!(
+        "{}",
+        frontier_table(&outcome.results.scenarios, &outcome.results.frontier).render()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_flag_set() {
+        let args =
+            parse_args(&["grid.json", "--jobs", "4", "--cache", "/tmp/c", "--json"]).unwrap();
+        assert_eq!(args.spec_path, "grid.json");
+        assert_eq!(args.jobs, 4);
+        assert_eq!(args.cache_dir.as_deref(), Some("/tmp/c"));
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["spec.json", "--jobs"]).is_err());
+        assert!(parse_args(&["spec.json", "--jobs", "many"]).is_err());
+        assert!(parse_args(&["spec.json", "--frobnicate"]).is_err());
+        assert!(parse_args(&["a.json", "b.json"]).is_err());
+    }
+
+    #[test]
+    fn jobs_defaults_to_parallelism() {
+        let args = parse_args(&["spec.json"]).unwrap();
+        assert!(args.jobs >= 1);
+        assert!(args.cache_dir.is_none());
+    }
+}

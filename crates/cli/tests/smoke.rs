@@ -59,8 +59,18 @@ fn binary_help_lists_all_commands() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     for cmd in [
-        "table3", "fig2", "fig3", "fig4", "cost", "overlap", "llm",
-        "sensitivity", "scale", "fabric", "isp", "mech",
+        "table3",
+        "fig2",
+        "fig3",
+        "fig4",
+        "cost",
+        "overlap",
+        "llm",
+        "sensitivity",
+        "scale",
+        "fabric",
+        "isp",
+        "mech",
     ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
@@ -96,6 +106,89 @@ fn binary_rejects_unknown_commands() {
     assert!(err.contains("unknown command"));
     let out = netpp(&["mech", "bogus"]);
     assert!(!out.status.success());
+}
+
+/// `netpp sweep`: the `--json` document is byte-identical across
+/// `--jobs` values, and a warm cache answers every scenario.
+#[test]
+fn binary_sweep_is_deterministic_and_cached() {
+    let scratch = std::env::temp_dir().join(format!("netpp-sweep-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    let spec = npp_sweep::SweepSpec {
+        name: "smoke".into(),
+        base: npp_sweep::ScenarioSpec::paper_baseline(),
+        axes: vec![
+            npp_sweep::Axis::BandwidthGbps(vec![100.0, 400.0]),
+            npp_sweep::Axis::NetworkProportionality(vec![0.1, 0.9]),
+        ],
+    };
+    let spec_path = scratch.join("spec.json");
+    std::fs::write(&spec_path, serde_json::to_string_pretty(&spec).unwrap()).unwrap();
+    let spec_arg = spec_path.to_str().unwrap();
+    let cache_arg = scratch.join("cache");
+    let cache_arg = cache_arg.to_str().unwrap();
+
+    let serial = netpp(&["sweep", spec_arg, "--json", "--jobs", "1"]);
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    let parallel = netpp(&["sweep", spec_arg, "--json", "--jobs", "4"]);
+    assert!(parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "--jobs changed the JSON document"
+    );
+
+    let cold = netpp(&["sweep", spec_arg, "--json", "--cache", cache_arg]);
+    assert!(cold.status.success());
+    let warm = netpp(&["sweep", spec_arg, "--json", "--cache", cache_arg]);
+    assert!(warm.status.success());
+    assert_eq!(
+        cold.stdout, serial.stdout,
+        "caching changed the JSON document"
+    );
+    assert_eq!(
+        warm.stdout, serial.stdout,
+        "a cache hit changed the JSON document"
+    );
+    let summary = String::from_utf8_lossy(&warm.stderr);
+    assert!(summary.contains("4 cache hits / 0 misses"), "{summary}");
+
+    let v: serde_json::Value = serde_json::from_slice(&serial.stdout).unwrap();
+    assert_eq!(v["total"].as_u64(), Some(4));
+    assert!(v["scenarios"].is_array());
+
+    // Text mode renders the aggregation tables.
+    let text = netpp(&["sweep", spec_arg]);
+    assert!(text.status.success());
+    let rendered = String::from_utf8_lossy(&text.stdout);
+    assert!(rendered.contains("Best scenario per axis value"));
+    assert!(rendered.contains("Pareto frontier"));
+
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn binary_sweep_rejects_bad_specs() {
+    let scratch =
+        std::env::temp_dir().join(format!("netpp-sweep-smoke-bad-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let bad = scratch.join("bad.json");
+    std::fs::write(&bad, "{\"name\": \"x\", \"oops\": true}").unwrap();
+
+    let out = netpp(&["sweep", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let out = netpp(&["sweep", scratch.join("missing.json").to_str().unwrap()]);
+    assert!(!out.status.success());
+    let out = netpp(&["sweep"]);
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&scratch).unwrap();
 }
 
 #[test]

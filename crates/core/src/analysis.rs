@@ -51,12 +51,8 @@ pub fn cost_of_proportionality(
     costs: &CostModel,
     scenario: ScalingScenario,
 ) -> Result<CostAnalysis> {
-    let baseline_power = average_power(
-        &base.clone().with_network_proportionality(from),
-        scenario,
-    )?;
-    let improved_power =
-        average_power(&base.clone().with_network_proportionality(to), scenario)?;
+    let baseline_power = average_power(&base.clone().with_network_proportionality(from), scenario)?;
+    let improved_power = average_power(&base.clone().with_network_proportionality(to), scenario)?;
     let reduction = baseline_power - improved_power;
     Ok(CostAnalysis {
         baseline_power,
@@ -95,7 +91,11 @@ mod tests {
         // they rounded the savings percentage upstream. Bands below cover
         // both (documented in EXPERIMENTS.md).
         let a = paper_cost_analysis().unwrap();
-        assert!((a.savings.percent() - 4.7).abs() < 0.1, "savings {}", a.savings);
+        assert!(
+            (a.savings.percent() - 4.7).abs() < 0.1,
+            "savings {}",
+            a.savings
+        );
         let kw = a.power_reduction().as_kw();
         assert!((kw - 370.0).abs() < 10.0, "reduction {kw:.0} kW");
         let elec = a.money.electricity_per_year.as_thousands();

@@ -150,7 +150,11 @@ impl ClusterModel {
             nics: nic.max_power() * inventory.nics,
             transceivers: xcvr.max_power() * inventory.transceivers,
         };
-        Ok(Self { config, inventory, breakdown })
+        Ok(Self {
+            config,
+            inventory,
+            breakdown,
+        })
     }
 
     /// The configuration this model was built from.
@@ -206,7 +210,11 @@ mod tests {
     fn baseline_inventory() {
         let m = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
         let inv = m.inventory();
-        assert!((inv.switches - 396.28).abs() < 0.1, "switches {}", inv.switches);
+        assert!(
+            (inv.switches - 396.28).abs() < 0.1,
+            "switches {}",
+            inv.switches
+        );
         assert!((inv.links - 17_681.6).abs() < 1.0);
         assert!((inv.transceivers - 35_363.3).abs() < 2.0);
         assert_eq!(inv.nics, 15_360.0);
@@ -253,10 +261,9 @@ mod tests {
     fn higher_bandwidth_draws_more_network_power() {
         let mut last = Watts::ZERO;
         for bw in [100.0, 200.0, 400.0, 800.0, 1600.0] {
-            let m = ClusterModel::new(
-                ClusterConfig::paper_baseline().with_bandwidth(Gbps::new(bw)),
-            )
-            .unwrap();
+            let m =
+                ClusterModel::new(ClusterConfig::paper_baseline().with_bandwidth(Gbps::new(bw)))
+                    .unwrap();
             assert!(m.network_max_power() > last);
             last = m.network_max_power();
         }
@@ -266,8 +273,7 @@ mod tests {
     fn proportionality_knob_changes_idle_only() {
         let base = ClusterModel::new(ClusterConfig::paper_baseline()).unwrap();
         let perfect = ClusterModel::new(
-            ClusterConfig::paper_baseline()
-                .with_network_proportionality(Proportionality::PERFECT),
+            ClusterConfig::paper_baseline().with_network_proportionality(Proportionality::PERFECT),
         )
         .unwrap();
         assert_eq!(base.network_max_power(), perfect.network_max_power());

@@ -37,9 +37,11 @@ pub struct OverlapPowerSummary {
 /// Propagates model and workload errors.
 pub fn overlap_summary(config: &ClusterConfig, overlap: Ratio) -> Result<OverlapPowerSummary> {
     let model = ClusterModel::new(config.clone())?;
-    let iter = config
-        .workload
-        .iteration(config.gpus, config.bandwidth, ScalingScenario::FixedWorkload)?;
+    let iter = config.workload.iteration(
+        config.gpus,
+        config.bandwidth,
+        ScalingScenario::FixedWorkload,
+    )?;
     let schedule = OverlapSchedule::from_iteration(&iter, overlap)?;
 
     let c_max = model.compute_max_power();
@@ -52,9 +54,7 @@ pub fn overlap_summary(config: &ClusterConfig, overlap: Ratio) -> Result<Overlap
     let t_comm = schedule.comm_only.value();
     let total = schedule.total().value();
 
-    let energy = (c_max + n_max) * t_both
-        + (c_max + n_idle) * t_comp
-        + (c_idle + n_max) * t_comm;
+    let energy = (c_max + n_max) * t_both + (c_max + n_idle) * t_comp + (c_idle + n_max) * t_comm;
     let average_power = energy / total;
 
     // Network efficiency (§3.1 definition): useful energy (busy time at
@@ -112,9 +112,7 @@ pub fn overlap_savings_sweep(
                 overlap: o,
                 baseline_power: at_baseline.average_power,
                 improved_power: at_improved.average_power,
-                savings: Ratio::new(
-                    1.0 - at_improved.average_power / at_baseline.average_power,
-                ),
+                savings: Ratio::new(1.0 - at_improved.average_power / at_baseline.average_power),
                 baseline_efficiency: at_baseline.network_efficiency,
             })
         })
@@ -139,9 +137,12 @@ mod tests {
     fn zero_overlap_matches_core_analysis() {
         let s = sweep();
         // At zero overlap this must equal the Table 3 cell: 8.8%.
-        assert!((s[0].savings.percent() - 8.8).abs() < 0.1, "savings {}", s[0].savings);
-        let summary =
-            overlap_summary(&ClusterConfig::paper_baseline(), Ratio::ZERO).unwrap();
+        assert!(
+            (s[0].savings.percent() - 8.8).abs() < 0.1,
+            "savings {}",
+            s[0].savings
+        );
+        let summary = overlap_summary(&ClusterConfig::paper_baseline(), Ratio::ZERO).unwrap();
         assert!((summary.average_power.as_mw() - 7.975).abs() < 0.01);
         assert!((summary.network_efficiency.percent() - 11.0).abs() < 0.2);
     }

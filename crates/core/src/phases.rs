@@ -116,11 +116,27 @@ pub fn breakdown_for_iteration(model: &ClusterModel, iter: &Iteration) -> PhaseB
 
     // Efficiencies via the §3.1 definition: useful energy / consumed.
     let net_profile = PowerProfile::new()
-        .with(PowerSegment::idle("computation", iter.compute, computation.network()))
-        .with(PowerSegment::busy("communication", iter.comm, communication.network()));
+        .with(PowerSegment::idle(
+            "computation",
+            iter.compute,
+            computation.network(),
+        ))
+        .with(PowerSegment::busy(
+            "communication",
+            iter.comm,
+            communication.network(),
+        ));
     let gpu_profile = PowerProfile::new()
-        .with(PowerSegment::busy("computation", iter.compute, computation.gpu))
-        .with(PowerSegment::idle("communication", iter.comm, communication.gpu));
+        .with(PowerSegment::busy(
+            "computation",
+            iter.compute,
+            computation.gpu,
+        ))
+        .with(PowerSegment::idle(
+            "communication",
+            iter.comm,
+            communication.gpu,
+        ));
 
     PhaseBreakdown {
         computation,
@@ -201,8 +217,16 @@ mod tests {
     fn average_is_convex_combination() {
         let b = baseline();
         let avg = b.average.total().value();
-        let lo = b.communication.total().value().min(b.computation.total().value());
-        let hi = b.communication.total().value().max(b.computation.total().value());
+        let lo = b
+            .communication
+            .total()
+            .value()
+            .min(b.computation.total().value());
+        let hi = b
+            .communication
+            .total()
+            .value()
+            .max(b.computation.total().value());
         assert!(avg >= lo && avg <= hi);
         // 90/10 weighting exactly.
         let expected = 0.9 * b.computation.total().value() + 0.1 * b.communication.total().value();

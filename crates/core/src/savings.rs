@@ -83,7 +83,10 @@ pub fn savings_table(
         let ref_power = average_power(&ref_cfg, scenario)?;
         let mut row = Vec::with_capacity(proportionalities.len());
         for &p in proportionalities {
-            let cfg = base.clone().with_bandwidth(bw).with_network_proportionality(p);
+            let cfg = base
+                .clone()
+                .with_bandwidth(bw)
+                .with_network_proportionality(p);
             let avg = average_power(&cfg, scenario)?;
             row.push(SavingsCell {
                 bandwidth: bw,
@@ -109,8 +112,7 @@ pub fn savings_table(
 ///
 /// Propagates model-construction and workload errors.
 pub fn paper_table3() -> Result<SavingsTable> {
-    let bandwidths: Vec<Gbps> =
-        [100.0, 200.0, 400.0, 800.0, 1600.0].map(Gbps::new).to_vec();
+    let bandwidths: Vec<Gbps> = [100.0, 200.0, 400.0, 800.0, 1600.0].map(Gbps::new).to_vec();
     let props: Vec<Proportionality> = [0.10, 0.20, 0.50, 0.85, 1.00]
         .into_iter()
         .map(|f| Proportionality::new(f).expect("static values are in range"))
@@ -185,9 +187,7 @@ mod tests {
         let table = paper_table3().unwrap();
         for c in 1..5 {
             for r in 1..5 {
-                assert!(
-                    table.cell(r, c).unwrap().savings > table.cell(r - 1, c).unwrap().savings
-                );
+                assert!(table.cell(r, c).unwrap().savings > table.cell(r - 1, c).unwrap().savings);
             }
         }
     }

@@ -56,7 +56,8 @@ pub fn savings_vs_scale(base: &ClusterConfig, gpu_counts: &[f64]) -> Result<Vec<
                 ScalingScenario::FixedCommRatio,
             )?;
             let improved = average_power(
-                &cfg.clone().with_network_proportionality(Proportionality::COMPUTE),
+                &cfg.clone()
+                    .with_network_proportionality(Proportionality::COMPUTE),
                 ScalingScenario::FixedCommRatio,
             )?;
             Ok(ScalePoint {

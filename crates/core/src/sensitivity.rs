@@ -123,7 +123,8 @@ impl SensitivityRow {
 /// 10 % baseline to `target` proportionality for this configuration.
 fn headline(cfg: &ClusterConfig, target: Proportionality) -> Result<Ratio> {
     let base = average_power(
-        &cfg.clone().with_network_proportionality(Proportionality::NETWORK_BASELINE),
+        &cfg.clone()
+            .with_network_proportionality(Proportionality::NETWORK_BASELINE),
         ScalingScenario::FixedWorkload,
     )?;
     let improved = average_power(
@@ -191,8 +192,7 @@ mod tests {
                 row.savings_low.percent().max(row.savings_high.percent()),
             );
             assert!(
-                lo <= row.savings_base.percent() + 1e-9
-                    && row.savings_base.percent() <= hi + 1e-9,
+                lo <= row.savings_base.percent() + 1e-9 && row.savings_base.percent() <= hi + 1e-9,
                 "{}: {lo} .. {} .. {hi}",
                 row.parameter,
                 row.savings_base.percent()
@@ -220,10 +220,7 @@ mod tests {
         // almost one-for-one.
         let r = rows();
         let by = |n: &str| r.iter().find(|x| x.parameter == n).unwrap();
-        assert!(
-            by("communication ratio").elasticity.abs()
-                < by("switch power").elasticity.abs()
-        );
+        assert!(by("communication ratio").elasticity.abs() < by("switch power").elasticity.abs());
     }
 
     #[test]

@@ -122,7 +122,10 @@ fn fixed_workload_point(
     budget: Watts,
     reference_time: Seconds,
 ) -> Result<SpeedupPoint> {
-    let cfg = base.clone().with_bandwidth(bw).with_network_proportionality(p);
+    let cfg = base
+        .clone()
+        .with_bandwidth(bw)
+        .with_network_proportionality(p);
     let gpus = gpus_for_budget(&cfg, budget, ScalingScenario::FixedWorkload)?;
     let iter = cfg
         .workload
@@ -162,7 +165,10 @@ pub fn figure3(
                 .iter()
                 .map(|&p| fixed_workload_point(&base, bw, p, budget, reference_time))
                 .collect::<Result<Vec<_>>>()?;
-            Ok(SpeedupCurve { bandwidth: bw, points })
+            Ok(SpeedupCurve {
+                bandwidth: bw,
+                points,
+            })
         })
         .collect()
 }
@@ -196,7 +202,10 @@ pub fn figure4(
             let points = proportionalities
                 .iter()
                 .map(|&p| {
-                    let cfg = base.clone().with_bandwidth(bw).with_network_proportionality(p);
+                    let cfg = base
+                        .clone()
+                        .with_bandwidth(bw)
+                        .with_network_proportionality(p);
                     let gpus = gpus_for_budget(&cfg, budget, ScalingScenario::FixedCommRatio)?;
                     let iter = cfg
                         .workload
@@ -210,7 +219,10 @@ pub fn figure4(
                     })
                 })
                 .collect::<Result<Vec<_>>>()?;
-            Ok(SpeedupCurve { bandwidth: bw, points })
+            Ok(SpeedupCurve {
+                bandwidth: bw,
+                points,
+            })
         })
         .collect()
 }
@@ -223,9 +235,7 @@ pub fn paper_bandwidths() -> Vec<Gbps> {
 /// A proportionality sweep from 0 to 100 % in `steps` increments.
 pub fn proportionality_sweep(steps: usize) -> Vec<Proportionality> {
     (0..=steps)
-        .map(|i| {
-            Proportionality::new(i as f64 / steps as f64).expect("sweep values are in [0,1]")
-        })
+        .map(|i| Proportionality::new(i as f64 / steps as f64).expect("sweep values are in [0,1]"))
         .collect()
 }
 
@@ -268,7 +278,10 @@ mod tests {
         // falls monotonically from 200 G up.
         let bws = paper_bandwidths();
         let curves = figure3(&bws, &[prop(0.10)]).unwrap();
-        let speedups: Vec<f64> = curves.iter().map(|c| c.points[0].speedup.fraction()).collect();
+        let speedups: Vec<f64> = curves
+            .iter()
+            .map(|c| c.points[0].speedup.fraction())
+            .collect();
         let best = speedups
             .iter()
             .enumerate()
@@ -302,7 +315,10 @@ mod tests {
         let best_90 = at_90
             .iter()
             .max_by(|a, b| {
-                a.points[0].speedup.partial_cmp(&b.points[0].speedup).unwrap()
+                a.points[0]
+                    .speedup
+                    .partial_cmp(&b.points[0].speedup)
+                    .unwrap()
             })
             .unwrap()
             .bandwidth;
@@ -310,7 +326,10 @@ mod tests {
         let best_100 = at_100
             .iter()
             .max_by(|a, b| {
-                a.points[0].speedup.partial_cmp(&b.points[0].speedup).unwrap()
+                a.points[0]
+                    .speedup
+                    .partial_cmp(&b.points[0].speedup)
+                    .unwrap()
             })
             .unwrap()
             .bandwidth;
@@ -323,8 +342,7 @@ mod tests {
         // "Better power proportionality improves the iteration time for
         // all bandwidth speeds."
         for bw in [100.0, 400.0, 1600.0] {
-            let curves =
-                figure3(&[Gbps::new(bw)], &[prop(0.0), prop(0.5), prop(1.0)]).unwrap();
+            let curves = figure3(&[Gbps::new(bw)], &[prop(0.0), prop(0.5), prop(1.0)]).unwrap();
             let pts = &curves[0].points;
             assert!(pts[0].speedup < pts[1].speedup, "bw {bw}");
             assert!(pts[1].speedup < pts[2].speedup, "bw {bw}");
@@ -353,7 +371,10 @@ mod tests {
         // gain."
         let bws = paper_bandwidths();
         let curves = figure4(&bws, &[prop(0.50)]).unwrap();
-        let speedups: Vec<f64> = curves.iter().map(|c| c.points[0].speedup.fraction()).collect();
+        let speedups: Vec<f64> = curves
+            .iter()
+            .map(|c| c.points[0].speedup.fraction())
+            .collect();
         for w in speedups.windows(2) {
             assert!(w[1] > w[0], "speedups {speedups:?}");
         }

@@ -16,9 +16,7 @@ use npp_units::{Gbps, Ratio};
 use crate::pipeline_park::{
     park_floor_proportionality, simulate_parking, ParkConfig, PredictiveSchedule,
 };
-use crate::rate_adapt::{
-    idle_floor_proportionality, simulate_rate_adaptation, RateAdaptConfig,
-};
+use crate::rate_adapt::{idle_floor_proportionality, simulate_rate_adaptation, RateAdaptConfig};
 use crate::Result;
 
 /// One row of the comparison table.
@@ -213,15 +211,8 @@ pub fn compare_granularity(horizon: SimTime) -> Result<Vec<GranularitySimRow>> {
         let per_port = (0..64)
             .map(|port| {
                 Box::new(
-                    OnOffSource::new(
-                        1_000_000,
-                        900_000,
-                        Gbps::new(312.5),
-                        12_500,
-                        port,
-                        horizon,
-                    )
-                    .expect("static workload parameters are valid"),
+                    OnOffSource::new(1_000_000, 900_000, Gbps::new(312.5), 12_500, port, horizon)
+                        .expect("static workload parameters are valid"),
                 ) as Box<dyn TrafficSource>
             })
             .collect();
@@ -237,7 +228,11 @@ pub fn compare_granularity(horizon: SimTime) -> Result<Vec<GranularitySimRow>> {
                 &mut make_workload(),
                 horizon,
             )?;
-            Ok(GranularitySimRow { units, savings: r.savings, loss_rate: r.loss_rate })
+            Ok(GranularitySimRow {
+                units,
+                savings: r.savings,
+                loss_rate: r.loss_rate,
+            })
         })
         .collect()
 }

@@ -232,7 +232,10 @@ pub fn simulate_eee(
                 wake_at.plus_nanos(params.wake_ns)
             }
         };
-        let start = [at, tx_ready, wire_free].into_iter().max().expect("non-empty");
+        let start = [at, tx_ready, wire_free]
+            .into_iter()
+            .max()
+            .expect("non-empty");
         let ser_ns = (bytes as f64 * 8.0 / params.rate.value()).ceil() as u64;
         let end = start.plus_nanos(ser_ns);
         // Added latency vs. an always-on link, where the packet would
@@ -275,7 +278,11 @@ pub fn simulate_eee(
         energy_always_on,
         savings: Ratio::new(1.0 - timeline.energy / energy_always_on),
         lpi_fraction: Ratio::new(lpi_ns as f64 / end.as_nanos() as f64),
-        mean_added_latency_ns: if packets > 0 { added_lat_sum / packets as f64 } else { 0.0 },
+        mean_added_latency_ns: if packets > 0 {
+            added_lat_sum / packets as f64
+        } else {
+            0.0
+        },
         max_added_latency_ns: added_lat_max,
         sleep_cycles,
         packets,
@@ -402,7 +409,10 @@ mod tests {
         let at400_low = sleep_viability(&EeeParams::hypothetical_400g(), 0.001, 1500);
         // 400G gap at 0.1%: 30ns × 999 ≈ 30µs vs 11.8µs overhead → ~60%.
         assert!(at400_low.fraction() < at10_low.fraction());
-        assert_eq!(sleep_viability(&EeeParams::ten_gbase_t(), 0.0, 1500), Ratio::ZERO);
+        assert_eq!(
+            sleep_viability(&EeeParams::ten_gbase_t(), 0.0, 1500),
+            Ratio::ZERO
+        );
         let _ = at400;
     }
 
@@ -418,9 +428,7 @@ mod tests {
         // coalescing, every packet waits `coalesce_ns` longer but the
         // link banks that time in LPI.
         let horizon = SimTime::from_secs(1);
-        let mk = || {
-            CbrSource::new(Gbps::new(0.01), 1500, 0, SimTime::ZERO, horizon).unwrap()
-        };
+        let mk = || CbrSource::new(Gbps::new(0.01), 1500, 0, SimTime::ZERO, horizon).unwrap();
         let plain = simulate_eee(&EeeParams::ten_gbase_t(), &mut mk(), horizon).unwrap();
         let hold_ns = 50_000;
         let coalesced = simulate_eee(
@@ -431,8 +439,7 @@ mod tests {
         .unwrap();
         // Latency cost: about the hold time on top of the wake.
         assert!(
-            (coalesced.mean_added_latency_ns
-                - (plain.mean_added_latency_ns + hold_ns as f64))
+            (coalesced.mean_added_latency_ns - (plain.mean_added_latency_ns + hold_ns as f64))
                 .abs()
                 < 1_000.0,
             "plain {} vs coalesced {}",
@@ -447,8 +454,7 @@ mod tests {
     #[test]
     fn zero_horizon_rejected() {
         let params = EeeParams::ten_gbase_t();
-        let mut src =
-            CbrSource::new(Gbps::new(1.0), 100, 0, SimTime::ZERO, SimTime::MAX).unwrap();
+        let mut src = CbrSource::new(Gbps::new(1.0), 100, 0, SimTime::ZERO, SimTime::MAX).unwrap();
         assert!(simulate_eee(&params, &mut src, SimTime::ZERO).is_err());
     }
 }

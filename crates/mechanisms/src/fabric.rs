@@ -99,13 +99,7 @@ pub fn run_fabric_study(cfg: &FabricStudyConfig) -> Result<FabricReport> {
     // Ring all-reduce at line rate: rank i sends to rank i+1 (packed
     // placement: consecutive hosts).
     let demands: Vec<(NodeId, NodeId, Gbps)> = (0..cfg.ring_ranks)
-        .map(|i| {
-            (
-                hosts[i],
-                hosts[(i + 1) % cfg.ring_ranks],
-                cfg.link_speed,
-            )
-        })
+        .map(|i| (hosts[i], hosts[(i + 1) % cfg.ring_ranks], cfg.link_speed))
         .collect();
     let loads = LinkLoads::route(&topo, &demands, 16)?;
 
@@ -121,7 +115,11 @@ pub fn run_fabric_study(cfg: &FabricStudyConfig) -> Result<FabricReport> {
     // Mean utilization over inter-switch links only.
     let utils = loads.utilizations(&topo);
     let mean_comm = Ratio::new(
-        inter_switch.iter().map(|l| utils[l.0].fraction()).sum::<f64>() / links_total as f64,
+        inter_switch
+            .iter()
+            .map(|l| utils[l.0].fraction())
+            .sum::<f64>()
+            / links_total as f64,
     );
 
     // Device powers.
@@ -266,8 +264,7 @@ mod tests {
         // two-state converges toward the composite.
         assert!(perfect.energy_two_state < base.energy_two_state);
         assert!(
-            (perfect.energy_two_state.value() - perfect.energy_parked_and_sleeping.value())
-                .abs()
+            (perfect.energy_two_state.value() - perfect.energy_parked_and_sleeping.value()).abs()
                 < 1e-6
         );
     }
@@ -329,8 +326,8 @@ pub fn run_fabric_flow_study(cfg: &FabricStudyConfig) -> Result<FlowFabricReport
         )));
     }
     // Volume: fill the configured communication phase at line rate.
-    let bytes = cfg.link_speed.value() * 1e9 * cfg.iteration.value() * cfg.comm_ratio.fraction()
-        / 8.0;
+    let bytes =
+        cfg.link_speed.value() * 1e9 * cfg.iteration.value() * cfg.comm_ratio.fraction() / 8.0;
     let mut sim = NetSim::new(topo.clone());
     for i in 0..cfg.ring_ranks {
         sim.inject(
@@ -343,10 +340,7 @@ pub fn run_fabric_flow_study(cfg: &FabricStudyConfig) -> Result<FlowFabricReport
         .map_err(MechanismError::Sim)?;
     }
     sim.run().map_err(MechanismError::Sim)?;
-    let makespan = sim
-        .makespan()
-        .expect("all flows completed")
-        .as_seconds();
+    let makespan = sim.makespan().expect("all flows completed").as_seconds();
 
     let db = DeviceDb::paper_baseline();
     let xcvr_pair = db.transceiver(cfg.link_speed)?.max_power() * 2.0;
@@ -397,8 +391,8 @@ mod flow_tests {
         // the ideal saving must be ≥ 1 − comm_ratio × used/total.
         let cfg = FabricStudyConfig::default();
         let r = run_fabric_flow_study(&cfg).unwrap();
-        let lower_bound = 1.0
-            - cfg.comm_ratio.fraction() * r.links_used as f64 / r.links_total as f64;
+        let lower_bound =
+            1.0 - cfg.comm_ratio.fraction() * r.links_used as f64 / r.links_total as f64;
         assert!(
             r.link_savings.fraction() >= lower_bound - 1e-9,
             "savings {} < bound {lower_bound}",

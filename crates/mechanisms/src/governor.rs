@@ -122,7 +122,9 @@ pub fn run_governor(
     cfg: &GovernorConfig,
 ) -> Result<GovernorReport> {
     if horizon.value() <= 0.0 || cfg.interval.value() <= 0.0 {
-        return Err(MechanismError::Config("horizon and interval must be positive".into()));
+        return Err(MechanismError::Config(
+            "horizon and interval must be positive".into(),
+        ));
     }
     if cfg.headroom < 1.0 {
         return Err(MechanismError::Config(format!(
@@ -138,7 +140,9 @@ pub fn run_governor(
         .map(|(i, _)| i)
         .collect();
     if allowed.is_empty() {
-        return Err(MechanismError::Config("no state fits the exit-latency budget".into()));
+        return Err(MechanismError::Config(
+            "no state fits the exit-latency budget".into(),
+        ));
     }
 
     let steps = (horizon.value() / cfg.interval.value()).ceil() as usize;
@@ -230,12 +234,7 @@ mod tests {
 
     #[test]
     fn idle_device_sinks_to_the_deepest_allowed_state() {
-        let r = run_governor(
-            &Flat(0.0),
-            Seconds::new(1.0),
-            &GovernorConfig::default(),
-        )
-        .unwrap();
+        let r = run_governor(&Flat(0.0), Seconds::new(1.0), &GovernorConfig::default()).unwrap();
         // After the patience window everything is C3.
         let c3 = &r.residency[3];
         assert!(c3.1.value() > 0.99, "C3 residency {}", c3.1);
@@ -260,12 +259,7 @@ mod tests {
             comm: Seconds::from_millis(10.0),
             peak: Ratio::ONE,
         };
-        let r = run_governor(
-            &trace,
-            Seconds::new(1.0),
-            &GovernorConfig::default(),
-        )
-        .unwrap();
+        let r = run_governor(&trace, Seconds::new(1.0), &GovernorConfig::default()).unwrap();
         assert!(r.transitions >= 10, "transitions {}", r.transitions);
         assert!(r.savings.fraction() > 0.3, "savings {}", r.savings);
         // Full-rate bursts exceed even C1's capacity momentarily: the
@@ -285,15 +279,20 @@ mod tests {
         assert_eq!(r.residency[3].1, Seconds::ZERO);
         assert!(r.residency[1].1.value() > 0.9);
         // Shallower floor ⇒ smaller savings than the default governor.
-        let deep = run_governor(&Flat(0.0), Seconds::new(1.0), &GovernorConfig::default())
-            .unwrap();
+        let deep = run_governor(&Flat(0.0), Seconds::new(1.0), &GovernorConfig::default()).unwrap();
         assert!(deep.savings > r.savings);
     }
 
     #[test]
     fn hysteresis_delays_deepening() {
-        let patient = GovernorConfig { patience: 100, ..GovernorConfig::default() };
-        let eager = GovernorConfig { patience: 1, ..GovernorConfig::default() };
+        let patient = GovernorConfig {
+            patience: 100,
+            ..GovernorConfig::default()
+        };
+        let eager = GovernorConfig {
+            patience: 1,
+            ..GovernorConfig::default()
+        };
         let slow = run_governor(&Flat(0.0), Seconds::new(0.05), &patient).unwrap();
         let fast = run_governor(&Flat(0.0), Seconds::new(0.05), &eager).unwrap();
         assert!(fast.savings > slow.savings);
@@ -305,8 +304,10 @@ mod tests {
         assert!(run_governor(&Flat(0.0), Seconds::ZERO, &c).is_err());
         let bad = GovernorConfig { headroom: 0.5, ..c };
         assert!(run_governor(&Flat(0.0), Seconds::new(1.0), &bad).is_err());
-        let impossible =
-            GovernorConfig { exit_latency_budget: Seconds::new(-1.0), ..c };
+        let impossible = GovernorConfig {
+            exit_latency_budget: Seconds::new(-1.0),
+            ..c
+        };
         assert!(run_governor(&Flat(0.0), Seconds::new(1.0), &impossible).is_err());
     }
 }

@@ -146,7 +146,9 @@ pub fn run_isp_study(cfg: &IspStudyConfig) -> Result<IspReport> {
     // busiest link hits the provisioning target.
     let raw_peak = base.max_utilization(&topo).fraction();
     if raw_peak <= 0.0 {
-        return Err(MechanismError::Config("gravity matrix produced no load".into()));
+        return Err(MechanismError::Config(
+            "gravity matrix produced no load".into(),
+        ));
     }
     let norm = cfg.peak_target.fraction() / raw_peak;
 
@@ -211,8 +213,7 @@ pub fn run_isp_study(cfg: &IspStudyConfig) -> Result<IspReport> {
                 .iter()
                 .enumerate()
                 .filter(|(i, u)| {
-                    backbone_links.contains(&npp_topology::LinkId(*i))
-                        && u.fraction() < 0.5
+                    backbone_links.contains(&npp_topology::LinkId(*i)) && u.fraction() < 0.5
                 })
                 .count();
             peak_underutilized = Ratio::new(under as f64 / backbone_links.len() as f64);
@@ -419,13 +420,12 @@ pub fn run_green_te(cfg: &IspStudyConfig, max_util: Ratio) -> Result<GreenTeRepo
             let mut trial = removed.clone();
             trial.push(cand);
             let sub = without(&trial);
-            match LinkLoads::route(&sub, &remap_demands(&topo, &sub, &scaled), 8) {
-                Ok(loads) => {
-                    if loads.max_utilization(&sub).fraction() <= max_util.fraction() {
-                        removed = trial;
-                    }
+            // A routing error means the trial disconnects something:
+            // keep the link.
+            if let Ok(loads) = LinkLoads::route(&sub, &remap_demands(&topo, &sub, &scaled), 8) {
+                if loads.max_utilization(&sub).fraction() <= max_util.fraction() {
+                    removed = trial;
                 }
-                Err(_) => {} // disconnects something: keep the link
             }
         }
         sleepable_per_hour.push(removed.len());

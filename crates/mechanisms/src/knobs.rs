@@ -57,7 +57,10 @@ impl DeploymentProfile {
 
     /// The same deployment with fixed firmware.
     pub fn l2_leaf_fixed() -> Self {
-        Self { port_gating_works: true, ..Self::l2_leaf_today() }
+        Self {
+            port_gating_works: true,
+            ..Self::l2_leaf_today()
+        }
     }
 }
 
@@ -146,8 +149,11 @@ pub fn apply_profile(profile: &DeploymentProfile) -> Result<KnobReport> {
         } else {
             1.0
         };
-        tree.set_state(&format!("asic/pipeline{i}/serdes"), GateState::Scaled(serdes_scale))
-            .map_err(MechanismError::Power)?;
+        tree.set_state(
+            &format!("asic/pipeline{i}/serdes"),
+            GateState::Scaled(serdes_scale),
+        )
+        .map_err(MechanismError::Power)?;
         if !profile.l3_routing {
             tree.set_state(&format!("asic/pipeline{i}/logic"), GateState::Scaled(0.6))
                 .map_err(MechanismError::Power)?;
@@ -183,7 +189,11 @@ mod tests {
         assert!(r.exposed_savings.approx_eq(Ratio::ZERO, 1e-12));
         // The hardware could do much better — that gap is the paper's
         // §4.1 complaint.
-        assert!(r.physical_savings.fraction() > 0.25, "{}", r.physical_savings);
+        assert!(
+            r.physical_savings.fraction() > 0.25,
+            "{}",
+            r.physical_savings
+        );
     }
 
     #[test]
@@ -202,7 +212,11 @@ mod tests {
         // 2 of 4 pipelines parked (half the ports unused), the rest with
         // L3 logic at 60% and FIB memory at 50%:
         // 198 overhead + 2×(75 + 0.6·45 + 0.5·18) = 198 + 2×111 = 420 W.
-        assert!(r.physical_power.approx_eq(Watts::new(420.0), 1e-9), "{}", r.physical_power);
+        assert!(
+            r.physical_power.approx_eq(Watts::new(420.0), 1e-9),
+            "{}",
+            r.physical_power
+        );
         assert!((r.physical_proportionality.fraction() - 0.44).abs() < 0.0001);
     }
 
@@ -230,13 +244,17 @@ mod tests {
         let without = apply_profile(&DeploymentProfile::l2_leaf_fixed()).unwrap();
         // Dropping the FIB halves memory power in live pipelines:
         // 2×18×0.5 = 18 W.
-        assert!((with_fib.physical_power - without.physical_power)
-            .approx_eq(Watts::new(18.0), 1e-9));
+        assert!(
+            (with_fib.physical_power - without.physical_power).approx_eq(Watts::new(18.0), 1e-9)
+        );
     }
 
     #[test]
     fn invalid_profiles_rejected() {
-        let bad = DeploymentProfile { ports_used: 65, ..DeploymentProfile::l2_leaf_today() };
+        let bad = DeploymentProfile {
+            ports_used: 65,
+            ..DeploymentProfile::l2_leaf_today()
+        };
         assert!(apply_profile(&bad).is_err());
         let bad = DeploymentProfile {
             ports_total: 0,

@@ -43,6 +43,7 @@ pub mod fabric;
 pub mod governor;
 pub mod isp_study;
 pub mod knobs;
+pub mod mechanism;
 pub mod ocs_dynamics;
 pub mod ocs_sched;
 pub mod pipeline_park;

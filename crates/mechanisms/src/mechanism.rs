@@ -1,0 +1,225 @@
+//! Uniform naming and construction of the §4 dynamic mechanisms.
+//!
+//! The comparison harness ([`crate::comparison`]) hard-codes the set of
+//! mechanisms it runs; external drivers (the `npp-sweep` engine, spec
+//! files on disk) need to *name* a mechanism and get a runnable
+//! configuration back. [`Mechanism`] is that factory: a serializable
+//! enum covering every dynamic §4 mechanism, each expanding to the same
+//! configuration the comparison table uses, with the two headline knobs
+//! (control interval and target utilization) overridable per run.
+
+use serde::{Deserialize, Serialize};
+
+use npp_simnet::sources::TrafficSource;
+use npp_simnet::switchsim::SwitchParams;
+use npp_simnet::SimTime;
+use npp_units::Ratio;
+
+use crate::comparison::MechanismOutcome;
+use crate::pipeline_park::{
+    park_floor_proportionality, simulate_parking, ParkConfig, PredictiveSchedule,
+};
+use crate::rate_adapt::{idle_floor_proportionality, simulate_rate_adaptation, RateAdaptConfig};
+use crate::{MechanismError, Result};
+
+/// Knobs shared by every dynamic mechanism (§4.3/§4.4 controllers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MechanismKnobs {
+    /// Control-loop interval, ns.
+    pub control_interval_ns: u64,
+    /// Utilization headroom target in `(0, 1]`.
+    pub target_utilization: f64,
+}
+
+impl Default for MechanismKnobs {
+    fn default() -> Self {
+        // Matches RateAdaptConfig::default_per_pipeline / ParkConfig::reactive.
+        Self {
+            control_interval_ns: 100_000,
+            target_utilization: 0.8,
+        }
+    }
+}
+
+/// Every dynamic §4 mechanism, nameable from a spec file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Today's operating point: every pipeline on, full clock.
+    AllOn,
+    /// §4.3 rate adaptation restricted to the shared ASIC clock.
+    RateAdaptGlobal,
+    /// §4.3 per-pipeline rate adaptation.
+    RateAdaptPerPipeline,
+    /// §4.4 reactive pipeline parking.
+    ParkReactive,
+    /// §4.4 predictive pipeline parking (known ML iteration schedule).
+    ParkPredictive,
+}
+
+impl Mechanism {
+    /// Every mechanism, in the comparison table's order.
+    pub fn all() -> [Mechanism; 5] {
+        [
+            Mechanism::AllOn,
+            Mechanism::RateAdaptGlobal,
+            Mechanism::RateAdaptPerPipeline,
+            Mechanism::ParkReactive,
+            Mechanism::ParkPredictive,
+        ]
+    }
+
+    /// Human-readable name, matching the comparison table labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::AllOn => "all-on (today)",
+            Mechanism::RateAdaptGlobal => "rate adaptation (global clock)",
+            Mechanism::RateAdaptPerPipeline => "rate adaptation (per-pipeline)",
+            Mechanism::ParkReactive => "pipeline parking (reactive)",
+            Mechanism::ParkPredictive => "pipeline parking (predictive)",
+        }
+    }
+
+    /// Parses the spec-file identifier (the serialized variant name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MechanismError::Config`] for unknown names.
+    pub fn from_ident(ident: &str) -> Result<Self> {
+        match ident {
+            "AllOn" => Ok(Mechanism::AllOn),
+            "RateAdaptGlobal" => Ok(Mechanism::RateAdaptGlobal),
+            "RateAdaptPerPipeline" => Ok(Mechanism::RateAdaptPerPipeline),
+            "ParkReactive" => Ok(Mechanism::ParkReactive),
+            "ParkPredictive" => Ok(Mechanism::ParkPredictive),
+            other => Err(MechanismError::Config(format!(
+                "unknown mechanism {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs this mechanism on `source` and reports the same outcome row
+    /// the comparison harness produces.
+    ///
+    /// The predictive parking schedule is the comparison harness's ML
+    /// schedule (1 ms iterations, 100 µs burst, 200 µs pre-wake); the
+    /// reactive/adaptive controllers take their interval and target
+    /// from `knobs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulator errors.
+    pub fn run(
+        self,
+        params: SwitchParams,
+        knobs: MechanismKnobs,
+        source: &mut dyn TrafficSource,
+        horizon: SimTime,
+    ) -> Result<MechanismOutcome> {
+        match self {
+            Mechanism::AllOn => Ok(MechanismOutcome {
+                name: self.name().into(),
+                savings: Ratio::ZERO,
+                proportionality_floor: Ratio::ZERO,
+                loss_rate: 0.0,
+                p99_latency_ns: 0.0,
+            }),
+            Mechanism::RateAdaptGlobal | Mechanism::RateAdaptPerPipeline => {
+                let cfg = RateAdaptConfig {
+                    control_interval_ns: knobs.control_interval_ns,
+                    target_utilization: knobs.target_utilization,
+                    per_pipeline: self == Mechanism::RateAdaptPerPipeline,
+                    ..RateAdaptConfig::default_per_pipeline()
+                };
+                let r = simulate_rate_adaptation(params, &cfg, source, horizon)?;
+                Ok(MechanismOutcome {
+                    name: self.name().into(),
+                    savings: r.savings,
+                    proportionality_floor: idle_floor_proportionality(&params, &cfg),
+                    loss_rate: r.loss_rate,
+                    p99_latency_ns: r.p99_latency_ns,
+                })
+            }
+            Mechanism::ParkReactive | Mechanism::ParkPredictive => {
+                let schedule = (self == Mechanism::ParkPredictive).then_some(PredictiveSchedule {
+                    period_ns: 1_000_000,
+                    burst_start_ns: 900_000,
+                    burst_len_ns: 100_000,
+                    prewake_ns: 200_000,
+                });
+                let cfg = ParkConfig {
+                    control_interval_ns: knobs.control_interval_ns,
+                    target_utilization: knobs.target_utilization,
+                    schedule,
+                    ..ParkConfig::reactive()
+                };
+                let r = simulate_parking(params, &cfg, source, horizon)?;
+                Ok(MechanismOutcome {
+                    name: self.name().into(),
+                    savings: r.savings,
+                    proportionality_floor: park_floor_proportionality(&params, 0),
+                    loss_rate: r.loss_rate,
+                    p99_latency_ns: r.p99_latency_ns,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparison::{compare_mechanisms, ml_workload};
+
+    const HORIZON: SimTime = SimTime::from_millis(5);
+
+    #[test]
+    fn factory_reproduces_comparison_table() {
+        let params = SwitchParams::paper_51t2();
+        let expected = compare_mechanisms(HORIZON).unwrap();
+        for (mech, want) in Mechanism::all().into_iter().zip(&expected) {
+            let got = mech
+                .run(
+                    params,
+                    MechanismKnobs::default(),
+                    &mut ml_workload(HORIZON),
+                    HORIZON,
+                )
+                .unwrap();
+            assert_eq!(&got, want, "{}", mech.name());
+        }
+    }
+
+    #[test]
+    fn idents_round_trip() {
+        for mech in Mechanism::all() {
+            let json = serde_json::to_string(&mech).unwrap();
+            let back: Mechanism = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mech);
+            // The serialized form is the bare variant name.
+            let ident = json.trim_matches('"');
+            assert_eq!(Mechanism::from_ident(ident).unwrap(), mech);
+        }
+        assert!(Mechanism::from_ident("Nonsense").is_err());
+    }
+
+    #[test]
+    fn knobs_change_outcomes() {
+        let params = SwitchParams::paper_51t2();
+        let loose = MechanismKnobs {
+            control_interval_ns: 500_000,
+            target_utilization: 0.5,
+        };
+        let a = Mechanism::RateAdaptPerPipeline
+            .run(
+                params,
+                MechanismKnobs::default(),
+                &mut ml_workload(HORIZON),
+                HORIZON,
+            )
+            .unwrap();
+        let b = Mechanism::RateAdaptPerPipeline
+            .run(params, loose, &mut ml_workload(HORIZON), HORIZON)
+            .unwrap();
+        assert_ne!(a.savings, b.savings);
+    }
+}

@@ -167,10 +167,7 @@ pub fn simulate_job_timeline(
         // sweep. (Without OCS the replan is instantaneous in this model:
         // turning switches on/off has no fabric-wide blackout.)
         if cfg.use_ocs {
-            let union = current
-                .active_switches
-                .union(&next.active_switches)
-                .count() as f64
+            let union = current.active_switches.union(&next.active_switches).count() as f64
                 + cfg.standby_switches as f64;
             let dt_reconf = next.reconfiguration;
             energy += (cfg.switch_power * union.min(all_switches as f64)
@@ -252,7 +249,10 @@ mod tests {
                 job: ring_job("b", 16),
                 placement: Placement::Packed,
             },
-            JobEvent::Depart { at: Seconds::from_hours(18.0), name: "a".into() },
+            JobEvent::Depart {
+                at: Seconds::from_hours(18.0),
+                name: "a".into(),
+            },
         ];
         let r = simulate_job_timeline(&cfg, &events, day()).unwrap();
         assert_eq!(r.reconfigurations, 3);
@@ -273,13 +273,19 @@ mod tests {
             placement: Placement::Packed,
         }];
         let lean = simulate_job_timeline(
-            &OcsDynamicsConfig { standby_switches: 0, ..OcsDynamicsConfig::default() },
+            &OcsDynamicsConfig {
+                standby_switches: 0,
+                ..OcsDynamicsConfig::default()
+            },
             &events,
             day(),
         )
         .unwrap();
         let warm = simulate_job_timeline(
-            &OcsDynamicsConfig { standby_switches: 8, ..OcsDynamicsConfig::default() },
+            &OcsDynamicsConfig {
+                standby_switches: 8,
+                ..OcsDynamicsConfig::default()
+            },
             &events,
             day(),
         )
@@ -329,7 +335,10 @@ mod tests {
             },
         ];
         assert!(simulate_job_timeline(&cfg, &unsorted, day()).is_err());
-        let unknown = vec![JobEvent::Depart { at: Seconds::from_hours(1.0), name: "x".into() }];
+        let unknown = vec![JobEvent::Depart {
+            at: Seconds::from_hours(1.0),
+            name: "x".into(),
+        }];
         assert!(simulate_job_timeline(&cfg, &unknown, day()).is_err());
         let beyond = vec![JobEvent::Arrive {
             at: Seconds::from_hours(30.0),

@@ -60,7 +60,10 @@ pub struct Job {
 impl Job {
     /// Builds a job from a traffic matrix, keeping pairs with nonzero
     /// demand.
-    pub fn from_matrix(name: impl Into<String>, m: &npp_workload::parallelism::TrafficMatrix) -> Self {
+    pub fn from_matrix(
+        name: impl Into<String>,
+        m: &npp_workload::parallelism::TrafficMatrix,
+    ) -> Self {
         let n = m.ranks();
         let mut pairs = Vec::new();
         for s in 0..n {
@@ -70,7 +73,11 @@ impl Job {
                 }
             }
         }
-        Self { name: name.into(), ranks: n, pairs }
+        Self {
+            name: name.into(),
+            ranks: n,
+            pairs,
+        }
     }
 }
 

@@ -65,12 +65,17 @@ impl ParkConfig {
 
     /// Predictive policy for the given iteration schedule.
     pub fn predictive(schedule: PredictiveSchedule) -> Self {
-        Self { schedule: Some(schedule), ..Self::reactive() }
+        Self {
+            schedule: Some(schedule),
+            ..Self::reactive()
+        }
     }
 
     fn validate(&self, params: &SwitchParams) -> Result<()> {
         if self.control_interval_ns == 0 {
-            return Err(MechanismError::Config("control interval must be positive".into()));
+            return Err(MechanismError::Config(
+                "control interval must be positive".into(),
+            ));
         }
         if !(0.0 < self.target_utilization && self.target_utilization <= 1.0) {
             return Err(MechanismError::Config(format!(
@@ -86,7 +91,9 @@ impl ParkConfig {
         }
         if let Some(s) = self.schedule {
             if s.period_ns == 0 || s.burst_start_ns >= s.period_ns || s.burst_len_ns == 0 {
-                return Err(MechanismError::Config("degenerate predictive schedule".into()));
+                return Err(MechanismError::Config(
+                    "degenerate predictive schedule".into(),
+                ));
             }
         }
         Ok(())
@@ -119,14 +126,8 @@ pub struct ParkReport {
 }
 
 /// How many pipelines the measured load needs.
-fn needed_pipelines(
-    params: &SwitchParams,
-    cfg: &ParkConfig,
-    interval_bytes: u64,
-) -> usize {
-    let interval_capacity = params.pipeline_rate.value()
-        * cfg.control_interval_ns as f64
-        / 8.0
+fn needed_pipelines(params: &SwitchParams, cfg: &ParkConfig, interval_bytes: u64) -> usize {
+    let interval_capacity = params.pipeline_rate.value() * cfg.control_interval_ns as f64 / 8.0
         * cfg.target_utilization;
     let need = (interval_bytes as f64 / interval_capacity).ceil() as usize;
     (need.max(1) + cfg.standby).min(params.pipelines)
@@ -159,9 +160,7 @@ fn resize_active_set(
     // Park the rest once drained (skip any still busy; the next control
     // tick retries).
     for i in active..params.pipelines {
-        if !matches!(sw.pipeline_state(i)?, PipelineState::Off)
-            && sw.is_drained(i, now)?
-        {
+        if !matches!(sw.pipeline_state(i)?, PipelineState::Off) && sw.is_drained(i, now)? {
             sw.park_pipeline(now, i)?;
             *parks += 1;
         }
@@ -209,12 +208,21 @@ pub fn simulate_parking(
                     }
                 }
             };
-            resize_active_set(&mut sw, &params, next_control, active, &mut parks, &mut wakes)?;
+            resize_active_set(
+                &mut sw,
+                &params,
+                next_control,
+                active,
+                &mut parks,
+                &mut wakes,
+            )?;
             interval_bytes = 0;
             next_control = next_control.plus_nanos(cfg.control_interval_ns);
         }
 
-        let Some(Arrival { at, bytes, port }) = pending else { break };
+        let Some(Arrival { at, bytes, port }) = pending else {
+            break;
+        };
         if at >= horizon {
             break;
         }
@@ -292,8 +300,8 @@ pub fn wake_latency_frontier(
 /// for full redesign).
 pub fn park_floor_proportionality(params: &SwitchParams, standby: usize) -> Ratio {
     let on = 1 + standby;
-    let idle =
-        params.overhead_power + params.pipeline_power.at_freq(1.0) * on.min(params.pipelines) as f64;
+    let idle = params.overhead_power
+        + params.pipeline_power.at_freq(1.0) * on.min(params.pipelines) as f64;
     Ratio::new(1.0 - idle / params.max_power())
 }
 
@@ -346,7 +354,12 @@ mod tests {
         // During the 90% compute phase only one pipeline runs:
         // ≈ 0.9×336 + 0.1×(more) vs 750 → >40% saving.
         assert!(r.savings.fraction() > 0.4, "savings {}", r.savings);
-        assert!(r.parks > 0 && r.wakes > 0, "parks {} wakes {}", r.parks, r.wakes);
+        assert!(
+            r.parks > 0 && r.wakes > 0,
+            "parks {} wakes {}",
+            r.parks,
+            r.wakes
+        );
     }
 
     #[test]
@@ -374,8 +387,13 @@ mod tests {
         };
         let predictive = {
             let mut src = ml_source(horizon);
-            simulate_parking(params(), &ParkConfig::predictive(schedule()), &mut src, horizon)
-                .unwrap()
+            simulate_parking(
+                params(),
+                &ParkConfig::predictive(schedule()),
+                &mut src,
+                horizon,
+            )
+            .unwrap()
         };
         // Predictive wakes before the burst: (much) lower loss.
         assert!(
@@ -384,9 +402,17 @@ mod tests {
             predictive.loss_rate,
             reactive.loss_rate
         );
-        assert!(predictive.loss_rate < 0.01, "predictive loss {}", predictive.loss_rate);
+        assert!(
+            predictive.loss_rate < 0.01,
+            "predictive loss {}",
+            predictive.loss_rate
+        );
         // And still saves substantially.
-        assert!(predictive.savings.fraction() > 0.3, "savings {}", predictive.savings);
+        assert!(
+            predictive.savings.fraction() > 0.3,
+            "savings {}",
+            predictive.savings
+        );
     }
 
     #[test]
@@ -398,7 +424,10 @@ mod tests {
         };
         let with_standby = {
             let mut src = ml_source(horizon);
-            let cfg = ParkConfig { standby: 1, ..ParkConfig::reactive() };
+            let cfg = ParkConfig {
+                standby: 1,
+                ..ParkConfig::reactive()
+            };
             simulate_parking(params(), &cfg, &mut src, horizon).unwrap()
         };
         // Standby burns more energy…
@@ -411,15 +440,8 @@ mod tests {
     fn idle_switch_parks_down_to_one_pipeline() {
         let horizon = SimTime::from_millis(5);
         // Source that never fires.
-        let mut src = OnOffSource::new(
-            1_000_000,
-            900_000,
-            Gbps::new(1.0),
-            1500,
-            0,
-            SimTime::ZERO,
-        )
-        .unwrap();
+        let mut src =
+            OnOffSource::new(1_000_000, 900_000, Gbps::new(1.0), 1500, 0, SimTime::ZERO).unwrap();
         let r = simulate_parking(params(), &ParkConfig::reactive(), &mut src, horizon).unwrap();
         // Floor: 198 + 138 = 336 W (after the first control interval).
         assert!(
@@ -463,21 +485,18 @@ mod tests {
             Box::new(MergedSource::new(per_port))
         };
         let grid = [1_000u64, 10_000, 100_000, 1_000_000];
-        let frontier = wake_latency_frontier(
-            params(),
-            &ParkConfig::reactive(),
-            &mk,
-            horizon,
-            &grid,
-        )
-        .unwrap();
+        let frontier =
+            wake_latency_frontier(params(), &ParkConfig::reactive(), &mk, horizon, &grid).unwrap();
         assert_eq!(frontier.len(), 4);
         // Loss is non-decreasing in wake latency.
         for w in frontier.windows(2) {
             assert!(
                 w[1].loss_rate >= w[0].loss_rate - 1e-9,
                 "{:?}",
-                frontier.iter().map(|p| (p.wake_ns, p.loss_rate)).collect::<Vec<_>>()
+                frontier
+                    .iter()
+                    .map(|p| (p.wake_ns, p.loss_rate))
+                    .collect::<Vec<_>>()
             );
         }
         // A 1 ms wake (full iteration!) loses much more than a 1 µs one.
@@ -487,9 +506,15 @@ mod tests {
     #[test]
     fn config_validation() {
         let mut src = ml_source(SimTime::from_millis(1));
-        let bad = ParkConfig { control_interval_ns: 0, ..ParkConfig::reactive() };
+        let bad = ParkConfig {
+            control_interval_ns: 0,
+            ..ParkConfig::reactive()
+        };
         assert!(simulate_parking(params(), &bad, &mut src, SimTime::from_millis(1)).is_err());
-        let bad = ParkConfig { standby: 4, ..ParkConfig::reactive() };
+        let bad = ParkConfig {
+            standby: 4,
+            ..ParkConfig::reactive()
+        };
         assert!(simulate_parking(params(), &bad, &mut src, SimTime::from_millis(1)).is_err());
         let bad = ParkConfig::predictive(PredictiveSchedule {
             period_ns: 0,

@@ -51,12 +51,17 @@ impl RateAdaptConfig {
 
     /// The same controller restricted to a global clock.
     pub fn default_global() -> Self {
-        Self { per_pipeline: false, ..Self::default_per_pipeline() }
+        Self {
+            per_pipeline: false,
+            ..Self::default_per_pipeline()
+        }
     }
 
     fn validate(&self) -> Result<()> {
         if self.control_interval_ns == 0 {
-            return Err(MechanismError::Config("control interval must be positive".into()));
+            return Err(MechanismError::Config(
+                "control interval must be positive".into(),
+            ));
         }
         if !(0.0 < self.target_utilization && self.target_utilization <= 1.0) {
             return Err(MechanismError::Config(format!(
@@ -118,8 +123,7 @@ pub fn simulate_rate_adaptation(
     let mut next_control = SimTime::from_nanos(cfg.control_interval_ns);
     let mut freq_updates = 0u64;
     // Interval capacity of one pipeline at full frequency, in bytes.
-    let interval_capacity =
-        params.pipeline_rate.value() * cfg.control_interval_ns as f64 / 8.0;
+    let interval_capacity = params.pipeline_rate.value() * cfg.control_interval_ns as f64 / 8.0;
 
     let mut pending = source.next_arrival();
     loop {
@@ -130,9 +134,7 @@ pub fn simulate_rate_adaptation(
                 .iter()
                 .map(|&b| b as f64 / interval_capacity)
                 .collect();
-            let target = |load: f64| {
-                (load / cfg.target_utilization).clamp(cfg.min_freq, 1.0)
-            };
+            let target = |load: f64| (load / cfg.target_utilization).clamp(cfg.min_freq, 1.0);
             if cfg.per_pipeline {
                 for (i, &load) in loads.iter().enumerate() {
                     sw.set_frequency(next_control, i, target(load))?;
@@ -150,7 +152,9 @@ pub fn simulate_rate_adaptation(
             next_control = next_control.plus_nanos(cfg.control_interval_ns);
         }
 
-        let Some(Arrival { at, bytes, port }) = pending else { break };
+        let Some(Arrival { at, bytes, port }) = pending else {
+            break;
+        };
         if at >= horizon {
             break;
         }
@@ -209,7 +213,11 @@ mod tests {
             simulate_rate_adaptation(params(), &cfg, &mut src, SimTime::from_millis(10)).unwrap();
         // Idle power: 198 + 4×(38 + 0.2·100) = 430 W vs 750 W max.
         let idle_frac = r.average_power.value() / 750.0;
-        assert!((idle_frac - 430.0 / 750.0).abs() < 0.02, "avg {}", r.average_power);
+        assert!(
+            (idle_frac - 430.0 / 750.0).abs() < 0.02,
+            "avg {}",
+            r.average_power
+        );
         assert!(r.savings.fraction() > 0.4, "savings {}", r.savings);
         assert_eq!(r.loss_rate, 0.0);
     }
@@ -293,7 +301,11 @@ mod tests {
         .unwrap();
         let r =
             simulate_rate_adaptation(params(), &cfg, &mut src, SimTime::from_millis(10)).unwrap();
-        assert!(r.loss_rate > 0.05, "expected burst-front loss, got {}", r.loss_rate);
+        assert!(
+            r.loss_rate > 0.05,
+            "expected burst-front loss, got {}",
+            r.loss_rate
+        );
         // Still saves energy — the trade-off is real, not one-sided.
         assert!(r.savings.fraction() > 0.2, "savings {}", r.savings);
     }
@@ -328,14 +340,21 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut src =
-            CbrSource::new(Gbps::new(1.0), 100, 0, SimTime::ZERO, SimTime::MAX).unwrap();
-        let bad = RateAdaptConfig { control_interval_ns: 0, ..RateAdaptConfig::default_global() };
+        let mut src = CbrSource::new(Gbps::new(1.0), 100, 0, SimTime::ZERO, SimTime::MAX).unwrap();
+        let bad = RateAdaptConfig {
+            control_interval_ns: 0,
+            ..RateAdaptConfig::default_global()
+        };
         assert!(simulate_rate_adaptation(params(), &bad, &mut src, SimTime::from_secs(1)).is_err());
-        let bad =
-            RateAdaptConfig { target_utilization: 0.0, ..RateAdaptConfig::default_global() };
+        let bad = RateAdaptConfig {
+            target_utilization: 0.0,
+            ..RateAdaptConfig::default_global()
+        };
         assert!(simulate_rate_adaptation(params(), &bad, &mut src, SimTime::from_secs(1)).is_err());
-        let bad = RateAdaptConfig { min_freq: 1.5, ..RateAdaptConfig::default_global() };
+        let bad = RateAdaptConfig {
+            min_freq: 1.5,
+            ..RateAdaptConfig::default_global()
+        };
         assert!(simulate_rate_adaptation(params(), &bad, &mut src, SimTime::from_secs(1)).is_err());
         let good = RateAdaptConfig::default_global();
         assert!(simulate_rate_adaptation(params(), &good, &mut src, SimTime::ZERO).is_err());

@@ -62,8 +62,7 @@ impl RedesignedSwitch {
             )));
         }
         let base = SwitchParams::paper_51t2();
-        let total_pipeline_power =
-            base.pipeline_power.at_freq(1.0) * base.pipelines as f64;
+        let total_pipeline_power = base.pipeline_power.at_freq(1.0) * base.pipelines as f64;
         let per_unit_clean = total_pipeline_power / units as f64;
         let per_unit = per_unit_clean * (1.0 + fragmentation_overhead(units));
         Ok(Self {
@@ -266,7 +265,9 @@ mod tests {
         let best = sweep
             .iter()
             .max_by(|a, b| {
-                a.savings_vs_baseline.partial_cmp(&b.savings_vs_baseline).unwrap()
+                a.savings_vs_baseline
+                    .partial_cmp(&b.savings_vs_baseline)
+                    .unwrap()
             })
             .unwrap();
         assert!(best.units > 4, "finer than baseline should win");
@@ -295,9 +296,7 @@ mod tests {
         let sw = RedesignedSwitch::from_baseline(16).unwrap();
         let params = sw.to_switch_params();
         assert_eq!(params.pipelines, 16);
-        assert!(
-            (params.pipeline_rate * 16.0).approx_eq(Gbps::from_tbps(51.2), 1e-6)
-        );
+        assert!((params.pipeline_rate * 16.0).approx_eq(Gbps::from_tbps(51.2), 1e-6));
         assert!(params.max_power().approx_eq(sw.max_power(), 1e-6));
     }
 
@@ -319,7 +318,10 @@ mod tests {
         let half = cpo.power_with_ports(32);
         assert!(half.approx_eq(Watts::new(750.0 + 0.6 * 1056.0 / 2.0), 1e-9));
         // Non-gateable variant (pluggables without knobs) saves nothing.
-        let stuck = CpoSwitch { port_gateable: false, ..cpo };
+        let stuck = CpoSwitch {
+            port_gateable: false,
+            ..cpo
+        };
         assert_eq!(stuck.power_with_ports(0), stuck.max_power());
     }
 }

@@ -13,16 +13,18 @@ use npp_workload::trace::MlPhaseTrace;
 use proptest::prelude::*;
 
 /// A bounded random on/off source.
-fn source(
-    period_us: u64,
-    duty_pct: u64,
-    rate_tbps: f64,
-    horizon: SimTime,
-) -> impl TrafficSource {
+fn source(period_us: u64, duty_pct: u64, rate_tbps: f64, horizon: SimTime) -> impl TrafficSource {
     let period_ns = period_us * 1_000;
     let off_ns = period_ns * (100 - duty_pct) / 100;
-    OnOffSource::new(period_ns, off_ns, Gbps::from_tbps(rate_tbps), 9_000, 0, horizon)
-        .expect("generated parameters are valid")
+    OnOffSource::new(
+        period_ns,
+        off_ns,
+        Gbps::from_tbps(rate_tbps),
+        9_000,
+        0,
+        horizon,
+    )
+    .expect("generated parameters are valid")
 }
 
 proptest! {

@@ -26,12 +26,16 @@ impl Default for CarbonModel {
 impl CarbonModel {
     /// The recent US grid average (≈ 390 gCO2e/kWh).
     pub fn us_grid_average() -> Self {
-        Self { gco2e_per_kwh: 390.0 }
+        Self {
+            gco2e_per_kwh: 390.0,
+        }
     }
 
     /// A low-carbon grid (hydro/nuclear heavy, ≈ 30 gCO2e/kWh).
     pub fn low_carbon_grid() -> Self {
-        Self { gco2e_per_kwh: 30.0 }
+        Self {
+            gco2e_per_kwh: 30.0,
+        }
     }
 
     /// Emissions for the given energy, in metric tonnes of CO2e.
@@ -63,7 +67,10 @@ impl Default for CostModel {
 impl CostModel {
     /// The paper's §3.2 parameters: 13 ¢/kWh, 30 % cooling overhead.
     pub fn paper_baseline() -> Self {
-        Self { usd_per_kwh: 0.13, cooling_overhead: 0.30 }
+        Self {
+            usd_per_kwh: 0.13,
+            cooling_overhead: 0.30,
+        }
     }
 
     /// Cost of the given energy, excluding cooling.

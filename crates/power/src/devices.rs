@@ -367,7 +367,13 @@ mod tests {
     #[test]
     fn table2_nic_values() {
         let t = SpeedPowerTable::nic_connectx7();
-        for (s, w) in [(100.0, 8.6), (200.0, 16.7), (400.0, 25.4), (800.0, 38.6), (1600.0, 58.8)] {
+        for (s, w) in [
+            (100.0, 8.6),
+            (200.0, 16.7),
+            (400.0, 25.4),
+            (800.0, 38.6),
+            (1600.0, 58.8),
+        ] {
             assert_eq!(t.power(Gbps::new(s)).unwrap(), Watts::new(w));
         }
     }
@@ -375,7 +381,13 @@ mod tests {
     #[test]
     fn table2_transceiver_values() {
         let t = SpeedPowerTable::transceiver_optical();
-        for (s, w) in [(100.0, 4.0), (200.0, 6.5), (400.0, 10.0), (800.0, 16.5), (1600.0, 27.27)] {
+        for (s, w) in [
+            (100.0, 4.0),
+            (200.0, 6.5),
+            (400.0, 10.0),
+            (800.0, 16.5),
+            (1600.0, 27.27),
+        ] {
             assert_eq!(t.power(Gbps::new(s)).unwrap(), Watts::new(w));
         }
     }
@@ -441,8 +453,7 @@ mod tests {
 
     #[test]
     fn what_if_knob_propagates() {
-        let db = DeviceDb::paper_baseline()
-            .with_network_proportionality(Proportionality::PERFECT);
+        let db = DeviceDb::paper_baseline().with_network_proportionality(Proportionality::PERFECT);
         assert_eq!(db.switch().idle_power(), Watts::ZERO);
         assert_eq!(db.nic(Gbps::new(400.0)).unwrap().idle_power(), Watts::ZERO);
         // Compute side is untouched.

@@ -28,12 +28,22 @@ pub struct PowerSegment {
 impl PowerSegment {
     /// Creates a segment where the entire draw is useful (busy device).
     pub fn busy(label: impl Into<String>, duration: Seconds, power: Watts) -> Self {
-        Self { label: label.into(), duration, power, useful: power }
+        Self {
+            label: label.into(),
+            duration,
+            power,
+            useful: power,
+        }
     }
 
     /// Creates a segment where none of the draw is useful (idle device).
     pub fn idle(label: impl Into<String>, duration: Seconds, power: Watts) -> Self {
-        Self { label: label.into(), duration, power, useful: Watts::ZERO }
+        Self {
+            label: label.into(),
+            duration,
+            power,
+            useful: Watts::ZERO,
+        }
     }
 
     /// Energy consumed in this segment.
@@ -138,7 +148,11 @@ mod tests {
     /// iteration at 90 % of max power, busy for 10 % at max power.
     fn network_iteration(max: Watts) -> PowerProfile {
         PowerProfile::new()
-            .with(PowerSegment::idle("computation", Seconds::new(0.9), max * 0.9))
+            .with(PowerSegment::idle(
+                "computation",
+                Seconds::new(0.9),
+                max * 0.9,
+            ))
             .with(PowerSegment::busy("communication", Seconds::new(0.1), max))
     }
 

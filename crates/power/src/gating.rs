@@ -108,7 +108,12 @@ impl Component {
 
     /// Power draw of this subtree with every gate forced `On`.
     pub fn max_power(&self) -> Watts {
-        self.own_power + self.children.iter().map(Component::max_power).sum::<Watts>()
+        self.own_power
+            + self
+                .children
+                .iter()
+                .map(Component::max_power)
+                .sum::<Watts>()
     }
 
     /// Resolves a `/`-separated path ("asic/pipeline0/serdes") to a

@@ -42,9 +42,9 @@ pub mod cost;
 pub mod devices;
 pub mod energy;
 pub mod gating;
-pub mod psu;
 mod model;
 mod proportionality;
+pub mod psu;
 
 pub use model::{LinearPower, PowerModel, TwoStatePower};
 pub use proportionality::Proportionality;

@@ -45,7 +45,10 @@ pub struct TwoStatePower {
 impl TwoStatePower {
     /// Creates a two-state model from a max power and a proportionality.
     pub fn new(max: Watts, proportionality: Proportionality) -> Self {
-        Self { max, proportionality }
+        Self {
+            max,
+            proportionality,
+        }
     }
 
     /// Creates a two-state model from explicit idle and max powers.
@@ -63,7 +66,10 @@ impl TwoStatePower {
     /// Returns a copy of this model with a different proportionality —
     /// the primary "what-if" knob of the whole paper.
     pub fn with_proportionality(self, p: Proportionality) -> Self {
-        Self { max: self.max, proportionality: p }
+        Self {
+            max: self.max,
+            proportionality: p,
+        }
     }
 }
 
@@ -103,7 +109,10 @@ pub struct LinearPower {
 impl LinearPower {
     /// Creates a linear model from a max power and a proportionality.
     pub fn new(max: Watts, proportionality: Proportionality) -> Self {
-        Self { max, proportionality }
+        Self {
+            max,
+            proportionality,
+        }
     }
 }
 

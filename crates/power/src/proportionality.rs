@@ -133,8 +133,14 @@ mod tests {
 
     #[test]
     fn perfect_and_flat() {
-        assert_eq!(Proportionality::PERFECT.idle_power(Watts::new(750.0)), Watts::ZERO);
-        assert_eq!(Proportionality::FLAT.idle_power(Watts::new(750.0)), Watts::new(750.0));
+        assert_eq!(
+            Proportionality::PERFECT.idle_power(Watts::new(750.0)),
+            Watts::ZERO
+        );
+        assert_eq!(
+            Proportionality::FLAT.idle_power(Watts::new(750.0)),
+            Watts::new(750.0)
+        );
     }
 
     #[test]

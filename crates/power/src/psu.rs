@@ -64,7 +64,9 @@ impl PsuModel {
                 return Ok(Ratio::new(e0 + (e1 - e0) * t));
             }
         }
-        Ok(Ratio::new(self.curve.last().map(|&(_, e)| e).unwrap_or(1.0)))
+        Ok(Ratio::new(
+            self.curve.last().map(|&(_, e)| e).unwrap_or(1.0),
+        ))
     }
 
     /// AC (wall) power drawn to deliver `dc` at the output.
@@ -103,9 +105,18 @@ mod tests {
     #[test]
     fn curve_points_interpolate() {
         let p = psu();
-        assert!(p.efficiency(Watts::new(100.0)).unwrap().approx_eq(Ratio::new(0.89), 1e-12));
-        assert!(p.efficiency(Watts::new(500.0)).unwrap().approx_eq(Ratio::new(0.94), 1e-12));
-        assert!(p.efficiency(Watts::new(1000.0)).unwrap().approx_eq(Ratio::new(0.91), 1e-12));
+        assert!(p
+            .efficiency(Watts::new(100.0))
+            .unwrap()
+            .approx_eq(Ratio::new(0.89), 1e-12));
+        assert!(p
+            .efficiency(Watts::new(500.0))
+            .unwrap()
+            .approx_eq(Ratio::new(0.94), 1e-12));
+        assert!(p
+            .efficiency(Watts::new(1000.0))
+            .unwrap()
+            .approx_eq(Ratio::new(0.91), 1e-12));
         // Midpoint of the 20–50% segment.
         let mid = p.efficiency(Watts::new(350.0)).unwrap();
         assert!(mid.approx_eq(Ratio::new(0.93), 1e-12), "{mid}");
@@ -116,9 +127,10 @@ mod tests {
         let p = psu();
         let tiny = p.efficiency(Watts::new(10.0)).unwrap();
         assert!(tiny.fraction() < 0.6, "tiny-load efficiency {tiny}");
-        assert!(
-            p.efficiency(Watts::ZERO).unwrap().approx_eq(Ratio::new(0.5), 1e-12)
-        );
+        assert!(p
+            .efficiency(Watts::ZERO)
+            .unwrap()
+            .approx_eq(Ratio::new(0.5), 1e-12));
     }
 
     #[test]

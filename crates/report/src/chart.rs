@@ -1,6 +1,9 @@
 //! ASCII charts: multi-series line charts (Figures 3–4) and segmented
 //! horizontal bars (Figure 2a).
 
+/// One chart series: legend label, plot glyph, and `(x, y)` points.
+type Series = (String, char, Vec<(f64, f64)>);
+
 /// A multi-series line chart plotted on a character grid.
 #[derive(Debug, Clone)]
 pub struct LineChart {
@@ -9,7 +12,7 @@ pub struct LineChart {
     y_label: String,
     width: usize,
     height: usize,
-    series: Vec<(String, char, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
 }
 
 impl LineChart {
@@ -40,8 +43,11 @@ impl LineChart {
     /// Renders the chart.
     pub fn render(&self) -> String {
         let mut out = format!("{}\n", self.title);
-        let pts: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|(_, _, p)| p.iter().copied()).collect();
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, p)| p.iter().copied())
+            .collect();
         if pts.is_empty() {
             out.push_str("(no data)\n");
             return out;
@@ -71,8 +77,7 @@ impl LineChart {
         for (_, marker, points) in &self.series {
             for &(x, y) in points {
                 let col = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
-                let row =
-                    ((ymax - y) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
+                let row = ((ymax - y) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
                 grid[row.min(self.height - 1)][col.min(self.width - 1)] = *marker;
             }
         }
@@ -100,8 +105,11 @@ impl LineChart {
             out.push_str(&format!("x: {}   y: {}\n", self.x_label, self.y_label));
         }
         out.push_str("legend: ");
-        let legend: Vec<String> =
-            self.series.iter().map(|(n, m, _)| format!("{m} {n}")).collect();
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|(n, m, _)| format!("{m} {n}"))
+            .collect();
         out.push_str(&legend.join("   "));
         out.push('\n');
         out
@@ -122,7 +130,12 @@ pub struct BarChart {
 impl BarChart {
     /// Creates an empty chart whose bars are `width` characters long.
     pub fn new(title: impl Into<String>, width: usize) -> Self {
-        Self { title: title.into(), width: width.max(10), bars: Vec::new(), legend: Vec::new() }
+        Self {
+            title: title.into(),
+            width: width.max(10),
+            bars: Vec::new(),
+            legend: Vec::new(),
+        }
     }
 
     /// Declares a legend entry.
@@ -138,7 +151,12 @@ impl BarChart {
     /// Renders the chart.
     pub fn render(&self) -> String {
         let mut out = format!("{}\n", self.title);
-        let label_w = self.bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
         for (label, segments) in &self.bars {
             let total: f64 = segments.iter().map(|(_, v)| v.max(0.0)).sum();
             let mut bar = String::new();
@@ -159,8 +177,11 @@ impl BarChart {
         }
         if !self.legend.is_empty() {
             out.push_str("legend: ");
-            let legend: Vec<String> =
-                self.legend.iter().map(|(m, n)| format!("{m}={n}")).collect();
+            let legend: Vec<String> = self
+                .legend
+                .iter()
+                .map(|(m, n)| format!("{m}={n}"))
+                .collect();
             out.push_str(&legend.join("  "));
             out.push('\n');
         }
@@ -176,7 +197,11 @@ mod tests {
     fn line_chart_renders_all_series() {
         let mut c = LineChart::new("Figure 3", 40, 10).with_axes("prop %", "speedup %");
         c.add_series("400G", 'o', vec![(0.0, -2.0), (50.0, 3.0), (100.0, 8.0)]);
-        c.add_series("1600G", 'x', vec![(0.0, -30.0), (50.0, -10.0), (100.0, 13.0)]);
+        c.add_series(
+            "1600G",
+            'x',
+            vec![(0.0, -30.0), (50.0, -10.0), (100.0, 13.0)],
+        );
         let s = c.render();
         assert!(s.contains("Figure 3"));
         assert!(s.contains('o'));
@@ -227,8 +252,12 @@ mod tests {
         b.add_bar("bar", vec![('a', 1.0), ('b', 1.0), ('c', 1.0)]);
         let s = b.render();
         let line = s.lines().find(|l| l.starts_with("bar")).unwrap();
-        let inner: String =
-            line.chars().skip_while(|&c| c != '|').skip(1).take_while(|&c| c != '|').collect();
+        let inner: String = line
+            .chars()
+            .skip_while(|&c| c != '|')
+            .skip(1)
+            .take_while(|&c| c != '|')
+            .collect();
         assert_eq!(inner.chars().count(), 30);
     }
 }
@@ -247,7 +276,11 @@ impl Heatmap {
 
     /// Creates a heatmap with the given column labels.
     pub fn new(title: impl Into<String>, col_labels: Vec<String>) -> Self {
-        Self { title: title.into(), col_labels, rows: Vec::new() }
+        Self {
+            title: title.into(),
+            col_labels,
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a labeled row of values.
@@ -263,7 +296,12 @@ impl Heatmap {
             .iter()
             .flat_map(|(_, v)| v.iter().copied())
             .fold(0.0f64, f64::max);
-        let label_w = self.rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
         // Header.
         out.push_str(&" ".repeat(label_w + 1));
         for c in &self.col_labels {
@@ -283,8 +321,11 @@ impl Heatmap {
             }
             out.push('\n');
         }
-        out.push_str(&format!("shade: '{}' = 0 … '{}' = {max:.1}\n",
-            Self::RAMP[0], Self::RAMP[Self::RAMP.len() - 1]));
+        out.push_str(&format!(
+            "shade: '{}' = 0 … '{}' = {max:.1}\n",
+            Self::RAMP[0],
+            Self::RAMP[Self::RAMP.len() - 1]
+        ));
         out
     }
 }
@@ -295,10 +336,7 @@ mod heatmap_tests {
 
     #[test]
     fn shades_scale_with_magnitude() {
-        let mut h = Heatmap::new(
-            "Table 3",
-            vec!["10%".into(), "50%".into(), "100%".into()],
-        );
+        let mut h = Heatmap::new("Table 3", vec!["10%".into(), "50%".into(), "100%".into()]);
         h.add_row("400G", vec![0.0, 4.7, 10.6]);
         h.add_row("1600G", vec![0.0, 15.6, 35.1]);
         let s = h.render();

@@ -12,7 +12,10 @@ pub struct Csv {
 impl Csv {
     /// Creates a CSV with the given headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringified cells).
@@ -32,7 +35,12 @@ impl Csv {
         }
         let mut out = String::new();
         out.push_str(
-            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {
@@ -84,7 +92,11 @@ mod tests {
             bw: f64,
             savings: f64,
         }
-        let s = to_json(&Row { bw: 400.0, savings: 0.047 }).unwrap();
+        let s = to_json(&Row {
+            bw: 400.0,
+            savings: 0.047,
+        })
+        .unwrap();
         assert!(s.contains("\"bw\": 400.0"));
         let v: serde_json::Value = serde_json::from_str(&s).unwrap();
         assert_eq!(v["savings"], 0.047);

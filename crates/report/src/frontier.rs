@@ -1,0 +1,102 @@
+//! Pareto-frontier extraction for two-objective result sets.
+//!
+//! Several experiments trade a benefit against a cost: power saved vs.
+//! training slowdown (Table 3 read along the bandwidth axis), energy
+//! savings vs. packet loss (§4.4's wake-latency frontier). This module
+//! gives them one shared definition of "the interesting subset": the
+//! points no other point beats on both objectives at once.
+
+/// Returns the indices of the Pareto-optimal items, sorted by ascending
+/// cost.
+///
+/// An item is on the frontier when no other item has cost ≤ its cost
+/// *and* benefit ≥ its benefit with at least one strict inequality
+/// (benefit is maximized, cost minimized). Items whose cost or benefit
+/// is NaN are excluded. Duplicate (cost, benefit) pairs keep only the
+/// first occurrence, so the frontier is strictly increasing in both
+/// coordinates.
+pub fn pareto_indices<T>(
+    items: &[T],
+    cost: impl Fn(&T) -> f64,
+    benefit: impl Fn(&T) -> f64,
+) -> Vec<usize> {
+    let mut candidates: Vec<(usize, f64, f64)> = items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| (i, cost(it), benefit(it)))
+        .filter(|(_, c, b)| !c.is_nan() && !b.is_nan())
+        .collect();
+    // Ascending cost; ties broken by descending benefit so the best item
+    // at each cost comes first, then by index for determinism.
+    candidates.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap()
+            .then(b.2.partial_cmp(&a.2).unwrap())
+            .then(a.0.cmp(&b.0))
+    });
+    let mut frontier = Vec::new();
+    let mut best_benefit = f64::NEG_INFINITY;
+    let mut last_cost = f64::NEG_INFINITY;
+    for (i, c, b) in candidates {
+        if b > best_benefit || (frontier.is_empty() && b == best_benefit) {
+            // A same-cost point with lower benefit is dominated; a
+            // same-cost point with higher benefit replaces nothing (the
+            // sort already put the better one first).
+            if c == last_cost {
+                continue;
+            }
+            frontier.push(i);
+            best_benefit = b;
+            last_cost = c;
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_non_dominated_points() {
+        // (cost, benefit)
+        let pts = [(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (4.0, 4.0), (2.5, 3.0)];
+        let f = pareto_indices(&pts, |p| p.0, |p| p.1);
+        // (3,2) is dominated by (2,3); (2.5,3) is dominated by (2,3).
+        assert_eq!(f, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        let pts = [(5.0, 5.0)];
+        assert_eq!(pareto_indices(&pts, |p| p.0, |p| p.1), vec![0]);
+    }
+
+    #[test]
+    fn nan_points_are_excluded() {
+        let pts = [(1.0, f64::NAN), (2.0, 1.0), (f64::NAN, 9.0)];
+        assert_eq!(pareto_indices(&pts, |p| p.0, |p| p.1), vec![1]);
+    }
+
+    #[test]
+    fn equal_cost_keeps_best_benefit_only() {
+        let pts = [(1.0, 2.0), (1.0, 5.0), (2.0, 6.0)];
+        assert_eq!(pareto_indices(&pts, |p| p.0, |p| p.1), vec![1, 2]);
+    }
+
+    #[test]
+    fn frontier_monotone_in_both_axes() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = f64::from(i) * 0.13;
+                (x.sin().abs() * 10.0, (x * 0.7).cos().abs() * 8.0)
+            })
+            .collect();
+        let f = pareto_indices(&pts, |p| p.0, |p| p.1);
+        assert!(!f.is_empty());
+        for w in f.windows(2) {
+            assert!(pts[w[0]].0 < pts[w[1]].0);
+            assert!(pts[w[0]].1 < pts[w[1]].1);
+        }
+    }
+}

@@ -11,7 +11,9 @@
 
 pub mod chart;
 pub mod export;
+pub mod frontier;
 pub mod table;
 
 pub use chart::{BarChart, LineChart};
+pub use frontier::pareto_indices;
 pub use table::Table;

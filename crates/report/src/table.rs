@@ -28,7 +28,12 @@ impl Table {
             .enumerate()
             .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
             .collect();
-        Self { headers, aligns, rows: Vec::new(), title: None }
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a title printed above the table.
@@ -83,15 +88,22 @@ impl Table {
             out.push_str(t);
             out.push('\n');
         }
-        let header: Vec<String> =
-            self.headers.iter().enumerate().map(|(i, h)| fmt_cell(h, i)).collect();
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| fmt_cell(h, i))
+            .collect();
         out.push_str(&header.join("  "));
         out.push('\n');
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
         out.push('\n');
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.iter().enumerate().map(|(i, c)| fmt_cell(c, i)).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| fmt_cell(c, i))
+                .collect();
             out.push_str(&cells.join("  "));
             out.push('\n');
         }

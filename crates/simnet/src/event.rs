@@ -54,7 +54,12 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler at time zero.
     pub fn new() -> Self {
-        Self { now: SimTime::ZERO, queue: BinaryHeap::new(), seq: 0, processed: 0 }
+        Self {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// The current simulation time.
@@ -94,7 +99,11 @@ impl<E> Scheduler<E> {
                 requested_ns: at.as_nanos(),
             });
         }
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
         Ok(())
     }

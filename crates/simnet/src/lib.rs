@@ -80,8 +80,14 @@ pub enum SimError {
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            SimError::TimeReversal { now_ns, requested_ns } => {
-                write!(f, "time reversal: now {now_ns} ns, requested {requested_ns} ns")
+            SimError::TimeReversal {
+                now_ns,
+                requested_ns,
+            } => {
+                write!(
+                    f,
+                    "time reversal: now {now_ns} ns, requested {requested_ns} ns"
+                )
             }
             SimError::BadIndex { what, index, bound } => {
                 write!(f, "{what} index {index} out of range (< {bound})")

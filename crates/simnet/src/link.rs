@@ -114,7 +114,11 @@ impl Link {
             });
         }
         self.last_activity = now;
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let tx_end = start.plus_nanos(self.serialization_ns(bytes));
         self.busy_until = tx_end;
         self.bytes_sent += bytes;

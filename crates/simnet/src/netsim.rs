@@ -109,7 +109,9 @@ impl NetSim {
             });
         }
         if bytes <= 0.0 || !bytes.is_finite() {
-            return Err(SimError::Config(format!("flow size {bytes} must be positive")));
+            return Err(SimError::Config(format!(
+                "flow size {bytes} must be positive"
+            )));
         }
         let paths = self.topo.ecmp_paths(src, dst, 16);
         if paths.is_empty() {
@@ -130,7 +132,10 @@ impl NetSim {
                 .find(|&(peer, _)| peer == b)
                 .expect("consecutive ECMP nodes are adjacent");
             let l = self.topo.link(link).expect("link exists");
-            path.push(DirLink { link, forward: l.a == a });
+            path.push(DirLink {
+                link,
+                forward: l.a == a,
+            });
         }
         let id = FlowId(self.flows.len());
         self.flows.push(Flow {
@@ -141,7 +146,7 @@ impl NetSim {
             rate_gbps: 0.0,
         });
         self.pending.push((at, id));
-        self.pending.sort_by(|x, y| y.0.cmp(&x.0)); // reverse for pop()
+        self.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
         Ok(id)
     }
 
@@ -189,7 +194,9 @@ impl NetSim {
                     best = Some((share, dl));
                 }
             }
-            let Some((share, bottleneck)) = best else { break };
+            let Some((share, bottleneck)) = best else {
+                break;
+            };
             // Fix every unassigned flow crossing the bottleneck at the
             // fair share; subtract from other links on their paths.
             let fixed: Vec<usize> = unassigned
@@ -244,9 +251,7 @@ impl NetSim {
                 (None, None) => {
                     // Active flows but all at zero rate: deadlock — only
                     // possible with zero-capacity links.
-                    return Err(SimError::Config(
-                        "active flows starved at zero rate".into(),
-                    ));
+                    return Err(SimError::Config("active flows starved at zero rate".into()));
                 }
             };
 
@@ -292,7 +297,12 @@ impl NetSim {
     /// Completion time of the last-finishing flow (makespan), if all
     /// finished.
     pub fn makespan(&self) -> Option<SimTime> {
-        self.flows.iter().map(|f| f.finished).collect::<Option<Vec<_>>>()?.into_iter().max()
+        self.flows
+            .iter()
+            .map(|f| f.finished)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
     }
 
     /// Seconds during which a link carried traffic in *either* direction
@@ -301,12 +311,18 @@ impl NetSim {
     pub fn link_busy_secs(&self, link: LinkId) -> f64 {
         let fwd = self
             .busy_secs
-            .get(&DirLink { link, forward: true })
+            .get(&DirLink {
+                link,
+                forward: true,
+            })
             .copied()
             .unwrap_or(0.0);
         let rev = self
             .busy_secs
-            .get(&DirLink { link, forward: false })
+            .get(&DirLink {
+                link,
+                forward: false,
+            })
             .copied()
             .unwrap_or(0.0);
         fwd.max(rev)
@@ -340,7 +356,9 @@ mod tests {
         let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
         let hosts = topo.hosts();
         let mut sim = NetSim::new(topo);
-        let f = sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
+        let f = sim
+            .inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0)
+            .unwrap();
         sim.run().unwrap();
         let done = sim.status(f).unwrap().finished.unwrap();
         assert_eq!(done, SimTime::from_millis(10));
@@ -353,8 +371,12 @@ mod tests {
         let topo = leaf_spine(2, 1, 2, Gbps::new(100.0)).unwrap();
         let hosts = topo.hosts();
         let mut sim = NetSim::new(topo);
-        let a = sim.inject(SimTime::ZERO, hosts[0], hosts[2], 62.5e6, 0).unwrap();
-        let b = sim.inject(SimTime::ZERO, hosts[1], hosts[3], 62.5e6, 0).unwrap();
+        let a = sim
+            .inject(SimTime::ZERO, hosts[0], hosts[2], 62.5e6, 0)
+            .unwrap();
+        let b = sim
+            .inject(SimTime::ZERO, hosts[1], hosts[3], 62.5e6, 0)
+            .unwrap();
         sim.run().unwrap();
         // 62.5 MB at 50 G = 10 ms each.
         for f in [a, b] {
@@ -368,12 +390,19 @@ mod tests {
         let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
         let hosts = topo.hosts();
         let mut sim = NetSim::new(topo);
-        let a = sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
-        let b = sim.inject(SimTime::ZERO, hosts[1], hosts[0], 125e6, 0).unwrap();
+        let a = sim
+            .inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0)
+            .unwrap();
+        let b = sim
+            .inject(SimTime::ZERO, hosts[1], hosts[0], 125e6, 0)
+            .unwrap();
         sim.run().unwrap();
         // Opposite directions: both finish at line rate.
         for f in [a, b] {
-            assert_eq!(sim.status(f).unwrap().finished.unwrap(), SimTime::from_millis(10));
+            assert_eq!(
+                sim.status(f).unwrap().finished.unwrap(),
+                SimTime::from_millis(10)
+            );
         }
     }
 
@@ -386,14 +415,22 @@ mod tests {
         let mut sim = NetSim::new(topo);
         // A: 125 MB. Alone for 5 ms (62.5 MB done), then 50 G for the
         // remaining 62.5 MB → 10 ms more. Finishes at 15 ms.
-        let a = sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
+        let a = sim
+            .inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0)
+            .unwrap();
         let b = sim
             .inject(SimTime::from_millis(5), hosts[0], hosts[1], 125e6, 0)
             .unwrap();
         sim.run().unwrap();
-        assert_eq!(sim.status(a).unwrap().finished.unwrap(), SimTime::from_millis(15));
+        assert_eq!(
+            sim.status(a).unwrap().finished.unwrap(),
+            SimTime::from_millis(15)
+        );
         // B: 62.5 MB at 50 G (10 ms) + 62.5 MB at 100 G (5 ms) = ends 20 ms.
-        assert_eq!(sim.status(b).unwrap().finished.unwrap(), SimTime::from_millis(20));
+        assert_eq!(
+            sim.status(b).unwrap().finished.unwrap(),
+            SimTime::from_millis(20)
+        );
     }
 
     #[test]
@@ -436,10 +473,16 @@ mod tests {
         let total_links = topo.links().len();
         let hosts = topo.hosts();
         let mut sim = NetSim::new(topo);
-        sim.inject(SimTime::ZERO, hosts[0], hosts[1], 1e6, 0).unwrap();
+        sim.inject(SimTime::ZERO, hosts[0], hosts[1], 1e6, 0)
+            .unwrap();
         sim.run().unwrap();
         let idle = sim.idle_links();
-        assert!(idle.len() > total_links / 2, "idle {} of {}", idle.len(), total_links);
+        assert!(
+            idle.len() > total_links / 2,
+            "idle {} of {}",
+            idle.len(),
+            total_links
+        );
     }
 
     #[test]
@@ -448,7 +491,8 @@ mod tests {
         let hosts = topo.hosts();
         let host_link = topo.neighbors(hosts[0])[0].1;
         let mut sim = NetSim::new(topo);
-        sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0).unwrap();
+        sim.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0)
+            .unwrap();
         sim.run().unwrap();
         assert!((sim.link_busy_secs(host_link) - 0.01).abs() < 1e-6);
         assert!((sim.link_bytes(host_link) - 125e6).abs() < 1.0);
@@ -459,8 +503,12 @@ mod tests {
         let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
         let hosts = topo.hosts();
         let mut sim = NetSim::new(topo.clone());
-        assert!(sim.inject(SimTime::ZERO, hosts[0], hosts[1], 0.0, 0).is_err());
-        assert!(sim.inject(SimTime::ZERO, hosts[0], hosts[1], f64::NAN, 0).is_err());
+        assert!(sim
+            .inject(SimTime::ZERO, hosts[0], hosts[1], 0.0, 0)
+            .is_err());
+        assert!(sim
+            .inject(SimTime::ZERO, hosts[0], hosts[1], f64::NAN, 0)
+            .is_err());
         let mut disconnected = Topology::new();
         let a = disconnected.add_host("a");
         let b = disconnected.add_host("b");

@@ -94,7 +94,11 @@ impl PowerTracker {
     pub fn finish(&self, end: SimTime) -> Result<PowerTimeline> {
         let energy = self.energy_until(end)?;
         let duration = Seconds::from_nanos(end.since(self.start) as f64);
-        Ok(PowerTimeline { energy, duration, changes: self.changes.len() })
+        Ok(PowerTimeline {
+            energy,
+            duration,
+            changes: self.changes.len(),
+        })
     }
 }
 
@@ -141,7 +145,8 @@ mod tests {
     fn integrates_step_function() {
         let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(100.0));
         // 100 W for 1 s, then 50 W for 1 s.
-        t.set_power(SimTime::from_secs(1), Watts::new(50.0)).unwrap();
+        t.set_power(SimTime::from_secs(1), Watts::new(50.0))
+            .unwrap();
         let e = t.energy_until(SimTime::from_secs(2)).unwrap();
         assert!(e.approx_eq(Joules::new(150.0), 1e-9));
         let tl = t.finish(SimTime::from_secs(2)).unwrap();
@@ -173,7 +178,9 @@ mod tests {
         // Half the time at zero power.
         t.set_power(SimTime::from_secs(1), Watts::ZERO).unwrap();
         let tl = t.finish(SimTime::from_secs(2)).unwrap();
-        assert!(tl.savings_vs(Watts::new(100.0)).approx_eq(Ratio::new(0.5), 1e-12));
+        assert!(tl
+            .savings_vs(Watts::new(100.0))
+            .approx_eq(Ratio::new(0.5), 1e-12));
         assert_eq!(tl.savings_vs(Watts::ZERO), Ratio::ZERO);
     }
 

@@ -51,13 +51,21 @@ impl CbrSource {
         stop: SimTime,
     ) -> Result<Self> {
         if rate.value() <= 0.0 {
-            return Err(SimError::Config(format!("CBR rate must be positive, got {rate}")));
+            return Err(SimError::Config(format!(
+                "CBR rate must be positive, got {rate}"
+            )));
         }
         if packet_bytes == 0 {
             return Err(SimError::Config("CBR packet size must be nonzero".into()));
         }
         let gap_ns = packet_bytes as f64 * 8.0 / rate.value();
-        Ok(Self { gap_ns, next_emit: start.as_nanos() as f64, stop, bytes: packet_bytes, port })
+        Ok(Self {
+            gap_ns,
+            next_emit: start.as_nanos() as f64,
+            stop,
+            bytes: packet_bytes,
+            port,
+        })
     }
 }
 
@@ -68,7 +76,11 @@ impl TrafficSource for CbrSource {
             return None;
         }
         self.next_emit += self.gap_ns;
-        Some(Arrival { at, bytes: self.bytes, port: self.port })
+        Some(Arrival {
+            at,
+            bytes: self.bytes,
+            port: self.port,
+        })
     }
 }
 
@@ -104,7 +116,9 @@ impl PoissonSource {
             )));
         }
         if packet_bytes == 0 {
-            return Err(SimError::Config("Poisson packet size must be nonzero".into()));
+            return Err(SimError::Config(
+                "Poisson packet size must be nonzero".into(),
+            ));
         }
         Ok(Self {
             mean_gap_ns: packet_bytes as f64 * 8.0 / rate.value(),
@@ -126,7 +140,11 @@ impl TrafficSource for PoissonSource {
         // Exponential gap via inverse transform.
         let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
         self.next_emit += -u.ln() * self.mean_gap_ns;
-        Some(Arrival { at, bytes: self.bytes, port: self.port })
+        Some(Arrival {
+            at,
+            bytes: self.bytes,
+            port: self.port,
+        })
     }
 }
 
@@ -165,7 +183,9 @@ impl OnOffSource {
             )));
         }
         if burst_rate.value() <= 0.0 || packet_bytes == 0 {
-            return Err(SimError::Config("on/off burst rate and packet size must be positive".into()));
+            return Err(SimError::Config(
+                "on/off burst rate and packet size must be positive".into(),
+            ));
         }
         Ok(Self {
             period_ns,
@@ -190,7 +210,11 @@ impl TrafficSource for OnOffSource {
             let phase = at_ns % self.period_ns;
             if phase >= self.on_start_ns {
                 self.cursor_ns += self.gap_ns;
-                return Some(Arrival { at, bytes: self.bytes, port: self.port });
+                return Some(Arrival {
+                    at,
+                    bytes: self.bytes,
+                    port: self.port,
+                });
             }
             // We rolled into a period's off phase: skip ahead to that
             // period's on-start.
@@ -267,15 +291,13 @@ mod tests {
     #[test]
     fn poisson_mean_rate_and_determinism() {
         let horizon = SimTime::from_millis(1);
-        let s =
-            PoissonSource::new(Gbps::new(50.0), 1000, 0, SimTime::ZERO, horizon, 42).unwrap();
+        let s = PoissonSource::new(Gbps::new(50.0), 1000, 0, SimTime::ZERO, horizon, 42).unwrap();
         let a1 = drain(s);
         let total: u64 = a1.iter().map(|a| a.bytes).sum();
         let rate = total as f64 * 8.0 / horizon.as_nanos() as f64;
         assert!((rate - 50.0).abs() < 5.0, "rate {rate}");
         // Same seed → identical stream.
-        let s2 =
-            PoissonSource::new(Gbps::new(50.0), 1000, 0, SimTime::ZERO, horizon, 42).unwrap();
+        let s2 = PoissonSource::new(Gbps::new(50.0), 1000, 0, SimTime::ZERO, horizon, 42).unwrap();
         assert_eq!(a1, drain(s2));
         // Arrivals are time-ordered.
         for w in a1.windows(2) {
@@ -303,13 +325,23 @@ mod tests {
         }
         // Roughly 10% duty cycle at 400G: ~3 bursts of 100 µs → ≈ 1e4
         // packets of 30 ns spacing.
-        assert!((arrivals.len() as i64 - 10_000).unsigned_abs() < 300, "{}", arrivals.len());
+        assert!(
+            (arrivals.len() as i64 - 10_000).unsigned_abs() < 300,
+            "{}",
+            arrivals.len()
+        );
     }
 
     #[test]
     fn merged_source_orders_across_ports() {
-        let a = CbrSource::new(Gbps::new(8.0), 100, 0, SimTime::ZERO, SimTime::from_nanos(500))
-            .unwrap();
+        let a = CbrSource::new(
+            Gbps::new(8.0),
+            100,
+            0,
+            SimTime::ZERO,
+            SimTime::from_nanos(500),
+        )
+        .unwrap();
         let b = CbrSource::new(
             Gbps::new(8.0),
             100,
@@ -333,8 +365,6 @@ mod tests {
         assert!(CbrSource::new(Gbps::new(1.0), 0, 0, SimTime::ZERO, SimTime::MAX).is_err());
         assert!(PoissonSource::new(Gbps::ZERO, 100, 0, SimTime::ZERO, SimTime::MAX, 1).is_err());
         assert!(OnOffSource::new(0, 0, Gbps::new(1.0), 100, 0, SimTime::MAX).is_err());
-        assert!(
-            OnOffSource::new(100, 100, Gbps::new(1.0), 100, 0, SimTime::MAX).is_err()
-        );
+        assert!(OnOffSource::new(100, 100, Gbps::new(1.0), 100, 0, SimTime::MAX).is_err());
     }
 }

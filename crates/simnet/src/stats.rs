@@ -17,7 +17,12 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Self { samples: Vec::new(), sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            samples: Vec::new(),
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records a sample.
@@ -165,9 +170,10 @@ mod tests {
 
     #[test]
     fn loss_counter() {
-        let mut c = LossCounter::default();
-        c.delivered = 90;
-        c.dropped = 10;
+        let c = LossCounter {
+            delivered: 90,
+            dropped: 10,
+        };
         assert_eq!(c.offered(), 100);
         assert!((c.loss_rate() - 0.1).abs() < 1e-12);
         assert_eq!(LossCounter::default().loss_rate(), 0.0);

@@ -100,7 +100,10 @@ impl SwitchParams {
 
     /// The same switch with pause-frame backpressure instead of drops.
     pub fn paper_51t2_with_pause() -> Self {
-        Self { overflow: OverflowPolicy::PauseFrames, ..Self::paper_51t2() }
+        Self {
+            overflow: OverflowPolicy::PauseFrames,
+            ..Self::paper_51t2()
+        }
     }
 
     /// Total draw with every pipeline at full frequency.
@@ -236,10 +239,11 @@ impl PipelineSwitch {
     ///
     /// [`SimError::BadIndex`] for an unknown port.
     pub fn port_pipeline(&self, port: usize) -> Result<usize> {
-        self.port_map
-            .get(port)
-            .copied()
-            .ok_or(SimError::BadIndex { what: "port", index: port, bound: self.params.ports })
+        self.port_map.get(port).copied().ok_or(SimError::BadIndex {
+            what: "port",
+            index: port,
+            bound: self.params.ports,
+        })
     }
 
     fn pipe(&self, idx: usize) -> Result<&Pipe> {
@@ -252,9 +256,11 @@ impl PipelineSwitch {
 
     fn pipe_mut(&mut self, idx: usize) -> Result<&mut Pipe> {
         let bound = self.params.pipelines;
-        self.pipes
-            .get_mut(idx)
-            .ok_or(SimError::BadIndex { what: "pipeline", index: idx, bound })
+        self.pipes.get_mut(idx).ok_or(SimError::BadIndex {
+            what: "pipeline",
+            index: idx,
+            bound,
+        })
     }
 
     /// Remaps `port` to `pipeline` through the indirection layer; the
@@ -273,7 +279,11 @@ impl PipelineSwitch {
             });
         }
         if port >= self.params.ports {
-            return Err(SimError::BadIndex { what: "port", index: port, bound: self.params.ports });
+            return Err(SimError::BadIndex {
+                what: "port",
+                index: port,
+                bound: self.params.ports,
+            });
         }
         self.port_map[port] = pipeline;
         self.port_ready_at[port] = now.plus_nanos(self.params.remap_ns);
@@ -346,7 +356,10 @@ impl PipelineSwitch {
         if !matches!(pipe.state, PipelineState::Off) {
             return Err(SimError::Config(format!("pipeline {idx} is not off")));
         }
-        pipe.state = PipelineState::Waking { ready_at: now.plus_nanos(wake_ns), freq };
+        pipe.state = PipelineState::Waking {
+            ready_at: now.plus_nanos(wake_ns),
+            freq,
+        };
         pipe.tracker.set_power(now, power)
     }
 
@@ -360,7 +373,11 @@ impl PipelineSwitch {
     pub fn ingress(&mut self, now: SimTime, port: usize, bytes: u64) -> Result<Egress> {
         let idx = self.port_pipeline(port)?;
         // Circuit-switch reconfiguration holds the packet back.
-        let t = if self.port_ready_at[port] > now { self.port_ready_at[port] } else { now };
+        let t = if self.port_ready_at[port] > now {
+            self.port_ready_at[port]
+        } else {
+            now
+        };
         let rate_nominal = self.params.pipeline_rate;
         let buffer = self.params.buffer_bytes;
         let overflow_policy = self.params.overflow;
@@ -376,7 +393,9 @@ impl PipelineSwitch {
         let (service_from, freq) = match pipe.state {
             PipelineState::Off => {
                 self.loss.dropped += 1;
-                return Ok(Egress::Dropped { reason: DropReason::PipelineOff });
+                return Ok(Egress::Dropped {
+                    reason: DropReason::PipelineOff,
+                });
             }
             PipelineState::Waking { ready_at, freq } => (ready_at, freq),
             PipelineState::On { freq } => (t, freq),
@@ -399,7 +418,9 @@ impl PipelineSwitch {
             match overflow_policy {
                 OverflowPolicy::DropTail => {
                     self.loss.dropped += 1;
-                    return Ok(Egress::Dropped { reason: DropReason::BufferFull });
+                    return Ok(Egress::Dropped {
+                        reason: DropReason::BufferFull,
+                    });
                 }
                 OverflowPolicy::PauseFrames => {
                     // The sender holds the frame until the buffer drains
@@ -409,7 +430,11 @@ impl PipelineSwitch {
                     // the pause bookkeeping) move.
                     let overshoot_bytes = backlog + bytes as f64 - buffer as f64;
                     pause_inc = (overshoot_bytes * 8.0 / rate.value()).ceil() as u64;
-                    start = if pipe.busy_until > start { pipe.busy_until } else { start };
+                    start = if pipe.busy_until > start {
+                        pipe.busy_until
+                    } else {
+                        start
+                    };
                 }
             }
         }
@@ -425,7 +450,10 @@ impl PipelineSwitch {
         self.loss.delivered += 1;
         let latency_ns = departure.since(now);
         self.latency.record(latency_ns as f64);
-        Ok(Egress::Forwarded { departure, latency_ns })
+        Ok(Egress::Forwarded {
+            departure,
+            latency_ns,
+        })
     }
 
     /// Whether pipeline `idx` has finished serving everything offered so
@@ -489,7 +517,11 @@ impl PipelineSwitch {
     pub fn finish(&self, end: SimTime) -> Result<SwitchReport> {
         let energy = self.energy(end)?;
         let duration = end.as_seconds();
-        let avg = if duration.value() > 0.0 { energy / duration } else { Watts::ZERO };
+        let avg = if duration.value() > 0.0 {
+            energy / duration
+        } else {
+            Watts::ZERO
+        };
         Ok(SwitchReport {
             energy,
             average_power: avg,
@@ -541,7 +573,10 @@ mod tests {
         let mut sw = switch();
         // 1500 B at 12.8 Tbps = 12,000 / 12,800 bits/ns < 1 ns → ceil 1.
         match sw.ingress(SimTime::from_nanos(10), 0, 1500).unwrap() {
-            Egress::Forwarded { departure, latency_ns } => {
+            Egress::Forwarded {
+                departure,
+                latency_ns,
+            } => {
                 assert_eq!(latency_ns, 1);
                 assert_eq!(departure, SimTime::from_nanos(11));
             }
@@ -636,7 +671,10 @@ mod tests {
 
     #[test]
     fn buffer_overflow_drops() {
-        let params = SwitchParams { buffer_bytes: 3_000, ..SwitchParams::paper_51t2() };
+        let params = SwitchParams {
+            buffer_bytes: 3_000,
+            ..SwitchParams::paper_51t2()
+        };
         let mut sw = PipelineSwitch::new(params, SimTime::ZERO).unwrap();
         sw.set_frequency(SimTime::ZERO, 0, 1.0).unwrap();
         // Slow the pipeline way down so a burst overflows 3 kB.
@@ -644,8 +682,7 @@ mod tests {
         // 12.8 Tbps — emit a burst at the same instant.
         let mut drops = 0;
         for _ in 0..10 {
-            if let Egress::Dropped { reason } =
-                sw.ingress(SimTime::from_nanos(1), 0, 1500).unwrap()
+            if let Egress::Dropped { reason } = sw.ingress(SimTime::from_nanos(1), 0, 1500).unwrap()
             {
                 assert_eq!(reason, DropReason::BufferFull);
                 drops += 1;
@@ -673,8 +710,10 @@ mod tests {
         // Tiny buffer to force overflow: 2000 packets x 9 kB = 18 MB
         // offered in 2 µs to a pipeline that serializes ~3.2 MB in that
         // window.
-        let drop_params =
-            SwitchParams { buffer_bytes: 256 * 1024, ..SwitchParams::paper_51t2() };
+        let drop_params = SwitchParams {
+            buffer_bytes: 256 * 1024,
+            ..SwitchParams::paper_51t2()
+        };
         let mut dropping = PipelineSwitch::new(drop_params, SimTime::ZERO).unwrap();
         burst(&mut dropping);
         assert!(dropping.loss().dropped > 0);
@@ -725,7 +764,10 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let bad = SwitchParams { ports: 0, ..SwitchParams::paper_51t2() };
+        let bad = SwitchParams {
+            ports: 0,
+            ..SwitchParams::paper_51t2()
+        };
         assert!(PipelineSwitch::new(bad, SimTime::ZERO).is_err());
         let mut sw = switch();
         assert!(sw.set_frequency(SimTime::ZERO, 0, 0.0).is_err());

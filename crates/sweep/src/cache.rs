@@ -1,0 +1,154 @@
+//! Content-addressed on-disk result cache.
+//!
+//! One JSON file per scenario, named by the scenario's content hash
+//! (`<dir>/<hash>.json`). Because the key is a hash of the canonical
+//! spec (version-prefixed — see [`crate::hash`]), invalidation is
+//! automatic: edit any field of a scenario, or bump
+//! [`crate::hash::FORMAT_VERSION`], and the old entry is simply never
+//! addressed again. Entries that fail to parse are treated as misses
+//! and overwritten.
+//!
+//! Writes go through a per-process temporary file renamed into place,
+//! so concurrent workers (or concurrent sweep processes) racing on the
+//! same hash each land a complete file and the loser's rename is a
+//! harmless overwrite with identical bytes.
+
+use std::path::{Path, PathBuf};
+
+use crate::runner::Metrics;
+use crate::Result;
+
+/// Handle to a cache directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.json"))
+    }
+
+    /// Looks up a scenario result. Missing or unparsable entries are
+    /// misses.
+    pub fn get(&self, hash: &str) -> Option<Metrics> {
+        let bytes = std::fs::read(self.entry_path(hash)).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Stores a scenario result (atomic rename; last writer wins).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O or serialization errors.
+    pub fn put(&self, hash: &str, metrics: &Metrics) -> Result<()> {
+        let tmp = self.dir.join(format!(".{hash}.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, serde_json::to_string_pretty(metrics)?)?;
+        std::fs::rename(&tmp, self.entry_path(hash))?;
+        Ok(())
+    }
+
+    /// Number of complete entries currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be read.
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if name.to_string_lossy().ends_with(".json") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// `true` when the cache holds no complete entries.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be read.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("npp-sweep-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_metrics() -> Metrics {
+        Metrics {
+            average_power_w: 100.0,
+            baseline_power_w: 150.0,
+            power_saved_w: 50.0,
+            savings: 1.0 / 3.0,
+            slowdown: 1.25,
+            loss_rate: 0.0,
+            p99_latency_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips_exactly() {
+        let dir = scratch_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.get("deadbeef").is_none());
+        let m = sample_metrics();
+        cache.put("deadbeef", &m).unwrap();
+        assert_eq!(cache.get("deadbeef"), Some(m));
+        assert_eq!(cache.len().unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = scratch_dir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        std::fs::write(dir.join("cafe.json"), b"{ not json").unwrap();
+        assert!(cache.get("cafe").is_none());
+        // And can be healed by a put.
+        cache.put("cafe", &sample_metrics()).unwrap();
+        assert!(cache.get("cafe").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_hashes_are_distinct_entries() {
+        let dir = scratch_dir("distinct");
+        let cache = ResultCache::open(&dir).unwrap();
+        let mut a = sample_metrics();
+        let mut b = sample_metrics();
+        a.savings = 0.1;
+        b.savings = 0.9;
+        cache.put("aaaa", &a).unwrap();
+        cache.put("bbbb", &b).unwrap();
+        assert_eq!(cache.get("aaaa").unwrap().savings, 0.1);
+        assert_eq!(cache.get("bbbb").unwrap().savings, 0.9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

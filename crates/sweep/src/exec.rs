@@ -1,0 +1,107 @@
+//! Deterministic parallel execution over an indexed work list.
+//!
+//! A chunk-free work-stealing queue: one shared atomic cursor hands out
+//! indices; each worker runs items, collecting `(index, output)` pairs
+//! locally; the caller merges and sorts by index. The output vector is
+//! therefore a pure function of the per-index job — thread scheduling
+//! decides only *who* computes an item, never *what* it computes or
+//! where it lands. Combined with per-scenario seeds derived from spec
+//! hashes (never thread order), parallel sweeps are bit-identical to
+//! serial ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `job` for every index in `0..n` on up to `jobs` worker threads
+/// and returns the outputs in index order.
+///
+/// `jobs` is clamped to `[1, n]` (and 1 when `n == 0`). With `jobs ==
+/// 1` everything runs on the calling thread — no scope, no channels —
+/// which is the reference serial execution the determinism tests
+/// compare against.
+///
+/// # Panics
+///
+/// Propagates panics from `job` (the scope joins all workers first).
+pub fn run_indexed<T, F>(n: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        local.push((index, job(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    let mut indexed: Vec<(usize, T)> = partials.drain(..).flatten().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert!(indexed
+        .iter()
+        .enumerate()
+        .all(|(want, (got, _))| want == *got));
+    indexed.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_are_in_index_order() {
+        let out = run_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                run_indexed(257, jobs, f),
+                run_indexed(257, 1, f),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(1000, 16, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(run_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 8, |i| i + 7), vec![7]);
+        assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Grid expansion: `SweepSpec` → concrete scenarios.
+//!
+//! Expansion is mixed-radix counting over the axes: scenario `k`'s
+//! coordinate along axis `j` is a digit of `k`, with the **last** axis
+//! varying fastest. The ordering is part of the on-disk contract — the
+//! executor's results vector, scenario indices in reports, and the
+//! determinism tests all rely on it.
+
+use crate::hash::{scenario_hash, seed_from_hash};
+use crate::spec::{ScenarioSpec, SweepSpec};
+use crate::{Result, SweepError};
+
+/// One expanded grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Position in the grid (row-major over the axes).
+    pub index: usize,
+    /// `axis=value` coordinates, one per sweep axis, in axis order.
+    pub coords: Vec<(String, String)>,
+    /// The concrete spec, base plus axis values.
+    pub spec: ScenarioSpec,
+    /// Content hash of `spec` (hex SHA-256 of its canonical JSON).
+    pub hash: String,
+    /// Deterministic per-scenario RNG seed, derived from `hash` — never
+    /// from grid position or thread schedule.
+    pub seed: u64,
+}
+
+/// Expands the sweep's cartesian grid in deterministic order.
+///
+/// # Errors
+///
+/// Rejects empty axes and simulation axes over analytic bases.
+pub fn expand(spec: &SweepSpec) -> Result<Vec<Scenario>> {
+    for axis in &spec.axes {
+        if axis.is_empty() {
+            return Err(SweepError::Spec(format!(
+                "axis `{}` has no values",
+                axis.name()
+            )));
+        }
+    }
+    let total = spec.grid_size();
+    let mut out = Vec::with_capacity(total);
+    for index in 0..total {
+        // Mixed-radix digits of `index`, last axis fastest.
+        let mut rem = index;
+        let mut digits = vec![0usize; spec.axes.len()];
+        for (j, axis) in spec.axes.iter().enumerate().rev() {
+            digits[j] = rem % axis.len();
+            rem /= axis.len();
+        }
+        let mut scenario = spec.base.clone();
+        let mut coords = Vec::with_capacity(spec.axes.len());
+        for (axis, &digit) in spec.axes.iter().zip(&digits) {
+            axis.apply(digit, &mut scenario)?;
+            coords.push((axis.name().to_string(), axis.label(digit)));
+        }
+        let hash = scenario_hash(&scenario)?;
+        let seed = seed_from_hash(&hash);
+        out.push(Scenario {
+            index,
+            coords,
+            spec: scenario,
+            hash,
+            seed,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Axis;
+
+    fn two_axis_spec() -> SweepSpec {
+        SweepSpec {
+            name: "grid-test".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![
+                Axis::BandwidthGbps(vec![100.0, 400.0]),
+                Axis::NetworkProportionality(vec![0.1, 0.5, 1.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_row_major() {
+        let grid = expand(&two_axis_spec()).unwrap();
+        assert_eq!(grid.len(), 6);
+        // Last axis varies fastest.
+        let props: Vec<f64> = grid
+            .iter()
+            .map(|s| s.spec.network_proportionality)
+            .collect();
+        assert_eq!(props, vec![0.1, 0.5, 1.0, 0.1, 0.5, 1.0]);
+        let bws: Vec<f64> = grid.iter().map(|s| s.spec.bandwidth_gbps).collect();
+        assert_eq!(bws, vec![100.0, 100.0, 100.0, 400.0, 400.0, 400.0]);
+        for (i, s) in grid.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.coords.len(), 2);
+        }
+    }
+
+    #[test]
+    fn seeds_depend_on_spec_not_position() {
+        let grid = expand(&two_axis_spec()).unwrap();
+        // Re-expanding with axes swapped visits the same specs at
+        // different indices; their hashes and seeds must not move.
+        let mut swapped = two_axis_spec();
+        swapped.axes.reverse();
+        let grid2 = expand(&swapped).unwrap();
+        for s in &grid {
+            let twin = grid2.iter().find(|t| t.spec == s.spec).unwrap();
+            assert_eq!(twin.hash, s.hash);
+            assert_eq!(twin.seed, s.seed);
+            assert_ne!((twin.index, s.index), (0, 1), "spot check only");
+        }
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let mut spec = two_axis_spec();
+        spec.axes.push(Axis::Gpus(vec![]));
+        assert!(expand(&spec).is_err());
+    }
+
+    #[test]
+    fn no_axes_yields_single_scenario() {
+        let spec = SweepSpec {
+            name: "single".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![],
+        };
+        let grid = expand(&spec).unwrap();
+        assert_eq!(grid.len(), 1);
+        assert!(grid[0].coords.is_empty());
+    }
+}

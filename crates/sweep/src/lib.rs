@@ -1,0 +1,384 @@
+//! # npp-sweep
+//!
+//! Parallel scenario-sweep and experiment-orchestration engine for the
+//! HotNets'25 power-proportionality study.
+//!
+//! A sweep is a serializable [`SweepSpec`]: a base [`ScenarioSpec`]
+//! (cluster shape, power-model overrides, workload, evaluation path)
+//! plus axes whose cartesian product expands into a grid of concrete
+//! scenarios. The engine runs the grid on a deterministic parallel
+//! executor, answers repeated scenarios from a content-addressed result
+//! cache, and aggregates the grid into best-per-axis tables and a
+//! power-saved vs. slowdown Pareto frontier.
+//!
+//! Three invariants define the engine:
+//!
+//! 1. **parallel == serial, bit for bit** — scenario seeds derive from
+//!    a stable hash of each spec (never thread order), workers write
+//!    results into index-addressed slots, and wall-clock metrics stay
+//!    out of the deterministic document;
+//! 2. **the cache key is the spec** — results are stored under the
+//!    SHA-256 of the scenario's canonical JSON, so any edit to a
+//!    scenario (or a format-version bump) invalidates exactly the
+//!    affected entries;
+//! 3. **one metrics shape for both paths** — analytic (`npp-core`)
+//!    and simulated (`npp-simnet` + `npp-mechanisms`) scenarios land in
+//!    the same [`Metrics`] row, so grids can mix them.
+//!
+//! ```
+//! use npp_sweep::{run_sweep, Axis, ScenarioSpec, SweepOptions, SweepSpec};
+//!
+//! let spec = SweepSpec {
+//!     name: "doc-example".into(),
+//!     base: ScenarioSpec::paper_baseline(),
+//!     axes: vec![Axis::BandwidthGbps(vec![100.0, 400.0])],
+//! };
+//! let outcome = run_sweep(&spec, &SweepOptions::serial(), None).unwrap();
+//! assert_eq!(outcome.results.scenarios.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+pub mod cache;
+pub mod exec;
+pub mod grid;
+pub mod hash;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use cache::ResultCache;
+pub use grid::{expand, Scenario};
+pub use report::{
+    best_per_axis, frontier_table, power_slowdown_frontier, run_summary, ScenarioResult,
+    SweepOutcome, SweepReport, SweepResults,
+};
+pub use runner::{run_scenario, Metrics};
+pub use spec::{
+    Axis, ExperimentKind, ScalingMode, ScenarioSpec, SimWorkload, SimulationSpec, SweepSpec,
+};
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Invalid sweep or scenario specification.
+    Spec(String),
+    /// Propagated analytic-model error.
+    Core(npp_core::CoreError),
+    /// Propagated power-model error.
+    Power(npp_power::PowerError),
+    /// Propagated workload-model error.
+    Workload(npp_workload::WorkloadError),
+    /// Propagated simulator error.
+    Sim(npp_simnet::SimError),
+    /// Propagated mechanism error.
+    Mechanism(npp_mechanisms::MechanismError),
+    /// Spec or result (de)serialization failure.
+    Serde(serde_json::Error),
+    /// Cache or spec-file I/O failure.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SweepError::Spec(msg) => write!(f, "invalid sweep spec: {msg}"),
+            SweepError::Core(e) => write!(f, "analytic model: {e}"),
+            SweepError::Power(e) => write!(f, "power model: {e}"),
+            SweepError::Workload(e) => write!(f, "workload model: {e}"),
+            SweepError::Sim(e) => write!(f, "simulation: {e}"),
+            SweepError::Mechanism(e) => write!(f, "mechanism: {e}"),
+            SweepError::Serde(e) => write!(f, "serialization: {e}"),
+            SweepError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Spec(_) => None,
+            SweepError::Core(e) => Some(e),
+            SweepError::Power(e) => Some(e),
+            SweepError::Workload(e) => Some(e),
+            SweepError::Sim(e) => Some(e),
+            SweepError::Mechanism(e) => Some(e),
+            SweepError::Serde(e) => Some(e),
+            SweepError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<npp_core::CoreError> for SweepError {
+    fn from(e: npp_core::CoreError) -> Self {
+        SweepError::Core(e)
+    }
+}
+impl From<npp_power::PowerError> for SweepError {
+    fn from(e: npp_power::PowerError) -> Self {
+        SweepError::Power(e)
+    }
+}
+impl From<npp_workload::WorkloadError> for SweepError {
+    fn from(e: npp_workload::WorkloadError) -> Self {
+        SweepError::Workload(e)
+    }
+}
+impl From<npp_simnet::SimError> for SweepError {
+    fn from(e: npp_simnet::SimError) -> Self {
+        SweepError::Sim(e)
+    }
+}
+impl From<npp_mechanisms::MechanismError> for SweepError {
+    fn from(e: npp_mechanisms::MechanismError) -> Self {
+        SweepError::Mechanism(e)
+    }
+}
+impl From<serde_json::Error> for SweepError {
+    fn from(e: serde_json::Error) -> Self {
+        SweepError::Serde(e)
+    }
+}
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SweepError>;
+
+/// Execution options for a sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (clamped to the grid size; 1 = serial reference).
+    pub jobs: usize,
+    /// Result-cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// Serial execution, no cache — the determinism reference.
+    pub fn serial() -> Self {
+        Self {
+            jobs: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// One worker per available core, no cache.
+    pub fn parallel() -> Self {
+        let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self {
+            jobs,
+            cache_dir: None,
+        }
+    }
+
+    /// Adds a result-cache directory.
+    #[must_use]
+    pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Progress notifications emitted while a sweep runs. Delivery order
+/// between workers is nondeterministic — hooks are for humans and run
+/// metrics, never for results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// The grid was expanded and execution is starting.
+    Started {
+        /// Sweep name.
+        name: String,
+        /// Grid size.
+        total: usize,
+        /// Worker threads.
+        jobs: usize,
+    },
+    /// One scenario finished.
+    ScenarioDone {
+        /// Grid index of the finished scenario.
+        index: usize,
+        /// Whether it was answered from the cache.
+        cached: bool,
+    },
+    /// The whole sweep finished.
+    Finished {
+        /// Grid size.
+        total: usize,
+        /// Cache hits.
+        cache_hits: usize,
+        /// Executed scenarios.
+        cache_misses: usize,
+        /// Wall-clock duration, ms.
+        wall_ms: u64,
+    },
+}
+
+/// Progress-hook type: called from worker threads, so it must be
+/// `Sync`.
+pub type ProgressHook<'a> = dyn Fn(&ProgressEvent) + Sync + 'a;
+
+/// Runs a sweep end to end: expand, execute (parallel, cached),
+/// aggregate.
+///
+/// # Errors
+///
+/// Returns the first scenario error encountered (by grid index), or
+/// spec/cache errors.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    progress: Option<&ProgressHook<'_>>,
+) -> Result<SweepOutcome> {
+    let started = Instant::now();
+    let scenarios = grid::expand(spec)?;
+    let total = scenarios.len();
+    let jobs = opts.jobs.clamp(1, total.max(1));
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    if let Some(hook) = progress {
+        hook(&ProgressEvent::Started {
+            name: spec.name.clone(),
+            total,
+            jobs,
+        });
+    }
+
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+    let outputs: Vec<Result<Metrics>> = exec::run_indexed(total, jobs, |index| {
+        let scenario = &scenarios[index];
+        let (metrics, cached) = match cache.as_ref().and_then(|c| c.get(&scenario.hash)) {
+            Some(found) => (Ok(found), true),
+            None => {
+                let computed = runner::run_scenario(&scenario.spec, scenario.seed);
+                if let (Some(c), Ok(m)) = (cache.as_ref(), &computed) {
+                    c.put(&scenario.hash, m)?;
+                }
+                (computed, false)
+            }
+        };
+        if cached {
+            hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(hook) = progress {
+            hook(&ProgressEvent::ScenarioDone { index, cached });
+        }
+        metrics
+    });
+
+    let mut rows = Vec::with_capacity(total);
+    for (scenario, output) in scenarios.into_iter().zip(outputs) {
+        let metrics = output?;
+        rows.push(ScenarioResult {
+            index: scenario.index,
+            label: ScenarioResult::label_from_coords(&scenario.coords),
+            hash: scenario.hash,
+            seed: scenario.seed,
+            coords: scenario.coords,
+            metrics,
+        });
+    }
+
+    let frontier = report::power_slowdown_frontier(&rows);
+    let report = SweepReport {
+        jobs,
+        cache_hits: hits.load(Ordering::Relaxed),
+        cache_misses: misses.load(Ordering::Relaxed),
+        wall_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+    };
+    if let Some(hook) = progress {
+        hook(&ProgressEvent::Finished {
+            total,
+            cache_hits: report.cache_hits,
+            cache_misses: report.cache_misses,
+            wall_ms: report.wall_ms,
+        });
+    }
+    Ok(SweepOutcome {
+        results: SweepResults {
+            name: spec.name.clone(),
+            total,
+            frontier,
+            scenarios: rows,
+        },
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            name: "unit".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![
+                Axis::BandwidthGbps(vec![100.0, 200.0, 400.0]),
+                Axis::NetworkProportionality(vec![0.1, 0.9]),
+            ],
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_document() {
+        let spec = small_spec();
+        let serial = run_sweep(&spec, &SweepOptions::serial(), None).unwrap();
+        let parallel = run_sweep(
+            &spec,
+            &SweepOptions {
+                jobs: 8,
+                cache_dir: None,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(serial.results, parallel.results);
+        let a = serde_json::to_string_pretty(&serial.results).unwrap();
+        let b = serde_json::to_string_pretty(&parallel.results).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn progress_events_cover_every_scenario() {
+        use std::sync::Mutex;
+        let events = Mutex::new(Vec::new());
+        let hook = |ev: &ProgressEvent| events.lock().unwrap().push(ev.clone());
+        let outcome = run_sweep(&small_spec(), &SweepOptions::serial(), Some(&hook)).unwrap();
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.len(), outcome.results.total + 2);
+        assert!(matches!(
+            events.first(),
+            Some(ProgressEvent::Started { total: 6, .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(ProgressEvent::Finished { .. })
+        ));
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_in_range() {
+        let outcome = run_sweep(&small_spec(), &SweepOptions::serial(), None).unwrap();
+        let f = &outcome.results.frontier;
+        assert!(!f.is_empty());
+        assert!(f.windows(2).all(|w| {
+            outcome.results.scenarios[w[0]].metrics.slowdown
+                < outcome.results.scenarios[w[1]].metrics.slowdown
+        }));
+        assert!(f.iter().all(|&i| i < outcome.results.total));
+    }
+}

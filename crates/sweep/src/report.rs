@@ -1,0 +1,211 @@
+//! Sweep result aggregation: per-scenario rows, best-per-axis tables,
+//! and the Pareto frontier over power saved vs. slowdown.
+//!
+//! The deterministic document ([`SweepResults`]) is kept strictly
+//! separate from the volatile run metrics ([`SweepReport`]): the former
+//! is a pure function of the spec and serializes byte-identically
+//! regardless of thread count; the latter carries wall times and cache
+//! counters and must never leak into `--json` output.
+
+use serde::{Deserialize, Serialize};
+
+use npp_report::{pareto_indices, Table};
+
+use crate::runner::Metrics;
+use crate::spec::SweepSpec;
+
+/// One scenario's deterministic result row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Grid position (row-major over the axes).
+    pub index: usize,
+    /// Human-readable `axis=value` label ("base" when the sweep has no
+    /// axes).
+    pub label: String,
+    /// Content hash of the scenario spec.
+    pub hash: String,
+    /// Seed derived from the hash (recorded for reproduction).
+    pub seed: u64,
+    /// `(axis, value)` coordinates in axis order.
+    pub coords: Vec<(String, String)>,
+    /// The runner's metrics.
+    pub metrics: Metrics,
+}
+
+impl ScenarioResult {
+    /// Builds the display label from coordinates.
+    pub fn label_from_coords(coords: &[(String, String)]) -> String {
+        if coords.is_empty() {
+            return "base".to_string();
+        }
+        coords
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The deterministic sweep document (what `--json` prints).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResults {
+    /// Sweep name from the spec.
+    pub name: String,
+    /// Number of scenarios in the grid.
+    pub total: usize,
+    /// Indices (into `scenarios`) of the power-saved vs. slowdown
+    /// Pareto frontier, ascending slowdown.
+    pub frontier: Vec<usize>,
+    /// Every scenario, in grid order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Volatile per-run metrics — surfaced for humans, excluded from the
+/// deterministic document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Scenarios answered from the result cache.
+    pub cache_hits: usize,
+    /// Scenarios actually executed.
+    pub cache_misses: usize,
+    /// Wall-clock duration of the whole sweep, ms.
+    pub wall_ms: u64,
+}
+
+/// A finished sweep: deterministic results plus the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Deterministic results document.
+    pub results: SweepResults,
+    /// Volatile run metrics.
+    pub report: SweepReport,
+}
+
+/// Pareto frontier over (slowdown ↓, power saved ↑), as indices into
+/// `scenarios` sorted by ascending slowdown.
+pub fn power_slowdown_frontier(scenarios: &[ScenarioResult]) -> Vec<usize> {
+    pareto_indices(
+        scenarios,
+        |s| s.metrics.slowdown,
+        |s| s.metrics.power_saved_w,
+    )
+}
+
+/// The frontier as a rendered table.
+pub fn frontier_table(scenarios: &[ScenarioResult], frontier: &[usize]) -> Table {
+    let mut t = Table::new(vec!["scenario", "slowdown", "power saved (kW)", "savings"])
+        .with_title("Pareto frontier: power saved vs. slowdown");
+    for &i in frontier {
+        let s = &scenarios[i];
+        t.push_row(vec![
+            s.label.clone(),
+            format!("{:.3}x", s.metrics.slowdown),
+            format!("{:.1}", s.metrics.power_saved_w / 1e3),
+            format!("{:.1}%", s.metrics.savings * 100.0),
+        ]);
+    }
+    t
+}
+
+/// For every axis value, the scenario that saves the most power.
+pub fn best_per_axis(spec: &SweepSpec, scenarios: &[ScenarioResult]) -> Table {
+    let mut t = Table::new(vec![
+        "axis",
+        "value",
+        "best scenario",
+        "power saved (kW)",
+        "savings",
+        "slowdown",
+    ])
+    .with_title("Best scenario per axis value (by power saved)");
+    for (axis_pos, axis) in spec.axes.iter().enumerate() {
+        for value_idx in 0..axis.len() {
+            let value = axis.label(value_idx);
+            let best = scenarios
+                .iter()
+                .filter(|s| s.coords.get(axis_pos).is_some_and(|(_, v)| *v == value))
+                .max_by(|a, b| {
+                    a.metrics
+                        .power_saved_w
+                        .partial_cmp(&b.metrics.power_saved_w)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Ties: lowest index wins, deterministically.
+                        .then(b.index.cmp(&a.index))
+                });
+            if let Some(s) = best {
+                t.push_row(vec![
+                    axis.name().to_string(),
+                    value,
+                    s.label.clone(),
+                    format!("{:.1}", s.metrics.power_saved_w / 1e3),
+                    format!("{:.1}%", s.metrics.savings * 100.0),
+                    format!("{:.3}x", s.metrics.slowdown),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// One-line run summary (volatile; print to stderr in `--json` mode).
+pub fn run_summary(outcome: &SweepOutcome) -> String {
+    format!(
+        "sweep `{}`: {} scenarios, {} jobs, {} cache hits / {} misses, {} ms",
+        outcome.results.name,
+        outcome.results.total,
+        outcome.report.jobs,
+        outcome.report.cache_hits,
+        outcome.report.cache_misses,
+        outcome.report.wall_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize, slowdown: f64, saved: f64) -> ScenarioResult {
+        ScenarioResult {
+            index,
+            label: format!("s{index}"),
+            hash: format!("{index:08x}"),
+            seed: index as u64,
+            coords: vec![("bw".into(), format!("{index}"))],
+            metrics: Metrics {
+                average_power_w: 1000.0 - saved,
+                baseline_power_w: 1000.0,
+                power_saved_w: saved,
+                savings: saved / 1000.0,
+                slowdown,
+                loss_rate: 0.0,
+                p99_latency_ns: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn frontier_drops_dominated_scenarios() {
+        let rows = vec![
+            row(0, 1.1, 100.0),
+            row(1, 1.2, 300.0),
+            row(2, 1.3, 200.0), // dominated by row 1
+            row(3, 1.5, 400.0),
+        ];
+        assert_eq!(power_slowdown_frontier(&rows), vec![0, 1, 3]);
+        let table = frontier_table(&rows, &[0, 1, 3]);
+        assert_eq!(table.row_count(), 3);
+        assert!(!table.render().contains("s2"));
+    }
+
+    #[test]
+    fn labels_compose_coords() {
+        assert_eq!(ScenarioResult::label_from_coords(&[]), "base");
+        let coords = vec![
+            ("bw".to_string(), "400".to_string()),
+            ("p".to_string(), "0.5".to_string()),
+        ];
+        assert_eq!(ScenarioResult::label_from_coords(&coords), "bw=400, p=0.5");
+    }
+}

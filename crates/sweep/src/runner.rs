@@ -1,0 +1,222 @@
+//! Scenario runners: one spec in, one deterministic metrics row out.
+//!
+//! Two evaluation paths share the [`Metrics`] shape:
+//!
+//! - **analytic** — the `npp-core` cluster model: average power under
+//!   the spec's proportionality vs. a flat-power network baseline, and
+//!   the iteration slowdown the chosen bandwidth costs;
+//! - **simulation** — `npp-simnet`'s pipeline switch driven by a §4
+//!   mechanism from `npp-mechanisms`, reporting achieved savings plus
+//!   the loss/latency price.
+//!
+//! Runners must be pure functions of `(spec, seed)`: no wall-clock
+//! values, no global RNG, no thread-dependent state. The sweep
+//! executor's parallel == serial guarantee rests on this.
+
+use serde::{Deserialize, Serialize};
+
+use npp_core::savings::average_power;
+use npp_power::Proportionality;
+use npp_simnet::sources::{MergedSource, PoissonSource, TrafficSource};
+use npp_simnet::switchsim::SwitchParams;
+use npp_simnet::SimTime;
+use npp_units::Gbps;
+
+use npp_mechanisms::comparison::ml_workload;
+
+use crate::spec::{ExperimentKind, ScenarioSpec, SimWorkload, SimulationSpec};
+use crate::{Result, SweepError};
+
+/// The deterministic per-scenario result row (this is what the cache
+/// stores, keyed by the scenario's content hash).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Metrics {
+    /// Time-averaged power of the scenario's system, W.
+    pub average_power_w: f64,
+    /// Power of the same system with a flat (non-proportional) network
+    /// — analytic path — or the all-on switch — simulation path, W.
+    pub baseline_power_w: f64,
+    /// `baseline_power_w - average_power_w`.
+    pub power_saved_w: f64,
+    /// Fractional saving vs. the baseline.
+    pub savings: f64,
+    /// Iteration-time inflation from the scenario's bandwidth:
+    /// `(t_compute + t_comm) / t_compute`. 1.0 on the simulation path,
+    /// where the switch mechanisms don't stretch iterations.
+    pub slowdown: f64,
+    /// Packet loss rate (simulation path; 0 analytically).
+    pub loss_rate: f64,
+    /// 99th-percentile switch latency, ns (simulation path; 0
+    /// analytically).
+    pub p99_latency_ns: f64,
+}
+
+/// Runs one scenario to completion.
+///
+/// # Errors
+///
+/// Propagates model, simulator, and spec-validation errors.
+pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<Metrics> {
+    match &spec.experiment {
+        ExperimentKind::Analytic => run_analytic(spec),
+        ExperimentKind::Simulation(sim) => run_simulation(sim, seed),
+    }
+}
+
+fn run_analytic(spec: &ScenarioSpec) -> Result<Metrics> {
+    let cfg = spec.cluster_config()?;
+    let scenario = spec.scaling.scenario();
+    let power = average_power(&cfg, scenario)?;
+    // The savings baseline: the identical cluster whose network burns
+    // full power regardless of load (proportionality 0), as in Table 3.
+    let flat = cfg
+        .clone()
+        .with_network_proportionality(Proportionality::FLAT);
+    let baseline = average_power(&flat, scenario)?;
+
+    let t_comp = cfg.workload.compute_time(cfg.gpus)?;
+    let t_comm = cfg.workload.comm_time_fixed_workload(cfg.bandwidth)?;
+    let slowdown = (t_comp.value() + t_comm.value()) / t_comp.value();
+
+    let saved = baseline.value() - power.value();
+    Ok(Metrics {
+        average_power_w: power.value(),
+        baseline_power_w: baseline.value(),
+        power_saved_w: saved,
+        savings: if baseline.value() > 0.0 {
+            saved / baseline.value()
+        } else {
+            0.0
+        },
+        slowdown,
+        loss_rate: 0.0,
+        p99_latency_ns: 0.0,
+    })
+}
+
+fn run_simulation(sim: &SimulationSpec, seed: u64) -> Result<Metrics> {
+    if sim.horizon_ms == 0 {
+        return Err(SweepError::Spec(
+            "simulation horizon must be positive".into(),
+        ));
+    }
+    let params = SwitchParams::paper_51t2();
+    let horizon = SimTime::from_millis(sim.horizon_ms);
+    let mut source = build_source(sim, seed, horizon)?;
+    let outcome = sim
+        .mechanism
+        .run(params, sim.knobs(), source.as_mut(), horizon)?;
+
+    let all_on = params.max_power().value();
+    let savings = outcome.savings.fraction();
+    Ok(Metrics {
+        average_power_w: all_on * (1.0 - savings),
+        baseline_power_w: all_on,
+        power_saved_w: all_on * savings,
+        savings,
+        slowdown: 1.0,
+        loss_rate: outcome.loss_rate,
+        p99_latency_ns: outcome.p99_latency_ns,
+    })
+}
+
+/// Builds the simulated traffic source. Stochastic workloads draw their
+/// seeds from the scenario seed (itself a pure function of the spec),
+/// so identical specs replay identical packet streams on any thread.
+fn build_source(
+    sim: &SimulationSpec,
+    seed: u64,
+    horizon: SimTime,
+) -> Result<Box<dyn TrafficSource>> {
+    match sim.workload {
+        SimWorkload::MlPeriodic => Ok(Box::new(ml_workload(horizon))),
+        SimWorkload::Poisson {
+            rate_gbps,
+            packet_bytes,
+        } => {
+            const PORTS: u64 = 4;
+            let per_port = Gbps::new(rate_gbps / PORTS as f64);
+            let sources = (0..PORTS)
+                .map(|port| {
+                    PoissonSource::new(
+                        per_port,
+                        packet_bytes,
+                        port as usize,
+                        SimTime::ZERO,
+                        horizon,
+                        seed ^ port.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    )
+                    .map(|s| Box::new(s) as Box<dyn TrafficSource>)
+                })
+                .collect::<std::result::Result<Vec<_>, _>>()?;
+            Ok(Box::new(MergedSource::new(sources)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_mechanisms::mechanism::Mechanism;
+
+    #[test]
+    fn analytic_baseline_matches_table3_zero_cell() {
+        // At the paper baseline (400G, 10% proportionality is the
+        // savings *knob* not the baseline): savings against flat must
+        // be positive and modest, and slowdown is 1/(1-comm_ratio).
+        let spec = ScenarioSpec::paper_baseline();
+        let m = run_scenario(&spec, 1).unwrap();
+        assert!(m.power_saved_w > 0.0);
+        assert!(m.savings > 0.0 && m.savings < 0.2, "savings {}", m.savings);
+        assert!(
+            (m.slowdown - 1.0 / 0.9).abs() < 1e-9,
+            "slowdown {}",
+            m.slowdown
+        );
+        assert_eq!(m.loss_rate, 0.0);
+    }
+
+    #[test]
+    fn analytic_power_slowdown_tradeoff() {
+        // Lower bandwidth: less power, more slowdown — the Pareto axes.
+        let mut fast = ScenarioSpec::paper_baseline();
+        fast.network_proportionality = 0.9;
+        let mut slow = fast.clone();
+        slow.bandwidth_gbps = 100.0;
+        let mf = run_scenario(&fast, 1).unwrap();
+        let ms = run_scenario(&slow, 1).unwrap();
+        assert!(ms.average_power_w < mf.average_power_w);
+        assert!(ms.slowdown > mf.slowdown);
+    }
+
+    #[test]
+    fn simulation_path_runs_and_is_seed_stable() {
+        let mut spec = ScenarioSpec::paper_baseline();
+        spec.experiment = ExperimentKind::Simulation(SimulationSpec {
+            workload: SimWorkload::Poisson {
+                rate_gbps: 10_000.0,
+                packet_bytes: 1_500,
+            },
+            horizon_ms: 2,
+            ..SimulationSpec::comparison_defaults(Mechanism::RateAdaptPerPipeline)
+        });
+        let a = run_scenario(&spec, 42).unwrap();
+        let b = run_scenario(&spec, 42).unwrap();
+        assert_eq!(a, b);
+        assert!(a.savings > 0.0);
+        let c = run_scenario(&spec, 43).unwrap();
+        // Different seed, different packet stream (metrics may differ).
+        assert!(c.savings > 0.0);
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let mut spec = ScenarioSpec::paper_baseline();
+        spec.experiment = ExperimentKind::Simulation(SimulationSpec {
+            horizon_ms: 0,
+            ..SimulationSpec::comparison_defaults(Mechanism::AllOn)
+        });
+        assert!(run_scenario(&spec, 1).is_err());
+    }
+}

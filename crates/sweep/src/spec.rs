@@ -1,0 +1,363 @@
+//! Serializable scenario and sweep specifications.
+//!
+//! A [`ScenarioSpec`] pins down one concrete experiment: cluster shape,
+//! power-model overrides, workload, and whether it runs through the
+//! analytic model (`npp-core`) or the switch simulator with a §4
+//! mechanism (`npp-simnet` + `npp-mechanisms`). A [`SweepSpec`] is a
+//! base scenario plus a list of [`Axis`] values; the cartesian product
+//! of the axes expands into the concrete scenario grid (see
+//! [`crate::grid`]).
+//!
+//! Every type rejects unknown fields so a typo in a spec file fails
+//! loudly instead of silently running the wrong experiment.
+
+use serde::{Deserialize, Serialize};
+
+use npp_core::ClusterConfig;
+use npp_mechanisms::mechanism::{Mechanism, MechanismKnobs};
+use npp_power::Proportionality;
+use npp_units::{Gbps, Seconds};
+use npp_workload::{IterationModel, ScalingScenario};
+
+use crate::{Result, SweepError};
+
+/// How the cluster reacts to reduced bandwidth (Table 3's two columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingMode {
+    /// Same job, longer communication phases.
+    FixedWorkload,
+    /// Job resized so the communication ratio stays constant.
+    FixedCommRatio,
+}
+
+impl ScalingMode {
+    /// The `npp-workload` scenario this mode selects.
+    pub fn scenario(self) -> ScalingScenario {
+        match self {
+            ScalingMode::FixedWorkload => ScalingScenario::FixedWorkload,
+            ScalingMode::FixedCommRatio => ScalingScenario::FixedCommRatio,
+        }
+    }
+}
+
+/// Traffic offered to the simulated switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimWorkload {
+    /// The comparison harness's periodic ML pattern (1 ms iterations,
+    /// 10 % communication, four ports). Deterministic by construction.
+    MlPeriodic,
+    /// Poisson arrivals at the given aggregate rate across four ports,
+    /// seeded from the scenario's stable spec hash.
+    Poisson {
+        /// Aggregate mean offered rate, Gbit/s.
+        rate_gbps: f64,
+        /// Packet size, bytes.
+        packet_bytes: u64,
+    },
+}
+
+/// Simulation-path parameters: which mechanism runs, on what traffic,
+/// for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SimulationSpec {
+    /// The §4 mechanism under test.
+    pub mechanism: Mechanism,
+    /// Simulated horizon, ms.
+    pub horizon_ms: u64,
+    /// Controller interval, ns.
+    pub control_interval_ns: u64,
+    /// Controller utilization target in `(0, 1]`.
+    pub target_utilization: f64,
+    /// Offered traffic.
+    pub workload: SimWorkload,
+}
+
+impl SimulationSpec {
+    /// The comparison harness's setup for `mechanism`.
+    pub fn comparison_defaults(mechanism: Mechanism) -> Self {
+        let knobs = MechanismKnobs::default();
+        Self {
+            mechanism,
+            horizon_ms: 10,
+            control_interval_ns: knobs.control_interval_ns,
+            target_utilization: knobs.target_utilization,
+            workload: SimWorkload::MlPeriodic,
+        }
+    }
+
+    /// The controller knobs this spec configures.
+    pub fn knobs(&self) -> MechanismKnobs {
+        MechanismKnobs {
+            control_interval_ns: self.control_interval_ns,
+            target_utilization: self.target_utilization,
+        }
+    }
+}
+
+/// Which evaluation path a scenario runs through.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// Closed-form cluster power model (`npp-core`): §3 savings and
+    /// slowdown numbers.
+    Analytic,
+    /// Event-driven switch simulation (`npp-simnet`) driving a §4
+    /// mechanism (`npp-mechanisms`).
+    Simulation(SimulationSpec),
+}
+
+/// One fully-specified experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ScenarioSpec {
+    /// GPU count (network endpoints).
+    pub gpus: f64,
+    /// Per-GPU interface bandwidth, Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// Network power proportionality in `[0, 1]` (the paper's what-if
+    /// knob; 0.10 is today's baseline).
+    pub network_proportionality: f64,
+    /// Override for compute proportionality (defaults to the §2.3.1
+    /// value of 0.85 when absent).
+    #[serde(default)]
+    pub compute_proportionality: Option<f64>,
+    /// Communication fraction of an iteration at the reference point.
+    pub comm_ratio: f64,
+    /// Optical transceivers per inter-switch link (2 in the paper).
+    pub transceivers_per_link: f64,
+    /// Bandwidth-scaling rule.
+    pub scaling: ScalingMode,
+    /// Evaluation path.
+    pub experiment: ExperimentKind,
+}
+
+impl ScenarioSpec {
+    /// The §2.1 baseline cluster on the analytic path.
+    pub fn paper_baseline() -> Self {
+        Self {
+            gpus: 15_360.0,
+            bandwidth_gbps: 400.0,
+            network_proportionality: Proportionality::NETWORK_BASELINE.fraction(),
+            compute_proportionality: None,
+            comm_ratio: 0.1,
+            transceivers_per_link: 2.0,
+            scaling: ScalingMode::FixedWorkload,
+            experiment: ExperimentKind::Analytic,
+        }
+    }
+
+    /// Materializes the `npp-core` cluster configuration this spec
+    /// describes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range proportionalities and communication ratios.
+    pub fn cluster_config(&self) -> Result<ClusterConfig> {
+        let mut cfg = ClusterConfig::paper_baseline()
+            .with_gpus(self.gpus)
+            .with_bandwidth(Gbps::new(self.bandwidth_gbps))
+            .with_network_proportionality(Proportionality::new(self.network_proportionality)?);
+        if let Some(cp) = self.compute_proportionality {
+            cfg.devices.compute_proportionality = Proportionality::new(cp)?;
+        }
+        cfg.transceivers_per_link = self.transceivers_per_link;
+        cfg.workload = IterationModel::from_comm_ratio(
+            self.comm_ratio,
+            Seconds::new(1.0),
+            cfg.workload.reference_gpus,
+            cfg.workload.reference_bandwidth,
+        )?;
+        Ok(cfg)
+    }
+
+    /// The simulation parameters, if this is a simulation scenario.
+    pub fn simulation(&self) -> Option<&SimulationSpec> {
+        match &self.experiment {
+            ExperimentKind::Simulation(sim) => Some(sim),
+            ExperimentKind::Analytic => None,
+        }
+    }
+
+    fn simulation_mut(&mut self) -> Result<&mut SimulationSpec> {
+        match &mut self.experiment {
+            ExperimentKind::Simulation(sim) => Ok(sim),
+            ExperimentKind::Analytic => Err(SweepError::Spec(
+                "simulation axis applied to an analytic base scenario; \
+                 set base.experiment to Simulation"
+                    .into(),
+            )),
+        }
+    }
+}
+
+/// One sweep dimension: the parameter to vary and the values to visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Axis {
+    /// GPU counts.
+    Gpus(Vec<f64>),
+    /// Per-GPU bandwidths, Gbit/s.
+    BandwidthGbps(Vec<f64>),
+    /// Network power proportionalities in `[0, 1]`.
+    NetworkProportionality(Vec<f64>),
+    /// Communication ratios in `(0, 1)`.
+    CommRatio(Vec<f64>),
+    /// Transceivers per inter-switch link.
+    TransceiversPerLink(Vec<f64>),
+    /// §4 mechanisms (simulation scenarios only).
+    Mechanism(Vec<Mechanism>),
+    /// Controller utilization targets (simulation scenarios only).
+    TargetUtilization(Vec<f64>),
+    /// Controller intervals, ns (simulation scenarios only).
+    ControlIntervalNs(Vec<u64>),
+}
+
+impl Axis {
+    /// The axis's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Axis::Gpus(_) => "gpus",
+            Axis::BandwidthGbps(_) => "bandwidth_gbps",
+            Axis::NetworkProportionality(_) => "network_proportionality",
+            Axis::CommRatio(_) => "comm_ratio",
+            Axis::TransceiversPerLink(_) => "transceivers_per_link",
+            Axis::Mechanism(_) => "mechanism",
+            Axis::TargetUtilization(_) => "target_utilization",
+            Axis::ControlIntervalNs(_) => "control_interval_ns",
+        }
+    }
+
+    /// Number of values along this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            Axis::Gpus(v)
+            | Axis::BandwidthGbps(v)
+            | Axis::NetworkProportionality(v)
+            | Axis::CommRatio(v)
+            | Axis::TransceiversPerLink(v)
+            | Axis::TargetUtilization(v) => v.len(),
+            Axis::Mechanism(v) => v.len(),
+            Axis::ControlIntervalNs(v) => v.len(),
+        }
+    }
+
+    /// `true` when the axis has no values (which makes the grid empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Display label for the `idx`-th value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn label(&self, idx: usize) -> String {
+        match self {
+            Axis::Gpus(v)
+            | Axis::BandwidthGbps(v)
+            | Axis::NetworkProportionality(v)
+            | Axis::CommRatio(v)
+            | Axis::TransceiversPerLink(v)
+            | Axis::TargetUtilization(v) => format!("{}", v[idx]),
+            Axis::Mechanism(v) => format!("{:?}", v[idx]),
+            Axis::ControlIntervalNs(v) => format!("{}", v[idx]),
+        }
+    }
+
+    /// Writes the `idx`-th value into `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Simulation-only axes fail on analytic base scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn apply(&self, idx: usize, spec: &mut ScenarioSpec) -> Result<()> {
+        match self {
+            Axis::Gpus(v) => spec.gpus = v[idx],
+            Axis::BandwidthGbps(v) => spec.bandwidth_gbps = v[idx],
+            Axis::NetworkProportionality(v) => spec.network_proportionality = v[idx],
+            Axis::CommRatio(v) => spec.comm_ratio = v[idx],
+            Axis::TransceiversPerLink(v) => spec.transceivers_per_link = v[idx],
+            Axis::Mechanism(v) => spec.simulation_mut()?.mechanism = v[idx],
+            Axis::TargetUtilization(v) => spec.simulation_mut()?.target_utilization = v[idx],
+            Axis::ControlIntervalNs(v) => spec.simulation_mut()?.control_interval_ns = v[idx],
+        }
+        Ok(())
+    }
+}
+
+/// A named sweep: base scenario plus the axes to expand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SweepSpec {
+    /// Sweep name, echoed in reports.
+    pub name: String,
+    /// The scenario every grid point starts from.
+    pub base: ScenarioSpec,
+    /// Sweep dimensions; the grid is their cartesian product. Empty
+    /// axes are rejected at expansion.
+    pub axes: Vec<Axis>,
+}
+
+impl SweepSpec {
+    /// Total number of grid points (product of axis lengths; 1 with no
+    /// axes).
+    pub fn grid_size(&self) -> usize {
+        self.axes.iter().map(Axis::len).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_core_baseline() {
+        let spec = ScenarioSpec::paper_baseline();
+        let cfg = spec.cluster_config().unwrap();
+        let reference = ClusterConfig::paper_baseline();
+        assert_eq!(cfg.gpus, reference.gpus);
+        assert_eq!(cfg.bandwidth, reference.bandwidth);
+        assert!(
+            (cfg.workload.comm_ratio().fraction() - reference.workload.comm_ratio().fraction())
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn rejects_bad_proportionality() {
+        let mut spec = ScenarioSpec::paper_baseline();
+        spec.network_proportionality = 1.5;
+        assert!(spec.cluster_config().is_err());
+    }
+
+    #[test]
+    fn simulation_axes_need_simulation_base() {
+        let mut spec = ScenarioSpec::paper_baseline();
+        let axis = Axis::Mechanism(vec![Mechanism::ParkReactive]);
+        assert!(axis.apply(0, &mut spec).is_err());
+
+        spec.experiment =
+            ExperimentKind::Simulation(SimulationSpec::comparison_defaults(Mechanism::AllOn));
+        axis.apply(0, &mut spec).unwrap();
+        assert_eq!(
+            spec.simulation().unwrap().mechanism,
+            Mechanism::ParkReactive
+        );
+    }
+
+    #[test]
+    fn grid_size_is_axis_product() {
+        let spec = SweepSpec {
+            name: "t".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![
+                Axis::BandwidthGbps(vec![100.0, 200.0, 400.0]),
+                Axis::NetworkProportionality(vec![0.1, 0.5]),
+            ],
+        };
+        assert_eq!(spec.grid_size(), 6);
+    }
+}

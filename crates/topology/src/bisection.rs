@@ -23,7 +23,11 @@ struct FlowNet {
 
 impl FlowNet {
     fn new(n: usize) -> Self {
-        Self { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+        Self {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
     }
 
     fn add_edge(&mut self, u: usize, v: usize, c: f64) {
@@ -137,10 +141,7 @@ mod tests {
         let t = three_tier_fat_tree(4, speed).unwrap();
         let b = bisection_bandwidth(&t);
         let ideal = full_bisection(16, speed);
-        assert!(
-            b.approx_eq(ideal, 1e-6),
-            "bisection {b} != ideal {ideal}"
-        );
+        assert!(b.approx_eq(ideal, 1e-6), "bisection {b} != ideal {ideal}");
     }
 
     #[test]

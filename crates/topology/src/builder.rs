@@ -110,7 +110,11 @@ pub fn leaf_oversubscription(t: &Topology) -> f64 {
         let mut down = 0.0;
         let mut up = 0.0;
         for &(peer, link) in t.neighbors(leaf) {
-            let cap = t.link(link).expect("adjacency is consistent").capacity.value();
+            let cap = t
+                .link(link)
+                .expect("adjacency is consistent")
+                .capacity
+                .value();
             match t.node(peer).expect("adjacency is consistent").kind {
                 crate::graph::NodeKind::Host => down += cap,
                 _ => up += cap,
@@ -221,7 +225,9 @@ pub fn rail_optimized(
     link_speed: Gbps,
 ) -> Result<Topology> {
     if servers == 0 || rails == 0 || servers_per_leaf == 0 {
-        return Err(TopologyError::Build("rail dimensions must be positive".into()));
+        return Err(TopologyError::Build(
+            "rail dimensions must be positive".into(),
+        ));
     }
     if servers % servers_per_leaf != 0 {
         return Err(TopologyError::Build(format!(
@@ -260,7 +266,7 @@ mod rail_tests {
         // 16 servers × 8 rails, 4 servers per leaf.
         let t = rail_optimized(16, 8, 4, Gbps::new(400.0)).unwrap();
         assert_eq!(t.hosts().len(), 128); // one endpoint per rail NIC
-        // Per rail: 4 leaves + 4 spines = 8 switches; ×8 rails = 64.
+                                          // Per rail: 4 leaves + 4 spines = 8 switches; ×8 rails = 64.
         assert_eq!(t.switches().len(), 64);
         // Per rail: 4 leaves × 4 spines uplinks = 16; ×8 = 128.
         assert_eq!(t.inter_switch_links().len(), 128);
@@ -271,9 +277,21 @@ mod rail_tests {
         let t = rail_optimized(8, 2, 4, Gbps::new(100.0)).unwrap();
         let hosts = t.hosts();
         // server0/rail0 ↔ server1/rail0: connected.
-        let rail0_a = hosts.iter().find(|&&h| t.node(h).unwrap().name == "server0/rail0").copied().unwrap();
-        let rail0_b = hosts.iter().find(|&&h| t.node(h).unwrap().name == "server1/rail0").copied().unwrap();
-        let rail1_a = hosts.iter().find(|&&h| t.node(h).unwrap().name == "server0/rail1").copied().unwrap();
+        let rail0_a = hosts
+            .iter()
+            .find(|&&h| t.node(h).unwrap().name == "server0/rail0")
+            .copied()
+            .unwrap();
+        let rail0_b = hosts
+            .iter()
+            .find(|&&h| t.node(h).unwrap().name == "server1/rail0")
+            .copied()
+            .unwrap();
+        let rail1_a = hosts
+            .iter()
+            .find(|&&h| t.node(h).unwrap().name == "server0/rail1")
+            .copied()
+            .unwrap();
         assert!(t.distance(rail0_a, rail0_b).is_some());
         // Different rails never meet — electrically separate networks.
         assert_eq!(t.distance(rail0_a, rail1_a), None);
@@ -283,7 +301,10 @@ mod rail_tests {
     fn each_rail_is_non_blocking() {
         let t = rail_optimized(8, 1, 4, Gbps::new(100.0)).unwrap();
         let b = bisection_bandwidth(&t);
-        assert!(b.approx_eq(full_bisection(8, Gbps::new(100.0)), 1e-6), "bisection {b}");
+        assert!(
+            b.approx_eq(full_bisection(8, Gbps::new(100.0)), 1e-6),
+            "bisection {b}"
+        );
     }
 
     #[test]

@@ -250,7 +250,11 @@ mod tests {
         let m = FatTreeModel::new(128).unwrap();
         let s = m.size_for_hosts(15_360.0).unwrap();
         assert!((s.stages - 2.15115).abs() < 1e-4, "stages = {}", s.stages);
-        assert!((s.switches - 396.2).abs() < 0.5, "switches = {}", s.switches);
+        assert!(
+            (s.switches - 396.2).abs() < 0.5,
+            "switches = {}",
+            s.switches
+        );
         assert!(
             (s.inter_switch_links - 17_681.7).abs() < 5.0,
             "links = {}",
@@ -277,7 +281,10 @@ mod tests {
         let hosts = 15_360.0;
         let mut last = 0.0;
         for radix in [512, 256, 128, 64, 32] {
-            let s = FatTreeModel::new(radix).unwrap().size_for_hosts(hosts).unwrap();
+            let s = FatTreeModel::new(radix)
+                .unwrap()
+                .size_for_hosts(hosts)
+                .unwrap();
             assert!(s.switches > last, "radix {radix}");
             last = s.switches;
         }
@@ -305,14 +312,22 @@ mod tests {
     fn interp_modes_agree_at_integer_stages_and_order_in_between() {
         let m = FatTreeModel::new(16).unwrap();
         let h = m.capacity(2);
-        for mode in [InterpMode::FractionalStages, InterpMode::CeilProportional, InterpMode::CeilFull] {
+        for mode in [
+            InterpMode::FractionalStages,
+            InterpMode::CeilProportional,
+            InterpMode::CeilFull,
+        ] {
             let s = m.size_for_hosts_with(h, mode).unwrap();
             assert!((s.switches - m.full_switches(2)).abs() < 1e-9, "{mode:?}");
         }
         // Between stages, CeilFull charges the most.
         let h = m.capacity(2) * 3.0;
-        let frac = m.size_for_hosts_with(h, InterpMode::FractionalStages).unwrap();
-        let prop = m.size_for_hosts_with(h, InterpMode::CeilProportional).unwrap();
+        let frac = m
+            .size_for_hosts_with(h, InterpMode::FractionalStages)
+            .unwrap();
+        let prop = m
+            .size_for_hosts_with(h, InterpMode::CeilProportional)
+            .unwrap();
         let full = m.size_for_hosts_with(h, InterpMode::CeilFull).unwrap();
         assert!(full.switches >= prop.switches);
         assert!(full.switches >= frac.switches);

@@ -105,7 +105,11 @@ impl Topology {
 
     fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, kind, name: name.into() });
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: name.into(),
+        });
         self.adj.push(Vec::new());
         id
     }
@@ -185,9 +189,7 @@ impl Topology {
     pub fn inter_switch_links(&self) -> Vec<LinkId> {
         self.links
             .iter()
-            .filter(|l| {
-                self.nodes[l.a.0].kind.is_switch() && self.nodes[l.b.0].kind.is_switch()
-            })
+            .filter(|l| self.nodes[l.a.0].kind.is_switch() && self.nodes[l.b.0].kind.is_switch())
             .map(|l| l.id)
             .collect()
     }
@@ -245,9 +247,9 @@ impl Topology {
     pub fn ecmp_paths(&self, from: NodeId, to: NodeId, limit: usize) -> Vec<Vec<NodeId>> {
         // BFS distance labels from `to`, then DFS along strictly
         // decreasing distances.
-        let Some(total) = self.distance(from, to) else {
+        if self.distance(from, to).is_none() {
             return Vec::new();
-        };
+        }
         let mut dist = vec![usize::MAX; self.nodes.len()];
         let mut q = VecDeque::new();
         dist[to.0] = 0;
@@ -262,7 +264,7 @@ impl Topology {
         }
         let mut out = Vec::new();
         let mut stack = vec![from];
-        self.ecmp_dfs(from, to, total, &dist, &mut stack, &mut out, limit);
+        self.ecmp_dfs(from, to, &dist, &mut stack, &mut out, limit);
         out
     }
 
@@ -270,7 +272,6 @@ impl Topology {
         &self,
         u: NodeId,
         to: NodeId,
-        _total: usize,
         dist: &[usize],
         stack: &mut Vec<NodeId>,
         out: &mut Vec<Vec<NodeId>>,
@@ -286,7 +287,7 @@ impl Topology {
         for &(v, _) in &self.adj[u.0] {
             if dist[v.0] + 1 == dist[u.0] {
                 stack.push(v);
-                self.ecmp_dfs(v, to, _total, dist, stack, out, limit);
+                self.ecmp_dfs(v, to, dist, stack, out, limit);
                 stack.pop();
                 if out.len() >= limit {
                     return;

@@ -108,7 +108,9 @@ impl LinkLoads {
 
     /// Scales every load by a factor (diurnal modulation).
     pub fn scaled(&self, factor: f64) -> Self {
-        Self { loads: self.loads.iter().map(|l| l * factor).collect() }
+        Self {
+            loads: self.loads.iter().map(|l| l * factor).collect(),
+        }
     }
 }
 
@@ -132,8 +134,7 @@ mod tests {
     fn single_demand_single_path() {
         let topo = abilene(Gbps::new(100.0));
         let hosts = topo.hosts();
-        let loads =
-            LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(40.0))], 1).unwrap();
+        let loads = LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(40.0))], 1).unwrap();
         // Seattle-clients → Sunnyvale-clients: host link + backbone link
         // + host link all carry 40 G.
         let carried: Vec<f64> = topo
@@ -144,7 +145,9 @@ mod tests {
             .collect();
         assert_eq!(carried.len(), 3);
         assert!(carried.iter().all(|&v| (v - 40.0).abs() < 1e-9));
-        assert!(loads.max_utilization(&topo).approx_eq(Ratio::new(0.4), 1e-12));
+        assert!(loads
+            .max_utilization(&topo)
+            .approx_eq(Ratio::new(0.4), 1e-12));
     }
 
     #[test]
@@ -152,8 +155,7 @@ mod tests {
         let topo = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
         let hosts = topo.hosts();
         // Cross-pod demand: 4 equal-cost paths.
-        let loads =
-            LinkLoads::route(&topo, &[(hosts[0], hosts[15], Gbps::new(80.0))], 64).unwrap();
+        let loads = LinkLoads::route(&topo, &[(hosts[0], hosts[15], Gbps::new(80.0))], 64).unwrap();
         // The host links carry the full 80 G; each of the 4 core paths
         // carries 20 G on its agg-core hops.
         let max = loads.max_utilization(&topo);
@@ -178,8 +180,7 @@ mod tests {
         // full-bisection fabric.
         let topo = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
         let hosts = topo.hosts();
-        let loads =
-            LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(50.0))], 64).unwrap();
+        let loads = LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(50.0))], 64).unwrap();
         let unused = loads.unused_links(&topo);
         assert!(
             unused.len() > topo.links().len() / 2,
@@ -193,8 +194,7 @@ mod tests {
     fn underutilized_category_excludes_unused() {
         let topo = abilene(Gbps::new(100.0));
         let hosts = topo.hosts();
-        let loads =
-            LinkLoads::route(&topo, &[(hosts[0], hosts[10], Gbps::new(10.0))], 4).unwrap();
+        let loads = LinkLoads::route(&topo, &[(hosts[0], hosts[10], Gbps::new(10.0))], 4).unwrap();
         let under = loads.underutilized_links(&topo, Ratio::new(0.5));
         let unused = loads.unused_links(&topo);
         for l in &under {
@@ -209,12 +209,12 @@ mod tests {
     fn scaling_and_means() {
         let topo = abilene(Gbps::new(100.0));
         let hosts = topo.hosts();
-        let loads =
-            LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(40.0))], 1).unwrap();
+        let loads = LinkLoads::route(&topo, &[(hosts[0], hosts[1], Gbps::new(40.0))], 1).unwrap();
         let half = loads.scaled(0.5);
-        assert!(half
-            .mean_utilization(&topo)
-            .approx_eq(Ratio::new(loads.mean_utilization(&topo).fraction() / 2.0), 1e-12));
+        assert!(half.mean_utilization(&topo).approx_eq(
+            Ratio::new(loads.mean_utilization(&topo).fraction() / 2.0),
+            1e-12
+        ));
     }
 
     #[test]
@@ -223,7 +223,10 @@ mod tests {
         let hosts = topo.hosts();
         let loads = LinkLoads::route(
             &topo,
-            &[(hosts[0], hosts[0], Gbps::new(10.0)), (hosts[0], hosts[1], Gbps::ZERO)],
+            &[
+                (hosts[0], hosts[0], Gbps::new(10.0)),
+                (hosts[0], hosts[1], Gbps::ZERO),
+            ],
             4,
         )
         .unwrap();

@@ -53,7 +53,11 @@ pub struct CircuitSwitch {
 impl CircuitSwitch {
     /// Creates a circuit switch with all ports unconnected.
     pub fn new(spec: OcsSpec) -> Self {
-        Self { spec, mapping: vec![None; spec.ports], reconfigurations: 0 }
+        Self {
+            spec,
+            mapping: vec![None; spec.ports],
+            reconfigurations: 0,
+        }
     }
 
     /// The device parameters.
@@ -90,7 +94,9 @@ impl CircuitSwitch {
             )));
         }
         if a == b {
-            return Err(TopologyError::InvalidCircuit(format!("port {a} wired to itself")));
+            return Err(TopologyError::InvalidCircuit(format!(
+                "port {a} wired to itself"
+            )));
         }
         if self.mapping[a].is_some() || self.mapping[b].is_some() {
             return Err(TopologyError::InvalidCircuit(format!(

@@ -29,7 +29,12 @@ impl core::fmt::Display for UnitError {
             UnitError::Parse { input, unit } => {
                 write!(f, "cannot parse {input:?} as a quantity in {unit}")
             }
-            UnitError::OutOfRange { what, value, lo, hi } => {
+            UnitError::OutOfRange {
+                what,
+                value,
+                lo,
+                hi,
+            } => {
                 write!(f, "{what} = {value} is outside [{lo}, {hi}]")
             }
         }
@@ -44,9 +49,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = UnitError::Parse { input: "x".into(), unit: "W" };
+        let e = UnitError::Parse {
+            input: "x".into(),
+            unit: "W",
+        };
         assert!(e.to_string().contains("cannot parse"));
-        let e = UnitError::OutOfRange { what: "fraction", value: 2.0, lo: 0.0, hi: 1.0 };
+        let e = UnitError::OutOfRange {
+            what: "fraction",
+            value: 2.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
         assert!(e.to_string().contains("outside"));
     }
 }

@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn complement() {
-        assert_eq!(Ratio::from_percent(10.0).complement(), Ratio::from_percent(90.0));
+        assert_eq!(
+            Ratio::from_percent(10.0).complement(),
+            Ratio::from_percent(90.0)
+        );
     }
 
     #[test]

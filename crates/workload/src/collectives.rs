@@ -35,7 +35,10 @@ fn check_n(n: usize) -> Result<()> {
 /// Validates a bandwidth.
 fn check_bw(bw: Gbps) -> Result<()> {
     if bw.value() <= 0.0 {
-        return Err(WorkloadError::NonPositive { what: "bandwidth", value: bw.value() });
+        return Err(WorkloadError::NonPositive {
+            what: "bandwidth",
+            value: bw.value(),
+        });
     }
     Ok(())
 }
@@ -68,12 +71,7 @@ pub fn allreduce_bytes_per_rank(algo: AllReduceAlgo, n: usize, size: Bytes) -> R
 /// # Errors
 ///
 /// Needs `n ≥ 2` and a positive bandwidth.
-pub fn allreduce_time(
-    algo: AllReduceAlgo,
-    n: usize,
-    size: Bytes,
-    link: Gbps,
-) -> Result<Seconds> {
+pub fn allreduce_time(algo: AllReduceAlgo, n: usize, size: Bytes, link: Gbps) -> Result<Seconds> {
     check_bw(link)?;
     let per_rank = allreduce_bytes_per_rank(algo, n, size)?;
     Ok(per_rank.to_bits() / link)
@@ -137,9 +135,12 @@ mod tests {
         let b = allreduce_bytes_per_rank(AllReduceAlgo::Ring, 4, Bytes::from_gib(1.0)).unwrap();
         assert!(b.approx_eq(Bytes::from_gib(1.5), 1.0));
         // RHD matches ring's volume.
-        let rhd =
-            allreduce_bytes_per_rank(AllReduceAlgo::RecursiveHalvingDoubling, 4, Bytes::from_gib(1.0))
-                .unwrap();
+        let rhd = allreduce_bytes_per_rank(
+            AllReduceAlgo::RecursiveHalvingDoubling,
+            4,
+            Bytes::from_gib(1.0),
+        )
+        .unwrap();
         assert_eq!(b, rhd);
         // Tree sends more.
         let tree = allreduce_bytes_per_rank(AllReduceAlgo::Tree, 4, Bytes::from_gib(1.0)).unwrap();

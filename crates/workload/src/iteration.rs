@@ -143,7 +143,10 @@ impl IterationModel {
     /// Rejects non-positive GPU counts.
     pub fn compute_time(&self, gpus: f64) -> Result<Seconds> {
         if gpus <= 0.0 {
-            return Err(WorkloadError::NonPositive { what: "gpus", value: gpus });
+            return Err(WorkloadError::NonPositive {
+                what: "gpus",
+                value: gpus,
+            });
         }
         Ok(self.base_compute * (self.reference_gpus / gpus))
     }
@@ -211,7 +214,11 @@ mod tests {
     fn figure1_doubling_gpus_halves_compute() {
         let m = IterationModel::paper_baseline();
         let it = m
-            .iteration(2.0 * 15_360.0, Gbps::new(400.0), ScalingScenario::FixedWorkload)
+            .iteration(
+                2.0 * 15_360.0,
+                Gbps::new(400.0),
+                ScalingScenario::FixedWorkload,
+            )
             .unwrap();
         assert!(it.compute.approx_eq(Seconds::new(0.45), 1e-12));
         assert!(it.comm.approx_eq(Seconds::new(0.1), 1e-12));
@@ -274,13 +281,8 @@ mod tests {
 
     #[test]
     fn from_comm_ratio_round_trips() {
-        let m = IterationModel::from_comm_ratio(
-            0.25,
-            Seconds::new(2.0),
-            1_000.0,
-            Gbps::new(400.0),
-        )
-        .unwrap();
+        let m = IterationModel::from_comm_ratio(0.25, Seconds::new(2.0), 1_000.0, Gbps::new(400.0))
+            .unwrap();
         assert!(m.comm_ratio().approx_eq(Ratio::new(0.25), 1e-12));
         assert!(m.base_compute.approx_eq(Seconds::new(1.5), 1e-12));
         assert!(m.base_comm.approx_eq(Seconds::new(0.5), 1e-12));
@@ -291,17 +293,21 @@ mod tests {
         let m = IterationModel::paper_baseline();
         assert!(m.compute_time(0.0).is_err());
         assert!(m.comm_time_fixed_workload(Gbps::ZERO).is_err());
-        assert!(IterationModel::from_comm_ratio(0.0, Seconds::new(1.0), 1.0, Gbps::new(1.0))
-            .is_err());
-        assert!(IterationModel::from_comm_ratio(1.0, Seconds::new(1.0), 1.0, Gbps::new(1.0))
-            .is_err());
-        assert!(IterationModel::from_comm_ratio(0.1, Seconds::ZERO, 1.0, Gbps::new(1.0))
-            .is_err());
+        assert!(
+            IterationModel::from_comm_ratio(0.0, Seconds::new(1.0), 1.0, Gbps::new(1.0)).is_err()
+        );
+        assert!(
+            IterationModel::from_comm_ratio(1.0, Seconds::new(1.0), 1.0, Gbps::new(1.0)).is_err()
+        );
+        assert!(IterationModel::from_comm_ratio(0.1, Seconds::ZERO, 1.0, Gbps::new(1.0)).is_err());
     }
 
     #[test]
     fn throughput_is_inverse_total() {
-        let it = Iteration { compute: Seconds::new(0.9), comm: Seconds::new(0.1) };
+        let it = Iteration {
+            compute: Seconds::new(0.9),
+            comm: Seconds::new(0.1),
+        };
         assert!((it.throughput() - 1.0).abs() < 1e-12);
     }
 }

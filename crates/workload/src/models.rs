@@ -34,7 +34,10 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// Nvidia H100 (SXM dense bf16 ≈ 989 TFLOP/s) at 40 % MFU.
     pub fn h100() -> Self {
-        Self { bf16_tflops: 989.0, mfu: 0.40 }
+        Self {
+            bf16_tflops: 989.0,
+            mfu: 0.40,
+        }
     }
 
     /// Effective FLOP/s.
@@ -55,17 +58,26 @@ pub struct LlmModel {
 impl LlmModel {
     /// A 7 B-parameter model.
     pub fn dense_7b() -> Self {
-        Self { name: "dense-7B".into(), parameters: 7e9 }
+        Self {
+            name: "dense-7B".into(),
+            parameters: 7e9,
+        }
     }
 
     /// A 70 B-parameter model (Llama-3-70B scale).
     pub fn dense_70b() -> Self {
-        Self { name: "dense-70B".into(), parameters: 70e9 }
+        Self {
+            name: "dense-70B".into(),
+            parameters: 70e9,
+        }
     }
 
     /// A 405 B-parameter model (Llama-3.1-405B scale).
     pub fn dense_405b() -> Self {
-        Self { name: "dense-405B".into(), parameters: 405e9 }
+        Self {
+            name: "dense-405B".into(),
+            parameters: 405e9,
+        }
     }
 
     /// Gradient volume in bf16 (2 bytes per parameter).
@@ -115,8 +127,7 @@ impl TrainingSetup {
     }
 
     fn validate(&self) -> Result<()> {
-        if self.tensor_parallel == 0 || self.pipeline_parallel == 0 || self.data_parallel == 0
-        {
+        if self.tensor_parallel == 0 || self.pipeline_parallel == 0 || self.data_parallel == 0 {
             return Err(WorkloadError::TooFewParticipants(0));
         }
         if self.batch_tokens <= 0.0 {
@@ -126,7 +137,10 @@ impl TrainingSetup {
             });
         }
         if self.gpu.mfu <= 0.0 || self.gpu.bf16_tflops <= 0.0 {
-            return Err(WorkloadError::NonPositive { what: "gpu spec", value: self.gpu.mfu });
+            return Err(WorkloadError::NonPositive {
+                what: "gpu spec",
+                value: self.gpu.mfu,
+            });
         }
         Ok(())
     }
@@ -139,7 +153,9 @@ impl TrainingSetup {
     pub fn compute_time(&self) -> Result<Seconds> {
         self.validate()?;
         let flops = 6.0 * self.model.parameters * self.batch_tokens;
-        Ok(Seconds::new(flops / (self.gpus() as f64 * self.gpu.effective_flops())))
+        Ok(Seconds::new(
+            flops / (self.gpus() as f64 * self.gpu.effective_flops()),
+        ))
     }
 
     /// Communication-phase time: ring all-reduce of each rank's gradient
@@ -168,7 +184,10 @@ impl TrainingSetup {
     ///
     /// Propagates validation errors.
     pub fn iteration(&self) -> Result<Iteration> {
-        Ok(Iteration { compute: self.compute_time()?, comm: self.comm_time()? })
+        Ok(Iteration {
+            compute: self.compute_time()?,
+            comm: self.comm_time()?,
+        })
     }
 
     /// The derived communication ratio.
@@ -223,8 +242,14 @@ mod tests {
         // gradient volume — but the batch also typically grows. At fixed
         // batch, the ratio is invariant in P (both scale with P), so the
         // lever is the batch size.
-        let small_batch = TrainingSetup { batch_tokens: 8e6, ..TrainingSetup::paper_pod_70b() };
-        let large_batch = TrainingSetup { batch_tokens: 64e6, ..TrainingSetup::paper_pod_70b() };
+        let small_batch = TrainingSetup {
+            batch_tokens: 8e6,
+            ..TrainingSetup::paper_pod_70b()
+        };
+        let large_batch = TrainingSetup {
+            batch_tokens: 64e6,
+            ..TrainingSetup::paper_pod_70b()
+        };
         assert!(
             large_batch.comm_ratio().unwrap() < small_batch.comm_ratio().unwrap(),
             "larger batches amortize the all-reduce"
@@ -234,12 +259,18 @@ mod tests {
     #[test]
     fn faster_links_cut_comm_time_linearly() {
         let at_400 = TrainingSetup::paper_pod_70b();
-        let at_800 = TrainingSetup { link: Gbps::new(800.0), ..at_400.clone() };
+        let at_800 = TrainingSetup {
+            link: Gbps::new(800.0),
+            ..at_400.clone()
+        };
         let t400 = at_400.comm_time().unwrap();
         let t800 = at_800.comm_time().unwrap();
         assert!(t400.approx_eq(t800 * 2.0, 1e-9));
         // Compute is untouched.
-        assert_eq!(at_400.compute_time().unwrap(), at_800.compute_time().unwrap());
+        assert_eq!(
+            at_400.compute_time().unwrap(),
+            at_800.compute_time().unwrap()
+        );
     }
 
     #[test]
@@ -382,7 +413,9 @@ impl MoeTrainingSetup {
     pub fn compute_time(&self) -> Result<Seconds> {
         self.validate()?;
         let flops = 6.0 * self.model.active_parameters * self.batch_tokens;
-        Ok(Seconds::new(flops / (self.gpus() as f64 * self.gpu.effective_flops())))
+        Ok(Seconds::new(
+            flops / (self.gpus() as f64 * self.gpu.effective_flops()),
+        ))
     }
 
     /// Expert all-to-all time per iteration: each rank dispatches (and
@@ -418,8 +451,7 @@ impl MoeTrainingSetup {
         if self.data_parallel < 2 {
             return Ok(Seconds::ZERO);
         }
-        let shard =
-            Bytes::new(self.model.total_parameters * 2.0 / self.expert_parallel as f64);
+        let shard = Bytes::new(self.model.total_parameters * 2.0 / self.expert_parallel as f64);
         allreduce_time(AllReduceAlgo::Ring, self.data_parallel, shard, self.link)
     }
 
@@ -471,12 +503,18 @@ mod moe_tests {
     #[test]
     fn alltoall_scales_with_moe_layers_and_link() {
         let base = MoeTrainingSetup::paper_pod_moe();
-        let deeper = MoeTrainingSetup { moe_layers: 116, ..base.clone() };
+        let deeper = MoeTrainingSetup {
+            moe_layers: 116,
+            ..base.clone()
+        };
         assert!(deeper
             .alltoall_time()
             .unwrap()
             .approx_eq(base.alltoall_time().unwrap() * 2.0, 1e-9));
-        let faster = MoeTrainingSetup { link: Gbps::new(800.0), ..base.clone() };
+        let faster = MoeTrainingSetup {
+            link: Gbps::new(800.0),
+            ..base.clone()
+        };
         assert!(faster
             .alltoall_time()
             .unwrap()

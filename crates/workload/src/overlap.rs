@@ -38,7 +38,10 @@ impl OverlapSchedule {
     pub fn from_iteration(iter: &Iteration, overlap: Ratio) -> Result<Self> {
         let o = overlap.fraction();
         if !(0.0..=1.0).contains(&o) || o.is_nan() {
-            return Err(WorkloadError::NonPositive { what: "overlap", value: o });
+            return Err(WorkloadError::NonPositive {
+                what: "overlap",
+                value: o,
+            });
         }
         let hidden = (iter.comm * o).min(iter.compute);
         Ok(Self {
@@ -78,7 +81,11 @@ mod tests {
 
     fn baseline_iter() -> Iteration {
         IterationModel::paper_baseline()
-            .iteration(15_360.0, Gbps::new(400.0), crate::ScalingScenario::FixedWorkload)
+            .iteration(
+                15_360.0,
+                Gbps::new(400.0),
+                crate::ScalingScenario::FixedWorkload,
+            )
             .unwrap()
     }
 
@@ -107,7 +114,10 @@ mod tests {
     #[test]
     fn overlap_cannot_exceed_computation() {
         // Pathological iteration: comm longer than compute.
-        let iter = Iteration { compute: Seconds::new(0.2), comm: Seconds::new(0.8) };
+        let iter = Iteration {
+            compute: Seconds::new(0.2),
+            comm: Seconds::new(0.8),
+        };
         let s = OverlapSchedule::from_iteration(&iter, Ratio::ONE).unwrap();
         assert!(s.both.approx_eq(Seconds::new(0.2), 1e-12));
         assert!(s.compute_only.approx_eq(Seconds::ZERO, 1e-12));

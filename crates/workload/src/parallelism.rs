@@ -31,7 +31,10 @@ impl TrafficMatrix {
         if n == 0 {
             return Err(WorkloadError::TooFewParticipants(0));
         }
-        Ok(Self { n, demand: vec![0.0; n * n] })
+        Ok(Self {
+            n,
+            demand: vec![0.0; n * n],
+        })
     }
 
     /// Number of ranks.
@@ -106,7 +109,10 @@ impl TrafficMatrix {
             let src = ring_ranks[w];
             let dst = ring_ranks[(w + 1) % ring_ranks.len()];
             if src >= n || dst >= n {
-                return Err(WorkloadError::NonPositive { what: "rank index", value: src as f64 });
+                return Err(WorkloadError::NonPositive {
+                    what: "rank index",
+                    value: src as f64,
+                });
             }
             m.add(src, dst, rate);
         }
@@ -247,7 +253,9 @@ mod tests {
     #[test]
     fn three_d_parallel_structure() {
         let m = TrafficMatrix::three_d_parallel(
-            2, 2, 2,
+            2,
+            2,
+            2,
             Gbps::new(100.0),
             Gbps::new(10.0),
             Gbps::new(25.0),

@@ -56,7 +56,11 @@ pub struct MlPhaseTrace {
 impl MlPhaseTrace {
     /// The paper's baseline: 0.9 s compute, 0.1 s comm, full-rate bursts.
     pub fn paper_baseline() -> Self {
-        Self { compute: Seconds::new(0.9), comm: Seconds::new(0.1), peak: Ratio::ONE }
+        Self {
+            compute: Seconds::new(0.9),
+            comm: Seconds::new(0.1),
+            peak: Ratio::ONE,
+        }
     }
 
     /// Iteration period.
@@ -155,11 +159,17 @@ mod tests {
 
     #[test]
     fn diurnal_peaks_at_peak_hour_and_troughs_opposite() {
-        let tr = DiurnalTrace { noise: 0.0, ..DiurnalTrace::typical_backbone(7) };
+        let tr = DiurnalTrace {
+            noise: 0.0,
+            ..DiurnalTrace::typical_backbone(7)
+        };
         let at_peak = tr.utilization(Seconds::from_hours(20.0));
         let at_trough = tr.utilization(Seconds::from_hours(8.0));
         assert!(at_peak.approx_eq(Ratio::new(0.60), 1e-9), "peak {at_peak}");
-        assert!(at_trough.approx_eq(Ratio::new(0.10), 1e-9), "trough {at_trough}");
+        assert!(
+            at_trough.approx_eq(Ratio::new(0.10), 1e-9),
+            "trough {at_trough}"
+        );
     }
 
     #[test]
@@ -235,7 +245,9 @@ impl InterleavedJobs {
 
     /// `n` identical jobs all in phase (the unlucky default).
     pub fn synchronized(trace: MlPhaseTrace, n: usize) -> Self {
-        Self { jobs: (0..n).map(|_| (trace, Seconds::ZERO)).collect() }
+        Self {
+            jobs: (0..n).map(|_| (trace, Seconds::ZERO)).collect(),
+        }
     }
 
     /// Number of jobs.

@@ -6,8 +6,8 @@
 
 use netpp::mechanisms::comparison::{compare_mechanisms, ml_workload};
 use netpp::mechanisms::pipeline_park::{simulate_parking, ParkConfig, PredictiveSchedule};
-use netpp::simnet::SimTime;
 use netpp::simnet::switchsim::SwitchParams;
+use netpp::simnet::SimTime;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = SimTime::from_millis(10);
@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Standby trade-off (reactive parking) ===\n");
     println!("{:<10} {:>9} {:>8}", "standby", "savings", "loss");
     for standby in 0..3 {
-        let cfg = ParkConfig { standby, ..ParkConfig::reactive() };
+        let cfg = ParkConfig {
+            standby,
+            ..ParkConfig::reactive()
+        };
         let r = simulate_parking(
             SwitchParams::paper_51t2(),
             &cfg,

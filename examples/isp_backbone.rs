@@ -24,9 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nlinks below 50% utilization even at the daily peak: {}", r.underutilized_at_peak);
+    println!(
+        "\nlinks below 50% utilization even at the daily peak: {}",
+        r.underutilized_at_peak
+    );
     println!("\n=== 24h energy by device model ===");
-    println!("today (two-state @10%):        {:.1} kWh", r.energy_today.as_kwh());
+    println!(
+        "today (two-state @10%):        {:.1} kWh",
+        r.energy_today.as_kwh()
+    );
     println!(
         "two-state @85% (still useless): {:.1} kWh  (links never idle!)",
         r.energy_two_state_improved.as_kwh()
@@ -47,7 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let annual_kwh = saved_daily.as_kwh() * 365.0;
     let cost = CostModel::paper_baseline();
     let carbon = CarbonModel::us_grid_average();
-    println!("\nannualized: {:.0} kWh, ${:.0}, {:.1} tCO2e (US grid)",
+    println!(
+        "\nannualized: {:.0} kWh, ${:.0}, {:.1} tCO2e (US grid)",
         annual_kwh,
         annual_kwh * cost.usd_per_kwh,
         carbon.tonnes_for(netpp::units::Joules::from_kwh(annual_kwh)),

@@ -22,10 +22,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainingSetup::paper_pod_70b()
     };
     let iter = setup.iteration()?;
-    println!("=== {} on {} GPUs at {} ===", setup.model.name, setup.gpus(), setup.link);
+    println!(
+        "=== {} on {} GPUs at {} ===",
+        setup.model.name,
+        setup.gpus(),
+        setup.link
+    );
     println!("compute phase: {:.3} s", iter.compute.value());
-    println!("comm phase:    {:.3} s (ring all-reduce of bf16 gradients)", iter.comm.value());
-    println!("comm ratio:    {} (the paper assumes 10%)", iter.comm_ratio());
+    println!(
+        "comm phase:    {:.3} s (ring all-reduce of bf16 gradients)",
+        iter.comm.value()
+    );
+    println!(
+        "comm ratio:    {} (the paper assumes 10%)",
+        iter.comm_ratio()
+    );
 
     // Feed the derived workload into the what-if engine.
     let mut cfg = ClusterConfig::paper_baseline();

@@ -44,10 +44,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scenario", "switches on", "power (kW)", "savings"
     );
     for (name, placement, mode, ocs) in [
-        ("status quo: spread + ECMP spray", Placement::Spread, RoutingMode::Sprayed, false),
-        ("job scheduler packs ranks", Placement::Packed, RoutingMode::Sprayed, false),
-        ("+ concentrated routing", Placement::Packed, RoutingMode::Concentrated, false),
-        ("+ OCS core bypass", Placement::Packed, RoutingMode::Concentrated, true),
+        (
+            "status quo: spread + ECMP spray",
+            Placement::Spread,
+            RoutingMode::Sprayed,
+            false,
+        ),
+        (
+            "job scheduler packs ranks",
+            Placement::Packed,
+            RoutingMode::Sprayed,
+            false,
+        ),
+        (
+            "+ concentrated routing",
+            Placement::Packed,
+            RoutingMode::Concentrated,
+            false,
+        ),
+        (
+            "+ OCS core bypass",
+            Placement::Packed,
+            RoutingMode::Concentrated,
+            true,
+        ),
     ] {
         let p = plan(
             &topo,

@@ -24,8 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("GPUs:               {}", baseline.gpus);
     println!("Switches:           {:.0}", model.inventory().switches);
     println!("Transceivers:       {:.0}", model.inventory().transceivers);
-    println!("Compute max power:  {:.2} MW", model.compute_max_power().as_mw());
-    println!("Network max power:  {:.2} MW", model.network_max_power().as_mw());
+    println!(
+        "Compute max power:  {:.2} MW",
+        model.compute_max_power().as_mw()
+    );
+    println!(
+        "Network max power:  {:.2} MW",
+        model.network_max_power().as_mw()
+    );
 
     // §3.1: where does the power go, phase by phase?
     let phases = phase_breakdown(&model, ScalingScenario::FixedWorkload)?;
@@ -52,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\n=== Improving proportionality 10% -> 50% (Table 3 / par. 3.2) ===");
     println!("cluster power saving: {}", analysis.savings);
-    println!("power reduction:      {:.0} kW", analysis.power_reduction().as_kw());
+    println!(
+        "power reduction:      {:.0} kW",
+        analysis.power_reduction().as_kw()
+    );
     println!(
         "annual saving:        ${:.0}k electricity + ${:.0}k cooling",
         analysis.money.electricity_per_year.as_thousands(),

@@ -14,7 +14,8 @@
 //! - [`core`] — the paper's cluster what-if engine (Tables/Figures);
 //! - [`simnet`] — discrete-event simulator with power tracking;
 //! - [`mechanisms`] — §4 proposals (knobs, OCS, rate adaptation, parking);
-//! - [`report`] — tables, ASCII charts, CSV/JSON export.
+//! - [`report`] — tables, ASCII charts, CSV/JSON export;
+//! - [`sweep`] — parallel scenario-sweep & experiment orchestration.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +24,7 @@ pub use npp_mechanisms as mechanisms;
 pub use npp_power as power;
 pub use npp_report as report;
 pub use npp_simnet as simnet;
+pub use npp_sweep as sweep;
 pub use npp_topology as topology;
 pub use npp_units as units;
 pub use npp_workload as workload;

@@ -41,10 +41,7 @@ fn simulated_switch_matches_power_models() {
     assert!(sim.max_power().approx_eq(table1, 1e-9));
     assert!(tree.max_power().approx_eq(table1, 1e-9));
     // Aggregate pipeline rate equals the advertised ASIC capacity.
-    assert!(
-        (sim.pipeline_rate * sim.pipelines as f64)
-            .approx_eq(Gbps::from_tbps(51.2), 1e-9)
-    );
+    assert!((sim.pipeline_rate * sim.pipelines as f64).approx_eq(Gbps::from_tbps(51.2), 1e-9));
 }
 
 /// A cluster built at an exact integer-stage host count must cost exactly
@@ -77,8 +74,14 @@ fn workload_and_phases_agree() {
             .unwrap();
         let model = ClusterModel::new(cfg).unwrap();
         let b = phase_breakdown(&model, ScalingScenario::FixedWorkload).unwrap();
-        assert!(b.computation.duration.approx_eq(iter.compute, 1e-12), "bw {bw}");
-        assert!(b.communication.duration.approx_eq(iter.comm, 1e-12), "bw {bw}");
+        assert!(
+            b.computation.duration.approx_eq(iter.compute, 1e-12),
+            "bw {bw}"
+        );
+        assert!(
+            b.communication.duration.approx_eq(iter.comm, 1e-12),
+            "bw {bw}"
+        );
     }
 }
 
@@ -104,5 +107,8 @@ fn fat_tree_full_bisection_property() {
     let topo = three_tier_fat_tree(6, speed).unwrap();
     let hosts = topo.hosts().len();
     let b = bisection_bandwidth(&topo);
-    assert!(b.approx_eq(full_bisection(hosts, speed), 1e-6), "bisection {b}");
+    assert!(
+        b.approx_eq(full_bisection(hosts, speed), 1e-6),
+        "bisection {b}"
+    );
 }

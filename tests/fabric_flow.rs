@@ -8,9 +8,7 @@ use netpp::simnet::SimTime;
 use netpp::topology::builder::three_tier_fat_tree;
 use netpp::topology::loads::LinkLoads;
 use netpp::units::{Bytes, Gbps};
-use netpp::workload::collectives::{
-    allreduce_bytes_per_rank, allreduce_time, AllReduceAlgo,
-};
+use netpp::workload::collectives::{allreduce_bytes_per_rank, allreduce_time, AllReduceAlgo};
 
 const SPEED: f64 = 100.0;
 
@@ -69,7 +67,10 @@ fn fluid_sim_and_static_router_agree_on_idle_links() {
 
     // ECMP splitting (static, spreads over all paths) touches at least
     // as many links as single-path flows; both leave a large idle set.
-    assert!(fluid_idle >= static_unused, "fluid {fluid_idle} vs static {static_unused}");
+    assert!(
+        fluid_idle >= static_unused,
+        "fluid {fluid_idle} vs static {static_unused}"
+    );
     assert!(static_unused > topo.links().len() / 4);
 }
 
@@ -103,8 +104,8 @@ fn flow_conservation_per_ring_hop() {
     let mut sim = NetSim::new(topo.clone());
     inject_ring(&mut sim, &hosts, n, shard);
     sim.run().unwrap();
-    for i in 0..n {
-        let host_link = topo.neighbors(hosts[i])[0].1;
+    for (i, &host) in hosts.iter().take(n).enumerate() {
+        let host_link = topo.neighbors(host)[0].1;
         let carried = sim.link_bytes(host_link);
         // Each host link carries its outbound flow plus the inbound one:
         // 2 × per-rank bytes.

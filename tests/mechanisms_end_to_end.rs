@@ -69,8 +69,7 @@ fn predictive_parking_from_workload_trace() {
 #[test]
 fn eee_end_to_end_on_ml_traffic() {
     let horizon = SimTime::from_millis(10);
-    let mut src =
-        OnOffSource::new(1_000_000, 900_000, Gbps::new(10.0), 1500, 0, horizon).unwrap();
+    let mut src = OnOffSource::new(1_000_000, 900_000, Gbps::new(10.0), 1500, 0, horizon).unwrap();
     let r = simulate_eee(&EeeParams::ten_gbase_t(), &mut src, horizon).unwrap();
     // On 10G, EEE recovers most of the computation-phase idle energy.
     assert!(r.savings.fraction() > 0.6, "savings {}", r.savings);

@@ -47,7 +47,10 @@ fn abstract_headline_numbers() {
 
     let table = paper_table3().unwrap();
     let at_85 = table.cell(2, 3).unwrap().savings.percent();
-    assert!(at_85 > 8.5 && at_85 < 9.5, "85% proportionality saves {at_85:.1}%");
+    assert!(
+        at_85 > 8.5 && at_85 < 9.5,
+        "85% proportionality saves {at_85:.1}%"
+    );
 }
 
 #[test]
@@ -121,7 +124,10 @@ fn figure4_magnitudes() {
         .percent();
     assert!((s800 - 10.0).abs() < 2.5, "800G@50% speedup {s800:.1}%");
     // Gains are monotone in bandwidth at 50%.
-    let gains: Vec<f64> = curves.iter().map(|c| c.points[1].speedup.percent()).collect();
+    let gains: Vec<f64> = curves
+        .iter()
+        .map(|c| c.points[1].speedup.percent())
+        .collect();
     for w in gains.windows(2) {
         assert!(w[1] > w[0], "{gains:?}");
     }

@@ -1,0 +1,213 @@
+//! Integration suite for the `npp-sweep` engine: determinism across
+//! thread counts, spec serialization hygiene, and cache behaviour.
+//!
+//! These tests exercise the engine exactly as the `netpp sweep` CLI
+//! does — through `run_sweep` and the serde spec types — including a
+//! grid that mixes the analytic and simulation paths.
+
+use std::path::PathBuf;
+
+use netpp::mechanisms::mechanism::Mechanism;
+use netpp::sweep::{
+    run_sweep, Axis, ExperimentKind, ScenarioSpec, SimWorkload, SimulationSpec, SweepOptions,
+    SweepSpec,
+};
+
+/// A unique scratch directory per test, under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("npp-sweep-suite-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An analytic grid: 3 bandwidths x 3 proportionalities x 2 comm ratios.
+fn analytic_spec() -> SweepSpec {
+    SweepSpec {
+        name: "suite-analytic".into(),
+        base: ScenarioSpec::paper_baseline(),
+        axes: vec![
+            Axis::BandwidthGbps(vec![100.0, 200.0, 400.0]),
+            Axis::NetworkProportionality(vec![0.1, 0.5, 0.9]),
+            Axis::CommRatio(vec![0.1, 0.2]),
+        ],
+    }
+}
+
+/// A simulation grid: all five mechanisms on a short seeded Poisson
+/// workload (2 ms horizon keeps the suite fast).
+fn simulation_spec() -> SweepSpec {
+    let mut base = ScenarioSpec::paper_baseline();
+    let mut sim = SimulationSpec::comparison_defaults(Mechanism::AllOn);
+    sim.horizon_ms = 2;
+    sim.workload = SimWorkload::Poisson {
+        rate_gbps: 800.0,
+        packet_bytes: 4096,
+    };
+    base.experiment = ExperimentKind::Simulation(sim);
+    SweepSpec {
+        name: "suite-sim".into(),
+        base,
+        axes: vec![
+            Axis::Mechanism(Mechanism::all().to_vec()),
+            Axis::TargetUtilization(vec![0.6, 0.8]),
+        ],
+    }
+}
+
+#[test]
+fn analytic_sweep_is_thread_count_invariant() {
+    let spec = analytic_spec();
+    let serial = run_sweep(&spec, &SweepOptions::serial(), None).unwrap();
+    for jobs in [2, 8] {
+        let parallel = run_sweep(
+            &spec,
+            &SweepOptions {
+                jobs,
+                cache_dir: None,
+            },
+            None,
+        )
+        .unwrap();
+        let a = serde_json::to_string_pretty(&serial.results).unwrap();
+        let b = serde_json::to_string_pretty(&parallel.results).unwrap();
+        assert_eq!(a, b, "jobs={jobs} diverged from the serial reference");
+    }
+}
+
+#[test]
+fn simulation_sweep_is_thread_count_invariant() {
+    let spec = simulation_spec();
+    let serial = run_sweep(&spec, &SweepOptions::serial(), None).unwrap();
+    let parallel = run_sweep(
+        &spec,
+        &SweepOptions {
+            jobs: 8,
+            cache_dir: None,
+        },
+        None,
+    )
+    .unwrap();
+    let a = serde_json::to_string_pretty(&serial.results).unwrap();
+    let b = serde_json::to_string_pretty(&parallel.results).unwrap();
+    assert_eq!(a, b, "simulated scenarios diverged across thread counts");
+    // Every mechanism actually produced a row.
+    assert_eq!(serial.results.total, Mechanism::all().len() * 2);
+}
+
+#[test]
+fn seeds_and_hashes_are_stable_across_runs() {
+    let spec = simulation_spec();
+    let one = run_sweep(&spec, &SweepOptions::serial(), None).unwrap();
+    let two = run_sweep(&spec, &SweepOptions::parallel(), None).unwrap();
+    for (a, b) in one.results.scenarios.iter().zip(&two.results.scenarios) {
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}
+
+#[test]
+fn sweep_spec_round_trips_through_json() {
+    for spec in [analytic_spec(), simulation_spec()] {
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Compact and pretty forms agree.
+        let compact: SweepSpec =
+            serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, compact);
+    }
+}
+
+#[test]
+fn unknown_fields_are_rejected() {
+    let mut json = serde_json::to_value(&analytic_spec()).unwrap();
+    // A typo at the top level must fail loudly...
+    let top = format!(
+        "{{\"name\": \"x\", \"base\": {}, \"axes\": [], \"surprise\": 1}}",
+        serde_json::to_string(&analytic_spec().base).unwrap()
+    );
+    assert!(serde_json::from_str::<SweepSpec>(&top).is_err());
+    // ...and so must one nested inside the base scenario.
+    if let serde_json::Value::Object(fields) = &mut json {
+        for (key, value) in fields.iter_mut() {
+            if key == "base" {
+                if let serde_json::Value::Object(base) = value {
+                    base.push(("gpu_count_typo".to_string(), serde_json::Value::Null));
+                }
+            }
+        }
+    }
+    let text = serde_json::to_string(&json).unwrap();
+    assert!(serde_json::from_str::<SweepSpec>(&text).is_err());
+}
+
+#[test]
+fn missing_required_fields_are_rejected() {
+    let json = r#"{"name": "x", "axes": []}"#;
+    assert!(serde_json::from_str::<SweepSpec>(json).is_err());
+}
+
+#[test]
+fn cache_turns_reruns_into_hits() {
+    let dir = scratch_dir("hits");
+    let spec = analytic_spec();
+    let opts = SweepOptions {
+        jobs: 4,
+        cache_dir: Some(dir.clone()),
+    };
+
+    let cold = run_sweep(&spec, &opts, None).unwrap();
+    assert_eq!(cold.report.cache_hits, 0);
+    assert_eq!(cold.report.cache_misses, spec.grid_size());
+
+    let warm = run_sweep(&spec, &opts, None).unwrap();
+    assert_eq!(warm.report.cache_hits, spec.grid_size());
+    assert_eq!(warm.report.cache_misses, 0);
+    // The cached run reproduces the cold run's document bit for bit.
+    assert_eq!(
+        serde_json::to_string_pretty(&cold.results).unwrap(),
+        serde_json::to_string_pretty(&warm.results).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn editing_the_spec_invalidates_only_changed_scenarios() {
+    let dir = scratch_dir("invalidate");
+    let mut spec = analytic_spec();
+    let opts = SweepOptions {
+        jobs: 4,
+        cache_dir: Some(dir.clone()),
+    };
+    run_sweep(&spec, &opts, None).unwrap();
+
+    // Adding one bandwidth value leaves the original 18 scenarios
+    // cached and executes only the 6 new ones.
+    spec.axes[0] = Axis::BandwidthGbps(vec![100.0, 200.0, 400.0, 800.0]);
+    let grown = run_sweep(&spec, &opts, None).unwrap();
+    assert_eq!(grown.report.cache_hits, 18);
+    assert_eq!(grown.report.cache_misses, 6);
+
+    // Changing a base field reaches every scenario: all misses.
+    spec.base.transceivers_per_link = 4.0;
+    let changed = run_sweep(&spec, &opts, None).unwrap();
+    assert_eq!(changed.report.cache_hits, 0);
+    assert_eq!(changed.report.cache_misses, spec.grid_size());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn frontier_indices_are_consistent_with_metrics() {
+    let outcome = run_sweep(&analytic_spec(), &SweepOptions::serial(), None).unwrap();
+    let scenarios = &outcome.results.scenarios;
+    // No frontier member may be dominated by any scenario.
+    for &i in &outcome.results.frontier {
+        let f = &scenarios[i].metrics;
+        for s in scenarios {
+            let dominates =
+                s.metrics.slowdown < f.slowdown && s.metrics.power_saved_w > f.power_saved_w;
+            assert!(!dominates, "frontier index {i} is dominated");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps `cargo bench -p npp-bench` runnable without the real harness:
+//! each benchmark runs a short warm-up, then a fixed number of timed
+//! iterations, and prints the mean wall-clock time per iteration. No
+//! statistics, outlier analysis, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iteration driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: u64,
+    /// Mean time per iteration, recorded by [`Bencher::iter`].
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then averaging `samples` runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / u32::try_from(self.samples).unwrap_or(1);
+    }
+}
+
+/// Throughput annotation; accepted and echoed, not analyzed.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> u64 {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs a standalone benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.effective_samples(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark averages over.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Records the per-iteration throughput for display.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("bench {name}: {per_iter:?}/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("bench {name}: {per_iter:?}/iter ({rate:.0} B/s)");
+        }
+        _ => println!("bench {name}: {per_iter:?}/iter"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy(c: &mut Criterion) {
+        c.bench_function("busy", |b| b.iter(|| black_box((0..100).sum::<u64>())));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| black_box((0..100).sum::<u64>())));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        busy(&mut c);
+    }
+}

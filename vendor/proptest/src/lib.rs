@@ -1,0 +1,436 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Covers the slice of the proptest API this workspace uses: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range/`Just`/
+//! `any::<bool>()`/tuple/`prop_oneof!`/`prop::collection::vec`
+//! strategies, and `prop_assert!`/`prop_assert_eq!`. Cases are sampled
+//! from a deterministic per-test seed, so failures reproduce across
+//! runs. There is no shrinking: a failing case reports the values via
+//! the assertion message instead of minimizing them.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, SeedableRng, StdRng};
+
+/// A source of random typed values, mirroring `proptest::strategy::Strategy`.
+///
+/// Object-safe by design so [`prop_oneof!`] can mix heterogeneous
+/// strategies behind `Box<dyn Strategy<Value = T>>`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Boxes the strategy for heterogeneous collections.
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxes a strategy; helper for the [`prop_oneof!`] expansion.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Always produces a clone of the wrapped value, like `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical default strategy, mirroring `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// The default strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the default strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the default strategy for `T`, like `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform coin flip; `any::<bool>()`'s strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Full-range integer strategy backing `any::<{integer}>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Weighted union of boxed strategies; the [`prop_oneof!`] backing type.
+pub struct OneOf<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.random_range(0u64..self.total);
+        for (weight, strat) in &self.arms {
+            let w = u64::from(*weight);
+            if pick < w {
+                return strat.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Length bounds for collection strategies, mirroring `proptest::collection::SizeRange`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+/// Collection strategies, reachable as `prop::collection::*` via the prelude.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::{Rng, StdRng};
+
+    /// Samples a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.end > self.size.start {
+                rng.random_range(self.size.start..self.size.end)
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test knobs, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Drives one property: runs `config.cases` sampled cases with a
+/// deterministic per-test seed.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first case whose
+/// closure returns `Err`.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // distinct across tests.
+    let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        name_hash ^= u64::from(b);
+        name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let seed = name_hash ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(msg) = f(&mut rng) {
+            panic!("property `{name}` failed on case {case} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+/// Declares property tests; supports the subset of the real macro's
+/// grammar used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    __outcome
+                });
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current property case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bound to a local first so clippy lints on the caller's
+        // expression (e.g. `neg_cmp_op_on_partial_ord`) don't fire on
+        // the macro-generated negation.
+        let __prop_assert_holds: bool = $cond;
+        if !__prop_assert_holds {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(($weight, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, boxed, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_f64() -> impl Strategy<Value = f64> {
+        1e-3..1e3f64
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn ranges_and_tuples(x in 0.0..=1.0f64, (a, b) in (0usize..16, 0usize..16)) {
+            prop_assert!((0.0..=1.0).contains(&x));
+            prop_assert!(a < 16 && b < 16);
+        }
+
+        fn oneof_and_vec(
+            v in prop::collection::vec((0u64..10, any::<bool>()), 0..8),
+            pick in prop_oneof![Just(1u32), Just(2u32), 3u32..5],
+        ) {
+            prop_assert!(v.len() < 8);
+            for (n, _flag) in &v {
+                prop_assert!(*n < 10);
+            }
+            prop_assert!((1..5).contains(&pick));
+        }
+
+        fn helper_strategy(y in small_f64()) {
+            prop_assert!(y > 0.0, "y was {}", y);
+            prop_assert_eq!(y, y);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut seen = Vec::new();
+            crate::run_cases(&ProptestConfig::with_cases(5), "determinism", |rng| {
+                seen.push(Strategy::sample(&(0u64..1000), rng));
+                Ok(())
+            });
+            runs.push(seen);
+        }
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failing_case_panics() {
+        crate::run_cases(&ProptestConfig::with_cases(3), "failing", |_rng| {
+            Err("boom".to_string())
+        });
+    }
+}

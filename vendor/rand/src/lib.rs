@@ -1,0 +1,236 @@
+//! Offline stand-in for `rand` 0.9 (see `vendor/README.md`).
+//!
+//! Implements the slice of the `rand` API this workspace uses:
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over float and integer ranges. The generator is
+//! xoshiro256++ seeded through SplitMix64 — a different stream than the
+//! real `StdRng` (ChaCha12), but equally deterministic and of high
+//! enough quality for the simulation workloads here (the Poisson source
+//! tests assert the empirical mean rate lands within 10%).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed. Same seed, same stream.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching the real `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a uniform `f64` in `[0, 1)`.
+    fn random_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // 53 high bits give a uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range that knows how to sample itself uniformly, mirroring
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        let v = self.start + rng.random_f64() * span;
+        // Guard the half-open upper bound against rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + rng.random_f64() * (end - start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = bounded_u128(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128;
+                if span == u128::from(u64::MAX) {
+                    return (start as i128 + rng.next_u64() as i128) as $t;
+                }
+                let v = bounded_u128(rng, span + 1);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, bound)` via rejection sampling (`bound <= 2^64`).
+fn bounded_u128<R: Rng>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0 && bound <= 1 << 64);
+    if bound == 1 << 64 {
+        return u128::from(rng.next_u64());
+    }
+    let bound64 = bound as u64;
+    // Reject the biased tail of the u64 space.
+    let zone = u64::MAX - (u64::MAX % bound64 + 1) % bound64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return u128::from(v % bound64);
+        }
+    }
+}
+
+/// RNG implementations namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expands the seed into the full 256-bit state,
+            // per the xoshiro authors' recommendation.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.random_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn tiny_open_range_used_by_poisson_source() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+            assert!(v.ln().is_finite());
+        }
+    }
+
+    #[test]
+    fn int_ranges_uniform_enough() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            counts[rng.random_range(0usize..6)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+        let v = rng.random_range(-5i64..=5);
+        assert!((-5..=5).contains(&v));
+    }
+
+    #[test]
+    fn negative_float_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let v = rng.random_range(-0.25..0.25);
+            assert!((-0.25..0.25).contains(&v));
+        }
+    }
+}

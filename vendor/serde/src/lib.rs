@@ -1,0 +1,563 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the real `serde` cannot be vendored. This crate provides the small
+//! slice of its surface the workspace uses, built around an in-memory
+//! JSON-like [`Value`] tree instead of serde's zero-copy visitor model:
+//!
+//! - [`Serialize`] / [`Deserialize`] traits (the latter keeps the `'de`
+//!   lifetime parameter so `for<'de> Deserialize<'de>` bounds compile
+//!   unchanged);
+//! - `#[derive(Serialize, Deserialize)]` re-exported from the sibling
+//!   `serde_derive` stand-in;
+//! - impls for the primitives, strings, `Option`, `Vec`, slices, arrays,
+//!   and tuples used across the workspace.
+//!
+//! The companion `serde_json` stand-in renders and parses [`Value`]
+//! trees as JSON text. Field order is preserved (declaration order for
+//! derived structs), which gives every serialization a canonical byte
+//! representation — `npp-sweep` relies on that for content-addressed
+//! result caching.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value tree: the serialization currency of the
+/// stand-in (the counterpart of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// JSON numbers (integers kept exact).
+    Number(Number),
+    /// JSON strings.
+    String(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integers kept exact, everything else an `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float (also produced for `1.0`-style literals).
+    Float(f64),
+}
+
+impl Number {
+    /// The numeric value as an `f64` (lossy beyond 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(_) => None,
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` for `Value::Array`.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// `true` for `Value::Object`.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entries if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| find_field(m, key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for f64 {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Finds a field by name in an object's entry list (first match wins,
+/// like `serde_json`).
+pub fn find_field<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject unrepresentable states.
+    fn serialize_value(&self) -> Result<Value, Error>;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+///
+/// The `'de` lifetime parameter exists only for source compatibility
+/// with the real serde (`for<'de> Deserialize<'de>` bounds); the
+/// stand-in always deserializes from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape or domain mismatches.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected a boolean"))
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                Ok(Value::Number(Number::PosInt(*self as u64)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected a ", stringify!($t))))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                let v = *self as i64;
+                Ok(if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                })
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .ok_or_else(|| Error::custom(concat!("expected a ", stringify!($t))))?,
+                    _ => return Err(Error::custom(concat!("expected a ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                Ok(Value::Number(Number::Float(*self as f64)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    // serde_json writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::custom(concat!("expected a ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected a string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Ok(Value::Null),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Array(
+            self.iter()
+                .map(T::serialize_value)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(Error::custom("expected an array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Array(
+            self.iter()
+                .map(T::serialize_value)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(Error::custom("expected an array")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        // Keys must serialize to strings, as in JSON object keys.
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            match k.serialize_value()? {
+                Value::String(s) => entries.push((s, v.serialize_value()?)),
+                _ => return Err(Error::custom("map key must serialize to a string")),
+            }
+        }
+        Ok(Value::Object(entries))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected an object")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        self.as_slice().serialize_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                Ok(Value::Array(vec![$(self.$n.serialize_value()?),+]))
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let arr = match value {
+                    Value::Array(a) => a,
+                    _ => return Err(Error::custom("expected a tuple array")),
+                };
+                let expected = [$($n,)+].len();
+                if arr.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {expected} elements, got {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_indexing_and_eq() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Number(Number::Float(0.5))),
+            ("arr".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v["x"], 0.5);
+        assert!(v["arr"].is_array());
+        assert!(v["missing"].is_null());
+        assert_eq!(v["arr"][0], true);
+        assert!(v["arr"][9].is_null());
+    }
+
+    #[test]
+    fn number_integer_float_eq() {
+        assert_eq!(Value::Number(Number::PosInt(3)), 3.0);
+        assert_eq!(Number::PosInt(4), Number::Float(4.0));
+        assert_eq!(Number::NegInt(-4).as_i64(), Some(-4));
+    }
+
+    #[test]
+    fn option_and_tuple_round_trip() {
+        let v = (1u64, -2i64, "hi".to_string(), Some(0.25f64));
+        let tree = v.serialize_value().unwrap();
+        let back: (u64, i64, String, Option<f64>) = Deserialize::deserialize_value(&tree).unwrap();
+        assert_eq!(back, v);
+        let none: Option<f64> = Deserialize::deserialize_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+}

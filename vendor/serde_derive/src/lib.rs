@@ -1,0 +1,654 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's offline `serde` stand-in (see `vendor/README.md`).
+//!
+//! The real `serde_derive` is built on `syn`/`quote`; neither is
+//! available in this offline build environment, so this macro parses the
+//! derive input directly from `proc_macro::TokenStream`. It supports the
+//! subset of shapes the workspace actually uses:
+//!
+//! - structs with named fields;
+//! - tuple structs (typically `#[serde(transparent)]` newtypes);
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default encoding);
+//! - container attributes `#[serde(transparent)]` and
+//!   `#[serde(deny_unknown_fields)]`;
+//! - field attributes `#[serde(skip)]` and `#[serde(default = "path")]`.
+//!
+//! Generics are deliberately unsupported (no workspace type needs them);
+//! deriving on a generic type produces a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container-level serde attributes.
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    deny_unknown_fields: bool,
+}
+
+/// Field-level serde attributes.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// Path of a `fn() -> T` supplying the value when absent (or skipped).
+    default_fn: Option<String>,
+    /// `#[serde(default)]` without a path: use `Default::default()`.
+    default_std: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Input {
+    NamedStruct {
+        name: String,
+        attrs: ContainerAttrs,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        attrs: ContainerAttrs,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the simplified `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the simplified `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes leading outer attributes, returning collected serde
+    /// attrs (all non-serde attributes — docs etc. — are discarded).
+    fn parse_attrs(&mut self) -> Result<Vec<TokenStream>, String> {
+        let mut serde_attrs = Vec::new();
+        while self.at_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("expected [...] after #, found {other:?}")),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(path)) = inner.first() {
+                if path.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        serde_attrs.push(args.stream());
+                    }
+                }
+            }
+        }
+        Ok(serde_attrs)
+    }
+
+    /// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, …).
+    fn parse_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skips a type expression: consumes until a top-level `,`
+    /// (angle-bracket depth tracked at the token level).
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn container_attrs(metas: &[TokenStream]) -> ContainerAttrs {
+    let mut out = ContainerAttrs::default();
+    for words in metas {
+        for t in words.clone() {
+            if let TokenTree::Ident(i) = t {
+                match i.to_string().as_str() {
+                    "transparent" => out.transparent = true,
+                    "deny_unknown_fields" => out.deny_unknown_fields = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+fn field_attrs(metas: &[TokenStream]) -> Result<FieldAttrs, String> {
+    let mut out = FieldAttrs::default();
+    for meta in metas {
+        let tokens: Vec<TokenTree> = meta.clone().into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Ident(id) => match id.to_string().as_str() {
+                    "skip" | "skip_deserializing" | "skip_serializing" => {
+                        out.skip = true;
+                        i += 1;
+                    }
+                    "default" => {
+                        // `default` or `default = "path"`.
+                        if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                        {
+                            match tokens.get(i + 2) {
+                                Some(TokenTree::Literal(l)) => {
+                                    let s = l.to_string();
+                                    out.default_fn = Some(s.trim_matches('"').to_string());
+                                    i += 3;
+                                }
+                                other => {
+                                    return Err(format!(
+                                        "expected string literal after default =, found {other:?}"
+                                    ))
+                                }
+                            }
+                        } else {
+                            out.default_std = true;
+                            i += 1;
+                        }
+                    }
+                    other => return Err(format!("unsupported serde field attribute `{other}`")),
+                },
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => return Err(format!("unexpected token in serde attribute: {other:?}")),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let metas = c.parse_attrs()?;
+        c.parse_vis();
+        let name = c.expect_ident()?;
+        if !c.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(Field {
+            name,
+            attrs: field_attrs(&metas)?,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_arity(group: TokenStream) -> Result<usize, String> {
+    let mut c = Cursor::new(group);
+    let mut arity = 0;
+    while c.peek().is_some() {
+        let _ = c.parse_attrs()?;
+        c.parse_vis();
+        c.skip_type();
+        arity += 1;
+        if c.at_punct(',') {
+            c.next();
+        }
+    }
+    Ok(arity)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _ = c.parse_attrs()?;
+        let name = c.expect_ident()?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                c.next();
+                VariantShape::Tuple(arity?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(input);
+    let metas = c.parse_attrs()?;
+    let attrs = container_attrs(&metas);
+    c.parse_vis();
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if c.at_punct('<') {
+        return Err(format!(
+            "the offline serde derive does not support generic types (deriving on `{name}`)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Input::NamedStruct {
+                    name,
+                    attrs,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Input::TupleStruct {
+                    name,
+                    attrs,
+                    arity: parse_tuple_arity(g.stream())?,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for a `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct {
+            name,
+            attrs,
+            fields,
+        } => {
+            let body = if attrs.transparent {
+                let f = fields.first().map(|f| f.name.clone()).unwrap_or_default();
+                format!("::serde::Serialize::serialize_value(&self.{f})")
+            } else {
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.attrs.skip) {
+                    pushes.push_str(&format!(
+                        "__fields.push((::std::string::String::from({n:?}), \
+                         ::serde::Serialize::serialize_value(&self.{n})?));\n",
+                        n = f.name
+                    ));
+                }
+                format!(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new();\n{pushes}\
+                     ::core::result::Result::Ok(::serde::Value::Object(__fields))"
+                )
+            };
+            wrap_serialize(name, &body)
+        }
+        Input::TupleStruct { name, attrs, arity } => {
+            let body = if attrs.transparent || *arity == 1 {
+                "::serde::Serialize::serialize_value(&self.0)".to_string()
+            } else {
+                let items = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::core::result::Result::Ok(::serde::Value::Array(::std::vec![{items}]))")
+            };
+            wrap_serialize(name, &body)
+        }
+        Input::UnitStruct { name } => {
+            wrap_serialize(name, "::core::result::Result::Ok(::serde::Value::Null)")
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::core::result::Result::Ok(\
+                         ::serde::Value::String(::std::string::String::from({vn:?}))),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds = (0..*arity)
+                            .map(|i| format!("__b{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::serialize_value(__b0)?".to_string()
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::serialize_value(__b{i})?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(::std::vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::core::result::Result::Ok(\
+                             ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), {inner})])),\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.attrs.skip) {
+                            pushes.push_str(&format!(
+                                "__fields.push((::std::string::String::from({n:?}), \
+                                 ::serde::Serialize::serialize_value({n})?));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                             ::core::result::Result::Ok(::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(__fields))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            wrap_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::core::result::Result<::serde::Value, ::serde::Error> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_field_deser(container: &str, fields: &[Field], deny_unknown: bool) -> String {
+    let mut out = String::new();
+    if deny_unknown {
+        let known = fields
+            .iter()
+            .filter(|f| !f.attrs.skip)
+            .map(|f| format!("{:?}", f.name))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let arms = if known.is_empty() {
+            String::new()
+        } else {
+            format!("{known} => {{}}\n")
+        };
+        out.push_str(&format!(
+            "for (__k, _) in __obj.iter() {{ match __k.as_str() {{\n{arms}\
+             __other => return ::core::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"unknown field `{{}}` in {container}\", __other))),\n}} }}\n"
+        ));
+    }
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = if let Some(path) = &f.attrs.default_fn {
+            format!("{path}()")
+        } else if f.attrs.default_std || f.attrs.skip {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{n}` in {container}\"))"
+            )
+        };
+        if f.attrs.skip {
+            inits.push_str(&format!("{n}: {missing},\n"));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match ::serde::find_field(__obj, {n:?}) {{\n\
+                 ::core::option::Option::Some(__v) => \
+                 ::serde::Deserialize::deserialize_value(__v)?,\n\
+                 ::core::option::Option::None => {missing},\n}},\n"
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "::core::result::Result::Ok({container} {{\n{inits}}})"
+    ));
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct {
+            name,
+            attrs,
+            fields,
+        } => {
+            let body = if attrs.transparent {
+                let f = fields.first().map(|f| f.name.clone()).unwrap_or_default();
+                format!(
+                    "::core::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::deserialize_value(__value)? }})"
+                )
+            } else {
+                format!(
+                    "let __obj = match __value {{\n\
+                     ::serde::Value::Object(__m) => __m,\n\
+                     _ => return ::core::result::Result::Err(::serde::Error::custom(\
+                     \"expected a JSON object for {name}\")),\n}};\n{}",
+                    named_field_deser(name, fields, attrs.deny_unknown_fields)
+                )
+            };
+            wrap_deserialize(name, &body)
+        }
+        Input::TupleStruct { name, attrs, arity } => {
+            let body = if attrs.transparent || *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(__value)?))"
+                )
+            } else {
+                let items = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize_value(\
+                             __arr.get({i}).ok_or_else(|| ::serde::Error::custom(\
+                             \"tuple struct {name} needs {arity} elements\"))?)?"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "let __arr = match __value {{\n\
+                     ::serde::Value::Array(__a) => __a,\n\
+                     _ => return ::core::result::Result::Err(::serde::Error::custom(\
+                     \"expected a JSON array for {name}\")),\n}};\n\
+                     ::core::result::Result::Ok({name}({items}))"
+                )
+            };
+            wrap_deserialize(name, &body)
+        }
+        Input::UnitStruct { name } => {
+            wrap_deserialize(name, &format!("::core::result::Result::Ok({name})"))
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let inner = if *arity == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize_value(__inner)?))"
+                            )
+                        } else {
+                            let items = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(\
+                                         __arr.get({i}).ok_or_else(|| ::serde::Error::custom(\
+                                         \"variant {name}::{vn} needs {arity} elements\"))?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "let __arr = match __inner {{\n\
+                                 ::serde::Value::Array(__a) => __a,\n\
+                                 _ => return ::core::result::Result::Err(::serde::Error::custom(\
+                                 \"expected array for variant {name}::{vn}\")),\n}};\n\
+                                 ::core::result::Result::Ok({name}::{vn}({items}))"
+                            )
+                        };
+                        tagged_arms.push_str(&format!("{vn:?} => {{ {inner} }}\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let body = format!(
+                            "let __obj = match __inner {{\n\
+                             ::serde::Value::Object(__m) => __m,\n\
+                             _ => return ::core::result::Result::Err(::serde::Error::custom(\
+                             \"expected object for variant {name}::{vn}\")),\n}};\n{}",
+                            named_field_deser(&format!("{name}::{vn}"), fields, false)
+                        );
+                        tagged_arms.push_str(&format!("{vn:?} => {{ {body} }}\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected a string or single-key object for enum {name}\")),\n}}"
+            );
+            wrap_deserialize(name, &body)
+        }
+    }
+}
+
+fn wrap_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize_value(__value: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

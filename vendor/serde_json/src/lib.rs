@@ -1,0 +1,534 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Renders and parses JSON text over the serde stand-in's [`Value`]
+//! tree. Behavior intentionally matches the real `serde_json` where the
+//! workspace depends on it:
+//!
+//! - floats print in Rust's shortest round-trip form, with a trailing
+//!   `.0` added for integral values (`400.0`, not `400`), so every
+//!   finite `f64` survives a text round-trip bit-exactly (the
+//!   `float_roundtrip` behavior);
+//! - non-finite floats render as `null`;
+//! - `to_string_pretty` indents with two spaces and separates keys with
+//!   `": "`;
+//! - object key order is preserved, so equal values render to equal
+//!   bytes — the canonical-JSON property `npp-sweep`'s result cache
+//!   hashes rely on.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Number, Serialize};
+
+pub use serde::{Error, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Propagates serialization failures from the value's impl.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value()?, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty JSON (2-space indent).
+///
+/// # Errors
+///
+/// Propagates serialization failures from the value's impl.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value()?, Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates serialization failures from the value's impl.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    value.serialize_value()
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails on shape or domain mismatches.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: &Value) -> Result<T> {
+    T::deserialize_value(value)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or shape mismatches.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T> {
+    let value = parse(text)?;
+    T::deserialize_value(&value)
+}
+
+/// Parses JSON bytes (must be UTF-8) into a typed value.
+///
+/// # Errors
+///
+/// Fails on invalid UTF-8, malformed JSON, or shape mismatches.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Formats an `f64` the way `serde_json` does: shortest round-trip
+/// decimal, with `.0` appended to integral values; `null` if non-finite.
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(Number::PosInt(u)) => out.push_str(&u.to_string()),
+        Value::Number(Number::NegInt(i)) => out.push_str(&i.to_string()),
+        Value::Number(Number::Float(f)) => write_f64(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or trailing garbage.
+pub fn parse(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            // Surrogate pairs: decode the low half if present.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let lo_hex = self
+                                        .bytes
+                                        .get(self.pos + 2..self.pos + 6)
+                                        .ok_or_else(|| Error::custom("truncated surrogate"))?;
+                                    let lo = u32::from_str_radix(
+                                        std::str::from_utf8(lo_hex)
+                                            .map_err(|_| Error::custom("invalid surrogate"))?,
+                                        16,
+                                    )
+                                    .map_err(|_| Error::custom("invalid surrogate"))?;
+                                    self.pos += 6;
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| Error::custom("invalid unicode escape"))?);
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::custom("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|e| Error::custom(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting_matches_serde_json() {
+        assert_eq!(to_string(&400.0f64).unwrap(), "400.0");
+        assert_eq!(to_string(&0.047f64).unwrap(), "0.047");
+        assert_eq!(to_string(&-1.5f64).unwrap(), "-1.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn f64_text_round_trip_is_exact() {
+        for v in [
+            0.1,
+            -196362500211917.94,
+            1e-12,
+            123_456_789.123_456_79,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = to_string(&v).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = u64::MAX - 1;
+        let s = to_string(&big).unwrap();
+        assert_eq!(s, format!("{big}"));
+        let back: u64 = from_str(&s).unwrap();
+        assert_eq!(back, big);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            bw: f64,
+            label: String,
+        }
+        let s = to_string_pretty(&Row {
+            bw: 400.0,
+            label: "x".into(),
+        })
+        .unwrap();
+        assert!(s.contains("\"bw\": 400.0"), "{s}");
+        assert!(s.contains("\"label\": \"x\""), "{s}");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, null, true, "s\n"], "b": {"c": -3}}"#).unwrap();
+        assert!(v["a"].is_array());
+        assert_eq!(v["a"][1], 2.5);
+        assert_eq!(v["a"][3], true);
+        assert_eq!(v["b"]["c"].as_f64(), Some(-3.0));
+        assert_eq!(v["a"][4].as_str(), Some("s\n"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("123 456").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "quote\" back\\ nl\n tab\t unicode\u{1F600}";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}
