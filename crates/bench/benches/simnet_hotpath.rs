@@ -1,0 +1,76 @@
+//! Head-to-head benchmark of the fluid-simulator engines on the shared
+//! hot-path scenario: the indexed, allocation-free [`NetSim`] versus the
+//! preserved pre-optimization [`NaiveNetSim`].
+//!
+//! Both engines consume the *same* deterministic scenario (see
+//! `npp_simnet::scenarios::hotpath_scenario`), and the differential
+//! suite in `tests/simnet_equivalence.rs` proves they compute identical
+//! fluid systems — so the throughput ratio printed here is a pure
+//! engine-speed comparison, not a workload difference. The committed
+//! `BENCH_simnet.json` trajectory is produced from this same scenario by
+//! `netpp bench-json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use npp_simnet::netsim::NetSim;
+use npp_simnet::netsim_naive::NaiveNetSim;
+use npp_simnet::scenarios::{hotpath_scenario, Scenario};
+
+const HOTPATH_FLOWS: usize = 1000;
+
+fn run_indexed(scenario: &Scenario) -> u64 {
+    let mut sim = NetSim::new(scenario.topo.clone());
+    scenario
+        .inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))
+        .expect("injection");
+    sim.run().expect("run");
+    sim.events_processed()
+}
+
+fn run_naive(scenario: &Scenario) -> u64 {
+    let mut sim = NaiveNetSim::new(scenario.topo.clone());
+    scenario
+        .inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))
+        .expect("injection");
+    sim.run().expect("run");
+    sim.events_processed()
+}
+
+fn hotpath_1k_flows(c: &mut Criterion) {
+    let scenario = hotpath_scenario(HOTPATH_FLOWS).expect("scenario");
+    // Both engines walk one release + one completion per flow.
+    let events = 2 * HOTPATH_FLOWS as u64;
+
+    let mut g = c.benchmark_group("simnet_hotpath/1k_flows");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("indexed", |b| b.iter(|| black_box(run_indexed(&scenario))));
+    g.finish();
+
+    // The naive engine is orders of magnitude slower on this scenario;
+    // a couple of timed runs is plenty to anchor the speedup ratio.
+    let mut g = c.benchmark_group("simnet_hotpath/1k_flows");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(2);
+    g.bench_function("naive_baseline", |b| {
+        b.iter(|| black_box(run_naive(&scenario)))
+    });
+    g.finish();
+}
+
+fn hotpath_scaling(c: &mut Criterion) {
+    // Indexed engine only: how throughput holds as the flow count (and
+    // with it the live-flow population) grows.
+    let mut g = c.benchmark_group("simnet_hotpath/indexed_scaling");
+    for n in [250usize, 1000, 4000] {
+        let scenario = hotpath_scenario(n).expect("scenario");
+        g.throughput(Throughput::Elements(2 * n as u64));
+        g.bench_function(&format!("{n}_flows"), |b| {
+            b.iter(|| black_box(run_indexed(&scenario)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, hotpath_1k_flows, hotpath_scaling);
+criterion_main!(benches);

@@ -1,0 +1,347 @@
+//! The `netpp bench-json` subcommand: measure the fluid-simulator hot
+//! path and emit a machine-readable trajectory point.
+//!
+//! ```text
+//! netpp bench-json [--quick] [--out PATH] [--flows N]
+//! ```
+//!
+//! Full mode runs the deterministic hot-path scenario through both the
+//! indexed engine and the preserved naive baseline, then writes
+//! `BENCH_simnet.json` (events/sec, ns/event, peak live flows, speedup)
+//! so the repository carries a committed perf trajectory next to the
+//! `simnet_hotpath` criterion bench.
+//!
+//! `--quick` is the CI smoke mode: a smaller scenario, indexed engine
+//! only, no file written unless `--out` is given — but every emitted
+//! number is still validated, so a NaN, a non-finite rate, or a panic in
+//! the engine fails the pipeline.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use npp_simnet::netsim::NetSim;
+use npp_simnet::netsim_naive::NaiveNetSim;
+use npp_simnet::scenarios::{hotpath_scenario, Scenario};
+
+use crate::paper::Result;
+
+/// Default flow count for the full benchmark (matches
+/// `benches/simnet_hotpath.rs`).
+const FULL_FLOWS: usize = 1000;
+/// Flow count for `--quick` CI smoke runs.
+const QUICK_FLOWS: usize = 200;
+/// Timed repetitions (best-of) for the indexed engine.
+const INDEXED_RUNS: usize = 5;
+/// Timed repetitions (best-of) for the naive baseline.
+const NAIVE_RUNS: usize = 2;
+
+/// Parsed arguments for `netpp bench-json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// CI smoke mode: small scenario, indexed engine only.
+    pub quick: bool,
+    /// Where to write the JSON document (`None` = stdout only).
+    pub out: Option<String>,
+    /// Scenario flow count override.
+    pub flows: Option<usize>,
+}
+
+/// Parses `bench-json` arguments from the raw argv tail.
+///
+/// # Errors
+///
+/// Rejects malformed flag values and unknown flags.
+pub fn parse_args(rest: &[&str]) -> Result<BenchArgs> {
+    let mut args = BenchArgs {
+        quick: false,
+        out: None,
+        flows: None,
+    };
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {} // bench-json is always JSON; accepted for symmetry
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?.to_string());
+            }
+            "--flows" => {
+                let v = it.next().ok_or("--flows needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --flows value {v:?}"))?;
+                if n == 0 {
+                    return Err("--flows must be positive".into());
+                }
+                args.flows = Some(n);
+            }
+            other => {
+                return Err(format!(
+                    "unknown bench-json argument {other:?} (usage: netpp bench-json [--quick] [--out PATH] [--flows N])"
+                )
+                .into());
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// One engine's measurement on the shared scenario.
+#[derive(Debug, Serialize)]
+pub struct EngineResult {
+    /// Engine tag: `"indexed"` or `"naive"`.
+    pub engine: String,
+    /// Timed repetitions (best-of).
+    pub runs: usize,
+    /// Events processed per run (releases + completions).
+    pub events: u64,
+    /// Best wall-clock time for one full run, in seconds.
+    pub best_secs: f64,
+    /// Events per second at the best run.
+    pub events_per_sec: f64,
+    /// Nanoseconds per event at the best run.
+    pub ns_per_event: f64,
+    /// Peak number of simultaneously live flows (indexed engine only).
+    pub peak_live_flows: Option<usize>,
+    /// Simulated makespan in nanoseconds (a correctness echo: both
+    /// engines must report the same value).
+    pub makespan_ns: u64,
+}
+
+/// The document written to `BENCH_simnet.json`.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    /// Document schema tag.
+    pub schema: String,
+    /// Scenario name (topology shape + flow count).
+    pub scenario: String,
+    /// Flows injected.
+    pub flows: usize,
+    /// Whether this was a `--quick` smoke run.
+    pub quick: bool,
+    /// Per-engine measurements.
+    pub engines: Vec<EngineResult>,
+    /// Indexed-engine throughput over naive-baseline throughput
+    /// (absent in quick mode, which skips the baseline).
+    pub speedup_vs_naive: Option<f64>,
+}
+
+fn run_indexed(scenario: &Scenario) -> Result<(f64, u64, usize, u64)> {
+    let start = Instant::now();
+    let mut sim = NetSim::new(scenario.topo.clone());
+    scenario.inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))?;
+    sim.run()?;
+    let secs = start.elapsed().as_secs_f64();
+    let makespan = sim
+        .makespan()
+        .ok_or("indexed engine reported no makespan")?;
+    Ok((
+        secs,
+        sim.events_processed(),
+        sim.peak_live_flows(),
+        makespan.as_nanos(),
+    ))
+}
+
+fn run_naive(scenario: &Scenario) -> Result<(f64, u64, u64)> {
+    let start = Instant::now();
+    let mut sim = NaiveNetSim::new(scenario.topo.clone());
+    scenario.inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))?;
+    sim.run()?;
+    let secs = start.elapsed().as_secs_f64();
+    let makespan = sim.makespan().ok_or("naive engine reported no makespan")?;
+    Ok((secs, sim.events_processed(), makespan.as_nanos()))
+}
+
+fn engine_result(
+    engine: &str,
+    runs: usize,
+    events: u64,
+    best_secs: f64,
+    peak_live_flows: Option<usize>,
+    makespan_ns: u64,
+) -> Result<EngineResult> {
+    if !best_secs.is_finite() || best_secs <= 0.0 {
+        return Err(format!("{engine} engine produced a degenerate timing {best_secs}").into());
+    }
+    let events_per_sec = events as f64 / best_secs;
+    let ns_per_event = best_secs * 1e9 / events as f64;
+    for (what, v) in [("events/sec", events_per_sec), ("ns/event", ns_per_event)] {
+        if !v.is_finite() {
+            return Err(format!("{engine} engine produced non-finite {what}: {v}").into());
+        }
+    }
+    Ok(EngineResult {
+        engine: engine.to_string(),
+        runs,
+        events,
+        best_secs,
+        events_per_sec,
+        ns_per_event,
+        peak_live_flows,
+        makespan_ns,
+    })
+}
+
+/// Measures the hot path and builds the report document.
+///
+/// # Errors
+///
+/// Propagates engine errors and rejects any non-finite measurement —
+/// the property the CI smoke step relies on.
+pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
+    let flows = args
+        .flows
+        .unwrap_or(if args.quick { QUICK_FLOWS } else { FULL_FLOWS });
+    let scenario = hotpath_scenario(flows)?;
+
+    let mut best_indexed: Option<(f64, u64, usize, u64)> = None;
+    for _ in 0..INDEXED_RUNS {
+        let r = run_indexed(&scenario)?;
+        match &best_indexed {
+            Some(b) if b.0 <= r.0 => {}
+            _ => best_indexed = Some(r),
+        }
+    }
+    let (secs, events, peak, makespan_ns) = best_indexed.expect("at least one run");
+    let indexed = engine_result(
+        "indexed",
+        INDEXED_RUNS,
+        events,
+        secs,
+        Some(peak),
+        makespan_ns,
+    )?;
+
+    let mut engines = vec![indexed];
+    let mut speedup = None;
+    if !args.quick {
+        let mut best_naive: Option<(f64, u64, u64)> = None;
+        for _ in 0..NAIVE_RUNS {
+            let r = run_naive(&scenario)?;
+            match &best_naive {
+                Some(b) if b.0 <= r.0 => {}
+                _ => best_naive = Some(r),
+            }
+        }
+        let (nsecs, nevents, nmakespan) = best_naive.expect("at least one run");
+        if nmakespan != makespan_ns {
+            return Err(format!(
+                "engines diverged: indexed makespan {makespan_ns} ns, naive {nmakespan} ns"
+            )
+            .into());
+        }
+        let naive = engine_result("naive", NAIVE_RUNS, nevents, nsecs, None, nmakespan)?;
+        let ratio = engines[0].events_per_sec / naive.events_per_sec;
+        if !ratio.is_finite() {
+            return Err(format!("non-finite speedup {ratio}").into());
+        }
+        speedup = Some(ratio);
+        engines.push(naive);
+    }
+
+    Ok(BenchReport {
+        schema: "npp.bench.simnet/v1".to_string(),
+        scenario: scenario.name,
+        flows,
+        quick: args.quick,
+        engines,
+        speedup_vs_naive: speedup,
+    })
+}
+
+/// Runs `netpp bench-json`.
+///
+/// # Errors
+///
+/// Propagates measurement, serialization, and file-write errors.
+pub fn run(rest: &[&str], _json: bool) -> Result<()> {
+    let args = parse_args(rest)?;
+    let report = measure(&args)?;
+    let doc = npp_report::export::to_json(&report)?;
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    println!("{doc}");
+    if let Some(s) = report.speedup_vs_naive {
+        eprintln!(
+            "indexed: {:.0} events/s ({:.0} ns/event), naive: {:.0} events/s — {s:.1}x",
+            report.engines[0].events_per_sec,
+            report.engines[0].ns_per_event,
+            report.engines[1].events_per_sec,
+        );
+    } else {
+        eprintln!(
+            "indexed: {:.0} events/s ({:.0} ns/event), peak {} live flows",
+            report.engines[0].events_per_sec,
+            report.engines[0].ns_per_event,
+            report.engines[0].peak_live_flows.unwrap_or(0),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let args = parse_args(&["--quick", "--out", "b.json", "--flows", "50"]).unwrap();
+        assert!(args.quick);
+        assert_eq!(args.out.as_deref(), Some("b.json"));
+        assert_eq!(args.flows, Some(50));
+        assert_eq!(
+            parse_args(&[]).unwrap(),
+            BenchArgs {
+                quick: false,
+                out: None,
+                flows: None
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&["--out"]).is_err());
+        assert!(parse_args(&["--flows"]).is_err());
+        assert!(parse_args(&["--flows", "zero"]).is_err());
+        assert!(parse_args(&["--flows", "0"]).is_err());
+        assert!(parse_args(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn quick_measurement_is_finite_and_indexed_only() {
+        let report = measure(&BenchArgs {
+            quick: true,
+            out: None,
+            flows: Some(64),
+        })
+        .unwrap();
+        assert_eq!(report.engines.len(), 1);
+        assert_eq!(report.engines[0].engine, "indexed");
+        assert!(report.engines[0].events_per_sec.is_finite());
+        assert!(report.engines[0].ns_per_event > 0.0);
+        assert!(report.engines[0].peak_live_flows.unwrap() >= 1);
+        assert!(report.speedup_vs_naive.is_none());
+    }
+
+    #[test]
+    fn full_measurement_compares_both_engines() {
+        let report = measure(&BenchArgs {
+            quick: false,
+            out: None,
+            flows: Some(96),
+        })
+        .unwrap();
+        assert_eq!(report.engines.len(), 2);
+        assert_eq!(report.engines[1].engine, "naive");
+        // Equivalence is asserted inside measure(); the echoed makespans
+        // must therefore match here too.
+        assert_eq!(report.engines[0].makespan_ns, report.engines[1].makespan_ns);
+        assert!(report.speedup_vs_naive.unwrap().is_finite());
+    }
+}

@@ -7,6 +7,7 @@
 //! paper's tables/figures) and [`mech`] (the §4 mechanism evaluations
 //! and §3.4 studies).
 
+pub mod bench;
 pub mod mech;
 pub mod paper;
 pub mod sweep;

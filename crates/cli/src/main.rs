@@ -7,7 +7,7 @@
 
 use std::process::ExitCode;
 
-use npp_cli::{mech, paper, sweep};
+use npp_cli::{bench, mech, paper, sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         "llm" => paper::llm(json),
         "isp" => mech::isp(json),
         "sweep" => sweep::run(&rest, json),
+        "bench-json" => bench::run(&rest, json),
         "fabric" => mech::fabric(json),
         "mech" => match rest.first().copied().unwrap_or("compare") {
             "eee" => mech::eee(json),
@@ -135,6 +136,12 @@ Sweeps:
              results are cached by content hash under --cache; --json
              prints the deterministic results document (identical bytes
              for any --jobs value)
+
+Benchmarks:
+  bench-json [--quick] [--out PATH] [--flows N]
+             time the fluid-simulator hot path (indexed engine vs naive
+             baseline) and emit a BENCH_simnet.json document; --quick is
+             the CI smoke mode (small scenario, indexed engine only)
 
 Flags: --json machine-readable output; --steps N sweep resolution."
     );

@@ -71,6 +71,7 @@ fn binary_help_lists_all_commands() {
         "fabric",
         "isp",
         "mech",
+        "bench-json",
     ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
@@ -189,6 +190,54 @@ fn binary_sweep_rejects_bad_specs() {
     assert!(!out.status.success());
 
     std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// `netpp bench-json --quick` is the CI perf smoke: it must succeed and
+/// every number in the document must be finite.
+#[test]
+fn binary_bench_json_quick_emits_finite_numbers() {
+    let out = netpp(&["bench-json", "--quick", "--flows", "64"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("bench-json emits valid JSON");
+    assert_eq!(v["schema"].as_str(), Some("npp.bench.simnet/v1"));
+    assert_eq!(v["quick"].as_bool(), Some(true));
+    let engines = v["engines"].as_array().unwrap();
+    assert_eq!(engines.len(), 1, "quick mode is indexed-engine only");
+    for key in ["events_per_sec", "ns_per_event", "best_secs"] {
+        let x = engines[0][key].as_f64().unwrap();
+        // serde_json rejects NaN/inf at parse time, but keep the check
+        // explicit: this test is the contract the CI step relies on.
+        assert!(x.is_finite() && x > 0.0, "{key} = {x}");
+    }
+    assert!(engines[0]["peak_live_flows"].as_u64().unwrap() >= 1);
+
+    // --out writes the same document to a file.
+    let scratch = std::env::temp_dir().join(format!("netpp-bench-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let path = scratch.join("BENCH_simnet.json");
+    let out = netpp(&[
+        "bench-json",
+        "--quick",
+        "--flows",
+        "64",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let written: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(written["schema"], v["schema"]);
+    std::fs::remove_dir_all(&scratch).unwrap();
+
+    // Bad flags fail cleanly.
+    let out = netpp(&["bench-json", "--flows", "none"]);
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -54,9 +54,16 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty scheduler whose heap is pre-sized for `capacity`
+    /// events, so a simulation with a known event population never
+    /// reallocates the queue mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(capacity),
             seq: 0,
             processed: 0,
         }
@@ -124,6 +131,30 @@ impl<E> Scheduler<E> {
         self.now = s.at;
         self.processed += 1;
         Some((s.at, s.event))
+    }
+
+    /// Pops every event sharing the earliest timestamp into `batch`
+    /// (FIFO order preserved), advancing the clock to that timestamp.
+    /// Returns the batch's timestamp, or `None` if the queue is empty.
+    ///
+    /// Simulations whose handlers recompute global state per timestamp
+    /// (rate reallocation, power re-planning) use this to pay that cost
+    /// once per instant instead of once per event. `batch` is cleared
+    /// first and reused, so a caller-owned buffer makes the drain loop
+    /// allocation-free.
+    pub fn pop_batch(&mut self, batch: &mut Vec<E>) -> Option<SimTime> {
+        batch.clear();
+        let Reverse(first) = self.queue.pop()?;
+        let at = first.at;
+        self.now = at;
+        self.processed += 1;
+        batch.push(first.event);
+        while self.queue.peek().is_some_and(|Reverse(s)| s.at == at) {
+            let Reverse(s) = self.queue.pop().expect("peeked non-empty");
+            self.processed += 1;
+            batch.push(s.event);
+        }
+        Some(at)
     }
 
     /// Pops the next event only if it is at or before `horizon`;
@@ -203,6 +234,25 @@ mod tests {
         // Clock parked at the horizon, later event still pending.
         assert_eq!(s.now(), horizon);
         assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn pop_batch_drains_one_timestamp_in_fifo_order() {
+        let mut s = Scheduler::with_capacity(8);
+        s.schedule(SimTime::from_nanos(10), "a").unwrap();
+        s.schedule(SimTime::from_nanos(10), "b").unwrap();
+        s.schedule(SimTime::from_nanos(10), "c").unwrap();
+        s.schedule(SimTime::from_nanos(20), "d").unwrap();
+        let mut batch = Vec::new();
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(10)));
+        assert_eq!(batch, ["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::from_nanos(10));
+        assert_eq!(s.processed(), 3);
+        // The buffer is reused: the next batch replaces its contents.
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(20)));
+        assert_eq!(batch, ["d"]);
+        assert_eq!(s.pop_batch(&mut batch), None);
+        assert!(batch.is_empty());
     }
 
     #[test]

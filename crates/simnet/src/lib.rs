@@ -20,7 +20,12 @@
 //!   port→pipeline indirection layer (Figure 5) and drop-tail buffers,
 //!   the substrate for §4.3 rate adaptation and §4.4 pipeline parking;
 //! - [`netsim`] — a flow-level (fluid, max-min fair) simulator over
-//!   explicit topology graphs, for fabric-scale experiments;
+//!   explicit topology graphs, for fabric-scale experiments — indexed
+//!   and allocation-free on its event loop (see the module docs);
+//! - [`netsim_naive`] — the pre-optimization reference engine, kept as
+//!   the benchmark baseline and differential-test oracle;
+//! - [`scenarios`] — deterministic flow-set generators shared by the
+//!   hot-path benchmark and `netpp bench-json`;
 //! - [`sources`] — deterministic and random (seeded) traffic generators;
 //! - [`stats`] — latency/throughput summaries.
 //!
@@ -44,7 +49,9 @@
 pub mod event;
 pub mod link;
 pub mod netsim;
+pub mod netsim_naive;
 pub mod power_tracker;
+pub mod scenarios;
 pub mod sources;
 pub mod stats;
 pub mod switchsim;

@@ -13,8 +13,33 @@
 //! resolves *which links are busy when*, which is what link-level energy
 //! mechanisms act on. The unit tests validate it against the analytic
 //! collective cost models in `npp-workload`.
-
-use std::collections::HashMap;
+//!
+//! # The indexed fast path
+//!
+//! The simulator is built for fabric-scale sweeps, so the event loop is
+//! indexed and allocation-free in steady state:
+//!
+//! - links and flows carry dense `u32` ids; a directed link is
+//!   `link_id * 2 + direction`, so per-directed-link state lives in
+//!   plain arrays instead of `HashMap<DirLink, f64>`;
+//! - flow→link paths are stored in one CSR arena
+//!   ([`NetSim::path_links`] + offsets) filled at injection time, and a
+//!   link→flow CSR is (re)built by counting sort before the event loop
+//!   starts, so the waterfill never scans `path.contains`;
+//! - [`NetSim::run`] owns a scratch arena (capacities, crossing counts,
+//!   dirty marks, work queues) that is sized once and reused by every
+//!   event, so the steady-state loop performs zero heap allocations;
+//! - an event only recomputes the rates of the flows it can actually
+//!   affect: the dirty set is closed over the flow-sharing graph
+//!   (flows sharing a directed link share a bottleneck cascade), and
+//!   untouched sharing components keep their — still exact — rates.
+//!
+//! Correctness is anchored by a naive progressive-filling oracle
+//! (`O(flows² · links)`, the pre-optimization algorithm) that runs after
+//! every recompute in test/debug builds and asserts the rate vectors
+//! are **bit-identical**. [`crate::netsim_naive::NaiveNetSim`] preserves
+//! the full pre-optimization engine for benchmarks and differential
+//! tests.
 
 use npp_topology::graph::{LinkId, NodeId, Topology};
 
@@ -24,21 +49,16 @@ use crate::{Result, SimError, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub usize);
 
-/// A directed traversal of an undirected link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct DirLink {
-    link: LinkId,
-    /// true when traversed from `link.a` to `link.b`.
-    forward: bool,
-}
-
 #[derive(Debug, Clone)]
 struct Flow {
     bytes_remaining: f64,
-    path: Vec<DirLink>,
     injected: SimTime,
     finished: Option<SimTime>,
     rate_gbps: f64,
+    /// Scheduled but not yet released into the fluid system.
+    pending: bool,
+    /// Released and not yet finished.
+    active: bool,
 }
 
 /// Statistics for one completed or running flow.
@@ -54,36 +74,133 @@ pub struct FlowStatus {
     pub rate: f64,
 }
 
+/// Reusable working memory for the event loop: sized once per run,
+/// then reused by every recompute so the steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Remaining capacity per directed link (valid only for `touched`).
+    cap: Vec<f64>,
+    /// Unassigned-flow crossing count per directed link (zero outside a
+    /// recompute).
+    crossing: Vec<u32>,
+    /// Directed links touched by the current recompute set.
+    touched: Vec<u32>,
+    /// Membership flag: flow is in the current recompute set.
+    in_set: Vec<bool>,
+    /// Flow already fixed at its bottleneck share this recompute.
+    assigned: Vec<bool>,
+    /// Directed link already expanded by the dirty-closure walk.
+    link_seen: Vec<bool>,
+    /// Directed links marked by the closure walk (for mark clearing).
+    links_marked: Vec<u32>,
+    /// Flow already visited by the dirty-closure walk.
+    flow_seen: Vec<bool>,
+    /// Flows visited by the closure walk (for mark clearing).
+    flows_marked: Vec<u32>,
+    /// Closure worklist.
+    queue: Vec<u32>,
+    /// Active flows whose rates the current event may change.
+    set: Vec<u32>,
+    /// Flows changed by the last event (released or completed): the
+    /// seeds of the next dirty closure.
+    seeds: Vec<u32>,
+}
+
 /// The flow-level simulator.
 #[derive(Debug, Clone)]
 pub struct NetSim {
     topo: Topology,
+    /// Capacity (Gbps) per directed link; both directions of a link
+    /// share the link's capacity value.
+    link_caps: Vec<f64>,
     flows: Vec<Flow>,
+    /// CSR flow→directed-link adjacency: `path_links[path_offsets[i]..
+    /// path_offsets[i + 1]]` is flow `i`'s path, filled at injection.
+    path_offsets: Vec<usize>,
+    path_links: Vec<u32>,
+    /// CSR directed-link→flow adjacency, rebuilt (counting sort) when
+    /// flows were injected since the last build. Rows list flows in
+    /// ascending id order, which the waterfill relies on.
+    lf_offsets: Vec<usize>,
+    lf_flows: Vec<u32>,
+    lf_flows_built: usize,
     /// Pending injections, sorted by time (reverse for pop).
     pending: Vec<(SimTime, FlowId)>,
+    /// Released, unfinished flows, ascending by id.
+    active: Vec<u32>,
     now: SimTime,
     /// Per-directed-link busy time accumulated, in seconds.
-    busy_secs: HashMap<DirLink, f64>,
+    busy_secs: Vec<f64>,
     /// Per-link bytes carried (both directions).
-    carried: HashMap<LinkId, f64>,
+    carried: Vec<f64>,
+    events: u64,
+    peak_active: usize,
+    scratch: Scratch,
+}
+
+/// Directed-link id of `link` traversed forward (`a → b`) or backward.
+fn dirlink(link: LinkId, forward: bool) -> u32 {
+    (link.0 * 2 + usize::from(forward)) as u32
 }
 
 impl NetSim {
     /// Creates a simulator over (a clone of) the topology.
     pub fn new(topo: Topology) -> Self {
+        let n_links = topo.links().len();
+        let mut link_caps = vec![0.0; n_links * 2];
+        for l in topo.links() {
+            let c = l.capacity.value();
+            link_caps[l.id.0 * 2] = c;
+            link_caps[l.id.0 * 2 + 1] = c;
+        }
         Self {
             topo,
+            link_caps,
             flows: Vec::new(),
+            path_offsets: vec![0],
+            path_links: Vec::new(),
+            lf_offsets: Vec::new(),
+            lf_flows: Vec::new(),
+            lf_flows_built: 0,
             pending: Vec::new(),
+            active: Vec::new(),
             now: SimTime::ZERO,
-            busy_secs: HashMap::new(),
-            carried: HashMap::new(),
+            busy_secs: vec![0.0; n_links * 2],
+            carried: vec![0.0; n_links],
+            events: 0,
+            peak_active: 0,
+            scratch: Scratch::default(),
         }
     }
 
     /// The simulation clock.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Number of fluid events (rate epochs) processed by [`NetSim::run`].
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Largest number of simultaneously live flows seen so far.
+    pub fn peak_live_flows(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Number of flows ever injected.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows scheduled but not yet released into the fluid system.
+    pub fn pending_flow_count(&self) -> usize {
+        self.flows.iter().filter(|f| f.pending).count()
+    }
+
+    /// Flows currently live (released and unfinished).
+    pub fn live_flow_count(&self) -> usize {
+        self.active.len()
     }
 
     /// Schedules a flow of `bytes` from `src` to `dst` at time `at`,
@@ -121,7 +238,6 @@ impl NetSim {
             )));
         }
         let nodes = &paths[path_choice % paths.len()];
-        let mut path = Vec::with_capacity(nodes.len().saturating_sub(1));
         for hop in nodes.windows(2) {
             let (a, b) = (hop[0], hop[1]);
             let (_, link) = self
@@ -132,59 +248,244 @@ impl NetSim {
                 .find(|&(peer, _)| peer == b)
                 .expect("consecutive ECMP nodes are adjacent");
             let l = self.topo.link(link).expect("link exists");
-            path.push(DirLink {
-                link,
-                forward: l.a == a,
-            });
+            self.path_links.push(dirlink(link, l.a == a));
         }
+        self.path_offsets.push(self.path_links.len());
         let id = FlowId(self.flows.len());
         self.flows.push(Flow {
             bytes_remaining: bytes,
-            path,
             injected: at,
             finished: None,
             rate_gbps: 0.0,
+            pending: true,
+            active: false,
         });
         self.pending.push((at, id));
         self.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
         Ok(id)
     }
 
-    /// Ids of flows that have started but not finished at `now`.
-    fn active_flows(&self) -> Vec<usize> {
-        self.flows
-            .iter()
-            .enumerate()
-            .filter(|(i, f)| {
-                f.finished.is_none()
-                    && f.injected <= self.now
-                    && !self.pending.iter().any(|&(_, FlowId(p))| p == *i)
-            })
-            .map(|(i, _)| i)
-            .collect()
+    /// Flow `i`'s path as a slice of directed-link ids.
+    #[cfg(any(test, debug_assertions))]
+    fn path(&self, i: usize) -> &[u32] {
+        &self.path_links[self.path_offsets[i]..self.path_offsets[i + 1]]
     }
 
-    /// Progressive-filling max-min fair allocation over the active flows.
-    fn recompute_rates(&mut self, active: &[usize]) {
-        for &i in active {
-            self.flows[i].rate_gbps = 0.0;
+    /// Rebuilds the link→flow CSR if flows were injected since the last
+    /// build. Counting sort over the flow→link CSR keeps each row in
+    /// ascending flow-id order; the buffers are reused across rebuilds.
+    fn ensure_link_flow_csr(&mut self) {
+        if self.lf_flows_built == self.flows.len() {
+            return;
         }
-        let mut unassigned: Vec<usize> = active.to_vec();
-        // Remaining capacity per directed link.
-        let mut cap: HashMap<DirLink, f64> = HashMap::new();
-        for &i in active {
-            for &dl in &self.flows[i].path {
-                cap.entry(dl)
-                    .or_insert_with(|| self.topo.link(dl.link).expect("link").capacity.value());
+        let n = self.link_caps.len();
+        self.lf_offsets.clear();
+        self.lf_offsets.resize(n + 1, 0);
+        for &dl in &self.path_links {
+            self.lf_offsets[dl as usize + 1] += 1;
+        }
+        for d in 0..n {
+            self.lf_offsets[d + 1] += self.lf_offsets[d];
+        }
+        self.lf_flows.clear();
+        self.lf_flows.resize(self.path_links.len(), 0);
+        // Per-link write cursors; `scratch.crossing` is idle between
+        // recomputes and has exactly the right shape.
+        let cursor = &mut self.scratch.crossing;
+        cursor.clear();
+        cursor.resize(n, 0);
+        for i in 0..self.flows.len() {
+            for &dl in &self.path_links[self.path_offsets[i]..self.path_offsets[i + 1]] {
+                let d = dl as usize;
+                self.lf_flows[self.lf_offsets[d] + cursor[d] as usize] = i as u32;
+                cursor[d] += 1;
             }
         }
-        while !unassigned.is_empty() {
-            // Bottleneck link: smallest fair share.
-            let mut best: Option<(f64, DirLink)> = None;
+        for c in cursor.iter_mut() {
+            *c = 0;
+        }
+        self.lf_flows_built = self.flows.len();
+    }
+
+    /// Sizes the scratch arena for the current flow/link population so
+    /// the event loop never grows a buffer mid-run.
+    fn ensure_scratch_sized(&mut self) {
+        let n_dl = self.link_caps.len();
+        let n_fl = self.flows.len();
+        let s = &mut self.scratch;
+        s.cap.resize(n_dl, 0.0);
+        s.crossing.resize(n_dl, 0);
+        s.link_seen.resize(n_dl, false);
+        s.in_set.resize(n_fl, false);
+        s.assigned.resize(n_fl, false);
+        s.flow_seen.resize(n_fl, false);
+        s.touched.reserve(self.path_links.len());
+        s.links_marked.reserve(n_dl);
+        s.queue.reserve(n_fl);
+        s.set.reserve(n_fl);
+        s.seeds.reserve(n_fl);
+        s.flows_marked.reserve(n_fl);
+        self.active.reserve(n_fl);
+    }
+
+    /// Expands the seed flows (released or completed by the last event)
+    /// into the set of *active* flows whose rates the event can affect:
+    /// the transitive closure over shared directed links. Sharing
+    /// components not reached keep their previous — still exact —
+    /// max-min rates, because progressive filling decomposes over
+    /// link-disjoint components.
+    fn dirty_closure(&mut self) {
+        let s = &mut self.scratch;
+        s.set.clear();
+        s.queue.clear();
+        for i in 0..s.seeds.len() {
+            let f = s.seeds[i];
+            if !s.flow_seen[f as usize] {
+                s.flow_seen[f as usize] = true;
+                s.flows_marked.push(f);
+                s.queue.push(f);
+            }
+        }
+        while let Some(f) = s.queue.pop() {
+            let fi = f as usize;
+            if self.flows[fi].active {
+                s.set.push(f);
+            }
+            for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                let d = dl as usize;
+                if s.link_seen[d] {
+                    continue;
+                }
+                s.link_seen[d] = true;
+                s.links_marked.push(dl);
+                for &g in &self.lf_flows[self.lf_offsets[d]..self.lf_offsets[d + 1]] {
+                    let gi = g as usize;
+                    if self.flows[gi].active && !s.flow_seen[gi] {
+                        s.flow_seen[gi] = true;
+                        s.flows_marked.push(g);
+                        s.queue.push(g);
+                    }
+                }
+            }
+        }
+        for &dl in &s.links_marked {
+            s.link_seen[dl as usize] = false;
+        }
+        s.links_marked.clear();
+        for &f in &s.flows_marked {
+            s.flow_seen[f as usize] = false;
+        }
+        s.flows_marked.clear();
+        s.seeds.clear();
+    }
+
+    /// Progressive-filling max-min fair allocation over `scratch.set`.
+    ///
+    /// Indexed waterfill: per-directed-link remaining capacity and
+    /// crossing counts live in dense arrays, the bottleneck's flows come
+    /// from the link→flow CSR (ascending flow id, matching the naive
+    /// algorithm's fixing order bit for bit), and ties on the fair share
+    /// break toward the smallest directed-link id — the same choice a
+    /// deterministic scan of the naive capacity map makes.
+    fn recompute_rates(&mut self) {
+        let s = &mut self.scratch;
+        debug_assert!(s.touched.is_empty());
+        let mut unassigned = 0usize;
+        for &f in &s.set {
+            let fi = f as usize;
+            self.flows[fi].rate_gbps = 0.0;
+            s.in_set[fi] = true;
+            s.assigned[fi] = false;
+            let path = &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]];
+            if !path.is_empty() {
+                unassigned += 1;
+            }
+            for &dl in path {
+                let d = dl as usize;
+                if s.crossing[d] == 0 {
+                    s.cap[d] = self.link_caps[d];
+                    s.touched.push(dl);
+                }
+                s.crossing[d] += 1;
+            }
+        }
+        while unassigned > 0 {
+            // Bottleneck link: smallest fair share, ties to smallest id.
+            let mut best_share = f64::INFINITY;
+            let mut best_dl = u32::MAX;
+            let mut found = false;
+            for &dl in &s.touched {
+                let d = dl as usize;
+                if s.crossing[d] == 0 {
+                    continue;
+                }
+                let share = s.cap[d] / s.crossing[d] as f64;
+                if !found || share < best_share || (share == best_share && dl < best_dl) {
+                    found = true;
+                    best_share = share;
+                    best_dl = dl;
+                }
+            }
+            if !found {
+                break;
+            }
+            // Fix every unassigned flow crossing the bottleneck at the
+            // fair share; subtract from the links on their paths.
+            let row = &self.lf_flows
+                [self.lf_offsets[best_dl as usize]..self.lf_offsets[best_dl as usize + 1]];
+            for &f in row {
+                let fi = f as usize;
+                if !s.in_set[fi] || s.assigned[fi] {
+                    continue;
+                }
+                s.assigned[fi] = true;
+                unassigned -= 1;
+                self.flows[fi].rate_gbps = best_share;
+                for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                    let d = dl as usize;
+                    s.crossing[d] -= 1;
+                    s.cap[d] = (s.cap[d] - best_share).max(0.0);
+                }
+            }
+            debug_assert_eq!(s.crossing[best_dl as usize], 0);
+        }
+        for &dl in &s.touched {
+            s.crossing[dl as usize] = 0;
+        }
+        s.touched.clear();
+        for &f in &s.set {
+            s.in_set[f as usize] = false;
+        }
+    }
+
+    /// Full-recompute oracle: reruns the naive `O(flows² · links)`
+    /// progressive filling over *all* active flows and asserts every
+    /// rate — including those the dirty closure chose not to touch — is
+    /// bit-identical to what the indexed engine holds.
+    #[cfg(any(test, debug_assertions))]
+    fn assert_rates_match_naive_oracle(&self) {
+        use std::collections::BTreeMap;
+        let active: Vec<usize> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.active)
+            .map(|(i, _)| i)
+            .collect();
+        let mut rates = vec![0.0f64; self.flows.len()];
+        let mut unassigned = active.clone();
+        let mut cap: BTreeMap<u32, f64> = BTreeMap::new();
+        for &i in &active {
+            for &dl in self.path(i) {
+                cap.entry(dl).or_insert(self.link_caps[dl as usize]);
+            }
+        }
+        loop {
+            let mut best: Option<(f64, u32)> = None;
             for (&dl, &c) in &cap {
                 let crossing = unassigned
                     .iter()
-                    .filter(|&&i| self.flows[i].path.contains(&dl))
+                    .filter(|&&i| self.path(i).contains(&dl))
                     .count();
                 if crossing == 0 {
                     continue;
@@ -197,16 +498,14 @@ impl NetSim {
             let Some((share, bottleneck)) = best else {
                 break;
             };
-            // Fix every unassigned flow crossing the bottleneck at the
-            // fair share; subtract from other links on their paths.
             let fixed: Vec<usize> = unassigned
                 .iter()
                 .copied()
-                .filter(|&i| self.flows[i].path.contains(&bottleneck))
+                .filter(|&i| self.path(i).contains(&bottleneck))
                 .collect();
             for &i in &fixed {
-                self.flows[i].rate_gbps = share;
-                for &dl in &self.flows[i].path.clone() {
+                rates[i] = share;
+                for &dl in self.path(i) {
                     if let Some(c) = cap.get_mut(&dl) {
                         *c = (*c - share).max(0.0);
                     }
@@ -214,6 +513,15 @@ impl NetSim {
             }
             cap.remove(&bottleneck);
             unassigned.retain(|i| !fixed.contains(i));
+        }
+        for &i in &active {
+            debug_assert_eq!(
+                self.flows[i].rate_gbps.to_bits(),
+                rates[i].to_bits(),
+                "flow {i}: indexed rate {} diverged from naive oracle {}",
+                self.flows[i].rate_gbps,
+                rates[i],
+            );
         }
     }
 
@@ -224,18 +532,24 @@ impl NetSim {
     /// Propagates configuration errors (none occur after injection in the
     /// current model); returns Ok when the fluid system drains.
     pub fn run(&mut self) -> Result<()> {
+        self.ensure_link_flow_csr();
+        self.ensure_scratch_sized();
         loop {
-            let active = self.active_flows();
-            if active.is_empty() && self.pending.is_empty() {
+            if self.active.is_empty() && self.pending.is_empty() {
                 return Ok(());
             }
-            self.recompute_rates(&active);
+            if !self.scratch.seeds.is_empty() {
+                self.dirty_closure();
+                self.recompute_rates();
+                #[cfg(any(test, debug_assertions))]
+                self.assert_rates_match_naive_oracle();
+            }
 
             // Earliest of: next injection, earliest completion.
             let next_injection = self.pending.last().map(|&(t, _)| t);
             let mut earliest_completion: Option<SimTime> = None;
-            for &i in &active {
-                let f = &self.flows[i];
+            for &i in &self.active {
+                let f = &self.flows[i as usize];
                 if f.rate_gbps > 0.0 {
                     let secs = f.bytes_remaining * 8.0 / (f.rate_gbps * 1e9);
                     let t = self.now.plus_nanos((secs * 1e9).ceil() as u64);
@@ -255,32 +569,63 @@ impl NetSim {
                 }
             };
 
-            // Integrate progress over [now, next].
+            // Integrate progress over [now, next], ascending flow id.
             let dt = next.since(self.now) as f64 * 1e-9;
-            for &i in &active {
-                let f = &mut self.flows[i];
-                if f.rate_gbps > 0.0 {
-                    let moved = f.rate_gbps * 1e9 * dt / 8.0;
+            for &i in &self.active {
+                let fi = i as usize;
+                let rate = self.flows[fi].rate_gbps;
+                if rate > 0.0 {
+                    let moved = rate * 1e9 * dt / 8.0;
+                    let f = &mut self.flows[fi];
                     f.bytes_remaining = (f.bytes_remaining - moved).max(0.0);
-                    for &dl in &f.path {
-                        *self.busy_secs.entry(dl).or_insert(0.0) += dt;
-                        *self.carried.entry(dl.link).or_insert(0.0) += moved;
-                    }
-                    if f.bytes_remaining <= 1e-6 {
+                    let done = f.bytes_remaining <= 1e-6;
+                    if done {
                         f.finished = Some(next);
+                        f.active = false;
+                    }
+                    for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                        let d = dl as usize;
+                        self.busy_secs[d] += dt;
+                        self.carried[d / 2] += moved;
                     }
                 }
             }
             self.now = next;
+            // Drop completed flows from the active list; they seed the
+            // next dirty closure (their links free capacity).
+            let (flows, scratch) = (&self.flows, &mut self.scratch);
+            self.active.retain(|&i| {
+                if flows[i as usize].active {
+                    true
+                } else {
+                    scratch.seeds.push(i);
+                    false
+                }
+            });
             // Release injections due now.
+            let mut released = false;
             while self
                 .pending
                 .last()
                 .map(|&(t, _)| t <= self.now)
                 .unwrap_or(false)
             {
-                self.pending.pop();
+                let (_, FlowId(i)) = self.pending.pop().expect("checked non-empty");
+                let f = &mut self.flows[i];
+                f.pending = false;
+                f.active = true;
+                self.active.push(i as u32);
+                self.scratch.seeds.push(i as u32);
+                released = true;
             }
+            if released {
+                // Keep the active list ascending: integration order (and
+                // thus float accumulation into the link stats) must not
+                // depend on injection order.
+                self.active.sort_unstable();
+                self.peak_active = self.peak_active.max(self.active.len());
+            }
+            self.events += 1;
         }
     }
 
@@ -309,28 +654,14 @@ impl NetSim {
     /// (union is approximated by the max of the two directions, exact
     /// when both directions are driven by the same collective).
     pub fn link_busy_secs(&self, link: LinkId) -> f64 {
-        let fwd = self
-            .busy_secs
-            .get(&DirLink {
-                link,
-                forward: true,
-            })
-            .copied()
-            .unwrap_or(0.0);
-        let rev = self
-            .busy_secs
-            .get(&DirLink {
-                link,
-                forward: false,
-            })
-            .copied()
-            .unwrap_or(0.0);
+        let fwd = self.busy_secs[link.0 * 2 + 1];
+        let rev = self.busy_secs[link.0 * 2];
         fwd.max(rev)
     }
 
     /// Bytes carried by a link, summed over both directions.
     pub fn link_bytes(&self, link: LinkId) -> f64 {
-        self.carried.get(&link).copied().unwrap_or(0.0)
+        self.carried[link.0]
     }
 
     /// Links that never carried traffic.
@@ -514,5 +845,54 @@ mod tests {
         let b = disconnected.add_host("b");
         let mut sim2 = NetSim::new(disconnected);
         assert!(sim2.inject(SimTime::ZERO, a, b, 100.0, 0).is_err());
+    }
+
+    #[test]
+    fn event_and_peak_counters_track_the_run() {
+        let topo = leaf_spine(2, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        sim.inject(SimTime::ZERO, hosts[0], hosts[2], 62.5e6, 0)
+            .unwrap();
+        sim.inject(SimTime::from_millis(1), hosts[1], hosts[3], 62.5e6, 0)
+            .unwrap();
+        sim.run().unwrap();
+        // At least: release at 0, release at 1 ms, two completions.
+        assert!(sim.events_processed() >= 3);
+        assert_eq!(sim.peak_live_flows(), 2);
+        assert_eq!(sim.flow_count(), 2);
+    }
+
+    #[test]
+    fn disjoint_components_keep_exact_rates_across_events() {
+        // Two leaf-local pairs on separate leaves never share a link;
+        // events in one component must not disturb the other. The
+        // debug-assert oracle checks the untouched component's rates
+        // stay bit-identical to a full recompute.
+        let topo = leaf_spine(2, 1, 4, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        // Component 1 (leaf 0): long flow.
+        let long = sim
+            .inject(SimTime::ZERO, hosts[0], hosts[1], 250e6, 0)
+            .unwrap();
+        // Component 2 (leaf 1): a burst of short flows creating events
+        // while the long flow runs.
+        for i in 0..8 {
+            sim.inject(
+                SimTime::from_millis(i),
+                hosts[4 + (i as usize % 2)],
+                hosts[6 + (i as usize % 2)],
+                1e6,
+                0,
+            )
+            .unwrap();
+        }
+        sim.run().unwrap();
+        // The long flow ran at line rate throughout: 250 MB at 100 G.
+        assert_eq!(
+            sim.status(long).unwrap().finished.unwrap(),
+            SimTime::from_millis(20)
+        );
     }
 }

@@ -1,0 +1,366 @@
+//! The pre-optimization flow-level simulator, preserved verbatim as a
+//! reference engine.
+//!
+//! [`NaiveNetSim`] is the `HashMap`-per-event, `path.contains`-scanning
+//! progressive-filling implementation that [`crate::netsim::NetSim`]
+//! replaced. It is kept for two jobs:
+//!
+//! - the `simnet_hotpath` benchmark measures the indexed engine's
+//!   speedup against it on identical scenarios (the PR-over-PR perf
+//!   trajectory in `BENCH_simnet.json` is anchored to this baseline);
+//! - the differential test suite (`tests/simnet_equivalence.rs`) runs
+//!   both engines on random topologies and flow sets and asserts
+//!   bit-identical completion times and link statistics.
+//!
+//! The only change from the historical code is a deterministic
+//! bottleneck tie-break (smallest directed-link id), so equal-share
+//! ties resolve identically to the indexed engine instead of following
+//! `HashMap` iteration order. Complexity is untouched:
+//! `O(flows² · links)` per event with fresh allocations throughout.
+
+use std::collections::HashMap;
+
+use npp_topology::graph::{LinkId, NodeId, Topology};
+
+use crate::netsim::FlowId;
+use crate::{Result, SimError, SimTime};
+
+/// A directed traversal of an undirected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct DirLink {
+    link: LinkId,
+    /// true when traversed from `link.a` to `link.b`.
+    forward: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    bytes_remaining: f64,
+    path: Vec<DirLink>,
+    injected: SimTime,
+    finished: Option<SimTime>,
+    rate_gbps: f64,
+}
+
+/// The pre-optimization flow-level simulator (reference engine).
+#[derive(Debug, Clone)]
+pub struct NaiveNetSim {
+    topo: Topology,
+    flows: Vec<Flow>,
+    /// Pending injections, sorted by time (reverse for pop).
+    pending: Vec<(SimTime, FlowId)>,
+    now: SimTime,
+    /// Per-directed-link busy time accumulated, in seconds.
+    busy_secs: HashMap<DirLink, f64>,
+    /// Per-link bytes carried (both directions).
+    carried: HashMap<LinkId, f64>,
+    events: u64,
+}
+
+impl NaiveNetSim {
+    /// Creates a simulator over (a clone of) the topology.
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            topo,
+            flows: Vec::new(),
+            pending: Vec::new(),
+            now: SimTime::ZERO,
+            busy_secs: HashMap::new(),
+            carried: HashMap::new(),
+            events: 0,
+        }
+    }
+
+    /// The simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of fluid events (rate epochs) processed by
+    /// [`NaiveNetSim::run`].
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Schedules a flow of `bytes` from `src` to `dst` at time `at`,
+    /// routed on the `path_choice`-th ECMP shortest path.
+    ///
+    /// # Errors
+    ///
+    /// Rejects flows between unreachable nodes, empty flows, and
+    /// injections in the past.
+    pub fn inject(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        path_choice: usize,
+    ) -> Result<FlowId> {
+        if at < self.now {
+            return Err(SimError::TimeReversal {
+                now_ns: self.now.as_nanos(),
+                requested_ns: at.as_nanos(),
+            });
+        }
+        if bytes <= 0.0 || !bytes.is_finite() {
+            return Err(SimError::Config(format!(
+                "flow size {bytes} must be positive"
+            )));
+        }
+        let paths = self.topo.ecmp_paths(src, dst, 16);
+        if paths.is_empty() {
+            return Err(SimError::Config(format!(
+                "no path from node {} to node {}",
+                src.0, dst.0
+            )));
+        }
+        let nodes = &paths[path_choice % paths.len()];
+        let mut path = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for hop in nodes.windows(2) {
+            let (a, b) = (hop[0], hop[1]);
+            let (_, link) = self
+                .topo
+                .neighbors(a)
+                .iter()
+                .copied()
+                .find(|&(peer, _)| peer == b)
+                .expect("consecutive ECMP nodes are adjacent");
+            let l = self.topo.link(link).expect("link exists");
+            path.push(DirLink {
+                link,
+                forward: l.a == a,
+            });
+        }
+        let id = FlowId(self.flows.len());
+        self.flows.push(Flow {
+            bytes_remaining: bytes,
+            path,
+            injected: at,
+            finished: None,
+            rate_gbps: 0.0,
+        });
+        self.pending.push((at, id));
+        self.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
+        Ok(id)
+    }
+
+    /// Ids of flows that have started but not finished at `now`.
+    fn active_flows(&self) -> Vec<usize> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| {
+                f.finished.is_none()
+                    && f.injected <= self.now
+                    && !self.pending.iter().any(|&(_, FlowId(p))| p == *i)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Progressive-filling max-min fair allocation over the active flows.
+    fn recompute_rates(&mut self, active: &[usize]) {
+        for &i in active {
+            self.flows[i].rate_gbps = 0.0;
+        }
+        let mut unassigned: Vec<usize> = active.to_vec();
+        // Remaining capacity per directed link.
+        let mut cap: HashMap<DirLink, f64> = HashMap::new();
+        for &i in active {
+            for &dl in &self.flows[i].path {
+                cap.entry(dl)
+                    .or_insert_with(|| self.topo.link(dl.link).expect("link").capacity.value());
+            }
+        }
+        while !unassigned.is_empty() {
+            // Bottleneck link: smallest fair share, ties toward the
+            // smallest directed-link id (matches the indexed engine).
+            let mut best: Option<(f64, DirLink)> = None;
+            for (&dl, &c) in &cap {
+                let crossing = unassigned
+                    .iter()
+                    .filter(|&&i| self.flows[i].path.contains(&dl))
+                    .count();
+                if crossing == 0 {
+                    continue;
+                }
+                let share = c / crossing as f64;
+                if best
+                    .map(|(s, d)| share < s || (share == s && dl < d))
+                    .unwrap_or(true)
+                {
+                    best = Some((share, dl));
+                }
+            }
+            let Some((share, bottleneck)) = best else {
+                break;
+            };
+            // Fix every unassigned flow crossing the bottleneck at the
+            // fair share; subtract from other links on their paths.
+            let fixed: Vec<usize> = unassigned
+                .iter()
+                .copied()
+                .filter(|&i| self.flows[i].path.contains(&bottleneck))
+                .collect();
+            for &i in &fixed {
+                self.flows[i].rate_gbps = share;
+                for &dl in &self.flows[i].path.clone() {
+                    if let Some(c) = cap.get_mut(&dl) {
+                        *c = (*c - share).max(0.0);
+                    }
+                }
+            }
+            cap.remove(&bottleneck);
+            unassigned.retain(|i| !fixed.contains(i));
+        }
+    }
+
+    /// Advances the simulation until all flows complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors; returns Ok when the fluid system
+    /// drains.
+    pub fn run(&mut self) -> Result<()> {
+        loop {
+            let active = self.active_flows();
+            if active.is_empty() && self.pending.is_empty() {
+                return Ok(());
+            }
+            self.recompute_rates(&active);
+
+            // Earliest of: next injection, earliest completion.
+            let next_injection = self.pending.last().map(|&(t, _)| t);
+            let mut earliest_completion: Option<SimTime> = None;
+            for &i in &active {
+                let f = &self.flows[i];
+                if f.rate_gbps > 0.0 {
+                    let secs = f.bytes_remaining * 8.0 / (f.rate_gbps * 1e9);
+                    let t = self.now.plus_nanos((secs * 1e9).ceil() as u64);
+                    if earliest_completion.map(|e| t < e).unwrap_or(true) {
+                        earliest_completion = Some(t);
+                    }
+                }
+            }
+            let next = match (next_injection, earliest_completion) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    return Err(SimError::Config("active flows starved at zero rate".into()));
+                }
+            };
+
+            // Integrate progress over [now, next].
+            let dt = next.since(self.now) as f64 * 1e-9;
+            for &i in &active {
+                let f = &mut self.flows[i];
+                if f.rate_gbps > 0.0 {
+                    let moved = f.rate_gbps * 1e9 * dt / 8.0;
+                    f.bytes_remaining = (f.bytes_remaining - moved).max(0.0);
+                    for &dl in &f.path {
+                        *self.busy_secs.entry(dl).or_insert(0.0) += dt;
+                        *self.carried.entry(dl.link).or_insert(0.0) += moved;
+                    }
+                    if f.bytes_remaining <= 1e-6 {
+                        f.finished = Some(next);
+                    }
+                }
+            }
+            self.now = next;
+            // Release injections due now.
+            while self
+                .pending
+                .last()
+                .map(|&(t, _)| t <= self.now)
+                .unwrap_or(false)
+            {
+                self.pending.pop();
+            }
+            self.events += 1;
+        }
+    }
+
+    /// Completion time of a flow, if finished.
+    pub fn finished_at(&self, id: FlowId) -> Option<SimTime> {
+        self.flows.get(id.0).and_then(|f| f.finished)
+    }
+
+    /// Current rate of a flow (Gbps).
+    pub fn rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(id.0).map(|f| f.rate_gbps)
+    }
+
+    /// Completion time of the last-finishing flow (makespan), if all
+    /// finished.
+    pub fn makespan(&self) -> Option<SimTime> {
+        self.flows
+            .iter()
+            .map(|f| f.finished)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
+    }
+
+    /// Seconds during which a link carried traffic in *either* direction.
+    pub fn link_busy_secs(&self, link: LinkId) -> f64 {
+        let fwd = self
+            .busy_secs
+            .get(&DirLink {
+                link,
+                forward: true,
+            })
+            .copied()
+            .unwrap_or(0.0);
+        let rev = self
+            .busy_secs
+            .get(&DirLink {
+                link,
+                forward: false,
+            })
+            .copied()
+            .unwrap_or(0.0);
+        fwd.max(rev)
+    }
+
+    /// Bytes carried by a link, summed over both directions.
+    pub fn link_bytes(&self, link: LinkId) -> f64 {
+        self.carried.get(&link).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_topology::builder::leaf_spine;
+    use npp_units::Gbps;
+
+    #[test]
+    fn reference_engine_still_computes_fair_shares() {
+        let topo = leaf_spine(2, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NaiveNetSim::new(topo);
+        let a = sim
+            .inject(SimTime::ZERO, hosts[0], hosts[2], 62.5e6, 0)
+            .unwrap();
+        let b = sim
+            .inject(SimTime::ZERO, hosts[1], hosts[3], 62.5e6, 0)
+            .unwrap();
+        sim.run().unwrap();
+        for f in [a, b] {
+            assert_eq!(sim.finished_at(f).unwrap(), SimTime::from_millis(10));
+        }
+        assert!(sim.events_processed() >= 2);
+    }
+
+    #[test]
+    fn reference_engine_validates_injections() {
+        let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NaiveNetSim::new(topo);
+        assert!(sim
+            .inject(SimTime::ZERO, hosts[0], hosts[1], -1.0, 0)
+            .is_err());
+    }
+}

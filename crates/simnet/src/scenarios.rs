@@ -1,0 +1,125 @@
+//! Deterministic flow-set generators for the fluid-simulator hot path.
+//!
+//! The same scenario feeds three consumers — the `simnet_hotpath`
+//! benchmark, the `netpp bench-json` perf emitter, and the differential
+//! test suite — so speedup numbers, the committed `BENCH_simnet.json`
+//! trajectory, and the equivalence tests all talk about identical work.
+//! Everything here is a pure function of its arguments: no RNG, no
+//! wall clock.
+
+use npp_topology::builder::leaf_spine;
+use npp_topology::graph::{NodeId, Topology};
+use npp_units::Gbps;
+
+use crate::{Result, SimTime};
+
+/// One flow of a generated scenario, in injection order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// Injection time.
+    pub at: SimTime,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Flow size in bytes.
+    pub bytes: f64,
+    /// ECMP path selector.
+    pub path_choice: usize,
+}
+
+/// A generated scenario: a topology plus the flows to inject.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario tag (recorded in `BENCH_simnet.json`).
+    pub name: String,
+    /// The fabric.
+    pub topo: Topology,
+    /// Flows in injection order.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl Scenario {
+    /// Injects every flow into `sim` via the given closure (both the
+    /// indexed and the naive engine share the `inject` signature).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first injection error.
+    pub fn inject_into<E>(
+        &self,
+        mut inject: impl FnMut(SimTime, NodeId, NodeId, f64, usize) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        for f in &self.flows {
+            inject(f.at, f.src, f.dst, f.bytes, f.path_choice)?;
+        }
+        Ok(())
+    }
+}
+
+/// The hot-path scenario: `n_flows` bulk flows on an 8-leaf × 4-spine
+/// 100 G fabric (64 hosts), injected with a fixed stagger so tens of
+/// flows are live at any instant and every event reshuffles a shared
+/// bottleneck cascade. Sources, destinations, sizes, and ECMP choices
+/// follow fixed affine sequences, so the scenario is identical across
+/// processes and machines.
+///
+/// # Errors
+///
+/// Propagates topology-construction errors (none for the fixed shape).
+pub fn hotpath_scenario(n_flows: usize) -> Result<Scenario> {
+    const LEAVES: usize = 8;
+    const SPINES: usize = 4;
+    const HOSTS_PER_LEAF: usize = 8;
+    let topo = leaf_spine(LEAVES, SPINES, HOSTS_PER_LEAF, Gbps::new(100.0))
+        .map_err(|e| crate::SimError::Config(format!("scenario topology: {e}")))?;
+    let hosts = topo.hosts();
+    let n = hosts.len();
+    // 20 µs stagger with 1–4 MB flows keeps roughly 25–40 flows live:
+    // enough sharing to make every completion a waterfill cascade,
+    // small enough that the naive reference engine finishes a 1k-flow
+    // run in seconds rather than minutes.
+    const STAGGER_NS: u64 = 20_000;
+    let mut flows = Vec::with_capacity(n_flows);
+    for f in 0..n_flows {
+        let src = f % n;
+        let mut dst = (f * 17 + 5) % n;
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        flows.push(FlowSpec {
+            at: SimTime::from_nanos(f as u64 * STAGGER_NS),
+            src: hosts[src],
+            dst: hosts[dst],
+            bytes: (1 + f % 4) as f64 * 1e6,
+            path_choice: f,
+        });
+    }
+    Ok(Scenario {
+        name: format!("hotpath/leafspine-{LEAVES}x{SPINES}x{HOSTS_PER_LEAF}/{n_flows}-flows"),
+        topo,
+        flows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::NetSim;
+
+    #[test]
+    fn scenario_is_deterministic_and_runnable() {
+        let a = hotpath_scenario(64).unwrap();
+        let b = hotpath_scenario(64).unwrap();
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.name, b.name);
+
+        let mut sim = NetSim::new(a.topo.clone());
+        a.inject_into(|at, src, dst, bytes, pc| sim.inject(at, src, dst, bytes, pc).map(|_| ()))
+            .unwrap();
+        sim.run().unwrap();
+        assert!(sim.makespan().is_some());
+        assert_eq!(sim.flow_count(), 64);
+        assert!(sim.peak_live_flows() >= 2);
+    }
+}

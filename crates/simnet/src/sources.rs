@@ -225,30 +225,42 @@ impl TrafficSource for OnOffSource {
 }
 
 /// Merges multiple sources into one globally time-ordered arrival stream.
+///
+/// A binary heap over `(head time, source index)` makes each merged
+/// arrival `O(log sources)` instead of a linear scan over every head.
+/// Ties pop in ascending source index — the same order the scan-based
+/// merge produced — so switching the data structure changes no stream.
 pub struct MergedSource {
     sources: Vec<Box<dyn TrafficSource>>,
     heads: Vec<Option<Arrival>>,
+    order: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>>,
 }
 
 impl MergedSource {
     /// Creates a merged stream over the given sources.
     pub fn new(mut sources: Vec<Box<dyn TrafficSource>>) -> Self {
-        let heads = sources.iter_mut().map(|s| s.next_arrival()).collect();
-        Self { sources, heads }
+        let heads: Vec<Option<Arrival>> = sources.iter_mut().map(|s| s.next_arrival()).collect();
+        let order = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|a| std::cmp::Reverse((a.at, i))))
+            .collect();
+        Self {
+            sources,
+            heads,
+            order,
+        }
     }
 }
 
 impl TrafficSource for MergedSource {
     fn next_arrival(&mut self) -> Option<Arrival> {
-        let idx = self
-            .heads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, h)| h.map(|a| (i, a.at)))
-            .min_by_key(|&(_, at)| at)
-            .map(|(i, _)| i)?;
+        let std::cmp::Reverse((_, idx)) = self.order.pop()?;
         let out = self.heads[idx].take();
         self.heads[idx] = self.sources[idx].next_arrival();
+        if let Some(next) = self.heads[idx] {
+            self.order.push(std::cmp::Reverse((next.at, idx)));
+        }
         out
     }
 }

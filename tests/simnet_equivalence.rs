@@ -1,0 +1,157 @@
+//! Differential suite: the indexed fair-share engine must be
+//! *bit-identical* to the preserved naive progressive-filling engine on
+//! random topologies and flow sets.
+//!
+//! The indexed engine ([`netpp::simnet::netsim::NetSim`]) additionally
+//! runs its own full-recompute oracle after every event in test builds,
+//! so each case here checks the allocator twice: once against the
+//! in-engine oracle (rates, per event) and once end-to-end against
+//! [`netpp::simnet::netsim_naive::NaiveNetSim`] (completion times, final
+//! rates, and per-link statistics).
+
+use netpp::simnet::netsim::NetSim;
+use netpp::simnet::netsim_naive::NaiveNetSim;
+use netpp::simnet::scenarios::hotpath_scenario;
+use netpp::simnet::SimTime;
+use netpp::topology::builder::{leaf_spine, three_tier_fat_tree};
+use netpp::topology::Topology;
+use netpp::units::Gbps;
+use proptest::prelude::*;
+
+/// A randomly-shaped flow: indices are reduced modulo the host count at
+/// injection time so one strategy serves every topology.
+type RawFlow = (u16, u16, f64, u64, u16);
+
+fn flows_strategy() -> impl Strategy<Value = Vec<RawFlow>> {
+    prop::collection::vec(
+        (
+            0u16..64,        // src selector
+            0u16..64,        // dst selector
+            1e4..5e7f64,     // bytes
+            0u64..5_000_000, // injection time (ns)
+            0u16..16,        // ECMP path choice
+        ),
+        1..20,
+    )
+}
+
+/// Runs both engines on the same topology and flows, then asserts the
+/// observable outcomes are identical down to the last bit.
+fn assert_engines_agree(topo: &Topology, flows: &[RawFlow]) -> Result<(), String> {
+    let hosts = topo.hosts();
+    let n = hosts.len();
+    let mut fast = NetSim::new(topo.clone());
+    let mut naive = NaiveNetSim::new(topo.clone());
+    let mut injected = 0usize;
+    for &(s, d, bytes, at_ns, pc) in flows {
+        let src = hosts[s as usize % n];
+        let mut dst = hosts[d as usize % n];
+        if src == dst {
+            dst = hosts[(d as usize + 1) % n];
+        }
+        let at = SimTime::from_nanos(at_ns);
+        let a = fast.inject(at, src, dst, bytes, pc as usize);
+        let b = naive.inject(at, src, dst, bytes, pc as usize);
+        prop_assert_eq!(a.is_ok(), b.is_ok(), "injection acceptance diverged");
+        if a.is_ok() {
+            injected += 1;
+        }
+    }
+    prop_assert!(injected > 0);
+    let ra = fast.run();
+    let rb = naive.run();
+    prop_assert_eq!(ra.is_ok(), rb.is_ok(), "run outcome diverged");
+    if ra.is_err() {
+        return Ok(());
+    }
+
+    prop_assert_eq!(fast.makespan(), naive.makespan(), "makespan diverged");
+    for i in 0..injected {
+        let id = netpp::simnet::netsim::FlowId(i);
+        let st = fast.status(id).expect("flow exists");
+        prop_assert_eq!(
+            st.finished,
+            naive.finished_at(id),
+            "flow {} completion diverged",
+            i
+        );
+        let naive_rate = naive.rate(id).expect("flow exists");
+        prop_assert_eq!(
+            st.rate.to_bits(),
+            naive_rate.to_bits(),
+            "flow {} final rate diverged: {} vs {}",
+            i,
+            st.rate,
+            naive_rate
+        );
+    }
+    for l in topo.links() {
+        prop_assert_eq!(
+            fast.link_bytes(l.id).to_bits(),
+            naive.link_bytes(l.id).to_bits(),
+            "link {} bytes diverged",
+            l.id.0
+        );
+        prop_assert_eq!(
+            fast.link_busy_secs(l.id).to_bits(),
+            naive.link_busy_secs(l.id).to_bits(),
+            "link {} busy time diverged",
+            l.id.0
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random leaf–spine shapes × random flow sets.
+    #[test]
+    fn engines_agree_on_random_leaf_spines(
+        leaves in 1usize..=3,
+        spines in 1usize..=2,
+        hosts_per_leaf in 2usize..=4,
+        speed in prop_oneof![Just(40.0), Just(100.0), Just(400.0)],
+        flows in flows_strategy(),
+    ) {
+        let topo = leaf_spine(leaves, spines, hosts_per_leaf, Gbps::new(speed)).unwrap();
+        assert_engines_agree(&topo, &flows)?;
+    }
+
+    /// Random flow sets on a k=4 fat tree (multi-path ECMP stressing
+    /// the dirty-closure walk across pods).
+    #[test]
+    fn engines_agree_on_fat_tree(flows in flows_strategy()) {
+        let topo = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        assert_engines_agree(&topo, &flows)?;
+    }
+}
+
+/// The benchmark scenario itself is covered by the differential check,
+/// so the committed `BENCH_simnet.json` speedups compare engines that
+/// provably compute the same fluid system.
+#[test]
+fn engines_agree_on_the_hotpath_scenario() {
+    let scenario = hotpath_scenario(192).unwrap();
+    let mut fast = NetSim::new(scenario.topo.clone());
+    let mut naive = NaiveNetSim::new(scenario.topo.clone());
+    scenario
+        .inject_into(|at, s, d, b, p| fast.inject(at, s, d, b, p).map(|_| ()))
+        .unwrap();
+    scenario
+        .inject_into(|at, s, d, b, p| naive.inject(at, s, d, b, p).map(|_| ()))
+        .unwrap();
+    fast.run().unwrap();
+    naive.run().unwrap();
+    assert_eq!(fast.makespan(), naive.makespan());
+    for i in 0..scenario.flows.len() {
+        let id = netpp::simnet::netsim::FlowId(i);
+        assert_eq!(
+            fast.status(id).unwrap().finished,
+            naive.finished_at(id),
+            "flow {i}"
+        );
+    }
+    // Both engines walked the same event sequence.
+    assert_eq!(fast.events_processed(), naive.events_processed());
+}
