@@ -8,6 +8,7 @@
 //! and §3.4 studies).
 
 pub mod bench;
+pub mod lint;
 pub mod mech;
 pub mod paper;
 pub mod sweep;

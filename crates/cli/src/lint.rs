@@ -1,0 +1,190 @@
+//! The `netpp lint` subcommand: run the `npp-lint` determinism &
+//! panic-hygiene analyzer over the workspace (or explicit paths) and
+//! gate on the result.
+//!
+//! ```text
+//! netpp lint [--json] [--baseline <path>] [--update-baseline] [paths…]
+//! ```
+//!
+//! Default mode lints every workspace crate's library source against
+//! the committed `lint_baseline.json` ratchet; the process exits
+//! non-zero when any unsuppressed finding remains. Explicit paths are
+//! linted strictly (all rules, no baseline) — handy for pre-commit
+//! checks of a single file. `--update-baseline` rewrites the baseline
+//! from the current P1 counts after a cleanup (the ratchet only ever
+//! tightens this way; hand-editing the file upward defeats it and will
+//! show in review).
+
+use std::path::{Path, PathBuf};
+
+use npp_lint::{lint, render_json, render_text, Baseline, Config};
+
+use crate::paper::Result;
+
+/// Parsed arguments for `netpp lint`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintArgs {
+    /// Baseline path override (default: `<root>/lint_baseline.json`).
+    pub baseline: Option<String>,
+    /// Rewrite the baseline from current P1 counts instead of gating.
+    pub update_baseline: bool,
+    /// Explicit files/directories; empty means the whole workspace.
+    pub paths: Vec<String>,
+}
+
+/// Parses `lint` arguments from the raw argv tail.
+///
+/// # Errors
+///
+/// Rejects unknown flags and a missing `--baseline` value.
+pub fn parse_args(rest: &[&str]) -> Result<LintArgs> {
+    let mut baseline = None;
+    let mut update_baseline = false;
+    let mut paths = Vec::new();
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {}
+            "--baseline" => {
+                baseline = Some(it.next().ok_or("--baseline needs a path")?.to_string());
+            }
+            "--update-baseline" => update_baseline = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown lint flag {flag:?}").into());
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    Ok(LintArgs {
+        baseline,
+        update_baseline,
+        paths,
+    })
+}
+
+/// Locates the workspace root: walk up from the current directory to
+/// the first `Cargo.toml` declaring `[workspace]`, falling back to the
+/// build-time manifest location (CI runs from a checkout, where both
+/// agree).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .components()
+        .collect()
+}
+
+/// Runs `netpp lint`.
+///
+/// # Errors
+///
+/// Returns an error (→ non-zero exit) when unsuppressed findings
+/// remain, and propagates I/O and baseline-parse failures.
+pub fn run(rest: &[&str], json: bool) -> Result<()> {
+    let args = parse_args(rest)?;
+    let root = workspace_root();
+    let workspace_mode = args.paths.is_empty();
+
+    let baseline_path = args
+        .baseline
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("lint_baseline.json"));
+
+    let mut config = if workspace_mode {
+        Config::workspace(&root)
+    } else {
+        Config::explicit(&root, args.paths.iter().map(PathBuf::from).collect())
+    };
+    if workspace_mode {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => config = config.with_baseline(Baseline::from_json(&text)?),
+            // A missing baseline means "no allowance": strictest gate.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display()).into()),
+        }
+    }
+
+    let report = lint(&config)?;
+
+    if args.update_baseline {
+        let tightened = report.tightened_baseline();
+        std::fs::write(&baseline_path, tightened.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "lint baseline updated: {} P1 finding(s) across {} file(s) -> {}",
+            tightened.total(),
+            tightened.files.len(),
+            baseline_path.display()
+        );
+    }
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+
+    // After --update-baseline the P1 counts are absorbed by definition;
+    // only non-ratcheted rules can still fail the gate.
+    let blocking = if args.update_baseline {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule != npp_lint::RuleId::P1Panic)
+            .count()
+    } else {
+        report.findings.len()
+    };
+    if blocking > 0 {
+        return Err(format!(
+            "{blocking} unsuppressed finding(s); fix them or annotate with \
+             `// npp-lint: allow(<key>) reason=\"…\"`"
+        )
+        .into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_paths() {
+        let args = parse_args(&[
+            "--json",
+            "--baseline",
+            "b.json",
+            "--update-baseline",
+            "crates/simnet/src",
+        ])
+        .unwrap();
+        assert_eq!(args.baseline.as_deref(), Some("b.json"));
+        assert!(args.update_baseline);
+        assert_eq!(args.paths, vec!["crates/simnet/src".to_string()]);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&["--baseline"]).is_err());
+        assert!(parse_args(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn workspace_root_has_manifest() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file(), "{}", root.display());
+    }
+}

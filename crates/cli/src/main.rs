@@ -7,7 +7,7 @@
 
 use std::process::ExitCode;
 
-use npp_cli::{bench, mech, paper, sweep};
+use npp_cli::{bench, lint, mech, paper, sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "isp" => mech::isp(json),
         "sweep" => sweep::run(&rest, json),
         "bench-json" => bench::run(&rest, json),
+        "lint" => lint::run(&rest, json),
         "fabric" => mech::fabric(json),
         "mech" => match rest.first().copied().unwrap_or("compare") {
             "eee" => mech::eee(json),
@@ -142,6 +143,16 @@ Benchmarks:
              time the fluid-simulator hot path (indexed engine vs naive
              baseline) and emit a BENCH_simnet.json document; --quick is
              the CI smoke mode (small scenario, indexed engine only)
+
+Static analysis:
+  lint [--baseline PATH] [--update-baseline] [paths...]
+             determinism & panic-hygiene analyzer (npp-lint): D1 no
+             HashMap/HashSet iteration, D2 no wall clock/RNG/env reads,
+             D3 no float reduction over map iterators (simnet, sweep,
+             mechanisms, core), P1 panic hygiene everywhere (ratcheted
+             by lint_baseline.json), S1 sweep specs deny unknown fields;
+             exits non-zero on any unsuppressed finding. Explicit paths
+             are linted strictly (all rules, no baseline).
 
 Flags: --json machine-readable output; --steps N sweep resolution."
     );

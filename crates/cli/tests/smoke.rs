@@ -240,6 +240,59 @@ fn binary_bench_json_quick_emits_finite_numbers() {
     assert!(!out.status.success());
 }
 
+/// `netpp lint`: the committed tree passes the gate, the JSON report
+/// is parseable and byte-stable, and a seeded violation fails naming
+/// the rules that fired.
+#[test]
+fn binary_lint_gate() {
+    let out = netpp(&["lint"]);
+    assert!(
+        out.status.success(),
+        "workspace must lint clean: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let first = netpp(&["lint", "--json"]);
+    assert!(first.status.success());
+    let second = netpp(&["lint", "--json"]);
+    assert!(second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "lint --json must be byte-stable across runs"
+    );
+    let v: serde_json::Value =
+        serde_json::from_slice(&first.stdout).expect("lint --json is valid JSON");
+    assert_eq!(v["schema"].as_str(), Some("npp.lint.report/v1"));
+    assert_eq!(v["total"].as_u64(), Some(0));
+    assert!(v["findings"].as_array().unwrap().is_empty());
+
+    // A seeded violation: explicit-path mode is strict (no baseline),
+    // so both the wall-clock read and the bare index must fail the run.
+    let scratch = std::env::temp_dir().join(format!("netpp-lint-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let seeded = scratch.join("seeded.rs");
+    std::fs::write(
+        &seeded,
+        "pub fn f(v: &[u64]) -> u64 {\n    let t = std::time::Instant::now();\n    v[0] + t.elapsed().as_secs()\n}\n",
+    )
+    .unwrap();
+    let out = netpp(&["lint", seeded.to_str().unwrap()]);
+    assert!(!out.status.success(), "seeded violation must fail the gate");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("[D2]"),
+        "must name the wall-clock rule: {text}"
+    );
+    assert!(text.contains("[P1]"), "must name the panic rule: {text}");
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
 #[test]
 fn binary_steps_flag_is_honored() {
     let out = netpp(&["fig3", "--steps", "2", "--json"]);

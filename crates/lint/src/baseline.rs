@@ -1,0 +1,369 @@
+//! The P1 ratchet baseline.
+//!
+//! Panic hygiene cannot be fixed in one PR: the indexed simulator hot
+//! path *earns* its slice indexing, and converting every historical
+//! `unwrap` at once would drown review. Instead the committed
+//! `lint_baseline.json` records, per file, how many P1 findings are
+//! tolerated today. The gate fails only when a file *exceeds* its
+//! recorded count, so the number can only ratchet downward:
+//! `netpp lint --update-baseline` rewrites the file from the current
+//! (lower) counts after a cleanup.
+//!
+//! The file is plain JSON, read and written by the minimal parser
+//! below so this crate stays dependency-free.
+
+use std::collections::BTreeMap;
+
+use crate::{LintError, Result};
+
+/// Schema tag written into (and required from) the baseline file.
+pub const SCHEMA: &str = "npp.lint.baseline/v1";
+
+/// Tolerated P1 finding counts, keyed by workspace-relative path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Per-file tolerated counts (`BTreeMap` so serialization is
+    /// stable and iteration deterministic).
+    pub files: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Tolerated count for `path` (0 when unlisted).
+    pub fn allowance(&self, path: &str) -> usize {
+        self.files.get(path).copied().unwrap_or(0)
+    }
+
+    /// Sum of all tolerated counts — the headline ratchet number.
+    pub fn total(&self) -> usize {
+        self.files.values().sum()
+    }
+
+    /// Serializes the baseline as pretty, key-sorted JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"total\": {},\n", self.total()));
+        out.push_str("  \"files\": {");
+        let mut first = true;
+        for (path, count) in &self.files {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {count}", escape(path)));
+        }
+        if !first {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a baseline document produced by [`Baseline::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON and unknown schema tags. The `total`
+    /// field is advisory (recomputed from `files`).
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value = parse_json(text)?;
+        let obj = value.as_object("baseline document")?;
+        match obj.get("schema") {
+            Some(Value::Str(s)) if s == SCHEMA => {}
+            Some(Value::Str(s)) => {
+                return Err(LintError::Baseline(format!(
+                    "unsupported baseline schema {s:?} (expected {SCHEMA:?})"
+                )))
+            }
+            _ => {
+                return Err(LintError::Baseline(
+                    "baseline document is missing its \"schema\" tag".into(),
+                ))
+            }
+        }
+        let mut files = BTreeMap::new();
+        if let Some(v) = obj.get("files") {
+            for (path, count) in v.as_object("\"files\"")? {
+                files.insert(path.clone(), count.as_count(path)?);
+            }
+        }
+        Ok(Self { files })
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON value — just what a baseline file can contain.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Ok(m),
+            other => Err(LintError::Baseline(format!(
+                "{what} must be a JSON object, found {other:?}"
+            ))),
+        }
+    }
+
+    fn as_count(&self, what: &str) -> Result<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            other => Err(LintError::Baseline(format!(
+                "count for {what:?} must be a non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Recursive-descent parser for the JSON subset above.
+fn parse_json(text: &str) -> Result<Value> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(LintError::Baseline(format!(
+            "trailing content at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(LintError::Baseline(format!(
+                "expected {c:?} at offset {}, found {got:?}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            got => Err(LintError::Baseline(format!(
+                "unexpected {got:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        for expected in word.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                got => {
+                    return Err(LintError::Baseline(format!(
+                        "bad literal near offset {}: expected {word:?}, found {got:?}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(map)),
+                got => {
+                    return Err(LintError::Baseline(format!(
+                        "expected ',' or '}}' at offset {}, found {got:?}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                got => {
+                    return Err(LintError::Baseline(format!(
+                        "expected ',' or ']' at offset {}, found {got:?}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| LintError::Baseline("bad \\u escape".into()))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => {
+                        return Err(LintError::Baseline(format!(
+                            "bad escape {got:?} at offset {}",
+                            self.pos
+                        )))
+                    }
+                },
+                Some(c) => out.push(c),
+                None => return Err(LintError::Baseline("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.bump();
+        }
+        let text: String = self
+            .chars
+            .get(start..self.pos)
+            .unwrap_or(&[])
+            .iter()
+            .collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| LintError::Baseline(format!("bad number {text:?} at offset {start}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.files.insert("crates/a/src/lib.rs".into(), 3);
+        b.files.insert("crates/b/src/x.rs".into(), 1);
+        let text = b.to_json();
+        let back = Baseline::from_json(&text).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(back.total(), 4);
+        assert_eq!(back.allowance("crates/a/src/lib.rs"), 3);
+        assert_eq!(back.allowance("unknown.rs"), 0);
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::default();
+        let back = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(back.total(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(Baseline::from_json("").is_err());
+        assert!(Baseline::from_json("{}").is_err()); // no schema
+        assert!(Baseline::from_json("{\"schema\": \"other/v9\", \"files\": {}}").is_err());
+        assert!(Baseline::from_json(&format!(
+            "{{\"schema\": \"{SCHEMA}\", \"files\": {{\"a.rs\": -1}}}}"
+        ))
+        .is_err());
+        assert!(Baseline::from_json(&format!("{{\"schema\": \"{SCHEMA}\"}} trailing")).is_err());
+    }
+}

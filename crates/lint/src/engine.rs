@@ -1,0 +1,469 @@
+//! Analysis driver: file discovery, suppression directives, the P1
+//! ratchet, and report assembly.
+//!
+//! Determinism is a feature of the *linter* too: files are visited in
+//! sorted order, findings are sorted by `(file, line, rule)`, and the
+//! JSON rendering has a fixed key order — two runs over the same tree
+//! produce byte-identical output, which CI relies on.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::lexer::{lex, Comment};
+use crate::rules::{scan, test_mask, FileScope, Hit, RuleId};
+use crate::{LintError, Result};
+
+/// Crates whose headline guarantee is bit-stable output; D1–D3 apply.
+const DETERMINISM_CRATES: &[&str] = &["simnet", "sweep", "mechanisms", "core"];
+
+/// Crate whose serde specs must reject unknown fields (S1).
+const SPEC_CRATES: &[&str] = &["sweep"];
+
+/// What to lint and against which ratchet.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory holding `Cargo.toml` + `crates/`).
+    pub root: PathBuf,
+    /// Explicit files/directories to lint instead of the workspace.
+    /// Explicit-path mode is strict: every rule applies and the
+    /// baseline is ignored (used by targeted runs and the smoke test).
+    pub paths: Vec<PathBuf>,
+    /// The P1 ratchet; `None` means "no allowance anywhere".
+    pub baseline: Option<Baseline>,
+}
+
+impl Config {
+    /// Lints the whole workspace under `root`.
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            paths: Vec::new(),
+            baseline: None,
+        }
+    }
+
+    /// Lints only `paths` (files or directories), strictly.
+    pub fn explicit(root: impl Into<PathBuf>, paths: Vec<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            paths,
+            baseline: None,
+        }
+    }
+
+    /// Attaches the P1 ratchet baseline.
+    #[must_use]
+    pub fn with_baseline(mut self, baseline: Baseline) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+}
+
+/// One reportable finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What was matched and how to fix or silence it.
+    pub message: String,
+}
+
+/// A suppression that silenced nothing — stale annotations rot, so
+/// the text report calls them out (they do not fail the gate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedSuppression {
+    /// File containing the directive.
+    pub file: String,
+    /// Directive line.
+    pub line: u32,
+    /// The suppression key it names.
+    pub key: String,
+}
+
+/// Outcome of one lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by `(file, line, rule)`. The gate
+    /// fails iff this is non-empty.
+    pub findings: Vec<Finding>,
+    /// Files inspected.
+    pub files_scanned: usize,
+    /// Findings silenced by in-source `allow(…)` directives.
+    pub suppressed: usize,
+    /// P1 findings absorbed by the ratchet baseline.
+    pub baselined: usize,
+    /// Current per-file unsuppressed-P1 counts (input to
+    /// `--update-baseline`); files with zero findings are omitted.
+    pub p1_counts: BTreeMap<String, usize>,
+    /// Directives that silenced nothing.
+    pub unused: Vec<UnusedSuppression>,
+}
+
+impl Report {
+    /// The baseline that would make this tree pass with zero slack.
+    pub fn tightened_baseline(&self) -> Baseline {
+        Baseline {
+            files: self.p1_counts.clone(),
+        }
+    }
+
+    /// `true` when the gate should fail.
+    pub fn failed(&self) -> bool {
+        !self.findings.is_empty()
+    }
+}
+
+/// Runs the analyzer per `config`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; an unreadable source file is an error, not
+/// a silent skip.
+pub fn lint(config: &Config) -> Result<Report> {
+    let files = if config.paths.is_empty() {
+        workspace_files(&config.root)?
+    } else {
+        explicit_files(&config.paths)?
+    };
+    let strict = !config.paths.is_empty();
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = relative_path(&config.root, path);
+        let source = fs::read_to_string(path)
+            .map_err(|e| LintError::Io(format!("cannot read {}: {e}", path.display())))?;
+        lint_file(&rel, &source, file_scope(&rel, strict), &mut report);
+        report.files_scanned += 1;
+    }
+
+    // The ratchet: a file's P1 findings are absorbed while it stays at
+    // or under its recorded allowance (strict mode skips this).
+    if !strict {
+        let baseline = config.baseline.clone().unwrap_or_default();
+        let mut kept = Vec::with_capacity(report.findings.len());
+        for finding in std::mem::take(&mut report.findings) {
+            let over = report.p1_counts.get(&finding.file).copied().unwrap_or(0)
+                > baseline.allowance(&finding.file);
+            if finding.rule == RuleId::P1Panic && !over {
+                report.baselined += 1;
+            } else {
+                kept.push(finding);
+            }
+        }
+        report.findings = kept;
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .unused
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Which rules apply to `rel` (workspace-relative path).
+fn file_scope(rel: &str, strict: bool) -> FileScope {
+    if strict {
+        return FileScope {
+            determinism: true,
+            spec_strictness: true,
+        };
+    }
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("");
+    FileScope {
+        determinism: DETERMINISM_CRATES.contains(&crate_name),
+        spec_strictness: SPEC_CRATES.contains(&crate_name),
+    }
+}
+
+/// Lints one file's source into `report`.
+fn lint_file(rel: &str, source: &str, scope: FileScope, report: &mut Report) {
+    let lexed = lex(source);
+    let masked = test_mask(&lexed.tokens);
+    let hits = scan(&lexed.tokens, &masked, scope);
+    let (mut directives, bad) = parse_directives(&lexed.comments);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        let text = lines
+            .get((line as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or("")
+            .trim();
+        let mut s: String = text.chars().take(120).collect();
+        if s.len() < text.len() {
+            s.push('…');
+        }
+        s
+    };
+
+    for hit in bad {
+        report.findings.push(Finding {
+            rule: hit.rule,
+            file: rel.to_string(),
+            line: hit.line,
+            snippet: snippet(hit.line),
+            message: hit.message,
+        });
+    }
+
+    for hit in hits {
+        if let Some(d) = directives
+            .iter_mut()
+            .find(|d| d.rule == hit.rule && (d.line == hit.line || d.line + 1 == hit.line))
+        {
+            d.used = true;
+            report.suppressed += 1;
+            continue;
+        }
+        if hit.rule == RuleId::P1Panic {
+            *report.p1_counts.entry(rel.to_string()).or_insert(0) += 1;
+        }
+        report.findings.push(Finding {
+            rule: hit.rule,
+            file: rel.to_string(),
+            line: hit.line,
+            snippet: snippet(hit.line),
+            message: hit.message,
+        });
+    }
+
+    for d in directives.into_iter().filter(|d| !d.used) {
+        report.unused.push(UnusedSuppression {
+            file: rel.to_string(),
+            line: d.line,
+            key: d.rule.key().to_string(),
+        });
+    }
+}
+
+/// A parsed `// npp-lint: allow(<key>) reason="…"` directive.
+#[derive(Debug)]
+struct Directive {
+    line: u32,
+    rule: RuleId,
+    used: bool,
+}
+
+/// Extracts well-formed directives and reports malformed ones (A1).
+fn parse_directives(comments: &[Comment]) -> (Vec<Directive>, Vec<Hit>) {
+    let mut directives = Vec::new();
+    let mut bad = Vec::new();
+    for comment in comments {
+        // Doc comments (`///…` lexes as text starting with `/`, `//!…`
+        // with `!`) never carry live directives — they quote them.
+        if comment.text.starts_with('/') || comment.text.starts_with('!') {
+            continue;
+        }
+        let Some(after_tag) = comment.text.split("npp-lint:").nth(1) else {
+            continue;
+        };
+        match parse_allow(after_tag) {
+            Ok(rule) => directives.push(Directive {
+                line: comment.line,
+                rule,
+                used: false,
+            }),
+            Err(why) => bad.push(Hit {
+                rule: RuleId::A1BadSuppression,
+                line: comment.line,
+                message: format!(
+                    "malformed suppression: {why}; expected \
+                     `npp-lint: allow(<key>) reason=\"…\"` with a non-empty reason"
+                ),
+            }),
+        }
+    }
+    (directives, bad)
+}
+
+/// Parses the `allow(<key>) reason="…"` tail of a directive.
+fn parse_allow(text: &str) -> std::result::Result<RuleId, String> {
+    let text = text.trim_start();
+    let Some(rest) = text.strip_prefix("allow(") else {
+        return Err("missing `allow(<key>)`".into());
+    };
+    let Some((key, rest)) = rest.split_once(')') else {
+        return Err("unclosed `allow(`".into());
+    };
+    let rule = RuleId::from_key(key.trim())
+        .ok_or_else(|| format!("unknown suppression key {:?}", key.trim()))?;
+    let rest = rest.trim_start();
+    let Some(reason) = rest.strip_prefix("reason=\"") else {
+        return Err("missing `reason=\"…\"`".into());
+    };
+    let Some((reason, _)) = reason.split_once('"') else {
+        return Err("unterminated reason string".into());
+    };
+    if reason.trim().is_empty() {
+        return Err("empty reason".into());
+    }
+    Ok(rule)
+}
+
+/// All `.rs` files of the workspace's library source, sorted: the root
+/// package's `src/` plus every `crates/*/src/`. `tests/`, `benches/`,
+/// `examples/`, `vendor/`, and `target/` are out of scope — the rules
+/// are about shipping library code.
+fn workspace_files(root: &Path) -> Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)
+            .map_err(|e| LintError::Io(format!("cannot list {}: {e}", crates.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Expands explicit paths: files are taken as-is, directories are
+/// walked recursively for `.rs` files.
+fn explicit_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(path, &mut files)?;
+        } else if path.is_file() {
+            files.push(path.clone());
+        } else {
+            return Err(LintError::Io(format!("no such path: {}", path.display())));
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| LintError::Io(format!("cannot list {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root` with `/` separators (falls back to the
+/// full path for out-of-tree explicit paths).
+fn relative_path(root: &Path, path: &Path) -> String {
+    match path.strip_prefix(root) {
+        Ok(rel) => rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/"),
+        Err(_) => path.display().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str, scope: FileScope) -> Report {
+        let mut report = Report::default();
+        lint_file("crates/x/src/lib.rs", src, scope, &mut report);
+        report
+            .findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        report
+    }
+
+    const ALL: FileScope = FileScope {
+        determinism: true,
+        spec_strictness: true,
+    };
+
+    #[test]
+    fn suppression_silences_same_and_next_line() {
+        let src = "
+            fn f(m: std::collections::HashMap<u32, u32>) -> usize {
+                // npp-lint: allow(map-iter) reason=\"count is order-independent\"
+                let n = m.keys().count();
+                let o = m.keys().count(); // npp-lint: allow(map-iter) reason=\"same\"
+                n + o
+            }
+        ";
+        let report = run_on(src, ALL);
+        assert_eq!(report.suppressed, 2, "{:?}", report.findings);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.unused.is_empty());
+    }
+
+    #[test]
+    fn malformed_directives_are_findings() {
+        let src = "
+            // npp-lint: allow(map-iter)
+            // npp-lint: allow(bogus-key) reason=\"x\"
+            // npp-lint: allow(panic) reason=\"\"
+            fn f() {}
+        ";
+        let report = run_on(src, ALL);
+        assert_eq!(report.findings.len(), 3, "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.rule == RuleId::A1BadSuppression));
+    }
+
+    #[test]
+    fn unused_directives_are_reported_not_fatal() {
+        let src = "
+            // npp-lint: allow(wall-clock) reason=\"nothing here uses a clock\"
+            fn f() {}
+        ";
+        let report = run_on(src, ALL);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.unused.len(), 1);
+        assert_eq!(
+            report.unused.first().map(|u| u.key.as_str()),
+            Some("wall-clock")
+        );
+    }
+
+    #[test]
+    fn p1_counts_feed_the_ratchet() {
+        let src = "
+            fn f(o: Option<u32>, v: &[u32]) -> u32 { o.unwrap() + v[0] }
+        ";
+        let report = run_on(src, ALL);
+        assert_eq!(
+            report.p1_counts.get("crates/x/src/lib.rs").copied(),
+            Some(2)
+        );
+        let tightened = report.tightened_baseline();
+        assert_eq!(tightened.total(), 2);
+    }
+}

@@ -1,0 +1,411 @@
+//! A lightweight Rust lexer: just enough syntax to make source-level
+//! rules trustworthy.
+//!
+//! The analyzer never parses Rust; it pattern-matches token sequences.
+//! What makes that sound is getting the *lexical* layer exactly right:
+//! string literals (including raw strings with arbitrary `#` fences),
+//! nested block comments, char-literal vs. lifetime disambiguation, and
+//! line tracking. Everything that looks like code inside a comment or a
+//! string must never reach a rule, and every comment must be preserved
+//! (with its line) so suppression directives can be found.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `r#type`, …).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `#`, `[`, …).
+    Punct,
+    /// String or byte-string literal, raw or not.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal (also tuple-index fields after `.`).
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Punct`], a single character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// `true` when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment preserved for suppression-directive scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the code tokens plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.
+///
+/// The lexer is total: any input produces a token stream (malformed
+/// trailing literals are consumed to end-of-input rather than erroring),
+/// which is the right failure mode for a linter — rules simply see
+/// fewer tokens.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                'r' if self.peek(1) == Some('#') && Self::is_ident_start(self.peek(2)) => {
+                    // Raw identifier `r#type`.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                _ if Self::is_ident_start(Some(c)) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn is_ident_start(c: Option<char>) -> bool {
+        matches!(c, Some(c) if c.is_alphabetic() || c == '_')
+    }
+
+    fn is_ident_continue(c: Option<char>) -> bool {
+        matches!(c, Some(c) if c.is_alphanumeric() || c == '_')
+    }
+
+    /// `r"…"`, `r#"…"#`, `br#"…"#` — a raw-(byte-)string opener?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    // Skip the escaped character (covers \" and \\).
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // 'r'
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A quote closes only when followed by `fence` hashes.
+                for i in 0..fence {
+                    if self.peek(i) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_lit(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    /// `'a` (lifetime) vs `'a'` (char literal): a lifetime is a quote
+    /// followed by an identifier *not* closed by another quote.
+    fn lifetime_or_char(&mut self, line: u32) {
+        if Self::is_ident_start(self.peek(1)) {
+            let mut i = 2;
+            while Self::is_ident_continue(self.peek(i)) {
+                i += 1;
+            }
+            if self.peek(i) != Some('\'') {
+                self.bump(); // quote
+                let mut text = String::new();
+                while Self::is_ident_continue(self.peek(0)) {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+                return;
+            }
+        }
+        self.char_lit(line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while Self::is_ident_continue(self.peek(0)) {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` and `1.max(x)` do not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "map.iter() // not code";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("iter")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "iter"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; x"##);
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("x"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quote \" inside")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("outer")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_carry_lines() {
+        let lexed = lex("fn a() {}\n// npp-lint: allow(panic) reason=\"x\"\nfn b() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments.first().map(|c| c.line), Some(2));
+        assert!(lexed
+            .comments
+            .first()
+            .is_some_and(|c| c.text.contains("npp-lint")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..10 { x = 1.5 + 2.max(3); }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # npp-lint
+//!
+//! Workspace determinism & panic-hygiene static analyzer.
+//!
+//! The repo's headline guarantees — bit-identical parallel-vs-serial
+//! sweep documents and bit-stable simulator rates — die silently the
+//! moment a hot crate iterates a `HashMap` or reads a wall clock. The
+//! runtime oracles (proptests, differential engines) only catch that
+//! when a generated case happens to hit it; this crate makes the
+//! invariants *machine-checked at the source level* instead:
+//!
+//! - **D1 `map-iter`** — no `HashMap`/`HashSet` iteration in the
+//!   determinism-critical crates (`simnet`, `sweep`, `mechanisms`,
+//!   `core`);
+//! - **D2 `wall-clock`** — no `Instant::now`/`SystemTime`/
+//!   `thread_rng`/environment reads in simulation code;
+//! - **D3 `float-reduce`** — no `.sum()`/`.fold()` fed by a hash-map
+//!   iterator (float addition order = iteration order);
+//! - **P1 `panic`** — no `.unwrap()`, panic-family macros, or slice
+//!   indexing in non-test library code, ratcheted by the committed
+//!   `lint_baseline.json` so the count only goes down;
+//! - **S1 `deny-unknown-fields`** — every `Deserialize` struct in the
+//!   sweep-spec crate rejects unknown fields.
+//!
+//! False positives are silenced in place and must say why:
+//!
+//! ```text
+//! // npp-lint: allow(map-iter) reason="drained into a Vec and sorted below"
+//! ```
+//!
+//! The crate is dependency-free (its own lexer, its own JSON) so the
+//! gate runs from a bare checkout. See `netpp lint --help` for the CLI
+//! and DESIGN.md for the rule rationale.
+//!
+//! ```
+//! use npp_lint::{lint, Config};
+//!
+//! let dir = std::env::temp_dir().join("npp-lint-doc-example");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let file = dir.join("bad.rs");
+//! std::fs::write(&file, "fn f(o: Option<u32>) -> u32 { o.unwrap() }").unwrap();
+//! let report = lint(&Config::explicit(&dir, vec![file])).unwrap();
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule.code(), "P1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod render;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use engine::{lint, Config, Finding, Report, UnusedSuppression};
+pub use render::{render_json, render_text, REPORT_SCHEMA};
+pub use rules::RuleId;
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum LintError {
+    /// File-system failure (unreadable source, unlistable directory).
+    Io(String),
+    /// Malformed baseline document.
+    Baseline(String),
+}
+
+impl core::fmt::Display for LintError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LintError::Io(msg) => write!(f, "I/O: {msg}"),
+            LintError::Baseline(msg) => write!(f, "baseline: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LintError>;

@@ -1,0 +1,203 @@
+//! Report rendering: human text and byte-stable JSON.
+//!
+//! The JSON document is the machine interface CI scripts parse, so it
+//! must be deterministic: fixed key order, findings sorted by
+//! `(file, line, rule)`, counts over the *full* rule catalog (a rule
+//! with zero findings still appears — consumers never need to handle a
+//! missing key). Two runs over the same tree emit identical bytes.
+
+use crate::engine::{Finding, Report};
+use crate::rules::RuleId;
+
+/// Schema tag of the JSON report document.
+pub const REPORT_SCHEMA: &str = "npp.lint.report/v1";
+
+/// Every rule, in report order.
+const CATALOG: &[RuleId] = &[
+    RuleId::D1MapIter,
+    RuleId::D2WallClock,
+    RuleId::D3FloatReduce,
+    RuleId::P1Panic,
+    RuleId::S1DenyUnknownFields,
+    RuleId::A1BadSuppression,
+];
+
+/// Renders the deterministic JSON report document.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    push_kv(&mut out, 1, "schema", &json_str(REPORT_SCHEMA), true);
+    push_kv(
+        &mut out,
+        1,
+        "files_scanned",
+        &report.files_scanned.to_string(),
+        true,
+    );
+    push_kv(
+        &mut out,
+        1,
+        "suppressed",
+        &report.suppressed.to_string(),
+        true,
+    );
+    push_kv(
+        &mut out,
+        1,
+        "baselined",
+        &report.baselined.to_string(),
+        true,
+    );
+
+    out.push_str("  \"by_rule\": {\n");
+    for (i, rule) in CATALOG.iter().enumerate() {
+        let count = report.findings.iter().filter(|f| f.rule == *rule).count();
+        push_kv(
+            &mut out,
+            2,
+            rule.code(),
+            &count.to_string(),
+            i + 1 < CATALOG.len(),
+        );
+    }
+    out.push_str("  },\n");
+
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&finding_json(f));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    push_kv(
+        &mut out,
+        1,
+        "total",
+        &report.findings.len().to_string(),
+        false,
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\": {}, \"key\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}}}",
+        json_str(f.rule.code()),
+        json_str(f.rule.key()),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.snippet),
+        json_str(&f.message),
+    )
+}
+
+fn push_kv(out: &mut String, indent: usize, key: &str, value: &str, comma: bool) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str(&json_str(key));
+    out.push_str(": ");
+    out.push_str(value);
+    if comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the human report (findings, unused suppressions, summary).
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.file,
+            f.line,
+            f.rule.code(),
+            f.message,
+            f.snippet
+        ));
+    }
+    for u in &report.unused {
+        out.push_str(&format!(
+            "{}:{}: note: unused suppression `allow({})` — drop it or the rule it silences moved\n",
+            u.file, u.line, u.key
+        ));
+    }
+    out.push_str(&format!(
+        "{} file(s) scanned: {} finding(s), {} suppressed in source, {} absorbed by the P1 baseline\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed,
+        report.baselined,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+
+    #[test]
+    fn json_is_stable_and_escapes() {
+        let mut report = Report {
+            files_scanned: 1,
+            ..Report::default()
+        };
+        report.findings.push(Finding {
+            rule: RuleId::P1Panic,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            snippet: "let s = \"quote \\\" here\";".into(),
+            message: "msg".into(),
+        });
+        let a = render_json(&report);
+        let b = render_json(&report);
+        assert_eq!(a, b);
+        assert!(a.contains("\"P1\": 1"));
+        assert!(a.contains("\"D1\": 0"));
+        assert!(a.contains("\\\""));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn text_mentions_rule_and_counts() {
+        let mut report = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        report.findings.push(Finding {
+            rule: RuleId::D1MapIter,
+            file: "a.rs".into(),
+            line: 1,
+            snippet: "for k in &m {".into(),
+            message: "iteration".into(),
+        });
+        let text = render_text(&report);
+        assert!(text.contains("[D1]"));
+        assert!(text.contains("2 file(s) scanned: 1 finding(s)"));
+    }
+}

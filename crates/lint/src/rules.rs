@@ -1,0 +1,729 @@
+//! The rule catalog.
+//!
+//! Every rule is a pattern scan over the lexed token stream of one
+//! file (comments and string contents never reach a rule — see
+//! [`crate::lexer`]). Rules are deliberately heuristic: they trade
+//! type-level precision for a zero-dependency implementation, and any
+//! false positive can be silenced in place with
+//! `// npp-lint: allow(<key>) reason="…"` — the reason string is
+//! mandatory, so each silencing documents *why* the site is safe.
+//!
+//! | id | key                 | scope               | what it catches |
+//! |----|---------------------|---------------------|-----------------|
+//! | D1 | `map-iter`          | determinism crates  | iterating a `HashMap`/`HashSet` (order is seed-dependent) |
+//! | D2 | `wall-clock`        | determinism crates  | `Instant::now`, `SystemTime`, `thread_rng`, `env::var*` |
+//! | D3 | `float-reduce`      | determinism crates  | `.sum()`/`.fold()` fed by a hash-map iterator |
+//! | P1 | `panic`             | all library code    | `.unwrap()`, panic-family macros, slice indexing (ratcheted) |
+//! | S1 | `deny-unknown-fields` | `sweep` specs     | `Deserialize` struct without `deny_unknown_fields` |
+//! | A1 | —                   | everywhere          | malformed suppression directive |
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Identifier of one rule in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hash-map/set iteration in a determinism-critical crate.
+    D1MapIter,
+    /// Wall-clock, OS randomness, or environment read in simulation code.
+    D2WallClock,
+    /// Unordered floating-point reduction over a hash-map iterator.
+    D3FloatReduce,
+    /// Panic-prone construct in non-test library code.
+    P1Panic,
+    /// `Deserialize` struct without `#[serde(deny_unknown_fields)]`.
+    S1DenyUnknownFields,
+    /// Malformed `npp-lint` suppression directive.
+    A1BadSuppression,
+}
+
+impl RuleId {
+    /// Short rule code used in reports (`D1`, `P1`, …).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::D1MapIter => "D1",
+            RuleId::D2WallClock => "D2",
+            RuleId::D3FloatReduce => "D3",
+            RuleId::P1Panic => "P1",
+            RuleId::S1DenyUnknownFields => "S1",
+            RuleId::A1BadSuppression => "A1",
+        }
+    }
+
+    /// Suppression key accepted in `// npp-lint: allow(<key>)`.
+    /// [`RuleId::A1BadSuppression`] is not suppressible.
+    pub fn key(self) -> &'static str {
+        match self {
+            RuleId::D1MapIter => "map-iter",
+            RuleId::D2WallClock => "wall-clock",
+            RuleId::D3FloatReduce => "float-reduce",
+            RuleId::P1Panic => "panic",
+            RuleId::S1DenyUnknownFields => "deny-unknown-fields",
+            RuleId::A1BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// Parses a suppression key back into a rule.
+    pub fn from_key(key: &str) -> Option<Self> {
+        match key {
+            "map-iter" => Some(RuleId::D1MapIter),
+            "wall-clock" => Some(RuleId::D2WallClock),
+            "float-reduce" => Some(RuleId::D3FloatReduce),
+            "panic" => Some(RuleId::P1Panic),
+            "deny-unknown-fields" => Some(RuleId::S1DenyUnknownFields),
+            _ => None,
+        }
+    }
+}
+
+/// One raw rule hit inside a single file (the engine attaches the file
+/// path, snippet, and suppression state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human message: what was matched and how to fix or silence it.
+    pub message: String,
+}
+
+/// Per-file inputs to the rule scans.
+#[derive(Debug, Clone, Copy)]
+pub struct FileScope {
+    /// Apply the determinism rules (D1–D3)?
+    pub determinism: bool,
+    /// Apply the spec-strictness rule (S1)?
+    pub spec_strictness: bool,
+}
+
+/// Runs every applicable rule over one file's tokens. `masked[i]`
+/// marks tokens inside `#[cfg(test)]` / `#[test]` items, which no rule
+/// inspects.
+pub fn scan(tokens: &[Tok], masked: &[bool], scope: FileScope) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let live = |i: usize| !masked.get(i).copied().unwrap_or(false);
+    if scope.determinism {
+        let maps = map_names(tokens, &live);
+        let iter_sites = map_iter_sites(tokens, &live, &maps);
+        for &(i, line) in &iter_sites {
+            hits.push(Hit {
+                rule: RuleId::D1MapIter,
+                line,
+                message: format!(
+                    "hash-map/set iteration ({}): iteration order depends on the hasher seed; \
+                     collect-and-sort first, use an index-addressed layout, or annotate \
+                     `// npp-lint: allow(map-iter) reason=\"…\"`",
+                    site_label(tokens, i)
+                ),
+            });
+        }
+        hits.extend(wall_clock(tokens, &live));
+        hits.extend(float_reduce(tokens, &live, &iter_sites));
+    }
+    hits.extend(panic_hygiene(tokens, &live));
+    if scope.spec_strictness {
+        hits.extend(deny_unknown_fields(tokens, &live));
+    }
+    hits.sort_by_key(|h| (h.line, h.rule));
+    hits
+}
+
+/// Marks every token inside an item gated on `#[cfg(test)]` or
+/// `#[test]` (test modules, test fns): panic hygiene and determinism
+/// rules are about shipping library code, not assertions in tests.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut masked = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_test_attr(tokens, i) {
+            let start = i;
+            // Skip all consecutive attributes, then mask through the
+            // end of the item they decorate (`;` or a balanced block).
+            let mut j = i;
+            while let Some(next) = skip_attr(tokens, j) {
+                j = next;
+            }
+            let end = item_end(tokens, j);
+            for m in masked.iter_mut().take(end).skip(start) {
+                *m = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    masked
+}
+
+/// Does an attribute starting at `i` look like `#[cfg(test)]` or
+/// `#[test]` (including `#[cfg(all(test, …))]` and friends)?
+fn is_test_attr(tokens: &[Tok], i: usize) -> bool {
+    if !(tok_is_punct(tokens, i, '#') && tok_is_punct(tokens, i + 1, '[')) {
+        return false;
+    }
+    let Some(end) = skip_attr(tokens, i) else {
+        return false;
+    };
+    let body = tokens.get(i + 2..end.saturating_sub(1)).unwrap_or(&[]);
+    match body.first() {
+        Some(t) if t.is_ident("test") => body.len() == 1,
+        // `cfg(test)` / `cfg(all(test, …))` mask; `cfg(not(test))` is
+        // library code and must stay visible to the rules.
+        Some(t) if t.is_ident("cfg") => {
+            body.iter().any(|t| t.is_ident("test")) && !body.iter().any(|t| t.is_ident("not"))
+        }
+        _ => false,
+    }
+}
+
+/// If `i` starts an attribute (`#[…]`), returns the index just past its
+/// closing `]`.
+fn skip_attr(tokens: &[Tok], i: usize) -> Option<usize> {
+    if !(tok_is_punct(tokens, i, '#') && tok_is_punct(tokens, i + 1, '[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Index just past the item starting at `j`: through the first `;` at
+/// brace-depth zero, or through the matching `}` of the first block.
+fn item_end(tokens: &[Tok], j: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(j) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return k + 1;
+        }
+    }
+    tokens.len()
+}
+
+fn tok_is_punct(tokens: &[Tok], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+fn tok_is_ident(tokens: &[Tok], i: usize, word: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_ident(word))
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` values in this file:
+/// `name: HashMap<…>` (fields, lets, params) and
+/// `name = HashMap::new()`-style initializations.
+fn map_names(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text != "HashMap" && t.text != "HashSet" {
+            continue;
+        }
+        // Walk left over a `std :: collections ::`-style path prefix.
+        let mut j = i;
+        while j >= 2 && tok_is_punct(tokens, j - 1, ':') && tok_is_punct(tokens, j - 2, ':') {
+            j = j.saturating_sub(3);
+            if !tokens.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
+                break;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        match tokens.get(j - 1) {
+            // `name : HashMap<…>` — field, binding, or parameter type.
+            Some(p) if p.is_punct(':') => {
+                if let Some(name) = tokens.get(j.saturating_sub(2)) {
+                    if name.kind == TokKind::Ident {
+                        names.insert(name.text.clone());
+                    }
+                }
+            }
+            // `name = HashMap::new()` / `with_capacity` / `from`.
+            Some(p) if p.is_punct('=') => {
+                if let Some(name) = tokens.get(j.saturating_sub(2)) {
+                    if name.kind == TokKind::Ident {
+                        names.insert(name.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// D1 sites: `(token index of the method/receiver, line)`.
+fn map_iter_sites(
+    tokens: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+    maps: &BTreeSet<String>,
+) -> Vec<(usize, u32)> {
+    let mut sites = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `recv . method (` with a hash-typed receiver.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && tok_is_punct(tokens, i - 1, '.')
+            && tok_is_punct(tokens, i + 1, '(')
+            && tokens
+                .get(i - 2)
+                .is_some_and(|r| r.kind == TokKind::Ident && maps.contains(&r.text))
+        {
+            sites.push((i, t.line));
+            continue;
+        }
+        // `for pat in [&][mut] [self.]name {` over a hash container.
+        if t.text == "for" {
+            if let Some((idx, line)) = for_loop_over_map(tokens, i, maps) {
+                sites.push((idx, line));
+            }
+        }
+    }
+    sites
+}
+
+/// If the `for` loop starting at token `i` iterates a bare hash-typed
+/// binding (`for x in &map {`), returns the receiver's site.
+fn for_loop_over_map(tokens: &[Tok], i: usize, maps: &BTreeSet<String>) -> Option<(usize, u32)> {
+    // Find `in` at bracket-depth 0 (skipping the loop pattern).
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let in_idx = loop {
+        let t = tokens.get(j)?;
+        match () {
+            _ if t.is_punct('(') || t.is_punct('[') => depth += 1,
+            _ if t.is_punct(')') || t.is_punct(']') => depth -= 1,
+            _ if t.is_ident("in") && depth == 0 => break j,
+            _ if t.is_punct('{') => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    // Expression tokens between `in` and the body `{`.
+    let mut expr = Vec::new();
+    let mut k = in_idx + 1;
+    loop {
+        let t = tokens.get(k)?;
+        if t.is_punct('{') {
+            break;
+        }
+        expr.push((k, t));
+        k += 1;
+    }
+    // Accept `&`, `&mut`, `self .` prefixes, then one identifier.
+    let mut rest: &[(usize, &Tok)] = &expr;
+    while let Some((_, t)) = rest.first() {
+        if t.is_punct('&') || t.is_ident("mut") || t.is_ident("self") || t.is_punct('.') {
+            rest = rest.get(1..).unwrap_or(&[]);
+        } else {
+            break;
+        }
+    }
+    match rest {
+        [(idx, t)] if t.kind == TokKind::Ident && maps.contains(&t.text) => Some((*idx, t.line)),
+        _ => None,
+    }
+}
+
+/// Label for a D1 site: `recv.method` or the receiver name.
+fn site_label(tokens: &[Tok], i: usize) -> String {
+    let here = tokens.get(i).map(|t| t.text.clone()).unwrap_or_default();
+    if i >= 2 && tok_is_punct(tokens, i - 1, '.') {
+        if let Some(recv) = tokens.get(i - 2) {
+            return format!("{}.{}()", recv.text, here);
+        }
+    }
+    format!("for … in {here}")
+}
+
+/// D2: wall-clock, OS randomness, and environment reads.
+fn wall_clock(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "Instant" if path_call(tokens, i, "now") => Some("`Instant::now()`"),
+            "SystemTime" => Some("`SystemTime`"),
+            "thread_rng" => Some("`thread_rng()`"),
+            "env"
+                if path_call(tokens, i, "var")
+                    || path_call(tokens, i, "var_os")
+                    || path_call(tokens, i, "vars") =>
+            {
+                Some("environment read")
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            hits.push(Hit {
+                rule: RuleId::D2WallClock,
+                line: t.line,
+                message: format!(
+                    "{what} in simulation code: sim time must come from the simulator clock \
+                     and seeds from the spec hash; annotate \
+                     `// npp-lint: allow(wall-clock) reason=\"…\"` if this never reaches \
+                     a deterministic document"
+                ),
+            });
+        }
+    }
+    hits
+}
+
+/// `base :: member (` — a path call off `tokens[i]`.
+fn path_call(tokens: &[Tok], i: usize, member: &str) -> bool {
+    tok_is_punct(tokens, i + 1, ':')
+        && tok_is_punct(tokens, i + 2, ':')
+        && tok_is_ident(tokens, i + 3, member)
+}
+
+/// D3: a `.sum()`/`.fold()` later in the same statement as a hash-map
+/// iterator source — the addition order is the iteration order.
+fn float_reduce(
+    tokens: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+    iter_sites: &[(usize, u32)],
+) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for &(start, _) in iter_sites {
+        // Scan to the end of the statement (`;`, or `{`/`}` closing it).
+        let mut depth = 0i32;
+        for (k, t) in tokens.iter().enumerate().skip(start) {
+            if !live(k) {
+                break;
+            }
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) && depth == 0 {
+                break;
+            } else if t.kind == TokKind::Ident
+                && (t.text == "sum" || t.text == "fold" || t.text == "product")
+                && tok_is_punct(tokens, k.saturating_sub(1), '.')
+            {
+                hits.push(Hit {
+                    rule: RuleId::D3FloatReduce,
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` fed by a hash-map iterator: float accumulation order follows \
+                         the unstable iteration order; sort the keys first or reduce over an \
+                         index-addressed slice (`// npp-lint: allow(float-reduce) reason=\"…\"` \
+                         to keep it)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// Rust keywords that can directly precede a `[` that *opens an array
+/// expression* rather than indexing the preceding value.
+const NOT_INDEX_PREFIX: &[&str] = &[
+    "in", "if", "else", "match", "return", "while", "loop", "break", "let", "mut", "as", "move",
+    "ref", "const", "static", "where", "unsafe", "dyn", "impl", "box", "yield", "for",
+];
+
+/// P1: `.unwrap()`, panic-family macros, and slice/array indexing in
+/// non-test library code. `.expect("…")` is allowed — the message is
+/// the documented invariant.
+fn panic_hygiene(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if t.text == "unwrap"
+                && tok_is_punct(tokens, i.wrapping_sub(1), '.')
+                && tok_is_punct(tokens, i + 1, '(')
+                && tok_is_punct(tokens, i + 2, ')')
+            {
+                hits.push(Hit {
+                    rule: RuleId::P1Panic,
+                    line: t.line,
+                    message: "`.unwrap()` in library code: return a `Result` or use \
+                              `.expect(\"…invariant…\")` to document why this cannot fail"
+                        .into(),
+                });
+            } else if matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) && tok_is_punct(tokens, i + 1, '!')
+            {
+                hits.push(Hit {
+                    rule: RuleId::P1Panic,
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in library code: prefer returning an error; if the branch is \
+                         provably dead, document the invariant where the ratchet baseline \
+                         records it",
+                        t.text
+                    ),
+                });
+            }
+        } else if t.is_punct('[') {
+            // Indexing: `expr[…]` — the `[` directly follows a value
+            // (identifier, call, or another index), not a keyword.
+            let indexable = match i.checked_sub(1).and_then(|p| tokens.get(p)) {
+                Some(p) if p.kind == TokKind::Ident => !NOT_INDEX_PREFIX.contains(&p.text.as_str()),
+                Some(p) => p.is_punct(')') || p.is_punct(']'),
+                None => false,
+            };
+            if indexable {
+                hits.push(Hit {
+                    rule: RuleId::P1Panic,
+                    line: t.line,
+                    message: "slice/array indexing in library code can panic on out-of-range \
+                              input: prefer `.get(…)` with error handling \
+                              (in-bounds-by-construction hot paths stay in the ratchet baseline)"
+                        .into(),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// S1: every struct deriving `Deserialize` must also carry
+/// `#[serde(deny_unknown_fields)]` so spec-file typos fail loudly.
+fn deny_unknown_fields(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(live(i) && tok_is_punct(tokens, i, '#') && tok_is_punct(tokens, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        // Gather the whole contiguous attribute block.
+        let block_start = i;
+        let mut j = i;
+        while let Some(next) = skip_attr(tokens, j) {
+            j = next;
+        }
+        let attrs = tokens.get(block_start..j).unwrap_or(&[]);
+        let derives_deserialize = attr_group_contains(attrs, "derive", "Deserialize");
+        let denies_unknown = attr_group_contains(attrs, "serde", "deny_unknown_fields");
+        // The decorated item: skip visibility, look for `struct`.
+        let mut k = j;
+        while tok_is_ident(tokens, k, "pub")
+            || tok_is_punct(tokens, k, '(')
+            || tok_is_ident(tokens, k, "crate")
+            || tok_is_ident(tokens, k, "super")
+            || tok_is_punct(tokens, k, ')')
+        {
+            k += 1;
+        }
+        if derives_deserialize && !denies_unknown && tok_is_ident(tokens, k, "struct") {
+            let (line, name) = tokens
+                .get(k + 1)
+                .map(|t| (t.line, t.text.clone()))
+                .unwrap_or((tokens.get(block_start).map_or(0, |t| t.line), String::new()));
+            hits.push(Hit {
+                rule: RuleId::S1DenyUnknownFields,
+                line,
+                message: format!(
+                    "struct `{name}` derives `Deserialize` without \
+                     `#[serde(deny_unknown_fields)]`: a typo in a spec file would be \
+                     silently ignored instead of rejected"
+                ),
+            });
+        }
+        i = j.max(i + 1);
+    }
+    hits
+}
+
+/// Does any attribute in the block look like `#[outer(… member …)]`?
+fn attr_group_contains(attrs: &[Tok], outer: &str, member: &str) -> bool {
+    attrs.windows(2).enumerate().any(|(w, pair)| {
+        matches!(pair, [a, b] if a.is_ident(outer) && b.is_punct('('))
+            && attrs
+                .iter()
+                .skip(w + 2)
+                .take_while(|t| !t.is_punct(']'))
+                .any(|t| t.is_ident(member))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan_all(src: &str) -> Vec<Hit> {
+        let lexed = lex(src);
+        let masked = test_mask(&lexed.tokens);
+        scan(
+            &lexed.tokens,
+            &masked,
+            FileScope {
+                determinism: true,
+                spec_strictness: true,
+            },
+        )
+    }
+
+    fn rules_of(hits: &[Hit]) -> Vec<&'static str> {
+        hits.iter().map(|h| h.rule.code()).collect()
+    }
+
+    #[test]
+    fn d1_catches_field_and_for_iteration() {
+        let src = "
+            struct S { busy: std::collections::HashMap<u32, f64> }
+            impl S {
+                fn a(&self) { for (k, v) in &self.busy { drop((k, v)); } }
+                fn b(&self) -> usize { self.busy.keys().count() }
+            }
+        ";
+        let hits = scan_all(src);
+        assert_eq!(
+            rules_of(&hits).iter().filter(|r| **r == "D1").count(),
+            2,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn d1_ignores_vec_iteration_and_map_lookup() {
+        let src = "
+            fn f(v: &Vec<u32>, m: &std::collections::HashMap<u32, u32>) -> u32 {
+                let mut s = 0;
+                for x in v { s += x; }
+                s + m[&3]
+            }
+        ";
+        // The `m[&3]` lookup is deterministic (and flagged only by P1's
+        // indexing check), not by D1.
+        let hits = scan_all(src);
+        assert!(!rules_of(&hits).contains(&"D1"), "{hits:?}");
+    }
+
+    #[test]
+    fn d2_catches_clocks_and_rng() {
+        let src = "
+            fn f() {
+                let t = std::time::Instant::now();
+                let r = thread_rng();
+                let e = std::env::var(\"X\");
+            }
+        ";
+        let hits = scan_all(src);
+        assert_eq!(rules_of(&hits).iter().filter(|r| **r == "D2").count(), 3);
+    }
+
+    #[test]
+    fn d3_catches_sum_over_map_values() {
+        let src = "
+            fn f(m: std::collections::HashMap<u32, f64>) -> f64 {
+                let total: f64 = m.values().map(|v| v * 2.0).sum();
+                total
+            }
+        ";
+        let hits = scan_all(src);
+        assert!(rules_of(&hits).contains(&"D3"), "{hits:?}");
+    }
+
+    #[test]
+    fn p1_catches_unwrap_panic_and_indexing() {
+        let src = "
+            fn f(v: &[u32], o: Option<u32>) -> u32 {
+                if v.is_empty() { panic!(\"no\"); }
+                v[0] + o.unwrap()
+            }
+        ";
+        let hits = scan_all(src);
+        assert_eq!(rules_of(&hits).iter().filter(|r| **r == "P1").count(), 3);
+    }
+
+    #[test]
+    fn p1_allows_expect_arrays_and_tests() {
+        let src = "
+            fn f(o: Option<u32>) -> u32 {
+                let table = [1, 2, 3];
+                let ok = o.expect(\"caller checked\");
+                for x in [4, 5] { drop(x); }
+                ok + table.len() as u32
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { assert_eq!(super::f(Some(1)).unwrap_or(0), 1); let v = vec![0]; let _ = v[0]; }
+            }
+        ";
+        let hits = scan_all(src);
+        assert!(rules_of(&hits).is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn s1_catches_missing_deny_unknown_fields() {
+        let src = "
+            #[derive(Debug, Serialize, Deserialize)]
+            pub struct Open { pub x: f64 }
+
+            #[derive(Deserialize)]
+            #[serde(deny_unknown_fields)]
+            pub struct Closed { pub x: f64 }
+
+            #[derive(Deserialize)]
+            pub enum Choice { A, B }
+        ";
+        let hits = scan_all(src);
+        let s1: Vec<_> = hits.iter().filter(|h| h.rule.code() == "S1").collect();
+        assert_eq!(s1.len(), 1, "{hits:?}");
+        assert!(s1.iter().all(|h| h.message.contains("Open")));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"
+            fn f() -> String {
+                // map.iter() and x.unwrap() and Instant::now() in a comment
+                format!("{} {}", "m.values().sum()", "panic!(boom)")
+            }
+        "#;
+        let hits = scan_all(src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

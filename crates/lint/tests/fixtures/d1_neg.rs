@@ -1,0 +1,13 @@
+//! D1 negative fixture: the same walk over a `BTreeMap` is fine —
+//! ordered containers iterate in key order, deterministically.
+
+use std::collections::BTreeMap;
+
+/// Walks per-link loads in ascending link id order.
+pub fn visit_loads(loads: BTreeMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_link, load) in loads.iter() {
+        total += load;
+    }
+    total
+}

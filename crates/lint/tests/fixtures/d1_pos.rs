@@ -1,0 +1,14 @@
+//! D1 positive fixture: iterating a hash map in determinism-critical
+//! code. The visit order follows the hasher's bucket order, which
+//! changes run to run.
+
+use std::collections::HashMap;
+
+/// Walks per-link loads in hash order.
+pub fn visit_loads(loads: HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_link, load) in loads.iter() {
+        total += load;
+    }
+    total
+}

@@ -1,0 +1,19 @@
+//! D2 negative fixture: a simulator clock advanced only by event
+//! processing never consults the host, so runs replay exactly.
+
+/// Nanoseconds since sim start; advanced by the event loop.
+pub struct SimClock {
+    now_ns: u64,
+}
+
+impl SimClock {
+    /// Advances sim time by one event's duration.
+    pub fn advance(&mut self, dt_ns: u64) {
+        self.now_ns += dt_ns;
+    }
+
+    /// Current sim time.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+}

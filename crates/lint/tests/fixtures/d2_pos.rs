@@ -1,0 +1,7 @@
+//! D2 positive fixture: reading the host wall clock in simulation
+//! code. Sim time must come from the simulator clock, not the OS.
+
+/// Stamps "now" from the host — nondeterministic across runs.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

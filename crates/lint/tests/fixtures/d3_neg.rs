@@ -1,0 +1,7 @@
+//! D3 negative fixture: the same reduction over an index-addressed
+//! slice has a fixed accumulation order by construction.
+
+/// Sums per-device watts in index order.
+pub fn total_power(watts: &[f64]) -> f64 {
+    watts.iter().sum()
+}

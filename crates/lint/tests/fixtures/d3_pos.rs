@@ -1,0 +1,10 @@
+//! D3 positive fixture: a float reduction fed directly by a hash-map
+//! iterator. Float addition is not associative, so the total depends
+//! on the unstable iteration order.
+
+use std::collections::HashMap;
+
+/// Sums per-device watts in hash order.
+pub fn total_power(watts: HashMap<u32, f64>) -> f64 {
+    watts.values().sum()
+}

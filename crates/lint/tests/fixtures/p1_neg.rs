@@ -1,0 +1,16 @@
+//! P1 negative fixture: the same lookups with checked access. A
+//! defaulted `.unwrap_or(…)` and a documented `.expect("…")` are both
+//! allowed — the invariant is stated, not assumed.
+
+/// Zero for out-of-range ports.
+pub fn port_speed(speeds: &[f64], port: usize) -> f64 {
+    speeds.get(port).copied().unwrap_or(0.0)
+}
+
+/// First speed; the caller guarantees a non-empty slice.
+pub fn first_speed(speeds: &[f64]) -> f64 {
+    speeds
+        .first()
+        .copied()
+        .expect("topology builders never emit a zero-port switch")
+}

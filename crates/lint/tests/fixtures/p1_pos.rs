@@ -1,0 +1,12 @@
+//! P1 positive fixture: panicking lookups in library code. Both the
+//! bare index and the bare `.unwrap()` abort on out-of-range input.
+
+/// Panics when `port` is out of range.
+pub fn port_speed(speeds: &[f64], port: usize) -> f64 {
+    speeds[port]
+}
+
+/// Panics on an empty slice.
+pub fn first_speed(speeds: &[f64]) -> f64 {
+    speeds.first().copied().unwrap()
+}

@@ -1,0 +1,14 @@
+//! S1 negative fixture: the same spec struct with
+//! `deny_unknown_fields` — unknown keys in a spec file are an error.
+
+use serde::Deserialize;
+
+/// One row of a sweep spec file.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SpecRow {
+    /// Scenario name.
+    pub name: String,
+    /// Link bandwidth.
+    pub gbps: f64,
+}

@@ -1,0 +1,14 @@
+//! S1 positive fixture: a spec struct deriving `Deserialize` without
+//! `deny_unknown_fields` — a typo in an on-disk spec file would be
+//! silently ignored instead of failing loudly.
+
+use serde::Deserialize;
+
+/// One row of a sweep spec file.
+#[derive(Debug, Deserialize)]
+pub struct SpecRow {
+    /// Scenario name.
+    pub name: String,
+    /// Link bandwidth.
+    pub gbps: f64,
+}

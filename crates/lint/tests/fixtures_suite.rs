@@ -1,0 +1,101 @@
+//! Fixture-driven rule tests.
+//!
+//! Every rule has one positive fixture that must fire it and one
+//! near-miss negative that must stay clean — the fixtures live under
+//! `tests/fixtures/` and are lexed, never compiled. The suite also
+//! checks the JSON report round-trips through `serde_json` and is
+//! byte-stable across runs (the property CI's gate relies on).
+
+use std::path::PathBuf;
+
+use npp_lint::{lint, render_json, Config, RuleId, REPORT_SCHEMA};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints one fixture in strict explicit-path mode and returns the
+/// rules that fired, in report order.
+fn rules_in(name: &str) -> Vec<RuleId> {
+    let root = fixtures_root();
+    let path = root.join(name);
+    let report = lint(&Config::explicit(root, vec![path])).expect("fixture lints");
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn positive_fixtures_fire_their_rule() {
+    let cases = [
+        ("d1_pos.rs", RuleId::D1MapIter),
+        ("d2_pos.rs", RuleId::D2WallClock),
+        ("d3_pos.rs", RuleId::D3FloatReduce),
+        ("p1_pos.rs", RuleId::P1Panic),
+        ("s1_pos.rs", RuleId::S1DenyUnknownFields),
+    ];
+    for (name, rule) in cases {
+        let fired = rules_in(name);
+        assert!(
+            fired.contains(&rule),
+            "{name} must fire {rule:?}, got {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_stay_clean() {
+    for name in [
+        "d1_neg.rs",
+        "d2_neg.rs",
+        "d3_neg.rs",
+        "p1_neg.rs",
+        "s1_neg.rs",
+    ] {
+        let fired = rules_in(name);
+        assert!(fired.is_empty(), "{name} must be clean, got {fired:?}");
+    }
+}
+
+#[test]
+fn p1_fixture_counts_both_panic_sites() {
+    let fired = rules_in("p1_pos.rs");
+    let p1 = fired.iter().filter(|&&r| r == RuleId::P1Panic).count();
+    assert_eq!(p1, 2, "one index + one unwrap, got {fired:?}");
+}
+
+#[test]
+fn d3_fixture_also_fires_d1() {
+    // A `.sum()` over a hash-map iterator is both a map iteration (D1)
+    // and an order-sensitive reduction (D3).
+    let fired = rules_in("d3_pos.rs");
+    assert!(fired.contains(&RuleId::D1MapIter), "{fired:?}");
+    assert!(fired.contains(&RuleId::D3FloatReduce), "{fired:?}");
+}
+
+#[test]
+fn json_report_round_trips_and_is_byte_stable() {
+    let root = fixtures_root();
+    let run = || {
+        let report =
+            lint(&Config::explicit(root.clone(), vec![root.clone()])).expect("fixtures lint");
+        render_json(&report)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "two runs must be byte-identical");
+
+    let v: serde_json::Value = serde_json::from_str(&first).expect("report is valid JSON");
+    assert_eq!(v["schema"].as_str(), Some(REPORT_SCHEMA));
+    assert!(v["findings"].is_array());
+    let findings = v["findings"].as_array().expect("findings array");
+    // All five positive fixtures contribute; negatives contribute none.
+    assert!(
+        findings.len() >= 5,
+        "expected every positive fixture in the report, got {}",
+        findings.len()
+    );
+    for f in findings {
+        assert!(f["file"].as_str().is_some_and(|s| s.ends_with("_pos.rs")));
+        assert!(f["line"].as_u64().is_some());
+        assert!(f["rule"].as_str().is_some());
+    }
+}

@@ -159,7 +159,9 @@ pub fn simulate_rate_adaptation(
             break;
         }
         let pipe = sw.port_pipeline(port % params.ports)?;
-        interval_bytes[pipe] += bytes;
+        if let Some(b) = interval_bytes.get_mut(pipe) {
+            *b += bytes;
+        }
         sw.ingress(at, port % params.ports, bytes)?;
         pending = source.next_arrival();
     }

@@ -177,6 +177,7 @@ impl NaiveNetSim {
             // Bottleneck link: smallest fair share, ties toward the
             // smallest directed-link id (matches the indexed engine).
             let mut best: Option<(f64, DirLink)> = None;
+            // npp-lint: allow(map-iter) reason="bottleneck selection totally orders candidates by (share, dl), so hash-map iteration order cannot change the winner"
             for (&dl, &c) in &cap {
                 let crossing = unassigned
                     .iter()

@@ -79,7 +79,10 @@ impl Summary {
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
         let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        sorted
+            .get(rank.min(sorted.len() - 1))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Population standard deviation (0 when fewer than 2 samples).

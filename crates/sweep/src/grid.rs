@@ -46,8 +46,8 @@ pub fn expand(spec: &SweepSpec) -> Result<Vec<Scenario>> {
         // Mixed-radix digits of `index`, last axis fastest.
         let mut rem = index;
         let mut digits = vec![0usize; spec.axes.len()];
-        for (j, axis) in spec.axes.iter().enumerate().rev() {
-            digits[j] = rem % axis.len();
+        for (digit, axis) in digits.iter_mut().zip(&spec.axes).rev() {
+            *digit = rem % axis.len();
             rem /= axis.len();
         }
         let mut scenario = spec.base.clone();

@@ -238,6 +238,7 @@ pub fn run_sweep(
     opts: &SweepOptions,
     progress: Option<&ProgressHook<'_>>,
 ) -> Result<SweepOutcome> {
+    // npp-lint: allow(wall-clock) reason="wall_ms is run telemetry in the volatile SweepReport, never part of the deterministic results document"
     let started = Instant::now();
     let scenarios = grid::expand(spec)?;
     let total = scenarios.len();

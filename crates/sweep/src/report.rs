@@ -16,6 +16,7 @@ use crate::spec::SweepSpec;
 
 /// One scenario's deterministic result row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct ScenarioResult {
     /// Grid position (row-major over the axes).
     pub index: usize,
@@ -48,6 +49,7 @@ impl ScenarioResult {
 
 /// The deterministic sweep document (what `--json` prints).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SweepResults {
     /// Sweep name from the spec.
     pub name: String,
@@ -63,6 +65,7 @@ pub struct SweepResults {
 /// Volatile per-run metrics — surfaced for humans, excluded from the
 /// deterministic document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SweepReport {
     /// Worker threads used.
     pub jobs: usize,

@@ -45,8 +45,8 @@ pub fn three_tier_fat_tree(k: usize, link_speed: Gbps) -> Result<Topology> {
         }
         // Agg a connects to cores in row a: core[a][0..half].
         for (a, &agg) in aggs.iter().enumerate() {
-            for j in 0..half {
-                t.add_link(agg, core[a * half + j], link_speed)?;
+            for &c in core.iter().skip(a * half).take(half) {
+                t.add_link(agg, c, link_speed)?;
             }
         }
         // Hosts: half per edge switch.

@@ -51,6 +51,13 @@ pub enum WorkloadError {
     InvalidCommRatio(f64),
     /// Collective participant count must be ≥ 2.
     TooFewParticipants(usize),
+    /// A rank index referenced a rank outside the traffic matrix.
+    RankOutOfRange {
+        /// Offending rank index.
+        rank: usize,
+        /// Number of ranks in the matrix.
+        ranks: usize,
+    },
 }
 
 impl core::fmt::Display for WorkloadError {
@@ -64,6 +71,9 @@ impl core::fmt::Display for WorkloadError {
             }
             WorkloadError::TooFewParticipants(n) => {
                 write!(f, "collectives need at least 2 participants, got {n}")
+            }
+            WorkloadError::RankOutOfRange { rank, ranks } => {
+                write!(f, "rank {rank} is out of range for a {ranks}-rank matrix")
             }
         }
     }

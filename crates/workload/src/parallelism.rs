@@ -42,16 +42,34 @@ impl TrafficMatrix {
         self.n
     }
 
-    /// Demand from `src` to `dst`.
+    /// Demand from `src` to `dst` (zero for out-of-range ranks — a
+    /// matrix has no demand outside itself).
     pub fn get(&self, src: usize, dst: usize) -> Gbps {
-        Gbps::new(self.demand[src * self.n + dst])
+        if src >= self.n || dst >= self.n {
+            return Gbps::ZERO;
+        }
+        Gbps::new(self.demand.get(src * self.n + dst).copied().unwrap_or(0.0))
     }
 
-    /// Adds demand from `src` to `dst`.
-    pub fn add(&mut self, src: usize, dst: usize, demand: Gbps) {
-        if src != dst {
-            self.demand[src * self.n + dst] += demand.value();
+    /// Adds demand from `src` to `dst` (self-demand is ignored: a rank
+    /// never crosses the network to reach itself).
+    ///
+    /// # Errors
+    ///
+    /// Rejects rank indices outside the matrix.
+    pub fn add(&mut self, src: usize, dst: usize, demand: Gbps) -> Result<()> {
+        let ranks = self.n;
+        for rank in [src, dst] {
+            if rank >= ranks {
+                return Err(WorkloadError::RankOutOfRange { rank, ranks });
+            }
         }
+        if src != dst {
+            if let Some(cell) = self.demand.get_mut(src * self.n + dst) {
+                *cell += demand.value();
+            }
+        }
+        Ok(())
     }
 
     /// Total demand over all pairs.
@@ -74,9 +92,13 @@ impl TrafficMatrix {
         1.0 - self.active_pairs() as f64 / off_diag
     }
 
-    /// Outgoing demand of one rank.
+    /// Outgoing demand of one rank (zero for out-of-range ranks).
     pub fn egress(&self, src: usize) -> Gbps {
-        Gbps::new(self.demand[src * self.n..(src + 1) * self.n].iter().sum())
+        let row = self
+            .demand
+            .get(src * self.n..(src + 1) * self.n)
+            .unwrap_or(&[]);
+        Gbps::new(row.iter().sum())
     }
 
     /// Merges another matrix (same rank count) into this one.
@@ -105,16 +127,11 @@ impl TrafficMatrix {
             return Err(WorkloadError::TooFewParticipants(ring_ranks.len()));
         }
         let mut m = Self::zeros(n)?;
-        for w in 0..ring_ranks.len() {
-            let src = ring_ranks[w];
-            let dst = ring_ranks[(w + 1) % ring_ranks.len()];
-            if src >= n || dst >= n {
-                return Err(WorkloadError::NonPositive {
-                    what: "rank index",
-                    value: src as f64,
-                });
-            }
-            m.add(src, dst, rate);
+        // Each rank feeds its ring successor; `cycle` wraps the last
+        // rank back to the first, and `zip` stops after one lap.
+        let successors = ring_ranks.iter().cycle().skip(1);
+        for (&src, &dst) in ring_ranks.iter().zip(successors) {
+            m.add(src, dst, rate)?;
         }
         Ok(m)
     }
@@ -133,7 +150,7 @@ impl TrafficMatrix {
         for &s in group {
             for &d in group {
                 if s != d {
-                    m.add(s, d, rate);
+                    m.add(s, d, rate)?;
                 }
             }
         }
@@ -151,9 +168,11 @@ impl TrafficMatrix {
             return Err(WorkloadError::TooFewParticipants(stages.len()));
         }
         let mut m = Self::zeros(n)?;
-        for w in stages.windows(2) {
-            m.add(w[0], w[1], rate);
-            m.add(w[1], w[0], rate);
+        for pair in stages.windows(2) {
+            if let &[a, b] = pair {
+                m.add(a, b, rate)?;
+                m.add(b, a, rate)?;
+            }
         }
         Ok(m)
     }
@@ -284,7 +303,7 @@ mod tests {
     #[test]
     fn diagonal_is_ignored() {
         let mut m = TrafficMatrix::zeros(3).unwrap();
-        m.add(1, 1, Gbps::new(100.0));
+        m.add(1, 1, Gbps::new(100.0)).unwrap();
         assert_eq!(m.total(), Gbps::ZERO);
     }
 
@@ -295,5 +314,12 @@ mod tests {
         assert!(TrafficMatrix::clique(4, &[1], Gbps::new(1.0)).is_err());
         assert!(TrafficMatrix::pipeline(4, &[2], Gbps::new(1.0)).is_err());
         assert!(TrafficMatrix::ring(2, &[0, 5], Gbps::new(1.0)).is_err());
+        // Out-of-range ranks error instead of panicking, everywhere.
+        assert!(TrafficMatrix::clique(2, &[0, 7], Gbps::new(1.0)).is_err());
+        assert!(TrafficMatrix::pipeline(2, &[0, 7], Gbps::new(1.0)).is_err());
+        let mut m = TrafficMatrix::zeros(2).unwrap();
+        assert!(m.add(0, 9, Gbps::new(1.0)).is_err());
+        assert_eq!(m.get(0, 9), Gbps::ZERO);
+        assert_eq!(m.egress(9), Gbps::ZERO);
     }
 }
