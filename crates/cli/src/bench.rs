@@ -16,13 +16,13 @@
 //! number is still validated, so a NaN, a non-finite rate, or a panic in
 //! the engine fails the pipeline.
 
-use std::time::Instant;
-
 use serde::Serialize;
 
 use npp_simnet::netsim::NetSim;
 use npp_simnet::netsim_naive::NaiveNetSim;
 use npp_simnet::scenarios::{hotpath_scenario, Scenario};
+use npp_simnet::EngineMetrics;
+use npp_telemetry::wall_clock;
 
 use crate::paper::Result;
 
@@ -107,6 +107,27 @@ pub struct EngineResult {
     /// Simulated makespan in nanoseconds (a correctness echo: both
     /// engines must report the same value).
     pub makespan_ns: u64,
+    /// Engine-internal counters from the best run (indexed engine only):
+    /// recomputes, fixing iterations, dirty/touched-set high-water marks.
+    pub metrics: Option<EngineMetrics>,
+}
+
+/// Telemetry cost accounting for the headline numbers.
+#[derive(Debug, Serialize)]
+pub struct TelemetryOverhead {
+    /// Whether the binary was compiled with the `trace` feature (the
+    /// feature-off build has empty inline stubs and zero overhead by
+    /// construction; `benches/simnet_hotpath.rs` in `crates/bench`
+    /// measures that configuration).
+    pub compiled: bool,
+    /// The headline timings above always run with capture off — only
+    /// the per-site `enabled()` atomic load is paid.
+    pub capture_off_best_secs: f64,
+    /// Best indexed-engine time with trace capture active (absent when
+    /// the feature is compiled out or in `--quick` mode).
+    pub capture_on_best_secs: Option<f64>,
+    /// `(capture_on / capture_off - 1) * 100`.
+    pub capture_overhead_pct: Option<f64>,
 }
 
 /// The document written to `BENCH_simnet.json`.
@@ -125,10 +146,32 @@ pub struct BenchReport {
     /// Indexed-engine throughput over naive-baseline throughput
     /// (absent in quick mode, which skips the baseline).
     pub speedup_vs_naive: Option<f64>,
+    /// Telemetry cost accounting (instrumentation-off vs -on timings).
+    pub telemetry: TelemetryOverhead,
+    /// Peak resident set size of this process in bytes (`VmHWM` from
+    /// `/proc/self/status`; absent on platforms without procfs).
+    pub peak_rss_bytes: Option<u64>,
 }
 
-fn run_indexed(scenario: &Scenario) -> Result<(f64, u64, usize, u64)> {
-    let start = Instant::now();
+/// Reads the process peak-RSS high-water mark from `/proc/self/status`.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// One measured indexed-engine execution.
+struct IndexedRun {
+    secs: f64,
+    events: u64,
+    peak: usize,
+    makespan_ns: u64,
+    metrics: EngineMetrics,
+}
+
+fn run_indexed(scenario: &Scenario) -> Result<IndexedRun> {
+    let start = wall_clock();
     let mut sim = NetSim::new(scenario.topo.clone());
     scenario.inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))?;
     sim.run()?;
@@ -136,16 +179,17 @@ fn run_indexed(scenario: &Scenario) -> Result<(f64, u64, usize, u64)> {
     let makespan = sim
         .makespan()
         .ok_or("indexed engine reported no makespan")?;
-    Ok((
+    Ok(IndexedRun {
         secs,
-        sim.events_processed(),
-        sim.peak_live_flows(),
-        makespan.as_nanos(),
-    ))
+        events: sim.events_processed(),
+        peak: sim.peak_live_flows(),
+        makespan_ns: makespan.as_nanos(),
+        metrics: sim.engine_metrics(),
+    })
 }
 
 fn run_naive(scenario: &Scenario) -> Result<(f64, u64, u64)> {
-    let start = Instant::now();
+    let start = wall_clock();
     let mut sim = NaiveNetSim::new(scenario.topo.clone());
     scenario.inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))?;
     sim.run()?;
@@ -161,6 +205,7 @@ fn engine_result(
     best_secs: f64,
     peak_live_flows: Option<usize>,
     makespan_ns: u64,
+    metrics: Option<EngineMetrics>,
 ) -> Result<EngineResult> {
     if !best_secs.is_finite() || best_secs <= 0.0 {
         return Err(format!("{engine} engine produced a degenerate timing {best_secs}").into());
@@ -181,6 +226,7 @@ fn engine_result(
         ns_per_event,
         peak_live_flows,
         makespan_ns,
+        metrics,
     })
 }
 
@@ -196,23 +242,26 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
         .unwrap_or(if args.quick { QUICK_FLOWS } else { FULL_FLOWS });
     let scenario = hotpath_scenario(flows)?;
 
-    let mut best_indexed: Option<(f64, u64, usize, u64)> = None;
+    let mut best_indexed: Option<IndexedRun> = None;
     for _ in 0..INDEXED_RUNS {
         let r = run_indexed(&scenario)?;
         match &best_indexed {
-            Some(b) if b.0 <= r.0 => {}
+            Some(b) if b.secs <= r.secs => {}
             _ => best_indexed = Some(r),
         }
     }
-    let (secs, events, peak, makespan_ns) = best_indexed.expect("at least one run");
+    let best = best_indexed.expect("at least one run");
+    let makespan_ns = best.makespan_ns;
     let indexed = engine_result(
         "indexed",
         INDEXED_RUNS,
-        events,
-        secs,
-        Some(peak),
+        best.events,
+        best.secs,
+        Some(best.peak),
         makespan_ns,
+        Some(best.metrics),
     )?;
+    let indexed_events_per_sec = indexed.events_per_sec;
 
     let mut engines = vec![indexed];
     let mut speedup = None;
@@ -232,14 +281,37 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
             )
             .into());
         }
-        let naive = engine_result("naive", NAIVE_RUNS, nevents, nsecs, None, nmakespan)?;
-        let ratio = engines[0].events_per_sec / naive.events_per_sec;
+        let naive = engine_result("naive", NAIVE_RUNS, nevents, nsecs, None, nmakespan, None)?;
+        let ratio = indexed_events_per_sec / naive.events_per_sec;
         if !ratio.is_finite() {
             return Err(format!("non-finite speedup {ratio}").into());
         }
         speedup = Some(ratio);
         engines.push(naive);
     }
+
+    // Re-run the indexed engine with trace capture active to price the
+    // recording path (skipped in quick mode; the feature-off build's
+    // zero-overhead claim is covered by the criterion bench instead).
+    let mut capture_on_best = None;
+    if npp_telemetry::compiled() && !args.quick {
+        for _ in 0..NAIVE_RUNS {
+            npp_telemetry::metrics::reset();
+            npp_telemetry::start();
+            let r = run_indexed(&scenario)?;
+            let _ = npp_telemetry::finish();
+            capture_on_best = Some(match capture_on_best {
+                Some(b) if b <= r.secs => b,
+                _ => r.secs,
+            });
+        }
+    }
+    let telemetry = TelemetryOverhead {
+        compiled: npp_telemetry::compiled(),
+        capture_off_best_secs: best.secs,
+        capture_on_best_secs: capture_on_best,
+        capture_overhead_pct: capture_on_best.map(|on| (on / best.secs - 1.0) * 100.0),
+    };
 
     Ok(BenchReport {
         schema: "npp.bench.simnet/v1".to_string(),
@@ -248,6 +320,8 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
         quick: args.quick,
         engines,
         speedup_vs_naive: speedup,
+        telemetry,
+        peak_rss_bytes: peak_rss_bytes(),
     })
 }
 
@@ -266,19 +340,21 @@ pub fn run(rest: &[&str], _json: bool) -> Result<()> {
         eprintln!("wrote {path}");
     }
     println!("{doc}");
-    if let Some(s) = report.speedup_vs_naive {
+    let indexed = report
+        .engines
+        .first()
+        .ok_or("bench report carries no engine result")?;
+    if let (Some(s), Some(naive)) = (report.speedup_vs_naive, report.engines.get(1)) {
         eprintln!(
             "indexed: {:.0} events/s ({:.0} ns/event), naive: {:.0} events/s — {s:.1}x",
-            report.engines[0].events_per_sec,
-            report.engines[0].ns_per_event,
-            report.engines[1].events_per_sec,
+            indexed.events_per_sec, indexed.ns_per_event, naive.events_per_sec,
         );
     } else {
         eprintln!(
             "indexed: {:.0} events/s ({:.0} ns/event), peak {} live flows",
-            report.engines[0].events_per_sec,
-            report.engines[0].ns_per_event,
-            report.engines[0].peak_live_flows.unwrap_or(0),
+            indexed.events_per_sec,
+            indexed.ns_per_event,
+            indexed.peak_live_flows.unwrap_or(0),
         );
     }
     Ok(())
@@ -327,6 +403,11 @@ mod tests {
         assert!(report.engines[0].ns_per_event > 0.0);
         assert!(report.engines[0].peak_live_flows.unwrap() >= 1);
         assert!(report.speedup_vs_naive.is_none());
+        // Quick mode skips the capture-on overhead run.
+        assert!(report.telemetry.capture_on_best_secs.is_none());
+        assert!(report.telemetry.capture_off_best_secs > 0.0);
+        let m = report.engines[0].metrics.as_ref().unwrap();
+        assert!(m.events > 0 && m.recomputes > 0);
     }
 
     #[test]
@@ -343,5 +424,12 @@ mod tests {
         // must therefore match here too.
         assert_eq!(report.engines[0].makespan_ns, report.engines[1].makespan_ns);
         assert!(report.speedup_vs_naive.unwrap().is_finite());
+        // Full mode prices the capture-on path (this binary compiles the
+        // trace feature in).
+        assert!(report.telemetry.compiled);
+        assert!(report.telemetry.capture_on_best_secs.unwrap() > 0.0);
+        assert!(report.telemetry.capture_overhead_pct.unwrap().is_finite());
+        #[cfg(target_os = "linux")]
+        assert!(report.peak_rss_bytes.unwrap() > 0);
     }
 }

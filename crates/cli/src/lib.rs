@@ -11,6 +11,7 @@ pub mod bench;
 pub mod lint;
 pub mod mech;
 pub mod paper;
+pub mod profile;
 pub mod sweep;
 
 pub use paper::{CliError, Result};

@@ -7,7 +7,7 @@
 
 use std::process::ExitCode;
 
-use npp_cli::{bench, lint, mech, paper, sweep};
+use npp_cli::{bench, lint, mech, paper, profile, sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         "llm" => paper::llm(json),
         "isp" => mech::isp(json),
         "sweep" => sweep::run(&rest, json),
+        "profile" => profile::run(&rest, json),
         "bench-json" => bench::run(&rest, json),
         "lint" => lint::run(&rest, json),
         "fabric" => mech::fabric(json),
@@ -132,11 +133,20 @@ Mechanisms (par. 4):
   all        run everything (text output)
 
 Sweeps:
-  sweep <spec.json> [--jobs N] [--cache DIR]
+  sweep <spec.json> [--jobs N] [--cache DIR] [--quiet] [--trace PATH] [--metrics]
              expand a SweepSpec grid and run every scenario in parallel;
              results are cached by content hash under --cache; --json
              prints the deterministic results document (identical bytes
-             for any --jobs value)
+             for any --jobs value); --trace writes the canonical
+             npp.trace/v1 JSONL (also jobs-invariant); --metrics dumps
+             the metrics registry to stderr; --quiet drops progress
+
+Profiling:
+  profile <spec.json> [--out DIR] [--jobs N]
+             run the spec with telemetry recording on and emit a report:
+             top trace records, sampling-timer histograms, per-scenario
+             energy attribution; writes trace.jsonl (npp.trace/v1) and
+             trace.chrome.json (Perfetto-loadable) under --out
 
 Benchmarks:
   bench-json [--quick] [--out PATH] [--flows N]

@@ -1,0 +1,341 @@
+//! The `netpp profile` subcommand: run a sweep spec with telemetry
+//! recording on and emit a self-contained profiling report.
+//!
+//! ```text
+//! netpp profile <spec.json> [--out DIR] [--jobs N] [--json]
+//! ```
+//!
+//! Artifacts written under `--out` (default `netpp-profile/`):
+//!
+//! - `trace.jsonl` — the canonical `npp.trace/v1` trace (byte-identical
+//!   for any `--jobs` value);
+//! - `trace.chrome.json` — the same records in Chrome `trace_event`
+//!   format, loadable in Perfetto (<https://ui.perfetto.dev>).
+//!
+//! The report itself goes to stdout: top trace record names by count,
+//! histogram summaries from the metrics registry (the `prof.*` sampling
+//! timers), and per-scenario energy attribution aggregated from the
+//! switch's `switch.energy_j` dwell accounting.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use npp_sweep::{run_sweep, SweepOptions, SweepSpec};
+use npp_telemetry::metrics::MetricValue;
+
+use crate::paper::Result;
+
+/// Parsed arguments for `netpp profile`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileArgs {
+    /// Path of the sweep spec file.
+    pub spec_path: String,
+    /// Output directory for trace artifacts.
+    pub out_dir: String,
+    /// Worker threads (default: available parallelism).
+    pub jobs: usize,
+}
+
+/// Parses `profile` arguments from the raw argv tail.
+///
+/// # Errors
+///
+/// Rejects missing spec paths, malformed flag values, and unknown
+/// flags.
+pub fn parse_args(rest: &[&str]) -> Result<ProfileArgs> {
+    let mut spec_path = None;
+    let mut out_dir = None;
+    let mut jobs = None;
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {}
+            "--out" => {
+                out_dir = Some(it.next().ok_or("--out needs a directory")?.to_string());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --jobs value {v:?}"))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown profile flag {flag:?}").into());
+            }
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}").into()),
+        }
+    }
+    let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    Ok(ProfileArgs {
+        spec_path: spec_path
+            .ok_or("usage: netpp profile <spec.json> [--out DIR] [--jobs N] [--json]")?,
+        out_dir: out_dir.unwrap_or_else(|| "netpp-profile".to_string()),
+        jobs: jobs.unwrap_or(default_jobs),
+    })
+}
+
+/// One row of the per-scenario energy attribution table.
+#[derive(Debug, Clone, PartialEq)]
+struct EnergyRow {
+    scenario: String,
+    device: String,
+    joules: f64,
+}
+
+/// Runs `netpp profile`.
+///
+/// # Errors
+///
+/// Propagates spec-file, engine, filesystem, and serialization errors.
+pub fn run(rest: &[&str], json: bool) -> Result<()> {
+    let args = parse_args(rest)?;
+    if !npp_telemetry::compiled() {
+        return Err(
+            "netpp profile requires the `trace` feature of npp-telemetry \
+                    (enabled in default builds of this binary)"
+                .into(),
+        );
+    }
+
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec_path))?;
+    let spec: SweepSpec = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse spec {:?}: {e}", args.spec_path))?;
+
+    let opts = SweepOptions {
+        jobs: args.jobs,
+        cache_dir: None, // profiling wants real executions, never cache hits
+    };
+
+    npp_telemetry::metrics::reset();
+    npp_telemetry::start();
+    let outcome = run_sweep(&spec, &opts, None)?;
+    let trace = npp_telemetry::finish();
+    let snapshot = npp_telemetry::metrics::snapshot();
+
+    let out = Path::new(&args.out_dir);
+    std::fs::create_dir_all(out)
+        .map_err(|e| format!("cannot create output dir {:?}: {e}", args.out_dir))?;
+    let jsonl_path = out.join("trace.jsonl");
+    std::fs::write(&jsonl_path, trace.to_canonical_jsonl())
+        .map_err(|e| format!("cannot write {}: {e}", jsonl_path.display()))?;
+    let chrome_path = out.join("trace.chrome.json");
+    std::fs::write(&chrome_path, trace.to_chrome_json())
+        .map_err(|e| format!("cannot write {}: {e}", chrome_path.display()))?;
+
+    // Scenario labels for the energy table: scope ids are scenario seeds.
+    let labels: BTreeMap<u64, &str> = outcome
+        .results
+        .scenarios
+        .iter()
+        .map(|row| (row.seed, row.label.as_str()))
+        .collect();
+
+    // Top record names by count over the canonical (sim-time) trace.
+    let mut by_name: BTreeMap<&str, u64> = BTreeMap::new();
+    for rec in trace.canonical() {
+        *by_name.entry(rec.name).or_insert(0) += 1;
+    }
+    let mut top: Vec<(&str, u64)> = by_name.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    let energy = energy_attribution(&trace, &labels);
+
+    if json {
+        println!(
+            "{}",
+            render_json(&args, &outcome, &trace, &top, &energy, &snapshot)
+        );
+        return Ok(());
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "profile `{}`: {} scenarios on {} jobs, {} trace records",
+        outcome.results.name,
+        outcome.results.total,
+        args.jobs,
+        trace.len()
+    );
+    let _ = writeln!(report, "  trace: {}", jsonl_path.display());
+    let _ = writeln!(
+        report,
+        "  perfetto: {} (open at https://ui.perfetto.dev)",
+        chrome_path.display()
+    );
+
+    let _ = writeln!(report, "\nTop trace records:");
+    for (name, count) in top.iter().take(12) {
+        let _ = writeln!(report, "  {count:>8}  {name}");
+    }
+
+    let histograms: Vec<_> = snapshot
+        .entries
+        .iter()
+        .filter_map(|(name, value)| match value {
+            MetricValue::Histogram(h) if h.count > 0 => Some((name, h)),
+            _ => None,
+        })
+        .collect();
+    if !histograms.is_empty() {
+        let _ = writeln!(report, "\nHistograms:");
+        for (name, h) in histograms {
+            let _ = writeln!(
+                report,
+                "  {name}: count={} min={} max={} mean={:.1}",
+                h.count,
+                h.min,
+                h.max,
+                h.mean()
+            );
+        }
+    }
+
+    if !energy.is_empty() {
+        let _ = writeln!(report, "\nEnergy attribution (per scenario, J):");
+        let mut last = "";
+        for row in &energy {
+            if row.scenario != last {
+                let _ = writeln!(report, "  {}", row.scenario);
+                last = &row.scenario;
+            }
+            let _ = writeln!(report, "    {:<12} {:.6}", row.device, row.joules);
+        }
+    }
+
+    let _ = writeln!(report, "\nMetrics:\n{}", snapshot.to_text());
+    print!("{report}");
+    Ok(())
+}
+
+/// Aggregates `switch.energy_j` counter records into per-scenario,
+/// per-device rows. Within one scope the largest device index is the
+/// chassis-overhead track (emitted after the per-pipeline tracks).
+fn energy_attribution(
+    trace: &npp_telemetry::Trace,
+    labels: &BTreeMap<u64, &str>,
+) -> Vec<EnergyRow> {
+    let mut per_device: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for rec in trace.canonical() {
+        if rec.name == "switch.energy_j" {
+            *per_device.entry((rec.scope, rec.arg)).or_insert(0.0) += rec.value;
+        }
+    }
+    let chassis_arg: BTreeMap<u64, u64> =
+        per_device
+            .keys()
+            .fold(BTreeMap::new(), |mut acc, &(scope, arg)| {
+                let slot = acc.entry(scope).or_insert(arg);
+                *slot = (*slot).max(arg);
+                acc
+            });
+    per_device
+        .into_iter()
+        .map(|((scope, arg), joules)| EnergyRow {
+            scenario: labels
+                .get(&scope)
+                .map_or_else(|| format!("scope {scope:016x}"), ToString::to_string),
+            device: if chassis_arg.get(&scope) == Some(&arg) {
+                "chassis".to_string()
+            } else {
+                format!("pipeline {arg}")
+            },
+            joules,
+        })
+        .collect()
+}
+
+/// Byte-stable JSON report (`--json`).
+fn render_json(
+    args: &ProfileArgs,
+    outcome: &npp_sweep::SweepOutcome,
+    trace: &npp_telemetry::Trace,
+    top: &[(&str, u64)],
+    energy: &[EnergyRow],
+    snapshot: &npp_telemetry::metrics::Snapshot,
+) -> String {
+    let mut out = String::from("{\"schema\":\"npp.profile/v1\"");
+    let _ = write!(
+        out,
+        ",\"spec\":\"{}\",\"scenarios\":{},\"jobs\":{},\"trace_records\":{}",
+        outcome.results.name,
+        outcome.results.total,
+        args.jobs,
+        trace.len()
+    );
+    out.push_str(",\"top\":[");
+    for (i, (name, count)) in top.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{name}\",\"count\":{count}}}");
+    }
+    out.push_str("],\"energy\":[");
+    for (i, row) in energy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"scenario\":\"{}\",\"device\":\"{}\",\"joules\":{}}}",
+            row.scenario, row.device, row.joules
+        );
+    }
+    out.push_str("],\"metrics\":");
+    out.push_str(&snapshot.to_json());
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let args = parse_args(&["spec.json", "--out", "/tmp/p", "--jobs", "2", "--json"]).unwrap();
+        assert_eq!(args.spec_path, "spec.json");
+        assert_eq!(args.out_dir, "/tmp/p");
+        assert_eq!(args.jobs, 2);
+    }
+
+    #[test]
+    fn defaults_and_rejections() {
+        let args = parse_args(&["spec.json"]).unwrap();
+        assert_eq!(args.out_dir, "netpp-profile");
+        assert!(args.jobs >= 1);
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["spec.json", "--out"]).is_err());
+        assert!(parse_args(&["spec.json", "--what"]).is_err());
+        assert!(parse_args(&["a.json", "b.json"]).is_err());
+    }
+
+    #[test]
+    fn energy_rows_label_chassis() {
+        use npp_telemetry::{Phase, Record, Trace};
+        let rec = |scope: u64, arg: u64, value: f64| Record {
+            scope,
+            t_ns: 0,
+            seq: arg,
+            wall: false,
+            phase: Phase::Counter,
+            name: "switch.energy_j",
+            arg,
+            value,
+        };
+        let trace = Trace {
+            records: vec![rec(7, 0, 1.5), rec(7, 1, 2.5), rec(7, 2, 0.5)],
+        };
+        let mut labels = BTreeMap::new();
+        labels.insert(7u64, "s0");
+        let rows = energy_attribution(&trace, &labels);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].device, "pipeline 0");
+        assert_eq!(rows[2].device, "chassis");
+        assert_eq!(rows[2].scenario, "s0");
+    }
+}

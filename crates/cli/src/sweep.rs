@@ -3,20 +3,23 @@
 //!
 //! ```text
 //! netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json]
+//!                         [--quiet] [--trace PATH] [--metrics]
 //! ```
 //!
 //! The deterministic results document goes to stdout; progress and the
 //! volatile run summary (wall time, cache counters) go to stderr, so
 //! `--json` output is byte-identical for any `--jobs` value and can be
-//! diffed or hashed directly.
+//! diffed or hashed directly. `--trace` writes the canonical
+//! `npp.trace/v1` JSONL (also byte-identical for any `--jobs` value);
+//! `--metrics` dumps the metrics registry snapshot to stderr.
 
-use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use npp_report::export::to_json;
 use npp_sweep::{
     best_per_axis, frontier_table, run_summary, run_sweep, ProgressEvent, SweepOptions, SweepSpec,
 };
+use npp_telemetry::progress;
 
 use crate::paper::Result;
 
@@ -29,6 +32,12 @@ pub struct SweepArgs {
     pub jobs: usize,
     /// Cache directory, if caching was requested.
     pub cache_dir: Option<String>,
+    /// Suppress stderr progress lines.
+    pub quiet: bool,
+    /// Write the canonical trace JSONL here.
+    pub trace_path: Option<String>,
+    /// Dump the metrics registry snapshot to stderr after the run.
+    pub metrics: bool,
 }
 
 /// Parses `sweep` arguments from the raw argv tail (everything after
@@ -42,10 +51,18 @@ pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
     let mut spec_path = None;
     let mut jobs = None;
     let mut cache_dir = None;
+    let mut quiet = false;
+    let mut trace_path = None;
+    let mut metrics = false;
     let mut it = rest.iter().copied();
     while let Some(arg) = it.next() {
         match arg {
             "--json" => {}
+            "--quiet" => quiet = true,
+            "--metrics" => metrics = true,
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a path")?.to_string());
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 jobs = Some(
@@ -65,10 +82,14 @@ pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
     }
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     Ok(SweepArgs {
-        spec_path: spec_path
-            .ok_or("usage: netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json]")?,
+        spec_path: spec_path.ok_or(
+            "usage: netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json] [--quiet] [--trace PATH] [--metrics]",
+        )?,
         jobs: jobs.unwrap_or(default_jobs),
         cache_dir,
+        quiet,
+        trace_path,
+        metrics,
     })
 }
 
@@ -79,6 +100,13 @@ pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
 /// Propagates spec-file, engine, and serialization errors.
 pub fn run(rest: &[&str], json: bool) -> Result<()> {
     let args = parse_args(rest)?;
+    progress::set_quiet(args.quiet);
+    let record = args.trace_path.is_some() || args.metrics;
+    if record {
+        npp_telemetry::metrics::reset();
+        npp_telemetry::start();
+    }
+
     let text = std::fs::read_to_string(&args.spec_path)
         .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec_path))?;
     let spec: SweepSpec = serde_json::from_str(&text)
@@ -92,26 +120,39 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
         opts = opts.with_cache(dir);
     }
 
-    // Progress ticks to stderr, roughly every 10 % of the grid.
+    // Whole-line progress to stderr, roughly every 10 % of the grid.
+    // Lines go through the telemetry progress writer so parallel workers
+    // never interleave partial lines (and `--quiet` drops them all).
     let done = AtomicUsize::new(0);
     let total = spec.grid_size();
     let stride = (total / 10).max(1);
     let hook = move |ev: &ProgressEvent| match ev {
         ProgressEvent::Started { name, total, jobs } => {
-            eprintln!("sweep `{name}`: {total} scenarios on {jobs} jobs");
+            progress::emit(&format!("sweep `{name}`: {total} scenarios on {jobs} jobs"));
         }
         ProgressEvent::ScenarioDone { .. } => {
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
             if n % stride == 0 || n == total {
-                eprint!("\r  {n}/{total} scenarios done");
-                let _ = std::io::stderr().flush();
+                progress::emit(&format!("  {n}/{total} scenarios done"));
             }
         }
-        ProgressEvent::Finished { .. } => eprintln!(),
+        ProgressEvent::Finished { .. } => {}
     };
 
     let outcome = run_sweep(&spec, &opts, Some(&hook))?;
-    eprintln!("{}", run_summary(&outcome));
+    progress::emit(&run_summary(&outcome));
+
+    if record {
+        let trace = npp_telemetry::finish();
+        if let Some(path) = &args.trace_path {
+            std::fs::write(path, trace.to_canonical_jsonl())
+                .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+            progress::emit(&format!("trace: {} records -> {path}", trace.len()));
+        }
+        if args.metrics {
+            progress::emit(&npp_telemetry::metrics::snapshot().to_text());
+        }
+    }
 
     if json {
         // Deterministic document only — volatile metrics stay on stderr.
@@ -136,11 +177,33 @@ mod tests {
 
     #[test]
     fn parses_full_flag_set() {
-        let args =
-            parse_args(&["grid.json", "--jobs", "4", "--cache", "/tmp/c", "--json"]).unwrap();
+        let args = parse_args(&[
+            "grid.json",
+            "--jobs",
+            "4",
+            "--cache",
+            "/tmp/c",
+            "--json",
+            "--quiet",
+            "--trace",
+            "/tmp/t.jsonl",
+            "--metrics",
+        ])
+        .unwrap();
         assert_eq!(args.spec_path, "grid.json");
         assert_eq!(args.jobs, 4);
         assert_eq!(args.cache_dir.as_deref(), Some("/tmp/c"));
+        assert!(args.quiet);
+        assert_eq!(args.trace_path.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(args.metrics);
+    }
+
+    #[test]
+    fn telemetry_flags_default_off() {
+        let args = parse_args(&["grid.json"]).unwrap();
+        assert!(!args.quiet);
+        assert!(args.trace_path.is_none());
+        assert!(!args.metrics);
     }
 
     #[test]
@@ -148,6 +211,7 @@ mod tests {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&["spec.json", "--jobs"]).is_err());
         assert!(parse_args(&["spec.json", "--jobs", "many"]).is_err());
+        assert!(parse_args(&["spec.json", "--trace"]).is_err());
         assert!(parse_args(&["spec.json", "--frobnicate"]).is_err());
         assert!(parse_args(&["a.json", "b.json"]).is_err());
     }

@@ -72,6 +72,11 @@ fn binary_help_lists_all_commands() {
         "isp",
         "mech",
         "bench-json",
+        "sweep",
+        "profile",
+        "--trace",
+        "--quiet",
+        "--metrics",
     ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
@@ -169,6 +174,151 @@ fn binary_sweep_is_deterministic_and_cached() {
     let rendered = String::from_utf8_lossy(&text.stdout);
     assert!(rendered.contains("Best scenario per axis value"));
     assert!(rendered.contains("Pareto frontier"));
+
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// A tiny simulation sweep spec (2 scenarios, 1 ms horizon) for the
+/// telemetry smoke tests.
+fn sim_spec() -> npp_sweep::SweepSpec {
+    let mut base = npp_sweep::ScenarioSpec::paper_baseline();
+    base.experiment = npp_sweep::ExperimentKind::Simulation(npp_sweep::SimulationSpec {
+        horizon_ms: 1,
+        ..npp_sweep::SimulationSpec::comparison_defaults(
+            npp_mechanisms::mechanism::Mechanism::AllOn,
+        )
+    });
+    npp_sweep::SweepSpec {
+        name: "telemetry-smoke".into(),
+        base,
+        axes: vec![npp_sweep::Axis::Mechanism(vec![
+            npp_mechanisms::mechanism::Mechanism::RateAdaptPerPipeline,
+            npp_mechanisms::mechanism::Mechanism::ParkReactive,
+        ])],
+    }
+}
+
+/// `netpp sweep --trace` writes a jobs-invariant canonical trace and
+/// `--quiet` silences all progress output.
+#[test]
+fn binary_sweep_trace_is_jobs_invariant_and_quiet_silences_stderr() {
+    let scratch = std::env::temp_dir().join(format!("netpp-trace-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let spec_path = scratch.join("spec.json");
+    std::fs::write(&spec_path, serde_json::to_string(&sim_spec()).unwrap()).unwrap();
+    let spec_arg = spec_path.to_str().unwrap();
+    let t1 = scratch.join("t1.jsonl");
+    let t4 = scratch.join("t4.jsonl");
+
+    let serial = netpp(&[
+        "sweep",
+        spec_arg,
+        "--json",
+        "--jobs",
+        "1",
+        "--quiet",
+        "--trace",
+        t1.to_str().unwrap(),
+    ]);
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    assert!(
+        serial.stderr.is_empty(),
+        "--quiet must silence stderr, got {:?}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    let parallel = netpp(&[
+        "sweep",
+        spec_arg,
+        "--json",
+        "--jobs",
+        "4",
+        "--quiet",
+        "--trace",
+        t4.to_str().unwrap(),
+    ]);
+    assert!(parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "--jobs changed the JSON document"
+    );
+
+    let trace1 = std::fs::read_to_string(&t1).unwrap();
+    let trace4 = std::fs::read_to_string(&t4).unwrap();
+    assert_eq!(trace1, trace4, "--jobs changed the canonical trace");
+    assert!(
+        trace1.starts_with("{\"schema\":\"npp.trace/v1\","),
+        "trace leads with the schema header"
+    );
+    for line in trace1.lines() {
+        let _: serde_json::Value = serde_json::from_str(line).expect("every trace line is JSON");
+    }
+
+    // `--metrics` puts the registry snapshot on stderr (without --quiet).
+    let with_metrics = netpp(&["sweep", spec_arg, "--json", "--metrics"]);
+    assert!(with_metrics.status.success());
+    let err = String::from_utf8_lossy(&with_metrics.stderr);
+    assert!(err.contains("sweep.scenarios = 2"), "{err}");
+
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// `netpp profile` writes both trace artifacts and prints the report.
+#[test]
+fn binary_profile_emits_report_and_artifacts() {
+    let scratch = std::env::temp_dir().join(format!("netpp-profile-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let spec_path = scratch.join("spec.json");
+    std::fs::write(&spec_path, serde_json::to_string(&sim_spec()).unwrap()).unwrap();
+    let out_dir = scratch.join("prof");
+
+    let out = netpp(&[
+        "profile",
+        spec_path.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--jobs",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("Top trace records:"), "{report}");
+    assert!(report.contains("Energy attribution"), "{report}");
+    assert!(report.contains("switch.energy_j"), "{report}");
+
+    let jsonl = std::fs::read_to_string(out_dir.join("trace.jsonl")).unwrap();
+    assert!(jsonl.starts_with("{\"schema\":\"npp.trace/v1\","));
+    let chrome = std::fs::read_to_string(out_dir.join("trace.chrome.json")).unwrap();
+    let v: serde_json::Value =
+        serde_json::from_str(&chrome).expect("chrome trace is one valid JSON document");
+    assert!(v["traceEvents"].is_array());
+
+    // `--json` mode emits a machine-readable report instead.
+    let json_out = netpp(&[
+        "profile",
+        spec_path.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(json_out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&json_out.stdout).unwrap();
+    assert_eq!(v["schema"].as_str(), Some("npp.profile/v1"));
+    assert_eq!(v["scenarios"].as_u64(), Some(2));
+    assert!(v["energy"].as_array().unwrap().len() >= 5);
+
+    // Bad invocations fail cleanly.
+    assert!(!netpp(&["profile"]).status.success());
+    assert!(!netpp(&["profile", "missing.json"]).status.success());
 
     std::fs::remove_dir_all(&scratch).unwrap();
 }

@@ -16,7 +16,10 @@ use crate::rules::{scan, test_mask, FileScope, Hit, RuleId};
 use crate::{LintError, Result};
 
 /// Crates whose headline guarantee is bit-stable output; D1–D3 apply.
-const DETERMINISM_CRATES: &[&str] = &["simnet", "sweep", "mechanisms", "core"];
+/// `telemetry` is here because its canonical trace is itself a
+/// deterministic document: its only wall-clock reads are the sanctioned
+/// `wall_clock()` entry point and the wall-track stamps, each annotated.
+const DETERMINISM_CRATES: &[&str] = &["simnet", "sweep", "mechanisms", "core", "telemetry"];
 
 /// Crate whose serde specs must reject unknown fields (S1).
 const SPEC_CRATES: &[&str] = &["sweep"];

@@ -11,7 +11,7 @@
 //! | id | key                 | scope               | what it catches |
 //! |----|---------------------|---------------------|-----------------|
 //! | D1 | `map-iter`          | determinism crates  | iterating a `HashMap`/`HashSet` (order is seed-dependent) |
-//! | D2 | `wall-clock`        | determinism crates  | `Instant::now`, `SystemTime`, `thread_rng`, `env::var*` |
+//! | D2 | `wall-clock`        | determinism crates  | `Instant::now`, `SystemTime`, `thread_rng`, `env::var*`, `wall_clock()` calls |
 //! | D3 | `float-reduce`      | determinism crates  | `.sum()`/`.fold()` fed by a hash-map iterator |
 //! | P1 | `panic`             | all library code    | `.unwrap()`, panic-family macros, slice indexing (ratcheted) |
 //! | S1 | `deny-unknown-fields` | `sweep` specs     | `Deserialize` struct without `deny_unknown_fields` |
@@ -380,6 +380,17 @@ fn wall_clock(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
             "Instant" if path_call(tokens, i, "now") => Some("`Instant::now()`"),
             "SystemTime" => Some("`SystemTime`"),
             "thread_rng" => Some("`thread_rng()`"),
+            // `npp_telemetry::wall_clock()` is the one sanctioned
+            // wall-clock entry point, and it belongs to executor/CLI
+            // layers: a *call* from a determinism crate is as suspect as
+            // a raw `Instant::now()` (the definition itself is `fn
+            // wall_clock` and stays clean).
+            "wall_clock"
+                if tok_is_punct(tokens, i + 1, '(')
+                    && !tok_is_ident(tokens, i.wrapping_sub(1), "fn") =>
+            {
+                Some("`telemetry::wall_clock()` (the executor/CLI wall-clock entry point)")
+            }
             "env"
                 if path_call(tokens, i, "var")
                     || path_call(tokens, i, "var_os")
@@ -651,6 +662,18 @@ mod tests {
         ";
         let hits = scan_all(src);
         assert_eq!(rules_of(&hits).iter().filter(|r| **r == "D2").count(), 3);
+    }
+
+    #[test]
+    fn d2_catches_wall_clock_calls_but_not_the_definition() {
+        let src = "
+            pub fn wall_clock() -> std::time::Instant { unreachable_here() }
+            fn f() { let t = npp_telemetry::wall_clock(); drop(t); }
+        ";
+        let hits = scan_all(src);
+        let d2: Vec<_> = hits.iter().filter(|h| h.rule.code() == "D2").collect();
+        assert_eq!(d2.len(), 1, "{hits:?}");
+        assert!(d2.iter().all(|h| h.message.contains("wall_clock")));
     }
 
     #[test]

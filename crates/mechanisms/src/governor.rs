@@ -162,12 +162,22 @@ pub fn run_governor(
         let target = allowed
             .iter()
             .copied()
-            .filter(|&i| catalog[i].capacity.fraction() >= required.min(1.0))
+            .filter(|&i| {
+                catalog
+                    .get(i)
+                    .map(|s| s.capacity.fraction() >= required.min(1.0))
+                    .unwrap_or(false)
+            })
             .max()
             .unwrap_or(0);
 
-        if load > catalog[state].capacity.fraction() + 1e-12 {
+        let active_capacity = catalog
+            .get(state)
+            .map(|s| s.capacity.fraction())
+            .unwrap_or(1.0);
+        if load > active_capacity + 1e-12 {
             misses += 1;
+            npp_telemetry::trace_event!("governor.capacity_miss", seconds_to_ns(t), load);
         }
 
         if target < state {
@@ -175,23 +185,30 @@ pub fn run_governor(
             state = target;
             transitions += 1;
             deeper_streak = 0;
+            npp_telemetry::trace_counter!("governor.state", seconds_to_ns(t), 0, state as f64);
         } else if target > state {
             deeper_streak += 1;
             if deeper_streak >= cfg.patience {
                 state = target;
                 transitions += 1;
                 deeper_streak = 0;
+                npp_telemetry::trace_counter!("governor.state", seconds_to_ns(t), 0, state as f64);
             }
         } else {
             deeper_streak = 0;
         }
 
-        residency[state] += cfg.interval.value();
-        energy += catalog[state].power.value() * cfg.interval.value();
+        if let Some(r) = residency.get_mut(state) {
+            *r += cfg.interval.value();
+        }
+        let active_power = catalog.get(state).map(|s| s.power.value()).unwrap_or(0.0);
+        energy += active_power * cfg.interval.value();
     }
+    npp_telemetry::metrics::counter_add("governor.transitions", transitions as u64);
+    npp_telemetry::metrics::counter_add("governor.capacity_misses", misses as u64);
 
     let total_time: f64 = residency.iter().sum();
-    let energy_c0 = catalog[0].power.value() * total_time;
+    let energy_c0 = catalog.first().map(|s| s.power.value()).unwrap_or(0.0) * total_time;
     Ok(GovernorReport {
         residency: catalog
             .iter()
@@ -204,6 +221,12 @@ pub fn run_governor(
         savings: Ratio::new(1.0 - energy / energy_c0),
         capacity_misses: misses,
     })
+}
+
+/// Governor control time (seconds) as integer sim nanoseconds, for trace
+/// records.
+fn seconds_to_ns(t: Seconds) -> u64 {
+    (t.value() * 1e9).round() as u64
 }
 
 #[cfg(test)]

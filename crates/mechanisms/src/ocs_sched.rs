@@ -230,6 +230,10 @@ pub fn plan(
         }
     }
 
+    if !circuits.is_empty() {
+        npp_telemetry::metrics::counter_add("ocs.reconfigurations", 1);
+        npp_telemetry::metrics::counter_add("ocs.circuits", circuits.len() as u64);
+    }
     let all_switches: BTreeSet<NodeId> = topo.switches().into_iter().collect();
     let parked: BTreeSet<NodeId> = all_switches.difference(&active).copied().collect();
     let power = switch_power * active.len() as f64 + ocs_power;

@@ -149,6 +149,11 @@ pub fn simulate_rate_adaptation(
                 }
             }
             interval_bytes.iter_mut().for_each(|b| *b = 0);
+            npp_telemetry::trace_event!(
+                "rate_adapt.control_tick",
+                next_control.as_nanos(),
+                pipelines as f64
+            );
             next_control = next_control.plus_nanos(cfg.control_interval_ns);
         }
 
@@ -166,6 +171,7 @@ pub fn simulate_rate_adaptation(
         pending = source.next_arrival();
     }
 
+    npp_telemetry::metrics::counter_add("rate_adapt.freq_updates", freq_updates);
     let report = sw.finish(horizon)?;
     let energy_all_on = params.max_power() * horizon.as_seconds();
     Ok(RateAdaptReport {

@@ -218,6 +218,7 @@ impl CState {
         for (path, f) in &self.scale {
             device.set_state(path, GateState::Scaled(*f))?;
         }
+        npp_telemetry::metrics::counter_add("power.cstate_applies", 1);
         Ok(())
     }
 }

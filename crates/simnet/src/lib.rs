@@ -58,7 +58,8 @@ pub mod switchsim;
 mod time;
 
 pub use event::Scheduler;
-pub use power_tracker::{PowerTimeline, PowerTracker};
+pub use netsim::EngineMetrics;
+pub use power_tracker::{DwellSegment, PowerTimeline, PowerTracker};
 pub use time::SimTime;
 
 /// Errors produced by this crate.

@@ -42,6 +42,7 @@
 //! tests.
 
 use npp_topology::graph::{LinkId, NodeId, Topology};
+use serde::Serialize;
 
 use crate::{Result, SimError, SimTime};
 
@@ -106,6 +107,25 @@ struct Scratch {
     seeds: Vec<u32>,
 }
 
+/// Engine-internal counters exposed for benchmarks and `netpp profile`:
+/// how much work the indexed fast path actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct EngineMetrics {
+    /// Fluid events (rate epochs) processed.
+    pub events: u64,
+    /// Largest number of simultaneously live flows.
+    pub peak_live_flows: usize,
+    /// Dirty-closure + waterfill recomputations performed.
+    pub recomputes: u64,
+    /// Total bottleneck-fixing iterations across all recomputes.
+    pub fixing_iterations: u64,
+    /// Largest dirty set (flows re-rated by one event).
+    pub dirty_set_max: usize,
+    /// Scratch-arena high-water mark: most directed links touched by one
+    /// waterfill.
+    pub touched_links_max: usize,
+}
+
 /// The flow-level simulator.
 #[derive(Debug, Clone)]
 pub struct NetSim {
@@ -135,6 +155,14 @@ pub struct NetSim {
     carried: Vec<f64>,
     events: u64,
     peak_active: usize,
+    recomputes: u64,
+    fixing_iterations: u64,
+    dirty_set_max: usize,
+    touched_links_max: usize,
+    /// Samples one in N recompute passes into the `prof.netsim.recompute_ns`
+    /// histogram when telemetry recording is active (profiling data only —
+    /// wall time never feeds back into simulation state).
+    recompute_timer: npp_telemetry::timer::SampleTimer,
     scratch: Scratch,
 }
 
@@ -169,6 +197,11 @@ impl NetSim {
             carried: vec![0.0; n_links],
             events: 0,
             peak_active: 0,
+            recomputes: 0,
+            fixing_iterations: 0,
+            dirty_set_max: 0,
+            touched_links_max: 0,
+            recompute_timer: npp_telemetry::timer::SampleTimer::every(64),
             scratch: Scratch::default(),
         }
     }
@@ -186,6 +219,18 @@ impl NetSim {
     /// Largest number of simultaneously live flows seen so far.
     pub fn peak_live_flows(&self) -> usize {
         self.peak_active
+    }
+
+    /// Snapshot of the engine's internal work counters.
+    pub fn engine_metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            events: self.events,
+            peak_live_flows: self.peak_active,
+            recomputes: self.recomputes,
+            fixing_iterations: self.fixing_iterations,
+            dirty_set_max: self.dirty_set_max,
+            touched_links_max: self.touched_links_max,
+        }
     }
 
     /// Number of flows ever injected.
@@ -377,6 +422,8 @@ impl NetSim {
         }
         s.flows_marked.clear();
         s.seeds.clear();
+        let set_len = s.set.len();
+        self.dirty_set_max = self.dirty_set_max.max(set_len);
     }
 
     /// Progressive-filling max-min fair allocation over `scratch.set`.
@@ -409,7 +456,9 @@ impl NetSim {
                 s.crossing[d] += 1;
             }
         }
+        let mut fixing_iterations = 0u64;
         while unassigned > 0 {
+            fixing_iterations += 1;
             // Bottleneck link: smallest fair share, ties to smallest id.
             let mut best_share = f64::INFINITY;
             let mut best_dl = u32::MAX;
@@ -452,10 +501,14 @@ impl NetSim {
         for &dl in &s.touched {
             s.crossing[dl as usize] = 0;
         }
+        let touched_len = s.touched.len();
         s.touched.clear();
         for &f in &s.set {
             s.in_set[f as usize] = false;
         }
+        self.recomputes += 1;
+        self.fixing_iterations += fixing_iterations;
+        self.touched_links_max = self.touched_links_max.max(touched_len);
     }
 
     /// Full-recompute oracle: reruns the naive `O(flows² · links)`
@@ -534,13 +587,20 @@ impl NetSim {
     pub fn run(&mut self) -> Result<()> {
         self.ensure_link_flow_csr();
         self.ensure_scratch_sized();
+        npp_telemetry::trace_span!(begin "netsim.run", self.now.as_nanos());
         loop {
             if self.active.is_empty() && self.pending.is_empty() {
+                npp_telemetry::trace_span!(end "netsim.run", self.now.as_nanos());
+                self.publish_metrics();
                 return Ok(());
             }
             if !self.scratch.seeds.is_empty() {
+                let sample = self.recompute_timer.maybe_start();
                 self.dirty_closure();
                 self.recompute_rates();
+                if let Some(stamp) = sample {
+                    npp_telemetry::timer::record_sample("prof.netsim.recompute_ns", stamp);
+                }
                 #[cfg(any(test, debug_assertions))]
                 self.assert_rates_match_naive_oracle();
             }
@@ -626,7 +686,28 @@ impl NetSim {
                 self.peak_active = self.peak_active.max(self.active.len());
             }
             self.events += 1;
+            npp_telemetry::trace_counter!(
+                "netsim.live_flows",
+                self.now.as_nanos(),
+                0,
+                self.active.len()
+            );
         }
+    }
+
+    /// Publish the engine counters into the telemetry metrics registry
+    /// (no-op unless a recording is active).
+    fn publish_metrics(&self) {
+        if !npp_telemetry::enabled() {
+            return;
+        }
+        use npp_telemetry::metrics as m;
+        m::counter_add("netsim.events", self.events);
+        m::counter_add("netsim.recomputes", self.recomputes);
+        m::counter_add("netsim.fixing_iterations", self.fixing_iterations);
+        m::gauge_max("netsim.peak_live_flows", self.peak_active as f64);
+        m::gauge_max("netsim.dirty_set_max", self.dirty_set_max as f64);
+        m::gauge_max("netsim.touched_links_max", self.touched_links_max as f64);
     }
 
     /// Status of a flow.

@@ -86,6 +86,41 @@ impl PowerTracker {
         ))
     }
 
+    /// The dwell intervals of the step function through `end`: one
+    /// segment per recorded change, in time order. Zero-duration segments
+    /// (several changes at the same instant) are preserved — they carry
+    /// zero energy but record that the state was visited.
+    ///
+    /// The segment energies sum exactly (same additions in the same
+    /// order) to [`PowerTracker::energy_until`] at `end`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeReversal`] if `end` precedes the last change.
+    pub fn dwell_segments(&self, end: SimTime) -> Result<Vec<DwellSegment>> {
+        if end < self.last_change {
+            return Err(SimError::TimeReversal {
+                now_ns: self.last_change.as_nanos(),
+                requested_ns: end.as_nanos(),
+            });
+        }
+        let mut segments = Vec::with_capacity(self.changes.len());
+        for (i, &(from, power)) in self.changes.iter().enumerate() {
+            let to = self
+                .changes
+                .get(i + 1)
+                .map(|&(t, _)| t)
+                .unwrap_or(end)
+                .min(end);
+            segments.push(DwellSegment {
+                from,
+                to: to.max(from),
+                power,
+            });
+        }
+        Ok(segments)
+    }
+
     /// Closes the timeline at `end` and summarizes it.
     ///
     /// # Errors
@@ -99,6 +134,31 @@ impl PowerTracker {
             duration,
             changes: self.changes.len(),
         })
+    }
+}
+
+/// One dwell interval of a power step function: the component drew
+/// `power` from `from` until `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DwellSegment {
+    /// Segment start.
+    pub from: SimTime,
+    /// Segment end (equal to `from` for zero-duration dwells).
+    pub to: SimTime,
+    /// Constant power drawn over the segment.
+    pub power: Watts,
+}
+
+impl DwellSegment {
+    /// Segment duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.to.since(self.from)
+    }
+
+    /// Energy consumed over the segment, using the same arithmetic as
+    /// [`PowerTracker::energy_until`] so totals agree bit for bit.
+    pub fn energy(&self) -> Joules {
+        Joules::new(self.power.value() * time_delta_secs(self.from, self.to))
     }
 }
 
@@ -190,6 +250,62 @@ mod tests {
         let tl = t.finish(SimTime::ZERO).unwrap();
         assert_eq!(tl.energy, Joules::ZERO);
         assert_eq!(tl.average_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn dwell_segments_cover_the_timeline() {
+        let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(100.0));
+        t.set_power(SimTime::from_secs(1), Watts::new(50.0))
+            .unwrap();
+        let segs = t.dwell_segments(SimTime::from_secs(2)).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].duration_ns(), 1_000_000_000);
+        assert_eq!(segs[1].duration_ns(), 1_000_000_000);
+        let total: f64 = segs.iter().map(|s| s.energy().value()).sum();
+        let direct = t.energy_until(SimTime::from_secs(2)).unwrap();
+        assert_eq!(total.to_bits(), direct.value().to_bits());
+    }
+
+    #[test]
+    fn zero_duration_dwell_is_preserved_and_carries_no_energy() {
+        let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(10.0));
+        // Two transitions at the same instant: 10 W -> 99 W -> 20 W at t=1s.
+        t.set_power(SimTime::from_secs(1), Watts::new(99.0))
+            .unwrap();
+        t.set_power(SimTime::from_secs(1), Watts::new(20.0))
+            .unwrap();
+        let segs = t.dwell_segments(SimTime::from_secs(2)).unwrap();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[1].duration_ns(), 0);
+        assert_eq!(segs[1].power, Watts::new(99.0));
+        assert_eq!(segs[1].energy(), Joules::ZERO);
+        let e = t.energy_until(SimTime::from_secs(2)).unwrap();
+        assert!(e.approx_eq(Joules::new(30.0), 1e-9));
+    }
+
+    #[test]
+    fn transition_at_t_zero_replaces_the_initial_dwell() {
+        let mut t = PowerTracker::new(SimTime::ZERO, Watts::new(100.0));
+        t.set_power(SimTime::ZERO, Watts::new(1.0)).unwrap();
+        let segs = t.dwell_segments(SimTime::from_secs(1)).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].duration_ns(), 0);
+        let e = t.energy_until(SimTime::from_secs(1)).unwrap();
+        assert!(e.approx_eq(Joules::new(1.0), 1e-9));
+        let tl = t.finish(SimTime::from_secs(1)).unwrap();
+        assert_eq!(tl.changes, 2);
+    }
+
+    #[test]
+    fn dwell_segments_at_zero_duration_end() {
+        let t = PowerTracker::new(SimTime::ZERO, Watts::new(7.0));
+        let segs = t.dwell_segments(SimTime::ZERO).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].duration_ns(), 0);
+        assert!(t.dwell_segments(SimTime::ZERO).is_ok());
+        let mut t2 = PowerTracker::new(SimTime::ZERO, Watts::ZERO);
+        t2.set_power(SimTime::from_secs(1), Watts::ZERO).unwrap();
+        assert!(t2.dwell_segments(SimTime::ZERO).is_err());
     }
 
     #[test]

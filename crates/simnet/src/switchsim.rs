@@ -287,6 +287,8 @@ impl PipelineSwitch {
         }
         self.port_map[port] = pipeline;
         self.port_ready_at[port] = now.plus_nanos(self.params.remap_ns);
+        npp_telemetry::trace_counter!("switch.remap", now.as_nanos(), port, pipeline as f64);
+        npp_telemetry::metrics::counter_add("switch.remaps", 1);
         Ok(())
     }
 
@@ -315,7 +317,10 @@ impl PipelineSwitch {
                 pipe.state = PipelineState::On { freq };
             }
         }
-        pipe.tracker.set_power(now, power)
+        pipe.tracker.set_power(now, power)?;
+        npp_telemetry::trace_counter!("switch.pipeline_w", now.as_nanos(), idx, power.value());
+        npp_telemetry::metrics::counter_add("switch.rate_adapt_decisions", 1);
+        Ok(())
     }
 
     /// Parks (power-gates) a pipeline. The pipeline must be drained
@@ -334,7 +339,10 @@ impl PipelineSwitch {
             )));
         }
         pipe.state = PipelineState::Off;
-        pipe.tracker.set_power(now, Watts::ZERO)
+        pipe.tracker.set_power(now, Watts::ZERO)?;
+        npp_telemetry::trace_counter!("switch.pipeline_w", now.as_nanos(), idx, 0.0);
+        npp_telemetry::metrics::counter_add("switch.gate_close", 1);
+        Ok(())
     }
 
     /// Starts waking a parked pipeline; it becomes serviceable after the
@@ -360,7 +368,10 @@ impl PipelineSwitch {
             ready_at: now.plus_nanos(wake_ns),
             freq,
         };
-        pipe.tracker.set_power(now, power)
+        pipe.tracker.set_power(now, power)?;
+        npp_telemetry::trace_counter!("switch.pipeline_w", now.as_nanos(), idx, power.value());
+        npp_telemetry::metrics::counter_add("switch.gate_open", 1);
+        Ok(())
     }
 
     /// Offers a packet of `bytes` on `port` at time `now` and returns its
@@ -516,6 +527,9 @@ impl PipelineSwitch {
     /// Time reversals propagate from the trackers.
     pub fn finish(&self, end: SimTime) -> Result<SwitchReport> {
         let energy = self.energy(end)?;
+        if npp_telemetry::enabled() {
+            self.publish_energy_attribution(end)?;
+        }
         let duration = end.as_seconds();
         let avg = if duration.value() > 0.0 {
             energy / duration
@@ -531,6 +545,34 @@ impl PipelineSwitch {
             p99_latency_ns: self.latency.percentile(99.0),
             forwarded: self.pipes.iter().map(|p| p.forwarded).sum(),
         })
+    }
+
+    /// Per-device energy attribution and dwell-time accounting, emitted
+    /// into the active telemetry recording when the books close.
+    /// Pipelines are devices `0..pipelines`; the chassis overhead is
+    /// device `pipelines` (one past the last pipeline).
+    fn publish_energy_attribution(&self, end: SimTime) -> Result<()> {
+        use npp_telemetry::metrics as m;
+        let end_ns = end.as_nanos();
+        for (idx, pipe) in self.pipes.iter().enumerate() {
+            let e = pipe.tracker.energy_until(end)?;
+            npp_telemetry::trace_counter!("switch.energy_j", end_ns, idx, e.value());
+            for seg in pipe.tracker.dwell_segments(end)? {
+                m::observe("switch.dwell_ns", seg.duration_ns());
+            }
+            m::counter_add(
+                "switch.power_transitions",
+                pipe.tracker.changes().len() as u64,
+            );
+        }
+        let overhead = self.overhead.energy_until(end)?;
+        npp_telemetry::trace_counter!(
+            "switch.energy_j",
+            end_ns,
+            self.pipes.len(),
+            overhead.value()
+        );
+        Ok(())
     }
 }
 

@@ -29,6 +29,7 @@ where
 {
     let jobs = jobs.clamp(1, n.max(1));
     if jobs == 1 {
+        npp_telemetry::metrics::observe("sweep.worker_items", n as u64);
         return (0..n).map(job).collect();
     }
 
@@ -45,6 +46,9 @@ where
                         }
                         local.push((index, job(index)));
                     }
+                    // Per-worker share of the sweep: the histogram spread
+                    // is a direct read on thread utilization balance.
+                    npp_telemetry::metrics::observe("sweep.worker_items", local.len() as u64);
                     local
                 })
             })

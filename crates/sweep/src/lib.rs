@@ -42,7 +42,6 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 pub mod cache;
 pub mod exec;
@@ -239,7 +238,7 @@ pub fn run_sweep(
     progress: Option<&ProgressHook<'_>>,
 ) -> Result<SweepOutcome> {
     // npp-lint: allow(wall-clock) reason="wall_ms is run telemetry in the volatile SweepReport, never part of the deterministic results document"
-    let started = Instant::now();
+    let started = npp_telemetry::wall_clock();
     let scenarios = grid::expand(spec)?;
     let total = scenarios.len();
     let jobs = opts.jobs.clamp(1, total.max(1));
@@ -259,6 +258,12 @@ pub fn run_sweep(
     let misses = AtomicUsize::new(0);
     let outputs: Vec<Result<Metrics>> = exec::run_indexed(total, jobs, |index| {
         let scenario = &scenarios[index];
+        // Scope the trace to this scenario: records carry the scenario's
+        // content-hash seed, so the canonical merge is identical however
+        // threads interleave.
+        let _scope = npp_telemetry::scope(scenario.seed);
+        // npp-lint: allow(wall-clock) reason="per-scenario timing feeds the volatile telemetry histograms only, never the results document"
+        let scenario_started = npp_telemetry::wall_clock();
         let (metrics, cached) = match cache.as_ref().and_then(|c| c.get(&scenario.hash)) {
             Some(found) => (Ok(found), true),
             None => {
@@ -271,8 +276,18 @@ pub fn run_sweep(
         };
         if cached {
             hits.fetch_add(1, Ordering::Relaxed);
+            npp_telemetry::metrics::counter_add("sweep.cache_hits", 1);
+            npp_telemetry::metrics::observe(
+                "sweep.cache_hit_ns",
+                scenario_started.elapsed().as_nanos() as u64,
+            );
         } else {
             misses.fetch_add(1, Ordering::Relaxed);
+            npp_telemetry::metrics::counter_add("sweep.cache_misses", 1);
+            npp_telemetry::metrics::observe(
+                "sweep.scenario_run_ns",
+                scenario_started.elapsed().as_nanos() as u64,
+            );
         }
         if let Some(hook) = progress {
             hook(&ProgressEvent::ScenarioDone { index, cached });
@@ -293,6 +308,7 @@ pub fn run_sweep(
         });
     }
 
+    npp_telemetry::metrics::counter_add("sweep.scenarios", total as u64);
     let frontier = report::power_slowdown_frontier(&rows);
     let report = SweepReport {
         jobs,

@@ -1,0 +1,404 @@
+//! Global metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Keys are `&'static str` and the backing store is a `BTreeMap`, so
+//! snapshots iterate in sorted key order — no floats are ever reduced over
+//! hash iteration (npp-lint rule D3 stays structurally satisfied).
+//! Histograms use fixed power-of-two buckets over `u64` values (bucket `i`
+//! counts values with bit-length `i`), so merging and rendering are exact
+//! integer operations.
+//!
+//! All mutation entry points are no-ops unless recording is active (see
+//! [`crate::enabled`]); without the `trace` cargo feature they compile to
+//! nothing.
+
+/// Number of histogram buckets: one per possible bit-length of a `u64`
+/// value (0 for value 0, 64 for values >= 2^63).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A rendered metric value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write or high-water gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// Exact summary of a fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs, in
+    /// ascending bound order. The last bucket's bound saturates at
+    /// `u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Look up one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter value by name (None if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name (None if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable rendering, one metric per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            out.push_str("  ");
+            out.push_str(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(" = {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(" = {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        " : count={} sum={} min={} max={} mean={:.1}\n",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.mean()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Byte-stable JSON rendering (sorted keys, exact integers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":"));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!("{v}")),
+                MetricValue::Gauge(v) => {
+                    if v.is_finite() {
+                        out.push_str(&format!("{v}"));
+                    } else {
+                        out.push('0');
+                    }
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                        h.count, h.sum, h.min, h.max
+                    ));
+                    for (j, (bound, n)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{bound},{n}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::{HistogramSummary, MetricValue, Snapshot, HIST_BUCKETS};
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    #[derive(Debug, Clone)]
+    enum Metric {
+        Counter(u64),
+        Gauge(f64),
+        Hist(Hist),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Hist {
+        counts: Vec<u64>,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    }
+
+    impl Hist {
+        fn new() -> Self {
+            Hist {
+                counts: vec![0; HIST_BUCKETS],
+                count: 0,
+                sum: 0,
+                min: u64::MAX,
+                max: 0,
+            }
+        }
+
+        fn observe(&mut self, v: u64) {
+            let idx = (64 - v.leading_zeros()) as usize;
+            if let Some(slot) = self.counts.get_mut(idx) {
+                *slot += 1;
+            }
+            self.count += 1;
+            self.sum = self.sum.saturating_add(v);
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+
+        fn summary(&self) -> HistogramSummary {
+            let buckets = self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| {
+                    let bound = if i >= 64 { u64::MAX } else { 1u64 << i };
+                    (bound, *n)
+                })
+                .collect();
+            HistogramSummary {
+                count: self.count,
+                sum: self.sum,
+                min: if self.count == 0 { 0 } else { self.min },
+                max: self.max,
+                buckets,
+            }
+        }
+    }
+
+    static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
+
+    fn reg() -> MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+        REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(super) fn counter_add(name: &'static str, delta: u64) {
+        if let Metric::Counter(v) = reg().entry(name).or_insert(Metric::Counter(0)) {
+            *v += delta;
+        }
+    }
+
+    pub(super) fn gauge_set(name: &'static str, value: f64) {
+        reg().insert(name, Metric::Gauge(value));
+    }
+
+    pub(super) fn gauge_max(name: &'static str, value: f64) {
+        if let Metric::Gauge(v) = reg().entry(name).or_insert(Metric::Gauge(value)) {
+            if value > *v {
+                *v = value;
+            }
+        }
+    }
+
+    pub(super) fn observe(name: &'static str, value: u64) {
+        if let Metric::Hist(h) = reg()
+            .entry(name)
+            .or_insert_with(|| Metric::Hist(Hist::new()))
+        {
+            h.observe(value);
+        }
+    }
+
+    pub(super) fn reset() {
+        reg().clear();
+    }
+
+    pub(super) fn snapshot() -> Snapshot {
+        let entries = reg()
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(v) => MetricValue::Counter(*v),
+                    Metric::Gauge(v) => MetricValue::Gauge(*v),
+                    Metric::Hist(h) => MetricValue::Histogram(h.summary()),
+                };
+                ((*name).to_string(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// Add `delta` to the named counter. No-op when recording is inactive.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    #[cfg(feature = "trace")]
+    if crate::enabled() {
+        imp::counter_add(name, delta);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, delta);
+    }
+}
+
+/// Set the named gauge. No-op when recording is inactive.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    #[cfg(feature = "trace")]
+    if crate::enabled() {
+        imp::gauge_set(name, value);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, value);
+    }
+}
+
+/// Raise the named gauge to `value` if larger (high-water mark). No-op when
+/// recording is inactive.
+#[inline]
+pub fn gauge_max(name: &'static str, value: f64) {
+    #[cfg(feature = "trace")]
+    if crate::enabled() {
+        imp::gauge_max(name, value);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, value);
+    }
+}
+
+/// Record one observation into the named fixed-bucket histogram. No-op when
+/// recording is inactive.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    #[cfg(feature = "trace")]
+    if crate::enabled() {
+        imp::observe(name, value);
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, value);
+    }
+}
+
+/// Clear the registry (called by [`crate::start`]).
+pub fn reset() {
+    #[cfg(feature = "trace")]
+    imp::reset();
+}
+
+/// Copy the registry out, sorted by name. Empty without the `trace` feature.
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "trace")]
+    {
+        imp::snapshot()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        Snapshot::default()
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_recording<R>(f: impl FnOnce() -> R) -> R {
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        crate::start();
+        let r = f();
+        let _ = crate::finish();
+        r
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let snap = with_recording(|| {
+            counter_add("z.counter", 2);
+            counter_add("z.counter", 3);
+            gauge_set("a.gauge", 1.25);
+            gauge_max("a.high", 10.0);
+            gauge_max("a.high", 4.0);
+            observe("m.hist", 0);
+            observe("m.hist", 7);
+            observe("m.hist", 1024);
+            snapshot()
+        });
+        // Sorted by name: a.gauge, a.high, m.hist, z.counter.
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.gauge", "a.high", "m.hist", "z.counter"]);
+        assert_eq!(snap.counter("z.counter"), Some(5));
+        assert_eq!(snap.gauge("a.high"), Some(10.0));
+        match snap.get("m.hist") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum, 1031);
+                assert_eq!((h.min, h.max), (0, 1024));
+                // value 0 -> bucket bound 1, value 7 -> bound 8, 1024 -> bound 2048.
+                assert_eq!(h.buckets, vec![(1, 1), (8, 1), (2048, 1)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        let json = snap.to_json();
+        assert!(json.contains("\"z.counter\":5"));
+        assert!(json.contains("\"buckets\":[[1,1],[8,1],[2048,1]]"));
+        assert!(snap.to_text().contains("m.hist"));
+    }
+
+    #[test]
+    fn inactive_registry_ignores_writes() {
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = crate::finish();
+        counter_add("ghost", 1);
+        crate::start();
+        let snap = snapshot();
+        let _ = crate::finish();
+        assert!(snap.get("ghost").is_none());
+    }
+}

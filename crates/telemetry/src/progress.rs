@@ -1,0 +1,48 @@
+//! Whole-line progress reporting for executor/CLI layers.
+//!
+//! Replaces ad-hoc `eprint!("\r...")` updates, which interleave garbled
+//! when several sweep workers report at once: every progress line goes
+//! through one mutex and is written as a complete line, and a process-wide
+//! quiet flag silences them (`--quiet`).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+static WRITER: Mutex<()> = Mutex::new(());
+
+/// Set the process-wide quiet flag (progress lines are dropped while set).
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Current quiet flag.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Emit one complete progress line to stderr (atomic with respect to other
+/// `emit` callers; silently dropped when quiet).
+pub fn emit(line: &str) {
+    if is_quiet() {
+        return;
+    }
+    let _g = WRITER.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_round_trips() {
+        set_quiet(true);
+        assert!(is_quiet());
+        emit("this line is suppressed");
+        set_quiet(false);
+        assert!(!is_quiet());
+    }
+}

@@ -158,4 +158,50 @@ proptest! {
             "gpus {} -> solved {}", gpus, solved
         );
     }
+
+    /// Energy is conserved through dwell decomposition: for any
+    /// monotone transition schedule, the per-dwell energies of
+    /// `PowerTracker::dwell_segments` sum to exactly the tracker's own
+    /// `energy_until` integral (both integrate piecewise-constant power
+    /// over the same integer-nanosecond boundaries, in the same order).
+    #[test]
+    fn dwell_segments_conserve_energy(
+        transitions in prop::collection::vec((0u64..2_000_000_000, 0.0..1_000.0f64), 0..24),
+        initial_w in 0.0..1_000.0f64,
+        tail_ns in 0u64..1_000_000_000,
+    ) {
+        use netpp::simnet::{PowerTracker, SimTime};
+        use netpp::units::Watts;
+
+        let mut schedule: Vec<(u64, f64)> = transitions;
+        schedule.sort_by_key(|&(at_ns, _)| at_ns);
+
+        let mut tracker = PowerTracker::new(SimTime::ZERO, Watts::new(initial_w));
+        for &(at_ns, watts) in &schedule {
+            tracker
+                .set_power(SimTime::from_nanos(at_ns), Watts::new(watts))
+                .expect("schedule is sorted, so time never reverses");
+        }
+        let end = SimTime::from_nanos(
+            schedule.last().map_or(0, |&(at_ns, _)| at_ns) + tail_ns,
+        );
+
+        let direct = tracker.energy_until(end).expect("end >= last change");
+        let segments = tracker.dwell_segments(end).expect("end >= last change");
+        let summed: f64 = segments.iter().map(|s| s.energy().value()).sum();
+        prop_assert_eq!(
+            summed,
+            direct.value(),
+            "dwell decomposition must be bit-exact"
+        );
+
+        // The decomposition tiles [0, end] with no gaps or overlaps.
+        let mut cursor = SimTime::ZERO;
+        for seg in &segments {
+            prop_assert_eq!(seg.from, cursor);
+            prop_assert!(seg.to >= seg.from);
+            cursor = seg.to;
+        }
+        prop_assert_eq!(cursor, end);
+    }
 }

@@ -1,0 +1,126 @@
+//! Cross-crate telemetry integration: the canonical `npp.trace/v1`
+//! trace of a parallel sweep is bit-identical to the serial one, and
+//! per-scenario scoping keeps every simulated scenario's records
+//! together regardless of which worker thread ran it.
+//!
+//! Telemetry recording is process-global, so every test here serializes
+//! on one lock (other integration-test files are separate processes and
+//! cannot interleave).
+
+use std::sync::Mutex;
+
+use npp_mechanisms::mechanism::Mechanism;
+use npp_sweep::{run_sweep, Axis, ExperimentKind, ScenarioSpec, SimulationSpec, SweepSpec};
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// The CI trace-gate grid in miniature: 4 mechanisms x 2 utilization
+/// targets over the deterministic ML workload.
+fn gate_spec() -> SweepSpec {
+    let mut base = ScenarioSpec::paper_baseline();
+    base.experiment = ExperimentKind::Simulation(SimulationSpec {
+        horizon_ms: 1,
+        ..SimulationSpec::comparison_defaults(Mechanism::AllOn)
+    });
+    SweepSpec {
+        name: "trace-identity".into(),
+        base,
+        axes: vec![
+            Axis::Mechanism(vec![
+                Mechanism::RateAdaptPerPipeline,
+                Mechanism::RateAdaptGlobal,
+                Mechanism::ParkReactive,
+                Mechanism::ParkPredictive,
+            ]),
+            Axis::TargetUtilization(vec![0.7, 0.9]),
+        ],
+    }
+}
+
+/// Runs the gate sweep with recording on and returns the canonical
+/// trace (caller must hold `TELEMETRY_LOCK`).
+fn canonical_trace(jobs: usize) -> String {
+    npp_telemetry::start();
+    let opts = npp_sweep::SweepOptions {
+        jobs,
+        cache_dir: None,
+    };
+    run_sweep(&gate_spec(), &opts, None).expect("gate sweep runs");
+    npp_telemetry::finish().to_canonical_jsonl()
+}
+
+#[test]
+fn parallel_trace_is_bit_identical_to_serial() {
+    let _guard = TELEMETRY_LOCK.lock().expect("telemetry lock");
+    let serial = canonical_trace(1);
+    for jobs in [2, 4] {
+        let parallel = canonical_trace(jobs);
+        assert_eq!(
+            serial, parallel,
+            "canonical trace must not depend on --jobs (jobs={jobs})"
+        );
+    }
+    assert!(
+        serial.starts_with("{\"schema\":\"npp.trace/v1\","),
+        "canonical JSONL leads with the schema header"
+    );
+}
+
+#[test]
+fn every_scenario_contributes_a_scoped_span() {
+    let _guard = TELEMETRY_LOCK.lock().expect("telemetry lock");
+    npp_telemetry::start();
+    let opts = npp_sweep::SweepOptions {
+        jobs: 2,
+        cache_dir: None,
+    };
+    let outcome = run_sweep(&gate_spec(), &opts, None).expect("gate sweep runs");
+    let trace = npp_telemetry::finish();
+
+    // Each of the 8 scenarios records under its own scope (its seed),
+    // with a begin/end pair for the simulation span.
+    for row in &outcome.results.scenarios {
+        let begins = trace
+            .records
+            .iter()
+            .filter(|r| {
+                r.scope == row.seed
+                    && r.name == "scenario.sim"
+                    && r.phase == npp_telemetry::Phase::Begin
+            })
+            .count();
+        assert_eq!(begins, 1, "scenario {} must open one span", row.label);
+    }
+
+    // Canonical ordering is (scope, t_ns, seq): within one scope, time
+    // never goes backwards and seq is strictly increasing.
+    let canonical = trace.canonical();
+    for pair in canonical.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.scope == b.scope {
+            assert!(a.t_ns <= b.t_ns, "sim time reversed inside a scope");
+            assert!(a.seq < b.seq, "seq must be strictly increasing");
+        }
+    }
+}
+
+#[test]
+fn metrics_registry_counts_the_sweep() {
+    let _guard = TELEMETRY_LOCK.lock().expect("telemetry lock");
+    npp_telemetry::metrics::reset();
+    npp_telemetry::start();
+    let opts = npp_sweep::SweepOptions {
+        jobs: 2,
+        cache_dir: None,
+    };
+    run_sweep(&gate_spec(), &opts, None).expect("gate sweep runs");
+    let _ = npp_telemetry::finish();
+    let snap = npp_telemetry::metrics::snapshot();
+    assert_eq!(snap.counter("sweep.scenarios"), Some(8));
+    assert_eq!(snap.counter("sweep.cache_misses"), Some(8));
+    assert!(
+        snap.counter("switch.rate_adapt_decisions").unwrap_or(0) > 0,
+        "rate-adapt scenarios must record decisions: {}",
+        snap.to_text()
+    );
+}
