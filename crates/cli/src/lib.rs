@@ -12,6 +12,7 @@ pub mod lint;
 pub mod mech;
 pub mod paper;
 pub mod profile;
+pub mod serve;
 pub mod sweep;
 
 pub use paper::{CliError, Result};

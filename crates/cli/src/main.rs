@@ -7,7 +7,7 @@
 
 use std::process::ExitCode;
 
-use npp_cli::{bench, lint, mech, paper, profile, sweep};
+use npp_cli::{bench, lint, mech, paper, profile, serve, sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +29,8 @@ fn main() -> ExitCode {
         "llm" => paper::llm(json),
         "isp" => mech::isp(json),
         "sweep" => sweep::run(&rest, json),
+        "serve" => serve::run(&rest, json),
+        "serve-bench" => serve::run_bench(&rest, json),
         "profile" => profile::run(&rest, json),
         "bench-json" => bench::run(&rest, json),
         "lint" => lint::run(&rest, json),
@@ -133,13 +135,29 @@ Mechanisms (par. 4):
   all        run everything (text output)
 
 Sweeps:
-  sweep <spec.json> [--jobs N] [--cache DIR] [--quiet] [--trace PATH] [--metrics]
+  sweep <spec.json> [--jobs N] [--cache DIR] [--quiet] [--trace PATH] [--metrics] [--dry-run]
              expand a SweepSpec grid and run every scenario in parallel;
              results are cached by content hash under --cache; --json
              prints the deterministic results document (identical bytes
              for any --jobs value); --trace writes the canonical
              npp.trace/v1 JSONL (also jobs-invariant); --metrics dumps
-             the metrics registry to stderr; --quiet drops progress
+             the metrics registry to stderr; --quiet drops progress;
+             --dry-run prints the scenario count and per-axis
+             cardinalities without simulating anything
+
+Serving:
+  serve [--addr HOST:PORT] [--cache DIR] [--jobs N] [--max-inflight K] [--workers N] [--metrics]
+             long-running what-if daemon over HTTP/1.1: POST /scenario
+             (one spec, one metrics row), POST /sweep (byte-identical to
+             `netpp sweep --json`), POST /sweep/stream (JSONL), GET
+             /healthz | /metrics | /stats; warm requests answer from the
+             sharded result cache, cold batches run on the deterministic
+             executor; graceful drain on SIGINT/SIGTERM or POST
+             /admin/shutdown; --max-inflight rejects excess load with 429
+  serve-bench [--quick] [--out PATH] [--jobs N]
+             self-driving load harness: cold-burst throughput, warm qps
+             with p50/p99 latency, and drain time; asserts byte-identity
+             against the engine inline and emits BENCH_serve.json
 
 Profiling:
   profile <spec.json> [--out DIR] [--jobs N]

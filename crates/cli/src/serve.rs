@@ -1,0 +1,255 @@
+//! The `netpp serve` and `netpp serve-bench` subcommands.
+//!
+//! ```text
+//! netpp serve [--addr HOST:PORT] [--cache DIR] [--jobs N]
+//!             [--max-inflight K] [--workers N] [--metrics]
+//! netpp serve-bench [--quick] [--out PATH] [--jobs N]
+//! ```
+//!
+//! `serve` runs the what-if daemon from `npp-serve` until SIGINT,
+//! SIGTERM, or `POST /admin/shutdown`, then drains gracefully.
+//! `serve-bench` runs the self-driving load harness and prints (or
+//! writes) the `BENCH_serve.json` document.
+
+use npp_serve::{bench, ServeConfig};
+use npp_telemetry::progress;
+
+use crate::paper::Result;
+
+/// Parsed arguments for `netpp serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Daemon configuration assembled from the flags.
+    pub addr: String,
+    /// Cache directory, if persistence was requested.
+    pub cache_dir: Option<String>,
+    /// Executor threads for cold batches (`None` = default).
+    pub jobs: Option<usize>,
+    /// Admission cap (`None` = default).
+    pub max_inflight: Option<usize>,
+    /// Connection-handler threads (`None` = default).
+    pub workers: Option<usize>,
+    /// Dump the metrics registry snapshot to stderr after the drain.
+    pub metrics: bool,
+}
+
+/// Parses `serve` arguments.
+///
+/// # Errors
+///
+/// Rejects malformed flag values and unknown flags.
+pub fn parse_args(rest: &[&str]) -> Result<ServeArgs> {
+    let mut args = ServeArgs {
+        addr: "127.0.0.1:7733".to_string(),
+        cache_dir: None,
+        jobs: None,
+        max_inflight: None,
+        workers: None,
+        metrics: false,
+    };
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {}
+            "--metrics" => args.metrics = true,
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr needs HOST:PORT")?.to_string();
+            }
+            "--cache" => {
+                args.cache_dir = Some(it.next().ok_or("--cache needs a directory")?.to_string());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --jobs value {v:?}"))?,
+                );
+            }
+            "--max-inflight" => {
+                let v = it.next().ok_or("--max-inflight needs a value")?;
+                args.max_inflight = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --max-inflight value {v:?}"))?,
+                );
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --workers value {v:?}"))?,
+                );
+            }
+            flag => return Err(format!("unknown serve flag {flag:?}").into()),
+        }
+    }
+    Ok(args)
+}
+
+impl ServeArgs {
+    /// Builds the daemon configuration, filling unset flags from the
+    /// crate defaults.
+    #[must_use]
+    pub fn to_config(&self) -> ServeConfig {
+        let defaults = ServeConfig::default();
+        ServeConfig {
+            addr: self.addr.clone(),
+            cache_dir: self.cache_dir.as_ref().map(Into::into),
+            jobs: self.jobs.unwrap_or(defaults.jobs).max(1),
+            max_inflight: self.max_inflight.unwrap_or(defaults.max_inflight).max(1),
+            workers: self.workers.unwrap_or(defaults.workers).max(1),
+            ..defaults
+        }
+    }
+}
+
+/// Runs `netpp serve` (blocks until shutdown, then drains).
+///
+/// # Errors
+///
+/// Propagates bind, cache, and engine errors.
+pub fn run(rest: &[&str], _json: bool) -> Result<()> {
+    let args = parse_args(rest)?;
+    npp_serve::run(args.to_config()).map_err(|e| e.to_string())?;
+    if args.metrics {
+        progress::emit(&npp_telemetry::metrics::snapshot().to_text());
+    }
+    Ok(())
+}
+
+/// Parsed arguments for `netpp serve-bench`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// CI smoke mode.
+    pub quick: bool,
+    /// Write the document here instead of stdout.
+    pub out: Option<String>,
+    /// Executor threads for the cold batch (`None` = default).
+    pub jobs: Option<usize>,
+}
+
+/// Parses `serve-bench` arguments.
+///
+/// # Errors
+///
+/// Rejects malformed flag values and unknown flags.
+pub fn parse_bench_args(rest: &[&str]) -> Result<BenchArgs> {
+    let mut args = BenchArgs {
+        quick: false,
+        out: None,
+        jobs: None,
+    };
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {}
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?.to_string());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --jobs value {v:?}"))?,
+                );
+            }
+            flag => return Err(format!("unknown serve-bench flag {flag:?}").into()),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs `netpp serve-bench`.
+///
+/// # Errors
+///
+/// Propagates harness errors, including any byte-identity mismatch.
+pub fn run_bench(rest: &[&str], _json: bool) -> Result<()> {
+    let args = parse_bench_args(rest)?;
+    let mut opts = if args.quick {
+        bench::BenchOptions::quick()
+    } else {
+        bench::BenchOptions::default()
+    };
+    if let Some(jobs) = args.jobs {
+        opts.jobs = jobs.max(1);
+    }
+    npp_telemetry::metrics::set_standalone(true);
+    let doc = bench::run(&opts);
+    npp_telemetry::metrics::set_standalone(false);
+    let doc = doc.map_err(|e| e.to_string())?;
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, format!("{doc}\n"))
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            progress::emit(&format!("serve-bench: wrote {path}"));
+        }
+        None => println!("{doc}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_serve_flag_set() {
+        let args = parse_args(&[
+            "--addr",
+            "0.0.0.0:8080",
+            "--cache",
+            "/tmp/c",
+            "--jobs",
+            "3",
+            "--max-inflight",
+            "16",
+            "--workers",
+            "2",
+            "--metrics",
+        ])
+        .unwrap();
+        assert_eq!(args.addr, "0.0.0.0:8080");
+        assert_eq!(args.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(args.jobs, Some(3));
+        assert_eq!(args.max_inflight, Some(16));
+        assert_eq!(args.workers, Some(2));
+        assert!(args.metrics);
+
+        let config = args.to_config();
+        assert_eq!(config.addr, "0.0.0.0:8080");
+        assert_eq!(config.jobs, 3);
+        assert_eq!(config.max_inflight, 16);
+        assert_eq!(config.workers, 2);
+    }
+
+    #[test]
+    fn serve_defaults_are_sensible() {
+        let args = parse_args(&[]).unwrap();
+        assert_eq!(args.addr, "127.0.0.1:7733");
+        assert!(args.cache_dir.is_none());
+        let config = args.to_config();
+        assert!(config.jobs >= 1);
+        assert!(config.max_inflight >= 1);
+        assert!(config.workers >= 1);
+    }
+
+    #[test]
+    fn rejects_bad_serve_invocations() {
+        assert!(parse_args(&["--addr"]).is_err());
+        assert!(parse_args(&["--jobs", "many"]).is_err());
+        assert!(parse_args(&["--max-inflight"]).is_err());
+        assert!(parse_args(&["--frobnicate"]).is_err());
+        assert!(parse_args(&["spec.json"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let args = parse_bench_args(&["--quick", "--out", "/tmp/b.json", "--jobs", "2"]).unwrap();
+        assert!(args.quick);
+        assert_eq!(args.out.as_deref(), Some("/tmp/b.json"));
+        assert_eq!(args.jobs, Some(2));
+        assert!(parse_bench_args(&["--out"]).is_err());
+        assert!(parse_bench_args(&["--nope"]).is_err());
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json]
 //!                         [--quiet] [--trace PATH] [--metrics]
+//!                         [--dry-run]
 //! ```
 //!
 //! The deterministic results document goes to stdout; progress and the
@@ -38,6 +39,8 @@ pub struct SweepArgs {
     pub trace_path: Option<String>,
     /// Dump the metrics registry snapshot to stderr after the run.
     pub metrics: bool,
+    /// Validate and size the grid without simulating anything.
+    pub dry_run: bool,
 }
 
 /// Parses `sweep` arguments from the raw argv tail (everything after
@@ -54,12 +57,14 @@ pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
     let mut quiet = false;
     let mut trace_path = None;
     let mut metrics = false;
+    let mut dry_run = false;
     let mut it = rest.iter().copied();
     while let Some(arg) = it.next() {
         match arg {
             "--json" => {}
             "--quiet" => quiet = true,
             "--metrics" => metrics = true,
+            "--dry-run" => dry_run = true,
             "--trace" => {
                 trace_path = Some(it.next().ok_or("--trace needs a path")?.to_string());
             }
@@ -83,14 +88,44 @@ pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     Ok(SweepArgs {
         spec_path: spec_path.ok_or(
-            "usage: netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json] [--quiet] [--trace PATH] [--metrics]",
+            "usage: netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json] [--quiet] [--trace PATH] [--metrics] [--dry-run]",
         )?,
         jobs: jobs.unwrap_or(default_jobs),
         cache_dir,
         quiet,
         trace_path,
         metrics,
+        dry_run,
     })
+}
+
+/// Renders the `--dry-run` summary: validates the spec and reports the
+/// grid shape without executing a single scenario.
+fn dry_run_summary(spec: &SweepSpec, json: bool) -> String {
+    let total = spec.grid_size();
+    if json {
+        let axes: Vec<String> = spec
+            .axes
+            .iter()
+            .map(|a| format!("{{\"axis\":\"{}\",\"cardinality\":{}}}", a.name(), a.len()))
+            .collect();
+        format!(
+            "{{\"name\":\"{}\",\"dry_run\":true,\"scenarios\":{},\"axes\":[{}]}}",
+            spec.name,
+            total,
+            axes.join(",")
+        )
+    } else {
+        let mut out = format!("sweep `{}` (dry run): {} scenario(s)\n", spec.name, total);
+        if spec.axes.is_empty() {
+            out.push_str("  no axes: the base scenario only\n");
+        }
+        for axis in &spec.axes {
+            out.push_str(&format!("  {:<24} x{}\n", axis.name(), axis.len()));
+        }
+        out.push_str("nothing was simulated");
+        out
+    }
 }
 
 /// Runs `netpp sweep`.
@@ -111,6 +146,12 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
         .map_err(|e| format!("cannot read spec {:?}: {e}", args.spec_path))?;
     let spec: SweepSpec = serde_json::from_str(&text)
         .map_err(|e| format!("cannot parse spec {:?}: {e}", args.spec_path))?;
+
+    if args.dry_run {
+        // Size the grid and stop before any scenario executes.
+        println!("{}", dry_run_summary(&spec, json));
+        return Ok(());
+    }
 
     let mut opts = SweepOptions {
         jobs: args.jobs,
@@ -204,6 +245,42 @@ mod tests {
         assert!(!args.quiet);
         assert!(args.trace_path.is_none());
         assert!(!args.metrics);
+        assert!(!args.dry_run);
+    }
+
+    #[test]
+    fn dry_run_reports_grid_shape_without_running() {
+        let args = parse_args(&["grid.json", "--dry-run"]).unwrap();
+        assert!(args.dry_run);
+
+        let spec = SweepSpec {
+            name: "shape".into(),
+            base: npp_sweep::ScenarioSpec::paper_baseline(),
+            axes: vec![
+                npp_sweep::Axis::BandwidthGbps(vec![100.0, 200.0, 400.0]),
+                npp_sweep::Axis::CommRatio(vec![0.1, 0.2]),
+            ],
+        };
+        let text = dry_run_summary(&spec, false);
+        assert!(text.contains("6 scenario(s)"), "{text}");
+        assert!(text.contains("bandwidth_gbps"), "{text}");
+        assert!(text.contains("x3"), "{text}");
+        assert!(text.contains("comm_ratio"), "{text}");
+        assert!(text.contains("x2"), "{text}");
+
+        let doc = dry_run_summary(&spec, true);
+        let parsed: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        assert!(matches!(parsed, serde_json::Value::Object(_)));
+        assert!(doc.contains("\"scenarios\":6"), "{doc}");
+        assert!(doc.contains("\"cardinality\":3"), "{doc}");
+
+        // A sweep with no axes is the single base scenario.
+        let point = SweepSpec {
+            name: "point".into(),
+            base: npp_sweep::ScenarioSpec::paper_baseline(),
+            axes: Vec::new(),
+        };
+        assert!(dry_run_summary(&point, false).contains("1 scenario(s)"));
     }
 
     #[test]

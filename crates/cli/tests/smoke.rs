@@ -73,10 +73,14 @@ fn binary_help_lists_all_commands() {
         "mech",
         "bench-json",
         "sweep",
+        "serve",
+        "serve-bench",
         "profile",
         "--trace",
         "--quiet",
         "--metrics",
+        "--dry-run",
+        "--max-inflight",
     ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
@@ -321,6 +325,155 @@ fn binary_profile_emits_report_and_artifacts() {
     assert!(!netpp(&["profile", "missing.json"]).status.success());
 
     std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// `netpp sweep --dry-run` sizes the grid without simulating.
+#[test]
+fn binary_sweep_dry_run_sizes_grid_without_running() {
+    let scratch = std::env::temp_dir().join(format!("netpp-dryrun-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let spec = npp_sweep::SweepSpec {
+        name: "dry".into(),
+        base: npp_sweep::ScenarioSpec::paper_baseline(),
+        axes: vec![
+            npp_sweep::Axis::BandwidthGbps(vec![100.0, 400.0]),
+            npp_sweep::Axis::NetworkProportionality(vec![0.1, 0.5, 0.9]),
+        ],
+    };
+    let spec_path = scratch.join("spec.json");
+    std::fs::write(&spec_path, serde_json::to_string(&spec).unwrap()).unwrap();
+
+    let out = netpp(&["sweep", spec_path.to_str().unwrap(), "--dry-run"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("6 scenario(s)"), "{text}");
+    assert!(text.contains("bandwidth_gbps"), "{text}");
+    assert!(text.contains("nothing was simulated"), "{text}");
+
+    let out = netpp(&["sweep", spec_path.to_str().unwrap(), "--dry-run", "--json"]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["dry_run"].as_bool(), Some(true));
+    assert_eq!(v["scenarios"].as_u64(), Some(6));
+    assert_eq!(v["axes"].as_array().unwrap().len(), 2);
+
+    // A dry run against a bad spec still fails cleanly.
+    let bad = scratch.join("bad.json");
+    std::fs::write(&bad, "{\"name\": 1}").unwrap();
+    assert!(!netpp(&["sweep", bad.to_str().unwrap(), "--dry-run"])
+        .status
+        .success());
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// `netpp serve`: the daemon boots, serves a sweep byte-identical to
+/// `netpp sweep --json`, and drains within the deadline on
+/// `POST /admin/shutdown`.
+#[test]
+fn binary_serve_round_trips_a_sweep_and_drains() {
+    use std::io::BufRead;
+
+    let scratch = std::env::temp_dir().join(format!("netpp-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let spec = npp_sweep::SweepSpec {
+        name: "serve-smoke".into(),
+        base: npp_sweep::ScenarioSpec::paper_baseline(),
+        axes: vec![npp_sweep::Axis::BandwidthGbps(vec![100.0, 400.0])],
+    };
+    let spec_path = scratch.join("spec.json");
+    let spec_body = serde_json::to_string(&spec).unwrap();
+    std::fs::write(&spec_path, &spec_body).unwrap();
+
+    let reference = netpp(&[
+        "sweep",
+        spec_path.to_str().unwrap(),
+        "--json",
+        "--jobs",
+        "1",
+    ]);
+    assert!(reference.status.success());
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_netpp"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache",
+            scratch.join("cache").to_str().unwrap(),
+            "--jobs",
+            "2",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve binary starts");
+
+    // The first progress line announces the bound address.
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let banner = lines
+        .next()
+        .expect("serve prints a listening banner")
+        .expect("banner is readable");
+    let addr: std::net::SocketAddr = banner
+        .rsplit("listening on ")
+        .next()
+        .expect("banner names the address")
+        .trim()
+        .parse()
+        .expect("banner address parses");
+
+    let mut client = npp_serve::Client::new(addr);
+    let reply = client.post("/sweep", spec_body.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.body, reference.stdout,
+        "served sweep diverged from `netpp sweep --json`"
+    );
+
+    let shutdown = client.post("/admin/shutdown", b"").unwrap();
+    assert_eq!(shutdown.status, 200);
+    // Drain must finish within the deadline.
+    let mut exited = false;
+    for _ in 0..100 {
+        if child.try_wait().unwrap().is_some() {
+            exited = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert!(exited, "serve did not drain within 10s");
+    std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+/// `netpp serve-bench --quick` emits the BENCH_serve.json document with
+/// its correctness bits set.
+#[test]
+fn binary_serve_bench_quick_asserts_byte_identity() {
+    let out = netpp(&["serve-bench", "--quick"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("serve-bench emits valid JSON");
+    assert_eq!(v["schema"].as_str(), Some("npp.bench.serve/v1"));
+    assert_eq!(v["quick"].as_bool(), Some(true));
+    assert_eq!(v["cold"]["byte_identical"].as_bool(), Some(true));
+    assert_eq!(v["warm"]["byte_identical"].as_bool(), Some(true));
+    assert_eq!(v["warm"]["all_cache_hits"].as_bool(), Some(true));
+    assert!(v["warm"]["qps"].as_f64().unwrap() > 0.0);
+    assert!(v["warm"]["p99_ns"].as_u64().unwrap() > 0);
+
+    // Bad flags fail cleanly.
+    assert!(!netpp(&["serve-bench", "--jobs", "none"]).status.success());
+    assert!(!netpp(&["serve", "--frobnicate"]).status.success());
 }
 
 #[test]

@@ -19,10 +19,20 @@ use crate::{LintError, Result};
 /// `telemetry` is here because its canonical trace is itself a
 /// deterministic document: its only wall-clock reads are the sanctioned
 /// `wall_clock()` entry point and the wall-track stamps, each annotated.
-const DETERMINISM_CRATES: &[&str] = &["simnet", "sweep", "mechanisms", "core", "telemetry"];
+/// `serve` is here because its responses must be byte-identical to the
+/// engine's own documents: every wall-clock read in the daemon is a
+/// latency/benchmark sample and must be annotated as such.
+const DETERMINISM_CRATES: &[&str] = &[
+    "simnet",
+    "sweep",
+    "mechanisms",
+    "core",
+    "telemetry",
+    "serve",
+];
 
-/// Crate whose serde specs must reject unknown fields (S1).
-const SPEC_CRATES: &[&str] = &["sweep"];
+/// Crates whose serde specs must reject unknown fields (S1).
+const SPEC_CRATES: &[&str] = &["sweep", "serve"];
 
 /// What to lint and against which ratchet.
 #[derive(Debug, Clone)]

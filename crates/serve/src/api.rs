@@ -1,0 +1,344 @@
+//! Endpoint routing and the JSON wire format.
+//!
+//! Every error is structured JSON — `{"error":{"kind":…,"message":…}}`
+//! — and never a panic. The `/sweep` response body is byte-identical to
+//! `netpp sweep --json` for the same spec: both serialize the same
+//! [`SweepResults`](npp_sweep::SweepResults) with the same pretty
+//! printer and a trailing newline.
+
+use serde::Serialize;
+
+use npp_sweep::{expand, Metrics, ScenarioSpec, SweepSpec};
+
+use crate::engine::Engine;
+use crate::http::{write_response, write_stream_head, Request, Response};
+
+/// What the connection handler should do after a request.
+#[derive(Debug)]
+pub enum Action {
+    /// Write this framed response.
+    Respond(Response),
+    /// The response was already streamed; close the connection.
+    Streamed,
+    /// Write this response, then start a graceful drain.
+    Shutdown(Response),
+}
+
+/// Single-scenario response document.
+#[derive(Debug, Serialize)]
+struct ScenarioReply {
+    /// Content hash of the scenario spec (the cache key).
+    hash: String,
+    /// Seed derived from the hash.
+    seed: u64,
+    /// The metrics row.
+    metrics: Metrics,
+}
+
+/// `/stats` document.
+#[derive(Debug, Serialize)]
+struct StatsReply {
+    cache: Option<npp_sweep::CacheStats>,
+    jobs: usize,
+}
+
+/// Renders the structured error body.
+pub fn error_body(kind: &str, message: &str) -> Vec<u8> {
+    let escaped: String = message
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            '\r' => vec!['\\', 'r'],
+            '\t' => vec!['\\', 't'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    format!("{{\"error\":{{\"kind\":\"{kind}\",\"message\":\"{escaped}\"}}}}\n").into_bytes()
+}
+
+fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    Response::json(status, error_body(kind, message))
+}
+
+/// Routes one request. Streaming endpoints write to `stream` directly
+/// and return [`Action::Streamed`].
+pub fn dispatch<W: std::io::Write>(req: &Request, engine: &Engine, stream: &mut W) -> Action {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => Action::Respond(Response::json(200, "{\"status\":\"ok\"}\n")),
+        ("GET", "/metrics") => {
+            let mut body = npp_telemetry::metrics::snapshot().to_json();
+            body.push('\n');
+            Action::Respond(Response::json(200, body))
+        }
+        ("GET", "/stats") => stats(engine),
+        ("POST", "/scenario") => scenario(req, engine),
+        ("POST", "/sweep") => sweep(req, engine),
+        ("POST", "/sweep/stream") => sweep_stream(req, engine, stream),
+        ("POST", "/admin/shutdown") => {
+            Action::Shutdown(Response::json(200, "{\"status\":\"draining\"}\n").closing())
+        }
+        (
+            method,
+            "/healthz" | "/metrics" | "/stats" | "/scenario" | "/sweep" | "/sweep/stream"
+            | "/admin/shutdown",
+        ) => Action::Respond(error_response(
+            405,
+            "method_not_allowed",
+            &format!("{method} is not supported on {}", req.target),
+        )),
+        (_, target) => Action::Respond(error_response(
+            404,
+            "not_found",
+            &format!("no such endpoint: {target}"),
+        )),
+    }
+}
+
+fn stats(engine: &Engine) -> Action {
+    let reply = StatsReply {
+        cache: engine.cache().map(|c| c.stats()),
+        jobs: engine.jobs(),
+    };
+    match serde_json::to_string_pretty(&reply) {
+        Ok(mut body) => {
+            body.push('\n');
+            Action::Respond(Response::json(200, body))
+        }
+        Err(e) => Action::Respond(error_response(500, "internal", &e.to_string())),
+    }
+}
+
+fn scenario(req: &Request, engine: &Engine) -> Action {
+    let spec: ScenarioSpec = match serde_json::from_slice(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => return Action::Respond(error_response(400, "bad_spec", &e.to_string())),
+    };
+    // A scenario is a one-point sweep: same hashing, same executor.
+    let sweep = SweepSpec {
+        name: "scenario".to_string(),
+        base: spec,
+        axes: Vec::new(),
+    };
+    let scenarios = match expand(&sweep) {
+        Ok(s) => s,
+        Err(e) => return Action::Respond(error_response(400, "bad_spec", &e.to_string())),
+    };
+    let warm = engine.all_warm(&scenarios);
+    let metrics = match engine.evaluate(&scenarios) {
+        Ok(m) => m,
+        Err(e) => return Action::Respond(error_response(400, "evaluation", &e.to_string())),
+    };
+    let reply = match (scenarios.into_iter().next(), metrics.into_iter().next()) {
+        (Some(scenario), Some(metrics)) => ScenarioReply {
+            hash: scenario.hash,
+            seed: scenario.seed,
+            metrics,
+        },
+        _ => return Action::Respond(error_response(500, "internal", "empty evaluation")),
+    };
+    match serde_json::to_string_pretty(&reply) {
+        Ok(mut body) => {
+            body.push('\n');
+            Action::Respond(
+                Response::json(200, body)
+                    .with_header("X-NPP-Cache", if warm { "hit" } else { "miss" }),
+            )
+        }
+        Err(e) => Action::Respond(error_response(500, "internal", &e.to_string())),
+    }
+}
+
+fn sweep(req: &Request, engine: &Engine) -> Action {
+    let spec: SweepSpec = match serde_json::from_slice(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => return Action::Respond(error_response(400, "bad_spec", &e.to_string())),
+    };
+    let warm = match expand(&spec) {
+        Ok(scenarios) => engine.all_warm(&scenarios),
+        Err(e) => return Action::Respond(error_response(400, "bad_spec", &e.to_string())),
+    };
+    let results = match engine.run_sweep_spec(&spec) {
+        Ok(results) => results,
+        Err(e) => return Action::Respond(error_response(400, "evaluation", &e.to_string())),
+    };
+    // Byte-for-byte the `netpp sweep --json` document: pretty JSON plus
+    // the trailing newline `println!` appends.
+    match serde_json::to_string_pretty(&results) {
+        Ok(mut body) => {
+            body.push('\n');
+            Action::Respond(
+                Response::json(200, body)
+                    .with_header("X-NPP-Cache", if warm { "hit" } else { "miss" }),
+            )
+        }
+        Err(e) => Action::Respond(error_response(500, "internal", &e.to_string())),
+    }
+}
+
+fn sweep_stream<W: std::io::Write>(req: &Request, engine: &Engine, stream: &mut W) -> Action {
+    let spec: SweepSpec = match serde_json::from_slice(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => return Action::Respond(error_response(400, "bad_spec", &e.to_string())),
+    };
+    let results = match engine.run_sweep_spec(&spec) {
+        Ok(results) => results,
+        Err(e) => return Action::Respond(error_response(400, "evaluation", &e.to_string())),
+    };
+    // JSONL framing: a header line, one compact line per scenario row
+    // (grid order), and a frontier trailer. EOF delimits the body.
+    if write_stream_head(stream, 200, "application/jsonl").is_err() {
+        return Action::Streamed;
+    }
+    let header = format!(
+        "{{\"name\":{},\"total\":{}}}\n",
+        serde_json::to_string(&results.name).unwrap_or_else(|_| "\"\"".to_string()),
+        results.total
+    );
+    if stream.write_all(header.as_bytes()).is_err() {
+        return Action::Streamed;
+    }
+    for row in &results.scenarios {
+        let line = match serde_json::to_string(row) {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_err()
+        {
+            return Action::Streamed;
+        }
+    }
+    let trailer = format!(
+        "{{\"frontier\":{}}}\n",
+        serde_json::to_string(&results.frontier).unwrap_or_else(|_| "[]".to_string())
+    );
+    let _ = stream.write_all(trailer.as_bytes());
+    let _ = stream.flush();
+    Action::Streamed
+}
+
+/// Writes the standard 429 admission-rejection response (used by the
+/// acceptor before a connection ever reaches a worker).
+pub fn write_reject<W: std::io::Write>(stream: &mut W) -> std::io::Result<()> {
+    let resp = Response::json(
+        429,
+        error_body("overloaded", "max-inflight reached; retry later"),
+    )
+    .closing();
+    write_response(stream, &resp)
+}
+
+/// Writes the standard 503 draining response.
+pub fn write_draining<W: std::io::Write>(stream: &mut W) -> std::io::Result<()> {
+    let resp = Response::json(503, error_body("draining", "server is shutting down")).closing();
+    write_response(stream, &resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, target: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn engine() -> Engine {
+        Engine::new(None, 1)
+    }
+
+    #[test]
+    fn health_and_unknown_routes() {
+        let e = engine();
+        let mut sink = Vec::new();
+        match dispatch(&request("GET", "/healthz", b""), &e, &mut sink) {
+            Action::Respond(r) => assert_eq!(r.status, 200),
+            other => panic!("{other:?}"),
+        }
+        match dispatch(&request("GET", "/nope", b""), &e, &mut sink) {
+            Action::Respond(r) => {
+                assert_eq!(r.status, 404);
+                assert!(String::from_utf8_lossy(&r.body).contains("not_found"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match dispatch(&request("DELETE", "/sweep", b""), &e, &mut sink) {
+            Action::Respond(r) => assert_eq!(r.status, 405),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_structured_400s() {
+        let e = engine();
+        let mut sink = Vec::new();
+        for target in ["/scenario", "/sweep", "/sweep/stream"] {
+            match dispatch(&request("POST", target, b"{ not json"), &e, &mut sink) {
+                Action::Respond(r) => {
+                    assert_eq!(r.status, 400, "{target}");
+                    let body = String::from_utf8_lossy(&r.body).into_owned();
+                    assert!(body.contains("\"kind\":\"bad_spec\""), "{target}: {body}");
+                }
+                other => panic!("{target}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_body_escapes_quotes_and_newlines() {
+        let body = String::from_utf8(error_body("x", "a \"b\"\nc\\d")).unwrap();
+        assert_eq!(
+            body,
+            "{\"error\":{\"kind\":\"x\",\"message\":\"a \\\"b\\\"\\nc\\\\d\"}}\n"
+        );
+        let parsed: serde_json::Value = serde_json::from_str(body.trim()).unwrap();
+        assert!(matches!(parsed, serde_json::Value::Object(_)));
+    }
+
+    #[test]
+    fn scenario_roundtrip_against_engine() {
+        let e = engine();
+        let spec = npp_sweep::ScenarioSpec::paper_baseline();
+        let body = serde_json::to_string(&spec).unwrap();
+        let mut sink = Vec::new();
+        match dispatch(
+            &request("POST", "/scenario", body.as_bytes()),
+            &e,
+            &mut sink,
+        ) {
+            Action::Respond(r) => {
+                assert_eq!(r.status, 200);
+                let text = String::from_utf8_lossy(&r.body).into_owned();
+                assert!(text.contains("\"hash\""), "{text}");
+                assert!(text.contains("\"metrics\""), "{text}");
+                assert_eq!(
+                    r.extra_headers
+                        .iter()
+                        .find(|(n, _)| n == "X-NPP-Cache")
+                        .map(|(_, v)| v.as_str()),
+                    Some("miss")
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_route_signals_drain() {
+        let e = engine();
+        let mut sink = Vec::new();
+        assert!(matches!(
+            dispatch(&request("POST", "/admin/shutdown", b""), &e, &mut sink),
+            Action::Shutdown(_)
+        ));
+    }
+}

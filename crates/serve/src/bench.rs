@@ -1,0 +1,329 @@
+//! Self-driving load harness behind `netpp serve-bench`.
+//!
+//! Boots an in-process server on an ephemeral port with a scratch
+//! cache, then measures:
+//!
+//! - **cold-burst throughput** — one `/sweep` over an all-cold grid,
+//!   reported as scenarios/sec through the batch executor;
+//! - **warm sustained load** — concurrent keep-alive clients hammering
+//!   `/scenario` against the fully warm cache, reported as qps with
+//!   client-side p50/p99 latency;
+//! - **drain latency** — `/admin/shutdown` to fully-joined threads.
+//!
+//! Correctness is asserted inline: the `/sweep` body must be
+//! byte-identical to the engine's own `netpp sweep --json` document,
+//! cold and warm. The resulting JSON document starts the
+//! `BENCH_serve.json` trajectory.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use npp_sweep::{expand, run_sweep, Axis, ScenarioSpec, SweepOptions, SweepSpec};
+
+use crate::client::Client;
+use crate::{Result, ServeConfig, ServeError};
+
+/// Harness options (the `netpp serve-bench` flags).
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// CI smoke mode: a smaller grid and fewer warm requests.
+    pub quick: bool,
+    /// Warm-phase requests per client thread.
+    pub requests_per_client: usize,
+    /// Concurrent warm-phase client connections.
+    pub clients: usize,
+    /// Executor threads for the cold batch.
+    pub jobs: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self {
+            quick: false,
+            requests_per_client: 600,
+            clients: 8,
+            jobs: cores,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// The CI smoke configuration.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            requests_per_client: 60,
+            clients: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// Cold-burst phase measurements.
+#[derive(Debug, Serialize)]
+pub struct ColdPhase {
+    /// Scenarios in the burst grid.
+    pub scenarios: usize,
+    /// Wall time of the cold `/sweep`, milliseconds.
+    pub wall_ms: u64,
+    /// Cold throughput through the batch executor.
+    pub scenarios_per_sec: f64,
+    /// The cold body matched the engine's own document byte for byte.
+    pub byte_identical: bool,
+}
+
+/// Warm sustained-load phase measurements.
+#[derive(Debug, Serialize)]
+pub struct WarmPhase {
+    /// Total `/scenario` requests issued.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Wall time of the whole phase, milliseconds.
+    pub wall_ms: u64,
+    /// Sustained warm-cache throughput.
+    pub qps: f64,
+    /// Client-side median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// Client-side 99th-percentile latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Every warm response carried `X-NPP-Cache: hit`.
+    pub all_cache_hits: bool,
+    /// The warm `/sweep` body matched the cold one byte for byte.
+    pub byte_identical: bool,
+}
+
+/// The whole `BENCH_serve.json` document.
+#[derive(Debug, Serialize)]
+pub struct BenchDoc {
+    /// Document schema tag.
+    pub schema: String,
+    /// Whether this was a `--quick` smoke run.
+    pub quick: bool,
+    /// Executor threads used for the cold batch.
+    pub jobs: usize,
+    /// Cold-burst phase.
+    pub cold: ColdPhase,
+    /// Warm sustained-load phase.
+    pub warm: WarmPhase,
+    /// `/admin/shutdown` to fully-joined threads, milliseconds.
+    pub drain_ms: u64,
+}
+
+/// Bench grid: analytic scenarios only, so the numbers measure the
+/// serving stack rather than simulation horizons.
+fn bench_spec(quick: bool) -> SweepSpec {
+    let (bandwidths, props) = if quick {
+        (vec![100.0, 200.0, 400.0], vec![0.1, 0.5, 0.9])
+    } else {
+        (
+            vec![100.0, 200.0, 400.0, 800.0, 1200.0, 1600.0],
+            vec![0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9, 1.0],
+        )
+    };
+    SweepSpec {
+        name: "serve-bench".to_string(),
+        base: ScenarioSpec::paper_baseline(),
+        axes: vec![
+            Axis::BandwidthGbps(bandwidths),
+            Axis::NetworkProportionality(props),
+        ],
+    }
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len().saturating_sub(1)) * pct / 100;
+    sorted.get(rank).copied().unwrap_or(0)
+}
+
+/// Runs the harness and returns the rendered JSON document.
+///
+/// # Errors
+///
+/// Fails on server, transport, or — deliberately — any byte-identity
+/// mismatch between served and locally computed documents.
+pub fn run(opts: &BenchOptions) -> Result<String> {
+    let cache_dir: PathBuf =
+        std::env::temp_dir().join(format!("npp-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: Some(cache_dir.clone()),
+        jobs: opts.jobs.max(1),
+        max_inflight: (opts.clients * 4).max(64),
+        ..ServeConfig::default()
+    };
+    let handle = crate::server::spawn(config)?;
+    let addr = handle.addr();
+
+    let spec = bench_spec(opts.quick);
+    let scenarios = expand(&spec)?;
+    let total = scenarios.len();
+    // The reference document, computed locally exactly as `netpp sweep
+    // --json` would print it.
+    let reference = run_sweep(&spec, &SweepOptions::serial(), None)?;
+    let mut expected = serde_json::to_string_pretty(&reference.results)?;
+    expected.push('\n');
+    let spec_body = serde_json::to_string(&spec)?;
+
+    // --- Cold burst -------------------------------------------------
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(120));
+    // npp-lint: allow(wall-clock) reason="benchmark wall times are the measurement itself; they never enter a deterministic document"
+    let cold_started = npp_telemetry::wall_clock();
+    let cold_reply = client.post("/sweep", spec_body.as_bytes())?;
+    let cold_elapsed = cold_started.elapsed();
+    if cold_reply.status != 200 {
+        return Err(ServeError::Engine(format!(
+            "cold /sweep returned {}: {}",
+            cold_reply.status,
+            cold_reply.text()
+        )));
+    }
+    let cold_identical = cold_reply.body == expected.as_bytes();
+    if !cold_identical {
+        return Err(ServeError::Engine(
+            "cold /sweep body diverged from the local sweep document".to_string(),
+        ));
+    }
+    let cold = ColdPhase {
+        scenarios: total,
+        wall_ms: u64::try_from(cold_elapsed.as_millis()).unwrap_or(u64::MAX),
+        scenarios_per_sec: total as f64 / cold_elapsed.as_secs_f64().max(1e-9),
+        byte_identical: cold_identical,
+    };
+
+    // --- Warm sustained load ---------------------------------------
+    // Each client cycles through the grid's individual scenario specs;
+    // every request must be a cache hit.
+    let scenario_bodies: Vec<Vec<u8>> = scenarios
+        .iter()
+        .map(|s| serde_json::to_string(&s.spec).map(String::into_bytes))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(npp_sweep::SweepError::from)?;
+    let per_client = opts.requests_per_client.max(1);
+    let clients = opts.clients.max(1);
+    // npp-lint: allow(wall-clock) reason="benchmark wall times are the measurement itself; they never enter a deterministic document"
+    let warm_started = npp_telemetry::wall_clock();
+    let mut latencies: Vec<u64> = Vec::with_capacity(per_client * clients);
+    let mut all_hits = true;
+    let worker_results: Vec<std::io::Result<(Vec<u64>, bool)>> = std::thread::scope(|scope| {
+        let bodies = &scenario_bodies;
+        (0..clients)
+            .map(|client_idx| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr).with_timeout(Duration::from_secs(30));
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut all_hits = true;
+                    for k in 0..per_client {
+                        let body = bodies
+                            .get((client_idx + k) % bodies.len().max(1))
+                            .map(Vec::as_slice)
+                            .unwrap_or_default();
+                        // npp-lint: allow(wall-clock) reason="client-side latency sample for the benchmark document only"
+                        let started = npp_telemetry::wall_clock();
+                        let reply = client.post("/scenario", body)?;
+                        latencies
+                            .push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        if reply.status != 200 {
+                            return Err(std::io::Error::other(format!(
+                                "warm /scenario returned {}",
+                                reply.status
+                            )));
+                        }
+                        if reply.header("x-npp-cache") != Some("hit") {
+                            all_hits = false;
+                        }
+                    }
+                    Ok((latencies, all_hits))
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(std::io::Error::other("client panicked")))
+            })
+            .collect()
+    });
+    let warm_elapsed = warm_started.elapsed();
+    for result in worker_results {
+        let (mut lats, hits) = result?;
+        latencies.append(&mut lats);
+        all_hits &= hits;
+    }
+    latencies.sort_unstable();
+
+    // Warm byte-identity: the whole sweep again, now fully cached.
+    let warm_reply = client.post("/sweep", spec_body.as_bytes())?;
+    let warm_identical = warm_reply.status == 200 && warm_reply.body == expected.as_bytes();
+    if !warm_identical {
+        return Err(ServeError::Engine(
+            "warm /sweep body diverged from the cold document".to_string(),
+        ));
+    }
+    let warm = WarmPhase {
+        requests: latencies.len(),
+        clients,
+        wall_ms: u64::try_from(warm_elapsed.as_millis()).unwrap_or(u64::MAX),
+        qps: latencies.len() as f64 / warm_elapsed.as_secs_f64().max(1e-9),
+        p50_ns: percentile(&latencies, 50),
+        p99_ns: percentile(&latencies, 99),
+        all_cache_hits: all_hits,
+        byte_identical: warm_identical,
+    };
+
+    // --- Drain ------------------------------------------------------
+    // npp-lint: allow(wall-clock) reason="drain latency is a benchmark measurement, never part of a deterministic document"
+    let drain_started = npp_telemetry::wall_clock();
+    let _ = client.post("/admin/shutdown", b"");
+    handle.join();
+    let drain_ms = u64::try_from(drain_started.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let doc = BenchDoc {
+        schema: "npp.bench.serve/v1".to_string(),
+        quick: opts.quick,
+        jobs: opts.jobs.max(1),
+        cold,
+        warm,
+        drain_ms,
+    };
+    Ok(serde_json::to_string_pretty(&doc).map_err(npp_sweep::SweepError::from)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+    }
+
+    #[test]
+    fn quick_bench_produces_a_consistent_document() {
+        let doc = run(&BenchOptions::quick()).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        let text = doc.as_str();
+        assert!(
+            text.contains("\"schema\": \"npp.bench.serve/v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"byte_identical\": true"), "{text}");
+        assert!(text.contains("\"all_cache_hits\": true"), "{text}");
+        assert!(matches!(value, serde_json::Value::Object(_)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Tiny blocking HTTP/1.1 client for the serve endpoints — used by the
+//! load harness, the integration tests, and `netpp serve-bench`.
+//!
+//! Keep-alive by default; a request against a connection the server
+//! already closed is retried once on a fresh connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Blocking keep-alive client bound to one server address.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// Creates a client (connections are opened lazily).
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(30),
+            stream: None,
+        }
+    }
+
+    /// Overrides the per-operation timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failures.
+    pub fn get(&mut self, path: &str) -> std::io::Result<HttpReply> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failures.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<HttpReply> {
+        self.request("POST", path, body)
+    }
+
+    /// Issues one request, reusing the kept-alive connection when
+    /// possible and retrying once on a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failures after the retry.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<HttpReply> {
+        let had_live_stream = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(reply) => Ok(reply),
+            Err(e) if had_live_stream => {
+                // The server may have closed the kept-alive connection;
+                // one retry on a fresh connection.
+                let _ = e;
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<HttpReply> {
+        if self.stream.is_none() {
+            self.stream = Some(self.connect()?);
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(std::io::Error::other("no connection"));
+        };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: npp-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let reply = read_reply(stream)?;
+        let close = reply
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if close {
+            self.stream = None;
+        }
+        Ok(reply)
+    }
+}
+
+/// Reads one response: head, then `Content-Length` body or read-to-EOF
+/// when the length is absent (streaming endpoints).
+fn read_reply(stream: &mut TcpStream) -> std::io::Result<HttpReply> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    };
+
+    let head = String::from_utf8_lossy(buf.get(..head_end).unwrap_or_default()).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let mut body: Vec<u8> = buf.get(head_end + 4..).unwrap_or_default().to_vec();
+    let declared = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    match declared {
+        Some(len) => {
+            while body.len() < len {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-body",
+                    ));
+                }
+                body.extend_from_slice(chunk.get(..n).unwrap_or_default());
+            }
+            body.truncate(len);
+        }
+        None => loop {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            body.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        },
+    }
+
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}

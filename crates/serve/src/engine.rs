@@ -1,0 +1,385 @@
+//! Request evaluation: cache-first lookup, single-flight coalescing,
+//! and batched cold execution on the deterministic indexed executor.
+//!
+//! A batch of scenarios splits three ways:
+//!
+//! - **warm** — answered straight from the cache index;
+//! - **leaders** — cold scenarios this call claims: they run as one
+//!   batch through [`npp_sweep::exec::run_indexed`] (the same executor
+//!   as `netpp sweep`, so results are bit-identical for any `jobs`);
+//! - **followers** — cold scenarios another in-flight call already
+//!   claimed: they block on that leader's slot instead of recomputing.
+//!
+//! Cold batches serialize through one gate so concurrent requests
+//! coalesce into full batches instead of oversubscribing the executor.
+//! Determinism is untouched by any of this: every scenario's seed comes
+//! from its content hash, and per-scenario results are combined in grid
+//! order by the caller.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use npp_sweep::{
+    assemble_results, expand, Metrics, ResultCache, Scenario, SweepResults, SweepSpec,
+};
+
+use crate::{Result, ServeError};
+
+/// Terminal state of one in-flight scenario.
+#[derive(Debug, Clone)]
+enum SlotState {
+    Pending,
+    Done(Metrics),
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, state: SlotState) {
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*guard, SlotState::Pending) {
+            *guard = state;
+            self.ready.notify_all();
+        }
+    }
+
+    fn wait(&self) -> SlotState {
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while matches!(*guard, SlotState::Pending) {
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        guard.clone()
+    }
+}
+
+/// The evaluation engine shared by all connection handlers.
+#[derive(Debug)]
+pub struct Engine {
+    cache: Option<ResultCache>,
+    jobs: usize,
+    /// Serializes cold batches so the executor is never oversubscribed.
+    exec_gate: Mutex<()>,
+    /// Single-flight table: scenario hash → slot being computed.
+    inflight: Mutex<BTreeMap<String, Arc<Slot>>>,
+}
+
+/// Fills still-pending claimed slots if evaluation unwinds, so
+/// followers of a crashed leader fail instead of hanging.
+struct ClaimGuard<'a> {
+    engine: &'a Engine,
+    claims: Vec<(String, Arc<Slot>)>,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        let mut table = self
+            .engine
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (hash, slot) in self.claims.drain(..) {
+            slot.fill(SlotState::Failed("evaluation aborted".to_string()));
+            table.remove(&hash);
+        }
+    }
+}
+
+impl Engine {
+    /// Builds an engine over an optional shared cache handle.
+    pub fn new(cache: Option<ResultCache>, jobs: usize) -> Self {
+        Self {
+            cache,
+            jobs: jobs.max(1),
+            exec_gate: Mutex::new(()),
+            inflight: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared cache handle, if caching is enabled.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Executor threads used for cold batches.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// `true` when every scenario of the slice is already cached (the
+    /// request can be answered without the executor).
+    pub fn all_warm(&self, scenarios: &[Scenario]) -> bool {
+        match &self.cache {
+            Some(cache) => scenarios.iter().all(|s| cache.contains(&s.hash)),
+            None => false,
+        }
+    }
+
+    /// Evaluates scenarios in order: warm from cache, cold batched
+    /// through the deterministic executor, duplicates coalesced onto a
+    /// single computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing scenario's error (cache write failures
+    /// included).
+    pub fn evaluate(&self, scenarios: &[Scenario]) -> Result<Vec<Metrics>> {
+        let mut out: Vec<Option<Metrics>> = vec![None; scenarios.len()];
+        let mut followers: Vec<(usize, Arc<Slot>)> = Vec::new();
+        let mut claims: Vec<(usize, Arc<Slot>)> = Vec::new();
+        let mut warm = 0u64;
+
+        {
+            let mut table = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            for (i, scenario) in scenarios.iter().enumerate() {
+                if let Some(found) = self.cache.as_ref().and_then(|c| c.get(&scenario.hash)) {
+                    if let Some(slot) = out.get_mut(i) {
+                        *slot = Some(found);
+                    }
+                    warm += 1;
+                    continue;
+                }
+                match table.get(&scenario.hash) {
+                    Some(slot) => followers.push((i, slot.clone())),
+                    None => {
+                        let slot = Arc::new(Slot::new());
+                        table.insert(scenario.hash.clone(), slot.clone());
+                        claims.push((i, slot));
+                    }
+                }
+            }
+        }
+        npp_telemetry::metrics::counter_add("serve.cache_hits", warm);
+        npp_telemetry::metrics::counter_add(
+            "serve.cache_misses",
+            (followers.len() + claims.len()) as u64,
+        );
+
+        if !claims.is_empty() {
+            let mut guard = ClaimGuard {
+                engine: self,
+                claims: claims
+                    .iter()
+                    .filter_map(|(i, slot)| {
+                        scenarios.get(*i).map(|s| (s.hash.clone(), slot.clone()))
+                    })
+                    .collect(),
+            };
+            let _gate = self
+                .exec_gate
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            npp_telemetry::metrics::observe("serve.batch_cold", claims.len() as u64);
+            let computed: Vec<std::result::Result<Metrics, String>> =
+                npp_sweep::exec::run_indexed(claims.len(), self.jobs, |k| {
+                    let scenario = claims
+                        .get(k)
+                        .and_then(|(i, _)| scenarios.get(*i))
+                        .ok_or_else(|| "batch index out of range".to_string())?;
+                    let _scope = npp_telemetry::scope(scenario.seed);
+                    npp_sweep::run_scenario(&scenario.spec, scenario.seed)
+                        .map_err(|e| e.to_string())
+                });
+
+            // Publish every result (even failures) before surfacing the
+            // first error, so followers never hang.
+            let mut first_error: Option<String> = None;
+            {
+                let mut table = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+                for ((i, slot), computed) in claims.iter().zip(&computed) {
+                    let state = match computed {
+                        Ok(metrics) => {
+                            if let (Some(cache), Some(s)) = (&self.cache, scenarios.get(*i)) {
+                                if let Err(e) = cache.put(&s.hash, metrics) {
+                                    let msg = format!("cache write failed: {e}");
+                                    first_error.get_or_insert(msg.clone());
+                                    slot.fill(SlotState::Failed(msg));
+                                    if let Some(s) = scenarios.get(*i) {
+                                        table.remove(&s.hash);
+                                    }
+                                    continue;
+                                }
+                            }
+                            SlotState::Done(*metrics)
+                        }
+                        Err(msg) => {
+                            first_error.get_or_insert(msg.clone());
+                            SlotState::Failed(msg.clone())
+                        }
+                    };
+                    if let (SlotState::Done(m), Some(target)) = (&state, out.get_mut(*i)) {
+                        *target = Some(*m);
+                    }
+                    slot.fill(state);
+                    if let Some(s) = scenarios.get(*i) {
+                        table.remove(&s.hash);
+                    }
+                }
+            }
+            guard.claims.clear(); // everything published; disarm
+            if let Some(msg) = first_error {
+                return Err(ServeError::Engine(msg));
+            }
+        }
+
+        for (i, slot) in followers {
+            match slot.wait() {
+                SlotState::Done(metrics) => {
+                    if let Some(target) = out.get_mut(i) {
+                        *target = Some(metrics);
+                    }
+                }
+                SlotState::Failed(msg) => return Err(ServeError::Engine(msg)),
+                SlotState::Pending => {
+                    return Err(ServeError::Engine("slot never completed".to_string()))
+                }
+            }
+        }
+
+        npp_telemetry::metrics::counter_add("serve.scenarios", scenarios.len() as u64);
+        out.into_iter()
+            .map(|m| m.ok_or_else(|| ServeError::Engine("missing scenario result".to_string())))
+            .collect()
+    }
+
+    /// Expands and evaluates a full sweep; the returned document is the
+    /// same [`SweepResults`] `netpp sweep` builds, byte-identical once
+    /// serialized.
+    ///
+    /// # Errors
+    ///
+    /// Spec expansion and evaluation errors.
+    pub fn run_sweep_spec(&self, spec: &SweepSpec) -> Result<SweepResults> {
+        let scenarios = expand(spec)?;
+        let metrics = self.evaluate(&scenarios)?;
+        Ok(assemble_results(&spec.name, scenarios, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_sweep::{Axis, ScenarioSpec};
+    use std::path::PathBuf;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("npp-serve-engine-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            name: "engine-unit".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![
+                Axis::BandwidthGbps(vec![100.0, 400.0]),
+                Axis::NetworkProportionality(vec![0.2, 0.8]),
+            ],
+        }
+    }
+
+    #[test]
+    fn cold_matches_sweep_engine_for_any_jobs() {
+        let spec = small_spec();
+        let reference =
+            npp_sweep::run_sweep(&spec, &npp_sweep::SweepOptions::serial(), None).unwrap();
+        let expected = serde_json::to_string_pretty(&reference.results).unwrap();
+        for jobs in [1usize, 4] {
+            let dir = scratch_dir(&format!("jobs{jobs}"));
+            let cache = ResultCache::open(&dir).unwrap();
+            let engine = Engine::new(Some(cache), jobs);
+            let results = engine.run_sweep_spec(&spec).unwrap();
+            assert_eq!(
+                serde_json::to_string_pretty(&results).unwrap(),
+                expected,
+                "jobs={jobs} diverged"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn warm_rerun_is_byte_identical_and_cache_backed() {
+        let dir = scratch_dir("warm");
+        let engine = Engine::new(Some(ResultCache::open(&dir).unwrap()), 2);
+        let spec = small_spec();
+        let cold = engine.run_sweep_spec(&spec).unwrap();
+        let scenarios = expand(&spec).unwrap();
+        assert!(engine.all_warm(&scenarios), "cold run must fill the cache");
+        let warm = engine.run_sweep_spec(&spec).unwrap();
+        assert_eq!(
+            serde_json::to_string_pretty(&cold).unwrap(),
+            serde_json::to_string_pretty(&warm).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_scenarios_in_one_batch_coalesce() {
+        let engine = Engine::new(None, 2);
+        let spec = SweepSpec {
+            name: "dup".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![],
+        };
+        let one = expand(&spec).unwrap();
+        let doubled: Vec<Scenario> = one.iter().chain(one.iter()).cloned().collect();
+        let metrics = engine.evaluate(&doubled).unwrap();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics.first(), metrics.get(1));
+    }
+
+    #[test]
+    fn concurrent_identical_requests_share_work_and_agree() {
+        let dir = scratch_dir("concurrent");
+        let engine = Engine::new(Some(ResultCache::open(&dir).unwrap()), 2);
+        let spec = small_spec();
+        let expected = serde_json::to_string_pretty(
+            &npp_sweep::run_sweep(&spec, &npp_sweep::SweepOptions::serial(), None)
+                .unwrap()
+                .results,
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        serde_json::to_string_pretty(&engine.run_sweep_spec(&spec).unwrap())
+                            .unwrap()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(handle.join().unwrap(), expected);
+            }
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_axes_are_errors_not_panics() {
+        let engine = Engine::new(None, 1);
+        let spec = SweepSpec {
+            name: "bad".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![Axis::BandwidthGbps(vec![])],
+        };
+        assert!(engine.run_sweep_spec(&spec).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Minimal HTTP/1.1 framing over `std::io` — just enough protocol for
+//! the serve endpoints, with hard limits everywhere.
+//!
+//! Requests are `Content-Length`-framed (no chunked bodies, no
+//! pipelining); responses are either `Content-Length`-framed keep-alive
+//! replies or EOF-delimited streams (`Connection: close`). The parser is
+//! generic over `Read` so it unit-tests against in-memory buffers.
+
+use std::io::{Read, Write};
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as received.
+    pub method: String,
+    /// Request target (path, no normalization).
+    pub target: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when `Content-Length` is absent or 0).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Peer closed mid-request.
+    Closed,
+    /// Read timed out (maps to 408).
+    Timeout,
+    /// Head or body exceeded its limit (maps to 413).
+    TooLarge(&'static str),
+    /// Not parseable as HTTP/1.x (maps to 400).
+    Malformed(String),
+    /// Underlying transport failure.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReadError::Closed => write!(f, "connection closed mid-request"),
+            ReadError::Timeout => write!(f, "read timed out"),
+            ReadError::TooLarge(what) => write!(f, "{what} too large"),
+            ReadError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            ReadError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+fn classify(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::Timeout,
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted => ReadError::Closed,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// Reads one request. `Ok(None)` means the peer closed cleanly between
+/// requests (normal keep-alive end); errors mid-request are explicit.
+///
+/// # Errors
+///
+/// See [`ReadError`] for the failure taxonomy.
+pub fn read_request<R: Read>(
+    reader: &mut R,
+    max_body: usize,
+) -> std::result::Result<Option<Request>, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+
+    // Head: read until the blank line.
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            if pos > MAX_HEAD_BYTES {
+                return Err(ReadError::TooLarge("request head"));
+            }
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge("request head"));
+        }
+        let n = reader.read(&mut chunk).map_err(classify)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(ReadError::Closed);
+        }
+        buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    };
+
+    let head = String::from_utf8_lossy(buf.get(..head_end).unwrap_or_default()).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let body_len = match headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str())
+    {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if body_len > max_body {
+        return Err(ReadError::TooLarge("request body"));
+    }
+
+    // Body: whatever followed the blank line, then read the remainder.
+    let mut body: Vec<u8> = buf.get(head_end + 4..).unwrap_or_default().to_vec();
+    while body.len() < body_len {
+        let n = reader.read(&mut chunk).map_err(classify)?;
+        if n == 0 {
+            return Err(ReadError::Closed);
+        }
+        body.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    }
+    body.truncate(body_len);
+
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A `Content-Length`-framed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value), written verbatim.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Send `Connection: close` and drop the connection afterwards.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// Adds one extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers
+            .push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Marks the connection for closing after this response.
+    #[must_use]
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+/// Writes a framed response.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(if resp.close {
+        "Connection: close\r\n\r\n"
+    } else {
+        "Connection: keep-alive\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+/// Writes the head of an EOF-delimited streaming response; the caller
+/// writes the body and then closes the connection.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_stream_head<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    w.write_all(
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+        )
+        .as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> std::result::Result<Option<Request>, ReadError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1 << 20)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_headers() {
+        let req = parse("POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/sweep");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn clean_close_between_requests_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_request_eof_is_closed() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ReadError::Closed)
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Le"),
+            Err(ReadError::Closed)
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(parse("\r\n\r\n"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            parse("GET /x SPDY/9\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: many\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_413() {
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nA: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge), Err(ReadError::TooLarge(_))));
+        let req = read_request(
+            &mut Cursor::new(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n".to_vec()),
+            10,
+        );
+        assert!(matches!(req, Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_framing_round_trips() {
+        let mut out = Vec::new();
+        let resp = Response::json(200, "{}").with_header("X-NPP-Cache", "hit");
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("X-NPP-Cache: hit\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(429, "{}").closing()).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: close"));
+    }
+
+    #[test]
+    fn stream_head_is_eof_delimited() {
+        let mut out = Vec::new();
+        write_stream_head(&mut out, 200, "application/jsonl").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n\r\n"));
+        assert!(!text.contains("Content-Length"));
+    }
+}

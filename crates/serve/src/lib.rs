@@ -1,0 +1,160 @@
+//! # npp-serve
+//!
+//! Long-running what-if daemon: a dependency-free HTTP/1.1 front end
+//! over the deterministic sweep engine and its sharded result cache.
+//!
+//! The service answers three kinds of questions:
+//!
+//! - `POST /scenario` — one [`ScenarioSpec`](npp_sweep::ScenarioSpec),
+//!   one JSON metrics row (warm requests never touch the executor);
+//! - `POST /sweep` — a full [`SweepSpec`](npp_sweep::SweepSpec); the
+//!   response body is **byte-identical** to `netpp sweep --json` for
+//!   the same spec;
+//! - `POST /sweep/stream` — the same sweep as JSONL, one scenario row
+//!   per line (EOF-delimited, `Connection: close`).
+//!
+//! Three properties carry over from the engine unchanged:
+//!
+//! 1. **determinism** — responses are pure functions of the spec; cold
+//!    batches run on the same indexed executor as `netpp sweep`, so the
+//!    answer is bit-identical whatever `--jobs` or arrival order;
+//! 2. **cacheability** — every scenario is content-addressed, so a
+//!    warm daemon answers from the in-memory index of the segment
+//!    cache ([`npp_sweep::ResultCache`]) without recomputing;
+//! 3. **bounded state** — the metrics registry is switched on in
+//!    standalone mode (no trace sink growth), the cache index holds one
+//!    `Metrics` row per distinct scenario, and request buffers are
+//!    size-capped.
+//!
+//! Robustness surface: per-request read timeouts, bounded request
+//! bodies, `--max-inflight` admission with 429 rejection, malformed
+//! specs as structured JSON errors (never panics), and graceful drain
+//! on SIGINT/SIGTERM or `POST /admin/shutdown`.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+pub mod api;
+pub mod bench;
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod server;
+pub mod signal;
+
+pub use client::{Client, HttpReply};
+pub use engine::Engine;
+pub use server::{spawn, ServerHandle};
+
+/// Errors produced by this crate.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid configuration (address, limits).
+    Config(String),
+    /// Scenario or sweep evaluation failed.
+    Engine(String),
+    /// Propagated sweep-engine error.
+    Sweep(npp_sweep::SweepError),
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Engine(msg) => write!(f, "evaluation failed: {msg}"),
+            ServeError::Sweep(e) => write!(f, "sweep engine: {e}"),
+            ServeError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(_) | ServeError::Engine(_) => None,
+            ServeError::Sweep(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<npp_sweep::SweepError> for ServeError {
+    fn from(e: npp_sweep::SweepError) -> Self {
+        ServeError::Sweep(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Sweep(npp_sweep::SweepError::Serde(e))
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Daemon configuration (the `netpp serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `HOST:PORT` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Result-cache directory; `None` serves without a persistent cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Executor threads for cold scenario batches.
+    pub jobs: usize,
+    /// Admission cap: connections queued or in service before the
+    /// acceptor answers 429.
+    pub max_inflight: usize,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Per-request read timeout, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Largest accepted request body, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self {
+            addr: "127.0.0.1:7733".to_string(),
+            cache_dir: None,
+            jobs: cores,
+            max_inflight: 64,
+            workers: cores.clamp(2, 8),
+            read_timeout_ms: 5_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Runs the daemon until SIGINT/SIGTERM or `POST /admin/shutdown`,
+/// then drains gracefully. Switches the metrics registry into
+/// standalone mode for the lifetime of the run.
+///
+/// # Errors
+///
+/// Fails if the listener cannot bind or the cache cannot be opened.
+pub fn run(config: ServeConfig) -> Result<()> {
+    npp_telemetry::metrics::set_standalone(true);
+    signal::install();
+    let handle = server::spawn(config)?;
+    npp_telemetry::progress::emit(&format!("netpp serve: listening on {}", handle.addr()));
+    while !signal::triggered() && !handle.draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    npp_telemetry::progress::emit("netpp serve: draining");
+    handle.request_drain();
+    handle.join();
+    npp_telemetry::metrics::set_standalone(false);
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! Listener, worker pool, admission control, and graceful drain.
+//!
+//! The acceptor thread owns the `TcpListener`; accepted connections
+//! queue to a fixed worker pool. Admission is enforced *at accept*:
+//! when queued-plus-active connections reach `max_inflight`, the
+//! acceptor answers 429 inline and closes — backpressure is explicit,
+//! never a silent stall. Draining flips one flag: the acceptor answers
+//! 503 and exits (woken by a self-connection, since a blocked
+//! `accept()` never observes flags), and workers finish the queue
+//! before exiting.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use npp_sweep::ResultCache;
+
+use crate::api::{self, Action};
+use crate::engine::Engine;
+use crate::http::{self, ReadError, Response};
+use crate::{Result, ServeConfig, ServeError};
+
+/// State shared between the acceptor, the workers, and the handle.
+#[derive(Debug)]
+struct Shared {
+    engine: Engine,
+    config: ServeConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    draining: AtomicBool,
+    /// Connections queued or in service.
+    inflight: AtomicUsize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A running server: join handles plus the drain switch.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a drain was requested (flag or `/admin/shutdown`).
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful drain: stop accepting, finish queued work.
+    /// Idempotent.
+    pub fn request_drain(&self) {
+        request_drain(&self.shared, self.addr);
+    }
+
+    /// Waits for the acceptor and all workers to finish (call after
+    /// [`ServerHandle::request_drain`]).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn request_drain(shared: &Shared, addr: SocketAddr) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake the blocked accept() with a throwaway connection.
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+    shared.ready.notify_all();
+}
+
+/// Binds the listener and starts the acceptor + worker threads.
+///
+/// # Errors
+///
+/// Fails if the address does not bind or the cache does not open.
+pub fn spawn(config: ServeConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServeError::Config(format!("cannot bind {}: {e}", config.addr)))?;
+    let addr = listener.local_addr()?;
+    let cache = match &config.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    let engine = Engine::new(cache, config.jobs);
+    let shared = Arc::new(Shared {
+        engine,
+        config,
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        draining: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+        accepted: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+    });
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let shared = shared.clone();
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+    let acceptor = {
+        let shared = shared.clone();
+        Some(std::thread::spawn(move || accept_loop(&listener, &shared)))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor,
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // Includes the drain wake-up connection itself.
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = api::write_draining(&mut stream);
+            break;
+        }
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        npp_telemetry::metrics::counter_add("serve.accepted", 1);
+        if shared.inflight.load(Ordering::SeqCst) >= shared.config.max_inflight.max(1) {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            npp_telemetry::metrics::counter_add("serve.rejected", 1);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = api::write_reject(&mut stream);
+            continue;
+        }
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        npp_telemetry::metrics::gauge_max(
+            "serve.inflight_peak",
+            shared.inflight.load(Ordering::SeqCst) as f64,
+        );
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.push_back(stream);
+        drop(queue);
+        shared.ready.notify_one();
+    }
+    // Release any workers parked on an empty queue.
+    shared.ready.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (next, _) = shared
+                    .ready
+                    .wait_timeout(queue, Duration::from_millis(500))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = next;
+            }
+        };
+        let Some(stream) = stream else { break };
+        // A panicking request must not take the worker down with it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(stream, shared);
+        }));
+        if result.is_err() {
+            npp_telemetry::metrics::counter_add("serve.handler_panics", 1);
+        }
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Maps a status code onto its static counter name.
+fn status_counter(status: u16) -> &'static str {
+    match status {
+        200 => "serve.status_200",
+        400 => "serve.status_400",
+        404 => "serve.status_404",
+        405 => "serve.status_405",
+        408 => "serve.status_408",
+        413 => "serve.status_413",
+        429 => "serve.status_429",
+        500 => "serve.status_500",
+        503 => "serve.status_503",
+        _ => "serve.status_other",
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.read_timeout_ms.max(1),
+    )));
+    loop {
+        let request = match http::read_request(&mut stream, shared.config.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => break,
+            Err(ReadError::Timeout) => {
+                let body = api::error_body("timeout", "request read timed out");
+                let _ = http::write_response(&mut stream, &Response::json(408, body).closing());
+                npp_telemetry::metrics::counter_add(status_counter(408), 1);
+                break;
+            }
+            Err(ReadError::TooLarge(what)) => {
+                let body = api::error_body("too_large", what);
+                let _ = http::write_response(&mut stream, &Response::json(413, body).closing());
+                npp_telemetry::metrics::counter_add(status_counter(413), 1);
+                break;
+            }
+            Err(ReadError::Malformed(msg)) => {
+                let body = api::error_body("malformed", &msg);
+                let _ = http::write_response(&mut stream, &Response::json(400, body).closing());
+                npp_telemetry::metrics::counter_add(status_counter(400), 1);
+                break;
+            }
+            Err(ReadError::Closed | ReadError::Io(_)) => break,
+        };
+
+        npp_telemetry::metrics::counter_add("serve.requests", 1);
+        // npp-lint: allow(wall-clock) reason="request latency feeds the volatile metrics registry only, never a deterministic document"
+        let started = npp_telemetry::wall_clock();
+        let action = api::dispatch(&request, &shared.engine, &mut stream);
+        npp_telemetry::metrics::observe(
+            "serve.request_ns",
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+
+        match action {
+            Action::Respond(response) => {
+                npp_telemetry::metrics::counter_add(status_counter(response.status), 1);
+                let close = response.close;
+                if http::write_response(&mut stream, &response).is_err() {
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            Action::Streamed => {
+                npp_telemetry::metrics::counter_add(status_counter(200), 1);
+                break;
+            }
+            Action::Shutdown(response) => {
+                npp_telemetry::metrics::counter_add(status_counter(response.status), 1);
+                let _ = http::write_response(&mut stream, &response);
+                if let Ok(addr) = stream.local_addr() {
+                    request_drain(shared, addr);
+                } else {
+                    shared.draining.store(true, Ordering::SeqCst);
+                    shared.ready.notify_all();
+                }
+                break;
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,76 @@
+//! SIGINT/SIGTERM → an atomic flag, with no FFI crate: the platform C
+//! library's `signal()` is declared directly (std already links libc).
+//!
+//! The handler does exactly one async-signal-safe thing — an atomic
+//! store — and the daemon's run loop polls [`triggered`]. Because glibc
+//! `signal()` installs `SA_RESTART` handlers, a blocked `accept()` is
+//! *not* interrupted; the drain path wakes the acceptor with a
+//! self-connection instead (see [`crate::server`]).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    extern "C" fn mark(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `mark` only performs an atomic store, which is
+        // async-signal-safe; `signal` is the documented libc entry
+        // point and the return value (the previous handler) is unused.
+        unsafe {
+            let _ = signal(SIGINT, mark);
+            let _ = signal(SIGTERM, mark);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs handlers for SIGINT and SIGTERM (no-op off Unix).
+pub fn install() {
+    imp::install();
+}
+
+/// `true` once a handled signal has arrived.
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Clears the flag (tests and restarts).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_resets() {
+        reset();
+        assert!(!triggered());
+        TRIGGERED.store(true, Ordering::SeqCst);
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+}

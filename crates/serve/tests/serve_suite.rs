@@ -1,0 +1,236 @@
+//! End-to-end suite for the serve daemon: a real listener on an
+//! ephemeral port, exercised over TCP with the crate's own client.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use npp_serve::{spawn, Client, ServeConfig};
+use npp_sweep::{run_sweep, Axis, ScenarioSpec, SweepOptions, SweepSpec};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("npp-serve-suite-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_config(cache: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: cache,
+        jobs: 2,
+        max_inflight: 32,
+        workers: 2,
+        read_timeout_ms: 2_000,
+        max_body_bytes: 1 << 20,
+    }
+}
+
+fn analytic_spec() -> SweepSpec {
+    SweepSpec {
+        name: "serve-suite".into(),
+        base: ScenarioSpec::paper_baseline(),
+        axes: vec![
+            Axis::BandwidthGbps(vec![100.0, 400.0]),
+            Axis::NetworkProportionality(vec![0.2, 0.8]),
+        ],
+    }
+}
+
+#[test]
+fn sweep_endpoint_is_byte_identical_to_local_sweep() {
+    let dir = scratch_dir("byteident");
+    let handle = spawn(test_config(Some(dir.clone()))).unwrap();
+    let mut client = Client::new(handle.addr());
+
+    let spec = analytic_spec();
+    let expected = {
+        let outcome = run_sweep(&spec, &SweepOptions::serial(), None).unwrap();
+        let mut doc = serde_json::to_string_pretty(&outcome.results).unwrap();
+        doc.push('\n');
+        doc
+    };
+    let body = serde_json::to_string(&spec).unwrap();
+
+    let cold = client.post("/sweep", body.as_bytes()).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-npp-cache"), Some("miss"));
+    assert_eq!(cold.text(), expected, "cold body diverged");
+
+    let warm = client.post("/sweep", body.as_bytes()).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-npp-cache"), Some("hit"));
+    assert_eq!(warm.text(), expected, "warm body diverged");
+
+    handle.request_drain();
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn scenario_endpoint_serves_single_rows_with_cache_headers() {
+    let dir = scratch_dir("scenario");
+    let handle = spawn(test_config(Some(dir.clone()))).unwrap();
+    let mut client = Client::new(handle.addr());
+
+    let spec = ScenarioSpec::paper_baseline();
+    let body = serde_json::to_string(&spec).unwrap();
+    let cold = client.post("/scenario", body.as_bytes()).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-npp-cache"), Some("miss"));
+    let warm = client.post("/scenario", body.as_bytes()).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-npp-cache"), Some("hit"));
+    // Warm and cold response bodies are byte-identical.
+    assert_eq!(cold.body, warm.body);
+    let doc: serde_json::Value = serde_json::from_slice(&warm.body).unwrap();
+    if let serde_json::Value::Object(fields) = &doc {
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["hash", "seed", "metrics"]);
+    } else {
+        panic!("scenario reply is not an object: {doc:?}");
+    }
+
+    handle.request_drain();
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stream_endpoint_emits_jsonl_rows_in_grid_order() {
+    let handle = spawn(test_config(None)).unwrap();
+    let mut client = Client::new(handle.addr());
+    let spec = analytic_spec();
+    let body = serde_json::to_string(&spec).unwrap();
+    let reply = client.post("/sweep/stream", body.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200);
+    let text = reply.text();
+    let lines: Vec<&str> = text.lines().collect();
+    // Header + 4 scenarios + frontier trailer.
+    assert_eq!(lines.len(), 6, "{text}");
+    assert!(lines.first().unwrap().contains("\"total\":4"));
+    assert!(lines.last().unwrap().contains("\"frontier\""));
+    for (i, line) in lines.iter().enumerate().skip(1).take(4) {
+        let row: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(matches!(row, serde_json::Value::Object(_)), "{line}");
+        let expected_prefix = format!("{{\"index\":{}", i - 1);
+        assert!(line.starts_with(&expected_prefix), "{line}");
+    }
+
+    handle.request_drain();
+    handle.join();
+}
+
+#[test]
+fn malformed_and_unknown_requests_are_structured_errors() {
+    let handle = spawn(test_config(None)).unwrap();
+    let mut client = Client::new(handle.addr());
+
+    let bad = client.post("/sweep", b"{ definitely not json").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(
+        bad.text().contains("\"kind\":\"bad_spec\""),
+        "{}",
+        bad.text()
+    );
+
+    // Unknown fields in a spec are rejected, not silently accepted.
+    let with_typo = r#"{"name":"x","axes":[],"surprise":1}"#;
+    let bad = client.post("/sweep", with_typo.as_bytes()).unwrap();
+    assert_eq!(bad.status, 400);
+
+    let missing = client.get("/no/such/route").unwrap();
+    assert_eq!(missing.status, 404);
+    let wrong_method = client.get("/sweep").unwrap();
+    assert_eq!(wrong_method.status, 405);
+
+    handle.request_drain();
+    handle.join();
+}
+
+#[test]
+fn health_metrics_and_stats_respond() {
+    let dir = scratch_dir("introspect");
+    let handle = spawn(test_config(Some(dir.clone()))).unwrap();
+    let mut client = Client::new(handle.addr());
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\":\"ok\""));
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().starts_with('{'), "{}", metrics.text());
+
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    assert!(stats.text().contains("\"jobs\""), "{}", stats.text());
+    assert!(stats.text().contains("\"entries\""), "{}", stats.text());
+
+    handle.request_drain();
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn admin_shutdown_drains_within_deadline() {
+    let handle = spawn(test_config(None)).unwrap();
+    let mut client = Client::new(handle.addr());
+    let reply = client.post("/admin/shutdown", b"").unwrap();
+    assert_eq!(reply.status, 200);
+    assert!(reply.text().contains("draining"));
+
+    let addr = handle.addr();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        handle.join();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("drain exceeded the 10s deadline");
+
+    // The listener is really gone (allow the OS a moment to reap it).
+    std::thread::sleep(Duration::from_millis(50));
+    let mut probe = Client::new(addr).with_timeout(Duration::from_millis(500));
+    assert!(probe.get("/healthz").is_err(), "listener still accepting");
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let mut config = test_config(None);
+    config.max_body_bytes = 64;
+    let handle = spawn(config).unwrap();
+    let mut client = Client::new(handle.addr());
+    let big = vec![b'x'; 1024];
+    let reply = client.post("/sweep", &big).unwrap();
+    assert_eq!(reply.status, 413);
+    assert!(reply.text().contains("too_large"), "{}", reply.text());
+
+    handle.request_drain();
+    handle.join();
+}
+
+#[test]
+fn persistent_cache_survives_server_restarts() {
+    let dir = scratch_dir("restart");
+    let spec = analytic_spec();
+    let body = serde_json::to_string(&spec).unwrap();
+
+    let first = spawn(test_config(Some(dir.clone()))).unwrap();
+    let mut client = Client::new(first.addr());
+    let cold = client.post("/sweep", body.as_bytes()).unwrap();
+    assert_eq!(cold.header("x-npp-cache"), Some("miss"));
+    first.request_drain();
+    first.join();
+
+    // A fresh daemon over the same directory rebuilds the index from
+    // the segment files and serves the sweep warm.
+    let second = spawn(test_config(Some(dir.clone()))).unwrap();
+    let mut client = Client::new(second.addr());
+    let warm = client.post("/sweep", body.as_bytes()).unwrap();
+    assert_eq!(warm.header("x-npp-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+    second.request_drain();
+    second.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,92 +1,384 @@
-//! Content-addressed on-disk result cache.
+//! Content-addressed result cache: sharded append-only segments with an
+//! in-memory index.
 //!
-//! One JSON file per scenario, named by the scenario's content hash
-//! (`<dir>/<hash>.json`). Because the key is a hash of the canonical
-//! spec (version-prefixed — see [`crate::hash`]), invalidation is
-//! automatic: edit any field of a scenario, or bump
-//! [`crate::hash::FORMAT_VERSION`], and the old entry is simply never
-//! addressed again. Entries that fail to parse are treated as misses
-//! and overwritten.
+//! ## On-disk layout
 //!
-//! Writes go through a per-process temporary file renamed into place,
-//! so concurrent workers (or concurrent sweep processes) racing on the
-//! same hash each land a complete file and the loser's rename is a
-//! harmless overwrite with identical bytes.
+//! A cache directory holds *segment files* named
+//! `shard<k>-<pid>-<n>.v1.seg`, where `k` is the shard (first hex nibble
+//! of the scenario hash modulo [`SHARD_COUNT`]), `<pid>` the writing
+//! process, and `<n>` a per-process instance counter. Each line of a
+//! segment is one self-contained JSON record:
+//!
+//! ```text
+//! {"h":"<64-hex scenario hash>","m":{...Metrics...}}
+//! ```
+//!
+//! Because every `(process, open)` pair appends only to its own files,
+//! two executors sharing a cache directory can never interleave partial
+//! writes — the failure mode of shared appends — and a torn final line
+//! (from a crash mid-append) damages at most that one record.
+//!
+//! ## Index
+//!
+//! [`ResultCache::open`] scans all segments in sorted filename order and
+//! builds a `BTreeMap<hash, Metrics>` (later records win). Lookups and
+//! entry counts are served from this index: `get` never touches the
+//! disk, and [`ResultCache::len`] is O(1) instead of the directory
+//! re-scan the old one-file-per-entry layout required.
+//!
+//! Invalidation remains automatic: the key is a hash of the canonical
+//! spec (version-prefixed — see [`crate::hash`]), so editing any field
+//! of a scenario, or bumping [`crate::hash::FORMAT_VERSION`], means the
+//! old record is simply never addressed again.
+//!
+//! ## Corruption & migration
+//!
+//! A truncated or garbage segment line is a *logged miss*, never a panic
+//! or a hard error: the scan skips it, counts it in
+//! [`CacheStats::corrupt_skipped`], emits one progress line, and bumps
+//! the `sweep.cache_corrupt` counter. Legacy one-file-per-entry caches
+//! (`<hash>.json`) are migrated on open — parseable entries are appended
+//! into a segment and the legacy files removed; unparsable ones are
+//! counted as corrupt and removed so a later `put` heals them.
 
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use serde::{Deserialize, Serialize};
 
 use crate::runner::Metrics;
 use crate::Result;
 
-/// Handle to a cache directory.
+/// Number of segment shards (by first hex nibble of the hash).
+pub const SHARD_COUNT: usize = 8;
+
+/// Segment filename suffix; bump on any record-format change.
+const SEGMENT_SUFFIX: &str = ".v1.seg";
+
+/// Distinguishes concurrent `open`s within one process so they never
+/// share an append target.
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+/// One segment line: the scenario hash and its metrics row.
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct SegmentRecord {
+    /// Scenario content hash (the cache key).
+    h: String,
+    /// Cached metrics row.
+    m: Metrics,
+}
+
+/// Counters describing a cache handle's history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Entries currently in the index.
+    pub entries: usize,
+    /// `get` calls answered from the index.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Corrupt records skipped (segment lines or legacy files).
+    pub corrupt_skipped: u64,
+    /// Legacy one-file-per-entry records migrated on open.
+    pub migrated: u64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// Lazily opened append handle for this shard's segment file.
+    file: Mutex<Option<File>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    /// Unique writer tag (`<pid>-<instance>`) naming this handle's
+    /// segment files.
+    writer: String,
+    index: RwLock<BTreeMap<String, Metrics>>,
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    migrated: AtomicU64,
+}
+
+/// Handle to a cache directory. Cloning is cheap and clones share the
+/// index, so one handle can serve many threads.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
-    dir: PathBuf,
+    inner: Arc<Inner>,
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) a cache directory.
+    /// Opens (creating if needed) a cache directory and builds the
+    /// in-memory index by scanning its segments. Migrates any legacy
+    /// one-file-per-entry layout it finds.
     ///
     /// # Errors
     ///
-    /// Fails if the directory cannot be created.
+    /// Fails if the directory cannot be created or listed. Corrupt
+    /// *entries* are never errors — they are skipped and counted.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let writer = format!(
+            "{}-{}",
+            std::process::id(),
+            NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+        );
+        let shards = (0..SHARD_COUNT)
+            .map(|_| Shard {
+                file: Mutex::new(None),
+            })
+            .collect();
+        let cache = Self {
+            inner: Arc::new(Inner {
+                dir,
+                writer,
+                index: RwLock::new(BTreeMap::new()),
+                shards,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                corrupt: AtomicU64::new(0),
+                migrated: AtomicU64::new(0),
+            }),
+        };
+        cache.scan()?;
+        Ok(cache)
     }
 
     /// The directory backing this cache.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.inner.dir
     }
 
-    fn entry_path(&self, hash: &str) -> PathBuf {
-        self.dir.join(format!("{hash}.json"))
-    }
-
-    /// Looks up a scenario result. Missing or unparsable entries are
-    /// misses.
+    /// Looks up a scenario result in the in-memory index. Records that
+    /// were corrupt on disk were already dropped (and logged) at open,
+    /// so they land here as plain misses.
     pub fn get(&self, hash: &str) -> Option<Metrics> {
-        let bytes = std::fs::read(self.entry_path(hash)).ok()?;
-        serde_json::from_slice(&bytes).ok()
+        let found = self
+            .inner
+            .index
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(hash)
+            .copied();
+        if found.is_some() {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
     }
 
-    /// Stores a scenario result (atomic rename; last writer wins).
+    /// Stores a scenario result: appends one record to this writer's
+    /// segment for the hash's shard, then publishes it in the index.
+    /// Re-putting an already-indexed hash is a no-op.
     ///
     /// # Errors
     ///
     /// Fails on I/O or serialization errors.
     pub fn put(&self, hash: &str, metrics: &Metrics) -> Result<()> {
-        let tmp = self.dir.join(format!(".{hash}.{}.tmp", std::process::id()));
-        std::fs::write(&tmp, serde_json::to_string_pretty(metrics)?)?;
-        std::fs::rename(&tmp, self.entry_path(hash))?;
+        if self
+            .inner
+            .index
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(hash)
+        {
+            return Ok(());
+        }
+        self.append(hash, metrics)?;
+        self.inner
+            .index
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(hash.to_string(), *metrics);
         Ok(())
     }
 
-    /// Number of complete entries currently on disk.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the directory cannot be read.
-    pub fn len(&self) -> Result<usize> {
-        let mut n = 0;
-        for entry in std::fs::read_dir(&self.dir)? {
-            let name = entry?.file_name();
-            if name.to_string_lossy().ends_with(".json") {
-                n += 1;
-            }
-        }
-        Ok(n)
+    /// `true` when the index holds `hash`, without counting a hit or a
+    /// miss (a diagnostic peek, not a lookup).
+    pub fn contains(&self, hash: &str) -> bool {
+        self.inner
+            .index
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains_key(hash)
     }
 
-    /// `true` when the cache holds no complete entries.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the directory cannot be read.
-    pub fn is_empty(&self) -> Result<bool> {
-        Ok(self.len()? == 0)
+    /// Number of entries in the index (O(1); no directory scan).
+    pub fn len(&self) -> usize {
+        self.inner
+            .index
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// `true` when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time counters for this handle.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            corrupt_skipped: self.inner.corrupt.load(Ordering::Relaxed),
+            migrated: self.inner.migrated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shard of a hash: first hex nibble modulo [`SHARD_COUNT`]
+    /// (non-hex keys fall into shard 0).
+    fn shard_of(hash: &str) -> usize {
+        hash.chars()
+            .next()
+            .and_then(|c| c.to_digit(16))
+            .map_or(0, |d| d as usize % SHARD_COUNT)
+    }
+
+    /// Appends one record to this writer's segment file for the shard,
+    /// as a single `write_all` so readers never observe a torn line
+    /// from a live writer.
+    fn append(&self, hash: &str, metrics: &Metrics) -> Result<()> {
+        let record = SegmentRecord {
+            h: hash.to_string(),
+            m: *metrics,
+        };
+        let mut line = serde_json::to_string(&record)?;
+        line.push('\n');
+        let shard = Self::shard_of(hash);
+        let slot = self
+            .inner
+            .shards
+            .get(shard)
+            .ok_or_else(|| crate::SweepError::Spec(format!("shard {shard} out of range")))?;
+        let mut guard = slot.file.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.is_none() {
+            let path = self.inner.dir.join(format!(
+                "shard{shard}-{}{SEGMENT_SUFFIX}",
+                self.inner.writer
+            ));
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            *guard = Some(file);
+        }
+        if let Some(file) = guard.as_mut() {
+            file.write_all(line.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Builds the index: read segments (sorted filename order, later
+    /// records win), then migrate any legacy `<hash>.json` entries.
+    fn scan(&self) -> Result<()> {
+        let mut segments = Vec::new();
+        let mut legacy = Vec::new();
+        for entry in std::fs::read_dir(&self.inner.dir)? {
+            let path = entry?.path();
+            if !path.is_file() {
+                continue;
+            }
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name.starts_with('.') {
+                continue; // stale tmp files from the legacy layout
+            }
+            if name.ends_with(SEGMENT_SUFFIX) {
+                segments.push(path);
+            } else if name.ends_with(".json") {
+                legacy.push(path);
+            }
+        }
+        segments.sort();
+        legacy.sort();
+
+        let mut corrupt = 0u64;
+        let mut loaded: BTreeMap<String, Metrics> = BTreeMap::new();
+        for path in &segments {
+            let bytes = std::fs::read(path)?;
+            let text = String::from_utf8_lossy(&bytes);
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<SegmentRecord>(line) {
+                    Ok(record) => {
+                        loaded.insert(record.h, record.m);
+                    }
+                    Err(_) => corrupt += 1,
+                }
+            }
+        }
+
+        // Legacy migration: parseable entries move into a segment; the
+        // old files go away either way (a later put heals corrupt ones).
+        let mut migrated = Vec::new();
+        for path in &legacy {
+            let hash = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            match std::fs::read(path)
+                .ok()
+                .and_then(|bytes| serde_json::from_slice::<Metrics>(&bytes).ok())
+            {
+                Some(metrics) => {
+                    if !loaded.contains_key(&hash) {
+                        loaded.insert(hash.clone(), metrics);
+                        migrated.push((hash, metrics));
+                    }
+                }
+                None => corrupt += 1,
+            }
+            let _ = std::fs::remove_file(path);
+        }
+
+        let entries = loaded.len();
+        *self
+            .inner
+            .index
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = loaded;
+        for (hash, metrics) in &migrated {
+            self.append(hash, metrics)?;
+        }
+        self.inner
+            .migrated
+            .store(migrated.len() as u64, Ordering::Relaxed);
+        if !migrated.is_empty() {
+            npp_telemetry::progress::emit(&format!(
+                "cache {}: migrated {} legacy entr{} into segments",
+                self.inner.dir.display(),
+                migrated.len(),
+                if migrated.len() == 1 { "y" } else { "ies" },
+            ));
+        }
+        self.inner.corrupt.store(corrupt, Ordering::Relaxed);
+        if corrupt > 0 {
+            npp_telemetry::metrics::counter_add("sweep.cache_corrupt", corrupt);
+            npp_telemetry::progress::emit(&format!(
+                "cache {}: skipped {corrupt} corrupt record{} (treated as misses)",
+                self.inner.dir.display(),
+                if corrupt == 1 { "" } else { "s" },
+            ));
+        }
+        npp_telemetry::metrics::gauge_set("sweep.cache_entries", entries as f64);
+        Ok(())
     }
 }
 
@@ -121,19 +413,81 @@ mod tests {
         let m = sample_metrics();
         cache.put("deadbeef", &m).unwrap();
         assert_eq!(cache.get("deadbeef"), Some(m));
-        assert_eq!(cache.len().unwrap(), 1);
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_entries_are_misses() {
-        let dir = scratch_dir("corrupt");
+    fn reopen_rebuilds_index_from_segments() {
+        let dir = scratch_dir("reopen");
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache.put("aaaa", &sample_metrics()).unwrap();
+            let mut other = sample_metrics();
+            other.savings = 0.9;
+            cache.put("1234", &other).unwrap();
+        }
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get("aaaa"), Some(sample_metrics()));
+        assert_eq!(reopened.get("1234").map(|m| m.savings), Some(0.9));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_lines_are_logged_misses_not_errors() {
+        let dir = scratch_dir("corrupt-seg");
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache.put("cafe", &sample_metrics()).unwrap();
+        }
+        // A torn append: a valid record followed by a truncated one and
+        // a line of garbage, all in a foreign writer's segment.
+        std::fs::write(
+            dir.join(format!("shard0-999999-0{SEGMENT_SUFFIX}")),
+            "{\"h\":\"0123\",\"m\":{\"average_power_w\":1.0,\"baseline_power_w\":2.0,\
+             \"power_saved_w\":1.0,\"savings\":0.5,\"slowdown\":1.0,\"loss_rate\":0.0,\
+             \"p99_latency_ns\":0.0}}\n{\"h\":\"0456\",\"m\":{\"average_po\nnot json at all\n",
+        )
+        .unwrap();
         let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.get("cafe"), Some(sample_metrics()));
+        assert_eq!(cache.get("0123").map(|m| m.savings), Some(0.5));
+        assert!(cache.get("0456").is_none(), "torn record must be a miss");
+        assert_eq!(cache.stats().corrupt_skipped, 2);
+        assert_eq!(cache.len(), 2);
+        // And the torn hash heals on the next put.
+        cache.put("0456", &sample_metrics()).unwrap();
+        assert!(cache.get("0456").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_layout_migrates_on_open() {
+        let dir = scratch_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("aaaa.json"),
+            serde_json::to_string_pretty(&sample_metrics()).unwrap(),
+        )
+        .unwrap();
         std::fs::write(dir.join("cafe.json"), b"{ not json").unwrap();
-        assert!(cache.get("cafe").is_none());
-        // And can be healed by a put.
-        cache.put("cafe", &sample_metrics()).unwrap();
-        assert!(cache.get("cafe").is_some());
+        std::fs::write(dir.join(".aaaa.12.tmp"), b"partial").unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.get("aaaa"), Some(sample_metrics()));
+        assert!(cache.get("cafe").is_none(), "corrupt legacy is a miss");
+        let stats = cache.stats();
+        assert_eq!(stats.migrated, 1);
+        assert_eq!(stats.corrupt_skipped, 1);
+        // Legacy files are gone; the entry survives a second reopen via
+        // its new segment.
+        assert!(!dir.join("aaaa.json").exists());
+        assert!(!dir.join("cafe.json").exists());
+        let again = ResultCache::open(&dir).unwrap();
+        assert_eq!(again.get("aaaa"), Some(sample_metrics()));
+        assert_eq!(again.stats().migrated, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -149,6 +503,27 @@ mod tests {
         cache.put("bbbb", &b).unwrap();
         assert_eq!(cache.get("aaaa").unwrap().savings, 0.1);
         assert_eq!(cache.get("bbbb").unwrap().savings, 0.9);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shards_spread_and_never_collide_across_writers() {
+        let dir = scratch_dir("writers");
+        let one = ResultCache::open(&dir).unwrap();
+        let two = ResultCache::open(&dir).unwrap();
+        one.put("0aaa", &sample_metrics()).unwrap();
+        two.put("1bbb", &sample_metrics()).unwrap();
+        let segs: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(SEGMENT_SUFFIX))
+            .collect();
+        assert_eq!(segs.len(), 2, "each writer owns its own segment: {segs:?}");
+        // A third handle sees both writers' records.
+        let merged = ResultCache::open(&dir).unwrap();
+        assert_eq!(merged.len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

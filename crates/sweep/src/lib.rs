@@ -51,11 +51,11 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use cache::ResultCache;
+pub use cache::{CacheStats, ResultCache};
 pub use grid::{expand, Scenario};
 pub use report::{
-    best_per_axis, frontier_table, power_slowdown_frontier, run_summary, ScenarioResult,
-    SweepOutcome, SweepReport, SweepResults,
+    assemble_results, best_per_axis, frontier_table, power_slowdown_frontier, run_summary,
+    ScenarioResult, SweepOutcome, SweepReport, SweepResults,
 };
 pub use runner::{run_scenario, Metrics};
 pub use spec::{
@@ -237,15 +237,32 @@ pub fn run_sweep(
     opts: &SweepOptions,
     progress: Option<&ProgressHook<'_>>,
 ) -> Result<SweepOutcome> {
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir)?),
+        None => None,
+    };
+    run_sweep_cached(spec, opts, cache.as_ref(), progress)
+}
+
+/// [`run_sweep`] against an already-open cache handle (ignores
+/// `opts.cache_dir`). Long-lived callers — the serve daemon — keep one
+/// handle for the process lifetime instead of rebuilding the index per
+/// request.
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_cached(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    cache: Option<&ResultCache>,
+    progress: Option<&ProgressHook<'_>>,
+) -> Result<SweepOutcome> {
     // npp-lint: allow(wall-clock) reason="wall_ms is run telemetry in the volatile SweepReport, never part of the deterministic results document"
     let started = npp_telemetry::wall_clock();
     let scenarios = grid::expand(spec)?;
     let total = scenarios.len();
     let jobs = opts.jobs.clamp(1, total.max(1));
-    let cache = match &opts.cache_dir {
-        Some(dir) => Some(ResultCache::open(dir)?),
-        None => None,
-    };
     if let Some(hook) = progress {
         hook(&ProgressEvent::Started {
             name: spec.name.clone(),
@@ -264,11 +281,11 @@ pub fn run_sweep(
         let _scope = npp_telemetry::scope(scenario.seed);
         // npp-lint: allow(wall-clock) reason="per-scenario timing feeds the volatile telemetry histograms only, never the results document"
         let scenario_started = npp_telemetry::wall_clock();
-        let (metrics, cached) = match cache.as_ref().and_then(|c| c.get(&scenario.hash)) {
+        let (metrics, cached) = match cache.and_then(|c| c.get(&scenario.hash)) {
             Some(found) => (Ok(found), true),
             None => {
                 let computed = runner::run_scenario(&scenario.spec, scenario.seed);
-                if let (Some(c), Ok(m)) = (cache.as_ref(), &computed) {
+                if let (Some(c), Ok(m)) = (cache, &computed) {
                     c.put(&scenario.hash, m)?;
                 }
                 (computed, false)
@@ -295,21 +312,9 @@ pub fn run_sweep(
         metrics
     });
 
-    let mut rows = Vec::with_capacity(total);
-    for (scenario, output) in scenarios.into_iter().zip(outputs) {
-        let metrics = output?;
-        rows.push(ScenarioResult {
-            index: scenario.index,
-            label: ScenarioResult::label_from_coords(&scenario.coords),
-            hash: scenario.hash,
-            seed: scenario.seed,
-            coords: scenario.coords,
-            metrics,
-        });
-    }
+    let metrics: Vec<Metrics> = outputs.into_iter().collect::<Result<_>>()?;
 
     npp_telemetry::metrics::counter_add("sweep.scenarios", total as u64);
-    let frontier = report::power_slowdown_frontier(&rows);
     let report = SweepReport {
         jobs,
         cache_hits: hits.load(Ordering::Relaxed),
@@ -325,12 +330,7 @@ pub fn run_sweep(
         });
     }
     Ok(SweepOutcome {
-        results: SweepResults {
-            name: spec.name.clone(),
-            total,
-            frontier,
-            scenarios: rows,
-        },
+        results: report::assemble_results(&spec.name, scenarios, metrics),
         report,
     })
 }

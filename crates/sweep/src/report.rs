@@ -86,6 +86,38 @@ pub struct SweepOutcome {
     pub report: SweepReport,
 }
 
+/// Assembles the deterministic results document from expanded scenarios
+/// and their metrics (one per scenario, in grid order). This is the one
+/// place rows and the frontier are built, so every producer — `run_sweep`
+/// and the serve daemon alike — emits byte-identical documents for the
+/// same spec.
+pub fn assemble_results(
+    name: &str,
+    scenarios: Vec<crate::grid::Scenario>,
+    metrics: Vec<Metrics>,
+) -> SweepResults {
+    let total = scenarios.len();
+    let rows: Vec<ScenarioResult> = scenarios
+        .into_iter()
+        .zip(metrics)
+        .map(|(scenario, metrics)| ScenarioResult {
+            index: scenario.index,
+            label: ScenarioResult::label_from_coords(&scenario.coords),
+            hash: scenario.hash,
+            seed: scenario.seed,
+            coords: scenario.coords,
+            metrics,
+        })
+        .collect();
+    let frontier = power_slowdown_frontier(&rows);
+    SweepResults {
+        name: name.to_string(),
+        total,
+        frontier,
+        scenarios: rows,
+    }
+}
+
 /// Pareto frontier over (slowdown ↓, power saved ↑), as indices into
 /// `scenarios` sorted by ascending slowdown.
 pub fn power_slowdown_frontier(scenarios: &[ScenarioResult]) -> Vec<usize> {

@@ -8,8 +8,13 @@
 //! integer operations.
 //!
 //! All mutation entry points are no-ops unless recording is active (see
-//! [`crate::enabled`]); without the `trace` cargo feature they compile to
-//! nothing.
+//! [`crate::enabled`]) or the registry has been switched on independently
+//! with [`set_standalone`]; without the `trace` cargo feature they compile
+//! to nothing. The standalone switch exists for long-running services
+//! (`netpp serve`): trace recording accumulates records in memory for the
+//! lifetime of the run, which a daemon must not do, while the metrics
+//! registry is bounded (one slot per metric name) and safe to leave on
+//! forever.
 
 /// Number of histogram buckets: one per possible bit-length of a `u64`
 /// value (0 for value 0, 64 for values >= 2^63).
@@ -152,7 +157,18 @@ impl Snapshot {
 mod imp {
     use super::{HistogramSummary, MetricValue, Snapshot, HIST_BUCKETS};
     use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static STANDALONE: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn set_standalone(on: bool) {
+        STANDALONE.store(on, Ordering::Relaxed);
+    }
+
+    pub(super) fn standalone() -> bool {
+        STANDALONE.load(Ordering::Relaxed)
+    }
 
     #[derive(Debug, Clone)]
     enum Metric {
@@ -266,11 +282,37 @@ mod imp {
     }
 }
 
-/// Add `delta` to the named counter. No-op when recording is inactive.
+/// Switch the registry on (or off) independently of trace recording.
+///
+/// Intended for long-running services: bounded metrics stay live without
+/// the unbounded trace sink. No-op without the `trace` feature.
+pub fn set_standalone(on: bool) {
+    #[cfg(feature = "trace")]
+    imp::set_standalone(on);
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = on;
+    }
+}
+
+/// `true` when the registry accepts writes (recording active or the
+/// standalone switch is on).
+pub fn active() -> bool {
+    #[cfg(feature = "trace")]
+    {
+        crate::enabled() || imp::standalone()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        false
+    }
+}
+
+/// Add `delta` to the named counter. No-op when the registry is inactive.
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
     #[cfg(feature = "trace")]
-    if crate::enabled() {
+    if active() {
         imp::counter_add(name, delta);
     }
     #[cfg(not(feature = "trace"))]
@@ -279,11 +321,11 @@ pub fn counter_add(name: &'static str, delta: u64) {
     }
 }
 
-/// Set the named gauge. No-op when recording is inactive.
+/// Set the named gauge. No-op when the registry is inactive.
 #[inline]
 pub fn gauge_set(name: &'static str, value: f64) {
     #[cfg(feature = "trace")]
-    if crate::enabled() {
+    if active() {
         imp::gauge_set(name, value);
     }
     #[cfg(not(feature = "trace"))]
@@ -293,11 +335,11 @@ pub fn gauge_set(name: &'static str, value: f64) {
 }
 
 /// Raise the named gauge to `value` if larger (high-water mark). No-op when
-/// recording is inactive.
+/// the registry is inactive.
 #[inline]
 pub fn gauge_max(name: &'static str, value: f64) {
     #[cfg(feature = "trace")]
-    if crate::enabled() {
+    if active() {
         imp::gauge_max(name, value);
     }
     #[cfg(not(feature = "trace"))]
@@ -307,11 +349,11 @@ pub fn gauge_max(name: &'static str, value: f64) {
 }
 
 /// Record one observation into the named fixed-bucket histogram. No-op when
-/// recording is inactive.
+/// the registry is inactive.
 #[inline]
 pub fn observe(name: &'static str, value: u64) {
     #[cfg(feature = "trace")]
-    if crate::enabled() {
+    if active() {
         imp::observe(name, value);
     }
     #[cfg(not(feature = "trace"))]
@@ -387,6 +429,28 @@ mod tests {
         assert!(json.contains("\"z.counter\":5"));
         assert!(json.contains("\"buckets\":[[1,1],[8,1],[2048,1]]"));
         assert!(snap.to_text().contains("m.hist"));
+    }
+
+    #[test]
+    fn standalone_switch_records_without_trace_recording() {
+        let _g = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = crate::finish();
+        reset();
+        set_standalone(true);
+        assert!(active());
+        counter_add("standalone.counter", 7);
+        observe("standalone.hist", 3);
+        let snap = snapshot();
+        set_standalone(false);
+        reset();
+        assert!(!active());
+        assert_eq!(snap.counter("standalone.counter"), Some(7));
+        assert!(matches!(
+            snap.get("standalone.hist"),
+            Some(MetricValue::Histogram(h)) if h.count == 1
+        ));
     }
 
     #[test]

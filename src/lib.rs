@@ -15,7 +15,8 @@
 //! - [`simnet`] — discrete-event simulator with power tracking;
 //! - [`mechanisms`] — §4 proposals (knobs, OCS, rate adaptation, parking);
 //! - [`report`] — tables, ASCII charts, CSV/JSON export;
-//! - [`sweep`] — parallel scenario-sweep & experiment orchestration.
+//! - [`sweep`] — parallel scenario-sweep & experiment orchestration;
+//! - [`serve`] — long-running what-if daemon over the sweep engine.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +24,7 @@ pub use npp_core as core;
 pub use npp_mechanisms as mechanisms;
 pub use npp_power as power;
 pub use npp_report as report;
+pub use npp_serve as serve;
 pub use npp_simnet as simnet;
 pub use npp_sweep as sweep;
 pub use npp_topology as topology;
