@@ -2,7 +2,8 @@
 //! path and emit a machine-readable trajectory point.
 //!
 //! ```text
-//! netpp bench-json [--quick] [--out PATH] [--flows N]
+//! netpp bench-json [--quick] [--out PATH] [--flows N] [--threads N]
+//!                  [--scaling | --scaling-smoke]
 //! ```
 //!
 //! Full mode runs the deterministic hot-path scenario through both the
@@ -14,13 +15,23 @@
 //! `--quick` is the CI smoke mode: a smaller scenario, indexed engine
 //! only, no file written unless `--out` is given — but every emitted
 //! number is still validated, so a NaN, a non-finite rate, or a panic in
-//! the engine fails the pipeline.
+//! the engine fails the pipeline. Quick mode additionally replays the
+//! scenario through the component-sharded runtime at 2 threads and
+//! hard-asserts the state digest matches the serial run.
+//!
+//! `--scaling` appends the parallel-engine scaling matrix (pod fat-tree
+//! scenario, flow counts × thread counts) to the report; every cell's
+//! state digest is hard-checked against the 1-thread run of the same
+//! flow count, so the curve can never quietly trade correctness for
+//! throughput. `--scaling-smoke` is the CI variant: one flow count,
+//! threads {1, 8}, identity hard-fails while the throughput ratio only
+//! warns (shared runners make wall-clock promises unreliable).
 
 use serde::Serialize;
 
 use npp_simnet::netsim::NetSim;
 use npp_simnet::netsim_naive::NaiveNetSim;
-use npp_simnet::scenarios::{hotpath_scenario, Scenario};
+use npp_simnet::scenarios::{hotpath_scenario, pod_fattree_scenario, Scenario};
 use npp_simnet::EngineMetrics;
 use npp_telemetry::wall_clock;
 
@@ -35,6 +46,17 @@ const QUICK_FLOWS: usize = 200;
 const INDEXED_RUNS: usize = 5;
 /// Timed repetitions (best-of) for the naive baseline.
 const NAIVE_RUNS: usize = 2;
+/// Flow counts of the full `--scaling` matrix.
+const SCALING_FLOWS: [usize; 3] = [1_000, 10_000, 100_000];
+/// Thread counts of the full `--scaling` matrix.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Flow count for the `--scaling-smoke` CI gate.
+const SMOKE_FLOWS: usize = 100_000;
+/// Thread counts for the `--scaling-smoke` CI gate.
+const SMOKE_THREADS: [usize; 2] = [1, 8];
+/// Minimum 8-vs-1-thread events/sec ratio the smoke gate expects; a
+/// shortfall prints a warning rather than failing (shared CI runners).
+const SMOKE_MIN_RATIO: f64 = 1.5;
 
 /// Parsed arguments for `netpp bench-json`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +67,12 @@ pub struct BenchArgs {
     pub out: Option<String>,
     /// Scenario flow count override.
     pub flows: Option<usize>,
+    /// Worker threads for the headline indexed run (1 = serial engine).
+    pub threads: usize,
+    /// Append the full flows × threads scaling matrix.
+    pub scaling: bool,
+    /// Run the reduced CI scaling gate instead of the full matrix.
+    pub scaling_smoke: bool,
 }
 
 /// Parses `bench-json` arguments from the raw argv tail.
@@ -57,12 +85,17 @@ pub fn parse_args(rest: &[&str]) -> Result<BenchArgs> {
         quick: false,
         out: None,
         flows: None,
+        threads: 1,
+        scaling: false,
+        scaling_smoke: false,
     };
     let mut it = rest.iter().copied();
     while let Some(arg) = it.next() {
         match arg {
             "--json" => {} // bench-json is always JSON; accepted for symmetry
             "--quick" => args.quick = true,
+            "--scaling" => args.scaling = true,
+            "--scaling-smoke" => args.scaling_smoke = true,
             "--out" => {
                 args.out = Some(it.next().ok_or("--out needs a path")?.to_string());
             }
@@ -76,13 +109,27 @@ pub fn parse_args(rest: &[&str]) -> Result<BenchArgs> {
                 }
                 args.flows = Some(n);
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                args.threads = n;
+            }
             other => {
                 return Err(format!(
-                    "unknown bench-json argument {other:?} (usage: netpp bench-json [--quick] [--out PATH] [--flows N])"
+                    "unknown bench-json argument {other:?} (usage: netpp bench-json [--quick] \
+                     [--out PATH] [--flows N] [--threads N] [--scaling | --scaling-smoke])"
                 )
                 .into());
             }
         }
+    }
+    if args.scaling && args.scaling_smoke {
+        return Err("--scaling and --scaling-smoke are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -130,6 +177,59 @@ pub struct TelemetryOverhead {
     pub capture_overhead_pct: Option<f64>,
 }
 
+/// One cell of the parallel-engine scaling matrix: the pod fat-tree
+/// scenario at one flow count, run with one worker-thread count.
+#[derive(Debug, Serialize)]
+pub struct ScalingCell {
+    /// Flows injected.
+    pub flows: usize,
+    /// Worker threads (`1` = the serial indexed engine).
+    pub threads: usize,
+    /// Link-sharing components the fabric decomposed into.
+    pub components: usize,
+    /// Wall-clock seconds spent injecting (route resolution; excluded
+    /// from the throughput figure).
+    pub inject_secs: f64,
+    /// Wall-clock seconds of the simulation run itself.
+    pub run_secs: f64,
+    /// Events processed (releases + completions / fluid epochs).
+    pub events: u64,
+    /// Events per second over `run_secs` only.
+    pub events_per_sec: f64,
+    /// Peak number of simultaneously live flows.
+    pub peak_live_flows: usize,
+    /// `events_per_sec` of this cell over the 1-thread cell at the same
+    /// flow count (`1.0` for the 1-thread cell itself).
+    pub speedup_vs_one_thread: f64,
+    /// Coordinator nanoseconds spent waiting on worker replies.
+    pub merge_wait_ns: u64,
+    /// Final-state FNV digest, hex — bit-identical across every thread
+    /// count of a flow count by construction (hard-checked before the
+    /// report is emitted).
+    pub state_digest: String,
+    /// `VmHWM` after this cell, bytes. Process-wide high-water mark, so
+    /// the value is monotone across cells; the first cell of each flow
+    /// count is the honest per-size footprint.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// The `--scaling` / `--scaling-smoke` section of the report.
+#[derive(Debug, Serialize)]
+pub struct ScalingSection {
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Hardware threads the host reports (context for the curve: on a
+    /// single-core runner the speedup is the per-shard waterfill
+    /// interleave win, not true parallel execution).
+    pub host_parallelism: usize,
+    /// Flow counts of the matrix.
+    pub flow_counts: Vec<usize>,
+    /// Thread counts of the matrix.
+    pub thread_counts: Vec<usize>,
+    /// One cell per (flow count, thread count), flows-major.
+    pub cells: Vec<ScalingCell>,
+}
+
 /// The document written to `BENCH_simnet.json`.
 #[derive(Debug, Serialize)]
 pub struct BenchReport {
@@ -141,6 +241,8 @@ pub struct BenchReport {
     pub flows: usize,
     /// Whether this was a `--quick` smoke run.
     pub quick: bool,
+    /// Worker threads of the headline indexed run.
+    pub threads: usize,
     /// Per-engine measurements.
     pub engines: Vec<EngineResult>,
     /// Indexed-engine throughput over naive-baseline throughput
@@ -148,6 +250,8 @@ pub struct BenchReport {
     pub speedup_vs_naive: Option<f64>,
     /// Telemetry cost accounting (instrumentation-off vs -on timings).
     pub telemetry: TelemetryOverhead,
+    /// Parallel-engine scaling matrix (`--scaling`/`--scaling-smoke`).
+    pub scaling: Option<ScalingSection>,
     /// Peak resident set size of this process in bytes (`VmHWM` from
     /// `/proc/self/status`; absent on platforms without procfs).
     pub peak_rss_bytes: Option<u64>,
@@ -163,35 +267,43 @@ fn peak_rss_bytes() -> Option<u64> {
 
 /// One measured indexed-engine execution.
 struct IndexedRun {
+    inject_secs: f64,
     secs: f64,
     events: u64,
     peak: usize,
     makespan_ns: u64,
+    digest: u64,
     metrics: EngineMetrics,
 }
 
-fn run_indexed(scenario: &Scenario) -> Result<IndexedRun> {
-    let start = wall_clock();
+fn run_indexed(scenario: &Scenario, threads: usize) -> Result<IndexedRun> {
+    let inject_start = wall_clock();
     let mut sim = NetSim::new(scenario.topo.clone());
     scenario.inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))?;
-    sim.run()?;
+    let inject_secs = inject_start.elapsed().as_secs_f64();
+    let start = wall_clock();
+    sim.run_threads(threads)?;
     let secs = start.elapsed().as_secs_f64();
     let makespan = sim
         .makespan()
         .ok_or("indexed engine reported no makespan")?;
     Ok(IndexedRun {
+        inject_secs,
         secs,
         events: sim.events_processed(),
         peak: sim.peak_live_flows(),
         makespan_ns: makespan.as_nanos(),
+        digest: sim.state_digest(),
         metrics: sim.engine_metrics(),
     })
 }
 
 fn run_naive(scenario: &Scenario) -> Result<(f64, u64, u64)> {
-    let start = wall_clock();
+    // Same timing basis as `run_indexed`: the run itself, with setup
+    // and injection excluded, so the speedup compares engines only.
     let mut sim = NaiveNetSim::new(scenario.topo.clone());
     scenario.inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))?;
+    let start = wall_clock();
     sim.run()?;
     let secs = start.elapsed().as_secs_f64();
     let makespan = sim.makespan().ok_or("naive engine reported no makespan")?;
@@ -230,12 +342,90 @@ fn engine_result(
     })
 }
 
+/// Runs the pod fat-tree scenario at `flows` with every entry of
+/// `threads`, hard-asserting that every thread count reproduces the
+/// 1-thread state digest bit-for-bit, and appends one cell per run.
+fn scaling_row(flows: usize, threads: &[usize], cells: &mut Vec<ScalingCell>) -> Result<()> {
+    let scenario = pod_fattree_scenario(flows)?;
+    let mut reference: Option<(u64, f64)> = None; // (digest, 1-thread events/sec)
+    for &t in threads {
+        let r = run_indexed(&scenario, t)?;
+        if r.secs <= 0.0 || !r.secs.is_finite() {
+            return Err(format!("scaling cell {flows}x{t} produced degenerate timing").into());
+        }
+        let events_per_sec = r.events as f64 / r.secs;
+        let (ref_digest, ref_eps) = *reference.get_or_insert((r.digest, events_per_sec));
+        if r.digest != ref_digest {
+            return Err(format!(
+                "parallel engine diverged: {flows} flows at {t} threads digest \
+                 {:016x}, 1-thread digest {ref_digest:016x}",
+                r.digest
+            )
+            .into());
+        }
+        eprintln!(
+            "scaling {flows:>7} flows x {t} threads: {events_per_sec:>12.0} events/s \
+             ({:.2}s run, {} components, peak {} flows)",
+            r.secs, r.metrics.components, r.peak
+        );
+        cells.push(ScalingCell {
+            flows,
+            threads: t,
+            components: r.metrics.components,
+            inject_secs: r.inject_secs,
+            run_secs: r.secs,
+            events: r.events,
+            events_per_sec,
+            peak_live_flows: r.peak,
+            speedup_vs_one_thread: events_per_sec / ref_eps,
+            merge_wait_ns: r.metrics.merge_wait_ns,
+            state_digest: format!("{:016x}", r.digest),
+            peak_rss_bytes: peak_rss_bytes(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the `--scaling` / `--scaling-smoke` section.
+fn measure_scaling(smoke: bool) -> Result<ScalingSection> {
+    let (flow_counts, thread_counts): (Vec<usize>, Vec<usize>) = if smoke {
+        (vec![SMOKE_FLOWS], SMOKE_THREADS.to_vec())
+    } else {
+        (SCALING_FLOWS.to_vec(), SCALING_THREADS.to_vec())
+    };
+    let mut cells = Vec::new();
+    for &flows in &flow_counts {
+        scaling_row(flows, &thread_counts, &mut cells)?;
+    }
+    if smoke {
+        // Identity above is the hard gate; throughput only warns, since
+        // shared CI runners cannot promise wall-clock ratios.
+        let base = cells[0].events_per_sec;
+        let multi = cells[cells.len() - 1].events_per_sec;
+        let ratio = multi / base;
+        if ratio < SMOKE_MIN_RATIO {
+            eprintln!(
+                "warning: scaling smoke ratio {ratio:.2}x below the {SMOKE_MIN_RATIO}x \
+                 target ({base:.0} -> {multi:.0} events/s); not failing (shared runner)"
+            );
+        }
+    }
+    Ok(ScalingSection {
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        flow_counts,
+        thread_counts,
+        cells,
+    })
+}
+
 /// Measures the hot path and builds the report document.
 ///
 /// # Errors
 ///
 /// Propagates engine errors and rejects any non-finite measurement —
-/// the property the CI smoke step relies on.
+/// the property the CI smoke step relies on. A parallel run whose state
+/// digest differs from the serial engine's is an error, never a warning.
 pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
     let flows = args
         .flows
@@ -244,7 +434,7 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
 
     let mut best_indexed: Option<IndexedRun> = None;
     for _ in 0..INDEXED_RUNS {
-        let r = run_indexed(&scenario)?;
+        let r = run_indexed(&scenario, args.threads)?;
         match &best_indexed {
             Some(b) if b.secs <= r.secs => {}
             _ => best_indexed = Some(r),
@@ -265,6 +455,19 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
 
     let mut engines = vec![indexed];
     let mut speedup = None;
+    if args.quick {
+        // Smoke gate: the component-sharded runtime at 2 threads must
+        // reproduce the headline run's final state bit-for-bit.
+        let par = run_indexed(&scenario, 2)?;
+        if par.digest != best.digest {
+            return Err(format!(
+                "parallel engine diverged on the hotpath scenario: 2-thread digest \
+                 {:016x}, serial digest {:016x}",
+                par.digest, best.digest
+            )
+            .into());
+        }
+    }
     if !args.quick {
         let mut best_naive: Option<(f64, u64, u64)> = None;
         for _ in 0..NAIVE_RUNS {
@@ -298,7 +501,7 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
         for _ in 0..NAIVE_RUNS {
             npp_telemetry::metrics::reset();
             npp_telemetry::start();
-            let r = run_indexed(&scenario)?;
+            let r = run_indexed(&scenario, args.threads)?;
             let _ = npp_telemetry::finish();
             capture_on_best = Some(match capture_on_best {
                 Some(b) if b <= r.secs => b,
@@ -313,14 +516,22 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
         capture_overhead_pct: capture_on_best.map(|on| (on / best.secs - 1.0) * 100.0),
     };
 
+    let scaling = if args.scaling || args.scaling_smoke {
+        Some(measure_scaling(args.scaling_smoke)?)
+    } else {
+        None
+    };
+
     Ok(BenchReport {
-        schema: "npp.bench.simnet/v1".to_string(),
+        schema: "npp.bench.simnet/v2".to_string(),
         scenario: scenario.name,
         flows,
         quick: args.quick,
+        threads: args.threads,
         engines,
         speedup_vs_naive: speedup,
         telemetry,
+        scaling,
         peak_rss_bytes: peak_rss_bytes(),
     })
 }
@@ -366,18 +577,33 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let args = parse_args(&["--quick", "--out", "b.json", "--flows", "50"]).unwrap();
+        let args = parse_args(&[
+            "--quick",
+            "--out",
+            "b.json",
+            "--flows",
+            "50",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
         assert!(args.quick);
         assert_eq!(args.out.as_deref(), Some("b.json"));
         assert_eq!(args.flows, Some(50));
+        assert_eq!(args.threads, 4);
         assert_eq!(
             parse_args(&[]).unwrap(),
             BenchArgs {
                 quick: false,
                 out: None,
-                flows: None
+                flows: None,
+                threads: 1,
+                scaling: false,
+                scaling_smoke: false,
             }
         );
+        assert!(parse_args(&["--scaling"]).unwrap().scaling);
+        assert!(parse_args(&["--scaling-smoke"]).unwrap().scaling_smoke);
     }
 
     #[test]
@@ -386,6 +612,9 @@ mod tests {
         assert!(parse_args(&["--flows"]).is_err());
         assert!(parse_args(&["--flows", "zero"]).is_err());
         assert!(parse_args(&["--flows", "0"]).is_err());
+        assert!(parse_args(&["--threads"]).is_err());
+        assert!(parse_args(&["--threads", "0"]).is_err());
+        assert!(parse_args(&["--scaling", "--scaling-smoke"]).is_err());
         assert!(parse_args(&["--frobnicate"]).is_err());
     }
 
@@ -395,6 +624,9 @@ mod tests {
             quick: true,
             out: None,
             flows: Some(64),
+            threads: 1,
+            scaling: false,
+            scaling_smoke: false,
         })
         .unwrap();
         assert_eq!(report.engines.len(), 1);
@@ -416,6 +648,9 @@ mod tests {
             quick: false,
             out: None,
             flows: Some(96),
+            threads: 1,
+            scaling: false,
+            scaling_smoke: false,
         })
         .unwrap();
         assert_eq!(report.engines.len(), 2);
@@ -431,5 +666,43 @@ mod tests {
         assert!(report.telemetry.capture_overhead_pct.unwrap().is_finite());
         #[cfg(target_os = "linux")]
         assert!(report.peak_rss_bytes.unwrap() > 0);
+        assert!(report.scaling.is_none());
+    }
+
+    #[test]
+    fn headline_run_accepts_multiple_threads() {
+        // The quick path also replays at 2 threads and hard-asserts the
+        // digest, so a pass here certifies the sharded runtime end to
+        // end through the CLI layer.
+        let report = measure(&BenchArgs {
+            quick: true,
+            out: None,
+            flows: Some(64),
+            threads: 8,
+            scaling: false,
+            scaling_smoke: false,
+        })
+        .unwrap();
+        assert_eq!(report.threads, 8);
+        assert!(report.engines[0].events_per_sec.is_finite());
+    }
+
+    #[test]
+    fn scaling_row_emits_bit_identical_cells() {
+        let mut cells = Vec::new();
+        scaling_row(384, &[1, 2, 8], &mut cells).unwrap();
+        assert_eq!(cells.len(), 3);
+        let digest = &cells[0].state_digest;
+        for c in &cells {
+            assert_eq!(&c.state_digest, digest);
+            assert_eq!(c.flows, 384);
+            assert!(c.events_per_sec.is_finite() && c.events_per_sec > 0.0);
+            assert!(c.speedup_vs_one_thread > 0.0);
+            if c.threads > 1 {
+                // Four disconnected pods shard into >= 4 components.
+                assert!(c.components >= 4);
+            }
+        }
+        assert_eq!(cells[0].speedup_vs_one_thread, 1.0);
     }
 }

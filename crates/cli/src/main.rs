@@ -135,18 +135,20 @@ Mechanisms (par. 4):
   all        run everything (text output)
 
 Sweeps:
-  sweep <spec.json> [--jobs N] [--cache DIR] [--quiet] [--trace PATH] [--metrics] [--dry-run]
+  sweep <spec.json> [--jobs N] [--threads N] [--cache DIR] [--quiet] [--trace PATH] [--metrics] [--dry-run]
              expand a SweepSpec grid and run every scenario in parallel;
              results are cached by content hash under --cache; --json
              prints the deterministic results document (identical bytes
-             for any --jobs value); --trace writes the canonical
-             npp.trace/v1 JSONL (also jobs-invariant); --metrics dumps
-             the metrics registry to stderr; --quiet drops progress;
-             --dry-run prints the scenario count and per-axis
-             cardinalities without simulating anything
+             for any --jobs or --threads value); --threads shards each
+             fluid-fabric scenario's max-min engine across N workers;
+             --trace writes the canonical npp.trace/v1 JSONL (also
+             jobs-invariant); --metrics dumps the metrics registry to
+             stderr; --quiet drops progress; --dry-run prints the
+             scenario count and per-axis cardinalities without
+             simulating anything
 
 Serving:
-  serve [--addr HOST:PORT] [--cache DIR] [--jobs N] [--max-inflight K] [--workers N] [--metrics]
+  serve [--addr HOST:PORT] [--cache DIR] [--jobs N] [--threads N] [--max-inflight K] [--workers N] [--metrics]
              long-running what-if daemon over HTTP/1.1: POST /scenario
              (one spec, one metrics row), POST /sweep (byte-identical to
              `netpp sweep --json`), POST /sweep/stream (JSONL), GET
@@ -160,25 +162,32 @@ Serving:
              against the engine inline and emits BENCH_serve.json
 
 Profiling:
-  profile <spec.json> [--out DIR] [--jobs N]
+  profile <spec.json> [--out DIR] [--jobs N] [--threads N]
              run the spec with telemetry recording on and emit a report:
              top trace records, sampling-timer histograms, per-scenario
              energy attribution; writes trace.jsonl (npp.trace/v1) and
              trace.chrome.json (Perfetto-loadable) under --out
 
 Benchmarks:
-  bench-json [--quick] [--out PATH] [--flows N]
+  bench-json [--quick] [--out PATH] [--flows N] [--threads N] [--scaling | --scaling-smoke]
              time the fluid-simulator hot path (indexed engine vs naive
-             baseline) and emit a BENCH_simnet.json document; --quick is
-             the CI smoke mode (small scenario, indexed engine only)
+             baseline) and emit a BENCH_simnet.json document; --threads
+             shards the engine by link-sharing component (rates stay
+             bit-identical); --scaling appends the flows x threads
+             matrix; --scaling-smoke is its CI cut-down (identity is a
+             hard gate, throughput a warning); --quick is the CI smoke
+             mode (small scenario, indexed engine only, plus a 2-thread
+             bit-identity check)
 
 Static analysis:
   lint [--baseline PATH] [--update-baseline] [paths...]
              determinism & panic-hygiene analyzer (npp-lint): D1 no
              HashMap/HashSet iteration, D2 no wall clock/RNG/env reads,
              D3 no float reduction over map iterators (simnet, sweep,
-             mechanisms, core), P1 panic hygiene everywhere (ratcheted
-             by lint_baseline.json), S1 sweep specs deny unknown fields;
+             mechanisms, core), D4 no raw thread spawns outside the
+             sanctioned executor modules, P1 panic hygiene everywhere
+             (ratcheted by lint_baseline.json), S1 sweep specs deny
+             unknown fields;
              exits non-zero on any unsuppressed finding. Explicit paths
              are linted strictly (all rules, no baseline).
 

@@ -2,7 +2,7 @@
 //! recording on and emit a self-contained profiling report.
 //!
 //! ```text
-//! netpp profile <spec.json> [--out DIR] [--jobs N] [--json]
+//! netpp profile <spec.json> [--out DIR] [--jobs N] [--threads N] [--json]
 //! ```
 //!
 //! Artifacts written under `--out` (default `netpp-profile/`):
@@ -35,6 +35,9 @@ pub struct ProfileArgs {
     pub out_dir: String,
     /// Worker threads (default: available parallelism).
     pub jobs: usize,
+    /// Engine worker threads per scenario (default 1). Results are
+    /// bit-identical at every value; this only changes wall time.
+    pub threads: usize,
 }
 
 /// Parses `profile` arguments from the raw argv tail.
@@ -47,6 +50,7 @@ pub fn parse_args(rest: &[&str]) -> Result<ProfileArgs> {
     let mut spec_path = None;
     let mut out_dir = None;
     let mut jobs = None;
+    let mut threads = None;
     let mut it = rest.iter().copied();
     while let Some(arg) = it.next() {
         match arg {
@@ -61,6 +65,16 @@ pub fn parse_args(rest: &[&str]) -> Result<ProfileArgs> {
                         .map_err(|_| format!("bad --jobs value {v:?}"))?,
                 );
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown profile flag {flag:?}").into());
             }
@@ -70,10 +84,12 @@ pub fn parse_args(rest: &[&str]) -> Result<ProfileArgs> {
     }
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     Ok(ProfileArgs {
-        spec_path: spec_path
-            .ok_or("usage: netpp profile <spec.json> [--out DIR] [--jobs N] [--json]")?,
+        spec_path: spec_path.ok_or(
+            "usage: netpp profile <spec.json> [--out DIR] [--jobs N] [--threads N] [--json]",
+        )?,
         out_dir: out_dir.unwrap_or_else(|| "netpp-profile".to_string()),
         jobs: jobs.unwrap_or(default_jobs),
+        threads: threads.unwrap_or(1),
     })
 }
 
@@ -108,6 +124,7 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
     let opts = SweepOptions {
         jobs: args.jobs,
         cache_dir: None, // profiling wants real executions, never cache hits
+        threads: args.threads,
     };
 
     npp_telemetry::metrics::reset();

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! netpp serve [--addr HOST:PORT] [--cache DIR] [--jobs N]
-//!             [--max-inflight K] [--workers N] [--metrics]
+//!             [--threads N] [--max-inflight K] [--workers N]
+//!             [--metrics]
 //! netpp serve-bench [--quick] [--out PATH] [--jobs N]
 //! ```
 //!
@@ -25,6 +26,8 @@ pub struct ServeArgs {
     pub cache_dir: Option<String>,
     /// Executor threads for cold batches (`None` = default).
     pub jobs: Option<usize>,
+    /// Engine worker threads per scenario (`None` = default 1).
+    pub threads: Option<usize>,
     /// Admission cap (`None` = default).
     pub max_inflight: Option<usize>,
     /// Connection-handler threads (`None` = default).
@@ -43,6 +46,7 @@ pub fn parse_args(rest: &[&str]) -> Result<ServeArgs> {
         addr: "127.0.0.1:7733".to_string(),
         cache_dir: None,
         jobs: None,
+        threads: None,
         max_inflight: None,
         workers: None,
         metrics: false,
@@ -64,6 +68,16 @@ pub fn parse_args(rest: &[&str]) -> Result<ServeArgs> {
                     v.parse::<usize>()
                         .map_err(|_| format!("bad --jobs value {v:?}"))?,
                 );
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
             }
             "--max-inflight" => {
                 let v = it.next().ok_or("--max-inflight needs a value")?;
@@ -95,6 +109,7 @@ impl ServeArgs {
             addr: self.addr.clone(),
             cache_dir: self.cache_dir.as_ref().map(Into::into),
             jobs: self.jobs.unwrap_or(defaults.jobs).max(1),
+            threads: self.threads.unwrap_or(defaults.threads).max(1),
             max_inflight: self.max_inflight.unwrap_or(defaults.max_inflight).max(1),
             workers: self.workers.unwrap_or(defaults.workers).max(1),
             ..defaults

@@ -2,9 +2,9 @@
 //! `npp-sweep` engine.
 //!
 //! ```text
-//! netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json]
-//!                         [--quiet] [--trace PATH] [--metrics]
-//!                         [--dry-run]
+//! netpp sweep <spec.json> [--jobs N] [--threads N] [--cache DIR]
+//!                         [--json] [--quiet] [--trace PATH]
+//!                         [--metrics] [--dry-run]
 //! ```
 //!
 //! The deterministic results document goes to stdout; progress and the
@@ -31,6 +31,9 @@ pub struct SweepArgs {
     pub spec_path: String,
     /// Worker threads (default: available parallelism).
     pub jobs: usize,
+    /// Engine worker threads per scenario (default 1). Results are
+    /// bit-identical at every value; this only changes wall time.
+    pub threads: usize,
     /// Cache directory, if caching was requested.
     pub cache_dir: Option<String>,
     /// Suppress stderr progress lines.
@@ -53,6 +56,7 @@ pub struct SweepArgs {
 pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
     let mut spec_path = None;
     let mut jobs = None;
+    let mut threads = None;
     let mut cache_dir = None;
     let mut quiet = false;
     let mut trace_path = None;
@@ -75,6 +79,16 @@ pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
                         .map_err(|_| format!("bad --jobs value {v:?}"))?,
                 );
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
             "--cache" => {
                 cache_dir = Some(it.next().ok_or("--cache needs a directory")?.to_string());
             }
@@ -88,9 +102,10 @@ pub fn parse_args(rest: &[&str]) -> Result<SweepArgs> {
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     Ok(SweepArgs {
         spec_path: spec_path.ok_or(
-            "usage: netpp sweep <spec.json> [--jobs N] [--cache DIR] [--json] [--quiet] [--trace PATH] [--metrics] [--dry-run]",
+            "usage: netpp sweep <spec.json> [--jobs N] [--threads N] [--cache DIR] [--json] [--quiet] [--trace PATH] [--metrics] [--dry-run]",
         )?,
         jobs: jobs.unwrap_or(default_jobs),
+        threads: threads.unwrap_or(1),
         cache_dir,
         quiet,
         trace_path,
@@ -156,6 +171,7 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
     let mut opts = SweepOptions {
         jobs: args.jobs,
         cache_dir: None,
+        threads: args.threads,
     };
     if let Some(dir) = &args.cache_dir {
         opts = opts.with_cache(dir);

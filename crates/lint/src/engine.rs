@@ -34,6 +34,29 @@ const DETERMINISM_CRATES: &[&str] = &[
 /// Crates whose serde specs must reject unknown fields (S1).
 const SPEC_CRATES: &[&str] = &["sweep", "serve"];
 
+/// The only modules allowed to create OS threads (D4): each one hosts
+/// a deterministic fan-out/merge protocol. The exemption is by exact
+/// module, not by crate, and holds even in strict explicit-path mode —
+/// these files are the sanctioned executors, so flagging them there
+/// would just force blanket suppressions.
+const THREAD_SANCTIONED: &[&str] = &[
+    "crates/simnet/src/netsim_par.rs",
+    "crates/sweep/src/exec.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/bench.rs",
+    "crates/telemetry/src/lib.rs",
+];
+
+/// Is `rel` one of the sanctioned executor modules? Explicit-path runs
+/// can hand in absolute paths, so match on the workspace-relative
+/// suffix.
+fn thread_sanctioned(rel: &str) -> bool {
+    THREAD_SANCTIONED
+        .iter()
+        .any(|s| rel == *s || rel.ends_with(&format!("/{s}")))
+}
+
 /// What to lint and against which ratchet.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -185,10 +208,12 @@ pub fn lint(config: &Config) -> Result<Report> {
 
 /// Which rules apply to `rel` (workspace-relative path).
 fn file_scope(rel: &str, strict: bool) -> FileScope {
+    let thread_discipline = !thread_sanctioned(rel);
     if strict {
         return FileScope {
             determinism: true,
             spec_strictness: true,
+            thread_discipline,
         };
     }
     let crate_name = rel
@@ -198,6 +223,7 @@ fn file_scope(rel: &str, strict: bool) -> FileScope {
     FileScope {
         determinism: DETERMINISM_CRATES.contains(&crate_name),
         spec_strictness: SPEC_CRATES.contains(&crate_name),
+        thread_discipline,
     }
 }
 
@@ -417,6 +443,7 @@ mod tests {
     const ALL: FileScope = FileScope {
         determinism: true,
         spec_strictness: true,
+        thread_discipline: true,
     };
 
     #[test]
@@ -464,6 +491,20 @@ mod tests {
             report.unused.first().map(|u| u.key.as_str()),
             Some("wall-clock")
         );
+    }
+
+    #[test]
+    fn sanctioned_executor_modules_are_exempt_from_d4_even_when_strict() {
+        for rel in [
+            "crates/simnet/src/netsim_par.rs",
+            "crates/serve/src/server.rs",
+            "/abs/checkout/crates/telemetry/src/lib.rs",
+        ] {
+            assert!(!file_scope(rel, true).thread_discipline, "{rel}");
+            assert!(!file_scope(rel, false).thread_discipline, "{rel}");
+        }
+        assert!(file_scope("crates/simnet/src/netsim.rs", true).thread_discipline);
+        assert!(file_scope("crates/serve/src/cache.rs", false).thread_discipline);
     }
 
     #[test]

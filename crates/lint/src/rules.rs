@@ -13,6 +13,7 @@
 //! | D1 | `map-iter`          | determinism crates  | iterating a `HashMap`/`HashSet` (order is seed-dependent) |
 //! | D2 | `wall-clock`        | determinism crates  | `Instant::now`, `SystemTime`, `thread_rng`, `env::var*`, `wall_clock()` calls |
 //! | D3 | `float-reduce`      | determinism crates  | `.sum()`/`.fold()` fed by a hash-map iterator |
+//! | D4 | `thread-spawn`      | all but sanctioned executor modules | `thread::spawn`/`scope`/`Builder` outside the parallel engine, sweep executor, serve daemon, and telemetry |
 //! | P1 | `panic`             | all library code    | `.unwrap()`, panic-family macros, slice indexing (ratcheted) |
 //! | S1 | `deny-unknown-fields` | `sweep` specs     | `Deserialize` struct without `deny_unknown_fields` |
 //! | A1 | —                   | everywhere          | malformed suppression directive |
@@ -30,6 +31,9 @@ pub enum RuleId {
     D2WallClock,
     /// Unordered floating-point reduction over a hash-map iterator.
     D3FloatReduce,
+    /// `thread::spawn`/`scope`/`Builder` outside a sanctioned executor
+    /// module: ad-hoc threads make replay order machine-dependent.
+    D4ThreadSpawn,
     /// Panic-prone construct in non-test library code.
     P1Panic,
     /// `Deserialize` struct without `#[serde(deny_unknown_fields)]`.
@@ -45,6 +49,7 @@ impl RuleId {
             RuleId::D1MapIter => "D1",
             RuleId::D2WallClock => "D2",
             RuleId::D3FloatReduce => "D3",
+            RuleId::D4ThreadSpawn => "D4",
             RuleId::P1Panic => "P1",
             RuleId::S1DenyUnknownFields => "S1",
             RuleId::A1BadSuppression => "A1",
@@ -58,6 +63,7 @@ impl RuleId {
             RuleId::D1MapIter => "map-iter",
             RuleId::D2WallClock => "wall-clock",
             RuleId::D3FloatReduce => "float-reduce",
+            RuleId::D4ThreadSpawn => "thread-spawn",
             RuleId::P1Panic => "panic",
             RuleId::S1DenyUnknownFields => "deny-unknown-fields",
             RuleId::A1BadSuppression => "bad-suppression",
@@ -70,6 +76,7 @@ impl RuleId {
             "map-iter" => Some(RuleId::D1MapIter),
             "wall-clock" => Some(RuleId::D2WallClock),
             "float-reduce" => Some(RuleId::D3FloatReduce),
+            "thread-spawn" => Some(RuleId::D4ThreadSpawn),
             "panic" => Some(RuleId::P1Panic),
             "deny-unknown-fields" => Some(RuleId::S1DenyUnknownFields),
             _ => None,
@@ -96,6 +103,11 @@ pub struct FileScope {
     pub determinism: bool,
     /// Apply the spec-strictness rule (S1)?
     pub spec_strictness: bool,
+    /// Apply the thread-discipline rule (D4)? False only for the
+    /// sanctioned executor modules — an exemption that holds even in
+    /// strict explicit-path mode, since those files *are* the place
+    /// threads belong.
+    pub thread_discipline: bool,
 }
 
 /// Runs every applicable rule over one file's tokens. `masked[i]`
@@ -121,6 +133,9 @@ pub fn scan(tokens: &[Tok], masked: &[bool], scope: FileScope) -> Vec<Hit> {
         }
         hits.extend(wall_clock(tokens, &live));
         hits.extend(float_reduce(tokens, &live, &iter_sites));
+    }
+    if scope.thread_discipline {
+        hits.extend(thread_spawn(tokens, &live));
     }
     hits.extend(panic_hygiene(tokens, &live));
     if scope.spec_strictness {
@@ -416,6 +431,37 @@ fn wall_clock(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
     hits
 }
 
+/// D4: raw OS-thread entry points (`thread::spawn`, `thread::scope`,
+/// `thread::Builder`) outside the sanctioned executor modules. Every
+/// worker pool in the workspace lives behind a deterministic
+/// fan-out/merge protocol (the component-sharded engine, the sweep
+/// executor, the serve daemon); an ad-hoc thread anywhere else can
+/// reorder observable effects machine-dependently.
+fn thread_spawn(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) || !t.is_ident("thread") {
+            continue;
+        }
+        let member = ["spawn", "scope", "Builder"]
+            .iter()
+            .find(|m| path_call(tokens, i, m));
+        if let Some(member) = member {
+            hits.push(Hit {
+                rule: RuleId::D4ThreadSpawn,
+                line: t.line,
+                message: format!(
+                    "`thread::{member}` outside a sanctioned executor module: spawn work \
+                     through the component-sharded engine, the sweep executor, or the serve \
+                     daemon's pool instead (`// npp-lint: allow(thread-spawn) reason=\"…\"` \
+                     only with a documented merge protocol)"
+                ),
+            });
+        }
+    }
+    hits
+}
+
 /// `base :: member (` — a path call off `tokens[i]`.
 fn path_call(tokens: &[Tok], i: usize, member: &str) -> bool {
     tok_is_punct(tokens, i + 1, ':')
@@ -611,6 +657,7 @@ mod tests {
             FileScope {
                 determinism: true,
                 spec_strictness: true,
+                thread_discipline: true,
             },
         )
     }
@@ -716,6 +763,53 @@ mod tests {
             }
         ";
         let hits = scan_all(src);
+        assert!(rules_of(&hits).is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn d4_catches_every_thread_entry_point() {
+        let src = "
+            fn f() {
+                std::thread::spawn(|| {});
+                thread::scope(|s| { drop(s); });
+                let b = std::thread::Builder::new();
+            }
+        ";
+        let hits = scan_all(src);
+        assert_eq!(
+            rules_of(&hits).iter().filter(|r| **r == "D4").count(),
+            3,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn d4_ignores_near_misses_and_unscoped_files() {
+        let src = "
+            fn f(pool: &Pool) {
+                pool.spawn(job);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let thread_count = 4;
+                drop(thread_count);
+            }
+        ";
+        let hits = scan_all(src);
+        assert!(!rules_of(&hits).contains(&"D4"), "{hits:?}");
+
+        // A sanctioned executor module (thread_discipline off) may
+        // spawn freely.
+        let spawning = "fn g() { std::thread::spawn(|| {}); }";
+        let lexed = lex(spawning);
+        let masked = test_mask(&lexed.tokens);
+        let hits = scan(
+            &lexed.tokens,
+            &masked,
+            FileScope {
+                determinism: true,
+                spec_strictness: false,
+                thread_discipline: false,
+            },
+        );
         assert!(rules_of(&hits).is_empty(), "{hits:?}");
     }
 

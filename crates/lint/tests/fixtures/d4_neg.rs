@@ -1,0 +1,25 @@
+//! D4 negative fixture: near-misses that must stay clean — work routed
+//! through an executor handle, a thread *sleep* (no new thread), and
+//! identifiers that merely contain the word.
+
+/// A pool handle that owns the sanctioned fan-out internally.
+pub struct Pool;
+
+impl Pool {
+    /// Enqueues a job on the executor; no OS thread is created here.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        drop(Box::new(job) as Box<dyn FnOnce() + Send>);
+    }
+}
+
+/// Routes work through the pool instead of raw threads.
+pub fn through_the_executor(pool: &Pool) {
+    pool.spawn(|| {});
+    let thread_count = 4;
+    drop(thread_count);
+}
+
+/// Sleeping the current thread spawns nothing.
+pub fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

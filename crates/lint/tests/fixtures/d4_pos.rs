@@ -1,0 +1,27 @@
+//! D4 positive fixture: raw OS threads outside a sanctioned executor
+//! module. Ad-hoc workers have no deterministic merge protocol, so the
+//! order their effects land in is machine-dependent.
+
+/// Fires off a background worker nobody joins deterministically.
+pub fn fire_and_forget(job: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(job);
+}
+
+/// Scoped is no better: the fan-out still bypasses the executors.
+pub fn scoped_fan_out(chunks: &[Vec<u64>]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        for chunk in chunks {
+            s.spawn(move || chunk.iter().sum::<u64>());
+        }
+    });
+    total += 1;
+    total
+}
+
+/// Named threads via the builder are still raw threads.
+pub fn named_worker() -> std::io::Result<()> {
+    let b = std::thread::Builder::new().name("rogue".into());
+    drop(b);
+    Ok(())
+}

@@ -29,6 +29,7 @@ fn positive_fixtures_fire_their_rule() {
         ("d1_pos.rs", RuleId::D1MapIter),
         ("d2_pos.rs", RuleId::D2WallClock),
         ("d3_pos.rs", RuleId::D3FloatReduce),
+        ("d4_pos.rs", RuleId::D4ThreadSpawn),
         ("p1_pos.rs", RuleId::P1Panic),
         ("s1_pos.rs", RuleId::S1DenyUnknownFields),
     ];
@@ -47,6 +48,7 @@ fn negative_fixtures_stay_clean() {
         "d1_neg.rs",
         "d2_neg.rs",
         "d3_neg.rs",
+        "d4_neg.rs",
         "p1_neg.rs",
         "s1_neg.rs",
     ] {
@@ -60,6 +62,16 @@ fn p1_fixture_counts_both_panic_sites() {
     let fired = rules_in("p1_pos.rs");
     let p1 = fired.iter().filter(|&&r| r == RuleId::P1Panic).count();
     assert_eq!(p1, 2, "one index + one unwrap, got {fired:?}");
+}
+
+#[test]
+fn d4_fixture_fires_once_per_entry_point() {
+    let fired = rules_in("d4_pos.rs");
+    let d4 = fired
+        .iter()
+        .filter(|&&r| r == RuleId::D4ThreadSpawn)
+        .count();
+    assert_eq!(d4, 3, "spawn + scope + Builder, got {fired:?}");
 }
 
 #[test]

@@ -72,6 +72,9 @@ impl Slot {
 pub struct Engine {
     cache: Option<ResultCache>,
     jobs: usize,
+    /// Engine worker threads per scenario (fluid path); results are
+    /// bit-identical at every value.
+    threads: usize,
     /// Serializes cold batches so the executor is never oversubscribed.
     exec_gate: Mutex<()>,
     /// Single-flight table: scenario hash → slot being computed.
@@ -105,9 +108,19 @@ impl Engine {
         Self {
             cache,
             jobs: jobs.max(1),
+            threads: 1,
             exec_gate: Mutex::new(()),
             inflight: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Sets the per-scenario engine worker-thread count (default 1).
+    /// Purely an execution knob: cached and computed results are
+    /// bit-identical at every value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The shared cache handle, if caching is enabled.
@@ -191,7 +204,7 @@ impl Engine {
                         .and_then(|(i, _)| scenarios.get(*i))
                         .ok_or_else(|| "batch index out of range".to_string())?;
                     let _scope = npp_telemetry::scope(scenario.seed);
-                    npp_sweep::run_scenario(&scenario.spec, scenario.seed)
+                    npp_sweep::run_scenario_threaded(&scenario.spec, scenario.seed, self.threads)
                         .map_err(|e| e.to_string())
                 });
 

@@ -111,6 +111,9 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Executor threads for cold scenario batches.
     pub jobs: usize,
+    /// Engine worker threads per scenario (fluid path). Results are
+    /// bit-identical at every value; this only changes wall time.
+    pub threads: usize,
     /// Admission cap: connections queued or in service before the
     /// acceptor answers 429.
     pub max_inflight: usize,
@@ -129,6 +132,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7733".to_string(),
             cache_dir: None,
             jobs: cores,
+            threads: 1,
             max_inflight: 64,
             workers: cores.clamp(2, 8),
             read_timeout_ms: 5_000,

@@ -97,7 +97,7 @@ pub fn spawn(config: ServeConfig) -> Result<ServerHandle> {
         Some(dir) => Some(ResultCache::open(dir)?),
         None => None,
     };
-    let engine = Engine::new(cache, config.jobs);
+    let engine = Engine::new(cache, config.jobs).with_threads(config.threads);
     let shared = Arc::new(Shared {
         engine,
         config,

@@ -18,6 +18,7 @@ fn test_config(cache: Option<PathBuf>) -> ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         cache_dir: cache,
         jobs: 2,
+        threads: 1,
         max_inflight: 32,
         workers: 2,
         read_timeout_ms: 2_000,

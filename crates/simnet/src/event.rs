@@ -263,3 +263,117 @@ mod tests {
         assert_eq!(s.peek_time(), None);
     }
 }
+
+/// Epoch-boundary semantics of [`Scheduler::pop_batch`], which the
+/// parallel engine's coordinator relies on: every event at one
+/// timestamp — and nothing else — must land in one batch, because a
+/// batch becomes one fluid epoch's release set on every shard.
+#[cfg(test)]
+mod pop_batch_epoch_tests {
+    use super::*;
+
+    #[test]
+    fn ties_at_identical_timestamps_land_in_one_batch() {
+        let mut s = Scheduler::new();
+        // Interleave three timestamps in scrambled insertion order.
+        for (t, e) in [
+            (20, "c0"),
+            (10, "a0"),
+            (30, "e0"),
+            (10, "a1"),
+            (20, "c1"),
+            (10, "a2"),
+        ] {
+            s.schedule(SimTime::from_nanos(t), e).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(10)));
+        // All ties, FIFO within the tie, none of the later epoch.
+        assert_eq!(batch, ["a0", "a1", "a2"]);
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(20)));
+        assert_eq!(batch, ["c0", "c1"]);
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(30)));
+        assert_eq!(batch, ["e0"]);
+        assert_eq!(s.pop_batch(&mut batch), None);
+    }
+
+    #[test]
+    fn adjacent_nanoseconds_are_separate_epochs() {
+        // One-nanosecond separation must NOT merge: epochs are exact
+        // integer-ns instants, not windows.
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_nanos(1000), 1).unwrap();
+        s.schedule(SimTime::from_nanos(1001), 2).unwrap();
+        let mut batch = Vec::new();
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(1000)));
+        assert_eq!(batch, [1]);
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(1001)));
+        assert_eq!(batch, [2]);
+    }
+
+    #[test]
+    fn scheduling_at_the_current_instant_joins_the_next_batch() {
+        // After a batch pops at t, new events at exactly t are legal
+        // (not time reversal) and form a follow-up epoch at the same
+        // instant — the scheduler never loses or reorders them.
+        let mut s = Scheduler::new();
+        let t = SimTime::from_nanos(500);
+        s.schedule(t, "first").unwrap();
+        let mut batch = Vec::new();
+        assert_eq!(s.pop_batch(&mut batch), Some(t));
+        assert_eq!(batch, ["first"]);
+        s.schedule(t, "same-instant").unwrap();
+        assert_eq!(s.pop_batch(&mut batch), Some(t));
+        assert_eq!(batch, ["same-instant"]);
+        assert_eq!(s.now(), t);
+    }
+
+    #[test]
+    fn time_zero_epoch_is_a_valid_batch() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::ZERO, 7).unwrap();
+        s.schedule(SimTime::ZERO, 8).unwrap();
+        s.schedule(SimTime::from_nanos(1), 9).unwrap();
+        let mut batch = Vec::new();
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::ZERO));
+        assert_eq!(batch, [7, 8]);
+    }
+
+    #[test]
+    fn large_tie_groups_preserve_fifo_order_exactly() {
+        // A full scenario round injects 10⁵+ flows at one instant; the
+        // release set must come back in insertion order regardless of
+        // heap internals.
+        let mut s = Scheduler::with_capacity(4096);
+        let t = SimTime::from_millis(2);
+        for i in 0..4096u32 {
+            s.schedule(t, i).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert_eq!(s.pop_batch(&mut batch), Some(t));
+        assert_eq!(batch.len(), 4096);
+        assert!(
+            batch.windows(2).all(|w| w[0] < w[1]),
+            "FIFO == insertion order"
+        );
+        assert_eq!(s.processed(), 4096);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn batch_boundaries_survive_interleaved_scheduling() {
+        // Epoch loop pattern: pop a batch, schedule future work, pop
+        // again — boundaries stay exact across the interleave.
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_nanos(10), 0).unwrap();
+        let mut batch = Vec::new();
+        s.pop_batch(&mut batch);
+        s.schedule(SimTime::from_nanos(25), 1).unwrap();
+        s.schedule(SimTime::from_nanos(25), 2).unwrap();
+        s.schedule(SimTime::from_nanos(40), 3).unwrap();
+        assert_eq!(s.pop_batch(&mut batch), Some(SimTime::from_nanos(25)));
+        assert_eq!(batch, [1, 2]);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(40)));
+        assert_eq!(s.pending(), 1);
+    }
+}

@@ -50,6 +50,7 @@ pub mod event;
 pub mod link;
 pub mod netsim;
 pub mod netsim_naive;
+mod netsim_par;
 pub mod power_tracker;
 pub mod scenarios;
 pub mod sources;
@@ -58,7 +59,7 @@ pub mod switchsim;
 mod time;
 
 pub use event::Scheduler;
-pub use netsim::EngineMetrics;
+pub use netsim::{EngineMetrics, WorkerMetrics};
 pub use power_tracker::{DwellSegment, PowerTimeline, PowerTracker};
 pub use time::SimTime;
 

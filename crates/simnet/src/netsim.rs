@@ -23,10 +23,12 @@
 //!   `link_id * 2 + direction`, so per-directed-link state lives in
 //!   plain arrays instead of `HashMap<DirLink, f64>`;
 //! - flow→link paths are stored in one CSR arena
-//!   ([`NetSim::path_links`] + offsets) filled at injection time, and a
-//!   link→flow CSR is (re)built by counting sort before the event loop
-//!   starts, so the waterfill never scans `path.contains`;
-//! - [`NetSim::run`] owns a scratch arena (capacities, crossing counts,
+//!   ([`EngineCore::path_links`] + offsets) filled at injection time
+//!   (ECMP resolution is memoised per `(src, dst)` pair, so million-flow
+//!   workloads that reuse routes pay one BFS per pair, not per flow),
+//!   and a link→flow CSR is (re)built by counting sort before the event
+//!   loop starts, so the waterfill never scans `path.contains`;
+//! - the run loop owns a scratch arena (capacities, crossing counts,
 //!   dirty marks, work queues) that is sized once and reused by every
 //!   event, so the steady-state loop performs zero heap allocations;
 //! - an event only recomputes the rates of the flows it can actually
@@ -34,12 +36,25 @@
 //!   (flows sharing a directed link share a bottleneck cascade), and
 //!   untouched sharing components keep their — still exact — rates.
 //!
+//! # The parallel runtime
+//!
+//! [`NetSim::run_threads`] shards the engine across worker threads by
+//! link-sharing component (see `netsim_par`): progressive filling
+//! decomposes over link-disjoint components, so each worker runs the
+//! same indexed waterfill over its components while a coordinator drives
+//! all shards through the same global epoch sequence. Rates, completion
+//! times, and per-link statistics are `to_bits`-identical to the serial
+//! engine for any thread count.
+//!
 //! Correctness is anchored by a naive progressive-filling oracle
 //! (`O(flows² · links)`, the pre-optimization algorithm) that runs after
-//! every recompute in test/debug builds and asserts the rate vectors
-//! are **bit-identical**. [`crate::netsim_naive::NaiveNetSim`] preserves
+//! every recompute in test/debug builds — in the serial loop *and*
+//! inside every parallel shard — and asserts the rate vectors are
+//! **bit-identical**. [`crate::netsim_naive::NaiveNetSim`] preserves
 //! the full pre-optimization engine for benchmarks and differential
 //! tests.
+
+use std::collections::BTreeMap;
 
 use npp_topology::graph::{LinkId, NodeId, Topology};
 use serde::Serialize;
@@ -51,15 +66,15 @@ use crate::{Result, SimError, SimTime};
 pub struct FlowId(pub usize);
 
 #[derive(Debug, Clone)]
-struct Flow {
-    bytes_remaining: f64,
-    injected: SimTime,
-    finished: Option<SimTime>,
-    rate_gbps: f64,
+pub(crate) struct Flow {
+    pub(crate) bytes_remaining: f64,
+    pub(crate) injected: SimTime,
+    pub(crate) finished: Option<SimTime>,
+    pub(crate) rate_gbps: f64,
     /// Scheduled but not yet released into the fluid system.
-    pending: bool,
+    pub(crate) pending: bool,
     /// Released and not yet finished.
-    active: bool,
+    pub(crate) active: bool,
 }
 
 /// Statistics for one completed or running flow.
@@ -78,7 +93,7 @@ pub struct FlowStatus {
 /// Reusable working memory for the event loop: sized once per run,
 /// then reused by every recompute so the steady state allocates nothing.
 #[derive(Debug, Clone, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// Remaining capacity per directed link (valid only for `touched`).
     cap: Vec<f64>,
     /// Unassigned-flow crossing count per directed link (zero outside a
@@ -104,17 +119,17 @@ struct Scratch {
     set: Vec<u32>,
     /// Flows changed by the last event (released or completed): the
     /// seeds of the next dirty closure.
-    seeds: Vec<u32>,
+    pub(crate) seeds: Vec<u32>,
 }
 
-/// Engine-internal counters exposed for benchmarks and `netpp profile`:
-/// how much work the indexed fast path actually did.
+/// Per-worker work counters from one parallel run
+/// ([`NetSim::run_threads`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
-pub struct EngineMetrics {
-    /// Fluid events (rate epochs) processed.
-    pub events: u64,
-    /// Largest number of simultaneously live flows.
-    pub peak_live_flows: usize,
+pub struct WorkerMetrics {
+    /// Link-sharing components owned by this worker.
+    pub components: usize,
+    /// Flows owned by this worker.
+    pub flows: usize,
     /// Dirty-closure + waterfill recomputations performed.
     pub recomputes: u64,
     /// Total bottleneck-fixing iterations across all recomputes.
@@ -126,44 +141,87 @@ pub struct EngineMetrics {
     pub touched_links_max: usize,
 }
 
-/// The flow-level simulator.
+/// Parallel-run statistics recorded by `netsim_par` on the owning
+/// [`NetSim`]; folded into [`EngineMetrics`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ParMetrics {
+    pub(crate) threads: usize,
+    pub(crate) components: usize,
+    pub(crate) component_flows_hist: Vec<u64>,
+    pub(crate) merge_wait_ns: u64,
+    pub(crate) workers: Vec<WorkerMetrics>,
+}
+
+/// Engine-internal counters exposed for benchmarks and `netpp profile`:
+/// how much work the indexed fast path actually did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct EngineMetrics {
+    /// Fluid events (rate epochs) processed.
+    pub events: u64,
+    /// Largest number of simultaneously live flows.
+    pub peak_live_flows: usize,
+    /// Dirty-closure + waterfill recomputations performed (summed over
+    /// workers for parallel runs).
+    pub recomputes: u64,
+    /// Total bottleneck-fixing iterations across all recomputes.
+    pub fixing_iterations: u64,
+    /// Largest dirty set (flows re-rated by one event).
+    pub dirty_set_max: usize,
+    /// Scratch-arena high-water mark: most directed links touched by one
+    /// waterfill.
+    pub touched_links_max: usize,
+    /// Worker threads used by the last run (1 = serial engine).
+    pub threads: usize,
+    /// Link-sharing components discovered by the last parallel run
+    /// (0 when the serial engine ran).
+    pub components: usize,
+    /// Power-of-two histogram of flows per component: bucket `i` counts
+    /// components with `2^i ≤ flows < 2^(i+1)` (empty for serial runs).
+    pub component_flows_hist: Vec<u64>,
+    /// Wall nanoseconds the parallel coordinator spent blocked waiting
+    /// for worker replies (volatile profiling data, never simulation
+    /// state).
+    pub merge_wait_ns: u64,
+    /// Per-worker counters for the last parallel run (empty for serial).
+    pub workers: Vec<WorkerMetrics>,
+}
+
+/// The per-run engine state shared by the serial event loop and the
+/// parallel shards: dense per-flow and per-directed-link arrays, the
+/// CSR adjacencies, the scratch arena, and the indexed waterfill.
+///
+/// A shard (see `netsim_par`) is simply an `EngineCore` holding a
+/// subset of the flows (local dense ids, ascending in global id) while
+/// keeping **global** directed-link ids — link-disjointness of
+/// components means per-link arrays never conflict, and global link ids
+/// keep the bottleneck tie-break bit-identical to the serial engine.
 #[derive(Debug, Clone)]
-pub struct NetSim {
-    topo: Topology,
+pub(crate) struct EngineCore {
     /// Capacity (Gbps) per directed link; both directions of a link
     /// share the link's capacity value.
-    link_caps: Vec<f64>,
-    flows: Vec<Flow>,
+    pub(crate) link_caps: Vec<f64>,
+    pub(crate) flows: Vec<Flow>,
     /// CSR flow→directed-link adjacency: `path_links[path_offsets[i]..
     /// path_offsets[i + 1]]` is flow `i`'s path, filled at injection.
-    path_offsets: Vec<usize>,
-    path_links: Vec<u32>,
+    pub(crate) path_offsets: Vec<usize>,
+    pub(crate) path_links: Vec<u32>,
     /// CSR directed-link→flow adjacency, rebuilt (counting sort) when
     /// flows were injected since the last build. Rows list flows in
     /// ascending id order, which the waterfill relies on.
     lf_offsets: Vec<usize>,
     lf_flows: Vec<u32>,
     lf_flows_built: usize,
-    /// Pending injections, sorted by time (reverse for pop).
-    pending: Vec<(SimTime, FlowId)>,
     /// Released, unfinished flows, ascending by id.
-    active: Vec<u32>,
-    now: SimTime,
+    pub(crate) active: Vec<u32>,
     /// Per-directed-link busy time accumulated, in seconds.
-    busy_secs: Vec<f64>,
+    pub(crate) busy_secs: Vec<f64>,
     /// Per-link bytes carried (both directions).
-    carried: Vec<f64>,
-    events: u64,
-    peak_active: usize,
-    recomputes: u64,
-    fixing_iterations: u64,
-    dirty_set_max: usize,
-    touched_links_max: usize,
-    /// Samples one in N recompute passes into the `prof.netsim.recompute_ns`
-    /// histogram when telemetry recording is active (profiling data only —
-    /// wall time never feeds back into simulation state).
-    recompute_timer: npp_telemetry::timer::SampleTimer,
-    scratch: Scratch,
+    pub(crate) carried: Vec<f64>,
+    pub(crate) recomputes: u64,
+    pub(crate) fixing_iterations: u64,
+    pub(crate) dirty_set_max: usize,
+    pub(crate) touched_links_max: usize,
+    pub(crate) scratch: Scratch,
 }
 
 /// Directed-link id of `link` traversed forward (`a → b`) or backward.
@@ -171,18 +229,11 @@ fn dirlink(link: LinkId, forward: bool) -> u32 {
     (link.0 * 2 + usize::from(forward)) as u32
 }
 
-impl NetSim {
-    /// Creates a simulator over (a clone of) the topology.
-    pub fn new(topo: Topology) -> Self {
-        let n_links = topo.links().len();
-        let mut link_caps = vec![0.0; n_links * 2];
-        for l in topo.links() {
-            let c = l.capacity.value();
-            link_caps[l.id.0 * 2] = c;
-            link_caps[l.id.0 * 2 + 1] = c;
-        }
+impl EngineCore {
+    /// An empty core over `link_caps` (one capacity per directed link).
+    pub(crate) fn new(link_caps: Vec<f64>) -> Self {
+        let n_dl = link_caps.len();
         Self {
-            topo,
             link_caps,
             flows: Vec::new(),
             path_offsets: vec![0],
@@ -190,136 +241,26 @@ impl NetSim {
             lf_offsets: Vec::new(),
             lf_flows: Vec::new(),
             lf_flows_built: 0,
-            pending: Vec::new(),
             active: Vec::new(),
-            now: SimTime::ZERO,
-            busy_secs: vec![0.0; n_links * 2],
-            carried: vec![0.0; n_links],
-            events: 0,
-            peak_active: 0,
+            busy_secs: vec![0.0; n_dl],
+            carried: vec![0.0; n_dl / 2],
             recomputes: 0,
             fixing_iterations: 0,
             dirty_set_max: 0,
             touched_links_max: 0,
-            recompute_timer: npp_telemetry::timer::SampleTimer::every(64),
             scratch: Scratch::default(),
         }
     }
 
-    /// The simulation clock.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Number of fluid events (rate epochs) processed by [`NetSim::run`].
-    pub fn events_processed(&self) -> u64 {
-        self.events
-    }
-
-    /// Largest number of simultaneously live flows seen so far.
-    pub fn peak_live_flows(&self) -> usize {
-        self.peak_active
-    }
-
-    /// Snapshot of the engine's internal work counters.
-    pub fn engine_metrics(&self) -> EngineMetrics {
-        EngineMetrics {
-            events: self.events,
-            peak_live_flows: self.peak_active,
-            recomputes: self.recomputes,
-            fixing_iterations: self.fixing_iterations,
-            dirty_set_max: self.dirty_set_max,
-            touched_links_max: self.touched_links_max,
-        }
-    }
-
-    /// Number of flows ever injected.
-    pub fn flow_count(&self) -> usize {
-        self.flows.len()
-    }
-
-    /// Flows scheduled but not yet released into the fluid system.
-    pub fn pending_flow_count(&self) -> usize {
-        self.flows.iter().filter(|f| f.pending).count()
-    }
-
-    /// Flows currently live (released and unfinished).
-    pub fn live_flow_count(&self) -> usize {
-        self.active.len()
-    }
-
-    /// Schedules a flow of `bytes` from `src` to `dst` at time `at`,
-    /// routed on the `path_choice`-th ECMP shortest path (modulo the
-    /// path count — callers can hash flows across paths).
-    ///
-    /// # Errors
-    ///
-    /// Rejects flows between unreachable nodes, empty flows, and
-    /// injections in the past.
-    pub fn inject(
-        &mut self,
-        at: SimTime,
-        src: NodeId,
-        dst: NodeId,
-        bytes: f64,
-        path_choice: usize,
-    ) -> Result<FlowId> {
-        if at < self.now {
-            return Err(SimError::TimeReversal {
-                now_ns: self.now.as_nanos(),
-                requested_ns: at.as_nanos(),
-            });
-        }
-        if bytes <= 0.0 || !bytes.is_finite() {
-            return Err(SimError::Config(format!(
-                "flow size {bytes} must be positive"
-            )));
-        }
-        let paths = self.topo.ecmp_paths(src, dst, 16);
-        if paths.is_empty() {
-            return Err(SimError::Config(format!(
-                "no path from node {} to node {}",
-                src.0, dst.0
-            )));
-        }
-        let nodes = &paths[path_choice % paths.len()];
-        for hop in nodes.windows(2) {
-            let (a, b) = (hop[0], hop[1]);
-            let (_, link) = self
-                .topo
-                .neighbors(a)
-                .iter()
-                .copied()
-                .find(|&(peer, _)| peer == b)
-                .expect("consecutive ECMP nodes are adjacent");
-            let l = self.topo.link(link).expect("link exists");
-            self.path_links.push(dirlink(link, l.a == a));
-        }
-        self.path_offsets.push(self.path_links.len());
-        let id = FlowId(self.flows.len());
-        self.flows.push(Flow {
-            bytes_remaining: bytes,
-            injected: at,
-            finished: None,
-            rate_gbps: 0.0,
-            pending: true,
-            active: false,
-        });
-        self.pending.push((at, id));
-        self.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
-        Ok(id)
-    }
-
     /// Flow `i`'s path as a slice of directed-link ids.
-    #[cfg(any(test, debug_assertions))]
-    fn path(&self, i: usize) -> &[u32] {
+    pub(crate) fn path(&self, i: usize) -> &[u32] {
         &self.path_links[self.path_offsets[i]..self.path_offsets[i + 1]]
     }
 
     /// Rebuilds the link→flow CSR if flows were injected since the last
     /// build. Counting sort over the flow→link CSR keeps each row in
     /// ascending flow-id order; the buffers are reused across rebuilds.
-    fn ensure_link_flow_csr(&mut self) {
+    pub(crate) fn ensure_link_flow_csr(&mut self) {
         if self.lf_flows_built == self.flows.len() {
             return;
         }
@@ -354,7 +295,7 @@ impl NetSim {
 
     /// Sizes the scratch arena for the current flow/link population so
     /// the event loop never grows a buffer mid-run.
-    fn ensure_scratch_sized(&mut self) {
+    pub(crate) fn ensure_scratch_sized(&mut self) {
         let n_dl = self.link_caps.len();
         let n_fl = self.flows.len();
         let s = &mut self.scratch;
@@ -379,7 +320,7 @@ impl NetSim {
     /// components not reached keep their previous — still exact —
     /// max-min rates, because progressive filling decomposes over
     /// link-disjoint components.
-    fn dirty_closure(&mut self) {
+    pub(crate) fn dirty_closure(&mut self) {
         let s = &mut self.scratch;
         s.set.clear();
         s.queue.clear();
@@ -434,7 +375,7 @@ impl NetSim {
     /// algorithm's fixing order bit for bit), and ties on the fair share
     /// break toward the smallest directed-link id — the same choice a
     /// deterministic scan of the naive capacity map makes.
-    fn recompute_rates(&mut self) {
+    pub(crate) fn recompute_rates(&mut self) {
         let s = &mut self.scratch;
         debug_assert!(s.touched.is_empty());
         let mut unassigned = 0usize;
@@ -514,10 +455,11 @@ impl NetSim {
     /// Full-recompute oracle: reruns the naive `O(flows² · links)`
     /// progressive filling over *all* active flows and asserts every
     /// rate — including those the dirty closure chose not to touch — is
-    /// bit-identical to what the indexed engine holds.
+    /// bit-identical to what the indexed engine holds. For a parallel
+    /// shard this covers exactly the shard's components, which form a
+    /// standalone fluid system by link-disjointness.
     #[cfg(any(test, debug_assertions))]
-    fn assert_rates_match_naive_oracle(&self) {
-        use std::collections::BTreeMap;
+    pub(crate) fn assert_rates_match_naive_oracle(&self) {
         let active: Vec<usize> = self
             .flows
             .iter()
@@ -578,6 +520,255 @@ impl NetSim {
         }
     }
 
+    /// Earliest completion time among active flows, given the current
+    /// clock. `None` when no active flow has a positive rate.
+    pub(crate) fn earliest_completion(&self, now: SimTime) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        for &i in &self.active {
+            let f = &self.flows[i as usize];
+            if f.rate_gbps > 0.0 {
+                let secs = f.bytes_remaining * 8.0 / (f.rate_gbps * 1e9);
+                let t = now.plus_nanos((secs * 1e9).ceil() as u64);
+                if earliest.map(|e| t < e).unwrap_or(true) {
+                    earliest = Some(t);
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Integrates flow progress over `[now, next]` in ascending flow-id
+    /// order (float accumulation into the link stats must not depend on
+    /// injection order), then retires completed flows from the active
+    /// list; retirees seed the next dirty closure (their links free
+    /// capacity).
+    pub(crate) fn integrate(&mut self, now: SimTime, next: SimTime) {
+        let dt = next.since(now) as f64 * 1e-9;
+        for &i in &self.active {
+            let fi = i as usize;
+            let rate = self.flows[fi].rate_gbps;
+            if rate > 0.0 {
+                let moved = rate * 1e9 * dt / 8.0;
+                let f = &mut self.flows[fi];
+                f.bytes_remaining = (f.bytes_remaining - moved).max(0.0);
+                let done = f.bytes_remaining <= 1e-6;
+                if done {
+                    f.finished = Some(next);
+                    f.active = false;
+                }
+                for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                    let d = dl as usize;
+                    self.busy_secs[d] += dt;
+                    self.carried[d / 2] += moved;
+                }
+            }
+        }
+        let (flows, scratch) = (&self.flows, &mut self.scratch);
+        self.active.retain(|&i| {
+            if flows[i as usize].active {
+                true
+            } else {
+                scratch.seeds.push(i);
+                false
+            }
+        });
+    }
+
+    /// Releases a pending flow into the fluid system; it seeds the next
+    /// dirty closure. The caller re-sorts `active` once per epoch.
+    pub(crate) fn release(&mut self, i: u32) {
+        let f = &mut self.flows[i as usize];
+        f.pending = false;
+        f.active = true;
+        self.active.push(i);
+        self.scratch.seeds.push(i);
+    }
+}
+
+/// The flow-level simulator.
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    topo: Topology,
+    pub(crate) core: EngineCore,
+    /// Pending injections, sorted by time (reverse for pop) once
+    /// [`NetSim::prepare_run`] has run; injection only appends and
+    /// clears the flag, so a million injections cost one sort.
+    pub(crate) pending: Vec<(SimTime, FlowId)>,
+    pub(crate) pending_sorted: bool,
+    pub(crate) now: SimTime,
+    pub(crate) events: u64,
+    pub(crate) peak_active: usize,
+    /// Memoised ECMP resolution: `(src, dst) → the up-to-16 shortest
+    /// paths, already resolved to directed-link ids` in `ecmp_paths`
+    /// order. Pure cache: entries are a function of the (immutable)
+    /// topology only.
+    route_cache: BTreeMap<(usize, usize), Vec<Vec<u32>>>,
+    /// Statistics of the last parallel run, if any.
+    pub(crate) par: Option<ParMetrics>,
+    /// Samples one in N recompute passes into the `prof.netsim.recompute_ns`
+    /// histogram when telemetry recording is active (profiling data only —
+    /// wall time never feeds back into simulation state).
+    recompute_timer: npp_telemetry::timer::SampleTimer,
+}
+
+impl NetSim {
+    /// Creates a simulator over (a clone of) the topology.
+    pub fn new(topo: Topology) -> Self {
+        let n_links = topo.links().len();
+        let mut link_caps = vec![0.0; n_links * 2];
+        for l in topo.links() {
+            let c = l.capacity.value();
+            link_caps[l.id.0 * 2] = c;
+            link_caps[l.id.0 * 2 + 1] = c;
+        }
+        Self {
+            topo,
+            core: EngineCore::new(link_caps),
+            pending: Vec::new(),
+            pending_sorted: true,
+            now: SimTime::ZERO,
+            events: 0,
+            peak_active: 0,
+            route_cache: BTreeMap::new(),
+            par: None,
+            recompute_timer: npp_telemetry::timer::SampleTimer::every(64),
+        }
+    }
+
+    /// The simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of fluid events (rate epochs) processed by [`NetSim::run`].
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Largest number of simultaneously live flows seen so far.
+    pub fn peak_live_flows(&self) -> usize {
+        self.peak_active
+    }
+
+    /// Snapshot of the engine's internal work counters.
+    pub fn engine_metrics(&self) -> EngineMetrics {
+        let par = self.par.clone().unwrap_or_default();
+        EngineMetrics {
+            events: self.events,
+            peak_live_flows: self.peak_active,
+            recomputes: self.core.recomputes,
+            fixing_iterations: self.core.fixing_iterations,
+            dirty_set_max: self.core.dirty_set_max,
+            touched_links_max: self.core.touched_links_max,
+            threads: if self.par.is_some() { par.threads } else { 1 },
+            components: par.components,
+            component_flows_hist: par.component_flows_hist,
+            merge_wait_ns: par.merge_wait_ns,
+            workers: par.workers,
+        }
+    }
+
+    /// Number of flows ever injected.
+    pub fn flow_count(&self) -> usize {
+        self.core.flows.len()
+    }
+
+    /// Flows scheduled but not yet released into the fluid system.
+    pub fn pending_flow_count(&self) -> usize {
+        self.core.flows.iter().filter(|f| f.pending).count()
+    }
+
+    /// Flows currently live (released and unfinished).
+    pub fn live_flow_count(&self) -> usize {
+        self.core.active.len()
+    }
+
+    /// Schedules a flow of `bytes` from `src` to `dst` at time `at`,
+    /// routed on the `path_choice`-th ECMP shortest path (modulo the
+    /// path count — callers can hash flows across paths).
+    ///
+    /// # Errors
+    ///
+    /// Rejects flows between unreachable nodes, empty flows, and
+    /// injections in the past.
+    pub fn inject(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        path_choice: usize,
+    ) -> Result<FlowId> {
+        if at < self.now {
+            return Err(SimError::TimeReversal {
+                now_ns: self.now.as_nanos(),
+                requested_ns: at.as_nanos(),
+            });
+        }
+        if bytes <= 0.0 || !bytes.is_finite() {
+            return Err(SimError::Config(format!(
+                "flow size {bytes} must be positive"
+            )));
+        }
+        let key = (src.0, dst.0);
+        if !self.route_cache.contains_key(&key) {
+            let paths = self.topo.ecmp_paths(src, dst, 16);
+            if paths.is_empty() {
+                return Err(SimError::Config(format!(
+                    "no path from node {} to node {}",
+                    src.0, dst.0
+                )));
+            }
+            let mut resolved = Vec::with_capacity(paths.len());
+            for nodes in &paths {
+                let mut dls = Vec::with_capacity(nodes.len().saturating_sub(1));
+                for hop in nodes.windows(2) {
+                    let (a, b) = (hop[0], hop[1]);
+                    let (_, link) = self
+                        .topo
+                        .neighbors(a)
+                        .iter()
+                        .copied()
+                        .find(|&(peer, _)| peer == b)
+                        .expect("consecutive ECMP nodes are adjacent");
+                    let l = self.topo.link(link).expect("link exists");
+                    dls.push(dirlink(link, l.a == a));
+                }
+                resolved.push(dls);
+            }
+            self.route_cache.insert(key, resolved);
+        }
+        let routes = &self.route_cache[&key];
+        let dls = &routes[path_choice % routes.len()];
+        self.core.path_links.extend_from_slice(dls);
+        self.core.path_offsets.push(self.core.path_links.len());
+        let id = FlowId(self.core.flows.len());
+        self.core.flows.push(Flow {
+            bytes_remaining: bytes,
+            injected: at,
+            finished: None,
+            rate_gbps: 0.0,
+            pending: true,
+            active: false,
+        });
+        self.pending.push((at, id));
+        self.pending_sorted = false;
+        Ok(id)
+    }
+
+    /// One-time run preparation: sorts the pending queue (deferred from
+    /// injection — a stable sort, so simultaneous injections keep
+    /// insertion order exactly as the per-inject sorts did) and sizes
+    /// the CSR + scratch arenas.
+    pub(crate) fn prepare_run(&mut self) {
+        if !self.pending_sorted {
+            self.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
+            self.pending_sorted = true;
+        }
+        self.core.ensure_link_flow_csr();
+        self.core.ensure_scratch_sized();
+    }
+
     /// Advances the simulation until all flows complete.
     ///
     /// # Errors
@@ -585,39 +776,28 @@ impl NetSim {
     /// Propagates configuration errors (none occur after injection in the
     /// current model); returns Ok when the fluid system drains.
     pub fn run(&mut self) -> Result<()> {
-        self.ensure_link_flow_csr();
-        self.ensure_scratch_sized();
+        self.prepare_run();
         npp_telemetry::trace_span!(begin "netsim.run", self.now.as_nanos());
         loop {
-            if self.active.is_empty() && self.pending.is_empty() {
+            if self.core.active.is_empty() && self.pending.is_empty() {
                 npp_telemetry::trace_span!(end "netsim.run", self.now.as_nanos());
                 self.publish_metrics();
                 return Ok(());
             }
-            if !self.scratch.seeds.is_empty() {
+            if !self.core.scratch.seeds.is_empty() {
                 let sample = self.recompute_timer.maybe_start();
-                self.dirty_closure();
-                self.recompute_rates();
+                self.core.dirty_closure();
+                self.core.recompute_rates();
                 if let Some(stamp) = sample {
                     npp_telemetry::timer::record_sample("prof.netsim.recompute_ns", stamp);
                 }
                 #[cfg(any(test, debug_assertions))]
-                self.assert_rates_match_naive_oracle();
+                self.core.assert_rates_match_naive_oracle();
             }
 
             // Earliest of: next injection, earliest completion.
             let next_injection = self.pending.last().map(|&(t, _)| t);
-            let mut earliest_completion: Option<SimTime> = None;
-            for &i in &self.active {
-                let f = &self.flows[i as usize];
-                if f.rate_gbps > 0.0 {
-                    let secs = f.bytes_remaining * 8.0 / (f.rate_gbps * 1e9);
-                    let t = self.now.plus_nanos((secs * 1e9).ceil() as u64);
-                    if earliest_completion.map(|e| t < e).unwrap_or(true) {
-                        earliest_completion = Some(t);
-                    }
-                }
-            }
+            let earliest_completion = self.core.earliest_completion(self.now);
             let next = match (next_injection, earliest_completion) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -629,39 +809,10 @@ impl NetSim {
                 }
             };
 
-            // Integrate progress over [now, next], ascending flow id.
-            let dt = next.since(self.now) as f64 * 1e-9;
-            for &i in &self.active {
-                let fi = i as usize;
-                let rate = self.flows[fi].rate_gbps;
-                if rate > 0.0 {
-                    let moved = rate * 1e9 * dt / 8.0;
-                    let f = &mut self.flows[fi];
-                    f.bytes_remaining = (f.bytes_remaining - moved).max(0.0);
-                    let done = f.bytes_remaining <= 1e-6;
-                    if done {
-                        f.finished = Some(next);
-                        f.active = false;
-                    }
-                    for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
-                        let d = dl as usize;
-                        self.busy_secs[d] += dt;
-                        self.carried[d / 2] += moved;
-                    }
-                }
-            }
+            // Integrate progress over [now, next], ascending flow id;
+            // completions retire into the next closure's seeds.
+            self.core.integrate(self.now, next);
             self.now = next;
-            // Drop completed flows from the active list; they seed the
-            // next dirty closure (their links free capacity).
-            let (flows, scratch) = (&self.flows, &mut self.scratch);
-            self.active.retain(|&i| {
-                if flows[i as usize].active {
-                    true
-                } else {
-                    scratch.seeds.push(i);
-                    false
-                }
-            });
             // Release injections due now.
             let mut released = false;
             while self
@@ -671,48 +822,66 @@ impl NetSim {
                 .unwrap_or(false)
             {
                 let (_, FlowId(i)) = self.pending.pop().expect("checked non-empty");
-                let f = &mut self.flows[i];
-                f.pending = false;
-                f.active = true;
-                self.active.push(i as u32);
-                self.scratch.seeds.push(i as u32);
+                self.core.release(i as u32);
                 released = true;
             }
             if released {
                 // Keep the active list ascending: integration order (and
                 // thus float accumulation into the link stats) must not
                 // depend on injection order.
-                self.active.sort_unstable();
-                self.peak_active = self.peak_active.max(self.active.len());
+                self.core.active.sort_unstable();
+                self.peak_active = self.peak_active.max(self.core.active.len());
             }
             self.events += 1;
             npp_telemetry::trace_counter!(
                 "netsim.live_flows",
                 self.now.as_nanos(),
                 0,
-                self.active.len()
+                self.core.active.len()
             );
         }
     }
 
+    /// Advances the simulation until all flows complete, sharding the
+    /// work across up to `threads` worker threads by link-sharing
+    /// component (see the `netsim_par` module docs).
+    ///
+    /// The result — every rate, completion time, per-link statistic, the
+    /// event count, and the peak-live-flow count — is `to_bits`-identical
+    /// to [`NetSim::run`] for **any** thread count; `threads <= 1` simply
+    /// runs the serial engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetSim::run`].
+    pub fn run_threads(&mut self, threads: usize) -> Result<()> {
+        if threads <= 1 {
+            return self.run();
+        }
+        crate::netsim_par::run_parallel(self, threads)
+    }
+
     /// Publish the engine counters into the telemetry metrics registry
     /// (no-op unless a recording is active).
-    fn publish_metrics(&self) {
+    pub(crate) fn publish_metrics(&self) {
         if !npp_telemetry::enabled() {
             return;
         }
         use npp_telemetry::metrics as m;
         m::counter_add("netsim.events", self.events);
-        m::counter_add("netsim.recomputes", self.recomputes);
-        m::counter_add("netsim.fixing_iterations", self.fixing_iterations);
+        m::counter_add("netsim.recomputes", self.core.recomputes);
+        m::counter_add("netsim.fixing_iterations", self.core.fixing_iterations);
         m::gauge_max("netsim.peak_live_flows", self.peak_active as f64);
-        m::gauge_max("netsim.dirty_set_max", self.dirty_set_max as f64);
-        m::gauge_max("netsim.touched_links_max", self.touched_links_max as f64);
+        m::gauge_max("netsim.dirty_set_max", self.core.dirty_set_max as f64);
+        m::gauge_max(
+            "netsim.touched_links_max",
+            self.core.touched_links_max as f64,
+        );
     }
 
     /// Status of a flow.
     pub fn status(&self, id: FlowId) -> Option<FlowStatus> {
-        self.flows.get(id.0).map(|f| FlowStatus {
+        self.core.flows.get(id.0).map(|f| FlowStatus {
             injected: f.injected,
             finished: f.finished,
             bytes_remaining: f.bytes_remaining,
@@ -723,7 +892,8 @@ impl NetSim {
     /// Completion time of the last-finishing flow (makespan), if all
     /// finished.
     pub fn makespan(&self) -> Option<SimTime> {
-        self.flows
+        self.core
+            .flows
             .iter()
             .map(|f| f.finished)
             .collect::<Option<Vec<_>>>()?
@@ -735,14 +905,14 @@ impl NetSim {
     /// (union is approximated by the max of the two directions, exact
     /// when both directions are driven by the same collective).
     pub fn link_busy_secs(&self, link: LinkId) -> f64 {
-        let fwd = self.busy_secs[link.0 * 2 + 1];
-        let rev = self.busy_secs[link.0 * 2];
+        let fwd = self.core.busy_secs[link.0 * 2 + 1];
+        let rev = self.core.busy_secs[link.0 * 2];
         fwd.max(rev)
     }
 
     /// Bytes carried by a link, summed over both directions.
     pub fn link_bytes(&self, link: LinkId) -> f64 {
-        self.carried[link.0]
+        self.core.carried[link.0]
     }
 
     /// Links that never carried traffic.
@@ -753,6 +923,44 @@ impl NetSim {
             .map(|l| l.id)
             .filter(|&l| self.link_bytes(l) == 0.0)
             .collect()
+    }
+
+    /// FNV-1a digest over the complete observable simulation state:
+    /// per-flow injection/finish times, rate and residual-byte bits,
+    /// per-directed-link busy seconds, per-link carried bytes, the
+    /// clock, the event count, and the peak-live-flow count.
+    ///
+    /// Two runs are bit-identical iff their digests match — this is the
+    /// identity gate `netpp bench-json` and CI use to compare
+    /// `--threads N` against the serial engine without serialising the
+    /// full state.
+    pub fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.core.flows.len() as u64);
+        for f in &self.core.flows {
+            mix(f.injected.as_nanos());
+            mix(f.finished.map(|t| t.as_nanos() + 1).unwrap_or(0));
+            mix(f.rate_gbps.to_bits());
+            mix(f.bytes_remaining.to_bits());
+        }
+        for &b in &self.core.busy_secs {
+            mix(b.to_bits());
+        }
+        for &c in &self.core.carried {
+            mix(c.to_bits());
+        }
+        mix(self.now.as_nanos());
+        mix(self.events);
+        mix(self.peak_active as u64);
+        h
     }
 }
 
@@ -975,5 +1183,98 @@ mod tests {
             sim.status(long).unwrap().finished.unwrap(),
             SimTime::from_millis(20)
         );
+    }
+
+    /// Injects the same mixed workload (several components, staggered
+    /// arrivals, completion ties) into a fresh sim.
+    fn mixed_workload_sim() -> NetSim {
+        let topo = leaf_spine(3, 2, 4, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let n = hosts.len();
+        let mut sim = NetSim::new(topo);
+        for i in 0..24usize {
+            let src = hosts[i % n];
+            let dst = hosts[(i * 5 + 3) % n];
+            if src == dst {
+                continue;
+            }
+            let at = SimTime::from_millis((i % 4) as u64);
+            let bytes = 1e6 * (1.0 + (i % 3) as f64);
+            sim.inject(at, src, dst, bytes, i).unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let serial = {
+            let mut sim = mixed_workload_sim();
+            sim.run().unwrap();
+            sim
+        };
+        for threads in [2, 3, 8] {
+            let mut sim = mixed_workload_sim();
+            sim.run_threads(threads).unwrap();
+            assert_eq!(
+                sim.state_digest(),
+                serial.state_digest(),
+                "threads={threads} digest diverged from serial"
+            );
+            assert_eq!(sim.events_processed(), serial.events_processed());
+            assert_eq!(sim.peak_live_flows(), serial.peak_live_flows());
+            assert_eq!(sim.makespan(), serial.makespan());
+            let m = sim.engine_metrics();
+            assert_eq!(m.threads, threads.min(m.components.max(1)));
+            assert!(m.components >= 1);
+            assert_eq!(m.workers.len(), m.threads);
+        }
+    }
+
+    #[test]
+    fn run_threads_one_is_the_serial_engine() {
+        let mut a = mixed_workload_sim();
+        let mut b = mixed_workload_sim();
+        a.run().unwrap();
+        b.run_threads(1).unwrap();
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(b.engine_metrics().threads, 1);
+        assert!(b.engine_metrics().workers.is_empty());
+    }
+
+    #[test]
+    fn parallel_run_with_single_component() {
+        // All flows share one bottleneck: one component, so the parallel
+        // runtime degenerates to one worker — and must still match.
+        let topo = leaf_spine(2, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let build = |topo: Topology| {
+            let mut sim = NetSim::new(topo);
+            sim.inject(SimTime::ZERO, hosts[0], hosts[2], 62.5e6, 0)
+                .unwrap();
+            sim.inject(SimTime::from_millis(1), hosts[1], hosts[3], 62.5e6, 0)
+                .unwrap();
+            sim
+        };
+        let mut serial = build(leaf_spine(2, 1, 2, Gbps::new(100.0)).unwrap());
+        serial.run().unwrap();
+        let mut par = build(topo);
+        par.run_threads(8).unwrap();
+        assert_eq!(par.state_digest(), serial.state_digest());
+        let m = par.engine_metrics();
+        assert_eq!(m.components, 1);
+        assert_eq!(m.threads, 1);
+    }
+
+    #[test]
+    fn state_digest_distinguishes_different_runs() {
+        let mut a = mixed_workload_sim();
+        a.run().unwrap();
+        let topo = leaf_spine(1, 1, 2, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut b = NetSim::new(topo);
+        b.inject(SimTime::ZERO, hosts[0], hosts[1], 125e6, 0)
+            .unwrap();
+        b.run().unwrap();
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 }

@@ -1,0 +1,501 @@
+//! Component-sharded parallel runtime for the indexed max-min engine.
+//!
+//! Progressive filling decomposes over link-sharing components: two
+//! flows can only influence each other's rates through a chain of
+//! shared directed links, so the flow population partitions into
+//! link-disjoint components that evolve independently *between* events.
+//! This module exploits that to run [`crate::netsim::NetSim`] across a
+//! fixed pool of worker threads while producing results that are
+//! `to_bits`-identical to the serial engine:
+//!
+//! - **Component index.** A union-find over dense directed-link ids
+//!   (path halving, min-id roots) is built from the flow→link CSR. The
+//!   two directions of every link are pre-unioned so `carried[link]` —
+//!   which both directions accumulate into — always lives in exactly
+//!   one shard.
+//! - **Deterministic ownership.** A component is identified by the
+//!   smallest dense dirlink id it contains (its union-find root, the
+//!   same tie-break discipline the waterfill uses). Components are
+//!   assigned to workers by greedy balance over flow counts, largest
+//!   first, ties toward the smaller root and the lower worker index —
+//!   a pure function of the workload, never of thread timing.
+//! - **Shards keep global link ids.** Each worker owns one
+//!   [`EngineCore`] holding its components' flows under local dense ids
+//!   (ascending in global id, so per-epoch integration order matches
+//!   the serial engine's ascending-flow order) while per-link arrays
+//!   stay globally indexed. Link-disjointness means no two shards ever
+//!   touch the same entry, and global ids keep the bottleneck
+//!   tie-break (`smallest dirlink id`) bit-identical to serial.
+//! - **Global epoch lockstep.** A coordinator drives every epoch in two
+//!   phases: *Propose* (each worker recomputes its dirty components and
+//!   reports its earliest completion) and *Advance* (every worker
+//!   integrates to the same `next` timestamp and absorbs its releases).
+//!   `next` is the exact integer-nanosecond minimum over shard
+//!   proposals and the injection queue — the same value the serial loop
+//!   computes — so every shard integrates the same `dt` sequence and
+//!   float accumulation into `busy_secs`/`carried` is bit-identical.
+//!   Pending injections drain through [`Scheduler::pop_batch`], whose
+//!   FIFO same-timestamp batching reproduces the serial release set.
+//!
+//! Within one epoch the serial waterfill's bottleneck-pick subsequence
+//! restricted to a component equals that component's standalone pick
+//! sequence (a pick in one component never changes another component's
+//! capacities or crossing counts), so per-shard waterfills fix the same
+//! flows at the same shares in the same order. The merge back into the
+//! owning `NetSim` is by assignment (flows, per-link stats) and
+//! order-independent reduction (counter sums/maxes) — no floating-point
+//! re-accumulation anywhere.
+//!
+//! The memory model is share-nothing: shards are moved into the worker
+//! scope, communicate only through `mpsc` channels carrying plain
+//! values, and are merged single-threaded after the pool drains
+//! (`#![forbid(unsafe_code)]` holds for the whole crate).
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+
+use crate::event::Scheduler;
+use crate::netsim::{EngineCore, NetSim, ParMetrics, WorkerMetrics};
+use crate::{Result, SimError, SimTime};
+
+/// Union-find over dense directed-link ids with path halving. Roots are
+/// always the smallest id in their class (union by id, not by rank), so
+/// a component's root doubles as its deterministic identity.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Joins the classes of `a` and `b`; the smaller root wins.
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        if ra < rb {
+            self.parent[rb as usize] = ra;
+        } else {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// One worker's slice of the simulation: a self-contained engine core
+/// over the worker's components plus the local↔global flow-id mapping.
+struct Shard {
+    core: EngineCore,
+    /// Global flow id per local flow id, ascending.
+    global_ids: Vec<u32>,
+    now: SimTime,
+}
+
+/// Coordinator → worker commands, one pair per epoch.
+enum Cmd {
+    /// Recompute dirty components, report the earliest completion.
+    Propose,
+    /// Integrate to `to`, then release the listed local flow ids.
+    Advance { to: SimTime, releases: Vec<u32> },
+}
+
+/// Worker → coordinator replies.
+struct Reply {
+    /// Earliest completion in this shard (Propose replies).
+    next: Option<SimTime>,
+    /// Live flows in this shard after the command ran.
+    active: usize,
+}
+
+fn worker_loop(shard: &mut Shard, rx: &mpsc::Receiver<Cmd>, tx: &mpsc::Sender<Reply>) {
+    shard.core.ensure_link_flow_csr();
+    shard.core.ensure_scratch_sized();
+    while let Ok(cmd) = rx.recv() {
+        let reply = match cmd {
+            Cmd::Propose => {
+                if !shard.core.scratch.seeds.is_empty() {
+                    shard.core.dirty_closure();
+                    shard.core.recompute_rates();
+                    #[cfg(any(test, debug_assertions))]
+                    shard.core.assert_rates_match_naive_oracle();
+                }
+                Reply {
+                    next: shard.core.earliest_completion(shard.now),
+                    active: shard.core.active.len(),
+                }
+            }
+            Cmd::Advance { to, releases } => {
+                shard.core.integrate(shard.now, to);
+                shard.now = to;
+                let released = !releases.is_empty();
+                for l in releases {
+                    shard.core.release(l);
+                }
+                if released {
+                    // Same discipline as the serial loop: integration
+                    // order within a shard is ascending (local = global
+                    // order) flow id.
+                    shard.core.active.sort_unstable();
+                }
+                Reply {
+                    next: None,
+                    active: shard.core.active.len(),
+                }
+            }
+        };
+        if tx.send(reply).is_err() {
+            return; // coordinator went away (error path)
+        }
+    }
+}
+
+/// What the epoch loop hands back to the merge step.
+struct Outcome {
+    epochs: u64,
+    now: SimTime,
+    peak: usize,
+    merge_wait_ns: u64,
+    result: Result<()>,
+}
+
+/// Runs `sim` to completion across up to `threads` workers. Falls back
+/// to the serial engine when there is nothing to shard (no flows, or a
+/// degenerate empty-path flow whose starvation semantics the serial
+/// loop already defines).
+pub(crate) fn run_parallel(sim: &mut NetSim, threads: usize) -> Result<()> {
+    debug_assert!(threads >= 2);
+    if sim.core.flows.is_empty() {
+        return sim.run();
+    }
+    for i in 0..sim.core.flows.len() {
+        if sim.core.path(i).is_empty() {
+            return sim.run();
+        }
+    }
+    if !sim.pending_sorted {
+        sim.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
+        sim.pending_sorted = true;
+    }
+
+    // ---- Component index -------------------------------------------------
+    let n_dl = sim.core.link_caps.len();
+    let n_flows = sim.core.flows.len();
+    let mut uf = UnionFind::new(n_dl);
+    for l in 0..n_dl / 2 {
+        // Both directions of a link share `carried[l]`; keep them in
+        // one shard unconditionally.
+        uf.union((l * 2) as u32, (l * 2 + 1) as u32);
+    }
+    for i in 0..n_flows {
+        let path = sim.core.path(i);
+        let first = path[0];
+        for &dl in &path[1..] {
+            uf.union(first, dl);
+        }
+    }
+    // Components that actually contain flows, keyed by root (ascending).
+    let mut comp_flows: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut flow_root = vec![0u32; n_flows];
+    for (i, slot) in flow_root.iter_mut().enumerate() {
+        let root = uf.find(sim.core.path(i)[0]);
+        *slot = root;
+        *comp_flows.entry(root).or_insert(0) += 1;
+    }
+    let components = comp_flows.len();
+
+    // ---- Deterministic assignment ---------------------------------------
+    let workers = threads.min(components).max(1);
+    // Largest components first (ties toward the smaller root), greedy
+    // onto the least-loaded worker (ties toward the lower index).
+    let mut order: Vec<(u32, u64)> = comp_flows.iter().map(|(&r, &n)| (r, n)).collect();
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut load = vec![0u64; workers];
+    let mut comps_per_worker = vec![0usize; workers];
+    let mut worker_of_root: BTreeMap<u32, usize> = BTreeMap::new();
+    for (root, flows) in order {
+        let mut w = 0;
+        for cand in 1..workers {
+            if load[cand] < load[w] {
+                w = cand;
+            }
+        }
+        load[w] += flows;
+        comps_per_worker[w] += 1;
+        worker_of_root.insert(root, w);
+    }
+    let mut component_flows_hist = Vec::new();
+    for &n in comp_flows.values() {
+        let bucket = 63 - n.leading_zeros() as usize; // n >= 1
+        if component_flows_hist.len() <= bucket {
+            component_flows_hist.resize(bucket + 1, 0);
+        }
+        component_flows_hist[bucket] += 1;
+    }
+
+    // ---- Shard construction ----------------------------------------------
+    const NO_ROUTE: (u32, u32) = (u32::MAX, u32::MAX);
+    let mut flow_route = vec![NO_ROUTE; n_flows]; // global → (worker, local)
+    let mut shards: Vec<Shard> = (0..workers)
+        .map(|_| Shard {
+            core: EngineCore::new(sim.core.link_caps.clone()),
+            global_ids: Vec::new(),
+            now: sim.now,
+        })
+        .collect();
+    for shard in &mut shards {
+        // Seed the per-link accumulators from the current global state:
+        // shards append to exactly the running sums the serial loop
+        // would, so merge-back is plain assignment even on re-runs.
+        shard.core.busy_secs.copy_from_slice(&sim.core.busy_secs);
+        shard.core.carried.copy_from_slice(&sim.core.carried);
+    }
+    for g in 0..n_flows {
+        let w = worker_of_root[&flow_root[g]];
+        let shard = &mut shards[w];
+        let local = shard.core.flows.len() as u32;
+        flow_route[g] = (w as u32, local);
+        shard.global_ids.push(g as u32);
+        shard.core.flows.push(sim.core.flows[g].clone());
+        shard.core.path_links.extend_from_slice(sim.core.path(g));
+        shard.core.path_offsets.push(shard.core.path_links.len());
+    }
+    // Carry over mid-run state: live flows and pending closure seeds.
+    for &g in &sim.core.active {
+        let (w, l) = flow_route[g as usize];
+        shards[w as usize].core.active.push(l);
+    }
+    for &g in &sim.core.scratch.seeds {
+        let (w, l) = flow_route[g as usize];
+        shards[w as usize].core.scratch.seeds.push(l);
+    }
+    sim.core.scratch.seeds.clear();
+
+    // Injection queue: ascending drain of the (descending-sorted)
+    // pending list preserves insertion order at equal timestamps, so
+    // `pop_batch` hands back the serial engine's release sets.
+    let mut sched: Scheduler<u32> = Scheduler::with_capacity(sim.pending.len());
+    while let Some((t, f)) = sim.pending.pop() {
+        sched.schedule(t, f.0 as u32)?;
+    }
+
+    // ---- Epoch loop -------------------------------------------------------
+    npp_telemetry::trace_span!(begin "netsim.run", sim.now.as_nanos());
+    let outcome = drive_epochs(
+        &mut shards,
+        &mut sched,
+        &flow_route,
+        sim.now,
+        sim.peak_active,
+    );
+
+    // ---- Merge back -------------------------------------------------------
+    // Assignment only: every flow and every touched link is owned by
+    // exactly one shard, and the counters reduce by order-independent
+    // sum/max. No float is ever re-accumulated here.
+    let mut worker_metrics: Vec<WorkerMetrics> = shards
+        .iter()
+        .map(|s| WorkerMetrics {
+            components: 0,
+            flows: s.global_ids.len(),
+            recomputes: s.core.recomputes,
+            fixing_iterations: s.core.fixing_iterations,
+            dirty_set_max: s.core.dirty_set_max,
+            touched_links_max: s.core.touched_links_max,
+        })
+        .collect();
+    for (w, n) in comps_per_worker.iter().enumerate() {
+        worker_metrics[w].components = *n;
+    }
+    for shard in &shards {
+        for (l, &g) in shard.global_ids.iter().enumerate() {
+            sim.core.flows[g as usize] = shard.core.flows[l].clone();
+        }
+        sim.core.recomputes += shard.core.recomputes;
+        sim.core.fixing_iterations += shard.core.fixing_iterations;
+        sim.core.dirty_set_max = sim.core.dirty_set_max.max(shard.core.dirty_set_max);
+        sim.core.touched_links_max = sim.core.touched_links_max.max(shard.core.touched_links_max);
+    }
+    for d in 0..n_dl {
+        if let Some(&w) = worker_of_root.get(&uf.find(d as u32)) {
+            sim.core.busy_secs[d] = shards[w].core.busy_secs[d];
+            if d % 2 == 0 {
+                sim.core.carried[d / 2] = shards[w].core.carried[d / 2];
+            }
+        }
+    }
+    sim.core.active.clear();
+    for shard in &shards {
+        for &l in &shard.core.active {
+            sim.core.active.push(shard.global_ids[l as usize]);
+        }
+    }
+    sim.core.active.sort_unstable();
+    for shard in &shards {
+        for &l in &shard.core.scratch.seeds {
+            sim.core.scratch.seeds.push(shard.global_ids[l as usize]);
+        }
+    }
+    sim.now = outcome.now;
+    sim.events += outcome.epochs;
+    sim.peak_active = outcome.peak;
+    sim.par = Some(ParMetrics {
+        threads: workers,
+        components,
+        component_flows_hist,
+        merge_wait_ns: outcome.merge_wait_ns,
+        workers: worker_metrics,
+    });
+
+    if outcome.result.is_ok() {
+        npp_telemetry::trace_span!(end "netsim.run", sim.now.as_nanos());
+        sim.publish_metrics();
+    } else {
+        // Mirror the serial engine's error state: undelivered
+        // injections stay pending.
+        let mut remaining: Vec<(SimTime, crate::netsim::FlowId)> = Vec::new();
+        while let Some((t, g)) = sched.pop() {
+            remaining.push((t, crate::netsim::FlowId(g as usize)));
+        }
+        remaining.reverse(); // descending time, ready for pop()
+        sim.pending = remaining;
+        sim.pending_sorted = true;
+    }
+    outcome.result
+}
+
+/// Spawns the worker pool and drives the two-phase epoch protocol to
+/// completion (or error). Returns the aggregate clock/counter outcome;
+/// shard state is left merged-ready in `shards`.
+fn drive_epochs(
+    shards: &mut [Shard],
+    sched: &mut Scheduler<u32>,
+    route: &[(u32, u32)],
+    start: SimTime,
+    start_peak: usize,
+) -> Outcome {
+    let workers = shards.len();
+    let mut outcome = Outcome {
+        epochs: 0,
+        now: start,
+        peak: start_peak,
+        merge_wait_ns: 0,
+        result: Ok(()),
+    };
+    let mut total_active: usize = shards.iter().map(|s| s.core.active.len()).sum();
+
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let mut cmd_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in shards.iter_mut() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+            let tx = reply_tx.clone();
+            cmd_txs.push(cmd_tx);
+            handles.push(scope.spawn(move || worker_loop(shard, &cmd_rx, &tx)));
+        }
+        drop(reply_tx);
+
+        let disconnected = || SimError::Config("parallel simulation worker disconnected".into());
+        let mut batch: Vec<u32> = Vec::new();
+        let mut per_worker: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        let loop_result: Result<()> = (|| {
+            loop {
+                if total_active == 0 && sched.is_empty() {
+                    return Ok(());
+                }
+                // Phase 1: recompute + propose completion times.
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Propose).map_err(|_| disconnected())?;
+                }
+                let mut earliest: Option<SimTime> = None;
+                // npp-lint: allow(wall-clock) reason="merge-wait accounting is volatile profiling metadata in EngineMetrics, never simulation state"
+                let wait_start = npp_telemetry::wall_clock();
+                for _ in 0..workers {
+                    let reply = reply_rx.recv().map_err(|_| disconnected())?;
+                    if let Some(t) = reply.next {
+                        if earliest.map(|e| t < e).unwrap_or(true) {
+                            earliest = Some(t);
+                        }
+                    }
+                }
+                outcome.merge_wait_ns += wait_start.elapsed().as_nanos() as u64;
+                let next = match (sched.peek_time(), earliest) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => {
+                        // Active flows but all at zero rate: deadlock —
+                        // only possible with zero-capacity links.
+                        return Err(SimError::Config("active flows starved at zero rate".into()));
+                    }
+                };
+                // Phase 2: everyone integrates to the same instant; the
+                // epoch's releases are the FIFO batch at `next`.
+                let mut released = false;
+                if sched.peek_time() == Some(next) {
+                    sched.pop_batch(&mut batch);
+                    for &g in &batch {
+                        let (w, l) = route[g as usize];
+                        per_worker[w as usize].push(l);
+                        released = true;
+                    }
+                }
+                for (w, tx) in cmd_txs.iter().enumerate() {
+                    tx.send(Cmd::Advance {
+                        to: next,
+                        releases: std::mem::take(&mut per_worker[w]),
+                    })
+                    .map_err(|_| disconnected())?;
+                }
+                // npp-lint: allow(wall-clock) reason="merge-wait accounting is volatile profiling metadata in EngineMetrics, never simulation state"
+                let wait_start = npp_telemetry::wall_clock();
+                total_active = 0;
+                for _ in 0..workers {
+                    let reply = reply_rx.recv().map_err(|_| disconnected())?;
+                    total_active += reply.active;
+                }
+                outcome.merge_wait_ns += wait_start.elapsed().as_nanos() as u64;
+                outcome.now = next;
+                if released {
+                    outcome.peak = outcome.peak.max(total_active);
+                }
+                outcome.epochs += 1;
+                npp_telemetry::trace_counter!(
+                    "netsim.live_flows",
+                    outcome.now.as_nanos(),
+                    0,
+                    total_active
+                );
+            }
+        })();
+        outcome.result = loop_result;
+
+        drop(cmd_txs); // workers drain and exit
+        let mut panic_payload = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic_payload = Some(payload);
+            }
+        }
+        if let Some(payload) = panic_payload {
+            // A worker hit the oracle debug-assert (or another bug):
+            // surface it exactly like the serial engine would.
+            std::panic::resume_unwind(payload);
+        }
+    });
+    outcome
+}

@@ -7,7 +7,7 @@
 //! Everything here is a pure function of its arguments: no RNG, no
 //! wall clock.
 
-use npp_topology::builder::leaf_spine;
+use npp_topology::builder::{fat_tree_pods, leaf_spine};
 use npp_topology::graph::{NodeId, Topology};
 use npp_units::Gbps;
 
@@ -102,6 +102,108 @@ pub fn hotpath_scenario(n_flows: usize) -> Result<Scenario> {
     })
 }
 
+/// The datacenter-scale scenario for the component-sharded parallel
+/// engine: disconnected fat-tree pods ([`fat_tree_pods`]) under a
+/// round-based bulk workload, sized by the requested flow count:
+///
+/// - `n_flows < 4096`: 4 pods of k=4 (64 hosts) — small enough for the
+///   naive differential oracle;
+/// - `n_flows < 65536`: 8 pods of k=8 (1,024 hosts);
+/// - otherwise: **15 pods of k=16 — 15,360 hosts, the paper's
+///   15,360-GPU fabric** — where one full round keeps 122,880 flows
+///   concurrently live.
+///
+/// See [`pod_fattree_scenario_with`] for the workload structure.
+///
+/// # Errors
+///
+/// Propagates topology-construction errors (none for the fixed shapes).
+pub fn pod_fattree_scenario(n_flows: usize) -> Result<Scenario> {
+    let (pods, k, flights) = if n_flows < 4096 {
+        (4, 4, 4)
+    } else if n_flows < 65536 {
+        (8, 8, 8)
+    } else {
+        (15, 16, 8)
+    };
+    pod_fattree_scenario_with(pods, k, flights, n_flows)
+}
+
+/// Explicit-shape variant of [`pod_fattree_scenario`]: `pods`
+/// disconnected k-ary fat-tree planes at 400 G, loaded in rounds where
+/// every host launches `flights` simultaneous intra-plane flows (flight
+/// `j` goes `13·(j+1)` hosts ahead, modulo the plane) and rounds repeat
+/// every 2 ms with a 1–4 MB cycling flow size.
+///
+/// Two properties are load-bearing:
+///
+/// - **all of a round's flows share one injection timestamp**, so peak
+///   concurrency equals a full round (`hosts × flights`) and the
+///   release lands in a single fluid epoch;
+/// - **every plane receives an identical workload** (sources,
+///   destinations, sizes, and path choices depend only on the
+///   within-plane host index), and planes are built in identical order,
+///   so plane dynamics are bit-identical and completions tie *exactly*
+///   across planes. The serial engine then pays one waterfill over
+///   every plane at once per epoch, while the sharded engine pays one
+///   per-plane waterfill per worker — which is precisely the advantage
+///   the scaling benchmark measures.
+///
+/// Everything is a pure function of the arguments: no RNG, no clock.
+///
+/// # Errors
+///
+/// Propagates topology-construction errors (zero pods, odd `k`).
+pub fn pod_fattree_scenario_with(
+    pods: usize,
+    k: usize,
+    flights: usize,
+    n_flows: usize,
+) -> Result<Scenario> {
+    const STRIDE: usize = 13;
+    const BASE_BYTES: f64 = 1e6;
+    const ROUND_GAP_NS: u64 = 2_000_000;
+    let topo = fat_tree_pods(pods, k, Gbps::new(400.0))
+        .map_err(|e| crate::SimError::Config(format!("scenario topology: {e}")))?;
+    if flights == 0 {
+        return Err(crate::SimError::Config(
+            "pod scenario needs at least one flight per host".into(),
+        ));
+    }
+    let hosts = topo.hosts();
+    let n = hosts.len();
+    let plane_hosts = k * k * k / 4;
+    let wave = n * flights;
+    let mut flows = Vec::with_capacity(n_flows);
+    for f in 0..n_flows {
+        let round = f / wave;
+        let slot = f % wave;
+        let h = slot % n;
+        let flight = slot / n;
+        let plane = h / plane_hosts;
+        let h_in = h % plane_hosts;
+        let mut dst_in = (h_in + STRIDE * (flight + 1)) % plane_hosts;
+        if dst_in == h_in {
+            // Only possible when the stride wraps to zero (tiny planes);
+            // the adjustment depends on h_in alone, preserving the
+            // cross-plane isomorphism.
+            dst_in = (dst_in + 1) % plane_hosts;
+        }
+        flows.push(FlowSpec {
+            at: SimTime::from_nanos(round as u64 * ROUND_GAP_NS),
+            src: hosts[h],
+            dst: hosts[plane * plane_hosts + dst_in],
+            bytes: BASE_BYTES * (1 + round % 4) as f64,
+            path_choice: flight + h_in,
+        });
+    }
+    Ok(Scenario {
+        name: format!("podfabric/fat-tree-pods-{pods}x{k}-{n}hosts/{n_flows}-flows"),
+        topo,
+        flows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +223,63 @@ mod tests {
         assert!(sim.makespan().is_some());
         assert_eq!(sim.flow_count(), 64);
         assert!(sim.peak_live_flows() >= 2);
+    }
+
+    #[test]
+    fn pod_scenario_is_deterministic_and_plane_symmetric() {
+        let a = pod_fattree_scenario_with(2, 4, 2, 128).unwrap();
+        let b = pod_fattree_scenario_with(2, 4, 2, 128).unwrap();
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.name, b.name);
+        // Every plane gets an identical workload: flow i of plane 0 and
+        // its counterpart in plane 1 differ only by the host offset.
+        let plane_hosts = 16;
+        let hosts = a.topo.hosts();
+        let wave = hosts.len(); // one flight spans all hosts
+        for i in 0..plane_hosts.min(a.flows.len()) {
+            let f0 = &a.flows[i];
+            let f1 = &a.flows[i + plane_hosts];
+            assert_eq!(f0.bytes, f1.bytes);
+            assert_eq!(f0.at, f1.at);
+            assert_eq!(f0.path_choice, f1.path_choice);
+            let _ = wave;
+        }
+    }
+
+    #[test]
+    fn pod_scenario_runs_and_shards_bit_identically() {
+        let s = pod_fattree_scenario_with(2, 4, 2, 96).unwrap();
+        let run = |threads: usize| {
+            let mut sim = NetSim::new(s.topo.clone());
+            s.inject_into(|at, src, dst, bytes, pc| {
+                sim.inject(at, src, dst, bytes, pc).map(|_| ())
+            })
+            .unwrap();
+            sim.run_threads(threads).unwrap();
+            sim
+        };
+        let serial = run(1);
+        assert!(serial.makespan().is_some());
+        assert!(serial.peak_live_flows() >= 64, "a full round is concurrent");
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(
+                par.state_digest(),
+                serial.state_digest(),
+                "threads={threads}"
+            );
+            // Two isolated planes ⇒ at least two components to shard.
+            assert!(par.engine_metrics().components >= 2);
+        }
+    }
+
+    #[test]
+    fn pod_scenario_tiers_by_flow_count() {
+        let small = pod_fattree_scenario(64).unwrap();
+        assert!(small.name.contains("fat-tree-pods-4x4"));
+        assert_eq!(small.topo.hosts().len(), 64);
+        let mid = pod_fattree_scenario(5000).unwrap();
+        assert!(mid.name.contains("fat-tree-pods-8x8"));
+        assert_eq!(mid.topo.hosts().len(), 1024);
     }
 }

@@ -57,9 +57,10 @@ pub use report::{
     assemble_results, best_per_axis, frontier_table, power_slowdown_frontier, run_summary,
     ScenarioResult, SweepOutcome, SweepReport, SweepResults,
 };
-pub use runner::{run_scenario, Metrics};
+pub use runner::{run_scenario, run_scenario_threaded, Metrics};
 pub use spec::{
-    Axis, ExperimentKind, ScalingMode, ScenarioSpec, SimWorkload, SimulationSpec, SweepSpec,
+    Axis, ExperimentKind, FluidFabricSpec, ScalingMode, ScenarioSpec, SimWorkload, SimulationSpec,
+    SweepSpec,
 };
 
 /// Errors produced by this crate.
@@ -159,6 +160,11 @@ pub struct SweepOptions {
     pub jobs: usize,
     /// Result-cache directory; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Engine worker threads *inside* each scenario (the fluid-fabric
+    /// path's component-sharded engine). Purely an execution knob:
+    /// results are bit-identical at any value, so it stays out of the
+    /// cache key.
+    pub threads: usize,
 }
 
 impl SweepOptions {
@@ -167,6 +173,7 @@ impl SweepOptions {
         Self {
             jobs: 1,
             cache_dir: None,
+            threads: 1,
         }
     }
 
@@ -176,6 +183,7 @@ impl SweepOptions {
         Self {
             jobs,
             cache_dir: None,
+            threads: 1,
         }
     }
 
@@ -183,6 +191,14 @@ impl SweepOptions {
     #[must_use]
     pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the per-scenario engine worker-thread count (0 is clamped
+    /// to 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -284,7 +300,8 @@ pub fn run_sweep_cached(
         let (metrics, cached) = match cache.and_then(|c| c.get(&scenario.hash)) {
             Some(found) => (Ok(found), true),
             None => {
-                let computed = runner::run_scenario(&scenario.spec, scenario.seed);
+                let computed =
+                    runner::run_scenario_threaded(&scenario.spec, scenario.seed, opts.threads);
                 if let (Some(c), Ok(m)) = (cache, &computed) {
                     c.put(&scenario.hash, m)?;
                 }
@@ -359,6 +376,7 @@ mod tests {
             &SweepOptions {
                 jobs: 8,
                 cache_dir: None,
+                threads: 1,
             },
             None,
         )

@@ -95,6 +95,19 @@ impl SimulationSpec {
     }
 }
 
+/// Fluid fabric-simulation parameters: the component-sharded max-min
+/// engine running the pod fat-tree scenario, priced for ideal per-link
+/// transceiver sleeping. Worker-thread count is an *execution* option
+/// ([`crate::SweepOptions::threads`]), never part of this spec — any
+/// thread count produces the bit-identical result row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FluidFabricSpec {
+    /// Flows to inject (also picks the fabric tier — see
+    /// `npp_simnet::scenarios::pod_fattree_scenario`).
+    pub flows: usize,
+}
+
 /// Which evaluation path a scenario runs through.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ExperimentKind {
@@ -104,6 +117,9 @@ pub enum ExperimentKind {
     /// Event-driven switch simulation (`npp-simnet`) driving a §4
     /// mechanism (`npp-mechanisms`).
     Simulation(SimulationSpec),
+    /// Flow-level max-min fluid simulation of a pod fat-tree fabric
+    /// (`npp-simnet::netsim`, optionally component-sharded).
+    FluidFabric(FluidFabricSpec),
 }
 
 /// One fully-specified experiment scenario.
@@ -174,15 +190,26 @@ impl ScenarioSpec {
     pub fn simulation(&self) -> Option<&SimulationSpec> {
         match &self.experiment {
             ExperimentKind::Simulation(sim) => Some(sim),
-            ExperimentKind::Analytic => None,
+            ExperimentKind::Analytic | ExperimentKind::FluidFabric(_) => None,
+        }
+    }
+
+    fn fluid_fabric_mut(&mut self) -> Result<&mut FluidFabricSpec> {
+        match &mut self.experiment {
+            ExperimentKind::FluidFabric(fab) => Ok(fab),
+            ExperimentKind::Analytic | ExperimentKind::Simulation(_) => Err(SweepError::Spec(
+                "fluid-fabric axis applied to a non-fluid base scenario; \
+                 set base.experiment to FluidFabric"
+                    .into(),
+            )),
         }
     }
 
     fn simulation_mut(&mut self) -> Result<&mut SimulationSpec> {
         match &mut self.experiment {
             ExperimentKind::Simulation(sim) => Ok(sim),
-            ExperimentKind::Analytic => Err(SweepError::Spec(
-                "simulation axis applied to an analytic base scenario; \
+            ExperimentKind::Analytic | ExperimentKind::FluidFabric(_) => Err(SweepError::Spec(
+                "simulation axis applied to a non-simulation base scenario; \
                  set base.experiment to Simulation"
                     .into(),
             )),
@@ -209,6 +236,8 @@ pub enum Axis {
     TargetUtilization(Vec<f64>),
     /// Controller intervals, ns (simulation scenarios only).
     ControlIntervalNs(Vec<u64>),
+    /// Concurrent flow counts (fluid-fabric scenarios only).
+    FluidFlows(Vec<usize>),
 }
 
 impl Axis {
@@ -223,6 +252,7 @@ impl Axis {
             Axis::Mechanism(_) => "mechanism",
             Axis::TargetUtilization(_) => "target_utilization",
             Axis::ControlIntervalNs(_) => "control_interval_ns",
+            Axis::FluidFlows(_) => "fluid_flows",
         }
     }
 
@@ -237,6 +267,7 @@ impl Axis {
             | Axis::TargetUtilization(v) => v.len(),
             Axis::Mechanism(v) => v.len(),
             Axis::ControlIntervalNs(v) => v.len(),
+            Axis::FluidFlows(v) => v.len(),
         }
     }
 
@@ -260,6 +291,7 @@ impl Axis {
             | Axis::TargetUtilization(v) => format!("{}", v[idx]),
             Axis::Mechanism(v) => format!("{:?}", v[idx]),
             Axis::ControlIntervalNs(v) => format!("{}", v[idx]),
+            Axis::FluidFlows(v) => format!("{}", v[idx]),
         }
     }
 
@@ -282,6 +314,7 @@ impl Axis {
             Axis::Mechanism(v) => spec.simulation_mut()?.mechanism = v[idx],
             Axis::TargetUtilization(v) => spec.simulation_mut()?.target_utilization = v[idx],
             Axis::ControlIntervalNs(v) => spec.simulation_mut()?.control_interval_ns = v[idx],
+            Axis::FluidFlows(v) => spec.fluid_fabric_mut()?.flows = v[idx],
         }
         Ok(())
     }

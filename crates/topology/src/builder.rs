@@ -17,25 +17,37 @@ pub fn three_tier_fat_tree(k: usize, link_speed: Gbps) -> Result<Topology> {
     if k < 2 || k % 2 != 0 {
         return Err(TopologyError::InvalidRadix(k));
     }
-    let half = k / 2;
     let mut t = Topology::new();
+    add_fat_tree_plane(&mut t, "", k, link_speed)?;
+    t.validate(k)?;
+    Ok(t)
+}
+
+/// Appends one complete k-ary fat tree to `t`, every node name prefixed
+/// with `prefix`. Construction order (cores, then per pod: aggs, edges,
+/// edge↔agg links, agg↔core links, hosts) is identical for every call,
+/// so planes built with different prefixes are isomorphic **including**
+/// their relative node/link id order — which is what lets isolated
+/// planes produce bit-identical fluid dynamics under identical load.
+fn add_fat_tree_plane(t: &mut Topology, prefix: &str, k: usize, link_speed: Gbps) -> Result<()> {
+    let half = k / 2;
 
     // Core switches, addressed as a half×half grid: core[i][j].
     let mut core = Vec::with_capacity(half * half);
     for i in 0..half {
         for j in 0..half {
-            core.push(t.add_switch(format!("core{i}_{j}"), 2));
+            core.push(t.add_switch(format!("{prefix}core{i}_{j}"), 2));
         }
     }
 
     for pod in 0..k {
         let mut aggs = Vec::with_capacity(half);
         for a in 0..half {
-            aggs.push(t.add_switch(format!("pod{pod}/agg{a}"), 1));
+            aggs.push(t.add_switch(format!("{prefix}pod{pod}/agg{a}"), 1));
         }
         let mut edges = Vec::with_capacity(half);
         for e in 0..half {
-            edges.push(t.add_switch(format!("pod{pod}/edge{e}"), 0));
+            edges.push(t.add_switch(format!("{prefix}pod{pod}/edge{e}"), 0));
         }
         // Edge↔agg: complete bipartite within the pod.
         for &e in &edges {
@@ -52,12 +64,42 @@ pub fn three_tier_fat_tree(k: usize, link_speed: Gbps) -> Result<Topology> {
         // Hosts: half per edge switch.
         for (e, &edge) in edges.iter().enumerate() {
             for h in 0..half {
-                let host = t.add_host(format!("pod{pod}/edge{e}/host{h}"));
+                let host = t.add_host(format!("{prefix}pod{pod}/edge{e}/host{h}"));
                 t.add_link(host, edge, link_speed)?;
             }
         }
     }
+    Ok(())
+}
 
+/// Builds `pods` *disconnected* k-ary fat-tree planes in one topology —
+/// the "fat-tree pod" fabric of the paper's 15,360-GPU example, where
+/// pods are joined only through an optical/datacenter spine that bulk
+/// training traffic never crosses. Hosts are named
+/// `plane{p}/pod{q}/edge{e}/host{h}` and appear plane-contiguous in
+/// [`Topology::hosts`]; every plane holds `k³/4` hosts.
+///
+/// Like [`rail_optimized`], planes are electrically separate networks:
+/// cross-plane distance is `None`. For the fluid simulator this is the
+/// canonical many-component workload — each plane (or finer structure
+/// within it) is an independent link-sharing component, which is what
+/// the component-sharded parallel engine scales across.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Build`] for zero pods, and
+/// [`TopologyError::InvalidRadix`] unless `k` is even and ≥ 2.
+pub fn fat_tree_pods(pods: usize, k: usize, link_speed: Gbps) -> Result<Topology> {
+    if pods == 0 {
+        return Err(TopologyError::Build("pod count must be positive".into()));
+    }
+    if k < 2 || k % 2 != 0 {
+        return Err(TopologyError::InvalidRadix(k));
+    }
+    let mut t = Topology::new();
+    for p in 0..pods {
+        add_fat_tree_plane(&mut t, &format!("plane{p}/"), k, link_speed)?;
+    }
     t.validate(k)?;
     Ok(t)
 }
@@ -200,6 +242,40 @@ mod tests {
         assert!(leaf_spine(0, 1, 1, Gbps::new(1.0)).is_err());
         assert!(leaf_spine(1, 0, 1, Gbps::new(1.0)).is_err());
         assert!(leaf_spine(1, 1, 0, Gbps::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn fat_tree_pods_counts_scale_per_plane() {
+        let one = three_tier_fat_tree(4, Gbps::new(100.0)).unwrap();
+        let t = fat_tree_pods(3, 4, Gbps::new(100.0)).unwrap();
+        assert_eq!(t.hosts().len(), 3 * one.hosts().len());
+        assert_eq!(t.switches().len(), 3 * one.switches().len());
+        assert_eq!(
+            t.inter_switch_links().len(),
+            3 * one.inter_switch_links().len()
+        );
+    }
+
+    #[test]
+    fn fat_tree_pods_planes_are_isolated() {
+        let t = fat_tree_pods(2, 4, Gbps::new(100.0)).unwrap();
+        let hosts = t.hosts();
+        let per_plane = 16; // k³/4
+                            // Within a plane: reachable; across planes: electrically separate.
+        assert!(t.distance(hosts[0], hosts[per_plane - 1]).is_some());
+        assert_eq!(t.distance(hosts[0], hosts[per_plane]), None);
+        // Host ordering is plane-contiguous with per-plane names.
+        let first = &t.node(hosts[0]).unwrap().name;
+        let second = &t.node(hosts[per_plane]).unwrap().name;
+        assert!(first.starts_with("plane0/"), "{first}");
+        assert!(second.starts_with("plane1/"), "{second}");
+    }
+
+    #[test]
+    fn fat_tree_pods_validation() {
+        assert!(fat_tree_pods(0, 4, Gbps::new(100.0)).is_err());
+        assert!(fat_tree_pods(2, 3, Gbps::new(100.0)).is_err());
+        assert!(fat_tree_pods(1, 4, Gbps::new(100.0)).is_ok());
     }
 }
 

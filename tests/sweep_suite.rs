@@ -9,8 +9,8 @@ use std::path::PathBuf;
 
 use netpp::mechanisms::mechanism::Mechanism;
 use netpp::sweep::{
-    run_sweep, Axis, ExperimentKind, ScenarioSpec, SimWorkload, SimulationSpec, SweepOptions,
-    SweepSpec,
+    run_sweep, Axis, ExperimentKind, FluidFabricSpec, ScenarioSpec, SimWorkload, SimulationSpec,
+    SweepOptions, SweepSpec,
 };
 
 /// A unique scratch directory per test, under the system temp dir.
@@ -54,6 +54,17 @@ fn simulation_spec() -> SweepSpec {
     }
 }
 
+/// A fluid-fabric grid: pod fat-tree max-min runs at two flow counts.
+fn fluid_spec() -> SweepSpec {
+    let mut base = ScenarioSpec::paper_baseline();
+    base.experiment = ExperimentKind::FluidFabric(FluidFabricSpec { flows: 200 });
+    SweepSpec {
+        name: "suite-fluid".into(),
+        base,
+        axes: vec![Axis::FluidFlows(vec![200, 800])],
+    }
+}
+
 #[test]
 fn analytic_sweep_is_thread_count_invariant() {
     let spec = analytic_spec();
@@ -64,6 +75,7 @@ fn analytic_sweep_is_thread_count_invariant() {
             &SweepOptions {
                 jobs,
                 cache_dir: None,
+                threads: 1,
             },
             None,
         )
@@ -83,6 +95,7 @@ fn simulation_sweep_is_thread_count_invariant() {
         &SweepOptions {
             jobs: 8,
             cache_dir: None,
+            threads: 1,
         },
         None,
     )
@@ -92,6 +105,54 @@ fn simulation_sweep_is_thread_count_invariant() {
     assert_eq!(a, b, "simulated scenarios diverged across thread counts");
     // Every mechanism actually produced a row.
     assert_eq!(serial.results.total, Mechanism::all().len() * 2);
+}
+
+#[test]
+fn fluid_fabric_sweep_is_engine_thread_invariant() {
+    // `threads` shards each scenario's max-min engine by link-sharing
+    // component; the results document must be byte-identical at every
+    // value because it never enters the content hash.
+    let spec = fluid_spec();
+    let serial = run_sweep(&spec, &SweepOptions::serial(), None).unwrap();
+    let reference = serde_json::to_string_pretty(&serial.results).unwrap();
+    for threads in [2, 8] {
+        let sharded = run_sweep(
+            &spec,
+            &SweepOptions {
+                jobs: 2,
+                cache_dir: None,
+                threads,
+            },
+            None,
+        )
+        .unwrap();
+        let doc = serde_json::to_string_pretty(&sharded.results).unwrap();
+        assert_eq!(doc, reference, "threads={threads} diverged");
+    }
+    assert_eq!(serial.results.total, 2);
+    for row in &serial.results.scenarios {
+        assert!(
+            row.metrics.savings > 0.0 && row.metrics.savings < 1.0,
+            "fluid savings out of range: {}",
+            row.metrics.savings
+        );
+        assert!(row.metrics.p99_latency_ns > 0.0, "zero makespan");
+    }
+}
+
+#[test]
+fn fluid_fabric_example_spec_parses_and_expands() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/specs/fluid_fabric.json"
+    ))
+    .unwrap();
+    let spec: SweepSpec = serde_json::from_str(&text).unwrap();
+    assert_eq!(spec.grid_size(), 3);
+    assert!(matches!(
+        spec.base.experiment,
+        ExperimentKind::FluidFabric(_)
+    ));
 }
 
 #[test]
@@ -155,6 +216,7 @@ fn cache_turns_reruns_into_hits() {
     let opts = SweepOptions {
         jobs: 4,
         cache_dir: Some(dir.clone()),
+        threads: 1,
     };
 
     let cold = run_sweep(&spec, &opts, None).unwrap();
@@ -179,6 +241,7 @@ fn editing_the_spec_invalidates_only_changed_scenarios() {
     let opts = SweepOptions {
         jobs: 4,
         cache_dir: Some(dir.clone()),
+        threads: 1,
     };
     run_sweep(&spec, &opts, None).unwrap();
 
@@ -233,6 +296,7 @@ fn concurrent_executors_share_one_cache_dir_without_interleaving() {
                     let opts = SweepOptions {
                         jobs: 4,
                         cache_dir: Some(dir),
+                        threads: 1,
                     };
                     run_sweep(&spec, &opts, None).unwrap()
                 })

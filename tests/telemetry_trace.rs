@@ -44,6 +44,7 @@ fn canonical_trace(jobs: usize) -> String {
     let opts = npp_sweep::SweepOptions {
         jobs,
         cache_dir: None,
+        threads: 1,
     };
     run_sweep(&gate_spec(), &opts, None).expect("gate sweep runs");
     npp_telemetry::finish().to_canonical_jsonl()
@@ -73,6 +74,7 @@ fn every_scenario_contributes_a_scoped_span() {
     let opts = npp_sweep::SweepOptions {
         jobs: 2,
         cache_dir: None,
+        threads: 1,
     };
     let outcome = run_sweep(&gate_spec(), &opts, None).expect("gate sweep runs");
     let trace = npp_telemetry::finish();
@@ -112,6 +114,7 @@ fn metrics_registry_counts_the_sweep() {
     let opts = npp_sweep::SweepOptions {
         jobs: 2,
         cache_dir: None,
+        threads: 1,
     };
     run_sweep(&gate_spec(), &opts, None).expect("gate sweep runs");
     let _ = npp_telemetry::finish();
