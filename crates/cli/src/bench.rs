@@ -19,19 +19,24 @@
 //! scenario through the component-sharded runtime at 2 threads and
 //! hard-asserts the state digest matches the serial run.
 //!
-//! `--scaling` appends the parallel-engine scaling matrix (pod fat-tree
-//! scenario, flow counts × thread counts) to the report; every cell's
-//! state digest is hard-checked against the 1-thread run of the same
-//! flow count, so the curve can never quietly trade correctness for
-//! throughput. `--scaling-smoke` is the CI variant: one flow count,
-//! threads {1, 8}, identity hard-fails while the throughput ratio only
-//! warns (shared runners make wall-clock promises unreliable).
+//! `--scaling` appends the parallel-engine scaling matrix to the
+//! report: pod fat-tree rows (many components — measures component
+//! sharding) plus a single-giant-component spine row (one component —
+//! measures the within-component splitter), each at flow counts ×
+//! thread counts. Every cell's state digest is hard-checked against
+//! the 1-thread run of the same row, so the curve can never quietly
+//! trade correctness for throughput. `--scaling-smoke` is the CI
+//! variant: one flow count per scenario, threads {1, 8}, identity
+//! hard-fails while the per-scenario throughput ratio only warns
+//! (shared runners make wall-clock promises unreliable).
 
 use serde::Serialize;
 
 use npp_simnet::netsim::NetSim;
 use npp_simnet::netsim_naive::NaiveNetSim;
-use npp_simnet::scenarios::{hotpath_scenario, pod_fattree_scenario, Scenario};
+use npp_simnet::scenarios::{
+    hotpath_scenario, pod_fattree_scenario, spine_fattree_scenario, Scenario,
+};
 use npp_simnet::EngineMetrics;
 use npp_telemetry::wall_clock;
 
@@ -46,16 +51,25 @@ const QUICK_FLOWS: usize = 200;
 const INDEXED_RUNS: usize = 5;
 /// Timed repetitions (best-of) for the naive baseline.
 const NAIVE_RUNS: usize = 2;
-/// Flow counts of the full `--scaling` matrix.
+/// Flow counts of the full `--scaling` matrix (pod fat-tree rows).
 const SCALING_FLOWS: [usize; 3] = [1_000, 10_000, 100_000];
+/// Flow count of the full matrix's single-giant-component spine row.
+const SPINE_FLOWS: usize = 65_536;
 /// Thread counts of the full `--scaling` matrix.
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
-/// Flow count for the `--scaling-smoke` CI gate.
+/// Pod-scenario flow count for the `--scaling-smoke` CI gate.
 const SMOKE_FLOWS: usize = 100_000;
+/// Spine-scenario flow count for the `--scaling-smoke` CI gate. The
+/// full 65,536-flow spine row costs minutes of serial wall time; the
+/// smoke cell keeps the same one-component 8×16 fabric and single-wave
+/// injection but at a quarter of the flows, so the digest gate and the
+/// splitter's speedup are both exercised inside a CI budget.
+const SMOKE_SPINE_FLOWS: usize = 16_384;
 /// Thread counts for the `--scaling-smoke` CI gate.
 const SMOKE_THREADS: [usize; 2] = [1, 8];
-/// Minimum 8-vs-1-thread events/sec ratio the smoke gate expects; a
-/// shortfall prints a warning rather than failing (shared CI runners).
+/// Minimum 8-vs-1-thread events/sec ratio the smoke gate expects per
+/// scenario; a shortfall prints a warning rather than failing (shared
+/// CI runners).
 const SMOKE_MIN_RATIO: f64 = 1.5;
 
 /// Parsed arguments for `netpp bench-json`.
@@ -181,6 +195,9 @@ pub struct TelemetryOverhead {
 /// scenario at one flow count, run with one worker-thread count.
 #[derive(Debug, Serialize)]
 pub struct ScalingCell {
+    /// Scenario tag of this row's workload (pod fat-tree rows decompose
+    /// into many components; the spine row is one giant component).
+    pub scenario: String,
     /// Flows injected.
     pub flows: usize,
     /// Worker threads (`1` = the serial indexed engine).
@@ -203,6 +220,17 @@ pub struct ScalingCell {
     pub speedup_vs_one_thread: f64,
     /// Coordinator nanoseconds spent waiting on worker replies.
     pub merge_wait_ns: u64,
+    /// From-scratch rebuilds of the persistent component index.
+    pub index_rebuilds: u64,
+    /// Incremental arrival unions absorbed by the component index.
+    pub index_incremental_ops: u64,
+    /// Epochs in which work stealing migrated at least one component.
+    pub steal_events: u64,
+    /// Components migrated by epoch work stealing.
+    pub stolen_components: u64,
+    /// Independent subproblems executed by the within-component
+    /// splitter.
+    pub subproblems: u64,
     /// Final-state FNV digest, hex — bit-identical across every thread
     /// count of a flow count by construction (hard-checked before the
     /// report is emitted).
@@ -342,14 +370,18 @@ fn engine_result(
     })
 }
 
-/// Runs the pod fat-tree scenario at `flows` with every entry of
-/// `threads`, hard-asserting that every thread count reproduces the
-/// 1-thread state digest bit-for-bit, and appends one cell per run.
-fn scaling_row(flows: usize, threads: &[usize], cells: &mut Vec<ScalingCell>) -> Result<()> {
-    let scenario = pod_fattree_scenario(flows)?;
+/// Runs `scenario` with every entry of `threads`, hard-asserting that
+/// every thread count reproduces the 1-thread state digest
+/// bit-for-bit, and appends one cell per run.
+fn scaling_row(
+    scenario: &Scenario,
+    flows: usize,
+    threads: &[usize],
+    cells: &mut Vec<ScalingCell>,
+) -> Result<()> {
     let mut reference: Option<(u64, f64)> = None; // (digest, 1-thread events/sec)
     for &t in threads {
-        let r = run_indexed(&scenario, t)?;
+        let r = run_indexed(scenario, t)?;
         if r.secs <= 0.0 || !r.secs.is_finite() {
             return Err(format!("scaling cell {flows}x{t} produced degenerate timing").into());
         }
@@ -357,18 +389,19 @@ fn scaling_row(flows: usize, threads: &[usize], cells: &mut Vec<ScalingCell>) ->
         let (ref_digest, ref_eps) = *reference.get_or_insert((r.digest, events_per_sec));
         if r.digest != ref_digest {
             return Err(format!(
-                "parallel engine diverged: {flows} flows at {t} threads digest \
+                "parallel engine diverged on {}: {flows} flows at {t} threads digest \
                  {:016x}, 1-thread digest {ref_digest:016x}",
-                r.digest
+                scenario.name, r.digest
             )
             .into());
         }
         eprintln!(
             "scaling {flows:>7} flows x {t} threads: {events_per_sec:>12.0} events/s \
-             ({:.2}s run, {} components, peak {} flows)",
-            r.secs, r.metrics.components, r.peak
+             ({:.2}s run, {} components, {} subproblems, peak {} flows)",
+            r.secs, r.metrics.components, r.metrics.subproblems, r.peak
         );
         cells.push(ScalingCell {
+            scenario: scenario.name.clone(),
             flows,
             threads: t,
             components: r.metrics.components,
@@ -379,6 +412,11 @@ fn scaling_row(flows: usize, threads: &[usize], cells: &mut Vec<ScalingCell>) ->
             peak_live_flows: r.peak,
             speedup_vs_one_thread: events_per_sec / ref_eps,
             merge_wait_ns: r.metrics.merge_wait_ns,
+            index_rebuilds: r.metrics.index_rebuilds,
+            index_incremental_ops: r.metrics.index_incremental_ops,
+            steal_events: r.metrics.steal_events,
+            stolen_components: r.metrics.stolen_components,
+            subproblems: r.metrics.subproblems,
             state_digest: format!("{:016x}", r.digest),
             peak_rss_bytes: peak_rss_bytes(),
         });
@@ -386,28 +424,44 @@ fn scaling_row(flows: usize, threads: &[usize], cells: &mut Vec<ScalingCell>) ->
     Ok(())
 }
 
-/// Builds the `--scaling` / `--scaling-smoke` section.
+/// Builds the `--scaling` / `--scaling-smoke` section: pod fat-tree
+/// rows (component sharding) followed by a single-giant-component
+/// spine row (within-component splitting), both digest-gated at every
+/// cell.
 fn measure_scaling(smoke: bool) -> Result<ScalingSection> {
-    let (flow_counts, thread_counts): (Vec<usize>, Vec<usize>) = if smoke {
-        (vec![SMOKE_FLOWS], SMOKE_THREADS.to_vec())
+    let (pod_flows, spine_flows, thread_counts): (Vec<usize>, usize, Vec<usize>) = if smoke {
+        (vec![SMOKE_FLOWS], SMOKE_SPINE_FLOWS, SMOKE_THREADS.to_vec())
     } else {
-        (SCALING_FLOWS.to_vec(), SCALING_THREADS.to_vec())
+        (
+            SCALING_FLOWS.to_vec(),
+            SPINE_FLOWS,
+            SCALING_THREADS.to_vec(),
+        )
     };
     let mut cells = Vec::new();
-    for &flows in &flow_counts {
-        scaling_row(flows, &thread_counts, &mut cells)?;
+    let mut flow_counts = pod_flows.clone();
+    for &flows in &pod_flows {
+        let scenario = pod_fattree_scenario(flows)?;
+        scaling_row(&scenario, flows, &thread_counts, &mut cells)?;
     }
+    let spine = spine_fattree_scenario(spine_flows)?;
+    scaling_row(&spine, spine_flows, &thread_counts, &mut cells)?;
+    flow_counts.push(spine_flows);
     if smoke {
         // Identity above is the hard gate; throughput only warns, since
-        // shared CI runners cannot promise wall-clock ratios.
-        let base = cells[0].events_per_sec;
-        let multi = cells[cells.len() - 1].events_per_sec;
-        let ratio = multi / base;
-        if ratio < SMOKE_MIN_RATIO {
-            eprintln!(
-                "warning: scaling smoke ratio {ratio:.2}x below the {SMOKE_MIN_RATIO}x \
-                 target ({base:.0} -> {multi:.0} events/s); not failing (shared runner)"
-            );
+        // shared CI runners cannot promise wall-clock ratios. Each
+        // scenario's ratio is judged against its own 1-thread cell.
+        for row in cells.chunks(thread_counts.len()) {
+            let base = &row[0];
+            let multi = &row[row.len() - 1];
+            let ratio = multi.events_per_sec / base.events_per_sec;
+            if ratio < SMOKE_MIN_RATIO {
+                eprintln!(
+                    "warning: scaling smoke ratio {ratio:.2}x below the {SMOKE_MIN_RATIO}x \
+                     target on {} ({:.0} -> {:.0} events/s); not failing (shared runner)",
+                    base.scenario, base.events_per_sec, multi.events_per_sec
+                );
+            }
         }
     }
     Ok(ScalingSection {
@@ -523,7 +577,7 @@ pub fn measure(args: &BenchArgs) -> Result<BenchReport> {
     };
 
     Ok(BenchReport {
-        schema: "npp.bench.simnet/v2".to_string(),
+        schema: "npp.bench.simnet/v3".to_string(),
         scenario: scenario.name,
         flows,
         quick: args.quick,
@@ -689,20 +743,37 @@ mod tests {
 
     #[test]
     fn scaling_row_emits_bit_identical_cells() {
+        let scenario = pod_fattree_scenario(384).unwrap();
         let mut cells = Vec::new();
-        scaling_row(384, &[1, 2, 8], &mut cells).unwrap();
+        scaling_row(&scenario, 384, &[1, 2, 8], &mut cells).unwrap();
         assert_eq!(cells.len(), 3);
         let digest = &cells[0].state_digest;
         for c in &cells {
             assert_eq!(&c.state_digest, digest);
             assert_eq!(c.flows, 384);
+            assert_eq!(c.scenario, scenario.name);
             assert!(c.events_per_sec.is_finite() && c.events_per_sec > 0.0);
             assert!(c.speedup_vs_one_thread > 0.0);
+            assert!(c.index_incremental_ops > 0);
             if c.threads > 1 {
                 // Four disconnected pods shard into >= 4 components.
                 assert!(c.components >= 4);
             }
         }
         assert_eq!(cells[0].speedup_vs_one_thread, 1.0);
+    }
+
+    #[test]
+    fn scaling_row_on_the_spine_scenario_is_one_component() {
+        let scenario = spine_fattree_scenario(256).unwrap();
+        let mut cells = Vec::new();
+        scaling_row(&scenario, 256, &[1, 8], &mut cells).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].state_digest, cells[1].state_digest);
+        for c in &cells {
+            // The spine glue collapses the fabric into one component;
+            // any speedup here is the within-component splitter's.
+            assert_eq!(c.components, 1);
+        }
     }
 }

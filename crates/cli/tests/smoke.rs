@@ -507,7 +507,7 @@ fn binary_bench_json_quick_emits_finite_numbers() {
     );
     let v: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("bench-json emits valid JSON");
-    assert_eq!(v["schema"].as_str(), Some("npp.bench.simnet/v2"));
+    assert_eq!(v["schema"].as_str(), Some("npp.bench.simnet/v3"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     let engines = v["engines"].as_array().unwrap();
     assert_eq!(engines.len(), 1, "quick mode is indexed-engine only");

@@ -1,0 +1,284 @@
+//! Persistent connected-component index over directed links.
+//!
+//! The parallel runtime shards work by *link-sharing components*: two
+//! flows belong to the same component when their paths are connected
+//! through shared directed links. PR 6 rebuilt a union-find from the
+//! full flow→link CSR on every `run_threads` call; this module replaces
+//! that with a persistent index that is updated **incrementally**:
+//!
+//! - **Arrival** — a new flow unions its path links in O(path · α).
+//! - **Departure** — a finished flow *cannot* be removed from a
+//!   union-find cheaply, so departures are only *counted* (lazily, in
+//!   epoch batches via [`CompIndex::observe_finished`]). The index
+//!   therefore only ever **coarsens** over time: it may report two
+//!   flows as connected after the flow that bridged them has finished.
+//!
+//! Coarsening is *safe* for sharding — a coarser partition never puts
+//! two genuinely-connected flows in different shards, it only merges
+//! shards that could have been split — so correctness never depends on
+//! departures being applied. It is a *performance* concern: a stale
+//! giant component serializes work that is actually parallel. The
+//! escape hatch is the rebuild threshold: once at least
+//! [`CompIndex::rebuild_floor`] departures have accumulated **and**
+//! they amount to half the flows indexed since the last rebuild,
+//! [`CompIndex::should_rebuild`] trips and the owner rebuilds from the
+//! live paths at the next epoch boundary ([`CompIndex::rebuild`]).
+//!
+//! Both maintenance regimes are observable: `index_incremental_ops`
+//! counts arrival unions, `index_rebuilds` counts from-scratch
+//! rebuilds; both surface in `EngineMetrics` and the bench-json
+//! scaling cells.
+//!
+//! Directed links come in `(link·2, link·2 + 1)` pairs sharing one
+//! physical cable; the pairs are pre-unioned (here and after every
+//! rebuild) so a component always owns both directions of its links,
+//! matching the sharding granularity of the PR 6 runtime.
+
+/// Persistent union-find over directed-link ids with arrival-time
+/// unions, batched departure counting, and threshold rebuilds.
+#[derive(Debug, Clone)]
+pub struct CompIndex {
+    /// Union-find parent array over directed links (path halving;
+    /// roots are the smallest dirlink id reachable by the merge rule).
+    parent: Vec<u32>,
+    /// Flows whose paths have been absorbed (arrival watermark).
+    flows_absorbed: usize,
+    /// Finished-flow count at the last [`CompIndex::observe_finished`].
+    finished_seen: usize,
+    /// Departures accumulated since the last rebuild.
+    departed_since_rebuild: usize,
+    /// Flows contributing unions since the last rebuild (live flows at
+    /// the rebuild plus arrivals since); the rebuild ratio denominator.
+    basis: usize,
+    /// Minimum accumulated departures before a rebuild can trip.
+    rebuild_floor: usize,
+    /// From-scratch rebuilds performed (`index_rebuilds`).
+    rebuilds: u64,
+    /// Arrival-time union operations (`index_incremental_ops`).
+    incremental_ops: u64,
+}
+
+/// Default [`CompIndex::rebuild_floor`]: below this many departures a
+/// rebuild cannot pay for itself.
+const DEFAULT_REBUILD_FLOOR: usize = 1024;
+
+impl CompIndex {
+    /// Creates an index over `n_dirlinks` directed links with every
+    /// direction pair pre-unioned and no flows absorbed.
+    pub fn new(n_dirlinks: usize) -> Self {
+        let mut idx = Self {
+            parent: Vec::new(),
+            flows_absorbed: 0,
+            finished_seen: 0,
+            departed_since_rebuild: 0,
+            basis: 0,
+            rebuild_floor: DEFAULT_REBUILD_FLOOR,
+            rebuilds: 0,
+            incremental_ops: 0,
+        };
+        idx.reset_links(n_dirlinks);
+        idx
+    }
+
+    /// Resets the parent array to singletons and re-unions direction
+    /// pairs. Shared by construction and rebuilds.
+    fn reset_links(&mut self, n_dirlinks: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n_dirlinks as u32);
+        let mut l = 0;
+        while l + 1 < n_dirlinks {
+            self.union(l as u32, (l + 1) as u32);
+            l += 2;
+        }
+    }
+
+    /// Component root of directed link `dl` (path halving).
+    pub fn root(&mut self, mut dl: u32) -> u32 {
+        loop {
+            let p = self.parent[dl as usize];
+            if p == dl {
+                return dl;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[dl as usize] = gp;
+            dl = gp;
+        }
+    }
+
+    /// Unions the components of `a` and `b`; the smaller root wins so
+    /// component identity is stable under insertion order.
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.root(a);
+        let rb = self.root(b);
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+    }
+
+    /// Number of flows whose paths have been absorbed so far.
+    pub fn flows_absorbed(&self) -> usize {
+        self.flows_absorbed
+    }
+
+    /// Absorbs flows `[flows_absorbed, total_flows)` by unioning each
+    /// flow's path links — the incremental arrival update. `path_of`
+    /// maps a flow index to its directed-link path (empty paths are
+    /// fine; they contribute nothing).
+    pub fn absorb_arrivals<'a>(
+        &mut self,
+        total_flows: usize,
+        mut path_of: impl FnMut(usize) -> &'a [u32],
+    ) {
+        while self.flows_absorbed < total_flows {
+            let path = path_of(self.flows_absorbed);
+            if let Some((&first, rest)) = path.split_first() {
+                for &dl in rest {
+                    self.union(first, dl);
+                    self.incremental_ops += 1;
+                }
+            }
+            self.flows_absorbed += 1;
+            self.basis += 1;
+        }
+    }
+
+    /// Records the current total finished-flow count; the delta since
+    /// the previous call accumulates as departures. Called once per
+    /// epoch batch (and at run start), never per flow.
+    pub fn observe_finished(&mut self, total_finished: usize) {
+        let newly = total_finished.saturating_sub(self.finished_seen);
+        self.finished_seen = total_finished;
+        self.departed_since_rebuild += newly;
+    }
+
+    /// Whether accumulated departures justify a from-scratch rebuild:
+    /// at least [`CompIndex::set_rebuild_floor`] departures *and* at
+    /// least half of the flows indexed since the last rebuild.
+    pub fn should_rebuild(&self) -> bool {
+        self.departed_since_rebuild >= self.rebuild_floor
+            && self.departed_since_rebuild * 2 >= self.basis
+    }
+
+    /// Rebuilds the index from the live flows' paths only, discarding
+    /// every union contributed by departed flows. The caller passes the
+    /// paths of unfinished flows; `live` is their count (the new
+    /// rebuild-ratio basis).
+    pub fn rebuild<'a>(&mut self, live_paths: impl IntoIterator<Item = &'a [u32]>) {
+        let n = self.parent.len();
+        self.reset_links(n);
+        let mut live = 0usize;
+        for path in live_paths {
+            if let Some((&first, rest)) = path.split_first() {
+                for &dl in rest {
+                    self.union(first, dl);
+                }
+            }
+            live += 1;
+        }
+        self.basis = live;
+        self.departed_since_rebuild = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Overrides the departure floor below which rebuilds never trip
+    /// (tests force eager rebuilds with a floor of 1).
+    pub fn set_rebuild_floor(&mut self, floor: usize) {
+        self.rebuild_floor = floor.max(1);
+    }
+
+    /// From-scratch rebuilds performed.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Arrival-time incremental union operations.
+    pub fn incremental_ops(&self) -> u64 {
+        self.incremental_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths_index(paths: &[Vec<u32>], n_dl: usize) -> CompIndex {
+        let mut idx = CompIndex::new(n_dl);
+        idx.absorb_arrivals(paths.len(), |i| &paths[i]);
+        idx
+    }
+
+    #[test]
+    fn direction_pairs_are_pre_unioned() {
+        let mut idx = CompIndex::new(6);
+        for l in 0..3u32 {
+            assert_eq!(idx.root(l * 2), idx.root(l * 2 + 1));
+        }
+        assert_ne!(idx.root(0), idx.root(2));
+    }
+
+    #[test]
+    fn arrivals_union_incrementally_and_watermark_advances() {
+        let paths = vec![vec![0u32, 2], vec![4u32, 6]];
+        let mut idx = paths_index(&paths, 8);
+        assert_eq!(idx.flows_absorbed(), 2);
+        assert_eq!(idx.root(0), idx.root(3));
+        assert_ne!(idx.root(0), idx.root(4));
+        assert_eq!(idx.incremental_ops(), 2);
+        // Absorbing again with the same total is a no-op.
+        idx.absorb_arrivals(2, |_| unreachable!("watermark already there"));
+        // A later arrival bridges the two components.
+        let all = [vec![0u32, 2], vec![4u32, 6], vec![2u32, 4]];
+        idx.absorb_arrivals(3, |i| &all[i]);
+        assert_eq!(idx.root(0), idx.root(6));
+        assert_eq!(idx.incremental_ops(), 3);
+    }
+
+    #[test]
+    fn departures_only_count_until_the_threshold_trips() {
+        let paths = vec![vec![0u32, 2], vec![2u32, 4], vec![6u32]];
+        let mut idx = paths_index(&paths, 8);
+        idx.set_rebuild_floor(1);
+        assert!(!idx.should_rebuild());
+        // One of three flows gone: below the half ratio.
+        idx.observe_finished(1);
+        assert!(!idx.should_rebuild());
+        // Two of three gone: floor met and ratio met.
+        idx.observe_finished(2);
+        assert!(idx.should_rebuild());
+        // The index is still coarse (flow 1's bridge is stale) …
+        assert_eq!(idx.root(0), idx.root(4));
+        // … until the rebuild drops departed unions.
+        let live: Vec<Vec<u32>> = vec![vec![6u32]];
+        idx.rebuild(live.iter().map(Vec::as_slice));
+        assert_ne!(idx.root(0), idx.root(4));
+        assert_eq!(idx.rebuilds(), 1);
+        assert!(!idx.should_rebuild());
+    }
+
+    #[test]
+    fn default_floor_suppresses_small_rebuilds() {
+        let paths = vec![vec![0u32, 2]; 10];
+        let mut idx = paths_index(&paths, 4);
+        idx.observe_finished(10);
+        // Every flow departed, but 10 < the default floor.
+        assert!(!idx.should_rebuild());
+    }
+
+    #[test]
+    fn rebuild_resets_the_ratio_basis() {
+        let paths: Vec<Vec<u32>> = (0..8).map(|i| vec![i * 2]).collect();
+        let mut idx = paths_index(&paths, 16);
+        idx.set_rebuild_floor(2);
+        idx.observe_finished(4);
+        assert!(idx.should_rebuild());
+        let live: Vec<Vec<u32>> = (4..8).map(|i| vec![i * 2]).collect();
+        idx.rebuild(live.iter().map(Vec::as_slice));
+        // Basis is now 4 live flows; two more departures re-trip.
+        idx.observe_finished(5);
+        assert!(!idx.should_rebuild());
+        idx.observe_finished(6);
+        assert!(idx.should_rebuild());
+    }
+}

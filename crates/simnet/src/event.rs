@@ -157,6 +157,17 @@ impl<E> Scheduler<E> {
         Some(at)
     }
 
+    /// Drains every pending event in time (FIFO-stable) order without
+    /// advancing the clock — the error-exit path of a run loop uses
+    /// this to hand un-released events back to the owner.
+    pub fn drain(&mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(Reverse(s)) = self.queue.pop() {
+            out.push((s.at, s.event));
+        }
+        out
+    }
+
     /// Pops the next event only if it is at or before `horizon`;
     /// otherwise advances the clock to `horizon` and returns `None`.
     /// This is the standard "run until" loop primitive.
@@ -253,6 +264,26 @@ mod tests {
         assert_eq!(batch, ["d"]);
         assert_eq!(s.pop_batch(&mut batch), None);
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_in_time_order_without_touching_the_clock() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_nanos(30), "c").unwrap();
+        s.schedule(SimTime::from_nanos(10), "a").unwrap();
+        s.schedule(SimTime::from_nanos(10), "b").unwrap();
+        let drained = s.drain();
+        assert_eq!(
+            drained,
+            [
+                (SimTime::from_nanos(10), "a"),
+                (SimTime::from_nanos(10), "b"),
+                (SimTime::from_nanos(30), "c"),
+            ]
+        );
+        assert!(s.is_empty());
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.processed(), 0);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   and allocation-free on its event loop (see the module docs);
 //! - [`netsim_naive`] — the pre-optimization reference engine, kept as
 //!   the benchmark baseline and differential-test oracle;
+//! - [`comp_index`] — persistent link-sharing component index
+//!   (incremental arrivals, batched departures, threshold rebuilds)
+//!   feeding the parallel runtime's sharding decisions;
 //! - [`scenarios`] — deterministic flow-set generators shared by the
 //!   hot-path benchmark and `netpp bench-json`;
 //! - [`sources`] — deterministic and random (seeded) traffic generators;
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod comp_index;
 pub mod event;
 pub mod link;
 pub mod netsim;
@@ -58,8 +62,9 @@ pub mod stats;
 pub mod switchsim;
 mod time;
 
+pub use comp_index::CompIndex;
 pub use event::Scheduler;
-pub use netsim::{EngineMetrics, WorkerMetrics};
+pub use netsim::{EngineMetrics, StealMode, WorkerMetrics};
 pub use power_tracker::{DwellSegment, PowerTimeline, PowerTracker};
 pub use time::SimTime;
 

@@ -38,13 +38,18 @@
 //!
 //! # The parallel runtime
 //!
-//! [`NetSim::run_threads`] shards the engine across worker threads by
-//! link-sharing component (see `netsim_par`): progressive filling
-//! decomposes over link-disjoint components, so each worker runs the
-//! same indexed waterfill over its components while a coordinator drives
-//! all shards through the same global epoch sequence. Rates, completion
-//! times, and per-link statistics are `to_bits`-identical to the serial
-//! engine for any thread count.
+//! [`NetSim::run_threads`] parallelizes the engine per fluid epoch (see
+//! `netsim_par`): a coordinator runs the same event loop as
+//! [`NetSim::run`] over the one shared `EngineCore`, but each epoch's
+//! rate recompute
+//! is decomposed — first by link-sharing component (tracked by the
+//! persistent [`crate::comp_index::CompIndex`], with epoch work
+//! stealing rebalancing skewed component histograms), then *within* a
+//! component by splitting the residual waterfill into independent
+//! bottleneck subproblems — and fanned out to scoped worker threads
+//! that return rate vectors only. Rates, completion times, and
+//! per-link statistics are `to_bits`-identical to the serial engine
+//! for any thread count.
 //!
 //! Correctness is anchored by a naive progressive-filling oracle
 //! (`O(flows² · links)`, the pre-optimization algorithm) that runs after
@@ -59,6 +64,7 @@ use std::collections::BTreeMap;
 use npp_topology::graph::{LinkId, NodeId, Topology};
 use serde::Serialize;
 
+use crate::comp_index::CompIndex;
 use crate::{Result, SimError, SimTime};
 
 /// Identifier of a flow within one simulation.
@@ -146,10 +152,30 @@ pub struct WorkerMetrics {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct ParMetrics {
     pub(crate) threads: usize,
-    pub(crate) components: usize,
-    pub(crate) component_flows_hist: Vec<u64>,
     pub(crate) merge_wait_ns: u64,
+    pub(crate) steal_events: u64,
+    pub(crate) stolen_components: u64,
+    pub(crate) subproblems: u64,
     pub(crate) workers: Vec<WorkerMetrics>,
+}
+
+/// Work-stealing policy of the parallel runtime (see `netsim_par`):
+/// whether idle workers may claim whole components from loaded workers
+/// at epoch boundaries. Ownership moves are always a pure function of
+/// the epoch's dirty-flow distribution — never of wall-clock timing —
+/// so every mode yields bit-identical simulation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealMode {
+    /// Steal when the deterministic skew trigger fires (default): an
+    /// idle worker exists while the most-loaded worker holds at least
+    /// two dirty components and enough dirty flows to matter.
+    #[default]
+    Auto,
+    /// Steal whenever an idle worker and a donor with a spare dirty
+    /// component exist, regardless of load (tests force migration).
+    Always,
+    /// Never move ownership after the initial greedy assignment.
+    Never,
 }
 
 /// Engine-internal counters exposed for benchmarks and `netpp profile`:
@@ -172,12 +198,29 @@ pub struct EngineMetrics {
     pub touched_links_max: usize,
     /// Worker threads used by the last run (1 = serial engine).
     pub threads: usize,
-    /// Link-sharing components discovered by the last parallel run
-    /// (0 when the serial engine ran).
+    /// Link-sharing components over unfinished flows, from the
+    /// persistent component index at the last run preparation or mid-run
+    /// rebuild — populated by serial *and* parallel runs, so scaling
+    /// rows are comparable against the 1-thread baseline.
     pub components: usize,
     /// Power-of-two histogram of flows per component: bucket `i` counts
-    /// components with `2^i ≤ flows < 2^(i+1)` (empty for serial runs).
+    /// components with `2^i ≤ flows < 2^(i+1)` (serial and parallel).
     pub component_flows_hist: Vec<u64>,
+    /// From-scratch rebuilds of the persistent component index (the
+    /// departure-threshold escape hatch).
+    pub index_rebuilds: u64,
+    /// Incremental arrival-time union operations absorbed by the
+    /// persistent component index.
+    pub index_incremental_ops: u64,
+    /// Epochs in which the deterministic skew trigger migrated at least
+    /// one component between workers (parallel runs only).
+    pub steal_events: u64,
+    /// Components migrated by epoch work stealing (parallel runs only).
+    pub stolen_components: u64,
+    /// Independent waterfill subproblems executed by the
+    /// within-component splitter (parallel runs only; the serial fixing
+    /// loop never splits).
+    pub subproblems: u64,
     /// Wall nanoseconds the parallel coordinator spent blocked waiting
     /// for worker replies (volatile profiling data, never simulation
     /// state).
@@ -365,6 +408,91 @@ impl EngineCore {
         s.seeds.clear();
         let set_len = s.set.len();
         self.dirty_set_max = self.dirty_set_max.max(set_len);
+    }
+
+    /// Flows crossing directed link `dl`, ascending by flow id (from
+    /// the link→flow CSR; `ensure_link_flow_csr` must have run).
+    pub(crate) fn lf_row(&self, dl: u32) -> &[u32] {
+        &self.lf_flows[self.lf_offsets[dl as usize]..self.lf_offsets[dl as usize + 1]]
+    }
+
+    /// Per-component variant of [`EngineCore::dirty_closure`] used by
+    /// the parallel runtime: expands `seeds` into the active flows of
+    /// the component identified by `root` (under `index`), writing the
+    /// set into `out`.
+    ///
+    /// A *live* seed's path lies entirely inside one component, but a
+    /// *finished* seed (a retiree freeing capacity) can span several
+    /// components when the index was rebuilt after it departed — so
+    /// seed links are filtered by component root, while flows reached
+    /// through those links need no filter (an active flow's path was
+    /// unioned whole, so all its links share the item's root).
+    pub(crate) fn component_closure(
+        &mut self,
+        seeds: &[u32],
+        root: u32,
+        index: &mut CompIndex,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let s = &mut self.scratch;
+        s.queue.clear();
+        for &f in seeds {
+            let fi = f as usize;
+            if s.flow_seen[fi] {
+                continue;
+            }
+            s.flow_seen[fi] = true;
+            s.flows_marked.push(f);
+            if self.flows[fi].active {
+                out.push(f);
+            }
+            for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                let d = dl as usize;
+                if s.link_seen[d] || index.root(dl) != root {
+                    continue;
+                }
+                s.link_seen[d] = true;
+                s.links_marked.push(dl);
+                for &g in &self.lf_flows[self.lf_offsets[d]..self.lf_offsets[d + 1]] {
+                    let gi = g as usize;
+                    if self.flows[gi].active && !s.flow_seen[gi] {
+                        s.flow_seen[gi] = true;
+                        s.flows_marked.push(g);
+                        s.queue.push(g);
+                    }
+                }
+            }
+        }
+        while let Some(f) = s.queue.pop() {
+            let fi = f as usize;
+            out.push(f);
+            for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                let d = dl as usize;
+                if s.link_seen[d] {
+                    continue;
+                }
+                s.link_seen[d] = true;
+                s.links_marked.push(dl);
+                for &g in &self.lf_flows[self.lf_offsets[d]..self.lf_offsets[d + 1]] {
+                    let gi = g as usize;
+                    if self.flows[gi].active && !s.flow_seen[gi] {
+                        s.flow_seen[gi] = true;
+                        s.flows_marked.push(g);
+                        s.queue.push(g);
+                    }
+                }
+            }
+        }
+        for &dl in &s.links_marked {
+            s.link_seen[dl as usize] = false;
+        }
+        s.links_marked.clear();
+        for &f in &s.flows_marked {
+            s.flow_seen[f as usize] = false;
+        }
+        s.flows_marked.clear();
+        self.dirty_set_max = self.dirty_set_max.max(out.len());
     }
 
     /// Progressive-filling max-min fair allocation over `scratch.set`.
@@ -605,11 +733,30 @@ pub struct NetSim {
     route_cache: BTreeMap<(usize, usize), Vec<Vec<u32>>>,
     /// Statistics of the last parallel run, if any.
     pub(crate) par: Option<ParMetrics>,
+    /// Persistent link-sharing component index: unions absorbed on
+    /// arrival, departures counted in epoch batches, from-scratch
+    /// rebuilds only past the departure threshold.
+    pub(crate) index: CompIndex,
+    /// Component count over unfinished flows at the last
+    /// [`NetSim::prepare_run`] or mid-run index rebuild.
+    pub(crate) components: usize,
+    /// Flows-per-component power-of-two histogram matching `components`.
+    pub(crate) comp_hist: Vec<u64>,
+    /// Work-stealing policy for parallel runs.
+    pub(crate) steal_mode: StealMode,
+    /// Minimum dirty flows in an epoch before the parallel runtime fans
+    /// the recompute out to the thread pool; lighter epochs run inline
+    /// on the coordinator (still through the subproblem splitter).
+    pub(crate) fanout_min: usize,
     /// Samples one in N recompute passes into the `prof.netsim.recompute_ns`
     /// histogram when telemetry recording is active (profiling data only —
     /// wall time never feeds back into simulation state).
     recompute_timer: npp_telemetry::timer::SampleTimer,
 }
+
+/// Default [`NetSim::set_parallel_fanout_min`]: below ~4k dirty flows
+/// an epoch's waterfill is cheaper than eight thread spawns.
+const DEFAULT_FANOUT_MIN: usize = 4096;
 
 impl NetSim {
     /// Creates a simulator over (a clone of) the topology.
@@ -621,6 +768,7 @@ impl NetSim {
             link_caps[l.id.0 * 2] = c;
             link_caps[l.id.0 * 2 + 1] = c;
         }
+        let n_dirlinks = link_caps.len();
         Self {
             topo,
             core: EngineCore::new(link_caps),
@@ -631,8 +779,28 @@ impl NetSim {
             peak_active: 0,
             route_cache: BTreeMap::new(),
             par: None,
+            index: CompIndex::new(n_dirlinks),
+            components: 0,
+            comp_hist: Vec::new(),
+            steal_mode: StealMode::Auto,
+            fanout_min: DEFAULT_FANOUT_MIN,
             recompute_timer: npp_telemetry::timer::SampleTimer::every(64),
         }
+    }
+
+    /// Sets the work-stealing policy for subsequent parallel runs
+    /// (results are bit-identical in every mode; this is a performance
+    /// and test knob).
+    pub fn set_steal_mode(&mut self, mode: StealMode) {
+        self.steal_mode = mode;
+    }
+
+    /// Overrides the minimum per-epoch dirty-flow count at which
+    /// parallel runs fan work out to the thread pool. Tests lower it to
+    /// force fan-out on tiny scenarios; results are bit-identical for
+    /// any value.
+    pub fn set_parallel_fanout_min(&mut self, min: usize) {
+        self.fanout_min = min.max(1);
     }
 
     /// The simulation clock.
@@ -661,8 +829,13 @@ impl NetSim {
             dirty_set_max: self.core.dirty_set_max,
             touched_links_max: self.core.touched_links_max,
             threads: if self.par.is_some() { par.threads } else { 1 },
-            components: par.components,
-            component_flows_hist: par.component_flows_hist,
+            components: self.components,
+            component_flows_hist: self.comp_hist.clone(),
+            index_rebuilds: self.index.rebuilds(),
+            index_incremental_ops: self.index.incremental_ops(),
+            steal_events: par.steal_events,
+            stolen_components: par.stolen_components,
+            subproblems: par.subproblems,
             merge_wait_ns: par.merge_wait_ns,
             workers: par.workers,
         }
@@ -758,8 +931,9 @@ impl NetSim {
 
     /// One-time run preparation: sorts the pending queue (deferred from
     /// injection — a stable sort, so simultaneous injections keep
-    /// insertion order exactly as the per-inject sorts did) and sizes
-    /// the CSR + scratch arenas.
+    /// insertion order exactly as the per-inject sorts did), sizes the
+    /// CSR + scratch arenas, and brings the persistent component index
+    /// up to date.
     pub(crate) fn prepare_run(&mut self) {
         if !self.pending_sorted {
             self.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
@@ -767,6 +941,52 @@ impl NetSim {
         }
         self.core.ensure_link_flow_csr();
         self.core.ensure_scratch_sized();
+        self.refresh_component_index();
+    }
+
+    /// Brings the persistent component index up to date — absorbs
+    /// arrivals since the watermark, batches departure counts, rebuilds
+    /// from live paths past the threshold — then recomputes the
+    /// component count and flows-per-component histogram over
+    /// *unfinished* flows. Runs for serial and parallel runs alike (so
+    /// 1-thread bench rows carry comparable component stats) and again
+    /// at mid-run rebuilds; returns the per-component live-flow counts
+    /// keyed by component root for the parallel runtime's ownership
+    /// assignment.
+    pub(crate) fn refresh_component_index(&mut self) -> BTreeMap<u32, u64> {
+        let core = &self.core;
+        self.index
+            .absorb_arrivals(core.flows.len(), |i| core.path(i));
+        let finished = core.flows.iter().filter(|f| f.finished.is_some()).count();
+        self.index.observe_finished(finished);
+        if self.index.should_rebuild() {
+            self.index.rebuild(
+                core.flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.finished.is_none())
+                    .map(|(i, _)| core.path(i)),
+            );
+        }
+        let mut comp_flows: BTreeMap<u32, u64> = BTreeMap::new();
+        for (i, f) in core.flows.iter().enumerate() {
+            if f.finished.is_some() {
+                continue;
+            }
+            if let Some(&first) = core.path(i).first() {
+                *comp_flows.entry(self.index.root(first)).or_insert(0) += 1;
+            }
+        }
+        self.components = comp_flows.len();
+        self.comp_hist.clear();
+        for &n in comp_flows.values() {
+            let bucket = (63 - n.leading_zeros()) as usize;
+            if self.comp_hist.len() <= bucket {
+                self.comp_hist.resize(bucket + 1, 0);
+            }
+            self.comp_hist[bucket] += 1;
+        }
+        comp_flows
     }
 
     /// Advances the simulation until all flows complete.
@@ -877,6 +1097,13 @@ impl NetSim {
             "netsim.touched_links_max",
             self.core.touched_links_max as f64,
         );
+        m::counter_add("netsim.index_rebuilds", self.index.rebuilds());
+        m::counter_add("netsim.index_incremental_ops", self.index.incremental_ops());
+        if let Some(par) = &self.par {
+            m::counter_add("netsim.steal_events", par.steal_events);
+            m::counter_add("netsim.stolen_components", par.stolen_components);
+            m::counter_add("netsim.subproblems", par.subproblems);
+        }
     }
 
     /// Status of a flow.
@@ -1224,9 +1451,9 @@ mod tests {
             assert_eq!(sim.peak_live_flows(), serial.peak_live_flows());
             assert_eq!(sim.makespan(), serial.makespan());
             let m = sim.engine_metrics();
-            assert_eq!(m.threads, threads.min(m.components.max(1)));
+            assert_eq!(m.threads, threads);
             assert!(m.components >= 1);
-            assert_eq!(m.workers.len(), m.threads);
+            assert_eq!(m.workers.len(), threads);
         }
     }
 
@@ -1243,8 +1470,9 @@ mod tests {
 
     #[test]
     fn parallel_run_with_single_component() {
-        // All flows share one bottleneck: one component, so the parallel
-        // runtime degenerates to one worker — and must still match.
+        // All flows share one bottleneck: one component, so every rate
+        // recompute lands on one worker (or splits within the
+        // component) — and must still match the serial engine.
         let topo = leaf_spine(2, 1, 2, Gbps::new(100.0)).unwrap();
         let hosts = topo.hosts();
         let build = |topo: Topology| {
@@ -1262,7 +1490,7 @@ mod tests {
         assert_eq!(par.state_digest(), serial.state_digest());
         let m = par.engine_metrics();
         assert_eq!(m.components, 1);
-        assert_eq!(m.threads, 1);
+        assert_eq!(m.threads, 8);
     }
 
     #[test]

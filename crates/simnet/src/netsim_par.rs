@@ -1,501 +1,1016 @@
-//! Component-sharded parallel runtime for the indexed max-min engine.
+//! Parallel runtime for [`NetSim`]: within-component parallel
+//! waterfill, epoch work stealing, and the incremental component index.
 //!
-//! Progressive filling decomposes over link-sharing components: two
-//! flows can only influence each other's rates through a chain of
-//! shared directed links, so the flow population partitions into
-//! link-disjoint components that evolve independently *between* events.
-//! This module exploits that to run [`crate::netsim::NetSim`] across a
-//! fixed pool of worker threads while producing results that are
-//! `to_bits`-identical to the serial engine:
+//! # Architecture
 //!
-//! - **Component index.** A union-find over dense directed-link ids
-//!   (path halving, min-id roots) is built from the flow→link CSR. The
-//!   two directions of every link are pre-unioned so `carried[link]` —
-//!   which both directions accumulate into — always lives in exactly
-//!   one shard.
-//! - **Deterministic ownership.** A component is identified by the
-//!   smallest dense dirlink id it contains (its union-find root, the
-//!   same tie-break discipline the waterfill uses). Components are
-//!   assigned to workers by greedy balance over flow counts, largest
-//!   first, ties toward the smaller root and the lower worker index —
-//!   a pure function of the workload, never of thread timing.
-//! - **Shards keep global link ids.** Each worker owns one
-//!   [`EngineCore`] holding its components' flows under local dense ids
-//!   (ascending in global id, so per-epoch integration order matches
-//!   the serial engine's ascending-flow order) while per-link arrays
-//!   stay globally indexed. Link-disjointness means no two shards ever
-//!   touch the same entry, and global ids keep the bottleneck
-//!   tie-break (`smallest dirlink id`) bit-identical to serial.
-//! - **Global epoch lockstep.** A coordinator drives every epoch in two
-//!   phases: *Propose* (each worker recomputes its dirty components and
-//!   reports its earliest completion) and *Advance* (every worker
-//!   integrates to the same `next` timestamp and absorbs its releases).
-//!   `next` is the exact integer-nanosecond minimum over shard
-//!   proposals and the injection queue — the same value the serial loop
-//!   computes — so every shard integrates the same `dt` sequence and
-//!   float accumulation into `busy_secs`/`carried` is bit-identical.
-//!   Pending injections drain through [`Scheduler::pop_batch`], whose
-//!   FIFO same-timestamp batching reproduces the serial release set.
+//! Unlike the PR 6 runtime — which partitioned the *flows* into
+//! per-worker shard engines and merged link state back — this runtime
+//! keeps **one** [`EngineCore`] on the coordinator and parallelises the
+//! only step whose cost grows with the dirty set: the max-min rate
+//! computation. The coordinator runs a loop structurally identical to
+//! [`NetSim::run`]; per dirty epoch it
 //!
-//! Within one epoch the serial waterfill's bottleneck-pick subsequence
-//! restricted to a component equals that component's standalone pick
-//! sequence (a pick in one component never changes another component's
-//! capacities or crossing counts), so per-shard waterfills fix the same
-//! flows at the same shares in the same order. The merge back into the
-//! owning `NetSim` is by assignment (flows, per-link stats) and
-//! order-independent reduction (counter sums/maxes) — no floating-point
-//! re-accumulation anywhere.
+//! 1. brings the persistent [`CompIndex`](crate::comp_index::CompIndex)
+//!    up to date (arrivals absorbed incrementally, departures counted
+//!    in batches, a from-scratch rebuild only past the threshold),
+//! 2. groups the epoch's seed flows by component root and expands each
+//!    group into its dirty-flow set (`component_closure`),
+//! 3. rebalances component ownership by *epoch work stealing* when the
+//!    greedy assignment left a worker idle (see below),
+//! 4. fans the per-component waterfills out to a scoped worker pool —
+//!    workers get `&EngineCore` plus their own [`WfScratch`] and return
+//!    plain `(flow, rate)` vectors; they never touch shared mutable
+//!    state — and
+//! 5. applies the rates centrally, then integrates, retires, and
+//!    releases exactly as the serial loop does.
 //!
-//! The memory model is share-nothing: shards are moved into the worker
-//! scope, communicate only through `mpsc` channels carrying plain
-//! values, and are merged single-threaded after the pool drains
-//! (`#![forbid(unsafe_code)]` holds for the whole crate).
+//! Because integration, retirement, release, busy-time accounting, and
+//! every telemetry emission happen on the coordinator in the serial
+//! code path's order, all float accumulation — and therefore
+//! [`NetSim::state_digest`] — is `to_bits`-identical to [`NetSim::run`]
+//! for any thread count, any [`StealMode`], and any fan-out threshold.
+//!
+//! # Within-component parallel waterfill
+//!
+//! A single giant component (the paper's §3 fabric: every flow crosses
+//! the shared spine) defeats component sharding. The splitter recovers
+//! parallelism *inside* the component: as progressive filling fixes
+//! flows, links drop to zero crossing and the residual bipartite graph
+//! (unfixed flows ↔ links with positive crossing) disconnects. Each
+//! region of that residual graph is an independent bottleneck
+//! subproblem — the serial engine's global pick sequence *restricted*
+//! to a region is exactly the region's standalone pick sequence,
+//! because picks in other regions touch disjoint links, and the global
+//! bottleneck, whenever it lies in this region, is also the region's
+//! local bottleneck. Solving regions independently therefore
+//! reproduces every fixed share bit for bit; only the
+//! (value-irrelevant) interleaving order changes. [`try_split`] probes
+//! for disconnection on a geometric round schedule, [`drive`] executes
+//! regions with the exact serial pick rule (smallest fair share, ties
+//! to the smallest directed-link id, fixes in ascending flow id from
+//! the link→flow CSR), and subproblems are dealt to workers
+//! largest-first in a fixed order — determinism needs no reduction
+//! step because region outputs are disjoint flow sets.
+//!
+//! # Epoch work stealing
+//!
+//! The greedy largest-first ownership assignment can strand workers: a
+//! skewed histogram (one giant + many tiny components) leaves the tiny
+//! components' owner idle whenever only the giant is dirty, and vice
+//! versa. At each epoch boundary, if a worker has no dirty work while
+//! another owns two or more dirty components (and, in
+//! [`StealMode::Auto`], enough dirty flows to matter), the idle worker
+//! *claims whole components*: smallest root first, from the most-loaded
+//! worker. The claim order is a pure function of the epoch's dirty-flow
+//! distribution — never of wall-clock timing — so ownership (and with
+//! it the entire simulation) replays identically across machines.
+//!
+//! Wall time appears in exactly one place: the coordinator's
+//! merge-wait stopwatch ([`npp_telemetry::timer::Stopwatch`]), whose
+//! readings land in volatile profiling fields only.
 
-use std::collections::BTreeMap;
-use std::sync::mpsc;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::event::Scheduler;
-use crate::netsim::{EngineCore, NetSim, ParMetrics, WorkerMetrics};
-use crate::{Result, SimError, SimTime};
+use crate::netsim::{EngineCore, FlowId, NetSim, ParMetrics, StealMode, WorkerMetrics};
+use crate::{Result, SimError};
 
-/// Union-find over dense directed-link ids with path halving. Roots are
-/// always the smallest id in their class (union by id, not by rank), so
-/// a component's root doubles as its deterministic identity.
-struct UnionFind {
-    parent: Vec<u32>,
+/// Minimum unfixed flows in a region before a split probe can pay for
+/// its BFS walk.
+const SPLIT_MIN_FLOWS: usize = 64;
+
+/// First fixing round at which a non-fresh region re-probes for a
+/// split; later probes back off geometrically (the probe at round `r`
+/// schedules the next at `2r`). Fresh regions probe at round 0: the
+/// dirty set of a multi-bottleneck epoch is often disconnected before
+/// any flow is fixed.
+const SPLIT_CHECK_START: u64 = 4;
+
+/// [`StealMode::Auto`] donor floor: stealing from a worker with fewer
+/// dirty flows than this costs more in migration bookkeeping than it
+/// saves.
+const STEAL_MIN_FLOWS: u64 = 1024;
+
+/// Per-worker waterfill scratch: dense per-directed-link and per-flow
+/// arrays sized once per run. Workers own their scratch exclusively, so
+/// the fan-out shares only the immutable [`EngineCore`].
+#[derive(Debug, Clone)]
+struct WfScratch {
+    /// Remaining capacity per directed link (valid while crossing > 0).
+    cap: Vec<f64>,
+    /// Unfixed-member crossing count per directed link (zero outside a
+    /// region).
+    crossing: Vec<u32>,
+    /// Flow is an unfixed member of the current region.
+    member: Vec<bool>,
+    /// BFS mark (links), cleared by every [`try_split`].
+    link_seen: Vec<bool>,
+    /// BFS mark (flows), cleared by every [`try_split`].
+    flow_seen: Vec<bool>,
 }
 
-impl UnionFind {
-    fn new(n: usize) -> Self {
+impl WfScratch {
+    fn new(n_dirlinks: usize, n_flows: usize) -> Self {
         Self {
-            parent: (0..n as u32).collect(),
-        }
-    }
-
-    fn find(&mut self, mut x: u32) -> u32 {
-        while self.parent[x as usize] != x {
-            let grand = self.parent[self.parent[x as usize] as usize];
-            self.parent[x as usize] = grand;
-            x = grand;
-        }
-        x
-    }
-
-    /// Joins the classes of `a` and `b`; the smaller root wins.
-    fn union(&mut self, a: u32, b: u32) {
-        let ra = self.find(a);
-        let rb = self.find(b);
-        if ra == rb {
-            return;
-        }
-        if ra < rb {
-            self.parent[rb as usize] = ra;
-        } else {
-            self.parent[ra as usize] = rb;
+            cap: vec![0.0; n_dirlinks],
+            crossing: vec![0; n_dirlinks],
+            member: vec![false; n_flows],
+            link_seen: vec![false; n_dirlinks],
+            flow_seen: vec![false; n_flows],
         }
     }
 }
 
-/// One worker's slice of the simulation: a self-contained engine core
-/// over the worker's components plus the local↔global flow-id mapping.
-struct Shard {
-    core: EngineCore,
-    /// Global flow id per local flow id, ascending.
-    global_ids: Vec<u32>,
-    now: SimTime,
+/// One independent bottleneck subproblem detached from a region
+/// mid-waterfill: the residual links with their exact remaining
+/// capacities and crossing counts, plus the unfixed member flows.
+/// Loading it into any worker's scratch resumes the waterfill with
+/// bit-identical state.
+#[derive(Debug)]
+struct SubProblem {
+    links: Vec<u32>,
+    caps: Vec<f64>,
+    crossings: Vec<u32>,
+    flows: Vec<u32>,
+    /// Smallest member directed link (the BFS start), the deterministic
+    /// tie-break key for dealing subproblems to workers.
+    min_link: u32,
 }
 
-/// Coordinator → worker commands, one pair per epoch.
-enum Cmd {
-    /// Recompute dirty components, report the earliest completion.
-    Propose,
-    /// Integrate to `to`, then release the listed local flow ids.
-    Advance { to: SimTime, releases: Vec<u32> },
+/// Work counters accumulated by the executor; merged into
+/// [`WorkerMetrics`] and the core's counters by the coordinator.
+#[derive(Debug, Default, Clone, Copy)]
+struct ExecStats {
+    recomputes: u64,
+    fixing_iterations: u64,
+    subproblems: u64,
+    dirty_set_max: usize,
+    touched_links_max: usize,
 }
 
-/// Worker → coordinator replies.
-struct Reply {
-    /// Earliest completion in this shard (Propose replies).
-    next: Option<SimTime>,
-    /// Live flows in this shard after the command ran.
-    active: usize,
+impl ExecStats {
+    fn absorb(&mut self, other: &ExecStats) {
+        self.recomputes += other.recomputes;
+        self.fixing_iterations += other.fixing_iterations;
+        self.subproblems += other.subproblems;
+        self.dirty_set_max = self.dirty_set_max.max(other.dirty_set_max);
+        self.touched_links_max = self.touched_links_max.max(other.touched_links_max);
+    }
 }
 
-fn worker_loop(shard: &mut Shard, rx: &mpsc::Receiver<Cmd>, tx: &mpsc::Sender<Reply>) {
-    shard.core.ensure_link_flow_csr();
-    shard.core.ensure_scratch_sized();
-    while let Ok(cmd) = rx.recv() {
-        let reply = match cmd {
-            Cmd::Propose => {
-                if !shard.core.scratch.seeds.is_empty() {
-                    shard.core.dirty_closure();
-                    shard.core.recompute_rates();
-                    #[cfg(any(test, debug_assertions))]
-                    shard.core.assert_rates_match_naive_oracle();
+fn merge_worker(wm: &mut WorkerMetrics, s: &ExecStats) {
+    wm.recomputes += s.recomputes;
+    wm.fixing_iterations += s.fixing_iterations;
+    wm.dirty_set_max = wm.dirty_set_max.max(s.dirty_set_max);
+    wm.touched_links_max = wm.touched_links_max.max(s.touched_links_max);
+}
+
+/// A unit of work dealt to one worker for one epoch.
+enum Job<'a> {
+    /// A whole component's dirty set (fresh region: caps start at full
+    /// link capacity).
+    Set(&'a [u32]),
+    /// A mid-waterfill residual subproblem split off the epoch's single
+    /// giant region.
+    Sub(SubProblem),
+}
+
+/// What one worker returns from one epoch: disjoint `(flow, rate)`
+/// fixes plus its work counters.
+type RateBatch = (Vec<(u32, f64)>, ExecStats);
+
+/// Loads a fresh dirty set into the scratch (exactly the serial
+/// engine's load phase) and returns the touched links in first-touch
+/// order.
+fn load_set(core: &EngineCore, set: &[u32], ws: &mut WfScratch) -> Vec<u32> {
+    let mut links = Vec::new();
+    for &f in set {
+        ws.member[f as usize] = true;
+        for &dl in core.path(f as usize) {
+            let d = dl as usize;
+            if ws.crossing[d] == 0 {
+                ws.cap[d] = core.link_caps[d];
+                links.push(dl);
+            }
+            ws.crossing[d] += 1;
+        }
+    }
+    links
+}
+
+/// Restores a detached subproblem into the scratch; returns its links
+/// and member count.
+fn load_sub(sub: SubProblem, ws: &mut WfScratch) -> (Vec<u32>, usize) {
+    for (k, &dl) in sub.links.iter().enumerate() {
+        let d = dl as usize;
+        ws.cap[d] = sub.caps[k];
+        ws.crossing[d] = sub.crossings[k];
+    }
+    for &f in &sub.flows {
+        ws.member[f as usize] = true;
+    }
+    (sub.links, sub.flows.len())
+}
+
+/// Probes the region's residual graph (unfixed members ↔ links with
+/// positive crossing) for disconnection. Returns the partition as
+/// detached subproblems — clearing the region from the scratch — or
+/// `None` if the residual graph is still one region (scratch
+/// untouched). Parts come back ascending by their minimum live link:
+/// live links are scanned in ascending id order and every part is
+/// first entered through its smallest link.
+fn try_split(core: &EngineCore, links: &[u32], ws: &mut WfScratch) -> Option<Vec<SubProblem>> {
+    let mut live: Vec<u32> = links
+        .iter()
+        .copied()
+        .filter(|&dl| ws.crossing[dl as usize] > 0)
+        .collect();
+    if live.len() <= 1 {
+        return None;
+    }
+    live.sort_unstable();
+    let mut parts: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    for &start in &live {
+        if ws.link_seen[start as usize] {
+            continue;
+        }
+        ws.link_seen[start as usize] = true;
+        let mut p_links = vec![start];
+        let mut p_flows: Vec<u32> = Vec::new();
+        let mut cursor = 0;
+        while cursor < p_links.len() {
+            let dl = p_links[cursor];
+            cursor += 1;
+            for &f in core.lf_row(dl) {
+                let fi = f as usize;
+                if !ws.member[fi] || ws.flow_seen[fi] {
+                    continue;
                 }
-                Reply {
-                    next: shard.core.earliest_completion(shard.now),
-                    active: shard.core.active.len(),
+                ws.flow_seen[fi] = true;
+                p_flows.push(f);
+                // An unfixed member contributes +1 crossing to every
+                // link on its path, so all its path links are live.
+                for &dl2 in core.path(fi) {
+                    let d2 = dl2 as usize;
+                    if ws.crossing[d2] > 0 && !ws.link_seen[d2] {
+                        ws.link_seen[d2] = true;
+                        p_links.push(dl2);
+                    }
                 }
             }
-            Cmd::Advance { to, releases } => {
-                shard.core.integrate(shard.now, to);
-                shard.now = to;
-                let released = !releases.is_empty();
-                for l in releases {
-                    shard.core.release(l);
-                }
-                if released {
-                    // Same discipline as the serial loop: integration
-                    // order within a shard is ascending (local = global
-                    // order) flow id.
-                    shard.core.active.sort_unstable();
-                }
-                Reply {
-                    next: None,
-                    active: shard.core.active.len(),
-                }
+        }
+        if parts.is_empty() && p_links.len() == live.len() {
+            // Still one connected region: undo the marks and bail.
+            for &dl in &p_links {
+                ws.link_seen[dl as usize] = false;
             }
+            for &f in &p_flows {
+                ws.flow_seen[f as usize] = false;
+            }
+            return None;
+        }
+        parts.push((p_links, p_flows));
+    }
+    let mut subs = Vec::with_capacity(parts.len());
+    for (p_links, p_flows) in parts {
+        let min_link = p_links[0];
+        let caps = p_links.iter().map(|&dl| ws.cap[dl as usize]).collect();
+        let crossings = p_links.iter().map(|&dl| ws.crossing[dl as usize]).collect();
+        for &dl in &p_links {
+            ws.crossing[dl as usize] = 0;
+            ws.link_seen[dl as usize] = false;
+        }
+        for &f in &p_flows {
+            ws.member[f as usize] = false;
+            ws.flow_seen[f as usize] = false;
+        }
+        subs.push(SubProblem {
+            links: p_links,
+            caps,
+            crossings,
+            flows: p_flows,
+            min_link,
+        });
+    }
+    Some(subs)
+}
+
+/// Runs progressive filling over one region (and every subproblem it
+/// splits into), pushing `(flow, fixed_share)` pairs to `out`. The pick
+/// rule is the serial engine's exactly: smallest fair share, ties to
+/// the smallest directed-link id, fixes in ascending flow id, capacity
+/// subtracted along the full path with the same `max(0.0)` clamp — so
+/// each region reproduces the serial pick sequence restricted to it.
+///
+/// With `fan_out` set (the coordinator splitting the epoch's single
+/// giant region for the pool), the first successful split returns the
+/// parts through `fan_out` instead of executing them.
+fn drive(
+    core: &EngineCore,
+    first: (Vec<u32>, usize, bool),
+    ws: &mut WfScratch,
+    out: &mut Vec<(u32, f64)>,
+    stats: &mut ExecStats,
+    mut fan_out: Option<&mut Vec<SubProblem>>,
+) {
+    let mut pending: VecDeque<SubProblem> = VecDeque::new();
+    let mut cur = Some(first);
+    'regions: loop {
+        let (links, mut remaining, fresh) = match cur.take() {
+            Some(r) => r,
+            None => match pending.pop_front() {
+                Some(sub) => {
+                    let (links, n) = load_sub(sub, ws);
+                    (links, n, false)
+                }
+                None => return,
+            },
         };
-        if tx.send(reply).is_err() {
-            return; // coordinator went away (error path)
+        if !fresh {
+            stats.subproblems += 1;
         }
+        stats.touched_links_max = stats.touched_links_max.max(links.len());
+        let mut round: u64 = 0;
+        let mut next_check: u64 = if fresh { 0 } else { SPLIT_CHECK_START };
+        while remaining > 0 {
+            if round >= next_check {
+                next_check = if round == 0 {
+                    SPLIT_CHECK_START
+                } else {
+                    round.saturating_mul(2)
+                };
+                if remaining >= SPLIT_MIN_FLOWS {
+                    if let Some(parts) = try_split(core, &links, ws) {
+                        stats.fixing_iterations += round;
+                        if let Some(fan) = fan_out.take() {
+                            debug_assert!(
+                                pending.is_empty(),
+                                "fan-out splits only the first region"
+                            );
+                            fan.extend(parts);
+                            return;
+                        }
+                        pending.extend(parts);
+                        continue 'regions;
+                    }
+                }
+            }
+            // Bottleneck link: smallest fair share, ties to smallest id.
+            let mut best_share = f64::INFINITY;
+            let mut best_dl = u32::MAX;
+            let mut found = false;
+            for &dl in &links {
+                let d = dl as usize;
+                let x = ws.crossing[d];
+                if x == 0 {
+                    continue;
+                }
+                let share = ws.cap[d] / x as f64;
+                if !found || share < best_share || (share == best_share && dl < best_dl) {
+                    found = true;
+                    best_share = share;
+                    best_dl = dl;
+                }
+            }
+            if !found {
+                // Unreachable: every unfixed member keeps its path links
+                // live. Defensive drain so a logic bug degrades to zero
+                // rates instead of a hang.
+                debug_assert!(false, "region stalled with {remaining} unfixed flows");
+                for &dl in &links {
+                    for &f in core.lf_row(dl) {
+                        let fi = f as usize;
+                        if ws.member[fi] {
+                            ws.member[fi] = false;
+                            out.push((f, 0.0));
+                        }
+                    }
+                    ws.crossing[dl as usize] = 0;
+                }
+                break;
+            }
+            for &f in core.lf_row(best_dl) {
+                let fi = f as usize;
+                if !ws.member[fi] {
+                    continue;
+                }
+                ws.member[fi] = false;
+                remaining -= 1;
+                out.push((f, best_share));
+                for &dl in core.path(fi) {
+                    let d = dl as usize;
+                    ws.crossing[d] -= 1;
+                    ws.cap[d] = (ws.cap[d] - best_share).max(0.0);
+                }
+            }
+            debug_assert_eq!(ws.crossing[best_dl as usize], 0);
+            round += 1;
+        }
+        stats.fixing_iterations += round;
     }
 }
 
-/// What the epoch loop hands back to the merge step.
-struct Outcome {
-    epochs: u64,
-    now: SimTime,
-    peak: usize,
-    merge_wait_ns: u64,
-    result: Result<()>,
+/// Executes one worker's job list for one epoch; the thread body of the
+/// scoped fan-out.
+fn run_jobs(core: &EngineCore, jobs: Vec<Job<'_>>, ws: &mut WfScratch) -> RateBatch {
+    let mut out = Vec::new();
+    let mut stats = ExecStats::default();
+    for job in jobs {
+        match job {
+            Job::Set(set) => {
+                stats.recomputes += 1;
+                stats.dirty_set_max = stats.dirty_set_max.max(set.len());
+                let links = load_set(core, set, ws);
+                drive(
+                    core,
+                    (links, set.len(), true),
+                    ws,
+                    &mut out,
+                    &mut stats,
+                    None,
+                );
+            }
+            Job::Sub(sub) => {
+                let (links, n) = load_sub(sub, ws);
+                drive(core, (links, n, false), ws, &mut out, &mut stats, None);
+            }
+        }
+    }
+    (out, stats)
 }
 
-/// Runs `sim` to completion across up to `threads` workers. Falls back
-/// to the serial engine when there is nothing to shard (no flows, or a
-/// degenerate empty-path flow whose starvation semantics the serial
-/// loop already defines).
+/// Greedy largest-first component→worker assignment: components in
+/// descending live-flow count (ties to the smaller root) each go to the
+/// least-loaded worker (ties to the lower index). A pure function of
+/// the component map, so every run — and every machine — assigns
+/// identically.
+fn assign_ownership(
+    comp_flows: &BTreeMap<u32, u64>,
+    workers: usize,
+    ownership: &mut BTreeMap<u32, usize>,
+    owned_flows: &mut [u64],
+    owned_comps: &mut [usize],
+) {
+    ownership.clear();
+    owned_flows.fill(0);
+    owned_comps.fill(0);
+    let mut order: Vec<(u64, u32)> = comp_flows.iter().map(|(&r, &n)| (n, r)).collect();
+    order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (n, root) in order {
+        let w = (0..workers)
+            .min_by_key(|&w| (owned_flows[w], w))
+            .expect("workers >= 1");
+        ownership.insert(root, w);
+        owned_flows[w] += n;
+        owned_comps[w] += 1;
+    }
+}
+
+/// Spawns a scoped worker per non-empty job list, joins in worker-id
+/// order, and returns per-worker rate batches plus the coordinator's
+/// blocked wall time.
+fn fan_out_jobs(
+    core: &EngineCore,
+    job_lists: Vec<Vec<Job<'_>>>,
+    pool: &mut [WfScratch],
+) -> (Vec<RateBatch>, u64) {
+    let wait = npp_telemetry::timer::Stopwatch::start();
+    let mut results: Vec<Option<RateBatch>> = (0..pool.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ((w, jobs), ws) in job_lists.into_iter().enumerate().zip(pool.iter_mut()) {
+            if jobs.is_empty() {
+                continue;
+            }
+            handles.push((w, scope.spawn(move || run_jobs(core, jobs, ws))));
+        }
+        for (w, h) in handles {
+            match h.join() {
+                Ok(r) => results[w] = Some(r),
+                // A worker hit the oracle debug-assert (or another
+                // bug): surface it exactly like the serial engine.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let batches = results.into_iter().map(Option::unwrap_or_default).collect();
+    (batches, wait.elapsed_ns())
+}
+
+/// The parallel event loop behind [`NetSim::run_threads`]. See the
+/// module docs for the architecture; the step order, error behaviour,
+/// and every quantity visible in [`NetSim::state_digest`] mirror
+/// [`NetSim::run`] exactly.
 pub(crate) fn run_parallel(sim: &mut NetSim, threads: usize) -> Result<()> {
-    debug_assert!(threads >= 2);
     if sim.core.flows.is_empty() {
         return sim.run();
     }
-    for i in 0..sim.core.flows.len() {
-        if sim.core.path(i).is_empty() {
-            return sim.run();
-        }
+    // `inject` validates reachability, so zero-hop paths never occur
+    // today — but a path-less flow would bypass the component map, so
+    // fall back to the serial engine rather than special-case it.
+    if (0..sim.core.flows.len()).any(|i| sim.core.path(i).is_empty()) {
+        return sim.run();
     }
-    if !sim.pending_sorted {
-        sim.pending.sort_by_key(|x| std::cmp::Reverse(x.0)); // reverse for pop()
-        sim.pending_sorted = true;
-    }
+    sim.prepare_run();
+    let comp_flows = sim.refresh_component_index();
+    let workers = threads;
 
-    // ---- Component index -------------------------------------------------
-    let n_dl = sim.core.link_caps.len();
-    let n_flows = sim.core.flows.len();
-    let mut uf = UnionFind::new(n_dl);
-    for l in 0..n_dl / 2 {
-        // Both directions of a link share `carried[l]`; keep them in
-        // one shard unconditionally.
-        uf.union((l * 2) as u32, (l * 2 + 1) as u32);
-    }
-    for i in 0..n_flows {
-        let path = sim.core.path(i);
-        let first = path[0];
-        for &dl in &path[1..] {
-            uf.union(first, dl);
-        }
-    }
-    // Components that actually contain flows, keyed by root (ascending).
-    let mut comp_flows: BTreeMap<u32, u64> = BTreeMap::new();
-    let mut flow_root = vec![0u32; n_flows];
-    for (i, slot) in flow_root.iter_mut().enumerate() {
-        let root = uf.find(sim.core.path(i)[0]);
-        *slot = root;
-        *comp_flows.entry(root).or_insert(0) += 1;
-    }
-    let components = comp_flows.len();
-
-    // ---- Deterministic assignment ---------------------------------------
-    let workers = threads.min(components).max(1);
-    // Largest components first (ties toward the smaller root), greedy
-    // onto the least-loaded worker (ties toward the lower index).
-    let mut order: Vec<(u32, u64)> = comp_flows.iter().map(|(&r, &n)| (r, n)).collect();
-    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let mut load = vec![0u64; workers];
-    let mut comps_per_worker = vec![0usize; workers];
-    let mut worker_of_root: BTreeMap<u32, usize> = BTreeMap::new();
-    for (root, flows) in order {
-        let mut w = 0;
-        for cand in 1..workers {
-            if load[cand] < load[w] {
-                w = cand;
-            }
-        }
-        load[w] += flows;
-        comps_per_worker[w] += 1;
-        worker_of_root.insert(root, w);
-    }
-    let mut component_flows_hist = Vec::new();
-    for &n in comp_flows.values() {
-        let bucket = 63 - n.leading_zeros() as usize; // n >= 1
-        if component_flows_hist.len() <= bucket {
-            component_flows_hist.resize(bucket + 1, 0);
-        }
-        component_flows_hist[bucket] += 1;
-    }
-
-    // ---- Shard construction ----------------------------------------------
-    const NO_ROUTE: (u32, u32) = (u32::MAX, u32::MAX);
-    let mut flow_route = vec![NO_ROUTE; n_flows]; // global → (worker, local)
-    let mut shards: Vec<Shard> = (0..workers)
-        .map(|_| Shard {
-            core: EngineCore::new(sim.core.link_caps.clone()),
-            global_ids: Vec::new(),
-            now: sim.now,
-        })
-        .collect();
-    for shard in &mut shards {
-        // Seed the per-link accumulators from the current global state:
-        // shards append to exactly the running sums the serial loop
-        // would, so merge-back is plain assignment even on re-runs.
-        shard.core.busy_secs.copy_from_slice(&sim.core.busy_secs);
-        shard.core.carried.copy_from_slice(&sim.core.carried);
-    }
-    for g in 0..n_flows {
-        let w = worker_of_root[&flow_root[g]];
-        let shard = &mut shards[w];
-        let local = shard.core.flows.len() as u32;
-        flow_route[g] = (w as u32, local);
-        shard.global_ids.push(g as u32);
-        shard.core.flows.push(sim.core.flows[g].clone());
-        shard.core.path_links.extend_from_slice(sim.core.path(g));
-        shard.core.path_offsets.push(shard.core.path_links.len());
-    }
-    // Carry over mid-run state: live flows and pending closure seeds.
-    for &g in &sim.core.active {
-        let (w, l) = flow_route[g as usize];
-        shards[w as usize].core.active.push(l);
-    }
-    for &g in &sim.core.scratch.seeds {
-        let (w, l) = flow_route[g as usize];
-        shards[w as usize].core.scratch.seeds.push(l);
-    }
-    sim.core.scratch.seeds.clear();
-
-    // Injection queue: ascending drain of the (descending-sorted)
-    // pending list preserves insertion order at equal timestamps, so
-    // `pop_batch` hands back the serial engine's release sets.
-    let mut sched: Scheduler<u32> = Scheduler::with_capacity(sim.pending.len());
-    while let Some((t, f)) = sim.pending.pop() {
-        sched.schedule(t, f.0 as u32)?;
-    }
-
-    // ---- Epoch loop -------------------------------------------------------
-    npp_telemetry::trace_span!(begin "netsim.run", sim.now.as_nanos());
-    let outcome = drive_epochs(
-        &mut shards,
-        &mut sched,
-        &flow_route,
-        sim.now,
-        sim.peak_active,
+    let mut ownership: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut owned_flows = vec![0u64; workers];
+    let mut owned_comps = vec![0usize; workers];
+    assign_ownership(
+        &comp_flows,
+        workers,
+        &mut ownership,
+        &mut owned_flows,
+        &mut owned_comps,
     );
+    // Live-flow weights per component root, kept for steal-time
+    // ownership accounting between rebuilds.
+    let mut comp_live: BTreeMap<u32, u64> = comp_flows;
 
-    // ---- Merge back -------------------------------------------------------
-    // Assignment only: every flow and every touched link is owned by
-    // exactly one shard, and the counters reduce by order-independent
-    // sum/max. No float is ever re-accumulated here.
-    let mut worker_metrics: Vec<WorkerMetrics> = shards
+    // Injections move into a Scheduler: pop_batch yields one epoch's
+    // release set per call, matching the serial loop's pops from its
+    // reverse-sorted vector.
+    let mut sched: Scheduler<u32> = Scheduler::with_capacity(sim.pending.len());
+    while let Some((t, FlowId(i))) = sim.pending.pop() {
+        sched.schedule(t, i as u32)?;
+    }
+
+    let n_dl = sim.core.link_caps.len();
+    let n_fl = sim.core.flows.len();
+    let mut pool: Vec<WfScratch> = (0..workers).map(|_| WfScratch::new(n_dl, n_fl)).collect();
+    let mut worker_stats = vec![WorkerMetrics::default(); workers];
+    let mut merge_wait_ns = 0u64;
+    let mut steal_events = 0u64;
+    let mut stolen_components = 0u64;
+    let mut subproblems_total = 0u64;
+    let mut finished_total = sim
+        .core
+        .flows
         .iter()
-        .map(|s| WorkerMetrics {
-            components: 0,
-            flows: s.global_ids.len(),
-            recomputes: s.core.recomputes,
-            fixing_iterations: s.core.fixing_iterations,
-            dirty_set_max: s.core.dirty_set_max,
-            touched_links_max: s.core.touched_links_max,
-        })
-        .collect();
-    for (w, n) in comps_per_worker.iter().enumerate() {
-        worker_metrics[w].components = *n;
-    }
-    for shard in &shards {
-        for (l, &g) in shard.global_ids.iter().enumerate() {
-            sim.core.flows[g as usize] = shard.core.flows[l].clone();
-        }
-        sim.core.recomputes += shard.core.recomputes;
-        sim.core.fixing_iterations += shard.core.fixing_iterations;
-        sim.core.dirty_set_max = sim.core.dirty_set_max.max(shard.core.dirty_set_max);
-        sim.core.touched_links_max = sim.core.touched_links_max.max(shard.core.touched_links_max);
-    }
-    for d in 0..n_dl {
-        if let Some(&w) = worker_of_root.get(&uf.find(d as u32)) {
-            sim.core.busy_secs[d] = shards[w].core.busy_secs[d];
-            if d % 2 == 0 {
-                sim.core.carried[d / 2] = shards[w].core.carried[d / 2];
-            }
-        }
-    }
-    sim.core.active.clear();
-    for shard in &shards {
-        for &l in &shard.core.active {
-            sim.core.active.push(shard.global_ids[l as usize]);
-        }
-    }
-    sim.core.active.sort_unstable();
-    for shard in &shards {
-        for &l in &shard.core.scratch.seeds {
-            sim.core.scratch.seeds.push(shard.global_ids[l as usize]);
-        }
-    }
-    sim.now = outcome.now;
-    sim.events += outcome.epochs;
-    sim.peak_active = outcome.peak;
-    sim.par = Some(ParMetrics {
-        threads: workers,
-        components,
-        component_flows_hist,
-        merge_wait_ns: outcome.merge_wait_ns,
-        workers: worker_metrics,
-    });
+        .filter(|f| f.finished.is_some())
+        .count();
+    let mut batch: Vec<u32> = Vec::new();
+    let mut seed_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut items: Vec<(u32, Vec<u32>)> = Vec::new();
+    let mut free_sets: Vec<Vec<u32>> = Vec::new();
+    let mut root_seed_buf: Vec<u32> = Vec::new();
+    let mut epoch_out: Vec<(u32, f64)> = Vec::new();
 
-    if outcome.result.is_ok() {
-        npp_telemetry::trace_span!(end "netsim.run", sim.now.as_nanos());
-        sim.publish_metrics();
-    } else {
-        // Mirror the serial engine's error state: undelivered
-        // injections stay pending.
-        let mut remaining: Vec<(SimTime, crate::netsim::FlowId)> = Vec::new();
-        while let Some((t, g)) = sched.pop() {
-            remaining.push((t, crate::netsim::FlowId(g as usize)));
+    npp_telemetry::trace_span!(begin "netsim.run", sim.now.as_nanos());
+    let result = loop {
+        if sim.core.active.is_empty() && sched.is_empty() {
+            break Ok(());
         }
-        remaining.reverse(); // descending time, ready for pop()
-        sim.pending = remaining;
-        sim.pending_sorted = true;
-    }
-    outcome.result
-}
-
-/// Spawns the worker pool and drives the two-phase epoch protocol to
-/// completion (or error). Returns the aggregate clock/counter outcome;
-/// shard state is left merged-ready in `shards`.
-fn drive_epochs(
-    shards: &mut [Shard],
-    sched: &mut Scheduler<u32>,
-    route: &[(u32, u32)],
-    start: SimTime,
-    start_peak: usize,
-) -> Outcome {
-    let workers = shards.len();
-    let mut outcome = Outcome {
-        epochs: 0,
-        now: start,
-        peak: start_peak,
-        merge_wait_ns: 0,
-        result: Ok(()),
-    };
-    let mut total_active: usize = shards.iter().map(|s| s.core.active.len()).sum();
-
-    std::thread::scope(|scope| {
-        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-        let mut cmd_txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for shard in shards.iter_mut() {
-            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
-            let tx = reply_tx.clone();
-            cmd_txs.push(cmd_tx);
-            handles.push(scope.spawn(move || worker_loop(shard, &cmd_rx, &tx)));
+        // Lazy index maintenance at the epoch boundary: departures are
+        // batched; a rebuild also re-derives ownership.
+        sim.index.observe_finished(finished_total);
+        if sim.index.should_rebuild() {
+            let cf = sim.refresh_component_index();
+            assign_ownership(
+                &cf,
+                workers,
+                &mut ownership,
+                &mut owned_flows,
+                &mut owned_comps,
+            );
+            comp_live = cf;
         }
-        drop(reply_tx);
-
-        let disconnected = || SimError::Config("parallel simulation worker disconnected".into());
-        let mut batch: Vec<u32> = Vec::new();
-        let mut per_worker: Vec<Vec<u32>> = vec![Vec::new(); workers];
-        let loop_result: Result<()> = (|| {
-            loop {
-                if total_active == 0 && sched.is_empty() {
-                    return Ok(());
-                }
-                // Phase 1: recompute + propose completion times.
-                for tx in &cmd_txs {
-                    tx.send(Cmd::Propose).map_err(|_| disconnected())?;
-                }
-                let mut earliest: Option<SimTime> = None;
-                // npp-lint: allow(wall-clock) reason="merge-wait accounting is volatile profiling metadata in EngineMetrics, never simulation state"
-                let wait_start = npp_telemetry::wall_clock();
-                for _ in 0..workers {
-                    let reply = reply_rx.recv().map_err(|_| disconnected())?;
-                    if let Some(t) = reply.next {
-                        if earliest.map(|e| t < e).unwrap_or(true) {
-                            earliest = Some(t);
+        if !sim.core.scratch.seeds.is_empty() {
+            // Decompose the epoch's seeds into per-component dirty
+            // items. A live seed belongs to one component; a finished
+            // retiree's path can span several after a rebuild, so it
+            // emits one pair per distinct path-link root.
+            let seeds = std::mem::take(&mut sim.core.scratch.seeds);
+            seed_pairs.clear();
+            {
+                let core = &sim.core;
+                let index = &mut sim.index;
+                for &f in &seeds {
+                    let fi = f as usize;
+                    if core.flows[fi].active {
+                        if let Some(&first) = core.path(fi).first() {
+                            seed_pairs.push((index.root(first), f));
+                        }
+                    } else {
+                        let mut prev = u32::MAX;
+                        for &dl in core.path(fi) {
+                            let r = index.root(dl);
+                            if r != prev {
+                                seed_pairs.push((r, f));
+                                prev = r;
+                            }
                         }
                     }
                 }
-                outcome.merge_wait_ns += wait_start.elapsed().as_nanos() as u64;
-                let next = match (sched.peek_time(), earliest) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => {
-                        // Active flows but all at zero rate: deadlock —
-                        // only possible with zero-capacity links.
-                        return Err(SimError::Config("active flows starved at zero rate".into()));
-                    }
-                };
-                // Phase 2: everyone integrates to the same instant; the
-                // epoch's releases are the FIFO batch at `next`.
-                let mut released = false;
-                if sched.peek_time() == Some(next) {
-                    sched.pop_batch(&mut batch);
-                    for &g in &batch {
-                        let (w, l) = route[g as usize];
-                        per_worker[w as usize].push(l);
-                        released = true;
-                    }
-                }
-                for (w, tx) in cmd_txs.iter().enumerate() {
-                    tx.send(Cmd::Advance {
-                        to: next,
-                        releases: std::mem::take(&mut per_worker[w]),
-                    })
-                    .map_err(|_| disconnected())?;
-                }
-                // npp-lint: allow(wall-clock) reason="merge-wait accounting is volatile profiling metadata in EngineMetrics, never simulation state"
-                let wait_start = npp_telemetry::wall_clock();
-                total_active = 0;
-                for _ in 0..workers {
-                    let reply = reply_rx.recv().map_err(|_| disconnected())?;
-                    total_active += reply.active;
-                }
-                outcome.merge_wait_ns += wait_start.elapsed().as_nanos() as u64;
-                outcome.now = next;
-                if released {
-                    outcome.peak = outcome.peak.max(total_active);
-                }
-                outcome.epochs += 1;
-                npp_telemetry::trace_counter!(
-                    "netsim.live_flows",
-                    outcome.now.as_nanos(),
-                    0,
-                    total_active
-                );
             }
-        })();
-        outcome.result = loop_result;
+            let mut seeds = seeds;
+            seeds.clear();
+            sim.core.scratch.seeds = seeds;
+            seed_pairs.sort_unstable();
+            seed_pairs.dedup();
+            debug_assert!(items.is_empty());
+            let mut k = 0;
+            while k < seed_pairs.len() {
+                let root = seed_pairs[k].0;
+                root_seed_buf.clear();
+                while k < seed_pairs.len() && seed_pairs[k].0 == root {
+                    root_seed_buf.push(seed_pairs[k].1);
+                    k += 1;
+                }
+                let mut set = free_sets.pop().unwrap_or_default();
+                sim.core
+                    .component_closure(&root_seed_buf, root, &mut sim.index, &mut set);
+                if set.is_empty() {
+                    free_sets.push(set);
+                } else {
+                    items.push((root, set));
+                }
+            }
 
-        drop(cmd_txs); // workers drain and exit
-        let mut panic_payload = None;
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                panic_payload = Some(payload);
+            // Epoch work stealing: idle workers claim whole components,
+            // smallest root first, from the most-loaded worker.
+            if items.len() > 1 && sim.steal_mode != StealMode::Never {
+                let mut load = vec![0u64; workers];
+                let mut dirty_comps = vec![0usize; workers];
+                for (root, set) in &items {
+                    let w = ownership.get(root).copied().unwrap_or(0);
+                    load[w] += set.len() as u64;
+                    dirty_comps[w] += 1;
+                }
+                let mut moved = false;
+                while let Some(thief) = (0..workers).find(|&w| load[w] == 0) {
+                    let mut donor_opt: Option<usize> = None;
+                    for w in 0..workers {
+                        if dirty_comps[w] >= 2
+                            && donor_opt.map(|d| load[w] > load[d]).unwrap_or(true)
+                        {
+                            donor_opt = Some(w);
+                        }
+                    }
+                    let Some(donor) = donor_opt else { break };
+                    if sim.steal_mode == StealMode::Auto && load[donor] < STEAL_MIN_FLOWS {
+                        break;
+                    }
+                    let Some((root, n)) = items
+                        .iter()
+                        .filter(|(r, _)| ownership.get(r).copied().unwrap_or(0) == donor)
+                        .map(|(r, s)| (*r, s.len() as u64))
+                        .min_by_key(|&(r, _)| r)
+                    else {
+                        break;
+                    };
+                    ownership.insert(root, thief);
+                    let live = comp_live.get(&root).copied().unwrap_or(n);
+                    owned_comps[donor] -= 1;
+                    owned_comps[thief] += 1;
+                    owned_flows[donor] = owned_flows[donor].saturating_sub(live);
+                    owned_flows[thief] += live;
+                    load[donor] -= n;
+                    load[thief] += n;
+                    dirty_comps[donor] -= 1;
+                    dirty_comps[thief] += 1;
+                    stolen_components += 1;
+                    moved = true;
+                }
+                if moved {
+                    steal_events += 1;
+                }
+            }
+
+            // Execute the epoch's recomputes.
+            let total: usize = items.iter().map(|(_, s)| s.len()).sum();
+            if total > 0 {
+                epoch_out.clear();
+                let mut epoch_stats = ExecStats::default();
+                if total < sim.fanout_min {
+                    // Light epoch: run inline on the coordinator (still
+                    // using the owners' scratches), ascending root order.
+                    let core = &sim.core;
+                    for (root, set) in &items {
+                        let owner = ownership.get(root).copied().unwrap_or(0);
+                        let mut stats = ExecStats {
+                            recomputes: 1,
+                            dirty_set_max: set.len(),
+                            ..ExecStats::default()
+                        };
+                        let ws = &mut pool[owner];
+                        let links = load_set(core, set, ws);
+                        drive(
+                            core,
+                            (links, set.len(), true),
+                            ws,
+                            &mut epoch_out,
+                            &mut stats,
+                            None,
+                        );
+                        merge_worker(&mut worker_stats[owner], &stats);
+                        epoch_stats.absorb(&stats);
+                    }
+                } else if items.len() == 1 {
+                    // One giant dirty component: run the prefix on the
+                    // owner until the residual graph disconnects, then
+                    // deal the split subproblems across the pool,
+                    // largest first.
+                    let (root, set) = &items[0];
+                    let owner = ownership.get(root).copied().unwrap_or(0);
+                    let mut parts: Vec<SubProblem> = Vec::new();
+                    let mut stats = ExecStats {
+                        recomputes: 1,
+                        dirty_set_max: set.len(),
+                        ..ExecStats::default()
+                    };
+                    {
+                        let core = &sim.core;
+                        let ws = &mut pool[owner];
+                        let links = load_set(core, set, ws);
+                        drive(
+                            core,
+                            (links, set.len(), true),
+                            ws,
+                            &mut epoch_out,
+                            &mut stats,
+                            Some(&mut parts),
+                        );
+                    }
+                    merge_worker(&mut worker_stats[owner], &stats);
+                    epoch_stats.absorb(&stats);
+                    if !parts.is_empty() {
+                        parts.sort_unstable_by(|a, b| {
+                            b.flows
+                                .len()
+                                .cmp(&a.flows.len())
+                                .then(a.min_link.cmp(&b.min_link))
+                        });
+                        let mut job_lists: Vec<Vec<Job>> =
+                            (0..workers).map(|_| Vec::new()).collect();
+                        let mut dealt = vec![0u64; workers];
+                        for part in parts {
+                            let w = (0..workers)
+                                .min_by_key(|&w| (dealt[w], w))
+                                .expect("workers >= 1");
+                            dealt[w] += part.flows.len() as u64;
+                            job_lists[w].push(Job::Sub(part));
+                        }
+                        let (batches, wait_ns) = fan_out_jobs(&sim.core, job_lists, &mut pool);
+                        merge_wait_ns += wait_ns;
+                        for (w, (out, stats)) in batches.iter().enumerate() {
+                            epoch_out.extend_from_slice(out);
+                            merge_worker(&mut worker_stats[w], stats);
+                            epoch_stats.absorb(stats);
+                        }
+                    }
+                } else {
+                    // Several dirty components: each runs whole on its
+                    // owner.
+                    let mut job_lists: Vec<Vec<Job>> = (0..workers).map(|_| Vec::new()).collect();
+                    for (root, set) in &items {
+                        let owner = ownership.get(root).copied().unwrap_or(0);
+                        job_lists[owner].push(Job::Set(set));
+                    }
+                    let (batches, wait_ns) = fan_out_jobs(&sim.core, job_lists, &mut pool);
+                    merge_wait_ns += wait_ns;
+                    for (w, (out, stats)) in batches.iter().enumerate() {
+                        epoch_out.extend_from_slice(out);
+                        merge_worker(&mut worker_stats[w], stats);
+                        epoch_stats.absorb(stats);
+                    }
+                }
+                // Apply the disjoint fixes centrally; application order
+                // is immaterial because each flow is fixed exactly once.
+                for &(f, r) in &epoch_out {
+                    sim.core.flows[f as usize].rate_gbps = r;
+                }
+                sim.core.recomputes += epoch_stats.recomputes;
+                sim.core.fixing_iterations += epoch_stats.fixing_iterations;
+                sim.core.dirty_set_max = sim.core.dirty_set_max.max(epoch_stats.dirty_set_max);
+                sim.core.touched_links_max = sim
+                    .core
+                    .touched_links_max
+                    .max(epoch_stats.touched_links_max);
+                subproblems_total += epoch_stats.subproblems;
+                #[cfg(any(test, debug_assertions))]
+                sim.core.assert_rates_match_naive_oracle();
+            }
+            for (_, mut set) in items.drain(..) {
+                set.clear();
+                free_sets.push(set);
             }
         }
-        if let Some(payload) = panic_payload {
-            // A worker hit the oracle debug-assert (or another bug):
-            // surface it exactly like the serial engine would.
-            std::panic::resume_unwind(payload);
+
+        // The serial tail: advance to the earliest of next injection /
+        // earliest completion, integrate, retire, release.
+        let next_injection = sched.peek_time();
+        let earliest_completion = sim.core.earliest_completion(sim.now);
+        let next = match (next_injection, earliest_completion) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => {
+                // Active flows but all at zero rate: deadlock — only
+                // possible with zero-capacity links.
+                break Err(SimError::Config("active flows starved at zero rate".into()));
+            }
+        };
+        sim.core.integrate(sim.now, next);
+        // Retirees pushed by integrate are exactly this epoch's newly
+        // finished flows (release seeds are appended after).
+        finished_total += sim.core.scratch.seeds.len();
+        sim.now = next;
+        let mut released = false;
+        while sched.peek_time().is_some_and(|t| t <= sim.now) {
+            sched.pop_batch(&mut batch);
+            for &i in &batch {
+                sim.core.release(i);
+            }
+            released = true;
         }
-    });
-    outcome
+        if released {
+            sim.core.active.sort_unstable();
+            sim.peak_active = sim.peak_active.max(sim.core.active.len());
+        }
+        sim.events += 1;
+        npp_telemetry::trace_counter!(
+            "netsim.live_flows",
+            sim.now.as_nanos(),
+            0,
+            sim.core.active.len()
+        );
+    };
+
+    match result {
+        Ok(()) => {
+            npp_telemetry::trace_span!(end "netsim.run", sim.now.as_nanos());
+            for w in 0..workers {
+                worker_stats[w].components = owned_comps[w];
+                worker_stats[w].flows = owned_flows[w] as usize;
+            }
+            sim.par = Some(ParMetrics {
+                threads: workers,
+                merge_wait_ns,
+                steal_events,
+                stolen_components,
+                subproblems: subproblems_total,
+                workers: worker_stats,
+            });
+            sim.publish_metrics();
+            Ok(())
+        }
+        Err(e) => {
+            // Hand un-released injections back so the sim is inspectable
+            // after the error, exactly as the serial loop leaves it.
+            for (t, i) in sched.drain() {
+                sim.pending.push((t, FlowId(i as usize)));
+            }
+            sim.pending.reverse();
+            sim.pending_sorted = true;
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+    use npp_topology::builder::leaf_spine;
+    use npp_units::Gbps;
+
+    #[test]
+    fn assign_ownership_is_largest_first_deterministic() {
+        let comp_flows: BTreeMap<u32, u64> = [(10, 5), (20, 5), (30, 3), (40, 1)].into();
+        let mut ownership = BTreeMap::new();
+        let mut owned_flows = vec![0u64; 2];
+        let mut owned_comps = vec![0usize; 2];
+        assign_ownership(
+            &comp_flows,
+            2,
+            &mut ownership,
+            &mut owned_flows,
+            &mut owned_comps,
+        );
+        // Descending size, root tie-break: 5@10 → w0, 5@20 → w1,
+        // 3@30 → w0 (both at 5, lower index), 1@40 → w1.
+        assert_eq!(ownership[&10], 0);
+        assert_eq!(ownership[&20], 1);
+        assert_eq!(ownership[&30], 0);
+        assert_eq!(ownership[&40], 1);
+        assert_eq!(owned_flows, vec![8, 6]);
+        assert_eq!(owned_comps, vec![2, 2]);
+    }
+
+    /// Three components with a skewed histogram: one busy 4-flow
+    /// component plus two singleton components that turn dirty together
+    /// at 1 ms — both singletons owned by the same worker under the
+    /// greedy assignment, so the other worker idles unless it steals.
+    fn skewed_sim() -> NetSim {
+        let topo = leaf_spine(3, 1, 4, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let mut sim = NetSim::new(topo);
+        // Component A: 4 flows between one host pair on leaf 0.
+        for k in 0..4u64 {
+            sim.inject(
+                SimTime::ZERO,
+                hosts[0],
+                hosts[1],
+                2e6 * (k + 1) as f64,
+                k as usize,
+            )
+            .unwrap();
+        }
+        // Components B and C: one flow each on leaves 1 and 2.
+        sim.inject(SimTime::from_millis(1), hosts[4], hosts[5], 1e6, 0)
+            .unwrap();
+        sim.inject(SimTime::from_millis(1), hosts[8], hosts[9], 1e6, 0)
+            .unwrap();
+        sim
+    }
+
+    #[test]
+    fn steal_modes_are_bit_identical_and_always_mode_migrates() {
+        let mut serial = skewed_sim();
+        serial.run().unwrap();
+        for mode in [StealMode::Auto, StealMode::Always, StealMode::Never] {
+            let mut sim = skewed_sim();
+            sim.set_steal_mode(mode);
+            sim.set_parallel_fanout_min(1);
+            sim.run_threads(2).unwrap();
+            assert_eq!(
+                sim.state_digest(),
+                serial.state_digest(),
+                "digest diverged in {mode:?}"
+            );
+            let m = sim.engine_metrics();
+            match mode {
+                StealMode::Always => assert!(
+                    m.stolen_components >= 1,
+                    "the idle worker must claim a component in Always mode"
+                ),
+                StealMode::Never => assert_eq!(m.stolen_components, 0),
+                StealMode::Auto => assert_eq!(
+                    m.stolen_components, 0,
+                    "six dirty flows are far below the Auto donor floor"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn forced_fanout_single_component_matches_serial() {
+        // Eight flows sharing one spine uplink: a single component run
+        // through the giant-component path with fan-out forced on.
+        let build = || {
+            let topo = leaf_spine(2, 1, 4, Gbps::new(100.0)).unwrap();
+            let hosts = topo.hosts();
+            let mut sim = NetSim::new(topo);
+            for k in 0..8u64 {
+                sim.inject(
+                    SimTime::from_millis(k / 4),
+                    hosts[(k % 4) as usize],
+                    hosts[4 + (k % 4) as usize],
+                    1e6 * (k + 1) as f64,
+                    0,
+                )
+                .unwrap();
+            }
+            sim
+        };
+        let mut serial = build();
+        serial.run().unwrap();
+        let mut par = build();
+        par.set_parallel_fanout_min(1);
+        par.run_threads(4).unwrap();
+        assert_eq!(par.state_digest(), serial.state_digest());
+        let m = par.engine_metrics();
+        assert_eq!(m.components, 1);
+        assert_eq!(m.threads, 4);
+    }
+
+    #[test]
+    fn zero_capacity_starvation_matches_the_serial_error() {
+        // A zero-capacity link starves flows at zero rate; the parallel
+        // loop must surface the same error as the serial engine and
+        // leave the sim in the same inspectable state (starvation can
+        // only trip once every injection has been released, so the
+        // restored pending queue is empty in both engines).
+        let build = || {
+            let topo = leaf_spine(1, 1, 2, Gbps::new(0.0)).unwrap();
+            let hosts = topo.hosts();
+            let mut sim = NetSim::new(topo);
+            sim.inject(SimTime::ZERO, hosts[0], hosts[1], 1e6, 0)
+                .unwrap();
+            sim.inject(SimTime::from_millis(5), hosts[1], hosts[0], 1e6, 0)
+                .unwrap();
+            sim
+        };
+        let mut serial = build();
+        let serial_err = serial.run().unwrap_err();
+        let mut par = build();
+        let par_err = par.run_threads(2).unwrap_err();
+        assert_eq!(par_err, serial_err);
+        assert!(matches!(par_err, SimError::Config(_)));
+        assert_eq!(par.pending_flow_count(), serial.pending_flow_count());
+        assert_eq!(par.now, serial.now);
+    }
 }

@@ -7,7 +7,7 @@
 //! Everything here is a pure function of its arguments: no RNG, no
 //! wall clock.
 
-use npp_topology::builder::{fat_tree_pods, leaf_spine};
+use npp_topology::builder::{fat_tree_pods, fat_tree_pods_spine, leaf_spine};
 use npp_topology::graph::{NodeId, Topology};
 use npp_units::Gbps;
 
@@ -204,6 +204,123 @@ pub fn pod_fattree_scenario_with(
     })
 }
 
+/// The single-giant-component scenario: the same fat-tree planes as
+/// [`pod_fattree_scenario`], but joined through a shared datacenter
+/// spine ([`fat_tree_pods_spine`]) and seasoned with cross-plane flows,
+/// so every flow lands in **one** link-sharing component. Component
+/// sharding gets zero parallelism here; whatever speedup the scaling
+/// matrix reports at this row is entirely the within-component
+/// splitter's. Sized by flow count like the pod scenario:
+///
+/// - `n_flows < 4096`: 4 planes of k=4 over 2 spines (64 hosts);
+/// - otherwise: 15 planes of k=16 over 4 spines (15,360 hosts — the
+///   pod scenario's ≥65k-flow fabric, spine-joined), whose round
+///   capacity (`hosts × flights = 122,895`) swallows 65,536 flows in
+///   a single wave: peak concurrency is the whole workload and the
+///   serial engine pays one-component waterfills at full width.
+///
+/// # Errors
+///
+/// Propagates topology-construction errors (none for the fixed shapes).
+pub fn spine_fattree_scenario(n_flows: usize) -> Result<Scenario> {
+    let (pods, k, spines, flights) = if n_flows < 4096 {
+        (4, 4, 2, 4)
+    } else {
+        (15, 16, 4, 8)
+    };
+    spine_fattree_scenario_with(pods, k, spines, flights, n_flows)
+}
+
+/// Explicit-shape variant of [`spine_fattree_scenario`]. The workload
+/// mirrors [`pod_fattree_scenario_with`] — rounds of `flights`
+/// simultaneous intra-plane flows per host, every 2 ms, 1–4 MB cycling
+/// sizes — with one addition: each round also launches one cross-plane
+/// flow per plane (plane `p` → plane `p+1`), routed over the shared
+/// datacenter spine. Those few cross flows stitch every plane's links
+/// into a single component, so the serial waterfill must scan the whole
+/// fabric at every fixing round; once they are fixed, the residual
+/// graph falls apart into per-plane (and finer) regions — exactly the
+/// structure the within-component splitter exploits. The varied
+/// per-flight strides keep intra-plane sharing rich so completions
+/// stagger and every epoch pays a full recompute.
+///
+/// Everything is a pure function of the arguments: no RNG, no clock.
+///
+/// # Errors
+///
+/// Propagates topology-construction errors (zero pods/spines, odd `k`).
+pub fn spine_fattree_scenario_with(
+    pods: usize,
+    k: usize,
+    spines: usize,
+    flights: usize,
+    n_flows: usize,
+) -> Result<Scenario> {
+    const STRIDE: usize = 13;
+    const BASE_BYTES: f64 = 1e6;
+    const ROUND_GAP_NS: u64 = 2_000_000;
+    let topo = fat_tree_pods_spine(pods, k, spines, Gbps::new(400.0))
+        .map_err(|e| crate::SimError::Config(format!("scenario topology: {e}")))?;
+    if flights == 0 {
+        return Err(crate::SimError::Config(
+            "spine scenario needs at least one flight per host".into(),
+        ));
+    }
+    let hosts = topo.hosts();
+    let n = hosts.len();
+    let plane_hosts = k * k * k / 4;
+    // One round = one spine-crossing flow per plane gluing the planes
+    // together, then every host's intra-plane flights. The glue leads
+    // the round so even a truncated final round stays one component.
+    let wave = n * flights + pods;
+    let mut flows = Vec::with_capacity(n_flows);
+    for f in 0..n_flows {
+        let round = f / wave;
+        let slot = f % wave;
+        let at = SimTime::from_nanos(round as u64 * ROUND_GAP_NS);
+        let bytes = BASE_BYTES * (1 + round % 4) as f64;
+        if slot >= pods {
+            let slot = slot - pods;
+            let h = slot % n;
+            let flight = slot / n;
+            let plane = h / plane_hosts;
+            let h_in = h % plane_hosts;
+            let mut dst_in = (h_in + STRIDE * (flight + 1)) % plane_hosts;
+            if dst_in == h_in {
+                dst_in = (dst_in + 1) % plane_hosts;
+            }
+            flows.push(FlowSpec {
+                at,
+                src: hosts[h],
+                dst: hosts[plane * plane_hosts + dst_in],
+                bytes,
+                path_choice: flight + h_in,
+            });
+        } else {
+            // Cross-plane glue: plane p → plane p+1, the endpoint host
+            // walking the plane round by round so spine load spreads
+            // over edges and pods while staying a pure function of f.
+            let p = slot;
+            let src_in = (round * 7 + p * 3) % plane_hosts;
+            let dst_in = (round * 7 + p * 3 + 31) % plane_hosts;
+            flows.push(FlowSpec {
+                at,
+                src: hosts[p * plane_hosts + src_in],
+                dst: hosts[((p + 1) % pods) * plane_hosts + dst_in],
+                bytes,
+                path_choice: round + p,
+            });
+        }
+    }
+    Ok(Scenario {
+        name: format!(
+            "spinefabric/fat-tree-pods-spine-{pods}x{k}s{spines}-{n}hosts/{n_flows}-flows"
+        ),
+        topo,
+        flows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +388,50 @@ mod tests {
             // Two isolated planes ⇒ at least two components to shard.
             assert!(par.engine_metrics().components >= 2);
         }
+    }
+
+    #[test]
+    fn spine_scenario_is_one_component_and_thread_identical() {
+        let s = spine_fattree_scenario_with(2, 4, 1, 2, 80).unwrap();
+        let run = |threads: usize| {
+            let mut sim = NetSim::new(s.topo.clone());
+            s.inject_into(|at, src, dst, bytes, pc| {
+                sim.inject(at, src, dst, bytes, pc).map(|_| ())
+            })
+            .unwrap();
+            if threads == 0 {
+                sim.run().unwrap();
+            } else {
+                sim.set_parallel_fanout_min(1);
+                sim.run_threads(threads).unwrap();
+            }
+            sim
+        };
+        let serial = run(0);
+        assert!(serial.makespan().is_some());
+        // The spine glue makes the whole fabric one component.
+        assert_eq!(serial.engine_metrics().components, 1);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(
+                par.state_digest(),
+                serial.state_digest(),
+                "threads={threads}"
+            );
+            assert_eq!(par.engine_metrics().components, 1);
+        }
+    }
+
+    #[test]
+    fn spine_scenario_tiers_by_flow_count() {
+        let small = spine_fattree_scenario(64).unwrap();
+        assert!(small.name.contains("fat-tree-pods-spine-4x4s2"));
+        assert_eq!(small.topo.hosts().len(), 64);
+        let big = spine_fattree_scenario(65536).unwrap();
+        assert!(big.name.contains("fat-tree-pods-spine-15x16s4"));
+        assert_eq!(big.topo.hosts().len(), 15360);
+        // Determinism across calls.
+        assert_eq!(small.flows, spine_fattree_scenario(64).unwrap().flows);
     }
 
     #[test]

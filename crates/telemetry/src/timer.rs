@@ -75,6 +75,38 @@ pub fn record_sample(name: &'static str, stamp: Stamp) {
     crate::metrics::observe(name, stamp.elapsed_ns());
 }
 
+/// An unconditional wall-clock stopwatch for executor-layer wait
+/// accounting (e.g. the parallel coordinator's merge-wait counter).
+///
+/// Unlike [`Stamp`], a `Stopwatch` ticks even when the `trace` feature
+/// is compiled out and no recording is active: its readings land in
+/// volatile profiling fields (never the trace document, never
+/// simulation state), so there is nothing to gate. This is the
+/// sanctioned route to `Instant::elapsed` for crates that must not
+/// call [`crate::wall_clock`] directly under lint rule D2.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    at: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    #[inline]
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            // npp-lint: allow(wall-clock) reason="stopwatch readings feed volatile wait-accounting fields (EngineMetrics), never deterministic simulation state"
+            at: crate::wall_clock(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.at.elapsed().as_nanos() as u64
+    }
+}
+
 #[cfg(all(test, feature = "trace"))]
 mod tests {
     use super::*;

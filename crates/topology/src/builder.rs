@@ -104,6 +104,55 @@ pub fn fat_tree_pods(pods: usize, k: usize, link_speed: Gbps) -> Result<Topology
     Ok(t)
 }
 
+/// Builds [`fat_tree_pods`] planes joined through a shared datacenter
+/// spine: every plane's core switches uplink to each of the `spines`
+/// tier-3 spine switches, so the fabric is **one** connected network —
+/// and, for the fluid simulator, one link-sharing component whenever
+/// traffic crosses the spine. This is the single-giant-component
+/// counterpoint to [`fat_tree_pods`]: component sharding gets no
+/// parallelism here, which is exactly what the within-component
+/// splitter is measured against.
+///
+/// Spine switches are named `dcspine{s}` and appended after all planes,
+/// so per-plane node/link id order matches [`fat_tree_pods`] exactly.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Build`] for zero pods or spines, and
+/// [`TopologyError::InvalidRadix`] unless `k` is even and ≥ 2.
+pub fn fat_tree_pods_spine(
+    pods: usize,
+    k: usize,
+    spines: usize,
+    link_speed: Gbps,
+) -> Result<Topology> {
+    if pods == 0 || spines == 0 {
+        return Err(TopologyError::Build(
+            "pod and spine counts must be positive".into(),
+        ));
+    }
+    if k < 2 || k % 2 != 0 {
+        return Err(TopologyError::InvalidRadix(k));
+    }
+    let mut t = Topology::new();
+    for p in 0..pods {
+        add_fat_tree_plane(&mut t, &format!("plane{p}/"), k, link_speed)?;
+    }
+    let cores = t.switches_at_tier(2);
+    let spine_ids: Vec<NodeId> = (0..spines)
+        .map(|s| t.add_switch(format!("dcspine{s}"), 3))
+        .collect();
+    for &c in &cores {
+        for &s in &spine_ids {
+            t.add_link(c, s, link_speed)?;
+        }
+    }
+    // Spine uplinks raise core degree to k + spines; each spine's
+    // degree is one port per core switch across every plane.
+    t.validate((k + spines).max(pods * (k / 2) * (k / 2)))?;
+    Ok(t)
+}
+
 /// Builds a 2-tier leaf–spine fabric.
 ///
 /// Each of the `leaves` leaf switches hosts `hosts_per_leaf` endpoints and
@@ -269,6 +318,39 @@ mod tests {
         let second = &t.node(hosts[per_plane]).unwrap().name;
         assert!(first.starts_with("plane0/"), "{first}");
         assert!(second.starts_with("plane1/"), "{second}");
+    }
+
+    #[test]
+    fn fat_tree_pods_spine_joins_all_planes() {
+        let flat = fat_tree_pods(2, 4, Gbps::new(100.0)).unwrap();
+        let t = fat_tree_pods_spine(2, 4, 2, Gbps::new(100.0)).unwrap();
+        let hosts = t.hosts();
+        assert_eq!(hosts.len(), flat.hosts().len());
+        // 2 extra spine switches, one uplink per core per spine.
+        assert_eq!(t.switches().len(), flat.switches().len() + 2);
+        assert_eq!(
+            t.inter_switch_links().len(),
+            flat.inter_switch_links().len() + 2 * 4 * 2
+        );
+        // Cross-plane hosts are now reachable: host→edge→agg→core→
+        // spine→core→agg→edge→host = 8 hops.
+        let per_plane = 16;
+        assert_eq!(t.distance(hosts[0], hosts[per_plane]), Some(8));
+        // Intra-plane routes are untouched by the spine.
+        assert_eq!(
+            t.distance(hosts[0], hosts[per_plane - 1]),
+            flat.distance(hosts[0], hosts[per_plane - 1])
+        );
+    }
+
+    #[test]
+    fn fat_tree_pods_spine_validation() {
+        assert!(fat_tree_pods_spine(0, 4, 1, Gbps::new(1.0)).is_err());
+        assert!(fat_tree_pods_spine(2, 4, 0, Gbps::new(1.0)).is_err());
+        assert!(fat_tree_pods_spine(2, 3, 1, Gbps::new(1.0)).is_err());
+        // Many planes: the shared spine's degree exceeds k + spines and
+        // must still validate.
+        assert!(fat_tree_pods_spine(8, 4, 2, Gbps::new(1.0)).is_ok());
     }
 
     #[test]

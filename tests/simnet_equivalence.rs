@@ -11,8 +11,10 @@
 
 use netpp::simnet::netsim::NetSim;
 use netpp::simnet::netsim_naive::NaiveNetSim;
-use netpp::simnet::scenarios::{hotpath_scenario, pod_fattree_scenario_with};
-use netpp::simnet::SimTime;
+use netpp::simnet::scenarios::{
+    hotpath_scenario, pod_fattree_scenario_with, spine_fattree_scenario_with,
+};
+use netpp::simnet::{CompIndex, SimTime, StealMode};
 use netpp::topology::builder::{fat_tree_pods, leaf_spine, three_tier_fat_tree};
 use netpp::topology::Topology;
 use netpp::units::Gbps;
@@ -282,5 +284,226 @@ proptest! {
             })
             .collect();
         assert_engines_agree(&topo, &flows)?;
+    }
+}
+
+/// The single-giant-component spine fabric: every flow shares one
+/// component, so component sharding contributes nothing and the
+/// within-component splitter carries the whole parallel path. The
+/// three-way identity (parallel == indexed == naive) must hold with
+/// fan-out forced on at every thread count.
+#[test]
+fn parallel_indexed_and_naive_agree_on_the_spine_fabric() {
+    let scenario = spine_fattree_scenario_with(2, 4, 1, 2, 96).unwrap();
+    let mut naive = NaiveNetSim::new(scenario.topo.clone());
+    scenario
+        .inject_into(|at, s, d, b, p| naive.inject(at, s, d, b, p).map(|_| ()))
+        .unwrap();
+    naive.run().unwrap();
+
+    let mut digests = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let mut sim = NetSim::new(scenario.topo.clone());
+        scenario
+            .inject_into(|at, s, d, b, p| sim.inject(at, s, d, b, p).map(|_| ()))
+            .unwrap();
+        sim.set_parallel_fanout_min(1);
+        sim.run_threads(threads).unwrap();
+        assert_eq!(sim.makespan(), naive.makespan(), "threads={threads}");
+        for i in 0..scenario.flows.len() {
+            let id = netpp::simnet::netsim::FlowId(i);
+            let st = sim.status(id).unwrap();
+            assert_eq!(
+                st.finished,
+                naive.finished_at(id),
+                "flow {i} at {threads} threads"
+            );
+            assert_eq!(
+                st.rate.to_bits(),
+                naive.rate(id).unwrap().to_bits(),
+                "flow {i} rate at {threads} threads"
+            );
+        }
+        assert_eq!(
+            sim.engine_metrics().components,
+            1,
+            "the spine glue must collapse the fabric into one component"
+        );
+        digests.push(sim.state_digest());
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "state digests diverged across thread counts: {digests:x?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Skewed component histograms (~80% of flows crammed into plane 0
+    /// of four disconnected planes, the rest spread across the other
+    /// three) with epoch work stealing forced on AND off, at every
+    /// thread count, with fan-out forced down to every epoch: the final
+    /// state must be bit-identical to the serial engine and the naive
+    /// oracle regardless.
+    #[test]
+    fn steal_modes_agree_on_skewed_histograms(flows in flows_strategy()) {
+        let topo = fat_tree_pods(4, 4, Gbps::new(100.0)).unwrap();
+        let hosts = topo.hosts();
+        let plane_hosts = hosts.len() / 4;
+        // Skew: 4 of 5 flows land in plane 0; the remainder rotate
+        // through planes 1..4. All traffic stays within its plane.
+        let flows: Vec<RawFlow> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d, bytes, at, pc))| {
+                let plane = if i % 5 < 4 { 0 } else { 1 + i % 3 };
+                let src_in = s as usize % plane_hosts;
+                let mut dst_in = d as usize % plane_hosts;
+                if dst_in == src_in {
+                    dst_in = (dst_in + 1) % plane_hosts;
+                }
+                let src = plane * plane_hosts + src_in;
+                let dst = plane * plane_hosts + dst_in;
+                (src as u16, dst as u16, bytes, at, pc)
+            })
+            .collect();
+
+        let inject_all = |sim: &mut NetSim| {
+            for &(s, d, bytes, at_ns, pc) in &flows {
+                let _ = sim.inject(
+                    SimTime::from_nanos(at_ns),
+                    hosts[s as usize],
+                    hosts[d as usize],
+                    bytes,
+                    pc as usize,
+                );
+            }
+        };
+        let mut naive = NaiveNetSim::new(topo.clone());
+        for &(s, d, bytes, at_ns, pc) in &flows {
+            let _ = naive.inject(
+                SimTime::from_nanos(at_ns),
+                hosts[s as usize],
+                hosts[d as usize],
+                bytes,
+                pc as usize,
+            );
+        }
+        let mut serial = NetSim::new(topo.clone());
+        inject_all(&mut serial);
+        let serial_ok = serial.run().is_ok();
+        prop_assert_eq!(naive.run().is_ok(), serial_ok, "naive diverged on outcome");
+        for &threads in &THREAD_COUNTS {
+            for mode in [StealMode::Always, StealMode::Never] {
+                let mut par = NetSim::new(topo.clone());
+                inject_all(&mut par);
+                par.set_steal_mode(mode);
+                par.set_parallel_fanout_min(1);
+                let ok = par.run_threads(threads).is_ok();
+                prop_assert_eq!(ok, serial_ok, "outcome diverged at {} threads {:?}", threads, mode);
+                if serial_ok {
+                    prop_assert_eq!(
+                        par.state_digest(),
+                        serial.state_digest(),
+                        "digest diverged at {} threads in {:?}",
+                        threads,
+                        mode
+                    );
+                }
+            }
+        }
+        if serial_ok {
+            prop_assert_eq!(serial.makespan(), naive.makespan(), "makespan diverged");
+        }
+    }
+}
+
+/// Partition-equality helper for the component-index churn test: two
+/// indices agree when they connect exactly the same directed-link
+/// pairs.
+fn same_partition(a: &mut CompIndex, b: &mut CompIndex, n_dl: usize) -> bool {
+    (0..n_dl as u32).all(|d1| {
+        (0..n_dl as u32).all(|d2| (a.root(d1) == a.root(d2)) == (b.root(d1) == b.root(d2)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arrival/departure churn on the persistent component index: under
+    /// interleaved arrivals, batched departure counting, and
+    /// threshold-tripped rebuilds, the incremental index must stay a
+    /// *coarsening* of the from-scratch oracle at all times, and match
+    /// it exactly after every rebuild.
+    #[test]
+    fn comp_index_churn_matches_from_scratch_rebuild(
+        paths in prop::collection::vec(
+            prop::collection::vec(0u32..24, 1..6),
+            1..20,
+        ),
+        departures in prop::collection::vec(0usize..1024, 0..12),
+        floor in 1usize..4,
+    ) {
+        const N_DL: usize = 24;
+        let mut idx = CompIndex::new(N_DL);
+        idx.set_rebuild_floor(floor);
+        let mut departed = vec![false; paths.len()];
+        let mut finished_total = 0usize;
+        // Interleave: absorb each arrival, then fire any departures
+        // whose sampled index has already arrived.
+        let mut dep_iter = departures.iter();
+        for arrived in 1..=paths.len() {
+            if let Some(d) = dep_iter.next() {
+                let i = d % arrived;
+                if !departed[i] {
+                    departed[i] = true;
+                    finished_total += 1;
+                }
+            }
+            idx.absorb_arrivals(arrived, |i| &paths[i]);
+            idx.observe_finished(finished_total);
+            let rebuilt = idx.should_rebuild();
+            if rebuilt {
+                let live: Vec<&[u32]> = (0..arrived)
+                    .filter(|&i| !departed[i])
+                    .map(|i| paths[i].as_slice())
+                    .collect();
+                idx.rebuild(live.iter().copied());
+            }
+            // The from-scratch oracle over the currently-live paths.
+            let mut oracle = CompIndex::new(N_DL);
+            let live: Vec<usize> = (0..arrived).filter(|&i| !departed[i]).collect();
+            oracle.absorb_arrivals(live.len(), |j| &paths[live[j]]);
+            if rebuilt {
+                prop_assert!(
+                    same_partition(&mut idx, &mut oracle, N_DL),
+                    "index must equal the oracle right after a rebuild"
+                );
+            } else {
+                // Lazy departures only ever coarsen: every pair the
+                // oracle connects, the incremental index connects too.
+                for d1 in 0..N_DL as u32 {
+                    for d2 in 0..N_DL as u32 {
+                        if oracle.root(d1) == oracle.root(d2) {
+                            prop_assert_eq!(
+                                idx.root(d1), idx.root(d2),
+                                "incremental index split an oracle component"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // A forced final rebuild always converges to the oracle.
+        let live: Vec<&[u32]> = (0..paths.len())
+            .filter(|&i| !departed[i])
+            .map(|i| paths[i].as_slice())
+            .collect();
+        idx.rebuild(live.iter().copied());
+        let mut oracle = CompIndex::new(N_DL);
+        let live_idx: Vec<usize> = (0..paths.len()).filter(|&i| !departed[i]).collect();
+        oracle.absorb_arrivals(live_idx.len(), |j| &paths[live_idx[j]]);
+        prop_assert!(same_partition(&mut idx, &mut oracle, N_DL));
     }
 }
