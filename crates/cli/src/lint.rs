@@ -3,21 +3,25 @@
 //! gate on the result.
 //!
 //! ```text
-//! netpp lint [--json] [--baseline <path>] [--update-baseline] [paths…]
+//! netpp lint [--json] [--sarif] [--baseline <path>] [--update-baseline]
+//!            [--no-cache] [--cache <path>] [paths…]
 //! ```
 //!
 //! Default mode lints every workspace crate's library source against
 //! the committed `lint_baseline.json` ratchet; the process exits
 //! non-zero when any unsuppressed finding remains. Explicit paths are
-//! linted strictly (all rules, no baseline) — handy for pre-commit
-//! checks of a single file. `--update-baseline` rewrites the baseline
-//! from the current P1 counts after a cleanup (the ratchet only ever
-//! tightens this way; hand-editing the file upward defeats it and will
-//! show in review).
+//! linted strictly (all rules, no baseline, no cache) — handy for
+//! pre-commit checks of a single file. `--update-baseline` rewrites the
+//! baseline from the current P1 counts after a cleanup (the ratchet
+//! only ever tightens this way; hand-editing the file upward defeats it
+//! and will show in review). Workspace runs use the incremental cache
+//! at `target/npp-lint-cache.json` by default so unchanged files are
+//! never re-lexed; `--cache <path>` relocates it, `--no-cache` disables
+//! it. `--sarif` emits a SARIF 2.1.0 log for CI annotation uploads.
 
 use std::path::{Path, PathBuf};
 
-use npp_lint::{lint, render_json, render_text, Baseline, Config};
+use npp_lint::{lint, render_json, render_sarif, render_text, Baseline, Config};
 
 use crate::paper::Result;
 
@@ -28,6 +32,12 @@ pub struct LintArgs {
     pub baseline: Option<String>,
     /// Rewrite the baseline from current P1 counts instead of gating.
     pub update_baseline: bool,
+    /// Emit a SARIF 2.1.0 log instead of text/JSON.
+    pub sarif: bool,
+    /// Disable the incremental cache.
+    pub no_cache: bool,
+    /// Cache path override (default: `<root>/target/npp-lint-cache.json`).
+    pub cache: Option<String>,
     /// Explicit files/directories; empty means the whole workspace.
     pub paths: Vec<String>,
 }
@@ -40,6 +50,9 @@ pub struct LintArgs {
 pub fn parse_args(rest: &[&str]) -> Result<LintArgs> {
     let mut baseline = None;
     let mut update_baseline = false;
+    let mut sarif = false;
+    let mut no_cache = false;
+    let mut cache = None;
     let mut paths = Vec::new();
     let mut it = rest.iter().copied();
     while let Some(arg) = it.next() {
@@ -49,6 +62,11 @@ pub fn parse_args(rest: &[&str]) -> Result<LintArgs> {
                 baseline = Some(it.next().ok_or("--baseline needs a path")?.to_string());
             }
             "--update-baseline" => update_baseline = true,
+            "--sarif" => sarif = true,
+            "--no-cache" => no_cache = true,
+            "--cache" => {
+                cache = Some(it.next().ok_or("--cache needs a path")?.to_string());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown lint flag {flag:?}").into());
             }
@@ -58,6 +76,9 @@ pub fn parse_args(rest: &[&str]) -> Result<LintArgs> {
     Ok(LintArgs {
         baseline,
         update_baseline,
+        sarif,
+        no_cache,
+        cache,
         paths,
     })
 }
@@ -114,6 +135,14 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display()).into()),
         }
+        if !args.no_cache {
+            let cache_path = args
+                .cache
+                .as_ref()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| npp_lint::cache::default_path(&root));
+            config = config.with_cache(cache_path);
+        }
     }
 
     let report = lint(&config)?;
@@ -130,7 +159,9 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
         );
     }
 
-    if json {
+    if args.sarif {
+        print!("{}", render_sarif(&report));
+    } else if json {
         print!("{}", render_json(&report));
     } else {
         print!("{}", render_text(&report));
@@ -174,11 +205,22 @@ mod tests {
         assert_eq!(args.baseline.as_deref(), Some("b.json"));
         assert!(args.update_baseline);
         assert_eq!(args.paths, vec!["crates/simnet/src".to_string()]);
+        assert!(!args.sarif);
+        assert!(!args.no_cache);
+    }
+
+    #[test]
+    fn parses_sarif_and_cache_flags() {
+        let args = parse_args(&["--sarif", "--no-cache"]).unwrap();
+        assert!(args.sarif && args.no_cache);
+        let args = parse_args(&["--cache", "/tmp/c.json"]).unwrap();
+        assert_eq!(args.cache.as_deref(), Some("/tmp/c.json"));
     }
 
     #[test]
     fn rejects_bad_invocations() {
         assert!(parse_args(&["--baseline"]).is_err());
+        assert!(parse_args(&["--cache"]).is_err());
         assert!(parse_args(&["--frobnicate"]).is_err());
     }
 

@@ -180,16 +180,22 @@ Benchmarks:
              bit-identity check)
 
 Static analysis:
-  lint [--baseline PATH] [--update-baseline] [paths...]
+  lint [--sarif] [--baseline PATH] [--update-baseline] [--no-cache] [--cache PATH] [paths...]
              determinism & panic-hygiene analyzer (npp-lint): D1 no
              HashMap/HashSet iteration, D2 no wall clock/RNG/env reads,
              D3 no float reduction over map iterators (simnet, sweep,
              mechanisms, core), D4 no raw thread spawns outside the
-             sanctioned executor modules, P1 panic hygiene everywhere
-             (ratcheted by lint_baseline.json), S1 sweep specs deny
-             unknown fields;
+             sanctioned executor modules, D5 no tie-prone unstable
+             sorts or partial_cmp comparators, C1 worker fns taking
+             &EngineCore stay pure, F1 no float accumulation over
+             unordered collections, U1 every unsafe block carries a
+             SAFETY comment, P1 panic hygiene everywhere (ratcheted by
+             lint_baseline.json), S1 sweep specs deny unknown fields;
              exits non-zero on any unsuppressed finding. Explicit paths
-             are linted strictly (all rules, no baseline).
+             are linted strictly (all rules, no baseline, no cache).
+             Workspace runs reuse target/npp-lint-cache.json so
+             unchanged files are never re-lexed (--no-cache disables,
+             --cache PATH relocates); --sarif emits SARIF 2.1.0.
 
 Flags: --json machine-readable output; --steps N sweep resolution."
     );

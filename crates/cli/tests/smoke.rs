@@ -556,6 +556,8 @@ fn binary_lint_gate() {
         String::from_utf8_lossy(&out.stderr)
     );
 
+    // The bare run above warmed the incremental cache, so both JSON
+    // runs below replay it fully and must be byte-identical.
     let first = netpp(&["lint", "--json"]);
     assert!(first.status.success());
     let second = netpp(&["lint", "--json"]);
@@ -566,9 +568,30 @@ fn binary_lint_gate() {
     );
     let v: serde_json::Value =
         serde_json::from_slice(&first.stdout).expect("lint --json is valid JSON");
-    assert_eq!(v["schema"].as_str(), Some("npp.lint.report/v1"));
+    assert_eq!(v["schema"].as_str(), Some("npp.lint.report/v2"));
     assert_eq!(v["total"].as_u64(), Some(0));
     assert!(v["findings"].as_array().unwrap().is_empty());
+    assert_eq!(
+        v["cache_hits"], v["files_scanned"],
+        "a warm-cache lint must re-lex nothing"
+    );
+
+    // SARIF output is valid JSON, byte-stable, and carries the run.
+    let sarif_a = netpp(&["lint", "--sarif"]);
+    assert!(sarif_a.status.success());
+    let sarif_b = netpp(&["lint", "--sarif"]);
+    assert_eq!(
+        sarif_a.stdout, sarif_b.stdout,
+        "lint --sarif must be byte-stable across runs"
+    );
+    let log: serde_json::Value =
+        serde_json::from_slice(&sarif_a.stdout).expect("lint --sarif is valid JSON");
+    assert_eq!(log["version"].as_str(), Some("2.1.0"));
+    assert_eq!(log["runs"].as_array().map(Vec::len), Some(1));
+    assert_eq!(
+        log["runs"][0]["tool"]["driver"]["name"].as_str(),
+        Some("npp-lint")
+    );
 
     // A seeded violation: explicit-path mode is strict (no baseline),
     // so both the wall-clock read and the bare index must fail the run.

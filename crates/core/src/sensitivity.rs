@@ -166,7 +166,7 @@ pub fn headline_sensitivity(base: &ClusterConfig, delta: f64) -> Result<Vec<Sens
         });
     }
     // Tornado order: biggest swing first.
-    rows.sort_by(|a, b| b.swing_pp().partial_cmp(&a.swing_pp()).expect("finite"));
+    rows.sort_by(|a, b| b.swing_pp().total_cmp(&a.swing_pp()));
     Ok(rows)
 }
 

@@ -9,11 +9,12 @@
 //! `netpp lint --update-baseline` rewrites the file from the current
 //! (lower) counts after a cleanup.
 //!
-//! The file is plain JSON, read and written by the minimal parser
-//! below so this crate stays dependency-free.
+//! The file is plain JSON, read and written via the crate's own
+//! minimal parser ([`crate::json`]) so the gate runs dependency-free.
 
 use std::collections::BTreeMap;
 
+use crate::json::{self, Value};
 use crate::{LintError, Result};
 
 /// Schema tag written into (and required from) the baseline file.
@@ -50,7 +51,7 @@ impl Baseline {
                 out.push(',');
             }
             first = false;
-            out.push_str(&format!("\n    \"{}\": {count}", escape(path)));
+            out.push_str(&format!("\n    {}: {count}", json::quote(path)));
         }
         if !first {
             out.push('\n');
@@ -67,8 +68,10 @@ impl Baseline {
     /// Rejects malformed JSON and unknown schema tags. The `total`
     /// field is advisory (recomputed from `files`).
     pub fn from_json(text: &str) -> Result<Self> {
-        let value = parse_json(text)?;
-        let obj = value.as_object("baseline document")?;
+        let value = json::parse(text).map_err(LintError::Baseline)?;
+        let obj = value
+            .as_object("baseline document")
+            .map_err(LintError::Baseline)?;
         match obj.get("schema") {
             Some(Value::Str(s)) if s == SCHEMA => {}
             Some(Value::Str(s)) => {
@@ -84,250 +87,14 @@ impl Baseline {
         }
         let mut files = BTreeMap::new();
         if let Some(v) = obj.get("files") {
-            for (path, count) in v.as_object("\"files\"")? {
-                files.insert(path.clone(), count.as_count(path)?);
+            for (path, count) in v.as_object("\"files\"").map_err(LintError::Baseline)? {
+                files.insert(
+                    path.clone(),
+                    count.as_count(path).map_err(LintError::Baseline)?,
+                );
             }
         }
         Ok(Self { files })
-    }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Minimal JSON value — just what a baseline file can contain.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Null,
-    Arr(Vec<Value>),
-    Obj(BTreeMap<String, Value>),
-}
-
-impl Value {
-    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>> {
-        match self {
-            Value::Obj(m) => Ok(m),
-            other => Err(LintError::Baseline(format!(
-                "{what} must be a JSON object, found {other:?}"
-            ))),
-        }
-    }
-
-    fn as_count(&self, what: &str) -> Result<usize> {
-        match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
-            other => Err(LintError::Baseline(format!(
-                "count for {what:?} must be a non-negative integer, found {other:?}"
-            ))),
-        }
-    }
-}
-
-/// Recursive-descent parser for the JSON subset above.
-fn parse_json(text: &str) -> Result<Value> {
-    let chars: Vec<char> = text.chars().collect();
-    let mut p = Parser { chars, pos: 0 };
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.chars.len() {
-        return Err(LintError::Baseline(format!(
-            "trailing content at offset {}",
-            p.pos
-        )));
-    }
-    Ok(v)
-}
-
-struct Parser {
-    chars: Vec<char>,
-    pos: usize,
-}
-
-impl Parser {
-    fn peek(&self) -> Option<char> {
-        self.chars.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<char> {
-        let c = self.peek()?;
-        self.pos += 1;
-        Some(c)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: char) -> Result<()> {
-        self.skip_ws();
-        match self.bump() {
-            Some(got) if got == c => Ok(()),
-            got => Err(LintError::Baseline(format!(
-                "expected {c:?} at offset {}, found {got:?}",
-                self.pos
-            ))),
-        }
-    }
-
-    fn value(&mut self) -> Result<Value> {
-        self.skip_ws();
-        match self.peek() {
-            Some('{') => self.object(),
-            Some('[') => self.array(),
-            Some('"') => Ok(Value::Str(self.string()?)),
-            Some('t') => self.literal("true", Value::Bool(true)),
-            Some('f') => self.literal("false", Value::Bool(false)),
-            Some('n') => self.literal("null", Value::Null),
-            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
-            got => Err(LintError::Baseline(format!(
-                "unexpected {got:?} at offset {}",
-                self.pos
-            ))),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
-        for expected in word.chars() {
-            match self.bump() {
-                Some(c) if c == expected => {}
-                got => {
-                    return Err(LintError::Baseline(format!(
-                        "bad literal near offset {}: expected {word:?}, found {got:?}",
-                        self.pos
-                    )))
-                }
-            }
-        }
-        Ok(v)
-    }
-
-    fn object(&mut self) -> Result<Value> {
-        self.expect('{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some('}') {
-            self.bump();
-            return Ok(Value::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(':')?;
-            let val = self.value()?;
-            map.insert(key, val);
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => continue,
-                Some('}') => return Ok(Value::Obj(map)),
-                got => {
-                    return Err(LintError::Baseline(format!(
-                        "expected ',' or '}}' at offset {}, found {got:?}",
-                        self.pos
-                    )))
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value> {
-        self.expect('[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(']') {
-            self.bump();
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => continue,
-                Some(']') => return Ok(Value::Arr(items)),
-                got => {
-                    return Err(LintError::Baseline(format!(
-                        "expected ',' or ']' at offset {}, found {got:?}",
-                        self.pos
-                    )))
-                }
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                Some('"') => return Ok(out),
-                Some('\\') => match self.bump() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('t') => out.push('\t'),
-                    Some('r') => out.push('\r'),
-                    Some('b') => out.push('\u{8}'),
-                    Some('f') => out.push('\u{c}'),
-                    Some('u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self
-                                .bump()
-                                .and_then(|c| c.to_digit(16))
-                                .ok_or_else(|| LintError::Baseline("bad \\u escape".into()))?;
-                            code = code * 16 + d;
-                        }
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                    }
-                    got => {
-                        return Err(LintError::Baseline(format!(
-                            "bad escape {got:?} at offset {}",
-                            self.pos
-                        )))
-                    }
-                },
-                Some(c) => out.push(c),
-                None => return Err(LintError::Baseline("unterminated string".into())),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value> {
-        let start = self.pos;
-        if self.peek() == Some('-') {
-            self.bump();
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
-        {
-            self.bump();
-        }
-        let text: String = self
-            .chars
-            .get(start..self.pos)
-            .unwrap_or(&[])
-            .iter()
-            .collect();
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| LintError::Baseline(format!("bad number {text:?} at offset {start}")))
     }
 }
 

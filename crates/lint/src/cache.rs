@@ -1,0 +1,289 @@
+//! The incremental lint cache.
+//!
+//! A full workspace lint re-lexes every file even though almost none of
+//! them changed between runs. The cache stores each file's
+//! [`FileResult`] keyed by a content hash, so a warm run replays
+//! unchanged files without lexing them (`Report::cache_hits` counts the
+//! replays; CI asserts it equals `files_scanned` on a back-to-back
+//! second run).
+//!
+//! Correctness over speed: the hash covers the file bytes, the
+//! [`FileScope`] rule configuration, and [`ANALYZER_VERSION`], so any
+//! change to the rules invalidates every entry at once. The cache file
+//! itself is advisory — missing, corrupt, or wrong-schema documents
+//! degrade to a cold run, and a failed write is ignored. The written
+//! document is byte-stable (sorted keys, fixed field order), so two
+//! identical runs produce identical cache files.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::engine::{FileResult, Finding, UnusedSuppression};
+use crate::json::{self, Value};
+use crate::rules::{FileScope, RuleId};
+
+/// Schema tag of the cache document.
+pub const CACHE_SCHEMA: &str = "npp.lint.cache/v1";
+
+/// Bumped whenever the lexer, scope tree, or any rule changes
+/// behavior: it salts every content hash, so a version bump is a full
+/// cache invalidation.
+const ANALYZER_VERSION: u32 = 2;
+
+/// Default cache location for a workspace lint of `root`.
+pub fn default_path(root: &Path) -> PathBuf {
+    root.join("target").join("npp-lint-cache.json")
+}
+
+/// One cached file: the hash its result is valid for, plus the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// [`content_hash`] of the file bytes + rule configuration.
+    pub hash: u64,
+    /// The replayable per-file outcome.
+    pub result: FileResult,
+}
+
+/// The whole cache: one entry per workspace-relative path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cache {
+    /// Entries keyed by workspace-relative path (sorted, so the
+    /// serialized document is stable).
+    pub entries: BTreeMap<String, Entry>,
+}
+
+impl Cache {
+    /// The stored result for `rel`, if its hash still matches.
+    pub fn lookup(&self, rel: &str, hash: u64) -> Option<&FileResult> {
+        self.entries
+            .get(rel)
+            .filter(|e| e.hash == hash)
+            .map(|e| &e.result)
+    }
+
+    /// Records `result` for `rel` at `hash`.
+    pub fn insert(&mut self, rel: &str, hash: u64, result: FileResult) {
+        self.entries.insert(rel.to_string(), Entry { hash, result });
+    }
+
+    /// Serializes the cache as byte-stable JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{CACHE_SCHEMA}\",\n"));
+        out.push_str("  \"files\": {");
+        let mut first_file = true;
+        for (rel, entry) in &self.entries {
+            if !first_file {
+                out.push(',');
+            }
+            first_file = false;
+            out.push_str(&format!("\n    {}: {{", json::quote(rel)));
+            // Hashes are hex strings: JSON numbers are f64 and cannot
+            // carry 64 bits exactly.
+            out.push_str(&format!("\"hash\": \"{:016x}\", ", entry.hash));
+            out.push_str(&format!("\"suppressed\": {}, ", entry.result.suppressed));
+            out.push_str("\"findings\": [");
+            for (i, f) in entry.result.findings.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"rule\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}}}",
+                    json::quote(f.rule.code()),
+                    f.line,
+                    json::quote(&f.snippet),
+                    json::quote(&f.message),
+                ));
+            }
+            out.push_str("], \"unused\": [");
+            for (i, u) in entry.result.unused.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"line\": {}, \"key\": {}}}",
+                    u.line,
+                    json::quote(&u.key),
+                ));
+            }
+            out.push_str("]}");
+        }
+        if !first_file {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a cache document. Returns `None` on *any* defect —
+    /// malformed JSON, wrong schema, bad field shapes — because a
+    /// cache is always safe to discard.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let value = json::parse(text).ok()?;
+        let obj = value.as_object("cache").ok()?;
+        match obj.get("schema") {
+            Some(Value::Str(s)) if s == CACHE_SCHEMA => {}
+            _ => return None,
+        }
+        let mut entries = BTreeMap::new();
+        for (rel, v) in obj.get("files")?.as_object("files").ok()? {
+            let e = v.as_object("entry").ok()?;
+            let hash = u64::from_str_radix(e.get("hash")?.str_of()?, 16).ok()?;
+            let suppressed = e.get("suppressed")?.as_count("suppressed").ok()?;
+            let mut findings = Vec::new();
+            for f in e.get("findings")?.arr_of()? {
+                let f = f.as_object("finding").ok()?;
+                findings.push(Finding {
+                    rule: RuleId::from_code(f.get("rule")?.str_of()?)?,
+                    file: rel.clone(),
+                    line: u32::try_from(f.get("line")?.as_count("line").ok()?).ok()?,
+                    snippet: f.get("snippet")?.str_of()?.to_string(),
+                    message: f.get("message")?.str_of()?.to_string(),
+                });
+            }
+            let mut unused = Vec::new();
+            for u in e.get("unused")?.arr_of()? {
+                let u = u.as_object("unused").ok()?;
+                unused.push(UnusedSuppression {
+                    file: rel.clone(),
+                    line: u32::try_from(u.get("line")?.as_count("line").ok()?).ok()?,
+                    key: u.get("key")?.str_of()?.to_string(),
+                });
+            }
+            entries.insert(
+                rel.clone(),
+                Entry {
+                    hash,
+                    result: FileResult {
+                        findings,
+                        suppressed,
+                        unused,
+                    },
+                },
+            );
+        }
+        Some(Self { entries })
+    }
+}
+
+/// Loads the cache at `path`; any failure yields an empty cache.
+pub fn load(path: &Path) -> Cache {
+    fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Cache::from_json(&text))
+        .unwrap_or_default()
+}
+
+/// Writes the cache, best-effort: the cache is an accelerator, so an
+/// unwritable location (read-only checkout, missing `target/`) must
+/// not fail the lint.
+pub fn save(path: &Path, cache: &Cache) {
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let _ = fs::write(path, cache.to_json());
+}
+
+/// FNV-1a (64-bit) over the analyzer version, the rule configuration,
+/// and the file bytes. Any of the three changing yields a new key.
+pub fn content_hash(source: &str, scope: FileScope) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in ANALYZER_VERSION.to_le_bytes() {
+        eat(b);
+    }
+    eat(u8::from(scope.determinism));
+    eat(u8::from(scope.spec_strictness));
+    eat(u8::from(scope.thread_discipline));
+    eat(u8::from(scope.worker_purity));
+    for b in source.bytes() {
+        eat(b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCOPE: FileScope = FileScope {
+        determinism: true,
+        spec_strictness: false,
+        thread_discipline: true,
+        worker_purity: false,
+    };
+
+    fn sample() -> Cache {
+        let mut cache = Cache::default();
+        cache.insert(
+            "crates/x/src/lib.rs",
+            content_hash("fn f() {}", SCOPE),
+            FileResult {
+                findings: vec![Finding {
+                    rule: RuleId::P1Panic,
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 3,
+                    snippet: "o.unwrap() // \"quoted\"".into(),
+                    message: "panic-prone".into(),
+                }],
+                suppressed: 2,
+                unused: vec![UnusedSuppression {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 9,
+                    key: "wall-clock".into(),
+                }],
+            },
+        );
+        cache
+    }
+
+    #[test]
+    fn round_trips_byte_stably() {
+        let cache = sample();
+        let text = cache.to_json();
+        assert_eq!(text, cache.to_json());
+        let back = Cache::from_json(&text).expect("parses");
+        assert_eq!(back, cache);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn lookup_requires_matching_hash() {
+        let cache = sample();
+        let hit = content_hash("fn f() {}", SCOPE);
+        assert!(cache.lookup("crates/x/src/lib.rs", hit).is_some());
+        assert!(cache
+            .lookup("crates/x/src/lib.rs", content_hash("fn f() { }", SCOPE))
+            .is_none());
+        assert!(cache.lookup("crates/y/src/lib.rs", hit).is_none());
+    }
+
+    #[test]
+    fn hash_covers_rule_configuration() {
+        let stricter = FileScope {
+            worker_purity: true,
+            ..SCOPE
+        };
+        assert_ne!(
+            content_hash("fn f() {}", SCOPE),
+            content_hash("fn f() {}", stricter)
+        );
+    }
+
+    #[test]
+    fn bad_documents_degrade_to_empty() {
+        assert_eq!(Cache::from_json(""), None);
+        assert_eq!(Cache::from_json("{}"), None);
+        assert_eq!(
+            Cache::from_json("{\"schema\": \"npp.lint.cache/v0\", \"files\": {}}"),
+            None
+        );
+        let empty = Cache::default();
+        let back = Cache::from_json(&empty.to_json()).expect("empty round-trip");
+        assert_eq!(back, empty);
+    }
+}

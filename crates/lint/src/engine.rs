@@ -1,27 +1,33 @@
 //! Analysis driver: file discovery, suppression directives, the P1
-//! ratchet, and report assembly.
+//! ratchet, the incremental cache, and report assembly.
 //!
 //! Determinism is a feature of the *linter* too: files are visited in
 //! sorted order, findings are sorted by `(file, line, rule)`, and the
 //! JSON rendering has a fixed key order — two runs over the same tree
-//! produce byte-identical output, which CI relies on.
+//! produce byte-identical output, which CI relies on. The cache keeps
+//! that property: a cached per-file result is exactly what a fresh
+//! scan would produce (the cache key covers the file bytes, the rule
+//! configuration, and the analyzer version).
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::Baseline;
-use crate::lexer::{lex, Comment};
-use crate::rules::{scan, test_mask, FileScope, Hit, RuleId};
+use crate::cache::{self, Cache};
+use crate::lexer::{lex, Comment, Tok};
+use crate::rules::{scan, FileScope, Hit, RuleId};
+use crate::scope::{ScopeKind, ScopeTree};
 use crate::{LintError, Result};
 
-/// Crates whose headline guarantee is bit-stable output; D1–D3 apply.
-/// `telemetry` is here because its canonical trace is itself a
-/// deterministic document: its only wall-clock reads are the sanctioned
-/// `wall_clock()` entry point and the wall-track stamps, each annotated.
-/// `serve` is here because its responses must be byte-identical to the
-/// engine's own documents: every wall-clock read in the daemon is a
-/// latency/benchmark sample and must be annotated as such.
+/// Crates whose headline guarantee is bit-stable output; the
+/// determinism rules (D1–D3, D5, F1) apply. `telemetry` is here because
+/// its canonical trace is itself a deterministic document: its only
+/// wall-clock reads are the sanctioned `wall_clock()` entry point and
+/// the wall-track stamps, each annotated. `serve` is here because its
+/// responses must be byte-identical to the engine's own documents:
+/// every wall-clock read in the daemon is a latency/benchmark sample
+/// and must be annotated as such.
 const DETERMINISM_CRATES: &[&str] = &[
     "simnet",
     "sweep",
@@ -38,7 +44,9 @@ const SPEC_CRATES: &[&str] = &["sweep", "serve"];
 /// a deterministic fan-out/merge protocol. The exemption is by exact
 /// module, not by crate, and holds even in strict explicit-path mode —
 /// these files are the sanctioned executors, so flagging them there
-/// would just force blanket suppressions.
+/// would just force blanket suppressions. The same set carries the
+/// worker-purity obligation (C1): fns taking `&EngineCore` here are
+/// the parallel engine's workers and must stay pure.
 const THREAD_SANCTIONED: &[&str] = &[
     "crates/simnet/src/netsim_par.rs",
     "crates/sweep/src/exec.rs",
@@ -68,6 +76,10 @@ pub struct Config {
     pub paths: Vec<PathBuf>,
     /// The P1 ratchet; `None` means "no allowance anywhere".
     pub baseline: Option<Baseline>,
+    /// Incremental-cache file: unchanged files reuse their stored
+    /// per-file result without re-lexing. `None` disables the cache;
+    /// strict explicit-path runs never use it.
+    pub cache: Option<PathBuf>,
 }
 
 impl Config {
@@ -77,6 +89,7 @@ impl Config {
             root: root.into(),
             paths: Vec::new(),
             baseline: None,
+            cache: None,
         }
     }
 
@@ -86,6 +99,7 @@ impl Config {
             root: root.into(),
             paths,
             baseline: None,
+            cache: None,
         }
     }
 
@@ -93,6 +107,13 @@ impl Config {
     #[must_use]
     pub fn with_baseline(mut self, baseline: Baseline) -> Self {
         self.baseline = Some(baseline);
+        self
+    }
+
+    /// Attaches the incremental cache file.
+    #[must_use]
+    pub fn with_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache = Some(path.into());
         self
     }
 }
@@ -113,7 +134,10 @@ pub struct Finding {
 }
 
 /// A suppression that silenced nothing — stale annotations rot, so
-/// the text report calls them out (they do not fail the gate).
+/// the text report calls them out (they do not fail the gate). A
+/// suppression whose rule *does* fire elsewhere in the file is worse
+/// than stale — it is attached to the wrong scope — and is reported as
+/// an A1 finding instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnusedSuppression {
     /// File containing the directive.
@@ -124,6 +148,22 @@ pub struct UnusedSuppression {
     pub key: String,
 }
 
+/// One file's contribution to a report, before the workspace-level P1
+/// ratchet. This is the unit the incremental cache stores: it depends
+/// only on the file's bytes and its [`FileScope`], both folded into
+/// the cache key, so replaying it is indistinguishable from a fresh
+/// scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileResult {
+    /// Pre-ratchet unsuppressed findings (including A1), sorted by
+    /// `(line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by in-source directives.
+    pub suppressed: usize,
+    /// Directives that silenced nothing anywhere in the file.
+    pub unused: Vec<UnusedSuppression>,
+}
+
 /// Outcome of one lint run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -132,6 +172,9 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Files inspected.
     pub files_scanned: usize,
+    /// Files whose result was replayed from the incremental cache
+    /// (never lexed this run).
+    pub cache_hits: usize,
     /// Findings silenced by in-source `allow(…)` directives.
     pub suppressed: usize,
     /// P1 findings absorbed by the ratchet baseline.
@@ -155,6 +198,18 @@ impl Report {
     pub fn failed(&self) -> bool {
         !self.findings.is_empty()
     }
+
+    /// Folds one file's result into the running totals.
+    fn absorb(&mut self, result: FileResult) {
+        for finding in &result.findings {
+            if finding.rule == RuleId::P1Panic {
+                *self.p1_counts.entry(finding.file.clone()).or_insert(0) += 1;
+            }
+        }
+        self.findings.extend(result.findings);
+        self.suppressed += result.suppressed;
+        self.unused.extend(result.unused);
+    }
 }
 
 /// Runs the analyzer per `config`.
@@ -162,7 +217,8 @@ impl Report {
 /// # Errors
 ///
 /// Propagates I/O failures; an unreadable source file is an error, not
-/// a silent skip.
+/// a silent skip. (The cache file is advisory: a missing or corrupt
+/// cache degrades to a cold run, and a failed cache write is ignored.)
 pub fn lint(config: &Config) -> Result<Report> {
     let files = if config.paths.is_empty() {
         workspace_files(&config.root)?
@@ -170,13 +226,35 @@ pub fn lint(config: &Config) -> Result<Report> {
         explicit_files(&config.paths)?
     };
     let strict = !config.paths.is_empty();
+    let cache_path = if strict {
+        None
+    } else {
+        config.cache.as_deref()
+    };
+    let old_cache = cache_path.map(cache::load).unwrap_or_default();
+    let mut new_cache = Cache::default();
 
     let mut report = Report::default();
     for path in &files {
         let rel = relative_path(&config.root, path);
         let source = fs::read_to_string(path)
             .map_err(|e| LintError::Io(format!("cannot read {}: {e}", path.display())))?;
-        lint_file(&rel, &source, file_scope(&rel, strict), &mut report);
+        let scope = file_scope(&rel, strict);
+        let result = if cache_path.is_some() {
+            let hash = cache::content_hash(&source, scope);
+            let result = match old_cache.lookup(&rel, hash) {
+                Some(cached) => {
+                    report.cache_hits += 1;
+                    cached.clone()
+                }
+                None => lint_file(&rel, &source, scope),
+            };
+            new_cache.insert(&rel, hash, result.clone());
+            result
+        } else {
+            lint_file(&rel, &source, scope)
+        };
+        report.absorb(result);
         report.files_scanned += 1;
     }
 
@@ -203,17 +281,22 @@ pub fn lint(config: &Config) -> Result<Report> {
     report
         .unused
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    if let Some(path) = cache_path {
+        cache::save(path, &new_cache);
+    }
     Ok(report)
 }
 
 /// Which rules apply to `rel` (workspace-relative path).
 fn file_scope(rel: &str, strict: bool) -> FileScope {
-    let thread_discipline = !thread_sanctioned(rel);
+    let sanctioned = thread_sanctioned(rel);
     if strict {
         return FileScope {
             determinism: true,
             spec_strictness: true,
-            thread_discipline,
+            thread_discipline: !sanctioned,
+            worker_purity: true,
         };
     }
     let crate_name = rel
@@ -223,16 +306,20 @@ fn file_scope(rel: &str, strict: bool) -> FileScope {
     FileScope {
         determinism: DETERMINISM_CRATES.contains(&crate_name),
         spec_strictness: SPEC_CRATES.contains(&crate_name),
-        thread_discipline,
+        thread_discipline: !sanctioned,
+        // The dual of D4: exactly the modules allowed to spawn threads
+        // carry the `&EngineCore` worker contract.
+        worker_purity: sanctioned,
     }
 }
 
-/// Lints one file's source into `report`.
-fn lint_file(rel: &str, source: &str, scope: FileScope, report: &mut Report) {
+/// Lints one file's source into a cacheable [`FileResult`].
+fn lint_file(rel: &str, source: &str, scope: FileScope) -> FileResult {
     let lexed = lex(source);
-    let masked = test_mask(&lexed.tokens);
-    let hits = scan(&lexed.tokens, &masked, scope);
-    let (mut directives, bad) = parse_directives(&lexed.comments);
+    let tree = crate::scope::build(&lexed.tokens);
+    let masked = tree.test_mask();
+    let hits = scan(&lexed.tokens, &masked, scope, &tree, &lexed.comments);
+    let (mut directives, bad) = parse_directives(&lexed.comments, &lexed.tokens, &tree);
     let lines: Vec<&str> = source.lines().collect();
     let snippet = |line: u32| -> String {
         let text = lines
@@ -247,8 +334,9 @@ fn lint_file(rel: &str, source: &str, scope: FileScope, report: &mut Report) {
         s
     };
 
+    let mut result = FileResult::default();
     for hit in bad {
-        report.findings.push(Finding {
+        result.findings.push(Finding {
             rule: hit.rule,
             file: rel.to_string(),
             line: hit.line,
@@ -260,16 +348,13 @@ fn lint_file(rel: &str, source: &str, scope: FileScope, report: &mut Report) {
     for hit in hits {
         if let Some(d) = directives
             .iter_mut()
-            .find(|d| d.rule == hit.rule && (d.line == hit.line || d.line + 1 == hit.line))
+            .find(|d| d.rule == hit.rule && hit.line >= d.line && hit.line <= d.until)
         {
             d.used = true;
-            report.suppressed += 1;
+            result.suppressed += 1;
             continue;
         }
-        if hit.rule == RuleId::P1Panic {
-            *report.p1_counts.entry(rel.to_string()).or_insert(0) += 1;
-        }
-        report.findings.push(Finding {
+        result.findings.push(Finding {
             rule: hit.rule,
             file: rel.to_string(),
             line: hit.line,
@@ -278,25 +363,64 @@ fn lint_file(rel: &str, source: &str, scope: FileScope, report: &mut Report) {
         });
     }
 
+    // A directive that silenced nothing is stale — and if its rule
+    // *does* fire elsewhere in the file, it is attached to the wrong
+    // scope, which is an A1 finding, not a note: the author believed
+    // something was suppressed that is not.
     for d in directives.into_iter().filter(|d| !d.used) {
-        report.unused.push(UnusedSuppression {
-            file: rel.to_string(),
-            line: d.line,
-            key: d.rule.key().to_string(),
-        });
+        let stray = result
+            .findings
+            .iter()
+            .find(|f| f.rule == d.rule)
+            .map(|f| f.line);
+        if let Some(fires_at) = stray {
+            result.findings.push(Finding {
+                rule: RuleId::A1BadSuppression,
+                file: rel.to_string(),
+                line: d.line,
+                snippet: snippet(d.line),
+                message: format!(
+                    "suppression `allow({})` silences nothing here, but {} fires at line \
+                     {fires_at}: the directive is attached to the wrong scope — move it onto \
+                     the offending line or directly above the enclosing item",
+                    d.rule.key(),
+                    d.rule.code(),
+                ),
+            });
+        } else {
+            result.unused.push(UnusedSuppression {
+                file: rel.to_string(),
+                line: d.line,
+                key: d.rule.key().to_string(),
+            });
+        }
     }
+
+    result.findings.sort_by_key(|f| (f.line, f.rule));
+    result
 }
 
-/// A parsed `// npp-lint: allow(<key>) reason="…"` directive.
+/// A parsed `// npp-lint: allow(<key>) reason="…"` directive and the
+/// line range it covers (inclusive).
 #[derive(Debug)]
 struct Directive {
     line: u32,
+    /// Last covered line. By default the directive covers its own line
+    /// and the next (`line + 1`); a directive sitting directly above an
+    /// item header (including the item's attributes) covers the item's
+    /// whole scope.
+    until: u32,
     rule: RuleId,
     used: bool,
 }
 
-/// Extracts well-formed directives and reports malformed ones (A1).
-fn parse_directives(comments: &[Comment]) -> (Vec<Directive>, Vec<Hit>) {
+/// Extracts well-formed directives (with their scope coverage) and
+/// reports malformed ones (A1).
+fn parse_directives(
+    comments: &[Comment],
+    tokens: &[Tok],
+    tree: &ScopeTree,
+) -> (Vec<Directive>, Vec<Hit>) {
     let mut directives = Vec::new();
     let mut bad = Vec::new();
     for comment in comments {
@@ -311,6 +435,7 @@ fn parse_directives(comments: &[Comment]) -> (Vec<Directive>, Vec<Hit>) {
         match parse_allow(after_tag) {
             Ok(rule) => directives.push(Directive {
                 line: comment.line,
+                until: scope_cover(tokens, tree, comment.line),
                 rule,
                 used: false,
             }),
@@ -325,6 +450,26 @@ fn parse_directives(comments: &[Comment]) -> (Vec<Directive>, Vec<Hit>) {
         }
     }
     (directives, bad)
+}
+
+/// Last line covered by a directive on `line`: if the next line starts
+/// an item scope (the scope's first token, attributes included, sits on
+/// `line + 1`), the directive covers the item's whole extent; otherwise
+/// just the next line. The scope list is pre-ordered, so the first
+/// match is the outermost item starting there.
+fn scope_cover(tokens: &[Tok], tree: &ScopeTree, line: u32) -> u32 {
+    for scope in tree.scopes.iter().skip(1) {
+        if scope.kind == ScopeKind::UnsafeBlock {
+            continue;
+        }
+        let start_line = tokens.get(scope.start).map(|t| t.line);
+        if start_line == Some(line + 1) {
+            return tokens
+                .get(scope.end.saturating_sub(1))
+                .map_or(line + 1, |t| t.line);
+        }
+    }
+    line + 1
 }
 
 /// Parses the `allow(<key>) reason="…"` tail of a directive.
@@ -433,7 +578,7 @@ mod tests {
 
     fn run_on(src: &str, scope: FileScope) -> Report {
         let mut report = Report::default();
-        lint_file("crates/x/src/lib.rs", src, scope, &mut report);
+        report.absorb(lint_file("crates/x/src/lib.rs", src, scope));
         report
             .findings
             .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -444,6 +589,7 @@ mod tests {
         determinism: true,
         spec_strictness: true,
         thread_discipline: true,
+        worker_purity: true,
     };
 
     #[test]
@@ -460,6 +606,44 @@ mod tests {
         assert_eq!(report.suppressed, 2, "{:?}", report.findings);
         assert!(report.findings.is_empty(), "{:?}", report.findings);
         assert!(report.unused.is_empty());
+    }
+
+    #[test]
+    fn suppression_above_an_item_covers_its_whole_scope() {
+        let src = "
+            // npp-lint: allow(map-iter) reason=\"both drains feed order-independent counts\"
+            fn f(m: std::collections::HashMap<u32, u32>) -> usize {
+                let mut total = 0usize;
+                let n = m.keys().count();
+                let o = m.values().count();
+                total += n + o;
+                total
+            }
+        ";
+        let report = run_on(src, ALL);
+        assert_eq!(report.suppressed, 2, "{:?}", report.findings);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.unused.is_empty());
+    }
+
+    #[test]
+    fn fn_scoped_suppression_does_not_leak_to_siblings() {
+        let src = "
+            // npp-lint: allow(map-iter) reason=\"scoped to f only\"
+            fn f(m: &std::collections::HashMap<u32, u32>) -> usize {
+                m.keys().count()
+            }
+            fn g(m: &std::collections::HashMap<u32, u32>) -> usize {
+                m.keys().count()
+            }
+        ";
+        let report = run_on(src, ALL);
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(
+            report.findings.first().map(|f| f.rule),
+            Some(RuleId::D1MapIter)
+        );
     }
 
     #[test]
@@ -494,6 +678,25 @@ mod tests {
     }
 
     #[test]
+    fn wrong_scope_suppressions_are_a1_findings() {
+        let src = "
+            fn clean() {
+                // npp-lint: allow(map-iter) reason=\"nothing iterates here\"
+                let x = 1;
+                let _ = x;
+            }
+            fn dirty(m: &std::collections::HashMap<u32, u32>) -> usize {
+                m.keys().count()
+            }
+        ";
+        let report = run_on(src, ALL);
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.code()).collect();
+        assert!(rules.contains(&"A1"), "{:?}", report.findings);
+        assert!(rules.contains(&"D1"), "{:?}", report.findings);
+        assert!(report.unused.is_empty(), "{:?}", report.unused);
+    }
+
+    #[test]
     fn sanctioned_executor_modules_are_exempt_from_d4_even_when_strict() {
         for rel in [
             "crates/simnet/src/netsim_par.rs",
@@ -502,9 +705,13 @@ mod tests {
         ] {
             assert!(!file_scope(rel, true).thread_discipline, "{rel}");
             assert!(!file_scope(rel, false).thread_discipline, "{rel}");
+            // The same modules carry the worker-purity obligation.
+            assert!(file_scope(rel, false).worker_purity, "{rel}");
         }
         assert!(file_scope("crates/simnet/src/netsim.rs", true).thread_discipline);
         assert!(file_scope("crates/serve/src/cache.rs", false).thread_discipline);
+        assert!(!file_scope("crates/serve/src/cache.rs", false).worker_purity);
+        assert!(file_scope("crates/serve/src/cache.rs", true).worker_purity);
     }
 
     #[test]

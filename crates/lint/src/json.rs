@@ -1,0 +1,282 @@
+//! Minimal shared JSON support: a recursive-descent parser for the
+//! subset the analyzer's documents use, plus the canonical string
+//! escaper. Shared by the baseline, the incremental cache, and the
+//! report/SARIF writers so the crate stays dependency-free. Errors are
+//! plain strings — each caller wraps them in its own error type (the
+//! cache just discards any document that fails to parse).
+
+use std::collections::BTreeMap;
+
+/// Minimal JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub(crate) fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>, String> {
+        match self {
+            Value::Obj(m) => Ok(m),
+            other => Err(format!("{what} must be a JSON object, found {other:?}")),
+        }
+    }
+
+    pub(crate) fn as_count(&self, what: &str) -> Result<usize, String> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            other => Err(format!(
+                "count for {what:?} must be a non-negative integer, found {other:?}"
+            )),
+        }
+    }
+
+    pub(crate) fn str_of(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn arr_of(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes `s` as a quoted JSON string.
+pub(crate) fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one JSON document (rejects trailing content).
+pub(crate) fn parse(text: &str) -> Result<Value, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing content at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!(
+                "expected {c:?} at offset {}, found {got:?}",
+                self.pos
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            got => Err(format!("unexpected {got:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        for expected in word.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                got => {
+                    return Err(format!(
+                        "bad literal near offset {}: expected {word:?}, found {got:?}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(map)),
+                got => {
+                    return Err(format!(
+                        "expected ',' or '}}' at offset {}, found {got:?}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                got => {
+                    return Err(format!(
+                        "expected ',' or ']' at offset {}, found {got:?}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| "bad \\u escape".to_string())?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => return Err(format!("bad escape {got:?} at offset {}", self.pos)),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.bump();
+        }
+        let text: String = self
+            .chars
+            .get(start..self.pos)
+            .unwrap_or(&[])
+            .iter()
+            .collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": [1, "two", true, null], "b": {"c": -3.5}}"#).unwrap();
+        let obj = v.as_object("doc").unwrap();
+        let arr = obj.get("a").and_then(Value::arr_of).unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[1].str_of(), Some("two"));
+        let b = obj.get("b").unwrap().as_object("b").unwrap();
+        assert_eq!(b.get("c"), Some(&Value::Num(-3.5)));
+    }
+
+    #[test]
+    fn quote_round_trips_through_parse() {
+        let nasty = "quote \" slash \\ newline \n tab \t ctrl \u{1}";
+        let v = parse(&quote(nasty)).unwrap();
+        assert_eq!(v.str_of(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{} junk").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+}

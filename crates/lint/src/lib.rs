@@ -16,11 +16,25 @@
 //!   `thread_rng`/environment reads in simulation code;
 //! - **D3 `float-reduce`** — no `.sum()`/`.fold()` fed by a hash-map
 //!   iterator (float addition order = iteration order);
+//! - **D5 `unstable-sort`** — no tie-prone unstable sorts or
+//!   `partial_cmp` comparators in determinism crates;
+//! - **C1 `worker-purity`** — fns taking `&EngineCore` (parallel
+//!   workers) stay free of interior mutability, atomics, and `unsafe`;
+//! - **F1 `float-order`** — no float accumulation inside loops over
+//!   non-index-ordered collections;
+//! - **U1 `unsafe-audit`** — every `unsafe` block carries an adjacent
+//!   `// SAFETY:` comment;
 //! - **P1 `panic`** — no `.unwrap()`, panic-family macros, or slice
 //!   indexing in non-test library code, ratcheted by the committed
 //!   `lint_baseline.json` so the count only goes down;
 //! - **S1 `deny-unknown-fields`** — every `Deserialize` struct in the
 //!   sweep-spec crate rejects unknown fields.
+//!
+//! The structural rules (D5/C1/F1/U1, scope-accurate test masking,
+//! scope-attached suppressions) are powered by a dependency-free
+//! brace-matched scope tree ([`scope`]); workspace runs reuse results
+//! through a content-hashed incremental cache ([`cache`]), and reports
+//! render as text, stable JSON, or SARIF 2.1.0 ([`sarif`]).
 //!
 //! False positives are silenced in place and must say why:
 //!
@@ -48,15 +62,20 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod engine;
+mod json;
 pub mod lexer;
 pub mod render;
 pub mod rules;
+pub mod sarif;
+pub mod scope;
 
 pub use baseline::Baseline;
-pub use engine::{lint, Config, Finding, Report, UnusedSuppression};
+pub use engine::{lint, Config, FileResult, Finding, Report, UnusedSuppression};
 pub use render::{render_json, render_text, REPORT_SCHEMA};
 pub use rules::RuleId;
+pub use sarif::render_sarif;
 
 /// Errors produced by this crate.
 #[derive(Debug)]

@@ -7,30 +7,29 @@
 //! missing key). Two runs over the same tree emit identical bytes.
 
 use crate::engine::{Finding, Report};
-use crate::rules::RuleId;
+use crate::json::quote;
+use crate::rules::CATALOG;
 
-/// Schema tag of the JSON report document.
-pub const REPORT_SCHEMA: &str = "npp.lint.report/v1";
-
-/// Every rule, in report order.
-const CATALOG: &[RuleId] = &[
-    RuleId::D1MapIter,
-    RuleId::D2WallClock,
-    RuleId::D3FloatReduce,
-    RuleId::P1Panic,
-    RuleId::S1DenyUnknownFields,
-    RuleId::A1BadSuppression,
-];
+/// Schema tag of the JSON report document. `v2` added `cache_hits` and
+/// the D4/D5/C1/F1/U1 rule counters.
+pub const REPORT_SCHEMA: &str = "npp.lint.report/v2";
 
 /// Renders the deterministic JSON report document.
 pub fn render_json(report: &Report) -> String {
     let mut out = String::from("{\n");
-    push_kv(&mut out, 1, "schema", &json_str(REPORT_SCHEMA), true);
+    push_kv(&mut out, 1, "schema", &quote(REPORT_SCHEMA), true);
     push_kv(
         &mut out,
         1,
         "files_scanned",
         &report.files_scanned.to_string(),
+        true,
+    );
+    push_kv(
+        &mut out,
+        1,
+        "cache_hits",
+        &report.cache_hits.to_string(),
         true,
     );
     push_kv(
@@ -87,12 +86,12 @@ pub fn render_json(report: &Report) -> String {
 fn finding_json(f: &Finding) -> String {
     format!(
         "{{\"rule\": {}, \"key\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}}}",
-        json_str(f.rule.code()),
-        json_str(f.rule.key()),
-        json_str(&f.file),
+        quote(f.rule.code()),
+        quote(f.rule.key()),
+        quote(&f.file),
         f.line,
-        json_str(&f.snippet),
-        json_str(&f.message),
+        quote(&f.snippet),
+        quote(&f.message),
     )
 }
 
@@ -100,31 +99,13 @@ fn push_kv(out: &mut String, indent: usize, key: &str, value: &str, comma: bool)
     for _ in 0..indent {
         out.push_str("  ");
     }
-    out.push_str(&json_str(key));
+    out.push_str(&quote(key));
     out.push_str(": ");
     out.push_str(value);
     if comma {
         out.push(',');
     }
     out.push('\n');
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Renders the human report (findings, unused suppressions, summary).
@@ -147,8 +128,9 @@ pub fn render_text(report: &Report) -> String {
         ));
     }
     out.push_str(&format!(
-        "{} file(s) scanned: {} finding(s), {} suppressed in source, {} absorbed by the P1 baseline\n",
+        "{} file(s) scanned ({} from cache): {} finding(s), {} suppressed in source, {} absorbed by the P1 baseline\n",
         report.files_scanned,
+        report.cache_hits,
         report.findings.len(),
         report.suppressed,
         report.baselined,
@@ -160,6 +142,7 @@ pub fn render_text(report: &Report) -> String {
 mod tests {
     use super::*;
     use crate::engine::Finding;
+    use crate::rules::RuleId;
 
     #[test]
     fn json_is_stable_and_escapes() {
@@ -179,6 +162,15 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"P1\": 1"));
         assert!(a.contains("\"D1\": 0"));
+        // Every catalog rule gets a counter, including the new ones.
+        for rule in CATALOG {
+            assert!(
+                a.contains(&format!("\"{}\":", rule.code())),
+                "{}",
+                rule.code()
+            );
+        }
+        assert!(a.contains("\"cache_hits\": 0"));
         assert!(a.contains("\\\""));
         assert!(a.ends_with("}\n"));
     }
@@ -187,6 +179,7 @@ mod tests {
     fn text_mentions_rule_and_counts() {
         let mut report = Report {
             files_scanned: 2,
+            cache_hits: 1,
             ..Report::default()
         };
         report.findings.push(Finding {
@@ -198,6 +191,6 @@ mod tests {
         });
         let text = render_text(&report);
         assert!(text.contains("[D1]"));
-        assert!(text.contains("2 file(s) scanned: 1 finding(s)"));
+        assert!(text.contains("2 file(s) scanned (1 from cache): 1 finding(s)"));
     }
 }

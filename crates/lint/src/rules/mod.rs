@@ -1,0 +1,341 @@
+//! The rule catalog.
+//!
+//! Rules come in two layers. The *token* rules ([`tokens`]) are pattern
+//! scans over the lexed stream of one file (comments and string
+//! contents never reach a rule — see [`crate::lexer`]). The
+//! *structural* rules ([`structural`]) additionally consult the
+//! brace-matched scope tree ([`crate::scope`]): fn signatures, `unsafe`
+//! block extents, and scope-accurate `#[cfg(test)]` masking. All rules
+//! are deliberately heuristic: they trade type-level precision for a
+//! zero-dependency implementation, and any false positive can be
+//! silenced in place with `// npp-lint: allow(<key>) reason="…"` — the
+//! reason string is mandatory, so each silencing documents *why* the
+//! site is safe.
+//!
+//! | id | key                 | scope               | what it catches |
+//! |----|---------------------|---------------------|-----------------|
+//! | D1 | `map-iter`          | determinism crates  | iterating a `HashMap`/`HashSet` (order is seed-dependent) |
+//! | D2 | `wall-clock`        | determinism crates  | `Instant::now`, `SystemTime`, `thread_rng`, `env::var*`, `wall_clock()` calls |
+//! | D3 | `float-reduce`      | determinism crates  | `.sum()`/`.fold()` fed by a hash-map iterator |
+//! | D4 | `thread-spawn`      | all but sanctioned executor modules | `thread::spawn`/`scope`/`Builder` outside the parallel engine, sweep executor, serve daemon, and telemetry |
+//! | D5 | `unstable-sort`     | determinism crates  | `sort_unstable_by*` (ties between distinct elements land in unspecified order) and `partial_cmp` comparators in any sort |
+//! | C1 | `worker-purity`     | sanctioned executor modules | fns taking `&EngineCore` using interior mutability, atomics, or `unsafe` |
+//! | F1 | `float-order`       | determinism crates  | float `+=` accumulation inside a loop over a non-index-ordered collection |
+//! | U1 | `safety-comment`    | all library code    | an `unsafe` block without an adjacent `// SAFETY:` comment |
+//! | P1 | `panic`             | all library code    | `.unwrap()`, panic-family macros, slice indexing (ratcheted) |
+//! | S1 | `deny-unknown-fields` | `sweep` specs     | `Deserialize` struct without `deny_unknown_fields` |
+//! | A1 | —                   | everywhere          | malformed suppression directive; suppression attached to the wrong scope |
+
+mod structural;
+mod tokens;
+
+use crate::lexer::{Comment, Tok, TokKind};
+use crate::scope::ScopeTree;
+
+/// Identifier of one rule in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hash-map/set iteration in a determinism-critical crate.
+    D1MapIter,
+    /// Wall-clock, OS randomness, or environment read in simulation code.
+    D2WallClock,
+    /// Unordered floating-point reduction over a hash-map iterator.
+    D3FloatReduce,
+    /// `thread::spawn`/`scope`/`Builder` outside a sanctioned executor
+    /// module: ad-hoc threads make replay order machine-dependent.
+    D4ThreadSpawn,
+    /// `sort_unstable_by`/`sort_unstable_by_key` (distinct elements
+    /// with equal keys land in unspecified order) or a `partial_cmp`
+    /// comparator (not a total order under NaN) in a sort.
+    D5UnstableSort,
+    /// A worker-side fn (takes `&EngineCore`) using interior
+    /// mutability, atomics, `static mut`, or `unsafe` — the parallel
+    /// engine's purity contract is what makes its merges bit-stable.
+    C1WorkerPurity,
+    /// Float accumulation (`+=`) inside a loop whose source is a
+    /// non-index-ordered collection: the sum depends on visit order.
+    F1FloatOrder,
+    /// An `unsafe` block without an adjacent `// SAFETY:` comment.
+    U1UnsafeAudit,
+    /// Panic-prone construct in non-test library code.
+    P1Panic,
+    /// `Deserialize` struct without `#[serde(deny_unknown_fields)]`.
+    S1DenyUnknownFields,
+    /// Malformed or wrong-scope `npp-lint` suppression directive.
+    A1BadSuppression,
+}
+
+/// Every rule, in report order. Shared by the JSON and SARIF renderers
+/// so a rule can never be silently absent from one of them.
+pub const CATALOG: &[RuleId] = &[
+    RuleId::D1MapIter,
+    RuleId::D2WallClock,
+    RuleId::D3FloatReduce,
+    RuleId::D4ThreadSpawn,
+    RuleId::D5UnstableSort,
+    RuleId::C1WorkerPurity,
+    RuleId::F1FloatOrder,
+    RuleId::U1UnsafeAudit,
+    RuleId::P1Panic,
+    RuleId::S1DenyUnknownFields,
+    RuleId::A1BadSuppression,
+];
+
+impl RuleId {
+    /// Short rule code used in reports (`D1`, `P1`, …).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::D1MapIter => "D1",
+            RuleId::D2WallClock => "D2",
+            RuleId::D3FloatReduce => "D3",
+            RuleId::D4ThreadSpawn => "D4",
+            RuleId::D5UnstableSort => "D5",
+            RuleId::C1WorkerPurity => "C1",
+            RuleId::F1FloatOrder => "F1",
+            RuleId::U1UnsafeAudit => "U1",
+            RuleId::P1Panic => "P1",
+            RuleId::S1DenyUnknownFields => "S1",
+            RuleId::A1BadSuppression => "A1",
+        }
+    }
+
+    /// Suppression key accepted in `// npp-lint: allow(<key>)`.
+    /// [`RuleId::A1BadSuppression`] is not suppressible.
+    pub fn key(self) -> &'static str {
+        match self {
+            RuleId::D1MapIter => "map-iter",
+            RuleId::D2WallClock => "wall-clock",
+            RuleId::D3FloatReduce => "float-reduce",
+            RuleId::D4ThreadSpawn => "thread-spawn",
+            RuleId::D5UnstableSort => "unstable-sort",
+            RuleId::C1WorkerPurity => "worker-purity",
+            RuleId::F1FloatOrder => "float-order",
+            RuleId::U1UnsafeAudit => "safety-comment",
+            RuleId::P1Panic => "panic",
+            RuleId::S1DenyUnknownFields => "deny-unknown-fields",
+            RuleId::A1BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// One-line rule description (SARIF `shortDescription`, docs).
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D1MapIter => "hash-map/set iteration order depends on the hasher seed",
+            RuleId::D2WallClock => {
+                "wall-clock, OS randomness, or environment read in simulation code"
+            }
+            RuleId::D3FloatReduce => "float reduction fed by a hash-map iterator",
+            RuleId::D4ThreadSpawn => "raw thread spawn outside a sanctioned executor module",
+            RuleId::D5UnstableSort => {
+                "unstable sort with tie-prone keys or a partial_cmp comparator"
+            }
+            RuleId::C1WorkerPurity => "worker-side fn breaks the &EngineCore purity contract",
+            RuleId::F1FloatOrder => "float accumulation over a non-index-ordered collection",
+            RuleId::U1UnsafeAudit => "unsafe block without an adjacent SAFETY comment",
+            RuleId::P1Panic => "panic-prone construct in non-test library code",
+            RuleId::S1DenyUnknownFields => "Deserialize struct accepts unknown fields",
+            RuleId::A1BadSuppression => "malformed or wrong-scope suppression directive",
+        }
+    }
+
+    /// Parses a report code (`D1`, `C1`, …) back into a rule — the
+    /// inverse of [`RuleId::code`], used by the lint cache.
+    pub fn from_code(code: &str) -> Option<Self> {
+        CATALOG.iter().copied().find(|r| r.code() == code)
+    }
+
+    /// Parses a suppression key back into a rule. `bad-suppression`
+    /// deliberately has no mapping: A1 cannot be suppressed.
+    pub fn from_key(key: &str) -> Option<Self> {
+        CATALOG
+            .iter()
+            .copied()
+            .filter(|r| *r != RuleId::A1BadSuppression)
+            .find(|r| r.key() == key)
+    }
+}
+
+/// One raw rule hit inside a single file (the engine attaches the file
+/// path, snippet, and suppression state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human message: what was matched and how to fix or silence it.
+    pub message: String,
+}
+
+/// Per-file inputs to the rule scans.
+#[derive(Debug, Clone, Copy)]
+pub struct FileScope {
+    /// Apply the determinism rules (D1–D3, D5, F1)?
+    pub determinism: bool,
+    /// Apply the spec-strictness rule (S1)?
+    pub spec_strictness: bool,
+    /// Apply the thread-discipline rule (D4)? False only for the
+    /// sanctioned executor modules — an exemption that holds even in
+    /// strict explicit-path mode, since those files *are* the place
+    /// threads belong.
+    pub thread_discipline: bool,
+    /// Apply the worker-purity rule (C1)? The dual of D4: exactly the
+    /// sanctioned executor modules carry the `&EngineCore` worker
+    /// contract (strict mode turns it on everywhere so fixtures and
+    /// targeted runs exercise it).
+    pub worker_purity: bool,
+}
+
+/// Runs every applicable rule over one file's tokens. `masked[i]`
+/// marks tokens inside `#[cfg(test)]` / `#[test]` scopes, which no
+/// rule inspects; `tree` is the scope tree the mask came from.
+pub fn scan(
+    tokens: &[Tok],
+    masked: &[bool],
+    scope: FileScope,
+    tree: &ScopeTree,
+    comments: &[Comment],
+) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let live = |i: usize| !masked.get(i).copied().unwrap_or(false);
+    if scope.determinism {
+        let maps = tokens::map_names(tokens, &live);
+        let iter_sites = tokens::map_iter_sites(tokens, &live, &maps);
+        for &(i, line) in &iter_sites {
+            hits.push(Hit {
+                rule: RuleId::D1MapIter,
+                line,
+                message: format!(
+                    "hash-map/set iteration ({}): iteration order depends on the hasher seed; \
+                     collect-and-sort first, use an index-addressed layout, or annotate \
+                     `// npp-lint: allow(map-iter) reason=\"…\"`",
+                    tokens::site_label(tokens, i)
+                ),
+            });
+        }
+        // npp-lint: allow(wall-clock) reason="this is the D2 rule's own dispatcher, not a clock read"
+        hits.extend(tokens::wall_clock(tokens, &live));
+        hits.extend(tokens::float_reduce(tokens, &live, &iter_sites));
+        hits.extend(structural::unstable_sort(tokens, &live));
+        hits.extend(structural::float_order(tokens, &live, &iter_sites, tree));
+    }
+    if scope.thread_discipline {
+        hits.extend(tokens::thread_spawn(tokens, &live));
+    }
+    if scope.worker_purity {
+        hits.extend(structural::worker_purity(tokens, &live, tree));
+    }
+    hits.extend(structural::unsafe_audit(tokens, &live, tree, comments));
+    hits.extend(tokens::panic_hygiene(tokens, &live));
+    if scope.spec_strictness {
+        hits.extend(tokens::deny_unknown_fields(tokens, &live));
+    }
+    hits.sort_by_key(|h| (h.line, h.rule));
+    hits
+}
+
+/// Per-token test mask for `tokens`: `true` inside `#[cfg(test)]` /
+/// `#[test]` scopes. Convenience wrapper over the scope tree — callers
+/// that already have a [`ScopeTree`] should use
+/// [`ScopeTree::test_mask`] directly.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    crate::scope::build(tokens).test_mask()
+}
+
+pub(crate) fn tok_is_punct(tokens: &[Tok], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+pub(crate) fn tok_is_ident(tokens: &[Tok], i: usize, word: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_ident(word))
+}
+
+/// If `i` starts an attribute (`#[…]`), returns the index just past its
+/// closing `]`.
+pub(crate) fn skip_attr(tokens: &[Tok], i: usize) -> Option<usize> {
+    if !(tok_is_punct(tokens, i, '#') && tok_is_punct(tokens, i + 1, '[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+/// `base :: member (` — a path call off `tokens[i]`.
+pub(crate) fn path_call(tokens: &[Tok], i: usize, member: &str) -> bool {
+    tok_is_punct(tokens, i + 1, ':')
+        && tok_is_punct(tokens, i + 2, ':')
+        && tok_is_ident(tokens, i + 3, member)
+}
+
+/// Is the numeric literal text a float (`1.5`, `2e3`, `0f64`, `1f32`)?
+pub(crate) fn is_float_literal(t: &Tok) -> bool {
+    t.kind == TokKind::Num
+        && (t.text.contains('.')
+            || t.text.ends_with("f64")
+            || t.text.ends_with("f32")
+            || (t.text.contains(['e', 'E']) && !t.text.starts_with("0x")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::build;
+
+    pub(super) fn scan_with(src: &str, scope: FileScope) -> Vec<Hit> {
+        let lexed = lex(src);
+        let tree = build(&lexed.tokens);
+        let masked = tree.test_mask();
+        scan(&lexed.tokens, &masked, scope, &tree, &lexed.comments)
+    }
+
+    pub(super) const ALL: FileScope = FileScope {
+        determinism: true,
+        spec_strictness: true,
+        thread_discipline: true,
+        worker_purity: true,
+    };
+
+    pub(super) fn scan_all(src: &str) -> Vec<Hit> {
+        scan_with(src, ALL)
+    }
+
+    pub(super) fn rules_of(hits: &[Hit]) -> Vec<&'static str> {
+        hits.iter().map(|h| h.rule.code()).collect()
+    }
+
+    #[test]
+    fn codes_keys_and_catalog_are_consistent() {
+        for &rule in CATALOG {
+            assert_eq!(RuleId::from_code(rule.code()), Some(rule));
+            if rule != RuleId::A1BadSuppression {
+                assert_eq!(RuleId::from_key(rule.key()), Some(rule));
+            }
+            assert!(!rule.summary().is_empty());
+        }
+        assert_eq!(RuleId::from_key("bad-suppression"), None);
+        assert_eq!(RuleId::from_code("Z9"), None);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r#"
+            fn f() -> String {
+                // map.iter() and x.unwrap() and Instant::now() in a comment
+                format!("{} {}", "m.values().sum()", "panic!(boom)")
+            }
+        "#;
+        let hits = scan_all(src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

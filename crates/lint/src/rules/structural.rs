@@ -1,0 +1,551 @@
+//! Scope-aware rules: C1 worker-purity, F1 float-accumulation-order,
+//! U1 unsafe-audit, D5 unstable-sort-ties.
+//!
+//! These rules consult the [`crate::scope`] tree: fn signatures (C1
+//! needs the `&EngineCore` parameter), `unsafe` block extents (U1),
+//! and enclosing-fn lookup (F1's sanctioned reduce helpers). They are
+//! the reason the analyzer grew a syntax tree — none of them can be
+//! expressed soundly as a flat token pattern.
+
+use crate::lexer::{Comment, Tok, TokKind};
+use crate::scope::{ScopeKind, ScopeTree};
+
+use super::{is_float_literal, tok_is_punct, Hit, RuleId};
+
+/// Interior-mutability types banned in worker-side fns. Any of these
+/// inside a `&EngineCore` fn gives workers a side channel whose
+/// observable order depends on thread scheduling.
+const INTERIOR_MUT: &[&str] = &[
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "LazyCell",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+];
+
+/// C1: functions that take a shared `&EngineCore` borrow are the
+/// parallel engine's *workers* — the bit-identical merge argument
+/// (PR 6/8) holds only because they are pure: read the core, write
+/// private scratch, return plain batches. Interior mutability, atomics,
+/// `static mut`, or `unsafe` inside one would reintroduce exactly the
+/// cross-thread observability the architecture removed.
+pub(super) fn worker_purity(
+    tokens: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+    tree: &ScopeTree,
+) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for scope in &tree.scopes {
+        if scope.kind != ScopeKind::Fn || !live(scope.header) {
+            continue;
+        }
+        let Some(body) = scope.body else { continue };
+        if !takes_shared_core(tokens, scope.header, body) {
+            continue;
+        }
+        let fn_name = &scope.name;
+        for j in body..scope.end {
+            if !live(j) {
+                continue;
+            }
+            let Some(t) = tokens.get(j) else { break };
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let what = if INTERIOR_MUT.contains(&t.text.as_str()) {
+                Some(format!("interior mutability (`{}`)", t.text))
+            } else if t.text.starts_with("Atomic") && t.text.len() > "Atomic".len() {
+                Some(format!("an atomic (`{}`)", t.text))
+            } else if t.text == "unsafe" {
+                Some("`unsafe`".to_string())
+            } else if t.text == "static" && tokens.get(j + 1).is_some_and(|n| n.is_ident("mut")) {
+                Some("`static mut`".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                hits.push(Hit {
+                    rule: RuleId::C1WorkerPurity,
+                    line: t.line,
+                    message: format!(
+                        "worker fn `{fn_name}` takes `&EngineCore` but uses {what}: workers \
+                         must be pure (read the shared core, write private scratch, return \
+                         plain batches) or the deterministic merge argument breaks \
+                         (`// npp-lint: allow(worker-purity) reason=\"…\"` only with a \
+                         scheduling-independence argument)"
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// Does the fn header `header..body` contain a shared (non-`mut`)
+/// `&EngineCore` parameter? `&mut EngineCore` is the coordinator's
+/// exclusive borrow and carries no purity obligation.
+fn takes_shared_core(tokens: &[Tok], header: usize, body: usize) -> bool {
+    for i in header..body {
+        if !tok_is_punct(tokens, i, '&') {
+            continue;
+        }
+        // Skip an optional lifetime, then require a non-mut EngineCore.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.kind == TokKind::Lifetime) {
+            j += 1;
+        }
+        if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+            continue;
+        }
+        if tokens.get(j).is_some_and(|t| t.is_ident("EngineCore")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Reduce helpers sanctioned to accumulate floats over unordered
+/// sources: each must establish a deterministic order internally (sort
+/// first, or reduce over an index-addressed layout) and say so at its
+/// definition. Checked by enclosing-fn name via the scope tree.
+const REDUCE_SANCTIONED: &[&str] = &[];
+
+/// F1: float `+=`/`-=`/`*=` accumulation inside a `for` loop whose
+/// source is a non-index-ordered collection (today: hash containers).
+/// D1 already flags the loop itself; F1 pinpoints the accumulation —
+/// the lines whose *result* changes when iteration order does — so the
+/// fix (sort first, or accumulate into an index-addressed slice) lands
+/// in the right place.
+pub(super) fn float_order(
+    tokens: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+    iter_sites: &[(usize, u32)],
+    tree: &ScopeTree,
+) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let accs = float_accumulators(tokens, live);
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) || !t.is_ident("for") {
+            continue;
+        }
+        let Some((expr_start, body_open)) = for_parts(tokens, i) else {
+            continue;
+        };
+        // Unordered source: any D1 iteration site inside the loop head.
+        if !iter_sites
+            .iter()
+            .any(|&(s, _)| s >= expr_start && s < body_open)
+        {
+            continue;
+        }
+        if enclosing_fn_sanctioned(tree, i) {
+            continue;
+        }
+        let body_end = match_brace(tokens, body_open);
+        for j in body_open..body_end {
+            if !live(j) {
+                continue;
+            }
+            let Some(name) = tokens.get(j) else { break };
+            // `acc += …` / `acc -= …` / `acc *= …` on a float binding,
+            // or any compound assignment whose RHS is a float literal.
+            if name.kind != TokKind::Ident {
+                continue;
+            }
+            let op = tokens.get(j + 1).filter(|o| {
+                (o.is_punct('+') || o.is_punct('-') || o.is_punct('*'))
+                    && tok_is_punct(tokens, j + 2, '=')
+                    && !tok_is_punct(tokens, j + 3, '=')
+            });
+            let Some(op) = op else { continue };
+            let float_target = accs.contains(&name.text.as_str());
+            let float_rhs = tokens.get(j + 3).is_some_and(is_float_literal);
+            if float_target || float_rhs {
+                hits.push(Hit {
+                    rule: RuleId::F1FloatOrder,
+                    line: name.line,
+                    message: format!(
+                        "float accumulation `{} {}=` inside a loop over a non-index-ordered \
+                         collection: the sum depends on visit order; sort the keys first or \
+                         accumulate into an index-addressed slice \
+                         (`// npp-lint: allow(float-order) reason=\"…\"` on the fn if the \
+                         order is established elsewhere)",
+                        name.text, op.text
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// Names bound to float values in this file: `let mut x = 1.0`,
+/// `let mut x: f64 = …`, and `x: f64` struct fields / params.
+fn float_accumulators<'a>(tokens: &'a [Tok], live: &dyn Fn(usize) -> bool) -> Vec<&'a str> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : f64` / `name : f32`.
+        if tok_is_punct(tokens, i + 1, ':')
+            && tokens
+                .get(i + 2)
+                .is_some_and(|y| y.is_ident("f64") || y.is_ident("f32"))
+        {
+            names.push(t.text.as_str());
+        }
+        // `name = <float literal>`.
+        if tok_is_punct(tokens, i + 1, '=')
+            && !tok_is_punct(tokens, i + 2, '=')
+            && tokens.get(i + 2).is_some_and(is_float_literal)
+        {
+            names.push(t.text.as_str());
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// For the `for` loop at token `i`, the token index just past `in` and
+/// the index of the body `{`.
+fn for_parts(tokens: &[Tok], i: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let in_idx = loop {
+        let t = tokens.get(j)?;
+        match () {
+            _ if t.is_punct('(') || t.is_punct('[') => depth += 1,
+            _ if t.is_punct(')') || t.is_punct(']') => depth -= 1,
+            _ if t.is_ident("in") && depth == 0 => break j,
+            _ if t.is_punct('{') => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    let mut k = in_idx + 1;
+    loop {
+        let t = tokens.get(k)?;
+        if t.is_punct('{') {
+            return Some((in_idx + 1, k));
+        }
+        k += 1;
+    }
+}
+
+/// Index just past the `}` matching the `{` at `open`.
+fn match_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Is the fn enclosing token `i` one of the sanctioned reduce helpers?
+fn enclosing_fn_sanctioned(tree: &ScopeTree, i: usize) -> bool {
+    let mut s = tree.owner_of(i);
+    loop {
+        let Some(scope) = tree.scopes.get(s) else {
+            return false;
+        };
+        if scope.kind == ScopeKind::Fn {
+            return REDUCE_SANCTIONED.contains(&scope.name.as_str());
+        }
+        if scope.parent == s {
+            return false;
+        }
+        s = scope.parent;
+    }
+}
+
+/// How many lines above an `unsafe` block its `// SAFETY:` comment may
+/// start (inclusive window).
+const SAFETY_WINDOW: u32 = 3;
+
+/// U1: every `unsafe` block must carry an adjacent `// SAFETY:` comment
+/// (within [`SAFETY_WINDOW`] lines above, or on the block's own line)
+/// stating why the invariants hold. The scope tree makes this exact:
+/// the rule fires per *block*, not per `unsafe` keyword, so `unsafe fn`
+/// signatures and trait impls don't trip it.
+pub(super) fn unsafe_audit(
+    tokens: &[Tok],
+    live: &dyn Fn(usize) -> bool,
+    tree: &ScopeTree,
+    comments: &[Comment],
+) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for scope in &tree.scopes {
+        if scope.kind != ScopeKind::UnsafeBlock || !live(scope.header) {
+            continue;
+        }
+        let line = tokens.get(scope.header).map_or(scope.line, |t| t.line);
+        let lo = line.saturating_sub(SAFETY_WINDOW);
+        let documented = comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= line && c.text.contains("SAFETY:"));
+        if !documented {
+            hits.push(Hit {
+                rule: RuleId::U1UnsafeAudit,
+                line,
+                message: "`unsafe` block without an adjacent `// SAFETY:` comment: state the \
+                          invariant that makes this sound on the line(s) directly above the \
+                          block (U1 has no suppression — every unsafe block is audited)"
+                    .into(),
+            });
+        }
+    }
+    hits
+}
+
+/// Sort methods whose comparator sees only part of the element: equal
+/// keys over *distinct* elements land in unspecified order.
+const UNSTABLE_TIE_PRONE: &[&str] = &[
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "select_nth_unstable_by",
+    "select_nth_unstable_by_key",
+];
+
+/// Sort methods that are order-safe per se but become non-total when
+/// their comparator uses `partial_cmp` (NaN breaks the order).
+const SORT_WITH_COMPARATOR: &[&str] = &[
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "select_nth_unstable_by",
+];
+
+/// D5: unstable sorts with tie-prone keys, and `partial_cmp`
+/// comparators inside any sort, in determinism crates. Plain
+/// `.sort_unstable()` is fine — elements that compare equal under the
+/// full `Ord` are indistinguishable, so their relative order cannot
+/// leak into output.
+pub(super) fn unstable_sort(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if !(i >= 1 && tok_is_punct(tokens, i - 1, '.') && tok_is_punct(tokens, i + 1, '(')) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let tie_prone = UNSTABLE_TIE_PRONE.contains(&name);
+        let partial =
+            SORT_WITH_COMPARATOR.contains(&name) && args_contain(tokens, i + 1, "partial_cmp");
+        if partial {
+            hits.push(Hit {
+                rule: RuleId::D5UnstableSort,
+                line: t.line,
+                message: format!(
+                    "`.{name}()` with a `partial_cmp` comparator: not a total order under \
+                     NaN, so the sort result (and any document derived from it) is \
+                     unspecified; use `total_cmp` or a key that is `Ord` \
+                     (`// npp-lint: allow(unstable-sort) reason=\"…\"` only with a \
+                     finiteness proof)"
+                ),
+            });
+        } else if tie_prone {
+            hits.push(Hit {
+                rule: RuleId::D5UnstableSort,
+                line: t.line,
+                message: format!(
+                    "`.{name}()` in a determinism crate: distinct elements whose keys \
+                     compare equal land in unspecified order; use the stable variant, or \
+                     make the comparator a total order over the whole element and annotate \
+                     `// npp-lint: allow(unstable-sort) reason=\"…\"`"
+                ),
+            });
+        }
+    }
+    hits
+}
+
+/// Does the paren-matched argument list opening at `open` contain the
+/// identifier `needle`?
+fn args_contain(tokens: &[Tok], open: usize, needle: &str) -> bool {
+    let mut depth = 0i32;
+    for t in tokens.iter().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.is_ident(needle) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{rules_of, scan_all, scan_with, ALL};
+    use super::super::FileScope;
+
+    #[test]
+    fn c1_catches_impure_workers() {
+        let src = "
+            fn drive(core: &EngineCore, scratch: &mut WfScratch) -> Vec<(u32, f64)> {
+                let guard = std::sync::Mutex::new(0u32);
+                let n = std::sync::atomic::AtomicUsize::new(0);
+                drop((guard, n));
+                Vec::new()
+            }
+        ";
+        let hits = scan_all(src);
+        assert_eq!(
+            rules_of(&hits).iter().filter(|r| **r == "C1").count(),
+            2,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn c1_allows_pure_workers_and_coordinator_fns() {
+        let src = "
+            fn load_set(core: &EngineCore, out: &mut Vec<u32>) {
+                out.extend(core.active.iter().copied());
+            }
+            fn integrate(core: &mut EngineCore, dt: f64) {
+                let lock = std::sync::Mutex::new(dt);
+                drop(lock);
+            }
+        ";
+        // `iter()` here is on a Vec field, not a map binding, and the
+        // Mutex lives in the coordinator's `&mut` fn.
+        let hits = scan_all(src);
+        assert!(!rules_of(&hits).contains(&"C1"), "{hits:?}");
+    }
+
+    #[test]
+    fn c1_respects_file_scope() {
+        let src = "
+            fn w(core: &EngineCore) { let c = std::cell::RefCell::new(0); drop(c); }
+        ";
+        let hits = scan_with(
+            src,
+            FileScope {
+                worker_purity: false,
+                ..ALL
+            },
+        );
+        assert!(!rules_of(&hits).contains(&"C1"), "{hits:?}");
+    }
+
+    #[test]
+    fn f1_catches_float_accumulation_over_map() {
+        let src = "
+            fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {
+                let mut total = 0.0;
+                for v in m.values() { total += v; }
+                total
+            }
+        ";
+        let hits = scan_all(src);
+        assert!(rules_of(&hits).contains(&"F1"), "{hits:?}");
+    }
+
+    #[test]
+    fn f1_ignores_ordered_sources_and_int_sums() {
+        let src = "
+            fn f(v: &[f64], m: &std::collections::HashMap<u32, u32>) -> f64 {
+                let mut total = 0.0;
+                for x in v { total += x; }
+                let mut count = 0;
+                for k in m.keys() { count += 1; let _ = k; }
+                total + count as f64
+            }
+        ";
+        // The Vec loop is index-ordered; the map loop accumulates an
+        // integer (order-independent). D1 still fires on the map loop.
+        let hits = scan_all(src);
+        assert!(!rules_of(&hits).contains(&"F1"), "{hits:?}");
+    }
+
+    #[test]
+    fn u1_requires_adjacent_safety_comment() {
+        let bad = "
+            fn f(p: *const u8) -> u8 {
+                unsafe { *p }
+            }
+        ";
+        let hits = scan_all(bad);
+        assert_eq!(
+            rules_of(&hits).iter().filter(|r| **r == "U1").count(),
+            1,
+            "{hits:?}"
+        );
+
+        let good = "
+            fn f(p: *const u8) -> u8 {
+                // SAFETY: caller guarantees `p` is valid for reads.
+                unsafe { *p }
+            }
+        ";
+        let hits = scan_all(good);
+        assert!(!rules_of(&hits).contains(&"U1"), "{hits:?}");
+    }
+
+    #[test]
+    fn u1_window_is_bounded() {
+        let far = "
+            fn f(p: *const u8) -> u8 {
+                // SAFETY: too far away to count.
+                let a = 1;
+                let b = 2;
+                let c = 3;
+                let d = a + b + c;
+                drop(d);
+                unsafe { *p }
+            }
+        ";
+        let hits = scan_all(far);
+        assert!(rules_of(&hits).contains(&"U1"), "{hits:?}");
+    }
+
+    #[test]
+    fn d5_catches_tie_prone_and_partial_cmp_sorts() {
+        let src = "
+            fn f(v: &mut Vec<(u32, f64)>) {
+                v.sort_unstable_by_key(|e| e.0);
+                v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        ";
+        let hits = scan_all(src);
+        assert_eq!(
+            rules_of(&hits).iter().filter(|r| **r == "D5").count(),
+            2,
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn d5_allows_plain_unstable_sort_and_total_cmp() {
+        let src = "
+            fn f(v: &mut Vec<u32>, w: &mut Vec<f64>) {
+                v.sort_unstable();
+                w.sort_by(|a, b| a.total_cmp(b));
+            }
+        ";
+        let hits = scan_all(src);
+        assert!(!rules_of(&hits).contains(&"D5"), "{hits:?}");
+    }
+}

@@ -1,249 +1,18 @@
-//! The rule catalog.
+//! Token-pattern rules: D1–D4, P1, S1.
 //!
-//! Every rule is a pattern scan over the lexed token stream of one
-//! file (comments and string contents never reach a rule — see
-//! [`crate::lexer`]). Rules are deliberately heuristic: they trade
-//! type-level precision for a zero-dependency implementation, and any
-//! false positive can be silenced in place with
-//! `// npp-lint: allow(<key>) reason="…"` — the reason string is
-//! mandatory, so each silencing documents *why* the site is safe.
-//!
-//! | id | key                 | scope               | what it catches |
-//! |----|---------------------|---------------------|-----------------|
-//! | D1 | `map-iter`          | determinism crates  | iterating a `HashMap`/`HashSet` (order is seed-dependent) |
-//! | D2 | `wall-clock`        | determinism crates  | `Instant::now`, `SystemTime`, `thread_rng`, `env::var*`, `wall_clock()` calls |
-//! | D3 | `float-reduce`      | determinism crates  | `.sum()`/`.fold()` fed by a hash-map iterator |
-//! | D4 | `thread-spawn`      | all but sanctioned executor modules | `thread::spawn`/`scope`/`Builder` outside the parallel engine, sweep executor, serve daemon, and telemetry |
-//! | P1 | `panic`             | all library code    | `.unwrap()`, panic-family macros, slice indexing (ratcheted) |
-//! | S1 | `deny-unknown-fields` | `sweep` specs     | `Deserialize` struct without `deny_unknown_fields` |
-//! | A1 | —                   | everywhere          | malformed suppression directive |
+//! These rules need only the flat token stream (plus the test mask).
+//! The scope-sensitive rules live in [`super::structural`].
 
 use std::collections::BTreeSet;
 
 use crate::lexer::{Tok, TokKind};
 
-/// Identifier of one rule in the catalog.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum RuleId {
-    /// Hash-map/set iteration in a determinism-critical crate.
-    D1MapIter,
-    /// Wall-clock, OS randomness, or environment read in simulation code.
-    D2WallClock,
-    /// Unordered floating-point reduction over a hash-map iterator.
-    D3FloatReduce,
-    /// `thread::spawn`/`scope`/`Builder` outside a sanctioned executor
-    /// module: ad-hoc threads make replay order machine-dependent.
-    D4ThreadSpawn,
-    /// Panic-prone construct in non-test library code.
-    P1Panic,
-    /// `Deserialize` struct without `#[serde(deny_unknown_fields)]`.
-    S1DenyUnknownFields,
-    /// Malformed `npp-lint` suppression directive.
-    A1BadSuppression,
-}
-
-impl RuleId {
-    /// Short rule code used in reports (`D1`, `P1`, …).
-    pub fn code(self) -> &'static str {
-        match self {
-            RuleId::D1MapIter => "D1",
-            RuleId::D2WallClock => "D2",
-            RuleId::D3FloatReduce => "D3",
-            RuleId::D4ThreadSpawn => "D4",
-            RuleId::P1Panic => "P1",
-            RuleId::S1DenyUnknownFields => "S1",
-            RuleId::A1BadSuppression => "A1",
-        }
-    }
-
-    /// Suppression key accepted in `// npp-lint: allow(<key>)`.
-    /// [`RuleId::A1BadSuppression`] is not suppressible.
-    pub fn key(self) -> &'static str {
-        match self {
-            RuleId::D1MapIter => "map-iter",
-            RuleId::D2WallClock => "wall-clock",
-            RuleId::D3FloatReduce => "float-reduce",
-            RuleId::D4ThreadSpawn => "thread-spawn",
-            RuleId::P1Panic => "panic",
-            RuleId::S1DenyUnknownFields => "deny-unknown-fields",
-            RuleId::A1BadSuppression => "bad-suppression",
-        }
-    }
-
-    /// Parses a suppression key back into a rule.
-    pub fn from_key(key: &str) -> Option<Self> {
-        match key {
-            "map-iter" => Some(RuleId::D1MapIter),
-            "wall-clock" => Some(RuleId::D2WallClock),
-            "float-reduce" => Some(RuleId::D3FloatReduce),
-            "thread-spawn" => Some(RuleId::D4ThreadSpawn),
-            "panic" => Some(RuleId::P1Panic),
-            "deny-unknown-fields" => Some(RuleId::S1DenyUnknownFields),
-            _ => None,
-        }
-    }
-}
-
-/// One raw rule hit inside a single file (the engine attaches the file
-/// path, snippet, and suppression state).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Hit {
-    /// Which rule fired.
-    pub rule: RuleId,
-    /// 1-based source line.
-    pub line: u32,
-    /// Human message: what was matched and how to fix or silence it.
-    pub message: String,
-}
-
-/// Per-file inputs to the rule scans.
-#[derive(Debug, Clone, Copy)]
-pub struct FileScope {
-    /// Apply the determinism rules (D1–D3)?
-    pub determinism: bool,
-    /// Apply the spec-strictness rule (S1)?
-    pub spec_strictness: bool,
-    /// Apply the thread-discipline rule (D4)? False only for the
-    /// sanctioned executor modules — an exemption that holds even in
-    /// strict explicit-path mode, since those files *are* the place
-    /// threads belong.
-    pub thread_discipline: bool,
-}
-
-/// Runs every applicable rule over one file's tokens. `masked[i]`
-/// marks tokens inside `#[cfg(test)]` / `#[test]` items, which no rule
-/// inspects.
-pub fn scan(tokens: &[Tok], masked: &[bool], scope: FileScope) -> Vec<Hit> {
-    let mut hits = Vec::new();
-    let live = |i: usize| !masked.get(i).copied().unwrap_or(false);
-    if scope.determinism {
-        let maps = map_names(tokens, &live);
-        let iter_sites = map_iter_sites(tokens, &live, &maps);
-        for &(i, line) in &iter_sites {
-            hits.push(Hit {
-                rule: RuleId::D1MapIter,
-                line,
-                message: format!(
-                    "hash-map/set iteration ({}): iteration order depends on the hasher seed; \
-                     collect-and-sort first, use an index-addressed layout, or annotate \
-                     `// npp-lint: allow(map-iter) reason=\"…\"`",
-                    site_label(tokens, i)
-                ),
-            });
-        }
-        hits.extend(wall_clock(tokens, &live));
-        hits.extend(float_reduce(tokens, &live, &iter_sites));
-    }
-    if scope.thread_discipline {
-        hits.extend(thread_spawn(tokens, &live));
-    }
-    hits.extend(panic_hygiene(tokens, &live));
-    if scope.spec_strictness {
-        hits.extend(deny_unknown_fields(tokens, &live));
-    }
-    hits.sort_by_key(|h| (h.line, h.rule));
-    hits
-}
-
-/// Marks every token inside an item gated on `#[cfg(test)]` or
-/// `#[test]` (test modules, test fns): panic hygiene and determinism
-/// rules are about shipping library code, not assertions in tests.
-pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
-    let mut masked = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if is_test_attr(tokens, i) {
-            let start = i;
-            // Skip all consecutive attributes, then mask through the
-            // end of the item they decorate (`;` or a balanced block).
-            let mut j = i;
-            while let Some(next) = skip_attr(tokens, j) {
-                j = next;
-            }
-            let end = item_end(tokens, j);
-            for m in masked.iter_mut().take(end).skip(start) {
-                *m = true;
-            }
-            i = end;
-        } else {
-            i += 1;
-        }
-    }
-    masked
-}
-
-/// Does an attribute starting at `i` look like `#[cfg(test)]` or
-/// `#[test]` (including `#[cfg(all(test, …))]` and friends)?
-fn is_test_attr(tokens: &[Tok], i: usize) -> bool {
-    if !(tok_is_punct(tokens, i, '#') && tok_is_punct(tokens, i + 1, '[')) {
-        return false;
-    }
-    let Some(end) = skip_attr(tokens, i) else {
-        return false;
-    };
-    let body = tokens.get(i + 2..end.saturating_sub(1)).unwrap_or(&[]);
-    match body.first() {
-        Some(t) if t.is_ident("test") => body.len() == 1,
-        // `cfg(test)` / `cfg(all(test, …))` mask; `cfg(not(test))` is
-        // library code and must stay visible to the rules.
-        Some(t) if t.is_ident("cfg") => {
-            body.iter().any(|t| t.is_ident("test")) && !body.iter().any(|t| t.is_ident("not"))
-        }
-        _ => false,
-    }
-}
-
-/// If `i` starts an attribute (`#[…]`), returns the index just past its
-/// closing `]`.
-fn skip_attr(tokens: &[Tok], i: usize) -> Option<usize> {
-    if !(tok_is_punct(tokens, i, '#') && tok_is_punct(tokens, i + 1, '[')) {
-        return None;
-    }
-    let mut depth = 0usize;
-    for (j, t) in tokens.iter().enumerate().skip(i + 1) {
-        if t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j + 1);
-            }
-        }
-    }
-    None
-}
-
-/// Index just past the item starting at `j`: through the first `;` at
-/// brace-depth zero, or through the matching `}` of the first block.
-fn item_end(tokens: &[Tok], j: usize) -> usize {
-    let mut depth = 0usize;
-    for (k, t) in tokens.iter().enumerate().skip(j) {
-        if t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct('}') {
-            depth = depth.saturating_sub(1);
-            if depth == 0 {
-                return k + 1;
-            }
-        } else if t.is_punct(';') && depth == 0 {
-            return k + 1;
-        }
-    }
-    tokens.len()
-}
-
-fn tok_is_punct(tokens: &[Tok], i: usize, c: char) -> bool {
-    tokens.get(i).is_some_and(|t| t.is_punct(c))
-}
-
-fn tok_is_ident(tokens: &[Tok], i: usize, word: &str) -> bool {
-    tokens.get(i).is_some_and(|t| t.is_ident(word))
-}
+use super::{path_call, skip_attr, tok_is_ident, tok_is_punct, Hit, RuleId};
 
 /// Identifiers bound to `HashMap`/`HashSet` values in this file:
 /// `name: HashMap<…>` (fields, lets, params) and
 /// `name = HashMap::new()`-style initializations.
-fn map_names(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> BTreeSet<String> {
+pub(super) fn map_names(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (i, t) in tokens.iter().enumerate() {
         if !live(i) || t.kind != TokKind::Ident {
@@ -259,6 +28,15 @@ fn map_names(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> BTreeSet<String> {
             if !tokens.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
                 break;
             }
+        }
+        // Skip reference sigils between the binding and the type
+        // (`m: &HashMap<…>`, `m: &'a mut HashMap<…>`).
+        while j >= 1
+            && tokens.get(j - 1).is_some_and(|t| {
+                t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime
+            })
+        {
+            j -= 1;
         }
         if j == 0 {
             continue;
@@ -298,7 +76,7 @@ const ITER_METHODS: &[&str] = &[
 ];
 
 /// D1 sites: `(token index of the method/receiver, line)`.
-fn map_iter_sites(
+pub(super) fn map_iter_sites(
     tokens: &[Tok],
     live: &dyn Fn(usize) -> bool,
     maps: &BTreeSet<String>,
@@ -374,7 +152,7 @@ fn for_loop_over_map(tokens: &[Tok], i: usize, maps: &BTreeSet<String>) -> Optio
 }
 
 /// Label for a D1 site: `recv.method` or the receiver name.
-fn site_label(tokens: &[Tok], i: usize) -> String {
+pub(super) fn site_label(tokens: &[Tok], i: usize) -> String {
     let here = tokens.get(i).map(|t| t.text.clone()).unwrap_or_default();
     if i >= 2 && tok_is_punct(tokens, i - 1, '.') {
         if let Some(recv) = tokens.get(i - 2) {
@@ -385,7 +163,7 @@ fn site_label(tokens: &[Tok], i: usize) -> String {
 }
 
 /// D2: wall-clock, OS randomness, and environment reads.
-fn wall_clock(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+pub(super) fn wall_clock(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
     let mut hits = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if !live(i) || t.kind != TokKind::Ident {
@@ -437,7 +215,7 @@ fn wall_clock(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
 /// fan-out/merge protocol (the component-sharded engine, the sweep
 /// executor, the serve daemon); an ad-hoc thread anywhere else can
 /// reorder observable effects machine-dependently.
-fn thread_spawn(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+pub(super) fn thread_spawn(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
     let mut hits = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if !live(i) || !t.is_ident("thread") {
@@ -462,16 +240,9 @@ fn thread_spawn(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
     hits
 }
 
-/// `base :: member (` — a path call off `tokens[i]`.
-fn path_call(tokens: &[Tok], i: usize, member: &str) -> bool {
-    tok_is_punct(tokens, i + 1, ':')
-        && tok_is_punct(tokens, i + 2, ':')
-        && tok_is_ident(tokens, i + 3, member)
-}
-
 /// D3: a `.sum()`/`.fold()` later in the same statement as a hash-map
 /// iterator source — the addition order is the iteration order.
-fn float_reduce(
+pub(super) fn float_reduce(
     tokens: &[Tok],
     live: &dyn Fn(usize) -> bool,
     iter_sites: &[(usize, u32)],
@@ -524,7 +295,7 @@ const NOT_INDEX_PREFIX: &[&str] = &[
 /// P1: `.unwrap()`, panic-family macros, and slice/array indexing in
 /// non-test library code. `.expect("…")` is allowed — the message is
 /// the documented invariant.
-fn panic_hygiene(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+pub(super) fn panic_hygiene(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
     let mut hits = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if !live(i) {
@@ -584,7 +355,7 @@ fn panic_hygiene(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
 
 /// S1: every struct deriving `Deserialize` must also carry
 /// `#[serde(deny_unknown_fields)]` so spec-file typos fail loudly.
-fn deny_unknown_fields(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
+pub(super) fn deny_unknown_fields(tokens: &[Tok], live: &dyn Fn(usize) -> bool) -> Vec<Hit> {
     let mut hits = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -645,26 +416,8 @@ fn attr_group_contains(attrs: &[Tok], outer: &str, member: &str) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::lexer::lex;
-
-    fn scan_all(src: &str) -> Vec<Hit> {
-        let lexed = lex(src);
-        let masked = test_mask(&lexed.tokens);
-        scan(
-            &lexed.tokens,
-            &masked,
-            FileScope {
-                determinism: true,
-                spec_strictness: true,
-                thread_discipline: true,
-            },
-        )
-    }
-
-    fn rules_of(hits: &[Hit]) -> Vec<&'static str> {
-        hits.iter().map(|h| h.rule.code()).collect()
-    }
+    use super::super::tests::{rules_of, scan_all, scan_with, ALL};
+    use super::super::FileScope;
 
     #[test]
     fn d1_catches_field_and_for_iteration() {
@@ -799,15 +552,13 @@ mod tests {
         // A sanctioned executor module (thread_discipline off) may
         // spawn freely.
         let spawning = "fn g() { std::thread::spawn(|| {}); }";
-        let lexed = lex(spawning);
-        let masked = test_mask(&lexed.tokens);
-        let hits = scan(
-            &lexed.tokens,
-            &masked,
+        let hits = scan_with(
+            spawning,
             FileScope {
-                determinism: true,
-                spec_strictness: false,
                 thread_discipline: false,
+                worker_purity: false,
+                spec_strictness: false,
+                ..ALL
             },
         );
         assert!(rules_of(&hits).is_empty(), "{hits:?}");
@@ -830,17 +581,5 @@ mod tests {
         let s1: Vec<_> = hits.iter().filter(|h| h.rule.code() == "S1").collect();
         assert_eq!(s1.len(), 1, "{hits:?}");
         assert!(s1.iter().all(|h| h.message.contains("Open")));
-    }
-
-    #[test]
-    fn strings_and_comments_never_fire() {
-        let src = r#"
-            fn f() -> String {
-                // map.iter() and x.unwrap() and Instant::now() in a comment
-                format!("{} {}", "m.values().sum()", "panic!(boom)")
-            }
-        "#;
-        let hits = scan_all(src);
-        assert!(hits.is_empty(), "{hits:?}");
     }
 }

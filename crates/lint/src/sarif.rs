@@ -1,0 +1,141 @@
+//! SARIF 2.1.0 output.
+//!
+//! CI annotation surfaces (code-scanning uploads, editor plugins)
+//! speak SARIF; this module renders a [`Report`] as a minimal,
+//! spec-conformant SARIF 2.1.0 log. Like every other document this
+//! crate writes, the output is byte-stable: fixed key order, findings
+//! already sorted by `(file, line, rule)`, the full rule catalog
+//! always present under `tool.driver.rules` so a `ruleId` can always
+//! be resolved. The committed fixture test diffs the renderer against
+//! a golden file to keep it that way.
+
+use crate::engine::Report;
+use crate::json::quote;
+use crate::rules::CATALOG;
+
+/// The SARIF spec version this renderer targets.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// The canonical schema URI embedded in the log's `$schema` field.
+pub const SARIF_SCHEMA_URI: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Tool version reported in the log (the crate version).
+const TOOL_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Renders `report` as a SARIF 2.1.0 log with one run.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", quote(SARIF_SCHEMA_URI)));
+    out.push_str(&format!("  \"version\": {},\n", quote(SARIF_VERSION)));
+    out.push_str("  \"runs\": [\n    {\n");
+
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"npp-lint\",\n");
+    out.push_str(&format!(
+        "          \"version\": {},\n",
+        quote(TOOL_VERSION)
+    ));
+    out.push_str("          \"informationUri\": \"https://github.com/netpp/netpp\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in CATALOG.iter().enumerate() {
+        out.push_str("            {");
+        out.push_str(&format!("\"id\": {}, ", quote(rule.code())));
+        out.push_str(&format!("\"name\": {}, ", quote(rule.key())));
+        out.push_str(&format!(
+            "\"shortDescription\": {{\"text\": {}}}",
+            quote(rule.summary())
+        ));
+        out.push('}');
+        if i + 1 < CATALOG.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n");
+
+    out.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n        {");
+        out.push_str(&format!("\"ruleId\": {}, ", quote(f.rule.code())));
+        out.push_str("\"level\": \"error\", ");
+        out.push_str(&format!(
+            "\"message\": {{\"text\": {}}}, ",
+            quote(&f.message)
+        ));
+        out.push_str(&format!(
+            "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"snippet\": {{\"text\": {}}}}}}}}}]",
+            quote(&f.file),
+            f.line,
+            quote(&f.snippet),
+        ));
+        out.push('}');
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Finding;
+    use crate::json;
+    use crate::rules::RuleId;
+
+    fn sample_report() -> Report {
+        let mut report = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        report.findings.push(Finding {
+            rule: RuleId::D5UnstableSort,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            snippet: "v.sort_unstable_by_key(|e| e.0);".into(),
+            message: "tie-prone \"keys\"".into(),
+        });
+        report
+    }
+
+    #[test]
+    fn sarif_is_valid_json_and_byte_stable() {
+        let report = sample_report();
+        let a = render_sarif(&report);
+        assert_eq!(a, render_sarif(&report));
+        let doc = json::parse(&a).expect("SARIF log parses as JSON");
+        let obj = doc.as_object("log").expect("object");
+        assert_eq!(
+            obj.get("version").and_then(|v| v.str_of()),
+            Some(SARIF_VERSION)
+        );
+        let runs = obj.get("runs").and_then(|v| v.arr_of()).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let run = runs[0].as_object("run").expect("run object");
+        let results = run
+            .get("results")
+            .and_then(|v| v.arr_of())
+            .expect("results");
+        assert_eq!(results.len(), 1);
+        let result = results[0].as_object("result").expect("result");
+        assert_eq!(result.get("ruleId").and_then(|v| v.str_of()), Some("D5"));
+    }
+
+    #[test]
+    fn every_catalog_rule_is_declared() {
+        let log = render_sarif(&Report::default());
+        for rule in CATALOG {
+            assert!(
+                log.contains(&format!("\"id\": \"{}\"", rule.code())),
+                "{} missing from driver.rules",
+                rule.code()
+            );
+        }
+    }
+}

@@ -1,0 +1,773 @@
+//! A brace-matched scope tree over the token stream.
+//!
+//! The analyzer stays dependency-free and never fully parses Rust;
+//! instead this module recovers just enough *structure* from the
+//! [`crate::lexer`] token stream to make scope-sensitive rules sound:
+//! which tokens belong to which item (`fn` / `mod` / `impl` / `trait` /
+//! `struct` / …), which attributes decorate that item, where every
+//! `unsafe` block starts and ends, and what the module path of each
+//! item is. On top of that the tree provides scope-accurate
+//! `#[cfg(test)]` masking (replacing the old line-heuristic) and the
+//! fn-signature capture that the worker-purity rule (C1) needs.
+//!
+//! The construction maintains one invariant the proptest suite checks
+//! directly: **token ownership partitions the file.** Every token is
+//! owned by exactly one innermost scope (`owner.len() == tokens.len()`),
+//! every owner's token range contains the token, and child ranges nest
+//! strictly inside their parent's. Rules can therefore ask "is this
+//! token inside a test-gated scope / an unsafe block / this fn's body"
+//! without ever double-counting or skipping code.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of scope a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The whole file.
+    Root,
+    /// A `mod name { … }` (inline modules only; `mod name;` is an
+    /// [`ScopeKind::Item`] — its body lives in another file).
+    Mod,
+    /// A `fn` item (free fn, method, or nested fn).
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// A `trait` definition.
+    Trait,
+    /// An `unsafe { … }` block expression.
+    UnsafeBlock,
+    /// Any other attributed item (`struct`, `enum`, `static`, `use`,
+    /// `macro_rules!`, …) — tracked so attributes attach correctly.
+    Item,
+}
+
+/// One node of the scope tree. Token positions are indices into the
+/// token slice the tree was built from; `start..end` is half-open and
+/// *includes* the item's attribute block.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// What kind of scope this is.
+    pub kind: ScopeKind,
+    /// Item name (`fn` / `mod` / `trait` / `struct` name; for `impl`
+    /// the rendered header, e.g. `NetSim` or `Display for Foo`).
+    /// Empty for [`ScopeKind::Root`], [`ScopeKind::UnsafeBlock`], and
+    /// unnamed items.
+    pub name: String,
+    /// Parent scope index (`0`, the root, is its own parent).
+    pub parent: usize,
+    /// First owned token (the `#` of the first attached attribute, if
+    /// any).
+    pub start: usize,
+    /// Token index of the keyword / header start, past the attributes.
+    pub header: usize,
+    /// Token index of the body's opening `{`; `None` for `;`-terminated
+    /// items.
+    pub body: Option<usize>,
+    /// One past the last owned token.
+    pub end: usize,
+    /// 1-based line of the header token.
+    pub line: u32,
+    /// This scope's *own* attributes include `#[test]` / `#[cfg(test)]`.
+    pub test_gated: bool,
+}
+
+/// The scope tree of one file plus the per-token ownership vector.
+#[derive(Debug, Clone)]
+pub struct ScopeTree {
+    /// All scopes; index 0 is the root. Children always follow their
+    /// parent (pre-order), so ancestor walks terminate at 0.
+    pub scopes: Vec<Scope>,
+    /// `owner[i]` is the innermost scope containing token `i`; always
+    /// the same length as the token slice the tree was built from.
+    pub owner: Vec<usize>,
+}
+
+impl ScopeTree {
+    /// The innermost scope owning token `i` (root for out-of-range).
+    pub fn owner_of(&self, i: usize) -> usize {
+        self.owner.get(i).copied().unwrap_or(0)
+    }
+
+    /// Does `scope`'s ancestor chain (inclusive) contain `ancestor`?
+    pub fn is_within(&self, mut scope: usize, ancestor: usize) -> bool {
+        loop {
+            if scope == ancestor {
+                return true;
+            }
+            let parent = self.scopes.get(scope).map_or(0, |s| s.parent);
+            if parent == scope {
+                return false;
+            }
+            scope = parent;
+        }
+    }
+
+    /// Per-token test mask: `true` for every token owned by a scope
+    /// whose chain (inclusive) carries `#[test]` or `#[cfg(test)]`.
+    /// This is the scope-accurate replacement for the old flat
+    /// attribute-to-item-end heuristic.
+    pub fn test_mask(&self) -> Vec<bool> {
+        // Effective gating propagates down the pre-ordered scope list.
+        let mut gated = vec![false; self.scopes.len()];
+        for i in 0..self.scopes.len() {
+            let own = self.scopes.get(i).is_some_and(|s| s.test_gated);
+            let parent = self.scopes.get(i).map_or(0, |s| s.parent);
+            let inherited = i != 0 && gated.get(parent).copied().unwrap_or(false);
+            if let Some(g) = gated.get_mut(i) {
+                *g = own || inherited;
+            }
+        }
+        self.owner
+            .iter()
+            .map(|&s| gated.get(s).copied().unwrap_or(false))
+            .collect()
+    }
+
+    /// The `::`-joined path of named ancestors (mods, impls, traits)
+    /// down to and including `scope` itself, e.g. `tests::helpers::f`.
+    pub fn path_of(&self, scope: usize) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut cur = scope;
+        while let Some(s) = self.scopes.get(cur) {
+            if !s.name.is_empty() {
+                parts.push(&s.name);
+            }
+            if s.parent == cur {
+                break;
+            }
+            cur = s.parent;
+        }
+        parts.reverse();
+        parts.join("::")
+    }
+
+    /// Flat index of every named item: `(module path, kind, line)`.
+    pub fn item_index(&self) -> Vec<(String, ScopeKind, u32)> {
+        self.scopes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, s)| !s.name.is_empty())
+            .map(|(i, s)| (self.path_of(i), s.kind, s.line))
+            .collect()
+    }
+}
+
+/// Builds the scope tree for `tokens` (one file's live code tokens).
+///
+/// Total like the lexer: malformed input (unbalanced braces, truncated
+/// items) degrades to wider scopes, never an error.
+pub fn build(tokens: &[Tok]) -> ScopeTree {
+    let mut b = Builder {
+        tokens,
+        scopes: vec![Scope {
+            kind: ScopeKind::Root,
+            name: String::new(),
+            parent: 0,
+            start: 0,
+            header: 0,
+            body: None,
+            end: tokens.len(),
+            line: tokens.first().map_or(1, |t| t.line),
+            test_gated: false,
+        }],
+        owner: vec![0; tokens.len()],
+    };
+    b.walk(0, tokens.len(), 0);
+    ScopeTree {
+        scopes: b.scopes,
+        owner: b.owner,
+    }
+}
+
+struct Builder<'a> {
+    tokens: &'a [Tok],
+    scopes: Vec<Scope>,
+    owner: Vec<usize>,
+}
+
+/// Modifier keywords that may precede an item keyword.
+const ITEM_MODIFIERS: &[&str] = &["default", "const", "async", "unsafe", "extern"];
+
+/// Item keywords that open a brace-or-semicolon-terminated item.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "mod",
+    "impl",
+    "trait",
+    "struct",
+    "enum",
+    "union",
+    "static",
+    "type",
+    "use",
+    "macro_rules",
+];
+
+impl Builder<'_> {
+    fn at(&self, i: usize) -> Option<&Tok> {
+        self.tokens.get(i)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.at(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn is_ident(&self, i: usize, word: &str) -> bool {
+        self.at(i).is_some_and(|t| t.is_ident(word))
+    }
+
+    /// Scans `start..end`, claiming tokens for `parent` and carving out
+    /// child scopes for items and `unsafe` blocks.
+    fn walk(&mut self, start: usize, end: usize, parent: usize) {
+        let mut i = start;
+        while i < end {
+            if let Some(o) = self.owner.get_mut(i) {
+                *o = parent;
+            }
+            // An attribute block followed by an item opens a child
+            // scope covering both.
+            if self.is_punct(i, '#') && self.is_punct(i + 1, '[') {
+                let mut attr_end = i;
+                while let Some(next) = self.skip_attr(attr_end) {
+                    if next > end {
+                        break;
+                    }
+                    attr_end = next;
+                }
+                if let Some(next) = self.try_item(i, attr_end, end, parent) {
+                    i = next;
+                    continue;
+                }
+                // Attributes not on an item (or inner `#![…]`): claim
+                // them for the current scope and move on.
+                let next = attr_end.max(i + 1).min(end);
+                for o in self.owner.iter_mut().take(next).skip(i) {
+                    *o = parent;
+                }
+                i = next;
+                continue;
+            }
+            // Bare items (no attributes).
+            if let Some(next) = self.try_item(i, i, end, parent) {
+                i = next;
+                continue;
+            }
+            // `unsafe { … }` block expression. The `unsafe` keyword and
+            // both braces are claimed up front; the recursive walk
+            // starts *inside* the braces so the opener cannot re-match.
+            if self.is_ident(i, "unsafe") && self.is_punct(i + 1, '{') {
+                let body_end = self.match_brace(i + 1, end);
+                let scope = self.push_scope(Scope {
+                    kind: ScopeKind::UnsafeBlock,
+                    name: String::new(),
+                    parent,
+                    start: i,
+                    header: i,
+                    body: Some(i + 1),
+                    end: body_end,
+                    line: self.at(i).map_or(0, |t| t.line),
+                    test_gated: false,
+                });
+                self.claim(i, body_end, scope);
+                self.walk(i + 2, body_end.saturating_sub(1), scope);
+                i = body_end;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// If an item header starts at `header` (attributes began at
+    /// `start`), records its scope, recurses into its body, and returns
+    /// the index just past it.
+    fn try_item(
+        &mut self,
+        start: usize,
+        header: usize,
+        end: usize,
+        parent: usize,
+    ) -> Option<usize> {
+        // Skip visibility (`pub`, `pub(crate)`, `pub(in a::b)`).
+        let mut k = header;
+        if self.is_ident(k, "pub") {
+            k += 1;
+            if self.is_punct(k, '(') {
+                k = self.match_paren(k, end);
+            }
+        }
+        // Skip modifiers (`const`, `async`, `unsafe`, `extern "C"`).
+        let mut is_unsafe_item = false;
+        while self
+            .at(k)
+            .is_some_and(|t| t.kind == TokKind::Ident && ITEM_MODIFIERS.contains(&t.text.as_str()))
+        {
+            // `const NAME` / `const {` are items/blocks themselves, not
+            // modifiers — only treat `const` as a modifier before `fn`.
+            if self.is_ident(k, "const") && !self.is_ident(k + 1, "fn") {
+                break;
+            }
+            if self.is_ident(k, "unsafe") {
+                is_unsafe_item = true;
+            }
+            k += 1;
+            if self.at(k).is_some_and(|t| t.kind == TokKind::Str) {
+                k += 1; // the ABI string of `extern "C"`
+            }
+        }
+        // `unsafe {` after modifiers is a block, not an item.
+        if is_unsafe_item && self.is_punct(k, '{') {
+            return None;
+        }
+        let kw = self.at(k)?;
+        if kw.kind != TokKind::Ident || !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            // `const NAME: T = …;` / `static NAME …` style items.
+            if !(self.is_ident(k, "const") || self.is_ident(k, "static")) {
+                return None;
+            }
+        }
+        let keyword = kw.text.clone();
+        let line = kw.line;
+        match keyword.as_str() {
+            "fn" => {
+                // `fn` must introduce a named fn (`fn(u32)` is a type).
+                let name = self.at(k + 1).filter(|t| t.kind == TokKind::Ident)?;
+                let name = name.text.clone();
+                let (body, item_end) = self.item_extent(k + 1, end);
+                let scope = self.push_scope(Scope {
+                    kind: ScopeKind::Fn,
+                    name,
+                    parent,
+                    start,
+                    header,
+                    body,
+                    end: item_end,
+                    line,
+                    test_gated: self.attrs_test_gated(start, header),
+                });
+                self.claim(start, body.unwrap_or(item_end), scope);
+                if let Some(b) = body {
+                    self.walk(b, item_end, scope);
+                }
+                Some(item_end)
+            }
+            "mod" => {
+                let name = self.at(k + 1).filter(|t| t.kind == TokKind::Ident)?;
+                let name = name.text.clone();
+                let (body, item_end) = self.item_extent(k + 1, end);
+                let kind = if body.is_some() {
+                    ScopeKind::Mod
+                } else {
+                    ScopeKind::Item
+                };
+                let scope = self.push_scope(Scope {
+                    kind,
+                    name,
+                    parent,
+                    start,
+                    header,
+                    body,
+                    end: item_end,
+                    line,
+                    test_gated: self.attrs_test_gated(start, header),
+                });
+                self.claim(start, body.unwrap_or(item_end), scope);
+                if let Some(b) = body {
+                    self.walk(b, item_end, scope);
+                }
+                Some(item_end)
+            }
+            "impl" | "trait" => {
+                let (body, item_end) = self.item_extent(k, end);
+                let name = self.header_label(k + 1, body.unwrap_or(item_end));
+                let kind = if keyword == "impl" {
+                    ScopeKind::Impl
+                } else {
+                    ScopeKind::Trait
+                };
+                let scope = self.push_scope(Scope {
+                    kind,
+                    name,
+                    parent,
+                    start,
+                    header,
+                    body,
+                    end: item_end,
+                    line,
+                    test_gated: self.attrs_test_gated(start, header),
+                });
+                self.claim(start, body.unwrap_or(item_end), scope);
+                if let Some(b) = body {
+                    self.walk(b, item_end, scope);
+                }
+                Some(item_end)
+            }
+            _ => {
+                // Opaque items: structs, enums, statics, uses, macros.
+                // They own their tokens (so attributes attach) but we
+                // never recurse — nothing scope-sensitive lives inside.
+                let (body, item_end) = self.item_extent(k, end);
+                let name = self
+                    .at(k + 1)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                let scope = self.push_scope(Scope {
+                    kind: ScopeKind::Item,
+                    name,
+                    parent,
+                    start,
+                    header,
+                    body,
+                    end: item_end,
+                    line,
+                    test_gated: self.attrs_test_gated(start, header),
+                });
+                self.claim(start, item_end, scope);
+                Some(item_end)
+            }
+        }
+    }
+
+    /// From a position inside an item header, finds the body `{` (at
+    /// paren/bracket depth 0) or the terminating `;`, and the index
+    /// just past the whole item.
+    fn item_extent(&self, from: usize, end: usize) -> (Option<usize>, usize) {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < end {
+            let Some(t) = self.at(j) else { break };
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') && depth <= 0 {
+                return (Some(j), self.match_brace(j, end));
+            } else if t.is_punct(';') && depth <= 0 {
+                return (None, j + 1);
+            }
+            j += 1;
+        }
+        (None, end)
+    }
+
+    /// Index just past the `}` matching the `{` at `open`.
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < end {
+            if self.is_punct(j, '{') {
+                depth += 1;
+            } else if self.is_punct(j, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Index just past the `)` matching the `(` at `open`.
+    fn match_paren(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < end {
+            if self.is_punct(j, '(') {
+                depth += 1;
+            } else if self.is_punct(j, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// If an attribute `#[…]` starts at `i`, the index past its `]`.
+    fn skip_attr(&self, i: usize) -> Option<usize> {
+        if !(self.is_punct(i, '#') && self.is_punct(i + 1, '[')) {
+            return None;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while let Some(t) = self.at(j) {
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Do the attributes in `start..header` include `#[test]` or a
+    /// `#[cfg(…)]` naming `test` positively (`cfg(not(test))` is
+    /// library code and stays unmasked)?
+    fn attrs_test_gated(&self, start: usize, header: usize) -> bool {
+        let mut i = start;
+        while i < header {
+            let Some(attr_end) = self.skip_attr(i) else {
+                break;
+            };
+            let body = self
+                .tokens
+                .get(i + 2..attr_end.saturating_sub(1))
+                .unwrap_or(&[]);
+            let gated = match body.first() {
+                Some(t) if t.is_ident("test") => body.len() == 1,
+                Some(t) if t.is_ident("cfg") => {
+                    body.iter().any(|t| t.is_ident("test"))
+                        && !body.iter().any(|t| t.is_ident("not"))
+                }
+                _ => false,
+            };
+            if gated {
+                return true;
+            }
+            i = attr_end;
+        }
+        false
+    }
+
+    /// Joined text of the header tokens (for `impl`/`trait` labels),
+    /// truncated before any `where` clause.
+    fn header_label(&self, from: usize, to: usize) -> String {
+        let mut parts = Vec::new();
+        for j in from..to {
+            let Some(t) = self.at(j) else { break };
+            if t.is_ident("where") {
+                break;
+            }
+            if t.kind == TokKind::Ident || t.kind == TokKind::Lifetime {
+                parts.push(t.text.clone());
+            }
+        }
+        parts.join(" ")
+    }
+
+    fn push_scope(&mut self, scope: Scope) -> usize {
+        self.scopes.push(scope);
+        self.scopes.len() - 1
+    }
+
+    /// Assigns every token in `start..end` to `scope` (children later
+    /// overwrite their own ranges via recursion).
+    fn claim(&mut self, start: usize, end: usize, scope: usize) {
+        for o in self.owner.iter_mut().take(end).skip(start) {
+            *o = scope;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> (Vec<Tok>, ScopeTree) {
+        let lexed = lex(src);
+        let tree = build(&lexed.tokens);
+        (lexed.tokens, tree)
+    }
+
+    fn find<'a>(tree: &'a ScopeTree, kind: ScopeKind, name: &str) -> &'a Scope {
+        tree.scopes
+            .iter()
+            .find(|s| s.kind == kind && s.name == name)
+            .unwrap_or_else(|| panic!("no {kind:?} named {name}"))
+    }
+
+    #[test]
+    fn nesting_mod_impl_fn() {
+        let src = "
+            mod outer {
+                pub struct S { x: u32 }
+                impl S {
+                    pub fn get(&self) -> u32 { self.x }
+                }
+                mod inner {
+                    fn leaf() {}
+                }
+            }
+        ";
+        let (_, tree) = tree_of(src);
+        let outer = find(&tree, ScopeKind::Mod, "outer");
+        let imp = find(&tree, ScopeKind::Impl, "S");
+        let get = find(&tree, ScopeKind::Fn, "get");
+        let leaf = find(&tree, ScopeKind::Fn, "leaf");
+        assert!(leaf.start > outer.start && leaf.end <= outer.end);
+        assert!(imp.start > outer.start && imp.end <= outer.end);
+        assert!(get.start > imp.start && get.end <= imp.end);
+        assert_eq!(
+            tree.path_of(tree.scopes.iter().position(|s| s.name == "leaf").unwrap()),
+            "outer::inner::leaf"
+        );
+        assert_eq!(
+            tree.path_of(tree.scopes.iter().position(|s| s.name == "get").unwrap()),
+            "outer::S::get"
+        );
+    }
+
+    #[test]
+    fn token_partition_is_total_and_nested() {
+        let src = "
+            #![allow(dead_code)]
+            use std::fmt;
+            pub fn a(x: u32) -> u32 { match x { 0 => 1, n => n * 2 } }
+            #[derive(Debug)]
+            struct T(u32);
+            impl fmt::Display for T {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    write!(f, \"{}\", self.0)
+                }
+            }
+        ";
+        let (tokens, tree) = tree_of(src);
+        assert_eq!(tree.owner.len(), tokens.len());
+        for (i, &o) in tree.owner.iter().enumerate() {
+            let s = &tree.scopes[o];
+            assert!(s.start <= i && i < s.end, "token {i} outside owner range");
+            // Every ancestor range must contain the token too.
+            let mut cur = o;
+            while cur != 0 {
+                cur = tree.scopes[cur].parent;
+                let anc = &tree.scopes[cur];
+                assert!(anc.start <= i && i < anc.end, "token {i} outside ancestor");
+            }
+        }
+    }
+
+    #[test]
+    fn attributes_attach_and_gate_tests() {
+        let src = "
+            fn lib() { let v = vec![1]; }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { assert!(true); }
+            }
+            #[cfg(not(test))]
+            fn shipped() {}
+        ";
+        let (tokens, tree) = tree_of(src);
+        let mask = tree.test_mask();
+        let masked_idents: Vec<&str> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| mask[*i] && t.kind == TokKind::Ident)
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert!(masked_idents.contains(&"assert"));
+        assert!(!masked_idents.contains(&"lib"));
+        assert!(!masked_idents.contains(&"shipped"));
+        let tests = find(&tree, ScopeKind::Mod, "tests");
+        assert!(tests.test_gated);
+        // The attribute tokens themselves belong to the gated scope.
+        assert_eq!(tree.owner_of(tests.start), tree.owner_of(tests.header));
+    }
+
+    #[test]
+    fn unsafe_blocks_and_unsafe_fn() {
+        let src = "
+            fn shim() {
+                let p = unsafe { libc_call() };
+                drop(p);
+            }
+            unsafe fn raw() { other(); }
+        ";
+        let (tokens, tree) = tree_of(src);
+        let blocks: Vec<&Scope> = tree
+            .scopes
+            .iter()
+            .filter(|s| s.kind == ScopeKind::UnsafeBlock)
+            .collect();
+        assert_eq!(blocks.len(), 1, "{:?}", tree.scopes);
+        let block = blocks[0];
+        let inside: Vec<&str> = (block.start..block.end)
+            .filter(|&i| tokens[i].kind == TokKind::Ident)
+            .map(|i| tokens[i].text.as_str())
+            .collect();
+        assert!(inside.contains(&"libc_call"));
+        assert!(!inside.contains(&"drop"));
+        // `unsafe fn` is a Fn scope, not an UnsafeBlock.
+        let raw = find(&tree, ScopeKind::Fn, "raw");
+        assert!(raw.body.is_some());
+    }
+
+    #[test]
+    fn raw_strings_and_braces_in_strings_do_not_derail() {
+        let src = r####"
+            fn a() -> &'static str { r#"not a brace: { nor } here"# }
+            fn b() { let s = "also { unbalanced"; drop(s); }
+            fn c() {}
+        "####;
+        let (_, tree) = tree_of(src);
+        for name in ["a", "b", "c"] {
+            let f = find(&tree, ScopeKind::Fn, name);
+            assert!(f.body.is_some(), "fn {name} has a body");
+        }
+        // a, b, c are siblings under the root, not nested.
+        let a = find(&tree, ScopeKind::Fn, "a");
+        let c = find(&tree, ScopeKind::Fn, "c");
+        assert_eq!(a.parent, 0);
+        assert_eq!(c.parent, 0);
+        assert!(a.end <= c.start);
+    }
+
+    #[test]
+    fn fn_pointer_types_and_semicolon_items() {
+        let src = "
+            type Cb = fn(u32) -> u32;
+            mod external;
+            static N: usize = 3;
+            fn real(cb: Cb) -> u32 { cb(N as u32) }
+        ";
+        let (_, tree) = tree_of(src);
+        // Exactly one Fn scope: `fn(u32)` in the type alias is not one.
+        let fns: Vec<&Scope> = tree
+            .scopes
+            .iter()
+            .filter(|s| s.kind == ScopeKind::Fn)
+            .collect();
+        assert_eq!(fns.len(), 1, "{:?}", tree.scopes);
+        assert_eq!(fns[0].name, "real");
+        // `mod external;` is an Item (no body), not a Mod scope.
+        let ext = find(&tree, ScopeKind::Item, "external");
+        assert!(ext.body.is_none());
+    }
+
+    #[test]
+    fn impl_header_label_and_where_clause() {
+        let src = "
+            impl<T> Wrapper<T> where T: Clone {
+                fn dup(&self) {}
+            }
+            trait Power { fn watts(&self) -> f64; }
+        ";
+        let (_, tree) = tree_of(src);
+        let imp = tree
+            .scopes
+            .iter()
+            .find(|s| s.kind == ScopeKind::Impl)
+            .expect("impl scope");
+        assert!(imp.name.contains("Wrapper"), "{}", imp.name);
+        assert!(
+            !imp.name.contains("Clone"),
+            "where clause leaked: {}",
+            imp.name
+        );
+        let tr = find(&tree, ScopeKind::Trait, "Power");
+        // The method signature inside the trait is a Fn scope too.
+        let watts = find(&tree, ScopeKind::Fn, "watts");
+        assert!(watts.start > tr.start && watts.end <= tr.end);
+        assert!(watts.body.is_none());
+    }
+}

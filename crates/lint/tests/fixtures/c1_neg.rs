@@ -1,0 +1,24 @@
+//! C1 negative fixture: near-misses that must stay clean — a pure
+//! worker over the shared core, and a coordinator holding the
+//! exclusive `&mut` borrow (which may use whatever sync it likes).
+
+use std::sync::Mutex;
+
+/// Stand-in for the engine's shared state.
+pub struct EngineCore {
+    /// Active flow ids.
+    pub active: Vec<u32>,
+}
+
+/// Pure worker: reads the core, writes private scratch.
+pub fn load_set(core: &EngineCore, out: &mut Vec<u32>) {
+    out.extend(core.active.iter().copied());
+}
+
+/// Coordinator: owns the exclusive borrow; a lock here is not a
+/// worker-side channel.
+pub fn integrate(core: &mut EngineCore, guard: &Mutex<u64>) {
+    if let Ok(mut g) = guard.lock() {
+        *g += core.active.len() as u64;
+    }
+}

@@ -1,0 +1,20 @@
+//! C1 positive fixture: a worker fn borrowing `&EngineCore` reaches
+//! for an atomic and a cell — a scheduling-dependent side channel the
+//! parallel engine's bit-identical merge argument forbids.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stand-in for the engine's shared state.
+pub struct EngineCore;
+
+/// A worker that cheats: tallies progress through interior mutability
+/// instead of returning it as a plain batch.
+pub fn tally(core: &EngineCore) -> u64 {
+    let _ = core;
+    let hits = AtomicU64::new(0);
+    let seen = Cell::new(0u64);
+    hits.fetch_add(1, Ordering::Relaxed);
+    seen.set(seen.get() + 1);
+    hits.load(Ordering::Relaxed) + seen.get()
+}

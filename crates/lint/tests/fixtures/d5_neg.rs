@@ -1,0 +1,19 @@
+//! D5 negative fixture: near-misses that must stay clean — a plain
+//! `sort_unstable` over a total `Ord` (equal elements are
+//! indistinguishable), a stable sort keyed on an integer, and a float
+//! sort through `total_cmp`.
+
+/// Equal ids are interchangeable; unstable order cannot leak.
+pub fn order_ids(ids: &mut Vec<u32>) {
+    ids.sort_unstable();
+}
+
+/// Stable sort: ties keep their input order.
+pub fn order_by_link(flows: &mut Vec<(u32, u64)>) {
+    flows.sort_by_key(|f| f.0);
+}
+
+/// `total_cmp` is a total order over all bit patterns, NaN included.
+pub fn order_rates(rates: &mut Vec<f64>) {
+    rates.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,14 @@
+//! D5 positive fixture: an unstable sort whose key ties between
+//! distinct elements, and a `partial_cmp` comparator that is not a
+//! total order under NaN.
+
+/// Orders flows by link id — flows on the same link land in
+/// unspecified relative order.
+pub fn order_by_link(flows: &mut Vec<(u32, u64)>) {
+    flows.sort_unstable_by_key(|f| f.0);
+}
+
+/// Orders rates with a comparator that has no answer for NaN.
+pub fn order_by_rate(rates: &mut Vec<f64>) {
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

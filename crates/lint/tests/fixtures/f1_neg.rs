@@ -1,0 +1,23 @@
+//! F1 negative fixture: float accumulation over *ordered* sources is
+//! fine — a slice visits by index, a `BTreeMap` by key order — so the
+//! rounding sequence is identical on every run.
+
+use std::collections::BTreeMap;
+
+/// Sums a slice in index order.
+pub fn sum_slice(xs: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+/// Sums a map in ascending key order.
+pub fn sum_map(util: &BTreeMap<u32, f64>) -> f64 {
+    let mut total: f64 = 0.0;
+    for (_link, u) in util.iter() {
+        total += u;
+    }
+    total
+}

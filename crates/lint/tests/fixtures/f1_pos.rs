@@ -1,0 +1,14 @@
+//! F1 positive fixture: a float accumulated across a hash-map loop —
+//! float addition is not associative, so the sum's rounding follows
+//! the hasher's bucket order and changes run to run.
+
+use std::collections::HashMap;
+
+/// Sums per-link utilisation in hasher order.
+pub fn total_util(util: HashMap<u32, f64>) -> f64 {
+    let mut total: f64 = 0.0;
+    for (_link, u) in util.iter() {
+        total += u;
+    }
+    total
+}

@@ -1,0 +1,19 @@
+//! U1 negative fixture: near-misses that must stay clean — a block
+//! documented with `// SAFETY:` directly above it, and an `unsafe fn`
+//! whose obligation sits on the caller, not on a block of its own.
+
+/// Reads the first byte behind `p`.
+pub fn first_byte(p: *const u8) -> u8 {
+    // SAFETY: callers hand us a pointer into a live, readable buffer.
+    unsafe { *p }
+}
+
+/// Reads the first byte; validity is the caller's promise.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn first_byte_raw(p: *const u8) -> u8 {
+    // SAFETY: validity is this fn's documented precondition.
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! U1 positive fixture: an `unsafe` block with no adjacent
+//! `// SAFETY:` comment — the invariant lives only in the author's
+//! head, which is exactly what the audit forbids.
+
+/// Reads the first byte behind `p` without saying why that is sound.
+pub fn first_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -8,7 +8,7 @@
 
 use std::path::PathBuf;
 
-use npp_lint::{lint, render_json, Config, RuleId, REPORT_SCHEMA};
+use npp_lint::{lint, render_json, render_sarif, Config, RuleId, REPORT_SCHEMA};
 
 fn fixtures_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -30,6 +30,10 @@ fn positive_fixtures_fire_their_rule() {
         ("d2_pos.rs", RuleId::D2WallClock),
         ("d3_pos.rs", RuleId::D3FloatReduce),
         ("d4_pos.rs", RuleId::D4ThreadSpawn),
+        ("d5_pos.rs", RuleId::D5UnstableSort),
+        ("c1_pos.rs", RuleId::C1WorkerPurity),
+        ("f1_pos.rs", RuleId::F1FloatOrder),
+        ("u1_pos.rs", RuleId::U1UnsafeAudit),
         ("p1_pos.rs", RuleId::P1Panic),
         ("s1_pos.rs", RuleId::S1DenyUnknownFields),
     ];
@@ -49,6 +53,10 @@ fn negative_fixtures_stay_clean() {
         "d2_neg.rs",
         "d3_neg.rs",
         "d4_neg.rs",
+        "d5_neg.rs",
+        "c1_neg.rs",
+        "f1_neg.rs",
+        "u1_neg.rs",
         "p1_neg.rs",
         "s1_neg.rs",
     ] {
@@ -81,6 +89,96 @@ fn d3_fixture_also_fires_d1() {
     let fired = rules_in("d3_pos.rs");
     assert!(fired.contains(&RuleId::D1MapIter), "{fired:?}");
     assert!(fired.contains(&RuleId::D3FloatReduce), "{fired:?}");
+}
+
+#[test]
+fn c1_fixture_flags_each_impurity() {
+    let fired = rules_in("c1_pos.rs");
+    let c1 = fired
+        .iter()
+        .filter(|&&r| r == RuleId::C1WorkerPurity)
+        .count();
+    assert_eq!(c1, 2, "one atomic + one cell, got {fired:?}");
+}
+
+#[test]
+fn d5_fixture_flags_both_sort_hazards() {
+    let fired = rules_in("d5_pos.rs");
+    let d5 = fired
+        .iter()
+        .filter(|&&r| r == RuleId::D5UnstableSort)
+        .count();
+    assert_eq!(
+        d5, 2,
+        "tie-prone key + partial_cmp comparator, got {fired:?}"
+    );
+}
+
+#[test]
+fn f1_fixture_also_fires_d1() {
+    // The hash-map loop is a map iteration (D1) and the `+=` inside it
+    // is the order-sensitive accumulation (F1).
+    let fired = rules_in("f1_pos.rs");
+    assert!(fired.contains(&RuleId::D1MapIter), "{fired:?}");
+    assert!(fired.contains(&RuleId::F1FloatOrder), "{fired:?}");
+}
+
+#[test]
+fn sarif_log_matches_committed_schema_and_is_byte_stable() {
+    let root = fixtures_root();
+    let run = || {
+        let report =
+            lint(&Config::explicit(root.clone(), vec![root.clone()])).expect("fixtures lint");
+        render_sarif(&report)
+    };
+    let first = run();
+    assert_eq!(first, run(), "two renders must be byte-identical");
+
+    let log: serde_json::Value = serde_json::from_str(&first).expect("SARIF is valid JSON");
+    let spec: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(fixtures_root().join("sarif_schema.json"))
+            .expect("committed schema fixture"),
+    )
+    .expect("schema fixture is valid JSON");
+    let required = |level: &str| -> Vec<String> {
+        spec["required"][level]
+            .as_array()
+            .unwrap_or_else(|| panic!("schema lists {level}"))
+            .iter()
+            .filter_map(|k| k.as_str().map(String::from))
+            .collect()
+    };
+    let check = |obj: &serde_json::Value, level: &str| {
+        for key in required(level) {
+            assert!(
+                !obj[key.as_str()].is_null(),
+                "{level} is missing required key {key:?}"
+            );
+        }
+    };
+
+    check(&log, "log");
+    assert_eq!(log["version"].as_str(), spec["version"].as_str());
+    let runs = log["runs"].as_array().expect("runs array");
+    assert_eq!(runs.len(), 1);
+    check(&runs[0], "run");
+    let driver = &runs[0]["tool"]["driver"];
+    check(driver, "driver");
+    for rule in driver["rules"].as_array().expect("rules array") {
+        check(rule, "rule");
+    }
+    let results = runs[0]["results"].as_array().expect("results array");
+    assert!(
+        !results.is_empty(),
+        "positive fixtures must produce SARIF results"
+    );
+    for result in results {
+        check(result, "result");
+        let loc = &result["locations"][0]["physicalLocation"];
+        check(loc, "physicalLocation");
+        check(&loc["region"], "region");
+        assert!(loc["region"]["startLine"].as_u64().is_some_and(|l| l >= 1));
+    }
 }
 
 #[test]

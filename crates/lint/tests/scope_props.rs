@@ -1,0 +1,229 @@
+//! Property tests for the scope tree.
+//!
+//! The analyzer's soundness rests on structural invariants of
+//! [`npp_lint::scope::build`]: every token is owned by exactly one
+//! innermost scope, scope ranges nest (never partially overlap), and
+//! the builder is total and deterministic on *arbitrary* token soup —
+//! including unbalanced braces and half-finished items. The crate is
+//! dependency-free, so the generator is a small deterministic
+//! xorshift64* PRNG rather than an external proptest harness; failures
+//! print the seed and the offending source so a case can be replayed
+//! by pasting it into a unit test.
+
+use npp_lint::lexer;
+use npp_lint::scope::{self, ScopeTree};
+
+/// Deterministic xorshift64* generator (Vigna 2016). Good enough to
+/// explore the token-soup space; fully reproducible from the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Vocabulary skewed toward the constructs the scope builder cares
+/// about: item keywords, braces (often unbalanced), attributes, and
+/// plain expression filler.
+const WORDS: &[&str] = &[
+    "fn",
+    "mod",
+    "impl",
+    "trait",
+    "struct",
+    "enum",
+    "unsafe",
+    "pub",
+    "use",
+    "let",
+    "mut",
+    "for",
+    "in",
+    "match",
+    "if",
+    "else",
+    "return",
+    "where",
+    "dyn",
+    "move",
+    "{",
+    "{",
+    "}",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    ":",
+    "::",
+    "->",
+    "=>",
+    "=",
+    ".",
+    "&",
+    "&mut",
+    "#",
+    "#[cfg(test)]",
+    "#[test]",
+    "#[inline]",
+    "x",
+    "y",
+    "core",
+    "EngineCore",
+    "tests",
+    "helper",
+    "Vec<u32>",
+    "f64",
+    "0",
+    "1.5",
+    "\"s\"",
+    "'c'",
+    "'a",
+    "// comment\n",
+    "/* block */",
+    "+=",
+];
+
+/// One random source file: `len` words joined by spaces, with random
+/// newlines so lines (and the U1 SAFETY window) vary too.
+fn soup(rng: &mut Rng, len: usize) -> String {
+    let mut src = String::new();
+    for _ in 0..len {
+        src.push_str(WORDS[rng.below(WORDS.len())]);
+        src.push(if rng.below(6) == 0 { '\n' } else { ' ' });
+    }
+    src
+}
+
+/// Asserts every structural invariant of one built tree.
+fn check_invariants(src: &str, tree: &ScopeTree, n_tokens: usize) {
+    let ctx = || format!("source:\n{src}");
+
+    // The ownership vector covers the token slice exactly.
+    assert_eq!(tree.owner.len(), n_tokens, "{}", ctx());
+    assert!(!tree.scopes.is_empty(), "{}", ctx());
+
+    // Root covers the whole file and is its own parent.
+    let root = &tree.scopes[0];
+    assert_eq!((root.start, root.end), (0, n_tokens), "{}", ctx());
+    assert_eq!(root.parent, 0, "{}", ctx());
+
+    for (i, s) in tree.scopes.iter().enumerate().skip(1) {
+        // Pre-order: parents precede children.
+        assert!(s.parent < i, "scope {i} precedes its parent: {}", ctx());
+        // Ranges are well-formed and nest inside the parent.
+        assert!(s.start <= s.end && s.end <= n_tokens, "{}", ctx());
+        assert!(s.header >= s.start && s.header <= s.end, "{}", ctx());
+        let p = &tree.scopes[s.parent];
+        assert!(
+            p.start <= s.start && s.end <= p.end,
+            "scope {i} escapes its parent: {}",
+            ctx()
+        );
+        if let Some(body) = s.body {
+            assert!(body >= s.header && body < s.end, "{}", ctx());
+        }
+    }
+
+    // Partition: each token's owner contains it, and no *descendant*
+    // of the owner also contains it (owner is innermost).
+    for (t, &o) in tree.owner.iter().enumerate() {
+        let s = tree.scopes.get(o).unwrap_or_else(|| panic!("{}", ctx()));
+        assert!(
+            o == 0 || (s.start <= t && t < s.end),
+            "token {t} outside its owner {o}: {}",
+            ctx()
+        );
+        for (c, child) in tree.scopes.iter().enumerate() {
+            if c != o && tree.is_within(c, o) && child.start <= t && t < child.end {
+                panic!(
+                    "token {t} owned by {o} but also inside descendant {c}: {}",
+                    ctx()
+                );
+            }
+        }
+    }
+
+    // Sibling scopes never partially overlap: any two ranges are
+    // either nested or disjoint.
+    for (a, sa) in tree.scopes.iter().enumerate().skip(1) {
+        for (b, sb) in tree.scopes.iter().enumerate().skip(a + 1) {
+            let nested = (sa.start <= sb.start && sb.end <= sa.end)
+                || (sb.start <= sa.start && sa.end <= sb.end);
+            let disjoint = sa.end <= sb.start || sb.end <= sa.start;
+            assert!(
+                nested || disjoint,
+                "scopes {a} and {b} partially overlap: {}",
+                ctx()
+            );
+        }
+    }
+}
+
+#[test]
+fn token_ownership_partitions_arbitrary_soup() {
+    for seed in 1..=300u64 {
+        let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let len = 1 + rng.below(120);
+        let src = soup(&mut rng, len);
+        let lexed = lexer::lex(&src);
+        let tree = scope::build(&lexed.tokens);
+        check_invariants(&src, &tree, lexed.tokens.len());
+    }
+}
+
+#[test]
+fn builder_is_deterministic() {
+    for seed in [3, 17, 4242, 999_983] {
+        let mut rng = Rng::new(seed);
+        let src = soup(&mut rng, 90);
+        let lexed = lexer::lex(&src);
+        let a = scope::build(&lexed.tokens);
+        let b = scope::build(&lexed.tokens);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+    }
+}
+
+#[test]
+fn test_mask_respects_ownership() {
+    // Masked tokens are exactly those owned by a test-gated chain; on
+    // real-looking input the mask must cover the `#[cfg(test)]` mod and
+    // nothing else.
+    let src = "
+        pub fn live() -> u32 { 1 }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { assert_eq!(super::live(), 1); }
+        }
+        pub fn also_live() -> u32 { 2 }
+    ";
+    let lexed = lexer::lex(src);
+    let tree = scope::build(&lexed.tokens);
+    let mask = tree.test_mask();
+    assert_eq!(mask.len(), lexed.tokens.len());
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        let expect_gated = t.line >= 3 && t.line <= 7;
+        assert_eq!(
+            mask[i], expect_gated,
+            "token {:?} on line {} mask mismatch",
+            t.text, t.line
+        );
+    }
+}

@@ -412,8 +412,7 @@ pub fn run_green_te(cfg: &IspStudyConfig, max_util: Ratio) -> Result<GreenTeRepo
             loads_now
                 .load(*a)
                 .value()
-                .partial_cmp(&loads_now.load(*b).value())
-                .expect("finite")
+                .total_cmp(&loads_now.load(*b).value())
         });
         let mut removed: Vec<npp_topology::LinkId> = Vec::new();
         for cand in candidates {

@@ -229,6 +229,22 @@ pub struct EngineMetrics {
     pub workers: Vec<WorkerMetrics>,
 }
 
+/// Row `i` of a CSR layout: `data[offsets[i]..offsets[i + 1]]`.
+///
+/// Well-formed CSR offsets are monotone and end at `data.len()`, so
+/// the checked accesses here *state* the invariant instead of guarding
+/// against it: a malformed build fails with the named invariant rather
+/// than a bare out-of-bounds index. Taking the two slices separately
+/// keeps the borrows field-disjoint, so callers can hold `&mut` scratch
+/// while walking a row.
+#[inline]
+pub(crate) fn csr_row<'a, T>(offsets: &[usize], data: &'a [T], i: usize) -> &'a [T] {
+    let lo = *offsets.get(i).expect("CSR offsets cover every row");
+    let hi = *offsets.get(i + 1).expect("CSR offsets cover every row");
+    data.get(lo..hi)
+        .expect("CSR offsets are monotone and end at data.len()")
+}
+
 /// The per-run engine state shared by the serial event loop and the
 /// parallel shards: dense per-flow and per-directed-link arrays, the
 /// CSR adjacencies, the scratch arena, and the indexed waterfill.
@@ -297,7 +313,7 @@ impl EngineCore {
 
     /// Flow `i`'s path as a slice of directed-link ids.
     pub(crate) fn path(&self, i: usize) -> &[u32] {
-        &self.path_links[self.path_offsets[i]..self.path_offsets[i + 1]]
+        csr_row(&self.path_offsets, &self.path_links, i)
     }
 
     /// Rebuilds the link→flow CSR if flows were injected since the last
@@ -324,7 +340,7 @@ impl EngineCore {
         cursor.clear();
         cursor.resize(n, 0);
         for i in 0..self.flows.len() {
-            for &dl in &self.path_links[self.path_offsets[i]..self.path_offsets[i + 1]] {
+            for &dl in csr_row(&self.path_offsets, &self.path_links, i) {
                 let d = dl as usize;
                 self.lf_flows[self.lf_offsets[d] + cursor[d] as usize] = i as u32;
                 cursor[d] += 1;
@@ -380,14 +396,14 @@ impl EngineCore {
             if self.flows[fi].active {
                 s.set.push(f);
             }
-            for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+            for &dl in csr_row(&self.path_offsets, &self.path_links, fi) {
                 let d = dl as usize;
                 if s.link_seen[d] {
                     continue;
                 }
                 s.link_seen[d] = true;
                 s.links_marked.push(dl);
-                for &g in &self.lf_flows[self.lf_offsets[d]..self.lf_offsets[d + 1]] {
+                for &g in csr_row(&self.lf_offsets, &self.lf_flows, d) {
                     let gi = g as usize;
                     if self.flows[gi].active && !s.flow_seen[gi] {
                         s.flow_seen[gi] = true;
@@ -413,7 +429,7 @@ impl EngineCore {
     /// Flows crossing directed link `dl`, ascending by flow id (from
     /// the link→flow CSR; `ensure_link_flow_csr` must have run).
     pub(crate) fn lf_row(&self, dl: u32) -> &[u32] {
-        &self.lf_flows[self.lf_offsets[dl as usize]..self.lf_offsets[dl as usize + 1]]
+        csr_row(&self.lf_offsets, &self.lf_flows, dl as usize)
     }
 
     /// Per-component variant of [`EngineCore::dirty_closure`] used by
@@ -447,14 +463,14 @@ impl EngineCore {
             if self.flows[fi].active {
                 out.push(f);
             }
-            for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+            for &dl in csr_row(&self.path_offsets, &self.path_links, fi) {
                 let d = dl as usize;
                 if s.link_seen[d] || index.root(dl) != root {
                     continue;
                 }
                 s.link_seen[d] = true;
                 s.links_marked.push(dl);
-                for &g in &self.lf_flows[self.lf_offsets[d]..self.lf_offsets[d + 1]] {
+                for &g in csr_row(&self.lf_offsets, &self.lf_flows, d) {
                     let gi = g as usize;
                     if self.flows[gi].active && !s.flow_seen[gi] {
                         s.flow_seen[gi] = true;
@@ -467,14 +483,14 @@ impl EngineCore {
         while let Some(f) = s.queue.pop() {
             let fi = f as usize;
             out.push(f);
-            for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+            for &dl in csr_row(&self.path_offsets, &self.path_links, fi) {
                 let d = dl as usize;
                 if s.link_seen[d] {
                     continue;
                 }
                 s.link_seen[d] = true;
                 s.links_marked.push(dl);
-                for &g in &self.lf_flows[self.lf_offsets[d]..self.lf_offsets[d + 1]] {
+                for &g in csr_row(&self.lf_offsets, &self.lf_flows, d) {
                     let gi = g as usize;
                     if self.flows[gi].active && !s.flow_seen[gi] {
                         s.flow_seen[gi] = true;
@@ -512,7 +528,7 @@ impl EngineCore {
             self.flows[fi].rate_gbps = 0.0;
             s.in_set[fi] = true;
             s.assigned[fi] = false;
-            let path = &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]];
+            let path = csr_row(&self.path_offsets, &self.path_links, fi);
             if !path.is_empty() {
                 unassigned += 1;
             }
@@ -549,8 +565,7 @@ impl EngineCore {
             }
             // Fix every unassigned flow crossing the bottleneck at the
             // fair share; subtract from the links on their paths.
-            let row = &self.lf_flows
-                [self.lf_offsets[best_dl as usize]..self.lf_offsets[best_dl as usize + 1]];
+            let row = csr_row(&self.lf_offsets, &self.lf_flows, best_dl as usize);
             for &f in row {
                 let fi = f as usize;
                 if !s.in_set[fi] || s.assigned[fi] {
@@ -559,7 +574,7 @@ impl EngineCore {
                 s.assigned[fi] = true;
                 unassigned -= 1;
                 self.flows[fi].rate_gbps = best_share;
-                for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                for &dl in csr_row(&self.path_offsets, &self.path_links, fi) {
                     let d = dl as usize;
                     s.crossing[d] -= 1;
                     s.cap[d] = (s.cap[d] - best_share).max(0.0);
@@ -684,7 +699,7 @@ impl EngineCore {
                     f.finished = Some(next);
                     f.active = false;
                 }
-                for &dl in &self.path_links[self.path_offsets[fi]..self.path_offsets[fi + 1]] {
+                for &dl in csr_row(&self.path_offsets, &self.path_links, fi) {
                     let d = dl as usize;
                     self.busy_secs[d] += dt;
                     self.carried[d / 2] += moved;

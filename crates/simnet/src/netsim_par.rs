@@ -455,6 +455,7 @@ fn assign_ownership(
     owned_flows.fill(0);
     owned_comps.fill(0);
     let mut order: Vec<(u64, u32)> = comp_flows.iter().map(|(&r, &n)| (n, r)).collect();
+    // npp-lint: allow(unstable-sort) reason="comparator covers both tuple fields and roots are unique, so the order is total over distinct elements"
     order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     for (n, root) in order {
         let w = (0..workers)
@@ -737,6 +738,7 @@ pub(crate) fn run_parallel(sim: &mut NetSim, threads: usize) -> Result<()> {
                     merge_worker(&mut worker_stats[owner], &stats);
                     epoch_stats.absorb(&stats);
                     if !parts.is_empty() {
+                        // npp-lint: allow(unstable-sort) reason="parts have disjoint link sets, so the min_link tiebreak is a unique key and the order is total"
                         parts.sort_unstable_by(|a, b| {
                             b.flows
                                 .len()
