@@ -452,8 +452,9 @@ fn measure_scaling(smoke: bool) -> Result<ScalingSection> {
         // shared CI runners cannot promise wall-clock ratios. Each
         // scenario's ratio is judged against its own 1-thread cell.
         for row in cells.chunks(thread_counts.len()) {
-            let base = &row[0];
-            let multi = &row[row.len() - 1];
+            let (Some(base), Some(multi)) = (row.first(), row.last()) else {
+                continue;
+            };
             let ratio = multi.events_per_sec / base.events_per_sec;
             if ratio < SMOKE_MIN_RATIO {
                 eprintln!(

@@ -1,0 +1,566 @@
+//! The `netpp bench-compare` subcommand: structured regression gating
+//! over two benchmark JSON documents (`BENCH_*.json`).
+//!
+//! ```text
+//! netpp bench-compare <old.json> <new.json> [--warn-pct P] [--fail-pct P] [--strict] [--json]
+//! ```
+//!
+//! Both documents are walked recursively; every numeric leaf becomes a
+//! dotted path (`engines[indexed].events_per_sec`). Array elements that
+//! are objects are keyed by their `engine` / `name` / `label` / `id` /
+//! `scenario` field when one exists, so reordered arrays still line up.
+//!
+//! Each shared leaf is classified by a direction heuristic on its key:
+//! throughput-ish names (`*_per_sec`, `qps`, `speedup`, ...) should go
+//! up, latency/energy-ish names (`*_ns`, `*_ms`, `wall`, `joule`, ...)
+//! should go down, anything else is neutral. A worsening move beyond
+//! `--warn-pct` (default 5) warns, beyond `--fail-pct` (default 25)
+//! fails; neutral moves beyond the warn threshold are reported as
+//! `changed` but never fail. The exit code stays 0 unless `--strict`
+//! is given and at least one `fail` delta exists — CI runs warn-only
+//! by default so noisy runners do not block merges.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+use crate::paper::Result;
+
+const USAGE: &str =
+    "usage: netpp bench-compare <old.json> <new.json> [--warn-pct P] [--fail-pct P] [--strict] [--json]";
+
+/// Object fields that identify an array element, in preference order.
+const KEY_FIELDS: &[&str] = &["engine", "name", "label", "id", "scenario", "mechanism"];
+
+/// Substrings (of the lower-cased leaf key) meaning "bigger is better".
+const HIGHER_BETTER: &[&str] = &[
+    "per_sec",
+    "throughput",
+    "qps",
+    "ops",
+    "speedup",
+    "savings",
+    "hits",
+    "rate_gbps",
+];
+
+/// Substrings meaning "smaller is better".
+const LOWER_BETTER: &[&str] = &[
+    "_ns", "_ms", "_secs", "_s", "latency", "wall", "time", "loss", "miss", "joule", "energy",
+    "_j", "watt", "_w", "power", "rss", "bytes", "stall", "wait", "retries",
+];
+
+/// Parsed arguments for `netpp bench-compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Baseline document path.
+    pub old_path: String,
+    /// Candidate document path.
+    pub new_path: String,
+    /// Relative move (%) that earns a warning.
+    pub warn_pct: f64,
+    /// Relative worsening (%) that earns a failure.
+    pub fail_pct: f64,
+    /// Exit non-zero when any delta fails.
+    pub strict: bool,
+}
+
+/// Parses `bench-compare` arguments from the raw argv tail.
+///
+/// # Errors
+///
+/// Rejects missing paths, malformed thresholds, and unknown flags.
+pub fn parse_args(rest: &[&str]) -> Result<CompareArgs> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut warn_pct = 5.0;
+    let mut fail_pct = 25.0;
+    let mut strict = false;
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {}
+            "--strict" => strict = true,
+            "--warn-pct" => {
+                let v = it.next().ok_or("--warn-pct needs a value")?;
+                warn_pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --warn-pct value {v:?}"))?;
+            }
+            "--fail-pct" => {
+                let v = it.next().ok_or("--fail-pct needs a value")?;
+                fail_pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --fail-pct value {v:?}"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown bench-compare flag {flag:?}").into());
+            }
+            path if paths.len() < 2 => paths.push(path.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}").into()),
+        }
+    }
+    if !(warn_pct.is_finite() && fail_pct.is_finite() && warn_pct >= 0.0 && fail_pct >= warn_pct) {
+        return Err("thresholds must satisfy 0 <= --warn-pct <= --fail-pct".into());
+    }
+    let mut it = paths.into_iter();
+    let (Some(old_path), Some(new_path)) = (it.next(), it.next()) else {
+        return Err(USAGE.into());
+    };
+    Ok(CompareArgs {
+        old_path,
+        new_path,
+        warn_pct,
+        fail_pct,
+        strict,
+    })
+}
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherBetter,
+    LowerBetter,
+    Neutral,
+}
+
+impl Direction {
+    fn name(self) -> &'static str {
+        match self {
+            Direction::HigherBetter => "higher_better",
+            Direction::LowerBetter => "lower_better",
+            Direction::Neutral => "neutral",
+        }
+    }
+}
+
+/// Classifies a leaf key. Checked against the *last* path segment so
+/// container names do not leak into the heuristic.
+fn direction_of(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    // Strip any `[key]` suffix left by array addressing.
+    let leaf = leaf.split('[').next().unwrap_or(leaf).to_ascii_lowercase();
+    if HIGHER_BETTER.iter().any(|t| leaf.contains(t)) {
+        return Direction::HigherBetter;
+    }
+    if LOWER_BETTER
+        .iter()
+        .any(|t| leaf.contains(t) || leaf == t.trim_start_matches('_'))
+    {
+        return Direction::LowerBetter;
+    }
+    Direction::Neutral
+}
+
+/// Verdict for one leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Status {
+    Ok,
+    Improved,
+    Changed,
+    Added,
+    Removed,
+    Warn,
+    Fail,
+}
+
+impl Status {
+    fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Changed => "changed",
+            Status::Added => "added",
+            Status::Removed => "removed",
+            Status::Warn => "warn",
+            Status::Fail => "fail",
+        }
+    }
+}
+
+/// One compared leaf.
+#[derive(Debug, Clone, PartialEq)]
+struct Delta {
+    path: String,
+    old: Option<f64>,
+    new: Option<f64>,
+    /// Relative move in percent (`None` when either side is missing or
+    /// the baseline is zero).
+    pct: Option<f64>,
+    direction: Direction,
+    status: Status,
+}
+
+/// Flattens every numeric leaf of `value` into `out` under dotted
+/// paths. Arrays of keyed objects address elements by key; positional
+/// arrays use the index.
+fn collect_leaves(value: &Value, path: &str, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Number(n) => {
+            out.insert(path.to_string(), n.as_f64());
+        }
+        Value::Object(entries) => {
+            for (key, child) in entries {
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                collect_leaves(child, &child_path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let segment = element_key(child)
+                    .map_or_else(|| format!("{path}[{i}]"), |k| format!("{path}[{k}]"));
+                collect_leaves(child, &segment, out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::String(_) => {}
+    }
+}
+
+/// The identifying string of an array element, if it has one.
+fn element_key(value: &Value) -> Option<&str> {
+    KEY_FIELDS
+        .iter()
+        .find_map(|field| value.get(field).and_then(Value::as_str))
+}
+
+/// Compares two flattened documents into a sorted delta list.
+fn diff(
+    old: &BTreeMap<String, f64>,
+    new: &BTreeMap<String, f64>,
+    warn_pct: f64,
+    fail_pct: f64,
+) -> Vec<Delta> {
+    let mut paths: Vec<&String> = old.keys().chain(new.keys()).collect();
+    paths.sort();
+    paths.dedup();
+    paths
+        .into_iter()
+        .map(|path| {
+            let o = old.get(path).copied();
+            let n = new.get(path).copied();
+            let direction = direction_of(path);
+            let (pct, status) = classify(o, n, direction, warn_pct, fail_pct);
+            Delta {
+                path: path.clone(),
+                old: o,
+                new: n,
+                pct,
+                direction,
+                status,
+            }
+        })
+        .collect()
+}
+
+fn classify(
+    old: Option<f64>,
+    new: Option<f64>,
+    direction: Direction,
+    warn_pct: f64,
+    fail_pct: f64,
+) -> (Option<f64>, Status) {
+    let (o, n) = match (old, new) {
+        (Some(o), Some(n)) => (o, n),
+        (None, Some(_)) => return (None, Status::Added),
+        (Some(_), None) => return (None, Status::Removed),
+        (None, None) => return (None, Status::Ok),
+    };
+    if o.to_bits() == n.to_bits() {
+        return (Some(0.0), Status::Ok);
+    }
+    if o == 0.0 {
+        // No baseline to scale by: report as changed, never gate.
+        return (None, Status::Changed);
+    }
+    let pct = (n - o) / o.abs() * 100.0;
+    let worsened = match direction {
+        Direction::HigherBetter => pct < 0.0,
+        Direction::LowerBetter => pct > 0.0,
+        Direction::Neutral => {
+            let status = if pct.abs() >= warn_pct {
+                Status::Changed
+            } else {
+                Status::Ok
+            };
+            return (Some(pct), status);
+        }
+    };
+    let magnitude = pct.abs();
+    let status = if worsened && magnitude >= fail_pct {
+        Status::Fail
+    } else if worsened && magnitude >= warn_pct {
+        Status::Warn
+    } else if !worsened && magnitude >= warn_pct {
+        Status::Improved
+    } else {
+        Status::Ok
+    };
+    (Some(pct), status)
+}
+
+/// Runs `netpp bench-compare`.
+///
+/// # Errors
+///
+/// Propagates file and parse errors; with `--strict`, also fails when
+/// any delta crosses the failure threshold.
+pub fn run(rest: &[&str], json: bool) -> Result<()> {
+    let args = parse_args(rest)?;
+    let load = |path: &str| -> Result<BTreeMap<String, f64>> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))?;
+        let mut leaves = BTreeMap::new();
+        collect_leaves(&value, "", &mut leaves);
+        Ok(leaves)
+    };
+    let old = load(&args.old_path)?;
+    let new = load(&args.new_path)?;
+    let deltas = diff(&old, &new, args.warn_pct, args.fail_pct);
+
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for d in &deltas {
+        *counts.entry(d.status.name()).or_insert(0) += 1;
+    }
+    let fails = counts.get("fail").copied().unwrap_or(0);
+
+    if json {
+        println!("{}", render_json(&args, &deltas, &counts));
+    } else {
+        print!("{}", render_text(&args, &deltas, &counts));
+    }
+    if args.strict && fails > 0 {
+        return Err(format!(
+            "{fails} metric(s) worsened beyond --fail-pct {}",
+            args.fail_pct
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn render_text(
+    args: &CompareArgs,
+    deltas: &[Delta],
+    counts: &BTreeMap<&'static str, usize>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-compare {} -> {} (warn {}%, fail {}%{})",
+        args.old_path,
+        args.new_path,
+        args.warn_pct,
+        args.fail_pct,
+        if args.strict {
+            ", strict"
+        } else {
+            ", warn-only"
+        },
+    );
+    let summary = counts
+        .iter()
+        .map(|(status, n)| format!("{status} {n}"))
+        .collect::<Vec<_>>()
+        .join("  ");
+    let _ = writeln!(out, "  {} leaves: {summary}", deltas.len());
+    // Interesting rows only, worst first; `ok` rows stay silent.
+    let mut shown: Vec<&Delta> = deltas.iter().filter(|d| d.status != Status::Ok).collect();
+    shown.sort_by(|a, b| b.status.cmp(&a.status).then_with(|| a.path.cmp(&b.path)));
+    for d in shown {
+        let pct = d
+            .pct
+            .map_or_else(|| "     n/a".to_string(), |p| format!("{p:>+7.2}%"));
+        let fmt_side = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.6}"));
+        let _ = writeln!(
+            out,
+            "  [{:<8}] {pct}  {}  ({} -> {}, {})",
+            d.status.name(),
+            d.path,
+            fmt_side(d.old),
+            fmt_side(d.new),
+            d.direction.name(),
+        );
+    }
+    out
+}
+
+fn render_json(
+    args: &CompareArgs,
+    deltas: &[Delta],
+    counts: &BTreeMap<&'static str, usize>,
+) -> String {
+    use npp_telemetry::fmt::{push_escaped, push_f64};
+    let mut out = String::from("{\"schema\":\"npp.benchdiff/v1\",\"old\":\"");
+    push_escaped(&mut out, &args.old_path);
+    out.push_str("\",\"new\":\"");
+    push_escaped(&mut out, &args.new_path);
+    out.push_str("\",\"warn_pct\":");
+    push_f64(&mut out, args.warn_pct);
+    out.push_str(",\"fail_pct\":");
+    push_f64(&mut out, args.fail_pct);
+    out.push_str(",\"strict\":");
+    out.push_str(if args.strict { "true" } else { "false" });
+    out.push_str(",\"counts\":{");
+    for (i, (status, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{status}\":{n}");
+    }
+    out.push_str("},\"deltas\":[");
+    let mut first = true;
+    for d in deltas.iter().filter(|d| d.status != Status::Ok) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"path\":\"");
+        push_escaped(&mut out, &d.path);
+        out.push_str("\",\"status\":\"");
+        out.push_str(d.status.name());
+        out.push_str("\",\"direction\":\"");
+        out.push_str(d.direction.name());
+        out.push('"');
+        if let Some(o) = d.old {
+            out.push_str(",\"old\":");
+            push_f64(&mut out, o);
+        }
+        if let Some(n) = d.new {
+            out.push_str(",\"new\":");
+            push_f64(&mut out, n);
+        }
+        if let Some(p) = d.pct {
+            out.push_str(",\"pct\":");
+            push_f64(&mut out, p);
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_validates() {
+        let args =
+            parse_args(&["a.json", "b.json", "--warn-pct", "2", "--fail-pct", "10"]).unwrap();
+        assert_eq!(args.old_path, "a.json");
+        assert_eq!(args.new_path, "b.json");
+        assert!((args.warn_pct - 2.0).abs() < 1e-12);
+        assert!(!args.strict);
+        assert!(parse_args(&["only.json"]).is_err());
+        assert!(parse_args(&["a", "b", "c"]).is_err());
+        assert!(parse_args(&["a", "b", "--warn-pct", "9", "--fail-pct", "3"]).is_err());
+        assert!(parse_args(&["a", "b", "--weird"]).is_err());
+        assert!(
+            parse_args(&["a.json", "b.json", "--strict"])
+                .unwrap()
+                .strict
+        );
+    }
+
+    fn leaves(text: &str) -> BTreeMap<String, f64> {
+        let value: Value = serde_json::from_str(text).unwrap();
+        let mut out = BTreeMap::new();
+        collect_leaves(&value, "", &mut out);
+        out
+    }
+
+    #[test]
+    fn arrays_of_keyed_objects_align_by_key() {
+        let old = leaves(
+            r#"{"engines":[{"engine":"indexed","wall_ms":10},{"engine":"naive","wall_ms":50}]}"#,
+        );
+        let new = leaves(
+            r#"{"engines":[{"engine":"naive","wall_ms":50},{"engine":"indexed","wall_ms":10}]}"#,
+        );
+        assert_eq!(old, new, "reordered keyed arrays must flatten identically");
+        assert!(old.contains_key("engines[indexed].wall_ms"));
+        let plain = leaves(r#"{"xs":[1,2]}"#);
+        assert!(plain.contains_key("xs[0]") && plain.contains_key("xs[1]"));
+    }
+
+    #[test]
+    fn direction_heuristic_reads_the_leaf() {
+        assert_eq!(
+            direction_of("engines[indexed].events_per_sec"),
+            Direction::HigherBetter
+        );
+        assert_eq!(direction_of("warm.p99_ns"), Direction::LowerBetter);
+        assert_eq!(direction_of("config.threads"), Direction::Neutral);
+        assert_eq!(direction_of("wall_ms"), Direction::LowerBetter);
+        assert_eq!(direction_of("speedup"), Direction::HigherBetter);
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        let c = |o: f64, n: f64, d: Direction| classify(Some(o), Some(n), d, 5.0, 25.0).1;
+        // Throughput drop of 30% fails, 10% warns, 3% is ok.
+        assert_eq!(c(100.0, 70.0, Direction::HigherBetter), Status::Fail);
+        assert_eq!(c(100.0, 90.0, Direction::HigherBetter), Status::Warn);
+        assert_eq!(c(100.0, 97.0, Direction::HigherBetter), Status::Ok);
+        // Throughput gain of 10% reports as improved.
+        assert_eq!(c(100.0, 110.0, Direction::HigherBetter), Status::Improved);
+        // Latency: up is bad.
+        assert_eq!(c(100.0, 140.0, Direction::LowerBetter), Status::Fail);
+        assert_eq!(c(100.0, 60.0, Direction::LowerBetter), Status::Improved);
+        // Neutral never warns below nor fails above.
+        assert_eq!(c(8.0, 16.0, Direction::Neutral), Status::Changed);
+        assert_eq!(c(8.0, 8.2, Direction::Neutral), Status::Ok);
+        // Missing sides.
+        assert_eq!(
+            classify(None, Some(1.0), Direction::Neutral, 5.0, 25.0).1,
+            Status::Added
+        );
+        assert_eq!(
+            classify(Some(1.0), None, Direction::Neutral, 5.0, 25.0).1,
+            Status::Removed
+        );
+        // Zero baseline cannot be scaled.
+        assert_eq!(c(0.0, 5.0, Direction::LowerBetter), Status::Changed);
+        // Bit-identical values are ok even for NaN-free weird floats.
+        assert_eq!(c(0.1 + 0.2, 0.1 + 0.2, Direction::LowerBetter), Status::Ok);
+    }
+
+    #[test]
+    fn end_to_end_diff_and_render() {
+        let old = leaves(
+            r#"{"schema":"x","runs":5,
+                "engines":[{"engine":"indexed","events_per_sec":1000000,"best_secs":0.001}]}"#,
+        );
+        let new = leaves(
+            r#"{"schema":"x","runs":5,
+                "engines":[{"engine":"indexed","events_per_sec":600000,"best_secs":0.002}]}"#,
+        );
+        let deltas = diff(&old, &new, 5.0, 25.0);
+        let fails: Vec<&Delta> = deltas.iter().filter(|d| d.status == Status::Fail).collect();
+        assert_eq!(fails.len(), 2, "{deltas:?}");
+        let args = CompareArgs {
+            old_path: "old.json".into(),
+            new_path: "new.json".into(),
+            warn_pct: 5.0,
+            fail_pct: 25.0,
+            strict: false,
+        };
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for d in &deltas {
+            *counts.entry(d.status.name()).or_insert(0) += 1;
+        }
+        let text = render_text(&args, &deltas, &counts);
+        assert!(text.contains("[fail"));
+        assert!(text.contains("events_per_sec"));
+        let json = render_json(&args, &deltas, &counts);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["schema"], "npp.benchdiff/v1");
+        assert!(v["counts"]["fail"].as_u64().unwrap() >= 2);
+    }
+}

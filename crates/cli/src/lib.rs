@@ -8,9 +8,11 @@
 //! and §3.4 studies).
 
 pub mod bench;
+pub mod bench_compare;
 pub mod lint;
 pub mod mech;
 pub mod paper;
+pub mod powerscope;
 pub mod profile;
 pub mod serve;
 pub mod sweep;

@@ -7,7 +7,7 @@
 
 use std::process::ExitCode;
 
-use npp_cli::{bench, lint, mech, paper, profile, serve, sweep};
+use npp_cli::{bench, bench_compare, lint, mech, paper, powerscope, profile, serve, sweep};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +32,9 @@ fn main() -> ExitCode {
         "serve" => serve::run(&rest, json),
         "serve-bench" => serve::run_bench(&rest, json),
         "profile" => profile::run(&rest, json),
+        "powerscope" => powerscope::run(&rest, json),
         "bench-json" => bench::run(&rest, json),
+        "bench-compare" => bench_compare::run(&rest, json),
         "lint" => lint::run(&rest, json),
         "fabric" => mech::fabric(json),
         "mech" => match rest.first().copied().unwrap_or("compare") {
@@ -162,11 +164,22 @@ Serving:
              against the engine inline and emits BENCH_serve.json
 
 Profiling:
-  profile <spec.json> [--out DIR] [--jobs N] [--threads N]
+  profile <spec.json> [--out DIR] [--jobs N] [--threads N] [--power] [--window-ns N]
              run the spec with telemetry recording on and emit a report:
              top trace records, sampling-timer histograms, per-scenario
              energy attribution; writes trace.jsonl (npp.trace/v1) and
-             trace.chrome.json (Perfetto-loadable) under --out
+             trace.chrome.json (Perfetto-loadable) under --out; --power
+             adds power.jsonl, the windowed npp.power/v1 document
+  powerscope <spec.json> [--window-ns N] [--jobs N] [--threads N] [--out PATH] [--top K]
+  powerscope --diurnal DAYS [--window-ns N] [--out PATH] [--top K]
+             windowed per-device power/energy observability: replay a
+             sweep grid (or stream the paper-pod diurnal fleet for N
+             simulated days) through the powerscope recorder and emit
+             the deterministic npp.power/v1 JSONL document (--out /
+             --json; bytes invariant under --jobs/--threads) plus a
+             human summary: per-tier energy, fleet power curve, top-K
+             least-proportional devices, state-residency heatmaps;
+             window energies sum bit-exactly to each device's total
 
 Benchmarks:
   bench-json [--quick] [--out PATH] [--flows N] [--threads N] [--scaling | --scaling-smoke]
@@ -178,6 +191,13 @@ Benchmarks:
              hard gate, throughput a warning); --quick is the CI smoke
              mode (small scenario, indexed engine only, plus a 2-thread
              bit-identity check)
+  bench-compare <old.json> <new.json> [--warn-pct P] [--fail-pct P] [--strict]
+             structured regression diff over two benchmark JSON
+             documents (BENCH_*.json): numeric leaves are matched by
+             dotted path (arrays keyed by engine/name), classified by a
+             direction heuristic, and gated at --warn-pct / --fail-pct
+             (defaults 5 / 25); exit stays 0 unless --strict, so CI can
+             run it warn-only
 
 Static analysis:
   lint [--sarif] [--baseline PATH] [--update-baseline] [--no-cache] [--cache PATH] [paths...]

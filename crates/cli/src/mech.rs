@@ -161,7 +161,9 @@ pub fn ocs(json: bool) -> Result<()> {
         println!("{}", to_json(&plans)?);
     } else {
         println!("{}", t.render());
-        println!("(all-on fabric: {:.1} kW)", plans[0].power_all_on.as_kw());
+        if let Some(first) = plans.first() {
+            println!("(all-on fabric: {:.1} kW)", first.power_all_on.as_kw());
+        }
     }
     Ok(())
 }
@@ -504,8 +506,10 @@ pub fn governor(json: bool) -> Result<()> {
     } else {
         println!("{}", t.render());
         print!("state residency (default governor): ");
-        let parts: Vec<String> = reports[0]
-            .residency
+        let parts: Vec<String> = reports
+            .first()
+            .map(|r| r.residency.as_slice())
+            .unwrap_or_default()
             .iter()
             .map(|(n, s)| format!("{n}={:.0}%", s.value() / 2.0 * 100.0))
             .collect();

@@ -230,7 +230,7 @@ fn speedup_chart(
     for (i, c) in curves.iter().enumerate() {
         chart.add_series(
             format!("{}G", c.bandwidth.value()),
-            markers[i % markers.len()],
+            markers.get(i % markers.len()).copied().unwrap_or('o'),
             c.points
                 .iter()
                 .map(|p| (p.proportionality.percent(), p.speedup.percent()))
@@ -403,7 +403,7 @@ pub fn sensitivity(json: bool) -> Result<()> {
         println!("{}", to_json(&rows)?);
         return Ok(());
     }
-    let base = rows[0].savings_base;
+    let base = rows.first().map(|r| r.savings_base).unwrap_or_default();
     let mut t = Table::new(vec![
         "Parameter (+/-10%)",
         "Low",

@@ -1,0 +1,819 @@
+//! The `netpp powerscope` subcommand: windowed per-device power and
+//! energy observability documents (`npp.power/v1`).
+//!
+//! ```text
+//! netpp powerscope <spec.json> [--window-ns N] [--jobs N] [--threads N] [--out PATH] [--top K] [--json]
+//! netpp powerscope --diurnal DAYS [--window-ns N] [--out PATH] [--top K] [--json]
+//! ```
+//!
+//! Two sources feed the same document format:
+//!
+//! - **spec mode** replays every simulation scenario of a sweep grid
+//!   into a powerscope recorder ([`npp_sweep::run_power_sweep`]) and
+//!   renders the whole grid at once — bytes are `--jobs`/`--threads`
+//!   invariant;
+//! - **diurnal mode** drives the paper-pod fleet
+//!   ([`npp_simnet::diurnal::DiurnalFleet`]) against the diurnal load
+//!   curve for N simulated days, *streaming* closed windows out as they
+//!   retire — memory stays bounded by the live-window set, never the
+//!   run length. Because device totals are only known at the end, the
+//!   streamed document carries its `scenario` line as a trailer (after
+//!   the `window` lines); consumers dispatch on `kind`, not order.
+//!
+//! Without `--json` the command prints a human summary instead: total
+//! energy and per-tier attribution, a fleet-power curve, the top-K
+//! least-proportional devices (ranked by the fraction of peak power
+//! they still draw in their quietest window), and a per-device state
+//! residency heatmap.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use npp_power::Tier;
+use npp_simnet::diurnal::{DiurnalFleet, DiurnalFleetConfig};
+use npp_simnet::powerscope::{PowerState, WindowConfig, WindowRow, STATE_COUNT};
+use npp_sweep::{
+    render_power_header, render_power_jsonl, render_scenario_line, render_window_row,
+    run_power_sweep, PowerDevice, ScenarioPower, SweepOptions, SweepSpec,
+};
+
+use crate::paper::Result;
+
+/// Heatmap / curve width in character cells.
+const HEAT_WIDTH: usize = 72;
+/// Nanoseconds per simulated day.
+const NS_PER_DAY: u64 = 86_400_000_000_000;
+
+const USAGE: &str = "usage: netpp powerscope <spec.json> [--window-ns N] [--jobs N] [--threads N] \
+     [--out PATH] [--top K] [--json]
+       netpp powerscope --diurnal DAYS [--window-ns N] [--out PATH] [--top K] [--json]";
+
+/// Parsed arguments for `netpp powerscope`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerscopeArgs {
+    /// Sweep spec path (spec mode); exclusive with `diurnal_days`.
+    pub spec_path: Option<String>,
+    /// Simulated days of the paper-pod fleet (diurnal mode).
+    pub diurnal_days: Option<u64>,
+    /// Residency window width, ns. Defaults: 100 µs (spec mode),
+    /// 1 hour (diurnal mode).
+    pub window_ns: Option<u64>,
+    /// Scenario fan-out (spec mode only).
+    pub jobs: usize,
+    /// Engine threads per scenario (spec mode only; bytes invariant).
+    pub threads: usize,
+    /// Write the `npp.power/v1` JSONL document here.
+    pub out: Option<String>,
+    /// Least-proportional device count in the summary.
+    pub top: usize,
+}
+
+impl PowerscopeArgs {
+    fn effective_window_ns(&self) -> u64 {
+        self.window_ns.unwrap_or(if self.diurnal_days.is_some() {
+            3_600_000_000_000 // 1 h
+        } else {
+            100_000 // 100 µs
+        })
+    }
+}
+
+/// Parses `powerscope` arguments from the raw argv tail.
+///
+/// # Errors
+///
+/// Rejects missing/ambiguous modes, malformed flag values, and unknown
+/// flags.
+pub fn parse_args(rest: &[&str]) -> Result<PowerscopeArgs> {
+    let mut spec_path = None;
+    let mut diurnal_days = None;
+    let mut window_ns = None;
+    let mut jobs = None;
+    let mut threads = None;
+    let mut out = None;
+    let mut top = None;
+    let mut it = rest.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--json" => {}
+            "--diurnal" => {
+                let v = it.next().ok_or("--diurnal needs a day count")?;
+                let days = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --diurnal value {v:?}"))?;
+                if days == 0 || days > 3650 {
+                    return Err("--diurnal must be 1..=3650 days".into());
+                }
+                diurnal_days = Some(days);
+            }
+            "--window-ns" => {
+                let v = it.next().ok_or("--window-ns needs a value")?;
+                let ns = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --window-ns value {v:?}"))?;
+                if ns == 0 {
+                    return Err("--window-ns must be positive".into());
+                }
+                window_ns = Some(ns);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --jobs value {v:?}"))?,
+                );
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
+            "--out" => {
+                out = Some(it.next().ok_or("--out needs a path")?.to_string());
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                top = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --top value {v:?}"))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown powerscope flag {flag:?}").into());
+            }
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}").into()),
+        }
+    }
+    if spec_path.is_some() == diurnal_days.is_some() {
+        return Err(USAGE.into());
+    }
+    let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    Ok(PowerscopeArgs {
+        spec_path,
+        diurnal_days,
+        window_ns,
+        jobs: jobs.unwrap_or(default_jobs),
+        threads: threads.unwrap_or(1),
+        out,
+        top: top.unwrap_or(5),
+    })
+}
+
+/// Runs `netpp powerscope`.
+///
+/// # Errors
+///
+/// Propagates spec-file, simulator, recorder, and filesystem errors.
+pub fn run(rest: &[&str], json: bool) -> Result<()> {
+    let args = parse_args(rest)?;
+    if args.diurnal_days.is_some() {
+        run_diurnal(&args, json)
+    } else {
+        run_spec(&args, json)
+    }
+}
+
+fn run_spec(args: &PowerscopeArgs, json: bool) -> Result<()> {
+    let spec_path = args.spec_path.as_deref().ok_or(USAGE)?;
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read spec {spec_path:?}: {e}"))?;
+    let spec: SweepSpec =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse spec {spec_path:?}: {e}"))?;
+    let window_ns = args.effective_window_ns();
+    let opts = SweepOptions {
+        jobs: args.jobs,
+        cache_dir: None,
+        threads: args.threads,
+    };
+    let outcome = run_power_sweep(&spec, window_ns, &opts)?;
+    let doc = render_power_jsonl(&outcome);
+    if let Some(path) = &args.out {
+        std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if json {
+        print!("{doc}");
+        return Ok(());
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "powerscope `{}`: {} scenarios, window {}",
+        outcome.name,
+        outcome.scenarios.len(),
+        fmt_ns(window_ns),
+    );
+    if let Some(path) = &args.out {
+        let _ = writeln!(report, "  document: {path} (npp.power/v1 JSONL)");
+    }
+    for s in &outcome.scenarios {
+        let coords = s
+            .coords
+            .iter()
+            .map(|(axis, value)| format!("{axis}={value}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let title = if coords.is_empty() {
+            format!("scenario {}", s.index)
+        } else {
+            format!("scenario {} ({coords})", s.index)
+        };
+        if let Some(reason) = s.skipped {
+            let _ = writeln!(report, "\n{title}: skipped — {reason}");
+            continue;
+        }
+        let windows_total = s.rows.iter().map(|r| r.window + 1).max().unwrap_or(0);
+        let mut fleet = FleetAgg::new(&title, window_ns, windows_total);
+        for meta in &s.devices {
+            fleet.add_device(meta.name.clone(), meta.tier, meta.peak_w);
+        }
+        for row in &s.rows {
+            fleet.absorb(row);
+        }
+        fleet.render(&mut report, args.top);
+    }
+    print!("{report}");
+    Ok(())
+}
+
+fn run_diurnal(args: &PowerscopeArgs, json: bool) -> Result<()> {
+    let days = args.diurnal_days.ok_or(USAGE)?;
+    let window_ns = args.effective_window_ns();
+    let total_ns = days
+        .checked_mul(NS_PER_DAY)
+        .ok_or("--diurnal horizon overflows")?;
+
+    let mut sink = match &args.out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            Some(std::io::BufWriter::new(file))
+        }
+        None => None,
+    };
+    let mut emit = |chunk: &str| -> Result<()> {
+        if let Some(w) = sink.as_mut() {
+            w.write_all(chunk.as_bytes())
+                .map_err(|e| format!("cannot write powerscope document: {e}"))?;
+        }
+        if json {
+            print!("{chunk}");
+        }
+        Ok(())
+    };
+
+    let title = format!("diurnal paper pod, {days} day(s)");
+    let fleet_agg = stream_diurnal(days, window_ns, total_ns, &title, &mut emit)?;
+    if let Some(w) = sink.as_mut() {
+        w.flush()
+            .map_err(|e| format!("cannot flush powerscope document: {e}"))?;
+    }
+    if json {
+        return Ok(());
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "powerscope diurnal: paper pod over {days} day(s), window {}",
+        fmt_ns(window_ns),
+    );
+    if let Some(path) = &args.out {
+        let _ = writeln!(report, "  document: {path} (npp.power/v1 JSONL, streamed)");
+    }
+    let _ = writeln!(
+        report,
+        "  live windows peaked at {} (devices: {}) — memory bounded by the live set",
+        fleet_agg.max_open_windows,
+        fleet_agg.devices.len(),
+    );
+    fleet_agg.render(&mut report, args.top);
+    print!("{report}");
+    Ok(())
+}
+
+/// Drives the fleet and streams `npp.power/v1` lines through `emit`,
+/// folding every closed row into a [`FleetAgg`] as it passes — rows are
+/// never retained.
+fn stream_diurnal(
+    days: u64,
+    window_ns: u64,
+    total_ns: u64,
+    title: &str,
+    emit: &mut dyn FnMut(&str) -> Result<()>,
+) -> Result<FleetAgg> {
+    let cfg = DiurnalFleetConfig::paper_pod();
+    let window = WindowConfig::from_nanos(window_ns)?;
+    let mut fleet = DiurnalFleet::new(cfg, window)?;
+    let windows_total = total_ns.div_ceil(window_ns);
+    let mut agg = FleetAgg::new(title, window_ns, windows_total);
+    for meta in fleet.metas() {
+        agg.add_device(meta.name.clone(), meta.tier, meta.peak.value());
+    }
+
+    let mut buf = String::new();
+    render_power_header(&mut buf, "diurnal", window_ns, 1);
+    emit(&buf)?;
+    buf.clear();
+
+    while fleet.now().as_nanos() < total_ns {
+        fleet.step()?;
+        agg.max_open_windows = agg.max_open_windows.max(fleet.open_windows());
+        for row in fleet.drain_closed() {
+            agg.absorb(&row);
+            render_window_row(&mut buf, 0, &row);
+        }
+        if buf.len() >= 1 << 16 {
+            emit(&buf)?;
+            buf.clear();
+        }
+    }
+    let mut rec = fleet.finish()?;
+    for row in rec.drain_closed() {
+        agg.absorb(&row);
+        render_window_row(&mut buf, 0, &row);
+    }
+
+    // Trailer: device totals are the in-order row sums, which the
+    // recorder guarantees are bit-identical to each tracker's
+    // `energy_until` — so the streamed trailer equals what a buffered
+    // renderer would have written up front.
+    let scenario = ScenarioPower {
+        index: 0,
+        coords: vec![
+            ("mode".to_string(), "diurnal".to_string()),
+            ("days".to_string(), days.to_string()),
+        ],
+        hash: "diurnal".to_string(),
+        seed: days,
+        devices: agg
+            .devices
+            .iter()
+            .map(|d| PowerDevice {
+                name: d.name.clone(),
+                tier: d.tier,
+                peak_w: d.peak_w,
+                total_j: d.total_j,
+            })
+            .collect(),
+        rows: Vec::new(),
+        skipped: None,
+    };
+    render_scenario_line(&mut buf, &scenario);
+    emit(&buf)?;
+    Ok(agg)
+}
+
+/// Streaming per-device aggregate: everything the human summary needs,
+/// in O(devices × HEAT_WIDTH) memory regardless of run length.
+#[derive(Debug, Clone)]
+struct DeviceAgg {
+    name: String,
+    tier: Tier,
+    peak_w: f64,
+    total_j: f64,
+    transitions: u64,
+    residency_ns: [u64; STATE_COUNT],
+    /// Quietest / busiest window average draw, W.
+    min_avg_w: f64,
+    max_avg_w: f64,
+    /// Chunked residency for the heatmap (`chunk = window / chunk_size`).
+    cells: Vec<[u64; STATE_COUNT]>,
+}
+
+impl DeviceAgg {
+    /// Fraction of peak power still drawn in the quietest window — the
+    /// summary's (anti-)proportionality score. 1.0 means the device
+    /// never drops below peak; 0.0 means it reaches a fully dark
+    /// window.
+    fn idle_floor_frac(&self) -> f64 {
+        if self.peak_w > 0.0 && self.min_avg_w.is_finite() {
+            self.min_avg_w / self.peak_w
+        } else {
+            0.0
+        }
+    }
+
+    fn heatmap(&self) -> String {
+        self.cells
+            .iter()
+            .filter(|cell| cell.iter().any(|&ns| ns > 0))
+            .map(|cell| {
+                let dominant = PowerState::all()
+                    .into_iter()
+                    .max_by_key(|s| cell.get(s.index()).copied().unwrap_or(0))
+                    .unwrap_or(PowerState::Off);
+                state_char(dominant)
+            })
+            .collect()
+    }
+}
+
+/// Heatmap glyph per power state.
+fn state_char(state: PowerState) -> char {
+    match state {
+        PowerState::Off => '.',
+        PowerState::Waking => '~',
+        PowerState::OnLow => 'o',
+        PowerState::OnFull => '#',
+    }
+}
+
+/// Whole-fleet aggregate for one scenario (or the diurnal run).
+#[derive(Debug, Clone)]
+struct FleetAgg {
+    title: String,
+    window_ns: u64,
+    chunk_size: u64,
+    chunks: usize,
+    devices: Vec<DeviceAgg>,
+    /// Per-chunk fleet energy (J) and device-time (ns) for the curve.
+    curve_j: Vec<f64>,
+    curve_ns: Vec<u64>,
+    max_open_windows: usize,
+}
+
+impl FleetAgg {
+    fn new(title: &str, window_ns: u64, windows_total: u64) -> FleetAgg {
+        let chunk_size = windows_total.div_ceil(HEAT_WIDTH as u64).max(1);
+        let chunks = usize::try_from(windows_total.div_ceil(chunk_size)).unwrap_or(HEAT_WIDTH);
+        FleetAgg {
+            title: title.to_string(),
+            window_ns,
+            chunk_size,
+            chunks,
+            devices: Vec::new(),
+            curve_j: vec![0.0; chunks],
+            curve_ns: vec![0; chunks],
+            max_open_windows: 0,
+        }
+    }
+
+    fn add_device(&mut self, name: String, tier: Tier, peak_w: f64) {
+        self.devices.push(DeviceAgg {
+            name,
+            tier,
+            peak_w,
+            total_j: 0.0,
+            transitions: 0,
+            residency_ns: [0; STATE_COUNT],
+            min_avg_w: f64::INFINITY,
+            max_avg_w: f64::NEG_INFINITY,
+            cells: vec![[0; STATE_COUNT]; self.chunks],
+        })
+    }
+
+    fn absorb(&mut self, row: &WindowRow) {
+        let chunk = usize::try_from(row.window / self.chunk_size).unwrap_or(usize::MAX);
+        if let (Some(j), Some(ns)) = (self.curve_j.get_mut(chunk), self.curve_ns.get_mut(chunk)) {
+            *j += row.energy_j;
+            *ns += row.duration_ns();
+        }
+        let Some(dev) = self.devices.get_mut(row.device) else {
+            return;
+        };
+        dev.total_j += row.energy_j;
+        dev.transitions += u64::from(row.transitions);
+        for (acc, ns) in dev.residency_ns.iter_mut().zip(row.residency_ns.iter()) {
+            *acc += ns;
+        }
+        let w = row.avg_w();
+        dev.min_avg_w = dev.min_avg_w.min(w);
+        dev.max_avg_w = dev.max_avg_w.max(w);
+        if let Some(cell) = dev.cells.get_mut(chunk) {
+            for (acc, ns) in cell.iter_mut().zip(row.residency_ns.iter()) {
+                *acc += ns;
+            }
+        }
+    }
+
+    fn render(&self, report: &mut String, top: usize) {
+        let device_count = self.devices.len().max(1);
+        let covered_ns: u64 = self
+            .devices
+            .iter()
+            .map(|d| d.residency_ns.iter().sum::<u64>())
+            .sum::<u64>()
+            / device_count as u64;
+        let span_s = covered_ns as f64 / 1e9;
+        let total_j: f64 = self.devices.iter().map(|d| d.total_j).sum();
+        let peak_sum: f64 = self.devices.iter().map(|d| d.peak_w).sum();
+        let avg_w = if span_s > 0.0 { total_j / span_s } else { 0.0 };
+        let _ = writeln!(
+            report,
+            "\n{}: {} devices over {}",
+            self.title,
+            self.devices.len(),
+            fmt_ns(covered_ns)
+        );
+        let _ = writeln!(
+            report,
+            "  energy {total_j:.3} J, avg {avg_w:.1} W of {peak_sum:.1} W peak ({:.1}% of always-peak)",
+            if peak_sum > 0.0 { 100.0 * avg_w / peak_sum } else { 0.0 },
+        );
+
+        // Fleet state residency mix.
+        let mut mix = [0u64; STATE_COUNT];
+        for dev in &self.devices {
+            for (acc, ns) in mix.iter_mut().zip(dev.residency_ns.iter()) {
+                *acc += ns;
+            }
+        }
+        let mix_total = mix.iter().sum::<u64>().max(1) as f64;
+        let mix_line = PowerState::all()
+            .into_iter()
+            .map(|s| {
+                let ns = mix.get(s.index()).copied().unwrap_or(0) as f64;
+                format!("{} {:.1}%", s.name(), 100.0 * ns / mix_total)
+            })
+            .collect::<Vec<_>>()
+            .join("  ");
+        let _ = writeln!(report, "  state residency: {mix_line}");
+
+        // Energy-vs-time curve: fleet average watts per chunk.
+        let curve: Vec<f64> = self
+            .curve_j
+            .iter()
+            .zip(self.curve_ns.iter())
+            .filter(|&(_, &ns)| ns > 0)
+            .map(|(&j, &ns)| j / (ns as f64 / device_count as f64 / 1e9))
+            .collect();
+        let curve_max = curve.iter().copied().fold(0.0_f64, f64::max);
+        if curve_max > 0.0 {
+            const LEVELS: &[u8] = b" .:-=+*#%@";
+            let spark: String = curve
+                .iter()
+                .map(|&w| {
+                    let idx = ((w / curve_max) * (LEVELS.len() - 1) as f64).round() as usize;
+                    char::from(LEVELS.get(idx).copied().unwrap_or(b'@'))
+                })
+                .collect();
+            let _ = writeln!(
+                report,
+                "  fleet power curve (peak {:.1} W, {} per cell):",
+                curve_max,
+                fmt_ns(self.chunk_size * self.window_ns),
+            );
+            let _ = writeln!(report, "    [{spark}]");
+        }
+
+        // Least-proportional devices: highest idle floor first.
+        let mut ranked: Vec<&DeviceAgg> = self.devices.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.idle_floor_frac()
+                .total_cmp(&a.idle_floor_frac())
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        if top > 0 && !ranked.is_empty() {
+            let _ = writeln!(
+                report,
+                "  least-proportional devices (quietest-window draw / peak):"
+            );
+            for (i, dev) in ranked.iter().take(top).enumerate() {
+                let floor = if dev.min_avg_w.is_finite() {
+                    dev.min_avg_w
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    report,
+                    "    {:>2}. {:<12} {:<6} {:>8.1} W / {:>7.1} W = {:>5.1}%  ({} transitions)",
+                    i + 1,
+                    dev.name,
+                    dev.tier.name(),
+                    floor,
+                    dev.peak_w,
+                    100.0 * dev.idle_floor_frac(),
+                    dev.transitions,
+                );
+            }
+        }
+
+        // Per-tier energy attribution.
+        let mut by_tier: BTreeMap<&str, f64> = BTreeMap::new();
+        for dev in &self.devices {
+            *by_tier.entry(dev.tier.name()).or_insert(0.0) += dev.total_j;
+        }
+        let tier_line = by_tier
+            .iter()
+            .map(|(tier, j)| format!("{tier} {j:.3} J"))
+            .collect::<Vec<_>>()
+            .join("  |  ");
+        let _ = writeln!(report, "  energy by tier: {tier_line}");
+
+        // Residency heatmap, one row per device (capped).
+        const MAX_ROWS: usize = 32;
+        let _ = writeln!(
+            report,
+            "  residency heatmap (.=off  ~=waking  o=on_low  #=on_full):"
+        );
+        for dev in self.devices.iter().take(MAX_ROWS) {
+            let _ = writeln!(report, "    {:<12} {}", dev.name, dev.heatmap());
+        }
+        if self.devices.len() > MAX_ROWS {
+            let _ = writeln!(
+                report,
+                "    ... {} more device(s) elided",
+                self.devices.len() - MAX_ROWS
+            );
+        }
+    }
+}
+
+/// Human-readable duration for window widths (`100 µs`, `1.0 h`, ...).
+fn fmt_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns >= 3_600_000_000_000 {
+        format!("{:.1} h", ns_f / 3.6e12)
+    } else if ns >= 1_000_000_000 {
+        format!("{:.1} s", ns_f / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1} ms", ns_f / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns_f / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_spec_mode() {
+        let args = parse_args(&[
+            "spec.json",
+            "--window-ns",
+            "250000",
+            "--jobs",
+            "2",
+            "--threads",
+            "4",
+            "--out",
+            "/tmp/p.jsonl",
+            "--top",
+            "3",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(args.spec_path.as_deref(), Some("spec.json"));
+        assert_eq!(args.diurnal_days, None);
+        assert_eq!(args.effective_window_ns(), 250_000);
+        assert_eq!(args.jobs, 2);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.out.as_deref(), Some("/tmp/p.jsonl"));
+        assert_eq!(args.top, 3);
+    }
+
+    #[test]
+    fn parses_diurnal_mode_with_defaults() {
+        let args = parse_args(&["--diurnal", "2"]).unwrap();
+        assert_eq!(args.diurnal_days, Some(2));
+        assert_eq!(args.spec_path, None);
+        assert_eq!(args.effective_window_ns(), 3_600_000_000_000);
+        assert_eq!(args.top, 5);
+        // Spec mode default window differs.
+        let spec = parse_args(&["s.json"]).unwrap();
+        assert_eq!(spec.effective_window_ns(), 100_000);
+    }
+
+    #[test]
+    fn rejects_ambiguous_and_malformed() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["spec.json", "--diurnal", "1"]).is_err());
+        assert!(parse_args(&["--diurnal", "0"]).is_err());
+        assert!(parse_args(&["--diurnal", "many"]).is_err());
+        assert!(parse_args(&["spec.json", "--window-ns", "0"]).is_err());
+        assert!(parse_args(&["spec.json", "--threads", "0"]).is_err());
+        assert!(parse_args(&["spec.json", "--whatever"]).is_err());
+        assert!(parse_args(&["a.json", "b.json"]).is_err());
+    }
+
+    #[test]
+    fn state_chars_are_distinct() {
+        let chars: Vec<char> = PowerState::all().into_iter().map(state_char).collect();
+        let mut dedup = chars.clone();
+        dedup.dedup();
+        assert_eq!(chars, dedup);
+        assert_eq!(chars, vec!['.', '~', 'o', '#']);
+    }
+
+    fn row(device: usize, window: u64, energy_j: f64, residency: [u64; STATE_COUNT]) -> WindowRow {
+        let width = 1_000u64;
+        WindowRow {
+            device,
+            window,
+            start_ns: window * width,
+            end_ns: (window + 1) * width,
+            energy_j,
+            events: 1,
+            transitions: 1,
+            residency_ns: residency,
+        }
+    }
+
+    #[test]
+    fn fleet_agg_tracks_floor_and_heatmap() {
+        let mut agg = FleetAgg::new("t", 1_000, 4);
+        agg.add_device("dev0".into(), Tier::Tor, 100.0);
+        // Window 0: full power; window 1: half; window 2: off.
+        agg.absorb(&row(0, 0, 100.0 * 1e-6, [0, 0, 0, 1_000]));
+        agg.absorb(&row(0, 1, 50.0 * 1e-6, [0, 0, 1_000, 0]));
+        agg.absorb(&row(0, 2, 0.0, [1_000, 0, 0, 0]));
+        let dev = agg.devices.first().unwrap();
+        assert!((dev.min_avg_w - 0.0).abs() < 1e-12);
+        assert!((dev.max_avg_w - 100.0).abs() < 1e-9);
+        assert_eq!(dev.transitions, 3);
+        // 4 windows over 72 cells → chunk size 1; 3 filled cells.
+        assert_eq!(dev.heatmap(), "#o.");
+        assert!((dev.idle_floor_frac() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_summary_mentions_every_section() {
+        let mut agg = FleetAgg::new("unit scenario", 1_000, 2);
+        agg.add_device("a".into(), Tier::Host, 25.0);
+        agg.add_device("b".into(), Tier::Spine, 750.0);
+        agg.absorb(&row(0, 0, 2.0e-5, [0, 0, 0, 1_000]));
+        agg.absorb(&row(0, 1, 2.0e-5, [0, 0, 0, 1_000]));
+        agg.absorb(&row(1, 0, 0.0, [1_000, 0, 0, 0]));
+        agg.absorb(&row(1, 1, 0.0, [1_000, 0, 0, 0]));
+        let mut out = String::new();
+        agg.render(&mut out, 2);
+        for needle in [
+            "unit scenario",
+            "least-proportional",
+            "energy by tier",
+            "residency heatmap",
+            "state residency",
+            "host",
+            "spine",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in {out}");
+        }
+        // Host never throttles → 100% idle floor, ranked first.
+        let host_pos = out.find("1. a").expect("host should rank first");
+        let spine_pos = out.find("2. b").expect("spine second");
+        assert!(host_pos < spine_pos);
+    }
+
+    #[test]
+    fn diurnal_stream_is_deterministic_and_conserves_shape() {
+        let mut doc_a = String::new();
+        let agg = stream_diurnal(1, 3_600_000_000_000, NS_PER_DAY, "t", &mut |chunk: &str| {
+            doc_a.push_str(chunk);
+            Ok(())
+        })
+        .unwrap();
+        let mut doc_b = String::new();
+        stream_diurnal(1, 3_600_000_000_000, NS_PER_DAY, "t", &mut |chunk: &str| {
+            doc_b.push_str(chunk);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(doc_a, doc_b, "diurnal stream must be byte-deterministic");
+
+        // paper pod: 16 + 4 + 4 + 4 devices; 24 one-hour windows each.
+        assert_eq!(agg.devices.len(), 28);
+        assert_eq!(agg.max_open_windows, 28);
+        let windows = doc_a
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"window\""))
+            .count();
+        assert_eq!(windows, 28 * 24);
+        let header = doc_a.lines().next().unwrap();
+        assert!(header.starts_with("{\"schema\":\"npp.power/v1\""));
+        let trailer = doc_a.lines().last().unwrap();
+        assert!(trailer.contains("\"kind\":\"scenario\""));
+        assert!(trailer.contains("[\"mode\",\"diurnal\"]"));
+        // Every line parses as JSON.
+        for line in doc_a.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect(line);
+            drop(v);
+        }
+        // Residency in every window covers the whole window.
+        for dev in &agg.devices {
+            let total: u64 = dev.residency_ns.iter().sum();
+            assert_eq!(total, NS_PER_DAY, "{}", dev.name);
+            assert!(dev.total_j >= 0.0);
+        }
+        // Hosts never park; spines do.
+        let host = agg.devices.iter().find(|d| d.name == "host0").unwrap();
+        assert_eq!(host.residency_ns[PowerState::Off.index()], 0);
+        let spine_off: u64 = agg
+            .devices
+            .iter()
+            .filter(|d| d.tier == Tier::Spine)
+            .map(|d| d.residency_ns[PowerState::Off.index()])
+            .sum();
+        assert!(spine_off > 0, "spines should park overnight");
+    }
+}

@@ -2,7 +2,7 @@
 //! recording on and emit a self-contained profiling report.
 //!
 //! ```text
-//! netpp profile <spec.json> [--out DIR] [--jobs N] [--threads N] [--json]
+//! netpp profile <spec.json> [--out DIR] [--jobs N] [--threads N] [--power] [--window-ns N] [--json]
 //! ```
 //!
 //! Artifacts written under `--out` (default `netpp-profile/`):
@@ -10,7 +10,11 @@
 //! - `trace.jsonl` — the canonical `npp.trace/v1` trace (byte-identical
 //!   for any `--jobs` value);
 //! - `trace.chrome.json` — the same records in Chrome `trace_event`
-//!   format, loadable in Perfetto (<https://ui.perfetto.dev>).
+//!   format, loadable in Perfetto (<https://ui.perfetto.dev>);
+//! - `power.jsonl` (with `--power`) — the windowed `npp.power/v1`
+//!   per-device power/energy document from a second, powerscope-recorded
+//!   pass over the same grid (`--window-ns` sets the bucket width,
+//!   default 100 µs).
 //!
 //! The report itself goes to stdout: top trace record names by count,
 //! histogram summaries from the metrics registry (the `prof.*` sampling
@@ -38,6 +42,10 @@ pub struct ProfileArgs {
     /// Engine worker threads per scenario (default 1). Results are
     /// bit-identical at every value; this only changes wall time.
     pub threads: usize,
+    /// Also emit the windowed `npp.power/v1` document (`power.jsonl`).
+    pub power: bool,
+    /// Residency window width for `--power`, ns.
+    pub power_window_ns: u64,
 }
 
 /// Parses `profile` arguments from the raw argv tail.
@@ -51,10 +59,23 @@ pub fn parse_args(rest: &[&str]) -> Result<ProfileArgs> {
     let mut out_dir = None;
     let mut jobs = None;
     let mut threads = None;
+    let mut power = false;
+    let mut power_window_ns = None;
     let mut it = rest.iter().copied();
     while let Some(arg) = it.next() {
         match arg {
             "--json" => {}
+            "--power" => power = true,
+            "--window-ns" => {
+                let v = it.next().ok_or("--window-ns needs a value")?;
+                let ns = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --window-ns value {v:?}"))?;
+                if ns == 0 {
+                    return Err("--window-ns must be positive".into());
+                }
+                power_window_ns = Some(ns);
+            }
             "--out" => {
                 out_dir = Some(it.next().ok_or("--out needs a directory")?.to_string());
             }
@@ -85,11 +106,14 @@ pub fn parse_args(rest: &[&str]) -> Result<ProfileArgs> {
     let default_jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     Ok(ProfileArgs {
         spec_path: spec_path.ok_or(
-            "usage: netpp profile <spec.json> [--out DIR] [--jobs N] [--threads N] [--json]",
+            "usage: netpp profile <spec.json> [--out DIR] [--jobs N] [--threads N] \
+             [--power] [--window-ns N] [--json]",
         )?,
         out_dir: out_dir.unwrap_or_else(|| "netpp-profile".to_string()),
         jobs: jobs.unwrap_or(default_jobs),
         threads: threads.unwrap_or(1),
+        power,
+        power_window_ns: power_window_ns.unwrap_or(100_000),
     })
 }
 
@@ -143,6 +167,20 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
     std::fs::write(&chrome_path, trace.to_chrome_json())
         .map_err(|e| format!("cannot write {}: {e}", chrome_path.display()))?;
 
+    // Optional windowed power pass: a second run over the same grid
+    // with the powerscope recorder attached (after `finish()`, so the
+    // power pass never pollutes the trace above).
+    let power = if args.power {
+        let outcome = npp_sweep::run_power_sweep(&spec, args.power_window_ns, &opts)?;
+        let doc = npp_sweep::render_power_jsonl(&outcome);
+        let path = out.join("power.jsonl");
+        std::fs::write(&path, &doc).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let rows: usize = outcome.scenarios.iter().map(|s| s.rows.len()).sum();
+        Some((path, rows))
+    } else {
+        None
+    };
+
     // Scenario labels for the energy table: scope ids are scenario seeds.
     let labels: BTreeMap<u64, &str> = outcome
         .results
@@ -164,7 +202,7 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
     if json {
         println!(
             "{}",
-            render_json(&args, &outcome, &trace, &top, &energy, &snapshot)
+            render_json(&args, &outcome, &trace, &top, &energy, &snapshot, &power)
         );
         return Ok(());
     }
@@ -184,6 +222,14 @@ pub fn run(rest: &[&str], json: bool) -> Result<()> {
         "  perfetto: {} (open at https://ui.perfetto.dev)",
         chrome_path.display()
     );
+    if let Some((path, rows)) = &power {
+        let _ = writeln!(
+            report,
+            "  power: {} (npp.power/v1, {rows} window rows, {} ns buckets)",
+            path.display(),
+            args.power_window_ns
+        );
+    }
 
     let _ = writeln!(report, "\nTop trace records:");
     for (name, count) in top.iter().take(12) {
@@ -274,6 +320,7 @@ fn render_json(
     top: &[(&str, u64)],
     energy: &[EnergyRow],
     snapshot: &npp_telemetry::metrics::Snapshot,
+    power: &Option<(std::path::PathBuf, usize)>,
 ) -> String {
     let mut out = String::from("{\"schema\":\"npp.profile/v1\"");
     let _ = write!(
@@ -284,6 +331,13 @@ fn render_json(
         args.jobs,
         trace.len()
     );
+    if let Some((_, rows)) = power {
+        let _ = write!(
+            out,
+            ",\"power_rows\":{rows},\"power_window_ns\":{}",
+            args.power_window_ns
+        );
+    }
     out.push_str(",\"top\":[");
     for (i, (name, count)) in top.iter().enumerate() {
         if i > 0 {
@@ -318,6 +372,11 @@ mod tests {
         assert_eq!(args.spec_path, "spec.json");
         assert_eq!(args.out_dir, "/tmp/p");
         assert_eq!(args.jobs, 2);
+        assert!(!args.power);
+        let args = parse_args(&["spec.json", "--power", "--window-ns", "50000"]).unwrap();
+        assert!(args.power);
+        assert_eq!(args.power_window_ns, 50_000);
+        assert!(parse_args(&["spec.json", "--window-ns", "0"]).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ const DETERMINISM_CRATES: &[&str] = &[
     "core",
     "telemetry",
     "serve",
+    "power",
 ];
 
 /// Crates whose serde specs must reject unknown fields (S1).

@@ -17,10 +17,13 @@ use npp_units::Ratio;
 
 use crate::comparison::MechanismOutcome;
 use crate::pipeline_park::{
-    park_floor_proportionality, simulate_parking, ParkConfig, PredictiveSchedule,
+    park_floor_proportionality, simulate_parking_full, ParkConfig, PredictiveSchedule,
 };
-use crate::rate_adapt::{idle_floor_proportionality, simulate_rate_adaptation, RateAdaptConfig};
+use crate::rate_adapt::{
+    idle_floor_proportionality, simulate_rate_adaptation_full, RateAdaptConfig,
+};
 use crate::{MechanismError, Result};
+use npp_simnet::switchsim::PipelineSwitch;
 
 /// Knobs shared by every dynamic mechanism (§4.3/§4.4 controllers).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,14 +118,40 @@ impl Mechanism {
         source: &mut dyn TrafficSource,
         horizon: SimTime,
     ) -> Result<MechanismOutcome> {
+        self.run_full(params, knobs, source, horizon)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Mechanism::run`], but also returns the simulated switch so
+    /// callers can replay its power timelines into the PowerScope
+    /// recorder (`npp_simnet::powerscope`).
+    ///
+    /// For [`Mechanism::AllOn`] the switch is a freshly constructed
+    /// full-power instance with no traffic applied — its timelines are
+    /// flat at peak, which is exactly the all-on power profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and simulator errors.
+    pub fn run_full(
+        self,
+        params: SwitchParams,
+        knobs: MechanismKnobs,
+        source: &mut dyn TrafficSource,
+        horizon: SimTime,
+    ) -> Result<(MechanismOutcome, PipelineSwitch)> {
         match self {
-            Mechanism::AllOn => Ok(MechanismOutcome {
-                name: self.name().into(),
-                savings: Ratio::ZERO,
-                proportionality_floor: Ratio::ZERO,
-                loss_rate: 0.0,
-                p99_latency_ns: 0.0,
-            }),
+            Mechanism::AllOn => {
+                let outcome = MechanismOutcome {
+                    name: self.name().into(),
+                    savings: Ratio::ZERO,
+                    proportionality_floor: Ratio::ZERO,
+                    loss_rate: 0.0,
+                    p99_latency_ns: 0.0,
+                };
+                let sw = PipelineSwitch::new(params, SimTime::ZERO)?;
+                Ok((outcome, sw))
+            }
             Mechanism::RateAdaptGlobal | Mechanism::RateAdaptPerPipeline => {
                 let cfg = RateAdaptConfig {
                     control_interval_ns: knobs.control_interval_ns,
@@ -130,14 +159,15 @@ impl Mechanism {
                     per_pipeline: self == Mechanism::RateAdaptPerPipeline,
                     ..RateAdaptConfig::default_per_pipeline()
                 };
-                let r = simulate_rate_adaptation(params, &cfg, source, horizon)?;
-                Ok(MechanismOutcome {
+                let (r, sw) = simulate_rate_adaptation_full(params, &cfg, source, horizon)?;
+                let outcome = MechanismOutcome {
                     name: self.name().into(),
                     savings: r.savings,
                     proportionality_floor: idle_floor_proportionality(&params, &cfg),
                     loss_rate: r.loss_rate,
                     p99_latency_ns: r.p99_latency_ns,
-                })
+                };
+                Ok((outcome, sw))
             }
             Mechanism::ParkReactive | Mechanism::ParkPredictive => {
                 let schedule = (self == Mechanism::ParkPredictive).then_some(PredictiveSchedule {
@@ -152,14 +182,15 @@ impl Mechanism {
                     schedule,
                     ..ParkConfig::reactive()
                 };
-                let r = simulate_parking(params, &cfg, source, horizon)?;
-                Ok(MechanismOutcome {
+                let (r, sw) = simulate_parking_full(params, &cfg, source, horizon)?;
+                let outcome = MechanismOutcome {
                     name: self.name().into(),
                     savings: r.savings,
                     proportionality_floor: park_floor_proportionality(&params, 0),
                     loss_rate: r.loss_rate,
                     p99_latency_ns: r.p99_latency_ns,
-                })
+                };
+                Ok((outcome, sw))
             }
         }
     }

@@ -179,6 +179,22 @@ pub fn simulate_parking(
     source: &mut dyn TrafficSource,
     horizon: SimTime,
 ) -> Result<ParkReport> {
+    simulate_parking_full(params, cfg, source, horizon).map(|(report, _)| report)
+}
+
+/// Like [`simulate_parking`], but also returns the simulated switch so
+/// callers can replay its per-pipeline power timelines (the PowerScope
+/// exporter feeds them into a windowed residency recorder).
+///
+/// # Errors
+///
+/// Propagates configuration and simulator errors.
+pub fn simulate_parking_full(
+    params: SwitchParams,
+    cfg: &ParkConfig,
+    source: &mut dyn TrafficSource,
+    horizon: SimTime,
+) -> Result<(ParkReport, PipelineSwitch)> {
     cfg.validate(&params)?;
     if horizon == SimTime::ZERO {
         return Err(MechanismError::Config("horizon must be positive".into()));
@@ -233,7 +249,7 @@ pub fn simulate_parking(
 
     let report = sw.finish(horizon)?;
     let energy_all_on = params.max_power() * horizon.as_seconds();
-    Ok(ParkReport {
+    let summary = ParkReport {
         duration: horizon.as_seconds(),
         energy: report.energy,
         energy_all_on,
@@ -244,7 +260,8 @@ pub fn simulate_parking(
         p99_latency_ns: report.p99_latency_ns,
         parks,
         wakes,
-    })
+    };
+    Ok((summary, sw))
 }
 
 /// One point of the §4.4 wake-latency frontier.

@@ -113,6 +113,22 @@ pub fn simulate_rate_adaptation(
     source: &mut dyn TrafficSource,
     horizon: SimTime,
 ) -> Result<RateAdaptReport> {
+    simulate_rate_adaptation_full(params, cfg, source, horizon).map(|(report, _)| report)
+}
+
+/// Like [`simulate_rate_adaptation`], but also returns the simulated
+/// switch so callers can replay its per-pipeline power timelines (the
+/// PowerScope exporter feeds them into a windowed residency recorder).
+///
+/// # Errors
+///
+/// Propagates configuration and simulator errors.
+pub fn simulate_rate_adaptation_full(
+    params: SwitchParams,
+    cfg: &RateAdaptConfig,
+    source: &mut dyn TrafficSource,
+    horizon: SimTime,
+) -> Result<(RateAdaptReport, PipelineSwitch)> {
     cfg.validate()?;
     if horizon == SimTime::ZERO {
         return Err(MechanismError::Config("horizon must be positive".into()));
@@ -174,7 +190,7 @@ pub fn simulate_rate_adaptation(
     npp_telemetry::metrics::counter_add("rate_adapt.freq_updates", freq_updates);
     let report = sw.finish(horizon)?;
     let energy_all_on = params.max_power() * horizon.as_seconds();
-    Ok(RateAdaptReport {
+    let summary = RateAdaptReport {
         duration: horizon.as_seconds(),
         energy: report.energy,
         energy_all_on,
@@ -184,7 +200,8 @@ pub fn simulate_rate_adaptation(
         mean_latency_ns: report.mean_latency_ns,
         p99_latency_ns: report.p99_latency_ns,
         freq_updates,
-    })
+    };
+    Ok((summary, sw))
 }
 
 /// The proportionality a rate-adapted switch converges to at zero load:

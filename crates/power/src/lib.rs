@@ -45,9 +45,11 @@ pub mod gating;
 mod model;
 mod proportionality;
 pub mod psu;
+pub mod tier;
 
 pub use model::{LinearPower, PowerModel, TwoStatePower};
 pub use proportionality::Proportionality;
+pub use tier::Tier;
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq)]

@@ -58,7 +58,7 @@ impl PsuModel {
             ));
         }
         for w in self.curve.windows(2) {
-            let ((l0, e0), (l1, e1)) = (w[0], w[1]);
+            let &[(l0, e0), (l1, e1)] = w else { continue };
             if load <= l1 {
                 let t = (load - l0) / (l1 - l0);
                 return Ok(Ratio::new(e0 + (e1 - e0) * t));

@@ -1,0 +1,110 @@
+//! Fabric tiers for per-device power attribution.
+//!
+//! PowerScope (see `npp-simnet::powerscope`) aggregates windowed energy
+//! and power-state residency per device; every device carries a [`Tier`]
+//! so reports can roll joules up the fat-tree: host NICs, top-of-rack
+//! switches, aggregation switches, and the spine.
+
+/// Where a device sits in the fabric, from server to spine.
+///
+/// The discriminants are stable and index-addressable (`Tier::all()[i]`
+/// has discriminant `i`), which the powerscope exporter relies on for
+/// byte-stable ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Server-side endpoint: NIC plus its share of host networking.
+    Host,
+    /// Top-of-rack switch.
+    Tor,
+    /// Aggregation-layer switch.
+    Agg,
+    /// Spine / core switch.
+    Spine,
+}
+
+impl Tier {
+    /// All tiers in fixed report order (host → spine).
+    pub const fn all() -> [Tier; 4] {
+        [Tier::Host, Tier::Tor, Tier::Agg, Tier::Spine]
+    }
+
+    /// Stable lowercase name used in `npp.power/v1` documents.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Tier::Host => "host",
+            Tier::Tor => "tor",
+            Tier::Agg => "agg",
+            Tier::Spine => "spine",
+        }
+    }
+
+    /// Index of this tier in [`Tier::all`] order.
+    pub const fn index(self) -> usize {
+        match self {
+            Tier::Host => 0,
+            Tier::Tor => 1,
+            Tier::Agg => 2,
+            Tier::Spine => 3,
+        }
+    }
+
+    /// Parses a tier from its [`Tier::name`] form.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "host" => Some(Tier::Host),
+            "tor" => Some(Tier::Tor),
+            "agg" => Some(Tier::Agg),
+            "spine" => Some(Tier::Spine),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Tier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Serialized as the lowercase name (`"tor"`), matching the
+// `npp.power/v1` document vocabulary.
+impl serde::Serialize for Tier {
+    fn serialize_value(&self) -> std::result::Result<serde::Value, serde::Error> {
+        Ok(serde::Value::String(self.name().to_string()))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Tier {
+    fn deserialize_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        match value {
+            serde::Value::String(s) => {
+                Tier::parse(s).ok_or_else(|| serde::Error::custom(format!("unknown tier {s:?}")))
+            }
+            other => Err(serde::Error::custom(format!(
+                "expected tier string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for (i, tier) in Tier::all().into_iter().enumerate() {
+            assert_eq!(tier.index(), i);
+            assert_eq!(Tier::parse(tier.name()), Some(tier));
+        }
+        assert_eq!(Tier::parse("core"), None);
+    }
+
+    #[test]
+    fn serde_uses_snake_case() {
+        let json = serde_json::to_string(&Tier::Tor).unwrap();
+        assert_eq!(json, "\"tor\"");
+        let back: Tier = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Tier::Tor);
+    }
+}

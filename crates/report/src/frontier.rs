@@ -29,9 +29,8 @@ pub fn pareto_indices<T>(
     // Ascending cost; ties broken by descending benefit so the best item
     // at each cost comes first, then by index for determinism.
     candidates.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .unwrap()
-            .then(b.2.partial_cmp(&a.2).unwrap())
+        a.1.total_cmp(&b.1)
+            .then(b.2.total_cmp(&a.2))
             .then(a.0.cmp(&b.0))
     });
     let mut frontier = Vec::new();

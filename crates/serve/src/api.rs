@@ -11,7 +11,7 @@ use serde::Serialize;
 use npp_sweep::{expand, Metrics, ScenarioSpec, SweepSpec};
 
 use crate::engine::Engine;
-use crate::http::{write_response, write_stream_head, Request, Response};
+use crate::http::{write_response, write_stream_head, Request, Response, PROMETHEUS_CONTENT_TYPE};
 
 /// What the connection handler should do after a request.
 #[derive(Debug)]
@@ -40,6 +40,47 @@ struct ScenarioReply {
 struct StatsReply {
     cache: Option<npp_sweep::CacheStats>,
     jobs: usize,
+    /// Per-endpoint request-latency summaries (only endpoints that have
+    /// served at least one request appear; empty when telemetry is off).
+    latency: Vec<EndpointLatency>,
+}
+
+/// One endpoint's request-latency summary, distilled from the
+/// power-of-two telemetry histogram.
+#[derive(Debug, Serialize)]
+struct EndpointLatency {
+    /// Endpoint label (path, or "other" for unknown routes).
+    endpoint: &'static str,
+    /// Requests observed.
+    count: u64,
+    /// Total handler time, ns.
+    sum_ns: u64,
+    /// Fastest request, ns.
+    min_ns: u64,
+    /// Slowest request, ns.
+    max_ns: u64,
+}
+
+/// Known endpoints and their per-endpoint latency-histogram metric
+/// names. The names are static so the hot path never allocates; the
+/// table also drives the `/stats` latency section.
+pub const ENDPOINT_METRICS: [(&str, &str); 8] = [
+    ("/healthz", "serve.request_ns.healthz"),
+    ("/metrics", "serve.request_ns.metrics"),
+    ("/stats", "serve.request_ns.stats"),
+    ("/scenario", "serve.request_ns.scenario"),
+    ("/sweep", "serve.request_ns.sweep"),
+    ("/sweep/stream", "serve.request_ns.sweep_stream"),
+    ("/admin/shutdown", "serve.request_ns.shutdown"),
+    ("other", "serve.request_ns.other"),
+];
+
+/// The latency-histogram metric name for a request path.
+pub fn endpoint_metric(path: &str) -> &'static str {
+    ENDPOINT_METRICS
+        .iter()
+        .find(|&&(endpoint, _)| endpoint == path)
+        .map_or("serve.request_ns.other", |&(_, metric)| metric)
 }
 
 /// Renders the structured error body.
@@ -66,13 +107,24 @@ fn error_response(status: u16, kind: &str, message: &str) -> Response {
 /// Routes one request. Streaming endpoints write to `stream` directly
 /// and return [`Action::Streamed`].
 pub fn dispatch<W: std::io::Write>(req: &Request, engine: &Engine, stream: &mut W) -> Action {
-    match (req.method.as_str(), req.target.as_str()) {
+    match (req.method.as_str(), req.path()) {
         ("GET", "/healthz") => Action::Respond(Response::json(200, "{\"status\":\"ok\"}\n")),
-        ("GET", "/metrics") => {
-            let mut body = npp_telemetry::metrics::snapshot().to_json();
-            body.push('\n');
-            Action::Respond(Response::json(200, body))
-        }
+        ("GET", "/metrics") => match req.query_param("format") {
+            None | Some("json") => {
+                let mut body = npp_telemetry::metrics::snapshot().to_json();
+                body.push('\n');
+                Action::Respond(Response::json(200, body))
+            }
+            Some("prometheus") => {
+                let body = npp_telemetry::metrics::snapshot().to_prometheus();
+                Action::Respond(Response::text(200, PROMETHEUS_CONTENT_TYPE, body))
+            }
+            Some(other) => Action::Respond(error_response(
+                400,
+                "bad_format",
+                &format!("unknown metrics format {other:?}; use json or prometheus"),
+            )),
+        },
         ("GET", "/stats") => stats(engine),
         ("POST", "/scenario") => scenario(req, engine),
         ("POST", "/sweep") => sweep(req, engine),
@@ -98,9 +150,24 @@ pub fn dispatch<W: std::io::Write>(req: &Request, engine: &Engine, stream: &mut 
 }
 
 fn stats(engine: &Engine) -> Action {
+    let snapshot = npp_telemetry::metrics::snapshot();
+    let latency = ENDPOINT_METRICS
+        .iter()
+        .filter_map(|&(endpoint, metric)| {
+            let h = snapshot.histogram(metric)?;
+            (h.count > 0).then_some(EndpointLatency {
+                endpoint,
+                count: h.count,
+                sum_ns: h.sum,
+                min_ns: h.min,
+                max_ns: h.max,
+            })
+        })
+        .collect();
     let reply = StatsReply {
         cache: engine.cache().map(|c| c.stats()),
         jobs: engine.jobs(),
+        latency,
     };
     match serde_json::to_string_pretty(&reply) {
         Ok(mut body) => {
@@ -328,6 +395,103 @@ mod tests {
                     Some("miss")
                 );
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_endpoint_declares_the_right_content_type() {
+        let e = engine();
+        let mut sink = Vec::new();
+        let spec = serde_json::to_string(&npp_sweep::ScenarioSpec::paper_baseline())
+            .unwrap()
+            .into_bytes();
+        let sweep = serde_json::to_string(&SweepSpec {
+            name: "ct".into(),
+            base: npp_sweep::ScenarioSpec::paper_baseline(),
+            axes: Vec::new(),
+        })
+        .unwrap()
+        .into_bytes();
+        let json_cases: [(&str, &str, &[u8]); 7] = [
+            ("GET", "/healthz", b""),
+            ("GET", "/metrics", b""),
+            ("GET", "/metrics?format=json", b""),
+            ("GET", "/stats", b""),
+            ("POST", "/scenario", &spec),
+            ("POST", "/sweep", &sweep),
+            ("GET", "/no-such-endpoint", b""),
+        ];
+        for (method, target, body) in json_cases {
+            match dispatch(&request(method, target, body), &e, &mut sink) {
+                Action::Respond(r) => assert_eq!(
+                    r.content_type, "application/json",
+                    "{method} {target} → {}",
+                    r.status
+                ),
+                other => panic!("{method} {target}: {other:?}"),
+            }
+        }
+        match dispatch(
+            &request("GET", "/metrics?format=prometheus", b""),
+            &e,
+            &mut sink,
+        ) {
+            Action::Respond(r) => {
+                assert_eq!(r.status, 200);
+                assert_eq!(r.content_type, "text/plain; version=0.0.4");
+            }
+            other => panic!("{other:?}"),
+        }
+        match dispatch(&request("GET", "/metrics?format=xml", b""), &e, &mut sink) {
+            Action::Respond(r) => {
+                assert_eq!(r.status, 400);
+                assert_eq!(r.content_type, "application/json");
+                assert!(String::from_utf8_lossy(&r.body).contains("bad_format"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match dispatch(&request("POST", "/admin/shutdown", b""), &e, &mut sink) {
+            Action::Shutdown(r) => assert_eq!(r.content_type, "application/json"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reply_carries_latency_section() {
+        let e = engine();
+        let mut sink = Vec::new();
+        match dispatch(&request("GET", "/stats", b""), &e, &mut sink) {
+            Action::Respond(r) => {
+                let body = String::from_utf8_lossy(&r.body).into_owned();
+                assert!(body.contains("\"latency\""), "{body}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_metric_names_are_static_and_total() {
+        assert_eq!(endpoint_metric("/healthz"), "serve.request_ns.healthz");
+        assert_eq!(
+            endpoint_metric("/sweep/stream"),
+            "serve.request_ns.sweep_stream"
+        );
+        assert_eq!(endpoint_metric("/nope"), "serve.request_ns.other");
+        // Every table entry maps back to itself.
+        for (endpoint, metric) in ENDPOINT_METRICS {
+            if endpoint != "other" {
+                assert_eq!(endpoint_metric(endpoint), metric);
+            }
+        }
+    }
+
+    #[test]
+    fn query_strings_still_route_to_the_path() {
+        let e = engine();
+        let mut sink = Vec::new();
+        match dispatch(&request("GET", "/healthz?probe=1", b""), &e, &mut sink) {
+            Action::Respond(r) => assert_eq!(r.status, 200),
             other => panic!("{other:?}"),
         }
     }

@@ -32,6 +32,28 @@ impl Request {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// The target's path component (everything before the first `?`).
+    pub fn path(&self) -> &str {
+        self.target
+            .split_once('?')
+            .map_or(self.target.as_str(), |(path, _)| path)
+    }
+
+    /// The raw query string, if any (everything after the first `?`).
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, query)| query)
+    }
+
+    /// Value of a `name=value` query parameter (no percent-decoding —
+    /// the serve API's parameter values are plain tokens). A bare
+    /// `?name` yields `Some("")`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// Why a request could not be read.
@@ -206,12 +228,27 @@ pub struct Response {
     pub close: bool,
 }
 
+/// `Content-Type` of the Prometheus text exposition format the
+/// `/metrics?format=prometheus` endpoint speaks.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
         Self {
             status,
             content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// A response with an explicit (static) content type.
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type,
             extra_headers: Vec::new(),
             body: body.into(),
             close: false,
@@ -299,6 +336,36 @@ mod tests {
         assert_eq!(req.target, "/sweep");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn path_and_query_split_on_first_question_mark() {
+        let req = parse("GET /metrics?format=prometheus&x=1?y HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path(), "/metrics");
+        assert_eq!(req.query(), Some("format=prometheus&x=1?y"));
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("x"), Some("1?y"));
+        assert_eq!(req.query_param("missing"), None);
+
+        let bare = parse("GET /stats HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(bare.path(), "/stats");
+        assert_eq!(bare.query(), None);
+
+        let flag = parse("GET /stats?verbose HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(flag.query_param("verbose"), Some(""));
+    }
+
+    #[test]
+    fn text_response_carries_its_content_type() {
+        let mut out = Vec::new();
+        let resp = Response::text(200, PROMETHEUS_CONTENT_TYPE, "npp_x 1\n");
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
     }
 
     #[test]

@@ -249,11 +249,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         npp_telemetry::metrics::counter_add("serve.requests", 1);
         // npp-lint: allow(wall-clock) reason="request latency feeds the volatile metrics registry only, never a deterministic document"
         let started = npp_telemetry::wall_clock();
+        let endpoint_metric = api::endpoint_metric(request.path());
         let action = api::dispatch(&request, &shared.engine, &mut stream);
-        npp_telemetry::metrics::observe(
-            "serve.request_ns",
-            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-        );
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        npp_telemetry::metrics::observe("serve.request_ns", elapsed_ns);
+        npp_telemetry::metrics::observe(endpoint_metric, elapsed_ns);
 
         match action {
             Action::Respond(response) => {

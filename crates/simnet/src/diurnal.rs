@@ -1,0 +1,455 @@
+//! Deterministic multi-day diurnal fleet driver for PowerScope.
+//!
+//! Models a pod's worth of devices — host NICs, ToR/aggregation
+//! switches, and parkable spines — riding a 24-hour load curve (the
+//! §3.4 ISP-style double-hump day), and feeds every power/state change
+//! into a [`Recorder`]. The driver is pure arithmetic over sim time:
+//! byte-identical output on every run, and because the recorder drains
+//! closed windows each control step, a simulated month holds O(devices)
+//! live state rather than O(events).
+//!
+//! Tier policies (deliberately simple; mechanisms live in
+//! `npp-mechanisms` — this driver exists to exercise *observability*):
+//!
+//! - **Hosts** scale linearly between idle and peak with load, and are
+//!   never powered off ([`PowerState::OnLow`]/[`PowerState::OnFull`]).
+//! - **ToR/Agg** rate-adapt: frequency tracks load against a target
+//!   utilization, power is `static + dynamic · freq`.
+//! - **Spines** park: each spine has a staggered load threshold below
+//!   which it powers off; waking costs a fixed latency during which the
+//!   device burns peak power in [`PowerState::Waking`].
+
+use npp_power::Tier;
+use npp_units::Watts;
+
+use crate::powerscope::{DeviceKey, DeviceMeta, PowerState, Recorder, WindowConfig};
+use crate::{Result, SimError, SimTime};
+
+/// Normalized load for each hour of the day (linearly interpolated, and
+/// wrapped weekly below). Shape follows the Abilene-style diurnal curve
+/// used by the §3.4 ISP study: a deep post-midnight valley and an
+/// evening peak.
+const HOURLY_LOAD: [f64; 24] = [
+    0.18, 0.14, 0.12, 0.11, 0.11, 0.13, 0.20, 0.32, 0.45, 0.58, 0.66, 0.70, 0.72, 0.74, 0.76, 0.78,
+    0.80, 0.85, 0.95, 1.00, 0.90, 0.70, 0.45, 0.28,
+];
+
+const NS_PER_HOUR: u64 = 3_600_000_000_000;
+const NS_PER_DAY: u64 = 24 * NS_PER_HOUR;
+
+/// Normalized fleet load at an absolute sim time: the diurnal curve,
+/// damped 15 % on the weekend (days 5 and 6 of each week).
+pub fn diurnal_load(t: SimTime) -> f64 {
+    let t_ns = t.as_nanos();
+    let day = t_ns / NS_PER_DAY;
+    let day_ns = t_ns % NS_PER_DAY;
+    let hour = day_ns / NS_PER_HOUR;
+    let frac = (day_ns % NS_PER_HOUR) as f64 / NS_PER_HOUR as f64;
+    let at = |h: u64| -> f64 { HOURLY_LOAD.get((h % 24) as usize).copied().unwrap_or(0.18) };
+    let base = at(hour) * (1.0 - frac) + at(hour + 1) * frac;
+    if day % 7 >= 5 {
+        base * 0.85
+    } else {
+        base
+    }
+}
+
+/// Fleet composition and per-tier power envelopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalFleetConfig {
+    /// Host NIC count.
+    pub hosts: usize,
+    /// Top-of-rack switch count.
+    pub tors: usize,
+    /// Aggregation switch count.
+    pub aggs: usize,
+    /// Spine switch count (the parkable tier).
+    pub spines: usize,
+    /// Control period between policy decisions.
+    pub step: SimTime,
+    /// Host idle draw (W).
+    pub host_idle_w: f64,
+    /// Host peak draw (W).
+    pub host_peak_w: f64,
+    /// ToR static draw (W).
+    pub tor_static_w: f64,
+    /// ToR dynamic draw at full frequency (W).
+    pub tor_dynamic_w: f64,
+    /// Agg static draw (W).
+    pub agg_static_w: f64,
+    /// Agg dynamic draw at full frequency (W).
+    pub agg_dynamic_w: f64,
+    /// Spine peak draw (W).
+    pub spine_peak_w: f64,
+    /// Spine wake latency (time spent in [`PowerState::Waking`]).
+    pub spine_wake: SimTime,
+    /// Rate-adaptation target utilization for ToR/agg frequency.
+    pub target_utilization: f64,
+}
+
+impl DiurnalFleetConfig {
+    /// A small pod mirroring the paper's §2 device envelopes: 25 W NICs
+    /// (15 W idle), 750 W switches split 430 W static / 320 W dynamic,
+    /// spines parked through the nightly valley with a 5 s wake.
+    pub fn paper_pod() -> Self {
+        DiurnalFleetConfig {
+            hosts: 16,
+            tors: 4,
+            aggs: 4,
+            spines: 4,
+            step: SimTime::from_secs(60),
+            host_idle_w: 15.0,
+            host_peak_w: 25.0,
+            tor_static_w: 430.0,
+            tor_dynamic_w: 320.0,
+            agg_static_w: 430.0,
+            agg_dynamic_w: 320.0,
+            spine_peak_w: 750.0,
+            spine_wake: SimTime::from_secs(5),
+            target_utilization: 0.8,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.hosts + self.tors + self.aggs + self.spines == 0 {
+            return Err(SimError::Config("diurnal fleet has no devices".into()));
+        }
+        if self.step.as_nanos() == 0 {
+            return Err(SimError::Config("diurnal control step must be > 0".into()));
+        }
+        if self.target_utilization <= 0.0 || self.target_utilization > 1.0 {
+            return Err(SimError::Config(format!(
+                "target utilization {} outside (0, 1]",
+                self.target_utilization
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FleetDev {
+    key: DeviceKey,
+    tier: Tier,
+    /// Index within the tier — staggers spine park thresholds and
+    /// phase-shifts per-device load so windows show texture.
+    rank: usize,
+    state: PowerState,
+    power_w: f64,
+    /// For spines mid-wake: when the device reaches `OnFull`.
+    wake_ready: Option<SimTime>,
+}
+
+/// Drives a configured fleet against the diurnal curve, one control
+/// step at a time, streaming windows out of an owned [`Recorder`].
+#[derive(Debug)]
+pub struct DiurnalFleet {
+    cfg: DiurnalFleetConfig,
+    rec: Recorder,
+    devs: Vec<FleetDev>,
+    now: SimTime,
+}
+
+impl DiurnalFleet {
+    /// Builds the fleet and registers every device at `t = 0` in its
+    /// midnight (low-load) state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] on an empty fleet or degenerate step.
+    pub fn new(cfg: DiurnalFleetConfig, window: WindowConfig) -> Result<DiurnalFleet> {
+        cfg.validate()?;
+        let mut rec = Recorder::new(window);
+        let mut devs = Vec::new();
+        let load0 = diurnal_load(SimTime::ZERO);
+        let tiers: [(Tier, usize); 4] = [
+            (Tier::Host, cfg.hosts),
+            (Tier::Tor, cfg.tors),
+            (Tier::Agg, cfg.aggs),
+            (Tier::Spine, cfg.spines),
+        ];
+        for (tier, count) in tiers {
+            for rank in 0..count {
+                let peak = match tier {
+                    Tier::Host => cfg.host_peak_w,
+                    Tier::Tor => cfg.tor_static_w + cfg.tor_dynamic_w,
+                    Tier::Agg => cfg.agg_static_w + cfg.agg_dynamic_w,
+                    Tier::Spine => cfg.spine_peak_w,
+                };
+                let meta = DeviceMeta {
+                    name: format!("{}{}", tier.name(), rank),
+                    tier,
+                    peak: Watts::new(peak),
+                };
+                let (power_w, state) = policy(&cfg, tier, rank, load0, PowerState::Off);
+                let key = rec.register(meta, SimTime::ZERO, Watts::new(power_w), state)?;
+                // A spine that starts above its park threshold wakes
+                // from t = 0 like any other wake.
+                let wake_ready = (state == PowerState::Waking)
+                    .then(|| SimTime::ZERO.plus_nanos(cfg.spine_wake.as_nanos()));
+                devs.push(FleetDev {
+                    key,
+                    tier,
+                    rank,
+                    state,
+                    power_w,
+                    wake_ready,
+                });
+            }
+        }
+        Ok(DiurnalFleet {
+            cfg,
+            rec,
+            devs,
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// Current sim time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Device metadata, in registration order.
+    pub fn metas(&self) -> &[DeviceMeta] {
+        self.rec.metas()
+    }
+
+    /// Live open-window count (bounded-memory invariant: equals the
+    /// device count until [`DiurnalFleet::finish`]).
+    pub fn open_windows(&self) -> usize {
+        self.rec.open_windows()
+    }
+
+    /// Advances one control period: completes pending wakes, applies
+    /// each tier policy at the new time, and closes passed windows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recorder errors (none occur for a well-formed config).
+    pub fn step(&mut self) -> Result<()> {
+        let now = self.now.plus_nanos(self.cfg.step.as_nanos());
+        let load = diurnal_load(now);
+        for dev in &mut self.devs {
+            // A wake that completed since the last step lands at its
+            // exact ready time, not the step edge.
+            if let Some(ready) = dev.wake_ready {
+                if ready <= now {
+                    self.rec.set_power(
+                        dev.key,
+                        ready,
+                        Watts::new(dev.power_w),
+                        PowerState::OnFull,
+                    )?;
+                    dev.state = PowerState::OnFull;
+                    dev.wake_ready = None;
+                }
+            }
+            // Per-device phase shift: devices within a tier see the
+            // curve slightly offset, so transitions stagger.
+            let shifted = now.plus_nanos((dev.rank as u64) * 97 * NS_PER_HOUR / 1024);
+            let dev_load = diurnal_load(shifted).max(load * 0.5);
+            let (power_w, state) = policy(&self.cfg, dev.tier, dev.rank, dev_load, dev.state);
+            match (dev.state, state) {
+                // Park/unpark/level changes record an event.
+                (from, to) if from != to || power_w != dev.power_w => {
+                    if dev.state == PowerState::Waking && dev.wake_ready.is_some() {
+                        // Mid-wake: hold the waking draw; just advance.
+                        self.rec.advance(dev.key, now)?;
+                    } else if to == PowerState::Waking {
+                        self.rec.set_power(
+                            dev.key,
+                            now,
+                            Watts::new(power_w),
+                            PowerState::Waking,
+                        )?;
+                        dev.state = PowerState::Waking;
+                        dev.power_w = power_w;
+                        dev.wake_ready = Some(now.plus_nanos(self.cfg.spine_wake.as_nanos()));
+                    } else {
+                        self.rec.set_power(dev.key, now, Watts::new(power_w), to)?;
+                        dev.state = to;
+                        dev.power_w = power_w;
+                    }
+                }
+                _ => {
+                    self.rec.advance(dev.key, now)?;
+                }
+            }
+        }
+        self.now = now;
+        Ok(())
+    }
+
+    /// Takes the window rows closed so far.
+    pub fn drain_closed(&mut self) -> Vec<crate::powerscope::WindowRow> {
+        self.rec.drain_closed()
+    }
+
+    /// Closes every device's final window at the current time and
+    /// returns the recorder for inspection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Recorder::finish`] errors.
+    pub fn finish(mut self) -> Result<Recorder> {
+        self.rec.finish(self.now)?;
+        Ok(self.rec)
+    }
+}
+
+/// The per-tier policy: maps (tier, rank, load, previous state) to a
+/// power draw and power state.
+fn policy(
+    cfg: &DiurnalFleetConfig,
+    tier: Tier,
+    rank: usize,
+    load: f64,
+    prev: PowerState,
+) -> (f64, PowerState) {
+    let load = load.clamp(0.0, 1.0);
+    match tier {
+        Tier::Host => {
+            let p = cfg.host_idle_w + (cfg.host_peak_w - cfg.host_idle_w) * load;
+            let s = if load >= 0.95 {
+                PowerState::OnFull
+            } else {
+                PowerState::OnLow
+            };
+            (p, s)
+        }
+        Tier::Tor | Tier::Agg => {
+            let (st, dy) = if tier == Tier::Tor {
+                (cfg.tor_static_w, cfg.tor_dynamic_w)
+            } else {
+                (cfg.agg_static_w, cfg.agg_dynamic_w)
+            };
+            let freq = (load / cfg.target_utilization).clamp(0.25, 1.0);
+            let s = if freq >= 1.0 {
+                PowerState::OnFull
+            } else {
+                PowerState::OnLow
+            };
+            (st + dy * freq, s)
+        }
+        Tier::Spine => {
+            // Staggered thresholds: spine k parks below its own floor,
+            // so capacity follows the valley device by device.
+            let threshold = 0.25 + 0.5 * (rank as f64 + 1.0) / 8.0;
+            if load < threshold {
+                (0.0, PowerState::Off)
+            } else {
+                match prev {
+                    PowerState::Off => (cfg.spine_peak_w, PowerState::Waking),
+                    PowerState::Waking => (cfg.spine_peak_w, PowerState::Waking),
+                    _ => (cfg.spine_peak_w, PowerState::OnFull),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_curve_is_periodic_and_bounded() {
+        for h in 0..48u64 {
+            let l = diurnal_load(SimTime::from_nanos(h * NS_PER_HOUR));
+            assert!((0.0..=1.0).contains(&l), "hour {h}: {l}");
+        }
+        // Deep valley at 4am, peak at 7pm.
+        let valley = diurnal_load(SimTime::from_nanos(4 * NS_PER_HOUR));
+        let peak = diurnal_load(SimTime::from_nanos(19 * NS_PER_HOUR));
+        assert!(valley < 0.2 && peak > 0.9);
+        // Weekend damping on day 5.
+        let weekday = diurnal_load(SimTime::from_nanos(19 * NS_PER_HOUR));
+        let weekend = diurnal_load(SimTime::from_nanos(5 * NS_PER_DAY + 19 * NS_PER_HOUR));
+        assert!(weekend < weekday);
+    }
+
+    #[test]
+    fn one_day_exercises_every_state_with_bounded_live_state() {
+        let cfg = DiurnalFleetConfig {
+            hosts: 4,
+            tors: 2,
+            aggs: 2,
+            spines: 3,
+            step: SimTime::from_secs(300),
+            ..DiurnalFleetConfig::paper_pod()
+        };
+        let devices = cfg.hosts + cfg.tors + cfg.aggs + cfg.spines;
+        let window = WindowConfig::from_nanos(NS_PER_HOUR).unwrap();
+        let mut fleet = DiurnalFleet::new(cfg, window).unwrap();
+        let mut seen = [false; crate::powerscope::STATE_COUNT];
+        let mut rows = 0usize;
+        let mut max_pending = 0usize;
+        while fleet.now() < SimTime::from_nanos(NS_PER_DAY) {
+            fleet.step().unwrap();
+            assert_eq!(fleet.open_windows(), devices);
+            let drained = fleet.drain_closed();
+            max_pending = max_pending.max(drained.len());
+            for r in &drained {
+                for s in PowerState::all() {
+                    if r.residency_ns[s.index()] > 0 {
+                        seen[s.index()] = true;
+                    }
+                }
+            }
+            rows += drained.len();
+        }
+        let rec = fleet.finish().unwrap();
+        assert!(
+            rows > 20 * devices,
+            "expected ~24 windows x {devices} devices, got {rows}"
+        );
+        // Drained each step: pending never exceeds one boundary's worth.
+        assert!(max_pending <= devices);
+        assert!(seen.iter().all(|s| *s), "states seen: {seen:?}");
+        let _ = rec;
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic() {
+        let run = || {
+            let cfg = DiurnalFleetConfig {
+                hosts: 2,
+                tors: 1,
+                aggs: 1,
+                spines: 2,
+                step: SimTime::from_secs(600),
+                ..DiurnalFleetConfig::paper_pod()
+            };
+            let mut fleet =
+                DiurnalFleet::new(cfg, WindowConfig::from_nanos(NS_PER_HOUR).unwrap()).unwrap();
+            let mut rows = Vec::new();
+            while fleet.now() < SimTime::from_nanos(NS_PER_DAY / 2) {
+                fleet.step().unwrap();
+                rows.extend(fleet.drain_closed());
+            }
+            let mut rec = fleet.finish().unwrap();
+            rows.extend(rec.drain_closed());
+            rows
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let window = WindowConfig::from_nanos(NS_PER_HOUR).unwrap();
+        let empty = DiurnalFleetConfig {
+            hosts: 0,
+            tors: 0,
+            aggs: 0,
+            spines: 0,
+            ..DiurnalFleetConfig::paper_pod()
+        };
+        assert!(DiurnalFleet::new(empty, window).is_err());
+        let zero_step = DiurnalFleetConfig {
+            step: SimTime::ZERO,
+            ..DiurnalFleetConfig::paper_pod()
+        };
+        assert!(DiurnalFleet::new(zero_step, window).is_err());
+    }
+}

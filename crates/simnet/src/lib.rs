@@ -50,12 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod comp_index;
+pub mod diurnal;
 pub mod event;
 pub mod link;
 pub mod netsim;
 pub mod netsim_naive;
 mod netsim_par;
 pub mod power_tracker;
+pub mod powerscope;
 pub mod scenarios;
 pub mod sources;
 pub mod stats;

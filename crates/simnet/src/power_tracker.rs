@@ -193,7 +193,10 @@ impl PowerTimeline {
     }
 }
 
-fn time_delta_secs(from: SimTime, to: SimTime) -> f64 {
+/// Shared with `powerscope`: the windowed recorder must use the *same*
+/// nanoseconds→seconds conversion so its mirror accumulator reproduces
+/// [`PowerTracker::energy_until`] bit for bit.
+pub(crate) fn time_delta_secs(from: SimTime, to: SimTime) -> f64 {
     to.since(from) as f64 * 1e-9
 }
 

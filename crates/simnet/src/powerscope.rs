@@ -1,0 +1,918 @@
+//! PowerScope: streaming, windowed power/energy observability.
+//!
+//! [`Recorder`] folds the piecewise-constant power timeline of many
+//! devices into fixed-width time windows *as simulation advances*:
+//! per-device, per-[`Tier`], per-[`PowerState`] residency, transition
+//! counts, and energy attribution, in O(devices × live windows) memory.
+//! Closed windows are drained incrementally ([`Recorder::drain_closed`])
+//! so a simulated month costs live state, not event history — ROADMAP
+//! item 5's "windowed PowerTracker dwell aggregation".
+//!
+//! ## Bit-exact energy conservation
+//!
+//! The headline invariant: for any device, summing the emitted
+//! per-window energies **in window order with plain `f64` addition**
+//! reproduces [`PowerTracker::energy_until`] at every window boundary —
+//! `to_bits`-identical, not approximately. Two mechanisms make that
+//! true:
+//!
+//! 1. The recorder mirrors the tracker's accumulator: it performs the
+//!    identical `acc += power * Δt` float operations in the identical
+//!    order, so at any boundary `b` the *exact prefix energy*
+//!    `P(b) = acc + current · Δt(last_change, b)` is the same expression
+//!    (and therefore the same bits) the tracker would produce.
+//! 2. Each window's energy is not the naive `P(b_k) − P(b_{k−1})`
+//!    (subtraction re-rounds; sums would drift). Instead
+//!    [`fit_increment`] searches the few-ULP neighbourhood of that
+//!    difference for the unique `w` with
+//!    `(S + w).to_bits() == P(b_k).to_bits()` where `S` is the running
+//!    emitted sum. Rounding is monotone and non-skipping for increments
+//!    no larger than the target, so the fit exists whenever power is
+//!    non-negative (enforced at the API boundary) and the telescoped sum
+//!    lands exactly on every prefix.
+//!
+//! Residency accounting needs no such care: dwell durations are integer
+//! nanoseconds and sum exactly.
+
+use npp_power::Tier;
+use npp_units::Watts;
+
+use crate::power_tracker::time_delta_secs;
+use crate::{PowerTracker, Result, SimError, SimTime};
+
+/// Number of power states tracked per device.
+pub const STATE_COUNT: usize = 4;
+
+/// Coarse power state of a device, index-addressable for residency
+/// arrays (`state.index() < STATE_COUNT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PowerState {
+    /// Powered down (parked, gated, or sleeping).
+    Off,
+    /// Transitioning up: drawing power but not forwarding.
+    Waking,
+    /// Active below full performance (rate-adapted, down-clocked).
+    OnLow,
+    /// Active at full performance.
+    OnFull,
+}
+
+impl PowerState {
+    /// All states in residency-array order.
+    pub const fn all() -> [PowerState; STATE_COUNT] {
+        [
+            PowerState::Off,
+            PowerState::Waking,
+            PowerState::OnLow,
+            PowerState::OnFull,
+        ]
+    }
+
+    /// Index into per-state residency arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            PowerState::Off => 0,
+            PowerState::Waking => 1,
+            PowerState::OnLow => 2,
+            PowerState::OnFull => 3,
+        }
+    }
+
+    /// Stable lowercase name used in `npp.power/v1` documents.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PowerState::Off => "off",
+            PowerState::Waking => "waking",
+            PowerState::OnLow => "on_low",
+            PowerState::OnFull => "on_full",
+        }
+    }
+
+    /// Classify a power draw against a device's peak: zero is [`Off`],
+    /// within 0.1 % of peak is [`OnFull`], anything between is
+    /// [`OnLow`]. Used when replaying a bare [`PowerTracker`], whose
+    /// timeline does not distinguish `Waking` from powered-on draw.
+    ///
+    /// [`Off`]: PowerState::Off
+    /// [`OnFull`]: PowerState::OnFull
+    /// [`OnLow`]: PowerState::OnLow
+    pub fn classify(power: Watts, peak: Watts) -> PowerState {
+        if power.value() <= 0.0 {
+            PowerState::Off
+        } else if power.value() >= peak.value() * 0.999 {
+            PowerState::OnFull
+        } else {
+            PowerState::OnLow
+        }
+    }
+}
+
+/// Windowing configuration: fixed bucket width in sim nanoseconds.
+/// Window `k` covers `[k·width, (k+1)·width)` in absolute sim time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    width_ns: u64,
+}
+
+impl WindowConfig {
+    /// A window width; must be positive.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when `width_ns` is zero.
+    pub fn from_nanos(width_ns: u64) -> Result<Self> {
+        if width_ns == 0 {
+            return Err(SimError::Config(
+                "powerscope window width must be > 0".into(),
+            ));
+        }
+        Ok(WindowConfig { width_ns })
+    }
+
+    /// Window width in nanoseconds.
+    pub const fn width_ns(&self) -> u64 {
+        self.width_ns
+    }
+}
+
+/// Identity and nameplate data for one recorded device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMeta {
+    /// Human-readable, report-stable name (e.g. `"tor3/pipeline1"`).
+    pub name: String,
+    /// Fabric tier, for roll-ups.
+    pub tier: Tier,
+    /// Nameplate peak draw, the denominator of proportionality ratios.
+    pub peak: Watts,
+}
+
+/// Handle to a registered device (index into the recorder's tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceKey(usize);
+
+impl DeviceKey {
+    /// Index of this device in registration order (matches the order of
+    /// [`Recorder::metas`] and the `device` field of [`WindowRow`]).
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One closed window of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// Device index (registration order).
+    pub device: usize,
+    /// Absolute window index (`start of window = window · width`).
+    pub window: u64,
+    /// First covered nanosecond (> window start when the device
+    /// registered mid-window).
+    pub start_ns: u64,
+    /// One past the last covered nanosecond.
+    pub end_ns: u64,
+    /// Energy attributed to this window. Summing these in window order
+    /// with plain `f64` addition reproduces `energy_until` bit-exactly.
+    pub energy_j: f64,
+    /// Power-change events observed in the window.
+    pub events: u32,
+    /// State *transitions* (events whose [`PowerState`] differed from
+    /// the previous one).
+    pub transitions: u32,
+    /// Residency in integer nanoseconds, indexed by
+    /// [`PowerState::index`]; sums to `end_ns − start_ns`.
+    pub residency_ns: [u64; STATE_COUNT],
+}
+
+impl WindowRow {
+    /// Covered duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Average power over the covered duration (0 for empty windows).
+    pub fn avg_w(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            0.0
+        } else {
+            self.energy_j / (d as f64 * 1e-9)
+        }
+    }
+
+    /// The state holding the plurality of the residency (ties resolve
+    /// to the lower state index, i.e. toward `Off`).
+    pub fn dominant_state(&self) -> PowerState {
+        let mut best = PowerState::Off;
+        let mut best_ns = 0u64;
+        for s in PowerState::all() {
+            let ns = self.residency_ns.get(s.index()).copied().unwrap_or(0);
+            if ns > best_ns {
+                best = s;
+                best_ns = ns;
+            }
+        }
+        best
+    }
+}
+
+/// Per-device live state: one open window plus the mirror accumulator.
+#[derive(Debug, Clone)]
+struct DevState {
+    /// Mirror of `PowerTracker::accumulated` — same adds, same order.
+    acc: f64,
+    /// Timestamp of the last power-change event (ns).
+    last_change_ns: u64,
+    /// Power since `last_change_ns` (validated finite, ≥ 0).
+    current_w: f64,
+    /// Exact prefix energy already emitted through closed windows.
+    emitted: f64,
+    /// Current power state.
+    state: PowerState,
+    /// Open window index.
+    win_idx: u64,
+    /// First nanosecond the open window covers.
+    win_start_ns: u64,
+    /// Residency accounted through here (≥ `last_change_ns`).
+    cursor_ns: u64,
+    /// Per-state dwell in the open window.
+    resid: [u64; STATE_COUNT],
+    /// Power-change events in the open window.
+    events: u32,
+    /// State transitions in the open window.
+    transitions: u32,
+}
+
+fn window_end(win_idx: u64, width: u64) -> u64 {
+    win_idx
+        .checked_add(1)
+        .and_then(|k| k.checked_mul(width))
+        .unwrap_or(u64::MAX)
+}
+
+/// Next representable `f64` above `x` (bit-twiddled: `f64::next_up` is
+/// not available at the workspace MSRV). NaN and +inf return `x`.
+fn next_up(x: f64) -> f64 {
+    let bits = x.to_bits();
+    if x.is_nan() || bits == f64::INFINITY.to_bits() {
+        return x;
+    }
+    let abs = bits & 0x7fff_ffff_ffff_ffff;
+    let next = if abs == 0 {
+        1 // smallest positive subnormal
+    } else if bits == abs {
+        bits + 1
+    } else {
+        bits - 1
+    };
+    f64::from_bits(next)
+}
+
+/// Next representable `f64` below `x`.
+fn next_down(x: f64) -> f64 {
+    -next_up(-x)
+}
+
+/// Finds `w` such that `(prev + w).to_bits() == target.to_bits()`.
+///
+/// Starts from the rounded difference and nudges by single ULPs. For
+/// the recorder's inputs (non-negative monotone prefixes, so
+/// `0 ≤ target − prev ≤ target`) the increment's ULP never exceeds the
+/// target's, which makes `w ↦ fl(prev + w)` hit every representable
+/// value in range — the search cannot skip over `target`. The iteration
+/// bound is pure defence; the fix-up loop terminates in ≤ 2 steps in
+/// practice.
+fn fit_increment(prev: f64, target: f64) -> f64 {
+    let mut w = target - prev;
+    for _ in 0..4096 {
+        let got = prev + w;
+        if got.to_bits() == target.to_bits() {
+            return w;
+        }
+        w = if got < target {
+            next_up(w)
+        } else {
+            next_down(w)
+        };
+    }
+    target - prev
+}
+
+/// Streaming windowed residency/energy recorder over many devices.
+///
+/// Feed it the same power-change events a [`PowerTracker`] sees (or
+/// replay a finished tracker with [`Recorder::ingest_tracker`]); drain
+/// closed windows incrementally with [`Recorder::drain_closed`]. Live
+/// memory is O(devices): exactly one open window per device, regardless
+/// of horizon or event count.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    cfg: WindowConfig,
+    metas: Vec<DeviceMeta>,
+    devs: Vec<DevState>,
+    closed: Vec<WindowRow>,
+    finished: bool,
+}
+
+impl Recorder {
+    /// A recorder with no devices yet.
+    pub fn new(cfg: WindowConfig) -> Self {
+        Recorder {
+            cfg,
+            metas: Vec::new(),
+            devs: Vec::new(),
+            closed: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Registered device metadata, in registration order.
+    pub fn metas(&self) -> &[DeviceMeta] {
+        &self.metas
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Number of live (open) windows — one per device until
+    /// [`Recorder::finish`]; the bound on resident state.
+    pub fn open_windows(&self) -> usize {
+        if self.finished {
+            0
+        } else {
+            self.devs.len()
+        }
+    }
+
+    /// Closed-but-undrained window rows currently buffered.
+    pub fn pending_rows(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Registers a device that starts drawing `power` in `state` at
+    /// `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] when `power` is negative or non-finite, or
+    /// the recorder is already finished.
+    pub fn register(
+        &mut self,
+        meta: DeviceMeta,
+        start: SimTime,
+        power: Watts,
+        state: PowerState,
+    ) -> Result<DeviceKey> {
+        self.check_live()?;
+        check_power(power)?;
+        let start_ns = start.as_nanos();
+        let key = DeviceKey(self.metas.len());
+        self.metas.push(meta);
+        self.devs.push(DevState {
+            acc: 0.0,
+            last_change_ns: start_ns,
+            current_w: power.value(),
+            emitted: 0.0,
+            state,
+            win_idx: start_ns / self.cfg.width_ns,
+            win_start_ns: start_ns,
+            cursor_ns: start_ns,
+            resid: [0; STATE_COUNT],
+            events: 0,
+            transitions: 0,
+        });
+        Ok(key)
+    }
+
+    /// Records a power/state change at `t`, closing any windows the
+    /// device has moved past. Mirrors [`PowerTracker::set_power`]
+    /// arithmetic exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeReversal`] if `t` precedes the device's cursor;
+    /// [`SimError::BadIndex`] for a foreign key; [`SimError::Config`]
+    /// for invalid power or a finished recorder.
+    pub fn set_power(
+        &mut self,
+        dev: DeviceKey,
+        t: SimTime,
+        power: Watts,
+        state: PowerState,
+    ) -> Result<()> {
+        self.check_live()?;
+        check_power(power)?;
+        let width = self.cfg.width_ns;
+        let Recorder { devs, closed, .. } = self;
+        let bound = devs.len();
+        let d = devs.get_mut(dev.0).ok_or(SimError::BadIndex {
+            what: "powerscope device",
+            index: dev.0,
+            bound,
+        })?;
+        let t_ns = t.as_nanos();
+        if t_ns < d.cursor_ns {
+            return Err(SimError::TimeReversal {
+                now_ns: d.cursor_ns,
+                requested_ns: t_ns,
+            });
+        }
+        close_windows_through(width, dev.0, d, t_ns, closed);
+        accrue_residency(d, t_ns);
+        // The mirror: identical operation, identical order, to
+        // `PowerTracker::set_power`.
+        d.acc += d.current_w * time_delta_secs(SimTime::from_nanos(d.last_change_ns), t);
+        d.last_change_ns = t_ns;
+        d.events = d.events.saturating_add(1);
+        if state != d.state {
+            d.transitions = d.transitions.saturating_add(1);
+            d.state = state;
+        }
+        d.current_w = power.value();
+        Ok(())
+    }
+
+    /// Advances a device's window cursor to `t` without recording an
+    /// event: closes passed windows and accrues residency, leaving the
+    /// energy mirror untouched. Streaming drivers call this on idle
+    /// devices so window rows surface promptly.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Recorder::set_power`] (minus power checks).
+    pub fn advance(&mut self, dev: DeviceKey, t: SimTime) -> Result<()> {
+        self.check_live()?;
+        let width = self.cfg.width_ns;
+        let Recorder { devs, closed, .. } = self;
+        let bound = devs.len();
+        let d = devs.get_mut(dev.0).ok_or(SimError::BadIndex {
+            what: "powerscope device",
+            index: dev.0,
+            bound,
+        })?;
+        let t_ns = t.as_nanos();
+        if t_ns < d.cursor_ns {
+            return Err(SimError::TimeReversal {
+                now_ns: d.cursor_ns,
+                requested_ns: t_ns,
+            });
+        }
+        close_windows_through(width, dev.0, d, t_ns, closed);
+        accrue_residency(d, t_ns);
+        Ok(())
+    }
+
+    /// Replays a [`PowerTracker`]'s recorded change points into a new
+    /// device, classifying each power level into a [`PowerState`] via
+    /// `classify`. The mirror accumulator repeats the tracker's float
+    /// operations verbatim, so subsequent window sums reproduce the
+    /// tracker's `energy_until` bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration/event errors (an empty tracker cannot
+    /// occur: construction always records the initial level).
+    pub fn ingest_tracker(
+        &mut self,
+        meta: DeviceMeta,
+        tracker: &PowerTracker,
+        classify: &dyn Fn(Watts) -> PowerState,
+    ) -> Result<DeviceKey> {
+        let mut changes = tracker.changes().iter().copied();
+        let (start, initial) = changes
+            .next()
+            .ok_or_else(|| SimError::Config("power tracker with no recorded changes".into()))?;
+        let key = self.register(meta, start, initial, classify(initial))?;
+        for (t, power) in changes {
+            self.set_power(key, t, power, classify(power))?;
+        }
+        Ok(key)
+    }
+
+    /// Closes every device's final (possibly partial) window at `end`.
+    /// After this the recorder accepts no further events; the sum of all
+    /// emitted energies per device equals that device's
+    /// `energy_until(end)` bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimeReversal`] if `end` precedes any device's
+    /// cursor; [`SimError::Config`] if already finished.
+    pub fn finish(&mut self, end: SimTime) -> Result<()> {
+        self.check_live()?;
+        let end_ns = end.as_nanos();
+        for d in &self.devs {
+            if end_ns < d.cursor_ns {
+                return Err(SimError::TimeReversal {
+                    now_ns: d.cursor_ns,
+                    requested_ns: end_ns,
+                });
+            }
+        }
+        let width = self.cfg.width_ns;
+        let Recorder { devs, closed, .. } = &mut *self;
+        for (idx, d) in devs.iter_mut().enumerate() {
+            close_windows_through(width, idx, d, end_ns, closed);
+            accrue_residency(d, end_ns);
+            if end_ns > d.win_start_ns {
+                let p = exact_prefix(d, end_ns);
+                let w = fit_increment(d.emitted, p);
+                closed.push(WindowRow {
+                    device: idx,
+                    window: d.win_idx,
+                    start_ns: d.win_start_ns,
+                    end_ns,
+                    energy_j: w,
+                    events: d.events,
+                    transitions: d.transitions,
+                    residency_ns: d.resid,
+                });
+                d.emitted = p;
+                d.win_start_ns = end_ns;
+            }
+        }
+        self.finished = true;
+        Ok(())
+    }
+
+    /// Takes all closed window rows accumulated since the last drain,
+    /// in close order (deterministic for a deterministic driver).
+    pub fn drain_closed(&mut self) -> Vec<WindowRow> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Exact emitted energy prefix for a device: after
+    /// [`Recorder::finish`] this equals `energy_until(end)` bit-exactly.
+    pub fn emitted_energy(&self, dev: DeviceKey) -> Option<f64> {
+        self.devs.get(dev.0).map(|d| d.emitted)
+    }
+
+    fn check_live(&self) -> Result<()> {
+        if self.finished {
+            return Err(SimError::Config(
+                "powerscope recorder already finished".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn check_power(power: Watts) -> Result<()> {
+    let v = power.value();
+    if !v.is_finite() || v < 0.0 {
+        return Err(SimError::Config(format!(
+            "powerscope requires finite non-negative power, got {v} W"
+        )));
+    }
+    Ok(())
+}
+
+/// The exact prefix energy at `t_ns` — the same expression (same bits)
+/// as `PowerTracker::energy_until`, computed against the mirror state
+/// *without* mutating the accumulator.
+fn exact_prefix(d: &DevState, t_ns: u64) -> f64 {
+    d.acc
+        + d.current_w
+            * time_delta_secs(
+                SimTime::from_nanos(d.last_change_ns),
+                SimTime::from_nanos(t_ns),
+            )
+}
+
+fn accrue_residency(d: &mut DevState, t_ns: u64) {
+    if let Some(slot) = d.resid.get_mut(d.state.index()) {
+        *slot += t_ns - d.cursor_ns;
+    }
+    d.cursor_ns = t_ns;
+}
+
+/// Emits a row for every whole window boundary at or before `t_ns`.
+fn close_windows_through(
+    width: u64,
+    device: usize,
+    d: &mut DevState,
+    t_ns: u64,
+    closed: &mut Vec<WindowRow>,
+) {
+    loop {
+        let end = window_end(d.win_idx, width);
+        if t_ns < end {
+            return;
+        }
+        accrue_residency(d, end);
+        let p = exact_prefix(d, end);
+        let w = fit_increment(d.emitted, p);
+        closed.push(WindowRow {
+            device,
+            window: d.win_idx,
+            start_ns: d.win_start_ns,
+            end_ns: end,
+            energy_j: w,
+            events: d.events,
+            transitions: d.transitions,
+            residency_ns: d.resid,
+        });
+        d.emitted = p;
+        d.win_idx += 1;
+        d.win_start_ns = end;
+        d.resid = [0; STATE_COUNT];
+        d.events = 0;
+        d.transitions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npp_units::Joules;
+
+    fn meta(name: &str) -> DeviceMeta {
+        DeviceMeta {
+            name: name.to_string(),
+            tier: Tier::Tor,
+            peak: Watts::new(750.0),
+        }
+    }
+
+    fn w(v: f64) -> Watts {
+        Watts::new(v)
+    }
+
+    #[test]
+    fn ulp_helpers_step_by_one_bit() {
+        assert_eq!(next_up(0.0), f64::from_bits(1));
+        assert_eq!(next_down(next_up(1.0)), 1.0);
+        assert!(next_up(1.0) > 1.0);
+        assert!(next_down(0.0) < 0.0);
+        let x = 1.5e300;
+        assert_eq!(next_up(x).to_bits(), x.to_bits() + 1);
+    }
+
+    #[test]
+    fn fit_increment_lands_exactly() {
+        for (prev, target) in [
+            (0.0, 0.1),
+            (0.1, 0.30000000000000004),
+            (1e16, 1e16 + 2.0),
+            (3.0, 3.0),
+            (0.0, 0.0),
+            (123.456, 123.456 + 1e-9),
+        ] {
+            let w = fit_increment(prev, target);
+            assert_eq!((prev + w).to_bits(), target.to_bits(), "{prev} -> {target}");
+        }
+    }
+
+    #[test]
+    fn windowed_sum_matches_energy_until_bit_for_bit() {
+        let width = WindowConfig::from_nanos(1_000).unwrap();
+        let mut rec = Recorder::new(width);
+        let mut tr = PowerTracker::new(SimTime::ZERO, w(100.0));
+        let key = rec
+            .register(meta("dev"), SimTime::ZERO, w(100.0), PowerState::OnFull)
+            .unwrap();
+        // Events straddle window boundaries at awkward offsets.
+        let schedule = [(137u64, 33.5), (999, 0.0), (1_000, 75.25), (4_501, 100.0)];
+        for (t_ns, p) in schedule {
+            let t = SimTime::from_nanos(t_ns);
+            tr.set_power(t, w(p)).unwrap();
+            rec.set_power(key, t, w(p), PowerState::classify(w(p), w(100.0)))
+                .unwrap();
+        }
+        let end = SimTime::from_nanos(7_777);
+        rec.finish(end).unwrap();
+        let rows = rec.drain_closed();
+        assert_eq!(rows.len(), 8); // 7 full windows + partial
+        let sum = rows.iter().map(|r| r.energy_j).fold(0.0, |a, b| a + b);
+        let direct = tr.energy_until(end).unwrap();
+        assert_eq!(sum.to_bits(), direct.value().to_bits());
+        assert_eq!(rec.emitted_energy(key), Some(sum));
+        // Residency is exact and covers each window.
+        for r in &rows {
+            let covered: u64 = r.residency_ns.iter().sum();
+            assert_eq!(covered, r.duration_ns());
+        }
+        // First window saw two events, one transition (OnFull -> OnLow
+        // at 137, OnLow -> Off at 999 => 2 transitions actually).
+        assert_eq!(rows[0].events, 2);
+        assert_eq!(rows[0].transitions, 2);
+    }
+
+    #[test]
+    fn ingest_tracker_replay_is_bit_exact() {
+        let mut tr = PowerTracker::new(SimTime::from_nanos(250), w(675.0));
+        for (t_ns, p) in [(300u64, 750.0), (1_234, 0.0), (1_234, 42.0), (5_000, 675.0)] {
+            tr.set_power(SimTime::from_nanos(t_ns), w(p)).unwrap();
+        }
+        let end = SimTime::from_nanos(9_999);
+        let mut rec = Recorder::new(WindowConfig::from_nanos(777).unwrap());
+        let peak = w(750.0);
+        let key = rec
+            .ingest_tracker(meta("sw"), &tr, &|p| PowerState::classify(p, peak))
+            .unwrap();
+        rec.finish(end).unwrap();
+        let rows = rec.drain_closed();
+        let sum = rows.iter().map(|r| r.energy_j).fold(0.0, |a, b| a + b);
+        assert_eq!(
+            sum.to_bits(),
+            tr.energy_until(end).unwrap().value().to_bits()
+        );
+        // Also agrees with the dwell-segment sum (the tracker's own
+        // exact decomposition).
+        let dwell: f64 = tr
+            .dwell_segments(end)
+            .unwrap()
+            .iter()
+            .map(|s| s.energy().value())
+            .fold(0.0, |a, b| a + b);
+        assert_eq!(sum.to_bits(), dwell.to_bits());
+        assert_eq!(rec.emitted_energy(key), Some(sum));
+        // Mid-window registration: first row starts at 250, not 0.
+        assert_eq!(rows.first().map(|r| r.start_ns), Some(250));
+    }
+
+    #[test]
+    fn prefix_at_every_boundary_matches_running_sum() {
+        let events: Vec<(u64, f64)> = (1..40u64)
+            .map(|i| (i * 37, (i % 5) as f64 * 3.25))
+            .collect();
+        let mut rec = Recorder::new(WindowConfig::from_nanos(100).unwrap());
+        let key = rec
+            .register(meta("d"), SimTime::ZERO, w(7.5), PowerState::OnLow)
+            .unwrap();
+        for &(t_ns, p) in &events {
+            rec.set_power(key, SimTime::from_nanos(t_ns), w(p), PowerState::OnLow)
+                .unwrap();
+        }
+        rec.finish(SimTime::from_nanos(40 * 37)).unwrap();
+        let rows = rec.drain_closed();
+        assert!(rows.len() > 10);
+        // Replay the same schedule into a fresh tracker, querying
+        // `energy_until` at each boundary as the replay passes it.
+        let mut tr = PowerTracker::new(SimTime::ZERO, w(7.5));
+        let mut next = 0usize;
+        let mut running = 0.0f64;
+        for r in &rows {
+            while let Some(&(t_ns, p)) = events.get(next) {
+                if t_ns > r.end_ns {
+                    break;
+                }
+                tr.set_power(SimTime::from_nanos(t_ns), w(p)).unwrap();
+                next += 1;
+            }
+            running += r.energy_j;
+            let at_boundary = tr.energy_until(SimTime::from_nanos(r.end_ns)).unwrap();
+            assert_eq!(
+                running.to_bits(),
+                at_boundary.value().to_bits(),
+                "window {} boundary {}",
+                r.window,
+                r.end_ns
+            );
+        }
+    }
+
+    #[test]
+    fn advance_streams_rows_without_perturbing_energy() {
+        let cfg = WindowConfig::from_nanos(500).unwrap();
+        let schedule = [(100u64, 10.0), (2_600, 20.0)];
+        let end = SimTime::from_nanos(5_000);
+
+        // Reference: events only (windows close lazily).
+        let mut lazy = Recorder::new(cfg);
+        let k1 = lazy
+            .register(meta("d"), SimTime::ZERO, w(5.0), PowerState::OnLow)
+            .unwrap();
+        for (t, p) in schedule {
+            lazy.set_power(k1, SimTime::from_nanos(t), w(p), PowerState::OnLow)
+                .unwrap();
+        }
+        lazy.finish(end).unwrap();
+        let lazy_rows = lazy.drain_closed();
+
+        // Streaming: advance() every 250 ns, draining as we go.
+        let mut eager = Recorder::new(cfg);
+        let k2 = eager
+            .register(meta("d"), SimTime::ZERO, w(5.0), PowerState::OnLow)
+            .unwrap();
+        let mut streamed = Vec::new();
+        let mut next_event = 0usize;
+        for step in 1..=20u64 {
+            let now = step * 250;
+            while let Some(&(t, p)) = schedule.get(next_event) {
+                if t > now {
+                    break;
+                }
+                eager
+                    .set_power(k2, SimTime::from_nanos(t), w(p), PowerState::OnLow)
+                    .unwrap();
+                next_event += 1;
+            }
+            eager.advance(k2, SimTime::from_nanos(now)).unwrap();
+            streamed.extend(eager.drain_closed());
+            assert!(eager.pending_rows() == 0);
+            assert_eq!(eager.open_windows(), 1);
+        }
+        eager.finish(end).unwrap();
+        streamed.extend(eager.drain_closed());
+
+        assert_eq!(lazy_rows, streamed);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cfg = WindowConfig::from_nanos(100).unwrap();
+        assert!(WindowConfig::from_nanos(0).is_err());
+        let mut rec = Recorder::new(cfg);
+        assert!(rec
+            .register(meta("d"), SimTime::ZERO, w(-1.0), PowerState::Off)
+            .is_err());
+        assert!(rec
+            .register(meta("d"), SimTime::ZERO, w(f64::NAN), PowerState::Off)
+            .is_err());
+        let key = rec
+            .register(
+                meta("d"),
+                SimTime::from_nanos(50),
+                w(1.0),
+                PowerState::OnLow,
+            )
+            .unwrap();
+        assert!(matches!(
+            rec.set_power(key, SimTime::from_nanos(49), w(1.0), PowerState::OnLow),
+            Err(SimError::TimeReversal { .. })
+        ));
+        let foreign = DeviceKey(7);
+        assert!(matches!(
+            rec.set_power(foreign, SimTime::from_nanos(60), w(1.0), PowerState::OnLow),
+            Err(SimError::BadIndex { .. })
+        ));
+        rec.finish(SimTime::from_nanos(60)).unwrap();
+        assert!(rec.finish(SimTime::from_nanos(70)).is_err());
+        assert!(rec
+            .set_power(key, SimTime::from_nanos(70), w(1.0), PowerState::OnLow)
+            .is_err());
+        assert_eq!(rec.open_windows(), 0);
+    }
+
+    #[test]
+    fn finish_on_boundary_emits_no_empty_window() {
+        let mut rec = Recorder::new(WindowConfig::from_nanos(100).unwrap());
+        let mut tr = PowerTracker::new(SimTime::ZERO, w(3.0));
+        let key = rec
+            .register(meta("d"), SimTime::ZERO, w(3.0), PowerState::OnLow)
+            .unwrap();
+        tr.set_power(SimTime::from_nanos(150), w(6.0)).unwrap();
+        rec.set_power(key, SimTime::from_nanos(150), w(6.0), PowerState::OnFull)
+            .unwrap();
+        rec.finish(SimTime::from_nanos(300)).unwrap();
+        let rows = rec.drain_closed();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.duration_ns() == 100));
+        let sum = rows.iter().map(|r| r.energy_j).fold(0.0, |a, b| a + b);
+        let direct = tr.energy_until(SimTime::from_nanos(300)).unwrap();
+        assert_eq!(sum.to_bits(), direct.value().to_bits());
+        assert!(direct.approx_eq(Joules::new(1.35e-6), 1e-18));
+    }
+
+    #[test]
+    fn zero_length_run_emits_nothing() {
+        let mut rec = Recorder::new(WindowConfig::from_nanos(100).unwrap());
+        let key = rec
+            .register(
+                meta("d"),
+                SimTime::from_nanos(40),
+                w(9.0),
+                PowerState::OnFull,
+            )
+            .unwrap();
+        rec.finish(SimTime::from_nanos(40)).unwrap();
+        assert!(rec.drain_closed().is_empty());
+        assert_eq!(rec.emitted_energy(key), Some(0.0));
+    }
+
+    #[test]
+    fn dominant_state_and_classify() {
+        let row = WindowRow {
+            device: 0,
+            window: 0,
+            start_ns: 0,
+            end_ns: 100,
+            energy_j: 0.0,
+            events: 0,
+            transitions: 0,
+            residency_ns: [10, 0, 60, 30],
+        };
+        assert_eq!(row.dominant_state(), PowerState::OnLow);
+        let peak = w(100.0);
+        assert_eq!(PowerState::classify(w(0.0), peak), PowerState::Off);
+        assert_eq!(PowerState::classify(w(99.95), peak), PowerState::OnFull);
+        assert_eq!(PowerState::classify(w(50.0), peak), PowerState::OnLow);
+    }
+}

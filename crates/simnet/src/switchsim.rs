@@ -574,6 +574,50 @@ impl PipelineSwitch {
         );
         Ok(())
     }
+
+    /// Replays every power tracker of this switch into a PowerScope
+    /// [`Recorder`](crate::powerscope::Recorder): one device per
+    /// pipeline (`{prefix}/pipe{i}`) plus the chassis overhead
+    /// (`{prefix}/chassis`), all on `tier`. Power levels classify
+    /// against the pipeline's full-frequency draw, so parked pipelines
+    /// show as `off`, rate-adapted ones as `on_low`.
+    ///
+    /// Returns the registered device keys in that order. The recorder's
+    /// per-device window sums reproduce each tracker's `energy_until`
+    /// bit-exactly (see the powerscope module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates recorder registration/replay errors.
+    pub fn record_powerscope(
+        &self,
+        rec: &mut crate::powerscope::Recorder,
+        tier: npp_power::Tier,
+        prefix: &str,
+    ) -> Result<Vec<crate::powerscope::DeviceKey>> {
+        use crate::powerscope::{DeviceMeta, PowerState};
+        let mut keys = Vec::with_capacity(self.pipes.len() + 1);
+        let pipe_peak = self.params.pipeline_power.at_freq(1.0);
+        for (idx, pipe) in self.pipes.iter().enumerate() {
+            let meta = DeviceMeta {
+                name: format!("{prefix}/pipe{idx}"),
+                tier,
+                peak: pipe_peak,
+            };
+            keys.push(
+                rec.ingest_tracker(meta, &pipe.tracker, &|p| PowerState::classify(p, pipe_peak))?,
+            );
+        }
+        let overhead_meta = DeviceMeta {
+            name: format!("{prefix}/chassis"),
+            tier,
+            peak: self.params.overhead_power,
+        };
+        keys.push(rec.ingest_tracker(overhead_meta, &self.overhead, &|p| {
+            PowerState::classify(p, self.params.overhead_power)
+        })?);
+        Ok(keys)
+    }
 }
 
 /// End-of-run switch summary.
@@ -598,9 +642,56 @@ pub struct SwitchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::powerscope::{Recorder, WindowConfig};
 
     fn switch() -> PipelineSwitch {
         PipelineSwitch::new(SwitchParams::paper_51t2(), SimTime::ZERO).unwrap()
+    }
+
+    #[test]
+    fn record_powerscope_conserves_every_tracker() {
+        let mut sw = switch();
+        sw.set_frequency(SimTime::from_micros(10), 0, 0.5).unwrap();
+        sw.park_pipeline(SimTime::from_micros(20), 1).unwrap();
+        sw.wake_pipeline(SimTime::from_micros(400), 1, 1.0).unwrap();
+        sw.set_frequency(SimTime::from_micros(700), 0, 1.0).unwrap();
+        let end = SimTime::from_millis(1);
+        let mut rec = Recorder::new(WindowConfig::from_nanos(33_000).unwrap());
+        let keys = sw
+            .record_powerscope(&mut rec, npp_power::Tier::Tor, "sw0")
+            .unwrap();
+        rec.finish(end).unwrap();
+        assert_eq!(keys.len(), sw.params.pipelines + 1);
+        let rows = rec.drain_closed();
+        for (dev, tracker) in sw
+            .pipes
+            .iter()
+            .map(|p| &p.tracker)
+            .chain(std::iter::once(&sw.overhead))
+            .enumerate()
+        {
+            let sum = rows
+                .iter()
+                .filter(|r| r.device == dev)
+                .map(|r| r.energy_j)
+                .fold(0.0, |a, b| a + b);
+            let direct = tracker.energy_until(end).unwrap();
+            assert_eq!(sum.to_bits(), direct.value().to_bits(), "device {dev}");
+        }
+        // Naming and tiers: pipelines then chassis.
+        assert_eq!(
+            rec.metas().first().map(|m| m.name.as_str()),
+            Some("sw0/pipe0")
+        );
+        assert_eq!(
+            rec.metas().last().map(|m| m.name.as_str()),
+            Some("sw0/chassis")
+        );
+        // The parked pipeline shows off-residency in some window.
+        assert!(rows
+            .iter()
+            .filter(|r| r.device == 1)
+            .any(|r| r.residency_ns[crate::powerscope::PowerState::Off.index()] > 0));
     }
 
     #[test]

@@ -47,12 +47,17 @@ pub mod cache;
 pub mod exec;
 pub mod grid;
 pub mod hash;
+pub mod power;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
 pub use cache::{CacheStats, ResultCache};
 pub use grid::{expand, Scenario};
+pub use power::{
+    render_power_header, render_power_jsonl, render_scenario_line, render_window_row,
+    run_power_sweep, PowerDevice, PowerSweepOutcome, ScenarioPower,
+};
 pub use report::{
     assemble_results, best_per_axis, frontier_table, power_slowdown_frontier, run_summary,
     ScenarioResult, SweepOutcome, SweepReport, SweepResults,

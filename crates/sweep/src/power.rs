@@ -1,0 +1,408 @@
+//! PowerScope sweep path: per-device windowed power/energy documents.
+//!
+//! The metrics path ([`crate::runner`]) reduces each scenario to one
+//! [`crate::Metrics`] row; this module re-runs the same grid but keeps
+//! the *power timelines*. Every simulation scenario's switch is replayed
+//! into an `npp_simnet::powerscope::Recorder`, producing windowed
+//! residency/energy rows per device (pipelines plus chassis), and the
+//! whole grid renders to one deterministic `npp.power/v1` JSONL
+//! document.
+//!
+//! Invariants, inherited from the sweep engine and the recorder:
+//!
+//! - **parallel == serial, byte for byte** — scenarios run through the
+//!   same index-addressed executor as the metrics path, the traffic
+//!   source is seeded from the scenario content hash, and the renderer
+//!   uses only the byte-stable `npp_telemetry::fmt` primitives;
+//! - **energy is conserved bit for bit** — each device's window
+//!   energies sum (in row order) to exactly the bits of its tracker's
+//!   `energy_until(horizon)`; the recorder guarantees this and
+//!   [`run_power_sweep`] re-checks it per device;
+//! - **non-simulation paths degrade loudly** — analytic and
+//!   fluid-fabric scenarios carry no per-device power timeline, so
+//!   their documents say so instead of silently vanishing.
+
+use serde::{Deserialize, Serialize};
+
+use npp_power::Tier;
+use npp_simnet::powerscope::{Recorder, WindowConfig, WindowRow, STATE_COUNT};
+use npp_simnet::switchsim::SwitchParams;
+use npp_simnet::SimTime;
+
+use crate::spec::{ExperimentKind, SweepSpec};
+use crate::{exec, grid, runner, Result, SweepError, SweepOptions};
+
+/// One device of a scenario's power document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct PowerDevice {
+    /// Stable device name (`s{index}/pipe{i}` or `s{index}/chassis`).
+    pub name: String,
+    /// Fabric tier of the device.
+    pub tier: Tier,
+    /// Peak electrical power, W.
+    pub peak_w: f64,
+    /// Total energy over the horizon, J — the in-order sum of this
+    /// device's window energies, bit-identical to the simulator's own
+    /// `energy_until(horizon)`.
+    pub total_j: f64,
+}
+
+/// The power document of one grid scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPower {
+    /// Grid position (row-major over the axes).
+    pub index: usize,
+    /// `(axis, value)` coordinates in axis order.
+    pub coords: Vec<(String, String)>,
+    /// Content hash of the scenario spec.
+    pub hash: String,
+    /// Seed derived from the hash.
+    pub seed: u64,
+    /// Devices, in recorder registration order (pipelines then chassis).
+    pub devices: Vec<PowerDevice>,
+    /// Closed windows, ordered by close time then device.
+    pub rows: Vec<WindowRow>,
+    /// Why this scenario has no timeline (analytic / fluid paths).
+    pub skipped: Option<&'static str>,
+}
+
+/// A full power sweep: one document per grid scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSweepOutcome {
+    /// Sweep name, echoed from the spec.
+    pub name: String,
+    /// Residency window width, ns.
+    pub window_ns: u64,
+    /// Per-scenario documents in grid order.
+    pub scenarios: Vec<ScenarioPower>,
+}
+
+impl PowerSweepOutcome {
+    /// Scenarios that produced device timelines.
+    pub fn simulated(&self) -> impl Iterator<Item = &ScenarioPower> {
+        self.scenarios.iter().filter(|s| s.skipped.is_none())
+    }
+}
+
+/// Runs the sweep grid and collects windowed power documents.
+///
+/// `opts.jobs` fans scenarios out exactly like the metrics path;
+/// `opts.threads` is accepted for CLI symmetry but the simulation path
+/// is single-threaded regardless. The result cache is not consulted:
+/// cached [`crate::Metrics`] rows cannot reproduce timelines.
+///
+/// # Errors
+///
+/// Propagates spec, simulator, and mechanism errors; fails if any
+/// device's windowed energy does not conserve bit-for-bit.
+pub fn run_power_sweep(
+    spec: &SweepSpec,
+    window_ns: u64,
+    opts: &SweepOptions,
+) -> Result<PowerSweepOutcome> {
+    let cfg = WindowConfig::from_nanos(window_ns)?;
+    let scenarios = grid::expand(spec)?;
+    let total = scenarios.len();
+    let jobs = opts.jobs.clamp(1, total.max(1));
+    let outputs: Vec<Result<ScenarioPower>> = exec::run_indexed(total, jobs, |index| {
+        let scenario = scenarios
+            .get(index)
+            .ok_or_else(|| SweepError::Spec(format!("grid index {index} out of range")))?;
+        run_scenario_power(scenario, cfg)
+    });
+    let scenarios = outputs.into_iter().collect::<Result<Vec<_>>>()?;
+    npp_telemetry::metrics::counter_add("powerscope.scenarios", total as u64);
+    npp_telemetry::metrics::counter_add(
+        "powerscope.rows",
+        scenarios.iter().map(|s| s.rows.len() as u64).sum(),
+    );
+    Ok(PowerSweepOutcome {
+        name: spec.name.clone(),
+        window_ns,
+        scenarios,
+    })
+}
+
+fn run_scenario_power(scenario: &grid::Scenario, cfg: WindowConfig) -> Result<ScenarioPower> {
+    let mut doc = ScenarioPower {
+        index: scenario.index,
+        coords: scenario.coords.clone(),
+        hash: scenario.hash.clone(),
+        seed: scenario.seed,
+        devices: Vec::new(),
+        rows: Vec::new(),
+        skipped: None,
+    };
+    let sim = match &scenario.spec.experiment {
+        ExperimentKind::Simulation(sim) => sim,
+        ExperimentKind::Analytic => {
+            doc.skipped = Some("analytic path has no device power timeline");
+            return Ok(doc);
+        }
+        ExperimentKind::FluidFabric(_) => {
+            doc.skipped = Some("fluid-fabric path has no per-device power timeline");
+            return Ok(doc);
+        }
+    };
+    if sim.horizon_ms == 0 {
+        return Err(SweepError::Spec(
+            "simulation horizon must be positive".into(),
+        ));
+    }
+    let params = SwitchParams::paper_51t2();
+    let horizon = SimTime::from_millis(sim.horizon_ms);
+    let mut source = runner::build_source(sim, scenario.seed, horizon)?;
+    let (_outcome, sw) = sim
+        .mechanism
+        .run_full(params, sim.knobs(), source.as_mut(), horizon)?;
+
+    let mut rec = Recorder::new(cfg);
+    let prefix = format!("s{}", scenario.index);
+    // The paper's 51.2T switch is modeled as a ToR-class device.
+    let keys = sw.record_powerscope(&mut rec, Tier::Tor, &prefix)?;
+    rec.finish(horizon)?;
+    doc.devices = rec
+        .metas()
+        .iter()
+        .zip(&keys)
+        .map(|(meta, &key)| PowerDevice {
+            name: meta.name.clone(),
+            tier: meta.tier,
+            peak_w: meta.peak.value(),
+            total_j: rec.emitted_energy(key).unwrap_or(0.0),
+        })
+        .collect();
+    doc.rows = rec.drain_closed();
+
+    // Defense in depth: the recorder proves conservation in its own
+    // tests, but a power document is a claim about joules — re-sum the
+    // rows and refuse to emit one that does not telescope exactly.
+    for (dev, device) in doc.devices.iter().enumerate() {
+        let sum = doc
+            .rows
+            .iter()
+            .filter(|r| r.device == dev)
+            .map(|r| r.energy_j)
+            .fold(0.0, |a, b| a + b);
+        if sum.to_bits() != device.total_j.to_bits() {
+            return Err(SweepError::Spec(format!(
+                "energy conservation violated for {}: windows sum to {sum:?}, tracker says {:?}",
+                device.name, device.total_j
+            )));
+        }
+    }
+    Ok(doc)
+}
+
+/// Appends the `npp.power/v1` header line (with trailing newline).
+///
+/// `scenarios` is the number of scenario documents the stream will
+/// carry — callers that stream (the diurnal CLI path) know it up front.
+pub fn render_power_header(out: &mut String, name: &str, window_ns: u64, scenarios: u64) {
+    use npp_telemetry::fmt::{push_escaped, push_u64};
+    out.push_str("{\"schema\":\"npp.power/v1\",\"sweep\":\"");
+    push_escaped(out, name);
+    out.push_str("\",\"window_ns\":");
+    push_u64(out, window_ns);
+    out.push_str(",\"scenarios\":");
+    push_u64(out, scenarios);
+    out.push_str(",\"states\":[\"off\",\"waking\",\"on_low\",\"on_full\"]}\n");
+}
+
+/// Appends one `scenario` line (devices, coords, totals; trailing
+/// newline).
+pub fn render_scenario_line(out: &mut String, s: &ScenarioPower) {
+    use npp_telemetry::fmt::{push_escaped, push_f64, push_hex16, push_u64};
+    out.push_str("{\"kind\":\"scenario\",\"index\":");
+    push_u64(out, s.index as u64);
+    out.push_str(",\"hash\":\"");
+    push_escaped(out, &s.hash);
+    out.push_str("\",\"seed\":\"");
+    push_hex16(out, s.seed);
+    out.push_str("\",\"coords\":[");
+    for (i, (axis, value)) in s.coords.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("[\"");
+        push_escaped(out, axis);
+        out.push_str("\",\"");
+        push_escaped(out, value);
+        out.push_str("\"]");
+    }
+    out.push_str("],\"devices\":[");
+    for (i, d) in s.devices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        push_escaped(out, &d.name);
+        out.push_str("\",\"tier\":\"");
+        out.push_str(d.tier.name());
+        out.push_str("\",\"peak_w\":");
+        push_f64(out, d.peak_w);
+        out.push_str(",\"total_j\":");
+        push_f64(out, d.total_j);
+        out.push('}');
+    }
+    out.push(']');
+    if let Some(reason) = s.skipped {
+        out.push_str(",\"skipped\":\"");
+        push_escaped(out, reason);
+        out.push('"');
+    }
+    out.push_str("}\n");
+}
+
+/// Appends one `window` line for a row of scenario `scenario` (trailing
+/// newline).
+pub fn render_window_row(out: &mut String, scenario: u64, r: &WindowRow) {
+    use npp_telemetry::fmt::{push_f64, push_u64};
+    out.push_str("{\"kind\":\"window\",\"scenario\":");
+    push_u64(out, scenario);
+    out.push_str(",\"device\":");
+    push_u64(out, r.device as u64);
+    out.push_str(",\"window\":");
+    push_u64(out, r.window);
+    out.push_str(",\"start_ns\":");
+    push_u64(out, r.start_ns);
+    out.push_str(",\"end_ns\":");
+    push_u64(out, r.end_ns);
+    out.push_str(",\"energy_j\":");
+    push_f64(out, r.energy_j);
+    out.push_str(",\"events\":");
+    push_u64(out, u64::from(r.events));
+    out.push_str(",\"transitions\":");
+    push_u64(out, u64::from(r.transitions));
+    out.push_str(",\"residency_ns\":[");
+    for (i, ns) in r.residency_ns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_u64(out, *ns);
+    }
+    debug_assert_eq!(r.residency_ns.len(), STATE_COUNT);
+    out.push_str("]}\n");
+}
+
+/// Renders the outcome as a deterministic `npp.power/v1` JSONL
+/// document: one header line, then per scenario one `scenario` line
+/// followed by its `window` lines. Built exclusively from the
+/// byte-stable `npp_telemetry::fmt` primitives, so the bytes are
+/// identical at any `--jobs`/`--threads` value.
+pub fn render_power_jsonl(outcome: &PowerSweepOutcome) -> String {
+    let mut out = String::new();
+    render_power_header(
+        &mut out,
+        &outcome.name,
+        outcome.window_ns,
+        outcome.scenarios.len() as u64,
+    );
+    for s in &outcome.scenarios {
+        render_scenario_line(&mut out, s);
+        for r in &s.rows {
+            render_window_row(&mut out, s.index as u64, r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, ScenarioSpec, SimulationSpec};
+    use npp_mechanisms::mechanism::Mechanism;
+
+    fn sim_spec() -> SweepSpec {
+        let mut base = ScenarioSpec::paper_baseline();
+        base.experiment = ExperimentKind::Simulation(SimulationSpec {
+            horizon_ms: 2,
+            ..SimulationSpec::comparison_defaults(Mechanism::AllOn)
+        });
+        SweepSpec {
+            name: "power-unit".into(),
+            base,
+            axes: vec![Axis::Mechanism(vec![
+                Mechanism::AllOn,
+                Mechanism::RateAdaptPerPipeline,
+                Mechanism::ParkPredictive,
+            ])],
+        }
+    }
+
+    #[test]
+    fn power_sweep_emits_conserving_documents() {
+        let outcome = run_power_sweep(&sim_spec(), 100_000, &SweepOptions::serial()).unwrap();
+        assert_eq!(outcome.scenarios.len(), 3);
+        for s in outcome.simulated() {
+            // paper_51t2: 4 pipelines + chassis.
+            assert_eq!(s.devices.len(), 5);
+            assert!(!s.rows.is_empty());
+            // 2 ms horizon, 100 µs windows → 20 windows per device.
+            assert_eq!(s.rows.len(), 20 * s.devices.len());
+            // The all-on scenario burns peak power in every window.
+            if s.index == 0 {
+                for d in &s.devices {
+                    assert!((d.total_j - d.peak_w * 0.002).abs() < 1e-9, "{}", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_bytes() {
+        let spec = sim_spec();
+        let serial = run_power_sweep(&spec, 250_000, &SweepOptions::serial()).unwrap();
+        let parallel = run_power_sweep(
+            &spec,
+            250_000,
+            &SweepOptions {
+                jobs: 8,
+                cache_dir: None,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            render_power_jsonl(&serial),
+            render_power_jsonl(&parallel),
+            "npp.power/v1 bytes must be --jobs invariant"
+        );
+    }
+
+    #[test]
+    fn analytic_scenarios_degrade_loudly() {
+        let spec = SweepSpec {
+            name: "analytic".into(),
+            base: ScenarioSpec::paper_baseline(),
+            axes: vec![],
+        };
+        let outcome = run_power_sweep(&spec, 1_000_000, &SweepOptions::serial()).unwrap();
+        assert_eq!(outcome.scenarios.len(), 1);
+        let s = outcome.scenarios.first().unwrap();
+        assert!(s.skipped.is_some());
+        assert!(s.devices.is_empty() && s.rows.is_empty());
+        let doc = render_power_jsonl(&outcome);
+        assert!(doc.contains("\"skipped\":\"analytic path has no device power timeline\""));
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json_with_stable_header() {
+        let outcome = run_power_sweep(&sim_spec(), 500_000, &SweepOptions::serial()).unwrap();
+        let doc = render_power_jsonl(&outcome);
+        let mut lines = doc.lines();
+        let header = lines.next().unwrap_or_default();
+        assert!(header.starts_with("{\"schema\":\"npp.power/v1\""));
+        for line in doc.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect(line);
+            drop(v);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_window() {
+        assert!(run_power_sweep(&sim_spec(), 0, &SweepOptions::serial()).is_err());
+    }
+}

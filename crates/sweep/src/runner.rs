@@ -216,7 +216,9 @@ fn run_fluid_fabric(fab: &FluidFabricSpec, threads: usize) -> Result<Metrics> {
 /// Builds the simulated traffic source. Stochastic workloads draw their
 /// seeds from the scenario seed (itself a pure function of the spec),
 /// so identical specs replay identical packet streams on any thread.
-fn build_source(
+/// Shared with the PowerScope path ([`crate::power`]), which must offer
+/// the bit-identical packet stream to reproduce the metrics run.
+pub(crate) fn build_source(
     sim: &SimulationSpec,
     seed: u64,
     horizon: SimTime,

@@ -1,0 +1,78 @@
+//! Byte-stable formatting primitives shared by every deterministic
+//! document renderer in the workspace (`npp.trace/v1`, `npp.power/v1`,
+//! the Prometheus exposition).
+//!
+//! The rules are deliberately tiny: integers render through a manual
+//! digit loop, floats render as integers when integral (and via Rust's
+//! shortest round-trip `Display` otherwise), and strings escape only
+//! what JSON requires. Nothing here consults locale, platform, or
+//! allocator state, so output is identical across runs, thread counts,
+//! and machines.
+
+/// Appends `v` in decimal.
+pub fn push_u64(out: &mut String, v: u64) {
+    let mut digits = [0u8; 20];
+    let mut len = 0usize;
+    let mut v = v;
+    loop {
+        if let Some(slot) = digits.get_mut(len) {
+            *slot = b'0' + (v % 10) as u8;
+        }
+        len += 1;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    for slot in digits.iter().take(len).rev() {
+        out.push(*slot as char);
+    }
+}
+
+/// Appends `v` as exactly 16 lowercase hex digits (scope/seed identity).
+pub fn push_hex16(out: &mut String, v: u64) {
+    for shift in (0..16).rev() {
+        let nibble = ((v >> (shift * 4)) & 0xF) as u32;
+        let ch = char::from_digit(nibble, 16).unwrap_or('0');
+        out.push(ch);
+    }
+}
+
+/// Byte-stable float formatting: integral finite values print as integers,
+/// everything else via Rust's shortest round-trip `Display` (deterministic
+/// across runs and platforms). NaN/inf are not valid JSON; clamp to 0.
+pub fn push_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push('0');
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        if v < 0.0 {
+            out.push('-');
+        }
+        push_u64(out, v.abs() as u64);
+    } else {
+        let mut s = String::new();
+        {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{v}");
+        }
+        out.push_str(&s);
+    }
+}
+
+/// Appends `s` with JSON string escaping (quotes, backslash, control).
+pub fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let hi = char::from_digit((c as u32) >> 4, 16).unwrap_or('0');
+                let lo = char::from_digit((c as u32) & 0xF, 16).unwrap_or('0');
+                out.push(hi);
+                out.push(lo);
+            }
+            c => out.push(c),
+        }
+    }
+}

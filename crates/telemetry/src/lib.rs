@@ -17,9 +17,12 @@
 //!   workspace; npp-lint rule D2 flags any call to it inside determinism
 //!   crates so wall time cannot leak into simulation logic.
 
+pub mod fmt;
 pub mod metrics;
 pub mod progress;
 pub mod timer;
+
+use fmt::{push_escaped, push_f64, push_hex16, push_u64};
 
 /// Schema identifier stamped on the canonical JSONL header line.
 pub const TRACE_SCHEMA: &str = "npp.trace/v1";
@@ -210,71 +213,6 @@ impl Trace {
         }
         out.push_str("\n]}\n");
         out
-    }
-}
-
-fn push_u64(out: &mut String, v: u64) {
-    let mut digits = [0u8; 20];
-    let mut len = 0usize;
-    let mut v = v;
-    loop {
-        if let Some(slot) = digits.get_mut(len) {
-            *slot = b'0' + (v % 10) as u8;
-        }
-        len += 1;
-        v /= 10;
-        if v == 0 {
-            break;
-        }
-    }
-    for slot in digits.iter().take(len).rev() {
-        out.push(*slot as char);
-    }
-}
-
-fn push_hex16(out: &mut String, v: u64) {
-    for shift in (0..16).rev() {
-        let nibble = ((v >> (shift * 4)) & 0xF) as u32;
-        let ch = char::from_digit(nibble, 16).unwrap_or('0');
-        out.push(ch);
-    }
-}
-
-/// Byte-stable float formatting: integral finite values print as integers,
-/// everything else via Rust's shortest round-trip `Display` (deterministic
-/// across runs and platforms). NaN/inf are not valid JSON; clamp to 0.
-fn push_f64(out: &mut String, v: f64) {
-    if !v.is_finite() {
-        out.push('0');
-    } else if v == v.trunc() && v.abs() < 9.0e15 {
-        if v < 0.0 {
-            out.push('-');
-        }
-        push_u64(out, v.abs() as u64);
-    } else {
-        let mut s = String::new();
-        {
-            use std::fmt::Write as _;
-            let _ = write!(s, "{v}");
-        }
-        out.push_str(&s);
-    }
-}
-
-fn push_escaped(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                out.push_str("\\u00");
-                let hi = char::from_digit((c as u32) >> 4, 16).unwrap_or('0');
-                let lo = char::from_digit((c as u32) & 0xF, 16).unwrap_or('0');
-                out.push(hi);
-                out.push(lo);
-            }
-            c => out.push(c),
-        }
     }
 }
 

@@ -151,6 +151,100 @@ impl Snapshot {
         out.push('}');
         out
     }
+
+    /// Histogram summary by name (None if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Prometheus text-format exposition (content type
+    /// `text/plain; version=0.0.4`).
+    ///
+    /// Metric names are sanitized to `[a-z0-9_]` with an `npp_` prefix;
+    /// histograms render cumulative `_bucket{le="..."}` series plus `_sum`
+    /// and `_count`, matching the classic Prometheus histogram contract.
+    /// Output is byte-stable: entries are already name-sorted and every
+    /// number goes through the workspace's deterministic formatters.
+    pub fn to_prometheus(&self) -> String {
+        use crate::fmt::{push_f64, push_u64};
+        let mut out = String::with_capacity(64 + self.entries.len() * 96);
+        for (name, value) in &self.entries {
+            let prom = prometheus_name(name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str("# TYPE ");
+                    out.push_str(&prom);
+                    out.push_str(" counter\n");
+                    out.push_str(&prom);
+                    out.push(' ');
+                    push_u64(&mut out, *v);
+                    out.push('\n');
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str("# TYPE ");
+                    out.push_str(&prom);
+                    out.push_str(" gauge\n");
+                    out.push_str(&prom);
+                    out.push(' ');
+                    push_f64(&mut out, *v);
+                    out.push('\n');
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str("# TYPE ");
+                    out.push_str(&prom);
+                    out.push_str(" histogram\n");
+                    let mut cumulative = 0u64;
+                    for (bound, n) in &h.buckets {
+                        cumulative += n;
+                        out.push_str(&prom);
+                        out.push_str("_bucket{le=\"");
+                        if *bound == u64::MAX {
+                            out.push_str("+Inf");
+                        } else {
+                            push_u64(&mut out, *bound);
+                        }
+                        out.push_str("\"} ");
+                        push_u64(&mut out, cumulative);
+                        out.push('\n');
+                    }
+                    if h.buckets.last().map(|(b, _)| *b) != Some(u64::MAX) {
+                        out.push_str(&prom);
+                        out.push_str("_bucket{le=\"+Inf\"} ");
+                        push_u64(&mut out, h.count);
+                        out.push('\n');
+                    }
+                    out.push_str(&prom);
+                    out.push_str("_sum ");
+                    push_u64(&mut out, h.sum);
+                    out.push('\n');
+                    out.push_str(&prom);
+                    out.push_str("_count ");
+                    push_u64(&mut out, h.count);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a registry key (dotted, e.g. `serve.request_ns.sweep`) onto a valid
+/// Prometheus metric name: `npp_` prefix, `[a-zA-Z0-9_]` body, everything
+/// else folded to `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(4 + name.len());
+    out.push_str("npp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 #[cfg(feature = "trace")]
@@ -377,6 +471,56 @@ pub fn snapshot() -> Snapshot {
     #[cfg(not(feature = "trace"))]
     {
         Snapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod prometheus_tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            entries: vec![
+                ("cache.hits".to_string(), MetricValue::Counter(12)),
+                ("rss.peak".to_string(), MetricValue::Gauge(1.5)),
+                (
+                    "serve.request_ns.sweep".to_string(),
+                    MetricValue::Histogram(HistogramSummary {
+                        count: 3,
+                        sum: 1031,
+                        min: 0,
+                        max: 1024,
+                        buckets: vec![(1, 1), (8, 1), (2048, 1)],
+                    }),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn exposition_renders_all_metric_kinds() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE npp_cache_hits counter\nnpp_cache_hits 12\n"));
+        assert!(text.contains("# TYPE npp_rss_peak gauge\nnpp_rss_peak 1.5\n"));
+        // Buckets are cumulative and always end with +Inf.
+        assert!(text.contains("npp_serve_request_ns_sweep_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("npp_serve_request_ns_sweep_bucket{le=\"8\"} 2\n"));
+        assert!(text.contains("npp_serve_request_ns_sweep_bucket{le=\"2048\"} 3\n"));
+        assert!(text.contains("npp_serve_request_ns_sweep_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("npp_serve_request_ns_sweep_sum 1031\n"));
+        assert!(text.contains("npp_serve_request_ns_sweep_count 3\n"));
+    }
+
+    #[test]
+    fn name_sanitizer_folds_non_identifier_chars() {
+        assert_eq!(prometheus_name("a.b-c/d"), "npp_a_b_c_d");
+    }
+
+    #[test]
+    fn histogram_accessor_distinguishes_kinds() {
+        let snap = sample();
+        assert!(snap.histogram("serve.request_ns.sweep").is_some());
+        assert!(snap.histogram("cache.hits").is_none());
     }
 }
 

@@ -1,0 +1,232 @@
+//! Workspace-level property tests for the powerscope recorder: the
+//! windowed residency/energy accounting must agree *bit for bit* with
+//! the simulator's own [`PowerTracker`] dwell accounting — for any
+//! schedule, any window width (including widths that straddle power
+//! changes), and both the batch-ingest and streaming event paths.
+
+use netpp::power::Tier;
+use netpp::simnet::power_tracker::PowerTracker;
+use netpp::simnet::powerscope::{DeviceMeta, PowerState, Recorder, WindowConfig, STATE_COUNT};
+use netpp::simnet::SimTime;
+use netpp::units::Watts;
+use proptest::prelude::*;
+
+const PEAK_W: f64 = 750.0;
+
+fn classify(p: Watts) -> PowerState {
+    PowerState::classify(p, Watts::new(PEAK_W))
+}
+
+fn meta(name: &str) -> DeviceMeta {
+    DeviceMeta {
+        name: name.into(),
+        tier: Tier::Tor,
+        peak: Watts::new(PEAK_W),
+    }
+}
+
+/// Window widths chosen to *not* divide the schedule deltas, so
+/// windows straddle power changes; includes pathological 1 ns windows
+/// and widths larger than most horizons.
+fn window_ns() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(1u64),
+        Just(7),
+        Just(1_000),
+        Just(33_333),
+        Just(100_000),
+        Just(1_048_576),
+        Just(10_000_000),
+        1u64..5_000_000,
+    ]
+}
+
+/// A random step schedule as (delta_ns, milliwatts) pairs. Zero deltas
+/// exercise same-instant restatements; levels span off (0) through
+/// above-peak. Deltas are reduced modulo a width-dependent cap before
+/// use (see [`delta_cap`]) so tiny windows cannot explode the row
+/// count.
+fn schedule() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec((0u64..3_000_000, 0u32..=1_500_000), 0..40)
+}
+
+/// Bounds schedule deltas so the whole horizon spans at most ~500
+/// windows per event — keeps the row count test-sized even for 1 ns
+/// windows while still leaving deltas both shorter and longer than the
+/// window width (the straddling cases).
+fn delta_cap(width: u64) -> u64 {
+    width.saturating_mul(500).clamp(1, 3_000_000)
+}
+
+/// Builds the reference tracker from a schedule; returns it plus the
+/// time of its last change.
+fn build_tracker(start_mw: u32, sched: &[(u64, u32)], cap: u64) -> (PowerTracker, u64) {
+    let mut tracker = PowerTracker::new(SimTime::ZERO, Watts::new(f64::from(start_mw) / 1000.0));
+    let mut t = 0u64;
+    for &(dt, mw) in sched {
+        t += dt % cap;
+        tracker
+            .set_power(SimTime::from_nanos(t), Watts::new(f64::from(mw) / 1000.0))
+            .expect("monotone schedule");
+    }
+    (tracker, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Windowed energies sum `to_bits`-identically to `energy_until`,
+    /// windows tile the horizon exactly, and per-state residency equals
+    /// the classified dwell segments.
+    #[test]
+    fn windowed_energy_and_residency_conserve(
+        width in window_ns(),
+        start_mw in 0u32..=1_000_000,
+        sched in schedule(),
+        tail in 0u64..2_000_000,
+    ) {
+        let cap = delta_cap(width);
+        let (tracker, last) = build_tracker(start_mw, &sched, cap);
+        let end = SimTime::from_nanos(last + tail % cap);
+
+        let mut rec = Recorder::new(WindowConfig::from_nanos(width).unwrap());
+        let key = rec.ingest_tracker(meta("dev"), &tracker, &classify).unwrap();
+        rec.finish(end).unwrap();
+        let rows = rec.drain_closed();
+
+        // 1. Bit-exact energy conservation, both via the recorder's own
+        // running total and via an in-order re-sum of the rows.
+        let expect = tracker.energy_until(end).unwrap().value();
+        let emitted = rec.emitted_energy(key).unwrap();
+        prop_assert_eq!(emitted.to_bits(), expect.to_bits(),
+            "emitted {} != energy_until {}", emitted, expect);
+        let sum = rows.iter().map(|r| r.energy_j).fold(0.0, |a, b| a + b);
+        prop_assert_eq!(sum.to_bits(), expect.to_bits(),
+            "row sum {} != energy_until {}", sum, expect);
+
+        // 2. Windows abut and their residency tiles every nanosecond of
+        // [0, end) — no gaps, no overlap, no slack.
+        let mut cursor = 0u64;
+        let mut covered = 0u64;
+        for r in &rows {
+            prop_assert_eq!(r.device, 0);
+            prop_assert_eq!(r.start_ns, cursor);
+            prop_assert!(r.end_ns > r.start_ns || rows.len() == 1);
+            prop_assert_eq!(r.residency_ns.iter().sum::<u64>(), r.duration_ns());
+            cursor = r.end_ns;
+            covered += r.duration_ns();
+        }
+        prop_assert_eq!(covered, end.as_nanos());
+
+        // 3. Per-state residency equals the tracker's dwell segments
+        // classified with the same rule.
+        let mut by_state = [0u64; STATE_COUNT];
+        for seg in tracker.dwell_segments(end).unwrap() {
+            by_state[classify(seg.power).index()] += seg.duration_ns();
+        }
+        let mut from_rows = [0u64; STATE_COUNT];
+        for r in &rows {
+            for (acc, ns) in from_rows.iter_mut().zip(r.residency_ns.iter()) {
+                *acc += ns;
+            }
+        }
+        prop_assert_eq!(from_rows, by_state);
+    }
+
+    /// Feeding the recorder one event at a time — with extra `advance`
+    /// calls that force windows to close early — produces bit-identical
+    /// rows to a single batch `ingest_tracker`.
+    #[test]
+    fn streaming_equals_batch_ingest(
+        width in window_ns(),
+        start_mw in 0u32..=1_000_000,
+        sched in schedule(),
+        tail in 0u64..2_000_000,
+    ) {
+        let cap = delta_cap(width);
+        let (tracker, last) = build_tracker(start_mw, &sched, cap);
+        let end = SimTime::from_nanos(last + tail % cap);
+
+        let mut batch = Recorder::new(WindowConfig::from_nanos(width).unwrap());
+        let bkey = batch.ingest_tracker(meta("dev"), &tracker, &classify).unwrap();
+        batch.finish(end).unwrap();
+
+        let mut stream = Recorder::new(WindowConfig::from_nanos(width).unwrap());
+        let start = Watts::new(f64::from(start_mw) / 1000.0);
+        let skey = stream
+            .register(meta("dev"), SimTime::ZERO, start, classify(start))
+            .unwrap();
+        let mut t = 0u64;
+        for &(dt, mw) in &sched {
+            t += dt % cap;
+            let at = SimTime::from_nanos(t);
+            // An advance at the same instant must be a pure flush.
+            stream.advance(skey, at).unwrap();
+            let p = Watts::new(f64::from(mw) / 1000.0);
+            stream.set_power(skey, at, p, classify(p)).unwrap();
+            // Early-drain mid-run: draining must not disturb accounting.
+            let _ = stream.drain_closed();
+        }
+        stream.finish(end).unwrap();
+
+        prop_assert_eq!(
+            stream.emitted_energy(skey).unwrap().to_bits(),
+            batch.emitted_energy(bkey).unwrap().to_bits()
+        );
+        // The streaming side drained mid-run, so compare the
+        // concatenation order-insensitively: re-drain and join.
+        let batch_rows = batch.drain_closed();
+        let stream_rows = stream.drain_closed();
+        // Mid-run drains already consumed earlier rows; rebuild the full
+        // streamed sequence by replaying without drains.
+        let mut replay = Recorder::new(WindowConfig::from_nanos(width).unwrap());
+        let rkey = replay
+            .register(meta("dev"), SimTime::ZERO, start, classify(start))
+            .unwrap();
+        let mut t = 0u64;
+        for &(dt, mw) in &sched {
+            t += dt % cap;
+            let at = SimTime::from_nanos(t);
+            replay.advance(rkey, at).unwrap();
+            let p = Watts::new(f64::from(mw) / 1000.0);
+            replay.set_power(rkey, at, p, classify(p)).unwrap();
+        }
+        replay.finish(end).unwrap();
+        let replay_rows = replay.drain_closed();
+        prop_assert_eq!(&replay_rows, &batch_rows, "streaming rows diverge from batch rows");
+        // And the tail left after mid-run drains must be a suffix.
+        prop_assert!(replay_rows.ends_with(&stream_rows));
+    }
+}
+
+/// A window wider than the whole horizon yields exactly one partial
+/// window carrying all the energy.
+#[test]
+fn oversized_window_collapses_to_one_row() {
+    let mut tracker = PowerTracker::new(SimTime::ZERO, Watts::new(100.0));
+    tracker
+        .set_power(SimTime::from_micros(3), Watts::new(0.0))
+        .unwrap();
+    let end = SimTime::from_micros(10);
+    let mut rec = Recorder::new(WindowConfig::from_nanos(1_000_000_000).unwrap());
+    let key = rec
+        .ingest_tracker(meta("one"), &tracker, &classify)
+        .unwrap();
+    rec.finish(end).unwrap();
+    let rows = rec.drain_closed();
+    assert_eq!(rows.len(), 1);
+    let row = rows.first().unwrap();
+    assert_eq!(row.start_ns, 0);
+    assert_eq!(row.end_ns, end.as_nanos());
+    assert_eq!(
+        row.energy_j.to_bits(),
+        tracker.energy_until(end).unwrap().value().to_bits()
+    );
+    assert_eq!(
+        rec.emitted_energy(key).unwrap().to_bits(),
+        row.energy_j.to_bits()
+    );
+    // 3 µs at 100 W (on_low), 7 µs off.
+    assert_eq!(row.residency_ns[PowerState::OnLow.index()], 3_000);
+    assert_eq!(row.residency_ns[PowerState::Off.index()], 7_000);
+}
